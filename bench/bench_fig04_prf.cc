@@ -1,0 +1,9 @@
+/// Fig. 4 + Fig. 9: Integer physical register file AVF (and its SDC
+/// component) for all benchmarks and ISAs, with weighted AVF.
+#include "bench_common.hh"
+int main() {
+    marvel::bench::runIsaSweep(
+        "Fig 4/9", "Integer PRF AVF (transient single-bit)",
+        marvel::fi::TargetId::PrfInt,
+        marvel::fi::FaultModel::Transient, true);
+}

@@ -1,0 +1,8 @@
+/// Fig. 5 + Fig. 10: L1 instruction cache AVF and SDC component.
+#include "bench_common.hh"
+int main() {
+    marvel::bench::runIsaSweep(
+        "Fig 5/10", "L1 instruction cache AVF (transient single-bit)",
+        marvel::fi::TargetId::L1I,
+        marvel::fi::FaultModel::Transient, true);
+}

@@ -1,0 +1,8 @@
+/// Fig. 6 + Fig. 11: L1 data cache AVF and SDC component.
+#include "bench_common.hh"
+int main() {
+    marvel::bench::runIsaSweep(
+        "Fig 6/11", "L1 data cache AVF (transient single-bit)",
+        marvel::fi::TargetId::L1D,
+        marvel::fi::FaultModel::Transient, true);
+}

@@ -1,0 +1,8 @@
+/// Fig. 7: load queue AVF.
+#include "bench_common.hh"
+int main() {
+    marvel::bench::runIsaSweep(
+        "Fig 7", "Load queue AVF (transient single-bit)",
+        marvel::fi::TargetId::LoadQueue,
+        marvel::fi::FaultModel::Transient, false);
+}

@@ -1,0 +1,8 @@
+/// Fig. 8: store queue AVF.
+#include "bench_common.hh"
+int main() {
+    marvel::bench::runIsaSweep(
+        "Fig 8", "Store queue AVF (transient single-bit)",
+        marvel::fi::TargetId::StoreQueue,
+        marvel::fi::FaultModel::Transient, false);
+}

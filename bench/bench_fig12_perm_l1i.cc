@@ -1,0 +1,8 @@
+/// Fig. 12: SDC probability of permanent (stuck-at) faults, L1I.
+#include "bench_common.hh"
+int main() {
+    marvel::bench::runIsaSweep(
+        "Fig 12", "L1I SDC probability under permanent stuck-at faults",
+        marvel::fi::TargetId::L1I,
+        marvel::fi::FaultModel::StuckAt1, true);
+}

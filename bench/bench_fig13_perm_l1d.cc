@@ -1,0 +1,8 @@
+/// Fig. 13: SDC probability of permanent (stuck-at) faults, L1D.
+#include "bench_common.hh"
+int main() {
+    marvel::bench::runIsaSweep(
+        "Fig 13", "L1D SDC probability under permanent stuck-at faults",
+        marvel::fi::TargetId::L1D,
+        marvel::fi::FaultModel::StuckAt1, true);
+}

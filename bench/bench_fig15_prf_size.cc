@@ -1,0 +1,37 @@
+/// Fig. 15: PRF-size sensitivity on RISC-V (96 / 128 / 192 physical
+/// integer registers): smaller register files concentrate utilization
+/// and raise AVF.
+#include "bench_common.hh"
+
+using namespace marvel;
+
+int main() {
+    fi::CampaignOptions opts = bench::defaultOptions();
+    const std::vector<std::string> names = bench::selectedWorkloads();
+    const unsigned sizes[] = {96, 128, 192};
+
+    TextTable table("Fig 15: RISC-V integer PRF AVF vs #registers");
+    table.header({"benchmark", "96", "128", "192"});
+    std::map<unsigned, std::vector<fi::CampaignResult>> bySize;
+    for (const std::string& name : names) {
+        std::vector<double> row;
+        for (unsigned pregs : sizes) {
+            workloads::Workload wl = workloads::get(name);
+            soc::SystemConfig cfg = soc::preset("riscv");
+            cfg.cpu.numIntPregs = pregs;
+            const fi::GoldenRun golden = fi::runGolden(
+                cfg, isa::compile(wl.module, isa::IsaKind::RISCV));
+            fi::CampaignResult res = fi::runCampaignOnGolden(
+                golden, {fi::TargetId::PrfInt}, opts);
+            row.push_back(res.avf() * 100.0);
+            bySize[pregs].push_back(res);
+        }
+        table.row(name, row);
+    }
+    std::vector<double> wavg;
+    for (unsigned pregs : sizes)
+        wavg.push_back(fi::weightedAvf(bySize[pregs]) * 100.0);
+    table.row("wAVF", wavg);
+    table.print();
+    std::printf("(faults/campaign=%u)\n", opts.numFaults);
+}

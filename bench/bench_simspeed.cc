@@ -1,0 +1,69 @@
+/// Simulator-throughput microbenchmarks (google-benchmark): cycle rate
+/// of the OoO core, checkpoint restore cost, and end-to-end injection
+/// run latency. These bound campaign turnaround (paper SIV-B).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+
+using namespace marvel;
+
+namespace {
+
+const fi::GoldenRun& crcGolden() {
+    static bench::GoldenCache cache;
+    return cache.get("crc32", isa::IsaKind::RISCV);
+}
+
+void BM_CpuCycleRate(benchmark::State& state) {
+    soc::System sys = crcGolden().checkpoint.restore();
+    u64 cycles = 0;
+    for (auto _ : state) {
+        sys.tick();
+        ++cycles;
+        if (sys.exited || sys.cpu.crashed())
+            sys = crcGolden().checkpoint.restore();
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuCycleRate);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+    const fi::GoldenRun& golden = crcGolden();
+    for (auto _ : state) {
+        soc::System sys = golden.checkpoint.restore();
+        benchmark::DoNotOptimize(sys.totalCycles);
+    }
+}
+BENCHMARK(BM_CheckpointRestore);
+
+void BM_SingleInjectionRun(benchmark::State& state) {
+    const fi::GoldenRun& golden = crcGolden();
+    u64 i = 0;
+    for (auto _ : state) {
+        Rng rng = Rng::forStream(99, i++);
+        const fi::TargetInfo info = fi::targetInfo(
+            golden.checkpoint.view(), {fi::TargetId::L1D});
+        fi::FaultMask mask;
+        mask.faults.push_back(fi::randomFault(
+            rng, {fi::TargetId::L1D}, info.geometry,
+            golden.windowCycles, fi::FaultModel::Transient));
+        const fi::RunVerdict v = fi::runWithFault(golden, mask);
+        benchmark::DoNotOptimize(v.cyclesRun);
+    }
+}
+BENCHMARK(BM_SingleInjectionRun);
+
+void BM_CompileWorkload(benchmark::State& state) {
+    const workloads::Workload wl = workloads::get("sha");
+    for (auto _ : state) {
+        const isa::Program prog =
+            isa::compile(wl.module, isa::IsaKind::X86);
+        benchmark::DoNotOptimize(prog.code.size());
+    }
+}
+BENCHMARK(BM_CompileWorkload);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+#include "accel/cluster.hh"
+
+#include "common/log.hh"
+
+namespace marvel::accel
+{
+
+Cluster::Cluster(const ClusterConfig &config)
+{
+    units_.reserve(config.designs.size());
+    for (std::size_t i = 0; i < config.designs.size(); ++i)
+        units_.emplace_back(config.designs[i],
+                            kAccelSpaceBase + i * kAccelSpaceStride);
+}
+
+ComputeUnit &
+Cluster::unitByName(const std::string &name)
+{
+    for (ComputeUnit &u : units_)
+        if (u.design().name == name)
+            return u;
+    fatal("cluster: no accelerator named '%s'", name.c_str());
+}
+
+bool
+Cluster::decodes(Addr addr) const
+{
+    return addr >= kAccelMmioBase &&
+           addr < kAccelMmioBase + units_.size() * kAccelMmioStride;
+}
+
+u64
+Cluster::mmioRead(Addr addr)
+{
+    const std::size_t idx = (addr - kAccelMmioBase) / kAccelMmioStride;
+    const Addr offset = (addr - kAccelMmioBase) % kAccelMmioStride;
+    return units_[idx].mmrRead(offset);
+}
+
+void
+Cluster::mmioWrite(Addr addr, u64 value)
+{
+    const std::size_t idx = (addr - kAccelMmioBase) / kAccelMmioStride;
+    const Addr offset = (addr - kAccelMmioBase) % kAccelMmioStride;
+    units_[idx].mmrWrite(offset, value);
+}
+
+void
+Cluster::cycle(mem::PhysMem &dram)
+{
+    for (ComputeUnit &u : units_)
+        u.cycle(dram);
+}
+
+bool
+Cluster::irqPending() const
+{
+    for (const ComputeUnit &u : units_)
+        if (u.irq())
+            return true;
+    return false;
+}
+
+bool
+Cluster::errored() const
+{
+    for (const ComputeUnit &u : units_)
+        if (u.errored())
+            return true;
+    return false;
+}
+
+} // namespace marvel::accel

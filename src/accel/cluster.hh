@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The accelerator cluster: the set of compute units of an SoC, their
+ * MMR address decoding, and the aggregated interrupt lines.
+ */
+
+#ifndef MARVEL_ACCEL_CLUSTER_HH
+#define MARVEL_ACCEL_CLUSTER_HH
+
+#include <vector>
+
+#include "accel/compute_unit.hh"
+
+namespace marvel::accel
+{
+
+/** Cluster description: one design per compute unit. */
+struct ClusterConfig
+{
+    std::vector<AccelDesign> designs;
+};
+
+/**
+ * A cluster of accelerators. Value-semantic.
+ */
+class Cluster
+{
+  public:
+    Cluster() = default;
+    explicit Cluster(const ClusterConfig &config);
+
+    bool empty() const { return units_.empty(); }
+    std::size_t size() const { return units_.size(); }
+
+    ComputeUnit &unit(std::size_t idx) { return units_[idx]; }
+    const ComputeUnit &unitC(std::size_t idx) const
+    {
+        return units_[idx];
+    }
+
+    ComputeUnit &unitByName(const std::string &name);
+
+    /** MMR page base of unit idx. */
+    static Addr
+    mmrBase(std::size_t idx)
+    {
+        return kAccelMmioBase + idx * kAccelMmioStride;
+    }
+
+    /** True when addr falls in the cluster's MMR window. */
+    bool decodes(Addr addr) const;
+
+    u64 mmioRead(Addr addr);
+    void mmioWrite(Addr addr, u64 value);
+
+    /** Advance every unit one accelerator clock. */
+    void cycle(mem::PhysMem &dram);
+
+    /** Any unit asserting its interrupt line. */
+    bool irqPending() const;
+
+    /** Any unit in the Error state. */
+    bool errored() const;
+
+  private:
+    std::vector<ComputeUnit> units_;
+};
+
+} // namespace marvel::accel
+
+#endif // MARVEL_ACCEL_CLUSTER_HH

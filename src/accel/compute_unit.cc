@@ -1,0 +1,224 @@
+#include "accel/compute_unit.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace marvel::accel
+{
+
+double
+AccelDesign::area()
+const
+{
+    double total = fu.area();
+    for (const ComponentDesc &c : components)
+        total += 0.02 * c.sizeBytes *
+                 (c.kind == MemKind::RegBank ? 2.0 : 1.0);
+    return total;
+}
+
+ComputeUnit::ComputeUnit(AccelDesign design, Addr localBase)
+    : design_(std::move(design)), localBase_(localBase),
+      engine_(design_.fu)
+{
+    mems_.reserve(design_.components.size());
+    for (const ComponentDesc &c : design_.components)
+        mems_.emplace_back(c.name, c.sizeBytes, c.kind);
+    if (mems_.size() > 15)
+        fatal("accel '%s': too many components", design_.name.c_str());
+}
+
+AccelMem &
+ComputeUnit::memoryByName(const std::string &name)
+{
+    for (AccelMem &m : mems_)
+        if (m.name() == name)
+            return m;
+    fatal("accel '%s': no component '%s'", design_.name.c_str(),
+          name.c_str());
+}
+
+u64
+ComputeUnit::mmrRead(Addr offset)
+{
+    if (offset == kMmrStatus) {
+        irq_ = false; // reading status acknowledges the interrupt
+        switch (state_) {
+          case State::Idle: return static_cast<u64>(UnitStatus::Idle);
+          case State::Done: return static_cast<u64>(UnitStatus::Done);
+          case State::Error:
+            return static_cast<u64>(UnitStatus::Error);
+          default: return static_cast<u64>(UnitStatus::Busy);
+        }
+    }
+    if (offset >= kMmrArg0 &&
+        offset < kMmrArg0 + 8 * kNumMmrArgs)
+        return args_[(offset - kMmrArg0) / 8];
+    return 0;
+}
+
+void
+ComputeUnit::mmrWrite(Addr offset, u64 value)
+{
+    if (offset == kMmrCtrl) {
+        if (value == 1 && (state_ == State::Idle ||
+                           state_ == State::Done ||
+                           state_ == State::Error)) {
+            state_ = State::DmaIn;
+            irq_ = false;
+            busyCycles_ = 0;
+            dmaCursor_ = 0;
+            dma_.reset();
+            engine_.reset();
+        } else if (value == 2) {
+            state_ = State::Idle;
+            irq_ = false;
+            dma_.reset();
+            engine_.reset();
+        }
+        return;
+    }
+    if (offset == kMmrStatus) {
+        if (value == 0 &&
+            (state_ == State::Done || state_ == State::Error))
+            state_ = State::Idle;
+        return;
+    }
+    if (offset >= kMmrArg0 &&
+        offset < kMmrArg0 + 8 * kNumMmrArgs)
+        args_[(offset - kMmrArg0) / 8] = value;
+}
+
+void
+ComputeUnit::startNextDma(const std::vector<DmaDesc> &descs,
+                          bool toAccel)
+{
+    const DmaDesc &d = descs[dmaCursor_];
+    DmaTransfer t;
+    t.toAccel = toAccel;
+    t.dramAddr = args_[d.argIdx];
+    t.component = d.component;
+    t.componentOff = 0;
+    t.length = d.length;
+    dma_.start(t);
+}
+
+void
+ComputeUnit::cycle(mem::PhysMem &dram)
+{
+    switch (state_) {
+      case State::Idle:
+      case State::Done:
+      case State::Error:
+        return;
+      case State::DmaIn:
+        ++busyCycles_;
+        if (dma_.busy()) {
+            dma_.cycle(dram, mems_);
+            if (dma_.faulted()) {
+                state_ = State::Error;
+                irq_ = true;
+            }
+            return;
+        }
+        if (dmaCursor_ < design_.dmaIn.size()) {
+            startNextDma(design_.dmaIn, true);
+            ++dmaCursor_;
+            return;
+        }
+        // All input transfers issued and drained: start the datapath.
+        {
+            std::vector<u64> args(args_, args_ + kNumMmrArgs);
+            engine_.start(design_.kernel, design_.kernel.entry, args);
+            state_ = State::Compute;
+            dmaCursor_ = 0;
+        }
+        return;
+      case State::Compute:
+        ++busyCycles_;
+        engine_.cycle(design_.kernel, *this);
+        if (engine_.status() == EngineStatus::Fault ||
+            engine_.cyclesRun() > design_.watchdogCycles) {
+            state_ = State::Error;
+            irq_ = true;
+            return;
+        }
+        if (engine_.status() == EngineStatus::Done) {
+            state_ = State::DmaOut;
+            dmaCursor_ = 0;
+        }
+        return;
+      case State::DmaOut:
+        ++busyCycles_;
+        if (dma_.busy()) {
+            dma_.cycle(dram, mems_);
+            if (dma_.faulted()) {
+                state_ = State::Error;
+                irq_ = true;
+            }
+            return;
+        }
+        if (dmaCursor_ < design_.dmaOut.size()) {
+            startNextDma(design_.dmaOut, false);
+            ++dmaCursor_;
+            return;
+        }
+        state_ = State::Done;
+        irq_ = true;
+        return;
+    }
+}
+
+// --- AccelAddressSpace ----------------------------------------------
+
+int
+ComputeUnit::resolve(Addr addr, u32 len)
+{
+    if (addr < localBase_)
+        return -1;
+    const Addr local = addr - localBase_;
+    const Addr comp = local / kComponentStride;
+    if (comp >= mems_.size())
+        return -1;
+    const Addr off = local % kComponentStride;
+    if (!mems_[comp].inRange(off, len))
+        return -1;
+    return static_cast<int>(comp);
+}
+
+u32
+ComputeUnit::latencyOf(int comp)
+{
+    return mems_[comp].latency();
+}
+
+u32
+ComputeUnit::portsOf(int comp)
+{
+    // Per-component ports scale with the datapath's memory-port
+    // budget: banking/partitioning in HLS terms. This is part of the
+    // Fig. 17 parallelism knob.
+    (void)comp;
+    const unsigned budget = design_.fu.counts[static_cast<unsigned>(
+        isa::FuClass::MemPort)];
+    return std::max(1u, budget);
+}
+
+u64
+ComputeUnit::readMem(int comp, Addr addr, u32 len)
+{
+    const Addr off = (addr - localBase_) % kComponentStride;
+    u64 value = 0;
+    mems_[comp].read(off, &value, len);
+    return value;
+}
+
+void
+ComputeUnit::writeMem(int comp, Addr addr, u32 len, u64 value)
+{
+    const Addr off = (addr - localBase_) % kComponentStride;
+    mems_[comp].write(off, &value, len);
+}
+
+} // namespace marvel::accel

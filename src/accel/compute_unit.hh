@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The accelerator Compute Unit: the SALAM-style pairing of a dataflow
+ * datapath with a Communications Interface (memory-mapped registers,
+ * DMA, interrupt line) and a set of local memory components.
+ *
+ * Lifecycle (driven by the host through MMRs):
+ *   Idle --CTRL=1--> DmaIn --> Compute --> DmaOut --> Done (IRQ)
+ * Any datapath/DMA fault or watchdog expiry moves to Error (IRQ).
+ */
+
+#ifndef MARVEL_ACCEL_COMPUTE_UNIT_HH
+#define MARVEL_ACCEL_COMPUTE_UNIT_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/dfg.hh"
+#include "accel/dma.hh"
+#include "accel/spm.hh"
+#include "common/memmap.hh"
+
+namespace marvel::accel
+{
+
+/** Declaration of one local memory component. */
+struct ComponentDesc
+{
+    std::string name;
+    u32 sizeBytes = 0;
+    MemKind kind = MemKind::Spm;
+};
+
+/** Accelerator-managed DMA descriptor: args[argIdx] holds the DRAM
+ *  address; the transfer covers `length` bytes of `component`. */
+struct DmaDesc
+{
+    unsigned argIdx = 0;
+    unsigned component = 0;
+    u32 length = 0;
+};
+
+/** A complete accelerator design (MachSuite-style). */
+struct AccelDesign
+{
+    std::string name;
+    mir::Module kernel; ///< entry function params receive MMR args
+    std::vector<ComponentDesc> components;
+    std::vector<DmaDesc> dmaIn;
+    std::vector<DmaDesc> dmaOut;
+    FuConfig fu;
+    u64 watchdogCycles = 20'000'000;
+
+    /** Area estimate: functional units plus memory macros (Fig 17b). */
+    double area() const;
+};
+
+/** MMR offsets within an accelerator's MMR page. */
+constexpr Addr kMmrCtrl = 0x00;
+constexpr Addr kMmrStatus = 0x08;
+constexpr Addr kMmrArg0 = 0x10;
+constexpr unsigned kNumMmrArgs = 8;
+
+/** STATUS values. */
+enum class UnitStatus : u64 { Idle = 0, Busy = 1, Done = 2, Error = 3 };
+
+/**
+ * One instantiated accelerator. Value-semantic.
+ */
+class ComputeUnit : public AccelAddressSpace
+{
+  public:
+    ComputeUnit(AccelDesign design, Addr localBase);
+
+    const AccelDesign &design() const { return design_; }
+    Addr localBase() const { return localBase_; }
+
+    /** Local address of component c. */
+    Addr
+    componentBase(unsigned c) const
+    {
+        return localBase_ + c * kComponentStride;
+    }
+
+    // --- host interface ------------------------------------------------
+    u64 mmrRead(Addr offset);
+    void mmrWrite(Addr offset, u64 value);
+    bool irq() const { return irq_; }
+
+    /** Advance one accelerator clock. */
+    void cycle(mem::PhysMem &dram);
+
+    // --- state / stats ----------------------------------------------------
+    enum class State : u8 { Idle, DmaIn, Compute, DmaOut, Done, Error };
+    State state() const { return state_; }
+    bool errored() const { return state_ == State::Error; }
+    Cycle busyCycles() const { return busyCycles_; }
+    u64 opsExecuted() const { return engine_.opsExecuted(); }
+
+    /** Local memory components (fault-injection targets). */
+    std::vector<AccelMem> &memories() { return mems_; }
+    const std::vector<AccelMem> &memories() const { return mems_; }
+
+    AccelMem &memoryByName(const std::string &name);
+
+    // --- AccelAddressSpace ---------------------------------------------
+    int resolve(Addr addr, u32 len) override;
+    u32 latencyOf(int comp) override;
+    u32 portsOf(int comp) override;
+    u64 readMem(int comp, Addr addr, u32 len) override;
+    void writeMem(int comp, Addr addr, u32 len, u64 value) override;
+
+  private:
+    void startNextDma(const std::vector<DmaDesc> &descs, bool toAccel);
+
+    AccelDesign design_;
+    Addr localBase_;
+    std::vector<AccelMem> mems_;
+    DataflowEngine engine_;
+    DmaEngine dma_;
+
+    State state_ = State::Idle;
+    bool irq_ = false;
+    u64 args_[kNumMmrArgs] = {};
+    std::size_t dmaCursor_ = 0;
+    Cycle busyCycles_ = 0;
+};
+
+} // namespace marvel::accel
+
+#endif // MARVEL_ACCEL_COMPUTE_UNIT_HH

@@ -1,0 +1,738 @@
+#include "accel/designs/designs.hh"
+
+#include "common/log.hh"
+#include "mir/builder.hh"
+
+namespace marvel::accel::designs
+{
+
+using mir::FunctionBuilder;
+using mir::ModuleBuilder;
+using mir::VReg;
+
+namespace
+{
+
+/** Local address of component c of a design based at `base`. */
+constexpr Addr
+comp(Addr base, unsigned c)
+{
+    return base + c * kComponentStride;
+}
+
+/** Default watchdog: generous multiple of any fault-free runtime. */
+constexpr u64 kWatchdog = 4'000'000;
+
+} // namespace
+
+// =====================================================================
+// BFS — RegBanks NODES (edge ranges) and EDGES (target ids); level-
+// synchronous traversal with an explicit queue. Faulty indices walk
+// out of the component ranges (bus error) or blow the watchdog: the
+// crash-dominated profile of Fig. 14.
+// =====================================================================
+
+AccelDesign
+makeBfs(Addr base)
+{
+    AccelDesign design;
+    design.name = "bfs";
+    design.components = {
+        {"EDGES", 16384, MemKind::RegBank},
+        {"NODES", 2048, MemKind::RegBank},
+        {"LEVELS", 2048, MemKind::Spm},
+        {"QUEUE", 2048, MemKind::Spm},
+    };
+    design.dmaIn = {{0, 1, 2048}, {1, 0, 16384}};
+    design.dmaOut = {{2, 2, 2048}};
+    design.watchdogCycles = kWatchdog;
+
+    const Addr edges = comp(base, 0);
+    const Addr nodes = comp(base, 1);
+    const Addr levels = comp(base, 2);
+    const Addr queue = comp(base, 3);
+    const u32 numNodes = DesignSizes::bfsNodes;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    // levels[i] = -1 for all nodes.
+    VReg levBase = fb.constI(static_cast<i64>(levels));
+    VReg minus1 = fb.constI(-1);
+    {
+        auto loop = fb.beginLoop(fb.constI(0), fb.constI(numNodes));
+        VReg off = fb.shlI(loop.idx, 3);
+        fb.st8(fb.add(levBase, off), minus1);
+        fb.endLoop(loop);
+    }
+    // levels[0] = 0; queue[0] = 0; head = 0; tail = 1.
+    VReg zero = fb.constI(0);
+    fb.st8(levBase, zero);
+    VReg queueBase = fb.constI(static_cast<i64>(queue));
+    fb.st8(queueBase, zero);
+    VReg head = fb.mov(zero);
+    VReg tail = fb.constI(1);
+
+    // while (head < tail)
+    auto outer = fb.beginLoop(head, tail);
+    {
+        VReg node = fb.ld8(fb.add(queueBase, fb.shlI(outer.idx, 3)));
+        VReg nodeWord =
+            fb.ld8(fb.add(fb.constI(static_cast<i64>(nodes)),
+                          fb.shlI(node, 3)));
+        // Node word packs (begin << 32) | end.
+        VReg begin = fb.shr(nodeWord, fb.constI(32));
+        VReg end = fb.band(nodeWord, fb.constI(0xffffffff));
+        VReg myLevel =
+            fb.ld8(fb.add(levBase, fb.shlI(node, 3)));
+        VReg nextLevel = fb.addI(myLevel, 1);
+        auto inner = fb.beginLoop(begin, end);
+        {
+            VReg target =
+                fb.ld8(fb.add(fb.constI(static_cast<i64>(edges)),
+                              fb.shlI(inner.idx, 3)));
+            VReg tLevAddr = fb.add(levBase, fb.shlI(target, 3));
+            VReg tLevel = fb.ld8(tLevAddr);
+            auto visit = fb.newBlock();
+            auto skip = fb.newBlock();
+            VReg unseen = fb.cmpLt(tLevel, zero);
+            fb.br(unseen, visit, skip);
+            fb.setBlock(visit);
+            fb.st8(tLevAddr, nextLevel);
+            fb.st8(fb.add(queueBase, fb.shlI(tail, 3)), target);
+            fb.assign(tail, fb.addI(tail, 1));
+            fb.jmp(skip);
+            fb.setBlock(skip);
+        }
+        fb.endLoop(inner);
+    }
+    fb.endLoop(outer);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+// =====================================================================
+// FFT — 1024-point iterative radix-2 over split REAL/IMG SPMs with
+// precomputed twiddle factors. Any surviving flip lands in pure data:
+// the all-SDC profile of Fig. 14.
+// =====================================================================
+
+AccelDesign
+makeFft(Addr base)
+{
+    AccelDesign design;
+    design.name = "fft";
+    design.components = {
+        {"REAL", 8192, MemKind::Spm},
+        {"IMG", 8192, MemKind::Spm},
+        {"TWID_R", 4096, MemKind::Spm},
+        {"TWID_I", 4096, MemKind::Spm},
+    };
+    design.dmaIn = {{0, 0, 8192}, {1, 1, 8192}, {2, 2, 4096},
+                    {3, 3, 4096}};
+    design.dmaOut = {{4, 0, 8192}, {5, 1, 8192}};
+    design.watchdogCycles = kWatchdog;
+
+    const Addr realA = comp(base, 0);
+    const Addr imagA = comp(base, 1);
+    const Addr twr = comp(base, 2);
+    const Addr twi = comp(base, 3);
+    const u32 n = DesignSizes::fftPoints;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    VReg realBase = fb.constI(static_cast<i64>(realA));
+    VReg imagBase = fb.constI(static_cast<i64>(imagA));
+    VReg twrBase = fb.constI(static_cast<i64>(twr));
+    VReg twiBase = fb.constI(static_cast<i64>(twi));
+    VReg nReg = fb.constI(n);
+
+    // for (span = n/2; span >= 1; span /= 2)
+    VReg span = fb.constI(n / 2);
+    auto spanHead = fb.newBlock();
+    auto spanBody = fb.newBlock();
+    auto spanExit = fb.newBlock();
+    fb.jmp(spanHead);
+    fb.setBlock(spanHead);
+    VReg spanLive = fb.cmpLt(fb.constI(0), span);
+    fb.br(spanLive, spanBody, spanExit);
+    fb.setBlock(spanBody);
+    {
+        // for (odd = span; odd < n; odd = (odd + 1) | span)
+        VReg odd = fb.mov(span);
+        auto oddHead = fb.newBlock();
+        auto oddBody = fb.newBlock();
+        auto oddExit = fb.newBlock();
+        fb.jmp(oddHead);
+        fb.setBlock(oddHead);
+        VReg oddLive = fb.cmpLt(odd, nReg);
+        fb.br(oddLive, oddBody, oddExit);
+        fb.setBlock(oddBody);
+        {
+            VReg even = fb.bxor(odd, span);
+            VReg offE = fb.shlI(even, 3);
+            VReg offO = fb.shlI(odd, 3);
+            VReg er = fb.ldf8(fb.add(realBase, offE));
+            VReg or_ = fb.ldf8(fb.add(realBase, offO));
+            VReg ei = fb.ldf8(fb.add(imagBase, offE));
+            VReg oi = fb.ldf8(fb.add(imagBase, offO));
+            VReg sumR = fb.fadd(er, or_);
+            VReg difR = fb.fsub(er, or_);
+            VReg sumI = fb.fadd(ei, oi);
+            VReg difI = fb.fsub(ei, oi);
+            fb.stf8(fb.add(realBase, offE), sumR);
+            fb.stf8(fb.add(imagBase, offE), sumI);
+            // twiddle index: (even & (span-1)) * (n/2/span)
+            VReg mask = fb.addI(span, -1);
+            VReg tidx =
+                fb.mul(fb.band(even, mask),
+                       fb.div(fb.constI(n / 2), span));
+            VReg toff = fb.shlI(tidx, 3);
+            VReg wr = fb.ldf8(fb.add(twrBase, toff));
+            VReg wi = fb.ldf8(fb.add(twiBase, toff));
+            VReg newR = fb.fsub(fb.fmul(wr, difR),
+                                fb.fmul(wi, difI));
+            VReg newI = fb.fadd(fb.fmul(wr, difI),
+                                fb.fmul(wi, difR));
+            fb.stf8(fb.add(realBase, offO), newR);
+            fb.stf8(fb.add(imagBase, offO), newI);
+        }
+        fb.assign(odd, fb.bor(fb.addI(odd, 1), span));
+        fb.jmp(oddHead);
+        fb.setBlock(oddExit);
+    }
+    fb.assign(span, fb.shr(span, fb.constI(1)));
+    fb.jmp(spanHead);
+    fb.setBlock(spanExit);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+// =====================================================================
+// GEMM — 64x64 double matrix multiply; the inner product is unrolled
+// 8x so that the multiplier budget (Fig. 17) governs throughput.
+// =====================================================================
+
+AccelDesign
+makeGemm(Addr base, const FuConfig *fuOverride)
+{
+    AccelDesign design;
+    design.name = "gemm";
+    design.components = {
+        {"MATRIX1", 32768, MemKind::Spm},
+        {"MATRIX2", 32768, MemKind::Spm},
+        {"MATRIX3", 32768, MemKind::Spm},
+    };
+    design.dmaIn = {{0, 0, 32768}, {1, 1, 32768}};
+    design.dmaOut = {{2, 2, 32768}};
+    design.watchdogCycles = kWatchdog * 4;
+    // Generous default memory/ALU bandwidth so the floating-point
+    // units are the scaling knob (Fig. 17).
+    design.fu.counts[static_cast<unsigned>(isa::FuClass::IntAlu)] = 16;
+    design.fu.counts[static_cast<unsigned>(isa::FuClass::MemPort)] = 16;
+    design.fu.counts[static_cast<unsigned>(isa::FuClass::FpAlu)] = 8;
+    design.fu.counts[static_cast<unsigned>(isa::FuClass::FpMul)] = 8;
+    if (fuOverride)
+        design.fu = *fuOverride;
+
+    const Addr m1 = comp(base, 0);
+    const Addr m2 = comp(base, 1);
+    const Addr m3 = comp(base, 2);
+    const u32 dim = DesignSizes::gemmDim;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    VReg aBase = fb.constI(static_cast<i64>(m1));
+    VReg bBase = fb.constI(static_cast<i64>(m2));
+    VReg cBase = fb.constI(static_cast<i64>(m3));
+    VReg dimReg = fb.constI(dim);
+
+    auto iLoop = fb.beginLoop(fb.constI(0), dimReg);
+    {
+        VReg rowOff = fb.shlI(fb.mulI(iLoop.idx, dim), 3);
+        auto jLoop = fb.beginLoop(fb.constI(0), dimReg);
+        {
+            // 8 independent partial sums (unroll lanes) keep the
+            // multiply-accumulate lanes parallel, so the FpMul/FpAlu
+            // budget (Fig. 17's knob) bounds throughput rather than a
+            // serial accumulation chain.
+            VReg partial[8];
+            for (auto &lane : partial)
+                lane = fb.constF(0.0);
+            auto kLoop =
+                fb.beginLoop(fb.constI(0), dimReg);
+            {
+                for (unsigned u = 0; u < 8; ++u) {
+                    VReg k = fb.addI(kLoop.idx, u);
+                    VReg aAddr = fb.add(
+                        aBase, fb.add(rowOff, fb.shlI(k, 3)));
+                    VReg bAddr = fb.add(
+                        bBase,
+                        fb.add(fb.shlI(fb.mulI(k, dim), 3),
+                               fb.shlI(jLoop.idx, 3)));
+                    VReg prod =
+                        fb.fmul(fb.ldf8(aAddr), fb.ldf8(bAddr));
+                    fb.assign(partial[u],
+                              fb.fadd(partial[u], prod));
+                }
+            }
+            fb.endLoop(kLoop, 8);
+            VReg s01 = fb.fadd(partial[0], partial[1]);
+            VReg s23 = fb.fadd(partial[2], partial[3]);
+            VReg s45 = fb.fadd(partial[4], partial[5]);
+            VReg s67 = fb.fadd(partial[6], partial[7]);
+            VReg sum = fb.fadd(fb.fadd(s01, s23),
+                               fb.fadd(s45, s67));
+            VReg cAddr = fb.add(
+                cBase, fb.add(rowOff, fb.shlI(jLoop.idx, 3)));
+            fb.stf8(cAddr, sum);
+        }
+        fb.endLoop(jLoop);
+    }
+    fb.endLoop(iLoop);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+// =====================================================================
+// MD-KNN — Lennard-Jones force from an 8-neighbour list. Flips in
+// NLADDR either index outside the position SPMs (crash) or pick the
+// wrong neighbour (SDC).
+// =====================================================================
+
+AccelDesign
+makeMdKnn(Addr base)
+{
+    AccelDesign design;
+    design.name = "md_knn";
+    design.components = {
+        {"NLADDR", 16384, MemKind::Spm},
+        {"FORCEX", 2048, MemKind::Spm},
+        {"POSX", 2048, MemKind::Spm},
+        {"POSY", 2048, MemKind::Spm},
+        {"POSZ", 2048, MemKind::Spm},
+    };
+    design.dmaIn = {{0, 0, 16384}, {1, 2, 2048}, {2, 3, 2048},
+                    {3, 4, 2048}};
+    design.dmaOut = {{4, 1, 2048}};
+    design.watchdogCycles = kWatchdog;
+
+    const Addr nl = comp(base, 0);
+    const Addr forceX = comp(base, 1);
+    const Addr posX = comp(base, 2);
+    const Addr posY = comp(base, 3);
+    const Addr posZ = comp(base, 4);
+    const u32 atoms = DesignSizes::mdAtoms;
+    const u32 nn = DesignSizes::mdNeighbours;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    VReg nlBase = fb.constI(static_cast<i64>(nl));
+    VReg fxBase = fb.constI(static_cast<i64>(forceX));
+    VReg pxBase = fb.constI(static_cast<i64>(posX));
+    VReg pyBase = fb.constI(static_cast<i64>(posY));
+    VReg pzBase = fb.constI(static_cast<i64>(posZ));
+
+    auto iLoop = fb.beginLoop(fb.constI(0), fb.constI(atoms));
+    {
+        VReg iOff = fb.shlI(iLoop.idx, 3);
+        VReg xi = fb.ldf8(fb.add(pxBase, iOff));
+        VReg yi = fb.ldf8(fb.add(pyBase, iOff));
+        VReg zi = fb.ldf8(fb.add(pzBase, iOff));
+        VReg fx = fb.constF(0.0);
+        auto kLoop = fb.beginLoop(fb.constI(0), fb.constI(nn));
+        {
+            VReg slot = fb.add(fb.mulI(iLoop.idx, nn), kLoop.idx);
+            VReg j = fb.ld8(fb.add(nlBase, fb.shlI(slot, 3)));
+            VReg jOff = fb.shlI(j, 3);
+            VReg xj = fb.ldf8(fb.add(pxBase, jOff));
+            VReg yj = fb.ldf8(fb.add(pyBase, jOff));
+            VReg zj = fb.ldf8(fb.add(pzBase, jOff));
+            VReg dx = fb.fsub(xi, xj);
+            VReg dy = fb.fsub(yi, yj);
+            VReg dz = fb.fsub(zi, zj);
+            VReg r2 = fb.fadd(fb.fadd(fb.fmul(dx, dx),
+                                      fb.fmul(dy, dy)),
+                              fb.fmul(dz, dz));
+            VReg inv2 = fb.fdiv(fb.constF(1.0), r2);
+            VReg inv6 =
+                fb.fmul(fb.fmul(inv2, inv2), inv2);
+            VReg potential =
+                fb.fmul(inv6,
+                        fb.fsub(fb.fmul(fb.constF(1.5), inv6),
+                                fb.constF(2.0)));
+            fb.assign(fx, fb.fadd(fx, fb.fmul(potential, dx)));
+        }
+        fb.endLoop(kLoop);
+        fb.stf8(fb.add(fxBase, iOff), fx);
+    }
+    fb.endLoop(iLoop);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+// =====================================================================
+// MERGESORT — bottom-up merge sort over the MAIN SPM with TEMP as the
+// merge buffer. TEMP's continuous stream of overwrites masks most
+// faults; MAIN keeps live data longer (Fig. 14 discussion).
+// =====================================================================
+
+AccelDesign
+makeMergesort(Addr base)
+{
+    AccelDesign design;
+    design.name = "mergesort";
+    design.components = {
+        {"MAIN", 8192, MemKind::Spm},
+        {"TEMP", 8192, MemKind::Spm},
+    };
+    design.dmaIn = {{0, 0, 8192}};
+    design.dmaOut = {{1, 0, 8192}};
+    design.watchdogCycles = kWatchdog;
+
+    const Addr mainA = comp(base, 0);
+    const Addr tempA = comp(base, 1);
+    const u32 n = DesignSizes::sortLen;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    VReg mainBase = fb.constI(static_cast<i64>(mainA));
+    VReg tempBase = fb.constI(static_cast<i64>(tempA));
+    VReg nReg = fb.constI(n);
+
+    // for (width = 1; width < n; width *= 2)
+    VReg width = fb.constI(1);
+    auto widthHead = fb.newBlock();
+    auto widthBody = fb.newBlock();
+    auto widthExit = fb.newBlock();
+    fb.jmp(widthHead);
+    fb.setBlock(widthHead);
+    VReg widthLive = fb.cmpLt(width, nReg);
+    fb.br(widthLive, widthBody, widthExit);
+    fb.setBlock(widthBody);
+    {
+        // for (lo = 0; lo < n; lo += 2*width) merge [lo,mid),[mid,hi)
+        VReg lo = fb.constI(0);
+        auto loHead = fb.newBlock();
+        auto loBody = fb.newBlock();
+        auto loExit = fb.newBlock();
+        fb.jmp(loHead);
+        fb.setBlock(loHead);
+        VReg loLive = fb.cmpLt(lo, nReg);
+        fb.br(loLive, loBody, loExit);
+        fb.setBlock(loBody);
+        {
+            VReg mid0 = fb.add(lo, width);
+            VReg mid = fb.select(fb.cmpLt(mid0, nReg), mid0, nReg);
+            VReg hi0 = fb.add(lo, fb.shlI(width, 1));
+            VReg hi = fb.select(fb.cmpLt(hi0, nReg), hi0, nReg);
+            VReg a = fb.mov(lo);
+            VReg b = fb.mov(mid);
+            // for (k = lo; k < hi; ++k) pick smaller head into TEMP
+            auto kLoop = fb.beginLoop(lo, hi);
+            {
+                VReg aLive = fb.cmpLt(a, mid);
+                VReg bLive = fb.cmpLt(b, hi);
+                // The engine issues both loads unconditionally, so
+                // clamp the exhausted side's index into range (its
+                // value is discarded by the select below).
+                VReg nM1 = fb.constI(n - 1);
+                VReg aC = fb.select(aLive, a, fb.constI(0));
+                VReg bC = fb.select(bLive, b, nM1);
+                VReg av = fb.ld8(fb.add(mainBase, fb.shlI(aC, 3)));
+                VReg bv = fb.ld8(fb.add(mainBase, fb.shlI(bC, 3)));
+                // takeA = aLive && (!bLive || av <= bv)
+                VReg cmp = fb.cmpLe(av, bv);
+                VReg notB = fb.bxor(bLive, fb.constI(1));
+                VReg takeA =
+                    fb.band(aLive, fb.bor(notB, cmp));
+                VReg chosen = fb.select(takeA, av, bv);
+                fb.st8(fb.add(tempBase, fb.shlI(kLoop.idx, 3)),
+                       chosen);
+                fb.assign(a, fb.add(a, takeA));
+                fb.assign(b,
+                          fb.add(b, fb.bxor(takeA, fb.constI(1))));
+            }
+            fb.endLoop(kLoop);
+            // copy back
+            auto cLoop = fb.beginLoop(lo, hi);
+            {
+                VReg v = fb.ld8(
+                    fb.add(tempBase, fb.shlI(cLoop.idx, 3)));
+                fb.st8(fb.add(mainBase, fb.shlI(cLoop.idx, 3)), v);
+            }
+            fb.endLoop(cLoop);
+        }
+        fb.assign(lo, fb.add(lo, fb.shlI(width, 1)));
+        fb.jmp(loHead);
+        fb.setBlock(loExit);
+    }
+    fb.assign(width, fb.shlI(width, 1));
+    fb.jmp(widthHead);
+    fb.setBlock(widthExit);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+// =====================================================================
+// SPMV — CRS sparse matrix-vector product. COLS entries index the
+// dense vector (crash potential); VAL entries are pure data (SDC).
+// =====================================================================
+
+AccelDesign
+makeSpmv(Addr base)
+{
+    AccelDesign design;
+    design.name = "spmv";
+    design.components = {
+        {"VAL", 13328, MemKind::Spm},
+        {"COLS", 6664, MemKind::Spm},
+        {"ROWDELIM", 1032, MemKind::Spm},
+        {"VEC", 1024, MemKind::Spm},
+        {"OUT", 1024, MemKind::Spm},
+    };
+    design.dmaIn = {{0, 0, 13328}, {1, 1, 6664}, {2, 2, 1032},
+                    {3, 3, 1024}};
+    design.dmaOut = {{4, 4, 1024}};
+    design.watchdogCycles = kWatchdog;
+
+    const Addr val = comp(base, 0);
+    const Addr cols = comp(base, 1);
+    const Addr rowd = comp(base, 2);
+    const Addr vec = comp(base, 3);
+    const Addr out = comp(base, 4);
+    const u32 rows = DesignSizes::spmvRows;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    VReg valBase = fb.constI(static_cast<i64>(val));
+    VReg colBase = fb.constI(static_cast<i64>(cols));
+    VReg rowBase = fb.constI(static_cast<i64>(rowd));
+    VReg vecBase = fb.constI(static_cast<i64>(vec));
+    VReg outBase = fb.constI(static_cast<i64>(out));
+
+    auto rLoop = fb.beginLoop(fb.constI(0), fb.constI(rows));
+    {
+        VReg beg = fb.ld8(
+            fb.add(rowBase, fb.shlI(rLoop.idx, 3)));
+        VReg end = fb.ld8(
+            fb.add(rowBase, fb.shlI(fb.addI(rLoop.idx, 1), 3)));
+        VReg sum = fb.constF(0.0);
+        auto eLoop = fb.beginLoop(beg, end);
+        {
+            VReg v = fb.ldf8(
+                fb.add(valBase, fb.shlI(eLoop.idx, 3)));
+            VReg col = fb.ld4u(
+                fb.add(colBase, fb.shlI(eLoop.idx, 2)));
+            VReg x =
+                fb.ldf8(fb.add(vecBase, fb.shlI(col, 3)));
+            fb.assign(sum, fb.fadd(sum, fb.fmul(v, x)));
+        }
+        fb.endLoop(eLoop);
+        fb.stf8(fb.add(outBase, fb.shlI(rLoop.idx, 3)), sum);
+    }
+    fb.endLoop(rLoop);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+// =====================================================================
+// STENCIL2D — 3x3 convolution from ORIG to SOL with the FILTER
+// register bank (Table IV: 360 bytes).
+// =====================================================================
+
+AccelDesign
+makeStencil2d(Addr base)
+{
+    AccelDesign design;
+    design.name = "stencil2d";
+    design.components = {
+        {"ORIG", 32768, MemKind::Spm},
+        {"SOL", 32768, MemKind::Spm},
+        {"FILTER", 360, MemKind::RegBank},
+    };
+    design.dmaIn = {{0, 0, 32768}, {1, 2, 360}};
+    design.dmaOut = {{2, 1, 32768}};
+    design.watchdogCycles = kWatchdog;
+
+    const Addr orig = comp(base, 0);
+    const Addr sol = comp(base, 1);
+    const Addr filt = comp(base, 2);
+    const u32 rows = DesignSizes::st2Rows;
+    const u32 colsN = DesignSizes::st2Cols;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    VReg origBase = fb.constI(static_cast<i64>(orig));
+    VReg solBase = fb.constI(static_cast<i64>(sol));
+    VReg filtBase = fb.constI(static_cast<i64>(filt));
+
+    auto rLoop =
+        fb.beginLoop(fb.constI(1), fb.constI(rows - 1));
+    {
+        auto cLoop =
+            fb.beginLoop(fb.constI(1), fb.constI(colsN - 1));
+        {
+            VReg acc = fb.constF(0.0);
+            for (int dr = -1; dr <= 1; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    const int k = (dr + 1) * 3 + (dc + 1);
+                    VReg rr = fb.addI(rLoop.idx, dr);
+                    VReg cc = fb.addI(cLoop.idx, dc);
+                    VReg cell = fb.add(
+                        fb.mulI(rr, colsN), cc);
+                    VReg v = fb.ldf8(
+                        fb.add(origBase, fb.shlI(cell, 3)));
+                    VReg w =
+                        fb.ldf8(filtBase, 8 * k);
+                    fb.assign(acc, fb.fadd(acc, fb.fmul(v, w)));
+                }
+            }
+            VReg cell = fb.add(fb.mulI(rLoop.idx, colsN),
+                               cLoop.idx);
+            fb.stf8(fb.add(solBase, fb.shlI(cell, 3)), acc);
+        }
+        fb.endLoop(cLoop);
+    }
+    fb.endLoop(rLoop);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+// =====================================================================
+// STENCIL3D — 7-point stencil with the two coefficients in the C_VAR
+// register bank (Table IV: 8 bytes).
+// =====================================================================
+
+AccelDesign
+makeStencil3d(Addr base)
+{
+    AccelDesign design;
+    design.name = "stencil3d";
+    design.components = {
+        {"ORIG", 65536, MemKind::Spm},
+        {"SOL", 65536, MemKind::Spm},
+        {"C_VAR", 8, MemKind::RegBank},
+    };
+    design.dmaIn = {{0, 0, 65536}, {1, 2, 8}};
+    design.dmaOut = {{2, 1, 65536}};
+    design.watchdogCycles = kWatchdog * 2;
+
+    const Addr orig = comp(base, 0);
+    const Addr sol = comp(base, 1);
+    const Addr cvar = comp(base, 2);
+    const u32 nx = DesignSizes::st3X;
+    const u32 ny = DesignSizes::st3Y;
+    const u32 nz = DesignSizes::st3Z;
+
+    ModuleBuilder mb;
+    FunctionBuilder fb = mb.func("kernel", {});
+    VReg origBase = fb.constI(static_cast<i64>(orig));
+    VReg solBase = fb.constI(static_cast<i64>(sol));
+    VReg cvarBase = fb.constI(static_cast<i64>(cvar));
+    // C_VAR packs two signed 32-bit coefficients.
+    VReg c0 = fb.itof(fb.ld4s(cvarBase, 0));
+    VReg c1 = fb.itof(fb.ld4s(cvarBase, 4));
+
+    auto xLoop = fb.beginLoop(fb.constI(1), fb.constI(nx - 1));
+    {
+        auto yLoop =
+            fb.beginLoop(fb.constI(1), fb.constI(ny - 1));
+        {
+            auto zLoop =
+                fb.beginLoop(fb.constI(1), fb.constI(nz - 1));
+            {
+                auto cellOf = [&](VReg x, VReg y, VReg z) {
+                    VReg t = fb.add(fb.mulI(x, ny), y);
+                    return fb.add(fb.mulI(t, nz), z);
+                };
+                VReg center = cellOf(xLoop.idx, yLoop.idx,
+                                     zLoop.idx);
+                VReg sum = fb.constF(0.0);
+                auto addCell = [&](VReg cell) {
+                    VReg v = fb.ldf8(
+                        fb.add(origBase, fb.shlI(cell, 3)));
+                    fb.assign(sum, fb.fadd(sum, v));
+                };
+                addCell(cellOf(fb.addI(xLoop.idx, -1), yLoop.idx,
+                               zLoop.idx));
+                addCell(cellOf(fb.addI(xLoop.idx, 1), yLoop.idx,
+                               zLoop.idx));
+                addCell(cellOf(xLoop.idx, fb.addI(yLoop.idx, -1),
+                               zLoop.idx));
+                addCell(cellOf(xLoop.idx, fb.addI(yLoop.idx, 1),
+                               zLoop.idx));
+                addCell(cellOf(xLoop.idx, yLoop.idx,
+                               fb.addI(zLoop.idx, -1)));
+                addCell(cellOf(xLoop.idx, yLoop.idx,
+                               fb.addI(zLoop.idx, 1)));
+                VReg centerV = fb.ldf8(
+                    fb.add(origBase, fb.shlI(center, 3)));
+                VReg result =
+                    fb.fadd(fb.fmul(c0, centerV),
+                            fb.fmul(c1, sum));
+                fb.stf8(fb.add(solBase, fb.shlI(center, 3)),
+                        result);
+            }
+            fb.endLoop(zLoop);
+        }
+        fb.endLoop(yLoop);
+    }
+    fb.endLoop(xLoop);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    design.kernel = mb.module();
+    mir::verify(design.kernel);
+    return design;
+}
+
+std::vector<std::string>
+allDesignNames()
+{
+    return {"bfs", "fft", "gemm", "md_knn", "mergesort", "spmv",
+            "stencil2d", "stencil3d"};
+}
+
+AccelDesign
+makeByName(const std::string &name, Addr base)
+{
+    if (name == "bfs")
+        return makeBfs(base);
+    if (name == "fft")
+        return makeFft(base);
+    if (name == "gemm")
+        return makeGemm(base);
+    if (name == "md_knn")
+        return makeMdKnn(base);
+    if (name == "mergesort")
+        return makeMergesort(base);
+    if (name == "spmv")
+        return makeSpmv(base);
+    if (name == "stencil2d")
+        return makeStencil2d(base);
+    if (name == "stencil3d")
+        return makeStencil3d(base);
+    fatal("designs: unknown accelerator '%s'", name.c_str());
+}
+
+} // namespace marvel::accel::designs

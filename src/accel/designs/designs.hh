@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The eight MachSuite-style accelerator designs evaluated in the paper
+ * (Table IV): BFS, FFT, GEMM, MD-KNN, MERGESORT, SPMV, STENCIL2D,
+ * STENCIL3D — each with the paper's exact memory components (names,
+ * sizes, SPM vs RegBank) and a dataflow kernel written in MIR.
+ *
+ * Every factory takes the accelerator-local base address (assigned by
+ * the cluster by placement index: kAccelSpaceBase + idx *
+ * kAccelSpaceStride), because kernels address their components with
+ * absolute constants, as HLS-generated datapaths do.
+ */
+
+#ifndef MARVEL_ACCEL_DESIGNS_DESIGNS_HH
+#define MARVEL_ACCEL_DESIGNS_DESIGNS_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/compute_unit.hh"
+
+namespace marvel::accel::designs
+{
+
+/** Problem sizes used by the designs (scaled for simulation). */
+struct DesignSizes
+{
+    // BFS: graph with kBfsNodes nodes / kBfsEdges edges.
+    static constexpr u32 bfsNodes = 256;   // NODES RegBank: 2,048 B
+    static constexpr u32 bfsEdges = 2048;  // EDGES RegBank: 16,384 B
+    // FFT: 1024-point, split real/imaginary 8,192 B SPMs.
+    static constexpr u32 fftPoints = 1024;
+    // GEMM: 64x64 doubles = 32,768 B per matrix SPM.
+    static constexpr u32 gemmDim = 64;
+    // MD-KNN: 256 atoms, 8 neighbours.
+    static constexpr u32 mdAtoms = 256;
+    static constexpr u32 mdNeighbours = 8;
+    // MERGESORT: 1024 doubles? No: 1024 * 8 = 8,192 B SPMs.
+    static constexpr u32 sortLen = 1024;
+    // SPMV: 1,666 nonzeros (13,328 B VAL / 6,664 B COLS).
+    static constexpr u32 spmvNnz = 1666;
+    static constexpr u32 spmvRows = 128;
+    // STENCIL2D: 64x64 grid (32,768 B), 3x3 filter plus padding.
+    static constexpr u32 st2Rows = 64;
+    static constexpr u32 st2Cols = 64;
+    // STENCIL3D: 16x16x32 grid (65,536 B).
+    static constexpr u32 st3X = 16;
+    static constexpr u32 st3Y = 16;
+    static constexpr u32 st3Z = 32;
+};
+
+AccelDesign makeBfs(Addr base);
+AccelDesign makeFft(Addr base);
+AccelDesign makeGemm(Addr base, const FuConfig *fuOverride = nullptr);
+AccelDesign makeMdKnn(Addr base);
+AccelDesign makeMergesort(Addr base);
+AccelDesign makeSpmv(Addr base);
+AccelDesign makeStencil2d(Addr base);
+AccelDesign makeStencil3d(Addr base);
+
+/** All design names, in Table IV order. */
+std::vector<std::string> allDesignNames();
+
+/** Factory by name; fatal() on unknown. */
+AccelDesign makeByName(const std::string &name, Addr base);
+
+} // namespace marvel::accel::designs
+
+#endif // MARVEL_ACCEL_DESIGNS_DESIGNS_HH

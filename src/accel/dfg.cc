@@ -1,0 +1,363 @@
+#include "accel/dfg.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace marvel::accel
+{
+
+using isa::FuClass;
+using mir::Op;
+
+namespace
+{
+
+double
+asF64(u64 w)
+{
+    double d;
+    std::memcpy(&d, &w, sizeof(d));
+    return d;
+}
+
+u64
+fromF64(double d)
+{
+    u64 w;
+    std::memcpy(&w, &d, sizeof(w));
+    return w;
+}
+
+FuClass
+fuOf(Op op)
+{
+    switch (op) {
+      case Op::Mul: return FuClass::IntMul;
+      case Op::Div: case Op::DivU: case Op::Rem: case Op::RemU:
+        return FuClass::IntDiv;
+      case Op::FAdd: case Op::FSub: case Op::ItoF: case Op::FtoI:
+      case Op::FCmpEq: case Op::FCmpLt: case Op::FCmpLe:
+        return FuClass::FpAlu;
+      case Op::FMul: return FuClass::FpMul;
+      case Op::FDiv: case Op::FSqrt: return FuClass::FpDiv;
+      case Op::Jmp: case Op::Br: case Op::Ret:
+        return FuClass::BranchUnit;
+      default:
+        if (mir::isLoad(op) || mir::isStore(op))
+            return FuClass::MemPort;
+        return FuClass::IntAlu;
+    }
+}
+
+unsigned
+latencyOfOp(Op op)
+{
+    switch (op) {
+      case Op::Mul: return 3;
+      case Op::Div: case Op::DivU: case Op::Rem: case Op::RemU:
+        return 12;
+      case Op::FAdd: case Op::FSub: return 3;
+      case Op::FMul: return 4;
+      case Op::FDiv: return 12;
+      case Op::FSqrt: return 16;
+      case Op::ItoF: case Op::FtoI: return 2;
+      default:
+        return 1;
+    }
+}
+
+} // namespace
+
+double
+FuConfig::area()
+const
+{
+    // Arbitrary-unit area model: weights roughly track the relative
+    // silicon cost of each unit class.
+    static const double weights[isa::kNumFuClasses] = {
+        1.0,  // IntAlu
+        4.0,  // IntMul
+        8.0,  // IntDiv
+        3.0,  // FpAlu
+        6.0,  // FpMul
+        12.0, // FpDiv
+        2.0,  // MemPort
+        0.5,  // BranchUnit
+    };
+    double total = 0.0;
+    for (unsigned i = 0; i < isa::kNumFuClasses; ++i)
+        total += weights[i] * counts[i];
+    return total;
+}
+
+void
+DataflowEngine::start(const mir::Module &module, mir::FuncId func,
+                      const std::vector<u64> &args)
+{
+    func_ = func;
+    const mir::Function &fn = module.functions[func];
+    regs_.assign(fn.numVRegs(), 0);
+    for (std::size_t i = 0; i < args.size() && i < fn.params.size(); ++i)
+        regs_[fn.params[i]] = args[i];
+    status_ = EngineStatus::Running;
+    cycles_ = 0;
+    opsExecuted_ = 0;
+    enterBlock(module, 0);
+}
+
+void
+DataflowEngine::enterBlock(const mir::Module &module, mir::BlockId block)
+{
+    curBlock_ = block;
+    const mir::Block &blk = module.functions[func_].blocks[block];
+    entryRegs_ = regs_;
+    insts_.assign(blk.insts.size(), InstState{});
+
+    // Compute in-block dependencies.
+    std::vector<i32> lastWriter(regs_.size(), -1);
+    std::vector<u32> earlierStores;
+    std::vector<u32> earlierMem;
+    for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+        const mir::Inst &in = blk.insts[i];
+        InstState &st = insts_[i];
+        const unsigned ns = mir::numSources(in.op);
+        const mir::VReg srcs[3] = {in.a, in.b, in.c};
+        for (unsigned s = 0; s < 3; ++s) {
+            bool used = s < ns;
+            if (in.op == Op::Ret)
+                used = s == 0 && module.functions[func_].hasResult;
+            if (in.op == Op::Br)
+                used = s == 0;
+            st.srcDep[s] = used ? lastWriter[srcs[s]] : -1;
+        }
+        if (mir::isLoad(in.op)) {
+            st.memDeps = earlierStores;
+        } else if (mir::isStore(in.op)) {
+            st.memDeps = earlierMem;
+        } else if (mir::isTerminator(in.op)) {
+            // Terminators wait for every other instruction.
+            st.memDeps.reserve(i);
+            for (u32 j = 0; j < i; ++j)
+                st.memDeps.push_back(j);
+        }
+        if (mir::isStore(in.op))
+            earlierStores.push_back(static_cast<u32>(i));
+        if (mir::isLoad(in.op) || mir::isStore(in.op))
+            earlierMem.push_back(static_cast<u32>(i));
+        if (mir::hasDest(in.op))
+            lastWriter[in.dst] = static_cast<i32>(i);
+    }
+}
+
+bool
+DataflowEngine::depsDone(const InstState &st) const
+{
+    for (unsigned s = 0; s < 3; ++s)
+        if (st.srcDep[s] >= 0 && insts_[st.srcDep[s]].phase != 2)
+            return false;
+    for (u32 d : st.memDeps)
+        if (insts_[d].phase != 2)
+            return false;
+    return true;
+}
+
+u64
+DataflowEngine::operandValue(const InstState &st, unsigned which,
+                             const mir::Inst &inst) const
+{
+    const mir::VReg srcs[3] = {inst.a, inst.b, inst.c};
+    if (st.srcDep[which] >= 0)
+        return insts_[st.srcDep[which]].value;
+    return entryRegs_[srcs[which]];
+}
+
+void
+DataflowEngine::finishBlock(const mir::Module &module)
+{
+    // Commit final register values: the last writer of each vreg wins.
+    const mir::Block &blk =
+        module.functions[func_].blocks[curBlock_];
+    for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+        const mir::Inst &in = blk.insts[i];
+        if (mir::hasDest(in.op))
+            regs_[in.dst] = insts_[i].value;
+    }
+}
+
+void
+DataflowEngine::cycle(const mir::Module &module, AccelAddressSpace &space)
+{
+    if (status_ != EngineStatus::Running)
+        return;
+    ++cycles_;
+    const mir::Block &blk =
+        module.functions[func_].blocks[curBlock_];
+
+    unsigned fuUsed[isa::kNumFuClasses] = {};
+    // Per-component port budget this cycle (small fixed array).
+    unsigned portUsed[16] = {};
+
+    // Retire completed operations.
+    bool allDone = true;
+    for (std::size_t i = 0; i < insts_.size(); ++i) {
+        InstState &st = insts_[i];
+        if (st.phase == 1 && st.doneAt <= cycles_)
+            st.phase = 2;
+        if (st.phase != 2)
+            allDone = false;
+    }
+    if (allDone) {
+        // The terminator decides the next block.
+        const mir::Inst &term = blk.insts.back();
+        finishBlock(module);
+        switch (term.op) {
+          case Op::Jmp:
+            enterBlock(module, term.target);
+            return;
+          case Op::Br:
+            enterBlock(module,
+                       insts_.back().value ? term.target
+                                           : term.target2);
+            return;
+          case Op::Ret:
+            result_ = module.functions[func_].hasResult
+                          ? insts_.back().value
+                          : 0;
+            status_ = EngineStatus::Done;
+            return;
+          default:
+            status_ = EngineStatus::Fault;
+            return;
+        }
+    }
+
+    // Issue ready operations.
+    for (std::size_t i = 0; i < insts_.size(); ++i) {
+        InstState &st = insts_[i];
+        if (st.phase != 0 || !depsDone(st))
+            continue;
+        const mir::Inst &in = blk.insts[i];
+        const FuClass fu = fuOf(in.op);
+        const unsigned fuIdx = static_cast<unsigned>(fu);
+        if (fuUsed[fuIdx] >= fu_.counts[fuIdx])
+            continue;
+
+        const u64 a = operandValue(st, 0, in);
+        const u64 b = operandValue(st, 1, in);
+        const u64 c = operandValue(st, 2, in);
+
+        if (mir::isLoad(in.op) || mir::isStore(in.op)) {
+            const Addr addr = a + in.imm;
+            const u32 len = mir::accessSize(in.op);
+            const int comp = space.resolve(addr, len);
+            if (comp < 0) {
+                status_ = EngineStatus::Fault;
+                return;
+            }
+            if (comp < 16 &&
+                portUsed[comp] >= space.portsOf(comp))
+                continue; // port conflict; retry next cycle
+            if (comp < 16)
+                ++portUsed[comp];
+            ++fuUsed[fuIdx];
+            ++opsExecuted_;
+            st.phase = 1;
+            st.doneAt = cycles_ + space.latencyOf(comp);
+            if (mir::isLoad(in.op)) {
+                u64 raw = space.readMem(comp, addr, len);
+                if (mir::loadIsSigned(in.op) && len < 8)
+                    raw = static_cast<u64>(sext(raw, len * 8));
+                st.value = raw;
+            } else {
+                space.writeMem(comp, addr, len, b);
+            }
+            continue;
+        }
+
+        ++fuUsed[fuIdx];
+        ++opsExecuted_;
+        st.phase = 1;
+        st.doneAt = cycles_ + latencyOfOp(in.op);
+
+        u64 value = 0;
+        switch (in.op) {
+          case Op::ConstI: value = static_cast<u64>(in.imm); break;
+          case Op::ConstF: value = fromF64(in.fimm); break;
+          case Op::Mov: value = a; break;
+          case Op::GAddr:
+            // Accelerator kernels address their components with
+            // absolute constants; GAddr is not meaningful here.
+            status_ = EngineStatus::Fault;
+            return;
+          case Op::Add: value = a + b; break;
+          case Op::Sub: value = a - b; break;
+          case Op::Mul: value = a * b; break;
+          case Op::Div:
+            value = b ? static_cast<u64>(static_cast<i64>(a) /
+                                         static_cast<i64>(b))
+                      : ~0ull;
+            break;
+          case Op::DivU: value = b ? a / b : ~0ull; break;
+          case Op::Rem:
+            value = b ? static_cast<u64>(static_cast<i64>(a) %
+                                         static_cast<i64>(b))
+                      : a;
+            break;
+          case Op::RemU: value = b ? a % b : a; break;
+          case Op::And: value = a & b; break;
+          case Op::Or: value = a | b; break;
+          case Op::Xor: value = a ^ b; break;
+          case Op::Shl: value = a << (b & 63); break;
+          case Op::Shr: value = a >> (b & 63); break;
+          case Op::Sra:
+            value = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+            break;
+          case Op::CmpEq: value = a == b; break;
+          case Op::CmpNe: value = a != b; break;
+          case Op::CmpLt:
+            value = static_cast<i64>(a) < static_cast<i64>(b);
+            break;
+          case Op::CmpLe:
+            value = static_cast<i64>(a) <= static_cast<i64>(b);
+            break;
+          case Op::CmpLtU: value = a < b; break;
+          case Op::CmpLeU: value = a <= b; break;
+          case Op::FAdd: value = fromF64(asF64(a) + asF64(b)); break;
+          case Op::FSub: value = fromF64(asF64(a) - asF64(b)); break;
+          case Op::FMul: value = fromF64(asF64(a) * asF64(b)); break;
+          case Op::FDiv: value = fromF64(asF64(a) / asF64(b)); break;
+          case Op::FSqrt: value = fromF64(std::sqrt(asF64(a))); break;
+          case Op::FCmpEq: value = asF64(a) == asF64(b); break;
+          case Op::FCmpLt: value = asF64(a) < asF64(b); break;
+          case Op::FCmpLe: value = asF64(a) <= asF64(b); break;
+          case Op::ItoF:
+            value = fromF64(static_cast<double>(static_cast<i64>(a)));
+            break;
+          case Op::FtoI:
+            value = static_cast<u64>(static_cast<i64>(asF64(a)));
+            break;
+          case Op::Select: value = a ? b : c; break;
+          case Op::Br: value = a; break;
+          case Op::Jmp: case Op::Checkpoint: case Op::SwitchCpu:
+          case Op::WaitIrq:
+            value = 0;
+            break;
+          case Op::Ret:
+            value = module.functions[func_].hasResult ? a : 0;
+            break;
+          case Op::Call:
+            // Accelerated kernels are fully inlined (as in HLS flows).
+            status_ = EngineStatus::Fault;
+            return;
+          default:
+            value = 0;
+            break;
+        }
+        st.value = value;
+    }
+}
+
+} // namespace marvel::accel

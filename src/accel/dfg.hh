@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The dynamic dataflow execution engine for accelerator datapaths.
+ *
+ * Mirrors gem5-SALAM's LLVM-based runtime engine: the accelerated
+ * kernel's MIR is executed basic block by basic block; within a block,
+ * every operation issues as soon as its data dependencies resolve and a
+ * functional unit (and memory port) is available. Functional-unit
+ * budgets are the design-space-exploration knob of Fig. 17.
+ */
+
+#ifndef MARVEL_ACCEL_DFG_HH
+#define MARVEL_ACCEL_DFG_HH
+
+#include <vector>
+
+#include "isa/uop.hh" // FuClass
+#include "mir/mir.hh"
+
+namespace marvel::accel
+{
+
+/** Functional-unit budget of one accelerator datapath. */
+struct FuConfig
+{
+    unsigned counts[isa::kNumFuClasses] = {4, 2, 1, 4, 2, 1, 2, 4};
+
+    /** Area estimate in arbitrary units (Fig. 17b). */
+    double area() const;
+};
+
+/** Resolution of an accelerator-space address to a memory component. */
+class AccelAddressSpace
+{
+  public:
+    virtual ~AccelAddressSpace() = default;
+
+    /** Component index covering [addr, addr+len), or -1. */
+    virtual int resolve(Addr addr, u32 len) = 0;
+
+    virtual u32 latencyOf(int comp) = 0;
+    virtual u32 portsOf(int comp) = 0;
+
+    virtual u64 readMem(int comp, Addr addr, u32 len) = 0;
+    virtual void writeMem(int comp, Addr addr, u32 len, u64 value) = 0;
+};
+
+/** Engine status. */
+enum class EngineStatus : u8 { Idle, Running, Done, Fault };
+
+/**
+ * Executes one MIR function dataflow-style. Value-semantic; the bound
+ * module is passed into cycle() by the owning compute unit.
+ */
+class DataflowEngine
+{
+  public:
+    explicit DataflowEngine(FuConfig fu = FuConfig{}) : fu_(fu) {}
+
+    void setFuConfig(const FuConfig &fu) { fu_ = fu; }
+    const FuConfig &fuConfig() const { return fu_; }
+
+    /** Begin executing `func` with the given integer arguments. */
+    void start(const mir::Module &module, mir::FuncId func,
+               const std::vector<u64> &args);
+
+    /** Advance one accelerator clock. */
+    void cycle(const mir::Module &module, AccelAddressSpace &space);
+
+    EngineStatus status() const { return status_; }
+    bool running() const { return status_ == EngineStatus::Running; }
+    u64 result() const { return result_; }
+    Cycle cyclesRun() const { return cycles_; }
+    u64 opsExecuted() const { return opsExecuted_; }
+
+    void
+    reset()
+    {
+        status_ = EngineStatus::Idle;
+        cycles_ = 0;
+        opsExecuted_ = 0;
+    }
+
+  private:
+    struct InstState
+    {
+        u8 phase = 0; ///< 0 = waiting, 1 = executing, 2 = done
+        Cycle doneAt = 0;
+        u64 value = 0;
+        // Dependencies (indices into the current block; -1 = entry)
+        i32 srcDep[3] = {-1, -1, -1};
+        std::vector<u32> memDeps;
+    };
+
+    void enterBlock(const mir::Module &module, mir::BlockId block);
+    bool depsDone(const InstState &st) const;
+    u64 operandValue(const InstState &st, unsigned which,
+                     const mir::Inst &inst) const;
+    void finishBlock(const mir::Module &module);
+
+    FuConfig fu_;
+    EngineStatus status_ = EngineStatus::Idle;
+    mir::FuncId func_ = 0;
+    mir::BlockId curBlock_ = 0;
+    std::vector<u64> regs_;
+    std::vector<u64> entryRegs_;
+    std::vector<InstState> insts_;
+    u64 result_ = 0;
+    Cycle cycles_ = 0;
+    u64 opsExecuted_ = 0;
+};
+
+} // namespace marvel::accel
+
+#endif // MARVEL_ACCEL_DFG_HH

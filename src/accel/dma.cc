@@ -1,0 +1,54 @@
+#include "accel/dma.hh"
+
+#include <algorithm>
+
+namespace marvel::accel
+{
+
+void
+DmaEngine::start(const DmaTransfer &transfer)
+{
+    cur_ = transfer;
+    moved_ = 0;
+    warmup_ = kStartupCycles;
+    busy_ = true;
+    fault_ = false;
+}
+
+void
+DmaEngine::cycle(mem::PhysMem &dram, std::vector<AccelMem> &mems)
+{
+    if (!busy_)
+        return;
+    if (warmup_ > 0) {
+        --warmup_;
+        return;
+    }
+    if (cur_.component >= mems.size()) {
+        fault_ = true;
+        busy_ = false;
+        return;
+    }
+    AccelMem &mem = mems[cur_.component];
+    const u32 chunk = std::min(kBytesPerCycle, cur_.length - moved_);
+    const Addr dramAddr = cur_.dramAddr + moved_;
+    const u64 compOff = cur_.componentOff + moved_;
+    if (!dram.ok(dramAddr, chunk) || !mem.inRange(compOff, chunk)) {
+        fault_ = true;
+        busy_ = false;
+        return;
+    }
+    u8 buf[kBytesPerCycle];
+    if (cur_.toAccel) {
+        dram.read(dramAddr, buf, chunk);
+        mem.write(compOff, buf, chunk);
+    } else {
+        mem.read(compOff, buf, chunk);
+        dram.write(dramAddr, buf, chunk);
+    }
+    moved_ += chunk;
+    if (moved_ >= cur_.length)
+        busy_ = false;
+}
+
+} // namespace marvel::accel

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DMA engine moving data between system DRAM and accelerator-local
+ * memories (non-coherent with the CPU caches, as in gem5-SALAM).
+ */
+
+#ifndef MARVEL_ACCEL_DMA_HH
+#define MARVEL_ACCEL_DMA_HH
+
+#include <vector>
+
+#include "accel/spm.hh"
+#include "mem/physmem.hh"
+
+namespace marvel::accel
+{
+
+/** A programmed DMA transfer. */
+struct DmaTransfer
+{
+    bool toAccel = true;  ///< DRAM -> component, else component -> DRAM
+    Addr dramAddr = 0;
+    u32 component = 0;    ///< index into the owning unit's memories
+    u64 componentOff = 0;
+    u32 length = 0;       ///< bytes
+};
+
+/** Simple burst DMA: kBytesPerCycle per accelerator clock. */
+class DmaEngine
+{
+  public:
+    static constexpr u32 kBytesPerCycle = 8;
+    static constexpr u32 kStartupCycles = 4;
+
+    void start(const DmaTransfer &transfer);
+
+    bool busy() const { return busy_; }
+    bool faulted() const { return fault_; }
+
+    /** Advance one cycle; moves data when past the startup delay. */
+    void cycle(mem::PhysMem &dram, std::vector<AccelMem> &mems);
+
+    void
+    reset()
+    {
+        busy_ = false;
+        fault_ = false;
+    }
+
+  private:
+    DmaTransfer cur_;
+    u32 moved_ = 0;
+    u32 warmup_ = 0;
+    bool busy_ = false;
+    bool fault_ = false;
+};
+
+} // namespace marvel::accel
+
+#endif // MARVEL_ACCEL_DMA_HH

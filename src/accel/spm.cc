@@ -1,0 +1,77 @@
+#include "accel/spm.hh"
+
+#include <cstring>
+
+namespace marvel::accel
+{
+
+const char *
+memKindName(MemKind kind)
+{
+    return kind == MemKind::Spm ? "SPM" : "RegBank";
+}
+
+bool
+AccelMem::read(u64 offset, void *out, u32 len)
+{
+    if (!inRange(offset, len))
+        return false;
+    std::memcpy(out, data_.data() + offset, len);
+    if (faults_.active()) {
+        // Entries are 8-byte words; map the byte range onto them.
+        const u64 firstWord = offset / 8;
+        const u64 lastWord = (offset + len - 1) / 8;
+        for (u64 w = firstWord; w <= lastWord; ++w) {
+            const u64 lo = w == firstWord ? (offset % 8) * 8 : 0;
+            const u64 hi =
+                w == lastWord ? ((offset + len - 1) % 8) * 8 + 7 : 63;
+            faults_.noteRead(static_cast<u32>(w), static_cast<u32>(lo),
+                             static_cast<u32>(hi));
+        }
+    }
+    return true;
+}
+
+bool
+AccelMem::write(u64 offset, const void *in, u32 len)
+{
+    if (!inRange(offset, len))
+        return false;
+    std::memcpy(data_.data() + offset, in, len);
+    if (faults_.active()) {
+        const u64 firstWord = offset / 8;
+        const u64 lastWord = (offset + len - 1) / 8;
+        for (u64 w = firstWord; w <= lastWord; ++w) {
+            const u64 lo = w == firstWord ? (offset % 8) * 8 : 0;
+            const u64 hi =
+                w == lastWord ? ((offset + len - 1) % 8) * 8 + 7 : 63;
+            faults_.noteWrite(static_cast<u32>(w),
+                              static_cast<u32>(lo),
+                              static_cast<u32>(hi));
+        }
+        applyStuck(offset, offset + len - 1);
+    }
+    return true;
+}
+
+void
+AccelMem::clear()
+{
+    std::fill(data_.begin(), data_.end(), 0);
+}
+
+void
+AccelMem::applyStuck(u64 byteLo, u64 byteHi)
+{
+    for (const StuckBit &s : faults_.stuck()) {
+        const u64 byteIdx = static_cast<u64>(s.entry) * 8 + s.bit / 8;
+        if (byteIdx < byteLo || byteIdx > byteHi)
+            continue;
+        if (s.value)
+            data_[byteIdx] |= static_cast<u8>(1u << (s.bit % 8));
+        else
+            data_[byteIdx] &= static_cast<u8>(~(1u << (s.bit % 8)));
+    }
+}
+
+} // namespace marvel::accel

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Accelerator-local memories: scratchpad memories (SPMs) and register
+ * banks. These are the DSA fault-injection targets of the paper
+ * (Table IV / Fig. 14): byte arrays with full fault bookkeeping.
+ *
+ * Register banks behave like SPMs but are slower and exhibit a delta
+ * delay between write and readability, modeled as one extra cycle of
+ * access latency.
+ */
+
+#ifndef MARVEL_ACCEL_SPM_HH
+#define MARVEL_ACCEL_SPM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/faultwatch.hh"
+#include "common/types.hh"
+
+namespace marvel::accel
+{
+
+/** Kind of accelerator-local memory. */
+enum class MemKind : u8 { Spm, RegBank };
+
+const char *memKindName(MemKind kind);
+
+/** One accelerator-local memory component. */
+class AccelMem
+{
+  public:
+    AccelMem() = default;
+
+    AccelMem(std::string name, u32 sizeBytes, MemKind kind)
+        : name_(std::move(name)), kind_(kind), data_(sizeBytes, 0)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    MemKind kind() const { return kind_; }
+    u32 size() const { return data_.size(); }
+
+    /** Access latency in accelerator cycles. */
+    u32
+    latency() const
+    {
+        return kind_ == MemKind::Spm ? 1 : 2;
+    }
+
+    /** Ports available per cycle. */
+    u32 ports() const { return 2; }
+
+    bool
+    inRange(u64 offset, u32 len) const
+    {
+        return offset + len <= data_.size() && offset + len >= offset;
+    }
+
+    /** Read bytes; false when out of range. */
+    bool read(u64 offset, void *out, u32 len);
+
+    /** Write bytes; false when out of range. */
+    bool write(u64 offset, const void *in, u32 len);
+
+    /** Backdoor access (DMA image setup, output capture). */
+    const u8 *data() const { return data_.data(); }
+    u8 *data() { return data_.data(); }
+
+    /** Zero the contents. */
+    void clear();
+
+    // --- fault injection -----------------------------------------------
+    u32 numEntries() const { return data_.size() / 8; }
+    u32 bitsPerEntry() const { return 64; }
+
+    /** Flip one bit (entry = 8-byte word index). */
+    void
+    flipBit(u32 entry, u32 bit)
+    {
+        data_[entry * 8 + bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    }
+
+    FaultState &faults() { return faults_; }
+    const FaultState &faults() const { return faults_; }
+
+  private:
+    void applyStuck(u64 byteLo, u64 byteHi);
+
+    std::string name_;
+    MemKind kind_ = MemKind::Spm;
+    std::vector<u8> data_;
+    FaultState faults_;
+};
+
+} // namespace marvel::accel
+
+#endif // MARVEL_ACCEL_SPM_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by encoders, decoders, and fault injectors.
+ */
+
+#ifndef MARVEL_COMMON_BITS_HH
+#define MARVEL_COMMON_BITS_HH
+
+#include "common/types.hh"
+
+namespace marvel
+{
+
+/** Extract bits [hi:lo] (inclusive) of value. */
+constexpr u64
+bits(u64 value, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const u64 mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit. */
+constexpr u64
+bit(u64 value, unsigned pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** Insert `field` into bits [hi:lo] of `value` and return the result. */
+constexpr u64
+insertBits(u64 value, unsigned hi, unsigned lo, u64 field)
+{
+    const unsigned width = hi - lo + 1;
+    const u64 mask = width >= 64 ? ~0ull : ((1ull << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low `width` bits of value to 64 bits. */
+constexpr i64
+sext(u64 value, unsigned width)
+{
+    const unsigned shift = 64 - width;
+    return static_cast<i64>(value << shift) >> shift;
+}
+
+/** Mask of the low `width` bits. */
+constexpr u64
+maskBits(unsigned width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+/** True when value fits in a signed immediate of `width` bits. */
+constexpr bool
+fitsSigned(i64 value, unsigned width)
+{
+    const i64 lo = -(1ll << (width - 1));
+    const i64 hi = (1ll << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Align value down to a power-of-two boundary. */
+constexpr u64
+alignDown(u64 value, u64 align)
+{
+    return value & ~(align - 1);
+}
+
+/** Align value up to a power-of-two boundary. */
+constexpr u64
+alignUp(u64 value, u64 align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** True if value is a power of two (and nonzero). */
+constexpr bool
+isPow2(u64 value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)) for a power-of-two value. */
+constexpr unsigned
+log2i(u64 value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_BITS_HH

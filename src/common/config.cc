@@ -1,0 +1,185 @@
+#include "common/config.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace marvel
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+bool
+ConfigFile::Section::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+std::string
+ConfigFile::Section::get(const std::string &key,
+                         const std::string &dflt) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+}
+
+i64
+ConfigFile::Section::getInt(const std::string &key, i64 dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+u64
+ConfigFile::Section::getU64(const std::string &key, u64 dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double
+ConfigFile::Section::getDouble(const std::string &key, double dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+ConfigFile::Section::getBool(const std::string &key, bool dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    const std::string &v = it->second;
+    if (v == "true" || v == "yes" || v == "1" || v == "on")
+        return true;
+    if (v == "false" || v == "no" || v == "0" || v == "off")
+        return false;
+    fatal("config: bad boolean '%s' for key '%s'", v.c_str(), key.c_str());
+}
+
+std::string
+ConfigFile::Section::require(const std::string &key) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        fatal("config: section [%s] missing required key '%s'",
+              name.c_str(), key.c_str());
+    return it->second;
+}
+
+i64
+ConfigFile::Section::requireInt(const std::string &key) const
+{
+    return std::strtoll(require(key).c_str(), nullptr, 0);
+}
+
+ConfigFile
+ConfigFile::parse(const std::string &text)
+{
+    ConfigFile cfg;
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    Section *current = nullptr;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        // Strip comments (# or ;) outside of values -- simple approach:
+        // comments start a token at position 0 or after whitespace.
+        std::size_t cut = std::string::npos;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == '#' || line[i] == ';') {
+                cut = i;
+                break;
+            }
+        }
+        if (cut != std::string::npos)
+            line = line.substr(0, cut);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal("config line %d: unterminated section header",
+                      lineNo);
+            Section sec;
+            sec.name = trim(line.substr(1, line.size() - 2));
+            if (sec.name.empty())
+                fatal("config line %d: empty section name", lineNo);
+            cfg.sections_.push_back(std::move(sec));
+            current = &cfg.sections_.back();
+            continue;
+        }
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line %d: expected 'key = value'", lineNo);
+        if (!current) {
+            Section sec;
+            sec.name = "global";
+            cfg.sections_.push_back(std::move(sec));
+            current = &cfg.sections_.back();
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("config line %d: empty key", lineNo);
+        current->values[key] = value;
+    }
+    return cfg;
+}
+
+ConfigFile
+ConfigFile::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+std::vector<const ConfigFile::Section *>
+ConfigFile::named(const std::string &name) const
+{
+    std::vector<const Section *> out;
+    for (const auto &sec : sections_)
+        if (sec.name == name)
+            out.push_back(&sec);
+    return out;
+}
+
+const ConfigFile::Section *
+ConfigFile::first(const std::string &name) const
+{
+    for (const auto &sec : sections_)
+        if (sec.name == name)
+            return &sec;
+    return nullptr;
+}
+
+} // namespace marvel

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal INI-style configuration parser.
+ *
+ * Plays the role of gem5-SALAM's YAML system descriptions: an SoC (host
+ * ISA, cache geometry, accelerator cluster with SPM/RegBank components and
+ * functional-unit budgets) can be described in a text file and instantiated
+ * by soc::SocBuilder without recompiling.
+ */
+
+#ifndef MARVEL_COMMON_CONFIG_HH
+#define MARVEL_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel
+{
+
+/**
+ * Parsed configuration: ordered sections of key/value pairs.
+ *
+ * Syntax:
+ *   # comment, ; comment
+ *   [section.name]
+ *   key = value
+ *
+ * Repeated section names are kept as separate sections (used for
+ * describing multiple accelerators or memory components).
+ */
+class ConfigFile
+{
+  public:
+    /** One [section] with its key/value pairs, in file order. */
+    struct Section
+    {
+        std::string name;
+        std::map<std::string, std::string> values;
+
+        bool has(const std::string &key) const;
+        std::string get(const std::string &key,
+                        const std::string &dflt = "") const;
+        i64 getInt(const std::string &key, i64 dflt) const;
+        u64 getU64(const std::string &key, u64 dflt) const;
+        double getDouble(const std::string &key, double dflt) const;
+        bool getBool(const std::string &key, bool dflt) const;
+
+        /** Like get() but fatal() when the key is missing. */
+        std::string require(const std::string &key) const;
+        i64 requireInt(const std::string &key) const;
+    };
+
+    /** Parse from a string; fatal() on malformed input. */
+    static ConfigFile parse(const std::string &text);
+
+    /** Parse from a file on disk; fatal() when unreadable. */
+    static ConfigFile parseFile(const std::string &path);
+
+    /** All sections, in file order. */
+    const std::vector<Section> &sections() const { return sections_; }
+
+    /** All sections with the given name. */
+    std::vector<const Section *> named(const std::string &name) const;
+
+    /** First section with the given name, or nullptr. */
+    const Section *first(const std::string &name) const;
+
+  private:
+    std::vector<Section> sections_;
+};
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_CONFIG_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-structure fault bookkeeping shared by every injectable hardware
+ * structure (caches, physical register file, load/store queues,
+ * scratchpads, register banks).
+ *
+ * A FaultState records (a) watched bits of transient faults, so the
+ * campaign controller can terminate a run early when the fault is
+ * architecturally dead (overwritten before read, or the entry vanished),
+ * and (b) permanently stuck bits, which structures re-apply after each
+ * write to the affected entry.
+ *
+ * This lives in common/ (not fi/) because the hardware models call the
+ * hooks directly; the fi layer only reads the resulting status.
+ */
+
+#ifndef MARVEL_COMMON_FAULTWATCH_HH
+#define MARVEL_COMMON_FAULTWATCH_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel
+{
+
+/** One watched (transient-fault) bit. */
+struct BitWatch
+{
+    u32 entry = 0;
+    u32 bit = 0;
+    bool wasRead = false;     ///< the faulty bit was consumed by a read
+    bool overwritten = false; ///< a write covered the bit before any read
+    bool vanished = false;    ///< the entry was deallocated before any read
+};
+
+/** One permanently stuck bit. */
+struct StuckBit
+{
+    u32 entry = 0;
+    u32 bit = 0;
+    bool value = false; ///< stuck-at-0 or stuck-at-1
+};
+
+/**
+ * Fault bookkeeping for one hardware structure. Value-semantic so that
+ * whole-system checkpoint copies carry it along.
+ */
+class FaultState
+{
+  public:
+    bool
+    active() const
+    {
+        return !watches_.empty() || !stuck_.empty();
+    }
+
+    bool hasStuck() const { return !stuck_.empty(); }
+
+    void
+    addWatch(u32 entry, u32 bit)
+    {
+        watches_.push_back({entry, bit, false, false, false});
+    }
+
+    void
+    addStuck(u32 entry, u32 bit, bool value)
+    {
+        stuck_.push_back({entry, bit, value});
+    }
+
+    void
+    clear()
+    {
+        watches_.clear();
+        stuck_.clear();
+    }
+
+    /** A read consumed bits [bitLo, bitHi] of `entry`. */
+    void
+    noteRead(u32 entry, u32 bitLo, u32 bitHi)
+    {
+        for (BitWatch &w : watches_) {
+            if (w.entry == entry && !w.overwritten && !w.vanished &&
+                w.bit >= bitLo && w.bit <= bitHi) {
+                w.wasRead = true;
+            }
+        }
+    }
+
+    /** A write replaced bits [bitLo, bitHi] of `entry`. */
+    void
+    noteWrite(u32 entry, u32 bitLo, u32 bitHi)
+    {
+        for (BitWatch &w : watches_) {
+            if (w.entry == entry && !w.wasRead && !w.overwritten &&
+                !w.vanished && w.bit >= bitLo && w.bit <= bitHi) {
+                w.overwritten = true;
+            }
+        }
+    }
+
+    /** The entry was deallocated / invalidated wholesale. */
+    void
+    noteGone(u32 entry)
+    {
+        for (BitWatch &w : watches_) {
+            if (w.entry == entry && !w.wasRead && !w.overwritten)
+                w.vanished = true;
+        }
+    }
+
+    /** True when every watched bit is provably dead and none was read. */
+    bool
+    allNeutralized() const
+    {
+        if (watches_.empty())
+            return false;
+        for (const BitWatch &w : watches_)
+            if (w.wasRead || (!w.overwritten && !w.vanished))
+                return false;
+        return true;
+    }
+
+    /** True when any watched bit has been consumed by a read. */
+    bool
+    anyRead() const
+    {
+        for (const BitWatch &w : watches_)
+            if (w.wasRead)
+                return true;
+        return false;
+    }
+
+    const std::vector<BitWatch> &watches() const { return watches_; }
+    const std::vector<StuckBit> &stuck() const { return stuck_; }
+
+  private:
+    std::vector<BitWatch> watches_;
+    std::vector<StuckBit> stuck_;
+};
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_FAULTWATCH_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition: panic() for simulator
+ * bugs, fatal() for user errors, warn()/inform() for status messages, plus
+ * a printf-style string formatter used throughout the codebase.
+ */
+
+#ifndef MARVEL_COMMON_LOG_HH
+#define MARVEL_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace marvel
+{
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, std::va_list ap);
+
+/** Verbosity control for inform()/warn(). Errors always print. */
+enum class LogLevel { Quiet, Warn, Info };
+
+/** Set the global log verbosity; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation (a MARVEL bug) and abort.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and throw
+ * FatalError (so library embedders and tests can catch it).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Exception thrown by fatal(). */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string msg) : message(std::move(msg)) {}
+    const char *what() const noexcept override { return message.c_str(); }
+
+  private:
+    std::string message;
+};
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_LOG_HH

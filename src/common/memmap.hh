@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The bare-metal physical memory map shared by the CPU model, the MIR
+ * interpreter, the code generators, and the accelerator cluster.
+ *
+ * This replaces the paper's Linux full-system environment: programs are
+ * loaded at kCodeBase, globals at kDataBase, the stack grows down from
+ * kStackTop, and results are written to the OUTPUT window, which the
+ * fault-injection classifier compares against the golden run.
+ */
+
+#ifndef MARVEL_COMMON_MEMMAP_HH
+#define MARVEL_COMMON_MEMMAP_HH
+
+#include "common/types.hh"
+
+namespace marvel
+{
+
+/** Total simulated DRAM size. Accesses beyond this raise a bus error. */
+constexpr Addr kMemSize = 0x40'0000; // 4 MiB
+
+/** Program text load address. */
+constexpr Addr kCodeBase = 0x1000;
+
+/** Global data load address. */
+constexpr Addr kDataBase = 0x10'0000;
+
+/** Initial stack pointer (stack grows down). */
+constexpr Addr kStackTop = 0x1F'0000;
+
+/** Program output window: compared against the golden run. */
+constexpr Addr kOutputBase = 0x20'0000;
+constexpr Addr kOutputSize = 0x1'0000; // 64 KiB
+
+/** MMIO window (uncacheable). */
+constexpr Addr kMmioBase = 0x4000'0000;
+constexpr Addr kMmioEnd = 0x5000'0000;
+
+/** Console byte output register. */
+constexpr Addr kMmioPutchar = kMmioBase + 0x0;
+
+/** Writing here terminates simulation with the written exit code. */
+constexpr Addr kMmioExit = kMmioBase + 0x8;
+
+/** Base of the accelerator cluster's MMR region. */
+constexpr Addr kAccelMmioBase = 0x4001'0000;
+
+/** MMR address stride between accelerators in a cluster. */
+constexpr Addr kAccelMmioStride = 0x1000;
+
+/** Accelerator-local address space (SPMs / register banks). */
+constexpr Addr kAccelSpaceBase = 0x6000'0000;
+
+/** Local-address stride between accelerators. */
+constexpr Addr kAccelSpaceStride = 0x10'0000;
+
+/** Local-address stride between components of one accelerator. */
+constexpr Addr kComponentStride = 0x2'0000;
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_MEMMAP_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for fault sampling.
+ *
+ * Fault-injection campaigns must be exactly reproducible regardless of the
+ * number of parallel workers, so every fault index derives its own stream
+ * from (campaign seed, fault index) via SplitMix64 seeding of a
+ * xoshiro256** generator.
+ */
+
+#ifndef MARVEL_COMMON_RNG_HH
+#define MARVEL_COMMON_RNG_HH
+
+#include "common/types.hh"
+
+namespace marvel
+{
+
+/** SplitMix64 step; good for deriving seeds from counters. */
+constexpr u64
+splitmix64(u64 &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+ */
+class Rng
+{
+  public:
+    using result_type = u64;
+
+    /** Construct from a single 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(u64 seed = 0x4d41525645ull)
+    {
+        u64 sm = seed;
+        for (auto &word : state)
+            word = splitmix64(sm);
+    }
+
+    /** Derive an independent stream for (seed, stream index). */
+    static Rng
+    forStream(u64 seed, u64 stream)
+    {
+        u64 sm = seed;
+        u64 a = splitmix64(sm);
+        sm = stream ^ 0x9492aa3f8e5d0e3bull;
+        u64 b = splitmix64(sm);
+        return Rng(a ^ (b * 0xff51afd7ed558ccdull));
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    result_type
+    operator()()
+    {
+        const u64 result = rotl(state[1] * 5, 7) * 9;
+        const u64 t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    u64
+    below(u64 bound)
+    {
+        // Debiased via rejection on the top range.
+        const u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            u64 r = (*this)();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state[4];
+};
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_RNG_HH

@@ -1,0 +1,85 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace marvel
+{
+
+std::size_t
+sampleSize(double population, double margin, double confidence, double p)
+{
+    if (population <= 0 || margin <= 0 || confidence <= 0)
+        fatal("sampleSize: arguments must be positive");
+    // n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+    const double t2pq = confidence * confidence * p * (1.0 - p);
+    const double n =
+        population / (1.0 + margin * margin * (population - 1.0) / t2pq);
+    return static_cast<std::size_t>(std::ceil(n));
+}
+
+double
+marginOfError(double samples, double population, double confidence, double p)
+{
+    if (samples <= 0 || population <= 1)
+        fatal("marginOfError: need samples > 0 and population > 1");
+    // Invert the Leveugle formula for e.
+    const double t2pq = confidence * confidence * p * (1.0 - p);
+    const double e2 =
+        (population / samples - 1.0) * t2pq / (population - 1.0);
+    return e2 > 0 ? std::sqrt(e2) : 0.0;
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        if (x < lo)
+            lo = x;
+        if (x > hi)
+            hi = x;
+    }
+    ++n;
+    sum += x;
+    sumSq += x * x;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    const double nd = static_cast<double>(n);
+    const double m = sum / nd;
+    double v = (sumSq - nd * m * m) / (nd - 1.0);
+    return v > 0 ? v : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+weightedMean(const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    if (values.size() != weights.size())
+        fatal("weightedMean: values/weights size mismatch (%zu vs %zu)",
+              values.size(), weights.size());
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        num += values[i] * weights[i];
+        den += weights[i];
+    }
+    if (den == 0.0)
+        fatal("weightedMean: zero total weight");
+    return num / den;
+}
+
+} // namespace marvel

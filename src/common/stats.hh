@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Statistical helpers for fault-injection campaigns.
+ *
+ * Implements the statistical fault sampling formulation of
+ * Leveugle et al., "Statistical fault injection: Quantified error and
+ * confidence" (DATE 2009), which the paper adopts for choosing sample
+ * sizes (1,000 faults ~ 3% margin at 95% confidence).
+ */
+
+#ifndef MARVEL_COMMON_STATS_HH
+#define MARVEL_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel
+{
+
+/** Two-sided normal quantile for 95% confidence. */
+constexpr double kT95 = 1.96;
+
+/** Two-sided normal quantile for 99% confidence. */
+constexpr double kT99 = 2.576;
+
+/**
+ * Required sample size for a finite population.
+ *
+ * @param population  total fault population N (e.g. #bits x #cycles)
+ * @param margin      desired error margin e (e.g. 0.03)
+ * @param confidence  normal quantile t (kT95 or kT99)
+ * @param p           estimated proportion (worst case 0.5)
+ */
+std::size_t sampleSize(double population, double margin,
+                       double confidence = kT95, double p = 0.5);
+
+/**
+ * Error margin achieved by n samples from a finite population.
+ */
+double marginOfError(double samples, double population,
+                     double confidence = kT95, double p = 0.5);
+
+/** Online accumulator for mean / variance / extrema. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    std::size_t count() const { return n; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sample variance (n-1 denominator). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t n = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Weighted mean: sum(v[i] * w[i]) / sum(w[i]).
+ *
+ * This is the paper's weighted-AVF aggregation (Section V-A) with the
+ * per-benchmark execution times as weights.
+ */
+double weightedMean(const std::vector<double> &values,
+                    const std::vector<double> &weights);
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_STATS_HH

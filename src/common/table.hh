@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark harness output.
+ *
+ * Every bench binary prints the rows/series of the paper table or figure
+ * it regenerates; this class keeps that output aligned and uniform.
+ */
+
+#ifndef MARVEL_COMMON_TABLE_HH
+#define MARVEL_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace marvel
+{
+
+/** Column-aligned text table with an optional title and header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a data row of (label, doubles) with fixed precision. */
+    void row(const std::string &label, const std::vector<double> &values,
+             int precision = 2);
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_TABLE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fundamental scalar typedefs shared across all MARVEL subsystems.
+ */
+
+#ifndef MARVEL_COMMON_TYPES_HH
+#define MARVEL_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace marvel
+{
+
+/** Simulated physical/virtual address (flat 64-bit space). */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Raw 64-bit register / datapath value. */
+using Word = std::uint64_t;
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_TYPES_HH

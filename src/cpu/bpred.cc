@@ -1,0 +1,87 @@
+#include "cpu/bpred.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace marvel::cpu
+{
+
+BranchPredictor::BranchPredictor(const BPredParams &params)
+    : params_(params)
+{
+    if (!isPow2(params_.bimodalEntries) || !isPow2(params_.btbEntries))
+        fatal("bpred: table sizes must be powers of two");
+    bimodal.assign(params_.bimodalEntries, 1); // weakly not-taken
+    btbTag.assign(params_.btbEntries, 0);
+    btbTarget.assign(params_.btbEntries, 0);
+    ras.assign(params_.rasEntries, 0);
+}
+
+bool
+BranchPredictor::predictTaken(Addr pc) const
+{
+    const unsigned idx =
+        static_cast<unsigned>(pc >> 1) & (params_.bimodalEntries - 1);
+    return bimodal[idx] >= 2;
+}
+
+void
+BranchPredictor::update(Addr pc, bool taken)
+{
+    const unsigned idx =
+        static_cast<unsigned>(pc >> 1) & (params_.bimodalEntries - 1);
+    u8 &ctr = bimodal[idx];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+}
+
+Addr
+BranchPredictor::btbLookup(Addr pc) const
+{
+    const unsigned idx =
+        static_cast<unsigned>(pc >> 1) & (params_.btbEntries - 1);
+    return btbTag[idx] == pc ? btbTarget[idx] : 0;
+}
+
+void
+BranchPredictor::btbUpdate(Addr pc, Addr target)
+{
+    const unsigned idx =
+        static_cast<unsigned>(pc >> 1) & (params_.btbEntries - 1);
+    btbTag[idx] = pc;
+    btbTarget[idx] = target;
+}
+
+void
+BranchPredictor::pushRas(Addr returnAddr)
+{
+    rasTop = (rasTop + 1) % params_.rasEntries;
+    ras[rasTop] = returnAddr;
+    if (rasCount < params_.rasEntries)
+        ++rasCount;
+}
+
+Addr
+BranchPredictor::popRas()
+{
+    if (rasCount == 0)
+        return 0;
+    const Addr top = ras[rasTop];
+    rasTop = (rasTop + params_.rasEntries - 1) % params_.rasEntries;
+    --rasCount;
+    return top;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(bimodal.begin(), bimodal.end(), 1);
+    std::fill(btbTag.begin(), btbTag.end(), 0);
+    std::fill(btbTarget.begin(), btbTarget.end(), 0);
+    rasTop = 0;
+    rasCount = 0;
+}
+
+} // namespace marvel::cpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Branch prediction: bimodal direction predictor, branch target buffer
+ * for indirect branches, and a return address stack.
+ */
+
+#ifndef MARVEL_CPU_BPRED_HH
+#define MARVEL_CPU_BPRED_HH
+
+#include <vector>
+
+#include "common/faultwatch.hh"
+#include "common/types.hh"
+
+namespace marvel::cpu
+{
+
+/** Branch predictor parameters. */
+struct BPredParams
+{
+    unsigned bimodalEntries = 4096;
+    unsigned btbEntries = 512;
+    unsigned rasEntries = 16;
+};
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BPredParams &params = BPredParams{});
+
+    /** Predicted direction of a conditional branch at pc. */
+    bool predictTaken(Addr pc) const;
+
+    /** Update the direction predictor. */
+    void update(Addr pc, bool taken);
+
+    /** Predicted target for an indirect branch (0 = no entry). */
+    Addr btbLookup(Addr pc) const;
+
+    /** Record an indirect branch target. */
+    void btbUpdate(Addr pc, Addr target);
+
+    /** Push a return address (on calls). */
+    void pushRas(Addr returnAddr);
+
+    /** Pop a predicted return address (0 when empty). */
+    Addr popRas();
+
+    void reset();
+
+    // --- fault injection (negative-control target) -----------------
+    /** Entries = BTB slots; bits = 32 target-address bits. */
+    u32 numEntries() const { return btbTarget.size(); }
+    u32 bitsPerEntry() const { return 32; }
+
+    /** Flip a BTB target bit: worst case a wrong-path excursion that
+     *  the branch unit corrects - never an architectural error. */
+    void
+    flipBit(u32 entry, u32 bit)
+    {
+        btbTarget[entry] ^= 1ull << bit;
+    }
+
+    FaultState &faults() { return faults_; }
+    const FaultState &faults() const { return faults_; }
+
+    u64 lookups = 0;
+    u64 mispredicts = 0;
+
+  private:
+    BPredParams params_;
+    std::vector<u8> bimodal;  ///< 2-bit saturating counters
+    std::vector<Addr> btbTag;
+    std::vector<Addr> btbTarget;
+    std::vector<Addr> ras;
+    unsigned rasTop = 0;
+    unsigned rasCount = 0;
+    FaultState faults_;
+};
+
+} // namespace marvel::cpu
+
+#endif // MARVEL_CPU_BPRED_HH

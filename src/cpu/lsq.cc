@@ -1,0 +1,3 @@
+// The load/store queue machinery is header-only (templates + small
+// inline methods); this translation unit exists to anchor the library.
+#include "cpu/lsq.hh"

@@ -1,0 +1,1114 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "common/memmap.hh"
+#include "isa/encoding.hh"
+
+namespace marvel::cpu
+{
+
+using isa::BrKind;
+using isa::Cond;
+using isa::ExecOp;
+using isa::FuClass;
+using isa::MagicOp;
+using isa::MicroOp;
+using isa::RegClass;
+
+const char *
+crashKindName(CrashKind kind)
+{
+    switch (kind) {
+      case CrashKind::None: return "none";
+      case CrashKind::IllegalInstruction: return "illegal-instruction";
+      case CrashKind::BusError: return "bus-error";
+      case CrashKind::Misaligned: return "misaligned-access";
+      case CrashKind::DivideByZero: return "divide-by-zero";
+      case CrashKind::FetchError: return "fetch-error";
+    }
+    return "?";
+}
+
+namespace
+{
+
+double
+asF64(u64 w)
+{
+    double d;
+    std::memcpy(&d, &w, sizeof(d));
+    return d;
+}
+
+u64
+fromF64(double d)
+{
+    u64 w;
+    std::memcpy(&w, &d, sizeof(w));
+    return w;
+}
+
+bool
+isMmio(Addr addr)
+{
+    return addr >= kMmioBase && addr < kMmioEnd;
+}
+
+} // namespace
+
+OooCore::OooCore(const CpuParams &params)
+    : intPrf(params.numIntPregs), fpPrf(params.numFpPregs),
+      lq(params.lqSize), sq(params.sqSize), bpred(params.bpred),
+      params_(params), spec_(&isa::isaSpec(params.isa))
+{
+    if (params_.numIntPregs < spec_->numIntRenameRegs() + 8)
+        fatal("cpu: too few integer physical registers");
+    if (params_.numFpPregs < spec_->numFpRenameRegs() + 8)
+        fatal("cpu: too few FP physical registers");
+    drainInterval_ = params_.storeDrainOverride >= 0
+                         ? static_cast<unsigned>(params_.storeDrainOverride)
+                         : spec_->storeDrainInterval;
+    reset(0);
+}
+
+void
+OooCore::reset(Addr pc)
+{
+    fetchPc = pc;
+    fetchStallUntil = 0;
+    serializeStall = false;
+    fetchQueue.clear();
+    rob.clear();
+    iq.clear();
+    inflight.clear();
+    nextSeq = 1;
+    crashKind = CrashKind::None;
+    crashPc = 0;
+    checkpointRequest = false;
+    switchCpuRequest = false;
+    cycles = 0;
+    committedUops = 0;
+    committedInsts = 0;
+    squashes = 0;
+    hvfCorrupted = false;
+    traceRefPos = 0;
+    intDivBusyUntil = 0;
+    fpDivBusyUntil = 0;
+    nextDrainAllowed = 0;
+
+    const unsigned numIntArch = spec_->numIntRenameRegs();
+    const unsigned numFpArch = spec_->numFpRenameRegs();
+    intMap.assign(numIntArch, 0);
+    fpMap.assign(numFpArch, 0);
+    intFree.clear();
+    fpFree.clear();
+    for (unsigned i = 0; i < numIntArch; ++i)
+        intMap[i] = static_cast<i16>(i);
+    for (unsigned i = numIntArch; i < params_.numIntPregs; ++i)
+        intFree.push_back(static_cast<i16>(i));
+    for (unsigned i = 0; i < numFpArch; ++i)
+        fpMap[i] = static_cast<i16>(i);
+    for (unsigned i = numFpArch; i < params_.numFpPregs; ++i)
+        fpFree.push_back(static_cast<i16>(i));
+    for (unsigned i = 0; i < params_.numIntPregs; ++i)
+        intPrf.poke(i, 0);
+    for (unsigned i = 0; i < params_.numFpPregs; ++i)
+        fpPrf.poke(i, 0);
+    lq.reset();
+    sq.reset();
+    bpred.reset();
+}
+
+u64
+OooCore::archIntReg(unsigned idx) const
+{
+    return intPrf.peek(intMap[idx]);
+}
+
+std::string
+OooCore::debugState() const
+{
+    std::string head = "-";
+    if (!rob.empty()) {
+        const RobEntry &h = rob.front();
+        auto rdy = [&](unsigned k) -> int {
+            const isa::RegRef refs[3] = {h.uop.srcA, h.uop.srcB,
+                                         h.uop.srcC};
+            if (refs[k].cls == RegClass::None)
+                return -1;
+            if (h.srcPhys[k] == -2)
+                return 1;
+            return refs[k].cls == RegClass::Fp
+                       ? fpPrf.ready(h.srcPhys[k])
+                       : intPrf.ready(h.srcPhys[k]);
+        };
+        head = strfmt("pc=%llx op=%d done=%d iss=%d ld=%d st=%d br=%d "
+                      "src=[%d@%d %d@%d %d@%d] seq=%llu",
+                      (unsigned long long)h.pc, (int)h.uop.op,
+                      (int)h.completed, (int)h.issued,
+                      (int)h.uop.isLoad,
+                      (int)h.uop.isStore, (int)h.uop.isBranch(),
+                      rdy(0), (int)h.srcPhys[0], rdy(1),
+                      (int)h.srcPhys[1], rdy(2), (int)h.srcPhys[2],
+                      (unsigned long long)h.seq);
+    }
+    std::string iqs;
+    for (u64 q : iq)
+        iqs += strfmt("%llu,", (unsigned long long)q);
+    head += " iq{" + iqs + "}";
+    return strfmt(
+        "cyc=%llu insts=%llu sq=%llu fetchPc=%llx fq=%zu rob=%zu "
+        "iq=%zu lq=%u sqz=%u infl=%zu head[%s]",
+        (unsigned long long)cycles, (unsigned long long)committedUops,
+        (unsigned long long)squashes, (unsigned long long)fetchPc,
+        fetchQueue.size(), rob.size(), iq.size(), lq.size(),
+        sq.size(), inflight.size(), head.c_str());
+}
+
+bool
+OooCore::robFlipBit(u32 entry, u32 bit)
+{
+    if (entry >= rob.size())
+        return false;
+    RobEntry &re = rob[entry];
+    auto flipPtr = [&](i16 &field, unsigned fieldBit,
+                       unsigned limit) {
+        if (field < 0)
+            return; // unused pointer: flip masked
+        field = static_cast<i16>(
+            (static_cast<u32>(field) ^ (1u << fieldBit)) %
+            limit);
+    };
+    if (bit < 21) {
+        flipPtr(re.srcPhys[bit / 7], bit % 7, params_.numIntPregs);
+    } else if (bit < 28) {
+        flipPtr(re.dstPhys, bit - 21, params_.numIntPregs);
+    } else if (bit < 35) {
+        flipPtr(re.oldPhys, bit - 28, params_.numIntPregs);
+    } else {
+        // pc bits 1..13: corrupt the recorded instruction address.
+        re.pc ^= 1ull << (bit - 35 + 1);
+    }
+    return true;
+}
+
+void
+OooCore::renameFlipBit(u32 entry, u32 bit)
+{
+    intMap[entry] = static_cast<i16>(
+        (static_cast<u32>(intMap[entry]) ^ (1u << bit)) %
+        params_.numIntPregs);
+}
+
+RobEntry *
+OooCore::findRob(u64 seq)
+{
+    if (rob.empty())
+        return nullptr;
+    const u64 headSeq = rob.front().seq;
+    if (seq < headSeq || seq >= headSeq + rob.size())
+        return nullptr;
+    RobEntry &entry = rob[seq - headSeq];
+    return entry.seq == seq ? &entry : nullptr;
+}
+
+bool
+OooCore::operandsReady(const RobEntry &entry) const
+{
+    const RegClass clss[3] = {entry.uop.srcA.cls, entry.uop.srcB.cls,
+                              entry.uop.srcC.cls};
+    for (unsigned s = 0; s < 3; ++s) {
+        if (clss[s] == RegClass::None)
+            continue;
+        const i16 phys = entry.srcPhys[s];
+        if (phys == -2)
+            continue; // hardwired zero
+        if (clss[s] == RegClass::Fp) {
+            if (!fpPrf.ready(phys))
+                return false;
+        } else if (!intPrf.ready(phys)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+u64
+OooCore::readSrc(const RobEntry &entry, unsigned which)
+{
+    const isa::RegRef refs[3] = {entry.uop.srcA, entry.uop.srcB,
+                                 entry.uop.srcC};
+    const isa::RegRef &ref = refs[which];
+    if (ref.cls == RegClass::None)
+        return 0;
+    const i16 phys = entry.srcPhys[which];
+    if (phys == -2)
+        return 0;
+    return ref.cls == RegClass::Fp ? fpPrf.read(phys)
+                                   : intPrf.read(phys);
+}
+
+void
+OooCore::writeResult(const RobEntry &entry, u64 value)
+{
+    if (entry.dstPhys < 0)
+        return;
+    if (entry.uop.dst.cls == RegClass::Fp)
+        fpPrf.write(entry.dstPhys, value);
+    else
+        intPrf.write(entry.dstPhys, value);
+}
+
+// =====================================================================
+// Fetch
+// =====================================================================
+
+void
+OooCore::doFetch(mem::Hierarchy &memory)
+{
+    if (cycles < fetchStallUntil || serializeStall)
+        return;
+    unsigned budget = params_.fetchWidth;
+    while (budget > 0) {
+        if (fetchQueue.size() + 3 > 4 * params_.fetchWidth)
+            return;
+        const Addr pc = fetchPc;
+
+        if (pc + isa::kMaxInstLength > kMemSize || isMmio(pc)) {
+            // Fetch wandered outside DRAM.
+            FetchedUop fu;
+            fu.uop.op = ExecOp::Illegal;
+            fu.pc = pc;
+            fu.len = 4;
+            fu.lastUop = true;
+            fu.fault = CrashKind::FetchError;
+            fu.predNextPc = pc;
+            fetchQueue.push_back(fu);
+            return;
+        }
+
+        u8 buf[isa::kMaxInstLength];
+        const mem::MemResult fr =
+            memory.fetch(pc, buf, isa::kMaxInstLength);
+        if (fr.fault) {
+            FetchedUop fu;
+            fu.uop.op = ExecOp::Illegal;
+            fu.pc = pc;
+            fu.len = 4;
+            fu.lastUop = true;
+            fu.fault = CrashKind::FetchError;
+            fu.predNextPc = pc;
+            fetchQueue.push_back(fu);
+            return;
+        }
+        const bool missed =
+            fr.latency > memory.params().l1i.hitLatency;
+
+        const isa::DecodedInst di = isa::decodeAndExpand(
+            *spec_, buf, isa::kMaxInstLength, pc);
+
+        Addr nextPc = pc + di.length;
+        Addr predNextPc = nextPc;
+        const MicroOp &last = di.uops[di.numUops - 1];
+        if (last.isBranch()) {
+            bool taken = false;
+            Addr target = nextPc;
+            switch (last.brKind) {
+              case BrKind::Uncond:
+                taken = true;
+                target = pc + last.imm;
+                break;
+              case BrKind::CallDir:
+                taken = true;
+                target = pc + last.imm;
+                bpred.pushRas(pc + di.length);
+                break;
+              case BrKind::CondReg:
+              case BrKind::CondFlag:
+                taken = bpred.predictTaken(pc);
+                target = pc + last.imm;
+                break;
+              case BrKind::RetInd: {
+                const Addr ras = bpred.popRas();
+                taken = true;
+                target = ras ? ras : nextPc;
+                break;
+              }
+              case BrKind::Indirect: {
+                const Addr btb = bpred.btbLookup(pc);
+                taken = btb != 0;
+                target = btb ? btb : nextPc;
+                break;
+              }
+              default:
+                break;
+            }
+            if (taken)
+                predNextPc = target;
+        }
+
+        for (unsigned u = 0; u < di.numUops; ++u) {
+            FetchedUop fu;
+            fu.uop = di.uops[u];
+            fu.pc = pc;
+            fu.len = di.length;
+            fu.lastUop = (u + 1 == di.numUops);
+            fu.fault = di.illegal ? CrashKind::IllegalInstruction
+                                  : CrashKind::None;
+            fu.predNextPc = predNextPc;
+            fetchQueue.push_back(fu);
+        }
+        budget = budget > di.numUops ? budget - di.numUops : 0;
+        fetchPc = predNextPc;
+
+        // Magic pseudo-ops are serializing: nothing younger may issue
+        // (a WaitIrq must not let later loads read stale device data).
+        if (di.uops[di.numUops - 1].op == ExecOp::Magic) {
+            serializeStall = true;
+            return;
+        }
+
+        if (missed) {
+            fetchStallUntil = cycles + fr.latency;
+            return;
+        }
+        if (predNextPc != nextPc)
+            return; // taken branch ends the fetch group
+        if (di.illegal)
+            return;
+    }
+}
+
+// =====================================================================
+// Dispatch (rename + allocate)
+// =====================================================================
+
+void
+OooCore::doDispatch()
+{
+    unsigned budget = params_.dispatchWidth;
+    while (budget-- > 0 && !fetchQueue.empty()) {
+        if (rob.size() >= params_.robSize)
+            return;
+        const FetchedUop &fu = fetchQueue.front();
+        const MicroOp &uop = fu.uop;
+        const bool needsIq = fu.fault == CrashKind::None &&
+                             uop.op != ExecOp::Nop &&
+                             uop.op != ExecOp::Magic &&
+                             uop.op != ExecOp::Illegal;
+        if (needsIq && iq.size() >= params_.iqSize)
+            return;
+        if (uop.isLoad && lq.full())
+            return;
+        if (uop.isStore && sq.full())
+            return;
+        if (uop.dst.valid()) {
+            if (uop.dst.cls == RegClass::Fp && fpFree.empty())
+                return;
+            if (uop.dst.cls == RegClass::Int && intFree.empty())
+                return;
+        }
+
+        RobEntry entry;
+        entry.uop = uop;
+        entry.pc = fu.pc;
+        entry.len = fu.len;
+        entry.lastUop = fu.lastUop;
+        entry.seq = nextSeq++;
+        entry.predNextPc = fu.predNextPc;
+        entry.fault = fu.fault;
+
+        // Rename sources.
+        const isa::RegRef srcs[3] = {uop.srcA, uop.srcB, uop.srcC};
+        for (unsigned s = 0; s < 3; ++s) {
+            if (!srcs[s].valid())
+                continue;
+            if (srcs[s].cls == RegClass::Int && spec_->hasZeroReg &&
+                srcs[s].idx == 0) {
+                entry.srcPhys[s] = -2;
+            } else if (srcs[s].cls == RegClass::Fp) {
+                entry.srcPhys[s] = fpMap[srcs[s].idx];
+            } else {
+                entry.srcPhys[s] = intMap[srcs[s].idx];
+            }
+        }
+        // Rename destination.
+        if (uop.dst.valid()) {
+            if (uop.dst.cls == RegClass::Fp) {
+                entry.oldPhys = fpMap[uop.dst.idx];
+                entry.dstPhys = fpFree.back();
+                fpFree.pop_back();
+                fpMap[uop.dst.idx] = entry.dstPhys;
+                fpPrf.markNotReady(entry.dstPhys);
+            } else {
+                entry.oldPhys = intMap[uop.dst.idx];
+                entry.dstPhys = intFree.back();
+                intFree.pop_back();
+                intMap[uop.dst.idx] = entry.dstPhys;
+                intPrf.markNotReady(entry.dstPhys);
+            }
+        }
+
+        if (uop.isLoad) {
+            entry.lqIdx = lq.allocate(entry.seq);
+            lq[entry.lqIdx].size = uop.memSize;
+        }
+        if (uop.isStore)
+            entry.sqIdx = sq.allocate(entry.seq);
+
+        if (!needsIq)
+            entry.completed = true;
+        else
+            iq.push_back(entry.seq);
+
+        rob.push_back(entry);
+        fetchQueue.pop_front();
+    }
+}
+
+// =====================================================================
+// Execute
+// =====================================================================
+
+void
+OooCore::resolveBranch(RobEntry &entry)
+{
+    if (getenv("MARVEL_TRACE_SQUASH"))
+        std::fprintf(stderr,
+                     "BR cyc=%llu pc=%llx kind=%d pred=%llx\n",
+                     (unsigned long long)cycles,
+                     (unsigned long long)entry.pc,
+                     (int)entry.uop.brKind,
+                     (unsigned long long)entry.predNextPc);
+    const MicroOp &uop = entry.uop;
+    bool taken = false;
+    Addr target = entry.pc + entry.len;
+    u64 linkValue = 0;
+    bool writesLink = entry.dstPhys >= 0;
+
+    switch (uop.brKind) {
+      case BrKind::Uncond:
+        taken = true;
+        target = entry.pc + uop.imm;
+        break;
+      case BrKind::CallDir: {
+        taken = true;
+        target = entry.pc + uop.imm;
+        if (spec_->linkViaStack)
+            linkValue = readSrc(entry, 1) - 8; // sp -= 8
+        else
+            linkValue = entry.pc + entry.len;
+        break;
+      }
+      case BrKind::CondReg: {
+        const u64 a = readSrc(entry, 0);
+        const u64 b = readSrc(entry, 1);
+        taken = isa::evalCond(uop.cond, a, b);
+        target = entry.pc + uop.imm;
+        break;
+      }
+      case BrKind::CondFlag: {
+        const u64 flags = readSrc(entry, 0);
+        taken = isa::testFlags(flags, uop.cond);
+        target = entry.pc + uop.imm;
+        break;
+      }
+      case BrKind::Indirect:
+        taken = true;
+        target = readSrc(entry, 0);
+        break;
+      case BrKind::RetInd:
+        taken = true;
+        target = readSrc(entry, 0);
+        if (spec_->linkViaStack)
+            linkValue = readSrc(entry, 1) + uop.imm; // sp += 8
+        break;
+      default:
+        break;
+    }
+
+    entry.brTaken = taken;
+    entry.brTarget = target;
+    entry.result = target;
+    if (writesLink)
+        writeResult(entry, linkValue);
+    entry.completed = true;
+
+    const Addr actualNext = taken ? target : entry.pc + entry.len;
+    if (actualNext != entry.predNextPc) {
+        ++bpred.mispredicts;
+        squashAfter(entry.seq, actualNext);
+    }
+}
+
+void
+OooCore::executeUop(RobEntry &entry, mem::Hierarchy &memory,
+                    MmioBus &bus)
+{
+    (void)memory;
+    (void)bus;
+    const MicroOp &uop = entry.uop;
+    const u64 a = readSrc(entry, 0);
+    const u64 b = uop.useImm ? static_cast<u64>(uop.imm)
+                             : readSrc(entry, 1);
+    u64 value = 0;
+    switch (uop.op) {
+      case ExecOp::Add: value = a + b; break;
+      case ExecOp::Sub: value = a - b; break;
+      case ExecOp::Mul: value = a * b; break;
+      case ExecOp::Div:
+        if (b == 0) {
+            if (spec_->kind == isa::IsaKind::X86) {
+                entry.fault = CrashKind::DivideByZero;
+                entry.completed = true;
+                return;
+            }
+            value = ~0ull;
+        } else if (static_cast<i64>(a) == INT64_MIN &&
+                   static_cast<i64>(b) == -1) {
+            value = a;
+        } else {
+            value = static_cast<u64>(static_cast<i64>(a) /
+                                     static_cast<i64>(b));
+        }
+        break;
+      case ExecOp::DivU:
+        if (b == 0) {
+            if (spec_->kind == isa::IsaKind::X86) {
+                entry.fault = CrashKind::DivideByZero;
+                entry.completed = true;
+                return;
+            }
+            value = ~0ull;
+        } else {
+            value = a / b;
+        }
+        break;
+      case ExecOp::Rem:
+        if (b == 0) {
+            if (spec_->kind == isa::IsaKind::X86) {
+                entry.fault = CrashKind::DivideByZero;
+                entry.completed = true;
+                return;
+            }
+            value = a;
+        } else if (static_cast<i64>(a) == INT64_MIN &&
+                   static_cast<i64>(b) == -1) {
+            value = 0;
+        } else {
+            value = static_cast<u64>(static_cast<i64>(a) %
+                                     static_cast<i64>(b));
+        }
+        break;
+      case ExecOp::RemU:
+        if (b == 0) {
+            if (spec_->kind == isa::IsaKind::X86) {
+                entry.fault = CrashKind::DivideByZero;
+                entry.completed = true;
+                return;
+            }
+            value = a;
+        } else {
+            value = a % b;
+        }
+        break;
+      case ExecOp::And: value = a & b; break;
+      case ExecOp::Or: value = a | b; break;
+      case ExecOp::Xor: value = a ^ b; break;
+      case ExecOp::Shl: value = a << (b & 63); break;
+      case ExecOp::Shr: value = a >> (b & 63); break;
+      case ExecOp::Sra:
+        value = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+        break;
+      case ExecOp::SetCmp:
+        value = isa::evalCond(uop.cond, a, b);
+        break;
+      case ExecOp::CmpFlags:
+        value = isa::packFlags(a, b);
+        break;
+      case ExecOp::CmpFlagsF:
+        value = isa::packFlagsF(asF64(a), asF64(b));
+        break;
+      case ExecOp::SetFlagsCC:
+        value = isa::testFlags(a, uop.cond);
+        break;
+      case ExecOp::SelFlags:
+        value = isa::testFlags(a, uop.cond) ? b : readSrc(entry, 2);
+        break;
+      case ExecOp::SetCmpF: {
+        const double fa = asF64(a);
+        const double fb = asF64(b);
+        if (uop.cond == Cond::Eq)
+            value = fa == fb;
+        else if (uop.cond == Cond::Lt)
+            value = fa < fb;
+        else
+            value = fa <= fb;
+        break;
+      }
+      case ExecOp::FAdd: value = fromF64(asF64(a) + asF64(b)); break;
+      case ExecOp::FSub: value = fromF64(asF64(a) - asF64(b)); break;
+      case ExecOp::FMul: value = fromF64(asF64(a) * asF64(b)); break;
+      case ExecOp::FDiv: value = fromF64(asF64(a) / asF64(b)); break;
+      case ExecOp::FSqrt: value = fromF64(std::sqrt(asF64(a))); break;
+      case ExecOp::ItoF:
+        value = fromF64(static_cast<double>(static_cast<i64>(a)));
+        break;
+      case ExecOp::FtoI:
+        value = static_cast<u64>(static_cast<i64>(asF64(a)));
+        break;
+      case ExecOp::MovA: value = a; break;
+      case ExecOp::MovImm: value = static_cast<u64>(uop.imm); break;
+      case ExecOp::AddImm: value = a + static_cast<u64>(uop.imm); break;
+      default:
+        value = 0;
+        break;
+    }
+    entry.result = value;
+    const unsigned lat = isa::execLatency(uop);
+    inflight.push_back({cycles + lat, entry.seq, value,
+                        uop.dst.cls == RegClass::Fp});
+}
+
+void
+OooCore::doIssue(mem::Hierarchy &memory, MmioBus &bus)
+{
+    unsigned budget = params_.issueWidth;
+    unsigned fuUsed[isa::kNumFuClasses] = {};
+    for (std::size_t i = 0; i < iq.size() && budget > 0;) {
+        RobEntry *entry = findRob(iq[i]);
+        if (!entry) {
+            // Stale entry (squashed); drop it.
+            iq.erase(iq.begin() + i);
+            continue;
+        }
+        if (!operandsReady(*entry)) {
+            ++i;
+            continue;
+        }
+        const FuClass fu = isa::fuClassOf(entry->uop);
+        const unsigned fuIdx = static_cast<unsigned>(fu);
+        if (fuUsed[fuIdx] >= params_.fuCounts[fuIdx]) {
+            ++i;
+            continue;
+        }
+        if (fu == FuClass::IntDiv && cycles < intDivBusyUntil) {
+            ++i;
+            continue;
+        }
+        if (fu == FuClass::FpDiv && cycles < fpDivBusyUntil) {
+            ++i;
+            continue;
+        }
+
+        ++fuUsed[fuIdx];
+        --budget;
+        entry->issued = true;
+
+        if (entry->uop.isLoad) {
+            // Address generation; the memory access happens in
+            // doLoadIssue once ordering allows.
+            const u64 base = readSrc(*entry, 0);
+            const Addr addr = base + static_cast<u64>(entry->uop.imm);
+            entry->effAddr = addr;
+            LqEntry &lqe = lq[entry->lqIdx];
+            lqe.addr = addr;
+            lqe.size = entry->uop.memSize;
+            lqe.addrReady = true;
+            lqe.mmio = isMmio(addr);
+            if (lq.faults().active())
+                lq.faults().noteWrite(entry->lqIdx, 0, 47);
+            iq.erase(iq.begin() + i);
+            continue;
+        }
+        if (entry->uop.isStore) {
+            const u64 base = readSrc(*entry, 0);
+            const u64 data = readSrc(*entry, 1);
+            const Addr addr = base + static_cast<u64>(entry->uop.imm);
+            entry->effAddr = addr;
+            entry->storeData = data;
+            SqEntry &sqe = sq[entry->sqIdx];
+            const unsigned size = entry->uop.memSize;
+            sqe.mmio = isMmio(addr);
+            if (!spec_->allowsUnaligned && !sqe.mmio &&
+                (addr & (size - 1)) != 0) {
+                entry->fault = CrashKind::Misaligned;
+                entry->completed = true;
+            } else if (!sqe.mmio &&
+                       !memory.dram().ok(addr, size)) {
+                entry->fault = CrashKind::BusError;
+                entry->completed = true;
+            } else {
+                sqe.addr = addr;
+                sqe.data = data;
+                sqe.size = static_cast<u8>(size);
+                sqe.ready = true;
+                if (sq.faults().active()) {
+                    sq.faults().noteWrite(entry->sqIdx, 0, 111);
+                }
+                entry->completed = true;
+            }
+            iq.erase(iq.begin() + i);
+            continue;
+        }
+        if (entry->uop.isBranch()) {
+            resolveBranch(*entry);
+            // The IQ may have been rebuilt by a squash: restart scan.
+            if (!entry->completed)
+                panic("branch did not complete");
+            // Remove this seq if still present.
+            for (std::size_t j = 0; j < iq.size(); ++j) {
+                if (iq[j] == entry->seq) {
+                    iq.erase(iq.begin() + j);
+                    break;
+                }
+            }
+            i = 0;
+            continue;
+        }
+
+        executeUop(*entry, memory, bus);
+        if (fu == FuClass::IntDiv)
+            intDivBusyUntil = cycles + isa::execLatency(entry->uop);
+        if (fu == FuClass::FpDiv)
+            fpDivBusyUntil = cycles + isa::execLatency(entry->uop);
+        iq.erase(iq.begin() + i);
+    }
+}
+
+void
+OooCore::doLoadIssue(mem::Hierarchy &memory, MmioBus &bus)
+{
+    unsigned ports = params_.fuCounts[static_cast<unsigned>(
+        FuClass::MemPort)];
+    for (unsigned k = 0; k < lq.size() && ports > 0; ++k) {
+        const unsigned idx = lq.indexAt(k);
+        LqEntry &lqe = lq[idx];
+        if (!lqe.valid || !lqe.addrReady || lqe.issued)
+            continue;
+        RobEntry *entry = findRob(lqe.seq);
+        if (!entry)
+            continue;
+
+        const Addr addr = lqe.addr;
+        const unsigned size = lqe.size;
+
+        // Store-queue ordering/forwarding: find the youngest older
+        // store overlapping this load.
+        bool stall = false;
+        const SqEntry *fwd = nullptr;
+        int fwdIdx = -1;
+        for (unsigned s = sq.size(); s-- > 0;) {
+            const unsigned si = sq.indexAt(s);
+            const SqEntry &sqe = sq[si];
+            if (!sqe.valid || sqe.seq > lqe.seq)
+                continue;
+            if (!sqe.ready) {
+                // Older store with unknown address: conservative stall.
+                stall = true;
+                break;
+            }
+            const Addr sLo = sqe.addr;
+            const Addr sHi = sqe.addr + sqe.size;
+            const Addr lLo = addr;
+            const Addr lHi = addr + size;
+            if (sLo < lHi && lLo < sHi) {
+                if (sLo <= lLo && lHi <= sHi) {
+                    fwd = &sqe;
+                    fwdIdx = static_cast<int>(si);
+                } else {
+                    stall = true; // partial overlap
+                }
+                break;
+            }
+        }
+        if (stall)
+            continue;
+
+        if (lq.faults().active())
+            lq.faults().noteRead(idx, 0, 47);
+
+        // MMIO loads execute only at the head of the ROB.
+        if (lqe.mmio) {
+            if (rob.empty() || rob.front().seq != lqe.seq)
+                continue;
+            const u64 raw = bus.mmioRead(addr, size);
+            lqe.issued = true;
+            lqe.completed = true;
+            --ports;
+            inflight.push_back({cycles + 20, lqe.seq, raw,
+                                entry->uop.fpMem});
+            continue;
+        }
+
+        if (!spec_->allowsUnaligned && (addr & (size - 1)) != 0) {
+            entry->fault = CrashKind::Misaligned;
+            entry->completed = true;
+            lqe.issued = true;
+            lqe.completed = true;
+            continue;
+        }
+
+        u64 raw = 0;
+        u32 latency = 1;
+        if (fwd) {
+            // Full containment: forward from the store's data.
+            if (sq.faults().active())
+                sq.faults().noteRead(fwdIdx, 0, 111);
+            const unsigned shift =
+                static_cast<unsigned>(addr - fwd->addr) * 8;
+            raw = fwd->data >> shift;
+            if (size < 8)
+                raw &= maskBits(size * 8);
+            latency = 2;
+        } else {
+            u8 buf[8] = {};
+            const mem::MemResult mr = memory.read(addr, buf, size);
+            if (mr.fault) {
+                entry->fault = CrashKind::BusError;
+                entry->completed = true;
+                lqe.issued = true;
+                lqe.completed = true;
+                continue;
+            }
+            std::memcpy(&raw, buf, 8);
+            if (size < 8)
+                raw &= maskBits(size * 8);
+            latency = mr.latency;
+        }
+        if (entry->uop.memSigned && size < 8)
+            raw = static_cast<u64>(sext(raw, size * 8));
+
+        entry->effAddr = addr;
+        lqe.issued = true;
+        lqe.completed = true;
+        --ports;
+        inflight.push_back(
+            {cycles + latency, lqe.seq, raw, entry->uop.fpMem});
+    }
+}
+
+void
+OooCore::doComplete()
+{
+    for (std::size_t i = 0; i < inflight.size();) {
+        if (inflight[i].doneAt > cycles) {
+            ++i;
+            continue;
+        }
+        RobEntry *entry = findRob(inflight[i].seq);
+        if (entry) {
+            entry->result = inflight[i].value;
+            writeResult(*entry, inflight[i].value);
+            entry->completed = true;
+        }
+        inflight.erase(inflight.begin() + i);
+    }
+}
+
+// =====================================================================
+// Commit
+// =====================================================================
+
+void
+OooCore::doCommit(MmioBus &bus)
+{
+    unsigned budget = params_.commitWidth;
+    while (budget-- > 0 && !rob.empty()) {
+        RobEntry &head = rob.front();
+        if (!head.completed)
+            return;
+
+        if (head.fault != CrashKind::None) {
+            crashKind = head.fault;
+            crashPc = head.pc;
+            return;
+        }
+
+        if (head.uop.op == ExecOp::Magic) {
+            switch (head.uop.magic) {
+              case MagicOp::Checkpoint:
+                checkpointRequest = true;
+                break;
+              case MagicOp::SwitchCpu:
+                switchCpuRequest = true;
+                break;
+              case MagicOp::WaitIrq:
+                if (!bus.irqPending())
+                    return; // stall at commit until the IRQ fires
+                break;
+              case MagicOp::Nop:
+                break;
+            }
+            serializeStall = false; // resume fetch past the magic op
+        }
+
+        if (head.uop.isStore && head.sqIdx >= 0) {
+            SqEntry &sqe = sq[head.sqIdx];
+            sqe.retired = true;
+        }
+        if (head.uop.isLoad && head.lqIdx >= 0) {
+            // The head of the LQ must be this load.
+            lq.popOldest();
+        }
+        if (head.uop.isBranch()) {
+            if (head.uop.brKind == BrKind::CondReg ||
+                head.uop.brKind == BrKind::CondFlag) {
+                ++bpred.lookups;
+                bpred.update(head.pc, head.brTaken);
+            }
+            if (head.uop.brKind == BrKind::Indirect)
+                bpred.btbUpdate(head.pc, head.brTarget);
+        }
+
+        // Free the previous mapping of the destination register.
+        if (head.dstPhys >= 0) {
+            if (head.uop.dst.cls == RegClass::Fp)
+                fpFree.push_back(head.oldPhys);
+            else
+                intFree.push_back(head.oldPhys);
+        }
+
+        // HVF commit trace.
+        if (traceOut || traceRef) {
+            CommitRecord rec;
+            rec.pc = head.pc;
+            rec.op = static_cast<u8>(head.uop.op);
+            rec.dstCls = static_cast<u8>(head.uop.dst.cls);
+            rec.dstIdx = head.uop.dst.idx;
+            rec.result = head.result;
+            rec.memAddr = head.effAddr;
+            rec.storeData = head.storeData;
+            if (traceOut)
+                traceOut->push_back(rec);
+            if (traceRef && !hvfCorrupted) {
+                if (traceRefPos >= traceRef->size() ||
+                    !((*traceRef)[traceRefPos] == rec)) {
+                    hvfCorrupted = true;
+                    hvfCorruptCycle = cycles;
+                }
+                ++traceRefPos;
+            }
+        }
+
+        ++committedUops;
+        if (head.lastUop)
+            ++committedInsts;
+
+        const bool wasCheckpoint =
+            head.uop.op == ExecOp::Magic &&
+            (head.uop.magic == MagicOp::Checkpoint ||
+             head.uop.magic == MagicOp::SwitchCpu);
+        rob.pop_front();
+        if (wasCheckpoint)
+            return; // let the owner observe the request precisely
+    }
+}
+
+void
+OooCore::doStoreDrain(mem::Hierarchy &memory, MmioBus &bus)
+{
+    unsigned maxPerCycle = drainInterval_ == 0 ? 4 : 1;
+    while (maxPerCycle > 0 && !sq.empty()) {
+        const unsigned idx = sq.head();
+        SqEntry &sqe = sq[idx];
+        if (!sqe.valid || !sqe.retired || !sqe.ready)
+            return;
+        if (cycles < nextDrainAllowed)
+            return;
+        if (sq.faults().active())
+            sq.faults().noteRead(idx, 0, 111);
+        if (sqe.mmio) {
+            bus.mmioWrite(sqe.addr, sqe.data, sqe.size);
+        } else {
+            u8 buf[8];
+            std::memcpy(buf, &sqe.data, 8);
+            const mem::MemResult mr =
+                memory.write(sqe.addr, buf, sqe.size);
+            if (mr.fault) {
+                crashKind = CrashKind::BusError;
+                return;
+            }
+        }
+        sq.popOldest();
+        nextDrainAllowed = cycles + drainInterval_;
+        --maxPerCycle;
+    }
+}
+
+// =====================================================================
+// Squash
+// =====================================================================
+
+void
+OooCore::squashAfter(u64 seq, Addr redirectPc)
+{
+    ++squashes;
+    if (getenv("MARVEL_TRACE_SQUASH"))
+        std::fprintf(stderr,
+                     "SQUASH cyc=%llu after=%llu redirect=%llx\n",
+                     (unsigned long long)cycles,
+                     (unsigned long long)seq,
+                     (unsigned long long)redirectPc);
+    while (!rob.empty() && rob.back().seq > seq) {
+        RobEntry &entry = rob.back();
+        if (entry.dstPhys >= 0) {
+            if (entry.uop.dst.cls == RegClass::Fp) {
+                fpMap[entry.uop.dst.idx] = entry.oldPhys;
+                fpFree.push_back(entry.dstPhys);
+                fpPrf.markReady(entry.dstPhys);
+            } else {
+                intMap[entry.uop.dst.idx] = entry.oldPhys;
+                intFree.push_back(entry.dstPhys);
+                intPrf.markReady(entry.dstPhys);
+            }
+        }
+        rob.pop_back();
+    }
+    lq.squashYoungerThan(seq, lq.faults());
+    sq.squashYoungerThan(seq, sq.faults());
+    std::erase_if(iq, [&](u64 s) { return s > seq; });
+    std::erase_if(inflight,
+                  [&](const InFlight &f) { return f.seq > seq; });
+    fetchQueue.clear();
+    fetchPc = redirectPc;
+    fetchStallUntil = cycles + 2; // redirect penalty
+    serializeStall = false; // a squashed magic op will be refetched
+    // Recycle the squashed sequence numbers so the ROB stays seq-
+    // contiguous (findRob indexes by seq - headSeq). Nothing else
+    // retains squashed seqs: IQ, LQ/SQ, in-flight events and the fetch
+    // queue were all purged above.
+    nextSeq = seq + 1;
+}
+
+// =====================================================================
+// Top-level cycle
+// =====================================================================
+
+void
+OooCore::cycle(mem::Hierarchy &memory, MmioBus &bus)
+{
+    if (crashed())
+        return;
+    doComplete();
+    doCommit(bus);
+    if (crashed())
+        return;
+    doStoreDrain(memory, bus);
+    if (crashed())
+        return;
+    doLoadIssue(memory, bus);
+    doIssue(memory, bus);
+    doDispatch();
+    doFetch(memory);
+    ++cycles;
+}
+
+} // namespace marvel::cpu

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * The out-of-order CPU model (Table II configuration by default):
+ * 8-issue, 128-entry ROB, 64-entry IQ, 32/32 LQ/SQ, 128+128 physical
+ * registers, bimodal+BTB+RAS prediction, precise exceptions, and a
+ * per-ISA post-commit store-drain policy.
+ *
+ * The model is cycle-level: fetch reads actual encoded bytes through
+ * the L1I, decode cracks them into micro-ops, rename allocates physical
+ * registers, and faults injected anywhere in the PRF / caches / LQ / SQ
+ * propagate through real data and control paths.
+ */
+
+#ifndef MARVEL_CPU_OOO_CORE_HH
+#define MARVEL_CPU_OOO_CORE_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/faultwatch.hh"
+#include "cpu/bpred.hh"
+#include "cpu/lsq.hh"
+#include "cpu/prf.hh"
+#include "isa/uop.hh"
+#include "mem/hierarchy.hh"
+
+namespace marvel::cpu
+{
+
+/** Core configuration. */
+struct CpuParams
+{
+    isa::IsaKind isa = isa::IsaKind::RISCV;
+    unsigned fetchWidth = 8;
+    unsigned dispatchWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+    unsigned robSize = 128;
+    unsigned iqSize = 64;
+    unsigned lqSize = 32;
+    unsigned sqSize = 32;
+    unsigned numIntPregs = 128;
+    unsigned numFpPregs = 128;
+    BPredParams bpred;
+    /** Per-FuClass unit counts (IntAlu, IntMul, IntDiv, FpAlu, FpMul,
+     *  FpDiv, MemPort, BranchUnit). */
+    unsigned fuCounts[isa::kNumFuClasses] = {4, 2, 1, 2, 2, 1, 2, 2};
+    /** Override the ISA's store drain interval (-1 = use ISA spec). */
+    int storeDrainOverride = -1;
+};
+
+/** Architectural crash causes (any of these ends the run as a Crash). */
+enum class CrashKind : u8
+{
+    None,
+    IllegalInstruction,
+    BusError,
+    Misaligned,
+    DivideByZero,
+    FetchError,
+};
+
+const char *crashKindName(CrashKind kind);
+
+/** One committed micro-op, for HVF commit-trace comparison. */
+struct CommitRecord
+{
+    Addr pc = 0;
+    u8 op = 0;
+    u8 dstCls = 0;
+    u8 dstIdx = 0;
+    u64 result = 0;
+    Addr memAddr = 0;
+    u64 storeData = 0;
+
+    bool
+    operator==(const CommitRecord &other) const
+    {
+        return pc == other.pc && op == other.op &&
+               dstCls == other.dstCls && dstIdx == other.dstIdx &&
+               result == other.result && memAddr == other.memAddr &&
+               storeData == other.storeData;
+    }
+};
+
+/** Uncached device access interface provided by the SoC. */
+class MmioBus
+{
+  public:
+    virtual ~MmioBus() = default;
+    virtual u64 mmioRead(Addr addr, unsigned size) = 0;
+    virtual void mmioWrite(Addr addr, u64 value, unsigned size) = 0;
+    /** An external interrupt line is asserted (wakes WaitIrq). */
+    virtual bool irqPending() = 0;
+};
+
+/** Reorder buffer entry. */
+struct RobEntry
+{
+    isa::MicroOp uop;
+    Addr pc = 0;
+    u8 len = 0;
+    bool lastUop = true;
+    u64 seq = 0;
+    i16 dstPhys = -1;
+    i16 oldPhys = -1;
+    i16 srcPhys[3] = {-1, -1, -1};
+    bool issued = false;
+    bool completed = false;
+    CrashKind fault = CrashKind::None;
+    // Branch state
+    Addr predNextPc = 0;
+    bool brTaken = false;
+    Addr brTarget = 0;
+    // Memory state
+    int lqIdx = -1;
+    int sqIdx = -1;
+    u64 result = 0;
+    Addr effAddr = 0;
+    u64 storeData = 0;
+};
+
+/**
+ * The out-of-order core. Value-semantic: copying a core snapshots its
+ * full microarchitectural state (the checkpointing mechanism), except
+ * the trace pointers, which the owner must re-set after copying.
+ */
+class OooCore
+{
+  public:
+    explicit OooCore(const CpuParams &params = CpuParams{});
+
+    /** Reset architectural + microarchitectural state; start at pc. */
+    void reset(Addr pc);
+
+    /** Advance one clock cycle. */
+    void cycle(mem::Hierarchy &memory, MmioBus &bus);
+
+    const CpuParams &params() const { return params_; }
+
+    // --- status -----------------------------------------------------------
+    bool crashed() const { return crashKind != CrashKind::None; }
+    CrashKind crashKind = CrashKind::None;
+    Addr crashPc = 0;
+
+    /** Set when a Checkpoint magic op commits; caller clears. */
+    bool checkpointRequest = false;
+    /** Set when a SwitchCpu magic op commits; caller clears. */
+    bool switchCpuRequest = false;
+
+    Cycle cycles = 0;
+    u64 committedUops = 0;
+    u64 committedInsts = 0;
+    u64 squashes = 0;
+
+    // --- injectable structures ---------------------------------------------
+    PhysRegFile intPrf;
+    PhysRegFile fpPrf;
+    LoadQueue lq;
+    StoreQueue sq;
+    BranchPredictor bpred;
+
+    // --- HVF commit-trace hooks (not owned; re-set after copying) ---------
+    std::vector<CommitRecord> *traceOut = nullptr;
+    const std::vector<CommitRecord> *traceRef = nullptr;
+    u64 traceRefPos = 0;
+    bool hvfCorrupted = false;
+    Cycle hvfCorruptCycle = 0;
+
+    /** Architectural integer register peek (tests). */
+    u64 archIntReg(unsigned idx) const;
+
+    /** One-line pipeline state summary (debugging aid). */
+    std::string debugState() const;
+
+    // --- reorder-buffer injection image (paper SIV-E) ----------------
+    /** ROB capacity (injection entries). */
+    u32 robNumEntries() const { return params_.robSize; }
+
+    /** Bits per ROB entry image: 5x7-bit physical-register pointers
+     *  plus 13 pc bits (see robFlipBit). */
+    u32 robBitsPerEntry() const { return 48; }
+
+    /** Occupied ROB entries right now. */
+    u32 robOccupancy() const { return rob.size(); }
+
+    /**
+     * Flip one bit of the i-th oldest ROB entry's control image.
+     * Returns false (masked) when the slot is empty. Register-pointer
+     * bits wrap within the physical register file, as a real 7-bit
+     * pointer field would.
+     */
+    bool robFlipBit(u32 entry, u32 bit);
+
+    // --- rename-map injection image -----------------------------------
+    u32 renameNumEntries() const { return intMap.size(); }
+    u32 renameBitsPerEntry() const { return 7; }
+    void renameFlipBit(u32 entry, u32 bit);
+
+    FaultState &robFaults() { return robFaults_; }
+    const FaultState &robFaults() const { return robFaults_; }
+    FaultState &renameFaults() { return renameFaults_; }
+    const FaultState &renameFaults() const { return renameFaults_; }
+
+  private:
+    struct InFlight
+    {
+        Cycle doneAt;
+        u64 seq;
+        u64 value;
+        bool writesFp;
+    };
+
+    RobEntry *findRob(u64 seq);
+    bool operandsReady(const RobEntry &entry) const;
+    u64 readSrc(const RobEntry &entry, unsigned which);
+    void doFetch(mem::Hierarchy &memory);
+    void doDispatch();
+    void doIssue(mem::Hierarchy &memory, MmioBus &bus);
+    void doLoadIssue(mem::Hierarchy &memory, MmioBus &bus);
+    void doComplete();
+    void doCommit(MmioBus &bus);
+    void doStoreDrain(mem::Hierarchy &memory, MmioBus &bus);
+    void executeUop(RobEntry &entry, mem::Hierarchy &memory,
+                    MmioBus &bus);
+    void resolveBranch(RobEntry &entry);
+    void squashAfter(u64 seq, Addr redirectPc);
+    void writeResult(const RobEntry &entry, u64 value);
+
+    CpuParams params_;
+    const isa::IsaSpec *spec_;
+
+    // Fetch
+    Addr fetchPc = 0;
+    Cycle fetchStallUntil = 0;
+    /** Magic ops serialize: fetch halts until the op commits. */
+    bool serializeStall = false;
+    struct FetchedUop
+    {
+        isa::MicroOp uop;
+        Addr pc;
+        u8 len;
+        bool lastUop;
+        CrashKind fault;
+        Addr predNextPc;
+    };
+    std::deque<FetchedUop> fetchQueue;
+
+    // Rename
+    std::vector<i16> intMap;
+    std::vector<i16> fpMap;
+    std::vector<i16> intFree;
+    std::vector<i16> fpFree;
+
+    // Window
+    std::deque<RobEntry> rob;
+    u64 nextSeq = 1;
+    std::vector<u64> iq; ///< seqs of un-issued uops
+    std::vector<InFlight> inflight;
+
+    // Divider occupancy (unpipelined units)
+    Cycle intDivBusyUntil = 0;
+    Cycle fpDivBusyUntil = 0;
+
+    // Store drain pacing
+    Cycle nextDrainAllowed = 0;
+    unsigned drainInterval_ = 1;
+
+    // Fault bookkeeping for the meta-state targets (no early-
+    // termination hooks: these faults always run to completion).
+    FaultState robFaults_;
+    FaultState renameFaults_;
+};
+
+} // namespace marvel::cpu
+
+#endif // MARVEL_CPU_OOO_CORE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Physical register file: renamed storage with value + ready bits.
+ *
+ * A primary fault-injection target (Fig. 4/9/15/18 of the paper): each
+ * entry is a 64-bit injectable image; reads/writes feed the
+ * early-termination and HVF bookkeeping.
+ */
+
+#ifndef MARVEL_CPU_PRF_HH
+#define MARVEL_CPU_PRF_HH
+
+#include <vector>
+
+#include "common/faultwatch.hh"
+#include "common/types.hh"
+
+namespace marvel::cpu
+{
+
+/** One physical register file (integer or floating point). */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned numRegs = 128)
+        : values(numRegs, 0), ready_(numRegs, true)
+    {
+    }
+
+    unsigned size() const { return values.size(); }
+
+    /** Operand read (register-read stage). */
+    u64
+    read(unsigned idx)
+    {
+        if (faults_.active())
+            faults_.noteRead(idx, 0, 63);
+        return values[idx];
+    }
+
+    /** Writeback. */
+    void
+    write(unsigned idx, u64 value)
+    {
+        values[idx] = value;
+        if (faults_.active()) {
+            faults_.noteWrite(idx, 0, 63);
+            applyStuck(idx);
+        }
+        ready_[idx] = true;
+    }
+
+    bool ready(unsigned idx) const { return ready_[idx]; }
+    void markNotReady(unsigned idx) { ready_[idx] = false; }
+    void markReady(unsigned idx) { ready_[idx] = true; }
+
+    /** Side-effect-free value inspection (architectural state dump). */
+    u64 peek(unsigned idx) const { return values[idx]; }
+
+    /** Direct write without fault bookkeeping (reset / state load). */
+    void
+    poke(unsigned idx, u64 value)
+    {
+        values[idx] = value;
+        ready_[idx] = true;
+    }
+
+    // --- fault injection -------------------------------------------------
+    u32 numEntries() const { return values.size(); }
+    u32 bitsPerEntry() const { return 64; }
+
+    void
+    flipBit(u32 entry, u32 bit)
+    {
+        values[entry] ^= 1ull << bit;
+    }
+
+    FaultState &faults() { return faults_; }
+    const FaultState &faults() const { return faults_; }
+
+    void
+    applyStuck(u32 entry)
+    {
+        for (const StuckBit &s : faults_.stuck()) {
+            if (s.entry != entry)
+                continue;
+            if (s.value)
+                values[entry] |= 1ull << s.bit;
+            else
+                values[entry] &= ~(1ull << s.bit);
+        }
+    }
+
+  private:
+    std::vector<u64> values;
+    std::vector<bool> ready_;
+    FaultState faults_;
+};
+
+} // namespace marvel::cpu
+
+#endif // MARVEL_CPU_PRF_HH

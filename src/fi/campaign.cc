@@ -1,0 +1,311 @@
+#include "fi/campaign.hh"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace marvel::fi
+{
+
+GoldenRun
+runGolden(const soc::SystemConfig &config, const isa::Program &program,
+          u64 maxCycles)
+{
+    GoldenRun golden;
+    soc::System sys(config);
+    sys.loadProgram(program);
+
+    // Phase 1: run to the Checkpoint magic instruction.
+    soc::RunExit exit = sys.run(maxCycles);
+    if (exit != soc::RunExit::Checkpoint)
+        fatal("golden run: expected a checkpoint, got %s (%s)",
+              soc::runExitName(exit), sys.crashReason().c_str());
+    golden.preCycles = sys.totalCycles;
+    golden.checkpoint = soc::Checkpoint::take(sys);
+
+    // Phase 2: record the commit trace through the injection window
+    // and on to completion.
+    sys.cpu.traceOut = &golden.trace;
+    const Cycle cpCycle = sys.totalCycles;
+    exit = sys.run(maxCycles);
+    if (exit == soc::RunExit::SwitchCpu) {
+        golden.windowCycles = sys.totalCycles - cpCycle;
+        exit = sys.run(maxCycles);
+    }
+    if (exit != soc::RunExit::Exited)
+        fatal("golden run: expected clean exit, got %s (%s)",
+              soc::runExitName(exit), sys.crashReason().c_str());
+    golden.totalCycles = sys.totalCycles - cpCycle;
+    if (golden.windowCycles == 0)
+        golden.windowCycles = golden.totalCycles;
+    golden.output = sys.outputWindow();
+    golden.exitCode = sys.exitCode;
+    golden.console = sys.console;
+    return golden;
+}
+
+namespace
+{
+
+OutcomeDetail
+crashDetail(const soc::System &sys)
+{
+    if (sys.accelCrashed)
+        return OutcomeDetail::CrashAccelError;
+    switch (sys.cpu.crashKind) {
+      case cpu::CrashKind::IllegalInstruction:
+        return OutcomeDetail::CrashIllegal;
+      case cpu::CrashKind::BusError:
+        return OutcomeDetail::CrashBusError;
+      case cpu::CrashKind::Misaligned:
+        return OutcomeDetail::CrashMisaligned;
+      case cpu::CrashKind::DivideByZero:
+        return OutcomeDetail::CrashDivZero;
+      case cpu::CrashKind::FetchError:
+        return OutcomeDetail::CrashFetch;
+      default:
+        return OutcomeDetail::None;
+    }
+}
+
+} // namespace
+
+RunVerdict
+runWithFault(const GoldenRun &golden, const FaultMask &mask,
+             const InjectionOptions &options)
+{
+    RunVerdict verdict;
+    soc::System sys = golden.checkpoint.restore();
+    if (options.computeHvf) {
+        sys.cpu.traceRef = &golden.trace;
+        sys.cpu.traceRefPos = 0;
+    }
+
+    // Apply permanent faults at the window start; order transients by
+    // injection cycle.
+    std::vector<FaultSpec> pending;
+    for (const FaultSpec &f : mask.faults) {
+        if (f.model == FaultModel::Transient)
+            pending.push_back(f);
+        else
+            injectFault(sys, f);
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const FaultSpec &a, const FaultSpec &b) {
+                  return a.injectCycle < b.injectCycle;
+              });
+
+    const Cycle timeoutAt = static_cast<Cycle>(
+        static_cast<double>(golden.totalCycles) *
+            options.timeoutFactor +
+        200'000.0);
+    const bool transientMask = !pending.empty();
+    Cycle cursor = 0;
+    std::size_t nextFault = 0;
+    bool anyHitInvalid = false;
+
+    // Inject one transient fault, noting the paper's invalid-entry
+    // optimization: a flip into an invalid/unused entry is dead on
+    // arrival (the next fill overwrites it), so mark it vanished and
+    // let the early-termination check cash the verdict in.
+    auto placeFault = [&](const FaultSpec &fault) {
+        const bool live = entryLive(sys, fault);
+        injectFault(sys, fault);
+        if (!live) {
+            anyHitInvalid = true;
+            if (options.earlyTermination)
+                faultStateOf(sys, fault.target).noteGone(fault.entry);
+        }
+    };
+
+    auto finishExit = [&]() {
+        verdict.cyclesRun = cursor;
+        verdict.hvfCorruption = sys.cpu.hvfCorrupted;
+        verdict.hvfCorruptCycle = sys.cpu.hvfCorruptCycle;
+        if (sys.exitCode != golden.exitCode ||
+            sys.console != golden.console) {
+            verdict.outcome = Outcome::SDC;
+            verdict.detail = OutcomeDetail::SdcExitCode;
+            return;
+        }
+        if (sys.outputWindow() != golden.output) {
+            verdict.outcome = Outcome::SDC;
+            verdict.detail = OutcomeDetail::SdcOutput;
+            return;
+        }
+        verdict.outcome = Outcome::Masked;
+        verdict.detail = OutcomeDetail::MaskedIdentical;
+    };
+
+    for (;;) {
+        // Inject any transient faults scheduled for this cycle.
+        while (nextFault < pending.size() &&
+               pending[nextFault].injectCycle <= cursor) {
+            placeFault(pending[nextFault]);
+            ++nextFault;
+        }
+
+        sys.tick();
+        ++cursor;
+        sys.cpu.checkpointRequest = false;
+        sys.cpu.switchCpuRequest = false;
+
+        if (sys.exited) {
+            finishExit();
+            return verdict;
+        }
+        if (sys.cpu.crashed() || sys.cluster.errored()) {
+            if (sys.cluster.errored())
+                sys.accelCrashed = true;
+            verdict.outcome = Outcome::Crash;
+            verdict.detail = crashDetail(sys);
+            verdict.cyclesRun = cursor;
+            verdict.hvfCorruption = true; // reached the software layer
+            verdict.hvfCorruptCycle = sys.cpu.hvfCorrupted
+                                          ? sys.cpu.hvfCorruptCycle
+                                          : cursor;
+            return verdict;
+        }
+        if (cursor >= timeoutAt) {
+            verdict.outcome = Outcome::Crash;
+            verdict.detail = OutcomeDetail::CrashTimeout;
+            verdict.cyclesRun = cursor;
+            verdict.hvfCorruption = true;
+            verdict.hvfCorruptCycle = cursor;
+            return verdict;
+        }
+
+        // Early termination: every watched bit is dead and unread.
+        if (options.earlyTermination && transientMask &&
+            nextFault == pending.size() && (cursor & 63) == 0) {
+            bool allDead = true;
+            for (const FaultSpec &f : pending) {
+                auto &state = faultStateOf(sys, f.target);
+                if (!state.allNeutralized()) {
+                    allDead = false;
+                    break;
+                }
+            }
+            if (allDead) {
+                verdict.outcome = Outcome::Masked;
+                verdict.detail = anyHitInvalid
+                                     ? OutcomeDetail::MaskedInvalidEntry
+                                     : OutcomeDetail::MaskedEarly;
+                verdict.terminatedEarly = true;
+                verdict.cyclesRun = cursor;
+                return verdict;
+            }
+        }
+    }
+}
+
+double
+CampaignResult::population() const
+{
+    return static_cast<double>(target.geometry.totalBits()) *
+           static_cast<double>(std::max<Cycle>(windowCycles, 1));
+}
+
+double
+CampaignResult::errorMargin() const
+{
+    if (total() == 0)
+        return 1.0;
+    return marginOfError(static_cast<double>(total()), population());
+}
+
+CampaignResult
+runCampaign(const soc::SystemConfig &config,
+            const isa::Program &program, const TargetRef &target,
+            const CampaignOptions &options)
+{
+    const GoldenRun golden =
+        runGolden(config, program, options.goldenMaxCycles);
+    return runCampaignOnGolden(golden, target, options);
+}
+
+CampaignResult
+runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
+                    const CampaignOptions &options)
+{
+    CampaignResult result;
+    result.target = targetInfo(golden.checkpoint.view(), target);
+    result.goldenCycles = golden.totalCycles;
+    result.windowCycles = golden.windowCycles;
+    if (options.keepVerdicts)
+        result.verdicts.resize(options.numFaults);
+
+    InjectionOptions runOpts;
+    runOpts.earlyTermination = options.earlyTermination;
+    runOpts.computeHvf = options.computeHvf;
+    runOpts.timeoutFactor = options.timeoutFactor;
+
+    unsigned threads = options.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(threads, options.numFaults ? options.numFaults : 1);
+
+    std::mutex mergeMutex;
+    auto worker = [&](unsigned tid) {
+        CampaignResult local;
+        std::vector<std::pair<unsigned, RunVerdict>> kept;
+        for (unsigned i = tid; i < options.numFaults; i += threads) {
+            Rng rng = Rng::forStream(options.seed, i);
+            FaultMask mask;
+            mask.faults.push_back(randomFault(
+                rng, target, result.target.geometry,
+                golden.windowCycles, options.model));
+            const RunVerdict verdict =
+                runWithFault(golden, mask, runOpts);
+            switch (verdict.outcome) {
+              case Outcome::Masked:
+                ++local.masked;
+                if (verdict.detail == OutcomeDetail::MaskedEarly)
+                    ++local.maskedEarly;
+                if (verdict.detail ==
+                    OutcomeDetail::MaskedInvalidEntry)
+                    ++local.maskedInvalid;
+                break;
+              case Outcome::SDC:
+                ++local.sdc;
+                break;
+              case Outcome::Crash:
+                ++local.crash;
+                if (verdict.detail == OutcomeDetail::CrashTimeout)
+                    ++local.timeouts;
+                break;
+            }
+            if (verdict.hvfCorruption)
+                ++local.hvfCorruptions;
+            if (options.keepVerdicts)
+                kept.emplace_back(i, verdict);
+        }
+        std::lock_guard<std::mutex> lock(mergeMutex);
+        result.masked += local.masked;
+        result.sdc += local.sdc;
+        result.crash += local.crash;
+        result.maskedEarly += local.maskedEarly;
+        result.maskedInvalid += local.maskedInvalid;
+        result.timeouts += local.timeouts;
+        result.hvfCorruptions += local.hvfCorruptions;
+        for (auto &[idx, verdict] : kept)
+            result.verdicts[idx] = verdict;
+    };
+
+    if (threads <= 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return result;
+}
+
+} // namespace marvel::fi

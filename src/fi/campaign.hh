@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Statistical fault-injection campaigns (paper Fig. 2).
+ *
+ * A campaign consists of:
+ *  1. one *golden* run: execute the workload to its Checkpoint magic
+ *     instruction, snapshot the full system, then run to completion
+ *     recording the commit trace, output window, exit code, and the
+ *     injection window length (Checkpoint -> SwitchCpu);
+ *  2. N *faulty* runs: restore the snapshot, inject a uniformly random
+ *     fault, run to completion (or early-terminate when the fault is
+ *     provably dead), classify Masked / SDC / Crash and the HVF
+ *     verdict; and
+ *  3. aggregation into AVF / SDC-AVF / Crash-AVF / HVF with the
+ *     Leveugle error margin.
+ *
+ * Faulty runs execute on parallel workers, each with its own restored
+ * system copy; results are deterministic for a given seed regardless
+ * of thread count.
+ */
+
+#ifndef MARVEL_FI_CAMPAIGN_HH
+#define MARVEL_FI_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "fi/classify.hh"
+#include "fi/targets.hh"
+#include "soc/checkpoint.hh"
+
+namespace marvel::fi
+{
+
+/** Everything captured from the fault-free reference execution. */
+struct GoldenRun
+{
+    soc::Checkpoint checkpoint;       ///< at the Checkpoint magic op
+    std::vector<u8> output;           ///< OUTPUT window at exit
+    i64 exitCode = 0;
+    std::string console;
+    std::vector<cpu::CommitRecord> trace; ///< checkpoint -> exit
+    Cycle preCycles = 0;    ///< program start -> checkpoint
+    Cycle windowCycles = 0; ///< checkpoint -> SwitchCpu
+    Cycle totalCycles = 0;  ///< checkpoint -> exit
+};
+
+/** Execute the golden run. fatal() if the workload misbehaves. */
+GoldenRun runGolden(const soc::SystemConfig &config,
+                    const isa::Program &program,
+                    u64 maxCycles = 500'000'000);
+
+/** Per-run options. */
+struct InjectionOptions
+{
+    bool earlyTermination = true; ///< paper §IV-B speed optimizations
+    bool computeHvf = false;
+    double timeoutFactor = 8.0;   ///< crash-timeout threshold multiple
+};
+
+/** Run one fault mask against a golden run. */
+RunVerdict runWithFault(const GoldenRun &golden, const FaultMask &mask,
+                        const InjectionOptions &options = {});
+
+/** Campaign parameters. */
+struct CampaignOptions
+{
+    unsigned numFaults = 100;
+    FaultModel model = FaultModel::Transient;
+    u64 seed = 0x5eed;
+    bool earlyTermination = true;
+    bool computeHvf = false;
+    unsigned threads = 0; ///< 0 = hardware concurrency
+    double timeoutFactor = 8.0;
+    bool keepVerdicts = false;
+    u64 goldenMaxCycles = 500'000'000;
+};
+
+/** Aggregated campaign results. */
+struct CampaignResult
+{
+    TargetInfo target;
+    std::string workload;
+
+    u64 masked = 0;
+    u64 sdc = 0;
+    u64 crash = 0;
+    u64 maskedEarly = 0;   ///< subset of masked
+    u64 maskedInvalid = 0; ///< subset of masked
+    u64 timeouts = 0;      ///< subset of crash
+    u64 hvfCorruptions = 0;
+
+    Cycle goldenCycles = 0; ///< checkpoint -> exit (the wAVF weight)
+    Cycle windowCycles = 0;
+
+    std::vector<RunVerdict> verdicts; ///< when keepVerdicts
+
+    u64 total() const { return masked + sdc + crash; }
+
+    double
+    avf() const
+    {
+        return total() ? double(sdc + crash) / double(total()) : 0.0;
+    }
+
+    double
+    sdcAvf() const
+    {
+        return total() ? double(sdc) / double(total()) : 0.0;
+    }
+
+    double
+    crashAvf() const
+    {
+        return total() ? double(crash) / double(total()) : 0.0;
+    }
+
+    /** HVF: fraction of faults visible at the commit stage. */
+    double
+    hvf() const
+    {
+        return total() ? double(hvfCorruptions) / double(total())
+                       : 0.0;
+    }
+
+    /** Leveugle error margin at 95% confidence. */
+    double errorMargin() const;
+
+    /** Fault population (bits x window cycles). */
+    double population() const;
+};
+
+/** Run a complete campaign from scratch. */
+CampaignResult runCampaign(const soc::SystemConfig &config,
+                           const isa::Program &program,
+                           const TargetRef &target,
+                           const CampaignOptions &options);
+
+/** Run a campaign against a precomputed golden run. */
+CampaignResult runCampaignOnGolden(const GoldenRun &golden,
+                                   const TargetRef &target,
+                                   const CampaignOptions &options);
+
+} // namespace marvel::fi
+
+#endif // MARVEL_FI_CAMPAIGN_HH

@@ -1,0 +1,50 @@
+#include "fi/classify.hh"
+
+#include "common/log.hh"
+
+namespace marvel::fi
+{
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Masked: return "Masked";
+      case Outcome::SDC: return "SDC";
+      case Outcome::Crash: return "Crash";
+    }
+    return "?";
+}
+
+const char *
+outcomeDetailName(OutcomeDetail detail)
+{
+    switch (detail) {
+      case OutcomeDetail::None: return "none";
+      case OutcomeDetail::MaskedIdentical: return "masked-identical";
+      case OutcomeDetail::MaskedEarly: return "masked-early";
+      case OutcomeDetail::MaskedInvalidEntry:
+        return "masked-invalid-entry";
+      case OutcomeDetail::SdcOutput: return "sdc-output";
+      case OutcomeDetail::SdcExitCode: return "sdc-exit-code";
+      case OutcomeDetail::CrashIllegal: return "crash-illegal";
+      case OutcomeDetail::CrashBusError: return "crash-bus-error";
+      case OutcomeDetail::CrashMisaligned: return "crash-misaligned";
+      case OutcomeDetail::CrashDivZero: return "crash-div-zero";
+      case OutcomeDetail::CrashFetch: return "crash-fetch";
+      case OutcomeDetail::CrashAccelError: return "crash-accel";
+      case OutcomeDetail::CrashTimeout: return "crash-timeout";
+    }
+    return "?";
+}
+
+std::string
+RunVerdict::toString() const
+{
+    return strfmt("%s (%s)%s%s", outcomeName(outcome),
+                  outcomeDetailName(detail),
+                  hvfCorruption ? " hvf-corruption" : "",
+                  terminatedEarly ? " early" : "");
+}
+
+} // namespace marvel::fi

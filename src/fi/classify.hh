@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fault-effect classification (paper §IV-A2).
+ *
+ * AVF classes: Masked / SDC / Crash. HVF classes: Masked / Corruption
+ * (commit-stage trace divergence). One faulty run yields both verdicts
+ * (§IV-D: HVF and AVF on the same run, with fault-path correlation).
+ */
+
+#ifndef MARVEL_FI_CLASSIFY_HH
+#define MARVEL_FI_CLASSIFY_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace marvel::fi
+{
+
+/** AVF outcome classes. */
+enum class Outcome : u8
+{
+    Masked,
+    SDC,
+    Crash,
+};
+
+const char *outcomeName(Outcome outcome);
+
+/** Finer-grained cause, for analysis output. */
+enum class OutcomeDetail : u8
+{
+    None,
+    MaskedIdentical,    ///< ran to completion, output identical
+    MaskedEarly,        ///< fault neutralized (overwritten / vanished)
+    MaskedInvalidEntry, ///< injected into an invalid/unused entry
+    SdcOutput,          ///< wrong OUTPUT window
+    SdcExitCode,        ///< wrong exit code / console
+    CrashIllegal,
+    CrashBusError,
+    CrashMisaligned,
+    CrashDivZero,
+    CrashFetch,
+    CrashAccelError,
+    CrashTimeout,
+};
+
+const char *outcomeDetailName(OutcomeDetail detail);
+
+/** Result of one faulty run. */
+struct RunVerdict
+{
+    Outcome outcome = Outcome::Masked;
+    OutcomeDetail detail = OutcomeDetail::None;
+
+    /** HVF verdict: the fault became architecturally visible. */
+    bool hvfCorruption = false;
+    Cycle hvfCorruptCycle = 0;
+
+    /** Whether the run was cut short by early termination. */
+    bool terminatedEarly = false;
+
+    Cycle cyclesRun = 0;
+
+    std::string toString() const;
+};
+
+} // namespace marvel::fi
+
+#endif // MARVEL_FI_CLASSIFY_HH

@@ -1,0 +1,81 @@
+#include "fi/metrics.hh"
+
+#include <limits>
+
+#include "common/stats.hh"
+
+namespace marvel::fi
+{
+
+double
+avfOf(const CampaignResult &result, AvfKind kind)
+{
+    switch (kind) {
+      case AvfKind::Total: return result.avf();
+      case AvfKind::Sdc: return result.sdcAvf();
+      case AvfKind::Crash: return result.crashAvf();
+      case AvfKind::Hvf: return result.hvf();
+    }
+    return 0.0;
+}
+
+double
+weightedAvf(const std::vector<CampaignResult> &results, AvfKind kind)
+{
+    std::vector<double> values;
+    std::vector<double> weights;
+    values.reserve(results.size());
+    weights.reserve(results.size());
+    for (const CampaignResult &r : results) {
+        values.push_back(avfOf(r, kind));
+        weights.push_back(static_cast<double>(r.goldenCycles));
+    }
+    return weightedMean(values, weights);
+}
+
+double
+operationsPerSecond(double opsPerRun, Cycle cyclesPerRun,
+                    double clockGHz)
+{
+    if (cyclesPerRun == 0)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(cyclesPerRun) / (clockGHz * 1e9);
+    return opsPerRun / seconds;
+}
+
+double
+operationsPerFailure(double opsPerRun, Cycle cyclesPerRun, double avf,
+                     double clockGHz)
+{
+    const double ops =
+        operationsPerSecond(opsPerRun, cyclesPerRun, clockGHz);
+    if (avf <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return ops / avf;
+}
+
+PropagationBreakdown
+propagationBreakdown(const CampaignResult &result)
+{
+    PropagationBreakdown out;
+    for (const RunVerdict &v : result.verdicts) {
+        switch (v.outcome) {
+          case Outcome::SDC:
+            ++out.sdc;
+            break;
+          case Outcome::Crash:
+            ++out.crash;
+            break;
+          case Outcome::Masked:
+            if (v.hvfCorruption)
+                ++out.swMasked;
+            else
+                ++out.hwMasked;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace marvel::fi

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Aggregated reliability metrics: the weighted AVF of §V-A and the
+ * Operations-per-Failure (OPF) metric of §V-G.
+ */
+
+#ifndef MARVEL_FI_METRICS_HH
+#define MARVEL_FI_METRICS_HH
+
+#include <vector>
+
+#include "fi/campaign.hh"
+
+namespace marvel::fi
+{
+
+/** Which AVF component to aggregate. */
+enum class AvfKind : u8 { Total, Sdc, Crash, Hvf };
+
+/** Per-benchmark AVF extracted by kind. */
+double avfOf(const CampaignResult &result, AvfKind kind);
+
+/**
+ * wAVF(c) = sum_k AVF_k(c) * t_k / sum_k t_k with t_k the golden
+ * execution cycles of benchmark k (paper §V-A).
+ */
+double weightedAvf(const std::vector<CampaignResult> &results,
+                   AvfKind kind = AvfKind::Total);
+
+/** Nominal core clock used to convert cycles to seconds. */
+constexpr double kClockGHz = 2.0;
+
+/** OPS: workload executions per second at the nominal clock. */
+double operationsPerSecond(double opsPerRun, Cycle cyclesPerRun,
+                           double clockGHz = kClockGHz);
+
+/**
+ * OPF = OPS / AVF (paper §V-G): expected correct executions between
+ * failures. Infinite when AVF is zero; larger is better.
+ */
+double operationsPerFailure(double opsPerRun, Cycle cyclesPerRun,
+                            double avf, double clockGHz = kClockGHz);
+
+/**
+ * Per-fault propagation breakdown (paper §IV-D / Fig. 3b): because the
+ * HVF and AVF verdicts come from the same run, each fault can be
+ * placed on its propagation path:
+ *   hwMasked — never became architecturally visible,
+ *   swMasked — reached the commit stage (HVF corruption) but the
+ *              software still produced the correct result,
+ *   sdc/crash — reached the program outcome.
+ * Requires a campaign run with keepVerdicts and computeHvf.
+ */
+struct PropagationBreakdown
+{
+    u64 hwMasked = 0;
+    u64 swMasked = 0;
+    u64 sdc = 0;
+    u64 crash = 0;
+
+    u64 total() const { return hwMasked + swMasked + sdc + crash; }
+};
+
+PropagationBreakdown propagationBreakdown(const CampaignResult &result);
+
+} // namespace marvel::fi
+
+#endif // MARVEL_FI_METRICS_HH

@@ -1,0 +1,250 @@
+#include "fi/targets.hh"
+
+#include "common/log.hh"
+
+namespace marvel::fi
+{
+
+namespace
+{
+
+mem::Cache &
+cacheOf(soc::System &system, TargetId id)
+{
+    switch (id) {
+      case TargetId::L1I: return system.memory.l1i();
+      case TargetId::L1D: return system.memory.l1d();
+      case TargetId::L2: return system.memory.l2();
+      default:
+        panic("cacheOf: not a cache target");
+    }
+}
+
+accel::AccelMem &
+accelMemOf(soc::System &system, const TargetRef &ref)
+{
+    if (ref.accelIdx >= system.cluster.size())
+        fatal("target: accelerator index %u out of range",
+              ref.accelIdx);
+    auto &mems = system.cluster.unit(ref.accelIdx).memories();
+    if (ref.memIdx >= mems.size())
+        fatal("target: component index %u out of range", ref.memIdx);
+    return mems[ref.memIdx];
+}
+
+} // namespace
+
+std::vector<TargetInfo>
+listTargets(const soc::System &system)
+{
+    std::vector<TargetInfo> out;
+    auto &sys = const_cast<soc::System &>(system);
+    out.push_back({{TargetId::PrfInt}, "prf-int",
+                   {sys.cpu.intPrf.numEntries(),
+                    sys.cpu.intPrf.bitsPerEntry()}});
+    out.push_back({{TargetId::PrfFp}, "prf-fp",
+                   {sys.cpu.fpPrf.numEntries(),
+                    sys.cpu.fpPrf.bitsPerEntry()}});
+    out.push_back({{TargetId::L1I}, "l1i",
+                   {sys.memory.l1i().numEntries(),
+                    sys.memory.l1i().bitsPerEntry()}});
+    out.push_back({{TargetId::L1D}, "l1d",
+                   {sys.memory.l1d().numEntries(),
+                    sys.memory.l1d().bitsPerEntry()}});
+    out.push_back({{TargetId::L2}, "l2",
+                   {sys.memory.l2().numEntries(),
+                    sys.memory.l2().bitsPerEntry()}});
+    out.push_back({{TargetId::LoadQueue}, "lq",
+                   {sys.cpu.lq.numEntries(),
+                    sys.cpu.lq.bitsPerEntry()}});
+    out.push_back({{TargetId::StoreQueue}, "sq",
+                   {sys.cpu.sq.numEntries(),
+                    sys.cpu.sq.bitsPerEntry()}});
+    out.push_back({{TargetId::Rob}, "rob",
+                   {sys.cpu.robNumEntries(),
+                    sys.cpu.robBitsPerEntry()}});
+    out.push_back({{TargetId::RenameMap}, "rename",
+                   {sys.cpu.renameNumEntries(),
+                    sys.cpu.renameBitsPerEntry()}});
+    out.push_back({{TargetId::Btb}, "btb",
+                   {sys.cpu.bpred.numEntries(),
+                    sys.cpu.bpred.bitsPerEntry()}});
+    for (std::size_t a = 0; a < sys.cluster.size(); ++a) {
+        const auto &unit = sys.cluster.unitC(a);
+        for (std::size_t m = 0; m < unit.memories().size(); ++m) {
+            const auto &mem = unit.memories()[m];
+            TargetInfo info;
+            info.ref = {TargetId::AccelMem, static_cast<u8>(a),
+                        static_cast<u8>(m)};
+            info.name = unit.design().name + "." + mem.name();
+            info.geometry = {mem.numEntries(), mem.bitsPerEntry()};
+            out.push_back(info);
+        }
+    }
+    return out;
+}
+
+TargetInfo
+targetInfo(const soc::System &system, const TargetRef &ref)
+{
+    for (const TargetInfo &info : listTargets(system))
+        if (info.ref == ref)
+            return info;
+    fatal("target: no such target (%s accel=%u mem=%u)",
+          targetIdName(ref.id), ref.accelIdx, ref.memIdx);
+}
+
+TargetRef
+targetByName(const soc::System &system, const std::string &name)
+{
+    for (const TargetInfo &info : listTargets(system))
+        if (info.name == name)
+            return info.ref;
+    fatal("target: no target named '%s'", name.c_str());
+}
+
+void
+injectFault(soc::System &system, const FaultSpec &fault)
+{
+    const bool transient = fault.model == FaultModel::Transient;
+    const bool stuckValue = fault.model == FaultModel::StuckAt1;
+
+    auto applyBitImage = [&](auto &structure) {
+        if (transient) {
+            structure.flipBit(fault.entry, fault.bit);
+            structure.faults().addWatch(fault.entry, fault.bit);
+        } else {
+            structure.faults().addStuck(fault.entry, fault.bit,
+                                        stuckValue);
+        }
+    };
+
+    switch (fault.target.id) {
+      case TargetId::PrfInt: {
+        auto &prf = system.cpu.intPrf;
+        applyBitImage(prf);
+        if (!transient) {
+            // Force the stuck value immediately.
+            const bool current =
+                (prf.peek(fault.entry) >> fault.bit) & 1;
+            if (current != stuckValue)
+                prf.flipBit(fault.entry, fault.bit);
+        }
+        break;
+      }
+      case TargetId::PrfFp: {
+        auto &prf = system.cpu.fpPrf;
+        applyBitImage(prf);
+        if (!transient) {
+            const bool current =
+                (prf.peek(fault.entry) >> fault.bit) & 1;
+            if (current != stuckValue)
+                prf.flipBit(fault.entry, fault.bit);
+        }
+        break;
+      }
+      case TargetId::L1I:
+      case TargetId::L1D:
+      case TargetId::L2: {
+        auto &cache = cacheOf(system, fault.target.id);
+        applyBitImage(cache);
+        if (!transient) {
+            const bool current =
+                (cache.peekByte(fault.entry, fault.bit / 8) >>
+                 (fault.bit % 8)) &
+                1;
+            if (current != stuckValue)
+                cache.flipBit(fault.entry, fault.bit);
+        }
+        break;
+      }
+      case TargetId::LoadQueue:
+        if (!transient)
+            fatal("targets: stuck-at faults in the load queue are "
+                  "not modeled");
+        system.cpu.lq.flipBit(fault.entry, fault.bit);
+        system.cpu.lq.faults().addWatch(fault.entry, fault.bit);
+        break;
+      case TargetId::StoreQueue:
+        if (!transient)
+            fatal("targets: stuck-at faults in the store queue are "
+                  "not modeled");
+        system.cpu.sq.flipBit(fault.entry, fault.bit);
+        system.cpu.sq.faults().addWatch(fault.entry, fault.bit);
+        break;
+      case TargetId::Rob:
+        if (!transient)
+            fatal("targets: stuck-at faults in the ROB are not "
+                  "modeled");
+        // No watch: meta-state faults always run to completion.
+        system.cpu.robFlipBit(fault.entry, fault.bit);
+        break;
+      case TargetId::RenameMap:
+        if (!transient)
+            fatal("targets: stuck-at faults in the rename map are "
+                  "not modeled");
+        system.cpu.renameFlipBit(fault.entry, fault.bit);
+        break;
+      case TargetId::Btb:
+        if (!transient)
+            fatal("targets: stuck-at faults in the BTB are not "
+                  "modeled");
+        system.cpu.bpred.flipBit(fault.entry, fault.bit);
+        break;
+      case TargetId::AccelMem: {
+        auto &mem = accelMemOf(system, fault.target);
+        applyBitImage(mem);
+        if (!transient) {
+            const u8 byte = mem.data()[fault.entry * 8 + fault.bit / 8];
+            const bool current = (byte >> (fault.bit % 8)) & 1;
+            if (current != stuckValue)
+                mem.flipBit(fault.entry, fault.bit);
+        }
+        break;
+      }
+    }
+}
+
+FaultState &
+faultStateOf(soc::System &system, const TargetRef &ref)
+{
+    switch (ref.id) {
+      case TargetId::PrfInt: return system.cpu.intPrf.faults();
+      case TargetId::PrfFp: return system.cpu.fpPrf.faults();
+      case TargetId::L1I: return system.memory.l1i().faults();
+      case TargetId::L1D: return system.memory.l1d().faults();
+      case TargetId::L2: return system.memory.l2().faults();
+      case TargetId::LoadQueue: return system.cpu.lq.faults();
+      case TargetId::StoreQueue: return system.cpu.sq.faults();
+      case TargetId::Rob: return system.cpu.robFaults();
+      case TargetId::RenameMap: return system.cpu.renameFaults();
+      case TargetId::Btb: return system.cpu.bpred.faults();
+      case TargetId::AccelMem:
+        return accelMemOf(system, ref).faults();
+    }
+    panic("faultStateOf: bad target");
+}
+
+bool
+entryLive(const soc::System &system, const FaultSpec &fault)
+{
+    auto &sys = const_cast<soc::System &>(system);
+    switch (fault.target.id) {
+      case TargetId::L1I:
+      case TargetId::L1D:
+      case TargetId::L2:
+        return cacheOf(sys, fault.target.id).entryValid(fault.entry);
+      case TargetId::LoadQueue:
+        return sys.cpu.lq[fault.entry].valid;
+      case TargetId::StoreQueue:
+        return sys.cpu.sq[fault.entry].valid;
+      case TargetId::Rob:
+        return fault.entry < sys.cpu.robOccupancy();
+      default:
+        // Register files and accelerator memories always hold bits;
+        // liveness is resolved by the read/overwrite bookkeeping.
+        return true;
+    }
+}
+
+} // namespace marvel::fi

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Target registry: maps TargetRefs onto the live hardware structures of
+ * a System, exposing a uniform geometry / flip / stuck-at / watch
+ * interface without the structures knowing about the fi layer.
+ */
+
+#ifndef MARVEL_FI_TARGETS_HH
+#define MARVEL_FI_TARGETS_HH
+
+#include <string>
+#include <vector>
+
+#include "fi/fault.hh"
+#include "soc/system.hh"
+
+namespace marvel::fi
+{
+
+/** Descriptor of one injectable structure in a given system. */
+struct TargetInfo
+{
+    TargetRef ref;
+    std::string name; ///< human-readable ("l1d", "gemm.MATRIX1", ...)
+    TargetGeometry geometry;
+};
+
+/** Every injectable structure of the system (CPU + all DSAs). */
+std::vector<TargetInfo> listTargets(const soc::System &system);
+
+/** Geometry of one target; fatal() when the target does not exist. */
+TargetInfo targetInfo(const soc::System &system, const TargetRef &ref);
+
+/** Find a CPU target by name, or an accelerator component as
+ *  "<design>.<component>" (e.g. "gemm.MATRIX1"). */
+TargetRef targetByName(const soc::System &system,
+                       const std::string &name);
+
+/**
+ * Inject one fault *now*: transient faults flip the bit and register a
+ * watch (for early termination); stuck-at faults force the bit and
+ * register a permanent constraint re-applied after writes.
+ */
+void injectFault(soc::System &system, const FaultSpec &fault);
+
+/** Fault bookkeeping of the target structure. */
+FaultState &faultStateOf(soc::System &system, const TargetRef &ref);
+
+/**
+ * True when the target entry currently holds live content (valid cache
+ * line / allocated queue slot). Used by the paper's "invalid entry"
+ * early-termination optimization.
+ */
+bool entryLive(const soc::System &system, const FaultSpec &fault);
+
+} // namespace marvel::fi
+
+#endif // MARVEL_FI_TARGETS_HH

@@ -1,0 +1,732 @@
+#include "isa/codegen.hh"
+
+#include <cstring>
+#include <map>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "common/memmap.hh"
+#include "isa/lowering.hh"
+
+namespace marvel::isa
+{
+
+namespace
+{
+
+using mir::Op;
+
+/// Per-function lowering context.
+class Lowerer
+{
+  public:
+    Lowerer(const mir::Module &module, const IsaSpec &isa,
+            const mir::DataLayout &layout, Addr poolBase,
+            std::map<u64, u32> &poolMap, std::vector<u8> &poolBytes)
+        : mod(module), spec(isa), layout_(layout), poolBase_(poolBase),
+          poolMap_(poolMap), poolBytes_(poolBytes)
+    {
+    }
+
+    LFunc
+    lower(const mir::Function &fn)
+    {
+        mf = &fn;
+        lf = LFunc{};
+        lf.name = fn.name;
+        // MIR vregs map 1:1 onto the first lowered vregs.
+        for (mir::Type t : fn.vregTypes)
+            lf.vclass.push_back(t == mir::Type::F64 ? RegClass::Fp
+                                                    : RegClass::Int);
+        lf.blocks.resize(fn.blocks.size());
+        computeUseCounts();
+
+        // Bind incoming arguments: copy the calling convention's
+        // physical argument registers into the parameter vregs.
+        // The copies form one parallel-move group: a parameter vreg
+        // may be allocated to another parameter's incoming register.
+        cur = &lf.blocks[0];
+        const u16 paramGroup = ++callGroupCounter;
+        unsigned intIdx = 0;
+        unsigned fpIdx = 0;
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            const bool isFp = fn.paramTypes[i] == mir::Type::F64;
+            unsigned phys;
+            if (isFp) {
+                if (fpIdx >= spec.fpArgRegs.size())
+                    fatal("codegen: too many FP parameters in '%s'",
+                          fn.name.c_str());
+                phys = spec.fpArgRegs[fpIdx++];
+            } else {
+                if (intIdx >= spec.intArgRegs.size())
+                    fatal("codegen: too many parameters in '%s'",
+                          fn.name.c_str());
+                phys = spec.intArgRegs[intIdx++];
+            }
+            emit({.op = MOp::Mov, .rd = fn.params[i],
+                  .ra = lPhys(phys), .fp = isFp,
+                  .callGroup = paramGroup});
+        }
+
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            cur = &lf.blocks[b];
+            lowerBlock(fn.blocks[b]);
+        }
+        return std::move(lf);
+    }
+
+  private:
+    // ------------------------------------------------------------------
+    void
+    computeUseCounts()
+    {
+        useCount.assign(mf->numVRegs(), 0);
+        for (const mir::Block &blk : mf->blocks) {
+            for (const mir::Inst &in : blk.insts) {
+                const unsigned ns = mir::numSources(in.op);
+                if (in.op == Op::Ret) {
+                    if (mf->hasResult)
+                        ++useCount[in.a];
+                } else if (in.op == Op::Br) {
+                    ++useCount[in.a];
+                } else {
+                    if (ns >= 1)
+                        ++useCount[in.a];
+                    if (ns >= 2)
+                        ++useCount[in.b];
+                    if (ns >= 3)
+                        ++useCount[in.c];
+                }
+                for (mir::VReg r : in.args)
+                    ++useCount[r];
+            }
+        }
+    }
+
+    void
+    emit(LInst inst)
+    {
+        cur->insts.push_back(inst);
+    }
+
+    u32
+    temp(RegClass cls = RegClass::Int)
+    {
+        return lf.newVReg(cls);
+    }
+
+    // --- constant materialization ---------------------------------------
+    u32
+    poolSlot(u64 bits)
+    {
+        auto it = poolMap_.find(bits);
+        if (it != poolMap_.end())
+            return it->second;
+        const u32 off = static_cast<u32>(poolBytes_.size());
+        for (unsigned i = 0; i < 8; ++i)
+            poolBytes_.push_back((bits >> (8 * i)) & 0xff);
+        poolMap_.emplace(bits, off);
+        return off;
+    }
+
+    void
+    materializeInt(u32 dst, i64 value)
+    {
+        switch (spec.kind) {
+          case IsaKind::RISCV:
+            if (fitsSigned(value, 12)) {
+                emit({.op = MOp::AddI, .rd = dst, .ra = lPhys(0),
+                      .imm = value});
+            } else if (fitsSigned(value, 32) &&
+                       fitsSigned((value + 0x800) & ~0xfffll, 32)) {
+                // lui (sext imm20<<12) plus a 12-bit adjustment. The
+                // rounded-up high part must itself stay in lui range,
+                // which excludes values within 2048 of INT32_MAX.
+                const i64 hi = (value + 0x800) & ~0xfffll;
+                const i64 lo = value - hi;
+                emit({.op = MOp::Lui, .rd = dst, .imm = hi});
+                if (lo)
+                    emit({.op = MOp::AddI, .rd = dst, .ra = dst,
+                          .imm = lo});
+            } else {
+                // 64-bit: load from the constant pool.
+                const Addr addr =
+                    poolBase_ + poolSlot(static_cast<u64>(value));
+                const u32 t = temp();
+                materializeInt(t, static_cast<i64>(addr));
+                emit({.op = MOp::Ld, .rd = dst, .ra = t, .size = 8});
+            }
+            break;
+          case IsaKind::ARM: {
+            const u64 uv = static_cast<u64>(value);
+            bool first = true;
+            for (unsigned hw = 0; hw < 4; ++hw) {
+                const u64 chunk = (uv >> (16 * hw)) & 0xffff;
+                if (chunk == 0 && !(first && hw == 3))
+                    continue;
+                emit({.op = first ? MOp::MovZ : MOp::MovK, .rd = dst,
+                      .subop = static_cast<u8>(hw),
+                      .imm = static_cast<i64>(chunk)});
+                first = false;
+            }
+            if (first) // value == 0
+                emit({.op = MOp::MovZ, .rd = dst, .subop = 0,
+                      .imm = 0});
+            break;
+          }
+          case IsaKind::X86:
+            if (fitsSigned(value, 32))
+                emit({.op = MOp::MovImm32, .rd = dst, .imm = value});
+            else
+                emit({.op = MOp::MovImm64, .rd = dst, .imm = value});
+            break;
+        }
+    }
+
+    void
+    materializeFloat(u32 dst, double value)
+    {
+        u64 bits;
+        std::memcpy(&bits, &value, sizeof(bits));
+        const Addr addr = poolBase_ + poolSlot(bits);
+        const u32 t = temp();
+        materializeInt(t, static_cast<i64>(addr));
+        emit({.op = MOp::LdF, .rd = dst, .ra = t});
+    }
+
+    // --- addressing -------------------------------------------------------
+    bool
+    offsetEncodable(i64 off, unsigned size) const
+    {
+        switch (spec.kind) {
+          case IsaKind::RISCV:
+            return fitsSigned(off, 12);
+          case IsaKind::ARM:
+            return off >= 0 && (off % size) == 0 &&
+                   (off / size) <= 0xfff;
+          case IsaKind::X86:
+            return fitsSigned(off, 32);
+        }
+        return false;
+    }
+
+    /** Fold an offset into base+disp addressing, or compute it. */
+    std::pair<u32, i64>
+    normalizeAddr(u32 base, i64 off, unsigned size)
+    {
+        if (offsetEncodable(off, size))
+            return {base, off};
+        const u32 t = temp();
+        if (fitsSigned(off, 12)) {
+            emit({.op = MOp::AddI, .rd = t, .ra = base, .imm = off});
+        } else {
+            const u32 c = temp();
+            materializeInt(c, off);
+            emit({.op = MOp::Add, .rd = t, .ra = base, .rb = c});
+        }
+        return {t, 0};
+    }
+
+    // --- compare helpers ---------------------------------------------------
+    static bool
+    isIntCmp(Op op)
+    {
+        switch (op) {
+          case Op::CmpEq: case Op::CmpNe: case Op::CmpLt:
+          case Op::CmpLe: case Op::CmpLtU: case Op::CmpLeU:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static bool
+    isFloatCmp(Op op)
+    {
+        return op == Op::FCmpEq || op == Op::FCmpLt || op == Op::FCmpLe;
+    }
+
+    static Cond
+    condOf(Op op)
+    {
+        switch (op) {
+          case Op::CmpEq: case Op::FCmpEq: return Cond::Eq;
+          case Op::CmpNe: return Cond::Ne;
+          case Op::CmpLt: case Op::FCmpLt: return Cond::Lt;
+          case Op::CmpLe: case Op::FCmpLe: return Cond::Le;
+          case Op::CmpLtU: return Cond::LtU;
+          case Op::CmpLeU: return Cond::LeU;
+          default:
+            panic("condOf: not a compare");
+        }
+    }
+
+    /** Emit `dst = cmp(a, b)` as a value (0/1). */
+    void
+    lowerCmpValue(Op op, u32 dst, u32 a, u32 b)
+    {
+        if (spec.hasFlags) {
+            if (isFloatCmp(op))
+                emit({.op = MOp::FCmp, .ra = a, .rb = b});
+            else
+                emit({.op = MOp::Cmp, .ra = a, .rb = b});
+            emit({.op = MOp::SetCC, .rd = dst, .cond = condOf(op)});
+            return;
+        }
+        // RISCV
+        switch (op) {
+          case Op::FCmpEq: case Op::FCmpLt: case Op::FCmpLe:
+            emit({.op = MOp::FSet, .rd = dst, .ra = a, .rb = b,
+                  .cond = condOf(op)});
+            break;
+          case Op::CmpLt:
+            emit({.op = MOp::Slt, .rd = dst, .ra = a, .rb = b});
+            break;
+          case Op::CmpLtU:
+            emit({.op = MOp::SltU, .rd = dst, .ra = a, .rb = b});
+            break;
+          case Op::CmpLe: {
+            // a <= b  <=>  !(b < a)
+            const u32 t = temp();
+            emit({.op = MOp::Slt, .rd = t, .ra = b, .rb = a});
+            emit({.op = MOp::XorI, .rd = dst, .ra = t, .imm = 1});
+            break;
+          }
+          case Op::CmpLeU: {
+            const u32 t = temp();
+            emit({.op = MOp::SltU, .rd = t, .ra = b, .rb = a});
+            emit({.op = MOp::XorI, .rd = dst, .ra = t, .imm = 1});
+            break;
+          }
+          case Op::CmpEq: {
+            // (a ^ b) == 0
+            const u32 t = temp();
+            emit({.op = MOp::Xor, .rd = t, .ra = a, .rb = b});
+            emit({.op = MOp::SltIU, .rd = dst, .ra = t, .imm = 1});
+            break;
+          }
+          case Op::CmpNe: {
+            const u32 t = temp();
+            emit({.op = MOp::Xor, .rd = t, .ra = a, .rb = b});
+            emit({.op = MOp::SltU, .rd = dst, .ra = lPhys(0),
+                  .rb = t});
+            break;
+          }
+          default:
+            panic("lowerCmpValue: bad op");
+        }
+    }
+
+    /** RISCV condition normalization: only Eq/Ne/Lt/Ge/LtU/GeU encode. */
+    static void
+    normalizeRiscvBranch(Cond &cond, u32 &a, u32 &b)
+    {
+        switch (cond) {
+          case Cond::Le:
+            cond = Cond::Ge;
+            std::swap(a, b);
+            break;
+          case Cond::Gt:
+            cond = Cond::Lt;
+            std::swap(a, b);
+            break;
+          case Cond::LeU:
+            cond = Cond::GeU;
+            std::swap(a, b);
+            break;
+          case Cond::GtU:
+            cond = Cond::LtU;
+            std::swap(a, b);
+            break;
+          default:
+            break;
+        }
+    }
+
+    // --- block lowering ----------------------------------------------------
+    void
+    lowerBlock(const mir::Block &blk)
+    {
+        for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+            const mir::Inst &in = blk.insts[i];
+            const mir::Inst *next =
+                i + 1 < blk.insts.size() ? &blk.insts[i + 1] : nullptr;
+
+            // Compare-and-branch fusion: cmp immediately feeding the
+            // block's conditional branch with no other uses.
+            if ((isIntCmp(in.op) || isFloatCmp(in.op)) && next &&
+                next->op == Op::Br && next->a == in.dst &&
+                useCount[in.dst] == 1) {
+                lowerFusedCmpBr(in, *next);
+                ++i; // consumed the branch too
+                continue;
+            }
+
+            // X86 load-op folding: 8-byte load feeding one ALU use.
+            if (spec.kind == IsaKind::X86 && in.op == Op::Ld8 && next &&
+                useCount[in.dst] == 1 && foldableAlu(next->op) &&
+                (next->b == in.dst ||
+                 (next->a == in.dst && commutative(next->op) &&
+                  next->b != in.dst)) &&
+                next->a != next->b) {
+                const u32 other =
+                    next->b == in.dst ? next->a : next->b;
+                auto [base, disp] = normalizeAddr(in.a, in.imm, 8);
+                // rd = other; rd op= mem[base+disp]
+                emit({.op = MOp::Mov, .rd = next->dst, .ra = other});
+                emit({.op = MOp::AluM, .rd = next->dst, .ra = base,
+                      .subop = aluMIndex(next->op), .imm = disp});
+                ++i;
+                continue;
+            }
+
+            lowerInst(in);
+        }
+    }
+
+    static bool
+    foldableAlu(Op op)
+    {
+        switch (op) {
+          case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+          case Op::Xor: case Op::Mul:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static bool
+    commutative(Op op)
+    {
+        switch (op) {
+          case Op::Add: case Op::And: case Op::Or: case Op::Xor:
+          case Op::Mul:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static u8
+    aluMIndex(Op op)
+    {
+        // Same order as the X86 0x10.. opcode row (Add..Sra).
+        switch (op) {
+          case Op::Add: return 0;
+          case Op::Sub: return 1;
+          case Op::Mul: return 2;
+          case Op::And: return 7;
+          case Op::Or: return 8;
+          case Op::Xor: return 9;
+          default:
+            panic("aluMIndex: not foldable");
+        }
+    }
+
+    void
+    lowerFusedCmpBr(const mir::Inst &cmp, const mir::Inst &br)
+    {
+        if (spec.hasFlags) {
+            if (isFloatCmp(cmp.op))
+                emit({.op = MOp::FCmp, .ra = cmp.a, .rb = cmp.b});
+            else
+                emit({.op = MOp::Cmp, .ra = cmp.a, .rb = cmp.b});
+            emit({.op = MOp::Br, .cond = condOf(cmp.op),
+                  .target = static_cast<i32>(br.target)});
+        } else if (isFloatCmp(cmp.op)) {
+            const u32 t = temp();
+            emit({.op = MOp::FSet, .rd = t, .ra = cmp.a, .rb = cmp.b,
+                  .cond = condOf(cmp.op)});
+            emit({.op = MOp::Br, .ra = t, .rb = lPhys(0),
+                  .cond = Cond::Ne,
+                  .target = static_cast<i32>(br.target)});
+        } else {
+            Cond cond = condOf(cmp.op);
+            u32 a = cmp.a;
+            u32 b = cmp.b;
+            normalizeRiscvBranch(cond, a, b);
+            emit({.op = MOp::Br, .ra = a, .rb = b, .cond = cond,
+                  .target = static_cast<i32>(br.target)});
+        }
+        emit({.op = MOp::Jmp,
+              .target = static_cast<i32>(br.target2)});
+    }
+
+    static MOp
+    intAluMOp(Op op)
+    {
+        switch (op) {
+          case Op::Add: return MOp::Add;
+          case Op::Sub: return MOp::Sub;
+          case Op::Mul: return MOp::Mul;
+          case Op::Div: return MOp::Div;
+          case Op::DivU: return MOp::DivU;
+          case Op::Rem: return MOp::Rem;
+          case Op::RemU: return MOp::RemU;
+          case Op::And: return MOp::And;
+          case Op::Or: return MOp::Or;
+          case Op::Xor: return MOp::Xor;
+          case Op::Shl: return MOp::Shl;
+          case Op::Shr: return MOp::Shr;
+          case Op::Sra: return MOp::Sra;
+          default:
+            panic("intAluMOp: not an ALU op");
+        }
+    }
+
+    static MOp
+    loadMOp(Op op, unsigned &size, bool &sign, bool &fp)
+    {
+        fp = false;
+        sign = mir::loadIsSigned(op);
+        size = mir::accessSize(op);
+        if (op == Op::LdF8) {
+            fp = true;
+            return MOp::LdF;
+        }
+        return MOp::Ld;
+    }
+
+    void
+    lowerInst(const mir::Inst &in)
+    {
+        switch (in.op) {
+          case Op::ConstI:
+            materializeInt(in.dst, in.imm);
+            break;
+          case Op::ConstF:
+            materializeFloat(in.dst, in.fimm);
+            break;
+          case Op::GAddr:
+            materializeInt(in.dst,
+                           static_cast<i64>(layout_.globalAddr[in.imm]));
+            break;
+          case Op::Mov:
+            emit({.op = MOp::Mov, .rd = in.dst, .ra = in.a,
+                  .fp = mf->vregTypes[in.dst] == mir::Type::F64});
+            break;
+          case Op::Add: case Op::Sub: case Op::Mul: case Op::Div:
+          case Op::DivU: case Op::Rem: case Op::RemU: case Op::And:
+          case Op::Or: case Op::Xor: case Op::Shl: case Op::Shr:
+          case Op::Sra:
+            emit({.op = intAluMOp(in.op), .rd = in.dst, .ra = in.a,
+                  .rb = in.b});
+            break;
+          case Op::CmpEq: case Op::CmpNe: case Op::CmpLt:
+          case Op::CmpLe: case Op::CmpLtU: case Op::CmpLeU:
+          case Op::FCmpEq: case Op::FCmpLt: case Op::FCmpLe:
+            lowerCmpValue(in.op, in.dst, in.a, in.b);
+            break;
+          case Op::FAdd:
+            emit({.op = MOp::FAdd, .rd = in.dst, .ra = in.a,
+                  .rb = in.b});
+            break;
+          case Op::FSub:
+            emit({.op = MOp::FSub, .rd = in.dst, .ra = in.a,
+                  .rb = in.b});
+            break;
+          case Op::FMul:
+            emit({.op = MOp::FMul, .rd = in.dst, .ra = in.a,
+                  .rb = in.b});
+            break;
+          case Op::FDiv:
+            emit({.op = MOp::FDiv, .rd = in.dst, .ra = in.a,
+                  .rb = in.b});
+            break;
+          case Op::FSqrt:
+            emit({.op = MOp::FSqrt, .rd = in.dst, .ra = in.a});
+            break;
+          case Op::ItoF:
+            emit({.op = MOp::ItoF, .rd = in.dst, .ra = in.a});
+            break;
+          case Op::FtoI:
+            emit({.op = MOp::FtoI, .rd = in.dst, .ra = in.a});
+            break;
+          case Op::Select:
+            lowerSelect(in);
+            break;
+          case Op::Ld1u: case Op::Ld1s: case Op::Ld2u: case Op::Ld2s:
+          case Op::Ld4u: case Op::Ld4s: case Op::Ld8: case Op::LdF8: {
+            unsigned size;
+            bool sign, fp;
+            const MOp op = loadMOp(in.op, size, sign, fp);
+            auto [base, disp] = normalizeAddr(in.a, in.imm, size);
+            emit({.op = op, .rd = in.dst, .ra = base,
+                  .size = static_cast<u8>(size), .sign = sign,
+                  .imm = disp});
+            break;
+          }
+          case Op::St1: case Op::St2: case Op::St4: case Op::St8:
+          case Op::StF8: {
+            const unsigned size = mir::accessSize(in.op);
+            auto [base, disp] = normalizeAddr(in.a, in.imm, size);
+            emit({.op = in.op == Op::StF8 ? MOp::StF : MOp::St,
+                  .ra = base, .rb = in.b,
+                  .size = static_cast<u8>(size), .imm = disp});
+            break;
+          }
+          case Op::Jmp:
+            emit({.op = MOp::Jmp,
+                  .target = static_cast<i32>(in.target)});
+            break;
+          case Op::Br:
+            // Unfused: test the condition register against zero.
+            if (spec.hasFlags) {
+                emit({.op = MOp::CmpI, .ra = in.a, .imm = 0});
+                emit({.op = MOp::Br, .cond = Cond::Ne,
+                      .target = static_cast<i32>(in.target)});
+            } else {
+                emit({.op = MOp::Br, .ra = in.a, .rb = lPhys(0),
+                      .cond = Cond::Ne,
+                      .target = static_cast<i32>(in.target)});
+            }
+            emit({.op = MOp::Jmp,
+                  .target = static_cast<i32>(in.target2)});
+            break;
+          case Op::Ret:
+            if (mf->hasResult) {
+                const bool fp = mf->resultType == mir::Type::F64;
+                emit({.op = MOp::Mov,
+                      .rd = lPhys(fp ? spec.fpRetReg : spec.intRetReg),
+                      .ra = in.a, .fp = fp});
+            }
+            emit({.op = MOp::Ret});
+            break;
+          case Op::Call:
+            lowerCall(in);
+            break;
+          case Op::Checkpoint:
+            emit({.op = MOp::Magic,
+                  .subop = static_cast<u8>(MagicOp::Checkpoint)});
+            break;
+          case Op::SwitchCpu:
+            emit({.op = MOp::Magic,
+                  .subop = static_cast<u8>(MagicOp::SwitchCpu)});
+            break;
+          case Op::WaitIrq:
+            emit({.op = MOp::Magic,
+                  .subop = static_cast<u8>(MagicOp::WaitIrq)});
+            break;
+        }
+    }
+
+    void
+    lowerSelect(const mir::Inst &in)
+    {
+        const bool fp = mf->vregTypes[in.dst] == mir::Type::F64;
+        if (fp)
+            fatal("codegen: floating-point Select is not supported");
+        switch (spec.kind) {
+          case IsaKind::ARM:
+            emit({.op = MOp::CmpI, .ra = in.a, .imm = 0});
+            emit({.op = MOp::CSel, .rd = in.dst, .ra = in.b,
+                  .rb = in.c, .cond = Cond::Ne});
+            break;
+          case IsaKind::X86:
+            // rd = c; if (a != 0) rd = b
+            emit({.op = MOp::Mov, .rd = in.dst, .ra = in.c});
+            emit({.op = MOp::CmpI, .ra = in.a, .imm = 0});
+            emit({.op = MOp::CSel, .rd = in.dst, .ra = in.dst,
+                  .rb = in.b, .cond = Cond::Ne});
+            break;
+          case IsaKind::RISCV: {
+            // Branchless: mask = -(a != 0); rd = (b & mask)|(c & ~mask)
+            const u32 nz = temp();
+            emit({.op = MOp::SltU, .rd = nz, .ra = lPhys(0),
+                  .rb = in.a});
+            const u32 mask = temp();
+            emit({.op = MOp::Sub, .rd = mask, .ra = lPhys(0),
+                  .rb = nz});
+            const u32 t1 = temp();
+            emit({.op = MOp::And, .rd = t1, .ra = in.b, .rb = mask});
+            const u32 nmask = temp();
+            emit({.op = MOp::XorI, .rd = nmask, .ra = mask,
+                  .imm = -1});
+            const u32 t2 = temp();
+            emit({.op = MOp::And, .rd = t2, .ra = in.c, .rb = nmask});
+            emit({.op = MOp::Or, .rd = in.dst, .ra = t1, .rb = t2});
+            break;
+          }
+        }
+    }
+
+    void
+    lowerCall(const mir::Inst &in)
+    {
+        lf.isLeaf = false;
+        const mir::Function &callee = mod.functions[in.callee];
+        const u16 group = ++callGroupCounter;
+        unsigned intIdx = 0;
+        unsigned fpIdx = 0;
+        for (std::size_t i = 0; i < in.args.size(); ++i) {
+            const bool fp = callee.paramTypes[i] == mir::Type::F64;
+            unsigned phys;
+            if (fp) {
+                if (fpIdx >= spec.fpArgRegs.size())
+                    fatal("codegen: too many FP call arguments");
+                phys = spec.fpArgRegs[fpIdx++];
+            } else {
+                if (intIdx >= spec.intArgRegs.size())
+                    fatal("codegen: too many call arguments");
+                phys = spec.intArgRegs[intIdx++];
+            }
+            emit({.op = MOp::Mov, .rd = lPhys(phys), .ra = in.args[i],
+                  .fp = fp, .callGroup = group});
+        }
+        emit({.op = MOp::Call, .target = static_cast<i32>(in.callee)});
+        if (callee.hasResult) {
+            const bool fp = callee.resultType == mir::Type::F64;
+            emit({.op = MOp::Mov, .rd = in.dst,
+                  .ra = lPhys(fp ? spec.fpRetReg : spec.intRetReg),
+                  .fp = fp});
+        }
+    }
+
+    const mir::Module &mod;
+    const IsaSpec &spec;
+    const mir::DataLayout &layout_;
+    Addr poolBase_;
+    std::map<u64, u32> &poolMap_;
+    std::vector<u8> &poolBytes_;
+
+    LFunc lf;
+    const mir::Function *mf = nullptr;
+    LBlock *cur = nullptr;
+    std::vector<u32> useCount;
+    u16 callGroupCounter = 0;
+};
+
+} // namespace
+
+LoweredModule
+lowerModule(const mir::Module &module, IsaKind kind)
+{
+    mir::verify(module);
+    const IsaSpec &spec = isaSpec(kind);
+
+    LoweredModule lm;
+    lm.layout = mir::layoutGlobals(module, kDataBase);
+    lm.poolBase = lm.layout.end;
+    if (lm.poolBase > kStackTop)
+        fatal("codegen: globals overflow the data segment");
+
+    std::map<u64, u32> poolMap;
+    Lowerer lowerer(module, spec, lm.layout, lm.poolBase, poolMap,
+                    lm.poolBytes);
+    lm.funcs.reserve(module.functions.size());
+    for (const mir::Function &fn : module.functions)
+        lm.funcs.push_back(lowerer.lower(fn));
+    return lm;
+}
+
+Addr
+Program::funcAddr(const std::string &name) const
+{
+    for (const auto &[n, a] : funcAddrs)
+        if (n == name)
+            return a;
+    fatal("program: no function '%s'", name.c_str());
+}
+
+} // namespace marvel::isa

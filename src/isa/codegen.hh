@@ -1,0 +1,134 @@
+/**
+ * @file
+ * MIR-to-machine-code compilation for the three ISA flavors.
+ *
+ * Pipeline (mirroring a real -O0 compiler backend, which is also what
+ * the paper uses for its workloads):
+ *   1. Lowering (instruction selection): MIR -> LInst over virtual
+ *      registers, with per-flavor idioms (compare-and-branch fusion on
+ *      RISCV, flags+Bcc on ARM/X86, load-op folding and two-address
+ *      forms on X86, per-flavor constant materialization).
+ *   2. Linear-scan register allocation with caller/callee-saved pools
+ *      and spill slots (see regalloc.hh).
+ *   3. Emission: block layout, branch relaxation (RISCV compressed
+ *      forms), prologue/epilogue, encoding to bytes.
+ */
+
+#ifndef MARVEL_ISA_CODEGEN_HH
+#define MARVEL_ISA_CODEGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/minst.hh"
+#include "isa/uop.hh"
+#include "mir/mir.hh"
+
+namespace marvel::isa
+{
+
+/** Sentinel: operand absent. */
+constexpr u32 kNoReg = 0xffffffffu;
+
+/** Operands with this bit set name a physical register. */
+constexpr u32 kPhysBit = 0x80000000u;
+
+constexpr bool
+lIsPhys(u32 r)
+{
+    return r != kNoReg && (r & kPhysBit) != 0;
+}
+
+constexpr u32
+lPhys(u32 idx)
+{
+    return kPhysBit | idx;
+}
+
+constexpr u32
+lPhysIdx(u32 r)
+{
+    return r & ~kPhysBit;
+}
+
+/**
+ * Lowered instruction: an MInst shape over virtual (or pinned physical)
+ * registers, with block-level branch targets.
+ */
+struct LInst
+{
+    MOp op = MOp::Nop;
+    u32 rd = kNoReg;
+    u32 ra = kNoReg;
+    u32 rb = kNoReg;
+    Cond cond = Cond::Eq;
+    u8 size = 8;
+    bool sign = false;
+    bool fp = false;
+    u8 subop = 0;
+    i64 imm = 0;
+    i32 target = -1;   ///< block id (Br/Jmp) or callee function id (Call)
+    u16 callGroup = 0; ///< nonzero: member of a call-argument move group
+};
+
+/** Lowered basic block. */
+struct LBlock
+{
+    std::vector<LInst> insts;
+};
+
+/** Lowered function (pre register allocation). */
+struct LFunc
+{
+    std::string name;
+    std::vector<RegClass> vclass; ///< class of each virtual register
+    std::vector<LBlock> blocks;
+    bool isLeaf = true;
+
+    u32
+    newVReg(RegClass cls)
+    {
+        vclass.push_back(cls);
+        return static_cast<u32>(vclass.size() - 1);
+    }
+};
+
+/** A compiled program image, ready to load into simulated memory. */
+struct Program
+{
+    IsaKind kind = IsaKind::RISCV;
+
+    std::vector<u8> code;     ///< loaded at kCodeBase
+    Addr entry = 0;           ///< initial pc (crt0)
+
+    mir::DataLayout layout;   ///< global addresses
+    std::vector<u8> dataImage;///< initial bytes at kDataBase
+    Addr dataEnd = 0;         ///< end of data (globals + constant pool)
+
+    /** Per-function start address (function name -> address). */
+    std::vector<std::pair<std::string, Addr>> funcAddrs;
+
+    /** Codegen statistics. */
+    struct Stats
+    {
+        u64 numInsts = 0;
+        u64 numCompressed = 0;
+        u64 codeBytes = 0;
+        u64 spillSlots = 0;
+    } stats;
+
+    /** Address of a function by name; fatal() when absent. */
+    Addr funcAddr(const std::string &name) const;
+};
+
+/**
+ * Compile a verified MIR module for the given flavor.
+ */
+Program compile(const mir::Module &module, IsaKind kind);
+
+/** Disassemble a program's code segment (debugging aid). */
+std::string disassemble(const Program &program);
+
+} // namespace marvel::isa
+
+#endif // MARVEL_ISA_CODEGEN_HH

@@ -1,0 +1,554 @@
+#include "isa/uop.hh"
+
+#include "common/log.hh"
+#include "isa/encoding.hh"
+
+namespace marvel::isa
+{
+
+const char *
+mopName(MOp op)
+{
+    switch (op) {
+      case MOp::Nop: return "nop";
+      case MOp::Add: return "add";
+      case MOp::Sub: return "sub";
+      case MOp::Mul: return "mul";
+      case MOp::Div: return "div";
+      case MOp::DivU: return "divu";
+      case MOp::Rem: return "rem";
+      case MOp::RemU: return "remu";
+      case MOp::And: return "and";
+      case MOp::Or: return "or";
+      case MOp::Xor: return "xor";
+      case MOp::Shl: return "shl";
+      case MOp::Shr: return "shr";
+      case MOp::Sra: return "sra";
+      case MOp::AddI: return "addi";
+      case MOp::AndI: return "andi";
+      case MOp::OrI: return "ori";
+      case MOp::XorI: return "xori";
+      case MOp::ShlI: return "shli";
+      case MOp::ShrI: return "shri";
+      case MOp::SraI: return "srai";
+      case MOp::Slt: return "slt";
+      case MOp::SltU: return "sltu";
+      case MOp::SltI: return "slti";
+      case MOp::SltIU: return "sltiu";
+      case MOp::Lui: return "lui";
+      case MOp::MovZ: return "movz";
+      case MOp::MovK: return "movk";
+      case MOp::MovImm32: return "movimm32";
+      case MOp::MovImm64: return "movimm64";
+      case MOp::Mov: return "mov";
+      case MOp::Cmp: return "cmp";
+      case MOp::CmpI: return "cmpi";
+      case MOp::FCmp: return "fcmp";
+      case MOp::SetCC: return "setcc";
+      case MOp::CSel: return "csel";
+      case MOp::FSet: return "fset";
+      case MOp::Ld: return "ld";
+      case MOp::St: return "st";
+      case MOp::LdF: return "ldf";
+      case MOp::StF: return "stf";
+      case MOp::AluM: return "alum";
+      case MOp::Br: return "br";
+      case MOp::Jmp: return "jmp";
+      case MOp::JmpR: return "jmpr";
+      case MOp::Call: return "call";
+      case MOp::Ret: return "ret";
+      case MOp::FAdd: return "fadd";
+      case MOp::FSub: return "fsub";
+      case MOp::FMul: return "fmul";
+      case MOp::FDiv: return "fdiv";
+      case MOp::FSqrt: return "fsqrt";
+      case MOp::ItoF: return "itof";
+      case MOp::FtoI: return "ftoi";
+      case MOp::Magic: return "magic";
+      case MOp::Illegal: return "illegal";
+    }
+    return "?";
+}
+
+namespace
+{
+
+RegRef
+intR(unsigned idx)
+{
+    return {RegClass::Int, static_cast<u8>(idx)};
+}
+
+RegRef
+fpR(unsigned idx)
+{
+    return {RegClass::Fp, static_cast<u8>(idx)};
+}
+
+/// The X86 AluM subop index (same order as the 0x10.. opcode row).
+ExecOp
+aluMExecOp(unsigned subop)
+{
+    static const ExecOp table[13] = {
+        ExecOp::Add, ExecOp::Sub, ExecOp::Mul, ExecOp::Div,
+        ExecOp::DivU, ExecOp::Rem, ExecOp::RemU, ExecOp::And,
+        ExecOp::Or, ExecOp::Xor, ExecOp::Shl, ExecOp::Shr, ExecOp::Sra,
+    };
+    return subop < 13 ? table[subop] : ExecOp::Nop;
+}
+
+ExecOp
+aluExecOp(MOp op)
+{
+    switch (op) {
+      case MOp::Add: case MOp::AddI: return ExecOp::Add;
+      case MOp::Sub: return ExecOp::Sub;
+      case MOp::Mul: return ExecOp::Mul;
+      case MOp::Div: return ExecOp::Div;
+      case MOp::DivU: return ExecOp::DivU;
+      case MOp::Rem: return ExecOp::Rem;
+      case MOp::RemU: return ExecOp::RemU;
+      case MOp::And: case MOp::AndI: return ExecOp::And;
+      case MOp::Or: case MOp::OrI: return ExecOp::Or;
+      case MOp::Xor: case MOp::XorI: return ExecOp::Xor;
+      case MOp::Shl: case MOp::ShlI: return ExecOp::Shl;
+      case MOp::Shr: case MOp::ShrI: return ExecOp::Shr;
+      case MOp::Sra: case MOp::SraI: return ExecOp::Sra;
+      default:
+        panic("aluExecOp: not an ALU MOp");
+    }
+}
+
+} // namespace
+
+FuClass
+fuClassOf(const MicroOp &uop)
+{
+    if (uop.isLoad || uop.isStore)
+        return FuClass::MemPort;
+    if (uop.isBranch())
+        return FuClass::BranchUnit;
+    switch (uop.op) {
+      case ExecOp::Mul: return FuClass::IntMul;
+      case ExecOp::Div: case ExecOp::DivU: case ExecOp::Rem:
+      case ExecOp::RemU:
+        return FuClass::IntDiv;
+      case ExecOp::FAdd: case ExecOp::FSub: case ExecOp::ItoF:
+      case ExecOp::FtoI: case ExecOp::SetCmpF: case ExecOp::CmpFlagsF:
+        return FuClass::FpAlu;
+      case ExecOp::FMul: return FuClass::FpMul;
+      case ExecOp::FDiv: case ExecOp::FSqrt: return FuClass::FpDiv;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+unsigned
+execLatency(const MicroOp &uop)
+{
+    switch (uop.op) {
+      case ExecOp::Mul: return 3;
+      case ExecOp::Div: case ExecOp::DivU: case ExecOp::Rem:
+      case ExecOp::RemU:
+        return 12;
+      case ExecOp::FAdd: case ExecOp::FSub: return 3;
+      case ExecOp::FMul: return 4;
+      case ExecOp::FDiv: return 12;
+      case ExecOp::FSqrt: return 16;
+      case ExecOp::ItoF: case ExecOp::FtoI: return 2;
+      case ExecOp::CmpFlagsF: case ExecOp::SetCmpF: return 2;
+      default:
+        return 1;
+    }
+}
+
+DecodedInst
+expand(const IsaSpec &spec, const MInst &mi, unsigned length, Addr pc)
+{
+    DecodedInst di;
+    di.minst = mi;
+    di.length = static_cast<u8>(length);
+
+    // RISCV x0 is hardwired: discard writes.
+    auto intDst = [&](unsigned idx) -> RegRef {
+        if (spec.hasZeroReg && idx == 0)
+            return {};
+        return intR(idx);
+    };
+    const RegRef flags =
+        spec.hasFlags ? intR(spec.flagsReg()) : RegRef{};
+
+    switch (mi.op) {
+      case MOp::Nop: {
+        MicroOp u;
+        u.op = ExecOp::Nop;
+        di.push(u);
+        break;
+      }
+      case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::Div:
+      case MOp::DivU: case MOp::Rem: case MOp::RemU: case MOp::And:
+      case MOp::Or: case MOp::Xor: case MOp::Shl: case MOp::Shr:
+      case MOp::Sra: {
+        MicroOp u;
+        u.op = aluExecOp(mi.op);
+        u.dst = intDst(mi.rd);
+        u.srcA = intR(mi.ra);
+        u.srcB = intR(mi.rb);
+        di.push(u);
+        break;
+      }
+      case MOp::AddI: case MOp::AndI: case MOp::OrI: case MOp::XorI:
+      case MOp::ShlI: case MOp::ShrI: case MOp::SraI: {
+        MicroOp u;
+        u.op = aluExecOp(mi.op);
+        u.dst = intDst(mi.rd);
+        u.srcA = intR(mi.ra);
+        u.useImm = true;
+        u.imm = mi.imm;
+        di.push(u);
+        break;
+      }
+      case MOp::Slt: case MOp::SltU: case MOp::SltI: case MOp::SltIU: {
+        MicroOp u;
+        u.op = ExecOp::SetCmp;
+        u.cond = (mi.op == MOp::Slt || mi.op == MOp::SltI)
+                     ? Cond::Lt : Cond::LtU;
+        u.dst = intDst(mi.rd);
+        u.srcA = intR(mi.ra);
+        if (mi.op == MOp::SltI || mi.op == MOp::SltIU) {
+            u.useImm = true;
+            u.imm = mi.imm;
+        } else {
+            u.srcB = intR(mi.rb);
+        }
+        di.push(u);
+        break;
+      }
+      case MOp::Lui: case MOp::MovImm32: case MOp::MovImm64: {
+        MicroOp u;
+        u.op = ExecOp::MovImm;
+        u.dst = intDst(mi.rd);
+        u.imm = mi.imm;
+        di.push(u);
+        break;
+      }
+      case MOp::MovZ: {
+        MicroOp u;
+        u.op = ExecOp::MovImm;
+        u.dst = intDst(mi.rd);
+        u.imm = mi.imm << (16 * (mi.subop & 3));
+        di.push(u);
+        break;
+      }
+      case MOp::MovK: {
+        MicroOp u;
+        u.op = ExecOp::Or;
+        u.dst = intDst(mi.rd);
+        u.srcA = intR(mi.rd);
+        u.useImm = true;
+        u.imm = mi.imm << (16 * (mi.subop & 3));
+        di.push(u);
+        break;
+      }
+      case MOp::Mov: {
+        MicroOp u;
+        u.op = ExecOp::MovA;
+        if (mi.fp) {
+            u.dst = fpR(mi.rd);
+            u.srcA = fpR(mi.ra);
+        } else {
+            u.dst = intDst(mi.rd);
+            u.srcA = intR(mi.ra);
+        }
+        di.push(u);
+        break;
+      }
+      case MOp::Cmp: case MOp::CmpI: {
+        MicroOp u;
+        u.op = ExecOp::CmpFlags;
+        u.dst = flags;
+        u.srcA = intR(mi.ra);
+        if (mi.op == MOp::CmpI) {
+            u.useImm = true;
+            u.imm = mi.imm;
+        } else {
+            u.srcB = intR(mi.rb);
+        }
+        di.push(u);
+        break;
+      }
+      case MOp::FCmp: {
+        MicroOp u;
+        u.op = ExecOp::CmpFlagsF;
+        u.dst = flags;
+        u.srcA = fpR(mi.ra);
+        u.srcB = fpR(mi.rb);
+        di.push(u);
+        break;
+      }
+      case MOp::SetCC: {
+        MicroOp u;
+        u.op = ExecOp::SetFlagsCC;
+        u.dst = intDst(mi.rd);
+        u.srcA = flags;
+        u.cond = mi.cond;
+        di.push(u);
+        break;
+      }
+      case MOp::CSel: {
+        MicroOp u;
+        u.op = ExecOp::SelFlags;
+        u.dst = intDst(mi.rd);
+        u.srcA = flags;
+        u.cond = mi.cond;
+        if (spec.kind == IsaKind::X86) {
+            // CMOVcc rd, rb: rd = cond ? rb : rd
+            u.srcB = intR(mi.rb);
+            u.srcC = intR(mi.ra);
+        } else {
+            // CSEL rd, rn, rm: rd = cond ? rn : rm
+            u.srcB = intR(mi.ra);
+            u.srcC = intR(mi.rb);
+        }
+        di.push(u);
+        break;
+      }
+      case MOp::FSet: {
+        MicroOp u;
+        u.op = ExecOp::SetCmpF;
+        u.dst = intDst(mi.rd);
+        u.srcA = fpR(mi.ra);
+        u.srcB = fpR(mi.rb);
+        u.cond = mi.cond;
+        di.push(u);
+        break;
+      }
+      case MOp::Ld: {
+        MicroOp u;
+        u.op = ExecOp::Load;
+        u.isLoad = true;
+        u.dst = intDst(mi.rd);
+        u.srcA = intR(mi.ra);
+        u.imm = mi.imm;
+        u.memSize = mi.size;
+        u.memSigned = mi.sign;
+        di.push(u);
+        break;
+      }
+      case MOp::LdF: {
+        MicroOp u;
+        u.op = ExecOp::Load;
+        u.isLoad = true;
+        u.fpMem = true;
+        u.dst = fpR(mi.rd);
+        u.srcA = intR(mi.ra);
+        u.imm = mi.imm;
+        u.memSize = 8;
+        di.push(u);
+        break;
+      }
+      case MOp::St: {
+        MicroOp u;
+        u.op = ExecOp::Store;
+        u.isStore = true;
+        u.srcA = intR(mi.ra);
+        u.srcB = intR(mi.rb);
+        u.imm = mi.imm;
+        u.memSize = mi.size;
+        di.push(u);
+        break;
+      }
+      case MOp::StF: {
+        MicroOp u;
+        u.op = ExecOp::Store;
+        u.isStore = true;
+        u.fpMem = true;
+        u.srcA = intR(mi.ra);
+        u.srcB = fpR(mi.rb);
+        u.imm = mi.imm;
+        u.memSize = 8;
+        di.push(u);
+        break;
+      }
+      case MOp::AluM: {
+        // rd = rd op mem[ra+imm]: crack into load + ALU.
+        const RegRef t0 = intR(spec.tempReg(0));
+        MicroOp ld;
+        ld.op = ExecOp::Load;
+        ld.isLoad = true;
+        ld.dst = t0;
+        ld.srcA = intR(mi.ra);
+        ld.imm = mi.imm;
+        ld.memSize = 8;
+        di.push(ld);
+        MicroOp alu;
+        alu.op = aluMExecOp(mi.subop);
+        alu.dst = intDst(mi.rd);
+        alu.srcA = intR(mi.rd);
+        alu.srcB = t0;
+        di.push(alu);
+        break;
+      }
+      case MOp::Br: {
+        MicroOp u;
+        u.op = ExecOp::Branch;
+        u.imm = mi.imm;
+        u.cond = mi.cond;
+        if (spec.hasFlags) {
+            u.brKind = BrKind::CondFlag;
+            u.srcA = flags;
+        } else {
+            u.brKind = BrKind::CondReg;
+            u.srcA = intR(mi.ra);
+            u.srcB = intR(mi.rb);
+        }
+        di.push(u);
+        break;
+      }
+      case MOp::Jmp: {
+        MicroOp u;
+        u.op = ExecOp::Branch;
+        u.brKind = BrKind::Uncond;
+        u.imm = mi.imm;
+        di.push(u);
+        break;
+      }
+      case MOp::JmpR: {
+        MicroOp u;
+        u.op = ExecOp::Branch;
+        u.brKind = BrKind::Indirect;
+        u.srcA = intR(mi.ra);
+        di.push(u);
+        break;
+      }
+      case MOp::Call: {
+        if (spec.linkViaStack) {
+            // X86: t0 = retaddr; mem[sp-8] = t0; sp -= 8 and jump.
+            const RegRef t0 = intR(spec.tempReg(0));
+            const RegRef sp = intR(spec.spReg);
+            MicroOp ra;
+            ra.op = ExecOp::MovImm;
+            ra.dst = t0;
+            ra.imm = static_cast<i64>(pc + length);
+            di.push(ra);
+            MicroOp st;
+            st.op = ExecOp::Store;
+            st.isStore = true;
+            st.srcA = sp;
+            st.srcB = t0;
+            st.imm = -8;
+            st.memSize = 8;
+            di.push(st);
+            MicroOp br;
+            br.op = ExecOp::Branch;
+            br.brKind = BrKind::CallDir;
+            br.imm = mi.imm;
+            br.dst = sp;      // sp = sp - 8
+            br.srcB = sp;
+            di.push(br);
+        } else {
+            MicroOp br;
+            br.op = ExecOp::Branch;
+            br.brKind = BrKind::CallDir;
+            br.imm = mi.imm;
+            br.dst = intDst(spec.raReg); // link = pc + length
+            di.push(br);
+        }
+        break;
+      }
+      case MOp::Ret: {
+        if (spec.linkViaStack) {
+            // X86: t0 = mem[sp]; sp += 8; jump t0.
+            const RegRef t0 = intR(spec.tempReg(0));
+            const RegRef sp = intR(spec.spReg);
+            MicroOp ld;
+            ld.op = ExecOp::Load;
+            ld.isLoad = true;
+            ld.dst = t0;
+            ld.srcA = sp;
+            ld.memSize = 8;
+            di.push(ld);
+            MicroOp br;
+            br.op = ExecOp::Branch;
+            br.brKind = BrKind::RetInd;
+            br.srcA = t0;
+            br.dst = sp;      // sp = sp + 8
+            br.srcB = sp;
+            br.imm = 8;
+            di.push(br);
+        } else {
+            MicroOp br;
+            br.op = ExecOp::Branch;
+            br.brKind = BrKind::RetInd;
+            br.srcA = intR(spec.raReg);
+            di.push(br);
+        }
+        break;
+      }
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv: {
+        MicroOp u;
+        u.op = mi.op == MOp::FAdd ? ExecOp::FAdd
+               : mi.op == MOp::FSub ? ExecOp::FSub
+               : mi.op == MOp::FMul ? ExecOp::FMul : ExecOp::FDiv;
+        u.dst = fpR(mi.rd);
+        u.srcA = fpR(mi.ra);
+        u.srcB = fpR(mi.rb);
+        di.push(u);
+        break;
+      }
+      case MOp::FSqrt: {
+        MicroOp u;
+        u.op = ExecOp::FSqrt;
+        u.dst = fpR(mi.rd);
+        u.srcA = fpR(mi.ra);
+        di.push(u);
+        break;
+      }
+      case MOp::ItoF: {
+        MicroOp u;
+        u.op = ExecOp::ItoF;
+        u.dst = fpR(mi.rd);
+        u.srcA = intR(mi.ra);
+        di.push(u);
+        break;
+      }
+      case MOp::FtoI: {
+        MicroOp u;
+        u.op = ExecOp::FtoI;
+        u.dst = intDst(mi.rd);
+        u.srcA = fpR(mi.ra);
+        di.push(u);
+        break;
+      }
+      case MOp::Magic: {
+        MicroOp u;
+        u.op = ExecOp::Magic;
+        u.magic = static_cast<MagicOp>(mi.subop);
+        di.push(u);
+        break;
+      }
+      case MOp::Illegal: {
+        MicroOp u;
+        u.op = ExecOp::Illegal;
+        di.push(u);
+        di.illegal = true;
+        break;
+      }
+    }
+    return di;
+}
+
+DecodedInst
+decodeAndExpand(const IsaSpec &spec, const u8 *bytes, std::size_t avail,
+                Addr pc)
+{
+    const DecodeResult dr = decodeBytes(spec.kind, bytes, avail);
+    if (dr.illegal) {
+        MInst ill;
+        ill.op = MOp::Illegal;
+        return expand(spec, ill, dr.length, pc);
+    }
+    return expand(spec, dr.mi, dr.length, pc);
+}
+
+} // namespace marvel::isa

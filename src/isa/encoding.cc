@@ -1,0 +1,1739 @@
+#include "isa/encoding.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace marvel::isa
+{
+
+namespace
+{
+
+// ===================================================================
+// RISCV flavor
+// ===================================================================
+//
+// 32-bit word: opc[6:2]|11, rd[11:7], f3[14:12], rs1[19:15],
+// rs2[24:20], f7[31:25]. 16-bit compressed when bits[1:0] != 11.
+
+constexpr u32 kRvLoad = 0b00000;
+constexpr u32 kRvLoadFp = 0b00001;
+constexpr u32 kRvOpImm = 0b00100;
+constexpr u32 kRvStore = 0b01000;
+constexpr u32 kRvStoreFp = 0b01001;
+constexpr u32 kRvOp = 0b01100;
+constexpr u32 kRvLui = 0b01101;
+constexpr u32 kRvOpFp = 0b10100;
+constexpr u32 kRvBranch = 0b11000;
+constexpr u32 kRvJalr = 0b11001;
+constexpr u32 kRvJal = 0b11011;
+constexpr u32 kRvSystem = 0b11100;
+
+u32
+rvWord(u32 opc, u32 rd, u32 f3, u32 rs1, u32 rs2, u32 f7)
+{
+    return 0b11 | (opc << 2) | (rd << 7) | (f3 << 12) | (rs1 << 15) |
+           (rs2 << 20) | (f7 << 25);
+}
+
+u32
+rvIType(u32 opc, u32 rd, u32 f3, u32 rs1, i64 imm)
+{
+    return 0b11 | (opc << 2) | (rd << 7) | (f3 << 12) | (rs1 << 15) |
+           (static_cast<u32>(imm & 0xfff) << 20);
+}
+
+u32
+rvSType(u32 opc, u32 f3, u32 rs1, u32 rs2, i64 imm)
+{
+    const u32 lo = imm & 0x1f;
+    const u32 hi = (imm >> 5) & 0x7f;
+    return 0b11 | (opc << 2) | (lo << 7) | (f3 << 12) | (rs1 << 15) |
+           (rs2 << 20) | (hi << 25);
+}
+
+void
+put16(std::vector<u8> &out, u32 half)
+{
+    out.push_back(half & 0xff);
+    out.push_back((half >> 8) & 0xff);
+}
+
+void
+put32(std::vector<u8> &out, u32 word)
+{
+    out.push_back(word & 0xff);
+    out.push_back((word >> 8) & 0xff);
+    out.push_back((word >> 16) & 0xff);
+    out.push_back((word >> 24) & 0xff);
+}
+
+bool
+isPrimeReg(unsigned r)
+{
+    return r >= 8 && r <= 15;
+}
+
+/// Map a branch condition to the RISCV BRANCH funct3, or -1.
+int
+rvBranchF3(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return 0;
+      case Cond::Ne: return 1;
+      case Cond::Lt: return 4;
+      case Cond::Ge: return 5;
+      case Cond::LtU: return 6;
+      case Cond::GeU: return 7;
+      default: return -1;
+    }
+}
+
+/// Try to emit a 2-byte compressed form. Returns true when emitted.
+bool
+encodeRiscvCompressed(const MInst &mi, std::vector<u8> &out)
+{
+    switch (mi.op) {
+      case MOp::AddI:
+        if (mi.ra == 0 && mi.rd != 0 && fitsSigned(mi.imm, 6)) {
+            // c.li rd, imm6
+            const u32 imm = mi.imm & 0x3f;
+            put16(out, 0b01 | (2u << 13) | (u32(mi.rd) << 7) |
+                           ((imm >> 5) << 12) | ((imm & 0x1f) << 2));
+            return true;
+        }
+        if (mi.ra == mi.rd && mi.rd != 0 && mi.imm != 0 &&
+            fitsSigned(mi.imm, 6)) {
+            // c.addi rd, imm6
+            const u32 imm = mi.imm & 0x3f;
+            put16(out, 0b01 | (0u << 13) | (u32(mi.rd) << 7) |
+                           ((imm >> 5) << 12) | ((imm & 0x1f) << 2));
+            return true;
+        }
+        return false;
+      case MOp::Mov:
+        if (!mi.fp && mi.rd != 0 && mi.ra != 0) {
+            // c.mv rd, rs2
+            put16(out, 0b10 | (4u << 13) | (0u << 12) |
+                           (u32(mi.rd) << 7) | (u32(mi.ra) << 2));
+            return true;
+        }
+        return false;
+      case MOp::Add:
+        if (mi.rd == mi.ra && mi.rd != 0 && mi.rb != 0) {
+            // c.add rd, rs2
+            put16(out, 0b10 | (4u << 13) | (1u << 12) |
+                           (u32(mi.rd) << 7) | (u32(mi.rb) << 2));
+            return true;
+        }
+        return false;
+      case MOp::Ld:
+        if (mi.size == 8 && isPrimeReg(mi.rd) && isPrimeReg(mi.ra) &&
+            mi.imm >= 0 && mi.imm <= 248 && (mi.imm & 7) == 0) {
+            // c.ld rd', rs1', uimm8
+            const u32 uimm = static_cast<u32>(mi.imm);
+            put16(out, 0b00 | (2u << 13) | (((uimm >> 3) & 7) << 10) |
+                           ((u32(mi.ra) - 8) << 7) |
+                           (((uimm >> 6) & 3) << 5) |
+                           ((u32(mi.rd) - 8) << 2));
+            return true;
+        }
+        return false;
+      case MOp::St:
+        if (mi.size == 8 && isPrimeReg(mi.rb) && isPrimeReg(mi.ra) &&
+            mi.imm >= 0 && mi.imm <= 248 && (mi.imm & 7) == 0) {
+            // c.sd rs2', rs1', uimm8
+            const u32 uimm = static_cast<u32>(mi.imm);
+            put16(out, 0b00 | (3u << 13) | (((uimm >> 3) & 7) << 10) |
+                           ((u32(mi.ra) - 8) << 7) |
+                           (((uimm >> 6) & 3) << 5) |
+                           ((u32(mi.rb) - 8) << 2));
+            return true;
+        }
+        return false;
+      case MOp::Jmp:
+        if (fitsSigned(mi.imm, 12) && (mi.imm & 1) == 0) {
+            // c.j imm11<<1
+            const u32 f = (mi.imm >> 1) & 0x7ff;
+            put16(out, 0b01 | (5u << 13) | (((f >> 10) & 1) << 12) |
+                           ((f & 0x3ff) << 2));
+            return true;
+        }
+        return false;
+      case MOp::Br:
+        if ((mi.cond == Cond::Eq || mi.cond == Cond::Ne) && mi.rb == 0 &&
+            isPrimeReg(mi.ra) && fitsSigned(mi.imm, 9) &&
+            (mi.imm & 1) == 0) {
+            // c.beqz / c.bnez rs1', imm8<<1
+            const u32 f3 = mi.cond == Cond::Eq ? 6 : 7;
+            const u32 f = (mi.imm >> 1) & 0xff;
+            put16(out, 0b01 | (f3 << 13) | (((f >> 7) & 1) << 12) |
+                           (((f >> 5) & 3) << 10) |
+                           ((u32(mi.ra) - 8) << 7) | ((f & 0x1f) << 2));
+            return true;
+        }
+        return false;
+      case MOp::Ret:
+        // c.jr x1
+        put16(out, 0b10 | (4u << 13) | (0u << 12) | (1u << 7));
+        return true;
+      case MOp::JmpR:
+        if (mi.ra != 0 && mi.ra != 1) {
+            // c.jr ra
+            put16(out, 0b10 | (4u << 13) | (0u << 12) |
+                           (u32(mi.ra) << 7));
+            return true;
+        }
+        return false;
+      default:
+        return false;
+    }
+}
+
+void
+encodeRiscv(const MInst &mi, std::vector<u8> &out, bool allowCompressed)
+{
+    if (allowCompressed && encodeRiscvCompressed(mi, out))
+        return;
+
+    auto aluRR = [&](u32 f3, u32 f7) {
+        put32(out, rvWord(kRvOp, mi.rd, f3, mi.ra, mi.rb, f7));
+    };
+    auto aluImm = [&](u32 f3, i64 imm) {
+        if (!fitsSigned(imm, 12))
+            fatal("riscv encode: imm %lld does not fit",
+                  static_cast<long long>(imm));
+        put32(out, rvIType(kRvOpImm, mi.rd, f3, mi.ra, imm));
+    };
+
+    switch (mi.op) {
+      case MOp::Nop:
+        put32(out, rvIType(kRvOpImm, 0, 0, 0, 0)); // addi x0, x0, 0
+        break;
+      case MOp::Add: aluRR(0, 0); break;
+      case MOp::Sub: aluRR(0, 0x20); break;
+      case MOp::Shl: aluRR(1, 0); break;
+      case MOp::Slt: aluRR(2, 0); break;
+      case MOp::SltU: aluRR(3, 0); break;
+      case MOp::Xor: aluRR(4, 0); break;
+      case MOp::Shr: aluRR(5, 0); break;
+      case MOp::Sra: aluRR(5, 0x20); break;
+      case MOp::Or: aluRR(6, 0); break;
+      case MOp::And: aluRR(7, 0); break;
+      case MOp::Mul: aluRR(0, 1); break;
+      case MOp::Div: aluRR(4, 1); break;
+      case MOp::DivU: aluRR(5, 1); break;
+      case MOp::Rem: aluRR(6, 1); break;
+      case MOp::RemU: aluRR(7, 1); break;
+      case MOp::AddI: aluImm(0, mi.imm); break;
+      case MOp::ShlI: aluImm(1, mi.imm & 0x3f); break;
+      case MOp::SltI: aluImm(2, mi.imm); break;
+      case MOp::SltIU: aluImm(3, mi.imm); break;
+      case MOp::XorI: aluImm(4, mi.imm); break;
+      case MOp::ShrI: aluImm(5, mi.imm & 0x3f); break;
+      case MOp::SraI: aluImm(5, (mi.imm & 0x3f) | 0x400); break;
+      case MOp::OrI: aluImm(6, mi.imm); break;
+      case MOp::AndI: aluImm(7, mi.imm); break;
+      case MOp::Lui: {
+        if (mi.imm & 0xfff)
+            fatal("riscv encode: lui imm low bits set");
+        const u32 imm20 = (static_cast<u64>(mi.imm) >> 12) & 0xfffff;
+        put32(out, 0b11 | (kRvLui << 2) | (u32(mi.rd) << 7) |
+                       (imm20 << 12));
+        break;
+      }
+      case MOp::Mov:
+        if (mi.fp) {
+            // fmov: OP-FP f7=0x10
+            put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, 0, 0x10));
+        } else {
+            put32(out, rvIType(kRvOpImm, mi.rd, 0, mi.ra, 0));
+        }
+        break;
+      case MOp::Ld: {
+        u32 f3;
+        if (mi.size == 8)
+            f3 = 3;
+        else if (mi.size == 1)
+            f3 = mi.sign ? 0 : 4;
+        else if (mi.size == 2)
+            f3 = mi.sign ? 1 : 5;
+        else
+            f3 = mi.sign ? 2 : 6;
+        if (!fitsSigned(mi.imm, 12))
+            fatal("riscv encode: load offset too large");
+        put32(out, rvIType(kRvLoad, mi.rd, f3, mi.ra, mi.imm));
+        break;
+      }
+      case MOp::St: {
+        const u32 f3 = mi.size == 1 ? 0 : mi.size == 2 ? 1
+                       : mi.size == 4 ? 2 : 3;
+        if (!fitsSigned(mi.imm, 12))
+            fatal("riscv encode: store offset too large");
+        put32(out, rvSType(kRvStore, f3, mi.ra, mi.rb, mi.imm));
+        break;
+      }
+      case MOp::LdF:
+        if (!fitsSigned(mi.imm, 12))
+            fatal("riscv encode: fld offset too large");
+        put32(out, rvIType(kRvLoadFp, mi.rd, 3, mi.ra, mi.imm));
+        break;
+      case MOp::StF:
+        if (!fitsSigned(mi.imm, 12))
+            fatal("riscv encode: fsd offset too large");
+        put32(out, rvSType(kRvStoreFp, 3, mi.ra, mi.rb, mi.imm));
+        break;
+      case MOp::Br: {
+        const int f3 = rvBranchF3(mi.cond);
+        if (f3 < 0)
+            fatal("riscv encode: branch condition not encodable");
+        if (!fitsSigned(mi.imm, 13) || (mi.imm & 1))
+            fatal("riscv encode: branch displacement out of range");
+        put32(out, rvSType(kRvBranch, static_cast<u32>(f3), mi.ra,
+                           mi.rb, mi.imm >> 1));
+        break;
+      }
+      case MOp::Jmp:
+      case MOp::Call: {
+        const u32 link = mi.op == MOp::Call ? 1 : 0;
+        if (!fitsSigned(mi.imm, 21) || (mi.imm & 1))
+            fatal("riscv encode: jal displacement out of range");
+        const u32 imm20 = (mi.imm >> 1) & 0xfffff;
+        put32(out, 0b11 | (kRvJal << 2) | (link << 7) | (imm20 << 12));
+        break;
+      }
+      case MOp::JmpR:
+        put32(out, rvIType(kRvJalr, 0, 0, mi.ra, 0));
+        break;
+      case MOp::Ret:
+        put32(out, rvIType(kRvJalr, 0, 0, 1, 0));
+        break;
+      case MOp::FAdd:
+        put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, mi.rb, 0x00));
+        break;
+      case MOp::FSub:
+        put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, mi.rb, 0x04));
+        break;
+      case MOp::FMul:
+        put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, mi.rb, 0x08));
+        break;
+      case MOp::FDiv:
+        put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, mi.rb, 0x0c));
+        break;
+      case MOp::FSqrt:
+        put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, 0, 0x2c));
+        break;
+      case MOp::FSet: {
+        u32 f3;
+        if (mi.cond == Cond::Le)
+            f3 = 0;
+        else if (mi.cond == Cond::Lt)
+            f3 = 1;
+        else if (mi.cond == Cond::Eq)
+            f3 = 2;
+        else
+            fatal("riscv encode: fset condition not encodable");
+        put32(out, rvWord(kRvOpFp, mi.rd, f3, mi.ra, mi.rb, 0x50));
+        break;
+      }
+      case MOp::ItoF:
+        put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, 0, 0x68));
+        break;
+      case MOp::FtoI:
+        put32(out, rvWord(kRvOpFp, mi.rd, 0, mi.ra, 0, 0x60));
+        break;
+      case MOp::Magic:
+        put32(out, rvIType(kRvSystem, 0, 0, 0, 0x700 | mi.subop));
+        break;
+      default:
+        fatal("riscv encode: MOp %d not encodable",
+              static_cast<int>(mi.op));
+    }
+}
+
+DecodeResult
+decodeRiscvCompressed(u32 half)
+{
+    DecodeResult r;
+    r.length = 2;
+    MInst &mi = r.mi;
+    const u32 q = half & 3;
+    const u32 f3 = (half >> 13) & 7;
+    const u32 bit12 = (half >> 12) & 1;
+    if (q == 0) {
+        const u32 rs1 = 8 + ((half >> 7) & 7);
+        const u32 rlo = 8 + ((half >> 2) & 7);
+        const u32 uimm = (((half >> 10) & 7) << 3) |
+                         (((half >> 5) & 3) << 6);
+        if (f3 == 2) {
+            mi = {.op = MOp::Ld, .rd = static_cast<u8>(rlo),
+                  .ra = static_cast<u8>(rs1), .size = 8,
+                  .imm = static_cast<i64>(uimm)};
+            return r;
+        }
+        if (f3 == 3) {
+            mi = {.op = MOp::St, .ra = static_cast<u8>(rs1),
+                  .rb = static_cast<u8>(rlo), .size = 8,
+                  .imm = static_cast<i64>(uimm)};
+            return r;
+        }
+        r.illegal = true;
+        return r;
+    }
+    if (q == 1) {
+        const u32 rd = (half >> 7) & 0x1f;
+        const i64 imm6 = sext((bit12 << 5) | ((half >> 2) & 0x1f), 6);
+        if (f3 == 0) {
+            if (rd == 0) {
+                if (imm6 == 0) {
+                    mi = {.op = MOp::Nop};
+                    return r;
+                }
+                r.illegal = true;
+                return r;
+            }
+            mi = {.op = MOp::AddI, .rd = static_cast<u8>(rd),
+                  .ra = static_cast<u8>(rd), .imm = imm6};
+            return r;
+        }
+        if (f3 == 2) {
+            if (rd == 0) {
+                r.illegal = true;
+                return r;
+            }
+            mi = {.op = MOp::AddI, .rd = static_cast<u8>(rd), .ra = 0,
+                  .imm = imm6};
+            return r;
+        }
+        if (f3 == 5) {
+            const i64 disp =
+                sext((bit12 << 10) | ((half >> 2) & 0x3ff), 11) << 1;
+            mi = {.op = MOp::Jmp, .imm = disp};
+            return r;
+        }
+        if (f3 == 6 || f3 == 7) {
+            const u32 rs1 = 8 + ((half >> 7) & 7);
+            const i64 disp = sext((bit12 << 7) |
+                                  (((half >> 10) & 3) << 5) |
+                                  ((half >> 2) & 0x1f), 8) << 1;
+            mi = {.op = MOp::Br, .ra = static_cast<u8>(rs1), .rb = 0,
+                  .cond = f3 == 6 ? Cond::Eq : Cond::Ne, .imm = disp};
+            return r;
+        }
+        r.illegal = true;
+        return r;
+    }
+    // q == 2
+    if (f3 == 4) {
+        const u32 rd = (half >> 7) & 0x1f;
+        const u32 rs2 = (half >> 2) & 0x1f;
+        if (bit12 == 0) {
+            if (rd == 0) {
+                r.illegal = true;
+                return r;
+            }
+            if (rs2 != 0) {
+                mi = {.op = MOp::Mov, .rd = static_cast<u8>(rd),
+                      .ra = static_cast<u8>(rs2)};
+                return r;
+            }
+            if (rd == 1) {
+                mi = {.op = MOp::Ret};
+                return r;
+            }
+            mi = {.op = MOp::JmpR, .ra = static_cast<u8>(rd)};
+            return r;
+        }
+        if (rd != 0 && rs2 != 0) {
+            mi = {.op = MOp::Add, .rd = static_cast<u8>(rd),
+                  .ra = static_cast<u8>(rd),
+                  .rb = static_cast<u8>(rs2)};
+            return r;
+        }
+    }
+    r.illegal = true;
+    return r;
+}
+
+DecodeResult
+decodeRiscv(const u8 *p, std::size_t avail)
+{
+    DecodeResult r;
+    if (avail < 2) {
+        r.illegal = true;
+        r.length = 1;
+        return r;
+    }
+    const u32 half = p[0] | (p[1] << 8);
+    if ((half & 3) != 3)
+        return decodeRiscvCompressed(half);
+    if (avail < 4) {
+        r.illegal = true;
+        r.length = static_cast<u8>(avail);
+        return r;
+    }
+    const u32 w =
+        p[0] | (p[1] << 8) | (p[2] << 16) | (u32(p[3]) << 24);
+    r.length = 4;
+    MInst &mi = r.mi;
+    const u32 opc = (w >> 2) & 0x1f;
+    const u8 rd = (w >> 7) & 0x1f;
+    const u32 f3 = (w >> 12) & 7;
+    const u8 rs1 = (w >> 15) & 0x1f;
+    const u8 rs2 = (w >> 20) & 0x1f;
+    const u32 f7 = (w >> 25) & 0x7f;
+    const i64 iImm = sext(w >> 20, 12);
+    const i64 sImm = sext((f7 << 5) | rd, 12);
+
+    switch (opc) {
+      case kRvOp: {
+        mi.rd = rd;
+        mi.ra = rs1;
+        mi.rb = rs2;
+        const bool mext = f7 & 1;        // bit 25
+        const bool alt = (f7 >> 5) & 1;  // bit 30
+        // Remaining f7 bits intentionally ignored (decode masking).
+        if (mext) {
+            switch (f3) {
+              case 0: mi.op = MOp::Mul; return r;
+              case 4: mi.op = MOp::Div; return r;
+              case 5: mi.op = MOp::DivU; return r;
+              case 6: mi.op = MOp::Rem; return r;
+              case 7: mi.op = MOp::RemU; return r;
+              default: r.illegal = true; return r;
+            }
+        }
+        switch (f3) {
+          case 0: mi.op = alt ? MOp::Sub : MOp::Add; return r;
+          case 1: mi.op = MOp::Shl; return r;
+          case 2: mi.op = MOp::Slt; return r;
+          case 3: mi.op = MOp::SltU; return r;
+          case 4: mi.op = MOp::Xor; return r;
+          case 5: mi.op = alt ? MOp::Sra : MOp::Shr; return r;
+          case 6: mi.op = MOp::Or; return r;
+          case 7: mi.op = MOp::And; return r;
+        }
+        r.illegal = true;
+        return r;
+      }
+      case kRvOpImm: {
+        mi.rd = rd;
+        mi.ra = rs1;
+        mi.imm = iImm;
+        switch (f3) {
+          case 0: mi.op = MOp::AddI; return r;
+          case 1:
+            mi.op = MOp::ShlI;
+            mi.imm = (w >> 20) & 0x3f; // upper imm bits ignored
+            return r;
+          case 2: mi.op = MOp::SltI; return r;
+          case 3: mi.op = MOp::SltIU; return r;
+          case 4: mi.op = MOp::XorI; return r;
+          case 5:
+            mi.op = ((w >> 30) & 1) ? MOp::SraI : MOp::ShrI;
+            mi.imm = (w >> 20) & 0x3f;
+            return r;
+          case 6: mi.op = MOp::OrI; return r;
+          case 7: mi.op = MOp::AndI; return r;
+        }
+        r.illegal = true;
+        return r;
+      }
+      case kRvLoad: {
+        mi.rd = rd;
+        mi.ra = rs1;
+        mi.imm = iImm;
+        mi.op = MOp::Ld;
+        switch (f3) {
+          case 0: mi.size = 1; mi.sign = true; return r;
+          case 1: mi.size = 2; mi.sign = true; return r;
+          case 2: mi.size = 4; mi.sign = true; return r;
+          case 3: mi.size = 8; return r;
+          case 4: mi.size = 1; return r;
+          case 5: mi.size = 2; return r;
+          case 6: mi.size = 4; return r;
+          default: r.illegal = true; return r;
+        }
+      }
+      case kRvStore: {
+        mi.ra = rs1;
+        mi.rb = rs2;
+        mi.imm = sImm;
+        mi.op = MOp::St;
+        switch (f3) {
+          case 0: mi.size = 1; return r;
+          case 1: mi.size = 2; return r;
+          case 2: mi.size = 4; return r;
+          case 3: mi.size = 8; return r;
+          default: r.illegal = true; return r;
+        }
+      }
+      case kRvLoadFp:
+        if (f3 != 3) {
+            r.illegal = true;
+            return r;
+        }
+        mi = {.op = MOp::LdF, .rd = rd, .ra = rs1, .imm = iImm};
+        return r;
+      case kRvStoreFp:
+        if (f3 != 3) {
+            r.illegal = true;
+            return r;
+        }
+        mi = {.op = MOp::StF, .ra = rs1, .rb = rs2, .imm = sImm};
+        return r;
+      case kRvLui:
+        mi = {.op = MOp::Lui, .rd = rd,
+              .imm = sext(w & 0xfffff000u, 32)};
+        return r;
+      case kRvBranch: {
+        Cond cond;
+        switch (f3) {
+          case 0: cond = Cond::Eq; break;
+          case 1: cond = Cond::Ne; break;
+          case 4: cond = Cond::Lt; break;
+          case 5: cond = Cond::Ge; break;
+          case 6: cond = Cond::LtU; break;
+          case 7: cond = Cond::GeU; break;
+          default: r.illegal = true; return r;
+        }
+        mi = {.op = MOp::Br, .ra = rs1, .rb = rs2, .cond = cond,
+              .imm = sext((f7 << 5) | rd, 12) << 1};
+        return r;
+      }
+      case kRvJal: {
+        const i64 disp = sext(w >> 12, 20) << 1;
+        if (rd == 0) {
+            mi = {.op = MOp::Jmp, .imm = disp};
+        } else if (rd == 1) {
+            mi = {.op = MOp::Call, .imm = disp};
+        } else {
+            r.illegal = true;
+            return r;
+        }
+        return r;
+      }
+      case kRvJalr:
+        if (f3 != 0 || rd != 0 || iImm != 0) {
+            r.illegal = true;
+            return r;
+        }
+        if (rs1 == 1)
+            mi = {.op = MOp::Ret};
+        else
+            mi = {.op = MOp::JmpR, .ra = rs1};
+        return r;
+      case kRvOpFp: {
+        mi.rd = rd;
+        mi.ra = rs1;
+        mi.rb = rs2;
+        // f3 intentionally ignored for arithmetic (rounding mode).
+        switch (f7) {
+          case 0x00: mi.op = MOp::FAdd; return r;
+          case 0x04: mi.op = MOp::FSub; return r;
+          case 0x08: mi.op = MOp::FMul; return r;
+          case 0x0c: mi.op = MOp::FDiv; return r;
+          case 0x2c: mi.op = MOp::FSqrt; mi.rb = 0; return r;
+          case 0x10: mi.op = MOp::Mov; mi.fp = true; mi.rb = 0; return r;
+          case 0x50:
+            mi.op = MOp::FSet;
+            if (f3 == 0)
+                mi.cond = Cond::Le;
+            else if (f3 == 1)
+                mi.cond = Cond::Lt;
+            else if (f3 == 2)
+                mi.cond = Cond::Eq;
+            else {
+                r.illegal = true;
+                return r;
+            }
+            return r;
+          case 0x68: mi.op = MOp::ItoF; mi.rb = 0; return r;
+          case 0x60: mi.op = MOp::FtoI; mi.rb = 0; return r;
+          default: r.illegal = true; return r;
+        }
+      }
+      case kRvSystem: {
+        const u32 imm12 = w >> 20;
+        if (f3 == 0 && (imm12 & 0xf00) == 0x700 && (imm12 & 0xff) < 4) {
+            mi = {.op = MOp::Magic,
+                  .subop = static_cast<u8>(imm12 & 0xff)};
+            return r;
+        }
+        r.illegal = true;
+        return r;
+      }
+      default:
+        r.illegal = true;
+        return r;
+    }
+}
+
+// ===================================================================
+// ARM flavor
+// ===================================================================
+//
+// Fixed 32-bit words, major opcode in [31:26]. Every unused field is
+// validated as zero: bit flips almost never decode to the same or a
+// compatible instruction.
+
+constexpr u32 kArmAluRR = 0x01;
+constexpr u32 kArmAluImm = 0x02;
+constexpr u32 kArmCSel = 0x03;
+constexpr u32 kArmMovZ = 0x04;
+constexpr u32 kArmMovK = 0x05;
+constexpr u32 kArmSetCC = 0x06;
+constexpr u32 kArmLd = 0x08;
+constexpr u32 kArmSt = 0x09;
+constexpr u32 kArmLdF = 0x0a;
+constexpr u32 kArmStF = 0x0b;
+constexpr u32 kArmB = 0x10;
+constexpr u32 kArmBl = 0x11;
+constexpr u32 kArmBCond = 0x12;
+constexpr u32 kArmBr = 0x13;
+constexpr u32 kArmFp = 0x20;
+constexpr u32 kArmMagic = 0x3f;
+
+/// ALU register-register subops.
+int
+armAluSubop(MOp op)
+{
+    switch (op) {
+      case MOp::Add: return 0;
+      case MOp::Sub: return 1;
+      case MOp::Mul: return 2;
+      case MOp::Div: return 3;
+      case MOp::DivU: return 4;
+      case MOp::Rem: return 5;
+      case MOp::RemU: return 6;
+      case MOp::And: return 7;
+      case MOp::Or: return 8;
+      case MOp::Xor: return 9;
+      case MOp::Shl: return 10;
+      case MOp::Shr: return 11;
+      case MOp::Sra: return 12;
+      case MOp::Mov: return 13;
+      case MOp::Cmp: return 14;
+      default: return -1;
+    }
+}
+
+MOp
+armAluFromSubop(u32 subop)
+{
+    static const MOp table[] = {
+        MOp::Add, MOp::Sub, MOp::Mul, MOp::Div, MOp::DivU, MOp::Rem,
+        MOp::RemU, MOp::And, MOp::Or, MOp::Xor, MOp::Shl, MOp::Shr,
+        MOp::Sra, MOp::Mov, MOp::Cmp,
+    };
+    return subop < 15 ? table[subop] : MOp::Illegal;
+}
+
+int
+armAluImmSubop(MOp op)
+{
+    switch (op) {
+      case MOp::AddI: return 0;
+      case MOp::AndI: return 1;
+      case MOp::OrI: return 2;
+      case MOp::XorI: return 3;
+      case MOp::ShlI: return 4;
+      case MOp::ShrI: return 5;
+      case MOp::SraI: return 6;
+      case MOp::CmpI: return 7;
+      default: return -1;
+    }
+}
+
+void
+encodeArm(const MInst &mi, std::vector<u8> &out)
+{
+    auto emit = [&](u32 major, u32 body) {
+        put32(out, (major << 26) | body);
+    };
+    switch (mi.op) {
+      case MOp::Nop:
+        // MOV x0, x0 is the canonical NOP in this flavor.
+        emit(kArmAluRR, (13u << 15) | (0u << 5) | 0u);
+        break;
+      case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::Div:
+      case MOp::DivU: case MOp::Rem: case MOp::RemU: case MOp::And:
+      case MOp::Or: case MOp::Xor: case MOp::Shl: case MOp::Shr:
+      case MOp::Sra:
+        emit(kArmAluRR, (u32(armAluSubop(mi.op)) << 15) |
+                            (u32(mi.rb) << 10) | (u32(mi.ra) << 5) |
+                            mi.rd);
+        break;
+      case MOp::Mov:
+        if (mi.fp)
+            emit(kArmFp, (8u << 21) | (u32(mi.ra) << 5) | mi.rd);
+        else
+            emit(kArmAluRR, (13u << 15) | (u32(mi.ra) << 5) | mi.rd);
+        break;
+      case MOp::Cmp:
+        emit(kArmAluRR, (14u << 15) | (u32(mi.rb) << 10) |
+                            (u32(mi.ra) << 5));
+        break;
+      case MOp::AddI: case MOp::AndI: case MOp::OrI: case MOp::XorI:
+      case MOp::CmpI: {
+        if (!fitsSigned(mi.imm, 12))
+            fatal("arm encode: imm %lld does not fit",
+                  static_cast<long long>(mi.imm));
+        emit(kArmAluImm, (u32(armAluImmSubop(mi.op)) << 22) |
+                             (u32(mi.imm & 0xfff) << 10) |
+                             (u32(mi.ra) << 5) | mi.rd);
+        break;
+      }
+      case MOp::ShlI: case MOp::ShrI: case MOp::SraI:
+        emit(kArmAluImm, (u32(armAluImmSubop(mi.op)) << 22) |
+                             (u32(mi.imm & 0x3f) << 10) |
+                             (u32(mi.ra) << 5) | mi.rd);
+        break;
+      case MOp::CSel:
+        emit(kArmCSel, (u32(mi.cond) << 21) | (u32(mi.rb) << 10) |
+                           (u32(mi.ra) << 5) | mi.rd);
+        break;
+      case MOp::MovZ:
+      case MOp::MovK:
+        emit(mi.op == MOp::MovZ ? kArmMovZ : kArmMovK,
+             (u32(mi.subop & 3) << 21) |
+                 (u32(mi.imm & 0xffff) << 5) | mi.rd);
+        break;
+      case MOp::SetCC:
+        emit(kArmSetCC, (u32(mi.cond) << 21) | mi.rd);
+        break;
+      case MOp::Ld: {
+        const u32 szLog = log2i(mi.size);
+        const i64 scaled = mi.imm >> szLog;
+        if (mi.imm < 0 || (mi.imm & (mi.size - 1)) || scaled > 0xfff)
+            fatal("arm encode: load offset %lld not encodable",
+                  static_cast<long long>(mi.imm));
+        emit(kArmLd, (u32(mi.sign) << 25) | (szLog << 23) |
+                         (u32(scaled) << 10) | (u32(mi.ra) << 5) |
+                         mi.rd);
+        break;
+      }
+      case MOp::St: {
+        const u32 szLog = log2i(mi.size);
+        const i64 scaled = mi.imm >> szLog;
+        if (mi.imm < 0 || (mi.imm & (mi.size - 1)) || scaled > 0xfff)
+            fatal("arm encode: store offset %lld not encodable",
+                  static_cast<long long>(mi.imm));
+        emit(kArmSt, (szLog << 23) | (u32(scaled) << 10) |
+                         (u32(mi.ra) << 5) | mi.rb);
+        break;
+      }
+      case MOp::LdF: case MOp::StF: {
+        const i64 scaled = mi.imm >> 3;
+        if (mi.imm < 0 || (mi.imm & 7) || scaled > 0xfff)
+            fatal("arm encode: fp offset %lld not encodable",
+                  static_cast<long long>(mi.imm));
+        const u32 rt = mi.op == MOp::LdF ? mi.rd : mi.rb;
+        emit(mi.op == MOp::LdF ? kArmLdF : kArmStF,
+             (u32(scaled) << 10) | (u32(mi.ra) << 5) | rt);
+        break;
+      }
+      case MOp::Jmp:
+      case MOp::Call:
+        if (!fitsSigned(mi.imm, 28) || (mi.imm & 3))
+            fatal("arm encode: branch displacement out of range");
+        emit(mi.op == MOp::Jmp ? kArmB : kArmBl,
+             (mi.imm >> 2) & 0x3ffffff);
+        break;
+      case MOp::Br:
+        if (!fitsSigned(mi.imm, 24) || (mi.imm & 3))
+            fatal("arm encode: cond branch displacement out of range");
+        emit(kArmBCond,
+             (u32(mi.cond) << 22) | ((mi.imm >> 2) & 0x3fffff));
+        break;
+      case MOp::JmpR:
+        emit(kArmBr, u32(mi.ra) << 5);
+        break;
+      case MOp::Ret:
+        emit(kArmBr, 30u << 5);
+        break;
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv: {
+        const u32 sub = mi.op == MOp::FAdd ? 0 : mi.op == MOp::FSub ? 1
+                        : mi.op == MOp::FMul ? 2 : 3;
+        emit(kArmFp, (sub << 21) | (u32(mi.rb) << 10) |
+                         (u32(mi.ra) << 5) | mi.rd);
+        break;
+      }
+      case MOp::FSqrt:
+        emit(kArmFp, (4u << 21) | (u32(mi.ra) << 5) | mi.rd);
+        break;
+      case MOp::FCmp:
+        emit(kArmFp, (5u << 21) | (u32(mi.rb) << 10) |
+                         (u32(mi.ra) << 5));
+        break;
+      case MOp::ItoF:
+        emit(kArmFp, (6u << 21) | (u32(mi.ra) << 5) | mi.rd);
+        break;
+      case MOp::FtoI:
+        emit(kArmFp, (7u << 21) | (u32(mi.ra) << 5) | mi.rd);
+        break;
+      case MOp::Magic:
+        emit(kArmMagic, mi.subop);
+        break;
+      default:
+        fatal("arm encode: MOp %d not encodable",
+              static_cast<int>(mi.op));
+    }
+}
+
+DecodeResult
+decodeArm(const u8 *p, std::size_t avail)
+{
+    DecodeResult r;
+    if (avail < 4) {
+        r.illegal = true;
+        r.length = static_cast<u8>(avail ? avail : 1);
+        return r;
+    }
+    const u32 w =
+        p[0] | (p[1] << 8) | (p[2] << 16) | (u32(p[3]) << 24);
+    r.length = 4;
+    MInst &mi = r.mi;
+    const u32 major = w >> 26;
+    const u8 rd = w & 0x1f;
+    const u8 rn = (w >> 5) & 0x1f;
+    const u8 rm = (w >> 10) & 0x1f;
+
+    auto requireZero = [&](u32 mask) {
+        if (w & mask)
+            r.illegal = true;
+    };
+
+    switch (major) {
+      case kArmAluRR: {
+        const u32 subop = (w >> 15) & 0x3f;
+        requireZero(0x03e0'0000); // bits [25:21]
+        const MOp op = armAluFromSubop(subop);
+        if (op == MOp::Illegal || r.illegal) {
+            r.illegal = true;
+            return r;
+        }
+        mi.op = op;
+        mi.rd = rd;
+        mi.ra = rn;
+        mi.rb = rm;
+        if (op == MOp::Mov) {
+            if (rm != 0) {
+                r.illegal = true;
+                return r;
+            }
+            mi.rb = 0;
+        }
+        if (op == MOp::Cmp && rd != 0) {
+            r.illegal = true;
+            return r;
+        }
+        return r;
+      }
+      case kArmAluImm: {
+        const u32 subop = (w >> 22) & 0xf;
+        const i64 imm = sext((w >> 10) & 0xfff, 12);
+        mi.rd = rd;
+        mi.ra = rn;
+        mi.imm = imm;
+        switch (subop) {
+          case 0: mi.op = MOp::AddI; return r;
+          case 1: mi.op = MOp::AndI; return r;
+          case 2: mi.op = MOp::OrI; return r;
+          case 3: mi.op = MOp::XorI; return r;
+          case 4: case 5: case 6:
+            // shifts: shamt in [15:10], bits [21:16] must be zero
+            if ((w >> 16) & 0x3f) {
+                r.illegal = true;
+                return r;
+            }
+            mi.op = subop == 4 ? MOp::ShlI
+                    : subop == 5 ? MOp::ShrI : MOp::SraI;
+            mi.imm = (w >> 10) & 0x3f;
+            return r;
+          case 7:
+            if (rd != 0) {
+                r.illegal = true;
+                return r;
+            }
+            mi.op = MOp::CmpI;
+            return r;
+          default:
+            r.illegal = true;
+            return r;
+        }
+      }
+      case kArmCSel: {
+        const u32 cond = (w >> 21) & 0xf;
+        requireZero(0x0200'0000 | (0x3fu << 15));
+        if (cond >= kNumConds || r.illegal) {
+            r.illegal = true;
+            return r;
+        }
+        mi = {.op = MOp::CSel, .rd = rd, .ra = rn, .rb = rm,
+              .cond = static_cast<Cond>(cond)};
+        return r;
+      }
+      case kArmMovZ:
+      case kArmMovK: {
+        requireZero(0x0380'0000); // bits [25:23]
+        if (r.illegal)
+            return r;
+        mi = {.op = major == kArmMovZ ? MOp::MovZ : MOp::MovK,
+              .rd = rd, .subop = static_cast<u8>((w >> 21) & 3),
+              .imm = static_cast<i64>((w >> 5) & 0xffff)};
+        return r;
+      }
+      case kArmSetCC: {
+        const u32 cond = (w >> 21) & 0xf;
+        requireZero(0x0200'0000 | (0xffffu << 5));
+        if (cond >= kNumConds || r.illegal) {
+            r.illegal = true;
+            return r;
+        }
+        mi = {.op = MOp::SetCC, .rd = rd,
+              .cond = static_cast<Cond>(cond)};
+        return r;
+      }
+      case kArmLd: {
+        const u32 szLog = (w >> 23) & 3;
+        const bool sign = (w >> 25) & 1;
+        if (sign && szLog == 3) {
+            r.illegal = true;
+            return r;
+        }
+        mi = {.op = MOp::Ld, .rd = rd, .ra = rn,
+              .size = static_cast<u8>(1u << szLog), .sign = sign,
+              .imm = static_cast<i64>(((w >> 10) & 0xfff) << szLog)};
+        return r;
+      }
+      case kArmSt: {
+        const u32 szLog = (w >> 23) & 3;
+        requireZero(0x0200'0000);
+        if (r.illegal)
+            return r;
+        mi = {.op = MOp::St, .ra = rn, .rb = rd,
+              .size = static_cast<u8>(1u << szLog),
+              .imm = static_cast<i64>(((w >> 10) & 0xfff) << szLog)};
+        return r;
+      }
+      case kArmLdF:
+      case kArmStF: {
+        requireZero(0x03c0'0000); // bits [25:22]
+        if (r.illegal)
+            return r;
+        const i64 imm = static_cast<i64>(((w >> 10) & 0xfff) << 3);
+        if (major == kArmLdF)
+            mi = {.op = MOp::LdF, .rd = rd, .ra = rn, .imm = imm};
+        else
+            mi = {.op = MOp::StF, .ra = rn, .rb = rd, .imm = imm};
+        return r;
+      }
+      case kArmB:
+      case kArmBl:
+        mi = {.op = major == kArmB ? MOp::Jmp : MOp::Call,
+              .imm = sext(w & 0x3ffffff, 26) << 2};
+        return r;
+      case kArmBCond: {
+        const u32 cond = (w >> 22) & 0xf;
+        if (cond >= kNumConds) {
+            r.illegal = true;
+            return r;
+        }
+        mi = {.op = MOp::Br, .cond = static_cast<Cond>(cond),
+              .imm = sext(w & 0x3fffff, 22) << 2};
+        return r;
+      }
+      case kArmBr:
+        requireZero(0x03ff'fc00 | 0x1f);
+        if (r.illegal)
+            return r;
+        if (rn == 30)
+            mi = {.op = MOp::Ret};
+        else
+            mi = {.op = MOp::JmpR, .ra = rn};
+        return r;
+      case kArmFp: {
+        const u32 subop = (w >> 21) & 0x1f;
+        switch (subop) {
+          case 0: mi.op = MOp::FAdd; break;
+          case 1: mi.op = MOp::FSub; break;
+          case 2: mi.op = MOp::FMul; break;
+          case 3: mi.op = MOp::FDiv; break;
+          case 4: mi.op = MOp::FSqrt; break;
+          case 5: mi.op = MOp::FCmp; break;
+          case 6: mi.op = MOp::ItoF; break;
+          case 7: mi.op = MOp::FtoI; break;
+          case 8: mi.op = MOp::Mov; mi.fp = true; break;
+          default: r.illegal = true; return r;
+        }
+        requireZero(0x3fu << 15);
+        const bool unary = subop >= 4 && subop != 5;
+        if (unary)
+            requireZero(0x1fu << 10);
+        if (subop == 5 && rd != 0)
+            r.illegal = true;
+        if (r.illegal)
+            return r;
+        mi.rd = rd;
+        mi.ra = rn;
+        mi.rb = rm;
+        if (unary)
+            mi.rb = 0;
+        return r;
+      }
+      case kArmMagic:
+        if ((w & 0x3ffffff) >= 4) {
+            r.illegal = true;
+            return r;
+        }
+        mi = {.op = MOp::Magic, .subop = static_cast<u8>(w & 3)};
+        return r;
+      default:
+        r.illegal = true;
+        return r;
+    }
+}
+
+// ===================================================================
+// X86 flavor
+// ===================================================================
+//
+// Variable length: [REX?] opcode [opcode2] [modrm] [disp8/32] [imm].
+
+constexpr unsigned kX86AluCount = 13; // Add..Sra
+
+int
+x86AluIndex(MOp op)
+{
+    switch (op) {
+      case MOp::Add: return 0;
+      case MOp::Sub: return 1;
+      case MOp::Mul: return 2;
+      case MOp::Div: return 3;
+      case MOp::DivU: return 4;
+      case MOp::Rem: return 5;
+      case MOp::RemU: return 6;
+      case MOp::And: return 7;
+      case MOp::Or: return 8;
+      case MOp::Xor: return 9;
+      case MOp::Shl: return 10;
+      case MOp::Shr: return 11;
+      case MOp::Sra: return 12;
+      default: return -1;
+    }
+}
+
+MOp
+x86AluFromIndex(unsigned k)
+{
+    static const MOp table[kX86AluCount] = {
+        MOp::Add, MOp::Sub, MOp::Mul, MOp::Div, MOp::DivU, MOp::Rem,
+        MOp::RemU, MOp::And, MOp::Or, MOp::Xor, MOp::Shl, MOp::Shr,
+        MOp::Sra,
+    };
+    return table[k];
+}
+
+int
+x86AluImmIndex(MOp op)
+{
+    switch (op) {
+      case MOp::AddI: return 0;
+      case MOp::AndI: return 7;
+      case MOp::OrI: return 8;
+      case MOp::XorI: return 9;
+      case MOp::ShlI: return 10;
+      case MOp::ShrI: return 11;
+      case MOp::SraI: return 12;
+      default: return -1;
+    }
+}
+
+MOp
+x86AluImmFromIndex(unsigned k)
+{
+    switch (k) {
+      case 0: return MOp::AddI;
+      case 7: return MOp::AndI;
+      case 8: return MOp::OrI;
+      case 9: return MOp::XorI;
+      case 10: return MOp::ShlI;
+      case 11: return MOp::ShrI;
+      case 12: return MOp::SraI;
+      default: return MOp::Illegal;
+    }
+}
+
+int
+x86LoadIndex(unsigned size, bool sign)
+{
+    switch (size) {
+      case 1: return sign ? 1 : 0;
+      case 2: return sign ? 3 : 2;
+      case 4: return sign ? 5 : 4;
+      case 8: return 6;
+      default: return -1;
+    }
+}
+
+void
+putI32(std::vector<u8> &out, i64 v)
+{
+    const u32 u = static_cast<u32>(v);
+    out.push_back(u & 0xff);
+    out.push_back((u >> 8) & 0xff);
+    out.push_back((u >> 16) & 0xff);
+    out.push_back((u >> 24) & 0xff);
+}
+
+void
+putI64(std::vector<u8> &out, i64 v)
+{
+    const u64 u = static_cast<u64>(v);
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back((u >> (8 * i)) & 0xff);
+}
+
+/// Emit prefix (if needed) + opcode bytes + modrm for a reg/reg form.
+void
+x86EmitRR(std::vector<u8> &out, std::initializer_list<u8> opcode,
+          unsigned reg, unsigned rm)
+{
+    if (reg > 7 || rm > 7)
+        out.push_back(0x40 | ((reg > 7 ? 1u : 0u) << 2) |
+                      (rm > 7 ? 1u : 0u));
+    for (u8 b : opcode)
+        out.push_back(b);
+    out.push_back(0xc0 | ((reg & 7) << 3) | (rm & 7));
+}
+
+/// Emit prefix + opcode + modrm + disp for a reg, [base+disp] form.
+void
+x86EmitRM(std::vector<u8> &out, std::initializer_list<u8> opcode,
+          unsigned reg, unsigned base, i64 disp)
+{
+    if (reg > 7 || base > 7)
+        out.push_back(0x40 | ((reg > 7 ? 1u : 0u) << 2) |
+                      (base > 7 ? 1u : 0u));
+    for (u8 b : opcode)
+        out.push_back(b);
+    u8 mod;
+    if (disp == 0)
+        mod = 0;
+    else if (fitsSigned(disp, 8))
+        mod = 1;
+    else
+        mod = 2;
+    out.push_back((mod << 6) | ((reg & 7) << 3) | (base & 7));
+    if (mod == 1)
+        out.push_back(static_cast<u8>(disp));
+    else if (mod == 2)
+        putI32(out, disp);
+}
+
+void
+encodeX86(const MInst &mi, std::vector<u8> &out)
+{
+    switch (mi.op) {
+      case MOp::Nop:
+        out.push_back(0x90);
+        break;
+      case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::Div:
+      case MOp::DivU: case MOp::Rem: case MOp::RemU: case MOp::And:
+      case MOp::Or: case MOp::Xor: case MOp::Shl: case MOp::Shr:
+      case MOp::Sra:
+        if (mi.rd != mi.ra)
+            fatal("x86 encode: ALU rr requires rd == ra");
+        x86EmitRR(out, {static_cast<u8>(0x10 + x86AluIndex(mi.op))},
+                  mi.rb, mi.rd);
+        break;
+      case MOp::AluM:
+        x86EmitRM(out, {static_cast<u8>(0x20 + mi.subop)}, mi.rd,
+                  mi.ra, mi.imm);
+        break;
+      case MOp::AddI: case MOp::AndI: case MOp::OrI: case MOp::XorI:
+      case MOp::ShlI: case MOp::ShrI: case MOp::SraI:
+        if (mi.rd != mi.ra)
+            fatal("x86 encode: ALU imm requires rd == ra");
+        if (!fitsSigned(mi.imm, 32))
+            fatal("x86 encode: imm32 overflow");
+        if (fitsSigned(mi.imm, 8)) {
+            // Sign-extended imm8 form (real x86's 83 /r group).
+            x86EmitRR(out,
+                      {static_cast<u8>(0xa0 + x86AluImmIndex(mi.op))},
+                      0, mi.rd);
+            out.push_back(static_cast<u8>(mi.imm));
+        } else {
+            x86EmitRR(out,
+                      {static_cast<u8>(0x30 + x86AluImmIndex(mi.op))},
+                      0, mi.rd);
+            putI32(out, mi.imm);
+        }
+        break;
+      case MOp::Mov:
+        x86EmitRR(out, {static_cast<u8>(mi.fp ? 0x87 : 0x50)}, mi.ra,
+                  mi.rd);
+        break;
+      case MOp::MovImm64:
+        x86EmitRR(out, {0x51}, 0, mi.rd);
+        putI64(out, mi.imm);
+        break;
+      case MOp::MovImm32:
+        if (!fitsSigned(mi.imm, 32))
+            fatal("x86 encode: MovImm32 overflow");
+        x86EmitRR(out, {0x52}, 0, mi.rd);
+        putI32(out, mi.imm);
+        break;
+      case MOp::Ld:
+        x86EmitRM(out,
+                  {static_cast<u8>(
+                      0x54 + x86LoadIndex(mi.size, mi.sign))},
+                  mi.rd, mi.ra, mi.imm);
+        break;
+      case MOp::St: {
+        const unsigned j = mi.size == 1 ? 0 : mi.size == 2 ? 1
+                            : mi.size == 4 ? 2 : 3;
+        x86EmitRM(out, {static_cast<u8>(0x5b + j)}, mi.rb, mi.ra,
+                  mi.imm);
+        break;
+      }
+      case MOp::LdF:
+        x86EmitRM(out, {0x88}, mi.rd, mi.ra, mi.imm);
+        break;
+      case MOp::StF:
+        x86EmitRM(out, {0x89}, mi.rb, mi.ra, mi.imm);
+        break;
+      case MOp::Cmp:
+        x86EmitRR(out, {0x60}, mi.rb, mi.ra);
+        break;
+      case MOp::CmpI:
+        if (!fitsSigned(mi.imm, 32))
+            fatal("x86 encode: cmp imm32 overflow");
+        x86EmitRR(out, {0x61}, 0, mi.ra);
+        putI32(out, mi.imm);
+        break;
+      case MOp::FCmp:
+        x86EmitRR(out, {0x62}, mi.rb, mi.ra);
+        break;
+      case MOp::Jmp:
+        out.push_back(0x70);
+        putI32(out, mi.imm);
+        break;
+      case MOp::Call:
+        out.push_back(0x71);
+        putI32(out, mi.imm);
+        break;
+      case MOp::Ret:
+        out.push_back(0x72);
+        break;
+      case MOp::JmpR:
+        x86EmitRR(out, {0x73}, 0, mi.ra);
+        break;
+      case MOp::Br:
+        out.push_back(0x0f);
+        out.push_back(static_cast<u8>(0x80 + u8(mi.cond)));
+        putI32(out, mi.imm);
+        break;
+      case MOp::SetCC:
+        if (mi.rd > 7)
+            out.push_back(0x41);
+        out.push_back(0x0f);
+        out.push_back(static_cast<u8>(0x90 + u8(mi.cond)));
+        out.push_back(0xc0 | (mi.rd & 7));
+        break;
+      case MOp::CSel: {
+        if (mi.rd != mi.ra)
+            fatal("x86 encode: cmov requires rd == ra");
+        if (mi.rb > 7 || mi.rd > 7)
+            out.push_back(0x40 | ((mi.rb > 7 ? 1u : 0u) << 2) |
+                          (mi.rd > 7 ? 1u : 0u));
+        out.push_back(0x0f);
+        out.push_back(static_cast<u8>(0x40 + u8(mi.cond)));
+        out.push_back(0xc0 | ((mi.rb & 7) << 3) | (mi.rd & 7));
+        break;
+      }
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv: {
+        if (mi.rd != mi.ra)
+            fatal("x86 encode: FP rr requires rd == ra");
+        const unsigned k = mi.op == MOp::FAdd ? 0
+                           : mi.op == MOp::FSub ? 1
+                           : mi.op == MOp::FMul ? 2 : 3;
+        x86EmitRR(out, {static_cast<u8>(0x80 + k)}, mi.rb, mi.rd);
+        break;
+      }
+      case MOp::FSqrt:
+        x86EmitRR(out, {0x84}, mi.ra, mi.rd);
+        break;
+      case MOp::ItoF:
+        x86EmitRR(out, {0x85}, mi.ra, mi.rd);
+        break;
+      case MOp::FtoI:
+        x86EmitRR(out, {0x86}, mi.ra, mi.rd);
+        break;
+      case MOp::Magic:
+        out.push_back(0xf1);
+        out.push_back(mi.subop);
+        break;
+      default:
+        fatal("x86 encode: MOp %d not encodable",
+              static_cast<int>(mi.op));
+    }
+}
+
+DecodeResult
+decodeX86(const u8 *p, std::size_t avail)
+{
+    DecodeResult r;
+    r.length = 1;
+    MInst &mi = r.mi;
+    if (avail == 0) {
+        r.illegal = true;
+        return r;
+    }
+
+    std::size_t pos = 0;
+    unsigned regHi = 0;
+    unsigned rmHi = 0;
+    // Optional REX-like prefix: 0x40-0x4f; bits 1 and 3 are ignored.
+    if ((p[pos] & 0xf0) == 0x40) {
+        regHi = (p[pos] >> 2) & 1;
+        rmHi = p[pos] & 1;
+        ++pos;
+    }
+
+    auto fail = [&]() {
+        r.illegal = true;
+        r.mi = MInst{};
+        r.mi.op = MOp::Illegal;
+        r.length = static_cast<u8>(pos ? pos : 1);
+        return r;
+    };
+    if (pos >= avail)
+        return fail();
+    const u8 opc = p[pos++];
+
+    auto needBytes = [&](std::size_t n) { return pos + n <= avail; };
+    struct ModRm
+    {
+        u8 mod, reg, rm;
+        i64 disp;
+    };
+    auto readModRm = [&](ModRm &m) -> bool {
+        if (!needBytes(1))
+            return false;
+        const u8 b = p[pos++];
+        m.mod = b >> 6;
+        m.reg = ((b >> 3) & 7) | (regHi << 3);
+        m.rm = (b & 7) | (rmHi << 3);
+        m.disp = 0;
+        if (m.mod == 1) {
+            if (!needBytes(1))
+                return false;
+            m.disp = static_cast<i8>(p[pos++]);
+        } else if (m.mod == 2) {
+            if (!needBytes(4))
+                return false;
+            u32 v = p[pos] | (p[pos + 1] << 8) | (p[pos + 2] << 16) |
+                    (u32(p[pos + 3]) << 24);
+            pos += 4;
+            m.disp = static_cast<i32>(v);
+        }
+        return true;
+    };
+    auto readI32 = [&](i64 &v) -> bool {
+        if (!needBytes(4))
+            return false;
+        u32 u = p[pos] | (p[pos + 1] << 8) | (p[pos + 2] << 16) |
+                (u32(p[pos + 3]) << 24);
+        pos += 4;
+        v = static_cast<i32>(u);
+        return true;
+    };
+
+    auto finish = [&]() {
+        r.length = static_cast<u8>(pos);
+        return r;
+    };
+
+    // ALU rr: 0x10..0x1c
+    if (opc >= 0x10 && opc < 0x10 + kX86AluCount) {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3)
+            return fail();
+        mi.op = x86AluFromIndex(opc - 0x10);
+        mi.rd = m.rm;
+        mi.ra = m.rm;
+        mi.rb = m.reg;
+        return finish();
+    }
+    // ALU r, [m]: 0x20..0x2c
+    if (opc >= 0x20 && opc < 0x20 + kX86AluCount) {
+        ModRm m;
+        if (!readModRm(m) || m.mod == 3)
+            return fail();
+        mi.op = MOp::AluM;
+        mi.subop = opc - 0x20;
+        mi.rd = m.reg;
+        mi.ra = m.rm;
+        mi.imm = m.disp;
+        return finish();
+    }
+    // ALU r, imm32: 0x30..0x3c  (reg field ignored: decode masking)
+    if (opc >= 0x30 && opc < 0x30 + kX86AluCount) {
+        ModRm m;
+        i64 imm;
+        if (!readModRm(m) || m.mod != 3 || !readI32(imm))
+            return fail();
+        mi.op = x86AluImmFromIndex(opc - 0x30);
+        if (mi.op == MOp::Illegal)
+            return fail();
+        mi.rd = m.rm;
+        mi.ra = m.rm;
+        mi.imm = imm;
+        return finish();
+    }
+    // ALU r, imm8 (sign-extended): 0xa0..0xac
+    if (opc >= 0xa0 && opc < 0xa0 + kX86AluCount) {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3 || !needBytes(1))
+            return fail();
+        mi.op = x86AluImmFromIndex(opc - 0xa0);
+        if (mi.op == MOp::Illegal)
+            return fail();
+        mi.rd = m.rm;
+        mi.ra = m.rm;
+        mi.imm = static_cast<i8>(p[pos++]);
+        return finish();
+    }
+    switch (opc) {
+      case 0x50: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3)
+            return fail();
+        mi = {.op = MOp::Mov, .rd = m.rm, .ra = m.reg};
+        return finish();
+      }
+      case 0x51: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3 || !needBytes(8))
+            return fail();
+        u64 v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<u64>(p[pos + i]) << (8 * i);
+        pos += 8;
+        mi = {.op = MOp::MovImm64, .rd = m.rm,
+              .imm = static_cast<i64>(v)};
+        return finish();
+      }
+      case 0x52: {
+        ModRm m;
+        i64 imm;
+        if (!readModRm(m) || m.mod != 3 || !readI32(imm))
+            return fail();
+        mi = {.op = MOp::MovImm32, .rd = m.rm, .imm = imm};
+        return finish();
+      }
+      case 0x54: case 0x55: case 0x56: case 0x57:
+      case 0x58: case 0x59: case 0x5a: {
+        ModRm m;
+        if (!readModRm(m) || m.mod == 3)
+            return fail();
+        static const u8 sizes[7] = {1, 1, 2, 2, 4, 4, 8};
+        static const bool signs[7] = {false, true, false, true,
+                                      false, true, false};
+        const unsigned j = opc - 0x54;
+        mi = {.op = MOp::Ld, .rd = m.reg, .ra = m.rm,
+              .size = sizes[j], .sign = signs[j], .imm = m.disp};
+        return finish();
+      }
+      case 0x5b: case 0x5c: case 0x5d: case 0x5e: {
+        ModRm m;
+        if (!readModRm(m) || m.mod == 3)
+            return fail();
+        static const u8 sizes[4] = {1, 2, 4, 8};
+        mi = {.op = MOp::St, .ra = m.rm, .rb = m.reg,
+              .size = sizes[opc - 0x5b], .imm = m.disp};
+        return finish();
+      }
+      case 0x60: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3)
+            return fail();
+        mi = {.op = MOp::Cmp, .ra = m.rm, .rb = m.reg};
+        return finish();
+      }
+      case 0x61: {
+        ModRm m;
+        i64 imm;
+        if (!readModRm(m) || m.mod != 3 || !readI32(imm))
+            return fail();
+        mi = {.op = MOp::CmpI, .ra = m.rm, .imm = imm};
+        return finish();
+      }
+      case 0xae: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3 || !needBytes(1))
+            return fail();
+        mi = {.op = MOp::CmpI, .ra = m.rm,
+              .imm = static_cast<i8>(p[pos++])};
+        return finish();
+      }
+      case 0x62: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3)
+            return fail();
+        mi = {.op = MOp::FCmp, .ra = m.rm, .rb = m.reg};
+        return finish();
+      }
+      case 0x70: {
+        i64 imm;
+        if (!readI32(imm))
+            return fail();
+        mi = {.op = MOp::Jmp, .imm = imm};
+        return finish();
+      }
+      case 0x71: {
+        i64 imm;
+        if (!readI32(imm))
+            return fail();
+        mi = {.op = MOp::Call, .imm = imm};
+        return finish();
+      }
+      case 0x72:
+        mi = {.op = MOp::Ret};
+        return finish();
+      case 0x73: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3)
+            return fail();
+        mi = {.op = MOp::JmpR, .ra = m.rm};
+        return finish();
+      }
+      case 0x80: case 0x81: case 0x82: case 0x83: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3)
+            return fail();
+        static const MOp ops[4] = {MOp::FAdd, MOp::FSub, MOp::FMul,
+                                   MOp::FDiv};
+        mi.op = ops[opc - 0x80];
+        mi.rd = m.rm;
+        mi.ra = m.rm;
+        mi.rb = m.reg;
+        return finish();
+      }
+      case 0x84: case 0x85: case 0x86: case 0x87: {
+        ModRm m;
+        if (!readModRm(m) || m.mod != 3)
+            return fail();
+        static const MOp ops[4] = {MOp::FSqrt, MOp::ItoF, MOp::FtoI,
+                                   MOp::Mov};
+        mi.op = ops[opc - 0x84];
+        mi.rd = m.rm;
+        mi.ra = m.reg;
+        if (mi.op == MOp::Mov)
+            mi.fp = true;
+        return finish();
+      }
+      case 0x88: case 0x89: {
+        ModRm m;
+        if (!readModRm(m) || m.mod == 3)
+            return fail();
+        if (opc == 0x88)
+            mi = {.op = MOp::LdF, .rd = m.reg, .ra = m.rm,
+                  .imm = m.disp};
+        else
+            mi = {.op = MOp::StF, .ra = m.rm, .rb = m.reg,
+                  .imm = m.disp};
+        return finish();
+      }
+      case 0x90:
+        mi = {.op = MOp::Nop};
+        return finish();
+      case 0x0f: {
+        if (!needBytes(1))
+            return fail();
+        const u8 opc2 = p[pos++];
+        if (opc2 >= 0x80 && opc2 < 0x80 + kNumConds) {
+            i64 imm;
+            if (!readI32(imm))
+                return fail();
+            mi = {.op = MOp::Br,
+                  .cond = static_cast<Cond>(opc2 - 0x80), .imm = imm};
+            return finish();
+        }
+        if (opc2 >= 0x90 && opc2 < 0x90 + kNumConds) {
+            ModRm m;
+            if (!readModRm(m) || m.mod != 3)
+                return fail();
+            mi = {.op = MOp::SetCC, .rd = m.rm,
+                  .cond = static_cast<Cond>(opc2 - 0x90)};
+            return finish();
+        }
+        if (opc2 >= 0x40 && opc2 < 0x40 + kNumConds) {
+            ModRm m;
+            if (!readModRm(m) || m.mod != 3)
+                return fail();
+            mi = {.op = MOp::CSel, .rd = m.rm, .ra = m.rm,
+                  .rb = m.reg,
+                  .cond = static_cast<Cond>(opc2 - 0x40)};
+            return finish();
+        }
+        return fail();
+      }
+      case 0xf1: {
+        if (!needBytes(1))
+            return fail();
+        const u8 sub = p[pos++];
+        if (sub >= 4)
+            return fail();
+        mi = {.op = MOp::Magic, .subop = sub};
+        return finish();
+      }
+      default:
+        return fail();
+    }
+}
+
+} // namespace
+
+void
+encodeTo(IsaKind kind, const MInst &mi, std::vector<u8> &out,
+         bool allowCompressed)
+{
+    switch (kind) {
+      case IsaKind::RISCV:
+        encodeRiscv(mi, out, allowCompressed);
+        break;
+      case IsaKind::ARM:
+        encodeArm(mi, out);
+        break;
+      case IsaKind::X86:
+        encodeX86(mi, out);
+        break;
+    }
+}
+
+std::vector<u8>
+encode(IsaKind kind, const MInst &mi, bool allowCompressed)
+{
+    std::vector<u8> out;
+    encodeTo(kind, mi, out, allowCompressed);
+    return out;
+}
+
+DecodeResult
+decodeBytes(IsaKind kind, const u8 *bytes, std::size_t avail)
+{
+    switch (kind) {
+      case IsaKind::RISCV:
+        return decodeRiscv(bytes, avail);
+      case IsaKind::ARM:
+        return decodeArm(bytes, avail);
+      case IsaKind::X86:
+        return decodeX86(bytes, avail);
+    }
+    panic("decodeBytes: bad IsaKind");
+}
+
+} // namespace marvel::isa

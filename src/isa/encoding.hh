@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Byte-level instruction encoding and decoding for the three ISA flavors.
+ *
+ * These routines define the actual binary formats stored in simulated
+ * memory and fetched through the L1 instruction cache. Fault injection
+ * flips bits of these encodings, so the decoders must be *total*: any
+ * byte sequence decodes either to a legal MInst or to MOp::Illegal with
+ * a consumed length, never undefined behaviour.
+ *
+ * Flavor properties relevant to vulnerability (see DESIGN.md):
+ *  - RISCV: 4-byte base ISA + 2-byte compressed subset; several encoding
+ *    fields are ignored by the decoder (flips there are masked).
+ *  - ARM: fixed 4 bytes; must-be-zero fields are validated, so nearly
+ *    every bit is significant.
+ *  - X86: variable length 2..11 bytes: optional REX-like prefix, opcode,
+ *    modrm, displacement, immediate.
+ */
+
+#ifndef MARVEL_ISA_ENCODING_HH
+#define MARVEL_ISA_ENCODING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/minst.hh"
+
+namespace marvel::isa
+{
+
+/** Result of decoding one instruction from a byte stream. */
+struct DecodeResult
+{
+    MInst mi;
+    u8 length = 4;     ///< bytes consumed (always > 0)
+    bool illegal = false;
+};
+
+/**
+ * Encode one instruction, appending its bytes to `out`.
+ *
+ * fatal() if the MInst is not encodable in the flavor (codegen bug) or
+ * an immediate/displacement does not fit.
+ *
+ * @param allowCompressed  permit 2-byte RISCV forms (branch relaxation
+ *                         disables this per-instruction)
+ */
+void encodeTo(IsaKind kind, const MInst &mi, std::vector<u8> &out,
+              bool allowCompressed = true);
+
+/** Encode into a fresh byte vector. */
+std::vector<u8> encode(IsaKind kind, const MInst &mi,
+                       bool allowCompressed = true);
+
+/**
+ * Decode one instruction from `bytes` (at most `avail` readable bytes).
+ * Total: never fails; undecodable patterns yield MOp::Illegal.
+ */
+DecodeResult decodeBytes(IsaKind kind, const u8 *bytes,
+                         std::size_t avail);
+
+/** Maximum encoded instruction length of any flavor. */
+constexpr unsigned kMaxInstLength = 11;
+
+} // namespace marvel::isa
+
+#endif // MARVEL_ISA_ENCODING_HH

@@ -1,0 +1,236 @@
+#include "isa/isa.hh"
+
+#include "common/log.hh"
+
+namespace marvel::isa
+{
+
+const char *
+isaName(IsaKind kind)
+{
+    switch (kind) {
+      case IsaKind::RISCV: return "riscv";
+      case IsaKind::ARM: return "arm";
+      case IsaKind::X86: return "x86";
+    }
+    return "?";
+}
+
+IsaKind
+isaFromName(const std::string &name)
+{
+    if (name == "riscv")
+        return IsaKind::RISCV;
+    if (name == "arm")
+        return IsaKind::ARM;
+    if (name == "x86")
+        return IsaKind::X86;
+    fatal("unknown ISA '%s'", name.c_str());
+}
+
+namespace
+{
+
+IsaSpec
+makeRiscv()
+{
+    IsaSpec s{};
+    s.kind = IsaKind::RISCV;
+    s.name = "riscv";
+    s.numIntArchRegs = 32; // x0 hardwired zero
+    s.numFpArchRegs = 32;
+    s.numIntTemps = 0;
+    s.hasFlags = false;
+    s.hasZeroReg = true;
+    s.spReg = 2;   // x2
+    s.raReg = 1;   // x1
+    s.linkViaStack = false;
+    // Args a0-a7 = x10-x17; return a0.
+    s.intArgRegs = {10, 11, 12, 13, 14, 15, 16, 17};
+    s.intRetReg = 10;
+    s.fpArgRegs = {10, 11, 12, 13, 14, 15, 16, 17};
+    s.fpRetReg = 10;
+    // Callee-saved s0-s11 = x8, x9, x18-x27.
+    s.calleeSavedInt = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+    // Caller-saved allocatable: a0-a7, t3-t6 (x28-x31). t0-t2 (x5-7)
+    // are reserved as scratch.
+    s.callerSavedInt = {10, 11, 12, 13, 14, 15, 16, 17, 28, 29, 30, 31};
+    s.calleeSavedFp = {8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27};
+    s.callerSavedFp = {10, 11, 12, 13, 14, 15, 16, 17, 28, 29, 30, 31};
+    s.scratchInt[0] = 5;
+    s.scratchInt[1] = 6;
+    s.scratchInt[2] = 7;
+    s.scratchFp[0] = 5;
+    s.scratchFp[1] = 6;
+    s.storeDrainInterval = 1; // weak ordering, moderate drain
+    s.allowsUnaligned = false;
+    s.compressedCode = true;
+    s.funcAlign = 4;
+    return s;
+}
+
+IsaSpec
+makeArm()
+{
+    IsaSpec s{};
+    s.kind = IsaKind::ARM;
+    s.name = "arm";
+    s.numIntArchRegs = 32; // x0-x30 + SP as index 31
+    s.numFpArchRegs = 32;
+    s.numIntTemps = 0;
+    s.hasFlags = true;
+    s.hasZeroReg = false;
+    s.spReg = 31;
+    s.raReg = 30; // x30 = LR
+    s.linkViaStack = false;
+    s.intArgRegs = {0, 1, 2, 3, 4, 5, 6, 7};
+    s.intRetReg = 0;
+    s.fpArgRegs = {0, 1, 2, 3, 4, 5, 6, 7};
+    s.fpRetReg = 0;
+    s.calleeSavedInt = {19, 20, 21, 22, 23, 24, 25, 26, 27, 28};
+    // x9-x11 reserved as scratch; x0-x8, x12-x18 caller-saved pool.
+    s.callerSavedInt = {0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 13, 14, 15,
+                        16, 17, 18};
+    s.calleeSavedFp = {8, 9, 10, 11, 12, 13, 14, 15};
+    s.callerSavedFp = {0, 1, 2, 3, 4, 5, 6, 7, 18, 19, 20, 21, 22,
+                       23, 24, 25};
+    s.scratchInt[0] = 9;
+    s.scratchInt[1] = 10;
+    s.scratchInt[2] = 11;
+    s.scratchFp[0] = 16;
+    s.scratchFp[1] = 17;
+    s.storeDrainInterval = 0; // eager drain (weakest ordering)
+    s.allowsUnaligned = false;
+    s.compressedCode = false;
+    s.funcAlign = 16; // fetch-alignment padding enlarges footprint
+    return s;
+}
+
+IsaSpec
+makeX86()
+{
+    IsaSpec s{};
+    s.kind = IsaKind::X86;
+    s.name = "x86";
+    s.numIntArchRegs = 16;
+    s.numFpArchRegs = 16;
+    s.numIntTemps = 2; // micro-op cracking temporaries
+    s.hasFlags = true;
+    s.hasZeroReg = false;
+    s.spReg = 4; // rsp
+    s.raReg = 0; // unused
+    s.linkViaStack = true;
+    // SysV-ish: rdi, rsi, rdx, rcx, r8, r9.
+    s.intArgRegs = {7, 6, 2, 1, 8, 9};
+    s.intRetReg = 0; // rax
+    s.fpArgRegs = {0, 1, 2, 3, 4, 5, 6, 7};
+    s.fpRetReg = 0;
+    s.calleeSavedInt = {3, 5, 12, 13, 14, 15}; // rbx, rbp, r12-r15
+    // rax, rcx, rdx, rsi, rdi, r8, r9 caller-saved; r10, r11 scratch.
+    s.callerSavedInt = {0, 1, 2, 6, 7, 8, 9};
+    s.calleeSavedFp = {};
+    s.callerSavedFp = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+    s.scratchInt[0] = 10;
+    s.scratchInt[1] = 11;
+    s.scratchInt[2] = 10; // only two true scratch regs; reuse r10
+    s.scratchFp[0] = 14;
+    s.scratchFp[1] = 15;
+    s.storeDrainInterval = 4; // TSO: in-order, slow drain
+    s.allowsUnaligned = true;
+    s.compressedCode = false;
+    s.funcAlign = 4;
+    return s;
+}
+
+} // namespace
+
+const IsaSpec &
+isaSpec(IsaKind kind)
+{
+    static const IsaSpec riscv = makeRiscv();
+    static const IsaSpec arm = makeArm();
+    static const IsaSpec x86 = makeX86();
+    switch (kind) {
+      case IsaKind::RISCV: return riscv;
+      case IsaKind::ARM: return arm;
+      case IsaKind::X86: return x86;
+    }
+    panic("bad IsaKind %d", static_cast<int>(kind));
+}
+
+Cond
+invertCond(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return Cond::Ne;
+      case Cond::Ne: return Cond::Eq;
+      case Cond::Lt: return Cond::Ge;
+      case Cond::Le: return Cond::Gt;
+      case Cond::Gt: return Cond::Le;
+      case Cond::Ge: return Cond::Lt;
+      case Cond::LtU: return Cond::GeU;
+      case Cond::LeU: return Cond::GtU;
+      case Cond::GtU: return Cond::LeU;
+      case Cond::GeU: return Cond::LtU;
+    }
+    return Cond::Eq;
+}
+
+bool
+evalCond(Cond cond, u64 a, u64 b)
+{
+    const i64 sa = static_cast<i64>(a);
+    const i64 sb = static_cast<i64>(b);
+    switch (cond) {
+      case Cond::Eq: return a == b;
+      case Cond::Ne: return a != b;
+      case Cond::Lt: return sa < sb;
+      case Cond::Le: return sa <= sb;
+      case Cond::Gt: return sa > sb;
+      case Cond::Ge: return sa >= sb;
+      case Cond::LtU: return a < b;
+      case Cond::LeU: return a <= b;
+      case Cond::GtU: return a > b;
+      case Cond::GeU: return a >= b;
+    }
+    return false;
+}
+
+u64
+packFlags(u64 a, u64 b)
+{
+    u64 flags = 0;
+    for (unsigned c = 0; c < kNumConds; ++c)
+        if (evalCond(static_cast<Cond>(c), a, b))
+            flags |= 1ull << c;
+    return flags;
+}
+
+u64
+packFlagsF(double a, double b)
+{
+    u64 flags = 0;
+    auto set = [&](Cond c, bool v) {
+        if (v)
+            flags |= 1ull << static_cast<unsigned>(c);
+    };
+    set(Cond::Eq, a == b);
+    set(Cond::Ne, a != b);
+    set(Cond::Lt, a < b);
+    set(Cond::Le, a <= b);
+    set(Cond::Gt, a > b);
+    set(Cond::Ge, a >= b);
+    set(Cond::LtU, a < b);
+    set(Cond::LeU, a <= b);
+    set(Cond::GtU, a > b);
+    set(Cond::GeU, a >= b);
+    return flags;
+}
+
+bool
+testFlags(u64 flags, Cond cond)
+{
+    return (flags >> static_cast<unsigned>(cond)) & 1;
+}
+
+} // namespace marvel::isa

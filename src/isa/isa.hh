@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ISA flavor definitions.
+ *
+ * MARVEL models three 64-bit ISA flavors patterned on the three ISAs the
+ * paper evaluates. They are deliberately *mechanically* different in the
+ * dimensions that drive the paper's observations:
+ *
+ *  - RISCV: load/store ISA, 32 integer registers, fixed 4-byte encodings
+ *    plus 2-byte compressed forms (small code footprint), several encoding
+ *    fields ignored by the decoder (decode masking), weak memory ordering.
+ *  - ARM: load/store ISA, 31 integer registers + SP, fixed 4-byte
+ *    encodings where every field is validated (flips rarely masked),
+ *    flag-based compares, eager store drain (weak ordering).
+ *  - X86: two-address CISC flavor, 16 integer registers, variable-length
+ *    encodings (2-11 bytes), memory operands (load-op fusion in the
+ *    decoder), flag-based compares, TSO-style slow store drain.
+ */
+
+#ifndef MARVEL_ISA_ISA_HH
+#define MARVEL_ISA_ISA_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::isa
+{
+
+/** The three ISA flavors. */
+enum class IsaKind : u8 { RISCV = 0, ARM = 1, X86 = 2 };
+
+/** Number of ISA kinds (for iteration). */
+constexpr unsigned kNumIsas = 3;
+
+/** All ISA kinds, handy for sweeps. */
+constexpr IsaKind kAllIsas[kNumIsas] = {
+    IsaKind::RISCV, IsaKind::ARM, IsaKind::X86,
+};
+
+/** Short name: "riscv", "arm", "x86". */
+const char *isaName(IsaKind kind);
+
+/** Parse an ISA name; fatal() on unknown. */
+IsaKind isaFromName(const std::string &name);
+
+/**
+ * Static description of one ISA flavor: register files, calling
+ * convention, and microarchitecturally relevant behavioural knobs.
+ *
+ * Rename-visible integer register indices are laid out as:
+ *   [0, numIntArchRegs)                      architectural registers
+ *   numIntArchRegs .. +numIntTemps-1         decoder micro-temporaries
+ *   flagsReg (when hasFlags)                 condition flags register
+ */
+struct IsaSpec
+{
+    IsaKind kind;
+    const char *name;
+
+    // --- register files -------------------------------------------------
+    unsigned numIntArchRegs;  ///< programmer-visible integer registers
+    unsigned numFpArchRegs;   ///< programmer-visible FP registers
+    unsigned numIntTemps;     ///< decoder micro-temporaries (x86 cracking)
+    bool hasFlags;            ///< condition-flags pseudo register
+    bool hasZeroReg;          ///< register 0 reads as zero (RISCV)
+    unsigned spReg;           ///< stack pointer index
+    unsigned raReg;           ///< link register index (unused for X86)
+    bool linkViaStack;        ///< calls push the return address (X86)
+
+    // --- calling convention ----------------------------------------------
+    std::vector<unsigned> intArgRegs;
+    unsigned intRetReg;
+    std::vector<unsigned> fpArgRegs;
+    unsigned fpRetReg;
+    std::vector<unsigned> calleeSavedInt;
+    std::vector<unsigned> callerSavedInt; ///< allocatable caller-saved
+    std::vector<unsigned> calleeSavedFp;
+    std::vector<unsigned> callerSavedFp;
+    unsigned scratchInt[3];   ///< reserved for spill reload / materialization
+    unsigned scratchFp[2];
+
+    // --- behavioural knobs -----------------------------------------------
+    /**
+     * Cycles between draining consecutive retired stores from the store
+     * queue to the cache. Models the memory-ordering cost: TSO (X86)
+     * drains slowly and in order; ARM drains eagerly.
+     */
+    unsigned storeDrainInterval;
+
+    /** Unaligned accesses allowed (X86) or architectural fault. */
+    bool allowsUnaligned;
+
+    /** Emit 2-byte compressed encodings where possible (RISCV). */
+    bool compressedCode;
+
+    /** Function entry alignment in bytes (ARM pads more). */
+    unsigned funcAlign;
+
+    // --- derived ----------------------------------------------------------
+    /** Total rename-visible integer registers (arch + temps + flags). */
+    unsigned
+    numIntRenameRegs() const
+    {
+        return numIntArchRegs + numIntTemps + (hasFlags ? 1 : 0);
+    }
+
+    /** Total rename-visible FP registers. */
+    unsigned numFpRenameRegs() const { return numFpArchRegs; }
+
+    /** Index of the flags pseudo register. */
+    unsigned flagsReg() const { return numIntArchRegs + numIntTemps; }
+
+    /** Index of decoder micro-temp t (t < numIntTemps). */
+    unsigned tempReg(unsigned t) const { return numIntArchRegs + t; }
+};
+
+/** Immutable spec for a flavor. */
+const IsaSpec &isaSpec(IsaKind kind);
+
+/** Condition codes shared by all flavors. */
+enum class Cond : u8
+{
+    Eq, Ne, Lt, Le, Gt, Ge, LtU, LeU, GtU, GeU,
+};
+
+/** Number of condition codes. */
+constexpr unsigned kNumConds = 10;
+
+/** Negate a condition. */
+Cond invertCond(Cond cond);
+
+/** Evaluate cond over two signed/unsigned operands. */
+bool evalCond(Cond cond, u64 a, u64 b);
+
+/**
+ * FLAGS register value: bit i set iff condition i holds for the compared
+ * operands. Computed by Cmp/FCmp micro-ops; tested by Bcc/SetCC/CSel.
+ */
+u64 packFlags(u64 a, u64 b);
+
+/** FLAGS for a floating-point compare. */
+u64 packFlagsF(double a, double b);
+
+/** Test a condition against a packed FLAGS value. */
+bool testFlags(u64 flags, Cond cond);
+
+} // namespace marvel::isa
+
+#endif // MARVEL_ISA_ISA_HH

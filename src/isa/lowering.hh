@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Internal interface between the lowering pass (codegen.cc) and the
+ * emission pass (program.cc).
+ */
+
+#ifndef MARVEL_ISA_LOWERING_HH
+#define MARVEL_ISA_LOWERING_HH
+
+#include <vector>
+
+#include "isa/codegen.hh"
+
+namespace marvel::isa
+{
+
+/** A module lowered to LInst form, plus its constant pool. */
+struct LoweredModule
+{
+    std::vector<LFunc> funcs;   ///< parallel to module.functions
+    mir::DataLayout layout;     ///< global addresses (kDataBase-based)
+    Addr poolBase = 0;          ///< constant pool address
+    std::vector<u8> poolBytes;  ///< constant pool payload
+};
+
+/** Lower a verified MIR module for one flavor. */
+LoweredModule lowerModule(const mir::Module &module, IsaKind kind);
+
+} // namespace marvel::isa
+
+#endif // MARVEL_ISA_LOWERING_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The assembly-level machine instruction repertoire.
+ *
+ * Each ISA flavor encodes a (per-flavor legal) subset of this repertoire
+ * into its own byte format. The code generators emit MInst sequences; the
+ * encoders turn them into bytes; the decoders recover MInsts from bytes
+ * and crack them into micro-ops (see uop.hh).
+ */
+
+#ifndef MARVEL_ISA_MINST_HH
+#define MARVEL_ISA_MINST_HH
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace marvel::isa
+{
+
+/** Assembly-level opcode. Not every op is legal in every flavor. */
+enum class MOp : u8
+{
+    Nop,
+
+    // Integer ALU, register-register. Three-address for RISCV/ARM;
+    // the X86 encoder requires rd == ra (two-address form).
+    Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, Sra,
+
+    // Integer ALU, register-immediate (rd = ra op imm).
+    AddI, AndI, OrI, XorI, ShlI, ShrI, SraI,
+
+    // RISCV set-less-than (rd = ra < rb / imm).
+    Slt, SltU, SltI, SltIU,
+
+    // Constant materialization (per-flavor):
+    Lui,       ///< RISCV: rd = sext(imm20 << 12)
+    MovZ,      ///< ARM: rd = imm16 << (16*hw);  hw in subop
+    MovK,      ///< ARM: rd |= imm16 << (16*hw)
+    MovImm32,  ///< X86: rd = sext(imm32)
+    MovImm64,  ///< X86: rd = imm64
+
+    Mov,       ///< rd = ra (int or fp per `fp` flag)
+
+    // Flag-based compares (ARM/X86).
+    Cmp,       ///< flags = compare(ra, rb)
+    CmpI,      ///< flags = compare(ra, imm)
+    FCmp,      ///< flags = compare(fa, fb)
+    SetCC,     ///< rd = cond(flags) ? 1 : 0
+    CSel,      ///< ARM: rd = cond ? ra : rb; X86 CMOV: rd = cond ? rb : rd
+
+    // RISCV float compares writing an integer register.
+    FSet,      ///< rd = cond(fa, fb); cond in {Eq, Lt, Le}
+
+    // Memory. Effective address = ra + imm. size in {1,2,4,8}.
+    Ld,        ///< rd = mem[ra+imm], zero- or sign-extended per `sign`
+    St,        ///< mem[ra+imm] = rb
+    LdF,       ///< fp load (8 bytes)
+    StF,       ///< fp store
+
+    // X86 load-op: rd = rd aluop mem[ra+imm]; aluop in subop (MOp::Add..).
+    AluM,
+
+    // Control flow. Branch displacements are relative to the
+    // *instruction start* address.
+    Br,        ///< RISCV: if cond(ra, rb) pc += imm.
+               ///< ARM/X86: if cond(flags) pc += imm.
+    Jmp,       ///< pc += imm
+    JmpR,      ///< pc = ra (indirect; RISCV jalr x0 / ARM br / X86 jmp r)
+    Call,      ///< direct call, pc += imm; links per flavor
+    Ret,       ///< return per flavor
+
+    // Floating point (F64).
+    FAdd, FSub, FMul, FDiv, FSqrt, ItoF, FtoI,
+
+    // Simulation magic (m5-style). subop = MagicOp.
+    Magic,
+
+    // Decoder-only: an undecodable byte pattern. Raises an
+    // illegal-instruction fault at commit.
+    Illegal,
+};
+
+/** Magic pseudo-instruction subcodes. */
+enum class MagicOp : u8
+{
+    Checkpoint = 0, ///< begin fault-injection window (m5_checkpoint)
+    SwitchCpu = 1,  ///< end fault-injection window (m5_switch_cpu)
+    WaitIrq = 2,    ///< stall until an external interrupt is pending
+    Nop = 3,
+};
+
+/** One assembly-level instruction. */
+struct MInst
+{
+    MOp op = MOp::Nop;
+    u8 rd = 0;
+    u8 ra = 0;
+    u8 rb = 0;
+    Cond cond = Cond::Eq;
+    u8 size = 8;     ///< load/store access size
+    bool sign = false;
+    bool fp = false; ///< Mov between FP registers
+    u8 subop = 0;    ///< AluM alu op / MovZ-MovK halfword / MagicOp
+    i64 imm = 0;
+};
+
+/** Mnemonic for debugging output. */
+const char *mopName(MOp op);
+
+} // namespace marvel::isa
+
+#endif // MARVEL_ISA_MINST_HH

@@ -1,0 +1,843 @@
+#include "isa/codegen.hh"
+
+#include <cstring>
+#include <sstream>
+#include <tuple>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "common/memmap.hh"
+#include "isa/encoding.hh"
+#include "isa/lowering.hh"
+#include "isa/regalloc.hh"
+
+namespace marvel::isa
+{
+
+namespace
+{
+
+/** An instruction awaiting final displacement resolution. */
+struct EmitInst
+{
+    MInst mi;
+    i32 blockTarget = -1; ///< branch target (lowered block id)
+    i32 callTarget = -1;  ///< callee function id
+};
+
+/** Encoded function with pending cross-function call patches. */
+struct FuncImage
+{
+    std::vector<u8> bytes;
+    /** (byte offset of call inst, callee id, encoded length). */
+    std::vector<std::tuple<u32, i32, u32>> callPatches;
+    u64 numInsts = 0;
+    u64 numCompressed = 0;
+};
+
+bool
+mopCommutative(MOp op)
+{
+    switch (op) {
+      case MOp::Add: case MOp::Mul: case MOp::And: case MOp::Or:
+      case MOp::Xor: case MOp::FAdd: case MOp::FMul:
+        return true;
+      default:
+        return false;
+    }
+}
+
+
+
+
+/** Rewrites one function after register allocation into EmitInsts. */
+class FuncEmitter
+{
+  public:
+    FuncEmitter(const IsaSpec &isa, const LFunc &fn,
+                const Allocation &alloc)
+        : spec(isa), lf(fn), ra(alloc)
+    {
+    }
+
+    std::vector<EmitInst> out;
+    std::vector<u32> blockFirst; ///< block id -> index into out
+
+    void
+    run()
+    {
+        computeFrame();
+        emitPrologue();
+        blockFirst.assign(lf.blocks.size(), 0);
+        for (std::size_t b = 0; b < lf.blocks.size(); ++b) {
+            blockFirst[b] = static_cast<u32>(out.size());
+            emitBlock(lf.blocks[b]);
+        }
+        // Guard against fallthrough off the end of a function.
+        if (lf.blocks.empty() ||
+            lf.blocks.back().insts.empty() ||
+            lf.blocks.back().insts.back().op != MOp::Ret) {
+            // Blocks always end in terminators (verified MIR), so the
+            // last lowered block ends in Ret/Jmp; nothing to do for Jmp.
+        }
+    }
+
+    unsigned frameSize = 0;
+
+  private:
+    // --- frame --------------------------------------------------------
+    bool
+    needsRaSave() const
+    {
+        return !lf.isLeaf && !spec.linkViaStack;
+    }
+
+    void
+    computeFrame()
+    {
+        savedInt = ra.usedCalleeInt;
+        savedFp = ra.usedCalleeFp;
+        const unsigned slots = ra.numSlots + savedInt.size() +
+                               savedFp.size() + (needsRaSave() ? 1 : 0);
+        frameSize = alignUp(8ull * slots, 16);
+    }
+
+    i64
+    slotOffset(i32 slot) const
+    {
+        return 8ll * slot;
+    }
+
+    i64
+    saveOffset(unsigned idx) const
+    {
+        return 8ll * (ra.numSlots + idx);
+    }
+
+    void
+    emitPrologue()
+    {
+        const u8 sp = static_cast<u8>(spec.spReg);
+        if (frameSize == 0 && savedInt.empty() && savedFp.empty() &&
+            !needsRaSave())
+            return;
+        push({.op = MOp::AddI, .rd = sp, .ra = sp,
+              .imm = -static_cast<i64>(frameSize)});
+        unsigned idx = 0;
+        for (unsigned r : savedInt)
+            push({.op = MOp::St, .ra = sp, .rb = static_cast<u8>(r),
+                  .size = 8, .imm = saveOffset(idx++)});
+        for (unsigned r : savedFp)
+            push({.op = MOp::StF, .ra = sp, .rb = static_cast<u8>(r),
+                  .imm = saveOffset(idx++)});
+        if (needsRaSave())
+            push({.op = MOp::St, .ra = sp,
+                  .rb = static_cast<u8>(spec.raReg), .size = 8,
+                  .imm = saveOffset(idx++)});
+    }
+
+    void
+    emitEpilogue()
+    {
+        const u8 sp = static_cast<u8>(spec.spReg);
+        if (frameSize == 0 && savedInt.empty() && savedFp.empty() &&
+            !needsRaSave())
+            return;
+        unsigned idx = 0;
+        for (unsigned r : savedInt)
+            push({.op = MOp::Ld, .rd = static_cast<u8>(r), .ra = sp,
+                  .size = 8, .imm = saveOffset(idx++)});
+        for (unsigned r : savedFp)
+            push({.op = MOp::LdF, .rd = static_cast<u8>(r), .ra = sp,
+                  .imm = saveOffset(idx++)});
+        if (needsRaSave())
+            push({.op = MOp::Ld, .rd = static_cast<u8>(spec.raReg),
+                  .ra = sp, .size = 8, .imm = saveOffset(idx++)});
+        push({.op = MOp::AddI, .rd = sp, .ra = sp,
+              .imm = static_cast<i64>(frameSize)});
+    }
+
+    // --- operand mapping -------------------------------------------------
+    void
+    push(MInst mi, i32 blockTarget = -1, i32 callTarget = -1)
+    {
+        out.push_back({mi, blockTarget, callTarget});
+    }
+
+    u8
+    scratchFor(RegClass cls, unsigned which) const
+    {
+        if (cls == RegClass::Fp)
+            return static_cast<u8>(spec.scratchFp[which > 1 ? 0 : which]);
+        return static_cast<u8>(spec.scratchInt[which]);
+    }
+
+    /** Map a source operand, reloading spills into a scratch register. */
+    u8
+    mapUse(u32 r, RegClass cls, unsigned which)
+    {
+        if (r == kNoReg)
+            return 0;
+        if (lIsPhys(r))
+            return static_cast<u8>(lPhysIdx(r));
+        if (ra.reg[r] >= 0)
+            return static_cast<u8>(ra.reg[r]);
+        const u8 s = scratchFor(cls, which);
+        const u8 sp = static_cast<u8>(spec.spReg);
+        if (cls == RegClass::Fp)
+            push({.op = MOp::LdF, .rd = s, .ra = sp,
+                  .imm = slotOffset(ra.slot[r])});
+        else
+            push({.op = MOp::Ld, .rd = s, .ra = sp, .size = 8,
+                  .imm = slotOffset(ra.slot[r])});
+        return s;
+    }
+
+    struct DefMap
+    {
+        u8 reg = 0;
+        bool spillStore = false;
+        i64 off = 0;
+        RegClass cls = RegClass::Int;
+    };
+
+    /**
+     * Map a destination operand. `alsoUse` reloads the old value first
+     * (AluM / MovK read their destination).
+     */
+    DefMap
+    mapDef(u32 r, RegClass cls, bool alsoUse)
+    {
+        DefMap d;
+        d.cls = cls;
+        if (r == kNoReg)
+            return d;
+        if (lIsPhys(r)) {
+            d.reg = static_cast<u8>(lPhysIdx(r));
+            return d;
+        }
+        if (ra.reg[r] >= 0) {
+            d.reg = static_cast<u8>(ra.reg[r]);
+            return d;
+        }
+        d.reg = scratchFor(cls, alsoUse ? 2 : 0);
+        d.spillStore = true;
+        d.off = slotOffset(ra.slot[r]);
+        if (alsoUse) {
+            const u8 sp = static_cast<u8>(spec.spReg);
+            if (cls == RegClass::Fp)
+                push({.op = MOp::LdF, .rd = d.reg, .ra = sp,
+                      .imm = d.off});
+            else
+                push({.op = MOp::Ld, .rd = d.reg, .ra = sp, .size = 8,
+                      .imm = d.off});
+        }
+        return d;
+    }
+
+    void
+    finishDef(const DefMap &d)
+    {
+        if (!d.spillStore)
+            return;
+        const u8 sp = static_cast<u8>(spec.spReg);
+        if (d.cls == RegClass::Fp)
+            push({.op = MOp::StF, .ra = sp, .rb = d.reg, .imm = d.off});
+        else
+            push({.op = MOp::St, .ra = sp, .rb = d.reg, .size = 8,
+                  .imm = d.off});
+    }
+
+    // --- two-address fixups ------------------------------------------------
+    void
+    emitAlu3(MOp op, u8 rd, u8 raReg, u8 rbReg, bool fp)
+    {
+        if (spec.kind != IsaKind::X86) {
+            push({.op = op, .rd = rd, .ra = raReg, .rb = rbReg});
+            return;
+        }
+        if (rd == raReg) {
+            push({.op = op, .rd = rd, .ra = rd, .rb = rbReg});
+        } else if (rd == rbReg) {
+            if (mopCommutative(op)) {
+                push({.op = op, .rd = rd, .ra = rd, .rb = raReg});
+            } else {
+                const u8 s = fp ? static_cast<u8>(spec.scratchFp[1])
+                                : static_cast<u8>(spec.scratchInt[1]);
+                push({.op = MOp::Mov, .rd = s, .ra = rbReg, .fp = fp});
+                push({.op = MOp::Mov, .rd = rd, .ra = raReg, .fp = fp});
+                push({.op = op, .rd = rd, .ra = rd, .rb = s});
+            }
+        } else {
+            push({.op = MOp::Mov, .rd = rd, .ra = raReg, .fp = fp});
+            push({.op = op, .rd = rd, .ra = rd, .rb = rbReg});
+        }
+    }
+
+    void
+    emitAluI(MOp op, u8 rd, u8 raReg, i64 imm)
+    {
+        if (spec.kind == IsaKind::X86 && rd != raReg) {
+            push({.op = MOp::Mov, .rd = rd, .ra = raReg});
+            push({.op = op, .rd = rd, .ra = rd, .imm = imm});
+        } else {
+            push({.op = op, .rd = rd, .ra = raReg, .imm = imm});
+        }
+    }
+
+    // --- call argument parallel moves ---------------------------------------
+    struct PMove
+    {
+        int dstReg;  ///< -1 when the destination is a spill slot
+        i64 dstOff;
+        RegClass cls;
+        int srcReg;  ///< -1 when sourced from a spill slot
+        i64 srcOff;
+    };
+
+    void
+    emitParallelMoves(std::vector<PMove> moves)
+    {
+        const u8 sp = static_cast<u8>(spec.spReg);
+        auto emitOne = [&](const PMove &m) {
+            if (m.dstReg < 0) {
+                // Destination is a spill slot.
+                u8 src = static_cast<u8>(m.srcReg);
+                if (m.srcReg < 0) {
+                    src = m.cls == RegClass::Fp
+                              ? static_cast<u8>(spec.scratchFp[0])
+                              : static_cast<u8>(spec.scratchInt[0]);
+                    if (m.cls == RegClass::Fp)
+                        push({.op = MOp::LdF, .rd = src, .ra = sp,
+                              .imm = m.srcOff});
+                    else
+                        push({.op = MOp::Ld, .rd = src, .ra = sp,
+                              .size = 8, .imm = m.srcOff});
+                }
+                if (m.cls == RegClass::Fp)
+                    push({.op = MOp::StF, .ra = sp, .rb = src,
+                          .imm = m.dstOff});
+                else
+                    push({.op = MOp::St, .ra = sp, .rb = src,
+                          .size = 8, .imm = m.dstOff});
+                return;
+            }
+            const u8 dst = static_cast<u8>(m.dstReg);
+            if (m.srcReg < 0) {
+                if (m.cls == RegClass::Fp)
+                    push({.op = MOp::LdF, .rd = dst, .ra = sp,
+                          .imm = m.srcOff});
+                else
+                    push({.op = MOp::Ld, .rd = dst, .ra = sp,
+                          .size = 8, .imm = m.srcOff});
+            } else if (m.srcReg != m.dstReg) {
+                push({.op = MOp::Mov, .rd = dst,
+                      .ra = static_cast<u8>(m.srcReg),
+                      .fp = m.cls == RegClass::Fp});
+            }
+        };
+        while (!moves.empty()) {
+            bool progressed = false;
+            for (std::size_t i = 0; i < moves.size(); ++i) {
+                const PMove &m = moves[i];
+                bool dstIsRead = false;
+                for (std::size_t j = 0; j < moves.size(); ++j) {
+                    if (j == i)
+                        continue;
+                    if (m.dstReg >= 0 && moves[j].cls == m.cls &&
+                        moves[j].srcReg == m.dstReg) {
+                        dstIsRead = true;
+                        break;
+                    }
+                }
+                if (!dstIsRead) {
+                    emitOne(m);
+                    moves.erase(moves.begin() + i);
+                    progressed = true;
+                    break;
+                }
+            }
+            if (progressed)
+                continue;
+            // Cycle: rotate through a scratch register.
+            PMove &m = moves.front();
+            const u8 s = m.cls == RegClass::Fp
+                             ? static_cast<u8>(spec.scratchFp[0])
+                             : static_cast<u8>(spec.scratchInt[0]);
+            push({.op = MOp::Mov, .rd = s,
+                  .ra = static_cast<u8>(m.srcReg),
+                  .fp = m.cls == RegClass::Fp});
+            for (PMove &other : moves)
+                if (other.cls == m.cls && other.srcReg == m.srcReg)
+                    other.srcReg = s;
+        }
+    }
+
+    // --- instruction rewrite -------------------------------------------------
+    void
+    emitBlock(const LBlock &blk)
+    {
+        for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+            const LInst &inst = blk.insts[i];
+            if (inst.callGroup != 0) {
+                // Gather the whole group.
+                std::vector<PMove> moves;
+                std::size_t j = i;
+                for (; j < blk.insts.size() &&
+                       blk.insts[j].callGroup == inst.callGroup;
+                     ++j) {
+                    const LInst &mv = blk.insts[j];
+                    PMove pm;
+                    pm.cls = mv.fp ? RegClass::Fp : RegClass::Int;
+                    if (lIsPhys(mv.rd)) {
+                        pm.dstReg =
+                            static_cast<int>(lPhysIdx(mv.rd));
+                        pm.dstOff = 0;
+                    } else if (ra.reg[mv.rd] >= 0) {
+                        pm.dstReg = ra.reg[mv.rd];
+                        pm.dstOff = 0;
+                    } else {
+                        pm.dstReg = -1;
+                        pm.dstOff = slotOffset(ra.slot[mv.rd]);
+                    }
+                    if (lIsPhys(mv.ra)) {
+                        pm.srcReg =
+                            static_cast<int>(lPhysIdx(mv.ra));
+                        pm.srcOff = 0;
+                    } else if (ra.reg[mv.ra] >= 0) {
+                        pm.srcReg = ra.reg[mv.ra];
+                        pm.srcOff = 0;
+                    } else {
+                        pm.srcReg = -1;
+                        pm.srcOff = slotOffset(ra.slot[mv.ra]);
+                    }
+                    moves.push_back(pm);
+                }
+                emitParallelMoves(std::move(moves));
+                i = j - 1;
+                continue;
+            }
+            emitInst(inst);
+        }
+    }
+
+    void
+    emitInst(const LInst &inst)
+    {
+        const OperandRoles roles = operandRoles(inst);
+
+        if (inst.op == MOp::Ret) {
+            emitEpilogue();
+            push({.op = MOp::Ret});
+            return;
+        }
+        if (inst.op == MOp::Call) {
+            push({.op = MOp::Call}, -1, inst.target);
+            return;
+        }
+        if (inst.op == MOp::Jmp) {
+            push({.op = MOp::Jmp}, inst.target);
+            return;
+        }
+
+        u8 raReg = 0;
+        u8 rbReg = 0;
+        if (roles.raIsUse)
+            raReg = mapUse(inst.ra, roles.raClass, 0);
+        if (roles.rbIsUse)
+            rbReg = mapUse(inst.rb, roles.rbClass, 1);
+
+        if (inst.op == MOp::Br) {
+            MInst mi;
+            mi.op = MOp::Br;
+            mi.cond = inst.cond;
+            mi.ra = raReg;
+            mi.rb = rbReg;
+            push(mi, inst.target);
+            return;
+        }
+
+        DefMap def;
+        if (roles.rdIsDef)
+            def = mapDef(inst.rd, roles.rdClass, roles.rdIsUse);
+
+        switch (inst.op) {
+          case MOp::Nop:
+            push({.op = MOp::Nop});
+            break;
+          case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::Div:
+          case MOp::DivU: case MOp::Rem: case MOp::RemU: case MOp::And:
+          case MOp::Or: case MOp::Xor: case MOp::Shl: case MOp::Shr:
+          case MOp::Sra:
+            emitAlu3(inst.op, def.reg, raReg, rbReg, false);
+            break;
+          case MOp::AddI: case MOp::AndI: case MOp::OrI:
+          case MOp::XorI: case MOp::ShlI: case MOp::ShrI:
+          case MOp::SraI:
+            emitAluI(inst.op, def.reg, raReg, inst.imm);
+            break;
+          case MOp::Slt: case MOp::SltU:
+            push({.op = inst.op, .rd = def.reg, .ra = raReg,
+                  .rb = rbReg});
+            break;
+          case MOp::SltI: case MOp::SltIU:
+            push({.op = inst.op, .rd = def.reg, .ra = raReg,
+                  .imm = inst.imm});
+            break;
+          case MOp::Lui: case MOp::MovImm32: case MOp::MovImm64:
+            push({.op = inst.op, .rd = def.reg, .imm = inst.imm});
+            break;
+          case MOp::MovZ: case MOp::MovK:
+            push({.op = inst.op, .rd = def.reg, .subop = inst.subop,
+                  .imm = inst.imm});
+            break;
+          case MOp::Mov:
+            if (def.reg != raReg || def.spillStore)
+                push({.op = MOp::Mov, .rd = def.reg, .ra = raReg,
+                      .fp = inst.fp});
+            break;
+          case MOp::Cmp:
+            push({.op = MOp::Cmp, .ra = raReg, .rb = rbReg});
+            break;
+          case MOp::CmpI:
+            push({.op = MOp::CmpI, .ra = raReg, .imm = inst.imm});
+            break;
+          case MOp::FCmp:
+            push({.op = MOp::FCmp, .ra = raReg, .rb = rbReg});
+            break;
+          case MOp::SetCC:
+            push({.op = MOp::SetCC, .rd = def.reg, .cond = inst.cond});
+            break;
+          case MOp::CSel:
+            if (spec.kind == IsaKind::X86) {
+                // Lowering guarantees rd == ra (same vreg).
+                push({.op = MOp::CSel, .rd = def.reg, .ra = def.reg,
+                      .rb = rbReg, .cond = inst.cond});
+            } else {
+                push({.op = MOp::CSel, .rd = def.reg, .ra = raReg,
+                      .rb = rbReg, .cond = inst.cond});
+            }
+            break;
+          case MOp::FSet:
+            push({.op = MOp::FSet, .rd = def.reg, .ra = raReg,
+                  .rb = rbReg, .cond = inst.cond});
+            break;
+          case MOp::Ld:
+            push({.op = MOp::Ld, .rd = def.reg, .ra = raReg,
+                  .size = inst.size, .sign = inst.sign,
+                  .imm = inst.imm});
+            break;
+          case MOp::LdF:
+            push({.op = MOp::LdF, .rd = def.reg, .ra = raReg,
+                  .imm = inst.imm});
+            break;
+          case MOp::St:
+            push({.op = MOp::St, .ra = raReg, .rb = rbReg,
+                  .size = inst.size, .imm = inst.imm});
+            break;
+          case MOp::StF:
+            push({.op = MOp::StF, .ra = raReg, .rb = rbReg,
+                  .imm = inst.imm});
+            break;
+          case MOp::AluM:
+            push({.op = MOp::AluM, .rd = def.reg, .ra = raReg,
+                  .subop = inst.subop, .imm = inst.imm});
+            break;
+          case MOp::JmpR:
+            push({.op = MOp::JmpR, .ra = raReg});
+            break;
+          case MOp::FAdd: case MOp::FSub: case MOp::FMul:
+          case MOp::FDiv:
+            if (spec.kind == IsaKind::X86) {
+                if (def.reg == raReg) {
+                    push({.op = inst.op, .rd = def.reg, .ra = def.reg,
+                          .rb = rbReg});
+                } else if (def.reg == rbReg) {
+                    if (mopCommutative(inst.op)) {
+                        push({.op = inst.op, .rd = def.reg,
+                              .ra = def.reg, .rb = raReg});
+                    } else {
+                        const u8 s =
+                            static_cast<u8>(spec.scratchFp[1]);
+                        push({.op = MOp::Mov, .rd = s, .ra = rbReg,
+                              .fp = true});
+                        push({.op = MOp::Mov, .rd = def.reg,
+                              .ra = raReg, .fp = true});
+                        push({.op = inst.op, .rd = def.reg,
+                              .ra = def.reg, .rb = s});
+                    }
+                } else {
+                    push({.op = MOp::Mov, .rd = def.reg, .ra = raReg,
+                          .fp = true});
+                    push({.op = inst.op, .rd = def.reg, .ra = def.reg,
+                          .rb = rbReg});
+                }
+            } else {
+                push({.op = inst.op, .rd = def.reg, .ra = raReg,
+                      .rb = rbReg});
+            }
+            break;
+          case MOp::FSqrt: case MOp::ItoF: case MOp::FtoI:
+            push({.op = inst.op, .rd = def.reg, .ra = raReg});
+            break;
+          case MOp::Magic:
+            push({.op = MOp::Magic, .subop = inst.subop});
+            break;
+          default:
+            fatal("emitInst: unexpected MOp %d",
+                  static_cast<int>(inst.op));
+        }
+
+        if (roles.rdIsDef)
+            finishDef(def);
+    }
+
+    const IsaSpec &spec;
+    const LFunc &lf;
+    const Allocation &ra;
+    std::vector<unsigned> savedInt;
+    std::vector<unsigned> savedFp;
+};
+
+/** Encode an EmitInst stream with branch relaxation. */
+FuncImage
+encodeFunction(const IsaSpec &spec, const std::vector<EmitInst> &insts,
+               const std::vector<u32> &blockFirst)
+{
+    const std::size_t n = insts.size();
+    std::vector<u32> sizes(n, 0);
+    std::vector<bool> wide(n, false);
+    std::vector<u32> offsets(n + 1, 0);
+    std::vector<u8> tmp;
+
+    for (unsigned iter = 0; iter < 64; ++iter) {
+        offsets[0] = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            offsets[i + 1] = offsets[i] + sizes[i];
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            MInst mi = insts[i].mi;
+            if (insts[i].blockTarget >= 0)
+                mi.imm = static_cast<i64>(
+                             offsets[blockFirst[insts[i].blockTarget]]) -
+                         static_cast<i64>(offsets[i]);
+            if (insts[i].callTarget >= 0)
+                mi.imm = 0;
+            tmp.clear();
+            encodeTo(spec.kind, mi, tmp, !wide[i]);
+            u32 len = static_cast<u32>(tmp.size());
+            if (sizes[i] != 0 && len < sizes[i]) {
+                // Never shrink: pin this instruction wide.
+                wide[i] = true;
+                tmp.clear();
+                encodeTo(spec.kind, mi, tmp, false);
+                len = static_cast<u32>(tmp.size());
+            }
+            if (len != sizes[i]) {
+                sizes[i] = len;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        if (iter == 63)
+            fatal("codegen: branch relaxation did not converge");
+    }
+
+    offsets[0] = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        offsets[i + 1] = offsets[i] + sizes[i];
+
+    FuncImage img;
+    img.bytes.reserve(offsets[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+        MInst mi = insts[i].mi;
+        if (insts[i].blockTarget >= 0)
+            mi.imm = static_cast<i64>(
+                         offsets[blockFirst[insts[i].blockTarget]]) -
+                     static_cast<i64>(offsets[i]);
+        if (insts[i].callTarget >= 0) {
+            mi.imm = 0;
+            img.callPatches.emplace_back(offsets[i],
+                                         insts[i].callTarget,
+                                         sizes[i]);
+        }
+        tmp.clear();
+        encodeTo(spec.kind, mi, tmp, !wide[i]);
+        if (tmp.size() != sizes[i])
+            panic("codegen: size instability at inst %zu", i);
+        img.bytes.insert(img.bytes.end(), tmp.begin(), tmp.end());
+        ++img.numInsts;
+        if (tmp.size() == 2)
+            ++img.numCompressed;
+    }
+    return img;
+}
+
+/** Build the bare-metal startup stub (crt0). */
+std::vector<EmitInst>
+buildCrt0(const IsaSpec &spec, i32 entryFunc)
+{
+    std::vector<EmitInst> insts;
+    auto push = [&](MInst mi, i32 call = -1) {
+        insts.push_back({mi, -1, call});
+    };
+    const u8 sp = static_cast<u8>(spec.spReg);
+    switch (spec.kind) {
+      case IsaKind::RISCV:
+        push({.op = MOp::Lui, .rd = sp,
+              .imm = static_cast<i64>(kStackTop)});
+        push({.op = MOp::Call}, entryFunc);
+        push({.op = MOp::Lui, .rd = 5,
+              .imm = static_cast<i64>(kMmioBase)});
+        push({.op = MOp::AddI, .rd = 5, .ra = 5, .imm = 8});
+        push({.op = MOp::St, .ra = 5, .rb = 10, .size = 8, .imm = 0});
+        break;
+      case IsaKind::ARM:
+        push({.op = MOp::MovZ, .rd = sp, .subop = 1,
+              .imm = static_cast<i64>(kStackTop >> 16)});
+        push({.op = MOp::Call}, entryFunc);
+        push({.op = MOp::MovZ, .rd = 9, .subop = 1,
+              .imm = static_cast<i64>(kMmioBase >> 16)});
+        push({.op = MOp::AddI, .rd = 9, .ra = 9, .imm = 8});
+        push({.op = MOp::St, .ra = 9, .rb = 0, .size = 8, .imm = 0});
+        break;
+      case IsaKind::X86:
+        push({.op = MOp::MovImm32, .rd = sp,
+              .imm = static_cast<i64>(kStackTop)});
+        push({.op = MOp::Call}, entryFunc);
+        push({.op = MOp::MovImm32, .rd = 10,
+              .imm = static_cast<i64>(kMmioExit)});
+        push({.op = MOp::St, .ra = 10, .rb = 0, .size = 8, .imm = 0});
+        break;
+    }
+    // Halt loop in case the exit store does not stop simulation.
+    push({.op = MOp::Jmp, .imm = 0});
+    return insts;
+}
+
+} // namespace
+
+Program
+compile(const mir::Module &module, IsaKind kind)
+{
+    const IsaSpec &spec = isaSpec(kind);
+    LoweredModule lm = lowerModule(module, kind);
+
+    Program prog;
+    prog.kind = kind;
+    prog.layout = lm.layout;
+    prog.entry = kCodeBase;
+
+    // --- encode every function ------------------------------------------
+    std::vector<FuncImage> images;
+    images.reserve(lm.funcs.size() + 1);
+
+    // crt0 first.
+    {
+        std::vector<u32> noBlocks;
+        images.push_back(encodeFunction(
+            spec, buildCrt0(spec, static_cast<i32>(module.entry)),
+            noBlocks));
+    }
+    u64 spillSlots = 0;
+    for (LFunc &lf : lm.funcs) {
+        const Allocation alloc = allocateRegisters(spec, lf);
+        spillSlots += alloc.numSlots;
+        FuncEmitter emitter(spec, lf, alloc);
+        emitter.run();
+        images.push_back(
+            encodeFunction(spec, emitter.out, emitter.blockFirst));
+    }
+
+    // --- lay out functions ------------------------------------------------
+    std::vector<Addr> funcBase(images.size(), 0);
+    Addr cursor = kCodeBase;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        cursor = alignUp(cursor, spec.funcAlign);
+        funcBase[i] = cursor;
+        cursor += images[i].bytes.size();
+    }
+
+    prog.code.assign(cursor - kCodeBase, 0);
+    for (std::size_t i = 0; i < images.size(); ++i)
+        std::memcpy(prog.code.data() + (funcBase[i] - kCodeBase),
+                    images[i].bytes.data(), images[i].bytes.size());
+
+    for (std::size_t f = 0; f < lm.funcs.size(); ++f)
+        prog.funcAddrs.emplace_back(lm.funcs[f].name, funcBase[f + 1]);
+
+    // --- patch call displacements -------------------------------------------
+    std::vector<u8> tmp;
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        for (const auto &[off, callee, len] : images[i].callPatches) {
+            const Addr site = funcBase[i] + off;
+            const Addr target = funcBase[callee + 1];
+            MInst call;
+            call.op = MOp::Call;
+            call.imm = static_cast<i64>(target) -
+                       static_cast<i64>(site);
+            tmp.clear();
+            encodeTo(kind, call, tmp, false);
+            if (tmp.size() != len)
+                panic("codegen: call patch length mismatch");
+            std::memcpy(prog.code.data() + (site - kCodeBase),
+                        tmp.data(), tmp.size());
+        }
+    }
+
+    // --- data image -----------------------------------------------------------
+    const Addr dataEnd = lm.poolBase + lm.poolBytes.size();
+    prog.dataEnd = dataEnd;
+    prog.dataImage.assign(dataEnd - kDataBase, 0);
+    for (std::size_t g = 0; g < module.globals.size(); ++g) {
+        const mir::Global &gl = module.globals[g];
+        const Addr base = lm.layout.globalAddr[g] - kDataBase;
+        if (!gl.init.empty())
+            std::memcpy(prog.dataImage.data() + base, gl.init.data(),
+                        std::min<std::size_t>(gl.init.size(), gl.size));
+    }
+    if (!lm.poolBytes.empty())
+        std::memcpy(prog.dataImage.data() + (lm.poolBase - kDataBase),
+                    lm.poolBytes.data(), lm.poolBytes.size());
+
+    // --- stats ------------------------------------------------------------------
+    for (const FuncImage &img : images) {
+        prog.stats.numInsts += img.numInsts;
+        prog.stats.numCompressed += img.numCompressed;
+    }
+    prog.stats.codeBytes = prog.code.size();
+    prog.stats.spillSlots = spillSlots;
+    return prog;
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream out;
+    const IsaSpec &spec = isaSpec(program.kind);
+    Addr pc = kCodeBase;
+    const Addr end = kCodeBase + program.code.size();
+    while (pc < end) {
+        for (const auto &[name, addr] : program.funcAddrs)
+            if (addr == pc)
+                out << name << ":\n";
+        const u8 *p = program.code.data() + (pc - kCodeBase);
+        const DecodeResult dr =
+            decodeBytes(spec.kind, p, end - pc);
+        out << strfmt("  %06llx: ", static_cast<unsigned long long>(pc));
+        if (dr.illegal) {
+            out << "(illegal)\n";
+        } else {
+            const MInst &mi = dr.mi;
+            out << mopName(mi.op)
+                << strfmt(" rd=%u ra=%u rb=%u imm=%lld", mi.rd, mi.ra,
+                          mi.rb, static_cast<long long>(mi.imm))
+                << "\n";
+        }
+        pc += dr.length;
+    }
+    return out.str();
+}
+
+} // namespace marvel::isa

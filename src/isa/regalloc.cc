@@ -1,0 +1,443 @@
+#include "isa/regalloc.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace marvel::isa
+{
+
+OperandRoles
+operandRoles(const LInst &inst)
+{
+    OperandRoles roles;
+    const bool fp = inst.fp;
+    switch (inst.op) {
+      case MOp::Nop: case MOp::Jmp: case MOp::Ret: case MOp::Magic:
+      case MOp::Illegal:
+        break;
+      case MOp::Call:
+        break;
+      case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::Div:
+      case MOp::DivU: case MOp::Rem: case MOp::RemU: case MOp::And:
+      case MOp::Or: case MOp::Xor: case MOp::Shl: case MOp::Shr:
+      case MOp::Sra: case MOp::Slt: case MOp::SltU:
+        roles = {true, false, true, true,
+                 RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::AddI: case MOp::AndI: case MOp::OrI: case MOp::XorI:
+      case MOp::ShlI: case MOp::ShrI: case MOp::SraI: case MOp::SltI:
+      case MOp::SltIU:
+        roles = {true, false, true, false,
+                 RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::Lui: case MOp::MovZ: case MOp::MovImm32:
+      case MOp::MovImm64: case MOp::SetCC:
+        roles.rdIsDef = true;
+        break;
+      case MOp::MovK:
+        roles.rdIsDef = true;
+        roles.rdIsUse = true;
+        break;
+      case MOp::Mov:
+        roles = {true, false, true, false,
+                 fp ? RegClass::Fp : RegClass::Int,
+                 fp ? RegClass::Fp : RegClass::Int, RegClass::Int};
+        break;
+      case MOp::Cmp:
+        roles = {false, false, true, true,
+                 RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::CmpI:
+        roles.raIsUse = true;
+        break;
+      case MOp::FCmp:
+        roles = {false, false, true, true,
+                 RegClass::Int, RegClass::Fp, RegClass::Fp};
+        break;
+      case MOp::CSel:
+        roles = {true, false, true, true,
+                 RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::FSet:
+        roles = {true, false, true, true,
+                 RegClass::Int, RegClass::Fp, RegClass::Fp};
+        break;
+      case MOp::Ld:
+        roles = {true, false, true, false,
+                 RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::LdF:
+        roles = {true, false, true, false,
+                 RegClass::Fp, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::St:
+        roles = {false, false, true, true,
+                 RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::StF:
+        roles = {false, false, true, true,
+                 RegClass::Int, RegClass::Int, RegClass::Fp};
+        break;
+      case MOp::AluM:
+        roles = {true, true, true, false,
+                 RegClass::Int, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::Br:
+        // RISCV register-pair branch; flags branches have no operands.
+        roles.raIsUse = true;
+        roles.rbIsUse = true;
+        break;
+      case MOp::JmpR:
+        roles.raIsUse = true;
+        break;
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+        roles = {true, false, true, true,
+                 RegClass::Fp, RegClass::Fp, RegClass::Fp};
+        break;
+      case MOp::FSqrt:
+        roles = {true, false, true, false,
+                 RegClass::Fp, RegClass::Fp, RegClass::Int};
+        break;
+      case MOp::ItoF:
+        roles = {true, false, true, false,
+                 RegClass::Fp, RegClass::Int, RegClass::Int};
+        break;
+      case MOp::FtoI:
+        roles = {true, false, true, false,
+                 RegClass::Int, RegClass::Fp, RegClass::Int};
+        break;
+    }
+    if (inst.rd == kNoReg) {
+        roles.rdIsDef = false;
+        roles.rdIsUse = false;
+    }
+    if (inst.ra == kNoReg)
+        roles.raIsUse = false;
+    if (inst.rb == kNoReg)
+        roles.rbIsUse = false;
+    return roles;
+}
+
+namespace
+{
+
+/** Dense bitset keyed by vreg id. */
+class VSet
+{
+  public:
+    explicit VSet(std::size_t n) : words((n + 63) / 64, 0) {}
+
+    bool
+    test(u32 v) const
+    {
+        return (words[v >> 6] >> (v & 63)) & 1;
+    }
+
+    /** Returns true when the bit was newly set. */
+    bool
+    set(u32 v)
+    {
+        u64 &w = words[v >> 6];
+        const u64 m = 1ull << (v & 63);
+        const bool fresh = !(w & m);
+        w |= m;
+        return fresh;
+    }
+
+    void
+    clear(u32 v)
+    {
+        words[v >> 6] &= ~(1ull << (v & 63));
+    }
+
+    /** this |= other; returns true when anything changed. */
+    bool
+    merge(const VSet &other)
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            const u64 next = words[i] | other.words[i];
+            if (next != words[i]) {
+                words[i] = next;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (std::size_t i = 0; i < words.size(); ++i) {
+            u64 w = words[i];
+            while (w) {
+                const unsigned b = __builtin_ctzll(w);
+                fn(static_cast<u32>(i * 64 + b));
+                w &= w - 1;
+            }
+        }
+    }
+
+  private:
+    std::vector<u64> words;
+};
+
+struct Interval
+{
+    u32 vreg;
+    u32 start;
+    u32 end;
+    bool crossesCall;
+    RegClass cls;
+};
+
+} // namespace
+
+Allocation
+allocateRegisters(const IsaSpec &spec, const LFunc &fn)
+{
+    const std::size_t numV = fn.vclass.size();
+    const std::size_t numB = fn.blocks.size();
+
+    // --- successor map & linear positions --------------------------------
+    std::vector<u32> blockStart(numB), blockEnd(numB);
+    u32 pos = 0;
+    for (std::size_t b = 0; b < numB; ++b) {
+        blockStart[b] = pos;
+        pos += static_cast<u32>(fn.blocks[b].insts.size());
+        blockEnd[b] = pos; // exclusive
+    }
+    const u32 numPos = pos;
+
+    std::vector<std::vector<u32>> succs(numB);
+    for (std::size_t b = 0; b < numB; ++b) {
+        const auto &insts = fn.blocks[b].insts;
+        bool fallsThrough = true;
+        for (const LInst &inst : insts) {
+            if (inst.op == MOp::Br && inst.target >= 0)
+                succs[b].push_back(static_cast<u32>(inst.target));
+            if (inst.op == MOp::Jmp && inst.target >= 0) {
+                succs[b].push_back(static_cast<u32>(inst.target));
+                fallsThrough = false;
+            }
+            if (inst.op == MOp::Ret)
+                fallsThrough = false;
+        }
+        if (fallsThrough && b + 1 < numB)
+            succs[b].push_back(static_cast<u32>(b + 1));
+    }
+
+    // --- per-block use/def ------------------------------------------------
+    std::vector<VSet> useSet(numB, VSet(numV));
+    std::vector<VSet> defSet(numB, VSet(numV));
+    for (std::size_t b = 0; b < numB; ++b) {
+        for (const LInst &inst : fn.blocks[b].insts) {
+            const OperandRoles roles = operandRoles(inst);
+            auto use = [&](u32 r) {
+                if (!lIsPhys(r) && r != kNoReg && !defSet[b].test(r))
+                    useSet[b].set(r);
+            };
+            if (roles.raIsUse)
+                use(inst.ra);
+            if (roles.rbIsUse)
+                use(inst.rb);
+            if (roles.rdIsUse)
+                use(inst.rd);
+            if (roles.rdIsDef && !lIsPhys(inst.rd))
+                defSet[b].set(inst.rd);
+        }
+    }
+
+    // --- liveness dataflow -------------------------------------------------
+    std::vector<VSet> liveIn(numB, VSet(numV));
+    std::vector<VSet> liveOut(numB, VSet(numV));
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t bi = numB; bi-- > 0;) {
+            for (u32 s : succs[bi])
+                if (liveOut[bi].merge(liveIn[s]))
+                    changed = true;
+            // in = use | (out - def)
+            VSet in = useSet[bi];
+            liveOut[bi].forEach([&](u32 v) {
+                if (!defSet[bi].test(v))
+                    in.set(v);
+            });
+            if (liveIn[bi].merge(in))
+                changed = true;
+        }
+    }
+
+    // --- build intervals ----------------------------------------------------
+    constexpr u32 kUnset = 0xffffffffu;
+    std::vector<u32> ivStart(numV, kUnset), ivEnd(numV, 0);
+    auto touch = [&](u32 v, u32 p) {
+        if (ivStart[v] == kUnset || p < ivStart[v])
+            ivStart[v] = p;
+        if (p > ivEnd[v])
+            ivEnd[v] = p;
+    };
+    std::vector<u32> callPositions;
+    for (std::size_t b = 0; b < numB; ++b) {
+        liveIn[b].forEach([&](u32 v) { touch(v, blockStart[b]); });
+        liveOut[b].forEach([&](u32 v) {
+            touch(v, blockEnd[b] ? blockEnd[b] - 1 : 0);
+        });
+        u32 p = blockStart[b];
+        for (const LInst &inst : fn.blocks[b].insts) {
+            const OperandRoles roles = operandRoles(inst);
+            auto mark = [&](u32 r, bool used) {
+                if (used && !lIsPhys(r) && r != kNoReg)
+                    touch(r, p);
+            };
+            mark(inst.ra, roles.raIsUse);
+            mark(inst.rb, roles.rbIsUse);
+            mark(inst.rd, roles.rdIsUse || roles.rdIsDef);
+            if (inst.op == MOp::Call)
+                callPositions.push_back(p);
+            ++p;
+        }
+    }
+
+    std::vector<Interval> intervals;
+    intervals.reserve(numV);
+    for (u32 v = 0; v < numV; ++v) {
+        if (ivStart[v] == kUnset)
+            continue;
+        Interval iv{v, ivStart[v], ivEnd[v], false, fn.vclass[v]};
+        for (u32 cp : callPositions) {
+            if (iv.start < cp && cp < iv.end) {
+                iv.crossesCall = true;
+                break;
+            }
+        }
+        intervals.push_back(iv);
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.start < b.start ||
+                         (a.start == b.start && a.vreg < b.vreg);
+              });
+
+    // --- linear scan, per register class ------------------------------------
+    Allocation alloc;
+    alloc.reg.assign(numV, -1);
+    alloc.slot.assign(numV, -1);
+
+    struct Pool
+    {
+        std::vector<unsigned> caller;
+        std::vector<unsigned> callee;
+        std::vector<bool> inUse; // indexed by physical register number
+    };
+    auto makePool = [](const std::vector<unsigned> &caller,
+                       const std::vector<unsigned> &callee) {
+        Pool p;
+        p.caller = caller;
+        p.callee = callee;
+        p.inUse.assign(64, false);
+        return p;
+    };
+    Pool pools[2] = {
+        makePool(spec.callerSavedInt, spec.calleeSavedInt),
+        makePool(spec.callerSavedFp, spec.calleeSavedFp),
+    };
+    std::vector<bool> calleeUsed[2];
+    calleeUsed[0].assign(64, false);
+    calleeUsed[1].assign(64, false);
+
+    struct Active
+    {
+        u32 vreg;
+        u32 end;
+        unsigned reg;
+        unsigned poolIdx; // 0 = int, 1 = fp
+    };
+    std::vector<Active> active;
+
+    auto isCallee = [&](unsigned poolIdx, unsigned reg) {
+        const auto &cs = pools[poolIdx].callee;
+        return std::find(cs.begin(), cs.end(), reg) != cs.end();
+    };
+
+    auto spill = [&](u32 vreg) {
+        alloc.slot[vreg] = static_cast<i32>(alloc.numSlots++);
+    };
+
+    for (const Interval &iv : intervals) {
+        // Expire old intervals.
+        for (std::size_t i = active.size(); i-- > 0;) {
+            if (active[i].end < iv.start) {
+                pools[active[i].poolIdx].inUse[active[i].reg] = false;
+                active.erase(active.begin() + i);
+            }
+        }
+        const unsigned pi = iv.cls == RegClass::Fp ? 1 : 0;
+        Pool &pool = pools[pi];
+
+        auto tryTake = [&](const std::vector<unsigned> &regs) -> int {
+            for (unsigned r : regs)
+                if (!pool.inUse[r])
+                    return static_cast<int>(r);
+            return -1;
+        };
+
+        int got = -1;
+        if (iv.crossesCall) {
+            got = tryTake(pool.callee);
+        } else {
+            got = tryTake(pool.caller);
+            if (got < 0)
+                got = tryTake(pool.callee);
+        }
+
+        if (got < 0) {
+            // Try to steal from the active interval with the furthest
+            // end whose register this interval may legally use.
+            int victim = -1;
+            u32 furthest = iv.end;
+            for (std::size_t i = 0; i < active.size(); ++i) {
+                const Active &a = active[i];
+                if (a.poolIdx != pi)
+                    continue;
+                if (iv.crossesCall && !isCallee(pi, a.reg))
+                    continue;
+                if (a.end > furthest) {
+                    furthest = a.end;
+                    victim = static_cast<int>(i);
+                }
+            }
+            if (victim >= 0) {
+                Active &a = active[static_cast<std::size_t>(victim)];
+                got = static_cast<int>(a.reg);
+                alloc.reg[a.vreg] = -1;
+                spill(a.vreg);
+                active.erase(active.begin() + victim);
+            } else {
+                spill(iv.vreg);
+                continue;
+            }
+        }
+
+        alloc.reg[iv.vreg] = got;
+        pool.inUse[got] = true;
+        if (isCallee(pi, static_cast<unsigned>(got)))
+            calleeUsed[pi][got] = true;
+        active.push_back({iv.vreg, iv.end, static_cast<unsigned>(got),
+                          pi});
+    }
+
+    for (unsigned r = 0; r < 64; ++r) {
+        if (calleeUsed[0][r])
+            alloc.usedCalleeInt.push_back(r);
+        if (calleeUsed[1][r])
+            alloc.usedCalleeFp.push_back(r);
+    }
+    (void)numPos;
+    return alloc;
+}
+
+} // namespace marvel::isa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Linear-scan register allocation over lowered functions.
+ *
+ * Classic Poletto/Sarkar linear scan with block-liveness-extended
+ * intervals. Intervals that are live across a call are restricted to
+ * callee-saved registers (or spilled); others prefer caller-saved
+ * registers. Spilled virtual registers get 8-byte frame slots; the
+ * emitter reloads them through reserved scratch registers.
+ */
+
+#ifndef MARVEL_ISA_REGALLOC_HH
+#define MARVEL_ISA_REGALLOC_HH
+
+#include <vector>
+
+#include "isa/codegen.hh"
+
+namespace marvel::isa
+{
+
+/** Result of register allocation for one function. */
+struct Allocation
+{
+    std::vector<i32> reg;  ///< vreg -> physical index, or -1 if spilled
+    std::vector<i32> slot; ///< vreg -> spill slot index, or -1
+    unsigned numSlots = 0;
+    std::vector<unsigned> usedCalleeInt; ///< callee-saved regs to save
+    std::vector<unsigned> usedCalleeFp;
+};
+
+/** Operand roles of a lowered instruction. */
+struct OperandRoles
+{
+    bool rdIsDef = false;  ///< rd is written
+    bool rdIsUse = false;  ///< rd is also read (AluM, MovK)
+    bool raIsUse = false;
+    bool rbIsUse = false;
+    RegClass rdClass = RegClass::Int;
+    RegClass raClass = RegClass::Int;
+    RegClass rbClass = RegClass::Int;
+};
+
+/** Classify the operands of a lowered instruction. */
+OperandRoles operandRoles(const LInst &inst);
+
+/** Run linear-scan allocation. */
+Allocation allocateRegisters(const IsaSpec &spec, const LFunc &fn);
+
+} // namespace marvel::isa
+
+#endif // MARVEL_ISA_REGALLOC_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * ISA-neutral micro-ops.
+ *
+ * The decoder cracks each machine instruction into 1-3 micro-ops; the
+ * out-of-order core renames, issues, executes, and commits micro-ops.
+ */
+
+#ifndef MARVEL_ISA_UOP_HH
+#define MARVEL_ISA_UOP_HH
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "isa/minst.hh"
+
+namespace marvel::isa
+{
+
+/** Register class of a micro-op operand. */
+enum class RegClass : u8 { None = 0, Int = 1, Fp = 2 };
+
+/** A register operand reference (architectural at decode time). */
+struct RegRef
+{
+    RegClass cls = RegClass::None;
+    u8 idx = 0;
+
+    bool valid() const { return cls != RegClass::None; }
+};
+
+/** Execution operation performed by a micro-op. */
+enum class ExecOp : u8
+{
+    Nop,
+    // Integer: dst = a OP b (b may be imm via useImm)
+    Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, Sra,
+    // dst = cond(a, b) ? 1 : 0 (cond field)
+    SetCmp,
+    // dst = packFlags(a, b) / packFlagsF(a, b)
+    CmpFlags, CmpFlagsF,
+    // dst = testFlags(a, cond) (a = flags)
+    SetFlagsCC,
+    // dst = testFlags(a, cond) ? b : c
+    SelFlags,
+    // dst = cond(fa, fb) ? 1 : 0 (RISCV float compares)
+    SetCmpF,
+    // Float: dst = a OP b
+    FAdd, FSub, FMul, FDiv, FSqrt, ItoF, FtoI,
+    // dst = a ; dst = imm
+    MovA, MovImm,
+    // dst = a + imm (effective address / stack adjust)
+    AddImm,
+    // Memory: address = a + imm; stores carry data in b
+    Load, Store,
+    // Control flow (brCond/brKind fields):
+    Branch,
+    // Simulation magic (magic field)
+    Magic,
+    // Undecodable instruction: raises a fault at commit
+    Illegal,
+};
+
+/** How the branch target/condition of a Branch micro-op is formed. */
+enum class BrKind : u8
+{
+    None,     ///< not a branch
+    CondReg,  ///< if cond(a, b) target = pc + imm (RISCV)
+    CondFlag, ///< if cond(flags=a) target = pc + imm (ARM/X86)
+    Uncond,   ///< target = pc + imm
+    Indirect, ///< target = a
+    CallDir,  ///< call: target = pc + imm (link handled by extra uops
+              ///< or dst = return address)
+    RetInd,   ///< return: target = a
+};
+
+/** Functional-unit classes (issue constraints and latencies). */
+enum class FuClass : u8
+{
+    IntAlu, IntMul, IntDiv, FpAlu, FpMul, FpDiv, MemPort, BranchUnit,
+};
+
+/** Number of FU classes. */
+constexpr unsigned kNumFuClasses = 8;
+
+/** One micro-op. */
+struct MicroOp
+{
+    ExecOp op = ExecOp::Nop;
+    RegRef dst;
+    RegRef srcA;
+    RegRef srcB;
+    RegRef srcC;
+    i64 imm = 0;
+    bool useImm = false;     ///< integer ALU second operand is imm
+    Cond cond = Cond::Eq;
+
+    // Memory
+    u8 memSize = 0;
+    bool memSigned = false;
+    bool isLoad = false;
+    bool isStore = false;
+    bool fpMem = false;      ///< FP load/store data register
+
+    // Branch
+    BrKind brKind = BrKind::None;
+
+    // Magic
+    MagicOp magic = MagicOp::Nop;
+
+    bool isBranch() const { return brKind != BrKind::None; }
+};
+
+/** A decoded macro instruction: its micro-ops and byte length. */
+struct DecodedInst
+{
+    MInst minst;
+    u8 length = 4;           ///< bytes consumed
+    u8 numUops = 0;
+    MicroOp uops[3];
+    bool illegal = false;
+
+    void
+    push(const MicroOp &uop)
+    {
+        uops[numUops++] = uop;
+    }
+};
+
+/** FU class used by a micro-op. */
+FuClass fuClassOf(const MicroOp &uop);
+
+/** Execution latency (cycles) of a micro-op on its FU. */
+unsigned execLatency(const MicroOp &uop);
+
+/**
+ * Crack a machine instruction into micro-ops.
+ *
+ * @param spec    ISA flavor (selects flags/link/stack conventions)
+ * @param minst   decoded assembly instruction
+ * @param length  encoded length in bytes
+ * @param pc      instruction address (for return-address computation)
+ */
+DecodedInst expand(const IsaSpec &spec, const MInst &minst,
+                   unsigned length, Addr pc);
+
+/**
+ * Decode-and-crack convenience used by the fetch stage: decode the byte
+ * stream at `pc` and expand to micro-ops.
+ */
+DecodedInst decodeAndExpand(const IsaSpec &spec, const u8 *bytes,
+                            std::size_t avail, Addr pc);
+
+} // namespace marvel::isa
+
+#endif // MARVEL_ISA_UOP_HH

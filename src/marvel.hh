@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Umbrella header: the public API of the MARVEL library.
+ *
+ * Typical usage:
+ *   - describe a system:        soc::preset / soc::configFromFile
+ *   - pick or write a workload: workloads::get / mir::ModuleBuilder
+ *   - compile it:               isa::compile
+ *   - golden run:               fi::runGolden
+ *   - inject:                   fi::runWithFault / fi::runCampaignOnGolden
+ *   - aggregate:                fi::weightedAvf / fi::operationsPerFailure
+ *
+ * See README.md for a walkthrough and DESIGN.md for the architecture.
+ */
+
+#ifndef MARVEL_MARVEL_HH
+#define MARVEL_MARVEL_HH
+
+#include "accel/cluster.hh"
+#include "accel/designs/designs.hh"
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/memmap.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "cpu/ooo_core.hh"
+#include "fi/campaign.hh"
+#include "fi/metrics.hh"
+#include "isa/codegen.hh"
+#include "isa/encoding.hh"
+#include "mem/hierarchy.hh"
+#include "mir/builder.hh"
+#include "mir/interp.hh"
+#include "soc/builder.hh"
+#include "soc/checkpoint.hh"
+#include "soc/system.hh"
+#include "workloads/workloads.hh"
+
+#endif // MARVEL_MARVEL_HH

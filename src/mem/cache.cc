@@ -1,0 +1,205 @@
+#include "mem/cache.hh"
+
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace marvel::mem
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    if (!isPow2(params_.lineSize) || !isPow2(params_.ways) ||
+        !isPow2(params_.numSets()))
+        fatal("cache '%s': geometry must be powers of two",
+              params_.name.c_str());
+    setShift_ = log2i(params_.lineSize);
+    setMask_ = params_.numSets() - 1;
+    data_.assign(static_cast<std::size_t>(params_.numLines()) *
+                     params_.lineSize,
+                 0);
+    tags_.assign(params_.numLines(), 0);
+    valid_.assign(params_.numLines(), false);
+    dirty_.assign(params_.numLines(), false);
+    plru_.assign(params_.numSets(), 0);
+}
+
+int
+Cache::findLine(Addr addr) const
+{
+    const Addr lineAddr = addr >> setShift_;
+    const u32 set = static_cast<u32>(lineAddr) & setMask_;
+    const u32 base = set * params_.ways;
+    for (u32 w = 0; w < params_.ways; ++w) {
+        const u32 idx = base + w;
+        if (valid_[idx] && tags_[idx] == lineAddr)
+            return static_cast<int>(idx);
+    }
+    return -1;
+}
+
+Addr
+Cache::lineAddr(int line) const
+{
+    return tags_[line] << setShift_;
+}
+
+void
+Cache::touchPlru(u32 set, u32 way)
+{
+    // Tree-PLRU: walk from the root, recording the direction away from
+    // the touched way. Supports 2/4/8 ways.
+    u8 bits = plru_[set];
+    u32 lo = 0;
+    u32 hi = params_.ways;
+    u32 node = 0; // index within the tree, level order
+    while (hi - lo > 1) {
+        const u32 mid = (lo + hi) / 2;
+        const bool right = way >= mid;
+        // Point the bit AWAY from the touched half.
+        if (right)
+            bits &= ~(1u << node);
+        else
+            bits |= (1u << node);
+        node = 2 * node + 1 + (right ? 1 : 0);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    plru_[set] = bits;
+}
+
+u32
+Cache::plruVictim(u32 set) const
+{
+    const u8 bits = plru_[set];
+    u32 lo = 0;
+    u32 hi = params_.ways;
+    u32 node = 0;
+    while (hi - lo > 1) {
+        const u32 mid = (lo + hi) / 2;
+        const bool right = (bits >> node) & 1;
+        node = 2 * node + 1 + (right ? 1 : 0);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
+Cache::readLine(int line, u32 offset, void *out, u32 len)
+{
+    std::memcpy(out,
+                data_.data() +
+                    static_cast<std::size_t>(line) * params_.lineSize +
+                    offset,
+                len);
+    if (faults_.active())
+        faults_.noteRead(line, offset * 8, (offset + len) * 8 - 1);
+    touchPlru(static_cast<u32>(line) / params_.ways,
+              static_cast<u32>(line) % params_.ways);
+}
+
+void
+Cache::writeLine(int line, u32 offset, const void *in, u32 len)
+{
+    std::memcpy(data_.data() +
+                    static_cast<std::size_t>(line) * params_.lineSize +
+                    offset,
+                in, len);
+    dirty_[line] = true;
+    if (faults_.active()) {
+        faults_.noteWrite(line, offset * 8, (offset + len) * 8 - 1);
+        applyStuck(line, offset * 8, (offset + len) * 8 - 1);
+    }
+    touchPlru(static_cast<u32>(line) / params_.ways,
+              static_cast<u32>(line) % params_.ways);
+}
+
+int
+Cache::pickVictim(Addr addr)
+{
+    const Addr lineAddr = addr >> setShift_;
+    const u32 set = static_cast<u32>(lineAddr) & setMask_;
+    const u32 base = set * params_.ways;
+    for (u32 w = 0; w < params_.ways; ++w)
+        if (!valid_[base + w])
+            return static_cast<int>(base + w);
+    return static_cast<int>(base + plruVictim(set));
+}
+
+void
+Cache::readLineForWriteback(int line, void *out)
+{
+    std::memcpy(out,
+                data_.data() +
+                    static_cast<std::size_t>(line) * params_.lineSize,
+                params_.lineSize);
+    if (faults_.active())
+        faults_.noteRead(line, 0, params_.lineSize * 8 - 1);
+    ++writebacks;
+}
+
+void
+Cache::invalidate(int line)
+{
+    if (valid_[line] && faults_.active())
+        faults_.noteGone(line);
+    valid_[line] = false;
+    dirty_[line] = false;
+}
+
+void
+Cache::fill(int line, Addr addr, const void *bytes)
+{
+    const Addr lineAddr = addr >> setShift_;
+    std::memcpy(data_.data() +
+                    static_cast<std::size_t>(line) * params_.lineSize,
+                bytes, params_.lineSize);
+    tags_[line] = lineAddr;
+    valid_[line] = true;
+    dirty_[line] = false;
+    if (faults_.active()) {
+        // A fill replaces every bit of the frame.
+        faults_.noteWrite(line, 0, params_.lineSize * 8 - 1);
+        applyStuck(line, 0, params_.lineSize * 8 - 1);
+    }
+    touchPlru(static_cast<u32>(line) / params_.ways,
+              static_cast<u32>(line) % params_.ways);
+}
+
+void
+Cache::reset()
+{
+    std::fill(valid_.begin(), valid_.end(), false);
+    std::fill(dirty_.begin(), dirty_.end(), false);
+}
+
+void
+Cache::flipBit(u32 line, u32 bit)
+{
+    data_[static_cast<std::size_t>(line) * params_.lineSize +
+          bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+}
+
+void
+Cache::applyStuck(u32 line, u32 bitLo, u32 bitHi)
+{
+    for (const StuckBit &s : faults_.stuck()) {
+        if (s.entry != line || s.bit < bitLo || s.bit > bitHi)
+            continue;
+        u8 &byte = data_[static_cast<std::size_t>(line) *
+                             params_.lineSize +
+                         s.bit / 8];
+        if (s.value)
+            byte |= static_cast<u8>(1u << (s.bit % 8));
+        else
+            byte &= static_cast<u8>(~(1u << (s.bit % 8)));
+    }
+}
+
+} // namespace marvel::mem

@@ -1,0 +1,184 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace marvel::mem
+{
+
+Hierarchy::Hierarchy(const HierarchyParams &params)
+    : params_(params), dram_(kMemSize), l1i_(params.l1i),
+      l1d_(params.l1d), l2_(params.l2)
+{
+}
+
+u32
+Hierarchy::fetchLineFromL2(Addr lineAddr, void *out)
+{
+    const u32 lineSize = params_.l2.lineSize;
+    int line = l2_.findLine(lineAddr);
+    if (line >= 0) {
+        ++l2_.hits;
+        l2_.readLine(line, 0, out, lineSize);
+        return params_.l2.hitLatency;
+    }
+    ++l2_.misses;
+    // Miss: evict an L2 victim, fill from DRAM.
+    line = l2_.pickVictim(lineAddr);
+    if (l2_.lineValid(line) && l2_.lineDirty(line)) {
+        u8 victim[256];
+        l2_.readLineForWriteback(line, victim);
+        dram_.write(l2_.lineAddr(line), victim, lineSize);
+    }
+    l2_.invalidate(line);
+    u8 fresh[256];
+    dram_.read(lineAddr, fresh, lineSize);
+    l2_.fill(line, lineAddr, fresh);
+    l2_.readLine(line, 0, out, lineSize);
+    return params_.memLatency;
+}
+
+void
+Hierarchy::writeLineToL2(Addr lineAddr, const void *bytes)
+{
+    const u32 lineSize = params_.l2.lineSize;
+    int line = l2_.findLine(lineAddr);
+    if (line < 0) {
+        line = l2_.pickVictim(lineAddr);
+        if (l2_.lineValid(line) && l2_.lineDirty(line)) {
+            u8 victim[256];
+            l2_.readLineForWriteback(line, victim);
+            dram_.write(l2_.lineAddr(line), victim, lineSize);
+        }
+        l2_.invalidate(line);
+        l2_.fill(line, lineAddr, bytes);
+        l2_.writeLine(line, 0, bytes, lineSize);
+        return;
+    }
+    l2_.writeLine(line, 0, bytes, lineSize);
+}
+
+MemResult
+Hierarchy::accessL1(Cache &l1, Addr addr, void *out, const void *in,
+                    u32 len, bool isWrite)
+{
+    MemResult res;
+    const u32 lineSize = l1.params().lineSize;
+    const Addr lineAddr = alignDown(addr, lineSize);
+    const u32 offset = static_cast<u32>(addr - lineAddr);
+
+    if (!dram_.ok(addr, len)) {
+        res.fault = true;
+        return res;
+    }
+
+    int line = l1.findLine(addr);
+    if (line >= 0) {
+        ++l1.hits;
+        res.latency = l1.params().hitLatency;
+    } else {
+        ++l1.misses;
+        line = l1.pickVictim(addr);
+        if (l1.lineValid(line) && l1.lineDirty(line)) {
+            u8 victim[256];
+            l1.readLineForWriteback(line, victim);
+            writeLineToL2(l1.lineAddr(line), victim);
+        }
+        l1.invalidate(line);
+        u8 fresh[256];
+        const u32 lowerLat = fetchLineFromL2(lineAddr, fresh);
+        l1.fill(line, lineAddr, fresh);
+        res.latency = l1.params().hitLatency + lowerLat;
+    }
+
+    if (isWrite)
+        l1.writeLine(line, offset, in, len);
+    else
+        l1.readLine(line, offset, out, len);
+    return res;
+}
+
+MemResult
+Hierarchy::read(Addr addr, void *out, u32 len)
+{
+    const u32 lineSize = params_.l1d.lineSize;
+    const Addr firstLine = alignDown(addr, lineSize);
+    const Addr lastLine = alignDown(addr + len - 1, lineSize);
+    if (firstLine == lastLine)
+        return accessL1(l1d_, addr, out, nullptr, len, false);
+    // Line-crossing: two accesses (allowed only on X86; the CPU checks
+    // alignment before calling).
+    const u32 firstLen =
+        static_cast<u32>(firstLine + lineSize - addr);
+    MemResult a = accessL1(l1d_, addr, out, nullptr, firstLen, false);
+    MemResult b = accessL1(l1d_, firstLine + lineSize,
+                           static_cast<u8 *>(out) + firstLen, nullptr,
+                           len - firstLen, false);
+    return {std::max(a.latency, b.latency) + 1, a.fault || b.fault};
+}
+
+MemResult
+Hierarchy::write(Addr addr, const void *in, u32 len)
+{
+    const u32 lineSize = params_.l1d.lineSize;
+    const Addr firstLine = alignDown(addr, lineSize);
+    const Addr lastLine = alignDown(addr + len - 1, lineSize);
+    if (firstLine == lastLine)
+        return accessL1(l1d_, addr, nullptr, in, len, true);
+    const u32 firstLen =
+        static_cast<u32>(firstLine + lineSize - addr);
+    MemResult a = accessL1(l1d_, addr, nullptr, in, firstLen, true);
+    MemResult b = accessL1(l1d_, firstLine + lineSize, nullptr,
+                           static_cast<const u8 *>(in) + firstLen,
+                           len - firstLen, true);
+    return {std::max(a.latency, b.latency) + 1, a.fault || b.fault};
+}
+
+MemResult
+Hierarchy::fetch(Addr addr, void *out, u32 len)
+{
+    const u32 lineSize = params_.l1i.lineSize;
+    const Addr firstLine = alignDown(addr, lineSize);
+    const Addr lastLine = alignDown(addr + len - 1, lineSize);
+    if (firstLine == lastLine)
+        return accessL1(l1i_, addr, out, nullptr, len, false);
+    const u32 firstLen =
+        static_cast<u32>(firstLine + lineSize - addr);
+    MemResult a = accessL1(l1i_, addr, out, nullptr, firstLen, false);
+    MemResult b = accessL1(l1i_, firstLine + lineSize,
+                           static_cast<u8 *>(out) + firstLen, nullptr,
+                           len - firstLen, false);
+    return {std::max(a.latency, b.latency) + 1, a.fault || b.fault};
+}
+
+void
+Hierarchy::coherentRead(Addr addr, void *out, Addr len) const
+{
+    // Byte-by-byte: L1D, else L2, else DRAM. Only used for output
+    // capture and golden comparison (not performance critical).
+    u8 *dst = static_cast<u8 *>(out);
+    for (Addr i = 0; i < len; ++i) {
+        const Addr a = addr + i;
+        dst[i] = 0;
+        const Cache *levels[2] = {&l1d_, &l2_};
+        bool found = false;
+        for (const Cache *c : levels) {
+            const int line = c->findLine(a);
+            if (line >= 0) {
+                // Direct const inspection of the data array.
+                dst[i] = c->peekByte(
+                    line,
+                    static_cast<u32>(a & (c->params().lineSize - 1)));
+                found = true;
+                break;
+            }
+        }
+        if (!found && dram_.ok(a, 1))
+            dram_.read(a, &dst[i], 1);
+    }
+}
+
+} // namespace marvel::mem

@@ -1,0 +1,44 @@
+#include "mem/physmem.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace marvel::mem
+{
+
+void
+PhysMem::read(Addr addr, void *out, Addr len) const
+{
+    if (!ok(addr, len))
+        panic("PhysMem::read out of range: 0x%llx+%llu",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(len));
+    std::memcpy(out, bytes.data() + addr, len);
+}
+
+void
+PhysMem::write(Addr addr, const void *in, Addr len)
+{
+    if (!ok(addr, len))
+        panic("PhysMem::write out of range: 0x%llx+%llu",
+              static_cast<unsigned long long>(addr),
+              static_cast<unsigned long long>(len));
+    std::memcpy(bytes.data() + addr, in, len);
+}
+
+u64
+PhysMem::read64(Addr addr) const
+{
+    u64 v;
+    read(addr, &v, 8);
+    return v;
+}
+
+void
+PhysMem::write64(Addr addr, u64 value)
+{
+    write(addr, &value, 8);
+}
+
+} // namespace marvel::mem

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Flat simulated physical memory (DRAM).
+ */
+
+#ifndef MARVEL_MEM_PHYSMEM_HH
+#define MARVEL_MEM_PHYSMEM_HH
+
+#include <vector>
+
+#include "common/memmap.hh"
+#include "common/types.hh"
+
+namespace marvel::mem
+{
+
+/**
+ * Byte-addressable DRAM covering [0, size). Accesses outside raise a
+ * bus error at a higher level (callers check ok()).
+ */
+class PhysMem
+{
+  public:
+    explicit PhysMem(Addr size = kMemSize) : bytes(size, 0) {}
+
+    Addr size() const { return bytes.size(); }
+
+    /** True when [addr, addr+len) is in range. */
+    bool
+    ok(Addr addr, Addr len) const
+    {
+        return addr + len <= bytes.size() && addr + len >= addr;
+    }
+
+    /** Raw read; caller must have checked ok(). */
+    void read(Addr addr, void *out, Addr len) const;
+
+    /** Raw write; caller must have checked ok(). */
+    void write(Addr addr, const void *in, Addr len);
+
+    u64 read64(Addr addr) const;
+    void write64(Addr addr, u64 value);
+
+    const u8 *data() const { return bytes.data(); }
+    u8 *data() { return bytes.data(); }
+
+  private:
+    std::vector<u8> bytes;
+};
+
+} // namespace marvel::mem
+
+#endif // MARVEL_MEM_PHYSMEM_HH

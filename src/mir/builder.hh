@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Fluent construction API for MIR modules.
+ *
+ * Workload kernels (src/workloads) and accelerator designs
+ * (src/accel/designs) are written against this builder.
+ */
+
+#ifndef MARVEL_MIR_BUILDER_HH
+#define MARVEL_MIR_BUILDER_HH
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "mir/mir.hh"
+
+namespace marvel::mir
+{
+
+class ModuleBuilder;
+
+/**
+ * Builds one function; instructions are appended to the current block.
+ */
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(Module &module, FuncId id)
+        : mod(module), fid(id)
+    {
+        // Entry block always exists.
+        if (fn().blocks.empty())
+            fn().blocks.emplace_back();
+    }
+
+    Function &fn() { return mod.functions[fid]; }
+    FuncId id() const { return fid; }
+
+    /** Allocate a fresh virtual register of the given type. */
+    VReg
+    newReg(Type type = Type::I64)
+    {
+        fn().vregTypes.push_back(type);
+        return static_cast<VReg>(fn().vregTypes.size() - 1);
+    }
+
+    /** Create a new (empty) basic block and return its id. */
+    BlockId
+    newBlock()
+    {
+        fn().blocks.emplace_back();
+        return static_cast<BlockId>(fn().blocks.size() - 1);
+    }
+
+    /** Switch the insertion point to `block`. */
+    void setBlock(BlockId block) { cur = block; }
+
+    /** Current insertion block. */
+    BlockId block() const { return cur; }
+
+    // --- constants -----------------------------------------------------
+    VReg
+    constI(i64 value)
+    {
+        VReg d = newReg(Type::I64);
+        emit({.op = Op::ConstI, .dst = d, .imm = value});
+        return d;
+    }
+
+    VReg
+    constF(double value)
+    {
+        VReg d = newReg(Type::F64);
+        emit({.op = Op::ConstF, .dst = d, .fimm = value});
+        return d;
+    }
+
+    /** Address of a global by name. */
+    VReg
+    gaddr(const std::string &name)
+    {
+        VReg d = newReg(Type::I64);
+        emit({.op = Op::GAddr, .dst = d,
+              .imm = static_cast<i64>(mod.globalId(name))});
+        return d;
+    }
+
+    // --- arithmetic ----------------------------------------------------
+    VReg
+    binop(Op op, VReg a, VReg b)
+    {
+        VReg d = newReg(isFloatOp(op) && op != Op::FtoI &&
+                        op != Op::FCmpEq && op != Op::FCmpLt &&
+                        op != Op::FCmpLe ? Type::F64 : Type::I64);
+        emit({.op = op, .dst = d, .a = a, .b = b});
+        return d;
+    }
+
+    VReg add(VReg a, VReg b) { return binop(Op::Add, a, b); }
+    VReg sub(VReg a, VReg b) { return binop(Op::Sub, a, b); }
+    VReg mul(VReg a, VReg b) { return binop(Op::Mul, a, b); }
+    VReg div(VReg a, VReg b) { return binop(Op::Div, a, b); }
+    VReg divu(VReg a, VReg b) { return binop(Op::DivU, a, b); }
+    VReg rem(VReg a, VReg b) { return binop(Op::Rem, a, b); }
+    VReg remu(VReg a, VReg b) { return binop(Op::RemU, a, b); }
+    VReg band(VReg a, VReg b) { return binop(Op::And, a, b); }
+    VReg bor(VReg a, VReg b) { return binop(Op::Or, a, b); }
+    VReg bxor(VReg a, VReg b) { return binop(Op::Xor, a, b); }
+    VReg shl(VReg a, VReg b) { return binop(Op::Shl, a, b); }
+    VReg shr(VReg a, VReg b) { return binop(Op::Shr, a, b); }
+    VReg sra(VReg a, VReg b) { return binop(Op::Sra, a, b); }
+
+    VReg addI(VReg a, i64 k) { return add(a, constI(k)); }
+    VReg mulI(VReg a, i64 k) { return mul(a, constI(k)); }
+    VReg shlI(VReg a, i64 k) { return shl(a, constI(k)); }
+
+    VReg cmpEq(VReg a, VReg b) { return binop(Op::CmpEq, a, b); }
+    VReg cmpNe(VReg a, VReg b) { return binop(Op::CmpNe, a, b); }
+    VReg cmpLt(VReg a, VReg b) { return binop(Op::CmpLt, a, b); }
+    VReg cmpLe(VReg a, VReg b) { return binop(Op::CmpLe, a, b); }
+    VReg cmpLtU(VReg a, VReg b) { return binop(Op::CmpLtU, a, b); }
+    VReg cmpLeU(VReg a, VReg b) { return binop(Op::CmpLeU, a, b); }
+
+    VReg fadd(VReg a, VReg b) { return binop(Op::FAdd, a, b); }
+    VReg fsub(VReg a, VReg b) { return binop(Op::FSub, a, b); }
+    VReg fmul(VReg a, VReg b) { return binop(Op::FMul, a, b); }
+    VReg fdiv(VReg a, VReg b) { return binop(Op::FDiv, a, b); }
+    VReg fcmpEq(VReg a, VReg b) { return binop(Op::FCmpEq, a, b); }
+    VReg fcmpLt(VReg a, VReg b) { return binop(Op::FCmpLt, a, b); }
+    VReg fcmpLe(VReg a, VReg b) { return binop(Op::FCmpLe, a, b); }
+
+    VReg
+    fsqrt(VReg a)
+    {
+        VReg d = newReg(Type::F64);
+        emit({.op = Op::FSqrt, .dst = d, .a = a});
+        return d;
+    }
+
+    VReg
+    itof(VReg a)
+    {
+        VReg d = newReg(Type::F64);
+        emit({.op = Op::ItoF, .dst = d, .a = a});
+        return d;
+    }
+
+    VReg
+    ftoi(VReg a)
+    {
+        VReg d = newReg(Type::I64);
+        emit({.op = Op::FtoI, .dst = d, .a = a});
+        return d;
+    }
+
+    VReg
+    select(VReg cond, VReg ifTrue, VReg ifFalse)
+    {
+        VReg d = newReg(fn().vregTypes[ifTrue]);
+        emit({.op = Op::Select, .dst = d, .a = cond, .b = ifTrue,
+              .c = ifFalse});
+        return d;
+    }
+
+    /** dst = a (same type). */
+    VReg
+    mov(VReg a)
+    {
+        VReg d = newReg(fn().vregTypes[a]);
+        emit({.op = Op::Mov, .dst = d, .a = a});
+        return d;
+    }
+
+    /** Reassign an existing vreg: existing = src (for loop variables). */
+    void
+    assign(VReg existing, VReg src)
+    {
+        emit({.op = Op::Mov, .dst = existing, .a = src});
+    }
+
+    void
+    assignI(VReg existing, i64 value)
+    {
+        emit({.op = Op::ConstI, .dst = existing, .imm = value});
+    }
+
+    // --- memory ----------------------------------------------------------
+    VReg
+    load(Op op, VReg addr, i64 offset = 0)
+    {
+        VReg d = newReg(op == Op::LdF8 ? Type::F64 : Type::I64);
+        emit({.op = op, .dst = d, .a = addr, .imm = offset});
+        return d;
+    }
+
+    VReg ld1u(VReg a, i64 off = 0) { return load(Op::Ld1u, a, off); }
+    VReg ld1s(VReg a, i64 off = 0) { return load(Op::Ld1s, a, off); }
+    VReg ld2u(VReg a, i64 off = 0) { return load(Op::Ld2u, a, off); }
+    VReg ld2s(VReg a, i64 off = 0) { return load(Op::Ld2s, a, off); }
+    VReg ld4u(VReg a, i64 off = 0) { return load(Op::Ld4u, a, off); }
+    VReg ld4s(VReg a, i64 off = 0) { return load(Op::Ld4s, a, off); }
+    VReg ld8(VReg a, i64 off = 0) { return load(Op::Ld8, a, off); }
+    VReg ldf8(VReg a, i64 off = 0) { return load(Op::LdF8, a, off); }
+
+    void
+    store(Op op, VReg addr, VReg data, i64 offset = 0)
+    {
+        emit({.op = op, .a = addr, .b = data, .imm = offset});
+    }
+
+    void st1(VReg a, VReg d, i64 off = 0) { store(Op::St1, a, d, off); }
+    void st2(VReg a, VReg d, i64 off = 0) { store(Op::St2, a, d, off); }
+    void st4(VReg a, VReg d, i64 off = 0) { store(Op::St4, a, d, off); }
+    void st8(VReg a, VReg d, i64 off = 0) { store(Op::St8, a, d, off); }
+    void stf8(VReg a, VReg d, i64 off = 0) { store(Op::StF8, a, d, off); }
+
+    // --- control flow ----------------------------------------------------
+    void jmp(BlockId target) { emit({.op = Op::Jmp, .target = target}); }
+
+    void
+    br(VReg cond, BlockId ifTrue, BlockId ifFalse)
+    {
+        emit({.op = Op::Br, .a = cond, .target = ifTrue,
+              .target2 = ifFalse});
+    }
+
+    void ret(VReg value) { emit({.op = Op::Ret, .a = value}); }
+    void retVoid() { emit({.op = Op::Ret}); }
+
+    VReg
+    call(FuncId callee, std::vector<VReg> args)
+    {
+        const Function &cf = mod.functions[callee];
+        VReg d = newReg(cf.hasResult ? cf.resultType : Type::I64);
+        emit({.op = Op::Call, .dst = d, .callee = callee,
+              .args = std::move(args)});
+        return d;
+    }
+
+    void checkpoint() { emit({.op = Op::Checkpoint}); }
+
+    /** Stall until a device interrupt is pending (WFI). */
+    void waitIrq() { emit({.op = Op::WaitIrq}); }
+    void switchCpu() { emit({.op = Op::SwitchCpu}); }
+
+    // --- structured loops --------------------------------------------------
+    /** Handles for a counted loop under construction. */
+    struct Loop
+    {
+        BlockId head;
+        BlockId body;
+        BlockId exit;
+        VReg idx;
+    };
+
+    /**
+     * Open `for (idx = init; idx < bound; )`, leaving the insertion
+     * point in the body. Close with endLoop().
+     */
+    Loop
+    beginLoop(VReg init, VReg bound)
+    {
+        Loop loop;
+        loop.idx = newReg(Type::I64);
+        assign(loop.idx, init);
+        loop.head = newBlock();
+        loop.body = newBlock();
+        loop.exit = newBlock();
+        jmp(loop.head);
+        setBlock(loop.head);
+        VReg cond = cmpLt(loop.idx, bound);
+        br(cond, loop.body, loop.exit);
+        setBlock(loop.body);
+        return loop;
+    }
+
+    /** Close a counted loop, stepping idx by `step`. */
+    void
+    endLoop(const Loop &loop, i64 step = 1)
+    {
+        assign(loop.idx, addI(loop.idx, step));
+        jmp(loop.head);
+        setBlock(loop.exit);
+    }
+
+    /** Append a raw instruction to the current block. */
+    void
+    emit(Inst inst)
+    {
+        if (!fn().blocks[cur].insts.empty() &&
+            isTerminator(fn().blocks[cur].insts.back().op))
+            fatal("builder: emitting past a terminator in '%s'",
+                  fn().name.c_str());
+        fn().blocks[cur].insts.push_back(std::move(inst));
+    }
+
+  private:
+    Module &mod;
+    FuncId fid;
+    BlockId cur = 0;
+};
+
+/** Builds a module: declares globals and functions. */
+class ModuleBuilder
+{
+  public:
+    Module &module() { return mod; }
+
+    /** Declare a zero-initialized global. */
+    u32
+    global(const std::string &name, u64 size, u64 align = 8)
+    {
+        mod.globals.push_back({name, size, align, {}});
+        return static_cast<u32>(mod.globals.size() - 1);
+    }
+
+    /** Declare a global with initial data. */
+    u32
+    globalInit(const std::string &name, std::vector<u8> init,
+               u64 align = 8)
+    {
+        const u64 size = init.size();
+        mod.globals.push_back({name, size, align, std::move(init)});
+        return static_cast<u32>(mod.globals.size() - 1);
+    }
+
+    /**
+     * Declare a function and return a builder for it. Parameters get
+     * freshly allocated vregs available via fb.fn().params.
+     */
+    FunctionBuilder
+    func(const std::string &name, std::vector<Type> paramTypes,
+         bool hasResult = false, Type resultType = Type::I64)
+    {
+        Function fn;
+        fn.name = name;
+        fn.paramTypes = paramTypes;
+        fn.hasResult = hasResult;
+        fn.resultType = resultType;
+        for (Type t : paramTypes) {
+            fn.vregTypes.push_back(t);
+            fn.params.push_back(
+                static_cast<VReg>(fn.vregTypes.size() - 1));
+        }
+        mod.functions.push_back(std::move(fn));
+        return FunctionBuilder(
+            mod, static_cast<FuncId>(mod.functions.size() - 1));
+    }
+
+    /** Mark the entry function by name. */
+    void setEntry(const std::string &name) { mod.entry = mod.funcId(name); }
+
+  private:
+    Module mod;
+};
+
+} // namespace marvel::mir
+
+#endif // MARVEL_MIR_BUILDER_HH

@@ -1,0 +1,294 @@
+#include "mir/interp.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace marvel::mir
+{
+
+namespace
+{
+
+double
+asF64(Word w)
+{
+    double d;
+    std::memcpy(&d, &w, sizeof(d));
+    return d;
+}
+
+Word
+fromF64(double d)
+{
+    Word w;
+    std::memcpy(&w, &d, sizeof(w));
+    return w;
+}
+
+} // namespace
+
+Interp::Interp(const Module &module, std::vector<u8> &memory,
+               const DataLayout &layout)
+    : mod(module), mem(memory), layout_(layout)
+{
+}
+
+void
+Interp::loadGlobals()
+{
+    for (std::size_t i = 0; i < mod.globals.size(); ++i) {
+        const Global &g = mod.globals[i];
+        const Addr base = layout_.globalAddr[i];
+        if (base + g.size > mem.size())
+            fatal("interp: global '%s' does not fit in memory",
+                  g.name.c_str());
+        std::memset(mem.data() + base, 0, g.size);
+        if (!g.init.empty())
+            std::memcpy(mem.data() + base, g.init.data(),
+                        std::min<std::size_t>(g.init.size(), g.size));
+    }
+}
+
+u8 *
+Interp::memPtr(Addr addr, unsigned size)
+{
+    if (addr + size > mem.size() || addr + size < addr)
+        fatal("interp: out-of-bounds access at 0x%llx size %u",
+              static_cast<unsigned long long>(addr), size);
+    return mem.data() + addr;
+}
+
+InterpResult
+Interp::run(const std::vector<i64> &args, u64 maxSteps)
+{
+    InterpResult res;
+    std::vector<Word> wargs(args.begin(), args.end());
+    u64 steps = 0;
+    res.exitValue =
+        static_cast<i64>(callFunction(mod.entry, wargs, maxSteps, steps, 0));
+    res.steps = steps;
+    res.timedOut = steps >= maxSteps;
+    return res;
+}
+
+Word
+Interp::callFunction(FuncId fid, const std::vector<Word> &args,
+                     u64 maxSteps, u64 &steps, unsigned depth)
+{
+    if (depth > 512)
+        fatal("interp: call depth exceeded in '%s'",
+              mod.functions[fid].name.c_str());
+    const Function &fn = mod.functions[fid];
+    std::vector<Word> regs(fn.numVRegs(), 0);
+    for (std::size_t i = 0; i < args.size(); ++i)
+        regs[fn.params[i]] = args[i];
+
+    BlockId blockId = 0;
+    std::size_t ip = 0;
+    for (;;) {
+        if (steps++ >= maxSteps)
+            return 0;
+        const Inst &in = fn.blocks[blockId].insts[ip];
+        ++ip;
+        const Word a = regs[in.a];
+        const Word b = regs[in.b];
+        switch (in.op) {
+          case Op::ConstI:
+            regs[in.dst] = static_cast<Word>(in.imm);
+            break;
+          case Op::ConstF:
+            regs[in.dst] = fromF64(in.fimm);
+            break;
+          case Op::Mov:
+            regs[in.dst] = a;
+            break;
+          case Op::GAddr:
+            regs[in.dst] = layout_.globalAddr[in.imm];
+            break;
+          case Op::Add: regs[in.dst] = a + b; break;
+          case Op::Sub: regs[in.dst] = a - b; break;
+          case Op::Mul: regs[in.dst] = a * b; break;
+          case Op::Div:
+            if (b == 0)
+                fatal("interp: division by zero");
+            if (static_cast<i64>(a) == INT64_MIN &&
+                static_cast<i64>(b) == -1)
+                regs[in.dst] = a;
+            else
+                regs[in.dst] = static_cast<Word>(
+                    static_cast<i64>(a) / static_cast<i64>(b));
+            break;
+          case Op::DivU:
+            if (b == 0)
+                fatal("interp: division by zero");
+            regs[in.dst] = a / b;
+            break;
+          case Op::Rem:
+            if (b == 0)
+                fatal("interp: division by zero");
+            if (static_cast<i64>(a) == INT64_MIN &&
+                static_cast<i64>(b) == -1)
+                regs[in.dst] = 0;
+            else
+                regs[in.dst] = static_cast<Word>(
+                    static_cast<i64>(a) % static_cast<i64>(b));
+            break;
+          case Op::RemU:
+            if (b == 0)
+                fatal("interp: division by zero");
+            regs[in.dst] = a % b;
+            break;
+          case Op::And: regs[in.dst] = a & b; break;
+          case Op::Or: regs[in.dst] = a | b; break;
+          case Op::Xor: regs[in.dst] = a ^ b; break;
+          case Op::Shl: regs[in.dst] = a << (b & 63); break;
+          case Op::Shr: regs[in.dst] = a >> (b & 63); break;
+          case Op::Sra:
+            regs[in.dst] =
+                static_cast<Word>(static_cast<i64>(a) >> (b & 63));
+            break;
+          case Op::CmpEq: regs[in.dst] = a == b; break;
+          case Op::CmpNe: regs[in.dst] = a != b; break;
+          case Op::CmpLt:
+            regs[in.dst] = static_cast<i64>(a) < static_cast<i64>(b);
+            break;
+          case Op::CmpLe:
+            regs[in.dst] = static_cast<i64>(a) <= static_cast<i64>(b);
+            break;
+          case Op::CmpLtU: regs[in.dst] = a < b; break;
+          case Op::CmpLeU: regs[in.dst] = a <= b; break;
+          case Op::FAdd:
+            regs[in.dst] = fromF64(asF64(a) + asF64(b));
+            break;
+          case Op::FSub:
+            regs[in.dst] = fromF64(asF64(a) - asF64(b));
+            break;
+          case Op::FMul:
+            regs[in.dst] = fromF64(asF64(a) * asF64(b));
+            break;
+          case Op::FDiv:
+            regs[in.dst] = fromF64(asF64(a) / asF64(b));
+            break;
+          case Op::FSqrt:
+            regs[in.dst] = fromF64(std::sqrt(asF64(a)));
+            break;
+          case Op::FCmpEq: regs[in.dst] = asF64(a) == asF64(b); break;
+          case Op::FCmpLt: regs[in.dst] = asF64(a) < asF64(b); break;
+          case Op::FCmpLe: regs[in.dst] = asF64(a) <= asF64(b); break;
+          case Op::ItoF:
+            regs[in.dst] =
+                fromF64(static_cast<double>(static_cast<i64>(a)));
+            break;
+          case Op::FtoI:
+            regs[in.dst] =
+                static_cast<Word>(static_cast<i64>(asF64(a)));
+            break;
+          case Op::Select:
+            regs[in.dst] = a ? b : regs[in.c];
+            break;
+          case Op::Ld1u:
+            regs[in.dst] = *memPtr(a + in.imm, 1);
+            break;
+          case Op::Ld1s:
+            regs[in.dst] = static_cast<Word>(
+                static_cast<i64>(static_cast<i8>(*memPtr(a + in.imm, 1))));
+            break;
+          case Op::Ld2u: {
+            u16 v;
+            std::memcpy(&v, memPtr(a + in.imm, 2), 2);
+            regs[in.dst] = v;
+            break;
+          }
+          case Op::Ld2s: {
+            u16 v;
+            std::memcpy(&v, memPtr(a + in.imm, 2), 2);
+            regs[in.dst] =
+                static_cast<Word>(static_cast<i64>(static_cast<i16>(v)));
+            break;
+          }
+          case Op::Ld4u: {
+            u32 v;
+            std::memcpy(&v, memPtr(a + in.imm, 4), 4);
+            regs[in.dst] = v;
+            break;
+          }
+          case Op::Ld4s: {
+            u32 v;
+            std::memcpy(&v, memPtr(a + in.imm, 4), 4);
+            regs[in.dst] =
+                static_cast<Word>(static_cast<i64>(static_cast<i32>(v)));
+            break;
+          }
+          case Op::Ld8:
+          case Op::LdF8: {
+            u64 v;
+            std::memcpy(&v, memPtr(a + in.imm, 8), 8);
+            regs[in.dst] = v;
+            break;
+          }
+          case Op::St1:
+            *memPtr(a + in.imm, 1) = static_cast<u8>(b);
+            break;
+          case Op::St2: {
+            u16 v = static_cast<u16>(b);
+            std::memcpy(memPtr(a + in.imm, 2), &v, 2);
+            break;
+          }
+          case Op::St4: {
+            u32 v = static_cast<u32>(b);
+            std::memcpy(memPtr(a + in.imm, 4), &v, 4);
+            break;
+          }
+          case Op::St8:
+          case Op::StF8:
+            std::memcpy(memPtr(a + in.imm, 8), &b, 8);
+            break;
+          case Op::Jmp:
+            blockId = in.target;
+            ip = 0;
+            break;
+          case Op::Br:
+            blockId = a ? in.target : in.target2;
+            ip = 0;
+            break;
+          case Op::Ret:
+            return fn.hasResult ? a : 0;
+          case Op::Call: {
+            std::vector<Word> callArgs;
+            callArgs.reserve(in.args.size());
+            for (VReg r : in.args)
+                callArgs.push_back(regs[r]);
+            regs[in.dst] = callFunction(in.callee, callArgs, maxSteps,
+                                        steps, depth + 1);
+            if (steps >= maxSteps)
+                return 0;
+            break;
+          }
+          case Op::Checkpoint:
+          case Op::SwitchCpu:
+          case Op::WaitIrq:
+            break; // no timing semantics in the functional model
+        }
+    }
+}
+
+GoldenRun
+interpretModule(const Module &module, const std::vector<i64> &args,
+                u64 maxSteps)
+{
+    GoldenRun golden;
+    golden.memory.assign(kMemSize, 0);
+    DataLayout layout = layoutGlobals(module, kDataBase);
+    if (layout.end > kStackTop)
+        fatal("interp: globals overflow the data segment");
+    Interp interp(module, golden.memory, layout);
+    interp.loadGlobals();
+    golden.result = interp.run(args, maxSteps);
+    golden.output.assign(golden.memory.begin() + kOutputBase,
+                         golden.memory.begin() + kOutputBase + kOutputSize);
+    return golden;
+}
+
+} // namespace marvel::mir

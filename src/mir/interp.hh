@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reference interpreter for MIR.
+ *
+ * Executes a module functionally (no timing) against a flat memory image.
+ * It is the golden functional model: integration tests compare the OUTPUT
+ * window produced by each ISA's compiled binary on the cycle-level CPU,
+ * and by the accelerator engine, against the interpreter's.
+ */
+
+#ifndef MARVEL_MIR_INTERP_HH
+#define MARVEL_MIR_INTERP_HH
+
+#include <vector>
+
+#include "common/memmap.hh"
+#include "common/types.hh"
+#include "mir/mir.hh"
+
+namespace marvel::mir
+{
+
+/** Outcome of an interpreted execution. */
+struct InterpResult
+{
+    i64 exitValue = 0;      ///< value returned by the entry function
+    u64 steps = 0;          ///< MIR instructions executed
+    bool timedOut = false;  ///< hit the step limit
+};
+
+/**
+ * MIR interpreter over a borrowed flat memory image.
+ */
+class Interp
+{
+  public:
+    /**
+     * @param module  verified module to execute
+     * @param memory  flat image covering [0, memory.size())
+     * @param layout  global addresses (from layoutGlobals)
+     */
+    Interp(const Module &module, std::vector<u8> &memory,
+           const DataLayout &layout);
+
+    /** Copy every global's initial bytes into memory. */
+    void loadGlobals();
+
+    /**
+     * Run the entry function.
+     * @param args     entry arguments (integer only)
+     * @param maxSteps watchdog limit
+     */
+    InterpResult run(const std::vector<i64> &args = {},
+                     u64 maxSteps = 200'000'000);
+
+  private:
+    Word callFunction(FuncId fid, const std::vector<Word> &args,
+                      u64 maxSteps, u64 &steps, unsigned depth);
+
+    u8 *memPtr(Addr addr, unsigned size);
+
+    const Module &mod;
+    std::vector<u8> &mem;
+    const DataLayout &layout_;
+};
+
+/**
+ * Convenience: allocate a kMemSize image, load globals, run, and return
+ * the OUTPUT window alongside the result.
+ */
+struct GoldenRun
+{
+    InterpResult result;
+    std::vector<u8> output; ///< kOutputSize bytes
+    std::vector<u8> memory; ///< full final image
+};
+
+GoldenRun interpretModule(const Module &module,
+                          const std::vector<i64> &args = {},
+                          u64 maxSteps = 200'000'000);
+
+} // namespace marvel::mir
+
+#endif // MARVEL_MIR_INTERP_HH

@@ -1,0 +1,344 @@
+#include "mir/mir.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace marvel::mir
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::ConstI: return "consti";
+      case Op::ConstF: return "constf";
+      case Op::Mov: return "mov";
+      case Op::GAddr: return "gaddr";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Div: return "div";
+      case Op::DivU: return "divu";
+      case Op::Rem: return "rem";
+      case Op::RemU: return "remu";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::Sra: return "sra";
+      case Op::CmpEq: return "cmpeq";
+      case Op::CmpNe: return "cmpne";
+      case Op::CmpLt: return "cmplt";
+      case Op::CmpLe: return "cmple";
+      case Op::CmpLtU: return "cmpltu";
+      case Op::CmpLeU: return "cmpleu";
+      case Op::FAdd: return "fadd";
+      case Op::FSub: return "fsub";
+      case Op::FMul: return "fmul";
+      case Op::FDiv: return "fdiv";
+      case Op::FSqrt: return "fsqrt";
+      case Op::FCmpEq: return "fcmpeq";
+      case Op::FCmpLt: return "fcmplt";
+      case Op::FCmpLe: return "fcmple";
+      case Op::ItoF: return "itof";
+      case Op::FtoI: return "ftoi";
+      case Op::Select: return "select";
+      case Op::Ld1u: return "ld1u";
+      case Op::Ld1s: return "ld1s";
+      case Op::Ld2u: return "ld2u";
+      case Op::Ld2s: return "ld2s";
+      case Op::Ld4u: return "ld4u";
+      case Op::Ld4s: return "ld4s";
+      case Op::Ld8: return "ld8";
+      case Op::LdF8: return "ldf8";
+      case Op::St1: return "st1";
+      case Op::St2: return "st2";
+      case Op::St4: return "st4";
+      case Op::St8: return "st8";
+      case Op::StF8: return "stf8";
+      case Op::Jmp: return "jmp";
+      case Op::Br: return "br";
+      case Op::Ret: return "ret";
+      case Op::Call: return "call";
+      case Op::Checkpoint: return "checkpoint";
+      case Op::SwitchCpu: return "switchcpu";
+      case Op::WaitIrq: return "waitirq";
+    }
+    return "?";
+}
+
+bool
+isTerminator(Op op)
+{
+    return op == Op::Jmp || op == Op::Br || op == Op::Ret;
+}
+
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::Ld1u: case Op::Ld1s: case Op::Ld2u: case Op::Ld2s:
+      case Op::Ld4u: case Op::Ld4s: case Op::Ld8: case Op::LdF8:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Op op)
+{
+    switch (op) {
+      case Op::St1: case Op::St2: case Op::St4: case Op::St8:
+      case Op::StF8:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+accessSize(Op op)
+{
+    switch (op) {
+      case Op::Ld1u: case Op::Ld1s: case Op::St1: return 1;
+      case Op::Ld2u: case Op::Ld2s: case Op::St2: return 2;
+      case Op::Ld4u: case Op::Ld4s: case Op::St4: return 4;
+      case Op::Ld8: case Op::LdF8: case Op::St8: case Op::StF8: return 8;
+      default: return 0;
+    }
+}
+
+bool
+loadIsSigned(Op op)
+{
+    return op == Op::Ld1s || op == Op::Ld2s || op == Op::Ld4s;
+}
+
+bool
+isFloatOp(Op op)
+{
+    switch (op) {
+      case Op::ConstF: case Op::FAdd: case Op::FSub: case Op::FMul:
+      case Op::FDiv: case Op::FSqrt: case Op::FCmpEq: case Op::FCmpLt:
+      case Op::FCmpLe: case Op::ItoF: case Op::FtoI: case Op::LdF8:
+      case Op::StF8:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+numSources(Op op)
+{
+    switch (op) {
+      case Op::ConstI: case Op::ConstF: case Op::GAddr:
+      case Op::Jmp: case Op::Checkpoint: case Op::SwitchCpu:
+      case Op::WaitIrq: case Op::Call:
+        return 0;
+      case Op::Mov: case Op::ItoF: case Op::FtoI: case Op::FSqrt:
+      case Op::Br: case Op::Ret:
+      case Op::Ld1u: case Op::Ld1s: case Op::Ld2u: case Op::Ld2s:
+      case Op::Ld4u: case Op::Ld4s: case Op::Ld8: case Op::LdF8:
+        return 1;
+      case Op::Select:
+        return 3;
+      case Op::St1: case Op::St2: case Op::St4: case Op::St8:
+      case Op::StF8:
+        return 2;
+      default:
+        return 2;
+    }
+}
+
+bool
+hasDest(Op op)
+{
+    if (isStore(op) || isTerminator(op))
+        return false;
+    switch (op) {
+      case Op::Checkpoint: case Op::SwitchCpu: case Op::WaitIrq:
+        return false;
+      case Op::Call:
+        return true; // callers without a result ignore dst
+      default:
+        return true;
+    }
+}
+
+FuncId
+Module::funcId(const std::string &name) const
+{
+    for (std::size_t i = 0; i < functions.size(); ++i)
+        if (functions[i].name == name)
+            return static_cast<FuncId>(i);
+    fatal("mir: no function named '%s'", name.c_str());
+}
+
+u32
+Module::globalId(const std::string &name) const
+{
+    for (std::size_t i = 0; i < globals.size(); ++i)
+        if (globals[i].name == name)
+            return static_cast<u32>(i);
+    fatal("mir: no global named '%s'", name.c_str());
+}
+
+DataLayout
+layoutGlobals(const Module &module, Addr base)
+{
+    DataLayout layout;
+    Addr cursor = base;
+    layout.globalAddr.reserve(module.globals.size());
+    for (const Global &g : module.globals) {
+        if (!isPow2(g.align))
+            fatal("mir: global '%s' alignment %llu not a power of two",
+                  g.name.c_str(),
+                  static_cast<unsigned long long>(g.align));
+        cursor = alignUp(cursor, g.align);
+        layout.globalAddr.push_back(cursor);
+        cursor += g.size;
+    }
+    layout.end = alignUp(cursor, 64);
+    return layout;
+}
+
+void
+verify(const Module &module)
+{
+    if (module.functions.empty())
+        fatal("mir verify: module has no functions");
+    if (module.entry >= module.functions.size())
+        fatal("mir verify: bad entry function id %u", module.entry);
+    for (const Function &fn : module.functions) {
+        if (fn.blocks.empty())
+            fatal("mir verify: function '%s' has no blocks",
+                  fn.name.c_str());
+        if (fn.params.size() != fn.paramTypes.size())
+            fatal("mir verify: '%s' param/type count mismatch",
+                  fn.name.c_str());
+        for (VReg p : fn.params)
+            if (p >= fn.numVRegs())
+                fatal("mir verify: '%s' param vreg out of range",
+                      fn.name.c_str());
+        for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            const Block &blk = fn.blocks[bi];
+            if (blk.insts.empty())
+                fatal("mir verify: '%s' block %zu empty",
+                      fn.name.c_str(), bi);
+            for (std::size_t ii = 0; ii < blk.insts.size(); ++ii) {
+                const Inst &inst = blk.insts[ii];
+                const bool last = (ii + 1 == blk.insts.size());
+                if (isTerminator(inst.op) != last)
+                    fatal("mir verify: '%s' block %zu: terminator "
+                          "placement error at inst %zu",
+                          fn.name.c_str(), bi, ii);
+                auto checkReg = [&](VReg r) {
+                    if (r >= fn.numVRegs())
+                        fatal("mir verify: '%s' block %zu inst %zu: "
+                              "vreg %u out of range",
+                              fn.name.c_str(), bi, ii, r);
+                };
+                const unsigned ns = numSources(inst.op);
+                if (inst.op == Op::Ret) {
+                    if (fn.hasResult)
+                        checkReg(inst.a);
+                } else if (inst.op == Op::Br) {
+                    checkReg(inst.a);
+                } else {
+                    if (ns >= 1)
+                        checkReg(inst.a);
+                    if (ns >= 2)
+                        checkReg(inst.b);
+                    if (ns >= 3)
+                        checkReg(inst.c);
+                }
+                if (hasDest(inst.op))
+                    checkReg(inst.dst);
+                if (inst.op == Op::Jmp || inst.op == Op::Br) {
+                    if (inst.target >= fn.blocks.size())
+                        fatal("mir verify: '%s': bad branch target %u",
+                              fn.name.c_str(), inst.target);
+                    if (inst.op == Op::Br &&
+                        inst.target2 >= fn.blocks.size())
+                        fatal("mir verify: '%s': bad branch target %u",
+                              fn.name.c_str(), inst.target2);
+                }
+                if (inst.op == Op::Call) {
+                    if (inst.callee >= module.functions.size())
+                        fatal("mir verify: '%s': bad callee %u",
+                              fn.name.c_str(), inst.callee);
+                    const Function &callee =
+                        module.functions[inst.callee];
+                    if (inst.args.size() != callee.paramTypes.size())
+                        fatal("mir verify: '%s': call to '%s' with %zu "
+                              "args, expected %zu",
+                              fn.name.c_str(), callee.name.c_str(),
+                              inst.args.size(),
+                              callee.paramTypes.size());
+                    for (VReg arg : inst.args)
+                        checkReg(arg);
+                }
+                if (inst.op == Op::GAddr &&
+                    static_cast<u64>(inst.imm) >= module.globals.size())
+                    fatal("mir verify: '%s': bad global id %lld",
+                          fn.name.c_str(),
+                          static_cast<long long>(inst.imm));
+            }
+        }
+    }
+}
+
+std::string
+toString(const Module &module)
+{
+    std::ostringstream out;
+    for (const Function &fn : module.functions) {
+        out << "func " << fn.name << "(";
+        for (std::size_t i = 0; i < fn.params.size(); ++i) {
+            if (i)
+                out << ", ";
+            out << "v" << fn.params[i];
+        }
+        out << ")\n";
+        for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            out << "  b" << bi << ":\n";
+            for (const Inst &inst : fn.blocks[bi].insts) {
+                out << "    " << opName(inst.op);
+                if (hasDest(inst.op))
+                    out << " v" << inst.dst << " =";
+                const unsigned ns = numSources(inst.op);
+                if (inst.op == Op::Ret) {
+                    out << " v" << inst.a;
+                } else {
+                    if (ns >= 1)
+                        out << " v" << inst.a;
+                    if (ns >= 2)
+                        out << " v" << inst.b;
+                    if (ns >= 3)
+                        out << " v" << inst.c;
+                }
+                if (inst.op == Op::ConstI || isLoad(inst.op) ||
+                    isStore(inst.op) || inst.op == Op::GAddr)
+                    out << " imm=" << inst.imm;
+                if (inst.op == Op::ConstF)
+                    out << " fimm=" << inst.fimm;
+                if (inst.op == Op::Jmp)
+                    out << " -> b" << inst.target;
+                if (inst.op == Op::Br)
+                    out << " -> b" << inst.target << ", b"
+                        << inst.target2;
+                if (inst.op == Op::Call)
+                    out << " @" << module.functions[inst.callee].name;
+                out << "\n";
+            }
+        }
+    }
+    return out.str();
+}
+
+} // namespace marvel::mir

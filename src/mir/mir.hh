@@ -1,0 +1,197 @@
+/**
+ * @file
+ * MIR: the MARVEL intermediate representation.
+ *
+ * MIR plays two roles, mirroring LLVM IR in the paper's toolchain:
+ *  - workloads (MiBench-style kernels) are written in MIR and compiled by
+ *    the per-ISA code generators in src/isa into genuinely different
+ *    machine binaries (different encodings, register budgets, addressing
+ *    modes), which the out-of-order CPU model then executes; and
+ *  - accelerator designs (MachSuite-style kernels) are executed directly
+ *    by the gem5-SALAM-like dynamic dataflow engine in src/accel.
+ *
+ * MIR is a typed (I64/F64), non-SSA register IR over an unbounded set of
+ * virtual registers, organized into functions of basic blocks.
+ */
+
+#ifndef MARVEL_MIR_MIR_HH
+#define MARVEL_MIR_MIR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::mir
+{
+
+/** Value types carried by virtual registers. */
+enum class Type : u8 { I64, F64 };
+
+/** Virtual register id, unique within a function. */
+using VReg = u32;
+
+/** Basic block id, unique within a function. */
+using BlockId = u32;
+
+/** Function id, unique within a module. */
+using FuncId = u32;
+
+/** MIR operations. */
+enum class Op : u8
+{
+    // Constants and moves
+    ConstI,     ///< dst = imm
+    ConstF,     ///< dst = fimm
+    Mov,        ///< dst = a
+    GAddr,      ///< dst = address of global #imm
+
+    // Integer arithmetic / logic
+    Add, Sub, Mul, Div, DivU, Rem, RemU,
+    And, Or, Xor, Shl, Shr, Sra,
+
+    // Integer comparisons, dst = 0 or 1
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpLtU, CmpLeU,
+
+    // Floating point
+    FAdd, FSub, FMul, FDiv, FSqrt,
+    FCmpEq, FCmpLt, FCmpLe,
+    ItoF,       ///< dst(F64) = (double)a(I64)
+    FtoI,       ///< dst(I64) = (i64)a(F64), truncating
+
+    Select,     ///< dst = a ? b : c
+
+    // Memory: effective address = a + imm; stores carry data in b
+    Ld1u, Ld1s, Ld2u, Ld2s, Ld4u, Ld4s, Ld8, LdF8,
+    St1, St2, St4, St8, StF8,
+
+    // Control flow (block terminators)
+    Jmp,        ///< goto target
+    Br,         ///< if (a) goto target else goto target2
+    Ret,        ///< return a (or void when no return type)
+
+    Call,       ///< dst = callee(args...)
+
+    // Simulation pseudo-ops (m5-style magic instructions)
+    Checkpoint, ///< begin fault-injection window
+    SwitchCpu,  ///< end fault-injection window
+    WaitIrq,    ///< stall until an external interrupt is pending
+};
+
+/** Human-readable opcode mnemonic. */
+const char *opName(Op op);
+
+/** True for Jmp/Br/Ret. */
+bool isTerminator(Op op);
+
+/** True for any load. */
+bool isLoad(Op op);
+
+/** True for any store. */
+bool isStore(Op op);
+
+/** Access size in bytes for loads/stores; 0 otherwise. */
+unsigned accessSize(Op op);
+
+/** True when a load sign-extends. */
+bool loadIsSigned(Op op);
+
+/** True for FAdd..FtoI and ConstF/LdF8/StF8 operating on F64 values. */
+bool isFloatOp(Op op);
+
+/** Number of register sources read by the op (not counting call args). */
+unsigned numSources(Op op);
+
+/** True when the op defines dst. */
+bool hasDest(Op op);
+
+/** One MIR instruction. */
+struct Inst
+{
+    Op op;
+    VReg dst = 0;
+    VReg a = 0;
+    VReg b = 0;
+    VReg c = 0;
+    i64 imm = 0;
+    double fimm = 0.0;
+    BlockId target = 0;
+    BlockId target2 = 0;
+    FuncId callee = 0;
+    std::vector<VReg> args; ///< call arguments
+};
+
+/** A basic block: straight-line instructions ending in a terminator. */
+struct Block
+{
+    std::vector<Inst> insts;
+};
+
+/** A function: parameters, virtual-register types, and blocks. */
+struct Function
+{
+    std::string name;
+    std::vector<Type> paramTypes;
+    std::vector<VReg> params;     ///< vregs holding incoming arguments
+    bool hasResult = false;
+    Type resultType = Type::I64;
+    std::vector<Type> vregTypes;  ///< indexed by VReg
+    std::vector<Block> blocks;    ///< block 0 is the entry
+
+    unsigned numVRegs() const { return vregTypes.size(); }
+};
+
+/** A named global data object. */
+struct Global
+{
+    std::string name;
+    u64 size = 0;            ///< bytes
+    u64 align = 8;
+    std::vector<u8> init;    ///< initial bytes; zero-filled if smaller
+};
+
+/** A module: functions plus global data. */
+struct Module
+{
+    std::vector<Function> functions;
+    std::vector<Global> globals;
+
+    /** Id of the entry function ("main" by convention). */
+    FuncId entry = 0;
+
+    /** Find a function id by name; fatal() when absent. */
+    FuncId funcId(const std::string &name) const;
+
+    /** Find a global index by name; fatal() when absent. */
+    u32 globalId(const std::string &name) const;
+};
+
+/**
+ * Assigned addresses for a module's globals.
+ */
+struct DataLayout
+{
+    std::vector<Addr> globalAddr; ///< indexed by global id
+    Addr end = 0;                 ///< first free address after globals
+};
+
+/**
+ * Lay out the module's globals starting at `base`.
+ *
+ * Shared by the MIR interpreter and all ISA code generators so outputs
+ * are byte-comparable across platforms.
+ */
+DataLayout layoutGlobals(const Module &module, Addr base);
+
+/**
+ * Check structural invariants (terminators present and only at block
+ * ends, vreg/type bounds, branch targets valid). fatal() on violation.
+ */
+void verify(const Module &module);
+
+/** Disassemble a module to text (for debugging and tests). */
+std::string toString(const Module &module);
+
+} // namespace marvel::mir
+
+#endif // MARVEL_MIR_MIR_HH

@@ -1,0 +1,169 @@
+#include "soc/builder.hh"
+#include <cstdio>
+
+#include "accel/designs/designs.hh"
+#include "common/log.hh"
+#include "common/memmap.hh"
+
+namespace marvel::soc
+{
+
+namespace
+{
+
+void
+applyCacheSection(mem::CacheParams &params,
+                  const ConfigFile::Section &sec)
+{
+    params.sizeBytes = static_cast<u32>(
+        sec.getU64("size", params.sizeBytes));
+    params.ways = static_cast<u32>(sec.getU64("ways", params.ways));
+    params.lineSize = static_cast<u32>(
+        sec.getU64("line", params.lineSize));
+    params.hitLatency = static_cast<u32>(
+        sec.getU64("latency", params.hitLatency));
+}
+
+} // namespace
+
+SystemConfig
+configFromText(const std::string &text)
+{
+    const ConfigFile cfg = ConfigFile::parse(text);
+    SystemConfig sys;
+
+    if (const auto *sec = cfg.first("system")) {
+        sys.cpu.isa = isa::isaFromName(sec->get("isa", "riscv"));
+    }
+    if (const auto *sec = cfg.first("cpu")) {
+        sys.cpu.robSize =
+            static_cast<unsigned>(sec->getU64("rob", sys.cpu.robSize));
+        sys.cpu.iqSize =
+            static_cast<unsigned>(sec->getU64("iq", sys.cpu.iqSize));
+        sys.cpu.lqSize =
+            static_cast<unsigned>(sec->getU64("lq", sys.cpu.lqSize));
+        sys.cpu.sqSize =
+            static_cast<unsigned>(sec->getU64("sq", sys.cpu.sqSize));
+        sys.cpu.numIntPregs = static_cast<unsigned>(
+            sec->getU64("int_pregs", sys.cpu.numIntPregs));
+        sys.cpu.numFpPregs = static_cast<unsigned>(
+            sec->getU64("fp_pregs", sys.cpu.numFpPregs));
+        sys.cpu.issueWidth = static_cast<unsigned>(
+            sec->getU64("issue_width", sys.cpu.issueWidth));
+        sys.cpu.fetchWidth = static_cast<unsigned>(
+            sec->getU64("fetch_width", sys.cpu.fetchWidth));
+        sys.cpu.commitWidth = static_cast<unsigned>(
+            sec->getU64("commit_width", sys.cpu.commitWidth));
+        sys.cpu.storeDrainOverride = static_cast<int>(
+            sec->getInt("store_drain", sys.cpu.storeDrainOverride));
+    }
+    if (const auto *sec = cfg.first("cache.l1i"))
+        applyCacheSection(sys.memory.l1i, *sec);
+    if (const auto *sec = cfg.first("cache.l1d"))
+        applyCacheSection(sys.memory.l1d, *sec);
+    if (const auto *sec = cfg.first("cache.l2"))
+        applyCacheSection(sys.memory.l2, *sec);
+    if (const auto *sec = cfg.first("memory"))
+        sys.memory.memLatency = static_cast<u32>(
+            sec->getU64("latency", sys.memory.memLatency));
+
+    std::size_t accelIdx = 0;
+    for (const auto *sec : cfg.named("accel")) {
+        const std::string design = sec->require("design");
+        const Addr base =
+            kAccelSpaceBase + accelIdx * kAccelSpaceStride;
+        sys.cluster.designs.push_back(
+            accel::designs::makeByName(design, base));
+        ++accelIdx;
+    }
+    return sys;
+}
+
+SystemConfig
+configFromFile(const std::string &path)
+{
+    const ConfigFile cfg = ConfigFile::parseFile(path);
+    // Re-render through parse() to keep one code path.
+    (void)cfg;
+    std::string text;
+    {
+        // parseFile already validated; read again as text for
+        // configFromText (files are tiny).
+        FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            fatal("builder: cannot open '%s'", path.c_str());
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+    return configFromText(text);
+}
+
+SystemConfig
+preset(const std::string &name)
+{
+    auto base = [](isa::IsaKind kind) {
+        SystemConfig cfg;
+        cfg.cpu.isa = kind; // the rest defaults to Table II
+        return cfg;
+    };
+    auto withAllAccels = [](SystemConfig cfg) {
+        std::size_t idx = 0;
+        for (const std::string &d : accel::designs::allDesignNames()) {
+            cfg.cluster.designs.push_back(accel::designs::makeByName(
+                d, kAccelSpaceBase + idx * kAccelSpaceStride));
+            ++idx;
+        }
+        return cfg;
+    };
+    if (name == "riscv")
+        return base(isa::IsaKind::RISCV);
+    if (name == "arm")
+        return base(isa::IsaKind::ARM);
+    if (name == "x86")
+        return base(isa::IsaKind::X86);
+    if (name == "riscv-soc")
+        return withAllAccels(base(isa::IsaKind::RISCV));
+    if (name == "arm-soc")
+        return withAllAccels(base(isa::IsaKind::ARM));
+    if (name == "x86-soc")
+        return withAllAccels(base(isa::IsaKind::X86));
+    fatal("builder: unknown preset '%s'", name.c_str());
+}
+
+std::string
+configToText(const SystemConfig &config)
+{
+    std::string out;
+    out += strfmt("[system]\nisa = %s\n\n",
+                  isa::isaName(config.cpu.isa));
+    out += strfmt(
+        "[cpu]\nrob = %u\niq = %u\nlq = %u\nsq = %u\n"
+        "int_pregs = %u\nfp_pregs = %u\nissue_width = %u\n"
+        "fetch_width = %u\ncommit_width = %u\nstore_drain = %d\n\n",
+        config.cpu.robSize, config.cpu.iqSize, config.cpu.lqSize,
+        config.cpu.sqSize, config.cpu.numIntPregs,
+        config.cpu.numFpPregs, config.cpu.issueWidth,
+        config.cpu.fetchWidth, config.cpu.commitWidth,
+        config.cpu.storeDrainOverride);
+    auto cacheSec = [&](const char *name,
+                        const mem::CacheParams &params) {
+        out += strfmt(
+            "[cache.%s]\nsize = %u\nways = %u\nline = %u\n"
+            "latency = %u\n\n",
+            name, params.sizeBytes, params.ways, params.lineSize,
+            params.hitLatency);
+    };
+    cacheSec("l1i", config.memory.l1i);
+    cacheSec("l1d", config.memory.l1d);
+    cacheSec("l2", config.memory.l2);
+    out += strfmt("[memory]\nlatency = %u\n\n",
+                  config.memory.memLatency);
+    for (const auto &design : config.cluster.designs)
+        out += strfmt("[accel]\ndesign = %s\n\n", design.name.c_str());
+    return out;
+}
+
+} // namespace marvel::soc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Config-driven SoC construction — the analog of gem5-SALAM's automatic
+ * configuration script generator (§III-C2): a single text description
+ * instantiates a full heterogeneous system without recompiling.
+ *
+ * Syntax (INI-style; see common/config.hh):
+ *
+ *   [system]
+ *   isa = riscv            # riscv | arm | x86
+ *
+ *   [cpu]
+ *   rob = 128
+ *   iq = 64
+ *   lq = 32
+ *   sq = 32
+ *   int_pregs = 128
+ *   fp_pregs = 128
+ *   issue_width = 8
+ *
+ *   [cache.l1i]            # likewise cache.l1d / cache.l2
+ *   size = 32768
+ *   ways = 4
+ *   latency = 2
+ *
+ *   [accel]                # one section per accelerator
+ *   design = gemm          # any Table IV design name
+ *
+ * Named presets cover the paper's Table II configurations.
+ */
+
+#ifndef MARVEL_SOC_BUILDER_HH
+#define MARVEL_SOC_BUILDER_HH
+
+#include <string>
+
+#include "common/config.hh"
+#include "soc/system.hh"
+
+namespace marvel::soc
+{
+
+/** Build a SystemConfig from parsed configuration text. */
+SystemConfig configFromText(const std::string &text);
+
+/** Build a SystemConfig from a config file on disk. */
+SystemConfig configFromFile(const std::string &path);
+
+/**
+ * Named hardware presets (paper Table II):
+ *   "riscv", "arm", "x86"            — CPU-only systems
+ *   "riscv-soc", "arm-soc", "x86-soc" — CPU + all eight DSAs
+ */
+SystemConfig preset(const std::string &name);
+
+/** Render a SystemConfig back to config text (round-trippable). */
+std::string configToText(const SystemConfig &config);
+
+} // namespace marvel::soc
+
+#endif // MARVEL_SOC_BUILDER_HH

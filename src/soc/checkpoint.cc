@@ -1,0 +1,68 @@
+#include "soc/checkpoint.hh"
+
+#include <cstring>
+
+namespace marvel::soc
+{
+
+namespace
+{
+
+void
+appendBytes(std::vector<u8> &out, const void *data, std::size_t len)
+{
+    const u8 *p = static_cast<const u8 *>(data);
+    out.insert(out.end(), p, p + len);
+}
+
+void
+append64(std::vector<u8> &out, u64 value)
+{
+    appendBytes(out, &value, sizeof(value));
+}
+
+} // namespace
+
+std::vector<u8>
+serializeArchState(const System &system)
+{
+    std::vector<u8> out;
+    out.reserve(kMemSize + 64 * 1024);
+
+    // Architectural registers (through the rename map).
+    const isa::IsaSpec &spec = isa::isaSpec(system.config.cpu.isa);
+    append64(out, static_cast<u64>(spec.kind));
+    for (unsigned r = 0; r < spec.numIntRenameRegs(); ++r)
+        append64(out, system.cpu.archIntReg(r));
+
+    // The coherent view of all of DRAM (caches folded in).
+    std::vector<u8> image(kMemSize);
+    system.memory.coherentRead(0, image.data(), image.size());
+    appendBytes(out, image.data(), image.size());
+
+    // Accelerator-local memories.
+    for (std::size_t i = 0; i < system.cluster.size(); ++i) {
+        const auto &mems = system.cluster.unitC(i).memories();
+        for (const auto &mem : mems) {
+            append64(out, mem.size());
+            appendBytes(out, mem.data(), mem.size());
+        }
+    }
+    append64(out, static_cast<u64>(system.exited));
+    append64(out, static_cast<u64>(system.exitCode));
+    return out;
+}
+
+u64
+archStateDigest(const System &system)
+{
+    const std::vector<u8> bytes = serializeArchState(system);
+    u64 hash = 0xcbf29ce484222325ull;
+    for (u8 b : bytes) {
+        hash ^= b;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace marvel::soc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Checkpointing.
+ *
+ * gem5-MARVEL extends gem5's checkpoints to preserve *microarchitectural*
+ * state (cache contents, queue occupancy) so fault injection can start
+ * from any point without warm-up (paper §IV-B). Here a System is
+ * value-semantic, so a checkpoint is a deep copy, and campaigns restore
+ * thousands of times from one golden snapshot. A byte-serialization of
+ * the architectural + memory state is also provided for persistence
+ * and for cross-checking restore fidelity in tests.
+ */
+
+#ifndef MARVEL_SOC_CHECKPOINT_HH
+#define MARVEL_SOC_CHECKPOINT_HH
+
+#include <memory>
+#include <vector>
+
+#include "soc/system.hh"
+
+namespace marvel::soc
+{
+
+/**
+ * A full-fidelity snapshot of an SoC.
+ */
+class Checkpoint
+{
+  public:
+    Checkpoint() = default;
+
+    /** Capture the complete state of a system. */
+    static Checkpoint
+    take(const System &system)
+    {
+        Checkpoint cp;
+        cp.snapshot_ = std::make_shared<const System>(system);
+        return cp;
+    }
+
+    bool valid() const { return snapshot_ != nullptr; }
+
+    /** Materialize a fresh system from the snapshot. */
+    System
+    restore() const
+    {
+        return System(*snapshot_);
+    }
+
+    /** Read-only view of the captured state. */
+    const System &view() const { return *snapshot_; }
+
+  private:
+    std::shared_ptr<const System> snapshot_;
+};
+
+/**
+ * Serialize the architectural + memory state (not timing queues) of a
+ * system to bytes; used for persistence and restore-fidelity checks.
+ */
+std::vector<u8> serializeArchState(const System &system);
+
+/** Digest (FNV-1a) of serializeArchState, for cheap comparisons. */
+u64 archStateDigest(const System &system);
+
+} // namespace marvel::soc
+
+#endif // MARVEL_SOC_CHECKPOINT_HH

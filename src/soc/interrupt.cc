@@ -1,0 +1,108 @@
+#include "soc/interrupt.hh"
+
+#include "common/log.hh"
+
+namespace marvel::soc
+{
+
+IrqModel
+irqModelFor(isa::IsaKind isa)
+{
+    switch (isa) {
+      case isa::IsaKind::ARM: return IrqModel::Gic;
+      case isa::IsaKind::RISCV: return IrqModel::Plic;
+      case isa::IsaKind::X86: return IrqModel::Apic;
+    }
+    return IrqModel::Plic;
+}
+
+const char *
+irqModelName(IrqModel model)
+{
+    switch (model) {
+      case IrqModel::Gic: return "GIC";
+      case IrqModel::Plic: return "PLIC";
+      case IrqModel::Apic: return "IO-APIC";
+    }
+    return "?";
+}
+
+InterruptController::InterruptController(IrqModel model,
+                                         unsigned numLines)
+    : model_(model), lines_(numLines)
+{
+}
+
+void
+InterruptController::setLine(unsigned line, bool level)
+{
+    if (line >= lines_.size())
+        fatal("irq: line %u out of range", line);
+    lines_[line].level = level;
+    if (!level)
+        lines_[line].claimed = false;
+}
+
+void
+InterruptController::enable(unsigned line, bool on)
+{
+    if (line >= lines_.size())
+        fatal("irq: line %u out of range", line);
+    lines_[line].enabled = on;
+}
+
+void
+InterruptController::setPriority(unsigned line, u8 priority)
+{
+    if (line >= lines_.size())
+        fatal("irq: line %u out of range", line);
+    lines_[line].priority = priority;
+}
+
+bool
+InterruptController::pending() const
+{
+    for (const Line &l : lines_)
+        if (l.level && l.enabled && !l.claimed && l.priority > 0)
+            return true;
+    return false;
+}
+
+u32
+InterruptController::claim()
+{
+    int best = -1;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        const Line &l = lines_[i];
+        if (!l.level || !l.enabled || l.claimed || l.priority == 0)
+            continue;
+        if (best < 0 ||
+            l.priority > lines_[best].priority ||
+            (model_ == IrqModel::Gic &&
+             l.priority == lines_[best].priority &&
+             static_cast<int>(i) < best)) {
+            best = static_cast<int>(i);
+        }
+    }
+    if (best < 0)
+        return 0;
+    lines_[best].claimed = true;
+    return static_cast<u32>(best) + 1;
+}
+
+void
+InterruptController::complete(u32 claimId)
+{
+    if (claimId == 0 || claimId > lines_.size())
+        return;
+    lines_[claimId - 1].claimed = false;
+}
+
+void
+InterruptController::reset()
+{
+    for (Line &l : lines_)
+        l = Line{};
+}
+
+} // namespace marvel::soc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Interrupt controller models.
+ *
+ * Mirrors the paper's §III-C port: accelerator completion/error lines
+ * are routed to the host CPU through the platform's interrupt
+ * controller — the GIC on the Arm flavor, the PLIC on RISC-V, and an
+ * IO-APIC-style unit on x86. All three share level-triggered semantics
+ * with per-line enables and a claim/complete protocol; they differ in
+ * priority handling, which is sufficient for the host driver model
+ * (WaitIrq + status read acknowledge).
+ */
+
+#ifndef MARVEL_SOC_INTERRUPT_HH
+#define MARVEL_SOC_INTERRUPT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace marvel::soc
+{
+
+/** Controller flavor. */
+enum class IrqModel : u8 { Gic, Plic, Apic };
+
+/** Pick the platform controller for an ISA flavor. */
+IrqModel irqModelFor(isa::IsaKind isa);
+
+const char *irqModelName(IrqModel model);
+
+/**
+ * Level-triggered interrupt controller with per-line enable and
+ * priority. Value-semantic.
+ */
+class InterruptController
+{
+  public:
+    explicit InterruptController(IrqModel model = IrqModel::Plic,
+                                 unsigned numLines = 32);
+
+    IrqModel model() const { return model_; }
+    unsigned numLines() const { return lines_.size(); }
+
+    /** Drive the level of an input line. */
+    void setLine(unsigned line, bool level);
+
+    /** Enable/disable delivery of a line. */
+    void enable(unsigned line, bool on);
+
+    /** Per-line priority (PLIC-style; GIC uses it as group priority). */
+    void setPriority(unsigned line, u8 priority);
+
+    /** Any enabled line asserted (the CPU's external-interrupt pin). */
+    bool pending() const;
+
+    /**
+     * Claim the highest-priority pending line (PLIC claim / GIC IAR).
+     * Returns line+1, or 0 when none.
+     */
+    u32 claim();
+
+    /** Complete a previously claimed line (PLIC complete / GIC EOIR). */
+    void complete(u32 claimId);
+
+    void reset();
+
+  private:
+    struct Line
+    {
+        bool level = false;
+        bool enabled = true;
+        bool claimed = false;
+        u8 priority = 1;
+    };
+
+    IrqModel model_;
+    std::vector<Line> lines_;
+};
+
+} // namespace marvel::soc
+
+#endif // MARVEL_SOC_INTERRUPT_HH

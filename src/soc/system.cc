@@ -1,0 +1,170 @@
+#include "soc/system.hh"
+
+#include "common/log.hh"
+#include "common/memmap.hh"
+
+namespace marvel::soc
+{
+
+const char *
+runExitName(RunExit exit)
+{
+    switch (exit) {
+      case RunExit::Exited: return "exited";
+      case RunExit::Crashed: return "crashed";
+      case RunExit::Timeout: return "timeout";
+      case RunExit::Checkpoint: return "checkpoint";
+      case RunExit::SwitchCpu: return "switch-cpu";
+    }
+    return "?";
+}
+
+System::System(const SystemConfig &cfg)
+    : config(cfg), cpu(cfg.cpu), memory(cfg.memory),
+      cluster(cfg.cluster),
+      irqCtrl(irqModelFor(cfg.cpu.isa),
+              std::max<std::size_t>(cfg.cluster.designs.size(), 1) + 1)
+{
+}
+
+System::System(const System &other)
+    : cpu::MmioBus(other), config(other.config), cpu(other.cpu),
+      memory(other.memory), cluster(other.cluster),
+      irqCtrl(other.irqCtrl), console(other.console),
+      exited(other.exited), exitCode(other.exitCode),
+      accelCrashed(other.accelCrashed), totalCycles(other.totalCycles)
+{
+    // Trace sinks are not owned; the copy starts without them.
+    cpu.traceOut = nullptr;
+    cpu.traceRef = nullptr;
+}
+
+System &
+System::operator=(const System &other)
+{
+    if (this == &other)
+        return *this;
+    config = other.config;
+    cpu = other.cpu;
+    memory = other.memory;
+    cluster = other.cluster;
+    irqCtrl = other.irqCtrl;
+    console = other.console;
+    exited = other.exited;
+    exitCode = other.exitCode;
+    accelCrashed = other.accelCrashed;
+    totalCycles = other.totalCycles;
+    cpu.traceOut = nullptr;
+    cpu.traceRef = nullptr;
+    return *this;
+}
+
+void
+System::loadProgram(const isa::Program &program)
+{
+    if (program.kind != config.cpu.isa)
+        fatal("system: program compiled for %s but CPU is %s",
+              isa::isaName(program.kind),
+              isa::isaName(config.cpu.isa));
+    memory.dram().write(kCodeBase, program.code.data(),
+                        program.code.size());
+    if (!program.dataImage.empty())
+        memory.dram().write(kDataBase, program.dataImage.data(),
+                            program.dataImage.size());
+    cpu.reset(program.entry);
+    exited = false;
+    exitCode = 0;
+    accelCrashed = false;
+    totalCycles = 0;
+    console.clear();
+}
+
+void
+System::tick()
+{
+    cpu.cycle(memory, *this);
+    cluster.cycle(memory.dram());
+    for (std::size_t i = 0; i < cluster.size(); ++i)
+        irqCtrl.setLine(static_cast<unsigned>(i),
+                        cluster.unitC(i).irq());
+    ++totalCycles;
+}
+
+RunExit
+System::run(u64 maxCycles)
+{
+    for (u64 i = 0; i < maxCycles; ++i) {
+        tick();
+        if (exited)
+            return RunExit::Exited;
+        if (cpu.crashed() || cluster.errored()) {
+            accelCrashed = cluster.errored();
+            return RunExit::Crashed;
+        }
+        if (cpu.checkpointRequest) {
+            cpu.checkpointRequest = false;
+            return RunExit::Checkpoint;
+        }
+        if (cpu.switchCpuRequest) {
+            cpu.switchCpuRequest = false;
+            return RunExit::SwitchCpu;
+        }
+    }
+    return RunExit::Timeout;
+}
+
+u64
+System::mmioRead(Addr addr, unsigned size)
+{
+    (void)size;
+    if (cluster.decodes(addr))
+        return cluster.mmioRead(addr);
+    return 0;
+}
+
+void
+System::mmioWrite(Addr addr, u64 value, unsigned size)
+{
+    (void)size;
+    if (addr == kMmioPutchar) {
+        console.push_back(static_cast<char>(value & 0xff));
+        return;
+    }
+    if (addr == kMmioExit) {
+        exited = true;
+        exitCode = static_cast<i64>(value);
+        return;
+    }
+    if (cluster.decodes(addr)) {
+        cluster.mmioWrite(addr, value);
+        return;
+    }
+    // Writes to unmapped MMIO are dropped (like writes to a
+    // non-existent device).
+}
+
+bool
+System::irqPending()
+{
+    return irqCtrl.pending();
+}
+
+std::vector<u8>
+System::outputWindow() const
+{
+    std::vector<u8> out(kOutputSize);
+    memory.coherentRead(kOutputBase, out.data(), out.size());
+    return out;
+}
+
+std::string
+System::crashReason() const
+{
+    if (accelCrashed)
+        return "accelerator-error";
+    if (cpu.crashed())
+        return cpu::crashKindName(cpu.crashKind);
+    return "none";
+}
+
+} // namespace marvel::soc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The heterogeneous SoC: one out-of-order CPU (any ISA flavor), the
+ * cache hierarchy, DRAM, an accelerator cluster, and the platform
+ * interrupt controller (Fig. 1 of the paper).
+ *
+ * A System is value-semantic: copying one is a full microarchitectural
+ * checkpoint (see soc/checkpoint.hh). The only caveat is the CPU's
+ * commit-trace pointers, which the copy clears.
+ */
+
+#ifndef MARVEL_SOC_SYSTEM_HH
+#define MARVEL_SOC_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/cluster.hh"
+#include "cpu/ooo_core.hh"
+#include "isa/codegen.hh"
+#include "mem/hierarchy.hh"
+#include "soc/interrupt.hh"
+
+namespace marvel::soc
+{
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    cpu::CpuParams cpu;
+    mem::HierarchyParams memory;
+    accel::ClusterConfig cluster;
+};
+
+/** Why a run() call returned. */
+enum class RunExit : u8
+{
+    Exited,       ///< program stored its exit code to the exit MMIO
+    Crashed,      ///< architectural fault or accelerator error
+    Timeout,      ///< cycle budget exhausted
+    Checkpoint,   ///< a Checkpoint magic op committed
+    SwitchCpu,    ///< a SwitchCpu magic op committed
+};
+
+const char *runExitName(RunExit exit);
+
+/**
+ * The SoC. Implements cpu::MmioBus to route uncached accesses to the
+ * console, the exit register, and the accelerator cluster MMRs.
+ */
+class System : public cpu::MmioBus
+{
+  public:
+    explicit System(const SystemConfig &config = SystemConfig{});
+
+    System(const System &other);
+    System &operator=(const System &other);
+
+    /** Load a compiled program image and reset the CPU to its entry. */
+    void loadProgram(const isa::Program &program);
+
+    /**
+     * Run until an event or for at most maxCycles additional cycles.
+     * checkpointRequest/switchCpuRequest flags are cleared on return.
+     */
+    RunExit run(u64 maxCycles);
+
+    /** One clock for every component. */
+    void tick();
+
+    // --- MmioBus -----------------------------------------------------------
+    u64 mmioRead(Addr addr, unsigned size) override;
+    void mmioWrite(Addr addr, u64 value, unsigned size) override;
+    bool irqPending() override;
+
+    // --- observation ---------------------------------------------------------
+    /** Coherent copy of the OUTPUT window. */
+    std::vector<u8> outputWindow() const;
+
+    /** Crash description (valid after RunExit::Crashed). */
+    std::string crashReason() const;
+
+    // --- components ------------------------------------------------------------
+    SystemConfig config;
+    cpu::OooCore cpu;
+    mem::Hierarchy memory;
+    accel::Cluster cluster;
+    InterruptController irqCtrl;
+
+    std::string console;  ///< bytes written to the console MMIO
+    bool exited = false;
+    i64 exitCode = 0;
+    bool accelCrashed = false;
+    Cycle totalCycles = 0;
+};
+
+} // namespace marvel::soc
+
+#endif // MARVEL_SOC_SYSTEM_HH

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * "Automotive" MiBench kernels: basicmath, bitcount, qsort.
+ */
+
+#include "common/memmap.hh"
+#include <cstring>
+
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace marvel::workloads
+{
+
+using mir::FunctionBuilder;
+using mir::ModuleBuilder;
+using mir::VReg;
+
+namespace
+{
+
+std::vector<u8>
+randomBytes(u64 seed, std::size_t count)
+{
+    Rng rng(seed);
+    std::vector<u8> out(count);
+    for (auto &b : out)
+        b = static_cast<u8>(rng.below(256));
+    return out;
+}
+
+std::vector<u8>
+randomWords(u64 seed, std::size_t count, u64 modulus = 0)
+{
+    Rng rng(seed);
+    std::vector<u8> out(count * 8);
+    for (std::size_t i = 0; i < count; ++i) {
+        u64 v = rng();
+        if (modulus)
+            v %= modulus;
+        std::memcpy(out.data() + i * 8, &v, 8);
+    }
+    return out;
+}
+
+} // namespace
+
+// =====================================================================
+// qsort — iterative Lomuto quicksort of 512 words with an explicit
+// range stack; the sorted array and a checksum land in OUTPUT.
+// =====================================================================
+
+Workload
+makeQsort()
+{
+    const unsigned n = 1024;
+    ModuleBuilder mb;
+    mb.globalInit("data",
+                  randomWords(detail::dataSeed("qsort"), n), 64);
+    mb.global("stack_lo", 256 * 8);
+    mb.global("stack_hi", 256 * 8);
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg data = fb.gaddr("data");
+    VReg stackLo = fb.gaddr("stack_lo");
+    VReg stackHi = fb.gaddr("stack_hi");
+    detail::emitWarmup(fb, data, n * 8);
+    fb.checkpoint();
+
+    // push (0, n-1)
+    fb.st8(stackLo, fb.constI(0));
+    fb.st8(stackHi, fb.constI(n - 1));
+    VReg sp = fb.constI(1);
+    VReg zero = fb.constI(0);
+
+    auto workHead = fb.newBlock();
+    auto workBody = fb.newBlock();
+    auto workExit = fb.newBlock();
+    fb.jmp(workHead);
+    fb.setBlock(workHead);
+    fb.br(fb.cmpLt(zero, sp), workBody, workExit);
+    fb.setBlock(workBody);
+    {
+        fb.assign(sp, fb.addI(sp, -1));
+        VReg spOff = fb.shlI(sp, 3);
+        VReg lo = fb.ld8(fb.add(stackLo, spOff));
+        VReg hi = fb.ld8(fb.add(stackHi, spOff));
+        auto partition = fb.newBlock();
+        auto nextItem = fb.newBlock();
+        fb.br(fb.cmpLt(lo, hi), partition, nextItem);
+        fb.setBlock(partition);
+        {
+            VReg pivot = fb.ld8(fb.add(data, fb.shlI(hi, 3)));
+            VReg i = fb.mov(lo);
+            auto jLoop = fb.beginLoop(lo, hi);
+            {
+                VReg jAddr = fb.add(data, fb.shlI(jLoop.idx, 3));
+                VReg vj = fb.ld8(jAddr);
+                auto doSwap = fb.newBlock();
+                auto noSwap = fb.newBlock();
+                fb.br(fb.cmpLeU(vj, pivot), doSwap, noSwap);
+                fb.setBlock(doSwap);
+                VReg iAddr = fb.add(data, fb.shlI(i, 3));
+                VReg vi = fb.ld8(iAddr);
+                fb.st8(iAddr, vj);
+                fb.st8(jAddr, vi);
+                fb.assign(i, fb.addI(i, 1));
+                fb.jmp(noSwap);
+                fb.setBlock(noSwap);
+            }
+            fb.endLoop(jLoop);
+            // swap a[i], a[hi]
+            VReg iAddr = fb.add(data, fb.shlI(i, 3));
+            VReg hAddr = fb.add(data, fb.shlI(hi, 3));
+            VReg vi = fb.ld8(iAddr);
+            fb.st8(iAddr, fb.ld8(hAddr));
+            fb.st8(hAddr, vi);
+            // push (lo, i-1) and (i+1, hi)
+            VReg off1 = fb.shlI(sp, 3);
+            fb.st8(fb.add(stackLo, off1), lo);
+            fb.st8(fb.add(stackHi, off1), fb.addI(i, -1));
+            fb.assign(sp, fb.addI(sp, 1));
+            VReg off2 = fb.shlI(sp, 3);
+            fb.st8(fb.add(stackLo, off2), fb.addI(i, 1));
+            fb.st8(fb.add(stackHi, off2), hi);
+            fb.assign(sp, fb.addI(sp, 1));
+            fb.jmp(nextItem);
+        }
+        fb.setBlock(nextItem);
+        fb.jmp(workHead);
+    }
+    fb.setBlock(workExit);
+
+    fb.switchCpu();
+    // Copy the sorted array to OUTPUT and return a checksum.
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    VReg sum = fb.constI(0);
+    auto copy = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg off = fb.shlI(copy.idx, 3);
+        VReg v = fb.ld8(fb.add(data, off));
+        fb.st8(fb.add(out, off), v);
+        fb.assign(sum, fb.add(sum, v));
+    }
+    fb.endLoop(copy);
+    fb.ret(fb.band(sum, fb.constI(0x7fffffff)));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"qsort", mb.module(), 1.0};
+}
+
+// =====================================================================
+// bitcount — three bit-counting strategies over 1024 words (MiBench
+// bitcnts runs a suite of counters).
+// =====================================================================
+
+Workload
+makeBitcount()
+{
+    const unsigned n = 1024;
+    ModuleBuilder mb;
+    mb.globalInit("data",
+                  randomWords(detail::dataSeed("bitcount"), n), 64);
+    // 16-entry nibble popcount table.
+    std::vector<u8> table(16 * 8, 0);
+    for (unsigned i = 0; i < 16; ++i)
+        table[i * 8] = static_cast<u8>(__builtin_popcount(i));
+    mb.globalInit("nibble_table", table, 64);
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg data = fb.gaddr("data");
+    VReg table_ = fb.gaddr("nibble_table");
+    detail::emitWarmup(fb, data, n * 8);
+    fb.checkpoint();
+
+    VReg sumA = fb.constI(0); // Kernighan
+    VReg sumB = fb.constI(0); // nibble table
+    VReg sumC = fb.constI(0); // shift-and-add
+    VReg zero = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg v = fb.ld8(fb.add(data, fb.shlI(loop.idx, 3)));
+
+        // (a) Kernighan: while (x) { x &= x-1; ++count; }
+        VReg x = fb.mov(v);
+        auto kHead = fb.newBlock();
+        auto kBody = fb.newBlock();
+        auto kExit = fb.newBlock();
+        fb.jmp(kHead);
+        fb.setBlock(kHead);
+        fb.br(fb.cmpNe(x, zero), kBody, kExit);
+        fb.setBlock(kBody);
+        fb.assign(x, fb.band(x, fb.addI(x, -1)));
+        fb.assign(sumA, fb.addI(sumA, 1));
+        fb.jmp(kHead);
+        fb.setBlock(kExit);
+
+        // (b) nibble table over 16 nibbles
+        VReg y = fb.mov(v);
+        auto nLoop = fb.beginLoop(fb.constI(0), fb.constI(16));
+        {
+            VReg nib = fb.band(y, fb.constI(15));
+            VReg cnt = fb.ld8(fb.add(table_, fb.shlI(nib, 3)));
+            fb.assign(sumB, fb.add(sumB, cnt));
+            fb.assign(y, fb.shr(y, fb.constI(4)));
+        }
+        fb.endLoop(nLoop);
+
+        // (c) parallel shift-add popcount
+        VReg m1 = fb.constI(0x5555555555555555ll);
+        VReg m2 = fb.constI(0x3333333333333333ll);
+        VReg m4 = fb.constI(0x0f0f0f0f0f0f0f0fll);
+        VReg h01 = fb.constI(0x0101010101010101ll);
+        VReg z = fb.sub(v, fb.band(fb.shr(v, fb.constI(1)), m1));
+        fb.assign(z, fb.add(fb.band(z, m2),
+                            fb.band(fb.shr(z, fb.constI(2)), m2)));
+        fb.assign(z, fb.band(fb.add(z, fb.shr(z, fb.constI(4))), m4));
+        fb.assign(z, fb.shr(fb.mul(z, h01), fb.constI(56)));
+        fb.assign(sumC, fb.add(sumC, z));
+    }
+    fb.endLoop(loop);
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    fb.st8(out, sumA, 0);
+    fb.st8(out, sumB, 8);
+    fb.st8(out, sumC, 16);
+    fb.ret(sumC);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"bitcount", mb.module(), 3.0};
+}
+
+// =====================================================================
+// basicmath — square roots, angle conversions, and cubic evaluation
+// over 192 values (MiBench basicmath_small flavour).
+// =====================================================================
+
+Workload
+makeBasicmath()
+{
+    const unsigned n = 384;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("basicmath"));
+        std::vector<u8> init(n * 8);
+        for (unsigned i = 0; i < n; ++i) {
+            const double v = 1.0 + rng.uniform() * 999.0;
+            std::memcpy(init.data() + i * 8, &v, 8);
+        }
+        mb.globalInit("values", init, 64);
+    }
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg values = fb.gaddr("values");
+    detail::emitWarmup(fb, values, n * 8);
+    fb.checkpoint();
+
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    VReg degToRad = fb.constF(3.14159265358979323846 / 180.0);
+    VReg isqrtSum = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg off = fb.shlI(loop.idx, 3);
+        VReg x = fb.ldf8(fb.add(values, off));
+        // sqrt + angle conversion + cubic polynomial
+        VReg root = fb.fsqrt(x);
+        VReg rad = fb.fmul(x, degToRad);
+        VReg x2 = fb.fmul(x, x);
+        VReg x3 = fb.fmul(x2, x);
+        VReg cubic =
+            fb.fsub(fb.fadd(x3, fb.fmul(fb.constF(-3.5), x2)),
+                    fb.fadd(fb.fmul(fb.constF(2.0), x),
+                            fb.constF(-7.0)));
+        VReg mix = fb.fadd(root, fb.fadd(rad, cubic));
+        fb.stf8(fb.add(out, off), mix);
+        // Integer square root via Newton iterations.
+        VReg xi = fb.ftoi(x);
+        VReg guess = fb.mov(xi);
+        auto newton = fb.beginLoop(fb.constI(0), fb.constI(6));
+        {
+            VReg q = fb.div(xi, fb.bor(guess, fb.constI(1)));
+            fb.assign(guess,
+                      fb.shr(fb.add(guess, q), fb.constI(1)));
+        }
+        fb.endLoop(newton);
+        fb.assign(isqrtSum, fb.add(isqrtSum, guess));
+    }
+    fb.endLoop(loop);
+
+    fb.switchCpu();
+    fb.st8(fb.constI(static_cast<i64>(kOutputBase + n * 8)),
+           isqrtSum);
+    fb.ret(isqrtSum);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"basicmath", mb.module(), 4.0};
+}
+
+} // namespace marvel::workloads

@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Media/telecom MiBench kernels: ADPCM encode/decode, FFT, and the
+ * SUSAN image trio (smoothing, edges, corners).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/memmap.hh"
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace marvel::workloads
+{
+
+using mir::FunctionBuilder;
+using mir::ModuleBuilder;
+using mir::VReg;
+
+namespace
+{
+
+/// IMA ADPCM step-size table (89 entries).
+const i32 kStepTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34,
+    37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143,
+    157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494,
+    544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552,
+    1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428,
+    4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+    29794, 32767,
+};
+
+/// IMA ADPCM index adjustment table.
+const i32 kIndexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8,
+};
+
+std::vector<u8>
+wordsOf(const i32 *values, std::size_t count)
+{
+    std::vector<u8> out(count * 8);
+    for (std::size_t i = 0; i < count; ++i) {
+        const i64 v = values[i];
+        std::memcpy(out.data() + i * 8, &v, 8);
+    }
+    return out;
+}
+
+std::vector<u8>
+sineSamples(u64 seed, std::size_t count)
+{
+    Rng rng(seed);
+    std::vector<u8> out(count * 2);
+    double phase = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        phase += 0.05 + rng.uniform() * 0.1;
+        const double noise = (rng.uniform() - 0.5) * 2000.0;
+        const i16 s = static_cast<i16>(12000.0 * std::sin(phase) +
+                                       noise);
+        std::memcpy(out.data() + i * 2, &s, 2);
+    }
+    return out;
+}
+
+std::vector<u8>
+randomImage(u64 seed, unsigned rows, unsigned cols)
+{
+    // Smooth-ish gradient plus noise: more realistic edge content
+    // than white noise.
+    Rng rng(seed);
+    std::vector<u8> img(rows * cols);
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            int v = static_cast<int>(2 * r + 2 * c);
+            if (((r / 12) + (c / 12)) % 2)
+                v += 90; // blocky structure creates edges/corners
+            v += static_cast<int>(rng.below(17)) - 8;
+            img[r * cols + c] =
+                static_cast<u8>(std::clamp(v, 0, 255));
+        }
+    }
+    return img;
+}
+
+/** Emit clamp(v, lo, hi) over i64. */
+VReg
+emitClamp(FunctionBuilder &fb, VReg v, i64 lo, i64 hi)
+{
+    VReg loR = fb.constI(lo);
+    VReg hiR = fb.constI(hi);
+    VReg a = fb.select(fb.cmpLt(v, loR), loR, v);
+    return fb.select(fb.cmpLt(hiR, a), hiR, a);
+}
+
+/** Shared scaffolding for the ADPCM pair. */
+struct AdpcmTables
+{
+    VReg step;
+    VReg index;
+};
+
+AdpcmTables
+emitAdpcmTables(ModuleBuilder &mb, FunctionBuilder &fb)
+{
+    (void)mb;
+    AdpcmTables t;
+    t.step = fb.gaddr("step_table");
+    t.index = fb.gaddr("index_table");
+    return t;
+}
+
+} // namespace
+
+// =====================================================================
+// adpcme — IMA ADPCM encoder over 2048 16-bit samples.
+// =====================================================================
+
+Workload
+makeAdpcmEncode()
+{
+    const unsigned n = 2048;
+    ModuleBuilder mb;
+    mb.globalInit("samples",
+                  sineSamples(detail::dataSeed("adpcm"), n), 64);
+    mb.globalInit("step_table", wordsOf(kStepTable, 89), 64);
+    mb.globalInit("index_table", wordsOf(kIndexTable, 16), 64);
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg samples = fb.gaddr("samples");
+    detail::emitWarmup(fb, samples, n * 2);
+    fb.checkpoint();
+    AdpcmTables tables = emitAdpcmTables(mb, fb);
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+
+    VReg predictor = fb.constI(0);
+    VReg index = fb.constI(0);
+    VReg zero = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg sample =
+            fb.ld2s(fb.add(samples, fb.shlI(loop.idx, 1)));
+        VReg diff = fb.sub(sample, predictor);
+        VReg negative = fb.cmpLt(diff, zero);
+        VReg sign = fb.shl(negative, fb.constI(3));
+        fb.assign(diff, fb.select(negative, fb.sub(zero, diff),
+                                  diff));
+        VReg step = fb.ld8(fb.add(tables.step, fb.shlI(index, 3)));
+
+        VReg delta = fb.constI(0);
+        VReg vpdiff = fb.shr(step, fb.constI(3));
+        VReg stepW = fb.mov(step);
+        for (int bitVal = 4; bitVal >= 1; bitVal >>= 1) {
+            VReg ge = fb.cmpLe(stepW, diff);
+            fb.assign(delta,
+                      fb.bor(delta,
+                             fb.select(ge, fb.constI(bitVal),
+                                       zero)));
+            fb.assign(diff, fb.select(ge, fb.sub(diff, stepW),
+                                      diff));
+            fb.assign(vpdiff,
+                      fb.add(vpdiff,
+                             fb.select(ge, stepW, zero)));
+            fb.assign(stepW, fb.shr(stepW, fb.constI(1)));
+        }
+
+        fb.assign(predictor,
+                  fb.select(negative, fb.sub(predictor, vpdiff),
+                            fb.add(predictor, vpdiff)));
+        fb.assign(predictor, emitClamp(fb, predictor, -32768, 32767));
+        VReg code = fb.bor(sign, delta);
+        fb.assign(index,
+                  fb.add(index,
+                         fb.ld8(fb.add(tables.index,
+                                       fb.shlI(code, 3)))));
+        fb.assign(index, emitClamp(fb, index, 0, 88));
+        fb.st1(fb.add(out, loop.idx), code);
+    }
+    fb.endLoop(loop);
+
+    fb.switchCpu();
+    fb.ret(predictor);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"adpcme", mb.module(), 1.0};
+}
+
+// =====================================================================
+// adpcmd — IMA ADPCM decoder over the matching 2048-code stream.
+// =====================================================================
+
+Workload
+makeAdpcmDecode()
+{
+    const unsigned n = 2048;
+    ModuleBuilder mb;
+
+    // Produce the encoded stream host-side with the same algorithm.
+    std::vector<u8> samples = sineSamples(detail::dataSeed("adpcm"), n);
+    std::vector<u8> codes(n);
+    {
+        i32 predictor = 0;
+        i32 index = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            i16 s;
+            std::memcpy(&s, samples.data() + i * 2, 2);
+            i32 diff = s - predictor;
+            const bool neg = diff < 0;
+            if (neg)
+                diff = -diff;
+            i32 step = kStepTable[index];
+            i32 delta = 0;
+            i32 vpdiff = step >> 3;
+            for (int bitVal = 4; bitVal >= 1; bitVal >>= 1) {
+                if (diff >= step) {
+                    delta |= bitVal;
+                    diff -= step;
+                    vpdiff += step;
+                }
+                step >>= 1;
+            }
+            predictor += neg ? -vpdiff : vpdiff;
+            predictor = std::clamp(predictor, -32768, 32767);
+            const i32 code = (neg ? 8 : 0) | delta;
+            index = std::clamp(index + kIndexTable[code], 0, 88);
+            codes[i] = static_cast<u8>(code);
+        }
+    }
+    mb.globalInit("codes", codes, 64);
+    mb.globalInit("step_table", wordsOf(kStepTable, 89), 64);
+    mb.globalInit("index_table", wordsOf(kIndexTable, 16), 64);
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg codesReg = fb.gaddr("codes");
+    detail::emitWarmup(fb, codesReg, n);
+    fb.checkpoint();
+    AdpcmTables tables = emitAdpcmTables(mb, fb);
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+
+    VReg predictor = fb.constI(0);
+    VReg index = fb.constI(0);
+    VReg zero = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg code = fb.ld1u(fb.add(codesReg, loop.idx));
+        VReg step = fb.ld8(fb.add(tables.step, fb.shlI(index, 3)));
+        VReg vpdiff = fb.shr(step, fb.constI(3));
+        VReg stepW = fb.mov(step);
+        for (int bitVal = 4; bitVal >= 1; bitVal >>= 1) {
+            VReg bit = fb.band(fb.shr(code, fb.constI(bitVal == 4
+                                                          ? 2
+                                                      : bitVal == 2
+                                                          ? 1
+                                                          : 0)),
+                               fb.constI(1));
+            fb.assign(vpdiff,
+                      fb.add(vpdiff,
+                             fb.select(fb.cmpNe(bit, zero), stepW,
+                                       zero)));
+            fb.assign(stepW, fb.shr(stepW, fb.constI(1)));
+        }
+        VReg negative =
+            fb.cmpNe(fb.band(code, fb.constI(8)), zero);
+        fb.assign(predictor,
+                  fb.select(negative, fb.sub(predictor, vpdiff),
+                            fb.add(predictor, vpdiff)));
+        fb.assign(predictor, emitClamp(fb, predictor, -32768, 32767));
+        fb.assign(index,
+                  fb.add(index,
+                         fb.ld8(fb.add(tables.index,
+                                       fb.shlI(code, 3)))));
+        fb.assign(index, emitClamp(fb, index, 0, 88));
+        fb.st2(fb.add(out, fb.shlI(loop.idx, 1)), predictor);
+    }
+    fb.endLoop(loop);
+
+    fb.switchCpu();
+    fb.ret(predictor);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"adpcmd", mb.module(), 1.0};
+}
+
+// =====================================================================
+// fft — 256-point iterative radix-2 FFT over split real/imag arrays
+// with host-precomputed twiddles.
+// =====================================================================
+
+Workload
+makeFftKernel()
+{
+    const unsigned n = 256;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("fft"));
+        std::vector<u8> re(n * 8);
+        std::vector<u8> im(n * 8, 0);
+        for (unsigned i = 0; i < n; ++i) {
+            const double v = std::sin(0.3 * i) +
+                             0.5 * std::sin(0.9 * i) +
+                             0.1 * (rng.uniform() - 0.5);
+            std::memcpy(re.data() + i * 8, &v, 8);
+        }
+        mb.globalInit("real", re, 64);
+        mb.globalInit("imag", im, 64);
+        std::vector<u8> twr((n / 2) * 8);
+        std::vector<u8> twi((n / 2) * 8);
+        for (unsigned i = 0; i < n / 2; ++i) {
+            const double angle = -2.0 * M_PI * i / n;
+            const double cr = std::cos(angle);
+            const double ci = std::sin(angle);
+            std::memcpy(twr.data() + i * 8, &cr, 8);
+            std::memcpy(twi.data() + i * 8, &ci, 8);
+        }
+        mb.globalInit("twid_r", twr, 64);
+        mb.globalInit("twid_i", twi, 64);
+    }
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg realBase = fb.gaddr("real");
+    VReg imagBase = fb.gaddr("imag");
+    VReg twrBase = fb.gaddr("twid_r");
+    VReg twiBase = fb.gaddr("twid_i");
+    detail::emitWarmup(fb, realBase, n * 8);
+    fb.checkpoint();
+    VReg nReg = fb.constI(n);
+
+    VReg span = fb.constI(n / 2);
+    auto spanHead = fb.newBlock();
+    auto spanBody = fb.newBlock();
+    auto spanExit = fb.newBlock();
+    fb.jmp(spanHead);
+    fb.setBlock(spanHead);
+    fb.br(fb.cmpLt(fb.constI(0), span), spanBody, spanExit);
+    fb.setBlock(spanBody);
+    {
+        VReg odd = fb.mov(span);
+        auto oddHead = fb.newBlock();
+        auto oddBody = fb.newBlock();
+        auto oddExit = fb.newBlock();
+        fb.jmp(oddHead);
+        fb.setBlock(oddHead);
+        fb.br(fb.cmpLt(odd, nReg), oddBody, oddExit);
+        fb.setBlock(oddBody);
+        {
+            VReg even = fb.bxor(odd, span);
+            VReg offE = fb.shlI(even, 3);
+            VReg offO = fb.shlI(odd, 3);
+            VReg er = fb.ldf8(fb.add(realBase, offE));
+            VReg orv = fb.ldf8(fb.add(realBase, offO));
+            VReg ei = fb.ldf8(fb.add(imagBase, offE));
+            VReg oi = fb.ldf8(fb.add(imagBase, offO));
+            fb.stf8(fb.add(realBase, offE), fb.fadd(er, orv));
+            fb.stf8(fb.add(imagBase, offE), fb.fadd(ei, oi));
+            VReg difR = fb.fsub(er, orv);
+            VReg difI = fb.fsub(ei, oi);
+            VReg mask = fb.addI(span, -1);
+            VReg tidx = fb.mul(fb.band(even, mask),
+                               fb.div(fb.constI(n / 2), span));
+            VReg toff = fb.shlI(tidx, 3);
+            VReg wr = fb.ldf8(fb.add(twrBase, toff));
+            VReg wi = fb.ldf8(fb.add(twiBase, toff));
+            fb.stf8(fb.add(realBase, offO),
+                    fb.fsub(fb.fmul(wr, difR), fb.fmul(wi, difI)));
+            fb.stf8(fb.add(imagBase, offO),
+                    fb.fadd(fb.fmul(wr, difI), fb.fmul(wi, difR)));
+        }
+        fb.assign(odd, fb.bor(fb.addI(odd, 1), span));
+        fb.jmp(oddHead);
+        fb.setBlock(oddExit);
+    }
+    fb.assign(span, fb.shr(span, fb.constI(1)));
+    fb.jmp(spanHead);
+    fb.setBlock(spanExit);
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    auto copy = fb.beginLoop(fb.constI(0), nReg);
+    {
+        VReg off = fb.shlI(copy.idx, 3);
+        fb.stf8(fb.add(out, off), fb.ldf8(fb.add(realBase, off)));
+        fb.stf8(fb.add(fb.add(out, fb.constI(n * 8)), off),
+                fb.ldf8(fb.add(imagBase, off)));
+    }
+    fb.endLoop(copy);
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    const double ops = 5.0 * n * std::log2(n); // ~FLOPs of an FFT
+    return {"fft", mb.module(), ops};
+}
+
+// =====================================================================
+// The SUSAN trio — 48x48 8-bit image processing.
+// =====================================================================
+
+namespace
+{
+
+constexpr unsigned kImgRows = 64;
+constexpr unsigned kImgCols = 64;
+
+/** Common image scaffolding: image global + warm-up + checkpoint. */
+FunctionBuilder
+beginImageKernel(ModuleBuilder &mb, const char *name, VReg &imgOut)
+{
+    mb.globalInit("image",
+                  randomImage(detail::dataSeed(name), kImgRows,
+                              kImgCols),
+                  64);
+    FunctionBuilder fb = mb.func("main", {}, true);
+    imgOut = fb.gaddr("image");
+    detail::emitWarmup(fb, imgOut,
+                       static_cast<i64>(kImgRows * kImgCols));
+    fb.checkpoint();
+    return fb;
+}
+
+} // namespace
+
+Workload
+makeSmooth()
+{
+    ModuleBuilder mb;
+    VReg img{};
+    FunctionBuilder fb = beginImageKernel(mb, "smooth", img);
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+
+    auto rLoop =
+        fb.beginLoop(fb.constI(1), fb.constI(kImgRows - 1));
+    {
+        auto cLoop =
+            fb.beginLoop(fb.constI(1), fb.constI(kImgCols - 1));
+        {
+            VReg sum = fb.constI(0);
+            for (int dr = -1; dr <= 1; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    VReg rr = fb.addI(rLoop.idx, dr);
+                    VReg cc = fb.addI(cLoop.idx, dc);
+                    VReg pix = fb.ld1u(fb.add(
+                        img, fb.add(fb.mulI(rr, kImgCols), cc)));
+                    fb.assign(sum, fb.add(sum, pix));
+                }
+            }
+            VReg avg = fb.div(sum, fb.constI(9));
+            VReg cell =
+                fb.add(fb.mulI(rLoop.idx, kImgCols), cLoop.idx);
+            fb.st1(fb.add(out, cell), avg);
+        }
+        fb.endLoop(cLoop);
+    }
+    fb.endLoop(rLoop);
+
+    fb.switchCpu();
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"smooth", mb.module(), 1.0};
+}
+
+Workload
+makeEdges()
+{
+    ModuleBuilder mb;
+    VReg img{};
+    FunctionBuilder fb = beginImageKernel(mb, "edges", img);
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    VReg threshold = fb.constI(20);
+
+    auto rLoop =
+        fb.beginLoop(fb.constI(1), fb.constI(kImgRows - 1));
+    {
+        auto cLoop =
+            fb.beginLoop(fb.constI(1), fb.constI(kImgCols - 1));
+        {
+            VReg center = fb.ld1u(fb.add(
+                img, fb.add(fb.mulI(rLoop.idx, kImgCols),
+                            cLoop.idx)));
+            VReg usan = fb.constI(0);
+            for (int dr = -1; dr <= 1; ++dr) {
+                for (int dc = -1; dc <= 1; ++dc) {
+                    if (dr == 0 && dc == 0)
+                        continue;
+                    VReg rr = fb.addI(rLoop.idx, dr);
+                    VReg cc = fb.addI(cLoop.idx, dc);
+                    VReg pix = fb.ld1u(fb.add(
+                        img, fb.add(fb.mulI(rr, kImgCols), cc)));
+                    VReg diff = fb.sub(pix, center);
+                    VReg neg = fb.cmpLt(diff, fb.constI(0));
+                    VReg mag = fb.select(
+                        neg, fb.sub(fb.constI(0), diff), diff);
+                    VReg similar = fb.cmpLt(mag, threshold);
+                    fb.assign(usan, fb.add(usan, similar));
+                }
+            }
+            // Edge response: max(0, geometric threshold - USAN area).
+            VReg resp = fb.sub(fb.constI(6), usan);
+            VReg respPos = fb.select(
+                fb.cmpLt(resp, fb.constI(0)), fb.constI(0), resp);
+            VReg cell =
+                fb.add(fb.mulI(rLoop.idx, kImgCols), cLoop.idx);
+            fb.st1(fb.add(out, cell), respPos);
+        }
+        fb.endLoop(cLoop);
+    }
+    fb.endLoop(rLoop);
+
+    fb.switchCpu();
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"edges", mb.module(), 1.0};
+}
+
+Workload
+makeCorners()
+{
+    ModuleBuilder mb;
+    VReg img{};
+    FunctionBuilder fb = beginImageKernel(mb, "corners", img);
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    VReg threshold = fb.constI(27);
+
+    auto rLoop =
+        fb.beginLoop(fb.constI(2), fb.constI(kImgRows - 2));
+    {
+        auto cLoop =
+            fb.beginLoop(fb.constI(2), fb.constI(kImgCols - 2));
+        {
+            VReg center = fb.ld1u(fb.add(
+                img, fb.add(fb.mulI(rLoop.idx, kImgCols),
+                            cLoop.idx)));
+            VReg usan = fb.constI(0);
+            // 5x5 USAN window.
+            for (int dr = -2; dr <= 2; ++dr) {
+                for (int dc = -2; dc <= 2; ++dc) {
+                    if (dr == 0 && dc == 0)
+                        continue;
+                    VReg rr = fb.addI(rLoop.idx, dr);
+                    VReg cc = fb.addI(cLoop.idx, dc);
+                    VReg pix = fb.ld1u(fb.add(
+                        img, fb.add(fb.mulI(rr, kImgCols), cc)));
+                    VReg diff = fb.sub(pix, center);
+                    VReg neg = fb.cmpLt(diff, fb.constI(0));
+                    VReg mag = fb.select(
+                        neg, fb.sub(fb.constI(0), diff), diff);
+                    VReg similar = fb.cmpLt(mag, threshold);
+                    fb.assign(usan, fb.add(usan, similar));
+                }
+            }
+            // Corner response: max(0, g - USAN) with g = half area.
+            VReg resp = fb.sub(fb.constI(12), usan);
+            VReg respPos = fb.select(
+                fb.cmpLt(resp, fb.constI(0)), fb.constI(0), resp);
+            VReg cell =
+                fb.add(fb.mulI(rLoop.idx, kImgCols), cLoop.idx);
+            fb.st1(fb.add(out, cell), respPos);
+        }
+        fb.endLoop(cLoop);
+    }
+    fb.endLoop(rLoop);
+
+    fb.switchCpu();
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"corners", mb.module(), 1.0};
+}
+
+} // namespace marvel::workloads

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Network/telecom MiBench kernels: dijkstra, patricia, crc32.
+ */
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/memmap.hh"
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace marvel::workloads
+{
+
+using mir::FunctionBuilder;
+using mir::ModuleBuilder;
+using mir::VReg;
+
+// =====================================================================
+// dijkstra — single-source shortest paths over a 48-node dense
+// adjacency matrix (O(n^2) selection, as in MiBench's small input).
+// =====================================================================
+
+Workload
+makeDijkstra()
+{
+    const unsigned n = 48;
+    const i64 kInf = 1'000'000'000;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("dijkstra"));
+        std::vector<u8> adj(n * n * 8);
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j < n; ++j) {
+                i64 w;
+                if (i == j)
+                    w = 0;
+                else if (rng.chance(0.35))
+                    w = 1 + static_cast<i64>(rng.below(99));
+                else
+                    w = kInf;
+                std::memcpy(adj.data() + (i * n + j) * 8, &w, 8);
+            }
+        }
+        mb.globalInit("adj", adj, 64);
+    }
+    mb.global("dist", n * 8);
+    mb.global("visited", n * 8);
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg adj = fb.gaddr("adj");
+    VReg dist = fb.gaddr("dist");
+    VReg visited = fb.gaddr("visited");
+    detail::emitWarmup(fb, adj, static_cast<i64>(n) * n * 8);
+    fb.checkpoint();
+
+    VReg inf = fb.constI(kInf);
+    VReg zero = fb.constI(0);
+    // init: dist[i] = adj[0][i], visited[i] = 0; visited[0] = 1
+    auto init = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg off = fb.shlI(init.idx, 3);
+        fb.st8(fb.add(dist, off), fb.ld8(fb.add(adj, off)));
+        fb.st8(fb.add(visited, off), zero);
+    }
+    fb.endLoop(init);
+    fb.st8(visited, fb.constI(1));
+
+    auto outer = fb.beginLoop(fb.constI(1), fb.constI(n));
+    {
+        // pick unvisited u with min dist
+        VReg best = fb.mov(inf);
+        VReg bestIdx = fb.constI(-1);
+        auto pick = fb.beginLoop(fb.constI(0), fb.constI(n));
+        {
+            VReg off = fb.shlI(pick.idx, 3);
+            VReg seen = fb.ld8(fb.add(visited, off));
+            VReg d = fb.ld8(fb.add(dist, off));
+            VReg better = fb.band(fb.cmpEq(seen, zero),
+                                  fb.cmpLt(d, best));
+            fb.assign(best, fb.select(better, d, best));
+            fb.assign(bestIdx, fb.select(better, pick.idx, bestIdx));
+        }
+        fb.endLoop(pick);
+
+        auto haveNode = fb.newBlock();
+        auto relaxDone = fb.newBlock();
+        fb.br(fb.cmpLt(bestIdx, zero), relaxDone, haveNode);
+        fb.setBlock(haveNode);
+        {
+            fb.st8(fb.add(visited, fb.shlI(bestIdx, 3)),
+                   fb.constI(1));
+            VReg row = fb.add(adj, fb.shlI(fb.mulI(bestIdx, n), 3));
+            auto relax = fb.beginLoop(fb.constI(0), fb.constI(n));
+            {
+                VReg off = fb.shlI(relax.idx, 3);
+                VReg w = fb.ld8(fb.add(row, off));
+                VReg cand = fb.add(best, w);
+                VReg dAddr = fb.add(dist, off);
+                VReg d = fb.ld8(dAddr);
+                VReg better = fb.cmpLt(cand, d);
+                fb.st8(dAddr, fb.select(better, cand, d));
+            }
+            fb.endLoop(relax);
+            fb.jmp(relaxDone);
+        }
+        fb.setBlock(relaxDone);
+    }
+    fb.endLoop(outer);
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    VReg sum = fb.constI(0);
+    auto copy = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg off = fb.shlI(copy.idx, 3);
+        VReg d = fb.ld8(fb.add(dist, off));
+        fb.st8(fb.add(out, off), d);
+        fb.assign(sum, fb.add(sum, d));
+    }
+    fb.endLoop(copy);
+    fb.ret(fb.band(sum, fb.constI(0x7fffffff)));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"dijkstra", mb.module(), 1.0};
+}
+
+// =====================================================================
+// patricia — bitwise trie (PATRICIA-style) insert + lookup of 160
+// 32-bit addresses using an index-based node pool.
+// =====================================================================
+
+Workload
+makePatricia()
+{
+    const unsigned nKeys = 160;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("patricia"));
+        std::vector<u8> keys(nKeys * 8);
+        for (unsigned i = 0; i < nKeys; ++i) {
+            const u64 v = rng() & 0xffffffffull;
+            std::memcpy(keys.data() + i * 8, &v, 8);
+        }
+        mb.globalInit("keys", keys, 64);
+    }
+    // Node pool: each node = {key, left, right} packed in 3 words.
+    mb.global("pool", (2 * nKeys + 2) * 24);
+
+    // insert-or-find: walk bits from MSB; 0 -> left, 1 -> right.
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg keys = fb.gaddr("keys");
+    VReg pool = fb.gaddr("pool");
+    detail::emitWarmup(fb, keys, nKeys * 8);
+    fb.checkpoint();
+
+    VReg zero = fb.constI(0);
+    VReg nextFree = fb.constI(1); // node 0 is the root
+    // root: key=~0 (never matches), children null (0)
+    fb.st8(pool, fb.constI(-1), 0);
+    fb.st8(pool, zero, 8);
+    fb.st8(pool, zero, 16);
+
+    VReg found = fb.constI(0);
+    auto keyLoop = fb.beginLoop(fb.constI(0), fb.constI(nKeys * 2));
+    {
+        // First pass inserts keys 0..n-1; second pass looks them up.
+        VReg slot = fb.rem(keyLoop.idx, fb.constI(nKeys));
+        VReg key = fb.ld8(fb.add(keys, fb.shlI(slot, 3)));
+        VReg node = fb.constI(0);
+        VReg depth = fb.constI(31);
+        VReg done = fb.constI(0);
+
+        auto walkHead = fb.newBlock();
+        auto walkBody = fb.newBlock();
+        auto walkExit = fb.newBlock();
+        fb.jmp(walkHead);
+        fb.setBlock(walkHead);
+        fb.br(fb.cmpEq(done, zero), walkBody, walkExit);
+        fb.setBlock(walkBody);
+        {
+            VReg nodeAddr = fb.add(pool, fb.mulI(node, 24));
+            VReg nodeKey = fb.ld8(nodeAddr, 0);
+            auto match = fb.newBlock();
+            auto descend = fb.newBlock();
+            fb.br(fb.cmpEq(nodeKey, key), match, descend);
+            fb.setBlock(match);
+            fb.assign(found, fb.addI(found, 1));
+            fb.assign(done, fb.constI(1));
+            fb.jmp(walkHead);
+            fb.setBlock(descend);
+            {
+                VReg bit =
+                    fb.band(fb.shr(key, depth), fb.constI(1));
+                VReg childOff =
+                    fb.add(fb.constI(8), fb.shlI(bit, 3));
+                VReg childAddr = fb.add(nodeAddr, childOff);
+                VReg child = fb.ld8(childAddr);
+                auto haveChild = fb.newBlock();
+                auto makeChild = fb.newBlock();
+                fb.br(fb.cmpEq(child, zero), makeChild, haveChild);
+                fb.setBlock(makeChild);
+                {
+                    // allocate node {key, 0, 0}
+                    VReg fresh = fb.mov(nextFree);
+                    fb.assign(nextFree, fb.addI(nextFree, 1));
+                    VReg freshAddr =
+                        fb.add(pool, fb.mulI(fresh, 24));
+                    fb.st8(freshAddr, key, 0);
+                    fb.st8(freshAddr, zero, 8);
+                    fb.st8(freshAddr, zero, 16);
+                    fb.st8(childAddr, fresh);
+                    fb.assign(done, fb.constI(1));
+                    fb.jmp(walkHead);
+                }
+                fb.setBlock(haveChild);
+                fb.assign(node, child);
+                fb.assign(depth,
+                          fb.select(fb.cmpEq(depth, zero), zero,
+                                    fb.addI(depth, -1)));
+                fb.jmp(walkHead);
+            }
+        }
+        fb.setBlock(walkExit);
+    }
+    fb.endLoop(keyLoop);
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    fb.st8(out, found, 0);
+    fb.st8(out, nextFree, 8);
+    fb.ret(found);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"patricia", mb.module(), 2.0};
+}
+
+// =====================================================================
+// crc32 — table-driven CRC-32 (IEEE 802.3) over a 4 KiB buffer.
+// =====================================================================
+
+Workload
+makeCrc32()
+{
+    const unsigned n = 8192;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("crc32"));
+        std::vector<u8> buf(n);
+        for (auto &b : buf)
+            b = static_cast<u8>(rng.below(256));
+        mb.globalInit("buffer", buf, 64);
+        // Standard reflected CRC-32 table.
+        std::vector<u8> table(256 * 8, 0);
+        for (u32 i = 0; i < 256; ++i) {
+            u32 c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            const u64 wide = c;
+            std::memcpy(table.data() + i * 8, &wide, 8);
+        }
+        mb.globalInit("crc_table", table, 64);
+    }
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg buffer = fb.gaddr("buffer");
+    VReg table = fb.gaddr("crc_table");
+    detail::emitWarmup(fb, buffer, n);
+    fb.checkpoint();
+
+    VReg crc = fb.constI(0xffffffffll);
+    VReg mask32 = fb.constI(0xffffffffll);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(n));
+    {
+        VReg byte = fb.ld1u(fb.add(buffer, loop.idx));
+        VReg idx = fb.band(fb.bxor(crc, byte), fb.constI(0xff));
+        VReg entry = fb.ld8(fb.add(table, fb.shlI(idx, 3)));
+        fb.assign(crc, fb.band(fb.bxor(fb.shr(crc, fb.constI(8)),
+                                       entry),
+                               mask32));
+    }
+    fb.endLoop(loop);
+    fb.assign(crc, fb.band(fb.bxor(crc, mask32), mask32));
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    fb.st8(out, crc);
+    fb.ret(crc);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"crc32", mb.module(), 1.0};
+}
+
+} // namespace marvel::workloads

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * Security/office MiBench kernels: sha, rijndael, stringsearch.
+ */
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/memmap.hh"
+#include "common/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace marvel::workloads
+{
+
+using mir::FunctionBuilder;
+using mir::ModuleBuilder;
+using mir::VReg;
+
+namespace
+{
+
+/** rotl32 in MIR (result masked to 32 bits). */
+VReg
+emitRotl32(FunctionBuilder &fb, VReg x, unsigned amount)
+{
+    VReg mask = fb.constI(0xffffffffll);
+    VReg left = fb.shl(x, fb.constI(amount));
+    VReg right = fb.shr(fb.band(x, mask), fb.constI(32 - amount));
+    return fb.band(fb.bor(left, right), mask);
+}
+
+} // namespace
+
+// =====================================================================
+// sha — SHA-1 over a 1 KiB message (16 blocks of 64 bytes), word
+// schedule kept in a scratch global.
+// =====================================================================
+
+Workload
+makeSha()
+{
+    const unsigned msgBytes = 1024;
+    const unsigned blocks = msgBytes / 64;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("sha"));
+        std::vector<u8> msg(msgBytes);
+        for (auto &b : msg)
+            b = static_cast<u8>(rng.below(256));
+        mb.globalInit("message", msg, 64);
+    }
+    mb.global("schedule", 80 * 8);
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg message = fb.gaddr("message");
+    VReg sched = fb.gaddr("schedule");
+    detail::emitWarmup(fb, message, msgBytes);
+    fb.checkpoint();
+
+    VReg mask = fb.constI(0xffffffffll);
+    VReg h0 = fb.constI(0x67452301ll);
+    VReg h1 = fb.constI(0xefcdab89ll);
+    VReg h2 = fb.constI(0x98badcfell);
+    VReg h3 = fb.constI(0x10325476ll);
+    VReg h4 = fb.constI(0xc3d2e1f0ll);
+
+    auto blockLoop = fb.beginLoop(fb.constI(0), fb.constI(blocks));
+    {
+        VReg blockBase =
+            fb.add(message, fb.shlI(blockLoop.idx, 6));
+        // Load 16 words.
+        auto load = fb.beginLoop(fb.constI(0), fb.constI(16));
+        {
+            VReg w =
+                fb.ld4u(fb.add(blockBase, fb.shlI(load.idx, 2)));
+            fb.st8(fb.add(sched, fb.shlI(load.idx, 3)), w);
+        }
+        fb.endLoop(load);
+        // Extend to 80 words.
+        auto extend = fb.beginLoop(fb.constI(16), fb.constI(80));
+        {
+            auto at = [&](i64 back) {
+                VReg idx = fb.addI(extend.idx, -back);
+                return fb.ld8(fb.add(sched, fb.shlI(idx, 3)));
+            };
+            VReg x = fb.bxor(fb.bxor(at(3), at(8)),
+                             fb.bxor(at(14), at(16)));
+            fb.st8(fb.add(sched, fb.shlI(extend.idx, 3)),
+                   emitRotl32(fb, x, 1));
+        }
+        fb.endLoop(extend);
+
+        VReg a = fb.mov(h0);
+        VReg b = fb.mov(h1);
+        VReg c = fb.mov(h2);
+        VReg d = fb.mov(h3);
+        VReg e = fb.mov(h4);
+        struct Quarter
+        {
+            i64 lo;
+            i64 k;
+            int fKind; // 0: ch, 1: parity, 2: maj
+        };
+        const Quarter quarters[4] = {
+            {0, 0x5a827999ll, 0},
+            {20, 0x6ed9eba1ll, 1},
+            {40, 0x8f1bbcdcll, 2},
+            {60, 0xca62c1d6ll, 1},
+        };
+        for (const Quarter &q : quarters) {
+            auto round =
+                fb.beginLoop(fb.constI(q.lo), fb.constI(q.lo + 20));
+            {
+                VReg f;
+                if (q.fKind == 0) {
+                    // (b & c) | (~b & d)
+                    VReg nb = fb.bxor(b, mask);
+                    f = fb.bor(fb.band(b, c), fb.band(nb, d));
+                } else if (q.fKind == 1) {
+                    f = fb.bxor(fb.bxor(b, c), d);
+                } else {
+                    f = fb.bor(fb.bor(fb.band(b, c), fb.band(b, d)),
+                               fb.band(c, d));
+                }
+                VReg w = fb.ld8(
+                    fb.add(sched, fb.shlI(round.idx, 3)));
+                VReg temp = fb.band(
+                    fb.add(fb.add(emitRotl32(fb, a, 5), f),
+                           fb.add(fb.add(e, w), fb.constI(q.k))),
+                    mask);
+                fb.assign(e, d);
+                fb.assign(d, c);
+                fb.assign(c, emitRotl32(fb, b, 30));
+                fb.assign(b, a);
+                fb.assign(a, temp);
+            }
+            fb.endLoop(round);
+        }
+        fb.assign(h0, fb.band(fb.add(h0, a), mask));
+        fb.assign(h1, fb.band(fb.add(h1, b), mask));
+        fb.assign(h2, fb.band(fb.add(h2, c), mask));
+        fb.assign(h3, fb.band(fb.add(h3, d), mask));
+        fb.assign(h4, fb.band(fb.add(h4, e), mask));
+    }
+    fb.endLoop(blockLoop);
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    fb.st8(out, h0, 0);
+    fb.st8(out, h1, 8);
+    fb.st8(out, h2, 16);
+    fb.st8(out, h3, 24);
+    fb.st8(out, h4, 32);
+    fb.ret(h0);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"sha", mb.module(), static_cast<double>(blocks)};
+}
+
+// =====================================================================
+// rijndael — table-driven AES-128 encryption of 32 blocks, with
+// T-tables and expanded round keys prepared host-side.
+// =====================================================================
+
+namespace
+{
+
+const u8 kAesSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+    0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+    0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+    0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+    0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+    0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+    0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+    0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+    0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+    0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+    0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+    0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+    0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+    0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+    0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+    0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+    0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+    0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+    0x54, 0xbb, 0x16,
+};
+
+u8
+xtime(u8 x)
+{
+    return static_cast<u8>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+u32
+aesT0(u8 s)
+{
+    const u8 v = kAesSbox[s];
+    const u8 v2 = xtime(v);
+    const u8 v3 = static_cast<u8>(v2 ^ v);
+    return static_cast<u32>(v2) | (static_cast<u32>(v) << 8) |
+           (static_cast<u32>(v) << 16) | (static_cast<u32>(v3) << 24);
+}
+
+u32
+rotr8(u32 x)
+{
+    return (x >> 8) | (x << 24);
+}
+
+} // namespace
+
+Workload
+makeRijndael()
+{
+    const unsigned nBlocks = 32;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("rijndael"));
+        std::vector<u8> plain(nBlocks * 16);
+        for (auto &b : plain)
+            b = static_cast<u8>(rng.below(256));
+        mb.globalInit("plaintext", plain, 64);
+
+        // T-tables.
+        for (unsigned t = 0; t < 4; ++t) {
+            std::vector<u8> table(256 * 8, 0);
+            for (unsigned i = 0; i < 256; ++i) {
+                u32 v = aesT0(static_cast<u8>(i));
+                for (unsigned r = 0; r < t; ++r)
+                    v = rotr8(v) | 0; // rotate per table index
+                // Standard relation: Tk[i] = rotl8^k(T0[i])
+                v = aesT0(static_cast<u8>(i));
+                for (unsigned r = 0; r < t; ++r)
+                    v = (v << 8) | (v >> 24);
+                const u64 wide = v;
+                std::memcpy(table.data() + i * 8, &wide, 8);
+            }
+            mb.globalInit(strfmt("ttab%u", t), table, 64);
+        }
+        // S-box for the final round.
+        std::vector<u8> sbox(256 * 8, 0);
+        for (unsigned i = 0; i < 256; ++i)
+            sbox[i * 8] = kAesSbox[i];
+        mb.globalInit("sbox", sbox, 64);
+
+        // Round keys via standard AES-128 key expansion.
+        u8 key[16];
+        for (auto &b : key)
+            b = static_cast<u8>(rng.below(256));
+        u32 rk[44];
+        for (unsigned i = 0; i < 4; ++i)
+            rk[i] = key[4 * i] | (key[4 * i + 1] << 8) |
+                    (key[4 * i + 2] << 16) |
+                    (u32(key[4 * i + 3]) << 24);
+        u8 rcon = 1;
+        for (unsigned i = 4; i < 44; ++i) {
+            u32 temp = rk[i - 1];
+            if (i % 4 == 0) {
+                temp = (temp >> 8) | (temp << 24); // rotword
+                temp = kAesSbox[temp & 0xff] |
+                       (kAesSbox[(temp >> 8) & 0xff] << 8) |
+                       (kAesSbox[(temp >> 16) & 0xff] << 16) |
+                       (u32(kAesSbox[temp >> 24]) << 24);
+                temp ^= rcon;
+                rcon = xtime(rcon);
+            }
+            rk[i] = rk[i - 4] ^ temp;
+        }
+        std::vector<u8> rkBytes(44 * 8, 0);
+        for (unsigned i = 0; i < 44; ++i) {
+            const u64 wide = rk[i];
+            std::memcpy(rkBytes.data() + i * 8, &wide, 8);
+        }
+        mb.globalInit("round_keys", rkBytes, 64);
+    }
+    mb.global("state", 8 * 8); // 4 current + 4 next words
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg plain = fb.gaddr("plaintext");
+    VReg t0 = fb.gaddr("ttab0");
+    VReg t1 = fb.gaddr("ttab1");
+    VReg t2 = fb.gaddr("ttab2");
+    VReg t3 = fb.gaddr("ttab3");
+    VReg sbox = fb.gaddr("sbox");
+    VReg rks = fb.gaddr("round_keys");
+    VReg state = fb.gaddr("state");
+    detail::emitWarmup(fb, plain, nBlocks * 16);
+    fb.checkpoint();
+
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    VReg mask32 = fb.constI(0xffffffffll);
+    VReg ff = fb.constI(0xff);
+
+    auto blockLoop =
+        fb.beginLoop(fb.constI(0), fb.constI(nBlocks));
+    {
+        VReg blockBase = fb.add(plain, fb.shlI(blockLoop.idx, 4));
+        // Load + initial AddRoundKey.
+        auto init = fb.beginLoop(fb.constI(0), fb.constI(4));
+        {
+            VReg w = fb.ld4u(
+                fb.add(blockBase, fb.shlI(init.idx, 2)));
+            VReg rk =
+                fb.ld8(fb.add(rks, fb.shlI(init.idx, 3)));
+            fb.st8(fb.add(state, fb.shlI(init.idx, 3)),
+                   fb.bxor(w, rk));
+        }
+        fb.endLoop(init);
+
+        auto roundLoop = fb.beginLoop(fb.constI(1), fb.constI(10));
+        {
+            // next[c] = T0[b0(s[c])] ^ T1[b1(s[c+1])] ^
+            //           T2[b2(s[c+2])] ^ T3[b3(s[c+3])] ^ rk
+            for (unsigned c = 0; c < 4; ++c) {
+                auto col = [&](unsigned k) {
+                    VReg s = fb.ld8(fb.add(
+                        state,
+                        fb.constI(((c + k) % 4) * 8)));
+                    VReg byte = fb.band(
+                        fb.shr(s, fb.constI(8 * k)), ff);
+                    VReg tab = k == 0 ? t0
+                               : k == 1 ? t1
+                               : k == 2 ? t2
+                                        : t3;
+                    return fb.ld8(
+                        fb.add(tab, fb.shlI(byte, 3)));
+                };
+                VReg acc = fb.bxor(fb.bxor(col(0), col(1)),
+                                   fb.bxor(col(2), col(3)));
+                VReg rk = fb.ld8(fb.add(
+                    rks,
+                    fb.shlI(fb.add(fb.shlI(roundLoop.idx, 2),
+                                   fb.constI(c)),
+                            3)));
+                fb.st8(fb.add(state, fb.constI(32 + c * 8)),
+                       fb.band(fb.bxor(acc, rk), mask32));
+            }
+            auto swap = fb.beginLoop(fb.constI(0), fb.constI(4));
+            {
+                VReg v = fb.ld8(
+                    fb.add(state,
+                           fb.shlI(fb.addI(swap.idx, 4), 3)));
+                fb.st8(fb.add(state, fb.shlI(swap.idx, 3)), v);
+            }
+            fb.endLoop(swap);
+        }
+        fb.endLoop(roundLoop);
+
+        // Final round: SubBytes + ShiftRows + AddRoundKey.
+        for (unsigned c = 0; c < 4; ++c) {
+            VReg acc = fb.constI(0);
+            for (unsigned k = 0; k < 4; ++k) {
+                VReg s = fb.ld8(fb.add(
+                    state, fb.constI(((c + k) % 4) * 8)));
+                VReg byte =
+                    fb.band(fb.shr(s, fb.constI(8 * k)), ff);
+                VReg sub =
+                    fb.ld8(fb.add(sbox, fb.shlI(byte, 3)));
+                fb.assign(acc,
+                          fb.bor(acc,
+                                 fb.shl(sub, fb.constI(8 * k))));
+            }
+            VReg rk = fb.ld8(fb.add(rks, fb.constI((40 + c) * 8)));
+            VReg word = fb.band(fb.bxor(acc, rk), mask32);
+            fb.st4(fb.add(out,
+                          fb.add(fb.shlI(blockLoop.idx, 4),
+                                 fb.constI(c * 4))),
+                   word);
+        }
+    }
+    fb.endLoop(blockLoop);
+
+    fb.switchCpu();
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"rijndael", mb.module(), static_cast<double>(nBlocks)};
+}
+
+// =====================================================================
+// stringsearch — Boyer-Moore-Horspool search of 8 patterns over a
+// 4 KiB text, shift tables built at run time.
+// =====================================================================
+
+Workload
+makeStringsearch()
+{
+    const unsigned textLen = 8192;
+    const unsigned nPatterns = 8;
+    const unsigned patLen = 8;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("stringsearch"));
+        std::vector<u8> text(textLen);
+        for (auto &b : text)
+            b = static_cast<u8>('a' + rng.below(16));
+        // Plant each pattern a few times so searches actually hit.
+        std::vector<u8> patterns(nPatterns * patLen);
+        for (unsigned p = 0; p < nPatterns; ++p) {
+            for (unsigned i = 0; i < patLen; ++i)
+                patterns[p * patLen + i] =
+                    static_cast<u8>('a' + rng.below(16));
+            for (unsigned k = 0; k < 3; ++k) {
+                const u64 pos = rng.below(textLen - patLen);
+                std::memcpy(text.data() + pos,
+                            patterns.data() + p * patLen, patLen);
+            }
+        }
+        mb.globalInit("text", text, 64);
+        mb.globalInit("patterns", patterns, 64);
+    }
+    mb.global("shift", 256 * 8);
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg text = fb.gaddr("text");
+    VReg patterns = fb.gaddr("patterns");
+    VReg shift = fb.gaddr("shift");
+    detail::emitWarmup(fb, text, textLen);
+    fb.checkpoint();
+
+    VReg totalHits = fb.constI(0);
+    auto patLoop = fb.beginLoop(fb.constI(0), fb.constI(nPatterns));
+    {
+        VReg pat = fb.add(patterns, fb.mulI(patLoop.idx, patLen));
+        // Build the bad-character shift table.
+        auto fill = fb.beginLoop(fb.constI(0), fb.constI(256));
+        {
+            fb.st8(fb.add(shift, fb.shlI(fill.idx, 3)),
+                   fb.constI(patLen));
+        }
+        fb.endLoop(fill);
+        auto prep = fb.beginLoop(fb.constI(0), fb.constI(patLen - 1));
+        {
+            VReg ch = fb.ld1u(fb.add(pat, prep.idx));
+            fb.st8(fb.add(shift, fb.shlI(ch, 3)),
+                   fb.sub(fb.constI(patLen - 1), prep.idx));
+        }
+        fb.endLoop(prep);
+
+        // Horspool scan.
+        VReg pos = fb.constI(0);
+        VReg limit = fb.constI(textLen - patLen);
+        auto scanHead = fb.newBlock();
+        auto scanBody = fb.newBlock();
+        auto scanExit = fb.newBlock();
+        fb.jmp(scanHead);
+        fb.setBlock(scanHead);
+        fb.br(fb.cmpLe(pos, limit), scanBody, scanExit);
+        fb.setBlock(scanBody);
+        {
+            // Compare pattern right-to-left.
+            VReg matched = fb.constI(1);
+            auto cmp = fb.beginLoop(fb.constI(0), fb.constI(patLen));
+            {
+                VReg tc = fb.ld1u(
+                    fb.add(text, fb.add(pos, cmp.idx)));
+                VReg pc = fb.ld1u(fb.add(pat, cmp.idx));
+                fb.assign(matched,
+                          fb.band(matched, fb.cmpEq(tc, pc)));
+            }
+            fb.endLoop(cmp);
+            fb.assign(totalHits, fb.add(totalHits, matched));
+            VReg last = fb.ld1u(
+                fb.add(text, fb.add(pos, fb.constI(patLen - 1))));
+            VReg step =
+                fb.ld8(fb.add(shift, fb.shlI(last, 3)));
+            fb.assign(pos, fb.add(pos, step));
+            fb.jmp(scanHead);
+        }
+        fb.setBlock(scanExit);
+    }
+    fb.endLoop(patLoop);
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    fb.st8(out, totalHits);
+    fb.ret(totalHits);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"stringsearch", mb.module(),
+            static_cast<double>(nPatterns)};
+}
+
+} // namespace marvel::workloads

@@ -1,0 +1,99 @@
+#include "workloads/workloads.hh"
+
+#include "common/log.hh"
+#include "common/memmap.hh"
+
+namespace marvel::workloads
+{
+
+const std::vector<std::string> &
+mibenchNames()
+{
+    static const std::vector<std::string> names = {
+        "adpcme", "adpcmd", "basicmath", "bitcount", "corners",
+        "crc32", "dijkstra", "edges", "fft", "patricia",
+        "qsort", "rijndael", "sha", "smooth", "stringsearch",
+    };
+    return names;
+}
+
+Workload
+get(const std::string &name)
+{
+    if (name == "adpcme")
+        return makeAdpcmEncode();
+    if (name == "adpcmd")
+        return makeAdpcmDecode();
+    if (name == "basicmath")
+        return makeBasicmath();
+    if (name == "bitcount")
+        return makeBitcount();
+    if (name == "corners")
+        return makeCorners();
+    if (name == "crc32")
+        return makeCrc32();
+    if (name == "dijkstra")
+        return makeDijkstra();
+    if (name == "edges")
+        return makeEdges();
+    if (name == "fft")
+        return makeFftKernel();
+    if (name == "patricia")
+        return makePatricia();
+    if (name == "qsort")
+        return makeQsort();
+    if (name == "rijndael")
+        return makeRijndael();
+    if (name == "sha")
+        return makeSha();
+    if (name == "smooth")
+        return makeSmooth();
+    if (name == "stringsearch")
+        return makeStringsearch();
+    fatal("workloads: unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<Workload>
+allMibench()
+{
+    std::vector<Workload> out;
+    out.reserve(mibenchNames().size());
+    for (const std::string &name : mibenchNames())
+        out.push_back(get(name));
+    return out;
+}
+
+namespace detail
+{
+
+void
+emitWarmup(mir::FunctionBuilder &fb, mir::VReg base, i64 size)
+{
+    using mir::VReg;
+    VReg acc = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(size));
+    VReg v = fb.ld8(fb.add(base, loop.idx));
+    fb.assign(acc, fb.add(acc, v));
+    fb.endLoop(loop, 8);
+    // Keep the accumulator alive so the reads are not trivially dead:
+    // store it just past the OUTPUT window scratch slot (overwritten
+    // by nothing; OUTPUT comparisons include it deterministically).
+    VReg sink =
+        fb.constI(static_cast<i64>(kOutputBase + kOutputSize - 8));
+    fb.st8(sink, acc);
+}
+
+u64
+dataSeed(const std::string &name)
+{
+    u64 hash = 0x9e3779b97f4a7c15ull;
+    for (char c : name) {
+        hash ^= static_cast<u8>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+} // namespace detail
+
+} // namespace marvel::workloads

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The workload suite.
+ *
+ * Fifteen MiBench-named kernels (paper §III-D) written in MIR, each a
+ * complete end-to-end program: deterministic input data in globals, an
+ * optional cache warm-up pass, a Checkpoint/SwitchCpu-delimited region
+ * of interest, and results written to the OUTPUT window for golden
+ * comparison. Plus host driver programs for each accelerator design
+ * and CPU-side implementations of the four algorithms compared in
+ * Fig. 16 (GEMM, BFS, FFT, KNN).
+ */
+
+#ifndef MARVEL_WORKLOADS_WORKLOADS_HH
+#define MARVEL_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "mir/builder.hh"
+#include "mir/mir.hh"
+
+namespace marvel::workloads
+{
+
+/** A runnable workload. */
+struct Workload
+{
+    std::string name;
+    mir::Module module;
+    /** Algorithmic operations per task execution (OPF numerator). */
+    double opsPerRun = 1.0;
+};
+
+/** The fifteen MiBench benchmark names, figure order. */
+const std::vector<std::string> &mibenchNames();
+
+/** Build a MiBench workload by name; fatal() on unknown. */
+Workload get(const std::string &name);
+
+/** All fifteen workloads. */
+std::vector<Workload> allMibench();
+
+// --- individual kernels (exposed for tests) -------------------------
+Workload makeAdpcmEncode();
+Workload makeAdpcmDecode();
+Workload makeBasicmath();
+Workload makeBitcount();
+Workload makeCorners();
+Workload makeCrc32();
+Workload makeDijkstra();
+Workload makeEdges();
+Workload makeFftKernel();
+Workload makePatricia();
+Workload makeQsort();
+Workload makeRijndael();
+Workload makeSha();
+Workload makeSmooth();
+Workload makeStringsearch();
+
+// --- heterogeneous SoC workloads --------------------------------------
+/**
+ * Host driver for the accelerator design placed at cluster index
+ * `unitIdx`: stages inputs in DRAM, programs the MMRs, waits for the
+ * completion interrupt, and copies results to OUTPUT.
+ */
+Workload accelDriver(const std::string &designName, unsigned unitIdx);
+
+/**
+ * CPU-side implementation of an accelerated algorithm ("gemm", "bfs",
+ * "fft", "md_knn"), same problem size as the DSA (Fig. 16).
+ */
+Workload cpuVersionOf(const std::string &designName);
+
+/** Algorithmic op count of a design task (OPF numerator, Fig. 16). */
+double designOpsPerRun(const std::string &designName);
+
+// --- shared helpers for kernel authors --------------------------------
+namespace detail
+{
+
+/** Emit `for` loop reading every 8th byte of [base, base+size) (cache
+ *  warm-up before the checkpoint). */
+void emitWarmup(mir::FunctionBuilder &fb, mir::VReg base, i64 size);
+
+/** Deterministic data generator stream for a named workload. */
+u64 dataSeed(const std::string &name);
+
+} // namespace detail
+
+} // namespace marvel::workloads
+
+#endif // MARVEL_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Accelerator subsystem tests: each MachSuite design runs end-to-end in
+ * a heterogeneous SoC (RISC-V host driving it through MMRs, DMA and the
+ * completion interrupt) and its OUTPUT window must match a C++
+ * reference computed from the same staged inputs. Plus engine-level
+ * properties: FU scaling, area model, component geometry (Table IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "accel/designs/designs.hh"
+#include "fi/campaign.hh"
+#include "mir/interp.hh"
+#include "soc/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+using accel::designs::DesignSizes;
+
+namespace {
+
+// Pull a named global's initial bytes out of a workload module.
+std::vector<u8> globalBytes(const mir::Module& m, const std::string& name) {
+    const mir::Global& g = m.globals[m.globalId(name)];
+    std::vector<u8> out(g.size, 0);
+    std::copy(g.init.begin(), g.init.end(), out.begin());
+    return out;
+}
+
+double f64At(const std::vector<u8>& b, std::size_t i) {
+    double v;
+    std::memcpy(&v, b.data() + i * 8, 8);
+    return v;
+}
+
+u64 u64At(const std::vector<u8>& b, std::size_t i) {
+    u64 v;
+    std::memcpy(&v, b.data() + i * 8, 8);
+    return v;
+}
+
+// Run a design's driver on a RISC-V SoC containing that single design.
+fi::GoldenRun runSoc(const std::string& design,
+                     workloads::Workload* wlOut = nullptr) {
+    soc::SystemConfig cfg = soc::preset("riscv");
+    cfg.cluster.designs.push_back(
+        accel::designs::makeByName(design, kAccelSpaceBase));
+    workloads::Workload wl = workloads::accelDriver(design, 0);
+    if (wlOut)
+        *wlOut = wl;
+    const isa::Program prog = isa::compile(wl.module, isa::IsaKind::RISCV);
+    return fi::runGolden(cfg, prog);
+}
+
+} // namespace
+
+TEST(AccelDesigns, TableIvComponentGeometry) {
+    // Table IV: injection components with exact sizes and kinds.
+    struct Row {
+        const char* design;
+        const char* component;
+        u32 bytes;
+        accel::MemKind kind;
+    };
+    const Row rows[] = {
+        {"bfs", "EDGES", 16384, accel::MemKind::RegBank},
+        {"bfs", "NODES", 2048, accel::MemKind::RegBank},
+        {"fft", "IMG", 8192, accel::MemKind::Spm},
+        {"fft", "REAL", 8192, accel::MemKind::Spm},
+        {"gemm", "MATRIX1", 32768, accel::MemKind::Spm},
+        {"gemm", "MATRIX3", 32768, accel::MemKind::Spm},
+        {"md_knn", "NLADDR", 16384, accel::MemKind::Spm},
+        {"md_knn", "FORCEX", 2048, accel::MemKind::Spm},
+        {"mergesort", "MAIN", 8192, accel::MemKind::Spm},
+        {"mergesort", "TEMP", 8192, accel::MemKind::Spm},
+        {"spmv", "VAL", 13328, accel::MemKind::Spm},
+        {"spmv", "COLS", 6664, accel::MemKind::Spm},
+        {"stencil2d", "ORIG", 32768, accel::MemKind::Spm},
+        {"stencil2d", "SOL", 32768, accel::MemKind::Spm},
+        {"stencil2d", "FILTER", 360, accel::MemKind::RegBank},
+        {"stencil3d", "ORIG", 65536, accel::MemKind::Spm},
+        {"stencil3d", "SOL", 65536, accel::MemKind::Spm},
+        {"stencil3d", "C_VAR", 8, accel::MemKind::RegBank},
+    };
+    for (const Row& row : rows) {
+        accel::AccelDesign d =
+            accel::designs::makeByName(row.design, kAccelSpaceBase);
+        accel::ComputeUnit unit(d, kAccelSpaceBase);
+        accel::AccelMem& mem = unit.memoryByName(row.component);
+        EXPECT_EQ(mem.size(), row.bytes)
+            << row.design << "." << row.component;
+        EXPECT_EQ(mem.kind(), row.kind)
+            << row.design << "." << row.component;
+    }
+}
+
+TEST(AccelSoc, GemmMatchesReference) {
+    workloads::Workload wl;
+    const fi::GoldenRun g = runSoc("gemm", &wl);
+    const auto a = globalBytes(wl.module, "mat_a");
+    const auto b = globalBytes(wl.module, "mat_b");
+    const u32 dim = DesignSizes::gemmDim;
+    for (u32 i = 0; i < dim; i += 7) {
+        for (u32 j = 0; j < dim; j += 5) {
+            double sum = 0.0;
+            for (u32 k = 0; k < dim; ++k)
+                sum += f64At(a, i * dim + k) * f64At(b, k * dim + j);
+            double got;
+            std::memcpy(&got, g.output.data() + (i * dim + j) * 8, 8);
+            // The datapath accumulates in 8 parallel lanes, so the
+            // FP association order differs from the serial reference.
+            ASSERT_NEAR(got, sum, 1e-9)
+                << "C[" << i << "][" << j << "]";
+        }
+    }
+}
+
+TEST(AccelSoc, MergesortSorts) {
+    workloads::Workload wl;
+    const fi::GoldenRun g = runSoc("mergesort", &wl);
+    auto input = globalBytes(wl.module, "unsorted");
+    const u32 n = DesignSizes::sortLen;
+    std::vector<u64> ref(n);
+    for (u32 i = 0; i < n; ++i)
+        ref[i] = u64At(input, i);
+    std::sort(ref.begin(), ref.end(),
+              [](u64 x, u64 y) { return (i64)x < (i64)y; });
+    // The kernel compares signed (CmpLe).
+    for (u32 i = 0; i < n; ++i) {
+        u64 got;
+        std::memcpy(&got, g.output.data() + i * 8, 8);
+        ASSERT_EQ(got, ref[i]) << "index " << i;
+    }
+}
+
+TEST(AccelSoc, BfsLevelsMatchReference) {
+    workloads::Workload wl;
+    const fi::GoldenRun g = runSoc("bfs", &wl);
+    const auto nodes = globalBytes(wl.module, "nodes");
+    const auto edges = globalBytes(wl.module, "edges");
+    const u32 n = DesignSizes::bfsNodes;
+    std::vector<i64> level(n, -1);
+    std::vector<u32> queue{0};
+    level[0] = 0;
+    for (std::size_t h = 0; h < queue.size(); ++h) {
+        const u32 node = queue[h];
+        const u64 word = u64At(nodes, node);
+        const u64 begin = word >> 32;
+        const u64 end = word & 0xffffffffull;
+        for (u64 e = begin; e < end; ++e) {
+            const u32 t = static_cast<u32>(u64At(edges, e));
+            if (level[t] < 0) {
+                level[t] = level[node] + 1;
+                queue.push_back(t);
+            }
+        }
+    }
+    for (u32 i = 0; i < n; ++i) {
+        i64 got;
+        std::memcpy(&got, g.output.data() + i * 8, 8);
+        EXPECT_EQ(got, level[i]) << "node " << i;
+    }
+}
+
+TEST(AccelSoc, SpmvMatchesReference) {
+    workloads::Workload wl;
+    const fi::GoldenRun g = runSoc("spmv", &wl);
+    const auto val = globalBytes(wl.module, "val");
+    const auto cols = globalBytes(wl.module, "cols");
+    const auto rowd = globalBytes(wl.module, "rowdelim");
+    const auto vec = globalBytes(wl.module, "vec");
+    const u32 rows = DesignSizes::spmvRows;
+    for (u32 r = 0; r < rows; ++r) {
+        double sum = 0.0;
+        for (u64 i = u64At(rowd, r); i < u64At(rowd, r + 1); ++i) {
+            u32 c;
+            std::memcpy(&c, cols.data() + i * 4, 4);
+            sum += f64At(val, i) * f64At(vec, c);
+        }
+        double got;
+        std::memcpy(&got, g.output.data() + r * 8, 8);
+        ASSERT_DOUBLE_EQ(got, sum) << "row " << r;
+    }
+}
+
+TEST(AccelSoc, Stencil3dMatchesReference) {
+    workloads::Workload wl;
+    const fi::GoldenRun g = runSoc("stencil3d", &wl);
+    const auto orig = globalBytes(wl.module, "orig");
+    const u32 nx = DesignSizes::st3X, ny = DesignSizes::st3Y,
+              nz = DesignSizes::st3Z;
+    auto at = [&](u32 x, u32 y, u32 z) {
+        return f64At(orig, (x * ny + y) * nz + z);
+    };
+    for (u32 x = 1; x + 1 < nx; x += 3)
+        for (u32 y = 1; y + 1 < ny; y += 3)
+            for (u32 z = 1; z + 1 < nz; z += 5) {
+                const double sum = at(x - 1, y, z) + at(x + 1, y, z) +
+                                   at(x, y - 1, z) + at(x, y + 1, z) +
+                                   at(x, y, z - 1) + at(x, y, z + 1);
+                const double expect = 2.0 * at(x, y, z) - 1.0 * sum;
+                double got;
+                std::memcpy(&got,
+                            g.output.data() +
+                                ((x * ny + y) * nz + z) * 8,
+                            8);
+                ASSERT_DOUBLE_EQ(got, expect)
+                    << x << "," << y << "," << z;
+            }
+}
+
+TEST(AccelSoc, AllDesignsCompleteCleanly) {
+    for (const std::string& name : accel::designs::allDesignNames()) {
+        const fi::GoldenRun g = runSoc(name);
+        EXPECT_GT(g.windowCycles, 0u) << name;
+        EXPECT_GE(g.totalCycles, g.windowCycles) << name;
+        // The output window must not be all zeros (results landed).
+        bool nonZero = false;
+        for (u8 b : g.output)
+            nonZero |= b != 0;
+        EXPECT_TRUE(nonZero) << name;
+    }
+}
+
+TEST(AccelEngine, FewerMultipliersSlowGemmDown) {
+    // Fig. 17 mechanism: the datapath throughput tracks the FU budget.
+    std::map<unsigned, Cycle> cyclesByMuls;
+    for (unsigned muls : {1u, 2u, 4u, 8u}) {
+        // Scale the whole datapath (units + ports), as an HLS
+        // parallelism pragma would.
+        accel::FuConfig fu;
+        for (unsigned i = 0; i < isa::kNumFuClasses; ++i)
+            fu.counts[i] = std::max(1u, muls / 2);
+        fu.counts[static_cast<unsigned>(isa::FuClass::IntAlu)] =
+            2 * muls;
+        fu.counts[static_cast<unsigned>(isa::FuClass::FpMul)] = muls;
+        fu.counts[static_cast<unsigned>(isa::FuClass::FpAlu)] = muls;
+        fu.counts[static_cast<unsigned>(isa::FuClass::MemPort)] =
+            2 * muls;
+        soc::SystemConfig cfg = soc::preset("riscv");
+        cfg.cluster.designs.push_back(
+            accel::designs::makeGemm(kAccelSpaceBase, &fu));
+        workloads::Workload wl = workloads::accelDriver("gemm", 0);
+        const isa::Program prog =
+            isa::compile(wl.module, isa::IsaKind::RISCV);
+        const fi::GoldenRun g = fi::runGolden(cfg, prog);
+        cyclesByMuls[muls] = g.windowCycles;
+    }
+    EXPECT_GT(cyclesByMuls[1], cyclesByMuls[2]);
+    EXPECT_GT(cyclesByMuls[2], cyclesByMuls[4]);
+    EXPECT_GE(cyclesByMuls[4], cyclesByMuls[8]);
+}
+
+TEST(AccelEngine, AreaModelIsMonotoneInUnits) {
+    accel::FuConfig small;
+    accel::FuConfig big = small;
+    for (unsigned i = 0; i < isa::kNumFuClasses; ++i)
+        big.counts[i] = small.counts[i] * 2;
+    EXPECT_GT(big.area(), small.area());
+    accel::AccelDesign d =
+        accel::designs::makeGemm(kAccelSpaceBase, &small);
+    EXPECT_GT(d.area(), small.area()); // memories add area
+}
+
+TEST(AccelMemUnit, RegBankSlowerThanSpm) {
+    accel::AccelMem spm("s", 1024, accel::MemKind::Spm);
+    accel::AccelMem bank("b", 1024, accel::MemKind::RegBank);
+    EXPECT_LT(spm.latency(), bank.latency());
+}
+
+TEST(AccelMemUnit, FaultBookkeepingTracksReadsAndWrites) {
+    accel::AccelMem mem("m", 256, accel::MemKind::Spm);
+    mem.faults().addWatch(2, 5); // word 2, bit 5
+    mem.flipBit(2, 5);
+    u8 buf[8];
+    // Writing the word before reading it neutralizes the fault.
+    std::memset(buf, 0xaa, 8);
+    mem.write(16, buf, 8);
+    EXPECT_TRUE(mem.faults().allNeutralized());
+    // A new watch that gets read is not neutralized.
+    mem.faults().clear();
+    mem.faults().addWatch(3, 0);
+    mem.read(24, buf, 8);
+    EXPECT_TRUE(mem.faults().anyRead());
+    EXPECT_FALSE(mem.faults().allNeutralized());
+}
+
+// ====================================================================
+// Differential testing: the dataflow engine must compute exactly what
+// the MIR interpreter computes, for randomized kernels, across FU
+// budgets (resource constraints change timing, never results).
+// ====================================================================
+
+namespace {
+
+class FlatSpace : public accel::AccelAddressSpace {
+  public:
+    explicit FlatSpace(accel::AccelMem* m) : mem(m) {}
+    int resolve(Addr addr, u32 len) override {
+        return addr >= 0x1000 && mem->inRange(addr - 0x1000, len) ? 0
+                                                                  : -1;
+    }
+    u32 latencyOf(int) override { return mem->latency(); }
+    u32 portsOf(int) override { return 4; }
+    u64 readMem(int, Addr addr, u32 len) override {
+        u64 v = 0;
+        mem->read(addr - 0x1000, &v, len);
+        return v;
+    }
+    void writeMem(int, Addr addr, u32 len, u64 v) override {
+        mem->write(addr - 0x1000, &v, len);
+    }
+  private:
+    accel::AccelMem* mem;
+};
+
+mir::Module randomKernel(u64 seed) {
+    Rng rng(seed);
+    mir::ModuleBuilder mb;
+    mir::FunctionBuilder fb = mb.func("kernel", {});
+    mir::VReg base = fb.constI(0x1000);
+    // Seed phase: fill 64 words deterministically.
+    auto fill = fb.beginLoop(fb.constI(0), fb.constI(64));
+    {
+        mir::VReg v = fb.add(fb.mulI(fill.idx, 2654435761ll),
+                             fb.constI(static_cast<i64>(seed & 0xffff)));
+        fb.st8(fb.add(base, fb.shlI(fill.idx, 3)), v);
+    }
+    fb.endLoop(fill);
+    // Mixing phase: random read-modify-write chains.
+    auto mixLoop = fb.beginLoop(fb.constI(0), fb.constI(32));
+    {
+        mir::VReg a = fb.ld8(
+            fb.add(base, fb.shlI(fb.band(mixLoop.idx,
+                                         fb.constI(63)), 3)));
+        mir::VReg b = fb.ld8(
+            fb.add(base,
+                   fb.shlI(fb.band(fb.addI(mixLoop.idx, 17),
+                                   fb.constI(63)), 3)));
+        mir::VReg r{};
+        switch (rng.below(6)) {
+          case 0: r = fb.add(a, b); break;
+          case 1: r = fb.sub(a, b); break;
+          case 2: r = fb.mul(a, b); break;
+          case 3: r = fb.bxor(a, b); break;
+          case 4: r = fb.bor(a, fb.shr(b, fb.constI(3))); break;
+          default:
+            r = fb.select(fb.cmpLt(a, b), a, b);
+            break;
+        }
+        fb.st8(fb.add(base, fb.shlI(fb.band(fb.addI(mixLoop.idx, 5),
+                                            fb.constI(63)), 3)),
+               r);
+    }
+    fb.endLoop(mixLoop);
+    fb.retVoid();
+    mb.setEntry("kernel");
+    mir::verify(mb.module());
+    return mb.module();
+}
+
+} // namespace
+
+TEST(AccelEngine, MatchesInterpreterOnRandomKernels) {
+    for (u64 seed = 1; seed <= 8; ++seed) {
+        const mir::Module kernel = randomKernel(seed);
+        // Interpreter reference (addresses 0x1000.. live in low DRAM).
+        const mir::GoldenRun ref = mir::interpretModule(kernel);
+
+        for (unsigned budget : {1u, 4u}) {
+            accel::FuConfig fu;
+            for (unsigned i = 0; i < isa::kNumFuClasses; ++i)
+                fu.counts[i] = budget;
+            accel::AccelMem mem("buf", 4096, accel::MemKind::Spm);
+            FlatSpace space(&mem);
+            accel::DataflowEngine engine(fu);
+            engine.start(kernel, kernel.entry, {});
+            for (u64 c = 0; c < 2'000'000 && engine.running(); ++c)
+                engine.cycle(kernel, space);
+            ASSERT_EQ(engine.status(), accel::EngineStatus::Done)
+                << "seed " << seed << " budget " << budget;
+            for (unsigned w = 0; w < 64; ++w) {
+                u64 got = 0;
+                std::memcpy(&got, mem.data() + w * 8, 8);
+                u64 want = 0;
+                std::memcpy(&want, ref.memory.data() + 0x1000 + w * 8,
+                            8);
+                ASSERT_EQ(got, want)
+                    << "seed " << seed << " budget " << budget
+                    << " word " << w;
+            }
+        }
+    }
+}
+
+TEST(AccelEngine, ResourceBudgetsChangeTimingNotResults) {
+    const mir::Module kernel = randomKernel(99);
+    Cycle lastCycles = 0;
+    for (unsigned budget : {1u, 2u, 8u}) {
+        accel::FuConfig fu;
+        for (unsigned i = 0; i < isa::kNumFuClasses; ++i)
+            fu.counts[i] = budget;
+        accel::AccelMem mem("buf", 4096, accel::MemKind::Spm);
+        FlatSpace space(&mem);
+        accel::DataflowEngine engine(fu);
+        engine.start(kernel, kernel.entry, {});
+        while (engine.running())
+            engine.cycle(kernel, space);
+        if (lastCycles)
+            EXPECT_LE(engine.cyclesRun(), lastCycles);
+        lastCycles = engine.cyclesRun();
+    }
+}
+
+TEST(AccelEngine, OutOfRangeAccessFaults) {
+    mir::ModuleBuilder mb;
+    mir::FunctionBuilder fb = mb.func("kernel", {});
+    fb.st8(fb.constI(0x10000000), fb.constI(1)); // unmapped
+    fb.retVoid();
+    mb.setEntry("kernel");
+    accel::AccelMem mem("buf", 4096, accel::MemKind::Spm);
+    FlatSpace space(&mem);
+    accel::DataflowEngine engine;
+    engine.start(mb.module(), 0, {});
+    for (int i = 0; i < 100 && engine.running(); ++i)
+        engine.cycle(mb.module(), space);
+    EXPECT_EQ(engine.status(), accel::EngineStatus::Fault);
+}

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Code generator tests: cross-ISA differential execution of stress
+ * programs (register pressure / spills, calls with many arguments,
+ * floating point, selects, large constants), plus codegen statistics
+ * properties (RISCV compression, X86 load-op folding, per-ISA code
+ * density ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/memmap.hh"
+#include "common/rng.hh"
+#include "fi/campaign.hh"
+#include "mir/interp.hh"
+#include "soc/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+using mir::FunctionBuilder;
+using mir::ModuleBuilder;
+using mir::VReg;
+
+namespace {
+
+// Run a module on every ISA's cycle-level CPU and compare the exit
+// code and OUTPUT window against the interpreter.
+void expectAllIsasMatchInterp(ModuleBuilder& mb) {
+    mir::verify(mb.module());
+    const mir::GoldenRun ref = mir::interpretModule(mb.module());
+    ASSERT_FALSE(ref.result.timedOut);
+    for (isa::IsaKind kind : isa::kAllIsas) {
+        soc::SystemConfig cfg = soc::preset(isa::isaName(kind));
+        soc::System sys(cfg);
+        sys.loadProgram(isa::compile(mb.module(), kind));
+        const soc::RunExit exit = sys.run(50'000'000);
+        ASSERT_EQ(exit, soc::RunExit::Exited)
+            << isa::isaName(kind) << ": " << sys.crashReason();
+        EXPECT_EQ(sys.exitCode, ref.result.exitValue)
+            << isa::isaName(kind);
+        EXPECT_TRUE(sys.outputWindow() == ref.output)
+            << isa::isaName(kind);
+    }
+}
+
+} // namespace
+
+TEST(Codegen, RegisterPressureForcesCorrectSpills) {
+    // 40 simultaneously-live values exceed every ISA's register file.
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    std::vector<VReg> live;
+    for (int i = 0; i < 40; ++i)
+        live.push_back(fb.constI(1000 + i * 13));
+    // Consume them in reverse, keeping all live until the end.
+    VReg total = fb.constI(0);
+    for (int i = 39; i >= 0; --i)
+        fb.assign(total, fb.add(total, live[i]));
+    // And once more forward (forces reloads of spilled values).
+    for (int i = 0; i < 40; ++i)
+        fb.assign(total, fb.sub(total, live[i]));
+    fb.ret(total);
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+    // X86 (fewest registers) must actually have spilled.
+    const isa::Program prog =
+        isa::compile(mb.module(), isa::IsaKind::X86);
+    EXPECT_GT(prog.stats.spillSlots, 0u);
+}
+
+TEST(Codegen, CallsWithManyArgumentsAndFpMix) {
+    ModuleBuilder mb;
+    auto callee = mb.func("mix",
+                          {mir::Type::I64, mir::Type::F64,
+                           mir::Type::I64, mir::Type::F64,
+                           mir::Type::I64, mir::Type::I64},
+                          true);
+    {
+        auto& p = callee.fn().params;
+        VReg fsum = callee.fadd(p[1], p[3]);
+        VReg isum = callee.add(p[0], callee.add(p[2],
+                                                callee.add(p[4], p[5])));
+        callee.ret(callee.add(isum, callee.ftoi(fsum)));
+    }
+    auto fb = mb.func("main", {}, true);
+    VReg acc = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(10));
+    {
+        VReg f1 = fb.itof(loop.idx);
+        VReg f2 = fb.constF(2.5);
+        VReg r = fb.call(mb.module().funcId("mix"),
+                         {loop.idx, f1, fb.addI(loop.idx, 7),
+                          f2, fb.constI(100), fb.constI(-3)});
+        fb.assign(acc, fb.add(acc, r));
+    }
+    fb.endLoop(loop);
+    fb.ret(acc);
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+}
+
+TEST(Codegen, ArgumentShuffleCycles) {
+    // Swapped argument order at the call site exercises the parallel-
+    // move resolver (cycle through a scratch register).
+    ModuleBuilder mb;
+    auto callee =
+        mb.func("sub2", {mir::Type::I64, mir::Type::I64}, true);
+    callee.ret(callee.sub(callee.fn().params[0],
+                          callee.fn().params[1]));
+    auto fb = mb.func("main", {}, true);
+    VReg a = fb.constI(500);
+    VReg b = fb.constI(3);
+    // f(a,b) then f(b,a): whichever registers a/b live in, one of the
+    // two calls permutes them.
+    auto fid = mb.module().funcId("sub2");
+    VReg x = fb.call(fid, {a, b});
+    VReg y = fb.call(fid, {b, a});
+    fb.ret(fb.mul(x, y)); // 497 * -497
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+}
+
+TEST(Codegen, DeepCallChainsUseTheStack) {
+    ModuleBuilder mb;
+    auto leaf = mb.func("leaf", {mir::Type::I64}, true);
+    leaf.ret(leaf.addI(leaf.fn().params[0], 1));
+    auto mid = mb.func("mid", {mir::Type::I64}, true);
+    {
+        VReg v = mid.call(mb.module().funcId("leaf"),
+                          {mid.fn().params[0]});
+        VReg w = mid.call(mb.module().funcId("leaf"), {v});
+        mid.ret(mid.add(v, w));
+    }
+    auto fb = mb.func("main", {}, true);
+    VReg acc = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(20));
+    fb.assign(acc, fb.add(acc, fb.call(mb.module().funcId("mid"),
+                                       {loop.idx})));
+    fb.endLoop(loop);
+    fb.ret(acc);
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+}
+
+TEST(Codegen, LargeConstantsMaterialize) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    const i64 constants[] = {
+        0,      -1,        2047,       -2048,      2048,
+        65535,  0x7fffffff, -0x80000000ll, 0x7ffffffell,
+        0x123456789abcdef0ll, static_cast<i64>(0xdeadbeefcafebabeull),
+        INT64_MAX, INT64_MIN, 0x7fffff00ll,
+    };
+    VReg acc = fb.constI(0);
+    for (i64 c : constants)
+        fb.assign(acc, fb.bxor(acc, fb.constI(c)));
+    fb.ret(fb.band(acc, fb.constI(0xffffffll)));
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+}
+
+TEST(Codegen, UnsignedAndSignedComparisons) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    VReg big = fb.constI(static_cast<i64>(0xffffffffffffff00ull));
+    VReg small = fb.constI(0x100);
+    VReg acc = fb.constI(0);
+    auto addBit = [&](VReg bit) {
+        fb.assign(acc, fb.add(fb.shl(acc, fb.constI(1)), bit));
+    };
+    addBit(fb.cmpLt(big, small));   // signed: true
+    addBit(fb.cmpLtU(big, small));  // unsigned: false
+    addBit(fb.cmpLe(small, small)); // true
+    addBit(fb.cmpLeU(big, big));    // true
+    addBit(fb.cmpEq(big, small));   // false
+    addBit(fb.cmpNe(big, small));   // true
+    fb.ret(acc); // 0b101101 = 45
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+}
+
+TEST(Codegen, FloatingPointKernels) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    VReg sum = fb.constF(0.0);
+    auto loop = fb.beginLoop(fb.constI(1), fb.constI(50));
+    {
+        VReg x = fb.itof(loop.idx);
+        VReg inv = fb.fdiv(fb.constF(1.0), x);
+        VReg root = fb.fsqrt(x);
+        fb.assign(sum, fb.fadd(sum, fb.fmul(inv, root)));
+    }
+    fb.endLoop(loop);
+    fb.ret(fb.ftoi(fb.fmul(sum, fb.constF(1000.0))));
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+}
+
+TEST(Codegen, CompressionAndDensityOrdering) {
+    // The L1I footprint mechanism behind Fig. 5's rank order: RISCV
+    // (compressed) emits the densest code, ARM (fixed 4B, aligned
+    // functions) the largest.
+    const workloads::Workload wl = workloads::get("sha");
+    const isa::Program rv = isa::compile(wl.module, isa::IsaKind::RISCV);
+    const isa::Program arm = isa::compile(wl.module, isa::IsaKind::ARM);
+    EXPECT_GT(rv.stats.numCompressed, 0u);
+    const double rvBytesPerInst =
+        double(rv.stats.codeBytes) / rv.stats.numInsts;
+    const double armBytesPerInst =
+        double(arm.stats.codeBytes) / arm.stats.numInsts;
+    EXPECT_LT(rvBytesPerInst, 4.0);
+    EXPECT_GE(armBytesPerInst, 4.0);
+    EXPECT_LT(rv.stats.codeBytes, arm.stats.codeBytes);
+}
+
+TEST(Codegen, X86FoldsLoadOpPatterns) {
+    // An array reduction must produce AluM (load-op) forms on X86.
+    ModuleBuilder mb;
+    mb.globalInit("arr", std::vector<u8>(256 * 8, 1), 64);
+    auto fb = mb.func("main", {}, true);
+    VReg arr = fb.gaddr("arr");
+    VReg acc = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(256));
+    {
+        VReg v = fb.ld8(fb.add(arr, fb.shlI(loop.idx, 3)));
+        fb.assign(acc, fb.add(acc, v));
+    }
+    fb.endLoop(loop);
+    fb.ret(acc);
+    mb.setEntry("main");
+    expectAllIsasMatchInterp(mb);
+    const isa::Program prog =
+        isa::compile(mb.module(), isa::IsaKind::X86);
+    const std::string text = isa::disassemble(prog);
+    EXPECT_NE(text.find("alum"), std::string::npos)
+        << "expected x86 load-op folding in:\n" << text;
+}
+
+TEST(Codegen, RandomizedExpressionPrograms) {
+    // Property test: random straight-line integer expression DAGs must
+    // agree between the interpreter and all three CPUs.
+    Rng rng(0xDA6ull);
+    for (int trial = 0; trial < 10; ++trial) {
+        ModuleBuilder mb;
+        auto fb = mb.func("main", {}, true);
+        std::vector<VReg> values;
+        for (int i = 0; i < 6; ++i)
+            values.push_back(
+                fb.constI(static_cast<i64>(rng()) >> 16));
+        for (int step = 0; step < 40; ++step) {
+            const VReg a = values[rng.below(values.size())];
+            const VReg b = values[rng.below(values.size())];
+            VReg r;
+            switch (rng.below(8)) {
+              case 0: r = fb.add(a, b); break;
+              case 1: r = fb.sub(a, b); break;
+              case 2: r = fb.mul(a, b); break;
+              case 3: r = fb.band(a, b); break;
+              case 4: r = fb.bor(a, b); break;
+              case 5: r = fb.bxor(a, b); break;
+              case 6: r = fb.shl(a, fb.band(b, fb.constI(63))); break;
+              default: r = fb.sra(a, fb.band(b, fb.constI(63))); break;
+            }
+            values.push_back(r);
+        }
+        VReg acc = fb.constI(0);
+        for (VReg v : values)
+            fb.assign(acc, fb.bxor(acc, v));
+        fb.ret(acc);
+        mb.setEntry("main");
+        expectAllIsasMatchInterp(mb);
+    }
+}
+
+TEST(Codegen, RandomizedControlFlowPrograms) {
+    // Random structured control flow (nested loops + diamonds) with
+    // moderate register pressure; all ISAs must agree with the
+    // interpreter.
+    Rng rng(0xCF10ull);
+    for (int trial = 0; trial < 6; ++trial) {
+        ModuleBuilder mb;
+        auto fb = mb.func("main", {}, true);
+        VReg acc = fb.constI(static_cast<i64>(rng.below(1000)));
+        // A few persistent values to create pressure across branches.
+        std::vector<VReg> keep;
+        for (int i = 0; i < 12; ++i)
+            keep.push_back(fb.constI(static_cast<i64>(rng()) >> 33));
+        auto outer = fb.beginLoop(fb.constI(0),
+                                  fb.constI(8 + rng.below(8)));
+        {
+            // Random diamond.
+            auto thenB = fb.newBlock();
+            auto elseB = fb.newBlock();
+            auto join = fb.newBlock();
+            VReg cond = fb.cmpLt(
+                fb.band(outer.idx, fb.constI(3)),
+                fb.constI(static_cast<i64>(rng.below(3)) + 1));
+            fb.br(cond, thenB, elseB);
+            fb.setBlock(thenB);
+            fb.assign(acc, fb.add(acc, keep[rng.below(keep.size())]));
+            fb.jmp(join);
+            fb.setBlock(elseB);
+            fb.assign(acc, fb.bxor(acc, keep[rng.below(keep.size())]));
+            fb.jmp(join);
+            fb.setBlock(join);
+            // Inner loop with a data-dependent bound.
+            VReg bound = fb.addI(fb.band(outer.idx, fb.constI(3)), 1);
+            auto inner = fb.beginLoop(fb.constI(0), bound);
+            fb.assign(acc,
+                      fb.add(acc, fb.mul(inner.idx,
+                                         keep[rng.below(keep.size())])));
+            fb.endLoop(inner);
+        }
+        fb.endLoop(outer);
+        for (VReg k : keep)
+            fb.assign(acc, fb.sub(acc, k));
+        fb.ret(acc);
+        mb.setEntry("main");
+        expectAllIsasMatchInterp(mb);
+    }
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the common utilities: RNG determinism, bit helpers,
+ * statistics (Leveugle sampling), config parser, and table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bits.hh"
+#include "common/config.hh"
+#include "common/faultwatch.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace marvel;
+
+TEST(Rng, DeterministicStreams) {
+    Rng a = Rng::forStream(42, 7);
+    Rng b = Rng::forStream(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+    Rng c = Rng::forStream(42, 8);
+    bool differs = false;
+    Rng a2 = Rng::forStream(42, 7);
+    for (int i = 0; i < 10; ++i)
+        differs |= a2() != c();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsUniformEnough) {
+    Rng rng(123);
+    unsigned counts[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(10)];
+    for (unsigned c : counts) {
+        EXPECT_GT(c, n / 10 - n / 40);
+        EXPECT_LT(c, n / 10 + n / 40);
+    }
+}
+
+TEST(Rng, BelowNeverReachesBound) {
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(7), 7u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Bits, ExtractInsertRoundTrip) {
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const u64 v = rng();
+        const unsigned lo = rng.below(60);
+        const unsigned hi = lo + rng.below(64 - lo);
+        const u64 field = bits(v, hi, lo);
+        EXPECT_EQ(insertBits(v, hi, lo, field), v);
+        EXPECT_EQ(bits(insertBits(0, hi, lo, field), hi, lo), field);
+    }
+}
+
+TEST(Bits, SignExtension) {
+    EXPECT_EQ(sext(0xfff, 12), -1);
+    EXPECT_EQ(sext(0x7ff, 12), 0x7ff);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_TRUE(fitsSigned(-2048, 12));
+    EXPECT_TRUE(fitsSigned(2047, 12));
+    EXPECT_FALSE(fitsSigned(2048, 12));
+    EXPECT_FALSE(fitsSigned(-2049, 12));
+}
+
+TEST(Bits, Alignment) {
+    EXPECT_EQ(alignDown(0x1234, 64), 0x1200u);
+    EXPECT_EQ(alignUp(0x1234, 64), 0x1240u);
+    EXPECT_EQ(alignUp(0x1200, 64), 0x1200u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_EQ(log2i(1024), 10u);
+}
+
+TEST(Stats, LeveugleSampling) {
+    // 1,000 samples over a huge population ~ 3.1% at 95%.
+    EXPECT_NEAR(marginOfError(1000, 1e15), 0.031, 0.001);
+    // And the inverse direction.
+    EXPECT_NEAR(sampleSize(1e15, 0.031), 1000, 10);
+    // Finite-population correction: sampling everything = no error.
+    EXPECT_NEAR(marginOfError(1000, 1000.0001), 0.0, 1e-3);
+}
+
+TEST(Stats, RunningStats) {
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, WeightedMean) {
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+    EXPECT_THROW(weightedMean({1.0}, {1.0, 2.0}), FatalError);
+}
+
+TEST(Config, ParsesSectionsAndTypes) {
+    const ConfigFile cfg = ConfigFile::parse(
+        "# comment\n"
+        "[system]\n"
+        "isa = riscv ; trailing comment\n"
+        "speed = 2.5\n"
+        "debug = true\n"
+        "count = 0x10\n"
+        "[accel]\n"
+        "design = gemm\n"
+        "[accel]\n"
+        "design = bfs\n");
+    const auto* sys = cfg.first("system");
+    ASSERT_NE(sys, nullptr);
+    EXPECT_EQ(sys->get("isa"), "riscv");
+    EXPECT_DOUBLE_EQ(sys->getDouble("speed", 0), 2.5);
+    EXPECT_TRUE(sys->getBool("debug", false));
+    EXPECT_EQ(sys->getInt("count", 0), 16);
+    EXPECT_EQ(sys->getInt("missing", 7), 7);
+    const auto accels = cfg.named("accel");
+    ASSERT_EQ(accels.size(), 2u);
+    EXPECT_EQ(accels[0]->get("design"), "gemm");
+    EXPECT_EQ(accels[1]->get("design"), "bfs");
+}
+
+TEST(Config, RejectsMalformedInput) {
+    EXPECT_THROW(ConfigFile::parse("[unterminated\n"), FatalError);
+    EXPECT_THROW(ConfigFile::parse("[s]\nno equals here\n"),
+                 FatalError);
+    const ConfigFile cfg = ConfigFile::parse("[s]\nk = v\n");
+    EXPECT_THROW(cfg.first("s")->require("absent"), FatalError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+    TextTable t("demo");
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row("b", {2.5, 3.5});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("2.50"), std::string::npos);
+}
+
+TEST(FaultWatch, OverwriteBeforeReadNeutralizes) {
+    FaultState st;
+    st.addWatch(3, 17);
+    EXPECT_FALSE(st.allNeutralized());
+    st.noteWrite(3, 0, 63);
+    EXPECT_TRUE(st.allNeutralized());
+    EXPECT_FALSE(st.anyRead());
+}
+
+TEST(FaultWatch, ReadBeforeWritePins) {
+    FaultState st;
+    st.addWatch(3, 17);
+    st.noteRead(3, 16, 20);
+    st.noteWrite(3, 0, 63);
+    EXPECT_TRUE(st.anyRead());
+    EXPECT_FALSE(st.allNeutralized());
+}
+
+TEST(FaultWatch, RangesMustCoverTheBit) {
+    FaultState st;
+    st.addWatch(3, 17);
+    st.noteWrite(3, 0, 16);   // does not cover bit 17
+    st.noteRead(3, 18, 63);   // does not cover bit 17
+    EXPECT_FALSE(st.allNeutralized());
+    EXPECT_FALSE(st.anyRead());
+    st.noteGone(3);
+    EXPECT_TRUE(st.allNeutralized());
+}
+
+TEST(Log, FatalThrowsWithMessage) {
+    try {
+        fatal("bad value %d", 42);
+        FAIL() << "fatal returned";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("bad value 42"),
+                  std::string::npos);
+    }
+}

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * CPU model tests: branch predictor units, LSQ bookkeeping, PRF rename
+ * behaviour, precise exceptions (illegal instruction, bus error,
+ * misalignment), store-to-load forwarding correctness, and checkpoint
+ * copy fidelity of the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/memmap.hh"
+#include "common/rng.hh"
+#include "cpu/ooo_core.hh"
+#include "isa/codegen.hh"
+#include "mir/builder.hh"
+
+using namespace marvel;
+
+namespace {
+
+class NullBus : public cpu::MmioBus {
+  public:
+    u64 mmioRead(Addr, unsigned) override { return 0; }
+    void mmioWrite(Addr addr, u64 value, unsigned) override {
+        if (addr == kMmioExit) { exited = true; exitCode = (i64)value; }
+    }
+    bool irqPending() override { return false; }
+    bool exited = false;
+    i64 exitCode = 0;
+};
+
+struct RunOutcome {
+    bool exited = false;
+    i64 exitCode = 0;
+    cpu::CrashKind crash = cpu::CrashKind::None;
+    Cycle cycles = 0;
+};
+
+RunOutcome runOn(isa::IsaKind kind, const mir::Module& module,
+                 u64 maxCycles = 3'000'000) {
+    const isa::Program prog = isa::compile(module, kind);
+    mem::Hierarchy memory;
+    memory.dram().write(kCodeBase, prog.code.data(), prog.code.size());
+    if (!prog.dataImage.empty())
+        memory.dram().write(kDataBase, prog.dataImage.data(),
+                            prog.dataImage.size());
+    cpu::CpuParams params;
+    params.isa = kind;
+    cpu::OooCore core(params);
+    core.reset(prog.entry);
+    NullBus bus;
+    RunOutcome out;
+    for (u64 c = 0; c < maxCycles && !bus.exited && !core.crashed();
+         ++c)
+        core.cycle(memory, bus);
+    out.exited = bus.exited;
+    out.exitCode = bus.exitCode;
+    out.crash = core.crashKind;
+    out.cycles = core.cycles;
+    return out;
+}
+
+} // namespace
+
+TEST(BranchPredictor, BimodalLearnsDirection) {
+    cpu::BranchPredictor bp;
+    const Addr pc = 0x1234;
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, true);
+    EXPECT_TRUE(bp.predictTaken(pc));
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, false);
+    EXPECT_FALSE(bp.predictTaken(pc));
+}
+
+TEST(BranchPredictor, RasLifoOrder) {
+    cpu::BranchPredictor bp;
+    bp.pushRas(0x100);
+    bp.pushRas(0x200);
+    EXPECT_EQ(bp.popRas(), 0x200u);
+    EXPECT_EQ(bp.popRas(), 0x100u);
+    EXPECT_EQ(bp.popRas(), 0u); // empty
+}
+
+TEST(BranchPredictor, BtbStoresTargets) {
+    cpu::BranchPredictor bp;
+    EXPECT_EQ(bp.btbLookup(0x500), 0u);
+    bp.btbUpdate(0x500, 0x900);
+    EXPECT_EQ(bp.btbLookup(0x500), 0x900u);
+}
+
+TEST(Lsq, AgeQueueAllocSquashSemantics) {
+    cpu::LoadQueue lq(4);
+    EXPECT_EQ(lq.allocate(10), 0);
+    EXPECT_EQ(lq.allocate(11), 1);
+    EXPECT_EQ(lq.allocate(12), 2);
+    EXPECT_EQ(lq.size(), 3u);
+    lq.squashYoungerThan(10, lq.faults());
+    EXPECT_EQ(lq.size(), 1u);
+    EXPECT_TRUE(lq[0].valid);
+    EXPECT_FALSE(lq[1].valid);
+    lq.popOldest();
+    EXPECT_TRUE(lq.empty());
+    // Wrap-around allocation.
+    for (u64 s = 20; s < 24; ++s)
+        EXPECT_GE(lq.allocate(s), 0);
+    EXPECT_EQ(lq.allocate(24), -1); // full
+}
+
+TEST(Lsq, StoreQueueBitImage) {
+    cpu::StoreQueue sq(4);
+    const int idx = sq.allocate(1);
+    sq[idx].addr = 0x1000;
+    sq[idx].data = 0;
+    sq.flipBit(idx, 3);        // address bit
+    EXPECT_EQ(sq[idx].addr, 0x1008u);
+    sq.flipBit(idx, 48 + 7);   // data bit
+    EXPECT_EQ(sq[idx].data, 0x80u);
+    EXPECT_EQ(sq.bitsPerEntry(), 112u);
+}
+
+TEST(Prf, RenameVisibleCounts) {
+    for (isa::IsaKind kind : isa::kAllIsas) {
+        const isa::IsaSpec& spec = isa::isaSpec(kind);
+        cpu::CpuParams params;
+        params.isa = kind;
+        cpu::OooCore core(params);
+        EXPECT_EQ(core.intPrf.numEntries(), 128u);
+        EXPECT_EQ(core.fpPrf.numEntries(), 128u);
+        EXPECT_GT(spec.numIntRenameRegs(), spec.numIntArchRegs - 1);
+    }
+}
+
+class CpuFaults : public ::testing::TestWithParam<isa::IsaKind> {};
+
+TEST_P(CpuFaults, LoadBeyondMemoryCrashesWithBusError) {
+    mir::ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto bad = fb.constI(static_cast<i64>(kMemSize + 0x1000));
+    fb.ret(fb.ld8(bad));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    const RunOutcome out = runOn(GetParam(), mb.module());
+    EXPECT_FALSE(out.exited);
+    EXPECT_EQ(out.crash, cpu::CrashKind::BusError);
+}
+
+TEST_P(CpuFaults, StoreBeyondMemoryCrashes) {
+    mir::ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto bad = fb.constI(static_cast<i64>(kMemSize + 64));
+    fb.st8(bad, fb.constI(1));
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    const RunOutcome out = runOn(GetParam(), mb.module());
+    EXPECT_EQ(out.crash, cpu::CrashKind::BusError);
+}
+
+TEST_P(CpuFaults, MisalignedAccessPolicyPerIsa) {
+    mir::ModuleBuilder mb;
+    mb.global("data", 64, 64);
+    auto fb = mb.func("main", {}, true);
+    auto addr = fb.addI(fb.gaddr("data"), 3);
+    fb.ret(fb.ld8(addr));
+    mb.setEntry("main");
+    const RunOutcome out = runOn(GetParam(), mb.module());
+    if (isa::isaSpec(GetParam()).allowsUnaligned) {
+        EXPECT_TRUE(out.exited); // X86 tolerates it
+    } else {
+        EXPECT_EQ(out.crash, cpu::CrashKind::Misaligned);
+    }
+}
+
+TEST_P(CpuFaults, LoadFromUnmappedHoleCrashes) {
+    // The physical hole between DRAM and the MMIO window is unmapped:
+    // accesses there (a typical corrupted-pointer destination) fault.
+    mir::ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto bad = fb.constI(0x3000'0000ll);
+    fb.ret(fb.ld8(bad));
+    mb.setEntry("main");
+    const RunOutcome out = runOn(GetParam(), mb.module());
+    EXPECT_FALSE(out.exited);
+    EXPECT_EQ(out.crash, cpu::CrashKind::BusError);
+}
+
+TEST_P(CpuFaults, MmioReadsOfAbsentDevicesReturnZero) {
+    mir::ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto mmio = fb.constI(static_cast<i64>(kMmioBase + 0x100000));
+    fb.ret(fb.ld8(mmio));
+    mb.setEntry("main");
+    const RunOutcome out = runOn(GetParam(), mb.module());
+    ASSERT_TRUE(out.exited);
+    EXPECT_EQ(out.exitCode, 0);
+}
+
+TEST_P(CpuFaults, StoreToLoadForwarding) {
+    // A store immediately followed by an overlapping load must return
+    // the stored value (through the SQ, before any drain).
+    mir::ModuleBuilder mb;
+    mb.global("slot", 64, 64);
+    auto fb = mb.func("main", {}, true);
+    auto slot = fb.gaddr("slot");
+    auto total = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(64));
+    {
+        fb.st8(slot, loop.idx);
+        auto back = fb.ld8(slot);
+        fb.assign(total, fb.add(total, back));
+    }
+    fb.endLoop(loop);
+    fb.ret(total); // 0+1+...+63 = 2016
+    mb.setEntry("main");
+    const RunOutcome out = runOn(GetParam(), mb.module());
+    ASSERT_TRUE(out.exited);
+    EXPECT_EQ(out.exitCode, 2016);
+}
+
+TEST_P(CpuFaults, PartialWidthForwarding) {
+    // Byte store inside a word: the following word load must merge
+    // correctly (partial overlap forces the load to wait for drain).
+    mir::ModuleBuilder mb;
+    mb.global("slot", 64, 64);
+    auto fb = mb.func("main", {}, true);
+    auto slot = fb.gaddr("slot");
+    fb.st8(slot, fb.constI(0x1111111111111111ll));
+    fb.st1(slot, fb.constI(0xff), 2);
+    fb.ret(fb.ld8(slot));
+    mb.setEntry("main");
+    const RunOutcome out = runOn(GetParam(), mb.module());
+    ASSERT_TRUE(out.exited);
+    EXPECT_EQ(static_cast<u64>(out.exitCode), 0x1111111111ff1111ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, CpuFaults,
+    ::testing::Values(isa::IsaKind::RISCV, isa::IsaKind::ARM,
+                      isa::IsaKind::X86),
+    [](const auto& info) { return std::string(isa::isaName(info.param)); });
+
+TEST(CpuCopy, CoreCopyPreservesState) {
+    // The checkpoint mechanism relies on value-semantic cores.
+    mir::ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto total = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(50000));
+    fb.assign(total, fb.add(total, loop.idx));
+    fb.endLoop(loop);
+    fb.ret(total);
+    mb.setEntry("main");
+    const isa::Program prog = isa::compile(mb.module(), isa::IsaKind::ARM);
+
+    mem::Hierarchy memory;
+    memory.dram().write(kCodeBase, prog.code.data(), prog.code.size());
+    cpu::CpuParams params;
+    params.isa = isa::IsaKind::ARM;
+    cpu::OooCore core(params);
+    core.reset(prog.entry);
+    NullBus bus;
+    for (int i = 0; i < 5000; ++i)
+        core.cycle(memory, bus);
+
+    // Fork the core AND the memory; both must finish identically.
+    cpu::OooCore forkCore = core;
+    mem::Hierarchy forkMem = memory;
+    NullBus busA, busB;
+    for (u64 c = 0; c < 3'000'000 && !busA.exited; ++c)
+        core.cycle(memory, busA);
+    for (u64 c = 0; c < 3'000'000 && !busB.exited; ++c)
+        forkCore.cycle(forkMem, busB);
+    ASSERT_TRUE(busA.exited);
+    ASSERT_TRUE(busB.exited);
+    EXPECT_EQ(busA.exitCode, busB.exitCode);
+    EXPECT_EQ(core.cycles, forkCore.cycles);
+    EXPECT_EQ(core.committedUops, forkCore.committedUops);
+}
+
+TEST(StoreDrain, KnobControlsSqResidency) {
+    // The memory-model knob behind Fig. 8 / Obs. #4: slower drain
+    // lengthens store-queue residency, measurable as extra cycles on a
+    // store-heavy kernel.
+    mir::ModuleBuilder mb;
+    mb.global("buf", 8192, 64);
+    auto fb = mb.func("main", {}, true);
+    auto buf = fb.gaddr("buf");
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(256));
+    {
+        auto base =
+            fb.add(buf, fb.shlI(fb.band(loop.idx, fb.constI(255)),
+                                5));
+        for (int u = 0; u < 8; ++u)
+            fb.st8(base, loop.idx, u * 8 % 32);
+    }
+    fb.endLoop(loop);
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+
+    Cycle cyclesByDrain[2];
+    int k = 0;
+    for (int drain : {0, 8}) {
+        const isa::Program prog =
+            isa::compile(mb.module(), isa::IsaKind::RISCV);
+        mem::Hierarchy memory;
+        memory.dram().write(kCodeBase, prog.code.data(),
+                            prog.code.size());
+        cpu::CpuParams params;
+        params.isa = isa::IsaKind::RISCV;
+        params.storeDrainOverride = drain;
+        cpu::OooCore core(params);
+        core.reset(prog.entry);
+        NullBus bus;
+        for (u64 c = 0; c < 3'000'000 && !bus.exited; ++c)
+            core.cycle(memory, bus);
+        ASSERT_TRUE(bus.exited);
+        cyclesByDrain[k++] = core.cycles;
+    }
+    EXPECT_LT(cyclesByDrain[0], cyclesByDrain[1]);
+}
+
+TEST(CpuRobustness, RandomBytesAsCodeNeverHangTheSimulator) {
+    // System-level decoder totality: executing arbitrary bytes must
+    // end in a crash (or, vanishingly rarely, a clean exit) within the
+    // watchdog, with no simulator assertion or hang. This is exactly
+    // what an L1I fault that redirects fetch into data produces.
+    Rng rng(0xFEEDull);
+    for (isa::IsaKind kind : isa::kAllIsas) {
+        for (int trial = 0; trial < 10; ++trial) {
+            mem::Hierarchy memory;
+            std::vector<u8> garbage(4096);
+            for (u8& b : garbage)
+                b = static_cast<u8>(rng.below(256));
+            memory.dram().write(kCodeBase, garbage.data(),
+                                garbage.size());
+            cpu::CpuParams params;
+            params.isa = kind;
+            cpu::OooCore core(params);
+            core.reset(kCodeBase);
+            NullBus bus;
+            const u64 budget = 200'000;
+            u64 c = 0;
+            for (; c < budget && !bus.exited && !core.crashed(); ++c)
+                core.cycle(memory, bus);
+            // Either it crashed (expected) or is still churning
+            // through garbage (also fine) - but the simulator state
+            // must remain sane enough to keep cycling.
+            SUCCEED();
+        }
+    }
+}

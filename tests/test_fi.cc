@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Fault-injection framework tests:
+ *  - the paper's Listing-1 sanity check: a validation program that
+ *    pins the whole L1D with known data must measure 100% AVF;
+ *  - campaign determinism across seeds and thread counts;
+ *  - the early-termination optimization never changes a verdict;
+ *  - HVF >= AVF by construction (Fig. 18);
+ *  - fault-mask serialization round trips;
+ *  - stuck-at faults force and hold bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/memmap.hh"
+#include "common/stats.hh"
+#include "fi/campaign.hh"
+#include "fi/metrics.hh"
+#include "soc/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+namespace {
+
+// Listing 1: zero-fill an L1D-sized array (warming every way), open the
+// injection window over a nop loop, then sum the array; a nonzero sum
+// flags a successfully injected fault.
+workloads::Workload buildL1dValidationProgram() {
+    const unsigned words = 32 * 1024 / 8; // exactly the L1D capacity
+    mir::ModuleBuilder mb;
+    mb.global("array", words * 8, 64);
+    mir::FunctionBuilder fb = mb.func("main", {}, true);
+    mir::VReg arr = fb.gaddr("array");
+    mir::VReg zero = fb.constI(0);
+    // 10 fill iterations: every way of every set ends up holding the
+    // array (pseudo-LRU warm-up, as the paper's footnote prescribes).
+    auto outer = fb.beginLoop(fb.constI(0), fb.constI(10));
+    {
+        auto fill = fb.beginLoop(fb.constI(0), fb.constI(words));
+        fb.st8(fb.add(arr, fb.shlI(fill.idx, 3)), zero);
+        fb.endLoop(fill);
+    }
+    fb.endLoop(outer);
+    fb.checkpoint();
+    // Injection window: a loop that leaves the cache untouched.
+    auto nops = fb.beginLoop(fb.constI(0), fb.constI(4000));
+    fb.endLoop(nops);
+    fb.switchCpu();
+    mir::VReg sum = fb.constI(0);
+    auto read = fb.beginLoop(fb.constI(0), fb.constI(words));
+    fb.assign(sum, fb.add(sum, fb.ld8(fb.add(arr, fb.shlI(read.idx, 3)))));
+    fb.endLoop(read);
+    fb.st8(fb.constI((i64)kOutputBase), sum);
+    fb.ret(sum);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"l1d-validation", mb.module(), 1.0};
+}
+
+fi::GoldenRun goldenFor(const workloads::Workload& wl, const char* isa) {
+    soc::SystemConfig cfg = soc::preset(isa);
+    return fi::runGolden(cfg, isa::compile(wl.module, isa::isaFromName(isa)));
+}
+
+} // namespace
+
+TEST(FaultMask, TextRoundTrip) {
+    fi::FaultMask mask;
+    mask.faults.push_back({{fi::TargetId::L1D}, 123, 456,
+                           fi::FaultModel::Transient, 7890});
+    mask.faults.push_back({{fi::TargetId::AccelMem, 1, 2}, 9, 63,
+                           fi::FaultModel::StuckAt1, 0});
+    const fi::FaultMask parsed = fi::FaultMask::parse(mask.toString());
+    ASSERT_EQ(parsed.faults.size(), 2u);
+    EXPECT_EQ(parsed.faults[0].target.id, fi::TargetId::L1D);
+    EXPECT_EQ(parsed.faults[0].entry, 123u);
+    EXPECT_EQ(parsed.faults[0].bit, 456u);
+    EXPECT_EQ(parsed.faults[0].injectCycle, 7890u);
+    EXPECT_EQ(parsed.faults[1].target.id, fi::TargetId::AccelMem);
+    EXPECT_EQ(parsed.faults[1].target.accelIdx, 1);
+    EXPECT_EQ(parsed.faults[1].target.memIdx, 2);
+    EXPECT_EQ(parsed.faults[1].model, fi::FaultModel::StuckAt1);
+}
+
+TEST(Targets, ListsCpuAndDsaStructures) {
+    soc::SystemConfig cfg = soc::preset("riscv-soc");
+    soc::System sys(cfg);
+    const auto targets = fi::listTargets(sys);
+    // 7 CPU structures + every DSA component.
+    ASSERT_GT(targets.size(), 7u + 16u);
+    EXPECT_EQ(fi::targetByName(sys, "l1d").id, fi::TargetId::L1D);
+    const fi::TargetRef gemm1 = fi::targetByName(sys, "gemm.MATRIX1");
+    EXPECT_EQ(gemm1.id, fi::TargetId::AccelMem);
+    const fi::TargetInfo info = fi::targetInfo(sys, gemm1);
+    EXPECT_EQ(info.geometry.entries * 8u, 32768u);
+}
+
+TEST(Sanity, Listing1MeasuresFullL1dAvf) {
+    // Paper §IV-F: the measured AVF must be 100%.
+    const workloads::Workload wl = buildL1dValidationProgram();
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 120;
+    opts.threads = 1;
+    fi::CampaignResult res = fi::runCampaignOnGolden(
+        golden, {fi::TargetId::L1D}, opts);
+    EXPECT_EQ(res.total(), 120u);
+    EXPECT_DOUBLE_EQ(res.avf(), 1.0)
+        << "masked=" << res.masked << " (invalid=" << res.maskedInvalid
+        << ", early=" << res.maskedEarly << ")";
+    // Flipped zeros in a data array must corrupt data, not crash.
+    EXPECT_EQ(res.crash, 0u);
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 40;
+    opts.seed = 1234;
+    opts.threads = 1;
+    const fi::CampaignResult one =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::PrfInt}, opts);
+    opts.threads = 4;
+    const fi::CampaignResult four =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::PrfInt}, opts);
+    EXPECT_EQ(one.masked, four.masked);
+    EXPECT_EQ(one.sdc, four.sdc);
+    EXPECT_EQ(one.crash, four.crash);
+}
+
+TEST(Campaign, SeedChangesSample) {
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 30;
+    opts.keepVerdicts = true;
+    opts.threads = 1;
+    opts.seed = 1;
+    const auto a =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::L1D}, opts);
+    opts.seed = 2;
+    const auto b =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::L1D}, opts);
+    // Different samples almost surely give different cycle counts.
+    bool anyDifferent = false;
+    for (std::size_t i = 0; i < a.verdicts.size(); ++i)
+        anyDifferent |= !(a.verdicts[i].outcome == b.verdicts[i].outcome &&
+                          a.verdicts[i].cyclesRun == b.verdicts[i].cyclesRun);
+    EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Campaign, EarlyTerminationNeverChangesVerdicts) {
+    // Paper §IV-B claims the speed optimizations are sound; verify the
+    // AVF classification is identical with and without them.
+    const workloads::Workload wl = workloads::get("bitcount");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    for (fi::TargetId target :
+         {fi::TargetId::PrfInt, fi::TargetId::L1D, fi::TargetId::StoreQueue}) {
+        for (unsigned i = 0; i < 25; ++i) {
+            Rng rng = Rng::forStream(77, i);
+            const fi::TargetInfo info =
+                fi::targetInfo(golden.checkpoint.view(), {target});
+            fi::FaultMask mask;
+            mask.faults.push_back(
+                fi::randomFault(rng, {target}, info.geometry,
+                                golden.windowCycles,
+                                fi::FaultModel::Transient));
+            fi::InjectionOptions fast;
+            fast.earlyTermination = true;
+            fi::InjectionOptions slow;
+            slow.earlyTermination = false;
+            const fi::RunVerdict a = fi::runWithFault(golden, mask, fast);
+            const fi::RunVerdict b = fi::runWithFault(golden, mask, slow);
+            EXPECT_EQ(static_cast<int>(a.outcome),
+                      static_cast<int>(b.outcome))
+                << fi::targetIdName(target) << " fault " << i << ": "
+                << a.toString() << " vs " << b.toString();
+        }
+    }
+}
+
+TEST(Campaign, HvfAtLeastAvf) {
+    const workloads::Workload wl = workloads::get("sha");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 60;
+    opts.computeHvf = true;
+    opts.threads = 2;
+    for (fi::TargetId target : {fi::TargetId::PrfInt, fi::TargetId::L1D}) {
+        const fi::CampaignResult res =
+            fi::runCampaignOnGolden(golden, {target}, opts);
+        EXPECT_GE(res.hvf(), res.avf()) << fi::targetIdName(target);
+    }
+}
+
+TEST(Campaign, StuckAtFaultsForceBits) {
+    soc::SystemConfig cfg = soc::preset("riscv");
+    soc::System sys(cfg);
+    fi::FaultSpec spec;
+    spec.target = {fi::TargetId::PrfInt};
+    spec.entry = 50;
+    spec.bit = 3;
+    spec.model = fi::FaultModel::StuckAt1;
+    fi::injectFault(sys, spec);
+    EXPECT_EQ(sys.cpu.intPrf.peek(50) & 8u, 8u);
+    // Writes cannot clear the stuck bit.
+    sys.cpu.intPrf.write(50, 0);
+    EXPECT_EQ(sys.cpu.intPrf.peek(50) & 8u, 8u);
+    // Stuck-at-0 likewise pins the bit low.
+    fi::FaultSpec s0 = spec;
+    s0.entry = 51;
+    s0.model = fi::FaultModel::StuckAt0;
+    fi::injectFault(sys, s0);
+    sys.cpu.intPrf.write(51, ~0ull);
+    EXPECT_EQ(sys.cpu.intPrf.peek(51) & 8u, 0u);
+}
+
+TEST(Campaign, PermanentFaultCampaignRuns) {
+    const workloads::Workload wl = workloads::get("bitcount");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 30;
+    opts.model = fi::FaultModel::StuckAt1;
+    opts.threads = 2;
+    const fi::CampaignResult res =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::L1D}, opts);
+    EXPECT_EQ(res.total(), 30u);
+}
+
+TEST(Metrics, WeightedAvfWeighsByExecutionTime) {
+    fi::CampaignResult fast;
+    fast.masked = 50;
+    fast.sdc = 50;
+    fast.goldenCycles = 100;
+    fi::CampaignResult slow;
+    slow.masked = 100;
+    slow.goldenCycles = 900;
+    // wAVF = (0.5*100 + 0.0*900) / 1000 = 0.05
+    EXPECT_DOUBLE_EQ(fi::weightedAvf({fast, slow}), 0.05);
+}
+
+TEST(Metrics, OpfPrefersFasterPlatformAtEqualAvf) {
+    const double slowOpf = fi::operationsPerFailure(1000, 100000, 0.4);
+    const double fastOpf = fi::operationsPerFailure(1000, 1000, 0.4);
+    EXPECT_GT(fastOpf, slowOpf);
+    EXPECT_TRUE(std::isinf(fi::operationsPerFailure(10, 100, 0.0)));
+}
+
+TEST(Metrics, ErrorMarginMatchesPaperSetting) {
+    // Paper: 1,000 faults ~ 3% margin at 95% confidence for large
+    // populations.
+    const double margin = marvel::marginOfError(1000.0, 1e12);
+    EXPECT_NEAR(margin, 0.031, 0.002);
+    const std::size_t n = marvel::sampleSize(1e12, 0.031);
+    EXPECT_NEAR(static_cast<double>(n), 1000.0, 20.0);
+}
+
+TEST(Targets, RobAndRenameInjection) {
+    const workloads::Workload wl = workloads::get("bitcount");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 25;
+    opts.threads = 2;
+    for (fi::TargetId target :
+         {fi::TargetId::Rob, fi::TargetId::RenameMap}) {
+        const fi::CampaignResult res =
+            fi::runCampaignOnGolden(golden, {target}, opts);
+        EXPECT_EQ(res.total(), 25u) << fi::targetIdName(target);
+        // Rename-map corruption redirects architectural reads: it must
+        // not be fully masked.
+        if (target == fi::TargetId::RenameMap)
+            EXPECT_GT(res.avf(), 0.0);
+    }
+}
+
+TEST(Targets, MultiBitMasksRun) {
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    const fi::TargetInfo l1d =
+        fi::targetInfo(golden.checkpoint.view(), {fi::TargetId::L1D});
+    const fi::TargetInfo prf = fi::targetInfo(
+        golden.checkpoint.view(), {fi::TargetId::PrfInt});
+
+    Rng rng(31337);
+    // Adjacent double-bit burst.
+    const fi::FaultMask burst = fi::adjacentBurst(
+        rng, l1d.ref, l1d.geometry, golden.windowCycles, 2);
+    ASSERT_EQ(burst.faults.size(), 2u);
+    EXPECT_EQ(burst.faults[0].entry, burst.faults[1].entry);
+    (void)fi::runWithFault(golden, burst);
+
+    // Scattered multi-bit within one structure.
+    const fi::FaultMask scattered = fi::scatteredMultiBit(
+        rng, l1d.ref, l1d.geometry, golden.windowCycles, 4);
+    ASSERT_EQ(scattered.faults.size(), 4u);
+    (void)fi::runWithFault(golden, scattered);
+
+    // Spatial multi-structure mask (PRF + L1D in one run).
+    const fi::FaultMask multi = fi::multiStructure(
+        rng, {{prf.ref, prf.geometry}, {l1d.ref, l1d.geometry}},
+        golden.windowCycles);
+    ASSERT_EQ(multi.faults.size(), 2u);
+    const fi::RunVerdict v = fi::runWithFault(golden, multi);
+    EXPECT_GT(v.cyclesRun + 1, 0u); // ran and classified
+}
+
+TEST(Targets, MultiBitAtLeastAsVulnerableAsSingle) {
+    // Property (statistical): an 8-bit burst in the L1D cannot have a
+    // lower AVF than the matching single-bit campaign.
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    const fi::TargetInfo info =
+        fi::targetInfo(golden.checkpoint.view(), {fi::TargetId::L1D});
+    unsigned singleBad = 0;
+    unsigned burstBad = 0;
+    const unsigned n = 40;
+    for (unsigned i = 0; i < n; ++i) {
+        Rng rng = Rng::forStream(555, i);
+        fi::FaultMask single;
+        single.faults.push_back(
+            fi::randomFault(rng, info.ref, info.geometry,
+                            golden.windowCycles,
+                            fi::FaultModel::Transient));
+        fi::FaultMask burst;
+        for (unsigned b = 0; b < 8; ++b) {
+            fi::FaultSpec f = single.faults[0];
+            f.bit = (f.bit + b) % info.geometry.bitsPerEntry;
+            burst.faults.push_back(f);
+        }
+        singleBad +=
+            fi::runWithFault(golden, single).outcome !=
+            fi::Outcome::Masked;
+        burstBad += fi::runWithFault(golden, burst).outcome !=
+                    fi::Outcome::Masked;
+    }
+    EXPECT_GE(burstBad, singleBad);
+}
+
+TEST(Metrics, PropagationBreakdownPartitionsFaults) {
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 50;
+    opts.computeHvf = true;
+    opts.keepVerdicts = true;
+    opts.threads = 2;
+    const fi::CampaignResult res = fi::runCampaignOnGolden(
+        golden, {fi::TargetId::PrfInt}, opts);
+    const fi::PropagationBreakdown pb = fi::propagationBreakdown(res);
+    EXPECT_EQ(pb.total(), res.total());
+    EXPECT_EQ(pb.sdc, res.sdc);
+    EXPECT_EQ(pb.crash, res.crash);
+    EXPECT_EQ(pb.hwMasked + pb.swMasked, res.masked);
+    // hwMasked + swMasked consistency with the HVF count.
+    EXPECT_EQ(pb.swMasked + pb.sdc + pb.crash, res.hvfCorruptions);
+}
+
+TEST(Targets, BtbFaultsAreAlwaysArchitecturallyMasked) {
+    // Negative control: prediction state is not ACE - a corrupted BTB
+    // target at worst triggers a wrong-path excursion that the branch
+    // unit corrects. AVF must be exactly zero.
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 40;
+    opts.threads = 2;
+    const fi::CampaignResult res =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::Btb}, opts);
+    EXPECT_EQ(res.total(), 40u);
+    EXPECT_DOUBLE_EQ(res.avf(), 0.0)
+        << "sdc=" << res.sdc << " crash=" << res.crash;
+}

@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Encoder/decoder round-trip and totality property tests for the three
+ * ISA flavors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hh"
+#include "isa/encoding.hh"
+#include "isa/uop.hh"
+
+using namespace marvel;
+using namespace marvel::isa;
+
+namespace {
+
+// Build a corpus of representative legal MInsts for a flavor.
+std::vector<MInst> corpusFor(IsaKind kind) {
+    std::vector<MInst> out;
+    Rng rng(0xC0DE + static_cast<u64>(kind));
+    auto reg = [&](unsigned lim) { return static_cast<u8>(rng.below(lim)); };
+    const unsigned nInt = isaSpec(kind).numIntArchRegs;
+    const unsigned nFp = isaSpec(kind).numFpArchRegs;
+
+    const MOp alu[] = {MOp::Add, MOp::Sub, MOp::Mul, MOp::Div, MOp::DivU,
+                       MOp::Rem, MOp::RemU, MOp::And, MOp::Or, MOp::Xor,
+                       MOp::Shl, MOp::Shr, MOp::Sra};
+    for (MOp op : alu)
+        for (int k = 0; k < 8; ++k) {
+            MInst mi;
+            mi.op = op;
+            mi.rd = reg(nInt);
+            mi.ra = kind == IsaKind::X86 ? mi.rd : reg(nInt);
+            mi.rb = reg(nInt);
+            out.push_back(mi);
+        }
+    const MOp aluI[] = {MOp::AddI, MOp::AndI, MOp::OrI, MOp::XorI};
+    for (MOp op : aluI)
+        for (int k = 0; k < 8; ++k) {
+            MInst mi;
+            mi.op = op;
+            mi.rd = reg(nInt);
+            mi.ra = kind == IsaKind::X86 ? mi.rd : reg(nInt);
+            mi.imm = static_cast<i64>(rng.below(4096)) - 2048;
+            if (kind == IsaKind::X86)
+                mi.imm = static_cast<i32>(rng());
+            out.push_back(mi);
+        }
+    const MOp shifts[] = {MOp::ShlI, MOp::ShrI, MOp::SraI};
+    for (MOp op : shifts) {
+        MInst mi;
+        mi.op = op;
+        mi.rd = reg(nInt);
+        mi.ra = kind == IsaKind::X86 ? mi.rd : reg(nInt);
+        mi.imm = static_cast<i64>(rng.below(64));
+        out.push_back(mi);
+    }
+    // Moves.
+    for (int k = 0; k < 4; ++k) {
+        MInst mi;
+        mi.op = MOp::Mov;
+        mi.rd = reg(nInt);
+        mi.ra = reg(nInt);
+        out.push_back(mi);
+        MInst mf;
+        mf.op = MOp::Mov;
+        mf.fp = true;
+        mf.rd = reg(nFp);
+        mf.ra = reg(nFp);
+        out.push_back(mf);
+    }
+    // Loads/stores.
+    for (unsigned size : {1u, 2u, 4u, 8u}) {
+        for (int k = 0; k < 4; ++k) {
+            MInst ld;
+            ld.op = MOp::Ld;
+            ld.rd = reg(nInt);
+            ld.ra = reg(nInt);
+            ld.size = static_cast<u8>(size);
+            ld.sign = size != 8 && rng.chance(0.5);
+            ld.imm = static_cast<i64>(rng.below(128)) * size;
+            out.push_back(ld);
+            MInst st;
+            st.op = MOp::St;
+            st.ra = reg(nInt);
+            st.rb = reg(nInt);
+            st.size = static_cast<u8>(size);
+            st.imm = static_cast<i64>(rng.below(128)) * size;
+            out.push_back(st);
+        }
+    }
+    for (int k = 0; k < 4; ++k) {
+        MInst lf;
+        lf.op = MOp::LdF;
+        lf.rd = reg(nFp);
+        lf.ra = reg(nInt);
+        lf.imm = static_cast<i64>(rng.below(256)) * 8;
+        out.push_back(lf);
+        MInst sf;
+        sf.op = MOp::StF;
+        sf.ra = reg(nInt);
+        sf.rb = reg(nFp);
+        sf.imm = static_cast<i64>(rng.below(256)) * 8;
+        out.push_back(sf);
+    }
+    // Branches.
+    if (kind == IsaKind::RISCV) {
+        const Cond conds[] = {Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge,
+                              Cond::LtU, Cond::GeU};
+        for (Cond c : conds) {
+            MInst mi;
+            mi.op = MOp::Br;
+            mi.cond = c;
+            mi.ra = reg(nInt);
+            mi.rb = reg(nInt);
+            mi.imm = (static_cast<i64>(rng.below(1024)) - 512) * 2;
+            out.push_back(mi);
+        }
+        // RISCV extras.
+        for (MOp op : {MOp::Slt, MOp::SltU}) {
+            MInst mi;
+            mi.op = op;
+            mi.rd = reg(nInt);
+            mi.ra = reg(nInt);
+            mi.rb = reg(nInt);
+            out.push_back(mi);
+        }
+        for (MOp op : {MOp::SltI, MOp::SltIU}) {
+            MInst mi;
+            mi.op = op;
+            mi.rd = reg(nInt);
+            mi.ra = reg(nInt);
+            mi.imm = static_cast<i64>(rng.below(4096)) - 2048;
+            out.push_back(mi);
+        }
+        MInst lui;
+        lui.op = MOp::Lui;
+        lui.rd = reg(nInt);
+        lui.imm = static_cast<i64>(static_cast<i32>(rng() & 0xfffff000u));
+        out.push_back(lui);
+        for (Cond c : {Cond::Eq, Cond::Lt, Cond::Le}) {
+            MInst fs;
+            fs.op = MOp::FSet;
+            fs.cond = c;
+            fs.rd = reg(nInt);
+            fs.ra = reg(nFp);
+            fs.rb = reg(nFp);
+            out.push_back(fs);
+        }
+    } else {
+        for (unsigned c = 0; c < kNumConds; ++c) {
+            MInst mi;
+            mi.op = MOp::Br;
+            mi.cond = static_cast<Cond>(c);
+            mi.imm = kind == IsaKind::ARM
+                         ? (static_cast<i64>(rng.below(1024)) - 512) * 4
+                         : static_cast<i64>(rng.below(1024)) - 512;
+            out.push_back(mi);
+            MInst sc;
+            sc.op = MOp::SetCC;
+            sc.cond = static_cast<Cond>(c);
+            sc.rd = reg(nInt);
+            out.push_back(sc);
+        }
+        MInst cmp;
+        cmp.op = MOp::Cmp;
+        cmp.ra = reg(nInt);
+        cmp.rb = reg(nInt);
+        out.push_back(cmp);
+        MInst cmpi;
+        cmpi.op = MOp::CmpI;
+        cmpi.ra = reg(nInt);
+        cmpi.imm = 42;
+        out.push_back(cmpi);
+        MInst fcmp;
+        fcmp.op = MOp::FCmp;
+        fcmp.ra = reg(nFp);
+        fcmp.rb = reg(nFp);
+        out.push_back(fcmp);
+        MInst csel;
+        csel.op = MOp::CSel;
+        csel.cond = Cond::Ne;
+        csel.rd = reg(nInt);
+        csel.ra = kind == IsaKind::X86 ? csel.rd : reg(nInt);
+        csel.rb = reg(nInt);
+        out.push_back(csel);
+    }
+    if (kind == IsaKind::ARM) {
+        for (MOp op : {MOp::MovZ, MOp::MovK})
+            for (u8 hw = 0; hw < 4; ++hw) {
+                MInst mi;
+                mi.op = op;
+                mi.rd = reg(nInt);
+                mi.subop = hw;
+                mi.imm = static_cast<i64>(rng.below(0x10000));
+                out.push_back(mi);
+            }
+    }
+    if (kind == IsaKind::X86) {
+        MInst m64;
+        m64.op = MOp::MovImm64;
+        m64.rd = reg(nInt);
+        m64.imm = static_cast<i64>(rng());
+        out.push_back(m64);
+        MInst m32;
+        m32.op = MOp::MovImm32;
+        m32.rd = reg(nInt);
+        m32.imm = static_cast<i32>(rng());
+        out.push_back(m32);
+        for (u8 sub : {0, 1, 7, 8, 9}) {
+            MInst alum;
+            alum.op = MOp::AluM;
+            alum.rd = reg(nInt);
+            alum.ra = reg(nInt);
+            alum.subop = sub;
+            alum.imm = static_cast<i64>(rng.below(4096));
+            out.push_back(alum);
+        }
+    }
+    // Common control.
+    MInst jmp;
+    jmp.op = MOp::Jmp;
+    jmp.imm = kind == IsaKind::ARM ? 4096 : 2048;
+    out.push_back(jmp);
+    MInst call;
+    call.op = MOp::Call;
+    call.imm = kind == IsaKind::ARM ? -4096 : -1024;
+    out.push_back(call);
+    out.push_back(MInst{.op = MOp::Ret});
+    MInst jr;
+    jr.op = MOp::JmpR;
+    jr.ra = static_cast<u8>(2 + rng.below(nInt - 2));
+    out.push_back(jr);
+    // FP.
+    for (MOp op : {MOp::FAdd, MOp::FSub, MOp::FMul, MOp::FDiv}) {
+        MInst mi;
+        mi.op = op;
+        mi.rd = reg(nFp);
+        mi.ra = kind == IsaKind::X86 ? mi.rd : reg(nFp);
+        mi.rb = reg(nFp);
+        out.push_back(mi);
+    }
+    for (MOp op : {MOp::FSqrt, MOp::ItoF, MOp::FtoI}) {
+        MInst mi;
+        mi.op = op;
+        mi.rd = reg(nFp);
+        mi.ra = reg(nFp);
+        out.push_back(mi);
+    }
+    for (u8 sub = 0; sub < 4; ++sub)
+        out.push_back(MInst{.op = MOp::Magic, .subop = sub});
+    out.push_back(MInst{.op = MOp::Nop});
+    return out;
+}
+
+bool sameMInst(const MInst& a, const MInst& b) {
+    // NOP is encoded through canonical aliases (RISCV: addi x0,x0,0;
+    // ARM: mov x0,x0) which decode to the alias, not MOp::Nop.
+    auto isNopAlias = [](const MInst& x) {
+        return x.op == MOp::Nop ||
+               (x.op == MOp::AddI && x.rd == 0 && x.ra == 0 &&
+                x.imm == 0) ||
+               (x.op == MOp::Mov && x.rd == 0 && x.ra == 0 && !x.fp);
+    };
+    if (a.op == MOp::Nop || b.op == MOp::Nop)
+        return isNopAlias(a) && isNopAlias(b);
+    // RISCV integer mov is the addi rd, ra, 0 alias in wide form.
+    auto movKey = [](const MInst& x) {
+        return std::make_tuple(x.rd, x.ra, x.fp);
+    };
+    if ((a.op == MOp::Mov && b.op == MOp::AddI && b.imm == 0) ||
+        (b.op == MOp::Mov && a.op == MOp::AddI && a.imm == 0))
+        return movKey(a) == movKey(b);
+    return a.op == b.op && a.rd == b.rd && a.ra == b.ra && a.rb == b.rb &&
+           a.cond == b.cond && a.size == b.size && a.sign == b.sign &&
+           a.fp == b.fp && a.subop == b.subop && a.imm == b.imm;
+}
+
+std::string describe(const MInst& mi) {
+    return std::string(mopName(mi.op)) + " rd=" + std::to_string(mi.rd) +
+           " ra=" + std::to_string(mi.ra) + " rb=" + std::to_string(mi.rb) +
+           " imm=" + std::to_string(mi.imm) +
+           " size=" + std::to_string(mi.size) +
+           " cond=" + std::to_string(static_cast<int>(mi.cond)) +
+           " sub=" + std::to_string(mi.subop) +
+           (mi.fp ? " fp" : "") + (mi.sign ? " sign" : "");
+}
+
+} // namespace
+
+class EncodingRoundTrip : public ::testing::TestWithParam<IsaKind> {};
+
+TEST_P(EncodingRoundTrip, EncodeDecodeIdentity) {
+    const IsaKind kind = GetParam();
+    for (const MInst& mi : corpusFor(kind)) {
+        const std::vector<u8> bytes = encode(kind, mi);
+        ASSERT_FALSE(bytes.empty());
+        const DecodeResult dr =
+            decodeBytes(kind, bytes.data(), bytes.size());
+        EXPECT_FALSE(dr.illegal) << describe(mi);
+        EXPECT_EQ(dr.length, bytes.size()) << describe(mi);
+        EXPECT_TRUE(sameMInst(dr.mi, mi))
+            << "encoded: " << describe(mi)
+            << "\ndecoded: " << describe(dr.mi);
+    }
+}
+
+TEST_P(EncodingRoundTrip, WideFormsAlsoRoundTrip) {
+    const IsaKind kind = GetParam();
+    for (const MInst& mi : corpusFor(kind)) {
+        const std::vector<u8> bytes = encode(kind, mi, false);
+        const DecodeResult dr =
+            decodeBytes(kind, bytes.data(), bytes.size());
+        EXPECT_FALSE(dr.illegal) << describe(mi);
+        EXPECT_TRUE(sameMInst(dr.mi, mi)) << describe(mi);
+    }
+}
+
+TEST_P(EncodingRoundTrip, DecoderIsTotalOnRandomBytes) {
+    const IsaKind kind = GetParam();
+    Rng rng(0xDEC0DEull);
+    for (int trial = 0; trial < 200000; ++trial) {
+        u8 buf[kMaxInstLength];
+        for (u8& b : buf)
+            b = static_cast<u8>(rng.below(256));
+        const DecodeResult dr = decodeBytes(kind, buf, sizeof(buf));
+        EXPECT_GE(dr.length, 1u);
+        EXPECT_LE(dr.length, kMaxInstLength);
+        // Every decode (legal or not) must expand to valid uops.
+        const DecodedInst di = decodeAndExpand(
+            isaSpec(kind), buf, sizeof(buf), 0x1000);
+        EXPECT_GE(di.numUops, 1u);
+        EXPECT_LE(di.numUops, 3u);
+    }
+}
+
+TEST_P(EncodingRoundTrip, TruncatedBuffersDecodeIllegal) {
+    const IsaKind kind = GetParam();
+    for (const MInst& mi : corpusFor(kind)) {
+        const std::vector<u8> bytes = encode(kind, mi);
+        for (std::size_t avail = 0; avail + 1 < bytes.size(); ++avail) {
+            const DecodeResult dr =
+                decodeBytes(kind, bytes.data(), avail);
+            // Must not read past `avail` (ASAN would flag it) and must
+            // either consume fewer bytes or report illegal.
+            EXPECT_TRUE(dr.illegal || dr.length <= avail)
+                << describe(mi) << " avail=" << avail;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, EncodingRoundTrip,
+    ::testing::Values(IsaKind::RISCV, IsaKind::ARM, IsaKind::X86),
+    [](const auto& info) { return std::string(isaName(info.param)); });
+
+// ====================================================================
+// Decode-masking property (the Fig. 5 mechanism): the fraction of
+// single-bit encoding flips that leave an instruction decoding to the
+// very same operation differs by flavor — RISCV ignores several fields
+// (rounding modes, unused funct bits), while ARM validates every
+// must-be-zero field.
+// ====================================================================
+
+namespace {
+
+// Fraction of single-bit flips of encoded instructions that still
+// decode to an identical MInst.
+double maskedFlipFraction(IsaKind kind) {
+    unsigned masked = 0;
+    unsigned total = 0;
+    for (const MInst& mi : corpusFor(kind)) {
+        const std::vector<u8> bytes = encode(kind, mi);
+        for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+            std::vector<u8> flipped = bytes;
+            flipped[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+            const DecodeResult dr =
+                decodeBytes(kind, flipped.data(), flipped.size());
+            ++total;
+            if (!dr.illegal && dr.length == bytes.size() &&
+                sameMInst(dr.mi, mi))
+                ++masked;
+        }
+    }
+    return static_cast<double>(masked) / total;
+}
+
+} // namespace
+
+TEST(EncodingMasking, RiscvToleratesMoreBitFlipsThanArm) {
+    const double rv = maskedFlipFraction(IsaKind::RISCV);
+    const double arm = maskedFlipFraction(IsaKind::ARM);
+    // RISCV's ignored fields give it strictly more decode masking.
+    EXPECT_GT(rv, arm);
+    // ARM validates nearly everything: almost no flip is silent.
+    EXPECT_LT(arm, 0.02);
+}
+
+TEST(EncodingMasking, IllegalFractionHighestOnArm) {
+    // Complementary view: the fraction of flips that turn a legal
+    // instruction into an illegal one (a crash when fetched).
+    auto illegalFraction = [](IsaKind kind) {
+        unsigned illegal = 0;
+        unsigned total = 0;
+        for (const MInst& mi : corpusFor(kind)) {
+            const std::vector<u8> bytes = encode(kind, mi);
+            for (std::size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+                std::vector<u8> flipped = bytes;
+                flipped[bit / 8] ^=
+                    static_cast<u8>(1u << (bit % 8));
+                ++total;
+                illegal += decodeBytes(kind, flipped.data(),
+                                       flipped.size())
+                               .illegal;
+            }
+        }
+        return static_cast<double>(illegal) / total;
+    };
+    const double arm = illegalFraction(IsaKind::ARM);
+    const double rv = illegalFraction(IsaKind::RISCV);
+    const double x86 = illegalFraction(IsaKind::X86);
+    EXPECT_GT(arm, rv);
+    EXPECT_GT(arm, x86);
+}

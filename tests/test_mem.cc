@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Memory subsystem tests: cache geometry, hit/miss behaviour, tree-PLRU
+ * replacement, write-back propagation, coherent reads, fault hooks in
+ * the data arrays, and line-crossing accesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "mem/hierarchy.hh"
+
+using namespace marvel;
+using namespace marvel::mem;
+
+TEST(Cache, GeometryMatchesTableII) {
+    Cache l1{CacheParams{"l1", 32 * 1024, 64, 4, 2}};
+    EXPECT_EQ(l1.params().numSets(), 128u);
+    EXPECT_EQ(l1.numEntries(), 512u);
+    EXPECT_EQ(l1.bitsPerEntry(), 512u);
+    Cache l2{CacheParams{"l2", 1024 * 1024, 64, 8, 14}};
+    EXPECT_EQ(l2.params().numSets(), 2048u);
+}
+
+TEST(Cache, RejectsNonPowerOfTwoGeometry) {
+    CacheParams bad{"bad", 3000, 64, 4, 1};
+    EXPECT_THROW({ Cache c(bad); }, FatalError);
+}
+
+TEST(Hierarchy, ReadAfterWriteThroughAllLevels) {
+    Hierarchy mem;
+    Rng rng(7);
+    // Write scattered values, read them back coherently and through
+    // the cache path.
+    std::vector<std::pair<Addr, u64>> writes;
+    for (int i = 0; i < 200; ++i) {
+        const Addr addr = alignDown(rng.below(kMemSize - 8), 8);
+        const u64 value = rng();
+        u8 buf[8];
+        std::memcpy(buf, &value, 8);
+        ASSERT_FALSE(mem.write(addr, buf, 8).fault);
+        writes.emplace_back(addr, value);
+    }
+    for (auto& [addr, value] : writes) {
+        u64 got = 0;
+        mem.coherentRead(addr, &got, 8);
+        // Later writes may have overwritten earlier ones; re-check via
+        // a direct read instead of asserting the original value.
+        u8 buf[8];
+        ASSERT_FALSE(mem.read(addr, buf, 8).fault);
+        u64 cached;
+        std::memcpy(&cached, buf, 8);
+        EXPECT_EQ(got, cached);
+    }
+}
+
+TEST(Hierarchy, MissLatencyLargerThanHit) {
+    Hierarchy mem;
+    u8 buf[8];
+    const MemResult miss = mem.read(0x4000, buf, 8);
+    const MemResult hit = mem.read(0x4000, buf, 8);
+    EXPECT_GT(miss.latency, hit.latency);
+    EXPECT_EQ(hit.latency, mem.params().l1d.hitLatency);
+}
+
+TEST(Hierarchy, OutOfRangeFaults) {
+    Hierarchy mem;
+    u8 buf[8];
+    EXPECT_TRUE(mem.read(kMemSize - 4, buf, 8).fault);
+    EXPECT_TRUE(mem.write(kMemSize, buf, 8).fault);
+    EXPECT_FALSE(mem.read(kMemSize - 8, buf, 8).fault);
+}
+
+TEST(Hierarchy, LineCrossingReadsReturnCorrectBytes) {
+    Hierarchy mem;
+    const Addr base = 0x10000 + 60; // crosses the 64B boundary
+    u8 data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    ASSERT_FALSE(mem.write(base, data, 8).fault);
+    u8 got[8] = {};
+    ASSERT_FALSE(mem.read(base, got, 8).fault);
+    EXPECT_EQ(std::memcmp(data, got, 8), 0);
+}
+
+TEST(Cache, EvictionWritesBackDirtyData) {
+    Hierarchy mem;
+    // Fill one L1D set (4 ways) plus one more line mapping to the
+    // same set to force an eviction. Set stride = 128 sets * 64 B.
+    const Addr stride = 128 * 64;
+    for (unsigned i = 0; i < 5; ++i) {
+        const u64 value = 0xbeef0000 + i;
+        u8 buf[8];
+        std::memcpy(buf, &value, 8);
+        ASSERT_FALSE(mem.write(0x8000 + i * stride, buf, 8).fault);
+    }
+    // All five values must be recoverable (evicted one via L2).
+    for (unsigned i = 0; i < 5; ++i) {
+        u64 got = 0;
+        mem.coherentRead(0x8000 + i * stride, &got, 8);
+        EXPECT_EQ(got, 0xbeef0000u + i);
+    }
+    EXPECT_GE(mem.l1d().writebacks, 1u);
+}
+
+TEST(Cache, PlruVictimIsLeastRecentlyTouched) {
+    Cache cache{CacheParams{"c", 1024, 64, 4, 1}};
+    // 4 sets; fill set 0's four ways.
+    const Addr stride = 4 * 64;
+    u8 line[64] = {};
+    for (unsigned w = 0; w < 4; ++w) {
+        const Addr addr = w * stride;
+        const int victim = cache.pickVictim(addr);
+        cache.fill(victim, addr, line);
+    }
+    // Tree-PLRU property: after touching one way, the victim must
+    // come from the opposite half of the tree (never the touched way
+    // or its buddy).
+    u8 tmp[8];
+    cache.readLine(cache.findLine(2 * stride), 0, tmp, 8);
+    const int victim = cache.pickVictim(4 * stride);
+    EXPECT_NE(victim, cache.findLine(2 * stride));
+    EXPECT_NE(victim, cache.findLine(3 * stride));
+    // And the most recently touched way is never the victim even
+    // after further fills.
+    cache.readLine(cache.findLine(1 * stride), 0, tmp, 8);
+    EXPECT_NE(cache.pickVictim(4 * stride),
+              cache.findLine(1 * stride));
+}
+
+TEST(Cache, FlipCorruptsAndWritebackPropagates) {
+    Hierarchy mem;
+    const u64 original = 0xff00ff00ff00ff00ull;
+    u8 buf[8];
+    std::memcpy(buf, &original, 8);
+    ASSERT_FALSE(mem.write(0x9000, buf, 8).fault);
+    const int line = mem.l1d().findLine(0x9000);
+    ASSERT_GE(line, 0);
+    mem.l1d().flipBit(line, (0x9000 % 64) * 8); // flip bit 0 of the word
+    u8 got[8];
+    ASSERT_FALSE(mem.read(0x9000, got, 8).fault);
+    u64 corrupted;
+    std::memcpy(&corrupted, got, 8);
+    EXPECT_EQ(corrupted, original ^ 1);
+}
+
+TEST(Cache, FaultHooksTrackReadAndOverwrite) {
+    Hierarchy mem;
+    u8 buf[8] = {};
+    ASSERT_FALSE(mem.write(0xa000, buf, 8).fault);
+    const int line = mem.l1d().findLine(0xa000);
+    ASSERT_GE(line, 0);
+    const u32 bit = (0xa000 % 64) * 8 + 5;
+    mem.l1d().flipBit(line, bit);
+    mem.l1d().faults().addWatch(line, bit);
+    // Overwrite the word before reading it: neutralized.
+    ASSERT_FALSE(mem.write(0xa000, buf, 8).fault);
+    EXPECT_TRUE(mem.l1d().faults().allNeutralized());
+}
+
+TEST(Cache, InvalidationVanishesWatches) {
+    Cache cache{CacheParams{"c", 1024, 64, 4, 1}};
+    u8 line[64] = {};
+    const int victim = cache.pickVictim(0);
+    cache.fill(victim, 0, line);
+    cache.faults().addWatch(victim, 100);
+    cache.invalidate(victim);
+    EXPECT_TRUE(cache.faults().allNeutralized());
+}
+
+TEST(Cache, StuckBitsSurviveWrites) {
+    Hierarchy mem;
+    u8 zeros[8] = {};
+    ASSERT_FALSE(mem.write(0xb000, zeros, 8).fault);
+    const int line = mem.l1d().findLine(0xb000);
+    const u32 bit = (0xb000 % 64) * 8 + 2;
+    mem.l1d().faults().addStuck(line, bit, true);
+    ASSERT_FALSE(mem.write(0xb000, zeros, 8).fault);
+    u8 got[8];
+    ASSERT_FALSE(mem.read(0xb000, got, 8).fault);
+    EXPECT_EQ(got[0] & 4, 4); // bit 2 pinned high
+}
+
+TEST(Hierarchy, RandomTraceMatchesShadowMemory) {
+    // Property test: any interleaving of reads/writes of mixed sizes
+    // through the cache hierarchy must behave exactly like a flat
+    // memory (the shadow model), regardless of hits, misses,
+    // evictions, and writebacks.
+    Hierarchy mem;
+    std::vector<u8> shadow(kMemSize, 0);
+    Rng rng(0xCACE5);
+    // Constrain addresses to a 256 KiB region so the L1/L2 actually
+    // thrash (the region is 8x the L1D).
+    const Addr regionBase = 0x8000;
+    const Addr regionSize = 256 * 1024;
+    for (int op = 0; op < 20000; ++op) {
+        const unsigned size = 1u << rng.below(4); // 1/2/4/8
+        Addr addr = regionBase + rng.below(regionSize - 8);
+        addr = alignDown(addr, size);
+        if (rng.chance(0.5)) {
+            u64 value = rng();
+            u8 buf[8];
+            std::memcpy(buf, &value, 8);
+            ASSERT_FALSE(mem.write(addr, buf, size).fault);
+            std::memcpy(shadow.data() + addr, &value, size);
+        } else {
+            u8 buf[8] = {};
+            ASSERT_FALSE(mem.read(addr, buf, size).fault);
+            ASSERT_EQ(std::memcmp(buf, shadow.data() + addr, size), 0)
+                << "mismatch at 0x" << std::hex << addr << " size "
+                << size << " after " << std::dec << op << " ops";
+        }
+    }
+    // Full sweep at the end through the coherent view.
+    std::vector<u8> final(regionSize);
+    mem.coherentRead(regionBase, final.data(), regionSize);
+    EXPECT_EQ(std::memcmp(final.data(), shadow.data() + regionBase,
+                          regionSize),
+              0);
+}

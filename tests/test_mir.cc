@@ -1,0 +1,171 @@
+/**
+ * @file
+ * MIR unit tests: builder invariants, verifier diagnostics, interpreter
+ * semantics (including division edge cases and typed loads/stores),
+ * global layout, and the loop helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/memmap.hh"
+#include "mir/builder.hh"
+#include "mir/interp.hh"
+
+using namespace marvel;
+using namespace marvel::mir;
+
+namespace {
+
+GoldenRun runModule(ModuleBuilder& mb) {
+    verify(mb.module());
+    return interpretModule(mb.module());
+}
+
+} // namespace
+
+TEST(MirVerify, CatchesMissingTerminator) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    fb.constI(1); // no terminator
+    EXPECT_THROW(verify(mb.module()), FatalError);
+}
+
+TEST(MirVerify, CatchesBadBranchTarget) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    fb.emit({.op = Op::Jmp, .target = 99});
+    EXPECT_THROW(verify(mb.module()), FatalError);
+}
+
+TEST(MirVerify, CatchesCallArityMismatch) {
+    ModuleBuilder mb;
+    auto callee = mb.func("f", {Type::I64}, true);
+    callee.ret(callee.fn().params[0]);
+    auto fb = mb.func("main", {}, true);
+    fb.emit({.op = Op::Call, .dst = fb.constI(0),
+             .callee = mb.module().funcId("f"), .args = {}});
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    EXPECT_THROW(verify(mb.module()), FatalError);
+}
+
+TEST(MirInterp, ArithmeticAndDivisionEdges) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto intMin = fb.constI(INT64_MIN);
+    auto minus1 = fb.constI(-1);
+    auto d = fb.div(intMin, minus1); // must not trap (wraps)
+    auto r = fb.rem(intMin, minus1); // 0
+    fb.ret(fb.add(d, r));
+    mb.setEntry("main");
+    auto g = runModule(mb);
+    EXPECT_EQ(g.result.exitValue, INT64_MIN);
+}
+
+TEST(MirInterp, TypedLoadsStoreSignExtension) {
+    ModuleBuilder mb;
+    std::vector<u8> init = {0xff, 0x7f, 0x80, 0x01};
+    mb.globalInit("bytes", init);
+    auto fb = mb.func("main", {}, true);
+    auto base = fb.gaddr("bytes");
+    auto s = fb.ld1s(base, 0);       // -1
+    auto u = fb.ld1u(base, 0);       // 255
+    auto h = fb.ld2s(base, 2);       // 0x0180 = 384
+    fb.ret(fb.add(fb.add(s, u), h)); // -1 + 255 + 384
+    mb.setEntry("main");
+    EXPECT_EQ(runModule(mb).result.exitValue, 638);
+}
+
+TEST(MirInterp, FloatOps) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto a = fb.constF(2.25);
+    auto b = fb.constF(4.0);
+    auto root = fb.fsqrt(b);                       // 2.0
+    auto sum = fb.fadd(a, root);                   // 4.25
+    auto scaled = fb.fmul(sum, fb.constF(4.0));    // 17.0
+    fb.ret(fb.ftoi(scaled));
+    mb.setEntry("main");
+    EXPECT_EQ(runModule(mb).result.exitValue, 17);
+}
+
+TEST(MirInterp, CallsAndRecursionViaExplicitStack) {
+    ModuleBuilder mb;
+    auto fib = mb.func("fib", {Type::I64}, true);
+    {
+        VReg n = fib.fn().params[0];
+        auto baseCase = fib.newBlock();
+        auto recCase = fib.newBlock();
+        fib.br(fib.cmpLt(n, fib.constI(2)), baseCase, recCase);
+        fib.setBlock(baseCase);
+        fib.ret(n);
+        fib.setBlock(recCase);
+        auto fid = mb.module().funcId("fib");
+        auto a = fib.call(fid, {fib.addI(n, -1)});
+        auto b = fib.call(fid, {fib.addI(n, -2)});
+        fib.ret(fib.add(a, b));
+    }
+    auto fb = mb.func("main", {}, true);
+    fb.ret(fb.call(mb.module().funcId("fib"), {fb.constI(12)}));
+    mb.setEntry("main");
+    EXPECT_EQ(runModule(mb).result.exitValue, 144);
+}
+
+TEST(MirInterp, SelectAndLoops) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto total = fb.constI(0);
+    auto loop = fb.beginLoop(fb.constI(0), fb.constI(100));
+    {
+        auto odd = fb.band(loop.idx, fb.constI(1));
+        auto inc = fb.select(odd, loop.idx, fb.constI(0));
+        fb.assign(total, fb.add(total, inc));
+    }
+    fb.endLoop(loop);
+    fb.ret(total); // sum of odd numbers below 100 = 2500
+    mb.setEntry("main");
+    EXPECT_EQ(runModule(mb).result.exitValue, 2500);
+}
+
+TEST(MirLayout, GlobalsAlignedAndOrdered) {
+    ModuleBuilder mb;
+    mb.global("a", 10, 8);
+    mb.global("b", 100, 64);
+    mb.global("c", 1, 8);
+    auto fb = mb.func("main", {}, true);
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    const DataLayout layout = layoutGlobals(mb.module(), kDataBase);
+    EXPECT_EQ(layout.globalAddr[0], kDataBase);
+    EXPECT_EQ(layout.globalAddr[1] % 64, 0u);
+    EXPECT_GE(layout.globalAddr[1], kDataBase + 10);
+    EXPECT_GE(layout.globalAddr[2], layout.globalAddr[1] + 100);
+    EXPECT_EQ(layout.end % 64, 0u);
+}
+
+TEST(MirInterp, OutputWindowCaptured) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto out = fb.constI(static_cast<i64>(kOutputBase));
+    fb.st8(out, fb.constI(0x1122334455667788ll));
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    auto g = runModule(mb);
+    u64 v;
+    std::memcpy(&v, g.output.data(), 8);
+    EXPECT_EQ(v, 0x1122334455667788ull);
+}
+
+TEST(MirPrint, DisassemblyMentionsOps) {
+    ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    fb.checkpoint();
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    const std::string text = toString(mb.module());
+    EXPECT_NE(text.find("checkpoint"), std::string::npos);
+    EXPECT_NE(text.find("func main"), std::string::npos);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * SoC-level tests: system construction from presets and config text,
+ * checkpoint determinism (restored runs bit-identical to uninterrupted
+ * ones), interrupt controller semantics (GIC/PLIC/APIC), console MMIO,
+ * and config round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "accel/designs/designs.hh"
+#include "common/memmap.hh"
+#include "soc/builder.hh"
+#include "soc/checkpoint.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+using namespace marvel::soc;
+
+TEST(Builder, PresetsMatchTableII) {
+    for (const char* name : {"riscv", "arm", "x86"}) {
+        const SystemConfig cfg = preset(name);
+        EXPECT_EQ(cfg.cpu.isa, isa::isaFromName(name));
+        EXPECT_EQ(cfg.cpu.robSize, 128u);
+        EXPECT_EQ(cfg.cpu.iqSize, 64u);
+        EXPECT_EQ(cfg.cpu.lqSize, 32u);
+        EXPECT_EQ(cfg.cpu.sqSize, 32u);
+        EXPECT_EQ(cfg.cpu.numIntPregs, 128u);
+        EXPECT_EQ(cfg.memory.l1d.sizeBytes, 32u * 1024);
+        EXPECT_EQ(cfg.memory.l1d.ways, 4u);
+        EXPECT_EQ(cfg.memory.l2.sizeBytes, 1024u * 1024);
+        EXPECT_EQ(cfg.memory.l2.ways, 8u);
+        EXPECT_TRUE(cfg.cluster.designs.empty());
+    }
+    const SystemConfig soc = preset("riscv-soc");
+    EXPECT_EQ(soc.cluster.designs.size(), 8u);
+    EXPECT_THROW(preset("nonsense"), FatalError);
+}
+
+TEST(Builder, ConfigTextDrivesConstruction) {
+    const SystemConfig cfg = configFromText(
+        "[system]\n"
+        "isa = arm\n"
+        "[cpu]\n"
+        "rob = 64\n"
+        "int_pregs = 96\n"
+        "[cache.l1d]\n"
+        "size = 16384\n"
+        "ways = 2\n"
+        "[accel]\n"
+        "design = gemm\n"
+        "[accel]\n"
+        "design = fft\n");
+    EXPECT_EQ(cfg.cpu.isa, isa::IsaKind::ARM);
+    EXPECT_EQ(cfg.cpu.robSize, 64u);
+    EXPECT_EQ(cfg.cpu.numIntPregs, 96u);
+    EXPECT_EQ(cfg.memory.l1d.sizeBytes, 16384u);
+    ASSERT_EQ(cfg.cluster.designs.size(), 2u);
+    EXPECT_EQ(cfg.cluster.designs[0].name, "gemm");
+    EXPECT_EQ(cfg.cluster.designs[1].name, "fft");
+    // The generated system must actually run a workload.
+    System sys(cfg);
+    sys.loadProgram(
+        isa::compile(workloads::get("crc32").module,
+                     isa::IsaKind::ARM));
+    RunExit exit = sys.run(50'000'000);
+    while (exit == RunExit::Checkpoint || exit == RunExit::SwitchCpu)
+        exit = sys.run(50'000'000);
+    EXPECT_EQ(exit, RunExit::Exited);
+}
+
+TEST(Builder, ConfigRoundTrips) {
+    SystemConfig cfg = preset("x86");
+    cfg.cpu.robSize = 96;
+    const SystemConfig back = configFromText(configToText(cfg));
+    EXPECT_EQ(back.cpu.isa, cfg.cpu.isa);
+    EXPECT_EQ(back.cpu.robSize, 96u);
+    EXPECT_EQ(back.memory.l2.sizeBytes, cfg.memory.l2.sizeBytes);
+}
+
+TEST(Checkpoint, RestoredRunIsBitIdentical) {
+    const workloads::Workload wl = workloads::get("sha");
+    SystemConfig cfg = preset("riscv");
+    const isa::Program prog =
+        isa::compile(wl.module, isa::IsaKind::RISCV);
+
+    // Reference: run straight through.
+    System ref(cfg);
+    ref.loadProgram(prog);
+    RunExit exit = ref.run(100'000'000);
+    Checkpoint cp;
+    while (exit != RunExit::Exited) {
+        if (exit == RunExit::Checkpoint)
+            cp = Checkpoint::take(ref);
+        ASSERT_NE(exit, RunExit::Crashed) << ref.crashReason();
+        exit = ref.run(100'000'000);
+    }
+    ASSERT_TRUE(cp.valid());
+
+    // Restored: continue from the snapshot; identical outcome AND
+    // identical cycle count (microarchitectural state preserved).
+    System restored = cp.restore();
+    exit = restored.run(100'000'000);
+    while (exit == RunExit::SwitchCpu || exit == RunExit::Checkpoint)
+        exit = restored.run(100'000'000);
+    ASSERT_EQ(exit, RunExit::Exited);
+    EXPECT_EQ(restored.exitCode, ref.exitCode);
+    EXPECT_EQ(restored.totalCycles, ref.totalCycles);
+    EXPECT_TRUE(restored.outputWindow() == ref.outputWindow());
+    EXPECT_EQ(archStateDigest(restored), archStateDigest(ref));
+}
+
+TEST(Checkpoint, RepeatedRestoresAreIndependent) {
+    const workloads::Workload wl = workloads::get("bitcount");
+    SystemConfig cfg = preset("arm");
+    const isa::Program prog = isa::compile(wl.module, isa::IsaKind::ARM);
+    System sys(cfg);
+    sys.loadProgram(prog);
+    ASSERT_EQ(sys.run(100'000'000), RunExit::Checkpoint);
+    const Checkpoint cp = Checkpoint::take(sys);
+
+    u64 digests[3];
+    for (int i = 0; i < 3; ++i) {
+        System fork = cp.restore();
+        RunExit exit = fork.run(100'000'000);
+        while (exit == RunExit::SwitchCpu ||
+               exit == RunExit::Checkpoint)
+            exit = fork.run(100'000'000);
+        ASSERT_EQ(exit, RunExit::Exited);
+        digests[i] = archStateDigest(fork);
+    }
+    EXPECT_EQ(digests[0], digests[1]);
+    EXPECT_EQ(digests[1], digests[2]);
+}
+
+TEST(Interrupts, ModelSelectionPerIsa) {
+    EXPECT_EQ(irqModelFor(isa::IsaKind::RISCV), IrqModel::Plic);
+    EXPECT_EQ(irqModelFor(isa::IsaKind::ARM), IrqModel::Gic);
+    EXPECT_EQ(irqModelFor(isa::IsaKind::X86), IrqModel::Apic);
+}
+
+TEST(Interrupts, ClaimCompleteProtocol) {
+    InterruptController plic(IrqModel::Plic, 8);
+    EXPECT_FALSE(plic.pending());
+    plic.setLine(3, true);
+    EXPECT_TRUE(plic.pending());
+    const u32 id = plic.claim();
+    EXPECT_EQ(id, 4u); // line + 1
+    EXPECT_FALSE(plic.pending()); // claimed lines don't re-assert
+    plic.complete(id);
+    EXPECT_TRUE(plic.pending()); // still level-asserted
+    plic.setLine(3, false);
+    EXPECT_FALSE(plic.pending());
+}
+
+TEST(Interrupts, PriorityOrdersClaims) {
+    InterruptController plic(IrqModel::Plic, 8);
+    plic.setPriority(1, 1);
+    plic.setPriority(5, 7);
+    plic.setLine(1, true);
+    plic.setLine(5, true);
+    EXPECT_EQ(plic.claim(), 6u); // line 5 first (higher priority)
+    EXPECT_EQ(plic.claim(), 2u);
+    // Disabled lines never pend.
+    InterruptController gic(IrqModel::Gic, 4);
+    gic.enable(2, false);
+    gic.setLine(2, true);
+    EXPECT_FALSE(gic.pending());
+}
+
+TEST(System, ConsoleMmioCapturesBytes) {
+    mir::ModuleBuilder mb;
+    auto fb = mb.func("main", {}, true);
+    auto putc = fb.constI(static_cast<i64>(kMmioPutchar));
+    for (char c : std::string("marvel"))
+        fb.st8(putc, fb.constI(c));
+    fb.ret(fb.constI(0));
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    System sys{preset("riscv")};
+    sys.loadProgram(isa::compile(mb.module(), isa::IsaKind::RISCV));
+    ASSERT_EQ(sys.run(10'000'000), RunExit::Exited);
+    EXPECT_EQ(sys.console, "marvel");
+}
+
+TEST(System, RejectsIsaMismatchedProgram) {
+    System sys{preset("arm")};
+    const isa::Program prog =
+        isa::compile(workloads::get("crc32").module,
+                     isa::IsaKind::RISCV);
+    EXPECT_THROW(sys.loadProgram(prog), FatalError);
+}
+
+TEST(System, HeterogeneousSocRunsAllDesignsSequentially) {
+    // One SoC hosting two accelerators; drivers address them by index.
+    SystemConfig cfg = preset("riscv");
+    cfg.cluster.designs.push_back(accel::designs::makeByName(
+        "mergesort", kAccelSpaceBase));
+    cfg.cluster.designs.push_back(accel::designs::makeByName(
+        "fft", kAccelSpaceBase + kAccelSpaceStride));
+    const workloads::Workload driver =
+        workloads::accelDriver("fft", 1);
+    System sys(cfg);
+    sys.loadProgram(isa::compile(driver.module, isa::IsaKind::RISCV));
+    RunExit exit = sys.run(100'000'000);
+    while (exit == RunExit::Checkpoint || exit == RunExit::SwitchCpu)
+        exit = sys.run(100'000'000);
+    ASSERT_EQ(exit, RunExit::Exited) << sys.crashReason();
+    EXPECT_EQ(sys.exitCode,
+              static_cast<i64>(accel::UnitStatus::Done));
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * End-to-end integration: every MiBench workload compiled for every
+ * ISA flavor must produce, on the cycle-level CPU, exactly the OUTPUT
+ * window and exit code the MIR reference interpreter produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fi/campaign.hh"
+#include "mir/interp.hh"
+#include "soc/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+namespace {
+
+struct Case {
+    std::string workload;
+    isa::IsaKind isa;
+};
+
+std::string caseName(const ::testing::TestParamInfo<Case>& info) {
+    return info.param.workload + "_" +
+           isa::isaName(info.param.isa);
+}
+
+std::vector<Case> allCases() {
+    std::vector<Case> cases;
+    for (const std::string& w : workloads::mibenchNames())
+        for (isa::IsaKind kind : isa::kAllIsas)
+            cases.push_back({w, kind});
+    return cases;
+}
+
+} // namespace
+
+class WorkloadIntegration : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WorkloadIntegration, CpuMatchesInterpreter) {
+    const Case& tc = GetParam();
+    workloads::Workload wl = workloads::get(tc.workload);
+
+    // Reference semantics.
+    const mir::GoldenRun ref = mir::interpretModule(wl.module);
+    ASSERT_FALSE(ref.result.timedOut);
+
+    // Cycle-level execution via the golden-run harness.
+    soc::SystemConfig cfg = soc::preset(isa::isaName(tc.isa));
+    const isa::Program prog = isa::compile(wl.module, tc.isa);
+    const fi::GoldenRun golden = fi::runGolden(cfg, prog);
+
+    EXPECT_EQ(golden.exitCode, ref.result.exitValue);
+    ASSERT_EQ(golden.output.size(), ref.output.size());
+    EXPECT_TRUE(golden.output == ref.output)
+        << "OUTPUT window mismatch for " << tc.workload << " on "
+        << isa::isaName(tc.isa);
+    EXPECT_GT(golden.windowCycles, 0u);
+    EXPECT_GE(golden.totalCycles, golden.windowCycles);
+    EXPECT_FALSE(golden.trace.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadIntegration,
+                         ::testing::ValuesIn(allCases()), caseName);

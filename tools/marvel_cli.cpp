@@ -1,0 +1,274 @@
+/**
+ * @file
+ * marvel-cli — command-line fault-injection campaigns.
+ *
+ * Mirrors the paper's Fig. 2 campaign layout: pick a hardware
+ * configuration (preset or config file), a workload (MiBench kernel or
+ * accelerator driver), a target structure, a fault model, and a sample
+ * size; the tool runs the golden run, the parallel faulty runs, and
+ * prints the AVF/HVF report. Individual fault masks can also be
+ * replayed for debugging.
+ *
+ * Usage:
+ *   marvel-cli targets  [--preset riscv-soc]
+ *   marvel-cli list-workloads
+ *   marvel-cli campaign --workload sha --target l1d [options]
+ *   marvel-cli campaign --driver gemm --target gemm.MATRIX1 [options]
+ *   marvel-cli replay   --workload sha --mask "l1d entry=3 bit=77 ..."
+ *
+ * Options:
+ *   --preset NAME      riscv | arm | x86 | *-soc     (default riscv)
+ *   --config FILE      INI system description (overrides --preset)
+ *   --faults N         sample size                   (default 200)
+ *   --model M          transient | stuck-at-0 | stuck-at-1
+ *   --seed N           campaign seed                 (default 0x5eed)
+ *   --threads N        parallel workers              (default: hw)
+ *   --hvf              also compute HVF on the same runs
+ *   --no-early-term    disable the SIV-B speed optimizations
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "accel/designs/designs.hh"
+#include "common/table.hh"
+#include "fi/campaign.hh"
+#include "fi/metrics.hh"
+#include "soc/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string preset = "riscv";
+    std::string configFile;
+    std::string workload;
+    std::string driver;
+    std::string target;
+    std::string mask;
+    unsigned faults = 200;
+    fi::FaultModel model = fi::FaultModel::Transient;
+    u64 seed = 0x5eed;
+    unsigned threads = 0;
+    bool hvf = false;
+    bool earlyTerm = true;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: marvel-cli "
+                 "{targets|list-workloads|campaign|replay} "
+                 "[--preset P] [--config F] [--workload W] "
+                 "[--driver D] [--target T] [--faults N] [--model M] "
+                 "[--seed S] [--threads N] [--hvf] [--no-early-term] "
+                 "[--mask \"...\"]\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    if (argc < 2)
+        usage();
+    opts.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--preset")
+            opts.preset = next();
+        else if (arg == "--config")
+            opts.configFile = next();
+        else if (arg == "--workload")
+            opts.workload = next();
+        else if (arg == "--driver")
+            opts.driver = next();
+        else if (arg == "--target")
+            opts.target = next();
+        else if (arg == "--mask")
+            opts.mask = next();
+        else if (arg == "--faults")
+            opts.faults = std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--seed")
+            opts.seed = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--threads")
+            opts.threads = std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--model") {
+            const std::string m = next();
+            if (m == "transient")
+                opts.model = fi::FaultModel::Transient;
+            else if (m == "stuck-at-0")
+                opts.model = fi::FaultModel::StuckAt0;
+            else if (m == "stuck-at-1")
+                opts.model = fi::FaultModel::StuckAt1;
+            else
+                usage();
+        } else if (arg == "--hvf")
+            opts.hvf = true;
+        else if (arg == "--no-early-term")
+            opts.earlyTerm = false;
+        else
+            usage();
+    }
+    return opts;
+}
+
+soc::SystemConfig
+systemFor(const Options &opts)
+{
+    soc::SystemConfig cfg =
+        opts.configFile.empty() ? soc::preset(opts.preset)
+                                : soc::configFromFile(opts.configFile);
+    // Drivers need their design attached when the preset lacks it.
+    if (!opts.driver.empty() && cfg.cluster.designs.empty())
+        cfg.cluster.designs.push_back(accel::designs::makeByName(
+            opts.driver, kAccelSpaceBase));
+    return cfg;
+}
+
+workloads::Workload
+workloadFor(const Options &opts)
+{
+    if (!opts.driver.empty())
+        return workloads::accelDriver(opts.driver, 0);
+    if (!opts.workload.empty())
+        return workloads::get(opts.workload);
+    fatal("marvel-cli: need --workload or --driver");
+}
+
+int
+cmdTargets(const Options &opts)
+{
+    const soc::SystemConfig cfg = systemFor(opts);
+    soc::System sys(cfg);
+    TextTable table("injectable targets");
+    table.header({"name", "entries", "bits/entry", "total bits"});
+    for (const fi::TargetInfo &info : fi::listTargets(sys))
+        table.row({info.name, strfmt("%u", info.geometry.entries),
+                   strfmt("%u", info.geometry.bitsPerEntry),
+                   strfmt("%llu",
+                          static_cast<unsigned long long>(
+                              info.geometry.totalBits()))});
+    table.print();
+    return 0;
+}
+
+int
+cmdListWorkloads()
+{
+    std::printf("MiBench kernels:\n");
+    for (const std::string &name : workloads::mibenchNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("accelerator drivers (--driver):\n");
+    for (const std::string &name :
+         accel::designs::allDesignNames())
+        std::printf("  %s\n", name.c_str());
+    return 0;
+}
+
+int
+cmdCampaign(const Options &opts)
+{
+    if (opts.target.empty())
+        fatal("marvel-cli: campaign needs --target");
+    const soc::SystemConfig cfg = systemFor(opts);
+    const workloads::Workload wl = workloadFor(opts);
+    const isa::Program prog = isa::compile(wl.module, cfg.cpu.isa);
+    std::printf("golden run (%s, %s)...\n", wl.name.c_str(),
+                isa::isaName(cfg.cpu.isa));
+    const fi::GoldenRun golden = fi::runGolden(cfg, prog);
+    std::printf("  window %llu cycles, total %llu cycles, "
+                "%zu-uop commit trace\n",
+                static_cast<unsigned long long>(golden.windowCycles),
+                static_cast<unsigned long long>(golden.totalCycles),
+                golden.trace.size());
+
+    const fi::TargetRef target =
+        fi::targetByName(golden.checkpoint.view(), opts.target);
+    fi::CampaignOptions copts;
+    copts.numFaults = opts.faults;
+    copts.model = opts.model;
+    copts.seed = opts.seed;
+    copts.threads = opts.threads;
+    copts.computeHvf = opts.hvf;
+    copts.earlyTermination = opts.earlyTerm;
+    const fi::CampaignResult res =
+        fi::runCampaignOnGolden(golden, target, copts);
+
+    TextTable table("campaign: " + wl.name + " / " + opts.target);
+    table.header({"metric", "value"});
+    table.row({"faults", strfmt("%llu", (unsigned long long)
+                                            res.total())});
+    table.row({"AVF", strfmt("%.2f%% (+/-%.2f%%)",
+                             res.avf() * 100,
+                             res.errorMargin() * 100)});
+    table.row({"SDC AVF", strfmt("%.2f%%", res.sdcAvf() * 100)});
+    table.row({"Crash AVF", strfmt("%.2f%%", res.crashAvf() * 100)});
+    if (opts.hvf)
+        table.row({"HVF", strfmt("%.2f%%", res.hvf() * 100)});
+    table.row({"masked (early-terminated)",
+               strfmt("%llu (%llu)",
+                      (unsigned long long)res.masked,
+                      (unsigned long long)(res.maskedEarly +
+                                           res.maskedInvalid))});
+    table.row({"crash timeouts",
+               strfmt("%llu", (unsigned long long)res.timeouts)});
+    table.print();
+    return 0;
+}
+
+int
+cmdReplay(const Options &opts)
+{
+    if (opts.mask.empty())
+        fatal("marvel-cli: replay needs --mask");
+    const soc::SystemConfig cfg = systemFor(opts);
+    const workloads::Workload wl = workloadFor(opts);
+    const fi::GoldenRun golden =
+        fi::runGolden(cfg, isa::compile(wl.module, cfg.cpu.isa));
+    const fi::FaultMask mask = fi::FaultMask::parse(opts.mask);
+    fi::InjectionOptions iopts;
+    iopts.computeHvf = true;
+    const fi::RunVerdict verdict =
+        fi::runWithFault(golden, mask, iopts);
+    std::printf("mask:    %s\nverdict: %s\ncycles:  %llu\n",
+                mask.toString().c_str(), verdict.toString().c_str(),
+                static_cast<unsigned long long>(verdict.cyclesRun));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opts = parseArgs(argc, argv);
+        if (opts.command == "targets")
+            return cmdTargets(opts);
+        if (opts.command == "list-workloads")
+            return cmdListWorkloads();
+        if (opts.command == "campaign")
+            return cmdCampaign(opts);
+        if (opts.command == "replay")
+            return cmdReplay(opts);
+        usage();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
