@@ -1,0 +1,175 @@
+/// Persistence-overhead microbenchmarks (google-benchmark): journal
+/// append+fsync cost per verdict, tolerant-reader throughput, and
+/// campaign throughput of the atomic work-queue scheduler vs. the old
+/// fixed-stride split — with and without journaling, to verify the
+/// <=2% journaling-overhead budget for realistic chunk sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hh"
+#include "sched/scheduler.hh"
+#include "sched/workqueue.hh"
+#include "store/journal.hh"
+
+using namespace marvel;
+
+namespace {
+
+const fi::GoldenRun& crcGolden() {
+    static bench::GoldenCache cache;
+    return cache.get("crc32", isa::IsaKind::RISCV);
+}
+
+std::string scratchPath(const char* name) {
+    const char* dir = std::getenv("TMPDIR");
+    std::string path = dir && *dir ? dir : "/tmp";
+    if (path.back() != '/')
+        path += '/';
+    path += name;
+    std::remove(path.c_str());
+    return path;
+}
+
+store::JournalMeta benchMeta() {
+    store::JournalMeta meta;
+    meta.workload = "crc32";
+    meta.target = "l1d";
+    meta.model = "transient";
+    meta.seed = 7;
+    meta.numFaults = 1u << 20;
+    meta.goldenCycles = 100'000;
+    meta.windowCycles = 100'000;
+    meta.entries = 512;
+    meta.bitsPerEntry = 512;
+    return meta;
+}
+
+fi::RunVerdict benchVerdict(u64 i) {
+    fi::RunVerdict v;
+    v.outcome = static_cast<fi::Outcome>(i % 3);
+    v.detail = fi::OutcomeDetail::MaskedEarly;
+    v.cyclesRun = 10'000 + i;
+    return v;
+}
+
+/// Cost of one journaled verdict at a given chunk size (fsyncs per
+/// chunk amortize across its verdicts).
+void BM_JournalAppend(benchmark::State& state) {
+    const std::string path = scratchPath("bench_journal.jsonl");
+    store::JournalWriter writer;
+    writer.create(path, benchMeta(),
+                  static_cast<unsigned>(state.range(0)));
+    u64 i = 0;
+    for (auto _ : state)
+        writer.append(i++, benchVerdict(i));
+    writer.close();
+    std::remove(path.c_str());
+    state.SetItemsProcessed(static_cast<i64>(i));
+}
+BENCHMARK(BM_JournalAppend)->Arg(1)->Arg(8)->Arg(32)->Arg(256);
+
+/// Tolerant-reader throughput over a populated journal (the resume
+/// startup cost).
+void BM_JournalReplay(benchmark::State& state) {
+    const std::string path = scratchPath("bench_replay.jsonl");
+    {
+        store::JournalWriter writer;
+        writer.create(path, benchMeta(), 256);
+        for (u64 i = 0; i < 10'000; ++i)
+            writer.append(i, benchVerdict(i));
+        writer.close();
+    }
+    for (auto _ : state) {
+        const store::Journal journal = store::readJournal(path);
+        benchmark::DoNotOptimize(journal.verdicts.size());
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(
+        static_cast<i64>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_JournalReplay);
+
+/// The old fixed-stride worker split, preserved here as the baseline
+/// the atomic work queue replaced: thread t runs indices t, t+T, ...
+void runFixedStride(const fi::GoldenRun& golden,
+                    const fi::CampaignOptions& opts) {
+    const fi::TargetInfo info = fi::targetInfo(
+        golden.checkpoint.view(), {fi::TargetId::L1D});
+    const unsigned threads = opts.threads ? opts.threads : 1;
+    sched::runWorkers(threads, [&](unsigned tid) {
+        for (unsigned i = tid; i < opts.numFaults; i += threads) {
+            Rng rng = Rng::forStream(opts.seed, i);
+            fi::FaultMask mask;
+            mask.faults.push_back(fi::randomFault(
+                rng, info.ref, info.geometry, golden.windowCycles,
+                fi::FaultModel::Transient));
+            const fi::RunVerdict v = fi::runWithFault(golden, mask);
+            benchmark::DoNotOptimize(v.cyclesRun);
+        }
+    });
+}
+
+fi::CampaignOptions campaignOpts() {
+    fi::CampaignOptions opts;
+    opts.numFaults = bench::envUnsigned("MARVEL_FAULTS", 40);
+    opts.threads = 4;
+    opts.seed = 99;
+    return opts;
+}
+
+void BM_CampaignFixedStride(benchmark::State& state) {
+    const fi::GoldenRun& golden = crcGolden();
+    const fi::CampaignOptions opts = campaignOpts();
+    for (auto _ : state)
+        runFixedStride(golden, opts);
+    state.SetItemsProcessed(
+        static_cast<i64>(state.iterations()) * opts.numFaults);
+}
+// The campaign work happens in spawned worker threads; measure wall
+// time so items_per_second is comparable across the three variants.
+BENCHMARK(BM_CampaignFixedStride)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CampaignWorkQueue(benchmark::State& state) {
+    const fi::GoldenRun& golden = crcGolden();
+    const fi::CampaignOptions opts = campaignOpts();
+    for (auto _ : state) {
+        const fi::CampaignResult res = sched::runCampaign(
+            golden, {fi::TargetId::L1D}, opts);
+        benchmark::DoNotOptimize(res.masked);
+    }
+    state.SetItemsProcessed(
+        static_cast<i64>(state.iterations()) * opts.numFaults);
+}
+BENCHMARK(BM_CampaignWorkQueue)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CampaignWorkQueueJournaled(benchmark::State& state) {
+    const fi::GoldenRun& golden = crcGolden();
+    fi::CampaignOptions opts = campaignOpts();
+    opts.chunkSize = static_cast<unsigned>(state.range(0));
+    const std::string path = scratchPath("bench_campaign.jsonl");
+    opts.journalPath = path;
+    for (auto _ : state) {
+        std::remove(path.c_str());
+        const fi::CampaignResult res = sched::runCampaign(
+            golden, {fi::TargetId::L1D}, opts);
+        benchmark::DoNotOptimize(res.masked);
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(
+        static_cast<i64>(state.iterations()) * opts.numFaults);
+}
+BENCHMARK(BM_CampaignWorkQueueJournaled)
+    ->Arg(1)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

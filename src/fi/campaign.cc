@@ -6,6 +6,7 @@
 
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "sched/workqueue.hh"
 
 namespace marvel::fi
 {
@@ -217,6 +218,42 @@ CampaignResult::errorMargin() const
     return marginOfError(static_cast<double>(total()), population());
 }
 
+void
+CampaignResult::tally(const RunVerdict &verdict)
+{
+    switch (verdict.outcome) {
+      case Outcome::Masked:
+        ++masked;
+        if (verdict.detail == OutcomeDetail::MaskedEarly)
+            ++maskedEarly;
+        if (verdict.detail == OutcomeDetail::MaskedInvalidEntry)
+            ++maskedInvalid;
+        break;
+      case Outcome::SDC:
+        ++sdc;
+        break;
+      case Outcome::Crash:
+        ++crash;
+        if (verdict.detail == OutcomeDetail::CrashTimeout)
+            ++timeouts;
+        break;
+    }
+    if (verdict.hvfCorruption)
+        ++hvfCorruptions;
+}
+
+void
+CampaignResult::addCounts(const CampaignResult &other)
+{
+    masked += other.masked;
+    sdc += other.sdc;
+    crash += other.crash;
+    maskedEarly += other.maskedEarly;
+    maskedInvalid += other.maskedInvalid;
+    timeouts += other.timeouts;
+    hvfCorruptions += other.hvfCorruptions;
+}
+
 CampaignResult
 runCampaign(const soc::SystemConfig &config,
             const isa::Program &program, const TargetRef &target,
@@ -248,11 +285,18 @@ runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
         threads = std::max(1u, std::thread::hardware_concurrency());
     threads = std::min<unsigned>(threads, options.numFaults ? options.numFaults : 1);
 
+    // Atomic work queue instead of the old fixed-stride split: each
+    // worker claims the next unclaimed fault index, so one stride
+    // accumulating the slow (timeout-bound) runs can no longer leave
+    // the other workers idle. Results stay deterministic because each
+    // index derives its own RNG stream and the counters commute.
+    sched::WorkQueue queue(options.numFaults);
     std::mutex mergeMutex;
-    auto worker = [&](unsigned tid) {
+    auto worker = [&](unsigned) {
         CampaignResult local;
-        std::vector<std::pair<unsigned, RunVerdict>> kept;
-        for (unsigned i = tid; i < options.numFaults; i += threads) {
+        std::vector<std::pair<u64, RunVerdict>> kept;
+        while (const auto slot = queue.next()) {
+            const u64 i = *slot;
             Rng rng = Rng::forStream(options.seed, i);
             FaultMask mask;
             mask.faults.push_back(randomFault(
@@ -260,51 +304,17 @@ runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
                 golden.windowCycles, options.model));
             const RunVerdict verdict =
                 runWithFault(golden, mask, runOpts);
-            switch (verdict.outcome) {
-              case Outcome::Masked:
-                ++local.masked;
-                if (verdict.detail == OutcomeDetail::MaskedEarly)
-                    ++local.maskedEarly;
-                if (verdict.detail ==
-                    OutcomeDetail::MaskedInvalidEntry)
-                    ++local.maskedInvalid;
-                break;
-              case Outcome::SDC:
-                ++local.sdc;
-                break;
-              case Outcome::Crash:
-                ++local.crash;
-                if (verdict.detail == OutcomeDetail::CrashTimeout)
-                    ++local.timeouts;
-                break;
-            }
-            if (verdict.hvfCorruption)
-                ++local.hvfCorruptions;
+            local.tally(verdict);
             if (options.keepVerdicts)
                 kept.emplace_back(i, verdict);
         }
         std::lock_guard<std::mutex> lock(mergeMutex);
-        result.masked += local.masked;
-        result.sdc += local.sdc;
-        result.crash += local.crash;
-        result.maskedEarly += local.maskedEarly;
-        result.maskedInvalid += local.maskedInvalid;
-        result.timeouts += local.timeouts;
-        result.hvfCorruptions += local.hvfCorruptions;
+        result.addCounts(local);
         for (auto &[idx, verdict] : kept)
             result.verdicts[idx] = verdict;
     };
 
-    if (threads <= 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker, t);
-        for (std::thread &t : pool)
-            t.join();
-    }
+    sched::runWorkers(threads, worker);
     return result;
 }
 

@@ -74,6 +74,24 @@ struct CampaignOptions
     double timeoutFactor = 8.0;
     bool keepVerdicts = false;
     u64 goldenMaxCycles = 500'000'000;
+
+    /**
+     * Persistence & sharding, consumed by sched::runCampaign (the
+     * in-memory fi:: entry points ignore them). With a journal path
+     * set, every verdict is appended to a crash-safe JSONL journal;
+     * with resume set, completed fault indices are replayed from the
+     * journal and only the missing ones execute. A campaign may be
+     * split across processes: shard `shardIndex` of `shardCount`
+     * owns the fault indices congruent to it mod shardCount, and
+     * sched::mergeJournals folds the shard journals back into one
+     * CampaignResult.
+     */
+    std::string journalPath; ///< empty = in-memory only
+    bool resume = false;     ///< continue from the journal
+    u32 shardIndex = 0;
+    u32 shardCount = 1;
+    unsigned chunkSize = 32; ///< verdicts per fsync'd journal chunk
+    std::string workloadName; ///< recorded in the journal meta
 };
 
 /** Aggregated campaign results. */
@@ -128,6 +146,12 @@ struct CampaignResult
 
     /** Fault population (bits x window cycles). */
     double population() const;
+
+    /** Fold one verdict into the outcome counters. */
+    void tally(const RunVerdict &verdict);
+
+    /** Sum another result's outcome counters into this one. */
+    void addCounts(const CampaignResult &other);
 };
 
 /** Run a complete campaign from scratch. */

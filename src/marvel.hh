@@ -8,6 +8,7 @@
  *   - compile it:               isa::compile
  *   - golden run:               fi::runGolden
  *   - inject:                   fi::runWithFault / fi::runCampaignOnGolden
+ *   - persist / resume:         sched::runCampaign / sched::mergeJournals
  *   - aggregate:                fi::weightedAvf / fi::operationsPerFailure
  *
  * See README.md for a walkthrough and DESIGN.md for the architecture.
@@ -32,7 +33,12 @@
 #include "mem/hierarchy.hh"
 #include "mir/builder.hh"
 #include "mir/interp.hh"
+#include "sched/scheduler.hh"
+#include "sched/workqueue.hh"
 #include "soc/builder.hh"
+#include "store/blob.hh"
+#include "store/journal.hh"
+#include "store/serialize.hh"
 #include "soc/checkpoint.hh"
 #include "soc/system.hh"
 #include "workloads/workloads.hh"

@@ -1,0 +1,311 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "sched/workqueue.hh"
+#include "soc/checkpoint.hh"
+
+namespace marvel::sched
+{
+
+namespace
+{
+
+/** Fault indices owned by this shard, in ascending order. */
+std::vector<u64>
+ownedIndices(u64 numFaults, u32 shardIndex, u32 shardCount)
+{
+    std::vector<u64> owned;
+    owned.reserve(static_cast<std::size_t>(
+        shardShare(numFaults, shardIndex, shardCount)));
+    for (u64 i = shardIndex; i < numFaults; i += shardCount)
+        owned.push_back(i);
+    return owned;
+}
+
+/**
+ * A journal is only a valid continuation of a campaign when its
+ * identity matches what we would start today; anything else means
+ * the caller pointed resume at the wrong file (or changed the
+ * campaign parameters underneath it).
+ */
+void
+checkMetaMatches(const store::JournalMeta &journal,
+                 const store::JournalMeta &expected,
+                 const std::string &path)
+{
+    auto mismatch = [&](const char *field, const std::string &have,
+                        const std::string &want) {
+        fatal("sched: journal '%s' was recorded for a different "
+              "campaign: %s is %s, expected %s",
+              path.c_str(), field, have.c_str(), want.c_str());
+    };
+    auto checkU64 = [&](const char *field, u64 have, u64 want) {
+        if (have != want)
+            mismatch(field, strfmt("%llu", (unsigned long long)have),
+                     strfmt("%llu", (unsigned long long)want));
+    };
+    // Digests print in hex everywhere else (golden-run banner, blob
+    // errors) — keep this message correlatable with those.
+    auto checkHex = [&](const char *field, u64 have, u64 want) {
+        if (have != want)
+            mismatch(field, strfmt("%016llx", (unsigned long long)have),
+                     strfmt("%016llx", (unsigned long long)want));
+    };
+    if (journal.target != expected.target)
+        mismatch("target", journal.target, expected.target);
+    if (journal.model != expected.model)
+        mismatch("model", journal.model, expected.model);
+    checkU64("seed", journal.seed, expected.seed);
+    checkU64("faults", journal.numFaults, expected.numFaults);
+    checkU64("shard", journal.shardIndex, expected.shardIndex);
+    checkU64("shards", journal.shardCount, expected.shardCount);
+    checkHex("goldenDigest", journal.goldenDigest,
+             expected.goldenDigest);
+    checkU64("windowCycles", journal.windowCycles,
+             expected.windowCycles);
+    // The workload name is informational; only flag it when both
+    // sides actually recorded one.
+    if (!journal.workload.empty() && !expected.workload.empty() &&
+        journal.workload != expected.workload)
+        mismatch("workload", journal.workload, expected.workload);
+}
+
+/** Build a result shell (identity fields, no counts) from a meta. */
+fi::CampaignResult
+resultShellFromMeta(const store::JournalMeta &meta)
+{
+    fi::CampaignResult result;
+    result.target.name = meta.target;
+    result.target.geometry.entries = meta.entries;
+    result.target.geometry.bitsPerEntry = meta.bitsPerEntry;
+    result.goldenCycles = meta.goldenCycles;
+    result.windowCycles = meta.windowCycles;
+    result.workload = meta.workload;
+    return result;
+}
+
+} // namespace
+
+store::JournalMeta
+journalMetaFor(const fi::GoldenRun &golden,
+               const fi::TargetInfo &info,
+               const fi::CampaignOptions &options)
+{
+    store::JournalMeta meta;
+    meta.workload = options.workloadName;
+    meta.target = info.name;
+    meta.model = fi::faultModelName(options.model);
+    meta.seed = options.seed;
+    meta.numFaults = options.numFaults;
+    meta.shardIndex = options.shardIndex;
+    meta.shardCount = options.shardCount;
+    meta.goldenDigest =
+        soc::archStateDigest(golden.checkpoint.view());
+    meta.goldenCycles = golden.totalCycles;
+    meta.windowCycles = golden.windowCycles;
+    meta.entries = info.geometry.entries;
+    meta.bitsPerEntry = info.geometry.bitsPerEntry;
+    return meta;
+}
+
+fi::CampaignResult
+runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
+            const fi::CampaignOptions &options)
+{
+    if (options.shardCount == 0)
+        fatal("sched: shardCount must be at least 1");
+    if (options.shardIndex >= options.shardCount)
+        fatal("sched: shard index %u out of range (0..%u)",
+              options.shardIndex, options.shardCount - 1);
+    if (options.resume && options.journalPath.empty())
+        fatal("sched: resume requires a journal path");
+
+    fi::CampaignResult result;
+    result.target = fi::targetInfo(golden.checkpoint.view(), target);
+    result.goldenCycles = golden.totalCycles;
+    result.windowCycles = golden.windowCycles;
+    result.workload = options.workloadName;
+    if (options.keepVerdicts)
+        result.verdicts.resize(options.numFaults);
+
+    const store::JournalMeta meta =
+        journalMetaFor(golden, result.target, options);
+    const std::vector<u64> owned = ownedIndices(
+        options.numFaults, options.shardIndex, options.shardCount);
+
+    std::vector<u8> done(options.numFaults, 0);
+    store::JournalWriter writer;
+    if (!options.journalPath.empty()) {
+        const unsigned chunkSize =
+            options.chunkSize ? options.chunkSize : 1;
+        if (options.resume &&
+            store::journalExists(options.journalPath)) {
+            const store::Journal journal =
+                store::readJournal(options.journalPath);
+            checkMetaMatches(journal.meta, meta,
+                             options.journalPath);
+            for (const store::JournalVerdict &jv :
+                 journal.verdicts) {
+                if (jv.idx >= options.numFaults ||
+                    jv.idx % options.shardCount !=
+                        options.shardIndex)
+                    fatal("sched: journal '%s' holds verdict for "
+                          "fault %llu, which shard %u/%u does not "
+                          "own", options.journalPath.c_str(),
+                          static_cast<unsigned long long>(jv.idx),
+                          options.shardIndex, options.shardCount);
+                if (done[jv.idx])
+                    continue;
+                done[jv.idx] = 1;
+                result.tally(jv.verdict);
+                if (options.keepVerdicts)
+                    result.verdicts[jv.idx] = jv.verdict;
+            }
+            writer.resume(options.journalPath, journal.validBytes,
+                          chunkSize);
+        } else {
+            writer.create(options.journalPath, meta, chunkSize);
+        }
+    }
+
+    std::vector<u64> pending;
+    pending.reserve(owned.size());
+    for (u64 i : owned)
+        if (!done[i])
+            pending.push_back(i);
+
+    fi::InjectionOptions runOpts;
+    runOpts.earlyTermination = options.earlyTermination;
+    runOpts.computeHvf = options.computeHvf;
+    runOpts.timeoutFactor = options.timeoutFactor;
+
+    unsigned threads = options.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<unsigned>(
+        threads, pending.empty() ? 1 : pending.size());
+
+    WorkQueue queue(pending.size());
+    std::mutex mergeMutex;
+    auto worker = [&](unsigned) {
+        fi::CampaignResult local;
+        std::vector<std::pair<u64, fi::RunVerdict>> kept;
+        while (const auto slot = queue.next()) {
+            const u64 i = pending[*slot];
+            Rng rng = Rng::forStream(options.seed, i);
+            fi::FaultMask mask;
+            mask.faults.push_back(fi::randomFault(
+                rng, target, result.target.geometry,
+                golden.windowCycles, options.model));
+            const fi::RunVerdict verdict =
+                fi::runWithFault(golden, mask, runOpts);
+            local.tally(verdict);
+            if (options.keepVerdicts)
+                kept.emplace_back(i, verdict);
+            if (writer.open()) {
+                // One lock covers both the journal append (which may
+                // fsync a chunk) and nothing else; counter merging
+                // stays batched per worker.
+                std::lock_guard<std::mutex> lock(mergeMutex);
+                writer.append(i, verdict);
+            }
+        }
+        std::lock_guard<std::mutex> lock(mergeMutex);
+        result.addCounts(local);
+        for (auto &[idx, verdict] : kept)
+            result.verdicts[idx] = verdict;
+    };
+    if (!pending.empty())
+        runWorkers(threads, worker);
+
+    if (writer.open())
+        writer.close(); // commits the final partial chunk
+    return result;
+}
+
+ShardProgress
+shardProgress(const std::string &journalPath)
+{
+    const store::Journal journal = store::readJournal(journalPath);
+    ShardProgress progress;
+    progress.meta = journal.meta;
+    progress.partial = resultShellFromMeta(journal.meta);
+    progress.expected =
+        shardShare(journal.meta.numFaults, journal.meta.shardIndex,
+                   journal.meta.shardCount);
+    progress.chunksCommitted = journal.chunksCommitted;
+    progress.tornTail = journal.droppedTornLine;
+
+    std::vector<u8> seen(journal.meta.numFaults, 0);
+    for (const store::JournalVerdict &jv : journal.verdicts) {
+        if (jv.idx >= journal.meta.numFaults || seen[jv.idx])
+            continue;
+        seen[jv.idx] = 1;
+        ++progress.done;
+        progress.partial.tally(jv.verdict);
+    }
+    return progress;
+}
+
+fi::CampaignResult
+mergeJournals(const std::vector<std::string> &journalPaths)
+{
+    if (journalPaths.empty())
+        fatal("sched: merge needs at least one journal");
+
+    fi::CampaignResult result;
+    store::JournalMeta first;
+    std::vector<u8> seen;
+    for (std::size_t p = 0; p < journalPaths.size(); ++p) {
+        const store::Journal journal =
+            store::readJournal(journalPaths[p]);
+        const store::JournalMeta &meta = journal.meta;
+        if (p == 0) {
+            first = meta;
+            result = resultShellFromMeta(meta);
+            seen.assign(meta.numFaults, 0);
+        } else {
+            if (meta.target != first.target ||
+                meta.model != first.model ||
+                meta.seed != first.seed ||
+                meta.numFaults != first.numFaults ||
+                meta.shardCount != first.shardCount ||
+                meta.goldenDigest != first.goldenDigest)
+                fatal("sched: journal '%s' belongs to a different "
+                      "campaign than '%s'",
+                      journalPaths[p].c_str(),
+                      journalPaths[0].c_str());
+        }
+        for (const store::JournalVerdict &jv : journal.verdicts) {
+            if (jv.idx >= meta.numFaults)
+                fatal("sched: journal '%s' holds out-of-range "
+                      "fault index %llu",
+                      journalPaths[p].c_str(),
+                      static_cast<unsigned long long>(jv.idx));
+            if (jv.idx % meta.shardCount != meta.shardIndex)
+                fatal("sched: journal '%s' holds fault %llu, "
+                      "which shard %u/%u does not own",
+                      journalPaths[p].c_str(),
+                      static_cast<unsigned long long>(jv.idx),
+                      meta.shardIndex, meta.shardCount);
+            if (seen[jv.idx])
+                continue; // re-journaled after a crash window
+            seen[jv.idx] = 1;
+            result.tally(jv.verdict);
+        }
+    }
+
+    const u64 covered = result.total();
+    if (covered != first.numFaults)
+        fatal("sched: merged journals cover %llu of %llu faults "
+              "(incomplete or missing shards)",
+              static_cast<unsigned long long>(covered),
+              static_cast<unsigned long long>(first.numFaults));
+    return result;
+}
+
+} // namespace marvel::sched

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Resumable, sharded campaign scheduler.
+ *
+ * sched::runCampaign is the persistent superset of
+ * fi::runCampaignOnGolden: the same per-index RNG streams and verdict
+ * classification, dispatched from an atomic work queue, but with the
+ * campaign's progress durably journaled (store/journal.hh) so a
+ * killed process picks up where the journal ends.
+ *
+ * Orchestration model:
+ *  - A campaign of N faults is the index set {0..N-1}. Shard s of S
+ *    owns the indices congruent to s mod S, so any number of
+ *    processes (or hosts sharing a filesystem namespace per shard
+ *    journal) can split one campaign without coordination.
+ *  - Every completed verdict is appended to the shard's journal and
+ *    fsync'd in chunks; the journal IS the scheduler's checkpoint.
+ *  - On resume, the journal's meta record is validated against the
+ *    recomputed golden run (seed, sample size, model, target,
+ *    arch-state digest) — a mismatched journal fatal()s rather than
+ *    silently mixing incompatible samples — then only the fault
+ *    indices with no journaled verdict are enqueued. Because fault
+ *    i's RNG stream depends only on (seed, i), a resumed campaign is
+ *    bit-identical to an uninterrupted one.
+ *  - sched::mergeJournals folds the shard journals back into one
+ *    CampaignResult, verifying the shards belong to the same
+ *    campaign and partition the index set exactly.
+ */
+
+#ifndef MARVEL_SCHED_SCHEDULER_HH
+#define MARVEL_SCHED_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hh"
+#include "store/journal.hh"
+
+namespace marvel::sched
+{
+
+/**
+ * Run (or resume) one shard of a campaign against a precomputed
+ * golden run, honouring the persistence fields of CampaignOptions.
+ * With an empty journalPath this is a pure in-memory run of the
+ * shard. The returned result covers only this shard's indices when
+ * shardCount > 1 (merge the shard journals for campaign totals).
+ */
+fi::CampaignResult runCampaign(const fi::GoldenRun &golden,
+                               const fi::TargetRef &target,
+                               const fi::CampaignOptions &options);
+
+/** The journal meta sched::runCampaign would write for a campaign. */
+store::JournalMeta journalMetaFor(const fi::GoldenRun &golden,
+                                  const fi::TargetInfo &info,
+                                  const fi::CampaignOptions &options);
+
+/** Progress of one shard journal, for status displays. */
+struct ShardProgress
+{
+    store::JournalMeta meta;
+    fi::CampaignResult partial; ///< counts of the journaled verdicts
+    u64 done = 0;               ///< distinct fault indices completed
+    u64 expected = 0;           ///< indices this shard owns
+    u64 chunksCommitted = 0;
+    bool tornTail = false;
+
+    bool complete() const { return done == expected; }
+};
+
+/** Read a shard journal and aggregate its progress. */
+ShardProgress shardProgress(const std::string &journalPath);
+
+/**
+ * Merge shard journals into one campaign-wide CampaignResult.
+ * Verifies every journal shares the campaign identity (seed, faults,
+ * model, target, golden digest, shard count) and that together the
+ * shards cover every fault index exactly once; fatal() on overlap,
+ * holes, or identity mismatch.
+ */
+fi::CampaignResult mergeJournals(
+    const std::vector<std::string> &journalPaths);
+
+/** Number of fault indices owned by shard `index` of `count`. */
+constexpr u64
+shardShare(u64 numFaults, u32 index, u32 count)
+{
+    return numFaults / count + (numFaults % count > index ? 1 : 0);
+}
+
+} // namespace marvel::sched
+
+#endif // MARVEL_SCHED_SCHEDULER_HH

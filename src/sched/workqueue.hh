@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lock-free work distribution for campaign workers.
+ *
+ * The original campaign loop dealt fault indices by fixed stride
+ * (`for (i = tid; i < n; i += threads)`), which strands threads when
+ * expensive runs cluster on one stride — early-terminated runs finish
+ * in a few thousand cycles while crash-timeout runs cost 8x the
+ * golden runtime, so static partitions routinely leave workers idle.
+ * WorkQueue replaces that with an atomic-counter pool: every worker
+ * claims the next unclaimed slot, so imbalance is bounded by one run.
+ *
+ * Header-only and dependency-free so both the legacy in-memory
+ * campaign path (fi/campaign.cc) and the persistent scheduler
+ * (sched/scheduler.cc) share the same distribution mechanism.
+ */
+
+#ifndef MARVEL_SCHED_WORKQUEUE_HH
+#define MARVEL_SCHED_WORKQUEUE_HH
+
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::sched
+{
+
+/** Atomic dispenser of slot indices [0, size). */
+class WorkQueue
+{
+  public:
+    explicit WorkQueue(u64 size) : size_(size) {}
+
+    /** Claim the next slot, or nullopt when the queue is drained. */
+    std::optional<u64>
+    next()
+    {
+        const u64 slot =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= size_)
+            return std::nullopt;
+        return slot;
+    }
+
+    u64 size() const { return size_; }
+
+    /** Slots handed out so far (may exceed size once drained). */
+    u64
+    claimed() const
+    {
+        const u64 c = cursor_.load(std::memory_order_relaxed);
+        return c < size_ ? c : size_;
+    }
+
+  private:
+    const u64 size_;
+    std::atomic<u64> cursor_{0};
+};
+
+/**
+ * Run `fn(tid)` on `threads` workers and join them all. `threads`
+ * <= 1 runs inline on the calling thread (no spawn overhead, and
+ * keeps single-threaded campaigns trivially debuggable).
+ */
+template <typename Fn>
+void
+runWorkers(unsigned threads, Fn &&fn)
+{
+    if (threads <= 1) {
+        fn(0u);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(fn, t);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+} // namespace marvel::sched
+
+#endif // MARVEL_SCHED_WORKQUEUE_HH

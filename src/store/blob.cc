@@ -1,0 +1,168 @@
+#include "store/blob.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace marvel::store
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'M', 'R', 'V', 'L', 'S', 'T', 'O', 'R'};
+
+void
+put32(u8 *out, u32 value)
+{
+    for (int i = 0; i < 4; ++i)
+        out[i] = static_cast<u8>(value >> (8 * i));
+}
+
+void
+put64(u8 *out, u64 value)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<u8>(value >> (8 * i));
+}
+
+u32
+get32(const u8 *in)
+{
+    u32 value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<u32>(in[i]) << (8 * i);
+    return value;
+}
+
+u64
+get64(const u8 *in)
+{
+    u64 value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<u64>(in[i]) << (8 * i);
+    return value;
+}
+
+constexpr std::size_t kHeaderSize = 32;
+
+} // namespace
+
+void
+writeBlob(const std::string &path, BlobKind kind,
+          const std::vector<u8> &payload)
+{
+    u8 header[kHeaderSize];
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    put32(header + 8, kBlobFormatVersion);
+    put32(header + 12, static_cast<u32>(kind));
+    put64(header + 16, payload.size());
+    put64(header + 24, fnv1a(payload));
+
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("store: cannot create '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+
+    auto writeAll = [&](const u8 *data, std::size_t len) {
+        while (len > 0) {
+            const ssize_t n = ::write(fd, data, len);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ::close(fd);
+                fatal("store: write to '%s' failed: %s", tmp.c_str(),
+                      std::strerror(errno));
+            }
+            data += n;
+            len -= static_cast<std::size_t>(n);
+        }
+    };
+    writeAll(header, kHeaderSize);
+    if (!payload.empty())
+        writeAll(payload.data(), payload.size());
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        fatal("store: fsync of '%s' failed: %s", tmp.c_str(),
+              std::strerror(errno));
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("store: rename '%s' -> '%s' failed: %s", tmp.c_str(),
+              path.c_str(), std::strerror(errno));
+}
+
+std::vector<u8>
+readBlob(const std::string &path, BlobKind kind)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("store: cannot open '%s': %s", path.c_str(),
+              std::strerror(errno));
+
+    u8 header[kHeaderSize];
+    if (std::fread(header, 1, kHeaderSize, file) != kHeaderSize) {
+        std::fclose(file);
+        fatal("store: '%s' is truncated (no header)", path.c_str());
+    }
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+        std::fclose(file);
+        fatal("store: '%s' is not a MARVEL blob (bad magic)",
+              path.c_str());
+    }
+    const u32 version = get32(header + 8);
+    if (version != kBlobFormatVersion) {
+        std::fclose(file);
+        fatal("store: '%s' has format version %u, expected %u",
+              path.c_str(), version, kBlobFormatVersion);
+    }
+    const u32 fileKind = get32(header + 12);
+    if (fileKind != static_cast<u32>(kind)) {
+        std::fclose(file);
+        fatal("store: '%s' holds blob kind %u, expected %u",
+              path.c_str(), fileKind, static_cast<u32>(kind));
+    }
+    const u64 length = get64(header + 16);
+    const u64 digest = get64(header + 24);
+
+    std::vector<u8> payload(length);
+    if (length > 0 &&
+        std::fread(payload.data(), 1, length, file) != length) {
+        std::fclose(file);
+        fatal("store: '%s' is truncated (payload shorter than "
+              "header claims)", path.c_str());
+    }
+    // Trailing garbage would mean the header lied about the length.
+    u8 extra;
+    const bool hasExtra = std::fread(&extra, 1, 1, file) == 1;
+    std::fclose(file);
+    if (hasExtra)
+        fatal("store: '%s' has trailing bytes beyond the payload",
+              path.c_str());
+    if (fnv1a(payload) != digest)
+        fatal("store: '%s' failed its digest check (corrupt payload)",
+              path.c_str());
+    return payload;
+}
+
+bool
+blobExists(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    u8 header[8];
+    const bool ok = std::fread(header, 1, 8, file) == 8 &&
+                    std::memcmp(header, kMagic, 8) == 0;
+    std::fclose(file);
+    return ok;
+}
+
+} // namespace marvel::store

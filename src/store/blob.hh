@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Versioned, digest-protected binary files ("blobs").
+ *
+ * Every artifact the campaign store persists — serialized checkpoint
+ * arch-state, golden-run records — travels in the same container:
+ *
+ *   offset  size  field
+ *   0       8     magic "MRVLSTOR"
+ *   8       4     format version (little-endian u32)
+ *   12      4     payload kind   (BlobKind, little-endian u32)
+ *   16      8     payload length (little-endian u64)
+ *   24      8     FNV-1a digest of the payload (little-endian u64)
+ *   32      ...   payload bytes
+ *
+ * Writes are crash-safe: the blob is written to "<path>.tmp", fsync'd,
+ * and renamed over the destination, so a reader never observes a
+ * half-written file. Reads verify magic, version, kind, length, and
+ * digest and fatal() on any mismatch (a corrupt artifact must never be
+ * silently consumed by a resumed campaign).
+ */
+
+#ifndef MARVEL_STORE_BLOB_HH
+#define MARVEL_STORE_BLOB_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::store
+{
+
+/** FNV-1a 64-bit offset basis. */
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+/** Incremental FNV-1a over a byte range. */
+constexpr u64
+fnv1a(const u8 *data, std::size_t len, u64 hash = kFnvOffset)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= data[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+inline u64
+fnv1a(const std::vector<u8> &bytes, u64 hash = kFnvOffset)
+{
+    return fnv1a(bytes.data(), bytes.size(), hash);
+}
+
+/** What a blob file carries; recorded in the header. */
+enum class BlobKind : u32
+{
+    ArchState = 1, ///< soc::serializeArchState bytes of a Checkpoint
+    GoldenRun = 2, ///< store::serializeGoldenRun bytes
+};
+
+constexpr u32 kBlobFormatVersion = 1;
+
+/**
+ * Atomically persist a payload: write <path>.tmp, fsync, rename.
+ * fatal() on any I/O error.
+ */
+void writeBlob(const std::string &path, BlobKind kind,
+               const std::vector<u8> &payload);
+
+/**
+ * Load a blob written by writeBlob. Verifies magic, version, the
+ * expected kind, length, and the FNV-1a digest; fatal() on mismatch.
+ */
+std::vector<u8> readBlob(const std::string &path, BlobKind kind);
+
+/** True when a readable blob of the given kind exists at path. */
+bool blobExists(const std::string &path);
+
+} // namespace marvel::store
+
+#endif // MARVEL_STORE_BLOB_HH

@@ -1,0 +1,506 @@
+#include "store/journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+
+namespace marvel::store
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/**
+ * Parse one flat JSON object ({"key":value,...} with string or
+ * integer values) into a key -> literal map. Returns false on any
+ * syntax error; never throws.
+ */
+bool
+parseFlatJson(const std::string &line,
+              std::map<std::string, std::string> &out)
+{
+    std::size_t i = 0;
+    auto skipWs = [&]() {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+    };
+    auto parseString = [&](std::string &value) {
+        if (i >= line.size() || line[i] != '"')
+            return false;
+        ++i;
+        value.clear();
+        while (i < line.size() && line[i] != '"') {
+            char c = line[i++];
+            if (c == '\\') {
+                if (i >= line.size())
+                    return false;
+                const char esc = line[i++];
+                switch (esc) {
+                  case '"': value += '"'; break;
+                  case '\\': value += '\\'; break;
+                  case 'n': value += '\n'; break;
+                  case 'r': value += '\r'; break;
+                  case 't': value += '\t'; break;
+                  case 'u': {
+                    if (i + 4 > line.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = line[i++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    if (code > 0x7f)
+                        return false; // journal strings are ASCII
+                    value += static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+            } else {
+                value += c;
+            }
+        }
+        if (i >= line.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    };
+
+    skipWs();
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipWs();
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (i >= line.size() || line[i] != ':')
+                return false;
+            ++i;
+            skipWs();
+            std::string value;
+            if (i < line.size() && line[i] == '"') {
+                if (!parseString(value))
+                    return false;
+            } else {
+                const std::size_t start = i;
+                if (i < line.size() && line[i] == '-')
+                    ++i;
+                while (i < line.size() && line[i] >= '0' &&
+                       line[i] <= '9')
+                    ++i;
+                if (i == start)
+                    return false;
+                value = line.substr(start, i - start);
+            }
+            out[key] = value;
+            skipWs();
+            if (i < line.size() && line[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (i < line.size() && line[i] == '}') {
+                ++i;
+                break;
+            }
+            return false;
+        }
+    }
+    skipWs();
+    return i == line.size();
+}
+
+bool
+fieldU64(const std::map<std::string, std::string> &fields,
+         const char *key, u64 &out)
+{
+    const auto it = fields.find(key);
+    if (it == fields.end())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(it->second.c_str(), &end, 10);
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+fieldStr(const std::map<std::string, std::string> &fields,
+         const char *key, std::string &out)
+{
+    const auto it = fields.find(key);
+    if (it == fields.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+outcomeFromName(const std::string &name, fi::Outcome &out)
+{
+    for (int i = 0; i <= static_cast<int>(fi::Outcome::Crash); ++i) {
+        const auto o = static_cast<fi::Outcome>(i);
+        if (name == fi::outcomeName(o)) {
+            out = o;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+detailFromName(const std::string &name, fi::OutcomeDetail &out)
+{
+    for (int i = 0;
+         i <= static_cast<int>(fi::OutcomeDetail::CrashTimeout);
+         ++i) {
+        const auto d = static_cast<fi::OutcomeDetail>(i);
+        if (name == fi::outcomeDetailName(d)) {
+            out = d;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+metaLine(const JournalMeta &meta)
+{
+    return strfmt(
+        "{\"type\":\"meta\",\"version\":%u,\"workload\":\"%s\","
+        "\"target\":\"%s\",\"model\":\"%s\",\"seed\":%llu,"
+        "\"faults\":%llu,\"shard\":%u,\"shards\":%u,"
+        "\"goldenDigest\":%llu,\"goldenCycles\":%llu,"
+        "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u}",
+        kJournalFormatVersion, jsonEscape(meta.workload).c_str(),
+        jsonEscape(meta.target).c_str(),
+        jsonEscape(meta.model).c_str(),
+        static_cast<unsigned long long>(meta.seed),
+        static_cast<unsigned long long>(meta.numFaults),
+        meta.shardIndex, meta.shardCount,
+        static_cast<unsigned long long>(meta.goldenDigest),
+        static_cast<unsigned long long>(meta.goldenCycles),
+        static_cast<unsigned long long>(meta.windowCycles),
+        meta.entries, meta.bitsPerEntry);
+}
+
+std::string
+verdictLine(u64 idx, const fi::RunVerdict &verdict)
+{
+    return strfmt(
+        "{\"type\":\"verdict\",\"idx\":%llu,\"outcome\":\"%s\","
+        "\"detail\":\"%s\",\"hvf\":%d,\"hvfCycle\":%llu,"
+        "\"early\":%d,\"cycles\":%llu}",
+        static_cast<unsigned long long>(idx),
+        fi::outcomeName(verdict.outcome),
+        fi::outcomeDetailName(verdict.detail),
+        verdict.hvfCorruption ? 1 : 0,
+        static_cast<unsigned long long>(verdict.hvfCorruptCycle),
+        verdict.terminatedEarly ? 1 : 0,
+        static_cast<unsigned long long>(verdict.cyclesRun));
+}
+
+/** Parse one intact journal line into the Journal aggregate. */
+bool
+applyLine(const std::string &line, Journal &journal)
+{
+    std::map<std::string, std::string> fields;
+    if (!parseFlatJson(line, fields))
+        return false;
+    std::string type;
+    if (!fieldStr(fields, "type", type))
+        return false;
+
+    if (type == "meta") {
+        u64 version = 0;
+        JournalMeta meta;
+        u64 seed, faults, shard, shards, digest, goldenCycles,
+            windowCycles, entries, bits;
+        if (!fieldU64(fields, "version", version) ||
+            version != kJournalFormatVersion)
+            return false;
+        if (!fieldStr(fields, "workload", meta.workload) ||
+            !fieldStr(fields, "target", meta.target) ||
+            !fieldStr(fields, "model", meta.model) ||
+            !fieldU64(fields, "seed", seed) ||
+            !fieldU64(fields, "faults", faults) ||
+            !fieldU64(fields, "shard", shard) ||
+            !fieldU64(fields, "shards", shards) ||
+            !fieldU64(fields, "goldenDigest", digest) ||
+            !fieldU64(fields, "goldenCycles", goldenCycles) ||
+            !fieldU64(fields, "windowCycles", windowCycles) ||
+            !fieldU64(fields, "entries", entries) ||
+            !fieldU64(fields, "bitsPerEntry", bits))
+            return false;
+        meta.seed = seed;
+        meta.numFaults = faults;
+        meta.shardIndex = static_cast<u32>(shard);
+        meta.shardCount = static_cast<u32>(shards);
+        meta.goldenDigest = digest;
+        meta.goldenCycles = goldenCycles;
+        meta.windowCycles = windowCycles;
+        meta.entries = static_cast<u32>(entries);
+        meta.bitsPerEntry = static_cast<u32>(bits);
+        if (journal.hasMeta)
+            return false; // one meta per journal
+        journal.hasMeta = true;
+        journal.meta = meta;
+        return true;
+    }
+    if (type == "verdict") {
+        JournalVerdict jv;
+        std::string outcome, detail;
+        u64 hvf, hvfCycle, early, cycles;
+        if (!fieldU64(fields, "idx", jv.idx) ||
+            !fieldStr(fields, "outcome", outcome) ||
+            !fieldStr(fields, "detail", detail) ||
+            !fieldU64(fields, "hvf", hvf) ||
+            !fieldU64(fields, "hvfCycle", hvfCycle) ||
+            !fieldU64(fields, "early", early) ||
+            !fieldU64(fields, "cycles", cycles))
+            return false;
+        if (!outcomeFromName(outcome, jv.verdict.outcome) ||
+            !detailFromName(detail, jv.verdict.detail))
+            return false;
+        jv.verdict.hvfCorruption = hvf != 0;
+        jv.verdict.hvfCorruptCycle = hvfCycle;
+        jv.verdict.terminatedEarly = early != 0;
+        jv.verdict.cyclesRun = cycles;
+        journal.verdicts.push_back(jv);
+        return true;
+    }
+    if (type == "chunk") {
+        u64 done = 0;
+        if (!fieldU64(fields, "done", done))
+            return false;
+        ++journal.chunksCommitted;
+        return true;
+    }
+    return false; // unknown record type
+}
+
+} // namespace
+
+JournalWriter::~JournalWriter()
+{
+    if (fd_ >= 0)
+        close();
+}
+
+void
+JournalWriter::create(const std::string &path,
+                      const JournalMeta &meta, unsigned chunkSize)
+{
+    if (fd_ >= 0)
+        panic("journal: writer already open");
+    fd_ = ::open(path.c_str(),
+                 O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+    if (fd_ < 0)
+        fatal("journal: cannot create '%s': %s", path.c_str(),
+              std::strerror(errno));
+    path_ = path;
+    chunkSize_ = chunkSize ? chunkSize : 1;
+    writeLine(metaLine(meta));
+    sync(); // the identity record must survive any later crash
+}
+
+void
+JournalWriter::resume(const std::string &path, u64 validBytes,
+                      unsigned chunkSize)
+{
+    if (fd_ >= 0)
+        panic("journal: writer already open");
+    fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (fd_ < 0)
+        fatal("journal: cannot reopen '%s': %s", path.c_str(),
+              std::strerror(errno));
+    // Cut off any torn final line so appended records start on a
+    // clean line boundary.
+    if (::ftruncate(fd_, static_cast<off_t>(validBytes)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        fatal("journal: cannot truncate '%s' to %llu bytes: %s",
+              path.c_str(),
+              static_cast<unsigned long long>(validBytes),
+              std::strerror(errno));
+    }
+    path_ = path;
+    chunkSize_ = chunkSize ? chunkSize : 1;
+}
+
+void
+JournalWriter::writeLine(const std::string &line)
+{
+    std::string buf = line;
+    buf += '\n';
+    const char *data = buf.data();
+    std::size_t len = buf.size();
+    while (len > 0) {
+        const ssize_t n = ::write(fd_, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("journal: write to '%s' failed: %s", path_.c_str(),
+                  std::strerror(errno));
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+void
+JournalWriter::sync()
+{
+    if (::fsync(fd_) != 0)
+        fatal("journal: fsync of '%s' failed: %s", path_.c_str(),
+              std::strerror(errno));
+}
+
+void
+JournalWriter::append(u64 idx, const fi::RunVerdict &verdict)
+{
+    if (fd_ < 0)
+        panic("journal: append on a closed writer");
+    pending_.push_back(verdictLine(idx, verdict));
+    if (pending_.size() >= chunkSize_)
+        commit();
+}
+
+void
+JournalWriter::commit()
+{
+    if (fd_ < 0)
+        panic("journal: commit on a closed writer");
+    if (pending_.empty())
+        return;
+    for (const std::string &line : pending_)
+        writeLine(line);
+    sync(); // verdicts are durable before the chunk marker claims so
+    writeLine(strfmt("{\"type\":\"chunk\",\"done\":%zu}",
+                     pending_.size()));
+    sync();
+    pending_.clear();
+    ++chunks_;
+}
+
+void
+JournalWriter::close()
+{
+    if (fd_ < 0)
+        return;
+    commit();
+    ::close(fd_);
+    fd_ = -1;
+}
+
+Journal
+readJournal(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("journal: cannot open '%s': %s", path.c_str(),
+              std::strerror(errno));
+    std::string content;
+    char buf[64 * 1024];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        content.append(buf, n);
+    const bool readError = std::ferror(file);
+    std::fclose(file);
+    if (readError)
+        fatal("journal: read of '%s' failed", path.c_str());
+
+    Journal journal;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        const bool complete = nl != std::string::npos;
+        const std::string line =
+            content.substr(pos, complete ? nl - pos
+                                         : std::string::npos);
+        const std::size_t next =
+            complete ? nl + 1 : content.size();
+        if (line.empty()) {
+            // A blank line can only be torn padding at the tail.
+            if (next < content.size())
+                fatal("journal: '%s' has an empty record at byte "
+                      "%zu", path.c_str(), pos);
+            journal.droppedTornLine = true;
+            break;
+        }
+        if (!complete || !applyLine(line, journal)) {
+            // Tolerate exactly one torn/garbage line at the very end
+            // of the file; anything followed by more data is real
+            // corruption.
+            if (next < content.size())
+                fatal("journal: '%s' is corrupt at byte %zu: %s",
+                      path.c_str(), pos, line.c_str());
+            journal.droppedTornLine = true;
+            break;
+        }
+        pos = next;
+        journal.validBytes = pos;
+    }
+    if (!journal.hasMeta)
+        fatal("journal: '%s' has no intact meta record",
+              path.c_str());
+    return journal;
+}
+
+bool
+journalExists(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    char head[16] = {};
+    const std::size_t n = std::fread(head, 1, sizeof(head) - 1, file);
+    std::fclose(file);
+    return n > 0 && std::strncmp(head, "{\"type\":\"meta\"", 14) == 0;
+}
+
+} // namespace marvel::store

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Crash-safe append-only campaign journal (JSON Lines).
+ *
+ * One journal records the progress of one campaign shard. The first
+ * line is a `meta` record binding the journal to a campaign identity
+ * (seed, sample size, fault model, target, golden-run digest, shard);
+ * every completed faulty run appends one `verdict` record; after each
+ * fsync'd batch of verdicts a `chunk` record marks the commit point:
+ *
+ *   {"type":"meta","version":1,"workload":"sha","target":"l1d",...}
+ *   {"type":"verdict","idx":17,"outcome":"SDC","detail":"sdc-output",
+ *    "hvf":1,"early":0,"cycles":5121,"hvfCycle":902}
+ *   {"type":"chunk","done":32}
+ *
+ * Durability contract: verdict records are buffered, then written and
+ * fsync'd as a chunk. A crash (SIGKILL, power loss) can lose at most
+ * the un-fsync'd tail, and can tear at most the final line of the
+ * file. The reader is tolerant of exactly that: a torn/garbage FINAL
+ * line is dropped (and `validBytes` reports where the intact prefix
+ * ends so a resuming writer can truncate before appending); a
+ * malformed line anywhere else is corruption and fatal()s.
+ *
+ * Resume never trusts chunk records for correctness — every intact
+ * verdict line was fsync'd before its chunk marker, so the set of
+ * verdict records alone identifies the completed fault indices.
+ */
+
+#ifndef MARVEL_STORE_JOURNAL_HH
+#define MARVEL_STORE_JOURNAL_HH
+
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hh"
+
+namespace marvel::store
+{
+
+constexpr u32 kJournalFormatVersion = 1;
+
+/** The campaign identity a journal is bound to. */
+struct JournalMeta
+{
+    std::string workload;   ///< informational
+    std::string target;     ///< fi::targetInfo name ("l1d", ...)
+    std::string model;      ///< fi::faultModelName
+    u64 seed = 0;
+    u64 numFaults = 0;      ///< whole-campaign sample size
+    u32 shardIndex = 0;
+    u32 shardCount = 1;
+    u64 goldenDigest = 0;   ///< soc::archStateDigest of the snapshot
+    u64 goldenCycles = 0;
+    u64 windowCycles = 0;
+    u32 entries = 0;        ///< target geometry
+    u32 bitsPerEntry = 0;
+
+    bool operator==(const JournalMeta &other) const = default;
+};
+
+/** One persisted verdict. */
+struct JournalVerdict
+{
+    u64 idx = 0; ///< campaign-global fault index
+    fi::RunVerdict verdict;
+};
+
+/** Everything an intact journal prefix contains. */
+struct Journal
+{
+    bool hasMeta = false;
+    JournalMeta meta;
+    std::vector<JournalVerdict> verdicts; ///< file order, may repeat
+    u64 chunksCommitted = 0;
+    bool droppedTornLine = false;
+    u64 validBytes = 0; ///< length of the intact prefix
+};
+
+/**
+ * Append-only journal writer. Verdicts accumulate in a buffer and hit
+ * the disk when `chunkSize` of them are pending (or on commit()/
+ * close): the batch is written, fsync'd, then a chunk marker is
+ * appended and fsync'd. Not internally synchronized — callers
+ * serialize access (the scheduler holds its merge mutex).
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Create a fresh journal (truncating any previous file) and write
+     * the meta record. fatal() on I/O errors.
+     */
+    void create(const std::string &path, const JournalMeta &meta,
+                unsigned chunkSize = 32);
+
+    /**
+     * Re-open an existing journal for appending. The file is first
+     * truncated to `validBytes` (from the tolerant reader) so a torn
+     * final line can never corrupt the record that follows it.
+     */
+    void resume(const std::string &path, u64 validBytes,
+                unsigned chunkSize = 32);
+
+    bool open() const { return fd_ >= 0; }
+
+    /** Queue one verdict; flushes a chunk when the buffer fills. */
+    void append(u64 idx, const fi::RunVerdict &verdict);
+
+    /** Flush and fsync everything buffered, then mark the chunk. */
+    void commit();
+
+    /** Commit and close the file. */
+    void close();
+
+    u64 chunksCommitted() const { return chunks_; }
+
+  private:
+    void writeLine(const std::string &line);
+    void sync();
+
+    int fd_ = -1;
+    std::string path_;
+    unsigned chunkSize_ = 32;
+    u64 chunks_ = 0;
+    std::vector<std::string> pending_;
+};
+
+/**
+ * Tolerant journal reader: parses the intact prefix, drops a torn
+ * final line, fatal()s on mid-file corruption or on a journal whose
+ * format version is unknown. A missing file fatal()s — callers gate
+ * resume on journalExists().
+ */
+Journal readJournal(const std::string &path);
+
+/** True when the path exists and begins with a journal meta line. */
+bool journalExists(const std::string &path);
+
+} // namespace marvel::store
+
+#endif // MARVEL_STORE_JOURNAL_HH

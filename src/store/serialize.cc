@@ -1,0 +1,139 @@
+#include "store/serialize.hh"
+
+#include "common/log.hh"
+
+namespace marvel::store
+{
+
+u8
+ByteReader::u8v()
+{
+    if (pos_ + 1 > bytes_.size())
+        fatal("store: serialized record truncated (u8 underrun)");
+    return bytes_[pos_++];
+}
+
+u64
+ByteReader::u64v()
+{
+    if (pos_ + 8 > bytes_.size())
+        fatal("store: serialized record truncated (u64 underrun)");
+    u64 value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<u64>(bytes_[pos_++]) << (8 * i);
+    return value;
+}
+
+std::vector<u8>
+ByteReader::blob()
+{
+    const u64 len = u64v();
+    if (pos_ + len > bytes_.size())
+        fatal("store: serialized record truncated (blob underrun)");
+    std::vector<u8> out(bytes_.begin() + pos_,
+                        bytes_.begin() + pos_ + len);
+    pos_ += len;
+    return out;
+}
+
+std::string
+ByteReader::str()
+{
+    const std::vector<u8> raw = blob();
+    return std::string(raw.begin(), raw.end());
+}
+
+GoldenRecord
+goldenRecordOf(const fi::GoldenRun &golden)
+{
+    GoldenRecord record;
+    record.archDigest = soc::archStateDigest(golden.checkpoint.view());
+    u64 hash = kFnvOffset;
+    for (const cpu::CommitRecord &r : golden.trace) {
+        ByteWriter w;
+        w.u64v(r.pc);
+        w.u8v(r.op);
+        w.u8v(r.dstCls);
+        w.u8v(r.dstIdx);
+        w.u64v(r.result);
+        w.u64v(r.memAddr);
+        w.u64v(r.storeData);
+        hash = fnv1a(w.bytes(), hash);
+    }
+    record.traceDigest = hash;
+    record.traceLength = golden.trace.size();
+    record.output = golden.output;
+    record.exitCode = golden.exitCode;
+    record.console = golden.console;
+    record.preCycles = golden.preCycles;
+    record.windowCycles = golden.windowCycles;
+    record.totalCycles = golden.totalCycles;
+    return record;
+}
+
+std::vector<u8>
+serializeGoldenRecord(const GoldenRecord &record)
+{
+    ByteWriter w;
+    w.u64v(record.archDigest);
+    w.u64v(record.traceDigest);
+    w.u64v(record.traceLength);
+    w.blob(record.output.data(), record.output.size());
+    w.i64v(record.exitCode);
+    w.str(record.console);
+    w.u64v(record.preCycles);
+    w.u64v(record.windowCycles);
+    w.u64v(record.totalCycles);
+    return w.take();
+}
+
+GoldenRecord
+deserializeGoldenRecord(const std::vector<u8> &bytes)
+{
+    ByteReader r(bytes);
+    GoldenRecord record;
+    record.archDigest = r.u64v();
+    record.traceDigest = r.u64v();
+    record.traceLength = r.u64v();
+    record.output = r.blob();
+    record.exitCode = r.i64v();
+    record.console = r.str();
+    record.preCycles = r.u64v();
+    record.windowCycles = r.u64v();
+    record.totalCycles = r.u64v();
+    if (!r.atEnd())
+        fatal("store: golden record has trailing bytes");
+    return record;
+}
+
+void
+saveGoldenRun(const std::string &path, const fi::GoldenRun &golden)
+{
+    writeBlob(path, BlobKind::GoldenRun,
+              serializeGoldenRecord(goldenRecordOf(golden)));
+}
+
+GoldenRecord
+loadGoldenRecord(const std::string &path)
+{
+    return deserializeGoldenRecord(
+        readBlob(path, BlobKind::GoldenRun));
+}
+
+void
+saveCheckpoint(const std::string &path,
+               const soc::Checkpoint &checkpoint)
+{
+    if (!checkpoint.valid())
+        fatal("store: cannot save an empty checkpoint");
+    writeBlob(path, BlobKind::ArchState,
+              soc::serializeArchState(checkpoint.view()));
+}
+
+std::vector<u8>
+loadCheckpointBytes(const std::string &path)
+{
+    return readBlob(path, BlobKind::ArchState);
+}
+
+} // namespace marvel::store

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Binary serialization of campaign artifacts.
+ *
+ * Two artifacts are persisted between (possibly crashed) campaign
+ * processes:
+ *
+ *  - a Checkpoint's architectural + memory state
+ *    (soc::serializeArchState bytes in an ArchState blob), used to
+ *    cross-check that a resumed campaign restored the *same* golden
+ *    snapshot the journal was recorded against; and
+ *
+ *  - a GoldenRun record (GoldenRun blob): the golden run's observable
+ *    behaviour — output window, exit code, console, cycle counts, and
+ *    digests of the arch state and commit trace. Golden runs are
+ *    deterministic, so resume re-executes the workload and verifies
+ *    the recomputed record matches byte-for-byte rather than trying to
+ *    revive timing state from disk.
+ *
+ * Both ride in the versioned, FNV-digested blob container (blob.hh).
+ */
+
+#ifndef MARVEL_STORE_SERIALIZE_HH
+#define MARVEL_STORE_SERIALIZE_HH
+
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hh"
+#include "store/blob.hh"
+
+namespace marvel::store
+{
+
+/** Little-endian append-only byte sink. */
+class ByteWriter
+{
+  public:
+    void
+    u8v(u8 value)
+    {
+        bytes_.push_back(value);
+    }
+
+    void
+    u64v(u64 value)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<u8>(value >> (8 * i)));
+    }
+
+    void
+    i64v(i64 value)
+    {
+        u64v(static_cast<u64>(value));
+    }
+
+    void
+    blob(const void *data, std::size_t len)
+    {
+        u64v(len);
+        const u8 *p = static_cast<const u8 *>(data);
+        bytes_.insert(bytes_.end(), p, p + len);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        blob(s.data(), s.size());
+    }
+
+    const std::vector<u8> &bytes() const { return bytes_; }
+    std::vector<u8> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<u8> bytes_;
+};
+
+/** Bounds-checked little-endian reader; fatal() on underrun. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<u8> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    u8 u8v();
+    u64 u64v();
+    i64 i64v() { return static_cast<i64>(u64v()); }
+    std::vector<u8> blob();
+    std::string str();
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::vector<u8> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * The persisted image of a golden run: everything a faulty-run
+ * verdict is compared against, plus digests identifying the snapshot
+ * and trace it was recorded with.
+ */
+struct GoldenRecord
+{
+    u64 archDigest = 0;  ///< soc::archStateDigest of the checkpoint
+    u64 traceDigest = 0; ///< FNV-1a over the commit-trace records
+    u64 traceLength = 0;
+    std::vector<u8> output;
+    i64 exitCode = 0;
+    std::string console;
+    Cycle preCycles = 0;
+    Cycle windowCycles = 0;
+    Cycle totalCycles = 0;
+
+    bool operator==(const GoldenRecord &other) const = default;
+};
+
+/** Capture the persistable image of a golden run. */
+GoldenRecord goldenRecordOf(const fi::GoldenRun &golden);
+
+/** GoldenRecord <-> bytes (the GoldenRun blob payload). */
+std::vector<u8> serializeGoldenRecord(const GoldenRecord &record);
+GoldenRecord deserializeGoldenRecord(const std::vector<u8> &bytes);
+
+/** Persist / verify a golden run at path (GoldenRun blob). */
+void saveGoldenRun(const std::string &path,
+                   const fi::GoldenRun &golden);
+GoldenRecord loadGoldenRecord(const std::string &path);
+
+/**
+ * Persist a checkpoint's architectural + memory state (ArchState
+ * blob) / load it back. The loaded bytes compare equal to a fresh
+ * soc::serializeArchState of the same snapshot.
+ */
+void saveCheckpoint(const std::string &path,
+                    const soc::Checkpoint &checkpoint);
+std::vector<u8> loadCheckpointBytes(const std::string &path);
+
+} // namespace marvel::store
+
+#endif // MARVEL_STORE_SERIALIZE_HH

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Scheduler tests:
+ *  - the atomic work queue hands out every slot exactly once under
+ *    thread contention;
+ *  - sched::runCampaign (journal off) matches the in-memory
+ *    fi::runCampaignOnGolden bit-for-bit;
+ *  - resume determinism: a campaign killed mid-run (journal cut
+ *    after >= 1 committed chunk, with a torn tail) resumes to the
+ *    exact counts of an uninterrupted run;
+ *  - shard journals merge to the single-process totals, and merging
+ *    an incomplete shard set is refused;
+ *  - resume refuses a journal recorded for a different campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.hh"
+#include "sched/workqueue.hh"
+#include "soc/builder.hh"
+#include "store/journal.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+namespace {
+
+std::string tmpPath(const std::string& name) {
+    const std::string path = testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+}
+
+const fi::GoldenRun& sharedGolden() {
+    static const fi::GoldenRun golden = [] {
+        const workloads::Workload wl = workloads::get("crc32");
+        soc::SystemConfig cfg = soc::preset("riscv");
+        return fi::runGolden(
+            cfg, isa::compile(wl.module, isa::IsaKind::RISCV));
+    }();
+    return golden;
+}
+
+fi::CampaignOptions baseOptions() {
+    fi::CampaignOptions opts;
+    opts.numFaults = 36;
+    opts.seed = 424242;
+    opts.threads = 2;
+    opts.workloadName = "crc32";
+    return opts;
+}
+
+void expectSameCounts(const fi::CampaignResult& a,
+                      const fi::CampaignResult& b) {
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.sdc, b.sdc);
+    EXPECT_EQ(a.crash, b.crash);
+    EXPECT_EQ(a.maskedEarly, b.maskedEarly);
+    EXPECT_EQ(a.maskedInvalid, b.maskedInvalid);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.hvfCorruptions, b.hvfCorruptions);
+}
+
+} // namespace
+
+TEST(WorkQueue, EverySlotClaimedExactlyOnce) {
+    sched::WorkQueue queue(10'000);
+    std::vector<std::atomic<int>> claims(10'000);
+    sched::runWorkers(8, [&](unsigned) {
+        while (const auto slot = queue.next())
+            claims[*slot].fetch_add(1);
+    });
+    for (const auto& c : claims)
+        EXPECT_EQ(c.load(), 1);
+    EXPECT_EQ(queue.claimed(), 10'000u);
+    EXPECT_FALSE(queue.next().has_value());
+}
+
+TEST(Sched, MatchesInMemoryCampaign) {
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.keepVerdicts = true;
+    const fi::CampaignResult inMemory = fi::runCampaignOnGolden(
+        golden, {fi::TargetId::PrfInt}, opts);
+    const fi::CampaignResult sched =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    expectSameCounts(inMemory, sched);
+    ASSERT_EQ(sched.verdicts.size(), inMemory.verdicts.size());
+    for (std::size_t i = 0; i < sched.verdicts.size(); ++i) {
+        EXPECT_EQ(sched.verdicts[i].outcome,
+                  inMemory.verdicts[i].outcome);
+        EXPECT_EQ(sched.verdicts[i].cyclesRun,
+                  inMemory.verdicts[i].cyclesRun);
+    }
+}
+
+TEST(Sched, JournaledCampaignIsComplete) {
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string path = tmpPath("sched_journal.jsonl");
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = path;
+    opts.chunkSize = 8;
+    const fi::CampaignResult res =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    EXPECT_EQ(res.total(), opts.numFaults);
+
+    const sched::ShardProgress progress = sched::shardProgress(path);
+    EXPECT_TRUE(progress.complete());
+    EXPECT_EQ(progress.done, opts.numFaults);
+    EXPECT_GE(progress.chunksCommitted, opts.numFaults / 8);
+    expectSameCounts(progress.partial, res);
+    EXPECT_EQ(progress.meta.seed, opts.seed);
+    EXPECT_EQ(progress.meta.goldenDigest,
+              soc::archStateDigest(golden.checkpoint.view()));
+}
+
+TEST(Sched, ResumedCampaignMatchesUninterruptedRun) {
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.chunkSize = 8;
+
+    // The reference: one uninterrupted journaled run.
+    const std::string fullPath = tmpPath("sched_full.jsonl");
+    opts.journalPath = fullPath;
+    const fi::CampaignResult full =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    // Simulate a SIGKILL mid-campaign: keep the journal up to just
+    // past the second committed chunk and tear the line after it.
+    const std::string content = slurp(fullPath);
+    std::size_t cut = content.find("\"type\":\"chunk\"");
+    ASSERT_NE(cut, std::string::npos);
+    cut = content.find("\"type\":\"chunk\"", cut + 1);
+    ASSERT_NE(cut, std::string::npos);
+    cut = content.find('\n', cut) + 1;
+    const std::string tornPath = tmpPath("sched_torn.jsonl");
+    spit(tornPath,
+         content.substr(0, cut) + "{\"type\":\"verdict\",\"idx");
+
+    const store::Journal torn = store::readJournal(tornPath);
+    ASSERT_TRUE(torn.droppedTornLine);
+    ASSERT_GE(torn.chunksCommitted, 2u); // >= 1 chunk committed
+    const std::size_t journaled = torn.verdicts.size();
+    ASSERT_GT(journaled, 0u);
+    ASSERT_LT(journaled, opts.numFaults);
+
+    // Resume must run exactly the missing indices and land on
+    // bit-identical campaign counts.
+    opts.journalPath = tornPath;
+    opts.resume = true;
+    const fi::CampaignResult resumed =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    expectSameCounts(full, resumed);
+
+    // The healed journal now covers every index exactly once.
+    const sched::ShardProgress progress =
+        sched::shardProgress(tornPath);
+    EXPECT_TRUE(progress.complete());
+    expectSameCounts(progress.partial, full);
+
+    // Resuming a complete journal runs nothing and reports the same.
+    const fi::CampaignResult again =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    expectSameCounts(full, again);
+}
+
+TEST(Sched, ShardJournalsMergeToSingleProcessTotals) {
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+
+    const fi::CampaignResult whole =
+        sched::runCampaign(golden, {fi::TargetId::L1D}, opts);
+
+    std::vector<std::string> paths;
+    fi::CampaignResult shardSum;
+    for (u32 s = 0; s < 3; ++s) {
+        fi::CampaignOptions shardOpts = opts;
+        shardOpts.journalPath =
+            tmpPath(strfmt("sched_shard%u.jsonl", s));
+        shardOpts.shardIndex = s;
+        shardOpts.shardCount = 3;
+        const fi::CampaignResult part = sched::runCampaign(
+            golden, {fi::TargetId::L1D}, shardOpts);
+        EXPECT_EQ(part.total(),
+                  sched::shardShare(opts.numFaults, s, 3));
+        shardSum.addCounts(part);
+        paths.push_back(shardOpts.journalPath);
+    }
+    expectSameCounts(whole, shardSum);
+
+    const fi::CampaignResult merged = sched::mergeJournals(paths);
+    expectSameCounts(whole, merged);
+    EXPECT_EQ(merged.windowCycles, golden.windowCycles);
+    EXPECT_DOUBLE_EQ(merged.errorMargin(), whole.errorMargin());
+
+    // Dropping a shard leaves holes; merge must refuse.
+    EXPECT_THROW(sched::mergeJournals({paths[0], paths[2]}),
+                 FatalError);
+}
+
+TEST(Sched, ResumeRefusesMismatchedJournal) {
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = tmpPath("sched_identity.jsonl");
+    (void)sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    opts.resume = true;
+    fi::CampaignOptions wrongSeed = opts;
+    wrongSeed.seed ^= 1;
+    EXPECT_THROW(sched::runCampaign(golden, {fi::TargetId::PrfInt},
+                                    wrongSeed),
+                 FatalError);
+    fi::CampaignOptions wrongTarget = opts;
+    EXPECT_THROW(sched::runCampaign(golden, {fi::TargetId::L1D},
+                                    wrongTarget),
+                 FatalError);
+    fi::CampaignOptions wrongFaults = opts;
+    wrongFaults.numFaults += 1;
+    EXPECT_THROW(sched::runCampaign(golden, {fi::TargetId::PrfInt},
+                                    wrongFaults),
+                 FatalError);
+}
+
+TEST(Sched, ShardValidation) {
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.shardCount = 0;
+    EXPECT_THROW(
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts),
+        FatalError);
+    opts.shardCount = 2;
+    opts.shardIndex = 2;
+    EXPECT_THROW(
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts),
+        FatalError);
+    opts.shardIndex = 0;
+    opts.resume = true; // resume without a journal path
+    EXPECT_THROW(
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts),
+        FatalError);
+}
+
+TEST(Sched, ShardShareCoversAllIndices) {
+    for (u64 n : {0ull, 1ull, 7ull, 36ull, 1000ull}) {
+        for (u32 count : {1u, 2u, 3u, 7u}) {
+            u64 sum = 0;
+            for (u32 s = 0; s < count; ++s)
+                sum += sched::shardShare(n, s, count);
+            EXPECT_EQ(sum, n) << n << "/" << count;
+        }
+    }
+}

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * marvel-campaign — persistent, resumable, sharded batch campaigns.
+ *
+ * Where marvel-cli runs one in-memory campaign, marvel-campaign is
+ * the batch front end to the store/sched subsystem: every verdict is
+ * journaled to a crash-safe JSONL file, a killed run continues from
+ * its journal, and a campaign can be split across processes by shard.
+ *
+ * Usage:
+ *   marvel-campaign run    --workload sha --target l1d \
+ *                          --journal camp.jsonl [--shard 0/4] [opts]
+ *   marvel-campaign resume --workload sha --journal camp.jsonl [opts]
+ *   marvel-campaign status --journal camp.jsonl [--journal ...]
+ *   marvel-campaign merge  --journal s0.jsonl --journal s1.jsonl ...
+ *
+ * Subcommands:
+ *   run     start a (shard of a) campaign, journaling every verdict.
+ *           Re-running over an existing journal refuses unless
+ *           --resume / the resume subcommand is used.
+ *   resume  re-execute the golden run, validate the journal identity
+ *           (seed, sample, model, target, golden digest), and run
+ *           only the fault indices the journal is missing. Campaign
+ *           parameters (seed/faults/model/target) come from the
+ *           journal meta, so only the system/workload flags are
+ *           needed again.
+ *   status  per-journal progress: done/expected, chunk commits,
+ *           torn-tail note, and the partial verdict counts.
+ *   merge   fold shard journals into one campaign-wide report;
+ *           fatal()s on holes, overlap, or identity mismatch.
+ *
+ * Options (run/resume):
+ *   --preset NAME      riscv | arm | x86 | *-soc     (default riscv)
+ *   --config FILE      INI system description (overrides --preset)
+ *   --workload W / --driver D   workload selection (as marvel-cli)
+ *   --target T         injectable structure          (run only)
+ *   --faults N         sample size                   (default 200)
+ *   --model M          transient | stuck-at-0 | stuck-at-1
+ *   --seed N           campaign seed                 (default 0x5eed)
+ *   --threads N        parallel workers              (default: hw)
+ *   --shard I/N        own fault indices i with i%N == I
+ *   --chunk N          verdicts per fsync'd chunk    (default 32)
+ *   --save-golden F    also persist the golden-run record blob
+ *   --hvf / --no-early-term     as marvel-cli
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "accel/designs/designs.hh"
+#include "common/table.hh"
+#include "sched/scheduler.hh"
+#include "soc/builder.hh"
+#include "store/serialize.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string preset = "riscv";
+    std::string configFile;
+    std::string workload;
+    std::string driver;
+    std::string target;
+    std::vector<std::string> journals;
+    std::string saveGolden;
+    unsigned faults = 200;
+    fi::FaultModel model = fi::FaultModel::Transient;
+    u64 seed = 0x5eed;
+    unsigned threads = 0;
+    u32 shardIndex = 0;
+    u32 shardCount = 1;
+    unsigned chunkSize = 32;
+    bool hvf = false;
+    bool earlyTerm = true;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: marvel-campaign {run|resume|status|merge} "
+        "--journal FILE [--journal FILE ...]\n"
+        "  run/resume: [--preset P] [--config F] [--workload W] "
+        "[--driver D]\n"
+        "              [--target T] [--faults N] [--model M] "
+        "[--seed S]\n"
+        "              [--threads N] [--shard I/N] [--chunk N]\n"
+        "              [--save-golden F] [--hvf] [--no-early-term]\n");
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    if (argc < 2)
+        usage();
+    opts.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--preset")
+            opts.preset = next();
+        else if (arg == "--config")
+            opts.configFile = next();
+        else if (arg == "--workload")
+            opts.workload = next();
+        else if (arg == "--driver")
+            opts.driver = next();
+        else if (arg == "--target")
+            opts.target = next();
+        else if (arg == "--journal")
+            opts.journals.push_back(next());
+        else if (arg == "--save-golden")
+            opts.saveGolden = next();
+        else if (arg == "--faults")
+            opts.faults = std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--seed")
+            opts.seed = std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--threads")
+            opts.threads = std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--chunk")
+            opts.chunkSize =
+                std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--shard") {
+            const std::string spec = next();
+            const std::size_t slash = spec.find('/');
+            if (slash == std::string::npos)
+                usage();
+            opts.shardIndex = static_cast<u32>(
+                std::strtoul(spec.substr(0, slash).c_str(),
+                             nullptr, 10));
+            opts.shardCount = static_cast<u32>(std::strtoul(
+                spec.substr(slash + 1).c_str(), nullptr, 10));
+        } else if (arg == "--model") {
+            const std::string m = next();
+            if (m == "transient")
+                opts.model = fi::FaultModel::Transient;
+            else if (m == "stuck-at-0")
+                opts.model = fi::FaultModel::StuckAt0;
+            else if (m == "stuck-at-1")
+                opts.model = fi::FaultModel::StuckAt1;
+            else
+                usage();
+        } else if (arg == "--hvf")
+            opts.hvf = true;
+        else if (arg == "--no-early-term")
+            opts.earlyTerm = false;
+        else
+            usage();
+    }
+    return opts;
+}
+
+soc::SystemConfig
+systemFor(const Options &opts)
+{
+    soc::SystemConfig cfg =
+        opts.configFile.empty() ? soc::preset(opts.preset)
+                                : soc::configFromFile(opts.configFile);
+    if (!opts.driver.empty() && cfg.cluster.designs.empty())
+        cfg.cluster.designs.push_back(accel::designs::makeByName(
+            opts.driver, kAccelSpaceBase));
+    return cfg;
+}
+
+workloads::Workload
+workloadFor(const Options &opts)
+{
+    if (!opts.driver.empty())
+        return workloads::accelDriver(opts.driver, 0);
+    if (!opts.workload.empty())
+        return workloads::get(opts.workload);
+    fatal("marvel-campaign: need --workload or --driver");
+}
+
+fi::FaultModel
+modelFromName(const std::string &name)
+{
+    if (name == "transient")
+        return fi::FaultModel::Transient;
+    if (name == "stuck-at-0")
+        return fi::FaultModel::StuckAt0;
+    if (name == "stuck-at-1")
+        return fi::FaultModel::StuckAt1;
+    fatal("marvel-campaign: journal names unknown model '%s'",
+          name.c_str());
+}
+
+void
+printResult(const std::string &title, const fi::CampaignResult &res,
+            bool hvf)
+{
+    TextTable table(title);
+    table.header({"metric", "value"});
+    table.row({"faults",
+               strfmt("%llu", (unsigned long long)res.total())});
+    table.row({"fault population",
+               strfmt("%.3g bit-cycles", res.population())});
+    table.row({"error margin (95%)",
+               strfmt("+/-%.2f%%", res.errorMargin() * 100)});
+    table.row({"AVF", strfmt("%.2f%%", res.avf() * 100)});
+    table.row({"SDC AVF", strfmt("%.2f%%", res.sdcAvf() * 100)});
+    table.row({"Crash AVF", strfmt("%.2f%%", res.crashAvf() * 100)});
+    if (hvf)
+        table.row({"HVF", strfmt("%.2f%%", res.hvf() * 100)});
+    table.row({"masked / early / invalid",
+               strfmt("%llu / %llu / %llu",
+                      (unsigned long long)res.masked,
+                      (unsigned long long)res.maskedEarly,
+                      (unsigned long long)res.maskedInvalid)});
+    table.row({"sdc", strfmt("%llu", (unsigned long long)res.sdc)});
+    table.row({"crash / timeouts",
+               strfmt("%llu / %llu",
+                      (unsigned long long)res.crash,
+                      (unsigned long long)res.timeouts)});
+    table.print();
+}
+
+fi::GoldenRun
+goldenFor(const Options &opts, const workloads::Workload &wl,
+          const soc::SystemConfig &cfg)
+{
+    const isa::Program prog = isa::compile(wl.module, cfg.cpu.isa);
+    std::printf("golden run (%s, %s)...\n", wl.name.c_str(),
+                isa::isaName(cfg.cpu.isa));
+    fi::GoldenRun golden = fi::runGolden(cfg, prog);
+    std::printf("  window %llu cycles, total %llu cycles, "
+                "arch digest %016llx\n",
+                static_cast<unsigned long long>(golden.windowCycles),
+                static_cast<unsigned long long>(golden.totalCycles),
+                static_cast<unsigned long long>(
+                    soc::archStateDigest(golden.checkpoint.view())));
+    if (!opts.saveGolden.empty()) {
+        store::saveGoldenRun(opts.saveGolden, golden);
+        std::printf("  golden record saved to %s\n",
+                    opts.saveGolden.c_str());
+    }
+    return golden;
+}
+
+int
+cmdRun(const Options &opts, bool resume)
+{
+    if (opts.journals.size() != 1)
+        fatal("marvel-campaign: %s needs exactly one --journal",
+              resume ? "resume" : "run");
+    const std::string &journalPath = opts.journals[0];
+
+    const soc::SystemConfig cfg = systemFor(opts);
+    const workloads::Workload wl = workloadFor(opts);
+
+    fi::CampaignOptions copts;
+    copts.numFaults = opts.faults;
+    copts.model = opts.model;
+    copts.seed = opts.seed;
+    copts.threads = opts.threads;
+    copts.computeHvf = opts.hvf;
+    copts.earlyTermination = opts.earlyTerm;
+    copts.journalPath = journalPath;
+    copts.resume = resume;
+    copts.shardIndex = opts.shardIndex;
+    copts.shardCount = opts.shardCount;
+    copts.chunkSize = opts.chunkSize;
+    copts.workloadName = wl.name;
+
+    std::string targetName = opts.target;
+    if (resume) {
+        // The journal's meta record is the campaign identity; the
+        // command line only has to rebuild the same golden run.
+        if (!store::journalExists(journalPath))
+            fatal("marvel-campaign: no journal at '%s' to resume",
+                  journalPath.c_str());
+        const store::Journal journal =
+            store::readJournal(journalPath);
+        const store::JournalMeta &meta = journal.meta;
+        copts.numFaults = static_cast<unsigned>(meta.numFaults);
+        copts.seed = meta.seed;
+        copts.model = modelFromName(meta.model);
+        copts.shardIndex = meta.shardIndex;
+        copts.shardCount = meta.shardCount;
+        targetName = meta.target;
+        std::printf("resuming %s: %llu/%llu verdicts journaled%s\n",
+                    journalPath.c_str(),
+                    static_cast<unsigned long long>(
+                        sched::shardProgress(journalPath).done),
+                    static_cast<unsigned long long>(sched::shardShare(
+                        meta.numFaults, meta.shardIndex,
+                        meta.shardCount)),
+                    journal.droppedTornLine
+                        ? " (dropped a torn final line)"
+                        : "");
+    } else {
+        if (targetName.empty())
+            fatal("marvel-campaign: run needs --target");
+        if (store::journalExists(journalPath))
+            fatal("marvel-campaign: journal '%s' already exists; "
+                  "use `resume` to continue it or remove it first",
+                  journalPath.c_str());
+    }
+
+    const fi::GoldenRun golden = goldenFor(opts, wl, cfg);
+    const fi::TargetRef target =
+        fi::targetByName(golden.checkpoint.view(), targetName);
+    const fi::CampaignResult res =
+        sched::runCampaign(golden, target, copts);
+
+    const std::string shardNote =
+        copts.shardCount > 1
+            ? strfmt(" [shard %u/%u]", copts.shardIndex,
+                     copts.shardCount)
+            : std::string();
+    printResult("campaign: " + wl.name + " / " + targetName +
+                    shardNote,
+                res, opts.hvf);
+    if (copts.shardCount > 1)
+        std::printf("shard journals merge with: marvel-campaign "
+                    "merge --journal ...\n");
+    return 0;
+}
+
+int
+cmdStatus(const Options &opts)
+{
+    if (opts.journals.empty())
+        fatal("marvel-campaign: status needs --journal");
+    TextTable table("campaign status");
+    table.header({"journal", "target", "shard", "done", "chunks",
+                  "masked", "sdc", "crash", "note"});
+    for (const std::string &path : opts.journals) {
+        const sched::ShardProgress p = sched::shardProgress(path);
+        table.row(
+            {path, p.meta.target,
+             strfmt("%u/%u", p.meta.shardIndex, p.meta.shardCount),
+             strfmt("%llu/%llu",
+                    static_cast<unsigned long long>(p.done),
+                    static_cast<unsigned long long>(p.expected)),
+             strfmt("%llu", static_cast<unsigned long long>(
+                                p.chunksCommitted)),
+             strfmt("%llu", (unsigned long long)p.partial.masked),
+             strfmt("%llu", (unsigned long long)p.partial.sdc),
+             strfmt("%llu", (unsigned long long)p.partial.crash),
+             p.complete() ? "complete"
+                          : (p.tornTail ? "torn tail" : "partial")});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdMerge(const Options &opts)
+{
+    if (opts.journals.empty())
+        fatal("marvel-campaign: merge needs --journal");
+    const fi::CampaignResult res =
+        sched::mergeJournals(opts.journals);
+    printResult(strfmt("merged campaign: %s / %s (%zu journals)",
+                       res.workload.c_str(),
+                       res.target.name.c_str(),
+                       opts.journals.size()),
+                res, res.hvfCorruptions > 0);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opts = parseArgs(argc, argv);
+        if (opts.command == "run")
+            return cmdRun(opts, false);
+        if (opts.command == "resume")
+            return cmdRun(opts, true);
+        if (opts.command == "status")
+            return cmdStatus(opts);
+        if (opts.command == "merge")
+            return cmdMerge(opts);
+        usage();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

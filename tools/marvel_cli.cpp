@@ -213,6 +213,10 @@ cmdCampaign(const Options &opts)
     table.header({"metric", "value"});
     table.row({"faults", strfmt("%llu", (unsigned long long)
                                             res.total())});
+    table.row({"fault population",
+               strfmt("%.3g bit-cycles", res.population())});
+    table.row({"error margin (95%)",
+               strfmt("+/-%.2f%%", res.errorMargin() * 100)});
     table.row({"AVF", strfmt("%.2f%% (+/-%.2f%%)",
                              res.avf() * 100,
                              res.errorMargin() * 100)});
@@ -220,12 +224,17 @@ cmdCampaign(const Options &opts)
     table.row({"Crash AVF", strfmt("%.2f%%", res.crashAvf() * 100)});
     if (opts.hvf)
         table.row({"HVF", strfmt("%.2f%%", res.hvf() * 100)});
-    table.row({"masked (early-terminated)",
-               strfmt("%llu (%llu)",
-                      (unsigned long long)res.masked,
-                      (unsigned long long)(res.maskedEarly +
-                                           res.maskedInvalid))});
-    table.row({"crash timeouts",
+    table.row({"masked", strfmt("%llu",
+                                (unsigned long long)res.masked)});
+    table.row({"  early-terminated",
+               strfmt("%llu", (unsigned long long)res.maskedEarly)});
+    table.row({"  invalid-entry hits",
+               strfmt("%llu",
+                      (unsigned long long)res.maskedInvalid)});
+    table.row({"SDCs", strfmt("%llu", (unsigned long long)res.sdc)});
+    table.row({"crashes",
+               strfmt("%llu", (unsigned long long)res.crash)});
+    table.row({"  timeouts",
                strfmt("%llu", (unsigned long long)res.timeouts)});
     table.print();
     return 0;
