@@ -3,7 +3,10 @@
 /// run latency. These bound campaign turnaround (paper SIV-B).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench_common.hh"
+#include "obs/trace.hh"
 
 using namespace marvel;
 
@@ -53,6 +56,30 @@ void BM_SingleInjectionRun(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SingleInjectionRun);
+
+// Overhead guard for the observability hooks (ISSUE acceptance: with
+// tracing disabled the cycle rate must stay within noise of the
+// pre-obs baseline). Runs the same tick loop as BM_CpuCycleRate with
+// tracing off (arg 0) and with a live TraceSession (arg 1); the
+// "cycles/s" counters of the two variants quantify the emit-site cost.
+void BM_ObsOverheadGuard(benchmark::State& state) {
+    const bool traced = state.range(0) != 0;
+    std::unique_ptr<obs::TraceSession> session;
+    if (traced)
+        session = std::make_unique<obs::TraceSession>(1 << 12);
+    soc::System sys = crcGolden().checkpoint.restore();
+    u64 cycles = 0;
+    for (auto _ : state) {
+        sys.tick();
+        ++cycles;
+        if (sys.exited || sys.cpu.crashed())
+            sys = crcGolden().checkpoint.restore();
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    state.SetLabel(traced ? "tracing-on" : "tracing-off");
+}
+BENCHMARK(BM_ObsOverheadGuard)->Arg(0)->Arg(1);
 
 void BM_CompileWorkload(benchmark::State& state) {
     const workloads::Workload wl = workloads::get("sha");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
+
 namespace marvel::accel
 {
 
@@ -13,6 +15,8 @@ DmaEngine::start(const DmaTransfer &transfer)
     warmup_ = kStartupCycles;
     busy_ = true;
     fault_ = false;
+    MARVEL_OBS_EMIT(obs::Component::Dma, obs::EventKind::DmaStart,
+                    transfer.dramAddr, transfer.length);
 }
 
 void
@@ -47,8 +51,11 @@ DmaEngine::cycle(mem::PhysMem &dram, std::vector<AccelMem> &mems)
         dram.write(dramAddr, buf, chunk);
     }
     moved_ += chunk;
-    if (moved_ >= cur_.length)
+    if (moved_ >= cur_.length) {
         busy_ = false;
+        MARVEL_OBS_EMIT(obs::Component::Dma, obs::EventKind::DmaDone,
+                        cur_.dramAddr, cur_.length);
+    }
 }
 
 } // namespace marvel::accel

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace marvel
 {
@@ -83,6 +84,10 @@ class FaultState
         for (BitWatch &w : watches_) {
             if (w.entry == entry && !w.overwritten && !w.vanished &&
                 w.bit >= bitLo && w.bit <= bitHi) {
+                if (!w.wasRead)
+                    MARVEL_OBS_EMIT(obs::Component::Fault,
+                                    obs::EventKind::FaultRead,
+                                    w.entry, w.bit);
                 w.wasRead = true;
             }
         }
@@ -96,6 +101,9 @@ class FaultState
             if (w.entry == entry && !w.wasRead && !w.overwritten &&
                 !w.vanished && w.bit >= bitLo && w.bit <= bitHi) {
                 w.overwritten = true;
+                MARVEL_OBS_EMIT(obs::Component::Fault,
+                                obs::EventKind::FaultOverwrite,
+                                w.entry, w.bit);
             }
         }
     }
@@ -105,8 +113,13 @@ class FaultState
     noteGone(u32 entry)
     {
         for (BitWatch &w : watches_) {
-            if (w.entry == entry && !w.wasRead && !w.overwritten)
+            if (w.entry == entry && !w.wasRead && !w.overwritten &&
+                !w.vanished) {
                 w.vanished = true;
+                MARVEL_OBS_EMIT(obs::Component::Fault,
+                                obs::EventKind::FaultVanish,
+                                w.entry, w.bit);
+            }
         }
     }
 

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Single source of truth for the MARVEL version string. Tools print
+ * it for `--version` and the journal writer stamps it into campaign
+ * metadata, so a journal always records which build produced it.
+ */
+
+#ifndef MARVEL_COMMON_VERSION_HH
+#define MARVEL_COMMON_VERSION_HH
+
+namespace marvel
+{
+
+inline constexpr char kVersionString[] = "0.2.0";
+
+} // namespace marvel
+
+#endif // MARVEL_COMMON_VERSION_HH

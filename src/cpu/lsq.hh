@@ -33,6 +33,7 @@ struct LqEntry
     bool issued = false;
     bool completed = false;
     bool mmio = false;
+    bool tainted = false; ///< obs lineage: address derives from the fault
 };
 
 /** One store queue entry. */
@@ -46,6 +47,7 @@ struct SqEntry
     bool ready = false;   ///< address and data available
     bool retired = false; ///< committed, awaiting drain
     bool mmio = false;
+    bool tainted = false; ///< obs lineage: addr/data derive from the fault
 };
 
 /**

@@ -124,6 +124,110 @@ OooCore::reset(Addr pc)
     lq.reset();
     sq.reset();
     bpred.reset();
+    intTaint_.assign(params_.numIntPregs, 0);
+    fpTaint_.assign(params_.numFpPregs, 0);
+    memTaint_.clear();
+}
+
+// =====================================================================
+// Fault-propagation lineage (taint tracking)
+// =====================================================================
+
+void
+OooCore::lineageTaintIntReg(unsigned phys)
+{
+    intTaint_.resize(params_.numIntPregs, 0);
+    intTaint_[phys] = 1;
+}
+
+void
+OooCore::lineageTaintFpReg(unsigned phys)
+{
+    fpTaint_.resize(params_.numFpPregs, 0);
+    fpTaint_[phys] = 1;
+}
+
+void
+OooCore::lineageTaintLoad(unsigned lqIdx)
+{
+    lq[lqIdx].tainted = true;
+}
+
+void
+OooCore::lineageTaintStore(unsigned sqIdx)
+{
+    sq[sqIdx].tainted = true;
+}
+
+void
+OooCore::lineageTaintMem(Addr lo, Addr hi)
+{
+    memTaint_.emplace_back(lo, hi);
+}
+
+bool
+OooCore::lineageSrcTainted(const RobEntry &entry) const
+{
+    const isa::RegRef refs[3] = {entry.uop.srcA, entry.uop.srcB,
+                                 entry.uop.srcC};
+    for (unsigned s = 0; s < 3; ++s) {
+        if (refs[s].cls == RegClass::None)
+            continue;
+        const i16 phys = entry.srcPhys[s];
+        if (phys < 0)
+            continue; // hardwired zero
+        if (refs[s].cls == RegClass::Fp ? fpTaint_[phys]
+                                        : intTaint_[phys])
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Source-operand taint check at an execution site: marks the entry and
+ * the lineage counters when the uop consumes fault-derived data.
+ * Returns the taint of the consumed operands.
+ */
+bool
+OooCore::lineageUopConsumes(RobEntry &entry)
+{
+    if (!lineageSrcTainted(entry))
+        return false;
+    lineageNoteConsume();
+    if (!entry.tainted) {
+        entry.tainted = true;
+        ++lineageOut->taintedUops;
+    }
+    return true;
+}
+
+void
+OooCore::lineageNoteConsume()
+{
+    if (!lineageOut->faultRead) {
+        lineageOut->faultRead = true;
+        lineageOut->firstReadCycle = cycles;
+    }
+}
+
+void
+OooCore::lineageSetDstTaint(const RobEntry &entry, bool tainted)
+{
+    if (entry.dstPhys < 0)
+        return;
+    if (entry.uop.dst.cls == RegClass::Fp)
+        fpTaint_[entry.dstPhys] = tainted;
+    else
+        intTaint_[entry.dstPhys] = tainted;
+}
+
+bool
+OooCore::lineageMemTainted(Addr lo, Addr hi) const
+{
+    for (const auto &[rLo, rHi] : memTaint_)
+        if (rLo < hi && lo < rHi)
+            return true;
+    return false;
 }
 
 u64
@@ -313,6 +417,8 @@ OooCore::doFetch(mem::Hierarchy &memory)
 
         const isa::DecodedInst di = isa::decodeAndExpand(
             *spec_, buf, isa::kMaxInstLength, pc);
+        MARVEL_OBS_EMIT(obs::Component::Cpu, obs::EventKind::Fetch,
+                        pc, di.numUops);
 
         Addr nextPc = pc + di.length;
         Addr predNextPc = nextPc;
@@ -468,6 +574,8 @@ OooCore::doDispatch()
         else
             iq.push_back(entry.seq);
 
+        MARVEL_OBS_EMIT(obs::Component::Cpu, obs::EventKind::Rename,
+                        entry.pc, entry.seq);
         rob.push_back(entry);
         fetchQueue.pop_front();
     }
@@ -537,8 +645,12 @@ OooCore::resolveBranch(RobEntry &entry)
     entry.brTaken = taken;
     entry.brTarget = target;
     entry.result = target;
-    if (writesLink)
+    const bool tainted = lineageOut && lineageUopConsumes(entry);
+    if (writesLink) {
         writeResult(entry, linkValue);
+        if (lineageOut)
+            lineageSetDstTaint(entry, tainted);
+    }
     entry.completed = true;
 
     const Addr actualNext = taken ? target : entry.pc + entry.len;
@@ -672,9 +784,10 @@ OooCore::executeUop(RobEntry &entry, mem::Hierarchy &memory,
         break;
     }
     entry.result = value;
+    const bool tainted = lineageOut && lineageUopConsumes(entry);
     const unsigned lat = isa::execLatency(uop);
     inflight.push_back({cycles + lat, entry.seq, value,
-                        uop.dst.cls == RegClass::Fp});
+                        uop.dst.cls == RegClass::Fp, tainted});
 }
 
 void
@@ -711,6 +824,8 @@ OooCore::doIssue(mem::Hierarchy &memory, MmioBus &bus)
         ++fuUsed[fuIdx];
         --budget;
         entry->issued = true;
+        MARVEL_OBS_EMIT(obs::Component::Cpu, obs::EventKind::Issue,
+                        entry->pc, entry->seq);
 
         if (entry->uop.isLoad) {
             // Address generation; the memory access happens in
@@ -723,6 +838,8 @@ OooCore::doIssue(mem::Hierarchy &memory, MmioBus &bus)
             lqe.size = entry->uop.memSize;
             lqe.addrReady = true;
             lqe.mmio = isMmio(addr);
+            if (lineageOut)
+                lqe.tainted = lineageUopConsumes(*entry);
             if (lq.faults().active())
                 lq.faults().noteWrite(entry->lqIdx, 0, 47);
             iq.erase(iq.begin() + i);
@@ -737,6 +854,8 @@ OooCore::doIssue(mem::Hierarchy &memory, MmioBus &bus)
             SqEntry &sqe = sq[entry->sqIdx];
             const unsigned size = entry->uop.memSize;
             sqe.mmio = isMmio(addr);
+            const bool storeTaint =
+                lineageOut && lineageUopConsumes(*entry);
             if (!spec_->allowsUnaligned && !sqe.mmio &&
                 (addr & (size - 1)) != 0) {
                 entry->fault = CrashKind::Misaligned;
@@ -750,6 +869,10 @@ OooCore::doIssue(mem::Hierarchy &memory, MmioBus &bus)
                 sqe.data = data;
                 sqe.size = static_cast<u8>(size);
                 sqe.ready = true;
+                if (storeTaint) {
+                    sqe.tainted = true;
+                    ++lineageOut->taintedStores;
+                }
                 if (sq.faults().active()) {
                     sq.faults().noteWrite(entry->sqIdx, 0, 111);
                 }
@@ -835,6 +958,15 @@ OooCore::doLoadIssue(mem::Hierarchy &memory, MmioBus &bus)
         if (lq.faults().active())
             lq.faults().noteRead(idx, 0, 47);
 
+        // Lineage: a load is tainted when its address derives from
+        // the fault, when it forwards from a tainted store, or when
+        // it reads a fault-tainted memory range.
+        bool loadTaint = false;
+        if (lineageOut && lqe.tainted) {
+            lineageNoteConsume();
+            loadTaint = true;
+        }
+
         // MMIO loads execute only at the head of the ROB.
         if (lqe.mmio) {
             if (rob.empty() || rob.front().seq != lqe.seq)
@@ -843,8 +975,10 @@ OooCore::doLoadIssue(mem::Hierarchy &memory, MmioBus &bus)
             lqe.issued = true;
             lqe.completed = true;
             --ports;
+            if (lineageOut && loadTaint)
+                ++lineageOut->taintedLoads;
             inflight.push_back({cycles + 20, lqe.seq, raw,
-                                entry->uop.fpMem});
+                                entry->uop.fpMem, loadTaint});
             continue;
         }
 
@@ -862,6 +996,13 @@ OooCore::doLoadIssue(mem::Hierarchy &memory, MmioBus &bus)
             // Full containment: forward from the store's data.
             if (sq.faults().active())
                 sq.faults().noteRead(fwdIdx, 0, 111);
+            MARVEL_OBS_EMIT(obs::Component::Cpu,
+                            obs::EventKind::Forward, addr, fwd->seq);
+            if (lineageOut && fwd->tainted) {
+                lineageNoteConsume();
+                ++lineageOut->forwardedTaints;
+                loadTaint = true;
+            }
             const unsigned shift =
                 static_cast<unsigned>(addr - fwd->addr) * 8;
             raw = fwd->data >> shift;
@@ -882,6 +1023,10 @@ OooCore::doLoadIssue(mem::Hierarchy &memory, MmioBus &bus)
             if (size < 8)
                 raw &= maskBits(size * 8);
             latency = mr.latency;
+            if (lineageOut && lineageMemTainted(addr, addr + size)) {
+                lineageNoteConsume();
+                loadTaint = true;
+            }
         }
         if (entry->uop.memSigned && size < 8)
             raw = static_cast<u64>(sext(raw, size * 8));
@@ -890,8 +1035,10 @@ OooCore::doLoadIssue(mem::Hierarchy &memory, MmioBus &bus)
         lqe.issued = true;
         lqe.completed = true;
         --ports;
-        inflight.push_back(
-            {cycles + latency, lqe.seq, raw, entry->uop.fpMem});
+        if (lineageOut && loadTaint)
+            ++lineageOut->taintedLoads;
+        inflight.push_back({cycles + latency, lqe.seq, raw,
+                            entry->uop.fpMem, loadTaint});
     }
 }
 
@@ -907,7 +1054,19 @@ OooCore::doComplete()
         if (entry) {
             entry->result = inflight[i].value;
             writeResult(*entry, inflight[i].value);
+            if (lineageOut) {
+                if (inflight[i].tainted && !entry->tainted) {
+                    // Tainted loads reach here without a prior
+                    // source-operand consume.
+                    entry->tainted = true;
+                    ++lineageOut->taintedUops;
+                }
+                lineageSetDstTaint(*entry, inflight[i].tainted);
+            }
             entry->completed = true;
+            MARVEL_OBS_EMIT(obs::Component::Cpu,
+                            obs::EventKind::Complete, entry->pc,
+                            entry->seq);
         }
         inflight.erase(inflight.begin() + i);
     }
@@ -998,6 +1157,14 @@ OooCore::doCommit(MmioBus &bus)
             }
         }
 
+        MARVEL_OBS_EMIT(obs::Component::Cpu, obs::EventKind::Commit,
+                        head.pc, head.seq);
+        if (lineageOut && head.tainted) {
+            if (lineageOut->taintedCommits == 0)
+                lineageOut->firstTaintedCommit = cycles;
+            ++lineageOut->taintedCommits;
+        }
+
         ++committedUops;
         if (head.lastUop)
             ++committedInsts;
@@ -1025,6 +1192,10 @@ OooCore::doStoreDrain(mem::Hierarchy &memory, MmioBus &bus)
             return;
         if (sq.faults().active())
             sq.faults().noteRead(idx, 0, 111);
+        if (lineageOut && sqe.tainted) {
+            lineageNoteConsume();
+            lineageTaintMem(sqe.addr, sqe.addr + sqe.size);
+        }
         if (sqe.mmio) {
             bus.mmioWrite(sqe.addr, sqe.data, sqe.size);
         } else {
@@ -1051,6 +1222,8 @@ void
 OooCore::squashAfter(u64 seq, Addr redirectPc)
 {
     ++squashes;
+    MARVEL_OBS_EMIT(obs::Component::Cpu, obs::EventKind::Squash,
+                    redirectPc, seq);
     if (getenv("MARVEL_TRACE_SQUASH"))
         std::fprintf(stderr,
                      "SQUASH cyc=%llu after=%llu redirect=%llx\n",

@@ -16,6 +16,7 @@
 
 #include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/faultwatch.hh"
@@ -24,6 +25,7 @@
 #include "cpu/prf.hh"
 #include "isa/uop.hh"
 #include "mem/hierarchy.hh"
+#include "obs/lineage.hh"
 
 namespace marvel::cpu
 {
@@ -119,6 +121,7 @@ struct RobEntry
     u64 result = 0;
     Addr effAddr = 0;
     u64 storeData = 0;
+    bool tainted = false; ///< obs lineage: consumed fault-derived data
 };
 
 /**
@@ -168,6 +171,25 @@ class OooCore
     bool hvfCorrupted = false;
     Cycle hvfCorruptCycle = 0;
 
+    // --- fault-propagation lineage (not owned; re-set after copying) ------
+    /**
+     * When set, the core tracks a taint bit alongside fault-derived
+     * values — through register reads/writebacks, store-to-load
+     * forwarding, drained stores and the commit stream — and records
+     * the spread in *lineageOut. Null (the campaign default) skips all
+     * taint work. The fi layer seeds taint right after placing a fault
+     * via the lineageTaint* calls below.
+     */
+    obs::PropagationTrace *lineageOut = nullptr;
+
+    void lineageTaintIntReg(unsigned phys);
+    void lineageTaintFpReg(unsigned phys);
+    void lineageTaintLoad(unsigned lqIdx);
+    void lineageTaintStore(unsigned sqIdx);
+    /** Taint the byte range [lo, hi) of memory (over-approximate:
+     *  ranges are never cleared). */
+    void lineageTaintMem(Addr lo, Addr hi);
+
     /** Architectural integer register peek (tests). */
     u64 archIntReg(unsigned idx) const;
 
@@ -210,6 +232,7 @@ class OooCore
         u64 seq;
         u64 value;
         bool writesFp;
+        bool tainted = false;
     };
 
     RobEntry *findRob(u64 seq);
@@ -227,6 +250,13 @@ class OooCore
     void resolveBranch(RobEntry &entry);
     void squashAfter(u64 seq, Addr redirectPc);
     void writeResult(const RobEntry &entry, u64 value);
+
+    // Lineage taint plumbing (all no-ops while lineageOut is null).
+    bool lineageSrcTainted(const RobEntry &entry) const;
+    bool lineageUopConsumes(RobEntry &entry);
+    void lineageNoteConsume();
+    void lineageSetDstTaint(const RobEntry &entry, bool tainted);
+    bool lineageMemTainted(Addr lo, Addr hi) const;
 
     CpuParams params_;
     const isa::IsaSpec *spec_;
@@ -271,6 +301,12 @@ class OooCore
     // termination hooks: these faults always run to completion).
     FaultState robFaults_;
     FaultState renameFaults_;
+
+    // Lineage taint state (value-semantic; copied with the core so a
+    // checkpoint restore starts from a clean, untainted image).
+    std::vector<u8> intTaint_;
+    std::vector<u8> fpTaint_;
+    std::vector<std::pair<Addr, Addr>> memTaint_;
 };
 
 } // namespace marvel::cpu

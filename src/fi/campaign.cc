@@ -84,15 +84,22 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         sys.cpu.traceRef = &golden.trace;
         sys.cpu.traceRefPos = 0;
     }
+    if (options.lineage) {
+        *options.lineage = obs::PropagationTrace{};
+        sys.cpu.lineageOut = options.lineage;
+    }
 
     // Apply permanent faults at the window start; order transients by
     // injection cycle.
     std::vector<FaultSpec> pending;
     for (const FaultSpec &f : mask.faults) {
-        if (f.model == FaultModel::Transient)
+        if (f.model == FaultModel::Transient) {
             pending.push_back(f);
-        else
+        } else {
             injectFault(sys, f);
+            if (options.lineage)
+                seedLineage(sys, f);
+        }
     }
     std::sort(pending.begin(), pending.end(),
               [](const FaultSpec &a, const FaultSpec &b) {
@@ -115,11 +122,23 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
     auto placeFault = [&](const FaultSpec &fault) {
         const bool live = entryLive(sys, fault);
         injectFault(sys, fault);
+        if (options.lineage)
+            seedLineage(sys, fault);
         if (!live) {
             anyHitInvalid = true;
             if (options.earlyTermination)
                 faultStateOf(sys, fault.target).noteGone(fault.entry);
         }
+    };
+
+    // Lineage outcome: the architectural-divergence fields mirror the
+    // HVF verdict once it is known.
+    auto finishLineage = [&]() {
+        if (!options.lineage)
+            return;
+        options.lineage->diverged = verdict.hvfCorruption;
+        options.lineage->firstDivergence = verdict.hvfCorruptCycle;
+        sys.cpu.lineageOut = nullptr;
     };
 
     auto finishExit = [&]() {
@@ -156,6 +175,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
 
         if (sys.exited) {
             finishExit();
+            finishLineage();
             return verdict;
         }
         if (sys.cpu.crashed() || sys.cluster.errored()) {
@@ -168,6 +188,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
             verdict.hvfCorruptCycle = sys.cpu.hvfCorrupted
                                           ? sys.cpu.hvfCorruptCycle
                                           : cursor;
+            finishLineage();
             return verdict;
         }
         if (cursor >= timeoutAt) {
@@ -176,6 +197,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
             verdict.cyclesRun = cursor;
             verdict.hvfCorruption = true;
             verdict.hvfCorruptCycle = cursor;
+            finishLineage();
             return verdict;
         }
 
@@ -197,6 +219,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
                                      : OutcomeDetail::MaskedEarly;
                 verdict.terminatedEarly = true;
                 verdict.cyclesRun = cursor;
+                finishLineage();
                 return verdict;
             }
         }

@@ -27,7 +27,13 @@
 
 #include "fi/classify.hh"
 #include "fi/targets.hh"
+#include "obs/lineage.hh"
 #include "soc/checkpoint.hh"
+
+namespace marvel::obs
+{
+struct CampaignTelemetry;
+} // namespace marvel::obs
 
 namespace marvel::fi
 {
@@ -56,6 +62,13 @@ struct InjectionOptions
     bool earlyTermination = true; ///< paper §IV-B speed optimizations
     bool computeHvf = false;
     double timeoutFactor = 8.0;   ///< crash-timeout threshold multiple
+
+    /**
+     * When set, the run seeds taint at the fault site and fills in the
+     * fault's dataflow spread (obs lineage); costs extra per-cycle
+     * bookkeeping, so campaigns leave it null.
+     */
+    obs::PropagationTrace *lineage = nullptr;
 };
 
 /** Run one fault mask against a golden run. */
@@ -92,6 +105,13 @@ struct CampaignOptions
     u32 shardCount = 1;
     unsigned chunkSize = 32; ///< verdicts per fsync'd journal chunk
     std::string workloadName; ///< recorded in the journal meta
+
+    /**
+     * When set, sched::runCampaign fills in per-worker and campaign
+     * execution telemetry (runs/sec, idle time, early-termination
+     * savings). Ignored by the in-memory fi:: entry points.
+     */
+    obs::CampaignTelemetry *telemetry = nullptr;
 };
 
 /** Aggregated campaign results. */

@@ -108,6 +108,9 @@ injectFault(soc::System &system, const FaultSpec &fault)
 {
     const bool transient = fault.model == FaultModel::Transient;
     const bool stuckValue = fault.model == FaultModel::StuckAt1;
+    MARVEL_OBS_EMIT(obs::Component::Fault,
+                    obs::EventKind::FaultInject, fault.entry,
+                    fault.bit);
 
     auto applyBitImage = [&](auto &structure) {
         if (transient) {
@@ -202,6 +205,41 @@ injectFault(soc::System &system, const FaultSpec &fault)
         }
         break;
       }
+    }
+}
+
+void
+seedLineage(soc::System &system, const FaultSpec &fault)
+{
+    switch (fault.target.id) {
+      case TargetId::PrfInt:
+        system.cpu.lineageTaintIntReg(fault.entry);
+        break;
+      case TargetId::PrfFp:
+        system.cpu.lineageTaintFpReg(fault.entry);
+        break;
+      case TargetId::L1I:
+      case TargetId::L1D:
+      case TargetId::L2: {
+        auto &cache = cacheOf(system, fault.target.id);
+        if (cache.entryValid(fault.entry)) {
+            const Addr lo = cache.lineAddr(
+                static_cast<int>(fault.entry));
+            system.cpu.lineageTaintMem(
+                lo, lo + cache.params().lineSize);
+        }
+        break;
+      }
+      case TargetId::LoadQueue:
+        if (system.cpu.lq[fault.entry].valid)
+            system.cpu.lineageTaintLoad(fault.entry);
+        break;
+      case TargetId::StoreQueue:
+        if (system.cpu.sq[fault.entry].valid)
+            system.cpu.lineageTaintStore(fault.entry);
+        break;
+      default:
+        break; // no dataflow taint model for meta-state / accel
     }
 }
 

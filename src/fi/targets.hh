@@ -47,6 +47,15 @@ void injectFault(soc::System &system, const FaultSpec &fault);
 FaultState &faultStateOf(soc::System &system, const TargetRef &ref);
 
 /**
+ * Seed the CPU's lineage taint for a just-injected fault, so the core
+ * can track its dataflow spread (obs::PropagationTrace). Register,
+ * load/store-queue and cache faults map onto the taint domains the
+ * core tracks; meta-state targets (ROB, rename map, BTB) and
+ * accelerator memories have no dataflow taint model and seed nothing.
+ */
+void seedLineage(soc::System &system, const FaultSpec &fault);
+
+/**
  * True when the target entry currently holds live content (valid cache
  * line / allocated queue slot). Used by the paper's "invalid entry"
  * early-termination optimization.

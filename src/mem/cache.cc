@@ -14,6 +14,12 @@ Cache::Cache(const CacheParams &params) : params_(params)
         !isPow2(params_.numSets()))
         fatal("cache '%s': geometry must be powers of two",
               params_.name.c_str());
+    if (params_.name == "l1i")
+        obsComp_ = obs::Component::L1I;
+    else if (params_.name == "l1d")
+        obsComp_ = obs::Component::L1D;
+    else
+        obsComp_ = obs::Component::L2;
     setShift_ = log2i(params_.lineSize);
     setMask_ = params_.numSets() - 1;
     data_.assign(static_cast<std::size_t>(params_.numLines()) *
@@ -141,14 +147,20 @@ Cache::readLineForWriteback(int line, void *out)
                 params_.lineSize);
     if (faults_.active())
         faults_.noteRead(line, 0, params_.lineSize * 8 - 1);
+    MARVEL_OBS_EMIT(obsComp_, obs::EventKind::CacheWriteback,
+                    lineAddr(line), line);
     ++writebacks;
 }
 
 void
 Cache::invalidate(int line)
 {
-    if (valid_[line] && faults_.active())
-        faults_.noteGone(line);
+    if (valid_[line]) {
+        if (faults_.active())
+            faults_.noteGone(line);
+        MARVEL_OBS_EMIT(obsComp_, obs::EventKind::CacheEvict,
+                        lineAddr(line), line);
+    }
     valid_[line] = false;
     dirty_[line] = false;
 }
@@ -163,6 +175,8 @@ Cache::fill(int line, Addr addr, const void *bytes)
     tags_[line] = lineAddr;
     valid_[line] = true;
     dirty_[line] = false;
+    MARVEL_OBS_EMIT(obsComp_, obs::EventKind::CacheFill,
+                    lineAddr << setShift_, line);
     if (faults_.active()) {
         // A fill replaces every bit of the frame.
         faults_.noteWrite(line, 0, params_.lineSize * 8 - 1);

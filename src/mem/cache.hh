@@ -120,6 +120,7 @@ class Cache
     CacheParams params_;
     u32 setShift_;
     u32 setMask_;
+    obs::Component obsComp_; ///< trace lane, derived from params_.name
 
     std::vector<u8> data_;    ///< numLines * lineSize bytes
     std::vector<Addr> tags_;  ///< full line-address tags

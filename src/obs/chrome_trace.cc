@@ -1,0 +1,68 @@
+#include "obs/chrome_trace.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace marvel::obs
+{
+
+std::string
+chromeTraceJson(const TraceSession &session)
+{
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto append = [&](const std::string &obj) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += obj;
+    };
+
+    // Thread-name metadata so viewers label the component lanes.
+    for (unsigned c = 0; c < kNumComponents; ++c) {
+        const auto comp = static_cast<Component>(c);
+        append(strfmt("{\"name\":\"thread_name\",\"ph\":\"M\","
+                      "\"pid\":0,\"tid\":%u,"
+                      "\"args\":{\"name\":\"%s\"}}",
+                      c, componentName(comp)));
+    }
+
+    for (unsigned c = 0; c < kNumComponents; ++c) {
+        const EventRing &ring =
+            session.ring(static_cast<Component>(c));
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+            const TraceEvent &ev = ring.at(i);
+            append(strfmt(
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                "\"pid\":0,\"tid\":%u,\"ts\":%llu,\"dur\":1,"
+                "\"args\":{\"a\":%llu,\"b\":%llu}}",
+                eventKindName(ev.kind),
+                componentName(ev.comp), c,
+                static_cast<unsigned long long>(ev.cycle),
+                static_cast<unsigned long long>(ev.a),
+                static_cast<unsigned long long>(ev.b)));
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+void
+writeChromeTrace(const std::string &path, const TraceSession &session)
+{
+    const std::string json = chromeTraceJson(session);
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("obs: cannot create trace file '%s': %s", path.c_str(),
+              std::strerror(errno));
+    const std::size_t n =
+        std::fwrite(json.data(), 1, json.size(), file);
+    const bool writeError = n != json.size() || std::fclose(file) != 0;
+    if (writeError)
+        fatal("obs: write of trace file '%s' failed", path.c_str());
+}
+
+} // namespace marvel::obs

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Chrome trace_event exporter: renders a TraceSession as the JSON
+ * Trace Event Format consumed by chrome://tracing and Perfetto.
+ *
+ * Mapping: one process (pid 0) with one thread per hardware component
+ * (tid = Component ordinal, named via metadata events). Every traced
+ * event becomes a complete ("X") event with ts = simulated cycle and
+ * dur = 1 cycle, carrying its payload in args. Because each ring is
+ * filled in simulation order, ts is monotonically non-decreasing per
+ * tid — the property the trace viewers (and test_obs) rely on.
+ */
+
+#ifndef MARVEL_OBS_CHROME_TRACE_HH
+#define MARVEL_OBS_CHROME_TRACE_HH
+
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace marvel::obs
+{
+
+/** Render the session as one trace_event JSON document. */
+std::string chromeTraceJson(const TraceSession &session);
+
+/** Write chromeTraceJson(session) to a file; fatal() on I/O error. */
+void writeChromeTrace(const std::string &path,
+                      const TraceSession &session);
+
+} // namespace marvel::obs
+
+#endif // MARVEL_OBS_CHROME_TRACE_HH

@@ -1,0 +1,46 @@
+#include "obs/lineage.hh"
+
+#include "common/log.hh"
+
+namespace marvel::obs
+{
+
+std::string
+PropagationTrace::summary() const
+{
+    std::string out;
+    if (!faultRead) {
+        out += "fault never consumed: the flipped bit was overwritten "
+               "or vanished before any read (hardware-masked)\n";
+        return out;
+    }
+    out += strfmt("first consumed at cycle %llu\n",
+                  static_cast<unsigned long long>(firstReadCycle));
+    out += strfmt("dataflow spread: %llu tainted uop(s), %llu tainted "
+                  "store(s), %llu store-to-load forward(s), %llu "
+                  "tainted load(s)\n",
+                  static_cast<unsigned long long>(taintedUops),
+                  static_cast<unsigned long long>(taintedStores),
+                  static_cast<unsigned long long>(forwardedTaints),
+                  static_cast<unsigned long long>(taintedLoads));
+    if (taintedCommits)
+        out += strfmt("reached the commit stream: %llu tainted "
+                      "commit(s), first at cycle %llu\n",
+                      static_cast<unsigned long long>(taintedCommits),
+                      static_cast<unsigned long long>(
+                          firstTaintedCommit));
+    else
+        out += "never reached the commit stream (squashed or dead "
+               "values only)\n";
+    if (diverged)
+        out += strfmt("architectural divergence from the golden "
+                      "commit trace at cycle %llu\n",
+                      static_cast<unsigned long long>(
+                          firstDivergence));
+    else
+        out += "no architectural divergence: corrupt values were "
+               "logically masked before commit-visible state\n";
+    return out;
+}
+
+} // namespace marvel::obs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fault-propagation lineage: where did an injected bit go?
+ *
+ * A campaign verdict says WHAT happened (Masked/SDC/Crash); a
+ * PropagationTrace says HOW. When a run executes with lineage enabled
+ * (fi::InjectionOptions::lineage), the core seeds a taint bit on the
+ * faulted storage and propagates it through the real dataflow:
+ * register reads taint the consuming µop, the µop's writeback taints
+ * its destination physical register, tainted store data taints the SQ
+ * entry and — via store-to-load forwarding or the drained memory
+ * range — later loads, and tainted µops are counted as they commit.
+ * The first commit-stream divergence from the golden trace (the HVF
+ * corruption point) closes the story: fault injected at cycle I, first
+ * consumed at cycle R, N µops carried it, architectural state diverged
+ * at cycle D.
+ *
+ * Precision notes: register, LQ/SQ and forwarding taint is exact;
+ * memory taint is tracked as byte ranges written by tainted stores (or
+ * covering a faulted cache line / SPM word) and is never cleared, so
+ * lineage over-approximates but never misses a dataflow path. Lineage
+ * is an analysis mode — campaigns run with it off and pay nothing.
+ */
+
+#ifndef MARVEL_OBS_LINEAGE_HH
+#define MARVEL_OBS_LINEAGE_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace marvel::obs
+{
+
+/** The lineage record one instrumented run fills in. */
+struct PropagationTrace
+{
+    // --- consumption ---------------------------------------------------
+    bool faultRead = false;   ///< a tainted value was ever consumed
+    Cycle firstReadCycle = 0; ///< first consumption of the taint
+
+    // --- spread --------------------------------------------------------
+    u64 taintedUops = 0;     ///< µops that consumed tainted data
+    u64 taintedStores = 0;   ///< tainted values entering the SQ
+    u64 forwardedTaints = 0; ///< taints crossing store-to-load fwd
+    u64 taintedLoads = 0;    ///< loads returning tainted data
+
+    // --- architectural outcome -----------------------------------------
+    u64 taintedCommits = 0;        ///< tainted µops that committed
+    Cycle firstTaintedCommit = 0;
+    bool diverged = false;         ///< commit stream left the golden
+    Cycle firstDivergence = 0;     ///< cycle of the first divergence
+
+    /** Multi-line human-readable account of the propagation path. */
+    std::string summary() const;
+};
+
+} // namespace marvel::obs
+
+#endif // MARVEL_OBS_LINEAGE_HH

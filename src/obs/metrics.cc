@@ -1,0 +1,71 @@
+#include "obs/metrics.hh"
+
+#include "common/log.hh"
+
+namespace marvel::obs
+{
+
+double
+CampaignTelemetry::totalIdleSeconds() const
+{
+    double idle = 0;
+    for (const WorkerTelemetry &w : workers)
+        idle += w.idleSeconds;
+    return idle;
+}
+
+void
+CampaignTelemetry::noteRun(bool isMasked, bool isSdc, bool early,
+                           u64 cycles, u64 fullRunCycles)
+{
+    ++runs;
+    if (isMasked)
+        ++masked;
+    else if (isSdc)
+        ++sdc;
+    else
+        ++crash;
+    cyclesSimulated += cycles;
+    if (early) {
+        ++earlyTerminated;
+        if (fullRunCycles > cycles)
+            cyclesSaved += fullRunCycles - cycles;
+    }
+}
+
+std::string
+formatCampaignMetrics(const CampaignTelemetry &t)
+{
+    std::string out;
+    out += "campaign metrics\n";
+    out += strfmt("  runs            : %llu  (masked %llu, sdc %llu, "
+                  "crash %llu)\n",
+                  static_cast<unsigned long long>(t.runs),
+                  static_cast<unsigned long long>(t.masked),
+                  static_cast<unsigned long long>(t.sdc),
+                  static_cast<unsigned long long>(t.crash));
+    out += strfmt("  wall time       : %.3f s  (%.1f runs/s "
+                  "aggregate)\n",
+                  t.wallSeconds, t.runsPerSecond());
+    out += strfmt("  cycles simulated: %llu\n",
+                  static_cast<unsigned long long>(t.cyclesSimulated));
+    out += strfmt("  early terminated: %llu run(s), %llu cycle(s) "
+                  "saved\n",
+                  static_cast<unsigned long long>(t.earlyTerminated),
+                  static_cast<unsigned long long>(t.cyclesSaved));
+    out += strfmt("  queue idle time : %.3f s across %zu worker(s)\n",
+                  t.totalIdleSeconds(), t.workers.size());
+    for (std::size_t i = 0; i < t.workers.size(); ++i) {
+        const WorkerTelemetry &w = t.workers[i];
+        out += strfmt("  worker %-2zu       : %llu run(s), %llu "
+                      "cycle(s), busy %.3f s, idle %.3f s, "
+                      "%.1f runs/s\n",
+                      i, static_cast<unsigned long long>(w.runs),
+                      static_cast<unsigned long long>(w.simCycles),
+                      w.busySeconds, w.idleSeconds,
+                      w.runsPerSecond());
+    }
+    return out;
+}
+
+} // namespace marvel::obs

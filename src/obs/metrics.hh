@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Campaign execution telemetry: where did the wall-clock time go?
+ *
+ * Verdict counts say what the faults did; CampaignTelemetry says what
+ * the CAMPAIGN did — per-worker throughput (runs/sec), simulated
+ * cycles, the cycles early termination refused to simulate, and the
+ * tail imbalance (queue idle time: how long finished workers waited
+ * for the slowest one). sched::runCampaign fills one in when
+ * fi::CampaignOptions::telemetry points at it, and appends a summary
+ * record to the verdict journal so `marvel-campaign status` can
+ * report throughput long after the run.
+ *
+ * Lives in obs (not sched) because it is pure observability: nothing
+ * here influences scheduling, and the exporters below are shared by
+ * tools, benches and tests.
+ */
+
+#ifndef MARVEL_OBS_METRICS_HH
+#define MARVEL_OBS_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::obs
+{
+
+/** One campaign worker's share of the execution. */
+struct WorkerTelemetry
+{
+    u64 runs = 0;         ///< faulty runs executed
+    u64 simCycles = 0;    ///< cycles simulated across those runs
+    double busySeconds = 0; ///< wall time spent running faults
+    double idleSeconds = 0; ///< drained-queue wait for the last worker
+
+    double
+    runsPerSecond() const
+    {
+        return busySeconds > 0 ? static_cast<double>(runs) /
+                                     busySeconds
+                               : 0.0;
+    }
+};
+
+/** Whole-campaign (one shard) execution telemetry. */
+struct CampaignTelemetry
+{
+    std::vector<WorkerTelemetry> workers;
+    double wallSeconds = 0; ///< enqueue -> last worker finished
+
+    u64 runs = 0;
+    u64 masked = 0;
+    u64 sdc = 0;
+    u64 crash = 0;
+
+    u64 earlyTerminated = 0;
+    u64 cyclesSimulated = 0;
+    /** Cycles a full-length run would have cost minus cycles actually
+     *  simulated, summed over early-terminated runs. */
+    u64 cyclesSaved = 0;
+
+    double
+    runsPerSecond() const
+    {
+        return wallSeconds > 0 ? static_cast<double>(runs) /
+                                     wallSeconds
+                               : 0.0;
+    }
+
+    /** Total finished-worker wait for the campaign tail. */
+    double totalIdleSeconds() const;
+
+    /** Fold one run into the aggregate counters (not the workers). */
+    void noteRun(bool isMasked, bool isSdc, bool early, u64 cycles,
+                 u64 fullRunCycles);
+};
+
+/** Render the telemetry as a human-readable text report. */
+std::string formatCampaignMetrics(const CampaignTelemetry &telemetry);
+
+} // namespace marvel::obs
+
+#endif // MARVEL_OBS_METRICS_HH

@@ -1,0 +1,127 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace marvel::obs
+{
+
+namespace detail
+{
+TraceSession *gSession = nullptr;
+Cycle gNow = 0;
+} // namespace detail
+
+const char *
+componentName(Component comp)
+{
+    switch (comp) {
+      case Component::Cpu: return "cpu";
+      case Component::L1I: return "l1i";
+      case Component::L1D: return "l1d";
+      case Component::L2: return "l2";
+      case Component::Accel: return "accel";
+      case Component::Dma: return "dma";
+      case Component::Fault: return "fault";
+    }
+    return "?";
+}
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Fetch: return "fetch";
+      case EventKind::Rename: return "rename";
+      case EventKind::Issue: return "issue";
+      case EventKind::Forward: return "forward";
+      case EventKind::Complete: return "complete";
+      case EventKind::Commit: return "commit";
+      case EventKind::Squash: return "squash";
+      case EventKind::CacheFill: return "fill";
+      case EventKind::CacheEvict: return "evict";
+      case EventKind::CacheWriteback: return "writeback";
+      case EventKind::DmaStart: return "dma-start";
+      case EventKind::DmaDone: return "dma-done";
+      case EventKind::FaultInject: return "fault-inject";
+      case EventKind::FaultRead: return "fault-read";
+      case EventKind::FaultOverwrite: return "fault-overwrite";
+      case EventKind::FaultVanish: return "fault-vanish";
+    }
+    return "?";
+}
+
+TraceSession::TraceSession(std::size_t capacityPerComponent)
+{
+    if (detail::gSession)
+        panic("obs: a TraceSession is already installed");
+    for (EventRing &ring : rings_)
+        ring.reset(capacityPerComponent);
+    detail::gNow = 0;
+    detail::gSession = this;
+}
+
+TraceSession::~TraceSession()
+{
+    detail::gSession = nullptr;
+}
+
+const EventRing &
+TraceSession::ring(Component comp) const
+{
+    return rings_[static_cast<unsigned>(comp)];
+}
+
+EventRing &
+TraceSession::ring(Component comp)
+{
+    return rings_[static_cast<unsigned>(comp)];
+}
+
+std::size_t
+TraceSession::totalEvents() const
+{
+    std::size_t total = 0;
+    for (const EventRing &ring : rings_)
+        total += ring.size();
+    return total;
+}
+
+u64
+TraceSession::totalDropped() const
+{
+    u64 total = 0;
+    for (const EventRing &ring : rings_)
+        total += ring.dropped();
+    return total;
+}
+
+std::vector<TraceEvent>
+TraceSession::merged() const
+{
+    std::vector<TraceEvent> all;
+    all.reserve(totalEvents());
+    for (const EventRing &ring : rings_)
+        for (std::size_t i = 0; i < ring.size(); ++i)
+            all.push_back(ring.at(i));
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent &x, const TraceEvent &y) {
+                         return x.cycle < y.cycle;
+                     });
+    return all;
+}
+
+void
+emit(Component comp, EventKind kind, u64 a, u64 b)
+{
+    TraceEvent ev;
+    ev.cycle = detail::gNow;
+    ev.a = a;
+    ev.b = static_cast<u32>(b);
+    ev.kind = kind;
+    ev.comp = comp;
+    detail::gSession->ring(comp).push(ev);
+}
+
+} // namespace marvel::obs

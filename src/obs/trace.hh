@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Structured event tracing for the simulated microarchitecture.
+ *
+ * A TraceSession owns one fixed-capacity ring buffer of typed events
+ * per hardware component (CPU pipeline, caches, accelerator, DMA,
+ * fault bookkeeping). The hardware models emit events through the
+ * MARVEL_OBS_EMIT macro, which compiles to a single relaxed load of a
+ * global session pointer when tracing is off — campaigns run with no
+ * session installed and pay only that predictable branch
+ * (bench_simspeed's BM_ObsOverheadGuard measures it).
+ *
+ * Sessions are deliberately process-global and single-threaded: they
+ * exist to instrument ONE replayed run (marvel-trace), never the
+ * parallel campaign workers. Installing a session while worker
+ * threads simulate is undefined; the scheduler never does.
+ *
+ * Ring buffers bound memory: when a component's ring fills, the
+ * oldest events are overwritten and `dropped()` counts what was lost,
+ * so a trace is always "the last N events per component".
+ */
+
+#ifndef MARVEL_OBS_TRACE_HH
+#define MARVEL_OBS_TRACE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::obs
+{
+
+/** Hardware components with their own event ring. */
+enum class Component : u8
+{
+    Cpu,   ///< pipeline events (fetch/rename/issue/forward/commit/...)
+    L1I,
+    L1D,
+    L2,
+    Accel, ///< accelerator-local memories / compute units
+    Dma,
+    Fault, ///< faultwatch transitions (inject/read/overwrite/vanish)
+};
+constexpr unsigned kNumComponents = 7;
+
+const char *componentName(Component comp);
+
+/** Typed events; payload meaning is per kind (see eventKindName). */
+enum class EventKind : u8
+{
+    // CPU pipeline: a = pc, b = seq (Fetch: b = uop count).
+    Fetch,
+    Rename,
+    Issue,
+    Forward, ///< store-to-load forward: a = address, b = store seq
+    Complete,
+    Commit,
+    Squash,  ///< a = redirect pc, b = squash-after seq
+    // Caches: a = line address, b = line index.
+    CacheFill,
+    CacheEvict,
+    CacheWriteback,
+    // DMA: a = DRAM address, b = bytes.
+    DmaStart,
+    DmaDone,
+    // Fault bookkeeping: a = entry, b = bit.
+    FaultInject,
+    FaultRead,
+    FaultOverwrite,
+    FaultVanish,
+};
+
+const char *eventKindName(EventKind kind);
+
+/** One traced event. 24 bytes; rings are preallocated. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    u64 a = 0;
+    u32 b = 0;
+    EventKind kind = EventKind::Fetch;
+    Component comp = Component::Cpu;
+};
+
+/** Fixed-capacity overwrite-oldest ring of events. */
+class EventRing
+{
+  public:
+    explicit EventRing(std::size_t capacity = 0) { reset(capacity); }
+
+    void
+    reset(std::size_t capacity)
+    {
+        buf_.assign(capacity, TraceEvent{});
+        head_ = 0;
+        count_ = 0;
+        dropped_ = 0;
+    }
+
+    void
+    push(const TraceEvent &ev)
+    {
+        if (buf_.empty()) {
+            ++dropped_;
+            return;
+        }
+        if (count_ == buf_.size()) {
+            buf_[head_] = ev;
+            head_ = (head_ + 1) % buf_.size();
+            ++dropped_;
+        } else {
+            buf_[(head_ + count_) % buf_.size()] = ev;
+            ++count_;
+        }
+    }
+
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return buf_.size(); }
+
+    /** Events evicted by overwrite (ring was full). */
+    u64 dropped() const { return dropped_; }
+
+    /** i-th event, oldest first (i < size()). */
+    const TraceEvent &
+    at(std::size_t i) const
+    {
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    u64 dropped_ = 0;
+};
+
+/**
+ * A tracing session: installs itself as the process-global event sink
+ * on construction and detaches on destruction (RAII). At most one
+ * session may exist at a time.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(std::size_t capacityPerComponent = 1 << 16);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    const EventRing &ring(Component comp) const;
+    EventRing &ring(Component comp);
+
+    /** Total events currently retained across all rings. */
+    std::size_t totalEvents() const;
+
+    /** Total events lost to ring overwrite across all rings. */
+    u64 totalDropped() const;
+
+    /** All retained events merged into cycle order. */
+    std::vector<TraceEvent> merged() const;
+
+  private:
+    EventRing rings_[kNumComponents];
+};
+
+namespace detail
+{
+extern TraceSession *gSession; ///< nullptr = tracing off
+extern Cycle gNow;             ///< simulated time stamped on events
+} // namespace detail
+
+/** True when a TraceSession is installed. */
+inline bool
+enabled()
+{
+    return detail::gSession != nullptr;
+}
+
+/** Stamp the simulated clock for subsequent emits (System::tick). */
+inline void
+setNow(Cycle cycle)
+{
+    detail::gNow = cycle;
+}
+
+/** Record one event into the installed session (tracing must be on). */
+void emit(Component comp, EventKind kind, u64 a, u64 b);
+
+} // namespace marvel::obs
+
+/**
+ * Emission guard: hardware models trace through this macro so that a
+ * build can compile observability out entirely (-DMARVEL_OBS_DISABLED)
+ * and a default build pays one well-predicted branch when no session
+ * is installed.
+ */
+#ifdef MARVEL_OBS_DISABLED
+#define MARVEL_OBS_EMIT(comp, kind, a, b) ((void)0)
+#else
+#define MARVEL_OBS_EMIT(comp, kind, a, b)                              \
+    do {                                                               \
+        if (marvel::obs::enabled())                                    \
+            marvel::obs::emit((comp), (kind),                          \
+                              static_cast<marvel::u64>(a),             \
+                              static_cast<marvel::u64>(b));            \
+    } while (0)
+#endif
+
+#endif // MARVEL_OBS_TRACE_HH

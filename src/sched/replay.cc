@@ -1,0 +1,98 @@
+#include "sched/replay.hh"
+
+#include "common/log.hh"
+#include "soc/checkpoint.hh"
+
+namespace marvel::sched
+{
+
+namespace
+{
+
+fi::FaultModel
+modelFromName(const std::string &name)
+{
+    using fi::FaultModel;
+    for (int i = 0; i <= static_cast<int>(FaultModel::StuckAt1); ++i) {
+        const FaultModel m = static_cast<FaultModel>(i);
+        if (name == fi::faultModelName(m))
+            return m;
+    }
+    fatal("replay: journal names unknown fault model '%s'",
+          name.c_str());
+}
+
+} // namespace
+
+ReplaySetup
+replaySetup(const fi::GoldenRun &golden,
+            const store::JournalMeta &meta, u64 index)
+{
+    if (index >= meta.numFaults)
+        fatal("replay: fault index %llu out of range (campaign has "
+              "%llu faults)",
+              static_cast<unsigned long long>(index),
+              static_cast<unsigned long long>(meta.numFaults));
+
+    const u64 digest = soc::archStateDigest(golden.checkpoint.view());
+    if (digest != meta.goldenDigest)
+        fatal("replay: golden-run digest %016llx does not match the "
+              "journal's %016llx — wrong workload, system config, or "
+              "simulator build",
+              static_cast<unsigned long long>(digest),
+              static_cast<unsigned long long>(meta.goldenDigest));
+    if (golden.windowCycles != meta.windowCycles)
+        fatal("replay: golden injection window (%llu cycles) does not "
+              "match the journal's (%llu)",
+              static_cast<unsigned long long>(golden.windowCycles),
+              static_cast<unsigned long long>(meta.windowCycles));
+
+    ReplaySetup setup;
+    setup.target =
+        fi::targetByName(golden.checkpoint.view(), meta.target);
+    const fi::TargetInfo info =
+        fi::targetInfo(golden.checkpoint.view(), setup.target);
+    if (info.geometry.entries != meta.entries ||
+        info.geometry.bitsPerEntry != meta.bitsPerEntry)
+        fatal("replay: target '%s' geometry %ux%u does not match the "
+              "journal's %ux%u",
+              meta.target.c_str(), info.geometry.entries,
+              info.geometry.bitsPerEntry, meta.entries,
+              meta.bitsPerEntry);
+
+    // Identical derivation to the campaign worker: the fault for
+    // index i is a pure function of (seed, i) plus the geometry the
+    // journal just vouched for.
+    Rng rng = Rng::forStream(meta.seed, index);
+    setup.fault =
+        fi::randomFault(rng, setup.target, info.geometry,
+                        meta.windowCycles, modelFromName(meta.model));
+
+    setup.options.earlyTermination = meta.optEarlyTerm != 0;
+    setup.options.computeHvf = meta.optHvf != 0;
+    setup.options.timeoutFactor =
+        static_cast<double>(meta.timeoutFactorMilli) / 1000.0;
+    return setup;
+}
+
+std::optional<fi::RunVerdict>
+findVerdict(const store::Journal &journal, u64 index)
+{
+    std::optional<fi::RunVerdict> found;
+    for (const store::JournalVerdict &record : journal.verdicts)
+        if (record.idx == index)
+            found = record.verdict;
+    return found;
+}
+
+bool
+verdictsIdentical(const fi::RunVerdict &a, const fi::RunVerdict &b)
+{
+    return a.outcome == b.outcome && a.detail == b.detail &&
+           a.hvfCorruption == b.hvfCorruption &&
+           a.hvfCorruptCycle == b.hvfCorruptCycle &&
+           a.terminatedEarly == b.terminatedEarly &&
+           a.cyclesRun == b.cyclesRun;
+}
+
+} // namespace marvel::sched

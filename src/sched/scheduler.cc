@@ -1,10 +1,13 @@
 #include "sched/scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
 #include "common/log.hh"
+#include "common/version.hh"
+#include "obs/metrics.hh"
 #include "sched/workqueue.hh"
 #include "soc/checkpoint.hh"
 
@@ -72,6 +75,14 @@ checkMetaMatches(const store::JournalMeta &journal,
     if (!journal.workload.empty() && !expected.workload.empty() &&
         journal.workload != expected.workload)
         mismatch("workload", journal.workload, expected.workload);
+    // Run options change verdicts (cycles run, HVF fields), so a
+    // resume must not silently mix them. Journals written before
+    // these fields existed read back as the historical defaults.
+    checkU64("earlyTerm", journal.optEarlyTerm,
+             expected.optEarlyTerm);
+    checkU64("hvf", journal.optHvf, expected.optHvf);
+    checkU64("timeoutFactorMilli", journal.timeoutFactorMilli,
+             expected.timeoutFactorMilli);
 }
 
 /** Build a result shell (identity fields, no counts) from a meta. */
@@ -109,6 +120,11 @@ journalMetaFor(const fi::GoldenRun &golden,
     meta.windowCycles = golden.windowCycles;
     meta.entries = info.geometry.entries;
     meta.bitsPerEntry = info.geometry.bitsPerEntry;
+    meta.marvelVersion = kVersionString;
+    meta.optEarlyTerm = options.earlyTermination ? 1 : 0;
+    meta.optHvf = options.computeHvf ? 1 : 0;
+    meta.timeoutFactorMilli =
+        static_cast<u64>(options.timeoutFactor * 1000.0 + 0.5);
     return meta;
 }
 
@@ -189,13 +205,29 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
     threads = std::min<unsigned>(
         threads, pending.empty() ? 1 : pending.size());
 
+    obs::CampaignTelemetry *telemetry = options.telemetry;
+    if (telemetry) {
+        *telemetry = obs::CampaignTelemetry{};
+        telemetry->workers.resize(threads);
+    }
+    using Clock = std::chrono::steady_clock;
+    const auto campaignStart = Clock::now();
+    auto secondsSince = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+
     WorkQueue queue(pending.size());
     std::mutex mergeMutex;
-    auto worker = [&](unsigned) {
+    auto worker = [&](unsigned workerIdx) {
         fi::CampaignResult local;
+        obs::WorkerTelemetry localTelemetry;
+        u64 localEarly = 0;
+        u64 localSaved = 0;
         std::vector<std::pair<u64, fi::RunVerdict>> kept;
         while (const auto slot = queue.next()) {
             const u64 i = pending[*slot];
+            const auto runStart = Clock::now();
             Rng rng = Rng::forStream(options.seed, i);
             fi::FaultMask mask;
             mask.faults.push_back(fi::randomFault(
@@ -204,6 +236,17 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             const fi::RunVerdict verdict =
                 fi::runWithFault(golden, mask, runOpts);
             local.tally(verdict);
+            if (telemetry) {
+                ++localTelemetry.runs;
+                localTelemetry.simCycles += verdict.cyclesRun;
+                localTelemetry.busySeconds += secondsSince(runStart);
+                if (verdict.terminatedEarly) {
+                    ++localEarly;
+                    if (golden.totalCycles > verdict.cyclesRun)
+                        localSaved += golden.totalCycles -
+                                      verdict.cyclesRun;
+                }
+            }
             if (options.keepVerdicts)
                 kept.emplace_back(i, verdict);
             if (writer.open()) {
@@ -218,12 +261,49 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         result.addCounts(local);
         for (auto &[idx, verdict] : kept)
             result.verdicts[idx] = verdict;
+        if (telemetry) {
+            // Everything after this worker's last run is tail wait
+            // for the stragglers: the shared queue is already empty.
+            localTelemetry.idleSeconds =
+                secondsSince(campaignStart) -
+                localTelemetry.busySeconds;
+            if (localTelemetry.idleSeconds < 0)
+                localTelemetry.idleSeconds = 0;
+            telemetry->workers[workerIdx] = localTelemetry;
+            telemetry->runs += localTelemetry.runs;
+            telemetry->masked += local.masked;
+            telemetry->sdc += local.sdc;
+            telemetry->crash += local.crash;
+            telemetry->earlyTerminated += localEarly;
+            telemetry->cyclesSimulated += localTelemetry.simCycles;
+            telemetry->cyclesSaved += localSaved;
+        }
     };
     if (!pending.empty())
         runWorkers(threads, worker);
 
-    if (writer.open())
+    if (telemetry)
+        telemetry->wallSeconds = secondsSince(campaignStart);
+
+    if (writer.open()) {
+        if (telemetry && telemetry->runs > 0) {
+            store::JournalMetrics metrics;
+            metrics.runs = telemetry->runs;
+            metrics.masked = telemetry->masked;
+            metrics.sdc = telemetry->sdc;
+            metrics.crash = telemetry->crash;
+            metrics.earlyTerminated = telemetry->earlyTerminated;
+            metrics.cyclesSimulated = telemetry->cyclesSimulated;
+            metrics.cyclesSaved = telemetry->cyclesSaved;
+            metrics.wallMillis = static_cast<u64>(
+                telemetry->wallSeconds * 1000.0);
+            metrics.idleMillis = static_cast<u64>(
+                telemetry->totalIdleSeconds() * 1000.0);
+            metrics.workers = threads;
+            writer.appendMetrics(metrics);
+        }
         writer.close(); // commits the final partial chunk
+    }
     return result;
 }
 

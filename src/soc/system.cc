@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/memmap.hh"
+#include "obs/trace.hh"
 
 namespace marvel::soc
 {
@@ -37,6 +38,7 @@ System::System(const System &other)
     // Trace sinks are not owned; the copy starts without them.
     cpu.traceOut = nullptr;
     cpu.traceRef = nullptr;
+    cpu.lineageOut = nullptr;
 }
 
 System &
@@ -56,6 +58,7 @@ System::operator=(const System &other)
     totalCycles = other.totalCycles;
     cpu.traceOut = nullptr;
     cpu.traceRef = nullptr;
+    cpu.lineageOut = nullptr;
     return *this;
 }
 
@@ -82,6 +85,10 @@ System::loadProgram(const isa::Program &program)
 void
 System::tick()
 {
+#ifndef MARVEL_OBS_DISABLED
+    if (obs::enabled())
+        obs::setNow(totalCycles);
+#endif
     cpu.cycle(memory, *this);
     cluster.cycle(memory.dram());
     for (std::size_t i = 0; i < cluster.size(); ++i)

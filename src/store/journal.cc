@@ -215,7 +215,9 @@ metaLine(const JournalMeta &meta)
         "\"target\":\"%s\",\"model\":\"%s\",\"seed\":%llu,"
         "\"faults\":%llu,\"shard\":%u,\"shards\":%u,"
         "\"goldenDigest\":%llu,\"goldenCycles\":%llu,"
-        "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u}",
+        "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u,"
+        "\"marvelVersion\":\"%s\",\"earlyTerm\":%u,\"hvf\":%u,"
+        "\"timeoutFactorMilli\":%llu}",
         kJournalFormatVersion, jsonEscape(meta.workload).c_str(),
         jsonEscape(meta.target).c_str(),
         jsonEscape(meta.model).c_str(),
@@ -225,7 +227,29 @@ metaLine(const JournalMeta &meta)
         static_cast<unsigned long long>(meta.goldenDigest),
         static_cast<unsigned long long>(meta.goldenCycles),
         static_cast<unsigned long long>(meta.windowCycles),
-        meta.entries, meta.bitsPerEntry);
+        meta.entries, meta.bitsPerEntry,
+        jsonEscape(meta.marvelVersion).c_str(), meta.optEarlyTerm,
+        meta.optHvf,
+        static_cast<unsigned long long>(meta.timeoutFactorMilli));
+}
+
+std::string
+metricsLine(const JournalMetrics &m)
+{
+    return strfmt(
+        "{\"type\":\"metrics\",\"runs\":%llu,\"masked\":%llu,"
+        "\"sdc\":%llu,\"crash\":%llu,\"earlyTerminated\":%llu,"
+        "\"cyclesSimulated\":%llu,\"cyclesSaved\":%llu,"
+        "\"wallMillis\":%llu,\"idleMillis\":%llu,\"workers\":%u}",
+        static_cast<unsigned long long>(m.runs),
+        static_cast<unsigned long long>(m.masked),
+        static_cast<unsigned long long>(m.sdc),
+        static_cast<unsigned long long>(m.crash),
+        static_cast<unsigned long long>(m.earlyTerminated),
+        static_cast<unsigned long long>(m.cyclesSimulated),
+        static_cast<unsigned long long>(m.cyclesSaved),
+        static_cast<unsigned long long>(m.wallMillis),
+        static_cast<unsigned long long>(m.idleMillis), m.workers);
 }
 
 std::string
@@ -285,6 +309,16 @@ applyLine(const std::string &line, Journal &journal)
         meta.windowCycles = windowCycles;
         meta.entries = static_cast<u32>(entries);
         meta.bitsPerEntry = static_cast<u32>(bits);
+        // Optional run-option fields (absent in older journals; the
+        // struct defaults match the historical campaign defaults).
+        fieldStr(fields, "marvelVersion", meta.marvelVersion);
+        u64 opt = 0;
+        if (fieldU64(fields, "earlyTerm", opt))
+            meta.optEarlyTerm = static_cast<u32>(opt);
+        if (fieldU64(fields, "hvf", opt))
+            meta.optHvf = static_cast<u32>(opt);
+        if (fieldU64(fields, "timeoutFactorMilli", opt))
+            meta.timeoutFactorMilli = opt;
         if (journal.hasMeta)
             return false; // one meta per journal
         journal.hasMeta = true;
@@ -318,6 +352,25 @@ applyLine(const std::string &line, Journal &journal)
         if (!fieldU64(fields, "done", done))
             return false;
         ++journal.chunksCommitted;
+        return true;
+    }
+    if (type == "metrics") {
+        JournalMetrics m;
+        u64 workers = 0;
+        if (!fieldU64(fields, "runs", m.runs))
+            return false;
+        fieldU64(fields, "masked", m.masked);
+        fieldU64(fields, "sdc", m.sdc);
+        fieldU64(fields, "crash", m.crash);
+        fieldU64(fields, "earlyTerminated", m.earlyTerminated);
+        fieldU64(fields, "cyclesSimulated", m.cyclesSimulated);
+        fieldU64(fields, "cyclesSaved", m.cyclesSaved);
+        fieldU64(fields, "wallMillis", m.wallMillis);
+        fieldU64(fields, "idleMillis", m.idleMillis);
+        if (fieldU64(fields, "workers", workers))
+            m.workers = static_cast<u32>(workers);
+        journal.hasMetrics = true;
+        journal.metrics = m; // a later record supersedes an earlier
         return true;
     }
     return false; // unknown record type
@@ -408,6 +461,16 @@ JournalWriter::append(u64 idx, const fi::RunVerdict &verdict)
     pending_.push_back(verdictLine(idx, verdict));
     if (pending_.size() >= chunkSize_)
         commit();
+}
+
+void
+JournalWriter::appendMetrics(const JournalMetrics &metrics)
+{
+    if (fd_ < 0)
+        panic("journal: appendMetrics on a closed writer");
+    commit(); // the record must land after what it summarizes
+    writeLine(metricsLine(metrics));
+    sync();
 }
 
 void

@@ -55,6 +55,15 @@ struct JournalMeta
     u32 entries = 0;        ///< target geometry
     u32 bitsPerEntry = 0;
 
+    // Run options, recorded so a journaled verdict can be replayed
+    // bit-identically (marvel-trace). Absent in version-1 journals
+    // written before these fields existed; the defaults below match
+    // the historical campaign defaults, so old journals keep reading.
+    std::string marvelVersion;    ///< build that wrote the journal
+    u32 optEarlyTerm = 1;         ///< CampaignOptions::earlyTermination
+    u32 optHvf = 0;               ///< CampaignOptions::computeHvf
+    u64 timeoutFactorMilli = 8000; ///< timeoutFactor * 1000
+
     bool operator==(const JournalMeta &other) const = default;
 };
 
@@ -63,6 +72,28 @@ struct JournalVerdict
 {
     u64 idx = 0; ///< campaign-global fault index
     fi::RunVerdict verdict;
+};
+
+/**
+ * Campaign execution telemetry persisted at the end of a run
+ * (`{"type":"metrics",...}`), so status displays can report
+ * throughput long after the campaign. The scheduler converts
+ * obs::CampaignTelemetry into this flat record.
+ */
+struct JournalMetrics
+{
+    u64 runs = 0;
+    u64 masked = 0;
+    u64 sdc = 0;
+    u64 crash = 0;
+    u64 earlyTerminated = 0;
+    u64 cyclesSimulated = 0;
+    u64 cyclesSaved = 0;
+    u64 wallMillis = 0;
+    u64 idleMillis = 0;
+    u32 workers = 0;
+
+    bool operator==(const JournalMetrics &other) const = default;
 };
 
 /** Everything an intact journal prefix contains. */
@@ -74,6 +105,8 @@ struct Journal
     u64 chunksCommitted = 0;
     bool droppedTornLine = false;
     u64 validBytes = 0; ///< length of the intact prefix
+    bool hasMetrics = false;
+    JournalMetrics metrics; ///< last metrics record, when present
 };
 
 /**
@@ -111,6 +144,12 @@ class JournalWriter
 
     /** Queue one verdict; flushes a chunk when the buffer fills. */
     void append(u64 idx, const fi::RunVerdict &verdict);
+
+    /**
+     * Write a campaign metrics record (commits pending verdicts
+     * first, so the record lands after everything it summarizes).
+     */
+    void appendMetrics(const JournalMetrics &metrics);
 
     /** Flush and fsync everything buffered, then mark the chunk. */
     void commit();

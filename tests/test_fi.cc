@@ -359,6 +359,73 @@ TEST(Metrics, PropagationBreakdownPartitionsFaults) {
     EXPECT_EQ(pb.swMasked + pb.sdc + pb.crash, res.hvfCorruptions);
 }
 
+TEST(Metrics, PropagationBreakdownAgreesWithLineage) {
+    // The breakdown is computed from verdict bits; propagation
+    // lineage re-derives the same story from dataflow taint. Re-run
+    // every fault of a small PRF campaign with lineage enabled and
+    // check the two classifications coincide fault by fault.
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    const fi::TargetRef target{fi::TargetId::PrfInt};
+    fi::CampaignOptions opts;
+    opts.numFaults = 30;
+    opts.seed = 20260806;
+    opts.computeHvf = true;
+    opts.keepVerdicts = true;
+    opts.threads = 2;
+    const fi::CampaignResult res =
+        fi::runCampaignOnGolden(golden, target, opts);
+    const fi::PropagationBreakdown pb = fi::propagationBreakdown(res);
+
+    const fi::TargetGeometry geometry =
+        fi::targetInfo(golden.checkpoint.view(), target).geometry;
+    fi::PropagationBreakdown fromLineage;
+    for (u64 i = 0; i < opts.numFaults; ++i) {
+        // Same derivation as the campaign worker: fault i is a pure
+        // function of (seed, i).
+        Rng rng = Rng::forStream(opts.seed, i);
+        fi::FaultMask mask;
+        mask.faults.push_back(fi::randomFault(
+            rng, target, geometry, golden.windowCycles, opts.model));
+
+        obs::PropagationTrace lineage;
+        fi::InjectionOptions iopts;
+        iopts.computeHvf = true;
+        iopts.lineage = &lineage;
+        const fi::RunVerdict verdict =
+            fi::runWithFault(golden, mask, iopts);
+
+        // Lineage bookkeeping must not perturb the verdict.
+        EXPECT_EQ(verdict.outcome, res.verdicts[i].outcome) << i;
+        EXPECT_EQ(verdict.hvfCorruption,
+                  res.verdicts[i].hvfCorruption)
+            << i;
+
+        // Classify from the lineage's point of view.
+        if (verdict.outcome == fi::Outcome::SDC)
+            ++fromLineage.sdc;
+        else if (verdict.outcome == fi::Outcome::Crash)
+            ++fromLineage.crash;
+        else if (lineage.diverged)
+            ++fromLineage.swMasked;
+        else
+            ++fromLineage.hwMasked;
+
+        // A diverged lineage implies the taint was consumed and
+        // reached the commit stream (crash runs may divert before a
+        // tainted µop commits, so only check non-crash outcomes).
+        if (lineage.diverged &&
+            verdict.outcome != fi::Outcome::Crash) {
+            EXPECT_TRUE(lineage.faultRead) << i;
+            EXPECT_GT(lineage.taintedUops, 0u) << i;
+        }
+    }
+    EXPECT_EQ(fromLineage.hwMasked, pb.hwMasked);
+    EXPECT_EQ(fromLineage.swMasked, pb.swMasked);
+    EXPECT_EQ(fromLineage.sdc, pb.sdc);
+    EXPECT_EQ(fromLineage.crash, pb.crash);
+}
+
 TEST(Targets, BtbFaultsAreAlwaysArchitecturallyMasked) {
     // Negative control: prediction state is not ACE - a corrupted BTB
     // target at worst triggers a wrong-path excursion that the branch

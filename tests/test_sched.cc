@@ -217,6 +217,77 @@ TEST(Sched, ShardJournalsMergeToSingleProcessTotals) {
                  FatalError);
 }
 
+TEST(Sched, MergeSingleShardJournalMatchesItsCampaign) {
+    // Degenerate merge: one journal, shard 1/1. Merging must be a
+    // read-back of the campaign, not a special case that misbehaves.
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = tmpPath("sched_merge_single.jsonl");
+    const fi::CampaignResult res =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    const fi::CampaignResult merged =
+        sched::mergeJournals({opts.journalPath});
+    expectSameCounts(res, merged);
+    EXPECT_EQ(merged.total(), opts.numFaults);
+    EXPECT_EQ(merged.windowCycles, golden.windowCycles);
+}
+
+TEST(Sched, MergeEmptyButValidJournal) {
+    // A zero-fault campaign writes a meta-only journal. That journal
+    // is complete (it covers all zero indices), so merge must accept
+    // it and report an empty result rather than fatal() on "holes".
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.numFaults = 0;
+    opts.journalPath = tmpPath("sched_merge_empty.jsonl");
+    const fi::CampaignResult res =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    EXPECT_EQ(res.total(), 0u);
+
+    const store::Journal journal =
+        store::readJournal(opts.journalPath);
+    EXPECT_TRUE(journal.hasMeta);
+    EXPECT_TRUE(journal.verdicts.empty());
+
+    const fi::CampaignResult merged =
+        sched::mergeJournals({opts.journalPath});
+    EXPECT_EQ(merged.total(), 0u);
+    EXPECT_EQ(merged.windowCycles, golden.windowCycles);
+}
+
+TEST(Sched, SingleShardResumeEqualsPlainResume) {
+    // shardCount == 1 must be indistinguishable from an unsharded
+    // campaign: same journal identity, same resumed counts.
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.chunkSize = 8;
+
+    const std::string plainPath = tmpPath("sched_plain.jsonl");
+    opts.journalPath = plainPath;
+    const fi::CampaignResult plain =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    // Explicit shard 0/1 over a truncated copy of the same journal.
+    const std::string content = slurp(plainPath);
+    std::size_t cut = content.find("\"type\":\"chunk\"");
+    ASSERT_NE(cut, std::string::npos);
+    cut = content.find('\n', cut) + 1;
+    const std::string shardPath = tmpPath("sched_shard01.jsonl");
+    spit(shardPath, content.substr(0, cut));
+
+    fi::CampaignOptions shardOpts = opts;
+    shardOpts.journalPath = shardPath;
+    shardOpts.shardIndex = 0;
+    shardOpts.shardCount = 1;
+    shardOpts.resume = true;
+    const fi::CampaignResult resumed =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt},
+                           shardOpts);
+    expectSameCounts(plain, resumed);
+    expectSameCounts(sched::mergeJournals({shardPath}),
+                     sched::mergeJournals({plainPath}));
+}
+
 TEST(Sched, ResumeRefusesMismatchedJournal) {
     const fi::GoldenRun& golden = sharedGolden();
     fi::CampaignOptions opts = baseOptions();

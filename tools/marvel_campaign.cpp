@@ -52,6 +52,8 @@
 
 #include "accel/designs/designs.hh"
 #include "common/table.hh"
+#include "common/version.hh"
+#include "obs/metrics.hh"
 #include "sched/scheduler.hh"
 #include "soc/builder.hh"
 #include "store/serialize.hh"
@@ -83,11 +85,11 @@ struct Options
     bool earlyTerm = true;
 };
 
-[[noreturn]] void
-usage()
+void
+printUsage(std::FILE *out)
 {
     std::fprintf(
-        stderr,
+        out,
         "usage: marvel-campaign {run|resume|status|merge} "
         "--journal FILE [--journal FILE ...]\n"
         "  run/resume: [--preset P] [--config F] [--workload W] "
@@ -95,7 +97,20 @@ usage()
         "              [--target T] [--faults N] [--model M] "
         "[--seed S]\n"
         "              [--threads N] [--shard I/N] [--chunk N]\n"
-        "              [--save-golden F] [--hvf] [--no-early-term]\n");
+        "              [--save-golden F] [--hvf] [--no-early-term]\n"
+        "  any command: --help | --version\n");
+}
+
+/** Complain about one specific bad token, then the usage text. */
+[[noreturn]] void
+usageError(const char *what, const std::string &token)
+{
+    if (token.empty())
+        std::fprintf(stderr, "marvel-campaign: %s\n", what);
+    else
+        std::fprintf(stderr, "marvel-campaign: %s '%s'\n", what,
+                     token.c_str());
+    printUsage(stderr);
     std::exit(2);
 }
 
@@ -104,13 +119,21 @@ parseArgs(int argc, char **argv)
 {
     Options opts;
     if (argc < 2)
-        usage();
+        usageError("missing subcommand", "");
     opts.command = argv[1];
+    if (opts.command == "--help" || opts.command == "-h") {
+        printUsage(stdout);
+        std::exit(0);
+    }
+    if (opts.command == "--version") {
+        std::printf("marvel-campaign %s\n", kVersionString);
+        std::exit(0);
+    }
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
-                usage();
+                usageError("flag needs a value:", arg);
             return argv[++i];
         };
         if (arg == "--preset")
@@ -140,7 +163,7 @@ parseArgs(int argc, char **argv)
             const std::string spec = next();
             const std::size_t slash = spec.find('/');
             if (slash == std::string::npos)
-                usage();
+                usageError("malformed --shard (want I/N):", spec);
             opts.shardIndex = static_cast<u32>(
                 std::strtoul(spec.substr(0, slash).c_str(),
                              nullptr, 10));
@@ -155,13 +178,19 @@ parseArgs(int argc, char **argv)
             else if (m == "stuck-at-1")
                 opts.model = fi::FaultModel::StuckAt1;
             else
-                usage();
+                usageError("unknown fault model", m);
         } else if (arg == "--hvf")
             opts.hvf = true;
         else if (arg == "--no-early-term")
             opts.earlyTerm = false;
-        else
-            usage();
+        else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            std::exit(0);
+        } else if (arg == "--version") {
+            std::printf("marvel-campaign %s\n", kVersionString);
+            std::exit(0);
+        } else
+            usageError("unknown flag", arg);
     }
     return opts;
 }
@@ -293,6 +322,13 @@ cmdRun(const Options &opts, bool resume)
         copts.model = modelFromName(meta.model);
         copts.shardIndex = meta.shardIndex;
         copts.shardCount = meta.shardCount;
+        // Run options shape verdicts, so the journal's record wins
+        // over the command line — a resume continues the campaign
+        // that was started, not a subtly different one.
+        copts.computeHvf = meta.optHvf != 0;
+        copts.earlyTermination = meta.optEarlyTerm != 0;
+        copts.timeoutFactor =
+            static_cast<double>(meta.timeoutFactorMilli) / 1000.0;
         targetName = meta.target;
         std::printf("resuming %s: %llu/%llu verdicts journaled%s\n",
                     journalPath.c_str(),
@@ -316,6 +352,8 @@ cmdRun(const Options &opts, bool resume)
     const fi::GoldenRun golden = goldenFor(opts, wl, cfg);
     const fi::TargetRef target =
         fi::targetByName(golden.checkpoint.view(), targetName);
+    obs::CampaignTelemetry telemetry;
+    copts.telemetry = &telemetry;
     const fi::CampaignResult res =
         sched::runCampaign(golden, target, copts);
 
@@ -326,7 +364,10 @@ cmdRun(const Options &opts, bool resume)
             : std::string();
     printResult("campaign: " + wl.name + " / " + targetName +
                     shardNote,
-                res, opts.hvf);
+                res, copts.computeHvf);
+    if (telemetry.runs > 0)
+        std::fputs(obs::formatCampaignMetrics(telemetry).c_str(),
+                   stdout);
     if (copts.shardCount > 1)
         std::printf("shard journals merge with: marvel-campaign "
                     "merge --journal ...\n");
@@ -391,7 +432,7 @@ main(int argc, char **argv)
             return cmdStatus(opts);
         if (opts.command == "merge")
             return cmdMerge(opts);
-        usage();
+        usageError("unknown subcommand", opts.command);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -35,6 +35,7 @@
 
 #include "accel/designs/designs.hh"
 #include "common/table.hh"
+#include "common/version.hh"
 #include "fi/campaign.hh"
 #include "fi/metrics.hh"
 #include "soc/builder.hh"
@@ -62,16 +63,29 @@ struct Options
     bool earlyTerm = true;
 };
 
-[[noreturn]] void
-usage()
+void
+printUsage(std::FILE *out)
 {
-    std::fprintf(stderr,
+    std::fprintf(out,
                  "usage: marvel-cli "
                  "{targets|list-workloads|campaign|replay} "
                  "[--preset P] [--config F] [--workload W] "
                  "[--driver D] [--target T] [--faults N] [--model M] "
                  "[--seed S] [--threads N] [--hvf] [--no-early-term] "
-                 "[--mask \"...\"]\n");
+                 "[--mask \"...\"]\n"
+                 "       marvel-cli --help | --version\n");
+}
+
+/** Complain about one specific bad token, then the usage text. */
+[[noreturn]] void
+usageError(const char *what, const std::string &token)
+{
+    if (token.empty())
+        std::fprintf(stderr, "marvel-cli: %s\n", what);
+    else
+        std::fprintf(stderr, "marvel-cli: %s '%s'\n", what,
+                     token.c_str());
+    printUsage(stderr);
     std::exit(2);
 }
 
@@ -80,13 +94,21 @@ parseArgs(int argc, char **argv)
 {
     Options opts;
     if (argc < 2)
-        usage();
+        usageError("missing subcommand", "");
     opts.command = argv[1];
+    if (opts.command == "--help" || opts.command == "-h") {
+        printUsage(stdout);
+        std::exit(0);
+    }
+    if (opts.command == "--version") {
+        std::printf("marvel-cli %s\n", kVersionString);
+        std::exit(0);
+    }
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
-                usage();
+                usageError("flag needs a value:", arg);
             return argv[++i];
         };
         if (arg == "--preset")
@@ -116,13 +138,19 @@ parseArgs(int argc, char **argv)
             else if (m == "stuck-at-1")
                 opts.model = fi::FaultModel::StuckAt1;
             else
-                usage();
+                usageError("unknown fault model", m);
         } else if (arg == "--hvf")
             opts.hvf = true;
         else if (arg == "--no-early-term")
             opts.earlyTerm = false;
-        else
-            usage();
+        else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            std::exit(0);
+        } else if (arg == "--version") {
+            std::printf("marvel-cli %s\n", kVersionString);
+            std::exit(0);
+        } else
+            usageError("unknown flag", arg);
     }
     return opts;
 }
@@ -275,7 +303,7 @@ main(int argc, char **argv)
             return cmdCampaign(opts);
         if (opts.command == "replay")
             return cmdReplay(opts);
-        usage();
+        usageError("unknown subcommand", opts.command);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

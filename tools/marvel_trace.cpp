@@ -1,0 +1,262 @@
+/**
+ * @file
+ * marvel-trace — replay one journaled fault with full observability.
+ *
+ * A campaign journal records a verdict per fault index; marvel-trace
+ * answers "what actually happened in run #i?". It rebuilds the golden
+ * run, re-derives fault i from the journal's (seed, index) RNG stream,
+ * and replays it twice:
+ *
+ *   1. a *verification* replay with the exact options the journal
+ *      records — its verdict must match the journaled one
+ *      bit-identically, proving the replay is looking at the same
+ *      execution the campaign saw (exit 1 if not);
+ *   2. an *instrumented* replay with event tracing and fault-
+ *      propagation lineage enabled, producing the human-readable
+ *      propagation story and (with --trace) a Chrome trace_event JSON
+ *      file for chrome://tracing / Perfetto.
+ *
+ * Usage:
+ *   marvel-trace replay --journal camp.jsonl --index 17
+ *                [--trace out.json] [--preset P] [--config F]
+ *                [--workload W] [--driver D] [--ring N]
+ *   marvel-trace --help | --version
+ *
+ * The workload defaults to the journal's recorded workload name; pass
+ * --workload/--driver only when the journal predates that field or the
+ * workload was an accelerator driver.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "accel/designs/designs.hh"
+#include "common/version.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/lineage.hh"
+#include "obs/trace.hh"
+#include "sched/replay.hh"
+#include "soc/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+namespace
+{
+
+struct Options
+{
+    std::string command;
+    std::string journal;
+    std::string tracePath;
+    std::string preset = "riscv";
+    std::string configFile;
+    std::string workload;
+    std::string driver;
+    u64 index = 0;
+    bool haveIndex = false;
+    std::size_t ringCapacity = 1 << 16;
+};
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: marvel-trace replay --journal FILE --index N\n"
+        "             [--trace out.json] [--preset P] [--config F]\n"
+        "             [--workload W] [--driver D] [--ring N]\n"
+        "       marvel-trace --help | --version\n");
+}
+
+/** Complain about one specific bad token, then the usage text. */
+[[noreturn]] void
+usageError(const char *what, const std::string &token)
+{
+    if (token.empty())
+        std::fprintf(stderr, "marvel-trace: %s\n", what);
+    else
+        std::fprintf(stderr, "marvel-trace: %s '%s'\n", what,
+                     token.c_str());
+    printUsage(stderr);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    if (argc < 2)
+        usageError("missing subcommand", "");
+    opts.command = argv[1];
+    if (opts.command == "--help" || opts.command == "-h") {
+        printUsage(stdout);
+        std::exit(0);
+    }
+    if (opts.command == "--version") {
+        std::printf("marvel-trace %s\n", kVersionString);
+        std::exit(0);
+    }
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError("flag needs a value:", arg);
+            return argv[++i];
+        };
+        if (arg == "--journal")
+            opts.journal = next();
+        else if (arg == "--trace")
+            opts.tracePath = next();
+        else if (arg == "--preset")
+            opts.preset = next();
+        else if (arg == "--config")
+            opts.configFile = next();
+        else if (arg == "--workload")
+            opts.workload = next();
+        else if (arg == "--driver")
+            opts.driver = next();
+        else if (arg == "--index") {
+            opts.index = std::strtoull(next().c_str(), nullptr, 0);
+            opts.haveIndex = true;
+        } else if (arg == "--ring")
+            opts.ringCapacity =
+                std::strtoull(next().c_str(), nullptr, 0);
+        else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            std::exit(0);
+        } else if (arg == "--version") {
+            std::printf("marvel-trace %s\n", kVersionString);
+            std::exit(0);
+        } else
+            usageError("unknown flag", arg);
+    }
+    return opts;
+}
+
+soc::SystemConfig
+systemFor(const Options &opts)
+{
+    soc::SystemConfig cfg =
+        opts.configFile.empty() ? soc::preset(opts.preset)
+                                : soc::configFromFile(opts.configFile);
+    if (!opts.driver.empty() && cfg.cluster.designs.empty())
+        cfg.cluster.designs.push_back(accel::designs::makeByName(
+            opts.driver, kAccelSpaceBase));
+    return cfg;
+}
+
+workloads::Workload
+workloadFor(const Options &opts, const store::JournalMeta &meta)
+{
+    if (!opts.driver.empty())
+        return workloads::accelDriver(opts.driver, 0);
+    if (!opts.workload.empty())
+        return workloads::get(opts.workload);
+    if (!meta.workload.empty())
+        return workloads::get(meta.workload);
+    fatal("marvel-trace: journal records no workload; "
+          "pass --workload or --driver");
+}
+
+int
+cmdReplay(const Options &opts)
+{
+    if (opts.journal.empty())
+        usageError("replay needs --journal", "");
+    if (!opts.haveIndex)
+        usageError("replay needs --index", "");
+
+    const store::Journal journal = store::readJournal(opts.journal);
+    if (!journal.hasMeta)
+        fatal("marvel-trace: '%s' has no journal meta record",
+              opts.journal.c_str());
+    const store::JournalMeta &meta = journal.meta;
+
+    const workloads::Workload wl = workloadFor(opts, meta);
+    const soc::SystemConfig cfg = systemFor(opts);
+    std::printf("golden run (%s, %s)...\n", wl.name.c_str(),
+                isa::isaName(cfg.cpu.isa));
+    const fi::GoldenRun golden =
+        fi::runGolden(cfg, isa::compile(wl.module, cfg.cpu.isa));
+
+    const sched::ReplaySetup setup =
+        sched::replaySetup(golden, meta, opts.index);
+    fi::FaultMask mask;
+    mask.faults.push_back(setup.fault);
+    std::printf("fault #%llu: %s\n",
+                static_cast<unsigned long long>(opts.index),
+                mask.toString().c_str());
+
+    // Pass 1: verify the replay reproduces the journaled verdict
+    // exactly, with the run options the journal recorded.
+    const fi::RunVerdict verdict =
+        fi::runWithFault(golden, mask, setup.options);
+    std::printf("verdict: %s\n", verdict.toString().c_str());
+    const auto journaled = sched::findVerdict(journal, opts.index);
+    if (journaled) {
+        if (!sched::verdictsIdentical(verdict, *journaled)) {
+            std::fprintf(stderr,
+                         "marvel-trace: replay DIVERGED from the "
+                         "journal\n  journaled: %s\n  replayed:  %s\n",
+                         journaled->toString().c_str(),
+                         verdict.toString().c_str());
+            return 1;
+        }
+        std::printf("journal:  verdict reproduced bit-identically\n");
+    } else {
+        std::printf("journal:  index %llu has no journaled verdict "
+                    "(not yet run?)\n",
+                    static_cast<unsigned long long>(opts.index));
+    }
+
+    // Pass 2: same fault, instrumented — event tracing on, lineage
+    // seeded at the fault site, HVF divergence tracking forced on so
+    // the lineage can report the architectural divergence point.
+    obs::TraceSession session(opts.ringCapacity);
+    obs::PropagationTrace lineage;
+    fi::InjectionOptions instrumented = setup.options;
+    instrumented.computeHvf = true;
+    instrumented.lineage = &lineage;
+    fi::runWithFault(golden, mask, instrumented);
+
+    std::printf("\n%s", lineage.summary().c_str());
+    std::printf("\ntrace: %zu events retained",
+                session.totalEvents());
+    if (session.totalDropped() > 0)
+        std::printf(" (%llu overwritten; raise --ring)",
+                    static_cast<unsigned long long>(
+                        session.totalDropped()));
+    std::printf("\n");
+    for (unsigned c = 0; c < obs::kNumComponents; ++c) {
+        const auto comp = static_cast<obs::Component>(c);
+        if (session.ring(comp).size() > 0)
+            std::printf("  %-6s %zu events\n",
+                        obs::componentName(comp),
+                        session.ring(comp).size());
+    }
+    if (!opts.tracePath.empty()) {
+        obs::writeChromeTrace(opts.tracePath, session);
+        std::printf("chrome trace written to %s "
+                    "(chrome://tracing, Perfetto)\n",
+                    opts.tracePath.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opts = parseArgs(argc, argv);
+        if (opts.command == "replay")
+            return cmdReplay(opts);
+        usageError("unknown subcommand", opts.command);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
