@@ -23,8 +23,8 @@ int main() {
     fi::CampaignOptions opts = bench::defaultOptions();
     TextTable table(
         "Fig 14: DSA component AVF breakdown (RISC-V host SoC)");
-    table.header({"design.component", "size(B)", "type", "AVF%",
-                  "SDC%", "Crash%"});
+    table.header({"design.component", "size(B)", "type",
+                  "AVF% (95% CI)", "SDC%", "Crash%"});
 
     std::string lastDesign;
     fi::GoldenRun golden;
@@ -51,7 +51,8 @@ int main() {
         table.row({std::string(design) + "." + component,
                    strfmt("%u", info.geometry.entries * 8),
                    accel::memKindName(mem.kind()),
-                   strfmt("%.1f", res.avf() * 100.0),
+                   strfmt("%.1f +/-%.1f", res.avf() * 100.0,
+                          res.errorMargin() * 100.0),
                    strfmt("%.1f", res.sdcAvf() * 100.0),
                    strfmt("%.1f", res.crashAvf() * 100.0)});
     }

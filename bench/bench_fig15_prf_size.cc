@@ -29,9 +29,15 @@ int main() {
         table.row(name, row);
     }
     std::vector<double> wavg;
-    for (unsigned pregs : sizes)
+    RunningStats achievedMargin;
+    for (unsigned pregs : sizes) {
         wavg.push_back(fi::weightedAvf(bySize[pregs]) * 100.0);
+        for (const fi::CampaignResult& res : bySize[pregs])
+            achievedMargin.add(res.errorMargin());
+    }
     table.row("wAVF", wavg);
     table.print();
-    std::printf("(faults/campaign=%u)\n", opts.numFaults);
+    std::printf("(faults/campaign=%u; achieved 95%% CI margin "
+                "+/-%.1f%% per cell)\n",
+                opts.numFaults, 100.0 * achievedMargin.mean());
 }

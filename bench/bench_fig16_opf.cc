@@ -11,8 +11,8 @@ int main() {
     fi::CampaignOptions opts = bench::defaultOptions();
 
     TextTable table("Fig 16: CPU vs DSA - AVF breakdown and OPF");
-    table.header({"platform", "AVF%", "SDC%", "Crash%", "cycles",
-                  "OPS", "OPF"});
+    table.header({"platform", "AVF% (95% CI)", "SDC%", "Crash%",
+                  "cycles", "OPS", "OPF"});
     for (const char* algo : algos) {
         // CPU platform: the algorithm on the RISC-V core; inject into
         // the L1D (the CPU memory holding the working set).
@@ -24,11 +24,13 @@ int main() {
             const fi::CampaignResult res = fi::runCampaignOnGolden(
                 golden, {fi::TargetId::L1D}, opts);
             const double ops = fi::operationsPerSecond(
-                wl.opsPerRun, golden.windowCycles);
+                wl.opsPerRun, golden.windowCycles, cfg.clockGHz);
             const double opf = fi::operationsPerFailure(
-                wl.opsPerRun, golden.windowCycles, res.avf());
+                wl.opsPerRun, golden.windowCycles, res.avf(),
+                cfg.clockGHz);
             table.row({std::string(algo) + "-CPU",
-                       strfmt("%.1f", res.avf() * 100),
+                       strfmt("%.1f +/-%.1f", res.avf() * 100,
+                              res.errorMargin() * 100),
                        strfmt("%.1f", res.sdcAvf() * 100),
                        strfmt("%.1f", res.crashAvf() * 100),
                        strfmt("%llu", (unsigned long long)
@@ -57,11 +59,12 @@ int main() {
                 fi::runCampaignOnGolden(golden, ref, opts);
             const Cycle accelCycles = golden.windowCycles;
             const double ops = fi::operationsPerSecond(
-                wl.opsPerRun, accelCycles);
+                wl.opsPerRun, accelCycles, cfg.clockGHz);
             const double opf = fi::operationsPerFailure(
-                wl.opsPerRun, accelCycles, res.avf());
+                wl.opsPerRun, accelCycles, res.avf(), cfg.clockGHz);
             table.row({std::string(algo) + "-DSA",
-                       strfmt("%.1f", res.avf() * 100),
+                       strfmt("%.1f +/-%.1f", res.avf() * 100,
+                              res.errorMargin() * 100),
                        strfmt("%.1f", res.sdcAvf() * 100),
                        strfmt("%.1f", res.crashAvf() * 100),
                        strfmt("%llu", (unsigned long long)accelCycles),

@@ -10,8 +10,8 @@ int main() {
     fi::CampaignOptions opts = bench::defaultOptions();
     TextTable table(
         "Fig 17: GEMM accelerator DSE (parallel functional units)");
-    table.header({"config", "FpMul", "ports", "AVF(MATRIX1)%",
-                  "cycles", "area(a.u.)"});
+    table.header({"config", "FpMul", "ports",
+                  "AVF(MATRIX1)% (95% CI)", "cycles", "area(a.u.)"});
     for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
         accel::FuConfig fu;
         for (unsigned i = 0; i < isa::kNumFuClasses; ++i)
@@ -32,7 +32,8 @@ int main() {
             fi::runCampaignOnGolden(golden, ref, opts);
         table.row({strfmt("P%u", p), strfmt("%u", p),
                    strfmt("%u", 2 * p),
-                   strfmt("%.1f", res.avf() * 100.0),
+                   strfmt("%.1f +/-%.1f", res.avf() * 100.0,
+                          res.errorMargin() * 100.0),
                    strfmt("%llu",
                           (unsigned long long)golden.windowCycles),
                    strfmt("%.0f",

@@ -36,14 +36,16 @@ int main() {
     fi::CampaignOptions opts = bench::defaultOptions();
     opts.numFaults = std::max(200u, opts.numFaults);
     TextTable t("Listing 1 sanity: L1D validation program");
-    t.header({"ISA", "AVF%", "masked", "sdc", "crash"});
+    t.header({"ISA", "AVF% (95% CI)", "masked", "sdc", "crash"});
     for (isa::IsaKind kind : isa::kAllIsas) {
         soc::SystemConfig cfg = soc::preset(isa::isaName(kind));
         const fi::GoldenRun golden =
             fi::runGolden(cfg, isa::compile(mb.module(), kind));
         const fi::CampaignResult res = fi::runCampaignOnGolden(
             golden, {fi::TargetId::L1D}, opts);
-        t.row({isa::isaName(kind), strfmt("%.1f", res.avf() * 100.0),
+        t.row({isa::isaName(kind),
+               strfmt("%.1f +/-%.1f", res.avf() * 100.0,
+                      res.errorMargin() * 100.0),
                strfmt("%llu", (unsigned long long)res.masked),
                strfmt("%llu", (unsigned long long)res.sdc),
                strfmt("%llu", (unsigned long long)res.crash)});

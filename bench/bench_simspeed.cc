@@ -81,6 +81,32 @@ void BM_ObsOverheadGuard(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsOverheadGuard)->Arg(0)->Arg(1);
 
+// Overhead guard for the stats instrumentation (hierarchical
+// counters + stride-sampled occupancy histograms). Unlike tracing,
+// stats updates have no runtime toggle — they are compiled in or out
+// — so the comparison is across builds: configure a second tree with
+// -DMARVEL_STATS_DISABLED=ON and compare this benchmark's "cycles/s"
+// between the two binaries (acceptance: enabled build within 5%).
+// The label records which variant this binary is.
+void BM_StatsOverheadGuard(benchmark::State& state) {
+    soc::System sys = crcGolden().checkpoint.restore();
+    u64 cycles = 0;
+    for (auto _ : state) {
+        sys.tick();
+        ++cycles;
+        if (sys.exited || sys.cpu.crashed())
+            sys = crcGolden().checkpoint.restore();
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+#ifdef MARVEL_STATS_DISABLED
+    state.SetLabel("stats-compiled-out");
+#else
+    state.SetLabel("stats-on");
+#endif
+}
+BENCHMARK(BM_StatsOverheadGuard);
+
 void BM_CompileWorkload(benchmark::State& state) {
     const workloads::Workload wl = workloads::get("sha");
     for (auto _ : state) {

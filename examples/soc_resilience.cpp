@@ -46,7 +46,7 @@ main(int argc, char **argv)
                    strfmt("%.3g",
                           fi::operationsPerFailure(
                               wl.opsPerRun, golden.windowCycles,
-                              res.avf()))});
+                              res.avf(), cfg.clockGHz))});
     }
 
     // DSA side: the MachSuite design driven over MMRs + DMA + IRQ;
@@ -72,7 +72,7 @@ main(int argc, char **argv)
                        strfmt("%.3g",
                               fi::operationsPerFailure(
                                   wl.opsPerRun, golden.windowCycles,
-                                  res.avf()))});
+                                  res.avf(), cfg.clockGHz))});
         }
     }
     table.print();

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate a MARVEL stats JSON dump against the checked-in schema.
+
+Usage: validate_stats.py STATS_JSON [SCHEMA_JSON]
+
+Stdlib-only on purpose (CI runs it without installing anything): a
+small walker implements exactly the JSON Schema subset the schema
+file uses (type / required / properties / additionalProperties /
+items / enum / minimum / minItems / pattern), plus the semantic
+invariants of the dump format that a structural schema cannot
+express. Exits non-zero with one line per violation.
+"""
+
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_SCHEMA = (
+    Path(__file__).resolve().parent.parent
+    / "docs" / "schemas" / "stats.schema.json"
+)
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; a JSON true is not a number.
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+}
+
+
+def check(value, schema, path, errors):
+    """Walk `value` against `schema`, appending messages to `errors`."""
+    expected = schema.get("type")
+    if expected is not None and not TYPE_CHECKS[expected](value):
+        errors.append(
+            f"{path}: expected {expected}, got {type(value).__name__}"
+        )
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(
+                f"{path}: {value} below minimum {schema['minimum']}"
+            )
+    if "pattern" in schema and isinstance(value, str):
+        if not re.match(schema["pattern"], value):
+            errors.append(
+                f"{path}: {value!r} does not match {schema['pattern']}"
+            )
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key '{key}'")
+        for key, sub in props.items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(value)} items < minItems "
+                f"{schema['minItems']}"
+            )
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for i, item in enumerate(value):
+                check(item, item_schema, f"{path}[{i}]", errors)
+
+
+# Per-kind keys the structural schema cannot make conditional.
+MOMENT_KEYS = ("samples", "sum", "min", "max")
+DISTRIBUTION_KEYS = MOMENT_KEYS + ("stddev",)
+HISTOGRAM_KEYS = MOMENT_KEYS + (
+    "bucket_lo", "bucket_width", "underflow", "overflow", "buckets",
+)
+PER_KIND_KEYS = set(DISTRIBUTION_KEYS) | set(HISTOGRAM_KEYS)
+
+
+def semantic_checks(dump, errors):
+    seen = set()
+    for i, entry in enumerate(dump.get("stats", [])):
+        if not isinstance(entry, dict):
+            continue
+        name = entry.get("name", f"stats[{i}]")
+        path = f"stats[{i}] ({name})"
+        if name in seen:
+            errors.append(f"{path}: duplicate stat name")
+        seen.add(name)
+        for key, val in entry.items():
+            if isinstance(val, float) and not math.isfinite(val):
+                errors.append(f"{path}: non-finite value in '{key}'")
+        kind = entry.get("kind")
+        wanted = (
+            HISTOGRAM_KEYS if kind == "histogram"
+            else DISTRIBUTION_KEYS if kind == "distribution"
+            else ()
+        )
+        for key in wanted:
+            if key not in entry:
+                errors.append(f"{path}: {kind} lacks '{key}'")
+        for key in sorted(PER_KIND_KEYS - set(wanted)):
+            if key in entry:
+                errors.append(f"{path}: {kind} carries '{key}'")
+        if kind == "histogram" and "buckets" in entry:
+            if not entry["buckets"]:
+                errors.append(f"{path}: histogram with zero buckets")
+            if entry.get("bucket_width", 0) <= 0:
+                errors.append(f"{path}: non-positive bucket_width")
+
+
+def fail_constant(token):
+    raise ValueError(f"non-finite JSON constant {token}")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    stats_path = Path(argv[1])
+    schema_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_SCHEMA
+    schema = json.loads(schema_path.read_text())
+    try:
+        # NaN/Infinity are invalid JSON; the exporter must never emit
+        # them (stats::formatJson maps them to 0).
+        dump = json.loads(
+            stats_path.read_text(), parse_constant=fail_constant
+        )
+    except ValueError as err:
+        print(f"{stats_path}: not valid JSON: {err}", file=sys.stderr)
+        return 1
+    errors = []
+    check(dump, schema, "$", errors)
+    if not errors:
+        semantic_checks(dump, errors)
+    for msg in errors:
+        print(f"{stats_path}: {msg}", file=sys.stderr)
+    if errors:
+        return 1
+    n = len(dump["stats"])
+    print(f"{stats_path}: OK ({n} stats, schema {schema_path.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -61,6 +61,21 @@ Cluster::irqPending() const
     return false;
 }
 
+void
+Cluster::regStats(stats::Group &g)
+{
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        std::string name = units_[i].design().name;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (units_[j].design().name == name) {
+                name += strfmt("%zu", i);
+                break;
+            }
+        }
+        units_[i].regStats(g.subgroup(name));
+    }
+}
+
 bool
 Cluster::errored() const
 {

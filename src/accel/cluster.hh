@@ -62,6 +62,12 @@ class Cluster
     /** Any unit in the Error state. */
     bool errored() const;
 
+    /**
+     * Register every unit under g, one subgroup per unit named after
+     * its design (suffixed with the index on duplicates).
+     */
+    void regStats(stats::Group &g);
+
   private:
     std::vector<ComputeUnit> units_;
 };

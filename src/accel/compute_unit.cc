@@ -105,6 +105,22 @@ ComputeUnit::startNextDma(const std::vector<DmaDesc> &descs,
 }
 
 void
+ComputeUnit::regStats(stats::Group &g)
+{
+    g.addFormula(
+        "busy_cycles",
+        [this]() { return static_cast<double>(busyCycles_); },
+        "cycles outside Idle/Done/Error");
+    g.addFormula(
+        "ops_executed",
+        [this]() { return static_cast<double>(engine_.opsExecuted()); },
+        "datapath operations executed");
+    dma_.regStats(g.subgroup("dma"));
+    for (AccelMem &mem : mems_)
+        mem.regStats(g.subgroup(mem.name()));
+}
+
+void
 ComputeUnit::cycle(mem::PhysMem &dram)
 {
     switch (state_) {

@@ -101,6 +101,12 @@ class ComputeUnit : public AccelAddressSpace
     std::vector<AccelMem> &memories() { return mems_; }
     const std::vector<AccelMem> &memories() const { return mems_; }
 
+    /**
+     * Register this unit's activity (busy cycles, datapath ops), its
+     * DMA engine and every local memory component under g.
+     */
+    void regStats(stats::Group &g);
+
     AccelMem &memoryByName(const std::string &name);
 
     // --- AccelAddressSpace ---------------------------------------------

@@ -20,10 +20,20 @@ DmaEngine::start(const DmaTransfer &transfer)
 }
 
 void
+DmaEngine::regStats(stats::Group &g)
+{
+    g.addCounter("transfers", &transfers, "transfers completed");
+    g.addCounter("bytes_moved", &bytesMoved, "payload bytes moved");
+    g.addCounter("busy_cycles", &busyCycles,
+                 "cycles busy (incl. startup)");
+}
+
+void
 DmaEngine::cycle(mem::PhysMem &dram, std::vector<AccelMem> &mems)
 {
     if (!busy_)
         return;
+    busyCycles.inc();
     if (warmup_ > 0) {
         --warmup_;
         return;
@@ -51,8 +61,10 @@ DmaEngine::cycle(mem::PhysMem &dram, std::vector<AccelMem> &mems)
         dram.write(dramAddr, buf, chunk);
     }
     moved_ += chunk;
+    bytesMoved.inc(chunk);
     if (moved_ >= cur_.length) {
         busy_ = false;
+        transfers.inc();
         MARVEL_OBS_EMIT(obs::Component::Dma, obs::EventKind::DmaDone,
                         cur_.dramAddr, cur_.length);
     }

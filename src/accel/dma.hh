@@ -11,6 +11,7 @@
 
 #include "accel/spm.hh"
 #include "mem/physmem.hh"
+#include "stats/stats.hh"
 
 namespace marvel::accel
 {
@@ -46,6 +47,14 @@ class DmaEngine
         busy_ = false;
         fault_ = false;
     }
+
+    // --- statistics ----------------------------------------------------
+    stats::Counter transfers;  ///< transfers completed
+    stats::Counter bytesMoved; ///< payload bytes moved
+    stats::Counter busyCycles; ///< cycles spent busy (incl. startup)
+
+    /** Register the engine's counters under g. */
+    void regStats(stats::Group &g);
 
   private:
     DmaTransfer cur_;

@@ -17,6 +17,8 @@ AccelMem::read(u64 offset, void *out, u32 len)
     if (!inRange(offset, len))
         return false;
     std::memcpy(out, data_.data() + offset, len);
+    reads.inc();
+    bytesRead.inc(len);
     if (faults_.active()) {
         // Entries are 8-byte words; map the byte range onto them.
         const u64 firstWord = offset / 8;
@@ -38,6 +40,8 @@ AccelMem::write(u64 offset, const void *in, u32 len)
     if (!inRange(offset, len))
         return false;
     std::memcpy(data_.data() + offset, in, len);
+    writes.inc();
+    bytesWritten.inc(len);
     if (faults_.active()) {
         const u64 firstWord = offset / 8;
         const u64 lastWord = (offset + len - 1) / 8;
@@ -52,6 +56,15 @@ AccelMem::write(u64 offset, const void *in, u32 len)
         applyStuck(offset, offset + len - 1);
     }
     return true;
+}
+
+void
+AccelMem::regStats(stats::Group &g)
+{
+    g.addCounter("reads", &reads, "read accesses");
+    g.addCounter("writes", &writes, "write accesses");
+    g.addCounter("bytes_read", &bytesRead, "bytes read");
+    g.addCounter("bytes_written", &bytesWritten, "bytes written");
 }
 
 void

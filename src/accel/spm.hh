@@ -17,6 +17,7 @@
 
 #include "common/faultwatch.hh"
 #include "common/types.hh"
+#include "stats/stats.hh"
 
 namespace marvel::accel
 {
@@ -83,6 +84,15 @@ class AccelMem
 
     FaultState &faults() { return faults_; }
     const FaultState &faults() const { return faults_; }
+
+    // --- statistics ----------------------------------------------------
+    stats::Counter reads;      ///< read accesses
+    stats::Counter writes;     ///< write accesses
+    stats::Counter bytesRead;
+    stats::Counter bytesWritten;
+
+    /** Register this memory's counters under g. */
+    void regStats(stats::Group &g);
 
   private:
     void applyStuck(u64 byteLo, u64 byteHi);

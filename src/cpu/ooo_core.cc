@@ -75,7 +75,125 @@ OooCore::OooCore(const CpuParams &params)
     drainInterval_ = params_.storeDrainOverride >= 0
                          ? static_cast<unsigned>(params_.storeDrainOverride)
                          : spec_->storeDrainInterval;
+
+    // Width histograms: one unit-wide bucket per possible count.
+    stats.fetchWidthUsed.init(0, params_.fetchWidth + 1,
+                              params_.fetchWidth + 1);
+    stats.issueWidthUsed.init(0, params_.issueWidth + 1,
+                              params_.issueWidth + 1);
+    stats.commitWidthUsed.init(0, params_.commitWidth + 1,
+                               params_.commitWidth + 1);
+    // Occupancy histograms: 16 buckets across the structure size.
+    auto occInit = [](stats::Histogram &h, unsigned cap) {
+        h.init(0, cap + 1, std::min(cap + 1, 16u));
+    };
+    occInit(stats.robOccupancy, params_.robSize);
+    occInit(stats.iqOccupancy, params_.iqSize);
+    occInit(stats.lqOccupancy, params_.lqSize);
+    occInit(stats.sqOccupancy, params_.sqSize);
+    occInit(stats.intRegsLive, params_.numIntPregs);
+    occInit(stats.fpRegsLive, params_.numFpPregs);
+
     reset(0);
+}
+
+void
+OooCore::statsSampleOccupancy()
+{
+    stats.robOccupancy.sample(static_cast<double>(rob.size()));
+    stats.iqOccupancy.sample(static_cast<double>(iq.size()));
+    stats.lqOccupancy.sample(static_cast<double>(lq.size()));
+    stats.sqOccupancy.sample(static_cast<double>(sq.size()));
+    stats.intRegsLive.sample(
+        static_cast<double>(params_.numIntPregs - intFree.size()));
+    stats.fpRegsLive.sample(
+        static_cast<double>(params_.numFpPregs - fpFree.size()));
+}
+
+void
+OooCore::regStats(stats::Group &g)
+{
+    g.addFormula(
+        "cycles", [this]() { return static_cast<double>(cycles); },
+        "clock cycles simulated");
+    g.addFormula(
+        "committed_uops",
+        [this]() { return static_cast<double>(committedUops); },
+        "micro-ops committed");
+    g.addFormula(
+        "committed_insts",
+        [this]() { return static_cast<double>(committedInsts); },
+        "instructions committed");
+    g.addFormula(
+        "squashes", [this]() { return static_cast<double>(squashes); },
+        "pipeline squashes (mispredicts + replays)");
+    g.addFormula(
+        "ipc",
+        [this]() {
+            return cycles ? static_cast<double>(committedInsts) /
+                                static_cast<double>(cycles)
+                          : 0.0;
+        },
+        "committed instructions per cycle");
+
+    stats::Group &fetch = g.subgroup("fetch");
+    fetch.addCounter("uops", &stats.fetchedUops,
+                     "uops pushed into the fetch queue");
+    fetch.addHistogram("width_used", &stats.fetchWidthUsed,
+                       "uops fetched per cycle");
+
+    stats::Group &issue = g.subgroup("issue");
+    issue.addCounter("uops", &stats.issuedUops,
+                     "uops issued from the IQ");
+    issue.addCounter("loads", &stats.loadIssues,
+                     "loads that accessed memory or forwarded");
+    issue.addCounter("store_drains", &stats.storeDrains,
+                     "retired stores drained to memory");
+    issue.addHistogram("width_used", &stats.issueWidthUsed,
+                       "uops issued per cycle");
+
+    stats::Group &commit = g.subgroup("commit");
+    commit.addHistogram("width_used", &stats.commitWidthUsed,
+                        "uops committed per cycle");
+
+    g.subgroup("rob").addHistogram("occupancy", &stats.robOccupancy,
+                                   "ROB entries in use (sampled)");
+    g.subgroup("iq").addHistogram("occupancy", &stats.iqOccupancy,
+                                  "IQ entries in use (sampled)");
+    g.subgroup("lq").addHistogram("occupancy", &stats.lqOccupancy,
+                                  "LQ entries in use (sampled)");
+    g.subgroup("sq").addHistogram("occupancy", &stats.sqOccupancy,
+                                  "SQ entries in use (sampled)");
+
+    stats::Group &iprf = g.subgroup("int_prf");
+    iprf.addCounter("reads", &intPrf.reads, "operand reads");
+    iprf.addCounter("writes", &intPrf.writes, "writebacks");
+    iprf.addHistogram("live", &stats.intRegsLive,
+                      "allocated physical registers (sampled)");
+    stats::Group &fprf = g.subgroup("fp_prf");
+    fprf.addCounter("reads", &fpPrf.reads, "operand reads");
+    fprf.addCounter("writes", &fpPrf.writes, "writebacks");
+    fprf.addHistogram("live", &stats.fpRegsLive,
+                      "allocated physical registers (sampled)");
+
+    stats::Group &bp = g.subgroup("bpred");
+    bp.addFormula(
+        "lookups",
+        [this]() { return static_cast<double>(bpred.lookups); },
+        "conditional branches resolved");
+    bp.addFormula(
+        "mispredicts",
+        [this]() { return static_cast<double>(bpred.mispredicts); },
+        "mispredicted branches");
+    bp.addFormula(
+        "mispredict_rate",
+        [this]() {
+            return bpred.lookups
+                       ? static_cast<double>(bpred.mispredicts) /
+                             static_cast<double>(bpred.lookups)
+                       : 0.0;
+        },
+        "mispredicts / lookups");
 }
 
 void
@@ -97,6 +215,11 @@ OooCore::reset(Addr pc)
     committedUops = 0;
     committedInsts = 0;
     squashes = 0;
+    stats.reset();
+    intPrf.reads.reset();
+    intPrf.writes.reset();
+    fpPrf.reads.reset();
+    fpPrf.writes.reset();
     hvfCorrupted = false;
     traceRefPos = 0;
     intDivBusyUntil = 0;
@@ -417,6 +540,7 @@ OooCore::doFetch(mem::Hierarchy &memory)
 
         const isa::DecodedInst di = isa::decodeAndExpand(
             *spec_, buf, isa::kMaxInstLength, pc);
+        stats.fetchedUops.inc(di.numUops);
         MARVEL_OBS_EMIT(obs::Component::Cpu, obs::EventKind::Fetch,
                         pc, di.numUops);
 
@@ -824,6 +948,7 @@ OooCore::doIssue(mem::Hierarchy &memory, MmioBus &bus)
         ++fuUsed[fuIdx];
         --budget;
         entry->issued = true;
+        stats.issuedUops.inc();
         MARVEL_OBS_EMIT(obs::Component::Cpu, obs::EventKind::Issue,
                         entry->pc, entry->seq);
 
@@ -1035,6 +1160,7 @@ OooCore::doLoadIssue(mem::Hierarchy &memory, MmioBus &bus)
         lqe.issued = true;
         lqe.completed = true;
         --ports;
+        stats.loadIssues.inc();
         if (lineageOut && loadTaint)
             ++lineageOut->taintedLoads;
         inflight.push_back({cycles + latency, lqe.seq, raw,
@@ -1209,6 +1335,7 @@ OooCore::doStoreDrain(mem::Hierarchy &memory, MmioBus &bus)
             }
         }
         sq.popOldest();
+        stats.storeDrains.inc();
         nextDrainAllowed = cycles + drainInterval_;
         --maxPerCycle;
     }
@@ -1270,6 +1397,16 @@ OooCore::cycle(mem::Hierarchy &memory, MmioBus &bus)
 {
     if (crashed())
         return;
+#ifndef MARVEL_STATS_DISABLED
+    const u64 commitsBefore = committedUops;
+    const u64 issuesBefore = stats.issuedUops.value();
+    const u64 fetchesBefore = stats.fetchedUops.value();
+    // Strided occupancy sampling: per-cycle sampling of six
+    // histograms would blow the <=5% instrumentation budget.
+    constexpr u64 kStatsStride = 8;
+    if ((cycles & (kStatsStride - 1)) == 0)
+        statsSampleOccupancy();
+#endif
     doComplete();
     doCommit(bus);
     if (crashed())
@@ -1281,6 +1418,16 @@ OooCore::cycle(mem::Hierarchy &memory, MmioBus &bus)
     doIssue(memory, bus);
     doDispatch();
     doFetch(memory);
+#ifndef MARVEL_STATS_DISABLED
+    if ((cycles & (kStatsStride - 1)) == 0) {
+        stats.commitWidthUsed.sample(
+            static_cast<double>(committedUops - commitsBefore));
+        stats.issueWidthUsed.sample(static_cast<double>(
+            stats.issuedUops.value() - issuesBefore));
+        stats.fetchWidthUsed.sample(static_cast<double>(
+            stats.fetchedUops.value() - fetchesBefore));
+    }
+#endif
     ++cycles;
 }
 

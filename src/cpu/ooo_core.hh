@@ -30,6 +30,49 @@
 namespace marvel::cpu
 {
 
+/**
+ * Core statistics: value members copied with the core so restored
+ * faulty runs diverge from the same golden baseline. Histograms are
+ * sized from CpuParams at construction; occupancy signals are sampled
+ * every 8th cycle (kStatsStride) to stay inside the <=5% overhead
+ * budget enforced by bench_simspeed.
+ */
+struct CpuStats
+{
+    stats::Counter fetchedUops;  ///< uops pushed into the fetch queue
+    stats::Counter issuedUops;   ///< uops leaving the IQ (incl. AGEN)
+    stats::Counter loadIssues;   ///< loads that accessed memory/forward
+    stats::Counter storeDrains;  ///< retired stores drained to memory
+    stats::Histogram fetchWidthUsed;  ///< uops fetched per cycle
+    stats::Histogram issueWidthUsed;  ///< uops issued per cycle
+    stats::Histogram commitWidthUsed; ///< uops committed per cycle
+    stats::Histogram robOccupancy;
+    stats::Histogram iqOccupancy;
+    stats::Histogram lqOccupancy;
+    stats::Histogram sqOccupancy;
+    stats::Histogram intRegsLive; ///< allocated integer physregs
+    stats::Histogram fpRegsLive;  ///< allocated fp physregs
+
+    /** Zero all counts (histogram geometry is preserved). */
+    void
+    reset()
+    {
+        fetchedUops.reset();
+        issuedUops.reset();
+        loadIssues.reset();
+        storeDrains.reset();
+        fetchWidthUsed.reset();
+        issueWidthUsed.reset();
+        commitWidthUsed.reset();
+        robOccupancy.reset();
+        iqOccupancy.reset();
+        lqOccupancy.reset();
+        sqOccupancy.reset();
+        intRegsLive.reset();
+        fpRegsLive.reset();
+    }
+};
+
 /** Core configuration. */
 struct CpuParams
 {
@@ -157,6 +200,15 @@ class OooCore
     u64 committedInsts = 0;
     u64 squashes = 0;
 
+    // --- statistics -------------------------------------------------------
+    CpuStats stats;
+
+    /**
+     * Register the core's counters, occupancy histograms and derived
+     * formulas (ipc, mispredict rate, PRF activity) under g.
+     */
+    void regStats(stats::Group &g);
+
     // --- injectable structures ---------------------------------------------
     PhysRegFile intPrf;
     PhysRegFile fpPrf;
@@ -234,6 +286,9 @@ class OooCore
         bool writesFp;
         bool tainted = false;
     };
+
+    /** Sample occupancy histograms (call on the kStatsStride grid). */
+    void statsSampleOccupancy();
 
     RobEntry *findRob(u64 seq);
     bool operandsReady(const RobEntry &entry) const;

@@ -14,6 +14,7 @@
 
 #include "common/faultwatch.hh"
 #include "common/types.hh"
+#include "stats/stats.hh"
 
 namespace marvel::cpu
 {
@@ -33,6 +34,7 @@ class PhysRegFile
     u64
     read(unsigned idx)
     {
+        reads.inc();
         if (faults_.active())
             faults_.noteRead(idx, 0, 63);
         return values[idx];
@@ -42,6 +44,7 @@ class PhysRegFile
     void
     write(unsigned idx, u64 value)
     {
+        writes.inc();
         values[idx] = value;
         if (faults_.active()) {
             faults_.noteWrite(idx, 0, 63);
@@ -77,6 +80,10 @@ class PhysRegFile
 
     FaultState &faults() { return faults_; }
     const FaultState &faults() const { return faults_; }
+
+    // --- statistics ------------------------------------------------------
+    stats::Counter reads;  ///< operand reads (register-read stage)
+    stats::Counter writes; ///< writebacks
 
     void
     applyStuck(u32 entry)

@@ -141,6 +141,13 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         sys.cpu.lineageOut = nullptr;
     };
 
+    // Runs on every exit path; snapshots the faulty system's stats
+    // tree for the golden-vs-faulty divergence report.
+    auto finishStats = [&]() {
+        if (options.statsOut)
+            *options.statsOut = sys.statsSnapshot();
+    };
+
     auto finishExit = [&]() {
         verdict.cyclesRun = cursor;
         verdict.hvfCorruption = sys.cpu.hvfCorrupted;
@@ -175,6 +182,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
 
         if (sys.exited) {
             finishExit();
+            finishStats();
             finishLineage();
             return verdict;
         }
@@ -188,6 +196,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
             verdict.hvfCorruptCycle = sys.cpu.hvfCorrupted
                                           ? sys.cpu.hvfCorruptCycle
                                           : cursor;
+            finishStats();
             finishLineage();
             return verdict;
         }
@@ -197,6 +206,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
             verdict.cyclesRun = cursor;
             verdict.hvfCorruption = true;
             verdict.hvfCorruptCycle = cursor;
+            finishStats();
             finishLineage();
             return verdict;
         }
@@ -219,11 +229,30 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
                                      : OutcomeDetail::MaskedEarly;
                 verdict.terminatedEarly = true;
                 verdict.cyclesRun = cursor;
+                finishStats();
                 finishLineage();
                 return verdict;
             }
         }
     }
+}
+
+stats::Snapshot
+goldenStats(const GoldenRun &golden)
+{
+    soc::System sys = golden.checkpoint.restore();
+    const u64 maxCycles = golden.totalCycles * 2 + 1'000'000;
+    for (u64 i = 0; i < maxCycles && !sys.exited; ++i) {
+        sys.tick();
+        sys.cpu.checkpointRequest = false;
+        sys.cpu.switchCpuRequest = false;
+        if (sys.cpu.crashed() || sys.cluster.errored())
+            fatal("goldenStats: fault-free replay crashed (%s)",
+                  sys.crashReason().c_str());
+    }
+    if (!sys.exited)
+        fatal("goldenStats: fault-free replay did not exit");
+    return sys.statsSnapshot();
 }
 
 double

@@ -29,6 +29,7 @@
 #include "fi/targets.hh"
 #include "obs/lineage.hh"
 #include "soc/checkpoint.hh"
+#include "stats/stats.hh"
 
 namespace marvel::obs
 {
@@ -69,11 +70,26 @@ struct InjectionOptions
      * bookkeeping, so campaigns leave it null.
      */
     obs::PropagationTrace *lineage = nullptr;
+
+    /**
+     * When set, receives the faulty system's full stats snapshot at
+     * the end of the run. Pair with goldenStats() and stats::diff for
+     * the which-counters-moved report (marvel-trace).
+     */
+    stats::Snapshot *statsOut = nullptr;
 };
 
 /** Run one fault mask against a golden run. */
 RunVerdict runWithFault(const GoldenRun &golden, const FaultMask &mask,
                         const InjectionOptions &options = {});
+
+/**
+ * Fault-free reference statistics: restore the golden checkpoint,
+ * replay the injection window to exit, and snapshot the stats tree.
+ * Because every faulty run restores the same checkpoint, this is the
+ * bit-exact baseline for stats::diff against a faulty snapshot.
+ */
+stats::Snapshot goldenStats(const GoldenRun &golden);
 
 /** Campaign parameters. */
 struct CampaignOptions
@@ -105,6 +121,14 @@ struct CampaignOptions
     u32 shardCount = 1;
     unsigned chunkSize = 32; ///< verdicts per fsync'd journal chunk
     std::string workloadName; ///< recorded in the journal meta
+
+    /**
+     * Cadence of the `<journal>.progress` heartbeat file (seconds);
+     * 0 disables it. Only meaningful with a journal path — the
+     * heartbeat lives next to the journal and `marvel-campaign
+     * status --follow` tails it.
+     */
+    double heartbeatSeconds = 1.0;
 
     /**
      * When set, sched::runCampaign fills in per-worker and campaign

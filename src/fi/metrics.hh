@@ -27,19 +27,25 @@ double avfOf(const CampaignResult &result, AvfKind kind);
 double weightedAvf(const std::vector<CampaignResult> &results,
                    AvfKind kind = AvfKind::Total);
 
-/** Nominal core clock used to convert cycles to seconds. */
-constexpr double kClockGHz = 2.0;
+/**
+ * Default core clock used to convert cycles to seconds. The
+ * configured value lives in soc::SystemConfig::clockGHz (INI key
+ * `[system] clock_ghz`) — pass it explicitly so OPS/OPF figures
+ * respect the modeled system rather than this fallback.
+ */
+constexpr double kDefaultClockGHz = 2.0;
 
-/** OPS: workload executions per second at the nominal clock. */
+/** OPS: workload executions per second at the given clock. */
 double operationsPerSecond(double opsPerRun, Cycle cyclesPerRun,
-                           double clockGHz = kClockGHz);
+                           double clockGHz = kDefaultClockGHz);
 
 /**
  * OPF = OPS / AVF (paper §V-G): expected correct executions between
  * failures. Infinite when AVF is zero; larger is better.
  */
 double operationsPerFailure(double opsPerRun, Cycle cyclesPerRun,
-                            double avf, double clockGHz = kClockGHz);
+                            double avf,
+                            double clockGHz = kDefaultClockGHz);
 
 /**
  * Per-fault propagation breakdown (paper §IV-D / Fig. 3b): because the

@@ -149,7 +149,7 @@ Cache::readLineForWriteback(int line, void *out)
         faults_.noteRead(line, 0, params_.lineSize * 8 - 1);
     MARVEL_OBS_EMIT(obsComp_, obs::EventKind::CacheWriteback,
                     lineAddr(line), line);
-    ++writebacks;
+    stats.writebacks.inc();
 }
 
 void
@@ -160,6 +160,7 @@ Cache::invalidate(int line)
             faults_.noteGone(line);
         MARVEL_OBS_EMIT(obsComp_, obs::EventKind::CacheEvict,
                         lineAddr(line), line);
+        stats.evictions.inc();
     }
     valid_[line] = false;
     dirty_[line] = false;
@@ -175,6 +176,7 @@ Cache::fill(int line, Addr addr, const void *bytes)
     tags_[line] = lineAddr;
     valid_[line] = true;
     dirty_[line] = false;
+    stats.fills.inc();
     MARVEL_OBS_EMIT(obsComp_, obs::EventKind::CacheFill,
                     lineAddr << setShift_, line);
     if (faults_.active()) {
@@ -184,6 +186,29 @@ Cache::fill(int line, Addr addr, const void *bytes)
     }
     touchPlru(static_cast<u32>(line) / params_.ways,
               static_cast<u32>(line) % params_.ways);
+}
+
+void
+Cache::regStats(stats::Group &g)
+{
+    g.addCounter("hits", &stats.hits, "demand accesses that hit");
+    g.addCounter("misses", &stats.misses,
+                 "demand accesses that missed");
+    g.addCounter("evictions", &stats.evictions,
+                 "valid lines dropped for a fill");
+    g.addCounter("writebacks", &stats.writebacks,
+                 "dirty victims written to the next level");
+    g.addCounter("fills", &stats.fills, "lines installed from below");
+    g.addFormula(
+        "miss_rate",
+        [this]() {
+            const double acc = static_cast<double>(
+                stats.hits.value() + stats.misses.value());
+            return acc > 0
+                       ? static_cast<double>(stats.misses.value()) / acc
+                       : 0.0;
+        },
+        "misses / demand accesses");
 }
 
 void

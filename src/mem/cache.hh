@@ -16,9 +16,24 @@
 
 #include "common/faultwatch.hh"
 #include "common/types.hh"
+#include "stats/stats.hh"
 
 namespace marvel::mem
 {
+
+/**
+ * Per-level access statistics. Value members so checkpoint copies
+ * carry the golden baseline; registered into the stats tree via
+ * Cache::regStats.
+ */
+struct CacheStats
+{
+    stats::Counter hits;
+    stats::Counter misses;
+    stats::Counter evictions;  ///< valid lines dropped to make room
+    stats::Counter writebacks; ///< dirty victims pushed to next level
+    stats::Counter fills;      ///< lines installed from below
+};
 
 /** Geometry and timing of one cache level. */
 struct CacheParams
@@ -108,9 +123,10 @@ class Cache
     const FaultState &faults() const { return faults_; }
 
     // --- statistics -------------------------------------------------------
-    u64 hits = 0;
-    u64 misses = 0;
-    u64 writebacks = 0;
+    CacheStats stats;
+
+    /** Register this level's counters + miss-rate formula under g. */
+    void regStats(stats::Group &g);
 
   private:
     void touchPlru(u32 set, u32 way);

@@ -15,17 +15,25 @@ Hierarchy::Hierarchy(const HierarchyParams &params)
 {
 }
 
+void
+Hierarchy::regStats(stats::Group &g)
+{
+    l1i_.regStats(g.subgroup("l1i"));
+    l1d_.regStats(g.subgroup("l1d"));
+    l2_.regStats(g.subgroup("l2"));
+}
+
 u32
 Hierarchy::fetchLineFromL2(Addr lineAddr, void *out)
 {
     const u32 lineSize = params_.l2.lineSize;
     int line = l2_.findLine(lineAddr);
     if (line >= 0) {
-        ++l2_.hits;
+        l2_.stats.hits.inc();
         l2_.readLine(line, 0, out, lineSize);
         return params_.l2.hitLatency;
     }
-    ++l2_.misses;
+    l2_.stats.misses.inc();
     // Miss: evict an L2 victim, fill from DRAM.
     line = l2_.pickVictim(lineAddr);
     if (l2_.lineValid(line) && l2_.lineDirty(line)) {
@@ -77,10 +85,10 @@ Hierarchy::accessL1(Cache &l1, Addr addr, void *out, const void *in,
 
     int line = l1.findLine(addr);
     if (line >= 0) {
-        ++l1.hits;
+        l1.stats.hits.inc();
         res.latency = l1.params().hitLatency;
     } else {
-        ++l1.misses;
+        l1.stats.misses.inc();
         line = l1.pickVictim(addr);
         if (l1.lineValid(line) && l1.lineDirty(line)) {
             u8 victim[256];

@@ -67,6 +67,9 @@ class Hierarchy
 
     const HierarchyParams &params() const { return params_; }
 
+    /** Register l1i/l1d/l2 subgroups under g (the system group). */
+    void regStats(stats::Group &g);
+
   private:
     /** Access one line-aligned chunk through an L1. */
     MemResult accessL1(Cache &l1, Addr addr, void *out, const void *in,

@@ -60,6 +60,16 @@ Interp::memPtr(Addr addr, unsigned size)
     return mem.data() + addr;
 }
 
+void
+InterpStats::regStats(stats::Group &g)
+{
+    g.addCounter("steps", &steps, "MIR instructions executed");
+    g.addCounter("loads", &loads, "memory loads");
+    g.addCounter("stores", &stores, "memory stores");
+    g.addCounter("branches", &branches, "jumps + branches");
+    g.addCounter("calls", &calls, "function calls");
+}
+
 InterpResult
 Interp::run(const std::vector<i64> &args, u64 maxSteps)
 {
@@ -92,6 +102,17 @@ Interp::callFunction(FuncId fid, const std::vector<Word> &args,
             return 0;
         const Inst &in = fn.blocks[blockId].insts[ip];
         ++ip;
+#ifndef MARVEL_STATS_DISABLED
+        stats_.steps.inc();
+        if (isLoad(in.op))
+            stats_.loads.inc();
+        else if (isStore(in.op))
+            stats_.stores.inc();
+        else if (in.op == Op::Jmp || in.op == Op::Br)
+            stats_.branches.inc();
+        else if (in.op == Op::Call)
+            stats_.calls.inc();
+#endif
         const Word a = regs[in.a];
         const Word b = regs[in.b];
         switch (in.op) {

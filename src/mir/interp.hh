@@ -16,6 +16,7 @@
 #include "common/memmap.hh"
 #include "common/types.hh"
 #include "mir/mir.hh"
+#include "stats/stats.hh"
 
 namespace marvel::mir
 {
@@ -26,6 +27,19 @@ struct InterpResult
     i64 exitValue = 0;      ///< value returned by the entry function
     u64 steps = 0;          ///< MIR instructions executed
     bool timedOut = false;  ///< hit the step limit
+};
+
+/** Functional-model activity counters (instruction mix). */
+struct InterpStats
+{
+    stats::Counter steps;    ///< MIR instructions executed
+    stats::Counter loads;
+    stats::Counter stores;
+    stats::Counter branches; ///< jumps + conditional branches
+    stats::Counter calls;
+
+    /** Register the counters under g. */
+    void regStats(stats::Group &g);
 };
 
 /**
@@ -53,6 +67,9 @@ class Interp
     InterpResult run(const std::vector<i64> &args = {},
                      u64 maxSteps = 200'000'000);
 
+    InterpStats &stats() { return stats_; }
+    const InterpStats &stats() const { return stats_; }
+
   private:
     Word callFunction(FuncId fid, const std::vector<Word> &args,
                       u64 maxSteps, u64 &steps, unsigned depth);
@@ -62,6 +79,7 @@ class Interp
     const Module &mod;
     std::vector<u8> &mem;
     const DataLayout &layout_;
+    InterpStats stats_;
 };
 
 /**

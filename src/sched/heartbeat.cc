@@ -1,0 +1,193 @@
+#include "sched/heartbeat.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "common/log.hh"
+
+namespace marvel::sched
+{
+
+namespace
+{
+
+/**
+ * Parse one flat JSON object with numeric values into key -> double.
+ * Tolerant by design: any syntax surprise returns false. Strings are
+ * not needed here (the heartbeat is all numbers and a 0/1 flag).
+ */
+bool
+parseNumberObject(const std::string &text,
+                  std::map<std::string, double> &out)
+{
+    std::size_t i = 0;
+    auto skipWs = [&]() {
+        while (i < text.size() &&
+               (text[i] == ' ' || text[i] == '\t' ||
+                text[i] == '\n' || text[i] == '\r'))
+            ++i;
+    };
+    skipWs();
+    if (i >= text.size() || text[i] != '{')
+        return false;
+    ++i;
+    skipWs();
+    if (i < text.size() && text[i] == '}') {
+        ++i;
+    } else {
+        for (;;) {
+            skipWs();
+            if (i >= text.size() || text[i] != '"')
+                return false;
+            const std::size_t keyStart = ++i;
+            while (i < text.size() && text[i] != '"')
+                ++i;
+            if (i >= text.size())
+                return false;
+            const std::string key =
+                text.substr(keyStart, i - keyStart);
+            ++i;
+            skipWs();
+            if (i >= text.size() || text[i] != ':')
+                return false;
+            ++i;
+            skipWs();
+            errno = 0;
+            char *end = nullptr;
+            const double value =
+                std::strtod(text.c_str() + i, &end);
+            if (end == text.c_str() + i || errno != 0)
+                return false;
+            i = static_cast<std::size_t>(end - text.c_str());
+            out[key] = value;
+            skipWs();
+            if (i < text.size() && text[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (i < text.size() && text[i] == '}') {
+                ++i;
+                break;
+            }
+            return false;
+        }
+    }
+    skipWs();
+    return i == text.size();
+}
+
+double
+fieldOr(const std::map<std::string, double> &fields, const char *key,
+        double fallback)
+{
+    const auto it = fields.find(key);
+    return it == fields.end() ? fallback : it->second;
+}
+
+} // namespace
+
+std::string
+heartbeatPath(const std::string &journalPath)
+{
+    return journalPath + ".progress";
+}
+
+void
+writeHeartbeat(const std::string &path, const Heartbeat &beat)
+{
+    const std::string body = strfmt(
+        "{\"v\":1,\"done\":%llu,\"expected\":%llu,"
+        "\"masked\":%llu,\"sdc\":%llu,\"crash\":%llu,"
+        "\"runs_per_sec\":%.3f,\"avf\":%.6f,\"margin\":%.6f,"
+        "\"eta_seconds\":%.1f,\"wall_millis\":%llu,"
+        "\"complete\":%d}\n",
+        static_cast<unsigned long long>(beat.done),
+        static_cast<unsigned long long>(beat.expected),
+        static_cast<unsigned long long>(beat.masked),
+        static_cast<unsigned long long>(beat.sdc),
+        static_cast<unsigned long long>(beat.crash),
+        beat.runsPerSec, beat.avf, beat.margin, beat.etaSeconds,
+        static_cast<unsigned long long>(beat.wallMillis),
+        beat.complete ? 1 : 0);
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("heartbeat: cannot write '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        fatal("heartbeat: short write to '%s'", tmp.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("heartbeat: rename '%s' -> '%s' failed: %s",
+              tmp.c_str(), path.c_str(), std::strerror(errno));
+}
+
+bool
+readHeartbeat(const std::string &path, Heartbeat &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[512];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    std::map<std::string, double> fields;
+    if (!parseNumberObject(text, fields))
+        return false;
+    if (fields.find("done") == fields.end() ||
+        fields.find("expected") == fields.end())
+        return false;
+
+    Heartbeat beat;
+    beat.done = static_cast<u64>(fieldOr(fields, "done", 0));
+    beat.expected = static_cast<u64>(fieldOr(fields, "expected", 0));
+    beat.masked = static_cast<u64>(fieldOr(fields, "masked", 0));
+    beat.sdc = static_cast<u64>(fieldOr(fields, "sdc", 0));
+    beat.crash = static_cast<u64>(fieldOr(fields, "crash", 0));
+    beat.runsPerSec = fieldOr(fields, "runs_per_sec", 0.0);
+    beat.avf = fieldOr(fields, "avf", 0.0);
+    beat.margin = fieldOr(fields, "margin", 1.0);
+    beat.etaSeconds = fieldOr(fields, "eta_seconds", 0.0);
+    beat.wallMillis =
+        static_cast<u64>(fieldOr(fields, "wall_millis", 0));
+    beat.complete = fieldOr(fields, "complete", 0.0) != 0.0;
+    out = beat;
+    return true;
+}
+
+std::string
+formatHeartbeat(const Heartbeat &beat)
+{
+    std::string eta;
+    if (beat.complete)
+        eta = "done";
+    else if (beat.etaSeconds <= 0)
+        eta = "eta ?";
+    else if (beat.etaSeconds >= 3600)
+        eta = strfmt("eta %.1fh", beat.etaSeconds / 3600.0);
+    else if (beat.etaSeconds >= 60)
+        eta = strfmt("eta %.1fm", beat.etaSeconds / 60.0);
+    else
+        eta = strfmt("eta %.0fs", beat.etaSeconds);
+    return strfmt(
+        "%llu/%llu (%5.1f%%)  m/s/c %llu/%llu/%llu  "
+        "AVF %.2f%% +/-%.2f%%  %.1f runs/s  %s",
+        static_cast<unsigned long long>(beat.done),
+        static_cast<unsigned long long>(beat.expected),
+        beat.fractionDone() * 100.0,
+        static_cast<unsigned long long>(beat.masked),
+        static_cast<unsigned long long>(beat.sdc),
+        static_cast<unsigned long long>(beat.crash), beat.avf * 100.0,
+        beat.margin * 100.0, beat.runsPerSec, eta.c_str());
+}
+
+} // namespace marvel::sched

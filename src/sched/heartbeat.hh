@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Live campaign progress heartbeat.
+ *
+ * A long campaign is opaque from the outside: the journal grows, but
+ * summing its verdict mix means re-parsing the whole JSONL file. The
+ * scheduler instead drops a tiny single-object JSON heartbeat next to
+ * the journal (<journal>.progress) at a fixed cadence, replacing it
+ * atomically (write-to-temp + rename) so a concurrent reader never
+ * observes a torn file. `marvel-campaign status --follow` tails it.
+ *
+ * The record is intentionally self-contained — done/expected, the
+ * verdict mix, the throughput of this process, the achieved Leveugle
+ * margin, and an ETA — so a dashboard can render progress without
+ * touching the journal at all.
+ */
+
+#ifndef MARVEL_SCHED_HEARTBEAT_HH
+#define MARVEL_SCHED_HEARTBEAT_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace marvel::sched
+{
+
+/** One progress sample of a running (or finished) campaign shard. */
+struct Heartbeat
+{
+    u64 done = 0;     ///< verdicts journaled (incl. resumed ones)
+    u64 expected = 0; ///< fault indices this shard owns
+    u64 masked = 0;
+    u64 sdc = 0;
+    u64 crash = 0;
+    double runsPerSec = 0.0; ///< throughput of this process
+    double avf = 0.0;        ///< partial AVF over the done runs
+    double margin = 1.0;     ///< achieved Leveugle ±margin (95% CI)
+    double etaSeconds = 0.0; ///< 0 when unknown or complete
+    u64 wallMillis = 0;      ///< campaign wall time so far
+    bool complete = false;   ///< shard has every owned verdict
+
+    double
+    fractionDone() const
+    {
+        return expected ? static_cast<double>(done) /
+                              static_cast<double>(expected)
+                        : 0.0;
+    }
+};
+
+/** Where the heartbeat for a journal lives: `<journal>.progress`. */
+std::string heartbeatPath(const std::string &journalPath);
+
+/**
+ * Atomically replace `path` with one JSON object describing `beat`.
+ * Writes `path + ".tmp"` then rename()s it into place; fatal() only
+ * on filesystem errors.
+ */
+void writeHeartbeat(const std::string &path, const Heartbeat &beat);
+
+/**
+ * Read a heartbeat back. Returns false (leaving `out` untouched) when
+ * the file is missing or malformed — a torn or stale file is a normal
+ * race with the writer, not an error.
+ */
+bool readHeartbeat(const std::string &path, Heartbeat &out);
+
+/** One human-readable progress line (no trailing newline). */
+std::string formatHeartbeat(const Heartbeat &beat);
+
+} // namespace marvel::sched
+
+#endif // MARVEL_SCHED_HEARTBEAT_HH

@@ -8,6 +8,7 @@
 #include "common/log.hh"
 #include "common/version.hh"
 #include "obs/metrics.hh"
+#include "sched/heartbeat.hh"
 #include "sched/workqueue.hh"
 #include "soc/checkpoint.hh"
 
@@ -217,6 +218,46 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             .count();
     };
 
+    // Live progress heartbeat: verdict counts accumulate in a light
+    // shell (no kept verdicts) under mergeMutex, and a compact JSON
+    // record is atomically rewritten next to the journal at the
+    // configured cadence. Resumed verdicts count as done but are
+    // excluded from the throughput/ETA estimate.
+    const bool heartbeatOn = !options.journalPath.empty() &&
+                             options.heartbeatSeconds > 0;
+    const std::string beatPath =
+        heartbeatPath(options.journalPath);
+    fi::CampaignResult beatAgg;
+    beatAgg.target = result.target;
+    beatAgg.windowCycles = result.windowCycles;
+    beatAgg.addCounts(result);
+    const u64 beatExpected = owned.size();
+    const u64 beatResumed = beatAgg.total();
+    auto lastBeat = campaignStart;
+    auto writeBeat = [&]() {
+        Heartbeat beat;
+        beat.done = beatAgg.total();
+        beat.expected = beatExpected;
+        beat.masked = beatAgg.masked;
+        beat.sdc = beatAgg.sdc;
+        beat.crash = beatAgg.crash;
+        const double wall = secondsSince(campaignStart);
+        const u64 ranHere = beat.done - beatResumed;
+        beat.runsPerSec =
+            wall > 0 ? static_cast<double>(ranHere) / wall : 0.0;
+        beat.avf = beatAgg.avf();
+        beat.margin = beatAgg.errorMargin();
+        beat.complete = beat.done >= beatExpected;
+        if (!beat.complete && beat.runsPerSec > 0)
+            beat.etaSeconds =
+                static_cast<double>(beatExpected - beat.done) /
+                beat.runsPerSec;
+        beat.wallMillis = static_cast<u64>(wall * 1000.0);
+        writeHeartbeat(beatPath, beat);
+    };
+    if (heartbeatOn)
+        writeBeat(); // visible immediately, even before run #1
+
     WorkQueue queue(pending.size());
     std::mutex mergeMutex;
     auto worker = [&](unsigned workerIdx) {
@@ -250,11 +291,20 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             if (options.keepVerdicts)
                 kept.emplace_back(i, verdict);
             if (writer.open()) {
-                // One lock covers both the journal append (which may
-                // fsync a chunk) and nothing else; counter merging
-                // stays batched per worker.
+                // One lock covers the journal append (which may
+                // fsync a chunk) and the heartbeat tally; counter
+                // merging stays batched per worker.
                 std::lock_guard<std::mutex> lock(mergeMutex);
                 writer.append(i, verdict);
+                if (heartbeatOn) {
+                    beatAgg.tally(verdict);
+                    const auto now = Clock::now();
+                    if (std::chrono::duration<double>(now - lastBeat)
+                            .count() >= options.heartbeatSeconds) {
+                        lastBeat = now;
+                        writeBeat();
+                    }
+                }
             }
         }
         std::lock_guard<std::mutex> lock(mergeMutex);
@@ -304,6 +354,8 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         }
         writer.close(); // commits the final partial chunk
     }
+    if (heartbeatOn)
+        writeBeat(); // final beat: complete flag + settled counts
     return result;
 }
 

@@ -34,6 +34,10 @@ configFromText(const std::string &text)
 
     if (const auto *sec = cfg.first("system")) {
         sys.cpu.isa = isa::isaFromName(sec->get("isa", "riscv"));
+        sys.clockGHz = sec->getDouble("clock_ghz", sys.clockGHz);
+        if (sys.clockGHz <= 0)
+            fatal("builder: clock_ghz must be positive (got %g)",
+                  sys.clockGHz);
     }
     if (const auto *sec = cfg.first("cpu")) {
         sys.cpu.robSize =
@@ -137,8 +141,8 @@ std::string
 configToText(const SystemConfig &config)
 {
     std::string out;
-    out += strfmt("[system]\nisa = %s\n\n",
-                  isa::isaName(config.cpu.isa));
+    out += strfmt("[system]\nisa = %s\nclock_ghz = %g\n\n",
+                  isa::isaName(config.cpu.isa), config.clockGHz);
     out += strfmt(
         "[cpu]\nrob = %u\niq = %u\nlq = %u\nsq = %u\n"
         "int_pregs = %u\nfp_pregs = %u\nissue_width = %u\n"

@@ -63,6 +63,28 @@ System::operator=(const System &other)
 }
 
 void
+System::regStats(stats::Group &root)
+{
+    stats::Group &sys = root.subgroup("system");
+    sys.addFormula(
+        "total_cycles",
+        [this]() { return static_cast<double>(totalCycles); },
+        "SoC clock cycles simulated");
+    cpu.regStats(sys.subgroup("cpu"));
+    memory.regStats(sys);
+    if (!cluster.empty())
+        cluster.regStats(root.subgroup("accel"));
+}
+
+stats::Snapshot
+System::statsSnapshot()
+{
+    stats::Group root;
+    regStats(root);
+    return stats::Snapshot::capture(root);
+}
+
+void
 System::loadProgram(const isa::Program &program)
 {
     if (program.kind != config.cpu.isa)

@@ -20,6 +20,7 @@
 #include "isa/codegen.hh"
 #include "mem/hierarchy.hh"
 #include "soc/interrupt.hh"
+#include "stats/stats.hh"
 
 namespace marvel::soc
 {
@@ -30,6 +31,8 @@ struct SystemConfig
     cpu::CpuParams cpu;
     mem::HierarchyParams memory;
     accel::ClusterConfig cluster;
+    /** SoC clock in GHz; scales OPS/OPF figures (fi/metrics). */
+    double clockGHz = 2.0;
 };
 
 /** Why a run() call returned. */
@@ -79,6 +82,17 @@ class System : public cpu::MmioBus
 
     /** Crash description (valid after RunExit::Crashed). */
     std::string crashReason() const;
+
+    /**
+     * Build the full stats tree against THIS system: system.cpu.*,
+     * system.l1i/l1d/l2.*, accel.<design>.*. The group borrows
+     * pointers into live components — rebuild after copying/moving
+     * the system, and drop it before the system dies.
+     */
+    void regStats(stats::Group &root);
+
+    /** Convenience: build a transient tree and snapshot it. */
+    stats::Snapshot statsSnapshot();
 
     // --- components ------------------------------------------------------------
     SystemConfig config;

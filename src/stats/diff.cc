@@ -1,0 +1,124 @@
+#include "stats/diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/log.hh"
+
+namespace marvel::stats
+{
+
+namespace
+{
+
+/** Scalar facets of one snapshot, keyed by facet path. */
+std::map<std::string, double>
+flatten(const Snapshot &snap)
+{
+    std::map<std::string, double> out;
+    for (const auto &e : snap.entries()) {
+        switch (e.kind) {
+          case EntryKind::Counter:
+          case EntryKind::Formula:
+            out[e.path] = e.value;
+            break;
+          case EntryKind::Distribution:
+          case EntryKind::Histogram:
+            // Mean + samples capture both shape shift and volume
+            // shift; buckets are too noisy to rank individually.
+            out[e.path + "::mean"] = e.value;
+            out[e.path + "::samples"] =
+                static_cast<double>(e.samples);
+            out[e.path + "::max"] = e.max;
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+DiffReport
+diff(const Snapshot &golden, const Snapshot &faulty)
+{
+    const auto g = flatten(golden);
+    const auto f = flatten(faulty);
+
+    DiffReport report;
+    for (const auto &[path, gv] : g) {
+        auto it = f.find(path);
+        if (it == f.end()) {
+            ++report.unmatched;
+            continue;
+        }
+        ++report.compared;
+        const double fv = it->second;
+        if (gv == fv)
+            continue;
+        DiffEntry e;
+        e.path = path;
+        e.golden = gv;
+        e.faulty = fv;
+        e.delta = fv - gv;
+        e.score = std::abs(e.delta) / std::max(std::abs(gv), 1.0);
+        report.entries.push_back(std::move(e));
+    }
+    for (const auto &[path, fv] : f) {
+        (void)fv;
+        if (!g.count(path))
+            ++report.unmatched;
+    }
+
+    std::stable_sort(report.entries.begin(), report.entries.end(),
+                     [](const DiffEntry &a, const DiffEntry &b) {
+                         return a.score > b.score;
+                     });
+    return report;
+}
+
+namespace
+{
+
+std::string
+fmtNum(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15)
+        return strfmt("%lld", static_cast<long long>(v));
+    return strfmt("%.4f", v);
+}
+
+} // namespace
+
+std::string
+DiffReport::format(std::size_t topN) const
+{
+    std::string out;
+    if (identical()) {
+        out = strfmt("stats diff: no divergence (%zu facets compared)\n",
+                     compared);
+        return out;
+    }
+    out = strfmt("stats diff: %zu of %zu facets diverged",
+                 entries.size(), compared);
+    if (unmatched)
+        out += strfmt(" (%zu unmatched paths)", unmatched);
+    out += '\n';
+    out += strfmt("  %-44s %14s %14s %12s\n", "stat", "golden",
+                  "faulty", "delta");
+    const std::size_t n = std::min(topN, entries.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const DiffEntry &e = entries[i];
+        const std::string delta =
+            (e.delta > 0 ? "+" : "") + fmtNum(e.delta);
+        out += strfmt("  %-44s %14s %14s %12s\n", e.path.c_str(),
+                      fmtNum(e.golden).c_str(),
+                      fmtNum(e.faulty).c_str(), delta.c_str());
+    }
+    if (entries.size() > n)
+        out += strfmt("  ... %zu more below threshold\n",
+                      entries.size() - n);
+    return out;
+}
+
+} // namespace marvel::stats

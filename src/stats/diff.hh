@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Golden-vs-faulty statistics divergence.
+ *
+ * stats::diff flattens two Snapshots of the same system into scalar
+ * facets (counter values, formula results, distribution/histogram
+ * means and sample counts) and ranks every facet that moved by
+ * normalised magnitude |faulty - golden| / max(|golden|, 1). The
+ * result is the aggregate complement to obs fault lineage: lineage
+ * says WHERE the corruption travelled, the stats diff says WHICH
+ * microarchitectural activity changed because of it (extra squashes,
+ * replayed loads, cache refills, longer residency).
+ *
+ * marvel-trace prints the report next to the lineage summary when
+ * replaying a journaled verdict.
+ */
+
+#ifndef MARVEL_STATS_DIFF_HH
+#define MARVEL_STATS_DIFF_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace marvel::stats
+{
+
+/** One diverging scalar facet between two snapshots. */
+struct DiffEntry
+{
+    std::string path;   ///< facet path, e.g. "system.cpu.squashes"
+    double golden = 0.0;
+    double faulty = 0.0;
+    double delta = 0.0; ///< faulty - golden
+    /** |delta| / max(|golden|, 1): comparable across magnitudes. */
+    double score = 0.0;
+};
+
+/** Ranked divergence between a golden and a faulty snapshot. */
+struct DiffReport
+{
+    /** Facets that moved, sorted by descending score. */
+    std::vector<DiffEntry> entries;
+    /** Scalar facets compared (including the unchanged ones). */
+    std::size_t compared = 0;
+    /** Paths present in only one snapshot (should be none). */
+    std::size_t unmatched = 0;
+
+    bool identical() const { return entries.empty(); }
+
+    /** Human-readable table of the top-N divergences. */
+    std::string format(std::size_t topN = 16) const;
+};
+
+/** Compare two snapshots of the same stats tree. */
+DiffReport diff(const Snapshot &golden, const Snapshot &faulty);
+
+} // namespace marvel::stats
+
+#endif // MARVEL_STATS_DIFF_HH

@@ -1,0 +1,367 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace marvel::stats
+{
+
+double
+Distribution::variance() const
+{
+    if (samples_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(samples_);
+    const double m = sum_ / n;
+    const double v = squares_ / n - m * m;
+    return v > 0 ? v : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Histogram::init(double lo, double hi, std::size_t nBuckets)
+{
+    if (!(hi > lo) || nBuckets == 0)
+        fatal("Histogram::init: need hi > lo and nBuckets > 0 "
+              "(got [%g, %g) x %zu)", lo, hi, nBuckets);
+    lo_ = lo;
+    hi_ = hi;
+    width_ = (hi - lo) / static_cast<double>(nBuckets);
+    invWidth_ = 1.0 / width_;
+    buckets_.assign(nBuckets, 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Group &
+Group::subgroup(const std::string &name)
+{
+    for (auto &child : children_)
+        if (child->name_ == name)
+            return *child;
+    children_.push_back(std::make_unique<Group>(name));
+    return *children_.back();
+}
+
+void
+Group::addCounter(const std::string &name, Counter *c,
+                  const std::string &desc)
+{
+    Leaf leaf;
+    leaf.name = name;
+    leaf.desc = desc;
+    leaf.kind = Kind::Counter;
+    leaf.counter = c;
+    leaves_.push_back(std::move(leaf));
+}
+
+void
+Group::addDistribution(const std::string &name, Distribution *d,
+                       const std::string &desc)
+{
+    Leaf leaf;
+    leaf.name = name;
+    leaf.desc = desc;
+    leaf.kind = Kind::Distribution;
+    leaf.dist = d;
+    leaves_.push_back(std::move(leaf));
+}
+
+void
+Group::addHistogram(const std::string &name, Histogram *h,
+                    const std::string &desc)
+{
+    Leaf leaf;
+    leaf.name = name;
+    leaf.desc = desc;
+    leaf.kind = Kind::Histogram;
+    leaf.hist = h;
+    leaves_.push_back(std::move(leaf));
+}
+
+void
+Group::addFormula(const std::string &name, Formula f,
+                  const std::string &desc)
+{
+    Leaf leaf;
+    leaf.name = name;
+    leaf.desc = desc;
+    leaf.kind = Kind::Formula;
+    leaf.formula = std::move(f);
+    leaves_.push_back(std::move(leaf));
+}
+
+void
+Group::reset()
+{
+    for (auto &leaf : leaves_) {
+        switch (leaf.kind) {
+          case Kind::Counter: leaf.counter->reset(); break;
+          case Kind::Distribution: leaf.dist->reset(); break;
+          case Kind::Histogram: leaf.hist->reset(); break;
+          case Kind::Formula: break;
+        }
+    }
+    for (auto &child : children_)
+        child->reset();
+}
+
+Snapshot
+Snapshot::capture(const Group &root)
+{
+    Snapshot snap;
+    captureGroup(root, root.name(), snap.entries_);
+    return snap;
+}
+
+void
+Snapshot::captureGroup(const Group &group, const std::string &prefix,
+                       std::vector<SnapshotEntry> &out)
+{
+    // Walk leaves in registration order, then recurse into children.
+    const Group &g = group;
+
+    for (const auto &leaf : g.leaves_) {
+        SnapshotEntry e;
+        e.path = prefix.empty() ? leaf.name : prefix + "." + leaf.name;
+        e.desc = leaf.desc;
+        switch (leaf.kind) {
+          case Group::Kind::Counter:
+            e.kind = EntryKind::Counter;
+            e.value = static_cast<double>(leaf.counter->value());
+            break;
+          case Group::Kind::Distribution:
+            e.kind = EntryKind::Distribution;
+            e.value = leaf.dist->mean();
+            e.samples = leaf.dist->samples();
+            e.sum = leaf.dist->sum();
+            e.min = leaf.dist->min();
+            e.max = leaf.dist->max();
+            e.stddev = leaf.dist->stddev();
+            break;
+          case Group::Kind::Histogram:
+            e.kind = EntryKind::Histogram;
+            e.value = leaf.hist->mean();
+            e.samples = leaf.hist->samples();
+            e.sum = leaf.hist->sum();
+            e.min = leaf.hist->min();
+            e.max = leaf.hist->max();
+            e.bucketLo = leaf.hist->lo();
+            e.bucketWidth = leaf.hist->bucketWidth();
+            e.buckets = leaf.hist->buckets();
+            e.underflow = leaf.hist->underflow();
+            e.overflow = leaf.hist->overflow();
+            break;
+          case Group::Kind::Formula:
+            e.kind = EntryKind::Formula;
+            e.value = leaf.formula ? leaf.formula() : 0.0;
+            break;
+        }
+        out.push_back(std::move(e));
+    }
+
+    for (const auto &child : g.children_) {
+        const std::string childPrefix =
+            prefix.empty() ? child->name()
+                           : prefix + "." + child->name();
+        captureGroup(*child, childPrefix, out);
+    }
+}
+
+const SnapshotEntry *
+Snapshot::find(const std::string &path) const
+{
+    for (const auto &e : entries_)
+        if (e.path == path)
+            return &e;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Print doubles like gem5: integers without the trailing ".000000". */
+std::string
+fmtNum(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::abs(v) < 1e15) {
+        return strfmt("%lld", static_cast<long long>(v));
+    }
+    return strfmt("%.6f", v);
+}
+
+void
+textLine(std::string &out, const std::string &name,
+         const std::string &value, const std::string &desc)
+{
+    out += strfmt("%-52s %14s", name.c_str(), value.c_str());
+    if (!desc.empty()) {
+        out += " # ";
+        out += desc;
+    }
+    out += '\n';
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** JSON-safe number: NaN/Inf have no literal, emit 0. */
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::abs(v) < 1e15)
+        return strfmt("%lld", static_cast<long long>(v));
+    return strfmt("%.9g", v);
+}
+
+const char *
+kindName(EntryKind kind)
+{
+    switch (kind) {
+      case EntryKind::Counter: return "counter";
+      case EntryKind::Distribution: return "distribution";
+      case EntryKind::Histogram: return "histogram";
+      case EntryKind::Formula: return "formula";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+formatText(const Snapshot &snap)
+{
+    std::string out;
+    out.reserve(snap.size() * 80);
+    for (const auto &e : snap.entries()) {
+        switch (e.kind) {
+          case EntryKind::Counter:
+          case EntryKind::Formula:
+            textLine(out, e.path, fmtNum(e.value), e.desc);
+            break;
+          case EntryKind::Distribution:
+            textLine(out, e.path + "::samples",
+                     fmtNum(static_cast<double>(e.samples)), e.desc);
+            textLine(out, e.path + "::mean", fmtNum(e.value), "");
+            textLine(out, e.path + "::stdev", fmtNum(e.stddev), "");
+            textLine(out, e.path + "::min", fmtNum(e.min), "");
+            textLine(out, e.path + "::max", fmtNum(e.max), "");
+            break;
+          case EntryKind::Histogram:
+            textLine(out, e.path + "::samples",
+                     fmtNum(static_cast<double>(e.samples)), e.desc);
+            textLine(out, e.path + "::mean", fmtNum(e.value), "");
+            textLine(out, e.path + "::min", fmtNum(e.min), "");
+            textLine(out, e.path + "::max", fmtNum(e.max), "");
+            if (e.underflow) {
+                textLine(out, e.path + "::underflow",
+                         fmtNum(static_cast<double>(e.underflow)), "");
+            }
+            for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+                if (!e.buckets[i])
+                    continue; // sparse dump: empty buckets add noise
+                const double blo =
+                    e.bucketLo + static_cast<double>(i) * e.bucketWidth;
+                textLine(out,
+                         strfmt("%s::%s-%s", e.path.c_str(),
+                                fmtNum(blo).c_str(),
+                                fmtNum(blo + e.bucketWidth).c_str()),
+                         fmtNum(static_cast<double>(e.buckets[i])), "");
+            }
+            if (e.overflow) {
+                textLine(out, e.path + "::overflow",
+                         fmtNum(static_cast<double>(e.overflow)), "");
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+formatJson(const Snapshot &snap)
+{
+    std::string out = "{\"version\":1,\"stats\":[";
+    bool first = true;
+    for (const auto &e : snap.entries()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += strfmt("{\"name\":\"%s\",\"kind\":\"%s\",\"value\":%s",
+                      jsonEscape(e.path).c_str(), kindName(e.kind),
+                      jsonNum(e.value).c_str());
+        if (!e.desc.empty())
+            out += strfmt(",\"desc\":\"%s\"",
+                          jsonEscape(e.desc).c_str());
+        if (e.kind == EntryKind::Distribution ||
+            e.kind == EntryKind::Histogram) {
+            out += strfmt(",\"samples\":%llu,\"sum\":%s,\"min\":%s,"
+                          "\"max\":%s",
+                          static_cast<unsigned long long>(e.samples),
+                          jsonNum(e.sum).c_str(),
+                          jsonNum(e.min).c_str(),
+                          jsonNum(e.max).c_str());
+        }
+        if (e.kind == EntryKind::Distribution)
+            out += strfmt(",\"stddev\":%s", jsonNum(e.stddev).c_str());
+        if (e.kind == EntryKind::Histogram) {
+            out += strfmt(",\"bucket_lo\":%s,\"bucket_width\":%s,"
+                          "\"underflow\":%llu,\"overflow\":%llu,"
+                          "\"buckets\":[",
+                          jsonNum(e.bucketLo).c_str(),
+                          jsonNum(e.bucketWidth).c_str(),
+                          static_cast<unsigned long long>(e.underflow),
+                          static_cast<unsigned long long>(e.overflow));
+            for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+                if (i)
+                    out += ',';
+                out += strfmt(
+                    "%llu",
+                    static_cast<unsigned long long>(e.buckets[i]));
+            }
+            out += ']';
+        }
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace marvel::stats

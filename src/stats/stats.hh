@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Hierarchical statistics framework (gem5-`Stats`-style).
+ *
+ * Components own plain value-type stat leaves (Counter, Histogram,
+ * Distribution) as ordinary members, so a soc::System copy — the
+ * checkpoint-restore mechanism — carries its statistics with it and
+ * every restored faulty run starts from the golden baseline. Unlike
+ * gem5 there is no static registration at construction time: the
+ * named tree (Group) is built on demand against one specific live
+ * system via the components' regStats(Group&) methods, then flattened
+ * into an immutable Snapshot of dotted-name entries
+ * (system.cpu.rob.occupancy, system.l1d.misses, ...). The tree is
+ * transient; the Snapshot is the exchange format for the exporters
+ * and for stats::diff (golden vs faulty).
+ *
+ * Formula nodes close over component state and are evaluated lazily
+ * at snapshot time, which lets derived rates (miss ratio, IPC) and
+ * legacy raw-u64 members join the tree without storage changes.
+ *
+ * Building with -DMARVEL_STATS_DISABLED compiles every update site
+ * (inc/sample) down to nothing so bench_simspeed can quantify the
+ * instrumentation overhead against a stats-free build.
+ */
+
+#ifndef MARVEL_STATS_STATS_HH
+#define MARVEL_STATS_STATS_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::stats
+{
+
+/** Monotonic event count. One add per event on the hot path. */
+class Counter
+{
+  public:
+    void
+    inc(u64 n = 1)
+    {
+#ifndef MARVEL_STATS_DISABLED
+        value_ += n;
+#else
+        (void)n;
+#endif
+    }
+
+    u64 value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/**
+ * Running scalar distribution: count / sum / min / max / squares.
+ * Used where per-sample magnitude matters but bucket shape does not.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v, u64 n = 1)
+    {
+#ifndef MARVEL_STATS_DISABLED
+        if (n == 0)
+            return;
+        if (samples_ == 0 || v < min_)
+            min_ = v;
+        if (samples_ == 0 || v > max_)
+            max_ = v;
+        samples_ += n;
+        sum_ += v * static_cast<double>(n);
+        squares_ += v * v * static_cast<double>(n);
+#else
+        (void)v;
+        (void)n;
+#endif
+    }
+
+    u64 samples() const { return samples_; }
+    double sum() const { return sum_; }
+    double min() const { return samples_ ? min_ : 0.0; }
+    double max() const { return samples_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+    }
+
+    /** Population variance, clamped at zero against rounding. */
+    double variance() const;
+    double stddev() const;
+
+    void
+    reset()
+    {
+        samples_ = 0;
+        sum_ = squares_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    u64 samples_ = 0;
+    double sum_ = 0.0;
+    double squares_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Linear-bucket histogram over [lo, hi) with underflow/overflow bins.
+ * Occupancy signals (ROB, LQ/SQ, live physical registers) use this;
+ * the bucket shape is what the paper's AVF discussion (SV-B..F)
+ * correlates against.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /**
+     * Configure nBuckets equal-width buckets spanning [lo, hi).
+     * Re-initialising clears accumulated samples.
+     */
+    void init(double lo, double hi, std::size_t nBuckets);
+
+    void
+    sample(double v, u64 n = 1)
+    {
+#ifndef MARVEL_STATS_DISABLED
+        if (n == 0 || buckets_.empty())
+            return;
+        if (samples_ == 0 || v < min_)
+            min_ = v;
+        if (samples_ == 0 || v > max_)
+            max_ = v;
+        samples_ += n;
+        sum_ += v * static_cast<double>(n);
+        if (v < lo_) {
+            underflow_ += n;
+        } else if (v >= hi_) {
+            overflow_ += n;
+        } else {
+            std::size_t idx = static_cast<std::size_t>(
+                (v - lo_) * invWidth_);
+            if (idx >= buckets_.size())
+                idx = buckets_.size() - 1;
+            buckets_[idx] += n;
+        }
+#else
+        (void)v;
+        (void)n;
+#endif
+    }
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double bucketWidth() const { return width_; }
+    const std::vector<u64> &buckets() const { return buckets_; }
+    u64 underflow() const { return underflow_; }
+    u64 overflow() const { return overflow_; }
+    u64 samples() const { return samples_; }
+    double sum() const { return sum_; }
+    double min() const { return samples_ ? min_ : 0.0; }
+    double max() const { return samples_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return samples_ ? sum_ / static_cast<double>(samples_) : 0.0;
+    }
+
+    void reset();
+
+  private:
+    double lo_ = 0.0;
+    double hi_ = 0.0;
+    double width_ = 0.0;
+    double invWidth_ = 0.0;
+    std::vector<u64> buckets_;
+    u64 underflow_ = 0;
+    u64 overflow_ = 0;
+    u64 samples_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Derived value computed at snapshot time (miss rate, IPC, ...). */
+using Formula = std::function<double()>;
+
+/**
+ * One level of the stats hierarchy. Borrows pointers into live
+ * components; valid only while the system it was built against is
+ * alive and unmoved. Build, snapshot/reset, discard.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name = "") : name_(std::move(name)) {}
+
+    /** Child group, created on first use, reused after. */
+    Group &subgroup(const std::string &name);
+
+    void addCounter(const std::string &name, Counter *c,
+                    const std::string &desc = "");
+    void addDistribution(const std::string &name, Distribution *d,
+                         const std::string &desc = "");
+    void addHistogram(const std::string &name, Histogram *h,
+                      const std::string &desc = "");
+    void addFormula(const std::string &name, Formula f,
+                    const std::string &desc = "");
+
+    /**
+     * Zero every registered leaf, recursively. Formulas are excluded —
+     * they have no storage of their own.
+     */
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class Snapshot;
+
+    enum class Kind { Counter, Distribution, Histogram, Formula };
+
+    struct Leaf
+    {
+        std::string name;
+        std::string desc;
+        Kind kind = Kind::Counter;
+        Counter *counter = nullptr;
+        Distribution *dist = nullptr;
+        Histogram *hist = nullptr;
+        Formula formula;
+    };
+
+    std::string name_;
+    std::vector<Leaf> leaves_;
+    // Insertion-ordered children: dump order follows registration
+    // order (cpu before caches before accel), not lexicographic.
+    std::vector<std::unique_ptr<Group>> children_;
+};
+
+/** Leaf type tag carried through snapshots and exporters. */
+enum class EntryKind { Counter, Distribution, Histogram, Formula };
+
+/** One flattened stat: full dotted path plus every captured facet. */
+struct SnapshotEntry
+{
+    std::string path; ///< full dotted name, e.g. "system.l1d.misses"
+    std::string desc;
+    EntryKind kind = EntryKind::Counter;
+    /** Scalar view: counter count, formula result, dist/hist mean. */
+    double value = 0.0;
+    // Distribution / histogram facets (zero elsewhere).
+    u64 samples = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double stddev = 0.0;
+    // Histogram-only facets.
+    double bucketLo = 0.0;
+    double bucketWidth = 0.0;
+    std::vector<u64> buckets;
+    u64 underflow = 0;
+    u64 overflow = 0;
+};
+
+/** Flat, ordered dump of a stats tree at one instant. */
+class Snapshot
+{
+  public:
+    Snapshot() = default;
+
+    /** Capture every leaf under root (formulas evaluated now). */
+    static Snapshot capture(const Group &root);
+
+    const std::vector<SnapshotEntry> &entries() const { return entries_; }
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+    /** Lookup by full dotted path; nullptr when absent. */
+    const SnapshotEntry *find(const std::string &path) const;
+
+  private:
+    static void captureGroup(const Group &group,
+                             const std::string &prefix,
+                             std::vector<SnapshotEntry> &out);
+
+    std::vector<SnapshotEntry> entries_;
+};
+
+/**
+ * gem5-style flat text dump: one "name  value  # desc" line per
+ * scalar, with ::mean / ::samples / bucket sublines for histograms
+ * and distributions.
+ */
+std::string formatText(const Snapshot &snap);
+
+/** Stable JSON document: {"version":1,"stats":[{...}, ...]}. */
+std::string formatJson(const Snapshot &snap);
+
+} // namespace marvel::stats
+
+#endif // MARVEL_STATS_STATS_HH

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/bits.hh"
@@ -106,6 +107,48 @@ TEST(Stats, WeightedMean) {
     EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
     EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
     EXPECT_THROW(weightedMean({1.0}, {1.0, 2.0}), FatalError);
+}
+
+TEST(Stats, RunningStatsDegenerate) {
+    // Variance with n < 2 is undefined; the accumulator reports 0
+    // rather than dividing by zero.
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Stats, RunningStatsVarianceClampsCancellation) {
+    // sumSq - n*mean^2 can go slightly negative through floating-point
+    // cancellation when the spread is tiny relative to the magnitude;
+    // the variance must clamp at 0 so stddev never returns NaN.
+    RunningStats s;
+    for (int i = 0; i < 1000; ++i)
+        s.add(1e9 + 0.0001);
+    EXPECT_GE(s.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(s.stddev()));
+}
+
+TEST(Stats, WeightedMeanFatals) {
+    EXPECT_THROW(weightedMean({1.0, 2.0}, {0.0, 0.0}), FatalError);
+    EXPECT_THROW(weightedMean({}, {}), FatalError);
+    EXPECT_THROW(weightedMean({1.0, 2.0}, {1.0}), FatalError);
+}
+
+TEST(Stats, MarginOfErrorEdges) {
+    EXPECT_THROW(marginOfError(0, 100), FatalError);
+    EXPECT_THROW(marginOfError(-5, 100), FatalError);
+    EXPECT_THROW(marginOfError(10, 1.0), FatalError);
+    // Oversampling a finite population drives e^2 negative; the
+    // margin clamps at exactly zero error.
+    EXPECT_DOUBLE_EQ(marginOfError(2000, 1000), 0.0);
 }
 
 TEST(Config, ParsesSectionsAndTypes) {

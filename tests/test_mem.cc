@@ -102,7 +102,7 @@ TEST(Cache, EvictionWritesBackDirtyData) {
         mem.coherentRead(0x8000 + i * stride, &got, 8);
         EXPECT_EQ(got, 0xbeef0000u + i);
     }
-    EXPECT_GE(mem.l1d().writebacks, 1u);
+    EXPECT_GE(mem.l1d().stats.writebacks.value(), 1u);
 }
 
 TEST(Cache, PlruVictimIsLeastRecentlyTouched) {

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "sched/heartbeat.hh"
 #include "sched/scheduler.hh"
 #include "sched/workqueue.hh"
 #include "soc/builder.hh"
@@ -339,4 +340,95 @@ TEST(Sched, ShardShareCoversAllIndices) {
             EXPECT_EQ(sum, n) << n << "/" << count;
         }
     }
+}
+
+TEST(Heartbeat, RoundTrips) {
+    const std::string path = tmpPath("sched_beat.progress");
+    sched::Heartbeat beat;
+    beat.done = 17;
+    beat.expected = 40;
+    beat.masked = 12;
+    beat.sdc = 3;
+    beat.crash = 2;
+    beat.runsPerSec = 81.5;
+    beat.avf = 0.125;
+    beat.margin = 0.155;
+    beat.etaSeconds = 12.5;
+    beat.wallMillis = 1234;
+    beat.complete = false;
+    sched::writeHeartbeat(path, beat);
+
+    sched::Heartbeat read;
+    ASSERT_TRUE(sched::readHeartbeat(path, read));
+    EXPECT_EQ(read.done, 17u);
+    EXPECT_EQ(read.expected, 40u);
+    EXPECT_EQ(read.masked, 12u);
+    EXPECT_EQ(read.sdc, 3u);
+    EXPECT_EQ(read.crash, 2u);
+    EXPECT_NEAR(read.runsPerSec, 81.5, 0.01);
+    EXPECT_NEAR(read.avf, 0.125, 1e-6);
+    EXPECT_NEAR(read.margin, 0.155, 1e-6);
+    EXPECT_NEAR(read.etaSeconds, 12.5, 0.1);
+    EXPECT_EQ(read.wallMillis, 1234u);
+    EXPECT_FALSE(read.complete);
+    EXPECT_NEAR(read.fractionDone(), 17.0 / 40.0, 1e-9);
+    // The write must be atomic: no temp file left behind.
+    EXPECT_EQ(slurp(path + ".tmp"), "");
+    // The human line carries the load-bearing numbers.
+    const std::string line = sched::formatHeartbeat(read);
+    EXPECT_NE(line.find("17/40"), std::string::npos);
+    EXPECT_NE(line.find("runs/s"), std::string::npos);
+}
+
+TEST(Heartbeat, ToleratesMissingAndMalformed) {
+    sched::Heartbeat beat;
+    beat.done = 99;
+    EXPECT_FALSE(
+        sched::readHeartbeat(tmpPath("no_such.progress"), beat));
+    EXPECT_EQ(beat.done, 99u); // untouched on failure
+
+    const std::string path = tmpPath("sched_torn.progress");
+    spit(path, "{\"done\":5,\"expec"); // torn mid-write (pre-rename)
+    EXPECT_FALSE(sched::readHeartbeat(path, beat));
+    spit(path, "not json at all");
+    EXPECT_FALSE(sched::readHeartbeat(path, beat));
+    spit(path, "{\"v\":1}"); // parses but lacks required keys
+    EXPECT_FALSE(sched::readHeartbeat(path, beat));
+    EXPECT_EQ(beat.done, 99u);
+}
+
+TEST(Heartbeat, JournaledCampaignLeavesFinalBeat) {
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string path = tmpPath("sched_beat_camp.jsonl");
+    std::remove((path + ".progress").c_str());
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = path;
+    const fi::CampaignResult res =
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    sched::Heartbeat beat;
+    ASSERT_TRUE(
+        sched::readHeartbeat(sched::heartbeatPath(path), beat));
+    EXPECT_TRUE(beat.complete);
+    EXPECT_EQ(beat.done, opts.numFaults);
+    EXPECT_EQ(beat.expected, opts.numFaults);
+    EXPECT_EQ(beat.masked, res.masked);
+    EXPECT_EQ(beat.sdc, res.sdc);
+    EXPECT_EQ(beat.crash, res.crash);
+    EXPECT_NEAR(beat.avf, res.avf(), 1e-4);
+    EXPECT_NEAR(beat.margin, res.errorMargin(), 1e-4);
+    EXPECT_DOUBLE_EQ(beat.etaSeconds, 0.0);
+}
+
+TEST(Heartbeat, DisabledByZeroCadence) {
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string path = tmpPath("sched_nobeat.jsonl");
+    std::remove((path + ".progress").c_str());
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = path;
+    opts.heartbeatSeconds = 0;
+    sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    sched::Heartbeat beat;
+    EXPECT_FALSE(
+        sched::readHeartbeat(sched::heartbeatPath(path), beat));
 }

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the hierarchical statistics framework: leaf types,
+ * group registration, snapshot capture, text/JSON exporters, the
+ * golden-vs-faulty diff, and the system-level stats tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/designs/designs.hh"
+#include "common/log.hh"
+#include "common/memmap.hh"
+#include "soc/system.hh"
+#include "stats/diff.hh"
+#include "stats/stats.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+#ifndef MARVEL_STATS_DISABLED
+
+TEST(StatsCounter, IncAndReset) {
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsDistribution, MomentsAndReset) {
+    stats::Distribution d;
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0); // n < 2 reports 0
+    d.sample(2.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0); // still n < 2
+    d.sample(4.0);
+    d.sample(6.0, 2); // weighted sample
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_GT(d.stddev(), 0.0);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+}
+
+TEST(StatsDistribution, VarianceClampsCancellation) {
+    stats::Distribution d;
+    for (int i = 0; i < 1000; ++i)
+        d.sample(1e9 + 0.0001);
+    EXPECT_GE(d.variance(), 0.0);
+}
+
+TEST(StatsHistogram, BucketsAndOutOfRange) {
+    stats::Histogram h;
+    h.init(0, 10, 5); // width-2 buckets
+    h.sample(-1.0);   // underflow
+    h.sample(0.0);    // bucket 0
+    h.sample(1.999);  // bucket 0
+    h.sample(5.0);    // bucket 2
+    h.sample(9.999);  // bucket 4
+    h.sample(10.0);   // overflow (hi is exclusive)
+    h.sample(100.0);  // overflow
+    EXPECT_EQ(h.samples(), 7u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    ASSERT_EQ(h.buckets().size(), 5u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 0u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(StatsHistogram, ResetPreservesGeometry) {
+    stats::Histogram h;
+    h.init(0, 8, 4);
+    h.sample(3.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    ASSERT_EQ(h.buckets().size(), 4u);
+    EXPECT_EQ(h.buckets()[1], 0u);
+    EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 8.0);
+    h.sample(3.0);
+    EXPECT_EQ(h.buckets()[1], 1u);
+}
+
+TEST(StatsHistogram, InitRejectsBadGeometry) {
+    stats::Histogram h;
+    EXPECT_THROW(h.init(4, 4, 2), FatalError);  // empty range
+    EXPECT_THROW(h.init(4, 2, 2), FatalError);  // inverted range
+    EXPECT_THROW(h.init(0, 10, 0), FatalError); // no buckets
+}
+
+TEST(StatsGroup, SnapshotWalksRegistrationOrder) {
+    stats::Counter hits, misses;
+    stats::Histogram occ;
+    occ.init(0, 4, 4);
+    hits.inc(10);
+    misses.inc(5);
+    occ.sample(1.0);
+
+    stats::Group root;
+    stats::Group &sys = root.subgroup("system");
+    sys.addCounter("hits", &hits, "cache hits");
+    sys.addCounter("misses", &misses);
+    sys.addFormula(
+        "miss_rate",
+        [&]() {
+            return double(misses.value()) /
+                   double(hits.value() + misses.value());
+        },
+        "miss ratio");
+    sys.subgroup("rob").addHistogram("occupancy", &occ);
+    // subgroup() must reuse, not duplicate.
+    EXPECT_EQ(&sys.subgroup("rob"), &sys.subgroup("rob"));
+
+    const stats::Snapshot snap = stats::Snapshot::capture(root);
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap.entries()[0].path, "system.hits");
+    EXPECT_EQ(snap.entries()[1].path, "system.misses");
+    EXPECT_EQ(snap.entries()[2].path, "system.miss_rate");
+    EXPECT_EQ(snap.entries()[3].path, "system.rob.occupancy");
+
+    const stats::SnapshotEntry *hitsEntry = snap.find("system.hits");
+    ASSERT_NE(hitsEntry, nullptr);
+    EXPECT_DOUBLE_EQ(hitsEntry->value, 10.0);
+    EXPECT_EQ(hitsEntry->desc, "cache hits");
+    const stats::SnapshotEntry *rate = snap.find("system.miss_rate");
+    ASSERT_NE(rate, nullptr);
+    EXPECT_NEAR(rate->value, 5.0 / 15.0, 1e-12);
+    EXPECT_EQ(snap.find("system.nope"), nullptr);
+}
+
+TEST(StatsGroup, ResetZeroesLeavesRecursively) {
+    stats::Counter c;
+    stats::Histogram h;
+    h.init(0, 4, 2);
+    c.inc(7);
+    h.sample(1.0);
+    stats::Group root;
+    root.addCounter("c", &c);
+    root.subgroup("sub").addHistogram("h", &h);
+    root.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.samples(), 0u);
+    ASSERT_EQ(h.buckets().size(), 2u); // geometry survives
+}
+
+TEST(StatsExport, TextAndJsonContainEntries) {
+    stats::Counter c;
+    c.inc(3);
+    stats::Histogram h;
+    h.init(0, 2, 2);
+    h.sample(0.5);
+    stats::Group root;
+    root.subgroup("sys").addCounter("events", &c, "event count");
+    root.subgroup("sys").addHistogram("occ", &h);
+    const stats::Snapshot snap = stats::Snapshot::capture(root);
+
+    const std::string text = stats::formatText(snap);
+    EXPECT_NE(text.find("sys.events"), std::string::npos);
+    EXPECT_NE(text.find("# event count"), std::string::npos);
+    EXPECT_NE(text.find("sys.occ::samples"), std::string::npos);
+
+    const std::string json = stats::formatJson(snap);
+    EXPECT_EQ(json.find("NaN"), std::string::npos);
+    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"sys.events\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"histogram\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"buckets\":[1,0]"), std::string::npos);
+}
+
+TEST(StatsDiff, RanksDivergedFacets) {
+    stats::Counter a1, a2, b1, b2;
+    a1.inc(100);
+    a2.inc(10);
+    b1.inc(101); // +1 on a base of 100: small relative shift
+    b2.inc(40);  // +30 on a base of 10: large relative shift
+    stats::Group ga, gb;
+    ga.addCounter("x", &a1);
+    ga.addCounter("y", &a2);
+    gb.addCounter("x", &b1);
+    gb.addCounter("y", &b2);
+    const stats::DiffReport report =
+        stats::diff(stats::Snapshot::capture(ga),
+                    stats::Snapshot::capture(gb));
+    EXPECT_FALSE(report.identical());
+    EXPECT_EQ(report.unmatched, 0u);
+    ASSERT_EQ(report.entries.size(), 2u);
+    EXPECT_EQ(report.entries[0].path, "y"); // biggest shift first
+    EXPECT_DOUBLE_EQ(report.entries[0].delta, 30.0);
+    EXPECT_NE(report.format().find("y"), std::string::npos);
+}
+
+TEST(StatsDiff, IdenticalAndUnmatched) {
+    stats::Counter a, b, extra;
+    a.inc(5);
+    b.inc(5);
+    stats::Group ga, gb;
+    ga.addCounter("x", &a);
+    gb.addCounter("x", &b);
+    const stats::DiffReport same =
+        stats::diff(stats::Snapshot::capture(ga),
+                    stats::Snapshot::capture(gb));
+    EXPECT_TRUE(same.identical());
+    EXPECT_NE(same.format().find("no divergence"),
+              std::string::npos);
+
+    gb.addCounter("only_in_faulty", &extra);
+    const stats::DiffReport miss =
+        stats::diff(stats::Snapshot::capture(ga),
+                    stats::Snapshot::capture(gb));
+    EXPECT_EQ(miss.unmatched, 1u);
+}
+
+TEST(StatsSystem, TreeCoversAllComponents) {
+    // A freshly booted SoC must expose the full hierarchy even before
+    // running: the tree shape is part of the tool contract.
+    soc::SystemConfig cfg;
+    cfg.cluster.designs.push_back(
+        accel::designs::makeByName("gemm", kAccelSpaceBase));
+    soc::System sys(cfg);
+    const stats::Snapshot snap = sys.statsSnapshot();
+    for (const char *path :
+         {"system.total_cycles", "system.cpu.cycles",
+          "system.cpu.ipc", "system.cpu.fetch.width_used",
+          "system.cpu.rob.occupancy", "system.cpu.int_prf.reads",
+          "system.cpu.bpred.mispredicts", "system.l1i.hits",
+          "system.l1d.misses", "system.l2.writebacks",
+          "accel.gemm.busy_cycles", "accel.gemm.dma.transfers"})
+        EXPECT_NE(snap.find(path), nullptr) << path;
+}
+
+TEST(StatsSystem, CountersAdvanceAndSurviveCopy) {
+    const workloads::Workload wl = workloads::get("sha");
+    soc::SystemConfig cfg;
+    soc::System sys(cfg);
+    sys.loadProgram(isa::compile(wl.module, cfg.cpu.isa));
+    for (int i = 0; i < 2000 && !sys.exited; ++i) {
+        sys.tick();
+        sys.cpu.checkpointRequest = false;
+        sys.cpu.switchCpuRequest = false;
+    }
+    const stats::Snapshot before = sys.statsSnapshot();
+    const stats::SnapshotEntry *uops =
+        before.find("system.cpu.committed_uops");
+    ASSERT_NE(uops, nullptr);
+    EXPECT_GT(uops->value, 0.0);
+
+    // Stats are value members: a checkpoint-style copy carries them.
+    soc::System copy(sys);
+    const stats::Snapshot after = copy.statsSnapshot();
+    ASSERT_EQ(before.size(), after.size());
+    const stats::SnapshotEntry *copied =
+        after.find("system.cpu.committed_uops");
+    ASSERT_NE(copied, nullptr);
+    EXPECT_DOUBLE_EQ(copied->value, uops->value);
+}
+
+#endif // !MARVEL_STATS_DISABLED

@@ -12,6 +12,7 @@
  *                          --journal camp.jsonl [--shard 0/4] [opts]
  *   marvel-campaign resume --workload sha --journal camp.jsonl [opts]
  *   marvel-campaign status --journal camp.jsonl [--journal ...]
+ *                          [--follow]
  *   marvel-campaign merge  --journal s0.jsonl --journal s1.jsonl ...
  *
  * Subcommands:
@@ -25,7 +26,12 @@
  *           journal meta, so only the system/workload flags are
  *           needed again.
  *   status  per-journal progress: done/expected, chunk commits,
- *           torn-tail note, and the partial verdict counts.
+ *           torn-tail note, the partial verdict counts, and the
+ *           partial AVF with its achieved 95% error margin. With
+ *           --follow, tails the scheduler's atomic heartbeat file
+ *           (<journal>.progress) and prints a live progress line
+ *           (verdict mix, runs/sec, ETA) until every journal is
+ *           complete.
  *   merge   fold shard journals into one campaign-wide report;
  *           fatal()s on holes, overlap, or identity mismatch.
  *
@@ -44,16 +50,19 @@
  *   --hvf / --no-early-term     as marvel-cli
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/designs/designs.hh"
 #include "common/table.hh"
 #include "common/version.hh"
 #include "obs/metrics.hh"
+#include "sched/heartbeat.hh"
 #include "sched/scheduler.hh"
 #include "soc/builder.hh"
 #include "store/serialize.hh"
@@ -83,6 +92,7 @@ struct Options
     unsigned chunkSize = 32;
     bool hvf = false;
     bool earlyTerm = true;
+    bool follow = false;
 };
 
 void
@@ -98,6 +108,7 @@ printUsage(std::FILE *out)
         "[--seed S]\n"
         "              [--threads N] [--shard I/N] [--chunk N]\n"
         "              [--save-golden F] [--hvf] [--no-early-term]\n"
+        "  status:     [--follow]\n"
         "  any command: --help | --version\n");
 }
 
@@ -183,6 +194,8 @@ parseArgs(int argc, char **argv)
             opts.hvf = true;
         else if (arg == "--no-early-term")
             opts.earlyTerm = false;
+        else if (arg == "--follow")
+            opts.follow = true;
         else if (arg == "--help" || arg == "-h") {
             printUsage(stdout);
             std::exit(0);
@@ -240,13 +253,17 @@ printResult(const std::string &title, const fi::CampaignResult &res,
                strfmt("%llu", (unsigned long long)res.total())});
     table.row({"fault population",
                strfmt("%.3g bit-cycles", res.population())});
-    table.row({"error margin (95%)",
-               strfmt("+/-%.2f%%", res.errorMargin() * 100)});
-    table.row({"AVF", strfmt("%.2f%%", res.avf() * 100)});
-    table.row({"SDC AVF", strfmt("%.2f%%", res.sdcAvf() * 100)});
-    table.row({"Crash AVF", strfmt("%.2f%%", res.crashAvf() * 100)});
+    const double margin = res.errorMargin() * 100;
+    table.row({"error margin (95%)", strfmt("+/-%.2f%%", margin)});
+    table.row({"AVF", strfmt("%.2f%% (+/-%.2f%%)",
+                             res.avf() * 100, margin)});
+    table.row({"SDC AVF", strfmt("%.2f%% (+/-%.2f%%)",
+                                 res.sdcAvf() * 100, margin)});
+    table.row({"Crash AVF", strfmt("%.2f%% (+/-%.2f%%)",
+                                   res.crashAvf() * 100, margin)});
     if (hvf)
-        table.row({"HVF", strfmt("%.2f%%", res.hvf() * 100)});
+        table.row({"HVF", strfmt("%.2f%% (+/-%.2f%%)",
+                                 res.hvf() * 100, margin)});
     table.row({"masked / early / invalid",
                strfmt("%llu / %llu / %llu",
                       (unsigned long long)res.masked,
@@ -375,15 +392,61 @@ cmdRun(const Options &opts, bool resume)
 }
 
 int
+cmdStatusFollow(const Options &opts)
+{
+    // Tail the heartbeat files until every journal reports complete.
+    // A missing heartbeat is normal (campaign not started yet, or an
+    // old journal): fall back to the journal itself when it exists.
+    for (;;) {
+        bool allComplete = true;
+        for (const std::string &path : opts.journals) {
+            sched::Heartbeat beat;
+            if (sched::readHeartbeat(sched::heartbeatPath(path),
+                                     beat)) {
+                std::printf("%s: %s\n", path.c_str(),
+                            sched::formatHeartbeat(beat).c_str());
+                allComplete = allComplete && beat.complete;
+            } else if (store::journalExists(path)) {
+                const sched::ShardProgress p =
+                    sched::shardProgress(path);
+                std::printf(
+                    "%s: %llu/%llu journaled (no heartbeat)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(p.done),
+                    static_cast<unsigned long long>(p.expected));
+                allComplete = allComplete && p.complete();
+            } else {
+                std::printf("%s: waiting for journal\n",
+                            path.c_str());
+                allComplete = false;
+            }
+        }
+        std::fflush(stdout);
+        if (allComplete)
+            return 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    }
+}
+
+int
 cmdStatus(const Options &opts)
 {
     if (opts.journals.empty())
         fatal("marvel-campaign: status needs --journal");
+    if (opts.follow)
+        return cmdStatusFollow(opts);
     TextTable table("campaign status");
     table.header({"journal", "target", "shard", "done", "chunks",
-                  "masked", "sdc", "crash", "note"});
+                  "masked", "sdc", "crash", "AVF (95% CI)",
+                  "runs/s", "note"});
     for (const std::string &path : opts.journals) {
         const sched::ShardProgress p = sched::shardProgress(path);
+        // Live throughput comes from the heartbeat when one exists;
+        // the AVF and its achieved margin come straight from the
+        // journaled verdicts.
+        sched::Heartbeat beat;
+        const bool haveBeat =
+            sched::readHeartbeat(sched::heartbeatPath(path), beat);
         table.row(
             {path, p.meta.target,
              strfmt("%u/%u", p.meta.shardIndex, p.meta.shardCount),
@@ -395,6 +458,10 @@ cmdStatus(const Options &opts)
              strfmt("%llu", (unsigned long long)p.partial.masked),
              strfmt("%llu", (unsigned long long)p.partial.sdc),
              strfmt("%llu", (unsigned long long)p.partial.crash),
+             strfmt("%.2f%% +/-%.2f%%", p.partial.avf() * 100,
+                    p.partial.errorMargin() * 100),
+             haveBeat ? strfmt("%.1f", beat.runsPerSec)
+                      : std::string("-"),
              p.complete() ? "complete"
                           : (p.tornTail ? "torn tail" : "partial")});
     }

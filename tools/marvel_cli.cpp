@@ -15,6 +15,7 @@
  *   marvel-cli campaign --workload sha --target l1d [options]
  *   marvel-cli campaign --driver gemm --target gemm.MATRIX1 [options]
  *   marvel-cli replay   --workload sha --mask "l1d entry=3 bit=77 ..."
+ *   marvel-cli stats    --workload sha [--json FILE]
  *
  * Options:
  *   --preset NAME      riscv | arm | x86 | *-soc     (default riscv)
@@ -25,6 +26,7 @@
  *   --threads N        parallel workers              (default: hw)
  *   --hvf              also compute HVF on the same runs
  *   --no-early-term    disable the SIV-B speed optimizations
+ *   --json FILE        (stats) also dump the stats tree as JSON
  */
 
 #include <cstdio>
@@ -39,6 +41,7 @@
 #include "fi/campaign.hh"
 #include "fi/metrics.hh"
 #include "soc/builder.hh"
+#include "stats/stats.hh"
 #include "workloads/workloads.hh"
 
 using namespace marvel;
@@ -55,6 +58,7 @@ struct Options
     std::string driver;
     std::string target;
     std::string mask;
+    std::string jsonPath;
     unsigned faults = 200;
     fi::FaultModel model = fi::FaultModel::Transient;
     u64 seed = 0x5eed;
@@ -68,11 +72,11 @@ printUsage(std::FILE *out)
 {
     std::fprintf(out,
                  "usage: marvel-cli "
-                 "{targets|list-workloads|campaign|replay} "
+                 "{targets|list-workloads|campaign|replay|stats} "
                  "[--preset P] [--config F] [--workload W] "
                  "[--driver D] [--target T] [--faults N] [--model M] "
                  "[--seed S] [--threads N] [--hvf] [--no-early-term] "
-                 "[--mask \"...\"]\n"
+                 "[--mask \"...\"] [--json FILE]\n"
                  "       marvel-cli --help | --version\n");
 }
 
@@ -123,6 +127,8 @@ parseArgs(int argc, char **argv)
             opts.target = next();
         else if (arg == "--mask")
             opts.mask = next();
+        else if (arg == "--json")
+            opts.jsonPath = next();
         else if (arg == "--faults")
             opts.faults = std::strtoul(next().c_str(), nullptr, 10);
         else if (arg == "--seed")
@@ -269,6 +275,40 @@ cmdCampaign(const Options &opts)
 }
 
 int
+cmdStats(const Options &opts)
+{
+    const soc::SystemConfig cfg = systemFor(opts);
+    const workloads::Workload wl = workloadFor(opts);
+    soc::System sys(cfg);
+    sys.loadProgram(isa::compile(wl.module, cfg.cpu.isa));
+    for (;;) {
+        const soc::RunExit exit = sys.run(500'000'000);
+        if (exit == soc::RunExit::Exited)
+            break;
+        if (exit == soc::RunExit::Checkpoint ||
+            exit == soc::RunExit::SwitchCpu)
+            continue; // magic ops are no-ops for a plain stats run
+        fatal("marvel-cli: stats run ended with %s (%s)",
+              soc::runExitName(exit), sys.crashReason().c_str());
+    }
+
+    const stats::Snapshot snap = sys.statsSnapshot();
+    std::fputs(stats::formatText(snap).c_str(), stdout);
+    if (!opts.jsonPath.empty()) {
+        const std::string json = stats::formatJson(snap);
+        std::FILE *f = std::fopen(opts.jsonPath.c_str(), "wb");
+        if (!f)
+            fatal("marvel-cli: cannot write '%s'",
+                  opts.jsonPath.c_str());
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("# json stats written to %s\n",
+                    opts.jsonPath.c_str());
+    }
+    return 0;
+}
+
+int
 cmdReplay(const Options &opts)
 {
     if (opts.mask.empty())
@@ -303,6 +343,8 @@ main(int argc, char **argv)
             return cmdCampaign(opts);
         if (opts.command == "replay")
             return cmdReplay(opts);
+        if (opts.command == "stats")
+            return cmdStats(opts);
         usageError("unknown subcommand", opts.command);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -38,6 +38,7 @@
 #include "obs/trace.hh"
 #include "sched/replay.hh"
 #include "soc/builder.hh"
+#include "stats/diff.hh"
 #include "workloads/workloads.hh"
 
 using namespace marvel;
@@ -216,12 +217,21 @@ cmdReplay(const Options &opts)
     // the lineage can report the architectural divergence point.
     obs::TraceSession session(opts.ringCapacity);
     obs::PropagationTrace lineage;
+    stats::Snapshot faultyStats;
     fi::InjectionOptions instrumented = setup.options;
     instrumented.computeHvf = true;
     instrumented.lineage = &lineage;
+    instrumented.statsOut = &faultyStats;
     fi::runWithFault(golden, mask, instrumented);
 
     std::printf("\n%s", lineage.summary().c_str());
+
+    // Golden-vs-faulty stats divergence: which counters moved, ranked
+    // by relative shift. The golden baseline replays the same
+    // checkpoint fault-free so both trees cover identical windows.
+    const stats::Snapshot goldenSnap = fi::goldenStats(golden);
+    std::printf("\n%s",
+                stats::diff(goldenSnap, faultyStats).format().c_str());
     std::printf("\ntrace: %zu events retained",
                 session.totalEvents());
     if (session.totalDropped() > 0)
