@@ -93,6 +93,36 @@ log2i(u64 value)
     return result;
 }
 
+/** FNV-1a 64-bit offset basis. */
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+/**
+ * Incremental FNV-1a over a byte range. The one digest used across
+ * the tree (blob files, journal identity, arch-state digests, fuzz
+ * reproducers), so every artifact is comparable across builds.
+ */
+constexpr u64
+fnv1a(const u8 *data, std::size_t len, u64 hash = kFnvOffset)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        hash ^= data[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** FNV-1a of one 64-bit word, fed little-endian byte by byte. */
+constexpr u64
+fnv1aWord(u64 word, u64 hash = kFnvOffset)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        hash ^= (word >> (8 * i)) & 0xff;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
 } // namespace marvel
 
 #endif // MARVEL_COMMON_BITS_HH

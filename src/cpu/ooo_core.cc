@@ -359,6 +359,17 @@ OooCore::archIntReg(unsigned idx) const
     return intPrf.peek(intMap[idx]);
 }
 
+u64
+OooCore::archRegDigest() const
+{
+    u64 hash = kFnvOffset;
+    for (unsigned i = 0; i < spec_->numIntArchRegs; ++i)
+        hash = fnv1aWord(intPrf.peek(intMap[i]), hash);
+    for (unsigned i = 0; i < spec_->numFpArchRegs; ++i)
+        hash = fnv1aWord(fpPrf.peek(fpMap[i]), hash);
+    return hash;
+}
+
 std::string
 OooCore::debugState() const
 {

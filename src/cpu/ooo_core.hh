@@ -245,6 +245,15 @@ class OooCore
     /** Architectural integer register peek (tests). */
     u64 archIntReg(unsigned idx) const;
 
+    /**
+     * FNV-1a digest of the architecturally visible register state
+     * (every architectural integer and FP register through the rename
+     * maps). Two runs of the same binary on the same flavor must end
+     * with identical digests — the fuzz differential executor and
+     * determinism audit compare exactly this.
+     */
+    u64 archRegDigest() const;
+
     /** One-line pipeline state summary (debugging aid). */
     std::string debugState() const;
 

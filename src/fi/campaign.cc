@@ -142,10 +142,13 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
     };
 
     // Runs on every exit path; snapshots the faulty system's stats
-    // tree for the golden-vs-faulty divergence report.
+    // tree for the golden-vs-faulty divergence report, and digests
+    // the architectural end state for determinism audits.
     auto finishStats = [&]() {
         if (options.statsOut)
             *options.statsOut = sys.statsSnapshot();
+        if (options.archDigestOut)
+            *options.archDigestOut = soc::archStateDigest(sys);
     };
 
     auto finishExit = [&]() {

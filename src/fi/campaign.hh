@@ -77,6 +77,15 @@ struct InjectionOptions
      * the which-counters-moved report (marvel-trace).
      */
     stats::Snapshot *statsOut = nullptr;
+
+    /**
+     * When set, receives soc::archStateDigest of the system as the
+     * run ends (on every exit path, including early termination and
+     * crashes). Two runs of one (golden, mask, options) triple must
+     * produce identical digests; the fuzz determinism audit fatals
+     * when they do not.
+     */
+    u64 *archDigestOut = nullptr;
 };
 
 /** Run one fault mask against a golden run. */

@@ -1,0 +1,177 @@
+#include "fuzz/audit.hh"
+
+#include <cstdio>
+
+#include "common/bits.hh"
+#include "fi/campaign.hh"
+#include "fi/fault.hh"
+#include "fi/targets.hh"
+#include "isa/codegen.hh"
+#include "sched/replay.hh"
+#include "soc/builder.hh"
+#include "soc/checkpoint.hh"
+#include "stats/diff.hh"
+
+namespace marvel::fuzz
+{
+
+std::string
+AuditFailure::toString() const
+{
+    std::string s = "[";
+    s += isa::isaName(isa);
+    s += "] ";
+    s += what;
+    return s;
+}
+
+namespace
+{
+
+/** Order-sensitive digest of a commit trace. */
+u64
+traceDigest(const std::vector<cpu::CommitRecord> &trace)
+{
+    u64 hash = kFnvOffset;
+    for (const cpu::CommitRecord &rec : trace) {
+        hash = fnv1aWord(rec.pc, hash);
+        hash = fnv1aWord((u64(rec.op) << 16) | (u64(rec.dstCls) << 8) |
+                             rec.dstIdx,
+                         hash);
+        hash = fnv1aWord(rec.result, hash);
+        hash = fnv1aWord(rec.memAddr, hash);
+        hash = fnv1aWord(rec.storeData, hash);
+    }
+    return hash;
+}
+
+/** Structures the fault-mask derivation draws from. */
+const fi::TargetId kAuditTargets[] = {
+    fi::TargetId::PrfInt,    fi::TargetId::LoadQueue,
+    fi::TargetId::StoreQueue, fi::TargetId::Rob,
+    fi::TargetId::RenameMap, fi::TargetId::L1D,
+};
+
+} // namespace
+
+AuditResult
+auditDeterminism(const mir::Module &module, u64 seed,
+                 const AuditOptions &options)
+{
+    AuditResult result;
+    std::vector<isa::IsaKind> flavors = options.flavors;
+    if (flavors.empty())
+        flavors.assign(isa::kAllIsas, isa::kAllIsas + isa::kNumIsas);
+
+    for (isa::IsaKind kind : flavors) {
+        auto fail = [&](const std::string &what) {
+            result.failures.push_back(AuditFailure{kind, what});
+        };
+        char buf[192];
+
+        // 1. Codegen must be a pure function of (module, flavor).
+        const isa::Program program = isa::compile(module, kind);
+        if (isa::programDigest(program) !=
+            isa::programDigest(isa::compile(module, kind))) {
+            fail("codegen nondeterminism: program digests differ");
+            continue;
+        }
+
+        // 2. Golden-run determinism from reset.
+        const soc::SystemConfig config =
+            soc::preset(isa::isaName(kind));
+        const fi::GoldenRun g1 =
+            fi::runGolden(config, program, options.maxCycles);
+        const fi::GoldenRun g2 =
+            fi::runGolden(config, program, options.maxCycles);
+        if (g1.preCycles != g2.preCycles ||
+            g1.windowCycles != g2.windowCycles ||
+            g1.totalCycles != g2.totalCycles) {
+            std::snprintf(buf, sizeof(buf),
+                          "golden timing differs: %llu/%llu/%llu vs "
+                          "%llu/%llu/%llu cycles",
+                          (unsigned long long)g1.preCycles,
+                          (unsigned long long)g1.windowCycles,
+                          (unsigned long long)g1.totalCycles,
+                          (unsigned long long)g2.preCycles,
+                          (unsigned long long)g2.windowCycles,
+                          (unsigned long long)g2.totalCycles);
+            fail(buf);
+        }
+        if (g1.exitCode != g2.exitCode || g1.output != g2.output ||
+            g1.console != g2.console)
+            fail("golden architectural results differ between runs");
+        if (traceDigest(g1.trace) != traceDigest(g2.trace))
+            fail("golden commit traces differ between runs");
+        if (soc::archStateDigest(g1.checkpoint.view()) !=
+            soc::archStateDigest(g2.checkpoint.view()))
+            fail("golden checkpoint digests differ between runs");
+
+        // 3. Restore fidelity: snapshot -> restore must round-trip.
+        {
+            const soc::System restored = g1.checkpoint.restore();
+            if (soc::archStateDigest(restored) !=
+                soc::archStateDigest(g1.checkpoint.view()))
+                fail("checkpoint restore changed the arch state");
+        }
+
+        // 4. Faulty-run determinism through checkpoint restore.
+        const unsigned nTargets =
+            sizeof(kAuditTargets) / sizeof(kAuditTargets[0]);
+        for (unsigned i = 0; i < options.faultsPerIsa; ++i) {
+            Rng rng = Rng::forStream(
+                seed, (u64(kind) << 32) | i);
+            fi::TargetRef ref;
+            ref.id = kAuditTargets[rng.below(nTargets)];
+            const fi::TargetInfo info =
+                fi::targetInfo(g1.checkpoint.view(), ref);
+            if (info.geometry.totalBits() == 0)
+                continue;
+            fi::FaultMask mask;
+            mask.faults.push_back(fi::randomFault(
+                rng, ref, info.geometry, g1.windowCycles,
+                fi::FaultModel::Transient));
+
+            fi::InjectionOptions opts;
+            opts.computeHvf = true;
+            stats::Snapshot statsA, statsB;
+            u64 digestA = 0, digestB = 0;
+            opts.statsOut = &statsA;
+            opts.archDigestOut = &digestA;
+            const fi::RunVerdict va =
+                fi::runWithFault(g1, mask, opts);
+            opts.statsOut = &statsB;
+            opts.archDigestOut = &digestB;
+            const fi::RunVerdict vb =
+                fi::runWithFault(g1, mask, opts);
+
+            if (!sched::verdictsIdentical(va, vb)) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "fault %u on %s: verdicts differ (%s vs %s)", i,
+                    info.name.c_str(), va.toString().c_str(),
+                    vb.toString().c_str());
+                fail(buf);
+                continue;
+            }
+            if (digestA != digestB) {
+                std::snprintf(buf, sizeof(buf),
+                              "fault %u on %s: arch digests differ",
+                              i, info.name.c_str());
+                fail(buf);
+            }
+            const stats::DiffReport dr = stats::diff(statsA, statsB);
+            if (!dr.identical() || dr.unmatched != 0) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "fault %u on %s: stats snapshots differ "
+                    "(%zu facets moved)",
+                    i, info.name.c_str(), dr.entries.size());
+                fail(buf);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace marvel::fuzz

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Determinism audits for the fault-injection pipeline.
+ *
+ * The whole resilience methodology rests on exact replayability: the
+ * same (program, fault mask, seed) must produce the same verdict,
+ * stats snapshot, and architectural end state every time, including
+ * when the run starts from a restored checkpoint. The auditor takes a
+ * generated program and, per ISA flavor:
+ *
+ *  1. compiles twice and compares program digests;
+ *  2. executes the golden run twice and compares cycles, exit state,
+ *     output, commit trace, and checkpoint digests;
+ *  3. cross-checks checkpoint restore fidelity (a restored system must
+ *     digest identically to the snapshot it came from);
+ *  4. derives fault masks from the audit seed and runs each twice
+ *     through checkpoint restore, requiring identical verdicts, stats
+ *     snapshots, and architectural digests.
+ *
+ * Programs audited this way must contain the Checkpoint/SwitchCpu
+ * window ops (GenOptions::magicWindow).
+ */
+
+#ifndef MARVEL_FUZZ_AUDIT_HH
+#define MARVEL_FUZZ_AUDIT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "mir/mir.hh"
+
+namespace marvel::fuzz
+{
+
+struct AuditOptions
+{
+    /** Flavors to audit; defaults to all three. */
+    std::vector<isa::IsaKind> flavors;
+
+    /** Distinct fault masks re-run per flavor. */
+    unsigned faultsPerIsa = 2;
+
+    u64 maxCycles = 100'000'000; ///< golden-run budget
+};
+
+/** One detected nondeterminism. */
+struct AuditFailure
+{
+    isa::IsaKind isa;
+    std::string what;
+
+    std::string toString() const;
+};
+
+struct AuditResult
+{
+    std::vector<AuditFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Audit one module. `seed` drives the fault-mask derivation, so one
+ * (module, seed) pair audits a fixed, reproducible set of masks.
+ */
+AuditResult auditDeterminism(const mir::Module &module, u64 seed,
+                             const AuditOptions &options = {});
+
+} // namespace marvel::fuzz
+
+#endif // MARVEL_FUZZ_AUDIT_HH

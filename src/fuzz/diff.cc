@@ -1,0 +1,221 @@
+#include "fuzz/diff.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/log.hh"
+#include "mir/interp.hh"
+#include "soc/builder.hh"
+#include "soc/checkpoint.hh"
+#include "soc/system.hh"
+#include "stats/diff.hh"
+
+namespace marvel::fuzz
+{
+
+const char *
+divergenceKindName(DivergenceKind kind)
+{
+    switch (kind) {
+      case DivergenceKind::ExitCode: return "exit-code";
+      case DivergenceKind::Output: return "output";
+      case DivergenceKind::Console: return "console";
+      case DivergenceKind::Crash: return "crash";
+      case DivergenceKind::Timeout: return "timeout";
+      case DivergenceKind::Nondeterminism: return "nondeterminism";
+      case DivergenceKind::CodegenNondeterminism:
+        return "codegen-nondeterminism";
+    }
+    return "?";
+}
+
+std::string
+Divergence::toString() const
+{
+    std::string s = "[";
+    s += isa::isaName(isa);
+    s += "] ";
+    s += divergenceKindName(kind);
+    if (!detail.empty()) {
+        s += ": ";
+        s += detail;
+    }
+    return s;
+}
+
+namespace
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return buf;
+}
+
+/** Everything we compare from one CPU execution. */
+struct CpuRun
+{
+    soc::RunExit exit;
+    i64 exitCode = 0;
+    std::vector<u8> output;
+    std::string console;
+    std::string crashReason;
+    Cycle cycles = 0;
+    u64 archRegDigest = 0;
+    u64 archStateDigest = 0;
+    stats::Snapshot statsSnap;
+};
+
+CpuRun
+executeOnCpu(const isa::Program &program, isa::IsaKind kind,
+             u64 maxCycles)
+{
+    soc::System sys(soc::preset(isa::isaName(kind)));
+    sys.loadProgram(program);
+    // Generated programs may carry Checkpoint/SwitchCpu magic ops for
+    // the fi-based audits; here they are mere milestones, so resume
+    // until a terminal exit.
+    soc::RunExit exit = sys.run(maxCycles);
+    while ((exit == soc::RunExit::Checkpoint ||
+            exit == soc::RunExit::SwitchCpu) &&
+           sys.totalCycles < maxCycles)
+        exit = sys.run(maxCycles - sys.totalCycles);
+
+    CpuRun run;
+    run.exit = exit;
+    run.exitCode = sys.exitCode;
+    run.output = sys.outputWindow();
+    run.console = sys.console;
+    run.crashReason = sys.crashReason();
+    run.cycles = sys.totalCycles;
+    run.archRegDigest = sys.cpu.archRegDigest();
+    run.archStateDigest = soc::archStateDigest(sys);
+    run.statsSnap = sys.statsSnapshot();
+    return run;
+}
+
+/** First byte index where the vectors differ (they are equal-sized). */
+std::string
+firstMismatch(const std::vector<u8> &a, const std::vector<u8> &b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i)
+        if (a[i] != b[i])
+            return format("byte +0x%zx: ref=0x%02x cpu=0x%02x", i,
+                          b[i], a[i]);
+    return format("size %zu vs %zu", a.size(), b.size());
+}
+
+} // namespace
+
+DiffResult
+runDifferential(const mir::Module &module, const DiffOptions &options)
+{
+    mir::verify(module);
+
+    DiffResult result;
+    const mir::GoldenRun ref =
+        mir::interpretModule(module, {}, options.maxInterpSteps);
+    if (ref.result.timedOut) {
+        result.interpTimedOut = true;
+        return result;
+    }
+    result.exitValue = ref.result.exitValue;
+
+    std::vector<isa::IsaKind> flavors = options.flavors;
+    if (flavors.empty())
+        flavors.assign(isa::kAllIsas,
+                       isa::kAllIsas + isa::kNumIsas);
+
+    for (isa::IsaKind kind : flavors) {
+        auto diverge = [&](DivergenceKind dk, std::string detail) {
+            result.divergences.push_back(
+                Divergence{dk, kind, std::move(detail)});
+        };
+
+        // Codegen determinism: two compiles must digest identically.
+        isa::Program program = isa::compile(module, kind);
+        {
+            const isa::Program again = isa::compile(module, kind);
+            if (isa::programDigest(program) !=
+                isa::programDigest(again))
+                diverge(DivergenceKind::CodegenNondeterminism,
+                        format("digest %016llx vs %016llx",
+                               (unsigned long long)
+                                   isa::programDigest(program),
+                               (unsigned long long)
+                                   isa::programDigest(again)));
+        }
+        if (options.programHook)
+            options.programHook(program);
+
+        const CpuRun run =
+            executeOnCpu(program, kind, options.maxCycles);
+        switch (run.exit) {
+          case soc::RunExit::Crashed:
+            diverge(DivergenceKind::Crash, run.crashReason);
+            continue;
+          case soc::RunExit::Timeout:
+          case soc::RunExit::Checkpoint:
+          case soc::RunExit::SwitchCpu:
+            diverge(DivergenceKind::Timeout,
+                    format("no exit within %llu cycles",
+                           (unsigned long long)options.maxCycles));
+            continue;
+          case soc::RunExit::Exited:
+            break;
+        }
+
+        if (run.exitCode != ref.result.exitValue)
+            diverge(DivergenceKind::ExitCode,
+                    format("ref=%lld cpu=%lld",
+                           (long long)ref.result.exitValue,
+                           (long long)run.exitCode));
+        if (run.output != ref.output)
+            diverge(DivergenceKind::Output,
+                    firstMismatch(run.output, ref.output));
+        if (!run.console.empty())
+            diverge(DivergenceKind::Console,
+                    format("%zu unexpected bytes",
+                           run.console.size()));
+
+        if (!options.checkDeterminism)
+            continue;
+
+        // Bit-identical re-run from a fresh system.
+        const CpuRun rerun =
+            executeOnCpu(program, kind, options.maxCycles);
+        if (rerun.exit != run.exit ||
+            rerun.exitCode != run.exitCode ||
+            rerun.output != run.output ||
+            rerun.console != run.console)
+            diverge(DivergenceKind::Nondeterminism,
+                    "architectural results differ between runs");
+        else if (rerun.cycles != run.cycles)
+            diverge(DivergenceKind::Nondeterminism,
+                    format("cycle count %llu vs %llu",
+                           (unsigned long long)run.cycles,
+                           (unsigned long long)rerun.cycles));
+        else if (rerun.archRegDigest != run.archRegDigest ||
+                 rerun.archStateDigest != run.archStateDigest)
+            diverge(DivergenceKind::Nondeterminism,
+                    "architectural state digests differ");
+        else {
+            const stats::DiffReport dr =
+                stats::diff(run.statsSnap, rerun.statsSnap);
+            if (!dr.identical() || dr.unmatched != 0)
+                diverge(DivergenceKind::Nondeterminism,
+                        format("%zu stats facets moved between runs",
+                               dr.entries.size()));
+        }
+    }
+    return result;
+}
+
+} // namespace marvel::fuzz

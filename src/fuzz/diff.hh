@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Differential execution: run one MIR module through the reference
+ * interpreter and through codegen + the out-of-order core on each ISA
+ * flavor, and compare everything architecturally visible — exit code,
+ * OUTPUT window, console bytes — plus, optionally, a same-flavor
+ * re-run that must be bit-identical (cycle count, architectural
+ * register digest, full stats snapshot).
+ *
+ * Any mismatch is a Divergence naming the flavor and what differed;
+ * the fuzz driver shrinks the module while the divergence persists.
+ */
+
+#ifndef MARVEL_FUZZ_DIFF_HH
+#define MARVEL_FUZZ_DIFF_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/codegen.hh"
+#include "mir/mir.hh"
+
+namespace marvel::fuzz
+{
+
+/** What a CPU run disagreed about. */
+enum class DivergenceKind : u8
+{
+    ExitCode,     ///< exit code != interpreter result
+    Output,       ///< OUTPUT window != interpreter memory image
+    Console,      ///< console bytes differ (generator emits none)
+    Crash,        ///< CPU crashed; interpreter finished cleanly
+    Timeout,      ///< CPU exceeded the cycle budget
+    Nondeterminism,        ///< identical re-run differed
+    CodegenNondeterminism, ///< two compiles of one module differed
+};
+
+const char *divergenceKindName(DivergenceKind kind);
+
+/** One observed disagreement. */
+struct Divergence
+{
+    DivergenceKind kind;
+    isa::IsaKind isa;
+    std::string detail;
+
+    std::string toString() const;
+};
+
+/** Differential-run parameters. */
+struct DiffOptions
+{
+    /** Flavors to execute; defaults to all three. */
+    std::vector<isa::IsaKind> flavors;
+
+    u64 maxCycles = 4'000'000;     ///< per-flavor CPU budget
+    u64 maxInterpSteps = 1'000'000; ///< reference-run budget
+
+    /**
+     * Re-run each flavor from a fresh system and require bit-identical
+     * results (exit, output, cycles, architectural register digest,
+     * stats snapshot). Doubles the simulation cost.
+     */
+    bool checkDeterminism = false;
+
+    /**
+     * Test hook: applied to the compiled program before execution
+     * (NOT to the reference run). Lets tests plant a deterministic
+     * "miscompile" and assert the harness catches and shrinks it.
+     */
+    std::function<void(isa::Program &)> programHook;
+};
+
+/** Outcome of one differential run. */
+struct DiffResult
+{
+    /** Reference run hit maxInterpSteps: not a verdict, skip seed. */
+    bool interpTimedOut = false;
+
+    i64 exitValue = 0; ///< reference result
+    std::vector<Divergence> divergences;
+
+    bool
+    clean() const
+    {
+        return !interpTimedOut && divergences.empty();
+    }
+};
+
+/** Run the module differentially. The module must be verifier-clean. */
+DiffResult runDifferential(const mir::Module &module,
+                           const DiffOptions &options = {});
+
+} // namespace marvel::fuzz
+
+#endif // MARVEL_FUZZ_DIFF_HH

@@ -1,0 +1,194 @@
+#include "fuzz/fuzz.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+#include "sched/workqueue.hh"
+
+namespace marvel::fuzz
+{
+
+std::string
+FuzzFailure::summary() const
+{
+    std::string s = "seed " + std::to_string(seed) + ": ";
+    bool first = true;
+    for (const Divergence &d : divergences) {
+        if (!first)
+            s += "; ";
+        s += d.toString();
+        first = false;
+    }
+    for (const AuditFailure &f : auditFailures) {
+        if (!first)
+            s += "; ";
+        s += "audit " + f.toString();
+        first = false;
+    }
+    if (wasShrunk) {
+        s += " (shrunk " + std::to_string(originalInsts) + " -> " +
+             std::to_string(shrunkInsts) + " insts)";
+    }
+    return s;
+}
+
+std::string
+writeReproducer(const std::string &outDir, const FuzzFailure &failure)
+{
+    std::filesystem::create_directories(outDir);
+    const std::string path =
+        outDir + "/seed-" + std::to_string(failure.seed) + ".mir";
+    std::ofstream out(path);
+    if (!out)
+        fatal("fuzz: cannot write reproducer %s", path.c_str());
+
+    char line[160];
+    out << "; marvel-fuzz reproducer\n";
+    out << "; seed: " << failure.seed << "\n";
+    for (const Divergence &d : failure.divergences)
+        out << "; divergence: " << d.toString() << "\n";
+    for (const AuditFailure &f : failure.auditFailures)
+        out << "; audit-failure: " << f.toString() << "\n";
+    std::snprintf(line, sizeof(line),
+                  "; original: %zu insts, digest %016llx",
+                  failure.originalInsts,
+                  (unsigned long long)mir::moduleDigest(
+                      failure.original));
+    out << line << "\n";
+    if (failure.wasShrunk) {
+        std::snprintf(line, sizeof(line),
+                      "; shrunk: %zu insts, digest %016llx",
+                      failure.shrunkInsts,
+                      (unsigned long long)mir::moduleDigest(
+                          failure.shrunk));
+        out << line << "\n";
+    }
+    out << "; replay: marvel-fuzz --seeds " << failure.seed << ":"
+        << failure.seed + 1 << "\n\n";
+    out << mir::toString(failure.shrunk);
+    return path;
+}
+
+namespace
+{
+
+/** Run one seed end to end; true when it produced a failure. */
+bool
+runSeed(u64 seed, bool auditThisSeed, const FuzzOptions &options,
+        FuzzSummary &summary, FuzzFailure &failure,
+        std::string &status)
+{
+    const mir::Module module = generate(seed, options.gen);
+    const DiffResult diff = runDifferential(module, options.diff);
+    if (diff.interpTimedOut) {
+        ++summary.skipped;
+        status = "skipped (interp timeout)";
+        return false;
+    }
+    ++summary.ran;
+
+    failure.seed = seed;
+    failure.divergences = diff.divergences;
+
+    // Audit only when the differential pass itself was clean (a
+    // diverging module is already a reportable failure).
+    if (failure.divergences.empty() && auditThisSeed) {
+        ++summary.audited;
+        const AuditResult audit =
+            auditDeterminism(module, seed, options.audit);
+        failure.auditFailures = audit.failures;
+    }
+
+    if (failure.divergences.empty() &&
+        failure.auditFailures.empty()) {
+        status = "ok";
+        return false;
+    }
+
+    failure.original = module;
+    failure.shrunk = module;
+    failure.originalInsts = countInsts(module);
+    failure.shrunkInsts = failure.originalInsts;
+
+    if (options.shrinkFailures && !failure.divergences.empty()) {
+        // Re-probe only the flavors that diverged; any divergence
+        // (even of a different kind) keeps the candidate.
+        DiffOptions probeOpts = options.diff;
+        probeOpts.checkDeterminism = false;
+        probeOpts.flavors.clear();
+        for (const Divergence &d : failure.divergences)
+            if (std::find(probeOpts.flavors.begin(),
+                          probeOpts.flavors.end(), d.isa) ==
+                probeOpts.flavors.end())
+                probeOpts.flavors.push_back(d.isa);
+        const ShrinkResult shrunk = shrink(
+            module,
+            [&](const mir::Module &cand) {
+                return !runDifferential(cand, probeOpts)
+                            .divergences.empty();
+            },
+            options.shrinkOpts);
+        failure.shrunk = shrunk.module;
+        failure.shrunkInsts = countInsts(shrunk.module);
+        failure.wasShrunk =
+            failure.shrunkInsts < failure.originalInsts;
+    }
+
+    if (!options.outDir.empty())
+        failure.reproPath = writeReproducer(options.outDir, failure);
+    status = "FAIL " + failure.summary();
+    return true;
+}
+
+} // namespace
+
+FuzzSummary
+runFuzz(const FuzzOptions &options)
+{
+    FuzzSummary summary;
+    const u64 nSeeds = options.seedEnd > options.seedBegin
+                           ? options.seedEnd - options.seedBegin
+                           : 0;
+    unsigned threads = options.threads;
+    if (threads == 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min<u64>(threads, nSeeds ? nSeeds : 1);
+
+    sched::WorkQueue queue(nSeeds);
+    std::mutex mergeMutex;
+    auto worker = [&](unsigned) {
+        while (const auto slot = queue.next()) {
+            const u64 seed = options.seedBegin + *slot;
+            const bool auditThisSeed =
+                options.auditEvery != 0 &&
+                *slot % options.auditEvery == 0;
+            FuzzSummary local;
+            FuzzFailure failure;
+            std::string status;
+            const bool failed = runSeed(seed, auditThisSeed, options,
+                                        local, failure, status);
+            std::lock_guard<std::mutex> lock(mergeMutex);
+            summary.ran += local.ran;
+            summary.skipped += local.skipped;
+            summary.audited += local.audited;
+            if (failed)
+                summary.failures.push_back(std::move(failure));
+            if (options.progress)
+                options.progress(seed, status);
+        }
+    };
+    sched::runWorkers(threads, worker);
+
+    std::sort(summary.failures.begin(), summary.failures.end(),
+              [](const FuzzFailure &a, const FuzzFailure &b) {
+                  return a.seed < b.seed;
+              });
+    return summary;
+}
+
+} // namespace marvel::fuzz

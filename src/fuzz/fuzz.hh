@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Differential-fuzzing driver: ties the generator, differential
+ * executor, shrinker and determinism auditor into one seed-range
+ * sweep, writing a replayable reproducer for every failure.
+ *
+ * A reproducer is `<outDir>/seed-<seed>.mir`: metadata comments
+ * (seed, divergences, module digests, the exact CLI replay command)
+ * followed by the disassembly of the minimized module. Since
+ * generate() is pure in the seed, re-running the named seed regrows
+ * the original failing module bit-identically.
+ */
+
+#ifndef MARVEL_FUZZ_FUZZ_HH
+#define MARVEL_FUZZ_FUZZ_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/audit.hh"
+#include "fuzz/diff.hh"
+#include "fuzz/gen.hh"
+#include "fuzz/shrink.hh"
+
+namespace marvel::fuzz
+{
+
+struct FuzzOptions
+{
+    u64 seedBegin = 0;
+    u64 seedEnd = 16; ///< exclusive
+
+    GenOptions gen;
+    DiffOptions diff;
+
+    bool shrinkFailures = true;
+    ShrinkOptions shrinkOpts;
+
+    /** Audit determinism on every Nth seed; 0 disables. */
+    unsigned auditEvery = 0;
+    AuditOptions audit;
+
+    /** Reproducer directory; empty disables writing. */
+    std::string outDir = "results/fuzz";
+
+    /**
+     * Parallel seed workers; 0 = hardware concurrency. Seeds are
+     * independent and every worker derives its own deterministic
+     * state from the seed, so the summary is identical regardless of
+     * thread count (failures are reported in seed order).
+     */
+    unsigned threads = 1;
+
+    /** Optional per-seed progress sink (status line per seed). */
+    std::function<void(u64 seed, const std::string &status)> progress;
+};
+
+/** One failing seed, with everything needed to act on it. */
+struct FuzzFailure
+{
+    u64 seed = 0;
+    std::vector<Divergence> divergences;
+    std::vector<AuditFailure> auditFailures;
+
+    mir::Module original;
+    mir::Module shrunk;       ///< == original when not shrunk
+    bool wasShrunk = false;
+    std::size_t originalInsts = 0;
+    std::size_t shrunkInsts = 0;
+
+    std::string reproPath; ///< empty when writing was disabled
+
+    /** One-line description. */
+    std::string summary() const;
+};
+
+struct FuzzSummary
+{
+    u64 ran = 0;     ///< seeds fully executed
+    u64 skipped = 0; ///< reference run timed out
+    u64 audited = 0; ///< seeds that went through the auditor
+    std::vector<FuzzFailure> failures;
+
+    bool clean() const { return failures.empty(); }
+};
+
+/** Sweep [seedBegin, seedEnd). */
+FuzzSummary runFuzz(const FuzzOptions &options);
+
+/**
+ * Write the reproducer file for one failure; returns its path.
+ * Creates outDir as needed.
+ */
+std::string writeReproducer(const std::string &outDir,
+                            const FuzzFailure &failure);
+
+} // namespace marvel::fuzz
+
+#endif // MARVEL_FUZZ_FUZZ_HH

@@ -1,0 +1,410 @@
+#include "fuzz/gen.hh"
+
+#include <string>
+#include <vector>
+
+#include "common/memmap.hh"
+#include "common/rng.hh"
+#include "mir/builder.hh"
+
+namespace marvel::fuzz
+{
+
+namespace
+{
+
+/** Slots in the "arr" global (u64-sized). */
+constexpr u64 kArrSlots = 256;
+constexpr u64 kArrBytes = kArrSlots * 8;
+
+/**
+ * One generation session: a builder plus the value pool / accumulator
+ * bookkeeping that keeps every emitted instruction well-defined.
+ */
+struct Gen
+{
+    Rng rng;
+    const GenOptions &opt;
+    mir::ModuleBuilder mb;
+    std::vector<mir::FuncId> callees;
+
+    explicit Gen(u64 seed, const GenOptions &options)
+        : rng(Rng::forStream(seed, 0xf022)), opt(options)
+    {
+    }
+
+    u64 pick(u64 bound) { return rng.below(bound); }
+    bool chance(u64 percent) { return pick(100) < percent; }
+
+    /** Small signed constant with occasional large outliers. */
+    i64
+    randImm()
+    {
+        switch (pick(4)) {
+          case 0:
+            return static_cast<i64>(pick(16));
+          case 1:
+            return static_cast<i64>(pick(256)) - 128;
+          case 2:
+            return static_cast<i64>(pick(1u << 20));
+          default:
+            return static_cast<i64>(rng());
+        }
+    }
+
+    // ---- per-function expression machinery ------------------------------
+
+    /**
+     * Pool of I64 vregs defined on the always-executed spine of the
+     * function under construction. Statements read operands from here
+     * and (at top level) push their results back.
+     */
+    std::vector<mir::VReg> pool;
+    std::vector<mir::VReg> accs;
+
+    mir::VReg poolPick() { return pool[pick(pool.size())]; }
+
+    void
+    poolPush(mir::VReg reg)
+    {
+        if (pool.size() < 32)
+            pool.push_back(reg);
+        else
+            pool[pick(pool.size())] = reg;
+    }
+
+    mir::VReg accPick() { return accs[pick(accs.size())]; }
+
+    /** value | 1: never zero, safe divisor. */
+    mir::VReg
+    oddOf(mir::FunctionBuilder &fb, mir::VReg value)
+    {
+        return fb.bor(value, fb.constI(1));
+    }
+
+    /** Random integer binop over two pool values (always defined). */
+    mir::VReg
+    intExpr(mir::FunctionBuilder &fb)
+    {
+        const mir::VReg a = poolPick();
+        const mir::VReg b = poolPick();
+        switch (pick(10)) {
+          case 0: return fb.add(a, b);
+          case 1: return fb.sub(a, b);
+          case 2: return fb.mul(a, b);
+          case 3: return fb.band(a, b);
+          case 4: return fb.bor(a, b);
+          case 5: return fb.bxor(a, b);
+          case 6: { // masked shift
+            const mir::VReg amt = fb.band(b, fb.constI(63));
+            switch (pick(3)) {
+              case 0: return fb.shl(a, amt);
+              case 1: return fb.shr(a, amt);
+              default: return fb.sra(a, amt);
+            }
+          }
+          case 7: { // guarded division
+            const mir::VReg d = oddOf(fb, b);
+            switch (pick(4)) {
+              case 0: return fb.div(a, d);
+              case 1: return fb.divu(a, d);
+              case 2: return fb.rem(a, d);
+              default: return fb.remu(a, d);
+            }
+          }
+          case 8: { // comparison
+            switch (pick(6)) {
+              case 0: return fb.cmpEq(a, b);
+              case 1: return fb.cmpNe(a, b);
+              case 2: return fb.cmpLt(a, b);
+              case 3: return fb.cmpLe(a, b);
+              case 4: return fb.cmpLtU(a, b);
+              default: return fb.cmpLeU(a, b);
+            }
+          }
+          default: // select
+            return fb.select(fb.cmpLt(a, b), a, poolPick());
+        }
+    }
+
+    /**
+     * FP chain: operands come from 16-bit non-negative domains so
+     * every intermediate stays finite and the final FtoI truncation is
+     * always in i64 range.
+     */
+    mir::VReg
+    floatExpr(mir::FunctionBuilder &fb)
+    {
+        const mir::VReg mask = fb.constI(0xffff);
+        const mir::VReg a = fb.itof(fb.band(poolPick(), mask));
+        const mir::VReg b = fb.itof(fb.band(poolPick(), mask));
+        mir::VReg f;
+        switch (pick(5)) {
+          case 0: f = fb.fadd(a, b); break;
+          case 1: f = fb.fsub(a, b); break;
+          case 2: f = fb.fmul(a, b); break;
+          case 3: f = fb.fdiv(a, fb.fadd(b, fb.constF(1.0))); break;
+          default: f = fb.fsqrt(fb.fmul(a, b)); break;
+        }
+        if (chance(40))
+            return fb.fcmpLe(a, f); // 0/1 verdict
+        return fb.ftoi(f);
+    }
+
+    /**
+     * Address of a size-aligned slot inside "arr": index is masked so
+     * offset + size never exceeds the global, and shifted so the
+     * access is naturally aligned for every flavor.
+     */
+    mir::VReg
+    arrAddr(mir::FunctionBuilder &fb, unsigned size)
+    {
+        const u64 slots = kArrBytes / size;
+        const mir::VReg slot =
+            fb.band(poolPick(), fb.constI(static_cast<i64>(slots - 1)));
+        unsigned shift = 0;
+        while ((1u << shift) < size)
+            ++shift;
+        const mir::VReg off = shift ? fb.shlI(slot, shift) : slot;
+        return fb.add(fb.gaddr("arr"), off);
+    }
+
+    /** Store a pool value, then load (another) slot back. */
+    mir::VReg
+    memExpr(mir::FunctionBuilder &fb)
+    {
+        static const unsigned sizes[4] = {1, 2, 4, 8};
+        const unsigned stSize = sizes[pick(4)];
+        const mir::VReg stAddr = arrAddr(fb, stSize);
+        switch (stSize) {
+          case 1: fb.st1(stAddr, poolPick()); break;
+          case 2: fb.st2(stAddr, poolPick()); break;
+          case 4: fb.st4(stAddr, poolPick()); break;
+          default: fb.st8(stAddr, poolPick()); break;
+        }
+        // Load back through the same address half the time: exercises
+        // store-to-load forwarding; otherwise a fresh address, which
+        // may partially overlap the store (the LSQ stall path).
+        const unsigned ldSize = chance(50) ? stSize : sizes[pick(4)];
+        const mir::VReg ldAddr = (ldSize == stSize && chance(50))
+                                     ? stAddr
+                                     : arrAddr(fb, ldSize);
+        switch (ldSize) {
+          case 1:
+            return chance(50) ? fb.ld1u(ldAddr) : fb.ld1s(ldAddr);
+          case 2:
+            return chance(50) ? fb.ld2u(ldAddr) : fb.ld2s(ldAddr);
+          case 4:
+            return chance(50) ? fb.ld4u(ldAddr) : fb.ld4s(ldAddr);
+          default:
+            return fb.ld8(ldAddr);
+        }
+    }
+
+    /** acc = acc <op> value, insertable on any path. */
+    void
+    accMix(mir::FunctionBuilder &fb, mir::VReg acc, mir::VReg value)
+    {
+        switch (pick(4)) {
+          case 0: fb.assign(acc, fb.add(acc, value)); break;
+          case 1: fb.assign(acc, fb.bxor(acc, value)); break;
+          case 2: fb.assign(acc, fb.sub(acc, value)); break;
+          default:
+            fb.assign(acc, fb.add(fb.mul(acc, fb.constI(31)), value));
+            break;
+        }
+    }
+
+    /** if/else diamond mutating one accumulator. */
+    void
+    diamond(mir::FunctionBuilder &fb)
+    {
+        const mir::VReg cond = fb.cmpLt(poolPick(), poolPick());
+        const mir::VReg acc = accPick();
+        const mir::BlockId thenB = fb.newBlock();
+        const mir::BlockId elseB = fb.newBlock();
+        const mir::BlockId join = fb.newBlock();
+        fb.br(cond, thenB, elseB);
+        fb.setBlock(thenB);
+        accMix(fb, acc, poolPick());
+        fb.jmp(join);
+        fb.setBlock(elseB);
+        accMix(fb, acc, intExpr(fb));
+        fb.jmp(join);
+        fb.setBlock(join);
+    }
+
+    /** Bounded counted loop mutating accumulators (maybe memory too). */
+    void
+    loop(mir::FunctionBuilder &fb)
+    {
+        const u64 trip = 1 + pick(opt.maxLoopTrip);
+        const mir::VReg init = fb.constI(0);
+        const mir::VReg bound = fb.constI(static_cast<i64>(trip));
+        auto l = fb.beginLoop(init, bound);
+        accMix(fb, accPick(), l.idx);
+        if (opt.memory && chance(50)) {
+            const mir::VReg addr = fb.add(
+                fb.gaddr("arr"),
+                fb.shlI(fb.band(l.idx, fb.constI(kArrSlots - 1)), 3));
+            fb.st8(addr, accPick());
+            accMix(fb, accPick(), fb.ld8(addr));
+        }
+        if (opt.branches && chance(35)) {
+            const mir::VReg c =
+                fb.cmpEq(fb.band(l.idx, fb.constI(1)), fb.constI(0));
+            const mir::VReg acc = accPick();
+            const mir::BlockId thenB = fb.newBlock();
+            const mir::BlockId join = fb.newBlock();
+            fb.br(c, thenB, join);
+            fb.setBlock(thenB);
+            accMix(fb, acc, poolPick());
+            fb.jmp(join);
+            fb.setBlock(join);
+        }
+        fb.endLoop(l);
+    }
+
+    /** Build one callee: pure expression function of two I64 params. */
+    void
+    makeCallee(unsigned index)
+    {
+        auto fb = mb.func("f" + std::to_string(index),
+                          {mir::Type::I64, mir::Type::I64}, true);
+        pool.clear();
+        accs.clear();
+        pool.push_back(fb.fn().params[0]);
+        pool.push_back(fb.fn().params[1]);
+        pool.push_back(fb.constI(randImm()));
+        const unsigned ops = 3 + static_cast<unsigned>(pick(6));
+        for (unsigned i = 0; i < ops; ++i) {
+            if (opt.floats && chance(20))
+                poolPush(floatExpr(fb));
+            else
+                poolPush(intExpr(fb));
+        }
+        // Callees may call earlier callees: a DAG, never recursion.
+        if (opt.calls && index > 0 && chance(50)) {
+            const mir::FuncId target = callees[pick(index)];
+            poolPush(fb.call(target, {poolPick(), poolPick()}));
+        }
+        fb.ret(fb.bxor(poolPick(), poolPick()));
+        callees.push_back(fb.id());
+    }
+
+    /** One top-level statement in main. */
+    void
+    statement(mir::FunctionBuilder &fb)
+    {
+        switch (pick(12)) {
+          case 0:
+          case 1:
+          case 2:
+          case 3:
+            poolPush(intExpr(fb));
+            break;
+          case 4:
+          case 5:
+            if (opt.floats) {
+                poolPush(floatExpr(fb));
+                break;
+            }
+            [[fallthrough]];
+          case 6:
+          case 7:
+            if (opt.memory) {
+                poolPush(memExpr(fb));
+                break;
+            }
+            poolPush(intExpr(fb));
+            break;
+          case 8:
+            if (opt.calls && !callees.empty()) {
+                poolPush(fb.call(callees[pick(callees.size())],
+                                 {poolPick(), poolPick()}));
+                break;
+            }
+            [[fallthrough]];
+          case 9:
+            if (opt.branches) {
+                diamond(fb);
+                break;
+            }
+            poolPush(intExpr(fb));
+            break;
+          default:
+            if (opt.loops) {
+                loop(fb);
+                break;
+            }
+            poolPush(intExpr(fb));
+            break;
+        }
+    }
+
+    mir::Module
+    run()
+    {
+        // Globals: one working array with deterministic random init.
+        std::vector<u8> init(kArrBytes);
+        for (auto &byte : init)
+            byte = static_cast<u8>(rng());
+        mb.globalInit("arr", std::move(init), 64);
+
+        const unsigned nCallees =
+            opt.calls ? static_cast<unsigned>(pick(opt.maxCallees + 1))
+                      : 0;
+        for (unsigned i = 0; i < nCallees; ++i)
+            makeCallee(i);
+
+        auto fb = mb.func("main", {}, true);
+        pool.clear();
+        accs.clear();
+        for (unsigned i = 0; i < 4; ++i)
+            pool.push_back(fb.constI(randImm()));
+        pool.push_back(fb.ld8(fb.gaddr("arr"), 8 * pick(kArrSlots)));
+        pool.push_back(fb.ld8(fb.gaddr("arr"), 8 * pick(kArrSlots)));
+        for (unsigned i = 0; i < 3; ++i)
+            accs.push_back(fb.mov(poolPick()));
+
+        if (opt.magicWindow)
+            fb.checkpoint();
+
+        for (unsigned i = 0; i < opt.statements; ++i)
+            statement(fb);
+
+        // Epilogue: fold the live values into one result, publish a
+        // sample of them through the OUTPUT window, and exit.
+        mir::VReg result = accs[0];
+        for (unsigned i = 1; i < accs.size(); ++i)
+            result = fb.bxor(result, accs[i]);
+        for (unsigned i = 0; i < 4; ++i)
+            result = fb.add(fb.mul(result, fb.constI(131)), poolPick());
+
+        const mir::VReg outBase =
+            fb.constI(static_cast<i64>(kOutputBase));
+        fb.st8(outBase, result);
+        for (unsigned i = 0; i < accs.size(); ++i)
+            fb.st8(outBase, accs[i], 8 * (i + 1));
+        for (unsigned i = 0; i < 4; ++i)
+            fb.st8(outBase, poolPick(), 8 * (i + 4));
+
+        if (opt.magicWindow)
+            fb.switchCpu();
+        fb.ret(result);
+
+        mb.setEntry("main");
+        return std::move(mb.module());
+    }
+};
+
+} // namespace
+
+mir::Module
+generate(u64 seed, const GenOptions &options)
+{
+    Gen gen(seed, options);
+    return gen.run();
+}
+
+} // namespace marvel::fuzz

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Seeded random MIR program generator.
+ *
+ * Programs are drawn from a grammar covering arithmetic, logic,
+ * floating point, memory traffic over declared globals, structured
+ * control flow (diamonds and bounded counted loops) and a call DAG —
+ * while construction rules guarantee every emitted module is
+ * verifier-clean and semantically safe to execute on both the
+ * reference interpreter and the out-of-order CPU model:
+ *
+ *  - divisors are forced odd (`x | 1`) so no division ever traps;
+ *  - shift amounts are masked to [0, 63];
+ *  - memory accesses index declared globals with masked, size-aligned
+ *    offsets (the strictest flavor forbids unaligned accesses);
+ *  - FtoI operands are built from bounded integer domains so the
+ *    double -> i64 truncation is always in range (never UB);
+ *  - new virtual registers are defined only on the always-executed
+ *    spine; conditional arms and loop bodies communicate through
+ *    pre-defined accumulators, so no path reads an undefined vreg.
+ *
+ * generate(seed) is a pure function of (seed, options): the same pair
+ * always yields the bit-identical module, which is what makes fuzz
+ * reproducers replayable from just the seed.
+ */
+
+#ifndef MARVEL_FUZZ_GEN_HH
+#define MARVEL_FUZZ_GEN_HH
+
+#include "common/types.hh"
+#include "mir/mir.hh"
+
+namespace marvel::fuzz
+{
+
+/** Knobs bounding the generated program shape. */
+struct GenOptions
+{
+    unsigned statements = 24;   ///< top-level statements in main
+    unsigned maxCallees = 2;    ///< extra functions main may call
+    unsigned maxLoopTrip = 10;  ///< counted-loop iteration bound
+    bool floats = true;         ///< emit FP chains
+    bool memory = true;         ///< emit global-memory traffic
+    bool calls = true;          ///< emit calls
+    bool loops = true;          ///< emit bounded loops
+    bool branches = true;       ///< emit if/else diamonds
+
+    /**
+     * Wrap the statement body in Checkpoint ... SwitchCpu magic ops so
+     * the program defines a fault-injection window (required by the
+     * fi-based determinism audit; harmless for plain differential
+     * runs).
+     */
+    bool magicWindow = true;
+};
+
+/** Generate one verifier-clean module; pure in (seed, options). */
+mir::Module generate(u64 seed, const GenOptions &options = {});
+
+} // namespace marvel::fuzz
+
+#endif // MARVEL_FUZZ_GEN_HH

@@ -1,0 +1,440 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace marvel::fuzz
+{
+
+namespace
+{
+
+/** True when `reg` is read as a source anywhere in the function. */
+bool
+vregUsed(const mir::Function &fn, mir::VReg reg)
+{
+    for (const mir::Block &block : fn.blocks) {
+        for (const mir::Inst &inst : block.insts) {
+            const unsigned n = mir::numSources(inst.op);
+            if ((n >= 1 && inst.a == reg) ||
+                (n >= 2 && inst.b == reg) ||
+                (n >= 3 && inst.c == reg))
+                return true;
+            for (mir::VReg arg : inst.args)
+                if (arg == reg)
+                    return true;
+        }
+    }
+    return false;
+}
+
+/** Probe one candidate: structurally sound AND still failing. */
+struct Prober
+{
+    const FailPredicate &pred;
+    ShrinkResult &res;
+
+    bool
+    operator()(const mir::Module &candidate) const
+    {
+        ++res.attempts;
+        if (!mir::checkModule(candidate))
+            return false;
+        try {
+            if (!pred(candidate))
+                return false;
+        } catch (const FatalError &) {
+            // The mutation broke an assumption of the predicate's
+            // harness (e.g. removed the Checkpoint op): reject it.
+            return false;
+        }
+        ++res.accepted;
+        return true;
+    }
+};
+
+/** Delete instructions whose effects are provably unobservable. */
+bool
+passDeleteInsts(mir::Module &cur, const Prober &probe)
+{
+    bool any = false;
+    for (std::size_t f = 0; f < cur.functions.size(); ++f) {
+        for (std::size_t b = 0; b < cur.functions[f].blocks.size();
+             ++b) {
+            std::size_t i = 0;
+            while (i < cur.functions[f].blocks[b].insts.size()) {
+                const mir::Inst &inst =
+                    cur.functions[f].blocks[b].insts[i];
+                if (mir::isTerminator(inst.op)) {
+                    ++i;
+                    continue;
+                }
+                // A def can only go once nothing reads it; stores and
+                // magic ops have no def and may always be probed.
+                if (mir::hasDest(inst.op) &&
+                    vregUsed(cur.functions[f], inst.dst)) {
+                    ++i;
+                    continue;
+                }
+                mir::Module cand = cur;
+                auto &insts = cand.functions[f].blocks[b].insts;
+                insts.erase(insts.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                if (probe(cand)) {
+                    cur = std::move(cand);
+                    any = true;
+                } else {
+                    ++i;
+                }
+            }
+        }
+    }
+    return any;
+}
+
+/** Replace defs with constant zero, severing their input cone. */
+bool
+passZeroDefs(mir::Module &cur, const Prober &probe)
+{
+    bool any = false;
+    for (std::size_t f = 0; f < cur.functions.size(); ++f) {
+        for (std::size_t b = 0; b < cur.functions[f].blocks.size();
+             ++b) {
+            for (std::size_t i = 0;
+                 i < cur.functions[f].blocks[b].insts.size(); ++i) {
+                const mir::Inst &inst =
+                    cur.functions[f].blocks[b].insts[i];
+                if (!mir::hasDest(inst.op) ||
+                    inst.op == mir::Op::ConstI ||
+                    inst.op == mir::Op::ConstF)
+                    continue;
+                mir::Module cand = cur;
+                mir::Inst &slot =
+                    cand.functions[f].blocks[b].insts[i];
+                const bool isFloat =
+                    cand.functions[f].vregTypes[slot.dst] ==
+                    mir::Type::F64;
+                const mir::VReg dst = slot.dst;
+                slot = mir::Inst{};
+                slot.op = isFloat ? mir::Op::ConstF
+                                  : mir::Op::ConstI;
+                slot.dst = dst;
+                if (probe(cand)) {
+                    cur = std::move(cand);
+                    any = true;
+                }
+            }
+        }
+    }
+    return any;
+}
+
+/** Fold conditional branches to one side. */
+bool
+passFoldBranches(mir::Module &cur, const Prober &probe)
+{
+    bool any = false;
+    for (std::size_t f = 0; f < cur.functions.size(); ++f) {
+        for (std::size_t b = 0; b < cur.functions[f].blocks.size();
+             ++b) {
+            auto &insts = cur.functions[f].blocks[b].insts;
+            if (insts.empty() ||
+                insts.back().op != mir::Op::Br)
+                continue;
+            for (int side = 0; side < 2; ++side) {
+                mir::Module cand = cur;
+                mir::Inst &term =
+                    cand.functions[f].blocks[b].insts.back();
+                const mir::BlockId target =
+                    side == 0 ? term.target : term.target2;
+                term = mir::Inst{};
+                term.op = mir::Op::Jmp;
+                term.target = target;
+                if (probe(cand)) {
+                    cur = std::move(cand);
+                    any = true;
+                    break;
+                }
+            }
+        }
+    }
+    return any;
+}
+
+/**
+ * Redirect branch targets through blocks that are bare jumps, so the
+ * unreachable-block pass can delete the chain. Hop count is bounded
+ * to survive bare-jump cycles.
+ */
+bool
+passThreadJumps(mir::Module &cur, const Prober &probe)
+{
+    bool any = false;
+    for (std::size_t f = 0; f < cur.functions.size(); ++f) {
+        const mir::Function &fn = cur.functions[f];
+        const auto resolve = [&fn](mir::BlockId t) {
+            for (std::size_t hop = 0; hop < fn.blocks.size();
+                 ++hop) {
+                const mir::Block &blk = fn.blocks[t];
+                if (blk.insts.size() != 1 ||
+                    blk.insts[0].op != mir::Op::Jmp ||
+                    blk.insts[0].target == t)
+                    break;
+                t = blk.insts[0].target;
+            }
+            return t;
+        };
+        mir::Module cand = cur;
+        bool changed = false;
+        for (mir::Block &block : cand.functions[f].blocks) {
+            for (mir::Inst &inst : block.insts) {
+                if (inst.op != mir::Op::Jmp &&
+                    inst.op != mir::Op::Br)
+                    continue;
+                const mir::BlockId nt = resolve(inst.target);
+                changed |= nt != inst.target;
+                inst.target = nt;
+                if (inst.op == mir::Op::Br) {
+                    const mir::BlockId nt2 = resolve(inst.target2);
+                    changed |= nt2 != inst.target2;
+                    inst.target2 = nt2;
+                }
+            }
+        }
+        if (changed && probe(cand)) {
+            cur = std::move(cand);
+            any = true;
+        }
+    }
+    return any;
+}
+
+/** Remove blocks unreachable from the entry block. */
+bool
+passDropUnreachable(mir::Module &cur, const Prober &probe)
+{
+    bool any = false;
+    for (std::size_t f = 0; f < cur.functions.size(); ++f) {
+        const mir::Function &fn = cur.functions[f];
+        std::vector<bool> reached(fn.blocks.size(), false);
+        std::vector<mir::BlockId> work{0};
+        reached[0] = true;
+        while (!work.empty()) {
+            const mir::BlockId b = work.back();
+            work.pop_back();
+            for (const mir::Inst &inst : fn.blocks[b].insts) {
+                if (inst.op != mir::Op::Jmp &&
+                    inst.op != mir::Op::Br)
+                    continue;
+                for (mir::BlockId t : {inst.target, inst.target2}) {
+                    if (inst.op == mir::Op::Jmp &&
+                        t == inst.target2)
+                        continue;
+                    if (t < reached.size() && !reached[t]) {
+                        reached[t] = true;
+                        work.push_back(t);
+                    }
+                }
+            }
+        }
+        if (std::find(reached.begin(), reached.end(), false) ==
+            reached.end())
+            continue;
+
+        std::vector<mir::BlockId> remap(fn.blocks.size(), 0);
+        mir::Module cand = cur;
+        mir::Function &cf = cand.functions[f];
+        std::vector<mir::Block> kept;
+        for (std::size_t b = 0; b < cf.blocks.size(); ++b) {
+            if (!reached[b])
+                continue;
+            remap[b] = static_cast<mir::BlockId>(kept.size());
+            kept.push_back(std::move(cf.blocks[b]));
+        }
+        cf.blocks = std::move(kept);
+        for (mir::Block &block : cf.blocks) {
+            for (mir::Inst &inst : block.insts) {
+                if (inst.op == mir::Op::Jmp ||
+                    inst.op == mir::Op::Br)
+                    inst.target = remap[inst.target];
+                if (inst.op == mir::Op::Br)
+                    inst.target2 = remap[inst.target2];
+            }
+        }
+        if (probe(cand)) {
+            cur = std::move(cand);
+            any = true;
+        }
+    }
+    return any;
+}
+
+/** Remove functions unreachable from the entry via calls. */
+bool
+passDropFunctions(mir::Module &cur, const Prober &probe)
+{
+    std::vector<bool> reached(cur.functions.size(), false);
+    std::vector<mir::FuncId> work{cur.entry};
+    reached[cur.entry] = true;
+    while (!work.empty()) {
+        const mir::FuncId f = work.back();
+        work.pop_back();
+        for (const mir::Block &block : cur.functions[f].blocks)
+            for (const mir::Inst &inst : block.insts)
+                if (inst.op == mir::Op::Call &&
+                    !reached[inst.callee]) {
+                    reached[inst.callee] = true;
+                    work.push_back(inst.callee);
+                }
+    }
+    if (std::find(reached.begin(), reached.end(), false) ==
+        reached.end())
+        return false;
+
+    mir::Module cand = cur;
+    std::vector<mir::FuncId> remap(cur.functions.size(), 0);
+    std::vector<mir::Function> kept;
+    for (std::size_t f = 0; f < cand.functions.size(); ++f) {
+        if (!reached[f])
+            continue;
+        remap[f] = static_cast<mir::FuncId>(kept.size());
+        kept.push_back(std::move(cand.functions[f]));
+    }
+    cand.functions = std::move(kept);
+    cand.entry = remap[cur.entry];
+    for (mir::Function &fn : cand.functions)
+        for (mir::Block &block : fn.blocks)
+            for (mir::Inst &inst : block.insts)
+                if (inst.op == mir::Op::Call)
+                    inst.callee = remap[inst.callee];
+    if (probe(cand)) {
+        cur = std::move(cand);
+        return true;
+    }
+    return false;
+}
+
+/** Remove globals no GAddr references. */
+bool
+passDropGlobals(mir::Module &cur, const Prober &probe)
+{
+    std::vector<bool> used(cur.globals.size(), false);
+    for (const mir::Function &fn : cur.functions)
+        for (const mir::Block &block : fn.blocks)
+            for (const mir::Inst &inst : block.insts)
+                if (inst.op == mir::Op::GAddr &&
+                    static_cast<std::size_t>(inst.imm) < used.size())
+                    used[inst.imm] = true;
+    if (std::find(used.begin(), used.end(), false) == used.end())
+        return false;
+
+    mir::Module cand = cur;
+    std::vector<i64> remap(cur.globals.size(), 0);
+    std::vector<mir::Global> kept;
+    for (std::size_t g = 0; g < cand.globals.size(); ++g) {
+        if (!used[g])
+            continue;
+        remap[g] = static_cast<i64>(kept.size());
+        kept.push_back(std::move(cand.globals[g]));
+    }
+    cand.globals = std::move(kept);
+    for (mir::Function &fn : cand.functions)
+        for (mir::Block &block : fn.blocks)
+            for (mir::Inst &inst : block.insts)
+                if (inst.op == mir::Op::GAddr)
+                    inst.imm = remap[inst.imm];
+    if (probe(cand)) {
+        cur = std::move(cand);
+        return true;
+    }
+    return false;
+}
+
+/** Narrow immediates toward zero. */
+bool
+passNarrowConsts(mir::Module &cur, const Prober &probe)
+{
+    bool any = false;
+    for (std::size_t f = 0; f < cur.functions.size(); ++f) {
+        for (std::size_t b = 0; b < cur.functions[f].blocks.size();
+             ++b) {
+            for (std::size_t i = 0;
+                 i < cur.functions[f].blocks[b].insts.size(); ++i) {
+                const mir::Inst inst =
+                    cur.functions[f].blocks[b].insts[i];
+                std::vector<i64> tries;
+                if (inst.op == mir::Op::ConstI && inst.imm != 0) {
+                    tries = {0, 1, inst.imm / 2,
+                             inst.imm & 0xff};
+                } else if ((mir::isLoad(inst.op) ||
+                            mir::isStore(inst.op)) &&
+                           inst.imm != 0) {
+                    tries = {0};
+                } else if (inst.op == mir::Op::ConstF &&
+                           inst.fimm != 0.0) {
+                    mir::Module cand = cur;
+                    cand.functions[f].blocks[b].insts[i].fimm = 0.0;
+                    if (probe(cand)) {
+                        cur = std::move(cand);
+                        any = true;
+                    }
+                    continue;
+                }
+                for (i64 next : tries) {
+                    if (next == inst.imm)
+                        continue;
+                    mir::Module cand = cur;
+                    cand.functions[f].blocks[b].insts[i].imm = next;
+                    if (probe(cand)) {
+                        cur = std::move(cand);
+                        any = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return any;
+}
+
+} // namespace
+
+std::size_t
+countInsts(const mir::Module &module)
+{
+    std::size_t n = 0;
+    for (const mir::Function &fn : module.functions)
+        for (const mir::Block &block : fn.blocks)
+            n += block.insts.size();
+    return n;
+}
+
+ShrinkResult
+shrink(const mir::Module &failing, const FailPredicate &stillFails,
+       const ShrinkOptions &options)
+{
+    ShrinkResult res;
+    res.module = failing;
+    const Prober probe{stillFails, res};
+
+    for (unsigned round = 0; round < options.maxRounds; ++round) {
+        ++res.rounds;
+        bool any = false;
+        any |= passFoldBranches(res.module, probe);
+        any |= passThreadJumps(res.module, probe);
+        any |= passDropUnreachable(res.module, probe);
+        any |= passDeleteInsts(res.module, probe);
+        any |= passZeroDefs(res.module, probe);
+        any |= passDeleteInsts(res.module, probe);
+        any |= passDropFunctions(res.module, probe);
+        any |= passDropGlobals(res.module, probe);
+        any |= passNarrowConsts(res.module, probe);
+        if (!any)
+            break;
+    }
+    return res;
+}
+
+} // namespace marvel::fuzz

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Greedy test-case minimization for failing MIR modules.
+ *
+ * Given a module and a predicate "still fails", the shrinker applies
+ * rounds of structure-preserving mutations — delete dead-destination
+ * instructions, rewrite defs to constant zero, fold conditional
+ * branches, drop unreachable blocks / uncalled functions / unused
+ * globals, narrow immediates toward zero — accepting a candidate only
+ * when it is still verifier-clean AND the predicate still holds.
+ *
+ * The predicate is treated as a black box; a candidate that makes it
+ * throw FatalError (e.g. the shrink removed the Checkpoint op an
+ * fi-based predicate needs) is simply rejected.
+ */
+
+#ifndef MARVEL_FUZZ_SHRINK_HH
+#define MARVEL_FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "mir/mir.hh"
+
+namespace marvel::fuzz
+{
+
+/** Returns true while the candidate still exhibits the failure. */
+using FailPredicate = std::function<bool(const mir::Module &)>;
+
+struct ShrinkOptions
+{
+    /** Full mutation rounds before giving up on a fixpoint. */
+    unsigned maxRounds = 10;
+};
+
+struct ShrinkResult
+{
+    mir::Module module;   ///< the minimized, still-failing module
+    unsigned rounds = 0;  ///< rounds actually executed
+    u64 attempts = 0;     ///< candidates probed
+    u64 accepted = 0;     ///< candidates that kept the failure
+};
+
+/** Total instruction count across all functions. */
+std::size_t countInsts(const mir::Module &module);
+
+/**
+ * Minimize `failing` while `stillFails` holds. The input module must
+ * itself satisfy the predicate.
+ */
+ShrinkResult shrink(const mir::Module &failing,
+                    const FailPredicate &stillFails,
+                    const ShrinkOptions &options = {});
+
+} // namespace marvel::fuzz
+
+#endif // MARVEL_FUZZ_SHRINK_HH

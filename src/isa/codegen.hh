@@ -129,6 +129,15 @@ Program compile(const mir::Module &module, IsaKind kind);
 /** Disassemble a program's code segment (debugging aid). */
 std::string disassemble(const Program &program);
 
+/**
+ * FNV-1a digest over everything that determines a program's
+ * execution: flavor, code bytes, entry pc, data image and layout.
+ * Two compiles of one module must digest identically — the fuzz
+ * determinism audit enforces exactly that — and reproducer metadata
+ * records it so a regenerated failing program can be vouched.
+ */
+u64 programDigest(const Program &program);
+
 } // namespace marvel::isa
 
 #endif // MARVEL_ISA_CODEGEN_HH

@@ -840,4 +840,25 @@ disassemble(const Program &program)
     return out.str();
 }
 
+u64
+programDigest(const Program &program)
+{
+    u64 hash = kFnvOffset;
+    hash = fnv1aWord(static_cast<u64>(program.kind), hash);
+    hash = fnv1aWord(program.entry, hash);
+    hash = fnv1a(program.code.data(), program.code.size(), hash);
+    hash = fnv1aWord(program.dataEnd, hash);
+    hash = fnv1a(program.dataImage.data(), program.dataImage.size(),
+                 hash);
+    for (const Addr addr : program.layout.globalAddr)
+        hash = fnv1aWord(addr, hash);
+    hash = fnv1aWord(program.layout.end, hash);
+    for (const auto &[name, addr] : program.funcAddrs) {
+        hash = fnv1a(reinterpret_cast<const u8 *>(name.data()),
+                     name.size(), hash);
+        hash = fnv1aWord(addr, hash);
+    }
+    return hash;
+}
+
 } // namespace marvel::isa

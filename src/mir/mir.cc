@@ -207,41 +207,63 @@ layoutGlobals(const Module &module, Addr base)
     return layout;
 }
 
-void
-verify(const Module &module)
+bool
+checkModule(const Module &module, std::string *error)
 {
+    std::string message;
+    bool ok = true;
+    // Record the FIRST violation; later checks may index out of
+    // whatever the first one complained about, so stop descending.
+    auto fail = [&](std::string why) {
+        if (ok)
+            message = std::move(why);
+        ok = false;
+    };
     if (module.functions.empty())
-        fatal("mir verify: module has no functions");
-    if (module.entry >= module.functions.size())
-        fatal("mir verify: bad entry function id %u", module.entry);
+        fail("mir verify: module has no functions");
+    else if (module.entry >= module.functions.size())
+        fail(strfmt("mir verify: bad entry function id %u",
+                    module.entry));
     for (const Function &fn : module.functions) {
-        if (fn.blocks.empty())
-            fatal("mir verify: function '%s' has no blocks",
-                  fn.name.c_str());
-        if (fn.params.size() != fn.paramTypes.size())
-            fatal("mir verify: '%s' param/type count mismatch",
-                  fn.name.c_str());
+        if (!ok)
+            break;
+        if (fn.blocks.empty()) {
+            fail(strfmt("mir verify: function '%s' has no blocks",
+                        fn.name.c_str()));
+            break;
+        }
+        if (fn.params.size() != fn.paramTypes.size()) {
+            fail(strfmt("mir verify: '%s' param/type count mismatch",
+                        fn.name.c_str()));
+            break;
+        }
         for (VReg p : fn.params)
             if (p >= fn.numVRegs())
-                fatal("mir verify: '%s' param vreg out of range",
-                      fn.name.c_str());
-        for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+                fail(strfmt("mir verify: '%s' param vreg out of range",
+                            fn.name.c_str()));
+        for (std::size_t bi = 0; ok && bi < fn.blocks.size(); ++bi) {
             const Block &blk = fn.blocks[bi];
-            if (blk.insts.empty())
-                fatal("mir verify: '%s' block %zu empty",
-                      fn.name.c_str(), bi);
-            for (std::size_t ii = 0; ii < blk.insts.size(); ++ii) {
+            if (blk.insts.empty()) {
+                fail(strfmt("mir verify: '%s' block %zu empty",
+                            fn.name.c_str(), bi));
+                break;
+            }
+            for (std::size_t ii = 0; ok && ii < blk.insts.size(); ++ii) {
                 const Inst &inst = blk.insts[ii];
                 const bool last = (ii + 1 == blk.insts.size());
-                if (isTerminator(inst.op) != last)
-                    fatal("mir verify: '%s' block %zu: terminator "
-                          "placement error at inst %zu",
-                          fn.name.c_str(), bi, ii);
+                if (isTerminator(inst.op) != last) {
+                    fail(strfmt(
+                        "mir verify: '%s' block %zu: terminator "
+                        "placement error at inst %zu",
+                        fn.name.c_str(), bi, ii));
+                    break;
+                }
                 auto checkReg = [&](VReg r) {
                     if (r >= fn.numVRegs())
-                        fatal("mir verify: '%s' block %zu inst %zu: "
-                              "vreg %u out of range",
-                              fn.name.c_str(), bi, ii, r);
+                        fail(strfmt(
+                            "mir verify: '%s' block %zu inst %zu: "
+                            "vreg %u out of range",
+                            fn.name.c_str(), bi, ii, r));
                 };
                 const unsigned ns = numSources(inst.op);
                 if (inst.op == Op::Ret) {
@@ -261,36 +283,62 @@ verify(const Module &module)
                     checkReg(inst.dst);
                 if (inst.op == Op::Jmp || inst.op == Op::Br) {
                     if (inst.target >= fn.blocks.size())
-                        fatal("mir verify: '%s': bad branch target %u",
-                              fn.name.c_str(), inst.target);
+                        fail(strfmt(
+                            "mir verify: '%s': bad branch target %u",
+                            fn.name.c_str(), inst.target));
                     if (inst.op == Op::Br &&
                         inst.target2 >= fn.blocks.size())
-                        fatal("mir verify: '%s': bad branch target %u",
-                              fn.name.c_str(), inst.target2);
+                        fail(strfmt(
+                            "mir verify: '%s': bad branch target %u",
+                            fn.name.c_str(), inst.target2));
                 }
                 if (inst.op == Op::Call) {
-                    if (inst.callee >= module.functions.size())
-                        fatal("mir verify: '%s': bad callee %u",
-                              fn.name.c_str(), inst.callee);
+                    if (inst.callee >= module.functions.size()) {
+                        fail(strfmt(
+                            "mir verify: '%s': bad callee %u",
+                            fn.name.c_str(), inst.callee));
+                        break;
+                    }
                     const Function &callee =
                         module.functions[inst.callee];
                     if (inst.args.size() != callee.paramTypes.size())
-                        fatal("mir verify: '%s': call to '%s' with %zu "
-                              "args, expected %zu",
-                              fn.name.c_str(), callee.name.c_str(),
-                              inst.args.size(),
-                              callee.paramTypes.size());
+                        fail(strfmt(
+                            "mir verify: '%s': call to '%s' with %zu "
+                            "args, expected %zu",
+                            fn.name.c_str(), callee.name.c_str(),
+                            inst.args.size(),
+                            callee.paramTypes.size()));
                     for (VReg arg : inst.args)
                         checkReg(arg);
                 }
                 if (inst.op == Op::GAddr &&
                     static_cast<u64>(inst.imm) >= module.globals.size())
-                    fatal("mir verify: '%s': bad global id %lld",
-                          fn.name.c_str(),
-                          static_cast<long long>(inst.imm));
+                    fail(strfmt(
+                        "mir verify: '%s': bad global id %lld",
+                        fn.name.c_str(),
+                        static_cast<long long>(inst.imm)));
             }
         }
     }
+    if (!ok && error)
+        *error = message;
+    return ok;
+}
+
+void
+verify(const Module &module)
+{
+    std::string error;
+    if (!checkModule(module, &error))
+        fatal("%s", error.c_str());
+}
+
+u64
+moduleDigest(const Module &module)
+{
+    const std::string text = toString(module);
+    return fnv1a(reinterpret_cast<const u8 *>(text.data()),
+                 text.size());
 }
 
 std::string

@@ -189,6 +189,22 @@ DataLayout layoutGlobals(const Module &module, Addr base);
  */
 void verify(const Module &module);
 
+/**
+ * Non-throwing variant of verify(): returns false and fills *error
+ * (when non-null) with the first violation. The fuzz shrinker probes
+ * candidate mutations with this — a structurally broken candidate is
+ * rejected, not a crash.
+ */
+bool checkModule(const Module &module, std::string *error = nullptr);
+
+/**
+ * Deterministic structural digest (FNV-1a over the disassembly).
+ * Stable across platforms for identical modules; recorded in fuzz
+ * reproducer metadata so a regenerated module can be vouched against
+ * the one that originally failed.
+ */
+u64 moduleDigest(const Module &module);
+
 /** Disassemble a module to text (for debugging and tests). */
 std::string toString(const Module &module);
 

@@ -26,25 +26,18 @@
 #include <string>
 #include <vector>
 
+#include "common/bits.hh"
 #include "common/types.hh"
 
 namespace marvel::store
 {
 
-/** FNV-1a 64-bit offset basis. */
-constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
-constexpr u64 kFnvPrime = 0x100000001b3ull;
-
-/** Incremental FNV-1a over a byte range. */
-constexpr u64
-fnv1a(const u8 *data, std::size_t len, u64 hash = kFnvOffset)
-{
-    for (std::size_t i = 0; i < len; ++i) {
-        hash ^= data[i];
-        hash *= kFnvPrime;
-    }
-    return hash;
-}
+// The FNV-1a primitives historically lived here; they are now shared
+// tree-wide from common/bits.hh. Re-exported so store::fnv1a callers
+// keep compiling.
+using marvel::kFnvOffset;
+using marvel::kFnvPrime;
+using marvel::fnv1a;
 
 inline u64
 fnv1a(const std::vector<u8> &bytes, u64 hash = kFnvOffset)

@@ -238,6 +238,148 @@ INSTANTIATE_TEST_SUITE_P(AllIsas, CpuFaults,
                       isa::IsaKind::X86),
     [](const auto& info) { return std::string(isa::isaName(info.param)); });
 
+namespace {
+
+constexpr i64 kSentinel = 0x0123456789abcdll; // fits 48-bit store data
+
+/**
+ * Store kSentinel to "slot", stall the dependent op behind a
+ * multiply chain, then consume. delayLoad picks whether the chain
+ * feeds the load address (LQ sits address-pending) or the store data
+ * (SQ sits data-pending).
+ */
+mir::Module lsqProbeModule(bool delayLoad) {
+    mir::ModuleBuilder mb;
+    mb.global("slot", 64, 64);
+    auto fb = mb.func("main", {}, true);
+    auto slot = fb.gaddr("slot");
+    auto zero = fb.constI(0);
+    if (delayLoad) {
+        fb.st8(slot, fb.constI(kSentinel));
+        for (int i = 0; i < 16; ++i)
+            zero = fb.mul(zero, fb.constI(3));
+        fb.ret(fb.ld8(fb.add(slot, zero)));
+    } else {
+        auto value = fb.constI(kSentinel);
+        for (int i = 0; i < 16; ++i)
+            value = fb.add(value, fb.mul(zero, fb.constI(3)));
+        fb.st8(slot, value);
+        fb.ret(fb.ld8(slot));
+    }
+    mb.setEntry("main");
+    return mb.module();
+}
+
+/**
+ * Run `module` on `core` cycle by cycle; at the first cycle boundary
+ * where `when` returns an entry index, flip `bit` in that queue entry
+ * and start watching it. Asserts the injection landed.
+ */
+template <typename Queue, typename When>
+RunOutcome runWithLsqFlip(const mir::Module& module, cpu::OooCore& core,
+                          Queue cpu::OooCore::* queue, u32 bit,
+                          When when) {
+    const isa::Program prog = isa::compile(module, isa::IsaKind::RISCV);
+    mem::Hierarchy memory;
+    memory.dram().write(kCodeBase, prog.code.data(), prog.code.size());
+    if (!prog.dataImage.empty())
+        memory.dram().write(kDataBase, prog.dataImage.data(),
+                            prog.dataImage.size());
+    core.reset(prog.entry);
+    NullBus bus;
+    bool injected = false;
+    for (u64 c = 0; c < 100'000 && !bus.exited && !core.crashed();
+         ++c) {
+        if (!injected) {
+            const int idx = when(core.*queue);
+            if (idx >= 0) {
+                (core.*queue).flipBit(static_cast<u32>(idx), bit);
+                (core.*queue).faults().addWatch(
+                    static_cast<u32>(idx), bit);
+                injected = true;
+            }
+        }
+        core.cycle(memory, bus);
+    }
+    EXPECT_TRUE(injected);
+    RunOutcome out;
+    out.exited = bus.exited;
+    out.exitCode = bus.exitCode;
+    out.crash = core.crashKind;
+    out.cycles = core.cycles;
+    return out;
+}
+
+} // namespace
+
+TEST(LsqFaults, ForwardedStoreDataCarriesTheFault) {
+    // Flip a data bit in a ready, still-resident SQ entry: the
+    // dependent load must observe the flipped value (via forwarding
+    // or the drained store) and the watch must report a read - this
+    // fault is live, not maskable.
+    cpu::CpuParams params;
+    cpu::OooCore core(params);
+    const RunOutcome out = runWithLsqFlip(
+        lsqProbeModule(true), core, &cpu::OooCore::sq, 48 + 5,
+        [](cpu::StoreQueue& sq) -> int {
+            for (unsigned k = 0; k < sq.size(); ++k) {
+                const unsigned idx = sq.indexAt(k);
+                if (sq[idx].valid && sq[idx].ready &&
+                    sq[idx].data == static_cast<u64>(kSentinel))
+                    return static_cast<int>(idx);
+            }
+            return -1;
+        });
+    ASSERT_TRUE(out.exited);
+    EXPECT_EQ(out.exitCode, kSentinel ^ (1ll << 5));
+    EXPECT_TRUE(core.sq.faults().anyRead());
+    EXPECT_FALSE(core.sq.faults().allNeutralized());
+}
+
+TEST(LsqFaults, StoreDataOverwriteBeforeReadMasksTheFault) {
+    // Flip a data bit while the SQ entry still awaits its operands:
+    // the AGU/data fill overwrites the whole image, so the program
+    // result is untouched and the watch proves the fault died without
+    // ever being read (the early-termination signal).
+    cpu::CpuParams params;
+    cpu::OooCore core(params);
+    const RunOutcome out = runWithLsqFlip(
+        lsqProbeModule(false), core, &cpu::OooCore::sq, 48 + 5,
+        [](cpu::StoreQueue& sq) -> int {
+            for (unsigned k = 0; k < sq.size(); ++k) {
+                const unsigned idx = sq.indexAt(k);
+                if (sq[idx].valid && !sq[idx].ready)
+                    return static_cast<int>(idx);
+            }
+            return -1;
+        });
+    ASSERT_TRUE(out.exited);
+    EXPECT_EQ(out.exitCode, kSentinel);
+    EXPECT_FALSE(core.sq.faults().anyRead());
+    EXPECT_TRUE(core.sq.faults().allNeutralized());
+}
+
+TEST(LsqFaults, LoadAddressOverwriteBeforeReadMasksTheFault) {
+    // Same masking contract on the load queue: an address bit flipped
+    // before the AGU fills the entry is dead on arrival.
+    cpu::CpuParams params;
+    cpu::OooCore core(params);
+    const RunOutcome out = runWithLsqFlip(
+        lsqProbeModule(true), core, &cpu::OooCore::lq, 7,
+        [](cpu::LoadQueue& lq) -> int {
+            for (unsigned k = 0; k < lq.size(); ++k) {
+                const unsigned idx = lq.indexAt(k);
+                if (lq[idx].valid && !lq[idx].addrReady)
+                    return static_cast<int>(idx);
+            }
+            return -1;
+        });
+    ASSERT_TRUE(out.exited);
+    EXPECT_EQ(out.exitCode, kSentinel);
+    EXPECT_FALSE(core.lq.faults().anyRead());
+    EXPECT_TRUE(core.lq.faults().allNeutralized());
+}
+
 TEST(CpuCopy, CoreCopyPreservesState) {
     // The checkpoint mechanism relies on value-semantic cores.
     mir::ModuleBuilder mb;

@@ -22,9 +22,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.hh"
 #include "sched/heartbeat.hh"
+#include "sched/replay.hh"
 #include "sched/scheduler.hh"
 #include "sched/workqueue.hh"
+#include "soc/checkpoint.hh"
 #include "soc/builder.hh"
 #include "store/journal.hh"
 #include "workloads/workloads.hh"
@@ -431,4 +434,93 @@ TEST(Heartbeat, DisabledByZeroCadence) {
     sched::Heartbeat beat;
     EXPECT_FALSE(
         sched::readHeartbeat(sched::heartbeatPath(path), beat));
+}
+
+// --- replay / journal edge cases -------------------------------------------
+
+TEST(ReplayEdge, EmptyJournalIsRejected) {
+    // Zero bytes on disk: not a journal at all. journalExists() gates
+    // resume; the reader refuses rather than inventing an identity.
+    const std::string path = tmpPath("replay_empty.jsonl");
+    spit(path, "");
+    EXPECT_FALSE(store::journalExists(path));
+    EXPECT_THROW(store::readJournal(path), FatalError);
+}
+
+TEST(ReplayEdge, TornFinalRecordAfterMetaIsDropped) {
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string fullPath = tmpPath("replay_meta_full.jsonl");
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = fullPath;
+    sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    // Keep only the meta line, then tear the first verdict mid-record
+    // (the crash window right after campaign start).
+    const std::string content = slurp(fullPath);
+    const std::size_t metaEnd = content.find('\n') + 1;
+    const std::string tornPath = tmpPath("replay_meta_torn.jsonl");
+    spit(tornPath, content.substr(0, metaEnd) +
+                       "{\"type\":\"verdict\",\"idx\":0,\"outc");
+
+    const store::Journal torn = store::readJournal(tornPath);
+    EXPECT_TRUE(torn.hasMeta);
+    EXPECT_TRUE(torn.droppedTornLine);
+    EXPECT_EQ(torn.verdicts.size(), 0u);
+    EXPECT_EQ(torn.validBytes, metaEnd);
+    EXPECT_FALSE(sched::findVerdict(torn, 0).has_value());
+}
+
+TEST(ReplayEdge, ReplayMatchesJournaledVerdict) {
+    // The positive path the validations protect: a replay built from
+    // an intact journal reproduces the journaled verdict exactly.
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string path = tmpPath("replay_ok.jsonl");
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = path;
+    sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    const store::Journal journal = store::readJournal(path);
+    ASSERT_TRUE(journal.hasMeta);
+    const sched::ReplaySetup setup =
+        sched::replaySetup(golden, journal.meta, 3);
+    fi::FaultMask mask;
+    mask.faults.push_back(setup.fault);
+    const fi::RunVerdict replayed =
+        fi::runWithFault(golden, mask, setup.options);
+    const auto journaled = sched::findVerdict(journal, 3);
+    ASSERT_TRUE(journaled.has_value());
+    EXPECT_TRUE(sched::verdictsIdentical(replayed, *journaled));
+}
+
+TEST(ReplayEdge, ReplayRefusesMetaDisagreeingWithRun) {
+    // Every field the replay derives its fault from must match the
+    // golden run in front of it; each disagreement is a hard error,
+    // not a silently wrong verdict.
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string path = tmpPath("replay_mismatch.jsonl");
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = path;
+    sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+    const store::Journal journal = store::readJournal(path);
+    ASSERT_TRUE(journal.hasMeta);
+
+    store::JournalMeta meta = journal.meta;
+    EXPECT_THROW(sched::replaySetup(golden, meta, meta.numFaults),
+                 FatalError); // index out of range
+
+    meta = journal.meta;
+    meta.goldenDigest ^= 1; // different workload/config/build
+    EXPECT_THROW(sched::replaySetup(golden, meta, 0), FatalError);
+
+    meta = journal.meta;
+    meta.windowCycles += 1; // different injection window
+    EXPECT_THROW(sched::replaySetup(golden, meta, 0), FatalError);
+
+    meta = journal.meta;
+    meta.bitsPerEntry += 1; // different target geometry
+    EXPECT_THROW(sched::replaySetup(golden, meta, 0), FatalError);
+
+    meta = journal.meta;
+    meta.model = "cosmic-ray"; // unknown fault model
+    EXPECT_THROW(sched::replaySetup(golden, meta, 0), FatalError);
 }

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * marvel-fuzz — differential fuzzing of the compile + execute stack.
+ *
+ * Sweeps a seed range of randomly generated MIR programs. Each one is
+ * executed by the reference interpreter and by codegen + the
+ * out-of-order core on every requested ISA flavor; exit codes, OUTPUT
+ * windows, console bytes and (optionally) bit-exact re-runs are
+ * compared. Failing seeds are greedily shrunk to a minimal module and
+ * written as reproducers to the output directory. A determinism audit
+ * additionally re-runs fault injections (through checkpoint restore)
+ * on a cadence of seeds, requiring identical verdicts, stats
+ * snapshots, and architectural digests.
+ *
+ * Usage:
+ *   marvel-fuzz [run] --seeds A:B [--flavors all|riscv,arm,x86]
+ *               [--audit-every N] [--no-shrink] [--no-determinism]
+ *               [--statements N] [--max-cycles N] [--out DIR]
+ *               [--quiet]
+ *   marvel-fuzz dump --seed N
+ *   marvel-fuzz --help | --version
+ *
+ * Exit status: 0 all seeds clean, 1 divergence or audit failure
+ * found, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/version.hh"
+#include "fuzz/fuzz.hh"
+#include "mir/mir.hh"
+
+using namespace marvel;
+
+namespace
+{
+
+struct Options
+{
+    std::string command = "run";
+    u64 seedBegin = 0;
+    u64 seedEnd = 16;
+    u64 dumpSeed = 0;
+    std::vector<isa::IsaKind> flavors; ///< empty = all
+    unsigned auditEvery = 16;
+    bool shrink = true;
+    bool determinism = true;
+    unsigned statements = 24;
+    u64 maxCycles = 4'000'000;
+    std::string outDir = "results/fuzz";
+    unsigned threads = 0; ///< 0 = hardware concurrency
+    bool quiet = false;
+};
+
+void
+printUsage(std::FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: marvel-fuzz [run] --seeds A:B\n"
+        "             [--flavors all|riscv,arm,x86] [--audit-every N]\n"
+        "             [--no-shrink] [--no-determinism]\n"
+        "             [--statements N] [--max-cycles N] [--out DIR]\n"
+        "             [--threads N] [--quiet]\n"
+        "       marvel-fuzz dump --seed N\n"
+        "       marvel-fuzz --help | --version\n");
+}
+
+[[noreturn]] void
+usageError(const char *what, const std::string &token)
+{
+    if (token.empty())
+        std::fprintf(stderr, "marvel-fuzz: %s\n", what);
+    else
+        std::fprintf(stderr, "marvel-fuzz: %s '%s'\n", what,
+                     token.c_str());
+    printUsage(stderr);
+    std::exit(2);
+}
+
+u64
+parseU64(const std::string &token)
+{
+    char *end = nullptr;
+    const u64 value = std::strtoull(token.c_str(), &end, 0);
+    if (end == token.c_str() || *end != '\0')
+        usageError("expected a number, got", token);
+    return value;
+}
+
+/** "A:B" -> [A, B); "N" -> [N, N+1). */
+void
+parseSeedRange(const std::string &token, Options &opts)
+{
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+        opts.seedBegin = parseU64(token);
+        opts.seedEnd = opts.seedBegin + 1;
+        return;
+    }
+    opts.seedBegin = parseU64(token.substr(0, colon));
+    opts.seedEnd = parseU64(token.substr(colon + 1));
+    if (opts.seedEnd <= opts.seedBegin)
+        usageError("empty seed range", token);
+}
+
+void
+parseFlavors(const std::string &token, Options &opts)
+{
+    opts.flavors.clear();
+    if (token == "all")
+        return;
+    std::size_t pos = 0;
+    while (pos < token.size()) {
+        std::size_t comma = token.find(',', pos);
+        if (comma == std::string::npos)
+            comma = token.size();
+        opts.flavors.push_back(
+            isa::isaFromName(token.substr(pos, comma - pos)));
+        pos = comma + 1;
+    }
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') {
+        opts.command = argv[i];
+        ++i;
+        if (opts.command != "run" && opts.command != "dump")
+            usageError("unknown command", opts.command);
+    }
+    auto next = [&](const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            usageError("missing value for", flag);
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            std::exit(0);
+        } else if (arg == "--version") {
+            std::printf("marvel-fuzz %s\n", kVersionString);
+            std::exit(0);
+        } else if (arg == "--seeds") {
+            parseSeedRange(next("--seeds"), opts);
+        } else if (arg == "--seed") {
+            opts.dumpSeed = parseU64(next("--seed"));
+        } else if (arg == "--flavors") {
+            parseFlavors(next("--flavors"), opts);
+        } else if (arg == "--audit-every") {
+            opts.auditEvery =
+                static_cast<unsigned>(parseU64(next("--audit-every")));
+        } else if (arg == "--no-shrink") {
+            opts.shrink = false;
+        } else if (arg == "--no-determinism") {
+            opts.determinism = false;
+        } else if (arg == "--statements") {
+            opts.statements =
+                static_cast<unsigned>(parseU64(next("--statements")));
+        } else if (arg == "--max-cycles") {
+            opts.maxCycles = parseU64(next("--max-cycles"));
+        } else if (arg == "--out") {
+            opts.outDir = next("--out");
+        } else if (arg == "--threads") {
+            opts.threads =
+                static_cast<unsigned>(parseU64(next("--threads")));
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            usageError("unknown option", arg);
+        }
+    }
+    return opts;
+}
+
+int
+cmdDump(const Options &opts)
+{
+    fuzz::GenOptions gen;
+    gen.statements = opts.statements;
+    const mir::Module module = fuzz::generate(opts.dumpSeed, gen);
+    std::printf("; seed %llu, digest %016llx\n%s",
+                (unsigned long long)opts.dumpSeed,
+                (unsigned long long)mir::moduleDigest(module),
+                mir::toString(module).c_str());
+    return 0;
+}
+
+int
+cmdRun(const Options &opts)
+{
+    fuzz::FuzzOptions fo;
+    fo.seedBegin = opts.seedBegin;
+    fo.seedEnd = opts.seedEnd;
+    fo.gen.statements = opts.statements;
+    fo.diff.flavors = opts.flavors;
+    fo.diff.maxCycles = opts.maxCycles;
+    fo.diff.checkDeterminism = opts.determinism;
+    fo.shrinkFailures = opts.shrink;
+    fo.auditEvery = opts.determinism ? opts.auditEvery : 0;
+    fo.audit.flavors = opts.flavors;
+    fo.outDir = opts.outDir;
+    fo.threads = opts.threads;
+    if (!opts.quiet) {
+        fo.progress = [](u64 seed, const std::string &status) {
+            if (status == "ok") {
+                if (seed % 25 == 0)
+                    std::printf("seed %llu: ok\n",
+                                (unsigned long long)seed);
+            } else {
+                std::printf("seed %llu: %s\n",
+                            (unsigned long long)seed, status.c_str());
+            }
+            std::fflush(stdout);
+        };
+    }
+
+    const fuzz::FuzzSummary summary = fuzz::runFuzz(fo);
+    std::printf(
+        "fuzz: %llu seeds ran, %llu skipped, %llu audited, "
+        "%zu failures\n",
+        (unsigned long long)summary.ran,
+        (unsigned long long)summary.skipped,
+        (unsigned long long)summary.audited,
+        summary.failures.size());
+    for (const fuzz::FuzzFailure &failure : summary.failures) {
+        std::printf("  %s\n", failure.summary().c_str());
+        if (!failure.reproPath.empty())
+            std::printf("    reproducer: %s\n",
+                        failure.reproPath.c_str());
+    }
+    return summary.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    if (opts.command == "dump")
+        return cmdDump(opts);
+    return cmdRun(opts);
+}
