@@ -148,6 +148,27 @@ BENCHMARK(BM_CampaignWorkQueue)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Cost of building the golden run with a checkpoint ladder — the
+/// one-time price a campaign pays (an extra window replay plus K
+/// snapshots) for fast-forwarded faulty runs afterwards.
+void BM_GoldenBuildLadder(benchmark::State& state) {
+    const workloads::Workload wl = workloads::get("crc32");
+    const soc::SystemConfig cfg = soc::preset("riscv");
+    const isa::Program prog = isa::compile(wl.module, cfg.cpu.isa);
+    const unsigned rungs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const fi::GoldenRun golden =
+            fi::runGolden(cfg, prog, 500'000'000, rungs);
+        benchmark::DoNotOptimize(golden.ladder.size());
+    }
+    state.SetLabel(rungs == 0 ? "no-ladder"
+                              : std::to_string(rungs) + "-rungs");
+}
+BENCHMARK(BM_GoldenBuildLadder)
+    ->Arg(0)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CampaignWorkQueueJournaled(benchmark::State& state) {
     const fi::GoldenRun& golden = crcGolden();
     fi::CampaignOptions opts = campaignOpts();

@@ -3,10 +3,15 @@
 /// run latency. These bound campaign turnaround (paper SIV-B).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_common.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sched/scheduler.hh"
 
 using namespace marvel;
 
@@ -56,6 +61,40 @@ void BM_SingleInjectionRun(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SingleInjectionRun);
+
+// Same end-to-end injection run, but against a golden with a 16-rung
+// checkpoint ladder: arg 0 restores from the window start, arg 1
+// fast-forwards from the nearest rung. The per-iteration time gap is
+// the ladder's single-run payoff on a short window.
+void BM_SingleInjectionRunLadder(benchmark::State& state) {
+    static const fi::GoldenRun golden = [] {
+        const workloads::Workload wl = workloads::get("crc32");
+        const soc::SystemConfig cfg = soc::preset("riscv");
+        return fi::runGolden(
+            cfg, isa::compile(wl.module, cfg.cpu.isa),
+            500'000'000, 16);
+    }();
+    fi::InjectionOptions opts;
+    opts.useLadder = state.range(0) != 0;
+    u64 i = 0, simulated = 0;
+    for (auto _ : state) {
+        Rng rng = Rng::forStream(99, i++);
+        const fi::TargetInfo info = fi::targetInfo(
+            golden.checkpoint.view(), {fi::TargetId::L1D});
+        fi::FaultMask mask;
+        mask.faults.push_back(fi::randomFault(
+            rng, {fi::TargetId::L1D}, info.geometry,
+            golden.windowCycles, fi::FaultModel::Transient));
+        const fi::RunVerdict v = fi::runWithFault(golden, mask, opts);
+        simulated += v.cyclesRun - v.fastForwarded;
+        benchmark::DoNotOptimize(v.cyclesRun);
+    }
+    state.counters["sim-cycles/run"] = benchmark::Counter(
+        static_cast<double>(simulated),
+        benchmark::Counter::kAvgIterations);
+    state.SetLabel(opts.useLadder ? "ladder-on" : "ladder-off");
+}
+BENCHMARK(BM_SingleInjectionRunLadder)->Arg(0)->Arg(1);
 
 // Overhead guard for the observability hooks (ISSUE acceptance: with
 // tracing disabled the cycle rate must stay within noise of the
@@ -117,6 +156,112 @@ void BM_CompileWorkload(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileWorkload);
 
+// --ladder smoke: A/B the same campaign with fast-forwarding on and
+// off on the megacycle-window reference workload. Passes only when
+// (a) the verdict journals are identical apart from the wall-clock
+// metrics trailer and (b) the ladder cuts mean simulated cycles per
+// injection by at least 2x (the ISSUE acceptance bar at K=16).
+std::vector<std::string> journalVerdictLines(const std::string& path) {
+    std::vector<std::string> lines;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return lines;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), f)) {
+        const std::string line = buf;
+        if (line.find("\"type\":\"metrics\"") == std::string::npos)
+            lines.push_back(line);
+    }
+    std::fclose(f);
+    return lines;
+}
+
+int runLadderSmoke() {
+    const char* tmp = std::getenv("TMPDIR");
+    const std::string dir = tmp && *tmp ? tmp : "/tmp";
+    const std::string onPath = dir + "/marvel_ladder_smoke_on.jsonl";
+    const std::string offPath = dir + "/marvel_ladder_smoke_off.jsonl";
+    std::remove(onPath.c_str());
+    std::remove(offPath.c_str());
+
+    const workloads::Workload wl = workloads::get("crc32-long");
+    const soc::SystemConfig cfg = soc::preset("riscv");
+    std::printf("golden run (%s, riscv, 16-rung ladder)...\n",
+                wl.name.c_str());
+    const fi::GoldenRun golden = fi::runGolden(
+        cfg, isa::compile(wl.module, cfg.cpu.isa), 500'000'000, 16);
+    std::printf("  window %llu cycles, %zu rungs\n",
+                static_cast<unsigned long long>(golden.windowCycles),
+                golden.ladder.size());
+
+    fi::CampaignOptions opts;
+    opts.numFaults = bench::envUnsigned("MARVEL_FAULTS", 40);
+    // One worker keeps the journal append order deterministic so the
+    // two journals can be compared byte-for-byte.
+    opts.threads = 1;
+    opts.ladderRungs = 16;
+    opts.workloadName = wl.name;
+
+    obs::CampaignTelemetry telemOn, telemOff;
+    opts.useLadder = true;
+    opts.journalPath = onPath;
+    opts.telemetry = &telemOn;
+    sched::runCampaign(golden, {fi::TargetId::L1D}, opts);
+    opts.useLadder = false;
+    opts.journalPath = offPath;
+    opts.telemetry = &telemOff;
+    sched::runCampaign(golden, {fi::TargetId::L1D}, opts);
+
+    bool ok = true;
+    const auto on = journalVerdictLines(onPath);
+    const auto off = journalVerdictLines(offPath);
+    if (on.empty() || on != off) {
+        std::fprintf(stderr,
+                     "FAIL: ladder-on and ladder-off verdict "
+                     "journals differ (%zu vs %zu records)\n",
+                     on.size(), off.size());
+        ok = false;
+    } else {
+        std::printf("verdict journals identical (%zu records)\n",
+                    on.size());
+    }
+
+    const double perRunOn =
+        static_cast<double>(telemOn.cyclesSimulated) / opts.numFaults;
+    const double perRunOff =
+        static_cast<double>(telemOff.cyclesSimulated) / opts.numFaults;
+    const double speedup = perRunOn > 0 ? perRunOff / perRunOn : 0.0;
+    std::printf("mean simulated cycles per injection: "
+                "off %.0f, on %.0f (%.2fx reduction)\n",
+                perRunOff, perRunOn, speedup);
+    if (speedup < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: ladder speedup %.2fx is below the 2x "
+                     "acceptance bar\n",
+                     speedup);
+        ok = false;
+    }
+    std::remove(onPath.c_str());
+    std::remove(offPath.c_str());
+    std::remove((onPath + ".progress").c_str());
+    std::remove((offPath + ".progress").c_str());
+    std::printf("ladder smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark rejects flags it does not know, so the ladder
+// smoke is intercepted before benchmark::Initialize sees argv.
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--ladder")
+            return runLadderSmoke();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

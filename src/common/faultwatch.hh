@@ -43,6 +43,115 @@ struct StuckBit
     bool value = false; ///< stuck-at-0 or stuck-at-1
 };
 
+/** What one recorded access did to an entry. */
+enum class AccessKind : u8
+{
+    Read,
+    Write,
+    Gone,
+};
+
+/** One recorded access to a profiled structure. */
+struct AccessEvent
+{
+    Cycle cycle = 0; ///< window-relative cycle of the access
+    u32 bitLo = 0;
+    u32 bitHi = 0;
+    AccessKind kind = AccessKind::Read;
+};
+
+/**
+ * Records the access stream of one hardware structure during a golden
+ * (fault-free) replay of the injection window, so a campaign can
+ * answer "what happens FIRST to bit b of entry e after cycle c?"
+ * without simulating: if the first covering access is a write (or the
+ * entry vanishes), a transient fault there is provably dead — the
+ * faulty run would be bit-identical to golden up to that overwrite —
+ * and can be classified Masked with zero simulated cycles.
+ *
+ * Per-entry event logs are capped: recording keeps a strict time
+ * prefix of each entry's accesses, so any covering event found in the
+ * log IS the first one overall; when the log saturated and no covering
+ * event was recorded, the fate is Unknown (never pruned).
+ */
+class AccessProfiler
+{
+  public:
+    /** Possible fates of a (entry, bit, cycle) transient fault. */
+    enum class Fate : u8
+    {
+        Unknown, ///< no covering access recorded — must simulate
+        Dead,    ///< overwritten / vanished before any read
+        Live,    ///< read before any overwrite — must simulate
+    };
+
+    static constexpr u32 kDefaultEventCap = 128;
+
+    AccessProfiler(u32 entries, const Cycle *now,
+                   u32 eventCap = kDefaultEventCap)
+        : logs_(entries), now_(now), cap_(eventCap ? eventCap : 1)
+    {
+    }
+
+    /** Repoint (or, with nullptr, detach) the cycle-cursor source;
+     *  fateOf never reads it, so a profiler safely outlives the replay
+     *  whose stack cursor it recorded from. */
+    void setNow(const Cycle *now) { now_ = now; }
+
+    void
+    note(u32 entry, u32 bitLo, u32 bitHi, AccessKind kind)
+    {
+        if (entry >= logs_.size() || now_ == nullptr)
+            return;
+        EntryLog &log = logs_[entry];
+        if (log.saturated)
+            return;
+        if (log.events.size() >= cap_) {
+            log.saturated = true;
+            return;
+        }
+        log.events.push_back({*now_, bitLo, bitHi, kind});
+    }
+
+    /** Fate of a transient flip of `bit` in `entry` at cycle `since`
+     *  (the fault lands before the tick of cycle `since`, so accesses
+     *  at that cycle already see it). */
+    Fate
+    fateOf(u32 entry, u32 bit, Cycle since) const
+    {
+        if (entry >= logs_.size())
+            return Fate::Unknown;
+        for (const AccessEvent &e : logs_[entry].events) {
+            if (e.cycle < since)
+                continue;
+            if (e.kind == AccessKind::Gone)
+                return Fate::Dead;
+            if (bit < e.bitLo || bit > e.bitHi)
+                continue;
+            return e.kind == AccessKind::Write ? Fate::Dead
+                                              : Fate::Live;
+        }
+        return Fate::Unknown;
+    }
+
+    const std::vector<AccessEvent> &
+    events(u32 entry) const
+    {
+        return logs_[entry].events;
+    }
+
+  private:
+    struct EntryLog
+    {
+        std::vector<AccessEvent> events;
+        bool saturated = false;
+    };
+
+    std::vector<EntryLog> logs_;
+    const Cycle *now_;
+    u32 cap_;
+};
+
 /**
  * Fault bookkeeping for one hardware structure. Value-semantic so that
  * whole-system checkpoint copies carry it along.
@@ -50,11 +159,36 @@ struct StuckBit
 class FaultState
 {
   public:
+    FaultState() = default;
+
+    // A FaultState is copied wholesale with its structure on every
+    // checkpoint take/restore; the profiler is owned by (and only
+    // meaningful to) the one replay that attached it, so copies never
+    // carry the pointer.
+    FaultState(const FaultState &other)
+        : watches_(other.watches_), stuck_(other.stuck_)
+    {
+    }
+
+    FaultState &
+    operator=(const FaultState &other)
+    {
+        watches_ = other.watches_;
+        stuck_ = other.stuck_;
+        profiler_ = nullptr;
+        return *this;
+    }
+
     bool
     active() const
     {
-        return !watches_.empty() || !stuck_.empty();
+        return profiler_ != nullptr || !watches_.empty() ||
+               !stuck_.empty();
     }
+
+    /** Attach (or detach, with nullptr) an access profiler; the hooks
+     *  below mirror every access into it while it is attached. */
+    void setProfiler(AccessProfiler *profiler) { profiler_ = profiler; }
 
     bool hasStuck() const { return !stuck_.empty(); }
 
@@ -81,6 +215,8 @@ class FaultState
     void
     noteRead(u32 entry, u32 bitLo, u32 bitHi)
     {
+        if (profiler_)
+            profiler_->note(entry, bitLo, bitHi, AccessKind::Read);
         for (BitWatch &w : watches_) {
             if (w.entry == entry && !w.overwritten && !w.vanished &&
                 w.bit >= bitLo && w.bit <= bitHi) {
@@ -97,6 +233,8 @@ class FaultState
     void
     noteWrite(u32 entry, u32 bitLo, u32 bitHi)
     {
+        if (profiler_)
+            profiler_->note(entry, bitLo, bitHi, AccessKind::Write);
         for (BitWatch &w : watches_) {
             if (w.entry == entry && !w.wasRead && !w.overwritten &&
                 !w.vanished && w.bit >= bitLo && w.bit <= bitHi) {
@@ -112,6 +250,8 @@ class FaultState
     void
     noteGone(u32 entry)
     {
+        if (profiler_)
+            profiler_->note(entry, 0, ~0u, AccessKind::Gone);
         for (BitWatch &w : watches_) {
             if (w.entry == entry && !w.wasRead && !w.overwritten &&
                 !w.vanished) {
@@ -151,6 +291,7 @@ class FaultState
   private:
     std::vector<BitWatch> watches_;
     std::vector<StuckBit> stuck_;
+    AccessProfiler *profiler_ = nullptr; ///< not owned, never copied
 };
 
 } // namespace marvel

@@ -11,9 +11,81 @@
 namespace marvel::fi
 {
 
+const LadderRung *
+GoldenRun::rungAtOrBefore(Cycle cycle) const
+{
+    const LadderRung *best = nullptr;
+    for (const LadderRung &rung : ladder) {
+        if (rung.cycle > cycle)
+            break;
+        best = &rung;
+    }
+    return best;
+}
+
+namespace
+{
+
+/**
+ * Capture the intra-window checkpoint ladder with one deterministic
+ * replay of the injection window. Each rung is the system state after
+ * exactly `cycle` ticks from the window-start checkpoint — the same
+ * tick/flag-clear sequence runWithFault executes before its first
+ * injection — so restoring a rung is bit-identical to ticking there.
+ */
+void
+captureLadder(GoldenRun &golden, unsigned rungs)
+{
+    if (rungs == kLadderAuto)
+        rungs = static_cast<unsigned>(
+            std::min<u64>(64, golden.windowCycles / 50'000));
+    if (rungs == 0 || golden.windowCycles < 2)
+        return;
+
+    // Evenly spaced capture cycles, strictly inside the window (a
+    // rung at cycle 0 would duplicate the window-start checkpoint).
+    std::vector<Cycle> cycles;
+    for (unsigned i = 1; i <= rungs; ++i) {
+        const Cycle c = golden.windowCycles /
+                        static_cast<Cycle>(rungs + 1) *
+                        static_cast<Cycle>(i);
+        if (c == 0 || c >= golden.windowCycles)
+            continue;
+        if (!cycles.empty() && cycles.back() == c)
+            continue;
+        cycles.push_back(c);
+    }
+
+    soc::System replay = golden.checkpoint.restore();
+    std::vector<cpu::CommitRecord> replayTrace;
+    replay.cpu.traceOut = &replayTrace;
+    Cycle cursor = 0;
+    for (Cycle target : cycles) {
+        while (cursor < target) {
+            replay.tick();
+            ++cursor;
+            replay.cpu.checkpointRequest = false;
+            replay.cpu.switchCpuRequest = false;
+            if (replay.exited || replay.cpu.crashed() ||
+                replay.cluster.errored())
+                fatal("golden ladder: fault-free replay ended at "
+                      "cycle %llu inside the injection window (%s)",
+                      (unsigned long long)cursor,
+                      replay.crashReason().c_str());
+        }
+        LadderRung rung;
+        rung.cycle = cursor;
+        rung.traceIndex = replayTrace.size();
+        rung.checkpoint = soc::Checkpoint::take(replay);
+        golden.ladder.push_back(std::move(rung));
+    }
+}
+
+} // namespace
+
 GoldenRun
 runGolden(const soc::SystemConfig &config, const isa::Program &program,
-          u64 maxCycles)
+          u64 maxCycles, unsigned ladderRungs)
 {
     GoldenRun golden;
     soc::System sys(config);
@@ -45,6 +117,7 @@ runGolden(const soc::SystemConfig &config, const isa::Program &program,
     golden.output = sys.outputWindow();
     golden.exitCode = sys.exitCode;
     golden.console = sys.console;
+    captureLadder(golden, ladderRungs);
     return golden;
 }
 
@@ -79,39 +152,57 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
              const InjectionOptions &options)
 {
     RunVerdict verdict;
-    soc::System sys = golden.checkpoint.restore();
-    if (options.computeHvf) {
-        sys.cpu.traceRef = &golden.trace;
-        sys.cpu.traceRefPos = 0;
-    }
-    if (options.lineage) {
-        *options.lineage = obs::PropagationTrace{};
-        sys.cpu.lineageOut = options.lineage;
-    }
 
-    // Apply permanent faults at the window start; order transients by
-    // injection cycle.
+    // Split the mask before restoring anything: permanent faults
+    // inject at the window start, so only all-transient masks may
+    // fast-forward from a ladder rung.
     std::vector<FaultSpec> pending;
+    std::vector<FaultSpec> permanents;
     for (const FaultSpec &f : mask.faults) {
-        if (f.model == FaultModel::Transient) {
+        if (f.model == FaultModel::Transient)
             pending.push_back(f);
-        } else {
-            injectFault(sys, f);
-            if (options.lineage)
-                seedLineage(sys, f);
-        }
+        else
+            permanents.push_back(f);
     }
     std::sort(pending.begin(), pending.end(),
               [](const FaultSpec &a, const FaultSpec &b) {
                   return a.injectCycle < b.injectCycle;
               });
 
+    // Fast-forward: restore the latest rung at-or-before the first
+    // injection (equality included — the fault lands before the tick
+    // of its cycle). The rung state is bit-identical to ticking there
+    // from the window start, so every verdict field below is
+    // unaffected; lineage runs stay on the slow path so taint setup
+    // sees the whole window.
+    const LadderRung *rung = nullptr;
+    if (options.useLadder && !options.lineage && permanents.empty() &&
+        !pending.empty())
+        rung = golden.rungAtOrBefore(pending.front().injectCycle);
+
+    soc::System sys = rung ? rung->checkpoint.restore()
+                           : golden.checkpoint.restore();
+    Cycle cursor = rung ? rung->cycle : 0;
+    verdict.fastForwarded = cursor;
+    if (options.computeHvf) {
+        sys.cpu.traceRef = &golden.trace;
+        sys.cpu.traceRefPos = rung ? rung->traceIndex : 0;
+    }
+    if (options.lineage) {
+        *options.lineage = obs::PropagationTrace{};
+        sys.cpu.lineageOut = options.lineage;
+    }
+    for (const FaultSpec &f : permanents) {
+        injectFault(sys, f);
+        if (options.lineage)
+            seedLineage(sys, f);
+    }
+
     const Cycle timeoutAt = static_cast<Cycle>(
         static_cast<double>(golden.totalCycles) *
             options.timeoutFactor +
         200'000.0);
     const bool transientMask = !pending.empty();
-    Cycle cursor = 0;
     std::size_t nextFault = 0;
     bool anyHitInvalid = false;
 
@@ -258,6 +349,59 @@ goldenStats(const GoldenRun &golden)
     return sys.statsSnapshot();
 }
 
+bool
+TargetProfile::prunable(const FaultSpec &fault) const
+{
+    if (!profiler_ || fault.model != FaultModel::Transient)
+        return false;
+    return profiler_->fateOf(fault.entry, fault.bit,
+                             fault.injectCycle) ==
+           AccessProfiler::Fate::Dead;
+}
+
+TargetProfile
+profileTargetAccesses(const GoldenRun &golden, const TargetRef &target)
+{
+    soc::System sys = golden.checkpoint.restore();
+    const TargetInfo info = targetInfo(sys, target);
+    auto profiler = std::make_shared<AccessProfiler>(
+        info.geometry.entries, nullptr);
+    Cycle cursor = 0;
+    profiler->setNow(&cursor);
+    faultStateOf(sys, target).setProfiler(profiler.get());
+
+    // Same tick/flag-clear sequence as a faulty run, so recorded
+    // cycles line up with FaultSpec::injectCycle: an access during the
+    // tick at cursor c already sees a fault injected at cycle c.
+    const u64 maxCycles = golden.totalCycles * 2 + 1'000'000;
+    while (!sys.exited) {
+        if (cursor >= maxCycles)
+            fatal("profileTargetAccesses: replay did not exit");
+        sys.tick();
+        ++cursor;
+        sys.cpu.checkpointRequest = false;
+        sys.cpu.switchCpuRequest = false;
+        if (sys.cpu.crashed() || sys.cluster.errored())
+            fatal("profileTargetAccesses: fault-free replay crashed "
+                  "(%s)",
+                  sys.crashReason().c_str());
+    }
+    faultStateOf(sys, target).setProfiler(nullptr);
+    profiler->setNow(nullptr);
+    return TargetProfile(std::move(profiler));
+}
+
+RunVerdict
+prunedVerdict()
+{
+    RunVerdict verdict;
+    verdict.outcome = Outcome::Masked;
+    verdict.detail = OutcomeDetail::MaskedPruned;
+    verdict.terminatedEarly = true;
+    verdict.cyclesRun = 0;
+    return verdict;
+}
+
 double
 CampaignResult::population() const
 {
@@ -283,6 +427,8 @@ CampaignResult::tally(const RunVerdict &verdict)
             ++maskedEarly;
         if (verdict.detail == OutcomeDetail::MaskedInvalidEntry)
             ++maskedInvalid;
+        if (verdict.detail == OutcomeDetail::MaskedPruned)
+            ++pruned;
         break;
       case Outcome::SDC:
         ++sdc;
@@ -305,6 +451,7 @@ CampaignResult::addCounts(const CampaignResult &other)
     crash += other.crash;
     maskedEarly += other.maskedEarly;
     maskedInvalid += other.maskedInvalid;
+    pruned += other.pruned;
     timeouts += other.timeouts;
     hvfCorruptions += other.hvfCorruptions;
 }
@@ -314,8 +461,8 @@ runCampaign(const soc::SystemConfig &config,
             const isa::Program &program, const TargetRef &target,
             const CampaignOptions &options)
 {
-    const GoldenRun golden =
-        runGolden(config, program, options.goldenMaxCycles);
+    const GoldenRun golden = runGolden(
+        config, program, options.goldenMaxCycles, options.ladderRungs);
     return runCampaignOnGolden(golden, target, options);
 }
 
@@ -334,6 +481,13 @@ runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
     runOpts.earlyTermination = options.earlyTermination;
     runOpts.computeHvf = options.computeHvf;
     runOpts.timeoutFactor = options.timeoutFactor;
+    runOpts.useLadder = options.useLadder;
+
+    // One profiling replay amortized over every pruned fault; only
+    // transient models can prune (stuck-at faults are never dead).
+    TargetProfile profile;
+    if (options.prune && options.model == FaultModel::Transient)
+        profile = profileTargetAccesses(golden, target);
 
     unsigned threads = options.threads;
     if (threads == 0)
@@ -358,7 +512,9 @@ runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
                 rng, target, result.target.geometry,
                 golden.windowCycles, options.model));
             const RunVerdict verdict =
-                runWithFault(golden, mask, runOpts);
+                profile.valid() && profile.prunable(mask.faults[0])
+                    ? prunedVerdict()
+                    : runWithFault(golden, mask, runOpts);
             local.tally(verdict);
             if (options.keepVerdicts)
                 kept.emplace_back(i, verdict);

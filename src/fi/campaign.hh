@@ -22,9 +22,11 @@
 #ifndef MARVEL_FI_CAMPAIGN_HH
 #define MARVEL_FI_CAMPAIGN_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/faultwatch.hh"
 #include "fi/classify.hh"
 #include "fi/targets.hh"
 #include "obs/lineage.hh"
@@ -39,6 +41,21 @@ struct CampaignTelemetry;
 namespace marvel::fi
 {
 
+/**
+ * One rung of the intra-window checkpoint ladder: a full snapshot
+ * taken `cycle` ticks after the window-start checkpoint, tagged with
+ * the commit-trace position at that instant so HVF comparison can
+ * resume mid-trace. Restoring a rung and ticking onward is
+ * bit-identical to ticking straight through from the window start
+ * (enforced by tests/test_ladder.cc).
+ */
+struct LadderRung
+{
+    Cycle cycle = 0;     ///< window-relative capture point
+    u64 traceIndex = 0;  ///< commits recorded before this rung
+    soc::Checkpoint checkpoint;
+};
+
 /** Everything captured from the fault-free reference execution. */
 struct GoldenRun
 {
@@ -50,12 +67,29 @@ struct GoldenRun
     Cycle preCycles = 0;    ///< program start -> checkpoint
     Cycle windowCycles = 0; ///< checkpoint -> SwitchCpu
     Cycle totalCycles = 0;  ///< checkpoint -> exit
+
+    /** Intra-window checkpoint ladder, ascending by cycle; empty when
+     *  the golden run was built without one. */
+    std::vector<LadderRung> ladder;
+
+    /** The latest rung at-or-before `cycle`; nullptr when none is. */
+    const LadderRung *rungAtOrBefore(Cycle cycle) const;
 };
 
-/** Execute the golden run. fatal() if the workload misbehaves. */
+/** runGolden ladder size asking for auto-sizing from windowCycles. */
+constexpr unsigned kLadderAuto = ~0u;
+
+/**
+ * Execute the golden run. fatal() if the workload misbehaves.
+ * `ladderRungs` rungs (kLadderAuto: ~one per 50k window cycles, at
+ * most 64) are captured by an extra deterministic replay of the
+ * injection window, evenly spaced between the Checkpoint and
+ * SwitchCpu magic ops.
+ */
 GoldenRun runGolden(const soc::SystemConfig &config,
                     const isa::Program &program,
-                    u64 maxCycles = 500'000'000);
+                    u64 maxCycles = 500'000'000,
+                    unsigned ladderRungs = 0);
 
 /** Per-run options. */
 struct InjectionOptions
@@ -63,6 +97,17 @@ struct InjectionOptions
     bool earlyTermination = true; ///< paper §IV-B speed optimizations
     bool computeHvf = false;
     double timeoutFactor = 8.0;   ///< crash-timeout threshold multiple
+
+    /**
+     * Fast-forward transient runs from the golden run's checkpoint
+     * ladder: restore the nearest rung at-or-before the injection
+     * cycle instead of the window start. Cannot change any verdict
+     * field (the rung state is bit-identical to ticking from the
+     * window start), so it defaults on; it only applies to all-
+     * transient masks without lineage tracking, and is a no-op when
+     * the golden run has no ladder.
+     */
+    bool useLadder = true;
 
     /**
      * When set, the run seeds taint at the fault site and fills in the
@@ -93,6 +138,44 @@ RunVerdict runWithFault(const GoldenRun &golden, const FaultMask &mask,
                         const InjectionOptions &options = {});
 
 /**
+ * The golden window's access stream for one injection target,
+ * captured by one extra fault-free replay. Answers "is this transient
+ * fault provably dead?" so campaigns can prune it without simulating.
+ */
+class TargetProfile
+{
+  public:
+    TargetProfile() = default;
+    explicit TargetProfile(std::shared_ptr<AccessProfiler> profiler)
+        : profiler_(std::move(profiler))
+    {
+    }
+
+    bool valid() const { return profiler_ != nullptr; }
+
+    /**
+     * True when a transient `fault` is provably overwritten (or its
+     * entry deallocated) before any read: the faulty run would be
+     * bit-identical to golden from the overwrite on, so the verdict is
+     * Masked without simulating. Permanent faults never prune.
+     */
+    bool prunable(const FaultSpec &fault) const;
+
+  private:
+    std::shared_ptr<AccessProfiler> profiler_;
+};
+
+/**
+ * Profile the golden injection window's accesses to `target` with one
+ * deterministic fault-free replay (checkpoint restore -> exit).
+ */
+TargetProfile profileTargetAccesses(const GoldenRun &golden,
+                                    const TargetRef &target);
+
+/** The verdict recorded for a pre-pruned (never simulated) fault. */
+RunVerdict prunedVerdict();
+
+/**
  * Fault-free reference statistics: restore the golden checkpoint,
  * replay the injection window to exit, and snapshot the stats tree.
  * Because every faulty run restores the same checkpoint, this is the
@@ -112,6 +195,28 @@ struct CampaignOptions
     double timeoutFactor = 8.0;
     bool keepVerdicts = false;
     u64 goldenMaxCycles = 500'000'000;
+
+    /**
+     * Rungs for the golden run's checkpoint ladder when the campaign
+     * builds its own golden (runCampaign); kLadderAuto sizes from the
+     * window length. Recorded in the journal meta as the ladder
+     * *geometry* — replay and resume must rebuild the same golden.
+     */
+    unsigned ladderRungs = 0;
+
+    /** Fast-forward faulty runs from ladder rungs (see
+     *  InjectionOptions::useLadder; never changes verdicts). */
+    bool useLadder = true;
+
+    /**
+     * Pre-prune provably dead transient faults: profile the golden
+     * window's accesses to the target once, then classify faults whose
+     * first covering access is an overwrite (or entry deallocation) as
+     * Masked (detail masked-pruned) without simulating. Changes the
+     * per-fault verdict detail, so it IS recorded in the journal meta
+     * and checked on resume/replay.
+     */
+    bool prune = false;
 
     /**
      * Persistence & sharding, consumed by sched::runCampaign (the
@@ -158,6 +263,7 @@ struct CampaignResult
     u64 crash = 0;
     u64 maskedEarly = 0;   ///< subset of masked
     u64 maskedInvalid = 0; ///< subset of masked
+    u64 pruned = 0;        ///< subset of masked, never simulated
     u64 timeouts = 0;      ///< subset of crash
     u64 hvfCorruptions = 0;
 

@@ -34,6 +34,7 @@ outcomeDetailName(OutcomeDetail detail)
       case OutcomeDetail::CrashFetch: return "crash-fetch";
       case OutcomeDetail::CrashAccelError: return "crash-accel";
       case OutcomeDetail::CrashTimeout: return "crash-timeout";
+      case OutcomeDetail::MaskedPruned: return "masked-pruned";
     }
     return "?";
 }

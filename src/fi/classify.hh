@@ -43,6 +43,10 @@ enum class OutcomeDetail : u8
     CrashFetch,
     CrashAccelError,
     CrashTimeout,
+    // Appended after the original set so stored journals keep their
+    // detail names; keep this the last enumerator (journal parsing
+    // iterates 0..MaskedPruned).
+    MaskedPruned, ///< provably overwritten-before-read, never simulated
 };
 
 const char *outcomeDetailName(OutcomeDetail detail);
@@ -61,6 +65,15 @@ struct RunVerdict
     bool terminatedEarly = false;
 
     Cycle cyclesRun = 0;
+
+    /**
+     * Cycles the run skipped by restoring a checkpoint-ladder rung
+     * instead of the window start. Pure execution telemetry: two runs
+     * of one fault must agree on every field above regardless of this
+     * one, so it is excluded from journal records and from
+     * sched::verdictsIdentical.
+     */
+    Cycle fastForwarded = 0;
 
     std::string toString() const;
 };

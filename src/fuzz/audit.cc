@@ -80,10 +80,10 @@ auditDeterminism(const mir::Module &module, u64 seed,
         // 2. Golden-run determinism from reset.
         const soc::SystemConfig config =
             soc::preset(isa::isaName(kind));
-        const fi::GoldenRun g1 =
-            fi::runGolden(config, program, options.maxCycles);
-        const fi::GoldenRun g2 =
-            fi::runGolden(config, program, options.maxCycles);
+        const fi::GoldenRun g1 = fi::runGolden(
+            config, program, options.maxCycles, options.ladderRungs);
+        const fi::GoldenRun g2 = fi::runGolden(
+            config, program, options.maxCycles, options.ladderRungs);
         if (g1.preCycles != g2.preCycles ||
             g1.windowCycles != g2.windowCycles ||
             g1.totalCycles != g2.totalCycles) {
@@ -106,6 +106,30 @@ auditDeterminism(const mir::Module &module, u64 seed,
         if (soc::archStateDigest(g1.checkpoint.view()) !=
             soc::archStateDigest(g2.checkpoint.view()))
             fail("golden checkpoint digests differ between runs");
+        if (g1.ladder.size() != g2.ladder.size()) {
+            std::snprintf(buf, sizeof(buf),
+                          "ladder capture nondeterminism: %zu vs %zu "
+                          "rungs",
+                          g1.ladder.size(), g2.ladder.size());
+            fail(buf);
+        } else {
+            for (std::size_t r = 0; r < g1.ladder.size(); ++r) {
+                if (g1.ladder[r].cycle != g2.ladder[r].cycle ||
+                    g1.ladder[r].traceIndex !=
+                        g2.ladder[r].traceIndex ||
+                    soc::archStateDigest(
+                        g1.ladder[r].checkpoint.view()) !=
+                        soc::archStateDigest(
+                            g2.ladder[r].checkpoint.view())) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "ladder rung %zu differs between "
+                                  "golden runs",
+                                  r);
+                    fail(buf);
+                    break;
+                }
+            }
+        }
 
         // 3. Restore fidelity: snapshot -> restore must round-trip.
         {
@@ -113,6 +137,54 @@ auditDeterminism(const mir::Module &module, u64 seed,
             if (soc::archStateDigest(restored) !=
                 soc::archStateDigest(g1.checkpoint.view()))
                 fail("checkpoint restore changed the arch state");
+        }
+
+        // 3b. Ladder-resume fidelity: running to completion from a
+        // randomly chosen rung must be indistinguishable from the
+        // straight-through execution — same exit, output, console,
+        // and final architectural digest.
+        if (!g1.ladder.empty()) {
+            Rng lrng = Rng::forStream(
+                seed, (u64(kind) << 32) | 0xFFFFFFFFull);
+            const fi::LadderRung &rung =
+                g1.ladder[lrng.below(g1.ladder.size())];
+            auto runToExit = [&](soc::System sys) -> u64 {
+                for (u64 c = 0; c < options.maxCycles && !sys.exited;
+                     ++c) {
+                    sys.tick();
+                    sys.cpu.checkpointRequest = false;
+                    sys.cpu.switchCpuRequest = false;
+                    if (sys.cpu.crashed() || sys.cluster.errored()) {
+                        fail("fault-free replay crashed during the "
+                             "ladder-resume audit");
+                        return 0;
+                    }
+                }
+                if (!sys.exited) {
+                    fail("fault-free replay hit the cycle budget "
+                         "during the ladder-resume audit");
+                    return 0;
+                }
+                if (sys.exitCode != g1.exitCode ||
+                    sys.outputWindow() != g1.output ||
+                    sys.console != g1.console)
+                    fail("ladder-resume architectural results differ "
+                         "from the golden run");
+                return soc::archStateDigest(sys);
+            };
+            const u64 straight = runToExit(g1.checkpoint.restore());
+            const u64 resumed = runToExit(rung.checkpoint.restore());
+            if (straight != resumed) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "resume from rung at cycle %llu diverged from "
+                    "the straight-through run (digest %016llx vs "
+                    "%016llx)",
+                    (unsigned long long)rung.cycle,
+                    (unsigned long long)resumed,
+                    (unsigned long long)straight);
+                fail(buf);
+            }
         }
 
         // 4. Faulty-run determinism through checkpoint restore.
@@ -168,6 +240,46 @@ auditDeterminism(const mir::Module &module, u64 seed,
                     "(%zu facets moved)",
                     i, info.name.c_str(), dr.entries.size());
                 fail(buf);
+            }
+
+            // Ladder must be invisible to the verdict: the same mask
+            // restored from the window start has to reproduce the
+            // fast-forwarded run bit-for-bit.
+            if (!g1.ladder.empty()) {
+                stats::Snapshot statsC;
+                u64 digestC = 0;
+                opts.useLadder = false;
+                opts.statsOut = &statsC;
+                opts.archDigestOut = &digestC;
+                const fi::RunVerdict vc =
+                    fi::runWithFault(g1, mask, opts);
+                opts.useLadder = true;
+                if (!sched::verdictsIdentical(va, vc)) {
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "fault %u on %s: ladder changed the verdict "
+                        "(%s vs %s)",
+                        i, info.name.c_str(), va.toString().c_str(),
+                        vc.toString().c_str());
+                    fail(buf);
+                    continue;
+                }
+                if (digestA != digestC) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "fault %u on %s: ladder changed "
+                                  "the final arch digest",
+                                  i, info.name.c_str());
+                    fail(buf);
+                }
+                const stats::DiffReport dl =
+                    stats::diff(statsA, statsC);
+                if (!dl.identical() || dl.unmatched != 0) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "fault %u on %s: ladder changed "
+                                  "the stats snapshot",
+                                  i, info.name.c_str());
+                    fail(buf);
+                }
             }
         }
     }

@@ -43,6 +43,16 @@ struct AuditOptions
     unsigned faultsPerIsa = 2;
 
     u64 maxCycles = 100'000'000; ///< golden-run budget
+
+    /**
+     * Build the golden run with a checkpoint ladder of this many rungs
+     * and audit it too: rung capture must be deterministic, resuming
+     * from a randomly chosen rung must reproduce the straight-through
+     * end state bit-identically, and every fault mask re-run with the
+     * ladder disabled must keep its verdict, digest, and stats. 0
+     * audits without a ladder (the pre-ladder behavior).
+     */
+    unsigned ladderRungs = 0;
 };
 
 /** One detected nondeterminism. */

@@ -53,6 +53,20 @@ formatCampaignMetrics(const CampaignTelemetry &t)
                   "saved\n",
                   static_cast<unsigned long long>(t.earlyTerminated),
                   static_cast<unsigned long long>(t.cyclesSaved));
+    if (t.pruned || t.cyclesFastForwarded)
+        out += strfmt("  ladder          : %llu fault(s) pre-pruned, "
+                      "%llu cycle(s) fast-forwarded\n",
+                      static_cast<unsigned long long>(t.pruned),
+                      static_cast<unsigned long long>(
+                          t.cyclesFastForwarded));
+    if (!t.rungHits.empty()) {
+        out += "  restore points  :";
+        for (std::size_t i = 0; i < t.rungHits.size(); ++i)
+            out += strfmt(" %s=%llu",
+                          i == 0 ? "start" : strfmt("r%zu", i - 1).c_str(),
+                          static_cast<unsigned long long>(t.rungHits[i]));
+        out += "\n";
+    }
     out += strfmt("  queue idle time : %.3f s across %zu worker(s)\n",
                   t.totalIdleSeconds(), t.workers.size());
     for (std::size_t i = 0; i < t.workers.size(); ++i) {

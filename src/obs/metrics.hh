@@ -61,6 +61,18 @@ struct CampaignTelemetry
      *  simulated, summed over early-terminated runs. */
     u64 cyclesSaved = 0;
 
+    /** Faults classified Masked by dead-fault pre-pruning, with zero
+     *  simulated cycles (subset of masked, disjoint from runs' early
+     *  termination). */
+    u64 pruned = 0;
+    /** Cycles skipped by restoring checkpoint-ladder rungs instead of
+     *  the window start, summed over fast-forwarded runs. */
+    u64 cyclesFastForwarded = 0;
+    /** Restore-point histogram: [0] counts window-start restores,
+     *  [1 + i] counts restores from ladder rung i. Empty when the
+     *  campaign ran without a ladder. */
+    std::vector<u64> rungHits;
+
     double
     runsPerSecond() const
     {

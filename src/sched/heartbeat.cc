@@ -101,6 +101,7 @@ writeHeartbeat(const std::string &path, const Heartbeat &beat)
     const std::string body = strfmt(
         "{\"v\":1,\"done\":%llu,\"expected\":%llu,"
         "\"masked\":%llu,\"sdc\":%llu,\"crash\":%llu,"
+        "\"pruned\":%llu,"
         "\"runs_per_sec\":%.3f,\"avf\":%.6f,\"margin\":%.6f,"
         "\"eta_seconds\":%.1f,\"wall_millis\":%llu,"
         "\"complete\":%d}\n",
@@ -109,6 +110,7 @@ writeHeartbeat(const std::string &path, const Heartbeat &beat)
         static_cast<unsigned long long>(beat.masked),
         static_cast<unsigned long long>(beat.sdc),
         static_cast<unsigned long long>(beat.crash),
+        static_cast<unsigned long long>(beat.pruned),
         beat.runsPerSec, beat.avf, beat.margin, beat.etaSeconds,
         static_cast<unsigned long long>(beat.wallMillis),
         beat.complete ? 1 : 0);
@@ -153,6 +155,7 @@ readHeartbeat(const std::string &path, Heartbeat &out)
     beat.masked = static_cast<u64>(fieldOr(fields, "masked", 0));
     beat.sdc = static_cast<u64>(fieldOr(fields, "sdc", 0));
     beat.crash = static_cast<u64>(fieldOr(fields, "crash", 0));
+    beat.pruned = static_cast<u64>(fieldOr(fields, "pruned", 0));
     beat.runsPerSec = fieldOr(fields, "runs_per_sec", 0.0);
     beat.avf = fieldOr(fields, "avf", 0.0);
     beat.margin = fieldOr(fields, "margin", 1.0);
@@ -178,15 +181,21 @@ formatHeartbeat(const Heartbeat &beat)
         eta = strfmt("eta %.1fm", beat.etaSeconds / 60.0);
     else
         eta = strfmt("eta %.0fs", beat.etaSeconds);
+    std::string prunedNote;
+    if (beat.pruned)
+        prunedNote = strfmt(
+            "  pruned %llu",
+            static_cast<unsigned long long>(beat.pruned));
     return strfmt(
-        "%llu/%llu (%5.1f%%)  m/s/c %llu/%llu/%llu  "
+        "%llu/%llu (%5.1f%%)  m/s/c %llu/%llu/%llu%s  "
         "AVF %.2f%% +/-%.2f%%  %.1f runs/s  %s",
         static_cast<unsigned long long>(beat.done),
         static_cast<unsigned long long>(beat.expected),
         beat.fractionDone() * 100.0,
         static_cast<unsigned long long>(beat.masked),
         static_cast<unsigned long long>(beat.sdc),
-        static_cast<unsigned long long>(beat.crash), beat.avf * 100.0,
+        static_cast<unsigned long long>(beat.crash),
+        prunedNote.c_str(), beat.avf * 100.0,
         beat.margin * 100.0, beat.runsPerSec, eta.c_str());
 }
 

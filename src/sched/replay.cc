@@ -46,6 +46,16 @@ replaySetup(const fi::GoldenRun &golden,
               "match the journal's (%llu)",
               static_cast<unsigned long long>(golden.windowCycles),
               static_cast<unsigned long long>(meta.windowCycles));
+    // Same pattern as the digest/window checks above: the journal
+    // names the ladder geometry its campaign ran with, and a golden
+    // rebuilt with a different rung count means the caller's run
+    // options disagree with the journal (pruning decisions and rung
+    // telemetry would silently diverge).
+    if (golden.ladder.size() != meta.ladderRungs)
+        fatal("replay: golden checkpoint ladder has %zu rung(s), but "
+              "the journal was recorded with %u — rebuild the golden "
+              "with the journal's ladder geometry",
+              golden.ladder.size(), meta.ladderRungs);
 
     ReplaySetup setup;
     setup.target =

@@ -84,6 +84,13 @@ checkMetaMatches(const store::JournalMeta &journal,
     checkU64("hvf", journal.optHvf, expected.optHvf);
     checkU64("timeoutFactorMilli", journal.timeoutFactorMilli,
              expected.timeoutFactorMilli);
+    // Ladder geometry is campaign identity (resume/replay rebuild the
+    // golden with the same rung count), and pruning changes verdict
+    // details; whether runs fast-forward from the rungs is neither
+    // recorded nor checked — it cannot change a verdict.
+    checkU64("ladderRungs", journal.ladderRungs,
+             expected.ladderRungs);
+    checkU64("prune", journal.optPrune, expected.optPrune);
 }
 
 /** Build a result shell (identity fields, no counts) from a meta. */
@@ -126,6 +133,11 @@ journalMetaFor(const fi::GoldenRun &golden,
     meta.optHvf = options.computeHvf ? 1 : 0;
     meta.timeoutFactorMilli =
         static_cast<u64>(options.timeoutFactor * 1000.0 + 0.5);
+    // Record the ladder the golden actually carries, not the
+    // requested rung count: kLadderAuto and degenerate windows both
+    // resolve during capture, and resume must rebuild this geometry.
+    meta.ladderRungs = static_cast<u32>(golden.ladder.size());
+    meta.optPrune = options.prune ? 1 : 0;
     return meta;
 }
 
@@ -199,6 +211,14 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
     runOpts.earlyTermination = options.earlyTermination;
     runOpts.computeHvf = options.computeHvf;
     runOpts.timeoutFactor = options.timeoutFactor;
+    runOpts.useLadder = options.useLadder;
+
+    // One golden-window access profile amortized over every pruned
+    // fault; only the transient model can prune.
+    fi::TargetProfile profile;
+    if (options.prune && !pending.empty() &&
+        options.model == fi::FaultModel::Transient)
+        profile = fi::profileTargetAccesses(golden, target);
 
     unsigned threads = options.threads;
     if (threads == 0)
@@ -210,7 +230,19 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
     if (telemetry) {
         *telemetry = obs::CampaignTelemetry{};
         telemetry->workers.resize(threads);
+        if (!golden.ladder.empty())
+            telemetry->rungHits.assign(golden.ladder.size() + 1, 0);
     }
+    // verdict.fastForwarded is the restored rung's cycle; map it back
+    // to a histogram slot (0 = window start, 1 + i = rung i).
+    auto rungSlot = [&](Cycle fastForwarded) -> std::size_t {
+        if (fastForwarded == 0)
+            return 0;
+        for (std::size_t i = 0; i < golden.ladder.size(); ++i)
+            if (golden.ladder[i].cycle == fastForwarded)
+                return i + 1;
+        return 0;
+    };
     using Clock = std::chrono::steady_clock;
     const auto campaignStart = Clock::now();
     auto secondsSince = [](Clock::time_point t0) {
@@ -241,6 +273,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         beat.masked = beatAgg.masked;
         beat.sdc = beatAgg.sdc;
         beat.crash = beatAgg.crash;
+        beat.pruned = beatAgg.pruned;
         const double wall = secondsSince(campaignStart);
         const u64 ranHere = beat.done - beatResumed;
         beat.runsPerSec =
@@ -265,6 +298,10 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         obs::WorkerTelemetry localTelemetry;
         u64 localEarly = 0;
         u64 localSaved = 0;
+        u64 localPruned = 0;
+        u64 localFastForwarded = 0;
+        std::vector<u64> localRungHits(
+            telemetry ? telemetry->rungHits.size() : 0, 0);
         std::vector<std::pair<u64, fi::RunVerdict>> kept;
         while (const auto slot = queue.next()) {
             const u64 i = pending[*slot];
@@ -274,18 +311,33 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             mask.faults.push_back(fi::randomFault(
                 rng, target, result.target.geometry,
                 golden.windowCycles, options.model));
+            const bool wasPruned =
+                profile.valid() && profile.prunable(mask.faults[0]);
             const fi::RunVerdict verdict =
-                fi::runWithFault(golden, mask, runOpts);
+                wasPruned ? fi::prunedVerdict()
+                          : fi::runWithFault(golden, mask, runOpts);
             local.tally(verdict);
             if (telemetry) {
                 ++localTelemetry.runs;
-                localTelemetry.simCycles += verdict.cyclesRun;
+                // A fast-forwarded run's cyclesRun starts counting at
+                // the window start for verdict identity; only cycles
+                // past the restored rung were actually simulated.
+                localTelemetry.simCycles +=
+                    verdict.cyclesRun - verdict.fastForwarded;
                 localTelemetry.busySeconds += secondsSince(runStart);
                 if (verdict.terminatedEarly) {
                     ++localEarly;
                     if (golden.totalCycles > verdict.cyclesRun)
                         localSaved += golden.totalCycles -
                                       verdict.cyclesRun;
+                }
+                if (wasPruned) {
+                    ++localPruned;
+                } else {
+                    localFastForwarded += verdict.fastForwarded;
+                    if (!localRungHits.empty())
+                        ++localRungHits[rungSlot(
+                            verdict.fastForwarded)];
                 }
             }
             if (options.keepVerdicts)
@@ -327,6 +379,10 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             telemetry->earlyTerminated += localEarly;
             telemetry->cyclesSimulated += localTelemetry.simCycles;
             telemetry->cyclesSaved += localSaved;
+            telemetry->pruned += localPruned;
+            telemetry->cyclesFastForwarded += localFastForwarded;
+            for (std::size_t r = 0; r < localRungHits.size(); ++r)
+                telemetry->rungHits[r] += localRungHits[r];
         }
     };
     if (!pending.empty())
@@ -343,8 +399,11 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             metrics.sdc = telemetry->sdc;
             metrics.crash = telemetry->crash;
             metrics.earlyTerminated = telemetry->earlyTerminated;
+            metrics.pruned = telemetry->pruned;
             metrics.cyclesSimulated = telemetry->cyclesSimulated;
             metrics.cyclesSaved = telemetry->cyclesSaved;
+            metrics.cyclesFastForwarded =
+                telemetry->cyclesFastForwarded;
             metrics.wallMillis = static_cast<u64>(
                 telemetry->wallSeconds * 1000.0);
             metrics.idleMillis = static_cast<u64>(

@@ -196,7 +196,7 @@ bool
 detailFromName(const std::string &name, fi::OutcomeDetail &out)
 {
     for (int i = 0;
-         i <= static_cast<int>(fi::OutcomeDetail::CrashTimeout);
+         i <= static_cast<int>(fi::OutcomeDetail::MaskedPruned);
          ++i) {
         const auto d = static_cast<fi::OutcomeDetail>(i);
         if (name == fi::outcomeDetailName(d)) {
@@ -217,7 +217,8 @@ metaLine(const JournalMeta &meta)
         "\"goldenDigest\":%llu,\"goldenCycles\":%llu,"
         "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u,"
         "\"marvelVersion\":\"%s\",\"earlyTerm\":%u,\"hvf\":%u,"
-        "\"timeoutFactorMilli\":%llu}",
+        "\"timeoutFactorMilli\":%llu,\"ladderRungs\":%u,"
+        "\"prune\":%u}",
         kJournalFormatVersion, jsonEscape(meta.workload).c_str(),
         jsonEscape(meta.target).c_str(),
         jsonEscape(meta.model).c_str(),
@@ -230,7 +231,8 @@ metaLine(const JournalMeta &meta)
         meta.entries, meta.bitsPerEntry,
         jsonEscape(meta.marvelVersion).c_str(), meta.optEarlyTerm,
         meta.optHvf,
-        static_cast<unsigned long long>(meta.timeoutFactorMilli));
+        static_cast<unsigned long long>(meta.timeoutFactorMilli),
+        meta.ladderRungs, meta.optPrune);
 }
 
 std::string
@@ -239,15 +241,18 @@ metricsLine(const JournalMetrics &m)
     return strfmt(
         "{\"type\":\"metrics\",\"runs\":%llu,\"masked\":%llu,"
         "\"sdc\":%llu,\"crash\":%llu,\"earlyTerminated\":%llu,"
-        "\"cyclesSimulated\":%llu,\"cyclesSaved\":%llu,"
+        "\"pruned\":%llu,\"cyclesSimulated\":%llu,"
+        "\"cyclesSaved\":%llu,\"cyclesFastForwarded\":%llu,"
         "\"wallMillis\":%llu,\"idleMillis\":%llu,\"workers\":%u}",
         static_cast<unsigned long long>(m.runs),
         static_cast<unsigned long long>(m.masked),
         static_cast<unsigned long long>(m.sdc),
         static_cast<unsigned long long>(m.crash),
         static_cast<unsigned long long>(m.earlyTerminated),
+        static_cast<unsigned long long>(m.pruned),
         static_cast<unsigned long long>(m.cyclesSimulated),
         static_cast<unsigned long long>(m.cyclesSaved),
+        static_cast<unsigned long long>(m.cyclesFastForwarded),
         static_cast<unsigned long long>(m.wallMillis),
         static_cast<unsigned long long>(m.idleMillis), m.workers);
 }
@@ -319,6 +324,10 @@ applyLine(const std::string &line, Journal &journal)
             meta.optHvf = static_cast<u32>(opt);
         if (fieldU64(fields, "timeoutFactorMilli", opt))
             meta.timeoutFactorMilli = opt;
+        if (fieldU64(fields, "ladderRungs", opt))
+            meta.ladderRungs = static_cast<u32>(opt);
+        if (fieldU64(fields, "prune", opt))
+            meta.optPrune = static_cast<u32>(opt);
         if (journal.hasMeta)
             return false; // one meta per journal
         journal.hasMeta = true;
@@ -363,8 +372,10 @@ applyLine(const std::string &line, Journal &journal)
         fieldU64(fields, "sdc", m.sdc);
         fieldU64(fields, "crash", m.crash);
         fieldU64(fields, "earlyTerminated", m.earlyTerminated);
+        fieldU64(fields, "pruned", m.pruned);
         fieldU64(fields, "cyclesSimulated", m.cyclesSimulated);
         fieldU64(fields, "cyclesSaved", m.cyclesSaved);
+        fieldU64(fields, "cyclesFastForwarded", m.cyclesFastForwarded);
         fieldU64(fields, "wallMillis", m.wallMillis);
         fieldU64(fields, "idleMillis", m.idleMillis);
         if (fieldU64(fields, "workers", workers))

@@ -64,6 +64,17 @@ struct JournalMeta
     u32 optHvf = 0;               ///< CampaignOptions::computeHvf
     u64 timeoutFactorMilli = 8000; ///< timeoutFactor * 1000
 
+    /**
+     * Checkpoint-ladder geometry (CampaignOptions::ladderRungs) and
+     * dead-fault pre-pruning (CampaignOptions::prune). Geometry is
+     * part of the campaign identity so resume/replay rebuild the same
+     * golden ladder; whether runs fast-forward from the rungs is NOT
+     * recorded — it cannot change any verdict. Pruning is recorded
+     * because pruned faults carry the masked-pruned detail.
+     */
+    u32 ladderRungs = 0;
+    u32 optPrune = 0;
+
     bool operator==(const JournalMeta &other) const = default;
 };
 
@@ -87,8 +98,10 @@ struct JournalMetrics
     u64 sdc = 0;
     u64 crash = 0;
     u64 earlyTerminated = 0;
+    u64 pruned = 0;              ///< faults classified without simulating
     u64 cyclesSimulated = 0;
     u64 cyclesSaved = 0;
+    u64 cyclesFastForwarded = 0; ///< skipped via checkpoint-ladder rungs
     u64 wallMillis = 0;
     u64 idleMillis = 0;
     u32 workers = 0;

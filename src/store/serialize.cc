@@ -68,6 +68,13 @@ goldenRecordOf(const fi::GoldenRun &golden)
     record.preCycles = golden.preCycles;
     record.windowCycles = golden.windowCycles;
     record.totalCycles = golden.totalCycles;
+    for (const fi::LadderRung &rung : golden.ladder) {
+        GoldenRungRecord rr;
+        rr.cycle = rung.cycle;
+        rr.traceIndex = rung.traceIndex;
+        rr.archDigest = soc::archStateDigest(rung.checkpoint.view());
+        record.rungs.push_back(rr);
+    }
     return record;
 }
 
@@ -84,6 +91,12 @@ serializeGoldenRecord(const GoldenRecord &record)
     w.u64v(record.preCycles);
     w.u64v(record.windowCycles);
     w.u64v(record.totalCycles);
+    w.u64v(record.rungs.size());
+    for (const GoldenRungRecord &rung : record.rungs) {
+        w.u64v(rung.cycle);
+        w.u64v(rung.traceIndex);
+        w.u64v(rung.archDigest);
+    }
     return w.take();
 }
 
@@ -101,6 +114,18 @@ deserializeGoldenRecord(const std::vector<u8> &bytes)
     record.preCycles = r.u64v();
     record.windowCycles = r.u64v();
     record.totalCycles = r.u64v();
+    // The rung section was appended to the payload; blobs written
+    // before it existed simply end here (ladder-less golden).
+    if (!r.atEnd()) {
+        const u64 count = r.u64v();
+        for (u64 i = 0; i < count; ++i) {
+            GoldenRungRecord rung;
+            rung.cycle = r.u64v();
+            rung.traceIndex = r.u64v();
+            rung.archDigest = r.u64v();
+            record.rungs.push_back(rung);
+        }
+    }
     if (!r.atEnd())
         fatal("store: golden record has trailing bytes");
     return record;

@@ -102,6 +102,21 @@ class ByteReader
  * verdict is compared against, plus digests identifying the snapshot
  * and trace it was recorded with.
  */
+/**
+ * The persisted image of one checkpoint-ladder rung. Like the golden
+ * run itself, rung snapshots are deterministic to rebuild, so only
+ * their identity (cycle, trace position, arch digest) is persisted;
+ * resume re-captures the ladder and verifies the digests match.
+ */
+struct GoldenRungRecord
+{
+    Cycle cycle = 0;
+    u64 traceIndex = 0;
+    u64 archDigest = 0; ///< soc::archStateDigest of the rung snapshot
+
+    bool operator==(const GoldenRungRecord &other) const = default;
+};
+
 struct GoldenRecord
 {
     u64 archDigest = 0;  ///< soc::archStateDigest of the checkpoint
@@ -113,6 +128,7 @@ struct GoldenRecord
     Cycle preCycles = 0;
     Cycle windowCycles = 0;
     Cycle totalCycles = 0;
+    std::vector<GoldenRungRecord> rungs; ///< ladder geometry + digests
 
     bool operator==(const GoldenRecord &other) const = default;
 };

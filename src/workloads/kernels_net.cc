@@ -292,4 +292,70 @@ makeCrc32()
     return {"crc32", mb.module(), 1.0};
 }
 
+// =====================================================================
+// crc32-long — the crc32 kernel repeated over the buffer for a
+// megacycle-scale injection window (~1.2M cycles). Reference workload
+// for the checkpoint-ladder speedup benches; deliberately NOT part of
+// mibenchNames() so the figure-order sweeps keep their cost.
+// =====================================================================
+
+Workload
+makeCrc32Long()
+{
+    const unsigned n = 8192;
+    const unsigned rounds = 13;
+    ModuleBuilder mb;
+    {
+        Rng rng(detail::dataSeed("crc32"));
+        std::vector<u8> buf(n);
+        for (auto &b : buf)
+            b = static_cast<u8>(rng.below(256));
+        mb.globalInit("buffer", buf, 64);
+        std::vector<u8> table(256 * 8, 0);
+        for (u32 i = 0; i < 256; ++i) {
+            u32 c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            const u64 wide = c;
+            std::memcpy(table.data() + i * 8, &wide, 8);
+        }
+        mb.globalInit("crc_table", table, 64);
+    }
+
+    FunctionBuilder fb = mb.func("main", {}, true);
+    VReg buffer = fb.gaddr("buffer");
+    VReg table = fb.gaddr("crc_table");
+    detail::emitWarmup(fb, buffer, n);
+    fb.checkpoint();
+
+    VReg crc = fb.constI(0xffffffffll);
+    VReg mask32 = fb.constI(0xffffffffll);
+    auto outer = fb.beginLoop(fb.constI(0), fb.constI(rounds));
+    {
+        auto loop = fb.beginLoop(fb.constI(0), fb.constI(n));
+        {
+            VReg byte = fb.ld1u(fb.add(buffer, loop.idx));
+            VReg idx = fb.band(fb.bxor(crc, byte), fb.constI(0xff));
+            VReg entry = fb.ld8(fb.add(table, fb.shlI(idx, 3)));
+            fb.assign(crc,
+                      fb.band(fb.bxor(fb.shr(crc, fb.constI(8)),
+                                      entry),
+                              mask32));
+        }
+        fb.endLoop(loop);
+        // Fold the round counter in so every round moves the digest.
+        fb.assign(crc, fb.band(fb.bxor(crc, outer.idx), mask32));
+    }
+    fb.endLoop(outer);
+    fb.assign(crc, fb.band(fb.bxor(crc, mask32), mask32));
+
+    fb.switchCpu();
+    VReg out = fb.constI(static_cast<i64>(kOutputBase));
+    fb.st8(out, crc);
+    fb.ret(crc);
+    mb.setEntry("main");
+    mir::verify(mb.module());
+    return {"crc32-long", mb.module(), double(rounds)};
+}
+
 } // namespace marvel::workloads

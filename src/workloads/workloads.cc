@@ -32,6 +32,8 @@ get(const std::string &name)
         return makeCorners();
     if (name == "crc32")
         return makeCrc32();
+    if (name == "crc32-long")
+        return makeCrc32Long();
     if (name == "dijkstra")
         return makeDijkstra();
     if (name == "edges")

@@ -48,6 +48,7 @@ Workload makeBasicmath();
 Workload makeBitcount();
 Workload makeCorners();
 Workload makeCrc32();
+Workload makeCrc32Long(); ///< megacycle window; not in mibenchNames()
 Workload makeDijkstra();
 Workload makeEdges();
 Workload makeFftKernel();

@@ -12,12 +12,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "common/memmap.hh"
 #include "common/stats.hh"
 #include "fi/campaign.hh"
 #include "fi/metrics.hh"
+#include "sched/replay.hh"
+#include "sched/scheduler.hh"
 #include "soc/builder.hh"
 #include "workloads/workloads.hh"
 
@@ -440,4 +446,141 @@ TEST(Targets, BtbFaultsAreAlwaysArchitecturallyMasked) {
     EXPECT_EQ(res.total(), 40u);
     EXPECT_DOUBLE_EQ(res.avf(), 0.0)
         << "sdc=" << res.sdc << " crash=" << res.crash;
+}
+
+namespace {
+
+// Journal contents minus the metrics trailer (whose wallMillis is
+// wall-clock and legitimately differs between runs).
+std::string journalVerdictBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    std::string line;
+    while (std::getline(in, line))
+        if (line.find("\"type\":\"metrics\"") == std::string::npos)
+            out << line << '\n';
+    return out.str();
+}
+
+std::string ladderTmp(const std::string& name) {
+    const std::string path = testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+} // namespace
+
+TEST(Ladder, CampaignJournalsBitIdenticalWithAndWithoutFastForward) {
+    // The ISSUE's hard requirement: with the ladder on, every verdict
+    // and journal record is bit-identical to ladder-off. Both runs
+    // share one golden (the ladder *geometry* is campaign identity;
+    // whether runs fast-forward from it is not recorded).
+    const workloads::Workload wl = workloads::get("crc32");
+    const soc::SystemConfig cfg = soc::preset("riscv");
+    const fi::GoldenRun golden = fi::runGolden(
+        cfg, isa::compile(wl.module, isa::IsaKind::RISCV),
+        500'000'000, 8);
+    ASSERT_EQ(golden.ladder.size(), 8u);
+
+    for (fi::TargetId target :
+         {fi::TargetId::PrfInt, fi::TargetId::L1D}) {
+        fi::CampaignOptions opts;
+        opts.numFaults = 30;
+        opts.seed = 2024;
+        // One worker: multi-threaded runs race on journal append
+        // order (verdicts stay per-index identical), and this test
+        // pins whole-file bytes.
+        opts.threads = 1;
+        opts.ladderRungs = 8;
+        opts.workloadName = "crc32";
+        opts.heartbeatSeconds = 0;
+
+        const std::string onPath = ladderTmp("fi_ladder_on.jsonl");
+        opts.useLadder = true;
+        opts.journalPath = onPath;
+        const fi::CampaignResult on =
+            sched::runCampaign(golden, {target}, opts);
+
+        const std::string offPath = ladderTmp("fi_ladder_off.jsonl");
+        opts.useLadder = false;
+        opts.journalPath = offPath;
+        const fi::CampaignResult off =
+            sched::runCampaign(golden, {target}, opts);
+
+        EXPECT_EQ(on.masked, off.masked);
+        EXPECT_EQ(on.sdc, off.sdc);
+        EXPECT_EQ(on.crash, off.crash);
+        const std::string onBytes = journalVerdictBytes(onPath);
+        EXPECT_FALSE(onBytes.empty());
+        EXPECT_EQ(onBytes, journalVerdictBytes(offPath))
+            << fi::targetIdName(target);
+        std::remove(onPath.c_str());
+        std::remove(offPath.c_str());
+    }
+}
+
+TEST(Ladder, PrunedFaultsForceSimulateToMasked) {
+    // Pruning soundness: every fault the profiler classified as dead
+    // (first covering access is an overwrite) must come back Masked
+    // when actually simulated.
+    const workloads::Workload wl = workloads::get("crc32");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 60;
+    opts.seed = 555;
+    opts.threads = 2;
+    opts.prune = true;
+    opts.keepVerdicts = true;
+    unsigned prunedTotal = 0;
+    for (fi::TargetId target :
+         {fi::TargetId::PrfInt, fi::TargetId::L1D}) {
+        const fi::CampaignResult res =
+            fi::runCampaignOnGolden(golden, {target}, opts);
+        EXPECT_EQ(res.pruned,
+                  static_cast<u64>(std::count_if(
+                      res.verdicts.begin(), res.verdicts.end(),
+                      [](const fi::RunVerdict& v) {
+                          return v.detail ==
+                                 fi::OutcomeDetail::MaskedPruned;
+                      })));
+        for (std::size_t i = 0; i < res.verdicts.size(); ++i) {
+            if (res.verdicts[i].detail !=
+                fi::OutcomeDetail::MaskedPruned)
+                continue;
+            ++prunedTotal;
+            Rng rng = Rng::forStream(opts.seed, i);
+            fi::FaultMask mask;
+            mask.faults.push_back(fi::randomFault(
+                rng, {target}, res.target.geometry,
+                golden.windowCycles, fi::FaultModel::Transient));
+            const fi::RunVerdict forced =
+                fi::runWithFault(golden, mask);
+            EXPECT_EQ(static_cast<int>(forced.outcome),
+                      static_cast<int>(fi::Outcome::Masked))
+                << fi::targetIdName(target) << " fault " << i << ": "
+                << forced.toString();
+        }
+    }
+    // The test is vacuous if the profiler never proved a fault dead.
+    EXPECT_GT(prunedTotal, 0u);
+}
+
+TEST(Ladder, PruningNeverChangesOutcomeCounts) {
+    // Pruning relabels Masked verdicts (detail masked-pruned) but can
+    // never move a fault between Masked / SDC / Crash.
+    const workloads::Workload wl = workloads::get("bitcount");
+    const fi::GoldenRun golden = goldenFor(wl, "riscv");
+    fi::CampaignOptions opts;
+    opts.numFaults = 50;
+    opts.seed = 808;
+    opts.threads = 2;
+    opts.prune = false;
+    const fi::CampaignResult plain =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::PrfInt}, opts);
+    opts.prune = true;
+    const fi::CampaignResult pruned =
+        fi::runCampaignOnGolden(golden, {fi::TargetId::PrfInt}, opts);
+    EXPECT_EQ(plain.masked, pruned.masked);
+    EXPECT_EQ(plain.sdc, pruned.sdc);
+    EXPECT_EQ(plain.crash, pruned.crash);
 }

@@ -524,3 +524,73 @@ TEST(ReplayEdge, ReplayRefusesMetaDisagreeingWithRun) {
     meta.model = "cosmic-ray"; // unknown fault model
     EXPECT_THROW(sched::replaySetup(golden, meta, 0), FatalError);
 }
+
+TEST(ReplayEdge, ReplayRefusesMismatchedLadderGeometry) {
+    // The journal meta records the golden's resolved ladder geometry;
+    // replaying against a golden built with a different rung count
+    // would verify pruned verdicts against the wrong access profile,
+    // so it must be a hard error in both directions.
+    const workloads::Workload wl = workloads::get("crc32");
+    soc::SystemConfig cfg = soc::preset("riscv");
+    const isa::Program prog =
+        isa::compile(wl.module, isa::IsaKind::RISCV);
+    const fi::GoldenRun laddered =
+        fi::runGolden(cfg, prog, 500'000'000, 4);
+    ASSERT_EQ(laddered.ladder.size(), 4u);
+
+    const std::string path = tmpPath("replay_ladder.jsonl");
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = path;
+    opts.ladderRungs = 4;
+    sched::runCampaign(laddered, {fi::TargetId::PrfInt}, opts);
+    const store::Journal journal = store::readJournal(path);
+    ASSERT_TRUE(journal.hasMeta);
+    EXPECT_EQ(journal.meta.ladderRungs, 4u);
+
+    // Ladder-on journal against a ladder-less golden...
+    EXPECT_THROW(
+        sched::replaySetup(sharedGolden(), journal.meta, 0),
+        FatalError);
+    // ...and a doctored rung count against the laddered golden.
+    store::JournalMeta meta = journal.meta;
+    meta.ladderRungs = 7;
+    EXPECT_THROW(sched::replaySetup(laddered, meta, 0), FatalError);
+    // The matching geometry replays fine.
+    const sched::ReplaySetup setup =
+        sched::replaySetup(laddered, journal.meta, 0);
+    fi::FaultMask mask;
+    mask.faults.push_back(setup.fault);
+    const auto journaled = sched::findVerdict(journal, 0);
+    ASSERT_TRUE(journaled.has_value());
+    EXPECT_TRUE(sched::verdictsIdentical(
+        fi::runWithFault(laddered, mask, setup.options), *journaled));
+}
+
+TEST(ReplayEdge, ResumeRefusesMismatchedLadderGeometry) {
+    // Geometry is campaign identity: resuming with a different rung
+    // count (or pruning setting) must be refused like any other
+    // identity mismatch.
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string path = tmpPath("resume_ladder.jsonl");
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = path;
+    sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    opts.resume = true;
+    // The journal was recorded against a ladder-less golden; resuming
+    // against a golden rebuilt with rungs is an identity mismatch
+    // (the expected geometry comes from the golden actually in use).
+    const workloads::Workload wl = workloads::get("crc32");
+    soc::SystemConfig cfg = soc::preset("riscv");
+    const fi::GoldenRun laddered = fi::runGolden(
+        cfg, isa::compile(wl.module, isa::IsaKind::RISCV),
+        500'000'000, 4);
+    EXPECT_THROW(sched::runCampaign(laddered, {fi::TargetId::PrfInt},
+                                    opts),
+                 FatalError);
+    fi::CampaignOptions wrongPrune = opts;
+    wrongPrune.prune = true;
+    EXPECT_THROW(sched::runCampaign(golden, {fi::TargetId::PrfInt},
+                                    wrongPrune),
+                 FatalError);
+}

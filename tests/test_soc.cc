@@ -111,6 +111,47 @@ TEST(Checkpoint, RestoredRunIsBitIdentical) {
     EXPECT_EQ(archStateDigest(restored), archStateDigest(ref));
 }
 
+TEST(Checkpoint, MidWindowSnapshotResumesBitIdentically) {
+    // The checkpoint-ladder primitive: a snapshot taken mid-flight
+    // inside the injection window (not at a magic-op boundary) must
+    // resume to the same end state and cycle count as the original.
+    const workloads::Workload wl = workloads::get("crc32");
+    SystemConfig cfg = preset("riscv");
+    const isa::Program prog =
+        isa::compile(wl.module, isa::IsaKind::RISCV);
+    System ref(cfg);
+    ref.loadProgram(prog);
+    ASSERT_EQ(ref.run(100'000'000), RunExit::Checkpoint);
+
+    // Tick a few thousand cycles into the window, then snapshot.
+    Checkpoint mid;
+    for (int c = 0; c < 5'000; ++c) {
+        ref.tick();
+        ref.cpu.checkpointRequest = false;
+        ref.cpu.switchCpuRequest = false;
+        ASSERT_FALSE(ref.cpu.crashed()) << ref.crashReason();
+        if (c == 2'500)
+            mid = Checkpoint::take(ref);
+    }
+    ASSERT_TRUE(mid.valid());
+
+    RunExit exit = ref.run(100'000'000);
+    while (exit == RunExit::SwitchCpu || exit == RunExit::Checkpoint)
+        exit = ref.run(100'000'000);
+    ASSERT_EQ(exit, RunExit::Exited);
+
+    System resumed = mid.restore();
+    exit = resumed.run(100'000'000);
+    while (exit == RunExit::SwitchCpu || exit == RunExit::Checkpoint)
+        exit = resumed.run(100'000'000);
+    ASSERT_EQ(exit, RunExit::Exited);
+    EXPECT_EQ(resumed.exitCode, ref.exitCode);
+    EXPECT_EQ(resumed.totalCycles, ref.totalCycles);
+    EXPECT_TRUE(resumed.outputWindow() == ref.outputWindow());
+    EXPECT_EQ(resumed.console, ref.console);
+    EXPECT_EQ(archStateDigest(resumed), archStateDigest(ref));
+}
+
 TEST(Checkpoint, RepeatedRestoresAreIndependent) {
     const workloads::Workload wl = workloads::get("bitcount");
     SystemConfig cfg = preset("arm");

@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "accel/designs/designs.hh"
+#include "common/config.hh"
 #include "common/table.hh"
 #include "common/version.hh"
 #include "obs/metrics.hh"
@@ -93,6 +94,10 @@ struct Options
     bool hvf = false;
     bool earlyTerm = true;
     bool follow = false;
+    unsigned ladderRungs = 0; ///< fi::kLadderAuto for --ladder auto
+    bool ladderSet = false;   ///< --ladder given (beats the INI)
+    bool useLadder = true;
+    bool prune = false;
 };
 
 void
@@ -108,8 +113,15 @@ printUsage(std::FILE *out)
         "[--seed S]\n"
         "              [--threads N] [--shard I/N] [--chunk N]\n"
         "              [--save-golden F] [--hvf] [--no-early-term]\n"
+        "              [--ladder N|auto|off] [--no-ladder] [--prune]\n"
         "  status:     [--follow]\n"
-        "  any command: --help | --version\n");
+        "  any command: --help | --version\n"
+        "  --ladder sets the golden checkpoint-ladder rung count\n"
+        "  (campaign identity; also read from [campaign] "
+        "ladder_rungs\n"
+        "  in --config); --no-ladder keeps the geometry but restores\n"
+        "  every run from the window start; --prune classifies\n"
+        "  provably dead transient faults without simulating\n");
 }
 
 /** Complain about one specific bad token, then the usage text. */
@@ -190,7 +202,26 @@ parseArgs(int argc, char **argv)
                 opts.model = fi::FaultModel::StuckAt1;
             else
                 usageError("unknown fault model", m);
-        } else if (arg == "--hvf")
+        } else if (arg == "--ladder") {
+            const std::string spec = next();
+            opts.ladderSet = true;
+            if (spec == "auto")
+                opts.ladderRungs = fi::kLadderAuto;
+            else if (spec == "off")
+                opts.ladderRungs = 0;
+            else {
+                char *end = nullptr;
+                opts.ladderRungs = static_cast<unsigned>(
+                    std::strtoul(spec.c_str(), &end, 10));
+                if (!end || *end != '\0')
+                    usageError("malformed --ladder (want N, auto or "
+                               "off):", spec);
+            }
+        } else if (arg == "--no-ladder")
+            opts.useLadder = false;
+        else if (arg == "--prune")
+            opts.prune = true;
+        else if (arg == "--hvf")
             opts.hvf = true;
         else if (arg == "--no-early-term")
             opts.earlyTerm = false;
@@ -206,6 +237,26 @@ parseArgs(int argc, char **argv)
             usageError("unknown flag", arg);
     }
     return opts;
+}
+
+/**
+ * The campaign's ladder-rung request: --ladder when given, otherwise
+ * the `[campaign] ladder_rungs` key of the --config INI (the builder
+ * ignores unknown sections, so the same file describes both). The
+ * value "auto" maps to fi::kLadderAuto in both spellings.
+ */
+unsigned
+ladderRungsFor(const Options &opts)
+{
+    if (opts.ladderSet || opts.configFile.empty())
+        return opts.ladderRungs;
+    const ConfigFile file = ConfigFile::parseFile(opts.configFile);
+    const ConfigFile::Section *section = file.first("campaign");
+    if (!section || !section->has("ladder_rungs"))
+        return opts.ladderRungs;
+    if (section->get("ladder_rungs", "") == "auto")
+        return fi::kLadderAuto;
+    return static_cast<unsigned>(section->getU64("ladder_rungs", 0));
 }
 
 soc::SystemConfig
@@ -269,6 +320,9 @@ printResult(const std::string &title, const fi::CampaignResult &res,
                       (unsigned long long)res.masked,
                       (unsigned long long)res.maskedEarly,
                       (unsigned long long)res.maskedInvalid)});
+    if (res.pruned)
+        table.row({"pruned (no simulation)",
+                   strfmt("%llu", (unsigned long long)res.pruned)});
     table.row({"sdc", strfmt("%llu", (unsigned long long)res.sdc)});
     table.row({"crash / timeouts",
                strfmt("%llu / %llu",
@@ -279,18 +333,27 @@ printResult(const std::string &title, const fi::CampaignResult &res,
 
 fi::GoldenRun
 goldenFor(const Options &opts, const workloads::Workload &wl,
-          const soc::SystemConfig &cfg)
+          const soc::SystemConfig &cfg, unsigned ladderRungs)
 {
     const isa::Program prog = isa::compile(wl.module, cfg.cpu.isa);
     std::printf("golden run (%s, %s)...\n", wl.name.c_str(),
                 isa::isaName(cfg.cpu.isa));
-    fi::GoldenRun golden = fi::runGolden(cfg, prog);
+    fi::GoldenRun golden =
+        fi::runGolden(cfg, prog, 500'000'000, ladderRungs);
     std::printf("  window %llu cycles, total %llu cycles, "
                 "arch digest %016llx\n",
                 static_cast<unsigned long long>(golden.windowCycles),
                 static_cast<unsigned long long>(golden.totalCycles),
                 static_cast<unsigned long long>(
                     soc::archStateDigest(golden.checkpoint.view())));
+    if (!golden.ladder.empty())
+        std::printf("  checkpoint ladder: %zu rung(s), first at "
+                    "cycle %llu, last at %llu\n",
+                    golden.ladder.size(),
+                    static_cast<unsigned long long>(
+                        golden.ladder.front().cycle),
+                    static_cast<unsigned long long>(
+                        golden.ladder.back().cycle));
     if (!opts.saveGolden.empty()) {
         store::saveGoldenRun(opts.saveGolden, golden);
         std::printf("  golden record saved to %s\n",
@@ -323,6 +386,9 @@ cmdRun(const Options &opts, bool resume)
     copts.shardCount = opts.shardCount;
     copts.chunkSize = opts.chunkSize;
     copts.workloadName = wl.name;
+    copts.ladderRungs = ladderRungsFor(opts);
+    copts.useLadder = opts.useLadder;
+    copts.prune = opts.prune;
 
     std::string targetName = opts.target;
     if (resume) {
@@ -346,6 +412,11 @@ cmdRun(const Options &opts, bool resume)
         copts.earlyTermination = meta.optEarlyTerm != 0;
         copts.timeoutFactor =
             static_cast<double>(meta.timeoutFactorMilli) / 1000.0;
+        // The meta's ladder count is already resolved (never auto),
+        // so rebuilding with it reproduces the journaled geometry;
+        // pruning is likewise part of the campaign identity.
+        copts.ladderRungs = meta.ladderRungs;
+        copts.prune = meta.optPrune != 0;
         targetName = meta.target;
         std::printf("resuming %s: %llu/%llu verdicts journaled%s\n",
                     journalPath.c_str(),
@@ -366,7 +437,8 @@ cmdRun(const Options &opts, bool resume)
                   journalPath.c_str());
     }
 
-    const fi::GoldenRun golden = goldenFor(opts, wl, cfg);
+    const fi::GoldenRun golden =
+        goldenFor(opts, wl, cfg, copts.ladderRungs);
     const fi::TargetRef target =
         fi::targetByName(golden.checkpoint.view(), targetName);
     obs::CampaignTelemetry telemetry;

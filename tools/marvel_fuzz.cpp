@@ -16,7 +16,7 @@
  *   marvel-fuzz [run] --seeds A:B [--flavors all|riscv,arm,x86]
  *               [--audit-every N] [--no-shrink] [--no-determinism]
  *               [--statements N] [--max-cycles N] [--out DIR]
- *               [--quiet]
+ *               [--ladder N] [--quiet]
  *   marvel-fuzz dump --seed N
  *   marvel-fuzz --help | --version
  *
@@ -49,6 +49,7 @@ struct Options
     bool determinism = true;
     unsigned statements = 24;
     u64 maxCycles = 4'000'000;
+    unsigned ladderRungs = 0;
     std::string outDir = "results/fuzz";
     unsigned threads = 0; ///< 0 = hardware concurrency
     bool quiet = false;
@@ -63,7 +64,7 @@ printUsage(std::FILE *out)
         "             [--flavors all|riscv,arm,x86] [--audit-every N]\n"
         "             [--no-shrink] [--no-determinism]\n"
         "             [--statements N] [--max-cycles N] [--out DIR]\n"
-        "             [--threads N] [--quiet]\n"
+        "             [--ladder N] [--threads N] [--quiet]\n"
         "       marvel-fuzz dump --seed N\n"
         "       marvel-fuzz --help | --version\n");
 }
@@ -165,6 +166,9 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(parseU64(next("--statements")));
         } else if (arg == "--max-cycles") {
             opts.maxCycles = parseU64(next("--max-cycles"));
+        } else if (arg == "--ladder") {
+            opts.ladderRungs =
+                static_cast<unsigned>(parseU64(next("--ladder")));
         } else if (arg == "--out") {
             opts.outDir = next("--out");
         } else if (arg == "--threads") {
@@ -205,6 +209,7 @@ cmdRun(const Options &opts)
     fo.shrinkFailures = opts.shrink;
     fo.auditEvery = opts.determinism ? opts.auditEvery : 0;
     fo.audit.flavors = opts.flavors;
+    fo.audit.ladderRungs = opts.ladderRungs;
     fo.outDir = opts.outDir;
     fo.threads = opts.threads;
     if (!opts.quiet) {

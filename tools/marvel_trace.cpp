@@ -179,8 +179,12 @@ cmdReplay(const Options &opts)
     const soc::SystemConfig cfg = systemFor(opts);
     std::printf("golden run (%s, %s)...\n", wl.name.c_str(),
                 isa::isaName(cfg.cpu.isa));
+    // Rebuild the golden with the journal's ladder geometry —
+    // replaySetup rejects a mismatch, and a pruned verdict can only
+    // be re-checked against the same golden window.
     const fi::GoldenRun golden =
-        fi::runGolden(cfg, isa::compile(wl.module, cfg.cpu.isa));
+        fi::runGolden(cfg, isa::compile(wl.module, cfg.cpu.isa),
+                      500'000'000, meta.ladderRungs);
 
     const sched::ReplaySetup setup =
         sched::replaySetup(golden, meta, opts.index);
@@ -190,12 +194,47 @@ cmdReplay(const Options &opts)
                 static_cast<unsigned long long>(opts.index),
                 mask.toString().c_str());
 
+    const auto journaled = sched::findVerdict(journal, opts.index);
+
+    // A pre-pruned fault was never simulated, so runWithFault cannot
+    // reproduce its verdict record. Verify it the way the campaign
+    // decided it — the golden access profile must still prove the
+    // fault dead — then force-simulate: a sound pruner's fault always
+    // comes back Masked.
+    if (journaled &&
+        journaled->detail == fi::OutcomeDetail::MaskedPruned) {
+        const fi::TargetProfile profile =
+            fi::profileTargetAccesses(golden, setup.target);
+        if (!profile.prunable(setup.fault)) {
+            std::fprintf(stderr,
+                         "marvel-trace: journal says fault #%llu was "
+                         "pruned, but the golden access profile no "
+                         "longer proves it dead\n",
+                         static_cast<unsigned long long>(opts.index));
+            return 1;
+        }
+        std::printf("journal:  verdict Masked (masked-pruned) — "
+                    "golden profile confirms the fault is "
+                    "overwritten before any read\n");
+        const fi::RunVerdict forced =
+            fi::runWithFault(golden, mask, setup.options);
+        std::printf("force-simulated: %s\n",
+                    forced.toString().c_str());
+        if (forced.outcome != fi::Outcome::Masked) {
+            std::fprintf(stderr,
+                         "marvel-trace: force-simulating the pruned "
+                         "fault did NOT come back Masked — the "
+                         "pruner is unsound\n");
+            return 1;
+        }
+        return 0;
+    }
+
     // Pass 1: verify the replay reproduces the journaled verdict
     // exactly, with the run options the journal recorded.
     const fi::RunVerdict verdict =
         fi::runWithFault(golden, mask, setup.options);
     std::printf("verdict: %s\n", verdict.toString().c_str());
-    const auto journaled = sched::findVerdict(journal, opts.index);
     if (journaled) {
         if (!sched::verdictsIdentical(verdict, *journaled)) {
             std::fprintf(stderr,
