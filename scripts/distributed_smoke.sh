@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Loopback distributed-campaign smoke test.
+#
+# Runs the same campaign twice: once single-process with
+# marvel-campaign, once through marvel-campaignd plus two
+# marvel-worker processes over a unix socket — with one worker
+# SIGKILLed mid-lease so the daemon's TTL reaper has to re-enqueue
+# its range. Both journals are then canonicalized with
+# `marvel-campaign merge --out` and must compare byte-for-byte.
+#
+# Usage: scripts/distributed_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD="${1:-build}"
+TOOLS="$BUILD/tools"
+WORK="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
+
+CAMPAIGN=(--workload crc32 --target prf-int --faults 96 --seed 424242)
+
+echo "== single-process reference =="
+"$TOOLS/marvel-campaign" run "${CAMPAIGN[@]}" \
+    --journal "$WORK/single.jsonl"
+"$TOOLS/marvel-campaign" merge --journal "$WORK/single.jsonl" \
+    --out "$WORK/single.canon.jsonl"
+
+echo "== daemon + 2 workers, one killed mid-lease =="
+# Short TTL so the killed worker's lease is reaped within the run;
+# small leases/chunks so the kill reliably lands mid-lease.
+"$TOOLS/marvel-campaignd" --listen "unix:$WORK/smoke.sock" \
+    --journal "$WORK/dist.jsonl" "${CAMPAIGN[@]}" \
+    --ttl-ms 2000 --lease 6 --chunk 4 &
+DAEMON=$!
+
+for _ in $(seq 100); do
+    [ -S "$WORK/smoke.sock" ] && break
+    sleep 0.1
+done
+[ -S "$WORK/smoke.sock" ] || { echo "FAIL: daemon never listened"; exit 1; }
+
+"$TOOLS/marvel-worker" --connect "unix:$WORK/smoke.sock" \
+    --workload crc32 --name doomed &
+DOOMED=$!
+"$TOOLS/marvel-worker" --connect "unix:$WORK/smoke.sock" \
+    --workload crc32 --name survivor &
+SURVIVOR=$!
+
+# Give 'doomed' time to build its golden run and take a lease, then
+# SIGKILL it: no Bye, no LeaseDone — only the TTL cleans up after it.
+sleep 3
+if kill -9 "$DOOMED" 2>/dev/null; then
+    echo "killed worker 'doomed' (pid $DOOMED) mid-lease"
+else
+    echo "note: worker 'doomed' already exited before the kill"
+fi
+wait "$DOOMED" 2>/dev/null || true
+
+wait "$SURVIVOR"
+wait "$DAEMON"
+
+"$TOOLS/marvel-campaign" merge --journal "$WORK/dist.jsonl" \
+    --out "$WORK/dist.canon.jsonl"
+
+echo "== byte-for-byte diff of canonical journals =="
+cmp "$WORK/single.canon.jsonl" "$WORK/dist.canon.jsonl"
+echo "OK: distributed and single-process journals are byte-identical"

@@ -1,0 +1,49 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/version.hh"
+
+namespace marvel::cli
+{
+
+void
+printUsage(const Tool &tool, std::FILE *out)
+{
+    std::fputs(tool.usage, out);
+}
+
+void
+printVersion(const Tool &tool)
+{
+    std::printf("%s %s\n", tool.name, kVersionString);
+}
+
+bool
+handleStandardFlag(const Tool &tool, const std::string &arg)
+{
+    if (arg == "--help" || arg == "-h") {
+        printUsage(tool, stdout);
+        std::exit(0);
+    }
+    if (arg == "--version") {
+        printVersion(tool);
+        std::exit(0);
+    }
+    return false;
+}
+
+void
+usageError(const Tool &tool, const char *what,
+           const std::string &token)
+{
+    if (token.empty())
+        std::fprintf(stderr, "%s: %s\n", tool.name, what);
+    else
+        std::fprintf(stderr, "%s: %s '%s'\n", tool.name, what,
+                     token.c_str());
+    printUsage(tool, stderr);
+    std::exit(2);
+}
+
+} // namespace marvel::cli

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared command-line scaffolding for the marvel-* tools.
+ *
+ * Every tool answers `--help` / `-h` / `--version` the same way and
+ * reports bad flags with the same "complain, then usage, then exit 2"
+ * shape. Six binaries each carrying their own copy of that boilerplate
+ * drifted in small ways (stdout vs stderr, exit codes); this helper is
+ * the single implementation they all call.
+ *
+ * A tool declares itself once:
+ *
+ *   const cli::Tool kTool = {"marvel-worker", kUsageText};
+ *
+ * and then routes every argv token through handleStandardFlag() before
+ * its own flag matching, and every parse failure through usageError().
+ */
+
+#ifndef MARVEL_COMMON_CLI_HH
+#define MARVEL_COMMON_CLI_HH
+
+#include <cstdio>
+#include <string>
+
+namespace marvel::cli
+{
+
+/** A tool's identity: its argv[0] name and full usage text. */
+struct Tool
+{
+    const char *name;  ///< "marvel-campaign", ...
+    const char *usage; ///< multi-line usage body, newline-terminated
+};
+
+/** Print "usage: ..." text to `out`. */
+void printUsage(const Tool &tool, std::FILE *out);
+
+/** Print "<name> <version>" (the shared kVersionString) to stdout. */
+void printVersion(const Tool &tool);
+
+/**
+ * Recognize the flags every tool shares. `--help`/`-h` prints usage
+ * to stdout and exits 0; `--version` prints the version line and
+ * exits 0. Returns false for any other token so the caller's own
+ * matching continues.
+ */
+bool handleStandardFlag(const Tool &tool, const std::string &arg);
+
+/**
+ * Complain about one specific bad token ("unknown flag '--x'"), print
+ * the usage text to stderr, and exit 2 (the usage-error exit code all
+ * tools share). Pass an empty token when there is nothing to quote.
+ */
+[[noreturn]] void usageError(const Tool &tool, const char *what,
+                             const std::string &token);
+
+} // namespace marvel::cli
+
+#endif // MARVEL_COMMON_CLI_HH

@@ -1,0 +1,168 @@
+#include "common/json.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace marvel::json
+{
+
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+bool
+parseFlat(const std::string &line,
+          std::map<std::string, std::string> &out)
+{
+    std::size_t i = 0;
+    auto skipWs = [&]() {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+    };
+    auto parseString = [&](std::string &value) {
+        if (i >= line.size() || line[i] != '"')
+            return false;
+        ++i;
+        value.clear();
+        while (i < line.size() && line[i] != '"') {
+            char c = line[i++];
+            if (c == '\\') {
+                if (i >= line.size())
+                    return false;
+                const char esc = line[i++];
+                switch (esc) {
+                  case '"': value += '"'; break;
+                  case '\\': value += '\\'; break;
+                  case 'n': value += '\n'; break;
+                  case 'r': value += '\r'; break;
+                  case 't': value += '\t'; break;
+                  case 'u': {
+                    if (i + 4 > line.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = line[i++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    if (code > 0x7f)
+                        return false; // records are ASCII
+                    value += static_cast<char>(code);
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+            } else {
+                value += c;
+            }
+        }
+        if (i >= line.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    };
+
+    skipWs();
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipWs();
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+    } else {
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (i >= line.size() || line[i] != ':')
+                return false;
+            ++i;
+            skipWs();
+            std::string value;
+            if (i < line.size() && line[i] == '"') {
+                if (!parseString(value))
+                    return false;
+            } else {
+                const std::size_t start = i;
+                if (i < line.size() && line[i] == '-')
+                    ++i;
+                while (i < line.size() && line[i] >= '0' &&
+                       line[i] <= '9')
+                    ++i;
+                if (i == start)
+                    return false;
+                value = line.substr(start, i - start);
+            }
+            out[key] = value;
+            skipWs();
+            if (i < line.size() && line[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (i < line.size() && line[i] == '}') {
+                ++i;
+                break;
+            }
+            return false;
+        }
+    }
+    skipWs();
+    return i == line.size();
+}
+
+bool
+fieldU64(const std::map<std::string, std::string> &fields,
+         const char *key, u64 &out)
+{
+    const auto it = fields.find(key);
+    if (it == fields.end())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    out = std::strtoull(it->second.c_str(), &end, 10);
+    return errno == 0 && end && *end == '\0';
+}
+
+bool
+fieldStr(const std::map<std::string, std::string> &fields,
+         const char *key, std::string &out)
+{
+    const auto it = fields.find(key);
+    if (it == fields.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+} // namespace marvel::json

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Flat-JSON helpers shared by the journal and the wire protocol.
+ *
+ * Every persistent and on-the-wire record in MARVEL is one flat JSON
+ * object per line: string or unsigned-integer values, no nesting, no
+ * floats (floats live only in the heartbeat, which has its own
+ * tolerant reader). Keeping the grammar this small is what lets the
+ * journal reader, the dispatch daemon, and the worker client all
+ * agree byte-for-byte on what a record looks like — the parser
+ * rejects anything the writer cannot produce.
+ *
+ * Hoisted out of store/journal.cc so src/net can frame the same
+ * records over a socket without linking the journal's file I/O.
+ */
+
+#ifndef MARVEL_COMMON_JSON_HH
+#define MARVEL_COMMON_JSON_HH
+
+#include <map>
+#include <string>
+
+#include "common/types.hh"
+
+namespace marvel::json
+{
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string escape(const std::string &text);
+
+/**
+ * Parse one flat JSON object ({"key":value,...} with string or
+ * integer values) into a key -> literal map. Returns false on any
+ * syntax error; never throws. Escaped strings are unescaped; numbers
+ * are returned as their literal digits.
+ */
+bool parseFlat(const std::string &line,
+               std::map<std::string, std::string> &out);
+
+/** Fetch fields["key"] parsed as u64; false when absent/malformed. */
+bool fieldU64(const std::map<std::string, std::string> &fields,
+              const char *key, u64 &out);
+
+/** Fetch fields["key"] as a string; false when absent. */
+bool fieldStr(const std::map<std::string, std::string> &fields,
+              const char *key, std::string &out);
+
+} // namespace marvel::json
+
+#endif // MARVEL_COMMON_JSON_HH

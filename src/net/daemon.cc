@@ -1,0 +1,577 @@
+#include "net/daemon.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "net/protocol.hh"
+#include "sched/heartbeat.hh"
+#include "sched/scheduler.hh"
+#include "store/leasetab.hh"
+
+namespace marvel::net
+{
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      leases_(config_.meta.numFaults, config_.ttlMillis),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (config_.journalPath.empty())
+        fatal("net: the daemon needs a journal path — the journal "
+              "IS the campaign's durable state");
+    if (config_.meta.shardIndex != 0 || config_.meta.shardCount != 1)
+        fatal("net: the daemon owns the whole campaign; its journal "
+              "meta must be shard 0/1, not %u/%u",
+              config_.meta.shardIndex, config_.meta.shardCount);
+}
+
+Daemon::~Daemon()
+{
+    for (auto &conn : conns_)
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+u64
+Daemon::nowMillis() const
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+Daemon::start()
+{
+    if (started_)
+        panic("Daemon::start called twice");
+    started_ = true;
+
+    const unsigned chunkSize =
+        config_.chunk ? static_cast<unsigned>(config_.chunk) : 1;
+    std::vector<u8> done(config_.meta.numFaults, 0);
+    if (store::journalExists(config_.journalPath)) {
+        const store::Journal journal =
+            store::readJournal(config_.journalPath);
+        sched::checkJournalMatches(journal.meta, config_.meta,
+                                   config_.journalPath);
+        for (const store::JournalVerdict &jv : journal.verdicts) {
+            if (jv.idx >= config_.meta.numFaults)
+                fatal("net: journal '%s' holds verdict for fault "
+                      "%llu beyond the campaign's %llu faults",
+                      config_.journalPath.c_str(),
+                      static_cast<unsigned long long>(jv.idx),
+                      static_cast<unsigned long long>(
+                          config_.meta.numFaults));
+            if (done[jv.idx])
+                continue;
+            done[jv.idx] = 1;
+            tally_.tally(jv.verdict);
+        }
+        writer_.resume(config_.journalPath, journal.validBytes,
+                       chunkSize);
+        inform("campaignd: resuming journal %s",
+               config_.journalPath.c_str());
+    } else {
+        writer_.create(config_.journalPath, config_.meta, chunkSize);
+    }
+    leases_.seed(done);
+    doneAtStart_ = leases_.doneCount();
+
+    // Promises made before a restart outrank the queue: adopted
+    // ranges stay un-grantable until their fresh TTL expires, giving
+    // the original holder time to finish (or prove dead).
+    store::LeaseTable table;
+    if (store::loadLeaseTable(
+            store::leaseTablePath(config_.journalPath), table)) {
+        leases_.adopt(table, nowMillis());
+        inform("campaignd: adopted %zu outstanding lease(s) from a "
+               "previous daemon", table.active.size());
+    }
+
+    listenFd_ = listenOn(config_.endpoint);
+    startMillis_ = nowMillis();
+    lastBeatMillis_ = 0;
+    inform("campaignd: listening on %s (%llu/%llu verdicts already "
+           "journaled)", config_.endpoint.str().c_str(),
+           static_cast<unsigned long long>(leases_.doneCount()),
+           static_cast<unsigned long long>(leases_.numFaults()));
+}
+
+u16
+Daemon::tcpPort() const
+{
+    if (config_.endpoint.isUnix)
+        fatal("net: tcpPort() on a unix-socket daemon");
+    return boundPort(listenFd_);
+}
+
+sched::Heartbeat
+Daemon::currentBeat() const
+{
+    sched::Heartbeat beat;
+    beat.done = leases_.doneCount();
+    beat.expected = leases_.numFaults();
+    beat.masked = tally_.masked;
+    beat.sdc = tally_.sdc;
+    beat.crash = tally_.crash;
+    beat.pruned = tally_.pruned;
+    beat.wallMillis = nowMillis() - startMillis_;
+    beat.complete = leases_.allDone();
+    const double wallSec =
+        static_cast<double>(beat.wallMillis) / 1000.0;
+    const u64 ingested = beat.done - doneAtStart_;
+    beat.runsPerSec =
+        wallSec > 0 ? static_cast<double>(ingested) / wallSec : 0.0;
+    if (beat.done > 0) {
+        beat.avf = static_cast<double>(beat.sdc + beat.crash) /
+                   static_cast<double>(beat.done);
+        beat.margin = 1.96 * std::sqrt(beat.avf * (1.0 - beat.avf) /
+                                       static_cast<double>(beat.done));
+    }
+    if (!beat.complete && beat.runsPerSec > 0)
+        beat.etaSeconds =
+            static_cast<double>(beat.expected - beat.done) /
+            beat.runsPerSec;
+    return beat;
+}
+
+void
+Daemon::persistLeases()
+{
+    store::saveLeaseTable(
+        store::leaseTablePath(config_.journalPath),
+        leases_.snapshot());
+}
+
+void
+Daemon::sendFrame(Conn &conn, MsgType type,
+                  const std::string &payload)
+{
+    encodeFrame({type, payload}, conn.outBuf);
+    flushConn(conn);
+}
+
+bool
+Daemon::flushConn(Conn &conn)
+{
+    while (!conn.outBuf.empty()) {
+        const ssize_t n = ::send(conn.fd, conn.outBuf.data(),
+                                 conn.outBuf.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true; // poll() will tell us when to resume
+            return false;
+        }
+        conn.outBuf.erase(0, static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+bool
+Daemon::workerStillConnected(const std::string &name,
+                             const Conn *except) const
+{
+    for (const auto &conn : conns_)
+        if (conn.get() != except && conn->worker == name)
+            return true;
+    return false;
+}
+
+void
+Daemon::dropConn(std::size_t i)
+{
+    Conn &conn = *conns_[i];
+    // Leases held by a provably-gone worker go straight back to the
+    // queue — no reason to wait out the TTL. Guard against the same
+    // worker name having reconnected on another fd first.
+    if (!conn.worker.empty() && !conn.watcher &&
+        !workerStillConnected(conn.worker, &conn)) {
+        const std::vector<ActiveLease> released =
+            leases_.release(conn.worker);
+        if (!released.empty()) {
+            for (const ActiveLease &lease : released)
+                inform("campaignd: worker '%s' vanished; re-queued "
+                       "lease %llu [%llu, %llu)",
+                       conn.worker.c_str(),
+                       static_cast<unsigned long long>(lease.id),
+                       static_cast<unsigned long long>(
+                           lease.range.begin),
+                       static_cast<unsigned long long>(
+                           lease.range.end));
+            persistLeases();
+        }
+    }
+    ::close(conn.fd);
+    conns_.erase(conns_.begin() +
+                 static_cast<std::ptrdiff_t>(i));
+}
+
+void
+Daemon::acceptPending()
+{
+    for (;;) {
+        const int fd = acceptOn(listenFd_);
+        if (fd < 0)
+            return;
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conns_.push_back(std::move(conn));
+        ++stats_.connectionsAccepted;
+    }
+}
+
+void
+Daemon::ingestChunk(Conn &conn, const std::string &payload)
+{
+    VerdictChunk chunk;
+    if (!decodeVerdictChunk(payload, chunk)) {
+        warn("campaignd: malformed verdict chunk from '%s'; "
+             "dropping the connection", conn.worker.c_str());
+        conn.closing = true;
+        return;
+    }
+    ++stats_.chunksIngested;
+    const bool live = leases_.isActive(chunk.lease);
+    if (!live)
+        stats_.staleVerdicts += chunk.verdicts.size();
+    for (const store::JournalVerdict &jv : chunk.verdicts) {
+        if (leases_.recordVerdict(jv.idx)) {
+            writer_.append(jv.idx, jv.verdict);
+            tally_.tally(jv.verdict);
+            ++stats_.verdictsIngested;
+            if (!conn.worker.empty())
+                ++stats_.workerNamed(conn.worker).verdicts;
+        } else {
+            ++stats_.duplicateVerdicts;
+        }
+    }
+    if (live)
+        leases_.touch(chunk.lease, nowMillis());
+}
+
+void
+Daemon::handleFrame(Conn &conn, const Frame &frame)
+{
+    switch (frame.type) {
+      case MsgType::Hello: {
+        Hello hello;
+        if (!decodeHello(frame.payload, hello) ||
+            hello.worker.empty()) {
+            sendFrame(conn, MsgType::Error,
+                      encodeError("malformed Hello"));
+            conn.closing = true;
+            return;
+        }
+        conn.worker = hello.worker;
+        if (std::find(knownWorkers_.begin(), knownWorkers_.end(),
+                      hello.worker) != knownWorkers_.end())
+            ++stats_.workerNamed(hello.worker).reconnects;
+        else
+            knownWorkers_.push_back(hello.worker);
+        stats_.workerNamed(hello.worker);
+        HelloAck ack;
+        ack.meta = config_.meta;
+        ack.ttlMillis = config_.ttlMillis;
+        ack.chunk = config_.chunk;
+        sendFrame(conn, MsgType::HelloAck, encodeHelloAck(ack));
+        return;
+      }
+      case MsgType::LeaseRequest: {
+        if (conn.worker.empty()) {
+            sendFrame(conn, MsgType::Error,
+                      encodeError("LeaseRequest before Hello"));
+            conn.closing = true;
+            return;
+        }
+        u64 maxFaults = 0;
+        if (!decodeLeaseRequest(frame.payload, maxFaults))
+            maxFaults = 0;
+        if (config_.maxLeaseFaults)
+            maxFaults = maxFaults
+                            ? std::min(maxFaults,
+                                       config_.maxLeaseFaults)
+                            : config_.maxLeaseFaults;
+        const u64 now = nowMillis();
+        for (const ActiveLease &lease : leases_.expire(now))
+            inform("campaignd: lease %llu [%llu, %llu) held by '%s' "
+                   "expired; re-queued",
+                   static_cast<unsigned long long>(lease.id),
+                   static_cast<unsigned long long>(lease.range.begin),
+                   static_cast<unsigned long long>(lease.range.end),
+                   lease.worker.c_str());
+        std::optional<ActiveLease> lease =
+            leases_.grant(conn.worker, maxFaults, now);
+        if (lease) {
+            ++stats_.leasesGranted;
+            ++stats_.workerNamed(conn.worker).leases;
+            persistLeases();
+            LeaseGrant grant;
+            grant.lease = lease->id;
+            grant.range = lease->range;
+            grant.ttlMillis = config_.ttlMillis;
+            sendFrame(conn, MsgType::LeaseGrant,
+                      encodeLeaseGrant(grant));
+        } else {
+            NoWork none;
+            none.complete = leases_.allDone();
+            none.pending = leases_.pendingCount();
+            sendFrame(conn, MsgType::NoWork, encodeNoWork(none));
+        }
+        return;
+      }
+      case MsgType::VerdictChunk:
+        ingestChunk(conn, frame.payload);
+        return;
+      case MsgType::LeaseDone: {
+        u64 leaseId = 0;
+        if (!decodeLeaseDone(frame.payload, leaseId)) {
+            conn.closing = true;
+            return;
+        }
+        // Make the work durable BEFORE acknowledging it: an acked
+        // lease must survive any crash of this process.
+        writer_.commit();
+        LeaseAck ack;
+        ack.lease = leaseId;
+        ack.ok = leases_.complete(leaseId);
+        if (ack.ok)
+            ++stats_.leasesCompleted;
+        persistLeases();
+        sendFrame(conn, MsgType::LeaseAck, encodeLeaseAck(ack));
+        return;
+      }
+      case MsgType::StatusSubscribe:
+        conn.watcher = true;
+        ++stats_.watchersServed;
+        sendFrame(conn, MsgType::StatusUpdate,
+                  sched::heartbeatJson(currentBeat()));
+        return;
+      case MsgType::Bye:
+        conn.closing = true;
+        return;
+      case MsgType::Error: {
+        std::string message;
+        if (decodeError(frame.payload, message))
+            warn("campaignd: error from '%s': %s",
+                 conn.worker.c_str(), message.c_str());
+        conn.closing = true;
+        return;
+      }
+      default:
+        sendFrame(conn, MsgType::Error,
+                  encodeError("unexpected message type"));
+        conn.closing = true;
+        return;
+    }
+}
+
+void
+Daemon::readConn(std::size_t i)
+{
+    Conn &conn = *conns_[i];
+    std::string bytes;
+    const long n = recvSome(conn.fd, bytes);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+        dropConn(i);
+        return;
+    }
+    if (n > 0)
+        conn.reader.feed(bytes.data(), bytes.size());
+    Frame frame;
+    while (!conn.closing && conn.reader.next(frame))
+        handleFrame(conn, frame);
+    if (conn.reader.poisoned() && !conn.closing) {
+        warn("campaignd: protocol violation from '%s'; dropping",
+             conn.worker.c_str());
+        conn.closing = true;
+    }
+}
+
+void
+Daemon::tick()
+{
+    const u64 now = nowMillis();
+    const std::vector<ActiveLease> expired = leases_.expire(now);
+    for (const ActiveLease &lease : expired)
+        inform("campaignd: lease %llu [%llu, %llu) held by '%s' "
+               "expired; re-queued",
+               static_cast<unsigned long long>(lease.id),
+               static_cast<unsigned long long>(lease.range.begin),
+               static_cast<unsigned long long>(lease.range.end),
+               lease.worker.c_str());
+    if (!expired.empty())
+        persistLeases();
+
+    if (now - lastBeatMillis_ < config_.heartbeatMillis &&
+        lastBeatMillis_ != 0 && !leases_.allDone())
+        return;
+    lastBeatMillis_ = now;
+    const sched::Heartbeat beat = currentBeat();
+    sched::writeHeartbeat(
+        sched::heartbeatPath(config_.journalPath), beat);
+    const std::string json = sched::heartbeatJson(beat);
+    for (auto &conn : conns_)
+        if (conn->watcher && !conn->closing)
+            sendFrame(*conn, MsgType::StatusUpdate, json);
+}
+
+void
+Daemon::finish()
+{
+    finished_ = true;
+    writer_.close();
+    // No promises left: persist the empty table so a later resume
+    // starts clean.
+    persistLeases();
+    stats_.wallSeconds =
+        static_cast<double>(nowMillis() - startMillis_) / 1000.0;
+    // Mirror the lease-lifecycle counters the manager kept.
+    stats_.leasesExpired = leases_.statExpired;
+    stats_.leasesRequeued = leases_.statReleased;
+
+    const sched::Heartbeat beat = currentBeat();
+    sched::writeHeartbeat(
+        sched::heartbeatPath(config_.journalPath), beat);
+
+    // Tell every connected peer the campaign is over (idle workers
+    // exit on NoWork{complete}; watchers exit on a complete beat),
+    // then drain what we can and close.
+    NoWork done;
+    done.complete = true;
+    done.pending = 0;
+    const std::string noWork = encodeNoWork(done);
+    const std::string json = sched::heartbeatJson(beat);
+    for (auto &conn : conns_) {
+        if (conn->closing)
+            continue;
+        if (conn->watcher)
+            encodeFrame({MsgType::StatusUpdate, json}, conn->outBuf);
+        else if (!conn->worker.empty())
+            encodeFrame({MsgType::NoWork, noWork}, conn->outBuf);
+        flushConn(*conn);
+    }
+    // Bounded linger for the unflushed remainder.
+    for (int spin = 0; spin < 20; ++spin) {
+        bool pendingOut = false;
+        for (auto &conn : conns_)
+            if (!conn->outBuf.empty() && flushConn(*conn) &&
+                !conn->outBuf.empty())
+                pendingOut = true;
+        if (!pendingOut)
+            break;
+        ::poll(nullptr, 0, 10);
+    }
+    for (auto &conn : conns_)
+        ::close(conn->fd);
+    conns_.clear();
+    ::close(listenFd_);
+    listenFd_ = -1;
+    inform("campaignd: campaign complete — %llu verdicts journaled "
+           "to %s",
+           static_cast<unsigned long long>(leases_.doneCount()),
+           config_.journalPath.c_str());
+}
+
+bool
+Daemon::pollOnce(int maxWaitMillis)
+{
+    if (!started_)
+        panic("Daemon::pollOnce before start");
+    if (finished_)
+        return false;
+
+    if (leases_.allDone() && leases_.activeCount() == 0 &&
+        config_.exitWhenDone) {
+        finish();
+        return false;
+    }
+
+    // Sleep no longer than the heartbeat cadence or the next lease
+    // deadline, whichever is sooner.
+    const u64 now = nowMillis();
+    u64 wait = config_.heartbeatMillis ? config_.heartbeatMillis
+                                       : 1000;
+    if (const std::optional<u64> deadline = leases_.nextDeadline())
+        wait = std::min(wait,
+                        *deadline > now ? *deadline - now : 0);
+    if (maxWaitMillis >= 0)
+        wait = std::min<u64>(wait,
+                             static_cast<u64>(maxWaitMillis));
+
+    std::vector<pollfd> fds;
+    fds.push_back({listenFd_, POLLIN, 0});
+    for (const auto &conn : conns_) {
+        short events = POLLIN;
+        if (!conn->outBuf.empty())
+            events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+    }
+    const int ready =
+        ::poll(fds.data(), fds.size(), static_cast<int>(wait));
+    if (ready < 0 && errno != EINTR)
+        fatal("net: poll: %s", std::strerror(errno));
+
+    if (ready > 0) {
+        if (fds[0].revents & POLLIN)
+            acceptPending();
+        // Walk backwards so dropConn()'s erase doesn't shift the
+        // indices still to visit; fds[i + 1] belongs to conns_[i].
+        for (std::size_t i = conns_.size(); i-- > 0;) {
+            const short revents = fds[i + 1].revents;
+            if (revents & POLLOUT) {
+                if (!flushConn(*conns_[i])) {
+                    dropConn(i);
+                    continue;
+                }
+            }
+            if (revents & (POLLIN | POLLHUP | POLLERR)) {
+                readConn(i);
+                continue;
+            }
+            if (conns_[i]->closing && conns_[i]->outBuf.empty())
+                dropConn(i);
+        }
+        // Drop any connection that finished its conversation.
+        for (std::size_t i = conns_.size(); i-- > 0;)
+            if (conns_[i]->closing && conns_[i]->outBuf.empty())
+                dropConn(i);
+    }
+
+    tick();
+
+    if (leases_.allDone() && leases_.activeCount() == 0 &&
+        config_.exitWhenDone) {
+        finish();
+        return false;
+    }
+    return true;
+}
+
+void
+Daemon::run(const std::atomic<bool> *stop)
+{
+    while (pollOnce(100)) {
+        if (stop && stop->load()) {
+            // A stopped daemon keeps its promises on disk; leases
+            // stay in <journal>.leases for the next daemon to adopt.
+            writer_.commit();
+            persistLeases();
+            return;
+        }
+    }
+}
+
+} // namespace marvel::net

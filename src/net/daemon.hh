@@ -1,0 +1,158 @@
+/**
+ * @file
+ * marvel-campaignd's engine: the work-dispenser daemon.
+ *
+ * One single-threaded poll() loop owns everything: the listening
+ * socket, every worker/watcher connection, the lease table, the
+ * campaign's verdict journal, and the heartbeat. No locks, no helper
+ * threads — a campaign daemon's job is bookkeeping, and the expensive
+ * part (simulation) happens in the workers.
+ *
+ * Durability model, in order of authority:
+ *   1. The verdict journal is the campaign. Verdicts are appended
+ *      through the same store::JournalWriter the in-process scheduler
+ *      uses and committed (fsync + chunk marker) before any LeaseDone
+ *      is acked, so an acked lease can never lose work.
+ *   2. The lease table (<journal>.leases) records promised-but-
+ *      unfinished ranges. A restarted daemon re-adopts them with a
+ *      fresh TTL and will not re-grant those indices until the lease
+ *      expires — so a worker that kept simulating through the
+ *      daemon's nap completes normally and nothing double-runs.
+ *   3. The heartbeat (<journal>.progress) is advisory, as always.
+ *
+ * Worker death is the TTL's problem: a silent lease expires and its
+ * unfinished indices re-queue; a dropped connection releases its
+ * leases immediately. Stale verdicts from either case are ingested
+ * but deduplicated (first record per index wins — the same rule the
+ * journal reader, resume, and merge already enforce), which is what
+ * makes re-leasing always safe.
+ *
+ * Tests drive the daemon in-process: start(), then pollOnce() on a
+ * test thread (or run() with a stop flag), against a unix socket in a
+ * temp dir. The tools wrap run() and signal handling.
+ */
+
+#ifndef MARVEL_NET_DAEMON_HH
+#define MARVEL_NET_DAEMON_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fi/campaign.hh"
+#include "net/frame.hh"
+#include "net/lease.hh"
+#include "net/socket.hh"
+#include "obs/metrics.hh"
+#include "sched/heartbeat.hh"
+#include "store/journal.hh"
+
+namespace marvel::net
+{
+
+/** Everything marvel-campaignd configures. */
+struct DaemonConfig
+{
+    Endpoint endpoint;
+    std::string journalPath;
+
+    /**
+     * The campaign identity (sched::journalMetaFor of the golden run
+     * the daemon's owner built). Shard fields should be 0/1 — the
+     * daemon owns the whole campaign and leases are its sharding.
+     */
+    store::JournalMeta meta;
+
+    u64 ttlMillis = 30'000;  ///< lease TTL
+    u64 maxLeaseFaults = 8;  ///< cap per grant (0: whole front range)
+    u64 chunk = 16;          ///< verdicts per chunk (wire + journal)
+    u64 heartbeatMillis = 500; ///< progress/status cadence
+    bool exitWhenDone = true;  ///< stop once every verdict is in
+};
+
+/** The dispatch daemon. Construct, start(), then run()/pollOnce(). */
+class Daemon
+{
+  public:
+    explicit Daemon(DaemonConfig config);
+    ~Daemon();
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /**
+     * Bind the endpoint and open (or resume) the journal and lease
+     * table. fatal() on identity mismatch with an existing journal —
+     * the mismatch messages name the field, both values and the file.
+     */
+    void start();
+
+    /**
+     * One poll() iteration, waiting at most `maxWaitMillis` (clamped
+     * further by the heartbeat cadence and the next lease deadline).
+     * Returns false once the daemon has finished and shut down.
+     */
+    bool pollOnce(int maxWaitMillis = 100);
+
+    /** pollOnce() until complete (or `*stop` turns true). */
+    void run(const std::atomic<bool> *stop = nullptr);
+
+    /** All verdicts journaled? */
+    bool complete() const { return leases_.allDone(); }
+
+    /** The kernel-assigned port after binding host:0 (TCP only). */
+    u16 tcpPort() const;
+
+    const obs::DispatchTelemetry &telemetry() const { return stats_; }
+    const LeaseManager &leases() const { return leases_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        FrameReader reader;
+        std::string outBuf;
+        std::string worker; ///< empty until Hello
+        bool watcher = false;
+        bool closing = false; ///< drop once outBuf drains
+    };
+
+    u64 nowMillis() const;
+    void acceptPending();
+    void readConn(std::size_t i);
+    void handleFrame(Conn &conn, const Frame &frame);
+    void sendFrame(Conn &conn, MsgType type,
+                   const std::string &payload);
+    /** Push buffered bytes; false on a dead connection. */
+    bool flushConn(Conn &conn);
+    void dropConn(std::size_t i);
+    bool workerStillConnected(const std::string &name,
+                              const Conn *except) const;
+    void persistLeases();
+    void ingestChunk(Conn &conn, const std::string &payload);
+    void tick();
+    void finish();
+    sched::Heartbeat currentBeat() const;
+
+    DaemonConfig config_;
+    LeaseManager leases_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    int listenFd_ = -1;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    store::JournalWriter writer_;
+    fi::CampaignResult tally_; ///< verdict mix for the heartbeat
+    obs::DispatchTelemetry stats_;
+    std::vector<std::string> knownWorkers_;
+    u64 startMillis_ = 0;
+    u64 doneAtStart_ = 0; ///< resumed verdicts don't count as rate
+    u64 lastBeatMillis_ = 0;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace marvel::net
+
+#endif // MARVEL_NET_DAEMON_HH

@@ -1,0 +1,98 @@
+#include "net/frame.hh"
+
+#include <cstring>
+
+namespace marvel::net
+{
+
+namespace
+{
+
+void
+putU32(std::string &out, u32 value)
+{
+    out += static_cast<char>(value & 0xff);
+    out += static_cast<char>((value >> 8) & 0xff);
+    out += static_cast<char>((value >> 16) & 0xff);
+    out += static_cast<char>((value >> 24) & 0xff);
+}
+
+void
+putU16(std::string &out, u16 value)
+{
+    out += static_cast<char>(value & 0xff);
+    out += static_cast<char>((value >> 8) & 0xff);
+}
+
+u32
+getU32(const char *p)
+{
+    return static_cast<u32>(static_cast<unsigned char>(p[0])) |
+           static_cast<u32>(static_cast<unsigned char>(p[1])) << 8 |
+           static_cast<u32>(static_cast<unsigned char>(p[2])) << 16 |
+           static_cast<u32>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+u16
+getU16(const char *p)
+{
+    return static_cast<u16>(
+        static_cast<u16>(static_cast<unsigned char>(p[0])) |
+        static_cast<u16>(static_cast<unsigned char>(p[1])) << 8);
+}
+
+} // namespace
+
+void
+encodeFrame(const Frame &frame, std::string &out)
+{
+    out.reserve(out.size() + kFrameHeaderBytes +
+                frame.payload.size());
+    putU32(out, static_cast<u32>(frame.payload.size()));
+    putU16(out, static_cast<u16>(frame.type));
+    putU16(out, kProtocolVersion);
+    out += frame.payload;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t len)
+{
+    if (poisoned_)
+        return; // the stream is already lost; don't grow the buffer
+    // Compact lazily: only when the consumed prefix dominates, so a
+    // chatty connection doesn't memmove on every frame.
+    if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buffer_.append(data, len);
+}
+
+bool
+FrameReader::next(Frame &out)
+{
+    if (poisoned_)
+        return false;
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < kFrameHeaderBytes)
+        return false;
+    const char *head = buffer_.data() + consumed_;
+    const u32 payloadLen = getU32(head);
+    const u16 type = getU16(head + 4);
+    const u16 version = getU16(head + 6);
+    if (version != kProtocolVersion ||
+        payloadLen > kMaxFramePayload ||
+        type < static_cast<u16>(MsgType::Hello) ||
+        type > static_cast<u16>(MsgType::Error)) {
+        poisoned_ = true;
+        return false;
+    }
+    if (avail < kFrameHeaderBytes + payloadLen)
+        return false;
+    out.type = static_cast<MsgType>(type);
+    out.payload.assign(head + kFrameHeaderBytes, payloadLen);
+    consumed_ += kFrameHeaderBytes + payloadLen;
+    return true;
+}
+
+} // namespace marvel::net

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Length-prefixed message framing for the dispatch protocol.
+ *
+ * Every message on a dispatch connection is one frame:
+ *
+ *   offset  size  field
+ *   0       4     payload length (little-endian u32)
+ *   4       2     message type   (little-endian u16, MsgType)
+ *   6       2     protocol version (little-endian u16, = 1)
+ *   8       len   payload bytes (flat JSON records, see protocol.hh)
+ *
+ * TCP gives a byte stream, not messages; the frame header is the
+ * entire re-segmentation story. FrameReader is an incremental
+ * decoder: feed it whatever recv() produced — half a header, three
+ * frames and a tail, anything — and it yields complete frames in
+ * order. A malformed header (unknown version, oversized payload)
+ * poisons the reader permanently: framing errors are not recoverable
+ * on a stream, the only safe response is to drop the connection.
+ */
+
+#ifndef MARVEL_NET_FRAME_HH
+#define MARVEL_NET_FRAME_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace marvel::net
+{
+
+constexpr u16 kProtocolVersion = 1;
+constexpr u32 kFrameHeaderBytes = 8;
+
+/** Refuse absurd frames before allocating for them. A verdict line
+ *  is ~130 bytes; the largest legitimate frame is a journal chunk of
+ *  a whole lease, far under this. */
+constexpr u32 kMaxFramePayload = 16u * 1024 * 1024;
+
+/** Wire message types. Values are protocol, never reorder. */
+enum class MsgType : u16
+{
+    Hello = 1,        ///< worker -> daemon: name + build version
+    HelloAck = 2,     ///< daemon -> worker: campaign identity (meta)
+    LeaseRequest = 3, ///< worker -> daemon: give me work
+    LeaseGrant = 4,   ///< daemon -> worker: fault range + TTL
+    NoWork = 5,       ///< daemon -> worker: drained or complete
+    VerdictChunk = 6, ///< worker -> daemon: journal lines for a lease
+    LeaseDone = 7,    ///< worker -> daemon: range fully streamed
+    LeaseAck = 8,     ///< daemon -> worker: lease retired (or not)
+    StatusSubscribe = 9, ///< watcher -> daemon: join the status feed
+    StatusUpdate = 10,   ///< daemon -> watcher: one heartbeat record
+    Bye = 11,            ///< either side: orderly goodbye
+    Error = 12,          ///< daemon -> peer: refusal with a message
+};
+
+/** One decoded (or to-be-encoded) message. */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::string payload;
+};
+
+/** Append the wire encoding of `frame` to `out`. */
+void encodeFrame(const Frame &frame, std::string &out);
+
+/** Incremental frame decoder over a received byte stream. */
+class FrameReader
+{
+  public:
+    /** Buffer more received bytes. */
+    void feed(const char *data, std::size_t len);
+
+    /**
+     * Extract the next complete frame. False when the buffer holds
+     * only a partial frame (or the reader is poisoned).
+     */
+    bool next(Frame &out);
+
+    /** True once a malformed header was seen; no frame will follow. */
+    bool poisoned() const { return poisoned_; }
+
+    /** Bytes buffered but not yet consumed (for tests/diagnostics). */
+    std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::string buffer_;
+    std::size_t consumed_ = 0;
+    bool poisoned_ = false;
+};
+
+} // namespace marvel::net
+
+#endif // MARVEL_NET_FRAME_HH

@@ -1,0 +1,199 @@
+#include "net/lease.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace marvel::net
+{
+
+LeaseManager::LeaseManager(u64 numFaults, u64 ttlMillis)
+    : numFaults_(numFaults), ttlMillis_(ttlMillis),
+      done_(numFaults, 0)
+{
+    if (numFaults == 0)
+        fatal("net: cannot dispatch a campaign of zero faults");
+    if (ttlMillis == 0)
+        fatal("net: lease TTL must be positive");
+}
+
+void
+LeaseManager::seed(const std::vector<u8> &done)
+{
+    if (seeded_)
+        panic("LeaseManager seeded twice");
+    seeded_ = true;
+    for (u64 i = 0; i < numFaults_ && i < done.size(); ++i) {
+        if (done[i]) {
+            done_[i] = 1;
+            ++doneCount_;
+        }
+    }
+    queue_ = sched::RangeQueue(
+        sched::pendingRanges(numFaults_, done_));
+}
+
+void
+LeaseManager::adopt(const store::LeaseTable &table, u64 nowMillis)
+{
+    if (!seeded_)
+        panic("LeaseManager::adopt before seed");
+    nextId_ = std::max(nextId_, table.nextId);
+    for (const store::LeaseRecord &rec : table.active) {
+        if (rec.end <= rec.begin || rec.end > numFaults_)
+            fatal("net: persisted lease %llu covers [%llu, %llu) "
+                  "outside the campaign's %llu faults",
+                  static_cast<unsigned long long>(rec.id),
+                  static_cast<unsigned long long>(rec.begin),
+                  static_cast<unsigned long long>(rec.end),
+                  static_cast<unsigned long long>(numFaults_));
+        // Carve the adopted range out of the pending pool: re-acquire
+        // the whole pool and drop anything the lease covers. The pool
+        // is small (a handful of ranges), so rebuild is the simple
+        // and obviously-correct move.
+        std::vector<sched::IndexRange> kept;
+        while (auto r = queue_.acquire(0)) {
+            if (r->end <= rec.begin || r->begin >= rec.end) {
+                kept.push_back(*r);
+                continue;
+            }
+            if (r->begin < rec.begin)
+                kept.push_back({r->begin, rec.begin});
+            if (r->end > rec.end)
+                kept.push_back({rec.end, r->end});
+        }
+        for (const sched::IndexRange &r : kept)
+            queue_.requeue(r);
+        ActiveLease lease;
+        lease.id = rec.id;
+        lease.range = {rec.begin, rec.end};
+        lease.worker = rec.worker;
+        lease.deadlineMillis = nowMillis + ttlMillis_;
+        nextId_ = std::max(nextId_, rec.id + 1);
+        active_.emplace(lease.id, lease);
+    }
+}
+
+std::optional<ActiveLease>
+LeaseManager::grant(const std::string &worker, u64 maxFaults,
+                    u64 nowMillis)
+{
+    if (!seeded_)
+        panic("LeaseManager::grant before seed");
+    std::optional<sched::IndexRange> range = queue_.acquire(maxFaults);
+    if (!range)
+        return std::nullopt;
+    ActiveLease lease;
+    lease.id = nextId_++;
+    lease.range = *range;
+    lease.worker = worker;
+    lease.deadlineMillis = nowMillis + ttlMillis_;
+    active_.emplace(lease.id, lease);
+    ++statGranted;
+    return lease;
+}
+
+bool
+LeaseManager::recordVerdict(u64 idx)
+{
+    if (idx >= numFaults_ || done_[idx])
+        return false;
+    done_[idx] = 1;
+    ++doneCount_;
+    return true;
+}
+
+void
+LeaseManager::touch(u64 leaseId, u64 nowMillis)
+{
+    auto it = active_.find(leaseId);
+    if (it != active_.end())
+        it->second.deadlineMillis = nowMillis + ttlMillis_;
+}
+
+bool
+LeaseManager::complete(u64 leaseId)
+{
+    auto it = active_.find(leaseId);
+    if (it == active_.end())
+        return false;
+    requeueUnfinished(it->second.range);
+    active_.erase(it);
+    ++statCompleted;
+    return true;
+}
+
+std::vector<ActiveLease>
+LeaseManager::expire(u64 nowMillis)
+{
+    std::vector<ActiveLease> out;
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->second.deadlineMillis <= nowMillis) {
+            requeueUnfinished(it->second.range);
+            out.push_back(it->second);
+            it = active_.erase(it);
+            ++statExpired;
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+std::vector<ActiveLease>
+LeaseManager::release(const std::string &worker)
+{
+    std::vector<ActiveLease> out;
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->second.worker == worker) {
+            requeueUnfinished(it->second.range);
+            out.push_back(it->second);
+            it = active_.erase(it);
+            ++statReleased;
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+store::LeaseTable
+LeaseManager::snapshot() const
+{
+    store::LeaseTable table;
+    table.nextId = nextId_;
+    for (const auto &[id, lease] : active_)
+        table.active.push_back(
+            {id, lease.range.begin, lease.range.end, lease.worker});
+    return table;
+}
+
+std::optional<u64>
+LeaseManager::nextDeadline() const
+{
+    std::optional<u64> soonest;
+    for (const auto &[id, lease] : active_)
+        if (!soonest || lease.deadlineMillis < *soonest)
+            soonest = lease.deadlineMillis;
+    return soonest;
+}
+
+void
+LeaseManager::requeueUnfinished(const sched::IndexRange &range)
+{
+    u64 i = range.begin;
+    while (i < range.end) {
+        if (done_[i]) {
+            ++i;
+            continue;
+        }
+        u64 j = i + 1;
+        while (j < range.end && !done_[j])
+            ++j;
+        queue_.requeue({i, j});
+        statRequeuedIndices += j - i;
+        i = j;
+    }
+}
+
+} // namespace marvel::net

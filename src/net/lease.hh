@@ -1,0 +1,156 @@
+/**
+ * @file
+ * LeaseManager: the daemon's authority over who owns which faults.
+ *
+ * Wraps a sched::RangeQueue (the pending pool) with the bookkeeping a
+ * network dispatcher needs on top of it:
+ *
+ *   - a done bitmap fed by verdict ingest (first record per index
+ *     wins, same rule as the journal everywhere else);
+ *   - a table of ACTIVE leases with deadlines, renewed whenever the
+ *     holder streams a chunk, expired by the poll loop when silent;
+ *   - re-queueing that returns only the *unfinished* slice of a dead
+ *     lease — verdicts that already arrived stay done, so a second
+ *     worker re-runs the minimum;
+ *   - snapshot()/adopt() translating to and from store::LeaseTable so
+ *     promises survive a daemon restart.
+ *
+ * Time is an explicit `nowMillis` argument on every deadline-touching
+ * call (any monotonic millisecond clock); the manager never reads a
+ * clock itself, which keeps expiry tests instant and deterministic.
+ * Single-threaded, like everything the daemon's poll loop owns.
+ */
+
+#ifndef MARVEL_NET_LEASE_HH
+#define MARVEL_NET_LEASE_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sched/rangequeue.hh"
+#include "store/leasetab.hh"
+
+namespace marvel::net
+{
+
+/** One granted, not-yet-finished lease. */
+struct ActiveLease
+{
+    u64 id = 0;
+    sched::IndexRange range;
+    std::string worker;
+    u64 deadlineMillis = 0;
+};
+
+class LeaseManager
+{
+  public:
+    LeaseManager(u64 numFaults, u64 ttlMillis);
+
+    /**
+     * Seed the pending pool from a done bitmap (index i is finished
+     * when done[i] != 0; an empty/short bitmap means nothing done).
+     * Call exactly once, before adopt()/grant().
+     */
+    void seed(const std::vector<u8> &done);
+
+    /**
+     * Re-adopt leases persisted by a previous daemon. Each becomes
+     * ACTIVE again (unowned until its worker reconnects — the worker
+     * name is informational) with a full TTL from `nowMillis`, and is
+     * carved out of the pending pool so it cannot be double-granted.
+     * Records already journaled inside an adopted range stay done.
+     */
+    void adopt(const store::LeaseTable &table, u64 nowMillis);
+
+    /**
+     * Grant up to `maxFaults` contiguous pending indices to `worker`
+     * (0 = whole front range). nullopt when nothing is queued — the
+     * campaign is then either complete or waiting on active leases.
+     */
+    std::optional<ActiveLease> grant(const std::string &worker,
+                                     u64 maxFaults, u64 nowMillis);
+
+    /**
+     * Note one ingested verdict. Returns true when the index was not
+     * yet done (a fresh result), false for a duplicate/stale one.
+     */
+    bool recordVerdict(u64 idx);
+
+    /** Push a lease's deadline out to now + TTL (holder is alive). */
+    void touch(u64 leaseId, u64 nowMillis);
+
+    /**
+     * The holder declared the lease finished. Any indices in its
+     * range still missing verdicts go back to the pool (a compliant
+     * worker leaves none). Returns false when the lease is unknown —
+     * it expired first and its work is already re-queued.
+     */
+    bool complete(u64 leaseId);
+
+    /**
+     * Expire every lease whose deadline passed; unfinished slices
+     * return to the pool. Returns the expired leases (for logging).
+     */
+    std::vector<ActiveLease> expire(u64 nowMillis);
+
+    /**
+     * A worker's connection dropped: every lease it held goes back to
+     * the pool immediately (no need to wait out the TTL — the holder
+     * is provably gone). Returns the released leases.
+     */
+    std::vector<ActiveLease> release(const std::string &worker);
+
+    /** Serializable view of the active leases, for persistence. */
+    store::LeaseTable snapshot() const;
+
+    /** Is `leaseId` still outstanding (not expired or completed)? */
+    bool
+    isActive(u64 leaseId) const
+    {
+        return active_.count(leaseId) != 0;
+    }
+
+    bool allDone() const { return doneCount_ == numFaults_; }
+    u64 doneCount() const { return doneCount_; }
+    u64 numFaults() const { return numFaults_; }
+    /** Indices without a verdict yet (queued or leased). */
+    u64 pendingCount() const { return numFaults_ - doneCount_; }
+    /** Indices queued for grant right now. */
+    u64 queuedCount() const { return queue_.pendingCount(); }
+    std::size_t activeCount() const { return active_.size(); }
+    u64 ttlMillis() const { return ttlMillis_; }
+
+    /**
+     * The soonest active-lease deadline, or nullopt when no lease is
+     * outstanding. The poll loop sleeps no longer than this.
+     */
+    std::optional<u64> nextDeadline() const;
+
+    // Lifetime counters, surfaced through obs::DispatchTelemetry.
+    u64 statGranted = 0;
+    u64 statCompleted = 0;
+    u64 statExpired = 0;  ///< TTL ran out on a silent holder
+    u64 statReleased = 0; ///< holder's connection dropped
+    u64 statRequeuedIndices = 0;
+
+  private:
+    /** Return the not-yet-done subranges of `range` to the pool. */
+    void requeueUnfinished(const sched::IndexRange &range);
+
+    u64 numFaults_;
+    u64 ttlMillis_;
+    u64 nextId_ = 1;
+    bool seeded_ = false;
+    std::vector<u8> done_;
+    u64 doneCount_ = 0;
+    sched::RangeQueue queue_;
+    std::map<u64, ActiveLease> active_;
+};
+
+} // namespace marvel::net
+
+#endif // MARVEL_NET_LEASE_HH

@@ -1,0 +1,226 @@
+#include "net/protocol.hh"
+
+#include <map>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace marvel::net
+{
+
+namespace
+{
+
+/** Parse `payload` as one flat JSON object (no trailing newline). */
+bool
+parseObject(const std::string &payload,
+            std::map<std::string, std::string> &fields)
+{
+    std::string line = payload;
+    while (!line.empty() && line.back() == '\n')
+        line.pop_back();
+    return json::parseFlat(line, fields);
+}
+
+} // namespace
+
+std::string
+encodeHello(const Hello &msg)
+{
+    return strfmt("{\"worker\":\"%s\",\"version\":\"%s\"}",
+                  json::escape(msg.worker).c_str(),
+                  json::escape(msg.version).c_str());
+}
+
+bool
+decodeHello(const std::string &payload, Hello &out)
+{
+    std::map<std::string, std::string> fields;
+    return parseObject(payload, fields) &&
+           json::fieldStr(fields, "worker", out.worker) &&
+           json::fieldStr(fields, "version", out.version);
+}
+
+std::string
+encodeHelloAck(const HelloAck &msg)
+{
+    // Line 1: the journal's own meta record (campaign identity).
+    // Line 2: dispatch configuration the worker should honour.
+    return store::formatMetaLine(msg.meta) + "\n" +
+           strfmt("{\"ttlMillis\":%llu,\"chunk\":%llu}",
+                  static_cast<unsigned long long>(msg.ttlMillis),
+                  static_cast<unsigned long long>(msg.chunk));
+}
+
+bool
+decodeHelloAck(const std::string &payload, HelloAck &out)
+{
+    const std::size_t nl = payload.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    if (!store::parseMetaLine(payload.substr(0, nl), out.meta))
+        return false;
+    std::map<std::string, std::string> fields;
+    return parseObject(payload.substr(nl + 1), fields) &&
+           json::fieldU64(fields, "ttlMillis", out.ttlMillis) &&
+           json::fieldU64(fields, "chunk", out.chunk);
+}
+
+std::string
+encodeLeaseRequest(u64 maxFaults)
+{
+    return strfmt("{\"max\":%llu}",
+                  static_cast<unsigned long long>(maxFaults));
+}
+
+bool
+decodeLeaseRequest(const std::string &payload, u64 &maxFaults)
+{
+    std::map<std::string, std::string> fields;
+    return parseObject(payload, fields) &&
+           json::fieldU64(fields, "max", maxFaults);
+}
+
+std::string
+encodeLeaseGrant(const LeaseGrant &msg)
+{
+    return strfmt("{\"lease\":%llu,\"begin\":%llu,\"end\":%llu,"
+                  "\"ttlMillis\":%llu}",
+                  static_cast<unsigned long long>(msg.lease),
+                  static_cast<unsigned long long>(msg.range.begin),
+                  static_cast<unsigned long long>(msg.range.end),
+                  static_cast<unsigned long long>(msg.ttlMillis));
+}
+
+bool
+decodeLeaseGrant(const std::string &payload, LeaseGrant &out)
+{
+    std::map<std::string, std::string> fields;
+    return parseObject(payload, fields) &&
+           json::fieldU64(fields, "lease", out.lease) &&
+           json::fieldU64(fields, "begin", out.range.begin) &&
+           json::fieldU64(fields, "end", out.range.end) &&
+           json::fieldU64(fields, "ttlMillis", out.ttlMillis) &&
+           out.range.begin < out.range.end;
+}
+
+std::string
+encodeNoWork(const NoWork &msg)
+{
+    return strfmt("{\"complete\":%d,\"pending\":%llu}",
+                  msg.complete ? 1 : 0,
+                  static_cast<unsigned long long>(msg.pending));
+}
+
+bool
+decodeNoWork(const std::string &payload, NoWork &out)
+{
+    std::map<std::string, std::string> fields;
+    u64 complete = 0;
+    if (!parseObject(payload, fields) ||
+        !json::fieldU64(fields, "complete", complete) ||
+        !json::fieldU64(fields, "pending", out.pending))
+        return false;
+    out.complete = complete != 0;
+    return true;
+}
+
+std::string
+encodeVerdictChunk(const VerdictChunk &msg)
+{
+    std::string out = strfmt(
+        "{\"lease\":%llu,\"count\":%zu}",
+        static_cast<unsigned long long>(msg.lease),
+        msg.verdicts.size());
+    for (const store::JournalVerdict &jv : msg.verdicts) {
+        out += '\n';
+        out += store::formatVerdictLine(jv.idx, jv.verdict);
+    }
+    return out;
+}
+
+bool
+decodeVerdictChunk(const std::string &payload, VerdictChunk &out)
+{
+    std::size_t nl = payload.find('\n');
+    const std::string header =
+        payload.substr(0, nl == std::string::npos ? payload.size()
+                                                  : nl);
+    std::map<std::string, std::string> fields;
+    u64 count = 0;
+    if (!json::parseFlat(header, fields) ||
+        !json::fieldU64(fields, "lease", out.lease) ||
+        !json::fieldU64(fields, "count", count))
+        return false;
+    out.verdicts.clear();
+    out.verdicts.reserve(count);
+    std::size_t pos =
+        nl == std::string::npos ? payload.size() : nl + 1;
+    while (pos < payload.size()) {
+        nl = payload.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = payload.size();
+        const std::string line = payload.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+        store::JournalVerdict jv;
+        if (!store::parseVerdictLine(line, jv))
+            return false;
+        out.verdicts.push_back(jv);
+    }
+    return out.verdicts.size() == count;
+}
+
+std::string
+encodeLeaseDone(u64 lease)
+{
+    return strfmt("{\"lease\":%llu}",
+                  static_cast<unsigned long long>(lease));
+}
+
+bool
+decodeLeaseDone(const std::string &payload, u64 &lease)
+{
+    std::map<std::string, std::string> fields;
+    return parseObject(payload, fields) &&
+           json::fieldU64(fields, "lease", lease);
+}
+
+std::string
+encodeLeaseAck(const LeaseAck &msg)
+{
+    return strfmt("{\"lease\":%llu,\"ok\":%d}",
+                  static_cast<unsigned long long>(msg.lease),
+                  msg.ok ? 1 : 0);
+}
+
+bool
+decodeLeaseAck(const std::string &payload, LeaseAck &out)
+{
+    std::map<std::string, std::string> fields;
+    u64 ok = 0;
+    if (!parseObject(payload, fields) ||
+        !json::fieldU64(fields, "lease", out.lease) ||
+        !json::fieldU64(fields, "ok", ok))
+        return false;
+    out.ok = ok != 0;
+    return true;
+}
+
+std::string
+encodeError(const std::string &message)
+{
+    return strfmt("{\"message\":\"%s\"}",
+                  json::escape(message).c_str());
+}
+
+bool
+decodeError(const std::string &payload, std::string &message)
+{
+    std::map<std::string, std::string> fields;
+    return parseObject(payload, fields) &&
+           json::fieldStr(fields, "message", message);
+}
+
+} // namespace marvel::net

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dispatch protocol messages: what travels inside the frames.
+ *
+ * Payloads reuse the journal's record grammar (one flat JSON object
+ * per line, common/json.hh) rather than inventing a binary schema:
+ * the campaign identity travels as the journal's own meta record and
+ * verdicts travel as the journal's own verdict records, so the daemon
+ * ingests exactly the bytes it would have journaled locally and the
+ * reproducibility argument stays one argument.
+ *
+ * Conversation (worker):
+ *   -> Hello {worker, version}
+ *   <- HelloAck: meta record + {ttlMillis, chunk} config line
+ *   -> LeaseRequest {max}
+ *   <- LeaseGrant {lease, begin, end, ttlMillis} | NoWork {complete}
+ *   -> VerdictChunk: {lease, count} header line + count verdict lines
+ *   -> LeaseDone {lease}
+ *   <- LeaseAck {lease, ok}
+ *   ... repeat from LeaseRequest until NoWork{complete:1} ...
+ *   -> Bye
+ *
+ * Conversation (watcher):
+ *   -> StatusSubscribe {}
+ *   <- StatusUpdate (heartbeat JSON), repeated until complete
+ *
+ * The lease state machine (daemon side):
+ *
+ *          grant                    LeaseDone(all indices seen)
+ *   queue ------->  ACTIVE  ----------------------------------> done
+ *     ^             |    |
+ *     |  TTL expiry |    | connection drop
+ *     +-------------+    |
+ *     ^                  |
+ *     +------------------+
+ *
+ * A re-queued range may be re-granted; verdicts from the old lease
+ * that still arrive are counted stale-but-ingested (dedup makes them
+ * harmless — first record per index wins everywhere).
+ */
+
+#ifndef MARVEL_NET_PROTOCOL_HH
+#define MARVEL_NET_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "sched/rangequeue.hh"
+#include "store/journal.hh"
+
+namespace marvel::net
+{
+
+/** Hello payload. */
+struct Hello
+{
+    std::string worker;  ///< worker's self-chosen name
+    std::string version; ///< its kVersionString
+};
+
+/** HelloAck payload: campaign identity + dispatch configuration. */
+struct HelloAck
+{
+    store::JournalMeta meta;
+    u64 ttlMillis = 0; ///< lease TTL workers should expect
+    u64 chunk = 32;    ///< preferred verdicts per VerdictChunk
+};
+
+/** LeaseGrant payload. */
+struct LeaseGrant
+{
+    u64 lease = 0;
+    sched::IndexRange range;
+    u64 ttlMillis = 0;
+};
+
+/** NoWork payload. */
+struct NoWork
+{
+    bool complete = false; ///< campaign finished: workers may exit
+    u64 pending = 0;       ///< indices not yet journaled
+};
+
+/** Decoded VerdictChunk payload. */
+struct VerdictChunk
+{
+    u64 lease = 0;
+    std::vector<store::JournalVerdict> verdicts;
+};
+
+/** LeaseAck payload. */
+struct LeaseAck
+{
+    u64 lease = 0;
+    bool ok = false; ///< false: lease was expired/unknown (rerun not
+                     ///  needed — the range is back in the queue)
+};
+
+std::string encodeHello(const Hello &msg);
+bool decodeHello(const std::string &payload, Hello &out);
+
+std::string encodeHelloAck(const HelloAck &msg);
+bool decodeHelloAck(const std::string &payload, HelloAck &out);
+
+std::string encodeLeaseRequest(u64 maxFaults);
+bool decodeLeaseRequest(const std::string &payload, u64 &maxFaults);
+
+std::string encodeLeaseGrant(const LeaseGrant &msg);
+bool decodeLeaseGrant(const std::string &payload, LeaseGrant &out);
+
+std::string encodeNoWork(const NoWork &msg);
+bool decodeNoWork(const std::string &payload, NoWork &out);
+
+std::string encodeVerdictChunk(const VerdictChunk &msg);
+bool decodeVerdictChunk(const std::string &payload,
+                        VerdictChunk &out);
+
+std::string encodeLeaseDone(u64 lease);
+bool decodeLeaseDone(const std::string &payload, u64 &lease);
+
+std::string encodeLeaseAck(const LeaseAck &msg);
+bool decodeLeaseAck(const std::string &payload, LeaseAck &out);
+
+std::string encodeError(const std::string &message);
+bool decodeError(const std::string &payload, std::string &message);
+
+} // namespace marvel::net
+
+#endif // MARVEL_NET_PROTOCOL_HH

@@ -1,0 +1,336 @@
+#include "net/worker.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/version.hh"
+#include "fi/fault.hh"
+#include "fi/targets.hh"
+#include "net/frame.hh"
+#include "net/protocol.hh"
+#include "sched/scheduler.hh"
+
+namespace marvel::net
+{
+
+namespace
+{
+
+/** FNV-1a, so jitter streams differ per worker name. */
+u64
+nameHash(const std::string &name)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+fi::FaultModel
+modelFromName(const std::string &name, const std::string &source)
+{
+    for (int i = 0; i <= static_cast<int>(fi::FaultModel::StuckAt1);
+         ++i) {
+        const fi::FaultModel m = static_cast<fi::FaultModel>(i);
+        if (name == fi::faultModelName(m))
+            return m;
+    }
+    fatal("worker: %s names unknown fault model '%s'",
+          source.c_str(), name.c_str());
+}
+
+/** One connected conversation with the daemon. */
+struct Session
+{
+    int fd = -1;
+    FrameReader reader;
+
+    ~Session()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    bool
+    sendFrame(MsgType type, const std::string &payload)
+    {
+        std::string wire;
+        encodeFrame({type, payload}, wire);
+        return sendAll(fd, wire);
+    }
+
+    /** Block until one whole frame arrives; false on stream loss. */
+    bool
+    readFrame(Frame &out)
+    {
+        for (;;) {
+            if (reader.next(out))
+                return true;
+            if (reader.poisoned())
+                return false;
+            std::string bytes;
+            const long n = recvSome(fd, bytes);
+            if (n <= 0)
+                return false;
+            reader.feed(bytes.data(), bytes.size());
+        }
+    }
+};
+
+/** The per-campaign state derived from the daemon's HelloAck. */
+struct CampaignContext
+{
+    store::JournalMeta meta;
+    const fi::GoldenRun *golden = nullptr;
+    fi::TargetRef target;
+    fi::TargetGeometry geometry;
+    fi::FaultModel model = fi::FaultModel::Transient;
+    fi::InjectionOptions runOpts;
+    fi::TargetProfile profile;
+};
+
+/**
+ * Build and validate the campaign context from the first HelloAck.
+ * Validation reuses checkJournalMatches by deriving the meta this
+ * worker WOULD journal for its local golden and comparing it to the
+ * daemon's — so every mismatch fatal (digest, ladder, prune, ...)
+ * reads exactly like the resume/replay ones, naming both values.
+ */
+CampaignContext
+makeContext(const store::JournalMeta &meta,
+            const GoldenSource &goldenFor, const Endpoint &endpoint)
+{
+    CampaignContext ctx;
+    ctx.meta = meta;
+    ctx.golden = &goldenFor(meta);
+    ctx.model = modelFromName(
+        meta.model, "daemon at " + endpoint.str());
+    ctx.target = fi::targetByName(ctx.golden->checkpoint.view(),
+                                  meta.target);
+    const fi::TargetInfo info =
+        fi::targetInfo(ctx.golden->checkpoint.view(), ctx.target);
+    ctx.geometry = info.geometry;
+
+    fi::CampaignOptions copts;
+    copts.numFaults = static_cast<unsigned>(meta.numFaults);
+    copts.model = ctx.model;
+    copts.seed = meta.seed;
+    copts.earlyTermination = meta.optEarlyTerm != 0;
+    copts.computeHvf = meta.optHvf != 0;
+    copts.timeoutFactor =
+        static_cast<double>(meta.timeoutFactorMilli) / 1000.0;
+    copts.ladderRungs = meta.ladderRungs;
+    copts.prune = meta.optPrune != 0;
+    copts.shardIndex = meta.shardIndex;
+    copts.shardCount = meta.shardCount;
+    copts.workloadName = meta.workload;
+    const store::JournalMeta expected =
+        sched::journalMetaFor(*ctx.golden, info, copts);
+    sched::checkJournalMatches(meta, expected,
+                               "dispatch " + endpoint.str());
+
+    ctx.runOpts.earlyTermination = copts.earlyTermination;
+    ctx.runOpts.computeHvf = copts.computeHvf;
+    ctx.runOpts.timeoutFactor = copts.timeoutFactor;
+    ctx.runOpts.useLadder = true;
+    if (copts.prune && ctx.model == fi::FaultModel::Transient)
+        ctx.profile =
+            fi::profileTargetAccesses(*ctx.golden, ctx.target);
+    return ctx;
+}
+
+} // namespace
+
+u64
+backoffDelayMillis(const std::string &name, unsigned attempt,
+                   u64 baseMillis, u64 capMillis)
+{
+    u64 window = baseMillis;
+    for (unsigned i = 0; i < std::min(attempt, 16u); ++i) {
+        window *= 2;
+        if (window >= capMillis)
+            break;
+    }
+    window = std::min(std::max<u64>(window, 1), capMillis);
+    Rng rng = Rng::forStream(nameHash(name), attempt);
+    return window / 2 + rng() % (window / 2 + 1);
+}
+
+WorkerReport
+runWorker(const WorkerConfig &config, const GoldenSource &goldenFor)
+{
+    WorkerReport report;
+    std::optional<CampaignContext> ctx;
+    bool everConnected = false;
+    unsigned attempt = 0;
+
+    for (;;) {
+        Session session;
+        session.fd = connectTo(config.endpoint);
+        if (session.fd < 0) {
+            if (attempt >= config.connectAttempts) {
+                if (report.campaignComplete)
+                    return report;
+                fatal("worker '%s': daemon at %s unreachable after "
+                      "%u attempts",
+                      config.name.c_str(),
+                      config.endpoint.str().c_str(),
+                      config.connectAttempts);
+            }
+            const u64 delay = backoffDelayMillis(
+                config.name, attempt, config.backoffBaseMillis,
+                config.backoffCapMillis);
+            ++attempt;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            continue;
+        }
+        if (everConnected)
+            ++report.reconnects;
+        everConnected = true;
+        attempt = 0;
+
+        Hello hello;
+        hello.worker = config.name;
+        hello.version = kVersionString;
+        Frame frame;
+        HelloAck ack;
+        if (!session.sendFrame(MsgType::Hello, encodeHello(hello)) ||
+            !session.readFrame(frame) ||
+            frame.type != MsgType::HelloAck ||
+            !decodeHelloAck(frame.payload, ack))
+            continue; // stream died mid-handshake; back off & retry
+        if (!ctx)
+            ctx = makeContext(ack.meta, goldenFor, config.endpoint);
+        const u64 chunkSize = ack.chunk ? ack.chunk : 16;
+
+        // The lease loop: runs until the campaign completes or the
+        // connection drops (then we fall out and reconnect).
+        bool connected = true;
+        while (connected) {
+            if (!session.sendFrame(
+                    MsgType::LeaseRequest,
+                    encodeLeaseRequest(config.maxLeaseFaults)) ||
+                !session.readFrame(frame)) {
+                connected = false;
+                break;
+            }
+            if (frame.type == MsgType::NoWork) {
+                NoWork none;
+                if (!decodeNoWork(frame.payload, none)) {
+                    connected = false;
+                    break;
+                }
+                if (none.complete) {
+                    report.campaignComplete = true;
+                    session.sendFrame(MsgType::Bye, "");
+                    return report;
+                }
+                // Drained but unfinished: someone else holds the
+                // remaining leases. Poll again shortly.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        config.idlePollMillis));
+                continue;
+            }
+            LeaseGrant grant;
+            if (frame.type != MsgType::LeaseGrant ||
+                !decodeLeaseGrant(frame.payload, grant)) {
+                connected = false;
+                break;
+            }
+
+            VerdictChunk chunk;
+            chunk.lease = grant.lease;
+            for (u64 idx = grant.range.begin;
+                 connected && idx < grant.range.end; ++idx) {
+                const fi::RunVerdict verdict = sched::runFaultIndex(
+                    *ctx->golden, ctx->target, ctx->geometry,
+                    ctx->meta.seed, idx, ctx->model, ctx->runOpts,
+                    ctx->profile);
+                chunk.verdicts.push_back({idx, verdict});
+                ++report.verdictsStreamed;
+                if (config.abandonAfterVerdicts &&
+                    report.verdictsStreamed >=
+                        config.abandonAfterVerdicts) {
+                    // Simulated kill -9: vanish mid-lease, verdicts
+                    // in hand unstreamed. The daemon's TTL cleans up.
+                    report.abandoned = true;
+                    return report;
+                }
+                if (chunk.verdicts.size() >= chunkSize) {
+                    if (!session.sendFrame(
+                            MsgType::VerdictChunk,
+                            encodeVerdictChunk(chunk)))
+                        connected = false;
+                    chunk.verdicts.clear();
+                }
+            }
+            if (!connected)
+                break;
+            if (!chunk.verdicts.empty() &&
+                !session.sendFrame(MsgType::VerdictChunk,
+                                   encodeVerdictChunk(chunk))) {
+                connected = false;
+                break;
+            }
+            if (!session.sendFrame(MsgType::LeaseDone,
+                                   encodeLeaseDone(grant.lease)) ||
+                !session.readFrame(frame)) {
+                connected = false;
+                break;
+            }
+            if (frame.type == MsgType::NoWork) {
+                // The daemon saw the campaign complete on our final
+                // chunk and broadcast shutdown before reading our
+                // LeaseDone. Everything we ran is journaled; treat it
+                // as graceful completion.
+                NoWork none;
+                if (decodeNoWork(frame.payload, none) &&
+                    none.complete) {
+                    ++report.leasesCompleted;
+                    report.campaignComplete = true;
+                    session.sendFrame(MsgType::Bye, "");
+                    return report;
+                }
+                connected = false;
+                break;
+            }
+            LeaseAck leaseAck;
+            if (frame.type != MsgType::LeaseAck ||
+                !decodeLeaseAck(frame.payload, leaseAck)) {
+                connected = false;
+                break;
+            }
+            if (leaseAck.ok) {
+                ++report.leasesCompleted;
+            } else {
+                // The lease expired before LeaseDone landed (we were
+                // too slow). Our verdicts are journaled regardless;
+                // the daemon already re-queued whatever is missing.
+                ++report.leasesLost;
+                warn("worker '%s': lease %llu expired before "
+                     "completion was acknowledged",
+                     config.name.c_str(),
+                     static_cast<unsigned long long>(grant.lease));
+            }
+        }
+        // Connection lost: back off before reconnecting so a flapping
+        // daemon isn't hammered, then start over from Hello.
+        const u64 delay =
+            backoffDelayMillis(config.name, 0,
+                               config.backoffBaseMillis,
+                               config.backoffCapMillis);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
+    }
+}
+
+} // namespace marvel::net

@@ -82,4 +82,59 @@ formatCampaignMetrics(const CampaignTelemetry &t)
     return out;
 }
 
+DispatchWorkerStats &
+DispatchTelemetry::workerNamed(const std::string &name)
+{
+    for (DispatchWorkerStats &w : workers)
+        if (w.name == name)
+            return w;
+    workers.push_back({});
+    workers.back().name = name;
+    return workers.back();
+}
+
+std::string
+formatDispatchMetrics(const DispatchTelemetry &t)
+{
+    std::string out;
+    out += "dispatch metrics\n";
+    out += strfmt("  leases          : %llu granted  (%llu completed, "
+                  "%llu expired, %llu requeued)\n",
+                  static_cast<unsigned long long>(t.leasesGranted),
+                  static_cast<unsigned long long>(t.leasesCompleted),
+                  static_cast<unsigned long long>(t.leasesExpired),
+                  static_cast<unsigned long long>(t.leasesRequeued));
+    out += strfmt("  verdicts        : %llu ingested in %llu chunk(s)",
+                  static_cast<unsigned long long>(t.verdictsIngested),
+                  static_cast<unsigned long long>(t.chunksIngested));
+    if (t.duplicateVerdicts || t.staleVerdicts)
+        out += strfmt("  (%llu duplicate, %llu stale)",
+                      static_cast<unsigned long long>(
+                          t.duplicateVerdicts),
+                      static_cast<unsigned long long>(
+                          t.staleVerdicts));
+    out += "\n";
+    out += strfmt("  connections     : %llu accepted, %llu status "
+                  "watcher(s)\n",
+                  static_cast<unsigned long long>(
+                      t.connectionsAccepted),
+                  static_cast<unsigned long long>(t.watchersServed));
+    if (t.wallSeconds > 0)
+        out += strfmt("  wall time       : %.3f s  (%.1f verdicts/s "
+                      "aggregate)\n",
+                      t.wallSeconds,
+                      static_cast<double>(t.verdictsIngested) /
+                          t.wallSeconds);
+    for (const DispatchWorkerStats &w : t.workers)
+        out += strfmt("  worker %-9s: %llu lease(s), %llu "
+                      "verdict(s), %llu reconnect(s), %.1f "
+                      "verdicts/s\n",
+                      w.name.c_str(),
+                      static_cast<unsigned long long>(w.leases),
+                      static_cast<unsigned long long>(w.verdicts),
+                      static_cast<unsigned long long>(w.reconnects),
+                      w.verdictsPerSecond());
+    return out;
+}
+
 } // namespace marvel::obs

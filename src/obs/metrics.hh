@@ -92,6 +92,54 @@ struct CampaignTelemetry
 /** Render the telemetry as a human-readable text report. */
 std::string formatCampaignMetrics(const CampaignTelemetry &telemetry);
 
+/** One remote worker as the dispatch daemon saw it. */
+struct DispatchWorkerStats
+{
+    std::string name;
+    u64 leases = 0;      ///< leases granted to this worker
+    u64 verdicts = 0;    ///< verdicts it streamed back
+    u64 reconnects = 0;  ///< times it re-appeared after a drop
+    double busySeconds = 0; ///< first grant -> last verdict
+
+    double
+    verdictsPerSecond() const
+    {
+        return busySeconds > 0 ? static_cast<double>(verdicts) /
+                                     busySeconds
+                               : 0.0;
+    }
+};
+
+/**
+ * What the dispatch daemon did: the lease lifecycle in numbers plus
+ * per-worker throughput. The lease counters obey
+ *   granted == completed + expired + requeued + still-active
+ * (expired leases that were later re-granted count once per grant).
+ * Lives in obs for the same reason CampaignTelemetry does: pure
+ * observability, shared by the daemon tool, tests and status output.
+ */
+struct DispatchTelemetry
+{
+    u64 leasesGranted = 0;
+    u64 leasesCompleted = 0;
+    u64 leasesExpired = 0;   ///< TTL ran out on a silent worker
+    u64 leasesRequeued = 0;  ///< connection died with the lease open
+    u64 verdictsIngested = 0;
+    u64 duplicateVerdicts = 0; ///< re-leased work arriving twice
+    u64 staleVerdicts = 0;     ///< arrived after the lease was lost
+    u64 chunksIngested = 0;
+    u64 connectionsAccepted = 0;
+    u64 watchersServed = 0;
+    double wallSeconds = 0;
+    std::vector<DispatchWorkerStats> workers;
+
+    /** Find-or-create the per-worker slot for `name`. */
+    DispatchWorkerStats &workerNamed(const std::string &name);
+};
+
+/** Render the dispatch telemetry as a human-readable text report. */
+std::string formatDispatchMetrics(const DispatchTelemetry &telemetry);
+
 } // namespace marvel::obs
 
 #endif // MARVEL_OBS_METRICS_HH

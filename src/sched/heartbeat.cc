@@ -1,6 +1,8 @@
 #include "sched/heartbeat.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -95,10 +97,10 @@ heartbeatPath(const std::string &journalPath)
     return journalPath + ".progress";
 }
 
-void
-writeHeartbeat(const std::string &path, const Heartbeat &beat)
+std::string
+heartbeatJson(const Heartbeat &beat)
 {
-    const std::string body = strfmt(
+    return strfmt(
         "{\"v\":1,\"done\":%llu,\"expected\":%llu,"
         "\"masked\":%llu,\"sdc\":%llu,\"crash\":%llu,"
         "\"pruned\":%llu,"
@@ -114,7 +116,12 @@ writeHeartbeat(const std::string &path, const Heartbeat &beat)
         beat.runsPerSec, beat.avf, beat.margin, beat.etaSeconds,
         static_cast<unsigned long long>(beat.wallMillis),
         beat.complete ? 1 : 0);
+}
 
+void
+writeHeartbeat(const std::string &path, const Heartbeat &beat)
+{
+    const std::string body = heartbeatJson(beat);
     const std::string tmp = path + ".tmp";
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
@@ -130,18 +137,8 @@ writeHeartbeat(const std::string &path, const Heartbeat &beat)
 }
 
 bool
-readHeartbeat(const std::string &path, Heartbeat &out)
+parseHeartbeatJson(const std::string &text, Heartbeat &out)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    std::string text;
-    char buf[512];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        text.append(buf, n);
-    std::fclose(f);
-
     std::map<std::string, double> fields;
     if (!parseNumberObject(text, fields))
         return false;
@@ -165,6 +162,59 @@ readHeartbeat(const std::string &path, Heartbeat &out)
     beat.complete = fieldOr(fields, "complete", 0.0) != 0.0;
     out = beat;
     return true;
+}
+
+bool
+readHeartbeat(const std::string &path, Heartbeat &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[512];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return parseHeartbeatJson(text, out);
+}
+
+Heartbeat
+aggregateHeartbeats(const std::vector<Heartbeat> &beats)
+{
+    Heartbeat agg;
+    if (beats.empty())
+        return agg;
+    agg.complete = true;
+    for (const Heartbeat &b : beats) {
+        agg.done += b.done;
+        agg.expected += b.expected;
+        agg.masked += b.masked;
+        agg.sdc += b.sdc;
+        agg.crash += b.crash;
+        agg.pruned += b.pruned;
+        agg.runsPerSec += b.runsPerSec; // shards run concurrently
+        agg.wallMillis = std::max(agg.wallMillis, b.wallMillis);
+        agg.complete = agg.complete && b.complete;
+    }
+    const u64 vulnerable = agg.sdc + agg.crash;
+    agg.avf = agg.done ? static_cast<double>(vulnerable) /
+                             static_cast<double>(agg.done)
+                       : 0.0;
+    // Binomial 95% half-width over the combined sample; the finite-
+    // population correction the per-shard margins carry is < 1e-3
+    // for any realistic fault population, so dropping it here keeps
+    // the aggregate honest without re-reading every journal.
+    agg.margin = agg.done
+                     ? 1.96 * std::sqrt(agg.avf * (1.0 - agg.avf) /
+                                        static_cast<double>(agg.done))
+                     : 1.0;
+    if (!agg.complete && agg.runsPerSec > 0 &&
+        agg.expected > agg.done)
+        agg.etaSeconds =
+            static_cast<double>(agg.expected - agg.done) /
+            agg.runsPerSec;
+    return agg;
 }
 
 std::string

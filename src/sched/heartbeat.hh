@@ -19,6 +19,7 @@
 #define MARVEL_SCHED_HEARTBEAT_HH
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -66,6 +67,30 @@ void writeHeartbeat(const std::string &path, const Heartbeat &beat);
  * race with the writer, not an error.
  */
 bool readHeartbeat(const std::string &path, Heartbeat &out);
+
+/**
+ * The heartbeat rendered as its one-line JSON object (newline
+ * terminated) — the exact bytes writeHeartbeat puts in the file, also
+ * streamed verbatim to status watchers over the dispatch socket.
+ */
+std::string heartbeatJson(const Heartbeat &beat);
+
+/** Parse heartbeatJson() output; false on malformed text. */
+bool parseHeartbeatJson(const std::string &text, Heartbeat &out);
+
+/**
+ * Fold per-worker/per-shard heartbeats into one campaign-wide view:
+ * done/expected and the verdict mix sum; throughput sums (the shards
+ * run concurrently); the AVF is recomputed from the summed counts;
+ * the ETA is the remaining work over the combined rate — i.e. when
+ * the campaign as a whole finishes, not when the slowest file says
+ * its own shard does. The margin is re-derived from the summed
+ * sample with the binomial half of the Leveugle formula (the
+ * population-size correction needs the journal, which a heartbeat
+ * deliberately avoids reading; for campaign-sized populations the
+ * correction is negligible).
+ */
+Heartbeat aggregateHeartbeats(const std::vector<Heartbeat> &beats);
 
 /** One human-readable progress line (no trailing newline). */
 std::string formatHeartbeat(const Heartbeat &beat);

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Contiguous fault-index ranges for lease-based dispatch.
+ *
+ * The in-process WorkQueue deals single indices from an atomic
+ * counter — perfect when every worker shares an address space, wrong
+ * for network dispatch where each unit of work costs a round trip and
+ * must survive the worker dying mid-unit. RangeQueue is its coarse
+ * sibling: the pending index set is held as sorted, disjoint,
+ * contiguous [begin, end) ranges; a grant splits off up to maxSize
+ * indices from the front, and a failed lease pushes its range back
+ * (re-coalescing with neighbours) to be granted again.
+ *
+ * Header-only and single-threaded by design: the daemon's poll loop
+ * is the only caller, so there is no locking to get wrong. The
+ * in-process scheduler keeps its lock-free WorkQueue; this type
+ * exists beside it, not instead of it.
+ */
+
+#ifndef MARVEL_SCHED_RANGEQUEUE_HH
+#define MARVEL_SCHED_RANGEQUEUE_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::sched
+{
+
+/** Fault indices [begin, end). */
+struct IndexRange
+{
+    u64 begin = 0;
+    u64 end = 0;
+
+    u64 size() const { return end - begin; }
+    bool contains(u64 i) const { return i >= begin && i < end; }
+    bool operator==(const IndexRange &other) const = default;
+};
+
+/**
+ * The pending indices of a campaign as maximal contiguous ranges:
+ * every index i < numFaults with done[i] == 0, coalesced. This is how
+ * a daemon rebuilds its queue from a resumed journal's done bitmap.
+ */
+inline std::vector<IndexRange>
+pendingRanges(u64 numFaults, const std::vector<u8> &done)
+{
+    std::vector<IndexRange> ranges;
+    u64 i = 0;
+    while (i < numFaults) {
+        if (i < done.size() && done[i]) {
+            ++i;
+            continue;
+        }
+        u64 j = i + 1;
+        while (j < numFaults && !(j < done.size() && done[j]))
+            ++j;
+        ranges.push_back({i, j});
+        i = j;
+    }
+    return ranges;
+}
+
+/** Sorted, disjoint pool of pending index ranges. */
+class RangeQueue
+{
+  public:
+    RangeQueue() = default;
+
+    explicit RangeQueue(std::vector<IndexRange> ranges)
+        : ranges_(ranges.begin(), ranges.end())
+    {
+    }
+
+    /**
+     * Split off up to `maxSize` indices from the front range.
+     * nullopt when the queue is empty; maxSize == 0 takes the whole
+     * front range.
+     */
+    std::optional<IndexRange>
+    acquire(u64 maxSize)
+    {
+        if (ranges_.empty())
+            return std::nullopt;
+        IndexRange &front = ranges_.front();
+        IndexRange granted = front;
+        if (maxSize > 0 && front.size() > maxSize) {
+            granted.end = granted.begin + maxSize;
+            front.begin = granted.end;
+        } else {
+            ranges_.pop_front();
+        }
+        return granted;
+    }
+
+    /**
+     * Return a range to the pool (lease expiry, worker death),
+     * keeping the pool sorted and coalescing with abutting
+     * neighbours so re-leases stay as coarse as first leases.
+     */
+    void
+    requeue(IndexRange range)
+    {
+        if (range.size() == 0)
+            return;
+        auto it = ranges_.begin();
+        while (it != ranges_.end() && it->begin < range.begin)
+            ++it;
+        it = ranges_.insert(it, range);
+        // Coalesce with the neighbour on each side when contiguous.
+        if (it != ranges_.begin()) {
+            auto prev = it - 1;
+            if (prev->end == it->begin) {
+                prev->end = it->end;
+                it = ranges_.erase(it) - 1;
+            }
+        }
+        if (it + 1 != ranges_.end() && it->end == (it + 1)->begin) {
+            it->end = (it + 1)->end;
+            ranges_.erase(it + 1);
+        }
+    }
+
+    bool empty() const { return ranges_.empty(); }
+
+    /** Indices currently waiting to be granted. */
+    u64
+    pendingCount() const
+    {
+        u64 n = 0;
+        for (const IndexRange &r : ranges_)
+            n += r.size();
+        return n;
+    }
+
+    std::size_t rangeCount() const { return ranges_.size(); }
+
+  private:
+    std::deque<IndexRange> ranges_;
+};
+
+} // namespace marvel::sched
+
+#endif // MARVEL_SCHED_RANGEQUEUE_HH

@@ -26,25 +26,34 @@ modelFromName(const std::string &name)
 
 ReplaySetup
 replaySetup(const fi::GoldenRun &golden,
-            const store::JournalMeta &meta, u64 index)
+            const store::JournalMeta &meta, u64 index,
+            const std::string &journalPath)
 {
+    // Mismatch messages must be actionable from a remote worker's
+    // log alone: name the journal file when the caller knows it, and
+    // always print both the found and the expected value.
+    const std::string journalDesc =
+        journalPath.empty() ? std::string("the journal")
+                            : "journal '" + journalPath + "'";
+    const char *journalName = journalDesc.c_str();
     if (index >= meta.numFaults)
-        fatal("replay: fault index %llu out of range (campaign has "
-              "%llu faults)",
-              static_cast<unsigned long long>(index),
+        fatal("replay: fault index %llu out of range (%s records a "
+              "campaign of %llu faults)",
+              static_cast<unsigned long long>(index), journalName,
               static_cast<unsigned long long>(meta.numFaults));
 
     const u64 digest = soc::archStateDigest(golden.checkpoint.view());
     if (digest != meta.goldenDigest)
-        fatal("replay: golden-run digest %016llx does not match the "
-              "journal's %016llx — wrong workload, system config, or "
-              "simulator build",
-              static_cast<unsigned long long>(digest),
+        fatal("replay: golden-run digest is %016llx, but %s expects "
+              "%016llx — wrong workload, system config, or simulator "
+              "build",
+              static_cast<unsigned long long>(digest), journalName,
               static_cast<unsigned long long>(meta.goldenDigest));
     if (golden.windowCycles != meta.windowCycles)
-        fatal("replay: golden injection window (%llu cycles) does not "
-              "match the journal's (%llu)",
+        fatal("replay: golden injection window is %llu cycles, but "
+              "%s expects %llu",
               static_cast<unsigned long long>(golden.windowCycles),
+              journalName,
               static_cast<unsigned long long>(meta.windowCycles));
     // Same pattern as the digest/window checks above: the journal
     // names the ladder geometry its campaign ran with, and a golden
@@ -53,9 +62,10 @@ replaySetup(const fi::GoldenRun &golden,
     // telemetry would silently diverge).
     if (golden.ladder.size() != meta.ladderRungs)
         fatal("replay: golden checkpoint ladder has %zu rung(s), but "
-              "the journal was recorded with %u — rebuild the golden "
-              "with the journal's ladder geometry",
-              golden.ladder.size(), meta.ladderRungs);
+              "%s was recorded with %u — rebuild the golden with the "
+              "journal's ladder geometry (--ladder %u)",
+              golden.ladder.size(), journalName, meta.ladderRungs,
+              meta.ladderRungs);
 
     ReplaySetup setup;
     setup.target =
@@ -64,10 +74,10 @@ replaySetup(const fi::GoldenRun &golden,
         fi::targetInfo(golden.checkpoint.view(), setup.target);
     if (info.geometry.entries != meta.entries ||
         info.geometry.bitsPerEntry != meta.bitsPerEntry)
-        fatal("replay: target '%s' geometry %ux%u does not match the "
-              "journal's %ux%u",
+        fatal("replay: target '%s' geometry is %ux%u, but %s expects "
+              "%ux%u",
               meta.target.c_str(), info.geometry.entries,
-              info.geometry.bitsPerEntry, meta.entries,
+              info.geometry.bitsPerEntry, journalName, meta.entries,
               meta.bitsPerEntry);
 
     // Identical derivation to the campaign worker: the fault for

@@ -40,12 +40,16 @@ struct ReplaySetup
 /**
  * Build the replay setup for fault `index` of the journaled campaign.
  * Validates that the golden run matches the journal (architectural
- * digest, window length, target geometry) and that the index is in
- * range; fatal() on any mismatch — a replay against the wrong
- * workload or build would silently produce garbage verdicts.
+ * digest, window length, ladder geometry, target geometry) and that
+ * the index is in range; fatal() on any mismatch — a replay against
+ * the wrong workload or build would silently produce garbage
+ * verdicts. Pass `journalPath` when known so every mismatch message
+ * names the offending file alongside the expected and found values
+ * (a distributed campaign diagnoses these from worker logs).
  */
 ReplaySetup replaySetup(const fi::GoldenRun &golden,
-                        const store::JournalMeta &meta, u64 index);
+                        const store::JournalMeta &meta, u64 index,
+                        const std::string &journalPath = "");
 
 /**
  * The journaled verdict for `index`, if any. When a journal holds

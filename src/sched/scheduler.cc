@@ -30,6 +30,22 @@ ownedIndices(u64 numFaults, u32 shardIndex, u32 shardCount)
     return owned;
 }
 
+/** Build a result shell (identity fields, no counts) from a meta. */
+fi::CampaignResult
+resultShellFromMeta(const store::JournalMeta &meta)
+{
+    fi::CampaignResult result;
+    result.target.name = meta.target;
+    result.target.geometry.entries = meta.entries;
+    result.target.geometry.bitsPerEntry = meta.bitsPerEntry;
+    result.goldenCycles = meta.goldenCycles;
+    result.windowCycles = meta.windowCycles;
+    result.workload = meta.workload;
+    return result;
+}
+
+} // namespace
+
 /**
  * A journal is only a valid continuation of a campaign when its
  * identity matches what we would start today; anything else means
@@ -37,9 +53,9 @@ ownedIndices(u64 numFaults, u32 shardIndex, u32 shardCount)
  * campaign parameters underneath it).
  */
 void
-checkMetaMatches(const store::JournalMeta &journal,
-                 const store::JournalMeta &expected,
-                 const std::string &path)
+checkJournalMatches(const store::JournalMeta &journal,
+                    const store::JournalMeta &expected,
+                    const std::string &path)
 {
     auto mismatch = [&](const char *field, const std::string &have,
                         const std::string &want) {
@@ -61,6 +77,21 @@ checkMetaMatches(const store::JournalMeta &journal,
     };
     if (journal.target != expected.target)
         mismatch("target", journal.target, expected.target);
+    // Geometry is part of the fault-sampling function — index i maps
+    // to (entry, bit) through entries x bitsPerEntry — so a mismatch
+    // silently re-maps every fault the journal records. Spell out
+    // both shapes and the file so a mis-launched worker's log line
+    // alone is enough to diagnose which side is wrong.
+    if (journal.entries != expected.entries ||
+        journal.bitsPerEntry != expected.bitsPerEntry)
+        fatal("sched: journal '%s' was recorded against a %ux%u "
+              "'%s', but this run's target is %ux%u — its fault "
+              "indices would map to different bits (rebuild the "
+              "system the journal was captured on, or start a fresh "
+              "journal)",
+              path.c_str(), journal.entries, journal.bitsPerEntry,
+              journal.target.c_str(), expected.entries,
+              expected.bitsPerEntry);
     if (journal.model != expected.model)
         mismatch("model", journal.model, expected.model);
     checkU64("seed", journal.seed, expected.seed);
@@ -87,27 +118,43 @@ checkMetaMatches(const store::JournalMeta &journal,
     // Ladder geometry is campaign identity (resume/replay rebuild the
     // golden with the same rung count), and pruning changes verdict
     // details; whether runs fast-forward from the rungs is neither
-    // recorded nor checked — it cannot change a verdict.
-    checkU64("ladderRungs", journal.ladderRungs,
-             expected.ladderRungs);
-    checkU64("prune", journal.optPrune, expected.optPrune);
+    // recorded nor checked — it cannot change a verdict. Both get
+    // dedicated messages: in a distributed campaign these are the
+    // mismatches a mis-launched worker actually hits, and the log
+    // line must carry everything needed to fix the launch — both
+    // values and the offending file.
+    if (journal.ladderRungs != expected.ladderRungs)
+        fatal("sched: journal '%s' was recorded with a checkpoint "
+              "ladder of %u rung(s), but this run would use %u — "
+              "rebuild the golden with the journal's ladder geometry "
+              "(--ladder %u)",
+              path.c_str(), journal.ladderRungs,
+              expected.ladderRungs, journal.ladderRungs);
+    if (journal.optPrune != expected.optPrune)
+        fatal("sched: journal '%s' was recorded with dead-fault "
+              "pre-pruning %s, but this run has it %s — pass %s to "
+              "match the journal",
+              path.c_str(), journal.optPrune ? "on" : "off",
+              expected.optPrune ? "on" : "off",
+              journal.optPrune ? "--prune" : "no --prune");
 }
 
-/** Build a result shell (identity fields, no counts) from a meta. */
-fi::CampaignResult
-resultShellFromMeta(const store::JournalMeta &meta)
+fi::RunVerdict
+runFaultIndex(const fi::GoldenRun &golden,
+              const fi::TargetRef &target,
+              const fi::TargetGeometry &geometry, u64 seed,
+              u64 index, fi::FaultModel model,
+              const fi::InjectionOptions &runOpts,
+              const fi::TargetProfile &profile)
 {
-    fi::CampaignResult result;
-    result.target.name = meta.target;
-    result.target.geometry.entries = meta.entries;
-    result.target.geometry.bitsPerEntry = meta.bitsPerEntry;
-    result.goldenCycles = meta.goldenCycles;
-    result.windowCycles = meta.windowCycles;
-    result.workload = meta.workload;
-    return result;
+    Rng rng = Rng::forStream(seed, index);
+    fi::FaultMask mask;
+    mask.faults.push_back(fi::randomFault(
+        rng, target, geometry, golden.windowCycles, model));
+    if (profile.valid() && profile.prunable(mask.faults[0]))
+        return fi::prunedVerdict();
+    return fi::runWithFault(golden, mask, runOpts);
 }
-
-} // namespace
 
 store::JournalMeta
 journalMetaFor(const fi::GoldenRun &golden,
@@ -175,8 +222,8 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             store::journalExists(options.journalPath)) {
             const store::Journal journal =
                 store::readJournal(options.journalPath);
-            checkMetaMatches(journal.meta, meta,
-                             options.journalPath);
+            checkJournalMatches(journal.meta, meta,
+                                options.journalPath);
             for (const store::JournalVerdict &jv :
                  journal.verdicts) {
                 if (jv.idx >= options.numFaults ||
@@ -306,16 +353,12 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         while (const auto slot = queue.next()) {
             const u64 i = pending[*slot];
             const auto runStart = Clock::now();
-            Rng rng = Rng::forStream(options.seed, i);
-            fi::FaultMask mask;
-            mask.faults.push_back(fi::randomFault(
-                rng, target, result.target.geometry,
-                golden.windowCycles, options.model));
+            const fi::RunVerdict verdict = runFaultIndex(
+                golden, target, result.target.geometry,
+                options.seed, i, options.model, runOpts, profile);
             const bool wasPruned =
-                profile.valid() && profile.prunable(mask.faults[0]);
-            const fi::RunVerdict verdict =
-                wasPruned ? fi::prunedVerdict()
-                          : fi::runWithFault(golden, mask, runOpts);
+                verdict.detail == fi::OutcomeDetail::MaskedPruned &&
+                verdict.cyclesRun == 0;
             local.tally(verdict);
             if (telemetry) {
                 ++localTelemetry.runs;

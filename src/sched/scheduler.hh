@@ -55,6 +55,36 @@ store::JournalMeta journalMetaFor(const fi::GoldenRun &golden,
                                   const fi::TargetInfo &info,
                                   const fi::CampaignOptions &options);
 
+/**
+ * Run (or prune) ONE campaign fault index, exactly as the campaign
+ * worker loop does: derive the fault from the (seed, index) RNG
+ * stream, consult the prune profile when one is supplied, and
+ * otherwise simulate through fi::runWithFault. This is the unit of
+ * work the distributed dispatch path (src/net) executes per leased
+ * index — sharing this function with the in-process scheduler is what
+ * makes a distributed campaign verdict-identical by construction.
+ */
+fi::RunVerdict runFaultIndex(const fi::GoldenRun &golden,
+                             const fi::TargetRef &target,
+                             const fi::TargetGeometry &geometry,
+                             u64 seed, u64 index,
+                             fi::FaultModel model,
+                             const fi::InjectionOptions &runOpts,
+                             const fi::TargetProfile &profile);
+
+/**
+ * fatal() unless `journal` (read from `path`) records the same
+ * campaign identity as `expected`: target, model, seed, sample size,
+ * shard, golden digest/window, and every verdict-shaping run option
+ * (early termination, HVF, timeout, ladder geometry, pruning). Every
+ * mismatch message names the field, the journal's value, the expected
+ * value, and the offending file — a distributed campaign surfaces
+ * these from worker logs, where "wrong campaign" alone is useless.
+ */
+void checkJournalMatches(const store::JournalMeta &journal,
+                         const store::JournalMeta &expected,
+                         const std::string &path);
+
 /** Progress of one shard journal, for status displays. */
 struct ShardProgress
 {

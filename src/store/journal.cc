@@ -1,5 +1,6 @@
 #include "store/journal.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace marvel::store
@@ -17,167 +19,8 @@ namespace marvel::store
 namespace
 {
 
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += strfmt("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
-}
-
-/**
- * Parse one flat JSON object ({"key":value,...} with string or
- * integer values) into a key -> literal map. Returns false on any
- * syntax error; never throws.
- */
-bool
-parseFlatJson(const std::string &line,
-              std::map<std::string, std::string> &out)
-{
-    std::size_t i = 0;
-    auto skipWs = [&]() {
-        while (i < line.size() &&
-               (line[i] == ' ' || line[i] == '\t'))
-            ++i;
-    };
-    auto parseString = [&](std::string &value) {
-        if (i >= line.size() || line[i] != '"')
-            return false;
-        ++i;
-        value.clear();
-        while (i < line.size() && line[i] != '"') {
-            char c = line[i++];
-            if (c == '\\') {
-                if (i >= line.size())
-                    return false;
-                const char esc = line[i++];
-                switch (esc) {
-                  case '"': value += '"'; break;
-                  case '\\': value += '\\'; break;
-                  case 'n': value += '\n'; break;
-                  case 'r': value += '\r'; break;
-                  case 't': value += '\t'; break;
-                  case 'u': {
-                    if (i + 4 > line.size())
-                        return false;
-                    unsigned code = 0;
-                    for (int k = 0; k < 4; ++k) {
-                        const char h = line[i++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9')
-                            code |= static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f')
-                            code |= static_cast<unsigned>(h - 'a' + 10);
-                        else if (h >= 'A' && h <= 'F')
-                            code |= static_cast<unsigned>(h - 'A' + 10);
-                        else
-                            return false;
-                    }
-                    if (code > 0x7f)
-                        return false; // journal strings are ASCII
-                    value += static_cast<char>(code);
-                    break;
-                  }
-                  default:
-                    return false;
-                }
-            } else {
-                value += c;
-            }
-        }
-        if (i >= line.size())
-            return false;
-        ++i; // closing quote
-        return true;
-    };
-
-    skipWs();
-    if (i >= line.size() || line[i] != '{')
-        return false;
-    ++i;
-    skipWs();
-    if (i < line.size() && line[i] == '}') {
-        ++i;
-    } else {
-        for (;;) {
-            skipWs();
-            std::string key;
-            if (!parseString(key))
-                return false;
-            skipWs();
-            if (i >= line.size() || line[i] != ':')
-                return false;
-            ++i;
-            skipWs();
-            std::string value;
-            if (i < line.size() && line[i] == '"') {
-                if (!parseString(value))
-                    return false;
-            } else {
-                const std::size_t start = i;
-                if (i < line.size() && line[i] == '-')
-                    ++i;
-                while (i < line.size() && line[i] >= '0' &&
-                       line[i] <= '9')
-                    ++i;
-                if (i == start)
-                    return false;
-                value = line.substr(start, i - start);
-            }
-            out[key] = value;
-            skipWs();
-            if (i < line.size() && line[i] == ',') {
-                ++i;
-                continue;
-            }
-            if (i < line.size() && line[i] == '}') {
-                ++i;
-                break;
-            }
-            return false;
-        }
-    }
-    skipWs();
-    return i == line.size();
-}
-
-bool
-fieldU64(const std::map<std::string, std::string> &fields,
-         const char *key, u64 &out)
-{
-    const auto it = fields.find(key);
-    if (it == fields.end())
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    out = std::strtoull(it->second.c_str(), &end, 10);
-    return errno == 0 && end && *end == '\0';
-}
-
-bool
-fieldStr(const std::map<std::string, std::string> &fields,
-         const char *key, std::string &out)
-{
-    const auto it = fields.find(key);
-    if (it == fields.end())
-        return false;
-    out = it->second;
-    return true;
-}
+using json::fieldStr;
+using json::fieldU64;
 
 bool
 outcomeFromName(const std::string &name, fi::Outcome &out)
@@ -208,34 +51,6 @@ detailFromName(const std::string &name, fi::OutcomeDetail &out)
 }
 
 std::string
-metaLine(const JournalMeta &meta)
-{
-    return strfmt(
-        "{\"type\":\"meta\",\"version\":%u,\"workload\":\"%s\","
-        "\"target\":\"%s\",\"model\":\"%s\",\"seed\":%llu,"
-        "\"faults\":%llu,\"shard\":%u,\"shards\":%u,"
-        "\"goldenDigest\":%llu,\"goldenCycles\":%llu,"
-        "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u,"
-        "\"marvelVersion\":\"%s\",\"earlyTerm\":%u,\"hvf\":%u,"
-        "\"timeoutFactorMilli\":%llu,\"ladderRungs\":%u,"
-        "\"prune\":%u}",
-        kJournalFormatVersion, jsonEscape(meta.workload).c_str(),
-        jsonEscape(meta.target).c_str(),
-        jsonEscape(meta.model).c_str(),
-        static_cast<unsigned long long>(meta.seed),
-        static_cast<unsigned long long>(meta.numFaults),
-        meta.shardIndex, meta.shardCount,
-        static_cast<unsigned long long>(meta.goldenDigest),
-        static_cast<unsigned long long>(meta.goldenCycles),
-        static_cast<unsigned long long>(meta.windowCycles),
-        meta.entries, meta.bitsPerEntry,
-        jsonEscape(meta.marvelVersion).c_str(), meta.optEarlyTerm,
-        meta.optHvf,
-        static_cast<unsigned long long>(meta.timeoutFactorMilli),
-        meta.ladderRungs, meta.optPrune);
-}
-
-std::string
 metricsLine(const JournalMetrics &m)
 {
     return strfmt(
@@ -257,20 +72,83 @@ metricsLine(const JournalMetrics &m)
         static_cast<unsigned long long>(m.idleMillis), m.workers);
 }
 
-std::string
-verdictLine(u64 idx, const fi::RunVerdict &verdict)
+/** Decode an already-parsed meta record's fields. */
+bool
+metaFromFields(const std::map<std::string, std::string> &fields,
+               JournalMeta &out)
 {
-    return strfmt(
-        "{\"type\":\"verdict\",\"idx\":%llu,\"outcome\":\"%s\","
-        "\"detail\":\"%s\",\"hvf\":%d,\"hvfCycle\":%llu,"
-        "\"early\":%d,\"cycles\":%llu}",
-        static_cast<unsigned long long>(idx),
-        fi::outcomeName(verdict.outcome),
-        fi::outcomeDetailName(verdict.detail),
-        verdict.hvfCorruption ? 1 : 0,
-        static_cast<unsigned long long>(verdict.hvfCorruptCycle),
-        verdict.terminatedEarly ? 1 : 0,
-        static_cast<unsigned long long>(verdict.cyclesRun));
+    u64 version = 0;
+    JournalMeta meta;
+    u64 seed, faults, shard, shards, digest, goldenCycles,
+        windowCycles, entries, bits;
+    if (!fieldU64(fields, "version", version) ||
+        version != kJournalFormatVersion)
+        return false;
+    if (!fieldStr(fields, "workload", meta.workload) ||
+        !fieldStr(fields, "target", meta.target) ||
+        !fieldStr(fields, "model", meta.model) ||
+        !fieldU64(fields, "seed", seed) ||
+        !fieldU64(fields, "faults", faults) ||
+        !fieldU64(fields, "shard", shard) ||
+        !fieldU64(fields, "shards", shards) ||
+        !fieldU64(fields, "goldenDigest", digest) ||
+        !fieldU64(fields, "goldenCycles", goldenCycles) ||
+        !fieldU64(fields, "windowCycles", windowCycles) ||
+        !fieldU64(fields, "entries", entries) ||
+        !fieldU64(fields, "bitsPerEntry", bits))
+        return false;
+    meta.seed = seed;
+    meta.numFaults = faults;
+    meta.shardIndex = static_cast<u32>(shard);
+    meta.shardCount = static_cast<u32>(shards);
+    meta.goldenDigest = digest;
+    meta.goldenCycles = goldenCycles;
+    meta.windowCycles = windowCycles;
+    meta.entries = static_cast<u32>(entries);
+    meta.bitsPerEntry = static_cast<u32>(bits);
+    // Optional run-option fields (absent in older journals; the
+    // struct defaults match the historical campaign defaults).
+    fieldStr(fields, "marvelVersion", meta.marvelVersion);
+    u64 opt = 0;
+    if (fieldU64(fields, "earlyTerm", opt))
+        meta.optEarlyTerm = static_cast<u32>(opt);
+    if (fieldU64(fields, "hvf", opt))
+        meta.optHvf = static_cast<u32>(opt);
+    if (fieldU64(fields, "timeoutFactorMilli", opt))
+        meta.timeoutFactorMilli = opt;
+    if (fieldU64(fields, "ladderRungs", opt))
+        meta.ladderRungs = static_cast<u32>(opt);
+    if (fieldU64(fields, "prune", opt))
+        meta.optPrune = static_cast<u32>(opt);
+    out = meta;
+    return true;
+}
+
+/** Decode an already-parsed verdict record's fields. */
+bool
+verdictFromFields(const std::map<std::string, std::string> &fields,
+                  JournalVerdict &out)
+{
+    JournalVerdict jv;
+    std::string outcome, detail;
+    u64 hvf, hvfCycle, early, cycles;
+    if (!fieldU64(fields, "idx", jv.idx) ||
+        !fieldStr(fields, "outcome", outcome) ||
+        !fieldStr(fields, "detail", detail) ||
+        !fieldU64(fields, "hvf", hvf) ||
+        !fieldU64(fields, "hvfCycle", hvfCycle) ||
+        !fieldU64(fields, "early", early) ||
+        !fieldU64(fields, "cycles", cycles))
+        return false;
+    if (!outcomeFromName(outcome, jv.verdict.outcome) ||
+        !detailFromName(detail, jv.verdict.detail))
+        return false;
+    jv.verdict.hvfCorruption = hvf != 0;
+    jv.verdict.hvfCorruptCycle = hvfCycle;
+    jv.verdict.terminatedEarly = early != 0;
+    jv.verdict.cyclesRun = cycles;
+    out = jv;
+    return true;
 }
 
 /** Parse one intact journal line into the Journal aggregate. */
@@ -278,56 +156,16 @@ bool
 applyLine(const std::string &line, Journal &journal)
 {
     std::map<std::string, std::string> fields;
-    if (!parseFlatJson(line, fields))
+    if (!json::parseFlat(line, fields))
         return false;
     std::string type;
     if (!fieldStr(fields, "type", type))
         return false;
 
     if (type == "meta") {
-        u64 version = 0;
         JournalMeta meta;
-        u64 seed, faults, shard, shards, digest, goldenCycles,
-            windowCycles, entries, bits;
-        if (!fieldU64(fields, "version", version) ||
-            version != kJournalFormatVersion)
+        if (!metaFromFields(fields, meta))
             return false;
-        if (!fieldStr(fields, "workload", meta.workload) ||
-            !fieldStr(fields, "target", meta.target) ||
-            !fieldStr(fields, "model", meta.model) ||
-            !fieldU64(fields, "seed", seed) ||
-            !fieldU64(fields, "faults", faults) ||
-            !fieldU64(fields, "shard", shard) ||
-            !fieldU64(fields, "shards", shards) ||
-            !fieldU64(fields, "goldenDigest", digest) ||
-            !fieldU64(fields, "goldenCycles", goldenCycles) ||
-            !fieldU64(fields, "windowCycles", windowCycles) ||
-            !fieldU64(fields, "entries", entries) ||
-            !fieldU64(fields, "bitsPerEntry", bits))
-            return false;
-        meta.seed = seed;
-        meta.numFaults = faults;
-        meta.shardIndex = static_cast<u32>(shard);
-        meta.shardCount = static_cast<u32>(shards);
-        meta.goldenDigest = digest;
-        meta.goldenCycles = goldenCycles;
-        meta.windowCycles = windowCycles;
-        meta.entries = static_cast<u32>(entries);
-        meta.bitsPerEntry = static_cast<u32>(bits);
-        // Optional run-option fields (absent in older journals; the
-        // struct defaults match the historical campaign defaults).
-        fieldStr(fields, "marvelVersion", meta.marvelVersion);
-        u64 opt = 0;
-        if (fieldU64(fields, "earlyTerm", opt))
-            meta.optEarlyTerm = static_cast<u32>(opt);
-        if (fieldU64(fields, "hvf", opt))
-            meta.optHvf = static_cast<u32>(opt);
-        if (fieldU64(fields, "timeoutFactorMilli", opt))
-            meta.timeoutFactorMilli = opt;
-        if (fieldU64(fields, "ladderRungs", opt))
-            meta.ladderRungs = static_cast<u32>(opt);
-        if (fieldU64(fields, "prune", opt))
-            meta.optPrune = static_cast<u32>(opt);
         if (journal.hasMeta)
             return false; // one meta per journal
         journal.hasMeta = true;
@@ -336,23 +174,8 @@ applyLine(const std::string &line, Journal &journal)
     }
     if (type == "verdict") {
         JournalVerdict jv;
-        std::string outcome, detail;
-        u64 hvf, hvfCycle, early, cycles;
-        if (!fieldU64(fields, "idx", jv.idx) ||
-            !fieldStr(fields, "outcome", outcome) ||
-            !fieldStr(fields, "detail", detail) ||
-            !fieldU64(fields, "hvf", hvf) ||
-            !fieldU64(fields, "hvfCycle", hvfCycle) ||
-            !fieldU64(fields, "early", early) ||
-            !fieldU64(fields, "cycles", cycles))
+        if (!verdictFromFields(fields, jv))
             return false;
-        if (!outcomeFromName(outcome, jv.verdict.outcome) ||
-            !detailFromName(detail, jv.verdict.detail))
-            return false;
-        jv.verdict.hvfCorruption = hvf != 0;
-        jv.verdict.hvfCorruptCycle = hvfCycle;
-        jv.verdict.terminatedEarly = early != 0;
-        jv.verdict.cyclesRun = cycles;
         journal.verdicts.push_back(jv);
         return true;
     }
@@ -389,6 +212,107 @@ applyLine(const std::string &line, Journal &journal)
 
 } // namespace
 
+std::string
+formatMetaLine(const JournalMeta &meta)
+{
+    return strfmt(
+        "{\"type\":\"meta\",\"version\":%u,\"workload\":\"%s\","
+        "\"target\":\"%s\",\"model\":\"%s\",\"seed\":%llu,"
+        "\"faults\":%llu,\"shard\":%u,\"shards\":%u,"
+        "\"goldenDigest\":%llu,\"goldenCycles\":%llu,"
+        "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u,"
+        "\"marvelVersion\":\"%s\",\"earlyTerm\":%u,\"hvf\":%u,"
+        "\"timeoutFactorMilli\":%llu,\"ladderRungs\":%u,"
+        "\"prune\":%u}",
+        kJournalFormatVersion, json::escape(meta.workload).c_str(),
+        json::escape(meta.target).c_str(),
+        json::escape(meta.model).c_str(),
+        static_cast<unsigned long long>(meta.seed),
+        static_cast<unsigned long long>(meta.numFaults),
+        meta.shardIndex, meta.shardCount,
+        static_cast<unsigned long long>(meta.goldenDigest),
+        static_cast<unsigned long long>(meta.goldenCycles),
+        static_cast<unsigned long long>(meta.windowCycles),
+        meta.entries, meta.bitsPerEntry,
+        json::escape(meta.marvelVersion).c_str(), meta.optEarlyTerm,
+        meta.optHvf,
+        static_cast<unsigned long long>(meta.timeoutFactorMilli),
+        meta.ladderRungs, meta.optPrune);
+}
+
+std::string
+formatVerdictLine(u64 idx, const fi::RunVerdict &verdict)
+{
+    return strfmt(
+        "{\"type\":\"verdict\",\"idx\":%llu,\"outcome\":\"%s\","
+        "\"detail\":\"%s\",\"hvf\":%d,\"hvfCycle\":%llu,"
+        "\"early\":%d,\"cycles\":%llu}",
+        static_cast<unsigned long long>(idx),
+        fi::outcomeName(verdict.outcome),
+        fi::outcomeDetailName(verdict.detail),
+        verdict.hvfCorruption ? 1 : 0,
+        static_cast<unsigned long long>(verdict.hvfCorruptCycle),
+        verdict.terminatedEarly ? 1 : 0,
+        static_cast<unsigned long long>(verdict.cyclesRun));
+}
+
+bool
+parseMetaLine(const std::string &line, JournalMeta &out)
+{
+    std::map<std::string, std::string> fields;
+    std::string type;
+    return json::parseFlat(line, fields) &&
+           fieldStr(fields, "type", type) && type == "meta" &&
+           metaFromFields(fields, out);
+}
+
+bool
+parseVerdictLine(const std::string &line, JournalVerdict &out)
+{
+    std::map<std::string, std::string> fields;
+    std::string type;
+    return json::parseFlat(line, fields) &&
+           fieldStr(fields, "type", type) && type == "verdict" &&
+           verdictFromFields(fields, out);
+}
+
+void
+writeCanonicalJournal(const std::string &path, JournalMeta meta,
+                      const std::vector<JournalVerdict> &verdicts)
+{
+    // First record per index wins, exactly like mergeJournals and the
+    // resume path: a range re-journaled after a lease expiry or crash
+    // window must not displace the verdict that was already durable.
+    std::vector<const JournalVerdict *> first(meta.numFaults, nullptr);
+    u64 covered = 0;
+    for (const JournalVerdict &jv : verdicts) {
+        if (jv.idx >= meta.numFaults)
+            fatal("journal: canonical write got out-of-range fault "
+                  "index %llu (campaign has %llu)",
+                  static_cast<unsigned long long>(jv.idx),
+                  static_cast<unsigned long long>(meta.numFaults));
+        if (!first[jv.idx]) {
+            first[jv.idx] = &jv;
+            ++covered;
+        }
+    }
+
+    // The canonical journal speaks for the whole campaign.
+    meta.shardIndex = 0;
+    meta.shardCount = 1;
+
+    JournalWriter writer;
+    // One chunk spanning every verdict: the chunk marker count is
+    // part of the byte identity, so it must not depend on how the
+    // source journals were chunked.
+    writer.create(path, meta,
+                  covered ? static_cast<unsigned>(covered) : 1);
+    for (u64 i = 0; i < meta.numFaults; ++i)
+        if (first[i])
+            writer.append(i, first[i]->verdict);
+    writer.close();
+}
+
 JournalWriter::~JournalWriter()
 {
     if (fd_ >= 0)
@@ -408,7 +332,7 @@ JournalWriter::create(const std::string &path,
               std::strerror(errno));
     path_ = path;
     chunkSize_ = chunkSize ? chunkSize : 1;
-    writeLine(metaLine(meta));
+    writeLine(formatMetaLine(meta));
     sync(); // the identity record must survive any later crash
 }
 
@@ -469,7 +393,7 @@ JournalWriter::append(u64 idx, const fi::RunVerdict &verdict)
 {
     if (fd_ < 0)
         panic("journal: append on a closed writer");
-    pending_.push_back(verdictLine(idx, verdict));
+    pending_.push_back(formatVerdictLine(idx, verdict));
     if (pending_.size() >= chunkSize_)
         commit();
 }

@@ -191,6 +191,35 @@ class JournalWriter
  */
 Journal readJournal(const std::string &path);
 
+/**
+ * Record rendering and parsing, exposed so the dispatch protocol
+ * (src/net) can frame the exact bytes the journal writes: a worker
+ * streams formatVerdictLine() output, the daemon validates it with
+ * parseVerdictLine() and re-appends it through its own JournalWriter,
+ * and the campaign identity travels as one formatMetaLine() payload.
+ */
+std::string formatMetaLine(const JournalMeta &meta);
+std::string formatVerdictLine(u64 idx, const fi::RunVerdict &verdict);
+
+/** Parse one meta record; false unless `line` is an intact meta. */
+bool parseMetaLine(const std::string &line, JournalMeta &out);
+
+/** Parse one verdict record; false unless intact. */
+bool parseVerdictLine(const std::string &line, JournalVerdict &out);
+
+/**
+ * Write a whole-campaign journal in canonical form: the meta record
+ * normalized to shard 0/1, every fault index's verdict exactly once
+ * (the FIRST record per index wins, matching merge and resume
+ * semantics), sorted ascending by index, then one chunk record
+ * covering them all. Journals holding the same verdicts canonicalize
+ * to byte-identical files regardless of worker count, thread
+ * interleaving, chunk geometry, or metrics records — so "distributed
+ * run == single-process run" is a cmp(1) of two canonical files.
+ */
+void writeCanonicalJournal(const std::string &path, JournalMeta meta,
+                           const std::vector<JournalVerdict> &verdicts);
+
 /** True when the path exists and begins with a journal meta line. */
 bool journalExists(const std::string &path);
 

@@ -1,0 +1,117 @@
+#include "store/leasetab.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace marvel::store
+{
+
+std::string
+leaseTablePath(const std::string &journalPath)
+{
+    return journalPath + ".leases";
+}
+
+void
+saveLeaseTable(const std::string &path, const LeaseTable &table)
+{
+    std::string body = strfmt(
+        "{\"type\":\"leasetab\",\"version\":%u,\"nextId\":%llu,"
+        "\"active\":%zu}\n",
+        kLeaseTableFormatVersion,
+        static_cast<unsigned long long>(table.nextId),
+        table.active.size());
+    for (const LeaseRecord &lease : table.active)
+        body += strfmt(
+            "{\"type\":\"lease\",\"id\":%llu,\"begin\":%llu,"
+            "\"end\":%llu,\"worker\":\"%s\"}\n",
+            static_cast<unsigned long long>(lease.id),
+            static_cast<unsigned long long>(lease.begin),
+            static_cast<unsigned long long>(lease.end),
+            json::escape(lease.worker).c_str());
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("leasetab: cannot write '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+    const bool ok =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        fatal("leasetab: short write to '%s'", tmp.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("leasetab: rename '%s' -> '%s' failed: %s",
+              tmp.c_str(), path.c_str(), std::strerror(errno));
+}
+
+bool
+loadLeaseTable(const std::string &path, LeaseTable &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false; // fresh campaign: no promises outstanding
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, n);
+    std::fclose(f);
+
+    LeaseTable table;
+    bool sawHeader = false;
+    u64 expectedActive = 0;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = content.size();
+        const std::string line = content.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+        std::map<std::string, std::string> fields;
+        std::string type;
+        if (!json::parseFlat(line, fields) ||
+            !json::fieldStr(fields, "type", type))
+            fatal("leasetab: '%s' is corrupt: %s", path.c_str(),
+                  line.c_str());
+        if (type == "leasetab") {
+            u64 version = 0;
+            if (sawHeader ||
+                !json::fieldU64(fields, "version", version) ||
+                version != kLeaseTableFormatVersion ||
+                !json::fieldU64(fields, "nextId", table.nextId) ||
+                !json::fieldU64(fields, "active", expectedActive))
+                fatal("leasetab: '%s' has a bad header: %s",
+                      path.c_str(), line.c_str());
+            sawHeader = true;
+        } else if (type == "lease") {
+            LeaseRecord lease;
+            if (!sawHeader ||
+                !json::fieldU64(fields, "id", lease.id) ||
+                !json::fieldU64(fields, "begin", lease.begin) ||
+                !json::fieldU64(fields, "end", lease.end) ||
+                lease.begin >= lease.end)
+                fatal("leasetab: '%s' has a bad lease record: %s",
+                      path.c_str(), line.c_str());
+            json::fieldStr(fields, "worker", lease.worker);
+            table.active.push_back(lease);
+        } else {
+            fatal("leasetab: '%s' has an unknown record: %s",
+                  path.c_str(), line.c_str());
+        }
+    }
+    if (!sawHeader || table.active.size() != expectedActive)
+        fatal("leasetab: '%s' is truncated (%zu of %llu leases)",
+              path.c_str(), table.active.size(),
+              static_cast<unsigned long long>(expectedActive));
+    out = table;
+    return true;
+}
+
+} // namespace marvel::store

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Durable lease table for the distributed campaign daemon.
+ *
+ * The verdict journal already makes completed work durable; what it
+ * cannot record is work that is *promised* — a fault-index range
+ * leased to a worker that is still simulating it. A daemon that
+ * crashed and forgot its promises would re-grant those ranges
+ * immediately on restart, and two workers would burn cycles on (and
+ * double-journal) the same faults. The lease table closes that gap:
+ * every grant/complete/expiry rewrites a tiny JSONL snapshot next to
+ * the journal (<journal>.leases), atomically (write-temp + rename)
+ * like the heartbeat, so a restarted daemon re-adopts its outstanding
+ * leases and lets them run to completion or expiry before re-leasing.
+ *
+ * Deadlines are persisted as remaining TTL, not absolute time: a
+ * restarted daemon re-arms each adopted lease with its full TTL,
+ * which is conservative (never expires a lease early just because the
+ * daemon was down) and keeps the file free of wall-clock epochs.
+ */
+
+#ifndef MARVEL_STORE_LEASETAB_HH
+#define MARVEL_STORE_LEASETAB_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace marvel::store
+{
+
+constexpr u32 kLeaseTableFormatVersion = 1;
+
+/** One outstanding lease: fault indices [begin, end). */
+struct LeaseRecord
+{
+    u64 id = 0;
+    u64 begin = 0;
+    u64 end = 0;
+    std::string worker; ///< informational: who held it at snapshot
+
+    bool operator==(const LeaseRecord &other) const = default;
+};
+
+/** Everything the daemon must remember across a restart. */
+struct LeaseTable
+{
+    u64 nextId = 1; ///< ids keep ascending across restarts
+    std::vector<LeaseRecord> active;
+
+    bool operator==(const LeaseTable &other) const = default;
+};
+
+/** Where the lease table for a journal lives: `<journal>.leases`. */
+std::string leaseTablePath(const std::string &journalPath);
+
+/**
+ * Atomically replace `path` with a snapshot of `table`. fatal() on
+ * filesystem errors — a daemon that cannot persist its promises must
+ * not keep making them.
+ */
+void saveLeaseTable(const std::string &path, const LeaseTable &table);
+
+/**
+ * Read a lease table back. Returns false (leaving `out` untouched)
+ * when the file is missing — a fresh campaign. A malformed file
+ * fatal()s: unlike the heartbeat there is no benign writer race
+ * (saves are atomic and the daemon is single-threaded), so damage
+ * means real corruption and silently dropping leases would re-grant
+ * in-flight work.
+ */
+bool loadLeaseTable(const std::string &path, LeaseTable &out);
+
+} // namespace marvel::store
+
+#endif // MARVEL_STORE_LEASETAB_HH

@@ -315,6 +315,43 @@ TEST(Sched, ResumeRefusesMismatchedJournal) {
                  FatalError);
 }
 
+TEST(Sched, ResumeGeometryMismatchNamesBothShapesAndFile) {
+    const fi::GoldenRun& golden = sharedGolden();
+    fi::CampaignOptions opts = baseOptions();
+    opts.journalPath = tmpPath("sched_geom.jsonl");
+    (void)sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    // Corrupt the recorded geometry (prefix a digit onto `entries`):
+    // the resume fatal must spell out both shapes and name the file,
+    // so the log line alone diagnoses a mis-launched worker.
+    std::string content = slurp(opts.journalPath);
+    const std::string needle = "\"entries\":";
+    const std::size_t pos = content.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    content.insert(pos + needle.size(), "9");
+    spit(opts.journalPath, content);
+
+    const fi::TargetInfo info = fi::targetInfo(
+        golden.checkpoint.view(), fi::TargetRef{fi::TargetId::PrfInt});
+    opts.resume = true;
+    try {
+        sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+        FAIL() << "expected a geometry-mismatch fatal";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(opts.journalPath), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(strfmt("9%ux%u", info.geometry.entries,
+                                  info.geometry.bitsPerEntry)),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(strfmt("%ux%u", info.geometry.entries,
+                                  info.geometry.bitsPerEntry)),
+                  std::string::npos)
+            << msg;
+    }
+}
+
 TEST(Sched, ShardValidation) {
     const fi::GoldenRun& golden = sharedGolden();
     fi::CampaignOptions opts = baseOptions();

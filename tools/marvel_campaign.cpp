@@ -12,8 +12,9 @@
  *                          --journal camp.jsonl [--shard 0/4] [opts]
  *   marvel-campaign resume --workload sha --journal camp.jsonl [opts]
  *   marvel-campaign status --journal camp.jsonl [--journal ...]
- *                          [--follow]
+ *                          [--follow] | --connect ADDR
  *   marvel-campaign merge  --journal s0.jsonl --journal s1.jsonl ...
+ *                          [--out canonical.jsonl]
  *
  * Subcommands:
  *   run     start a (shard of a) campaign, journaling every verdict.
@@ -28,12 +29,18 @@
  *   status  per-journal progress: done/expected, chunk commits,
  *           torn-tail note, the partial verdict counts, and the
  *           partial AVF with its achieved 95% error margin. With
- *           --follow, tails the scheduler's atomic heartbeat file
- *           (<journal>.progress) and prints a live progress line
- *           (verdict mix, runs/sec, ETA) until every journal is
- *           complete.
+ *           --follow, tails the scheduler's atomic heartbeat files
+ *           (<journal>.progress), prints a live progress line per
+ *           journal plus one campaign-wide aggregate (combined
+ *           verdict mix, summed runs/sec, whole-campaign ETA), and
+ *           exits once every journal is complete. With --connect, it
+ *           is instead a live watcher on a marvel-campaignd dispatch
+ *           socket: the daemon streams its heartbeat on every beat.
  *   merge   fold shard journals into one campaign-wide report;
- *           fatal()s on holes, overlap, or identity mismatch.
+ *           fatal()s on holes, overlap, or identity mismatch. With
+ *           --out, also writes the canonical single-file journal —
+ *           the byte-identical normal form any equivalent campaign
+ *           (single-process, sharded, or distributed) reduces to.
  *
  * Options (run/resume):
  *   --preset NAME      riscv | arm | x86 | *-soc     (default riscv)
@@ -50,6 +57,7 @@
  *   --hvf / --no-early-term     as marvel-cli
  */
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -58,10 +66,14 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "accel/designs/designs.hh"
+#include "common/cli.hh"
 #include "common/config.hh"
 #include "common/table.hh"
-#include "common/version.hh"
+#include "net/frame.hh"
+#include "net/socket.hh"
 #include "obs/metrics.hh"
 #include "sched/heartbeat.hh"
 #include "sched/scheduler.hh"
@@ -84,6 +96,8 @@ struct Options
     std::string target;
     std::vector<std::string> journals;
     std::string saveGolden;
+    std::string connect; ///< status: watch a dispatch socket instead
+    std::string outPath; ///< merge: write the canonical journal here
     unsigned faults = 200;
     fi::FaultModel model = fi::FaultModel::Transient;
     u64 seed = 0x5eed;
@@ -100,41 +114,33 @@ struct Options
     bool prune = false;
 };
 
-void
-printUsage(std::FILE *out)
-{
-    std::fprintf(
-        out,
-        "usage: marvel-campaign {run|resume|status|merge} "
-        "--journal FILE [--journal FILE ...]\n"
-        "  run/resume: [--preset P] [--config F] [--workload W] "
-        "[--driver D]\n"
-        "              [--target T] [--faults N] [--model M] "
-        "[--seed S]\n"
-        "              [--threads N] [--shard I/N] [--chunk N]\n"
-        "              [--save-golden F] [--hvf] [--no-early-term]\n"
-        "              [--ladder N|auto|off] [--no-ladder] [--prune]\n"
-        "  status:     [--follow]\n"
-        "  any command: --help | --version\n"
-        "  --ladder sets the golden checkpoint-ladder rung count\n"
-        "  (campaign identity; also read from [campaign] "
-        "ladder_rungs\n"
-        "  in --config); --no-ladder keeps the geometry but restores\n"
-        "  every run from the window start; --prune classifies\n"
-        "  provably dead transient faults without simulating\n");
-}
+const cli::Tool kTool = {
+    "marvel-campaign",
+    "usage: marvel-campaign {run|resume|status|merge} "
+    "--journal FILE [--journal FILE ...]\n"
+    "  run/resume: [--preset P] [--config F] [--workload W] "
+    "[--driver D]\n"
+    "              [--target T] [--faults N] [--model M] "
+    "[--seed S]\n"
+    "              [--threads N] [--shard I/N] [--chunk N]\n"
+    "              [--save-golden F] [--hvf] [--no-early-term]\n"
+    "              [--ladder N|auto|off] [--no-ladder] [--prune]\n"
+    "  status:     [--follow] | [--connect unix:/path|host:port]\n"
+    "  merge:      [--out FILE]   write the canonical journal\n"
+    "  any command: --help | --version\n"
+    "  --ladder sets the golden checkpoint-ladder rung count\n"
+    "  (campaign identity; also read from [campaign] "
+    "ladder_rungs\n"
+    "  in --config); --no-ladder keeps the geometry but restores\n"
+    "  every run from the window start; --prune classifies\n"
+    "  provably dead transient faults without simulating\n",
+};
 
 /** Complain about one specific bad token, then the usage text. */
 [[noreturn]] void
 usageError(const char *what, const std::string &token)
 {
-    if (token.empty())
-        std::fprintf(stderr, "marvel-campaign: %s\n", what);
-    else
-        std::fprintf(stderr, "marvel-campaign: %s '%s'\n", what,
-                     token.c_str());
-    printUsage(stderr);
-    std::exit(2);
+    cli::usageError(kTool, what, token);
 }
 
 Options
@@ -144,16 +150,11 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usageError("missing subcommand", "");
     opts.command = argv[1];
-    if (opts.command == "--help" || opts.command == "-h") {
-        printUsage(stdout);
-        std::exit(0);
-    }
-    if (opts.command == "--version") {
-        std::printf("marvel-campaign %s\n", kVersionString);
-        std::exit(0);
-    }
+    cli::handleStandardFlag(kTool, opts.command);
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (cli::handleStandardFlag(kTool, arg))
+            continue;
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
                 usageError("flag needs a value:", arg);
@@ -173,6 +174,10 @@ parseArgs(int argc, char **argv)
             opts.journals.push_back(next());
         else if (arg == "--save-golden")
             opts.saveGolden = next();
+        else if (arg == "--connect")
+            opts.connect = next();
+        else if (arg == "--out")
+            opts.outPath = next();
         else if (arg == "--faults")
             opts.faults = std::strtoul(next().c_str(), nullptr, 10);
         else if (arg == "--seed")
@@ -227,13 +232,7 @@ parseArgs(int argc, char **argv)
             opts.earlyTerm = false;
         else if (arg == "--follow")
             opts.follow = true;
-        else if (arg == "--help" || arg == "-h") {
-            printUsage(stdout);
-            std::exit(0);
-        } else if (arg == "--version") {
-            std::printf("marvel-campaign %s\n", kVersionString);
-            std::exit(0);
-        } else
+        else
             usageError("unknown flag", arg);
     }
     return opts;
@@ -471,6 +470,7 @@ cmdStatusFollow(const Options &opts)
     // old journal): fall back to the journal itself when it exists.
     for (;;) {
         bool allComplete = true;
+        std::vector<sched::Heartbeat> beats;
         for (const std::string &path : opts.journals) {
             sched::Heartbeat beat;
             if (sched::readHeartbeat(sched::heartbeatPath(path),
@@ -478,6 +478,7 @@ cmdStatusFollow(const Options &opts)
                 std::printf("%s: %s\n", path.c_str(),
                             sched::formatHeartbeat(beat).c_str());
                 allComplete = allComplete && beat.complete;
+                beats.push_back(beat);
             } else if (store::journalExists(path)) {
                 const sched::ShardProgress p =
                     sched::shardProgress(path);
@@ -493,6 +494,13 @@ cmdStatusFollow(const Options &opts)
                 allComplete = false;
             }
         }
+        // The campaign-wide line: every live shard folded into one
+        // done/expected, one combined rate, one whole-campaign ETA.
+        if (beats.size() > 1)
+            std::printf("campaign: %s\n",
+                        sched::formatHeartbeat(
+                            sched::aggregateHeartbeats(beats))
+                            .c_str());
         std::fflush(stdout);
         if (allComplete)
             return 0;
@@ -500,11 +508,73 @@ cmdStatusFollow(const Options &opts)
     }
 }
 
+/**
+ * Watcher mode: subscribe to a marvel-campaignd status feed. The
+ * daemon pushes its heartbeat JSON on every beat; print each one and
+ * exit cleanly once the campaign completes (or the daemon goes away).
+ */
+int
+cmdStatusConnect(const Options &opts)
+{
+    const net::Endpoint endpoint = net::parseEndpoint(opts.connect);
+    const int fd = net::connectTo(endpoint);
+    if (fd < 0)
+        fatal("marvel-campaign: cannot connect to %s: %s",
+              endpoint.str().c_str(), std::strerror(errno));
+
+    std::string out;
+    net::encodeFrame({net::MsgType::StatusSubscribe, ""}, out);
+    if (!net::sendAll(fd, out)) {
+        ::close(fd);
+        fatal("marvel-campaign: %s closed the connection",
+              endpoint.str().c_str());
+    }
+
+    net::FrameReader reader;
+    std::string buf;
+    for (;;) {
+        net::Frame frame;
+        while (reader.next(frame)) {
+            if (frame.type != net::MsgType::StatusUpdate)
+                continue;
+            sched::Heartbeat beat;
+            if (!sched::parseHeartbeatJson(frame.payload, beat))
+                continue;
+            std::printf("%s: %s\n", endpoint.str().c_str(),
+                        sched::formatHeartbeat(beat).c_str());
+            std::fflush(stdout);
+            if (beat.complete) {
+                ::close(fd);
+                return 0;
+            }
+        }
+        if (reader.poisoned()) {
+            ::close(fd);
+            fatal("marvel-campaign: malformed frame from %s",
+                  endpoint.str().c_str());
+        }
+        buf.clear();
+        const long n = net::recvSome(fd, buf);
+        if (n <= 0) {
+            // Daemon gone without a final complete beat: the campaign
+            // may have been interrupted — say so, don't pretend.
+            ::close(fd);
+            std::printf("%s: daemon disconnected\n",
+                        endpoint.str().c_str());
+            return 3;
+        }
+        reader.feed(buf.data(), buf.size());
+    }
+}
+
 int
 cmdStatus(const Options &opts)
 {
+    if (!opts.connect.empty())
+        return cmdStatusConnect(opts);
     if (opts.journals.empty())
-        fatal("marvel-campaign: status needs --journal");
+        fatal("marvel-campaign: status needs --journal "
+              "(or --connect)");
     if (opts.follow)
         return cmdStatusFollow(opts);
     TextTable table("campaign status");
@@ -546,6 +616,8 @@ cmdMerge(const Options &opts)
 {
     if (opts.journals.empty())
         fatal("marvel-campaign: merge needs --journal");
+    // mergeJournals does the identity/hole/overlap validation; only
+    // after it accepts the set is a canonical file worth writing.
     const fi::CampaignResult res =
         sched::mergeJournals(opts.journals);
     printResult(strfmt("merged campaign: %s / %s (%zu journals)",
@@ -553,6 +625,21 @@ cmdMerge(const Options &opts)
                        res.target.name.c_str(),
                        opts.journals.size()),
                 res, res.hvfCorruptions > 0);
+    if (!opts.outPath.empty()) {
+        std::vector<store::JournalVerdict> verdicts;
+        store::JournalMeta meta;
+        for (const std::string &path : opts.journals) {
+            const store::Journal journal = store::readJournal(path);
+            if (verdicts.empty())
+                meta = journal.meta;
+            verdicts.insert(verdicts.end(),
+                            journal.verdicts.begin(),
+                            journal.verdicts.end());
+        }
+        store::writeCanonicalJournal(opts.outPath, meta, verdicts);
+        std::printf("canonical journal written to %s\n",
+                    opts.outPath.c_str());
+    }
     return 0;
 }
 

@@ -36,8 +36,8 @@
 #include <string>
 
 #include "accel/designs/designs.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
-#include "common/version.hh"
 #include "fi/campaign.hh"
 #include "fi/metrics.hh"
 #include "soc/builder.hh"
@@ -67,30 +67,22 @@ struct Options
     bool earlyTerm = true;
 };
 
-void
-printUsage(std::FILE *out)
-{
-    std::fprintf(out,
-                 "usage: marvel-cli "
-                 "{targets|list-workloads|campaign|replay|stats} "
-                 "[--preset P] [--config F] [--workload W] "
-                 "[--driver D] [--target T] [--faults N] [--model M] "
-                 "[--seed S] [--threads N] [--hvf] [--no-early-term] "
-                 "[--mask \"...\"] [--json FILE]\n"
-                 "       marvel-cli --help | --version\n");
-}
+const cli::Tool kTool = {
+    "marvel-cli",
+    "usage: marvel-cli "
+    "{targets|list-workloads|campaign|replay|stats} "
+    "[--preset P] [--config F] [--workload W] "
+    "[--driver D] [--target T] [--faults N] [--model M] "
+    "[--seed S] [--threads N] [--hvf] [--no-early-term] "
+    "[--mask \"...\"] [--json FILE]\n"
+    "       marvel-cli --help | --version\n",
+};
 
 /** Complain about one specific bad token, then the usage text. */
 [[noreturn]] void
 usageError(const char *what, const std::string &token)
 {
-    if (token.empty())
-        std::fprintf(stderr, "marvel-cli: %s\n", what);
-    else
-        std::fprintf(stderr, "marvel-cli: %s '%s'\n", what,
-                     token.c_str());
-    printUsage(stderr);
-    std::exit(2);
+    cli::usageError(kTool, what, token);
 }
 
 Options
@@ -100,16 +92,11 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usageError("missing subcommand", "");
     opts.command = argv[1];
-    if (opts.command == "--help" || opts.command == "-h") {
-        printUsage(stdout);
-        std::exit(0);
-    }
-    if (opts.command == "--version") {
-        std::printf("marvel-cli %s\n", kVersionString);
-        std::exit(0);
-    }
+    cli::handleStandardFlag(kTool, opts.command);
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (cli::handleStandardFlag(kTool, arg))
+            continue;
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
                 usageError("flag needs a value:", arg);
@@ -149,13 +136,7 @@ parseArgs(int argc, char **argv)
             opts.hvf = true;
         else if (arg == "--no-early-term")
             opts.earlyTerm = false;
-        else if (arg == "--help" || arg == "-h") {
-            printUsage(stdout);
-            std::exit(0);
-        } else if (arg == "--version") {
-            std::printf("marvel-cli %s\n", kVersionString);
-            std::exit(0);
-        } else
+        else
             usageError("unknown flag", arg);
     }
     return opts;

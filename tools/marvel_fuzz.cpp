@@ -28,7 +28,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "common/version.hh"
+#include "common/cli.hh"
 #include "fuzz/fuzz.hh"
 #include "mir/mir.hh"
 
@@ -55,30 +55,21 @@ struct Options
     bool quiet = false;
 };
 
-void
-printUsage(std::FILE *out)
-{
-    std::fprintf(
-        out,
-        "usage: marvel-fuzz [run] --seeds A:B\n"
-        "             [--flavors all|riscv,arm,x86] [--audit-every N]\n"
-        "             [--no-shrink] [--no-determinism]\n"
-        "             [--statements N] [--max-cycles N] [--out DIR]\n"
-        "             [--ladder N] [--threads N] [--quiet]\n"
-        "       marvel-fuzz dump --seed N\n"
-        "       marvel-fuzz --help | --version\n");
-}
+const cli::Tool kTool = {
+    "marvel-fuzz",
+    "usage: marvel-fuzz [run] --seeds A:B\n"
+    "             [--flavors all|riscv,arm,x86] [--audit-every N]\n"
+    "             [--no-shrink] [--no-determinism]\n"
+    "             [--statements N] [--max-cycles N] [--out DIR]\n"
+    "             [--ladder N] [--threads N] [--quiet]\n"
+    "       marvel-fuzz dump --seed N\n"
+    "       marvel-fuzz --help | --version\n",
+};
 
 [[noreturn]] void
 usageError(const char *what, const std::string &token)
 {
-    if (token.empty())
-        std::fprintf(stderr, "marvel-fuzz: %s\n", what);
-    else
-        std::fprintf(stderr, "marvel-fuzz: %s '%s'\n", what,
-                     token.c_str());
-    printUsage(stderr);
-    std::exit(2);
+    cli::usageError(kTool, what, token);
 }
 
 u64
@@ -142,12 +133,8 @@ parseArgs(int argc, char **argv)
     };
     for (; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
-            printUsage(stdout);
-            std::exit(0);
-        } else if (arg == "--version") {
-            std::printf("marvel-fuzz %s\n", kVersionString);
-            std::exit(0);
+        if (cli::handleStandardFlag(kTool, arg)) {
+            continue;
         } else if (arg == "--seeds") {
             parseSeedRange(next("--seeds"), opts);
         } else if (arg == "--seed") {

@@ -32,7 +32,7 @@
 #include <string>
 
 #include "accel/designs/designs.hh"
-#include "common/version.hh"
+#include "common/cli.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/lineage.hh"
 #include "obs/trace.hh"
@@ -60,28 +60,19 @@ struct Options
     std::size_t ringCapacity = 1 << 16;
 };
 
-void
-printUsage(std::FILE *out)
-{
-    std::fprintf(
-        out,
-        "usage: marvel-trace replay --journal FILE --index N\n"
-        "             [--trace out.json] [--preset P] [--config F]\n"
-        "             [--workload W] [--driver D] [--ring N]\n"
-        "       marvel-trace --help | --version\n");
-}
+const cli::Tool kTool = {
+    "marvel-trace",
+    "usage: marvel-trace replay --journal FILE --index N\n"
+    "             [--trace out.json] [--preset P] [--config F]\n"
+    "             [--workload W] [--driver D] [--ring N]\n"
+    "       marvel-trace --help | --version\n",
+};
 
 /** Complain about one specific bad token, then the usage text. */
 [[noreturn]] void
 usageError(const char *what, const std::string &token)
 {
-    if (token.empty())
-        std::fprintf(stderr, "marvel-trace: %s\n", what);
-    else
-        std::fprintf(stderr, "marvel-trace: %s '%s'\n", what,
-                     token.c_str());
-    printUsage(stderr);
-    std::exit(2);
+    cli::usageError(kTool, what, token);
 }
 
 Options
@@ -91,16 +82,11 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usageError("missing subcommand", "");
     opts.command = argv[1];
-    if (opts.command == "--help" || opts.command == "-h") {
-        printUsage(stdout);
-        std::exit(0);
-    }
-    if (opts.command == "--version") {
-        std::printf("marvel-trace %s\n", kVersionString);
-        std::exit(0);
-    }
+    cli::handleStandardFlag(kTool, opts.command);
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (cli::handleStandardFlag(kTool, arg))
+            continue;
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
                 usageError("flag needs a value:", arg);
@@ -124,13 +110,7 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--ring")
             opts.ringCapacity =
                 std::strtoull(next().c_str(), nullptr, 0);
-        else if (arg == "--help" || arg == "-h") {
-            printUsage(stdout);
-            std::exit(0);
-        } else if (arg == "--version") {
-            std::printf("marvel-trace %s\n", kVersionString);
-            std::exit(0);
-        } else
+        else
             usageError("unknown flag", arg);
     }
     return opts;
@@ -187,7 +167,7 @@ cmdReplay(const Options &opts)
                       500'000'000, meta.ladderRungs);
 
     const sched::ReplaySetup setup =
-        sched::replaySetup(golden, meta, opts.index);
+        sched::replaySetup(golden, meta, opts.index, opts.journal);
     fi::FaultMask mask;
     mask.faults.push_back(setup.fault);
     std::printf("fault #%llu: %s\n",

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * marvel-worker — the distributed-campaign lease-running client.
+ *
+ * Connects to a marvel-campaignd dispatch socket, learns the campaign
+ * identity (target, model, seed, ladder geometry, prune flag) from
+ * the daemon's HelloAck, builds the matching golden run locally,
+ * validates the identity (any mismatch fatals with both values — the
+ * same messages a bad `marvel-campaign resume` prints), then leases
+ * fault ranges and streams verdicts until the campaign completes.
+ *
+ * The worker owns no durable state: if it dies, its leases expire and
+ * another worker re-runs them; if the daemon dies, the worker backs
+ * off exponentially (with per-worker jitter) and reconnects.
+ *
+ * Usage:
+ *   marvel-worker --connect unix:/tmp/m.sock --workload sha
+ *                 [--name w0] [--lease N]
+ *                 [--preset P | --config F] [--driver D]
+ *
+ * The workload/system flags must rebuild the daemon's golden run;
+ * campaign parameters are NOT flags here — they come from the daemon.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "accel/designs/designs.hh"
+#include "common/cli.hh"
+#include "common/config.hh"
+#include "net/worker.hh"
+#include "soc/builder.hh"
+#include "workloads/workloads.hh"
+
+using namespace marvel;
+
+namespace
+{
+
+const cli::Tool kTool = {
+    "marvel-worker",
+    "usage: marvel-worker --connect ADDR --workload W|--driver D\n"
+    "  ADDR: unix:/path/to.sock | host:port\n"
+    "  [--name NAME]   worker name (default: worker-<pid>)\n"
+    "  [--lease N]     ask for at most N faults per lease\n"
+    "  [--preset P] [--config F]   system description\n"
+    "  campaign parameters (seed, faults, model, target, ladder,\n"
+    "  prune) come from the daemon, not from flags\n",
+};
+
+struct Options
+{
+    std::string connect;
+    std::string name;
+    std::string preset = "riscv";
+    std::string configFile;
+    std::string workload;
+    std::string driver;
+    u64 leaseFaults = 0;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (cli::handleStandardFlag(kTool, arg))
+            continue;
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                cli::usageError(kTool, "flag needs a value:", arg);
+            return argv[++i];
+        };
+        if (arg == "--connect")
+            opts.connect = next();
+        else if (arg == "--name")
+            opts.name = next();
+        else if (arg == "--preset")
+            opts.preset = next();
+        else if (arg == "--config")
+            opts.configFile = next();
+        else if (arg == "--workload")
+            opts.workload = next();
+        else if (arg == "--driver")
+            opts.driver = next();
+        else if (arg == "--lease")
+            opts.leaseFaults =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else
+            cli::usageError(kTool, "unknown flag", arg);
+    }
+    if (opts.connect.empty())
+        cli::usageError(kTool, "missing --connect", "");
+    if (opts.name.empty())
+        opts.name = strfmt("worker-%d", static_cast<int>(getpid()));
+    return opts;
+}
+
+int
+runWorkerTool(const Options &opts)
+{
+    soc::SystemConfig cfg =
+        opts.configFile.empty()
+            ? soc::preset(opts.preset)
+            : soc::configFromFile(opts.configFile);
+    if (!opts.driver.empty() && cfg.cluster.designs.empty())
+        cfg.cluster.designs.push_back(accel::designs::makeByName(
+            opts.driver, kAccelSpaceBase));
+
+    workloads::Workload wl;
+    if (!opts.driver.empty())
+        wl = workloads::accelDriver(opts.driver, 0);
+    else if (!opts.workload.empty())
+        wl = workloads::get(opts.workload);
+    else
+        fatal("marvel-worker: need --workload or --driver");
+
+    net::WorkerConfig wcfg;
+    wcfg.endpoint = net::parseEndpoint(opts.connect);
+    wcfg.name = opts.name;
+    wcfg.maxLeaseFaults = opts.leaseFaults;
+
+    // The golden run is built lazily, once the daemon's meta tells us
+    // the ladder geometry the campaign was recorded with.
+    fi::GoldenRun golden;
+    const net::GoldenSource goldenFor =
+        [&](const store::JournalMeta &meta) -> const fi::GoldenRun & {
+        if (!meta.workload.empty() && meta.workload != wl.name)
+            fatal("marvel-worker: daemon dispatches workload '%s' "
+                  "but this worker was launched with '%s'",
+                  meta.workload.c_str(), wl.name.c_str());
+        const isa::Program prog =
+            isa::compile(wl.module, cfg.cpu.isa);
+        std::printf("%s: golden run (%s, %s, ladder %u)...\n",
+                    wcfg.name.c_str(), wl.name.c_str(),
+                    isa::isaName(cfg.cpu.isa), meta.ladderRungs);
+        std::fflush(stdout);
+        golden = fi::runGolden(cfg, prog, 500'000'000,
+                               meta.ladderRungs);
+        return golden;
+    };
+
+    const net::WorkerReport report =
+        net::runWorker(wcfg, goldenFor);
+    std::printf("%s: %llu verdict(s) over %llu lease(s), "
+                "%llu reconnect(s)%s\n",
+                wcfg.name.c_str(),
+                static_cast<unsigned long long>(
+                    report.verdictsStreamed),
+                static_cast<unsigned long long>(
+                    report.leasesCompleted),
+                static_cast<unsigned long long>(report.reconnects),
+                report.campaignComplete ? ", campaign complete"
+                                        : "");
+    return report.campaignComplete ? 0 : 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runWorkerTool(parseArgs(argc, argv));
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
