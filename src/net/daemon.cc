@@ -57,6 +57,19 @@ Daemon::start()
         panic("Daemon::start called twice");
     started_ = true;
 
+    // The chunk size is advertised to workers and bounds the largest
+    // VerdictChunk frame they send back. Cap it so even maximal
+    // verdict lines (generously 256 bytes each) stay under the frame
+    // payload limit — encodeFrame() fatals past that.
+    const u64 chunkCap = kMaxFramePayload / 256;
+    if (config_.chunk > chunkCap) {
+        warn("campaignd: clamping chunk %llu to %llu to fit the "
+             "%u-byte frame limit",
+             static_cast<unsigned long long>(config_.chunk),
+             static_cast<unsigned long long>(chunkCap),
+             kMaxFramePayload);
+        config_.chunk = chunkCap;
+    }
     const unsigned chunkSize =
         config_.chunk ? static_cast<unsigned>(config_.chunk) : 1;
     std::vector<u8> done(config_.meta.numFaults, 0);
@@ -525,11 +538,16 @@ Daemon::pollOnce(int maxWaitMillis)
         fatal("net: poll: %s", std::strerror(errno));
 
     if (ready > 0) {
+        // fds[i + 1] belongs to conns_[i] only for the connections
+        // that existed when the pollfd array was built; anything
+        // acceptPending() appends has no pollfd entry until the next
+        // round, so snapshot the count first.
+        const std::size_t nPolled = conns_.size();
         if (fds[0].revents & POLLIN)
             acceptPending();
         // Walk backwards so dropConn()'s erase doesn't shift the
-        // indices still to visit; fds[i + 1] belongs to conns_[i].
-        for (std::size_t i = conns_.size(); i-- > 0;) {
+        // indices still to visit.
+        for (std::size_t i = nPolled; i-- > 0;) {
             const short revents = fds[i + 1].revents;
             if (revents & POLLOUT) {
                 if (!flushConn(*conns_[i])) {

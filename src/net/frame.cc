@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/log.hh"
+
 namespace marvel::net
 {
 
@@ -46,6 +48,13 @@ getU16(const char *p)
 void
 encodeFrame(const Frame &frame, std::string &out)
 {
+    // A frame the receiver would poison its stream over must never
+    // leave the sender: the peer would reconnect and re-send the
+    // same oversized frame forever. Fail loudly here instead.
+    if (frame.payload.size() > kMaxFramePayload)
+        fatal("net: refusing to encode a %zu-byte frame payload "
+              "(limit %u); lower --chunk or the lease size",
+              frame.payload.size(), kMaxFramePayload);
     out.reserve(out.size() + kFrameHeaderBytes +
                 frame.payload.size());
     putU32(out, static_cast<u32>(frame.payload.size()));

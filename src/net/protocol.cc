@@ -153,6 +153,12 @@ decodeVerdictChunk(const std::string &payload, VerdictChunk &out)
         !json::fieldU64(fields, "count", count))
         return false;
     out.verdicts.clear();
+    // `count` comes off the wire; a lying header must not force a
+    // giant allocation. Every verdict occupies at least one payload
+    // byte plus its newline, so a count beyond the payload size is
+    // malformed on its face.
+    if (count > payload.size())
+        return false;
     out.verdicts.reserve(count);
     std::size_t pos =
         nl == std::string::npos ? payload.size() : nl + 1;

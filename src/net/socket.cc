@@ -77,8 +77,21 @@ listenOn(const Endpoint &endpoint)
         std::strncpy(addr.sun_path, endpoint.path.c_str(),
                      sizeof(addr.sun_path) - 1);
         // A previous daemon's socket file would make bind fail with
-        // EADDRINUSE even though nobody is listening; remove it.
-        ::unlink(endpoint.path.c_str());
+        // EADDRINUSE even though nobody is listening — but blindly
+        // unlinking would steal the path from a daemon that IS
+        // listening. Probe first: only a refused/dead socket is
+        // stale and safe to remove.
+        if (::access(endpoint.path.c_str(), F_OK) == 0) {
+            const int probe = connectTo(endpoint);
+            if (probe >= 0) {
+                ::close(probe);
+                ::close(fd);
+                fatal("net: %s: another daemon is already "
+                      "listening on this socket",
+                      endpoint.str().c_str());
+            }
+            ::unlink(endpoint.path.c_str());
+        }
         if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
                    sizeof(addr)) < 0)
             fatal("net: bind(%s): %s", endpoint.str().c_str(),

@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -160,6 +162,28 @@ TEST(Frame, PoisonsOnOversizedPayload) {
     EXPECT_TRUE(reader.poisoned());
 }
 
+TEST(Frame, EncodeRefusesOversizedPayload) {
+    // An oversized frame must die at the sender: the receiver would
+    // poison its stream, the sender would reconnect and re-send the
+    // same frame, and the pair would livelock forever.
+    net::Frame frame;
+    frame.type = net::MsgType::VerdictChunk;
+    frame.payload.assign(net::kMaxFramePayload + 1, 'v');
+    std::string wire;
+    EXPECT_THROW(net::encodeFrame(frame, wire), FatalError);
+    EXPECT_TRUE(wire.empty());
+
+    // At exactly the limit the frame is legal on both ends.
+    frame.payload.assign(net::kMaxFramePayload, 'v');
+    net::encodeFrame(frame, wire);
+    net::FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    net::Frame got;
+    EXPECT_TRUE(reader.next(got));
+    EXPECT_FALSE(reader.poisoned());
+    EXPECT_EQ(got.payload.size(), net::kMaxFramePayload);
+}
+
 // --- endpoints and protocol messages ---------------------------------------
 
 TEST(Socket, ParsesEndpointGrammar) {
@@ -180,6 +204,24 @@ TEST(Socket, ParsesEndpointGrammar) {
     EXPECT_THROW(net::parseEndpoint("host:"), FatalError);
     EXPECT_THROW(net::parseEndpoint("host:notanumber"), FatalError);
     EXPECT_THROW(net::parseEndpoint("host:70000"), FatalError);
+}
+
+TEST(Socket, ListenRefusesLiveUnixSocketButReplacesStale) {
+    const net::Endpoint ep =
+        net::parseEndpoint("unix:" + tmpPath("net_listen.sock"));
+
+    // First daemon owns the path; a second must not silently steal it.
+    const int first = net::listenOn(ep);
+    ASSERT_GE(first, 0);
+    EXPECT_THROW(net::listenOn(ep), FatalError);
+
+    // Once the owner is gone the leftover socket file is stale and a
+    // new daemon replaces it.
+    ::close(first);
+    const int second = net::listenOn(ep);
+    EXPECT_GE(second, 0);
+    ::close(second);
+    ::unlink(ep.path.c_str());
 }
 
 TEST(Protocol, MessagesRoundTrip) {
@@ -229,6 +271,34 @@ TEST(Protocol, MessagesRoundTrip) {
 
     EXPECT_FALSE(net::decodeHello("not json", hello2));
     EXPECT_FALSE(net::decodeLeaseGrant("{}", grant2));
+}
+
+TEST(Protocol, VerdictChunkRejectsLyingCount) {
+    // The count field comes off the wire; a header claiming more
+    // verdicts than the payload could possibly hold must be rejected
+    // before any allocation is sized from it.
+    net::VerdictChunk out;
+    EXPECT_FALSE(net::decodeVerdictChunk(
+        "{\"lease\":1,\"count\":1152921504606846976}", out));
+    EXPECT_FALSE(net::decodeVerdictChunk(
+        "{\"lease\":1,\"count\":40}\n0 Masked", out));
+    EXPECT_TRUE(out.verdicts.empty());
+
+    // An honest chunk still round-trips.
+    net::VerdictChunk in;
+    in.lease = 7;
+    fi::RunVerdict masked;
+    fi::RunVerdict sdc;
+    sdc.outcome = fi::Outcome::SDC;
+    sdc.cyclesRun = 42;
+    in.verdicts.push_back({0, masked});
+    in.verdicts.push_back({1, sdc});
+    ASSERT_TRUE(
+        net::decodeVerdictChunk(net::encodeVerdictChunk(in), out));
+    EXPECT_EQ(out.lease, 7u);
+    ASSERT_EQ(out.verdicts.size(), 2u);
+    EXPECT_EQ(out.verdicts[1].verdict.outcome, fi::Outcome::SDC);
+    EXPECT_EQ(out.verdicts[1].verdict.cyclesRun, 42u);
 }
 
 TEST(Worker, BackoffIsDeterministicJitteredAndCapped) {
