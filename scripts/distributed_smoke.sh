@@ -9,6 +9,18 @@
 # `marvel-campaign merge --out` and must compare byte-for-byte.
 #
 # Usage: scripts/distributed_smoke.sh [BUILD_DIR]   (default: build)
+#
+# The campaign is parameterizable so the same harness can drive any
+# workload/engine through the dispatch path (e.g. a systolic-array
+# accelerator campaign):
+#
+#   SMOKE_WORKLOAD  MiBench kernel           (default crc32)
+#   SMOKE_DRIVER    accelerator driver; when set it replaces
+#                   SMOKE_WORKLOAD (e.g. gemm_systolic)
+#   SMOKE_CONFIG    INI system description passed to every process
+#   SMOKE_TARGET    injection target         (default prf-int)
+#   SMOKE_FAULTS    sample size              (default 96)
+#   SMOKE_SEED      campaign seed            (default 424242)
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -16,7 +28,17 @@ TOOLS="$BUILD/tools"
 WORK="$(mktemp -d)"
 trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORK"' EXIT
 
-CAMPAIGN=(--workload crc32 --target prf-int --faults 96 --seed 424242)
+# The workload selection is shared by the reference run, the daemon,
+# and both workers: every process must simulate the same system.
+WORKLOAD=(--workload "${SMOKE_WORKLOAD:-crc32}")
+if [ -n "${SMOKE_DRIVER:-}" ]; then
+    WORKLOAD=(--driver "$SMOKE_DRIVER")
+fi
+if [ -n "${SMOKE_CONFIG:-}" ]; then
+    WORKLOAD+=(--config "$SMOKE_CONFIG")
+fi
+CAMPAIGN=("${WORKLOAD[@]}" --target "${SMOKE_TARGET:-prf-int}"
+          --faults "${SMOKE_FAULTS:-96}" --seed "${SMOKE_SEED:-424242}")
 
 echo "== single-process reference =="
 "$TOOLS/marvel-campaign" run "${CAMPAIGN[@]}" \
@@ -39,10 +61,10 @@ done
 [ -S "$WORK/smoke.sock" ] || { echo "FAIL: daemon never listened"; exit 1; }
 
 "$TOOLS/marvel-worker" --connect "unix:$WORK/smoke.sock" \
-    --workload crc32 --name doomed &
+    "${WORKLOAD[@]}" --name doomed &
 DOOMED=$!
 "$TOOLS/marvel-worker" --connect "unix:$WORK/smoke.sock" \
-    --workload crc32 --name survivor &
+    "${WORKLOAD[@]}" --name survivor &
 SURVIVOR=$!
 
 # Give 'doomed' time to build its golden run and take a lease, then

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Systolic-array end-to-end smoke test.
+#
+# Runs a tiny 4x4-grid systolic GEMM campaign twice through
+# marvel-campaign — once with `--ladder auto --prune`, once with the
+# ladder and pruning off — and requires the canonicalized verdict
+# journals to compare byte-for-byte. This pins, through the real
+# binary, the property the ladder/prune machinery promises: speed
+# optimizations never change a verdict, for the systolic engine too.
+#
+# Usage: scripts/systolic_smoke.sh [BUILD_DIR]   (default: build)
+#
+#   SMOKE_FAULTS  sample size    (default 64)
+#   SMOKE_SEED    campaign seed  (default 20260809)
+set -euo pipefail
+
+BUILD="${1:-build}"
+TOOLS="$BUILD/tools"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/sys4x4.ini" <<'EOF'
+[system]
+isa = riscv
+
+[accel]
+design = gemm_systolic
+rows = 4
+cols = 4
+tile_m = 8
+EOF
+
+# The ladder rung count and prune flag are campaign identity (they
+# land in the journal's meta record), so both runs carry them;
+# --no-ladder keeps the geometry but restores every faulty run from
+# the window start instead of fast-forwarding.
+CAMPAIGN=(--config "$WORK/sys4x4.ini" --driver gemm_systolic
+          --target 'gemm_systolic[systolic].SEQ'
+          --faults "${SMOKE_FAULTS:-64}" --seed "${SMOKE_SEED:-20260809}"
+          --ladder auto --prune)
+
+echo "== systolic campaign, ladder auto + prune =="
+"$TOOLS/marvel-campaign" run "${CAMPAIGN[@]}" \
+    --journal "$WORK/ladder.jsonl"
+"$TOOLS/marvel-campaign" merge --journal "$WORK/ladder.jsonl" \
+    --out "$WORK/ladder.canon.jsonl"
+
+echo "== systolic campaign, straight-through reference =="
+"$TOOLS/marvel-campaign" run "${CAMPAIGN[@]}" \
+    --no-ladder --journal "$WORK/plain.jsonl"
+"$TOOLS/marvel-campaign" merge --journal "$WORK/plain.jsonl" \
+    --out "$WORK/plain.canon.jsonl"
+
+echo "== byte-for-byte diff of canonical journals =="
+cmp "$WORK/ladder.canon.jsonl" "$WORK/plain.canon.jsonl"
+echo "OK: laddered and straight-through systolic journals are byte-identical"

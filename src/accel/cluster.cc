@@ -46,10 +46,17 @@ Cluster::mmioWrite(Addr addr, u64 value)
 }
 
 void
-Cluster::cycle(mem::PhysMem &dram)
+Cluster::cycle(mem::PhysMem &dram, Cycle now)
 {
     for (ComputeUnit &u : units_)
-        u.cycle(dram);
+        u.cycle(dram, now);
+}
+
+void
+Cluster::setLineage(obs::PropagationTrace *trace)
+{
+    for (ComputeUnit &u : units_)
+        u.setLineage(trace);
 }
 
 bool

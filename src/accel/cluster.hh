@@ -54,7 +54,11 @@ class Cluster
     void mmioWrite(Addr addr, u64 value);
 
     /** Advance every unit one accelerator clock. */
-    void cycle(mem::PhysMem &dram);
+    void cycle(mem::PhysMem &dram, Cycle now = 0);
+
+    /** Point every unit's lineage bookkeeping at `trace` (null to
+     *  disable); cleared on System copies like the CPU's sinks. */
+    void setLineage(obs::PropagationTrace *trace);
 
     /** Any unit asserting its interrupt line. */
     bool irqPending() const;

@@ -7,6 +7,13 @@
 namespace marvel::accel
 {
 
+const char *
+engineClassName(EngineClass engineClass)
+{
+    return engineClass == EngineClass::Systolic ? "systolic"
+                                                : "dataflow";
+}
+
 double
 AccelDesign::area()
 const
@@ -27,6 +34,14 @@ ComputeUnit::ComputeUnit(AccelDesign design, Addr localBase)
         mems_.emplace_back(c.name, c.sizeBytes, c.kind);
     if (mems_.size() > 15)
         fatal("accel '%s': too many components", design_.name.c_str());
+    if (design_.engineClass == EngineClass::Systolic) {
+        design_.systolic.validate();
+        if (mems_.size() != kSysNumComponents)
+            fatal("accel '%s': systolic designs need the %u fixed "
+                  "components",
+                  design_.name.c_str(), kSysNumComponents);
+        systolic_.configure(design_.systolic);
+    }
 }
 
 AccelMem &
@@ -71,11 +86,13 @@ ComputeUnit::mmrWrite(Addr offset, u64 value)
             dmaCursor_ = 0;
             dma_.reset();
             engine_.reset();
+            systolic_.reset();
         } else if (value == 2) {
             state_ = State::Idle;
             irq_ = false;
             dma_.reset();
             engine_.reset();
+            systolic_.reset();
         }
         return;
     }
@@ -113,15 +130,17 @@ ComputeUnit::regStats(stats::Group &g)
         "cycles outside Idle/Done/Error");
     g.addFormula(
         "ops_executed",
-        [this]() { return static_cast<double>(engine_.opsExecuted()); },
+        [this]() { return static_cast<double>(opsExecuted()); },
         "datapath operations executed");
+    if (design_.engineClass == EngineClass::Systolic)
+        systolic_.regStats(g.subgroup("systolic"));
     dma_.regStats(g.subgroup("dma"));
     for (AccelMem &mem : mems_)
         mem.regStats(g.subgroup(mem.name()));
 }
 
 void
-ComputeUnit::cycle(mem::PhysMem &dram)
+ComputeUnit::cycle(mem::PhysMem &dram, Cycle now)
 {
     switch (state_) {
       case State::Idle:
@@ -143,28 +162,43 @@ ComputeUnit::cycle(mem::PhysMem &dram)
             ++dmaCursor_;
             return;
         }
-        // All input transfers issued and drained: start the datapath.
-        {
+        // All input transfers issued and drained: start the engine.
+        // (Systolic designs declare no dmaIn — their fetch sequencer
+        // streams tiles itself — so this fires on the first cycle.)
+        if (design_.engineClass == EngineClass::Systolic) {
+            systolic_.start(args_, mems_);
+        } else {
             std::vector<u64> args(args_, args_ + kNumMmrArgs);
             engine_.start(design_.kernel, design_.kernel.entry, args);
-            state_ = State::Compute;
-            dmaCursor_ = 0;
         }
+        state_ = State::Compute;
+        dmaCursor_ = 0;
         return;
-      case State::Compute:
+      case State::Compute: {
         ++busyCycles_;
-        engine_.cycle(design_.kernel, *this);
-        if (engine_.status() == EngineStatus::Fault ||
-            engine_.cyclesRun() > design_.watchdogCycles) {
+        EngineStatus status;
+        Cycle ran;
+        if (design_.engineClass == EngineClass::Systolic) {
+            systolic_.cycle(dram, mems_, now);
+            status = systolic_.status();
+            ran = systolic_.cyclesRun();
+        } else {
+            engine_.cycle(design_.kernel, *this);
+            status = engine_.status();
+            ran = engine_.cyclesRun();
+        }
+        if (status == EngineStatus::Fault ||
+            ran > design_.watchdogCycles) {
             state_ = State::Error;
             irq_ = true;
             return;
         }
-        if (engine_.status() == EngineStatus::Done) {
+        if (status == EngineStatus::Done) {
             state_ = State::DmaOut;
             dmaCursor_ = 0;
         }
         return;
+      }
       case State::DmaOut:
         ++busyCycles_;
         if (dma_.busy()) {

@@ -18,10 +18,20 @@
 #include "accel/dfg.hh"
 #include "accel/dma.hh"
 #include "accel/spm.hh"
+#include "accel/systolic/systolic.hh"
 #include "common/memmap.hh"
 
 namespace marvel::accel
 {
+
+/** The two accelerator microarchitecture classes. */
+enum class EngineClass : u8
+{
+    Dataflow, ///< dynamic-dataflow datapath executing a MIR kernel
+    Systolic, ///< weight-stationary systolic array (fixed function)
+};
+
+const char *engineClassName(EngineClass engineClass);
 
 /** Declaration of one local memory component. */
 struct ComponentDesc
@@ -50,6 +60,12 @@ struct AccelDesign
     std::vector<DmaDesc> dmaOut;
     FuConfig fu;
     u64 watchdogCycles = 20'000'000;
+
+    /** Which microarchitecture executes the design. Systolic designs
+     *  ignore `kernel`/`fu` and drive their own fetch/drain DMA, so
+     *  dmaIn/dmaOut stay empty. */
+    EngineClass engineClass = EngineClass::Dataflow;
+    SystolicParams systolic; ///< geometry when engineClass == Systolic
 
     /** Area estimate: functional units plus memory macros (Fig 17b). */
     double area() const;
@@ -87,15 +103,41 @@ class ComputeUnit : public AccelAddressSpace
     void mmrWrite(Addr offset, u64 value);
     bool irq() const { return irq_; }
 
-    /** Advance one accelerator clock. */
-    void cycle(mem::PhysMem &dram);
+    /** Advance one accelerator clock. `now` is the SoC cycle, used
+     *  only to timestamp lineage consumption events. */
+    void cycle(mem::PhysMem &dram, Cycle now = 0);
 
     // --- state / stats ----------------------------------------------------
     enum class State : u8 { Idle, DmaIn, Compute, DmaOut, Done, Error };
     State state() const { return state_; }
     bool errored() const { return state_ == State::Error; }
     Cycle busyCycles() const { return busyCycles_; }
-    u64 opsExecuted() const { return engine_.opsExecuted(); }
+
+    u64
+    opsExecuted() const
+    {
+        return design_.engineClass == EngineClass::Systolic
+                   ? systolic_.macsExecuted()
+                   : engine_.opsExecuted();
+    }
+
+    // --- lineage (systolic engines track exact word taint) ---------------
+    void setLineage(obs::PropagationTrace *trace)
+    {
+        systolic_.lineageOut = trace;
+    }
+    /** Seed taint on component `memIdx`, word `entry` (no-op for
+     *  dataflow units, which have no accelerator taint model). */
+    void lineageSeedWord(u32 memIdx, u64 entry)
+    {
+        if (design_.engineClass == EngineClass::Systolic)
+            systolic_.seedTaintWord(memIdx, entry);
+    }
+    std::vector<std::pair<Addr, Addr>> &
+    pendingLineageMemTaint()
+    {
+        return systolic_.pendingMemTaint();
+    }
 
     /** Local memory components (fault-injection targets). */
     std::vector<AccelMem> &memories() { return mems_; }
@@ -123,6 +165,7 @@ class ComputeUnit : public AccelAddressSpace
     Addr localBase_;
     std::vector<AccelMem> mems_;
     DataflowEngine engine_;
+    SystolicSequencer systolic_; ///< idle for dataflow designs
     DmaEngine dma_;
 
     State state_ = State::Idle;

@@ -303,6 +303,48 @@ makeGemm(Addr base, const FuConfig *fuOverride)
 }
 
 // =====================================================================
+// GEMM (systolic) — the identical 64x64 GEMM mapped onto the
+// weight-stationary systolic engine. Components follow the kSys*
+// index order the sequencer expects: double-buffered input/weight/
+// output scratchpads, the PE weight and accumulator register files,
+// and the SEQ bank holding every word of architectural sequencer
+// state (the fault-injection surface of the control path).
+// =====================================================================
+
+AccelDesign
+makeGemmSystolic(Addr base, const SystolicParams *gridOverride)
+{
+    (void)base; // no MIR kernel: nothing addresses the components
+    AccelDesign design;
+    design.name = "gemm_systolic";
+    design.engineClass = EngineClass::Systolic;
+    SystolicParams p;
+    if (gridOverride) {
+        p.rows = gridOverride->rows;
+        p.cols = gridOverride->cols;
+        p.tileM = gridOverride->tileM;
+    }
+    p.m = p.n = p.k = DesignSizes::gemmDim;
+    p.validate();
+    design.systolic = p;
+    design.components = {
+        {"IN0", p.inBankBytes(), MemKind::Spm},
+        {"IN1", p.inBankBytes(), MemKind::Spm},
+        {"W0", p.wBankBytes(), MemKind::Spm},
+        {"W1", p.wBankBytes(), MemKind::Spm},
+        {"OUT0", p.outBankBytes(), MemKind::Spm},
+        {"OUT1", p.outBankBytes(), MemKind::Spm},
+        {"PE_WREG", p.peBytes(), MemKind::RegBank},
+        {"PE_ACC", p.peBytes(), MemKind::RegBank},
+        {"SEQ", kSystolicSeqBytes, MemKind::RegBank},
+    };
+    // The fetch/drain sequencers stream tiles themselves; the shared
+    // host-visible DMA lists stay empty.
+    design.watchdogCycles = kWatchdog * 4;
+    return design;
+}
+
+// =====================================================================
 // MD-KNN — Lennard-Jones force from an 8-neighbour list. Flips in
 // NLADDR either index outside the position SPMs (crash) or pick the
 // wrong neighbour (SDC).
@@ -722,6 +764,11 @@ makeByName(const std::string &name, Addr base)
         return makeFft(base);
     if (name == "gemm")
         return makeGemm(base);
+    // Not in allDesignNames(): the "*-soc" presets instantiate the
+    // Table IV designs only; the systolic engine is selected
+    // explicitly (--driver gemm_systolic or [accel] design=).
+    if (name == "gemm_systolic")
+        return makeGemmSystolic(base);
     if (name == "md_knn")
         return makeMdKnn(base);
     if (name == "mergesort")

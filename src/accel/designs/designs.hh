@@ -52,6 +52,18 @@ struct DesignSizes
 AccelDesign makeBfs(Addr base);
 AccelDesign makeFft(Addr base);
 AccelDesign makeGemm(Addr base, const FuConfig *fuOverride = nullptr);
+
+/**
+ * The same 64x64 GEMM on the weight-stationary systolic engine
+ * ("gemm_systolic"): identical DRAM-visible contract (same MMR args,
+ * same input/output buffers, same driver), different
+ * microarchitecture and fault-target map. `gridOverride` adjusts the
+ * PE grid / M-tiling (rows, cols, tileM); the GEMM problem dims stay
+ * DesignSizes::gemmDim so any grid runs the identical MIR workload.
+ */
+AccelDesign makeGemmSystolic(Addr base,
+                             const SystolicParams *gridOverride =
+                                 nullptr);
 AccelDesign makeMdKnn(Addr base);
 AccelDesign makeMergesort(Addr base);
 AccelDesign makeSpmv(Addr base);

@@ -1,0 +1,660 @@
+#include "accel/systolic/systolic.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace marvel::accel
+{
+
+namespace
+{
+
+// SEQ word indices.
+enum : u32
+{
+    kWordPhase = 0,
+    kWordMt = 1,
+    kWordNt = 2,
+    kWordKt = 3,
+    kWordStep = 4,
+    kWordFetch = 5,
+    kWordDrain = 6,
+    kWordReserved = 7, // never written after start, never interpreted
+};
+
+// Packed-word field layout. Bits outside the fields below are don't-
+// care: read every cycle, never interpreted, so a flip there is the
+// canonical accelerator-contained (MaskedInAccel) fault.
+constexpr u64 kActiveBit = 1ull << 63;
+constexpr u64 kStageBit = 1ull << 62; // fetch: 0 = weights, 1 = acts
+constexpr u64 kBankBit = 1ull << 62;  // drain: OUT bank index
+
+u64
+packFetch(bool active, u32 stage, u32 row, u32 kt)
+{
+    return (active ? kActiveBit : 0) | (stage ? kStageBit : 0) |
+           (static_cast<u64>(kt & 0xffff) << 16) | (row & 0xffff);
+}
+
+u64
+packDrain(bool active, u32 bank, u32 row, u32 mt, u32 nt)
+{
+    return (active ? kActiveBit : 0) | (bank ? kBankBit : 0) |
+           (static_cast<u64>(nt & 0xffff) << 32) |
+           (static_cast<u64>(mt & 0xffff) << 16) | (row & 0xffff);
+}
+
+double
+toF64(u64 bits)
+{
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+u64
+toBits(double v)
+{
+    u64 bits;
+    std::memcpy(&bits, &v, 8);
+    return bits;
+}
+
+} // namespace
+
+void
+SystolicParams::validate() const
+{
+    if (rows == 0 || cols == 0 || tileM == 0 || m == 0 || n == 0 ||
+        k == 0)
+        fatal("systolic: degenerate geometry (%ux%u grid, tileM=%u, "
+              "%ux%ux%u GEMM)",
+              rows, cols, tileM, m, n, k);
+    if (rows > 256 || cols > 256 || tileM > 4096)
+        fatal("systolic: grid %ux%u tileM=%u exceeds the model's "
+              "limits (256x256, tileM 4096)",
+              rows, cols, tileM);
+}
+
+u64
+SystolicSequencer::entriesOf(u32 comp) const
+{
+    switch (comp) {
+      case kSysIn0:
+      case kSysIn1:
+        return static_cast<u64>(params_.tileM) * params_.rows;
+      case kSysW0:
+      case kSysW1:
+      case kSysPeW:
+      case kSysPeAcc:
+        return static_cast<u64>(params_.rows) * params_.cols;
+      case kSysOut0:
+      case kSysOut1:
+        return static_cast<u64>(params_.tileM) * params_.cols;
+      case kSysSeq:
+        return kSystolicSeqBytes / 8;
+    }
+    return 0;
+}
+
+u32
+SystolicSequencer::outBank(u64 mt, u64 nt) const
+{
+    return static_cast<u32>((mt * params_.nTiles() + nt) & 1);
+}
+
+// --- taint shadow (exact, word-granular) ------------------------------
+
+void
+SystolicSequencer::seedTaintWord(u32 memIdx, u64 entry)
+{
+    if (memIdx >= kSysNumComponents)
+        return;
+    if (taint_.empty()) {
+        taint_.resize(kSysNumComponents);
+        for (u32 c = 0; c < kSysNumComponents; ++c)
+            taint_[c].assign(entriesOf(c), 0);
+    }
+    if (entry < taint_[memIdx].size())
+        taint_[memIdx][entry] = 1;
+}
+
+bool
+SystolicSequencer::tainted(u32 comp, u64 word) const
+{
+    return !taint_.empty() && word < taint_[comp].size() &&
+           taint_[comp][word];
+}
+
+void
+SystolicSequencer::setTaint(u32 comp, u64 word, bool value)
+{
+    if (!taint_.empty() && word < taint_[comp].size())
+        taint_[comp][word] = value ? 1 : 0;
+}
+
+void
+SystolicSequencer::clearTaint(u32 comp, u64 word, u64 count)
+{
+    if (taint_.empty())
+        return;
+    for (u64 w = word; w < word + count && w < taint_[comp].size();
+         ++w)
+        taint_[comp][w] = 0;
+}
+
+void
+SystolicSequencer::noteConsume()
+{
+    if (!lineageOut)
+        return;
+    if (!lineageOut->faultRead) {
+        lineageOut->faultRead = true;
+        lineageOut->firstReadCycle = now_;
+    }
+    ++lineageOut->taintedUops;
+}
+
+// --- bank access ------------------------------------------------------
+
+double
+SystolicSequencer::readF(std::vector<AccelMem> &mems, u32 comp,
+                         u64 word, bool &ok)
+{
+    u64 bits = 0;
+    if (!mems[comp].read(word * 8, &bits, 8))
+        ok = false;
+    return toF64(bits);
+}
+
+void
+SystolicSequencer::writeF(std::vector<AccelMem> &mems, u32 comp,
+                          u64 word, double value, bool &ok)
+{
+    const u64 bits = toBits(value);
+    if (!mems[comp].write(word * 8, &bits, 8))
+        ok = false;
+}
+
+// --- SEQ state --------------------------------------------------------
+
+bool
+SystolicSequencer::seqLoad(std::vector<AccelMem> &mems, Seq &seq)
+{
+    if (!mems[kSysSeq].read(0, seq.raw, kSystolicSeqBytes))
+        return false;
+    if (lineageOut && !taint_.empty())
+        for (u32 w = 0; w < kSystolicSeqBytes / 8; ++w)
+            if (tainted(kSysSeq, w))
+                noteConsume();
+
+    if (seq.raw[kWordPhase] > static_cast<u64>(Phase::Done))
+        return false;
+    seq.phase = static_cast<Phase>(seq.raw[kWordPhase]);
+    seq.mt = seq.raw[kWordMt];
+    seq.nt = seq.raw[kWordNt];
+    seq.kt = seq.raw[kWordKt];
+    seq.step = seq.raw[kWordStep];
+
+    const u64 f = seq.raw[kWordFetch];
+    seq.fetchActive = (f & kActiveBit) != 0;
+    seq.fetchStage = (f & kStageBit) ? 1 : 0;
+    seq.fetchRow = static_cast<u32>(f & 0xffff);
+    seq.fetchKt = static_cast<u32>((f >> 16) & 0xffff);
+
+    const u64 d = seq.raw[kWordDrain];
+    seq.drainActive = (d & kActiveBit) != 0;
+    seq.drainBank = (d & kBankBit) ? 1 : 0;
+    seq.drainRow = static_cast<u32>(d & 0xffff);
+    seq.drainMt = static_cast<u32>((d >> 16) & 0xffff);
+    seq.drainNt = static_cast<u32>((d >> 32) & 0xffff);
+
+    // A corrupted sequencer must raise the error line, never index out
+    // of the design's geometry.
+    switch (seq.phase) {
+      case Phase::Load:
+      case Phase::FillW:
+      case Phase::Run:
+      case Phase::WaitPrefetch:
+      case Phase::WaitDrain:
+        if (seq.mt >= params_.mTiles() || seq.nt >= params_.nTiles() ||
+            seq.kt >= params_.kTiles())
+            return false;
+        break;
+      default:
+        break;
+    }
+    if (seq.fetchActive &&
+        (seq.fetchKt >= params_.kTiles() ||
+         seq.fetchRow > params_.tileM + params_.rows))
+        return false;
+    if (seq.drainActive &&
+        (seq.drainMt >= params_.mTiles() ||
+         seq.drainNt >= params_.nTiles() ||
+         seq.drainRow > params_.tileM))
+        return false;
+    return true;
+}
+
+void
+SystolicSequencer::seqStore(std::vector<AccelMem> &mems,
+                            const Seq &seq)
+{
+    u64 next[8];
+    std::memcpy(next, seq.raw, sizeof(next));
+    next[kWordPhase] = static_cast<u64>(seq.phase);
+    next[kWordMt] = seq.mt;
+    next[kWordNt] = seq.nt;
+    next[kWordKt] = seq.kt;
+    next[kWordStep] = seq.step;
+    next[kWordFetch] = packFetch(seq.fetchActive, seq.fetchStage,
+                                 seq.fetchRow, seq.fetchKt);
+    next[kWordDrain] = packDrain(seq.drainActive, seq.drainBank,
+                                 seq.drainRow, seq.drainMt,
+                                 seq.drainNt);
+    for (u32 w = 0; w < 8; ++w)
+        if (next[w] != seq.raw[w])
+            mems[kSysSeq].write(w * 8, &next[w], 8);
+}
+
+// --- lifecycle --------------------------------------------------------
+
+void
+SystolicSequencer::start(const u64 *args,
+                         std::vector<AccelMem> &mems)
+{
+    aBase_ = args[0];
+    bBase_ = args[1];
+    cBase_ = args[2];
+    cycles_ = 0;
+    dmaIn_.reset();
+    dmaDrain_.reset();
+    status_ = EngineStatus::Running;
+
+    // Architectural reset: write every SEQ word through the bank.
+    u64 words[8] = {};
+    words[kWordPhase] = static_cast<u64>(Phase::Load);
+    words[kWordFetch] = packFetch(true, 0, 0, 0);
+    mems[kSysSeq].write(0, words, kSystolicSeqBytes);
+    if (!taint_.empty())
+        clearTaint(kSysSeq, 0, kSystolicSeqBytes / 8);
+}
+
+void
+SystolicSequencer::reset()
+{
+    status_ = EngineStatus::Idle;
+    cycles_ = 0;
+    dmaIn_.reset();
+    dmaDrain_.reset();
+    // Taint seeded before the host's CTRL write survives a reset: the
+    // flipped bits do too.
+}
+
+// --- fetch / drain sequencers -----------------------------------------
+
+void
+SystolicSequencer::tickFetch(Seq &seq)
+{
+    if (!seq.fetchActive || dmaIn_.busy())
+        return;
+    const u32 kt = seq.fetchKt;
+    const u32 bank = kt & 1;
+    const u32 ak = params_.activeK(kt);
+    const u32 an = params_.activeN(static_cast<u32>(seq.nt));
+    const u32 am = params_.activeM(static_cast<u32>(seq.mt));
+
+    DmaTransfer t;
+    t.toAccel = true;
+    if (seq.fetchStage == 0) {
+        if (seq.fetchRow < ak) {
+            // One weight row: B[kt*R + row][nt*C .. nt*C + an).
+            t.dramAddr = bBase_ +
+                         ((static_cast<u64>(kt) * params_.rows +
+                           seq.fetchRow) *
+                              params_.n +
+                          static_cast<u64>(seq.nt) * params_.cols) *
+                             8;
+            t.component = kSysW0 + bank;
+            t.componentOff =
+                static_cast<u64>(seq.fetchRow) * params_.cols * 8;
+            t.length = an * 8;
+            clearTaint(t.component, t.componentOff / 8, an);
+            dmaIn_.start(t);
+            ++seq.fetchRow;
+            return;
+        }
+        seq.fetchStage = 1;
+        seq.fetchRow = 0;
+    }
+    if (seq.fetchRow < am) {
+        // One activation row: A[mt*tileM + row][kt*R .. kt*R + ak).
+        t.dramAddr = aBase_ +
+                     ((static_cast<u64>(seq.mt) * params_.tileM +
+                       seq.fetchRow) *
+                          params_.k +
+                      static_cast<u64>(kt) * params_.rows) *
+                         8;
+        t.component = kSysIn0 + bank;
+        t.componentOff =
+            static_cast<u64>(seq.fetchRow) * params_.rows * 8;
+        t.length = ak * 8;
+        clearTaint(t.component, t.componentOff / 8, ak);
+        dmaIn_.start(t);
+        ++seq.fetchRow;
+        return;
+    }
+    seq.fetchActive = false;
+}
+
+void
+SystolicSequencer::tickDrain(Seq &seq)
+{
+    if (!seq.drainActive || dmaDrain_.busy())
+        return;
+    const u32 am = params_.activeM(seq.drainMt);
+    const u32 an = params_.activeN(seq.drainNt);
+    if (seq.drainRow >= am) {
+        seq.drainActive = false;
+        ++tilesDone_;
+        return;
+    }
+    DmaTransfer t;
+    t.toAccel = false;
+    t.component = kSysOut0 + seq.drainBank;
+    t.componentOff = static_cast<u64>(seq.drainRow) * params_.cols * 8;
+    t.length = an * 8;
+    t.dramAddr = cBase_ +
+                 ((static_cast<u64>(seq.drainMt) * params_.tileM +
+                   seq.drainRow) *
+                      params_.n +
+                  static_cast<u64>(seq.drainNt) * params_.cols) *
+                     8;
+    if (!taint_.empty())
+        for (u32 c = 0; c < an; ++c)
+            if (tainted(t.component, t.componentOff / 8 + c))
+                pendingMemTaint_.emplace_back(t.dramAddr + c * 8,
+                                              t.dramAddr + c * 8 + 8);
+    dmaDrain_.start(t);
+    ++seq.drainRow;
+}
+
+// --- grid schedule ----------------------------------------------------
+
+bool
+SystolicSequencer::fillStep(std::vector<AccelMem> &mems, Seq &seq)
+{
+    bool ok = true;
+    const u32 r = static_cast<u32>(seq.step);
+    const u32 bank = kSysW0 + (static_cast<u32>(seq.kt) & 1);
+    const u32 ak = params_.activeK(static_cast<u32>(seq.kt));
+    const u32 an = params_.activeN(static_cast<u32>(seq.nt));
+    for (u32 c = 0; c < params_.cols; ++c) {
+        const u64 w = static_cast<u64>(r) * params_.cols + c;
+        double v = 0.0;
+        bool t = false;
+        // Padded rows/columns load zero weights so the remainder tile
+        // runs the uniform grid schedule.
+        if (r < ak && c < an) {
+            v = readF(mems, bank, w, ok);
+            t = tainted(bank, w);
+        }
+        writeF(mems, kSysPeW, w, v, ok);
+        setTaint(kSysPeW, w, t);
+    }
+    ++fillCycles_;
+    return ok;
+}
+
+bool
+SystolicSequencer::runStep(std::vector<AccelMem> &mems, Seq &seq)
+{
+    bool ok = true;
+    const u32 rows = params_.rows;
+    const u32 cols = params_.cols;
+    const u32 am = params_.activeM(static_cast<u32>(seq.mt));
+    const u32 inBank = kSysIn0 + (static_cast<u32>(seq.kt) & 1);
+    const u32 oBank =
+        kSysOut0 + outBank(seq.mt, seq.nt);
+    const u32 ak = params_.activeK(static_cast<u32>(seq.kt));
+    const u64 st = seq.step;
+
+    // 1. Output lag: the partial sum that left the bottom row LAST
+    //    cycle lands in the output accumulator bank now (so PE_ACC's
+    //    bottom row has a real one-cycle read-after-write residency).
+    if (st >= rows && st - rows < am) {
+        const u64 mOut = st - rows;
+        for (u32 c = 0; c < cols; ++c) {
+            const u64 src = static_cast<u64>(rows - 1) * cols + c;
+            const double v = readF(mems, kSysPeAcc, src, ok);
+            bool t = tainted(kSysPeAcc, src);
+            const u64 w = mOut * cols + c;
+            if (seq.kt == 0) {
+                // First k-tile overwrites whatever the bank held.
+                writeF(mems, oBank, w, v, ok);
+            } else {
+                const double prev = readF(mems, oBank, w, ok);
+                t = t || tainted(oBank, w);
+                writeF(mems, oBank, w, prev + v, ok);
+            }
+            setTaint(oBank, w, t);
+            if (t && lineageOut)
+                ++lineageOut->taintedStores;
+        }
+    }
+
+    // 2. MAC wavefront, bottom row first: each row reads the partial
+    //    sum its upstream neighbour latched last cycle. Row r consumes
+    //    activation element m = step - r (the diagonal skew).
+    for (u32 r = rows; r-- > 0;) {
+        const i64 mIdx = static_cast<i64>(st) - static_cast<i64>(r);
+        if (mIdx < 0 || mIdx >= static_cast<i64>(am))
+            continue;
+        double a = 0.0;
+        bool aT = false;
+        if (r < ak) {
+            const u64 word = static_cast<u64>(mIdx) * rows + r;
+            a = readF(mems, inBank, word, ok);
+            aT = tainted(inBank, word);
+        }
+        for (u32 c = 0; c < cols; ++c) {
+            const u64 pe = static_cast<u64>(r) * cols + c;
+            double acc = 0.0;
+            bool accT = false;
+            if (r > 0) {
+                const u64 up = static_cast<u64>(r - 1) * cols + c;
+                acc = readF(mems, kSysPeAcc, up, ok);
+                accT = tainted(kSysPeAcc, up);
+            }
+            const double w = readF(mems, kSysPeW, pe, ok);
+            const bool wT = tainted(kSysPeW, pe);
+            writeF(mems, kSysPeAcc, pe, acc + w * a, ok);
+            const bool t = aT || wT || accT;
+            setTaint(kSysPeAcc, pe, t);
+            if (t) {
+                noteConsume();
+                if (accT && lineageOut)
+                    ++lineageOut->forwardedTaints;
+            }
+            ++macs_;
+        }
+    }
+    ++runCycles_;
+    return ok;
+}
+
+// --- main FSM ---------------------------------------------------------
+
+void
+SystolicSequencer::cycle(mem::PhysMem &dram,
+                         std::vector<AccelMem> &mems, Cycle now)
+{
+    if (status_ != EngineStatus::Running)
+        return;
+    now_ = now;
+    ++cycles_;
+
+    dmaIn_.cycle(dram, mems);
+    dmaDrain_.cycle(dram, mems);
+    if (dmaIn_.faulted() || dmaDrain_.faulted()) {
+        status_ = EngineStatus::Fault;
+        return;
+    }
+
+    Seq seq;
+    if (!seqLoad(mems, seq)) {
+        status_ = EngineStatus::Fault;
+        return;
+    }
+
+    tickFetch(seq);
+    tickDrain(seq);
+
+    bool ok = true;
+    switch (seq.phase) {
+      case Phase::Load:
+        if (!seq.fetchActive && !dmaIn_.busy()) {
+            seq.phase = Phase::FillW;
+            seq.step = 0;
+        }
+        break;
+      case Phase::FillW:
+        if (seq.step >= params_.rows) {
+            ok = false;
+            break;
+        }
+        ok = fillStep(mems, seq);
+        if (ok && ++seq.step == params_.rows) {
+            seq.phase = Phase::Run;
+            seq.step = 0;
+            // Prefetch the next k-tile's operands into the other
+            // banks while the grid computes this one.
+            if (seq.kt + 1 < params_.kTiles()) {
+                seq.fetchActive = true;
+                seq.fetchStage = 0;
+                seq.fetchRow = 0;
+                seq.fetchKt = static_cast<u32>(seq.kt) + 1;
+            }
+        }
+        break;
+      case Phase::Run: {
+        const u64 steps =
+            params_.activeM(static_cast<u32>(seq.mt)) + params_.rows;
+        if (seq.step >= steps) {
+            ok = false;
+            break;
+        }
+        ok = runStep(mems, seq);
+        if (ok && ++seq.step == steps) {
+            if (seq.kt + 1 < params_.kTiles()) {
+                ++seq.kt;
+                seq.phase = Phase::WaitPrefetch;
+            } else {
+                seq.phase = Phase::WaitDrain;
+            }
+        }
+        break;
+      }
+      case Phase::WaitPrefetch:
+        if (seq.fetchActive || dmaIn_.busy()) {
+            ++stallPrefetch_;
+        } else {
+            seq.phase = Phase::FillW;
+            seq.step = 0;
+        }
+        break;
+      case Phase::WaitDrain:
+        // The single drain engine must be free of the previous tile
+        // before this tile's OUT bank can start streaming out.
+        if (seq.drainActive || dmaDrain_.busy()) {
+            ++stallDrain_;
+            break;
+        }
+        seq.drainActive = true;
+        seq.drainBank = outBank(seq.mt, seq.nt);
+        seq.drainRow = 0;
+        seq.drainMt = static_cast<u32>(seq.mt);
+        seq.drainNt = static_cast<u32>(seq.nt);
+        if (++seq.nt == params_.nTiles()) {
+            seq.nt = 0;
+            ++seq.mt;
+        }
+        if (seq.mt == params_.mTiles()) {
+            seq.phase = Phase::FinishDrain;
+        } else {
+            seq.kt = 0;
+            seq.step = 0;
+            seq.fetchActive = true;
+            seq.fetchStage = 0;
+            seq.fetchRow = 0;
+            seq.fetchKt = 0;
+            seq.phase = Phase::Load;
+        }
+        break;
+      case Phase::FinishDrain:
+        if (!seq.drainActive && !dmaDrain_.busy()) {
+            seq.phase = Phase::Done;
+            status_ = EngineStatus::Done;
+        }
+        break;
+      case Phase::Done:
+        status_ = EngineStatus::Done;
+        break;
+      case Phase::Idle:
+        // Running with an Idle phase word is a corrupted sequencer.
+        ok = false;
+        break;
+    }
+
+    if (!ok) {
+        status_ = EngineStatus::Fault;
+        return;
+    }
+    seqStore(mems, seq);
+}
+
+// --- statistics -------------------------------------------------------
+
+void
+SystolicSequencer::regStats(stats::Group &g)
+{
+    g.addFormula(
+        "pe_macs",
+        [this]() { return static_cast<double>(macs_); },
+        "MAC operations issued on the grid");
+    g.addFormula(
+        "pe_utilization",
+        [this]() {
+            const double slots =
+                static_cast<double>(params_.rows) * params_.cols *
+                static_cast<double>(cycles_);
+            return slots > 0.0 ? static_cast<double>(macs_) / slots
+                               : 0.0;
+        },
+        "MACs per PE-cycle while the engine ran");
+    g.addFormula(
+        "run_cycles",
+        [this]() { return static_cast<double>(runCycles_); },
+        "cycles with the wavefront advancing");
+    g.addFormula(
+        "fill_cycles",
+        [this]() { return static_cast<double>(fillCycles_); },
+        "cycles loading weight rows into PE_WREG");
+    g.addFormula(
+        "stall_prefetch_cycles",
+        [this]() { return static_cast<double>(stallPrefetch_); },
+        "cycles stalled on operand prefetch");
+    g.addFormula(
+        "stall_drain_cycles",
+        [this]() { return static_cast<double>(stallDrain_); },
+        "cycles stalled on the output drain");
+    g.addFormula(
+        "tiles_drained",
+        [this]() { return static_cast<double>(tilesDone_); },
+        "output tiles streamed back to DRAM");
+    dmaIn_.regStats(g.subgroup("dma_in"));
+    dmaDrain_.regStats(g.subgroup("dma_drain"));
+}
+
+} // namespace marvel::accel

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Weight-stationary systolic-array GEMM engine: the second accelerator
+ * microarchitecture class next to the dynamic-dataflow datapath.
+ *
+ * The model is cycle-level and fully state-resident: an R x C grid of
+ * MAC PEs (weight register + accumulator register each), double-
+ * buffered input/weight/output scratchpad banks, a fetch sequencer
+ * that tiles the GEMM onto the grid and prefetches the next k-tile's
+ * operands while the grid computes, and a drain sequencer that streams
+ * finished output tiles back to DRAM — both over their own DmaEngine.
+ *
+ * Everything architectural lives in AccelMem components and is
+ * accessed exclusively through the AccelMem read/write API, so the
+ * existing fault-injection hooks (watches, stuck-at reapply, access
+ * profiling for pre-pruning) cover the systolic engine for free:
+ *
+ *   IN0/IN1     activation tile banks (tileM x R doubles each)
+ *   W0/W1       weight tile banks (R x C doubles each)
+ *   OUT0/OUT1   output accumulator banks (tileM x C doubles each)
+ *   PE_WREG     the grid's resident weight registers (R x C)
+ *   PE_ACC      the grid's accumulator-chain registers (R x C)
+ *   SEQ         the sequencer's architectural state words (8 x u64)
+ *
+ * Dataflow: C[m x n] = A[m x k] * B[k x n], tiled as
+ * ceil(m/tileM) x ceil(n/C) output tiles, each accumulated over
+ * ceil(k/R) k-tiles. Weights stay resident in PE_WREG for one
+ * k-tile's activation stream; activations enter with the classic
+ * diagonal wavefront skew (row r consumes A-element m = step - r);
+ * partial sums flow down the accumulator chain and leave the bottom
+ * row into the OUT bank one cycle later. Remainder tiles are computed
+ * on the full grid with zero weights in the padded rows/columns, so
+ * the grid schedule is uniform for every tile shape.
+ *
+ * Sequencer state corruption is contained, never undefined behavior:
+ * every SEQ word is re-read through the bank each cycle, bounds-checked
+ * against the design geometry, and an inconsistent value raises the
+ * unit's error line (-> CrashAccelError) exactly like a datapath fault.
+ */
+
+#ifndef MARVEL_ACCEL_SYSTOLIC_SYSTOLIC_HH
+#define MARVEL_ACCEL_SYSTOLIC_SYSTOLIC_HH
+
+#include <utility>
+#include <vector>
+
+#include "accel/dfg.hh"
+#include "accel/dma.hh"
+#include "accel/spm.hh"
+#include "obs/lineage.hh"
+
+namespace marvel::accel
+{
+
+/** Component indices of a systolic design (order is fixed). */
+enum : u32
+{
+    kSysIn0 = 0,
+    kSysIn1,
+    kSysW0,
+    kSysW1,
+    kSysOut0,
+    kSysOut1,
+    kSysPeW,
+    kSysPeAcc,
+    kSysSeq,
+    kSysNumComponents,
+};
+
+/** SEQ bank size: 8 architectural state words. */
+constexpr u32 kSystolicSeqBytes = 64;
+
+/**
+ * Geometry of a systolic design: the PE grid, the M-tiling depth, and
+ * the GEMM problem it runs. All the SPM sizing / tiling math lives
+ * here so it is unit-testable without a simulation.
+ */
+struct SystolicParams
+{
+    u32 rows = 8;   ///< PE grid rows (the K direction)
+    u32 cols = 8;   ///< PE grid columns (the N direction)
+    u32 tileM = 16; ///< activation rows buffered per tile
+
+    u32 m = 64; ///< GEMM: C[m x n] = A[m x k] * B[k x n]
+    u32 n = 64;
+    u32 k = 64;
+
+    u32 mTiles() const { return (m + tileM - 1) / tileM; }
+    u32 nTiles() const { return (n + cols - 1) / cols; }
+    u32 kTiles() const { return (k + rows - 1) / rows; }
+
+    /** Real (unpadded) extent of tile `mt` / `nt` / `kt`. */
+    u32
+    activeM(u32 mt) const
+    {
+        return mt + 1 < mTiles() || m % tileM == 0 ? tileM : m % tileM;
+    }
+    u32
+    activeN(u32 nt) const
+    {
+        return nt + 1 < nTiles() || n % cols == 0 ? cols : n % cols;
+    }
+    u32
+    activeK(u32 kt) const
+    {
+        return kt + 1 < kTiles() || k % rows == 0 ? rows : k % rows;
+    }
+
+    /** Byte sizes of the banks this geometry needs. */
+    u32 inBankBytes() const { return tileM * rows * 8; }
+    u32 wBankBytes() const { return rows * cols * 8; }
+    u32 outBankBytes() const { return tileM * cols * 8; }
+    u32 peBytes() const { return rows * cols * 8; }
+
+    /** fatal() on degenerate or oversized geometries. */
+    void validate() const;
+};
+
+/**
+ * The fetch/compute/drain sequencer driving one systolic grid.
+ * Value-semantic (copied with the owning System on checkpoint); the
+ * lineage sink pointer is cleared by the System copy machinery.
+ */
+class SystolicSequencer
+{
+  public:
+    /** Architectural phase, stored in SEQ word 0. */
+    enum class Phase : u64
+    {
+        Idle = 0,
+        Load,         ///< blocking fetch of a tile's first k-tile
+        FillW,        ///< one weight row -> PE_WREG per cycle
+        Run,          ///< wavefront MACs + output lag
+        WaitPrefetch, ///< next k-tile's operands still in flight
+        WaitDrain,    ///< previous tile still draining its OUT bank
+        FinishDrain,  ///< last tile's drain completing
+        Done,
+    };
+
+    void configure(const SystolicParams &params) { params_ = params; }
+    const SystolicParams &params() const { return params_; }
+
+    /** Begin a GEMM: args[0..2] = DRAM addresses of A, B, C. */
+    void start(const u64 *args, std::vector<AccelMem> &mems);
+    void reset();
+
+    /** Advance one accelerator clock while Running. */
+    void cycle(mem::PhysMem &dram, std::vector<AccelMem> &mems,
+               Cycle now);
+
+    EngineStatus status() const { return status_; }
+    bool running() const { return status_ == EngineStatus::Running; }
+    Cycle cyclesRun() const { return cycles_; }
+    u64 macsExecuted() const { return macs_; }
+
+    /** Register utilization/stall/DMA statistics under g. */
+    void regStats(stats::Group &g);
+
+    // --- lineage (obs::PropagationTrace) ---------------------------------
+    /** Sink for taint bookkeeping; null outside lineage runs. */
+    obs::PropagationTrace *lineageOut = nullptr;
+
+    /** Seed exact word-granular taint on one component word. */
+    void seedTaintWord(u32 memIdx, u64 entry);
+
+    /** DRAM byte ranges tainted by drained output words; the SoC tick
+     *  hands them to the CPU's memory-taint tracker and clears. */
+    std::vector<std::pair<Addr, Addr>> &
+    pendingMemTaint()
+    {
+        return pendingMemTaint_;
+    }
+
+  private:
+    /** SEQ state words, unpacked for one cycle's work. */
+    struct Seq
+    {
+        u64 raw[8] = {};
+        Phase phase = Phase::Idle;
+        u64 mt = 0, nt = 0, kt = 0;
+        u64 step = 0;
+        bool fetchActive = false;
+        u32 fetchStage = 0; ///< 0 = weight rows, 1 = activation rows
+        u32 fetchRow = 0;
+        u32 fetchKt = 0;
+        bool drainActive = false;
+        u32 drainBank = 0;
+        u32 drainRow = 0;
+        u32 drainMt = 0, drainNt = 0;
+    };
+
+    bool seqLoad(std::vector<AccelMem> &mems, Seq &seq);
+    void seqStore(std::vector<AccelMem> &mems, const Seq &seq);
+
+    void tickFetch(Seq &seq);
+    void tickDrain(Seq &seq);
+    bool fillStep(std::vector<AccelMem> &mems, Seq &seq);
+    bool runStep(std::vector<AccelMem> &mems, Seq &seq);
+
+    double readF(std::vector<AccelMem> &mems, u32 comp, u64 word,
+                 bool &ok);
+    void writeF(std::vector<AccelMem> &mems, u32 comp, u64 word,
+                double value, bool &ok);
+
+    // exact word-granular taint shadow (empty until seeded)
+    bool tainted(u32 comp, u64 word) const;
+    void setTaint(u32 comp, u64 word, bool value);
+    void clearTaint(u32 comp, u64 word, u64 count);
+    void noteConsume();
+    u64 entriesOf(u32 comp) const;
+
+    u32 outBank(u64 mt, u64 nt) const;
+
+    SystolicParams params_;
+    EngineStatus status_ = EngineStatus::Idle;
+    Cycle cycles_ = 0;
+    Cycle now_ = 0;
+    Addr aBase_ = 0, bBase_ = 0, cBase_ = 0;
+
+    DmaEngine dmaIn_;    ///< fetch sequencer's engine (A and B tiles)
+    DmaEngine dmaDrain_; ///< drain sequencer's engine (C tiles)
+
+    // --- statistics ----------------------------------------------------
+    u64 macs_ = 0;          ///< MAC operations issued
+    u64 runCycles_ = 0;     ///< cycles with the wavefront advancing
+    u64 fillCycles_ = 0;    ///< cycles loading PE_WREG
+    u64 stallPrefetch_ = 0; ///< cycles stalled on operand prefetch
+    u64 stallDrain_ = 0;    ///< cycles stalled on output drain
+    u64 tilesDone_ = 0;     ///< output tiles drained
+
+    std::vector<std::vector<u8>> taint_;
+    std::vector<std::pair<Addr, Addr>> pendingMemTaint_;
+};
+
+} // namespace marvel::accel
+
+#endif // MARVEL_ACCEL_SYSTOLIC_SYSTOLIC_HH

@@ -191,6 +191,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
     if (options.lineage) {
         *options.lineage = obs::PropagationTrace{};
         sys.cpu.lineageOut = options.lineage;
+        sys.cluster.setLineage(options.lineage);
     }
     for (const FaultSpec &f : permanents) {
         injectFault(sys, f);
@@ -230,6 +231,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         options.lineage->diverged = verdict.hvfCorruption;
         options.lineage->firstDivergence = verdict.hvfCorruptCycle;
         sys.cpu.lineageOut = nullptr;
+        sys.cluster.setLineage(nullptr);
     };
 
     // Runs on every exit path; snapshots the faulty system's stats
@@ -259,6 +261,26 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         }
         verdict.outcome = Outcome::Masked;
         verdict.detail = OutcomeDetail::MaskedIdentical;
+        // Accelerator-contained corruption: every fault sat in an
+        // accelerator component, at least one flipped bit was actually
+        // consumed by the engine (unread faults classify as plain
+        // masked), and nothing leaked into CPU-visible state — the
+        // run's commit trace never diverged and the outputs above are
+        // identical. Read faults never early-terminate, so this
+        // classification is independent of the early-term setting.
+        if (!verdict.hvfCorruption && !mask.faults.empty()) {
+            bool allAccel = true;
+            bool anyRead = false;
+            for (const FaultSpec &f : mask.faults) {
+                if (f.target.id != TargetId::AccelMem) {
+                    allAccel = false;
+                    break;
+                }
+                anyRead |= faultStateOf(sys, f.target).anyRead();
+            }
+            if (allAccel && anyRead)
+                verdict.detail = OutcomeDetail::MaskedInAccel;
+        }
     };
 
     for (;;) {
@@ -429,6 +451,8 @@ CampaignResult::tally(const RunVerdict &verdict)
             ++maskedInvalid;
         if (verdict.detail == OutcomeDetail::MaskedPruned)
             ++pruned;
+        if (verdict.detail == OutcomeDetail::MaskedInAccel)
+            ++maskedInAccel;
         break;
       case Outcome::SDC:
         ++sdc;
@@ -452,6 +476,7 @@ CampaignResult::addCounts(const CampaignResult &other)
     maskedEarly += other.maskedEarly;
     maskedInvalid += other.maskedInvalid;
     pruned += other.pruned;
+    maskedInAccel += other.maskedInAccel;
     timeouts += other.timeouts;
     hvfCorruptions += other.hvfCorruptions;
 }

@@ -264,6 +264,9 @@ struct CampaignResult
     u64 maskedEarly = 0;   ///< subset of masked
     u64 maskedInvalid = 0; ///< subset of masked
     u64 pruned = 0;        ///< subset of masked, never simulated
+    /** Subset of masked: the accelerator consumed the corrupted bits
+     *  but the corruption never reached CPU-visible state. */
+    u64 maskedInAccel = 0;
     u64 timeouts = 0;      ///< subset of crash
     u64 hvfCorruptions = 0;
 

@@ -35,6 +35,7 @@ outcomeDetailName(OutcomeDetail detail)
       case OutcomeDetail::CrashAccelError: return "crash-accel";
       case OutcomeDetail::CrashTimeout: return "crash-timeout";
       case OutcomeDetail::MaskedPruned: return "masked-pruned";
+      case OutcomeDetail::MaskedInAccel: return "masked-in-accel";
     }
     return "?";
 }

@@ -44,9 +44,11 @@ enum class OutcomeDetail : u8
     CrashAccelError,
     CrashTimeout,
     // Appended after the original set so stored journals keep their
-    // detail names; keep this the last enumerator (journal parsing
-    // iterates 0..MaskedPruned).
+    // detail names; keep MaskedInAccel the last enumerator (journal
+    // parsing iterates 0..MaskedInAccel).
     MaskedPruned, ///< provably overwritten-before-read, never simulated
+    MaskedInAccel, ///< consumed by the accelerator, never reached
+                   ///< CPU-visible state
 };
 
 const char *outcomeDetailName(OutcomeDetail detail);

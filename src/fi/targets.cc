@@ -76,7 +76,13 @@ listTargets(const soc::System &system)
             TargetInfo info;
             info.ref = {TargetId::AccelMem, static_cast<u8>(a),
                         static_cast<u8>(m)};
-            info.name = unit.design().name + "." + mem.name();
+            // Engine class in the name keeps targets unambiguous when
+            // two microarchitectures implement the same algorithm
+            // (gemm[dataflow].MATRIX1 vs gemm_systolic[systolic].SEQ).
+            info.name = unit.design().name + "[" +
+                        accel::engineClassName(
+                            unit.design().engineClass) +
+                        "]." + mem.name();
             info.geometry = {mem.numEntries(), mem.bitsPerEntry()};
             out.push_back(info);
         }
@@ -97,9 +103,34 @@ targetInfo(const soc::System &system, const TargetRef &ref)
 TargetRef
 targetByName(const soc::System &system, const std::string &name)
 {
-    for (const TargetInfo &info : listTargets(system))
+    const std::vector<TargetInfo> targets = listTargets(system);
+    for (const TargetInfo &info : targets)
         if (info.name == name)
             return info.ref;
+    // Legacy accelerator spelling without the engine class
+    // ("gemm.MATRIX1"): accept it when it is unambiguous.
+    const std::string::size_type dot = name.find('.');
+    if (dot != std::string::npos) {
+        const TargetInfo *match = nullptr;
+        for (const TargetInfo &info : targets) {
+            const std::string::size_type br = info.name.find('[');
+            const std::string::size_type idot = info.name.find("].");
+            if (br == std::string::npos || idot == std::string::npos)
+                continue;
+            if (info.name.compare(0, br, name, 0, dot) == 0 &&
+                info.name.compare(idot + 2, std::string::npos, name,
+                                  dot + 1, std::string::npos) == 0) {
+                if (match)
+                    fatal("target: '%s' is ambiguous (matches '%s' "
+                          "and '%s')",
+                          name.c_str(), match->name.c_str(),
+                          info.name.c_str());
+                match = &info;
+            }
+        }
+        if (match)
+            return match->ref;
+    }
     fatal("target: no target named '%s'", name.c_str());
 }
 
@@ -238,8 +269,14 @@ seedLineage(soc::System &system, const FaultSpec &fault)
         if (system.cpu.sq[fault.entry].valid)
             system.cpu.lineageTaintStore(fault.entry);
         break;
+      case TargetId::AccelMem:
+        // Systolic units shadow exact word taint; dataflow units have
+        // no accelerator taint model and this is a no-op.
+        system.cluster.unit(fault.target.accelIdx)
+            .lineageSeedWord(fault.target.memIdx, fault.entry);
+        break;
       default:
-        break; // no dataflow taint model for meta-state / accel
+        break; // no dataflow taint model for meta-state
     }
 }
 

@@ -103,7 +103,7 @@ heartbeatJson(const Heartbeat &beat)
     return strfmt(
         "{\"v\":1,\"done\":%llu,\"expected\":%llu,"
         "\"masked\":%llu,\"sdc\":%llu,\"crash\":%llu,"
-        "\"pruned\":%llu,"
+        "\"pruned\":%llu,\"masked_in_accel\":%llu,"
         "\"runs_per_sec\":%.3f,\"avf\":%.6f,\"margin\":%.6f,"
         "\"eta_seconds\":%.1f,\"wall_millis\":%llu,"
         "\"complete\":%d}\n",
@@ -113,6 +113,7 @@ heartbeatJson(const Heartbeat &beat)
         static_cast<unsigned long long>(beat.sdc),
         static_cast<unsigned long long>(beat.crash),
         static_cast<unsigned long long>(beat.pruned),
+        static_cast<unsigned long long>(beat.maskedInAccel),
         beat.runsPerSec, beat.avf, beat.margin, beat.etaSeconds,
         static_cast<unsigned long long>(beat.wallMillis),
         beat.complete ? 1 : 0);
@@ -153,6 +154,8 @@ parseHeartbeatJson(const std::string &text, Heartbeat &out)
     beat.sdc = static_cast<u64>(fieldOr(fields, "sdc", 0));
     beat.crash = static_cast<u64>(fieldOr(fields, "crash", 0));
     beat.pruned = static_cast<u64>(fieldOr(fields, "pruned", 0));
+    beat.maskedInAccel =
+        static_cast<u64>(fieldOr(fields, "masked_in_accel", 0));
     beat.runsPerSec = fieldOr(fields, "runs_per_sec", 0.0);
     beat.avf = fieldOr(fields, "avf", 0.0);
     beat.margin = fieldOr(fields, "margin", 1.0);
@@ -193,6 +196,7 @@ aggregateHeartbeats(const std::vector<Heartbeat> &beats)
         agg.sdc += b.sdc;
         agg.crash += b.crash;
         agg.pruned += b.pruned;
+        agg.maskedInAccel += b.maskedInAccel;
         agg.runsPerSec += b.runsPerSec; // shards run concurrently
         agg.wallMillis = std::max(agg.wallMillis, b.wallMillis);
         agg.complete = agg.complete && b.complete;
@@ -236,6 +240,10 @@ formatHeartbeat(const Heartbeat &beat)
         prunedNote = strfmt(
             "  pruned %llu",
             static_cast<unsigned long long>(beat.pruned));
+    if (beat.maskedInAccel)
+        prunedNote += strfmt(
+            "  in-accel %llu",
+            static_cast<unsigned long long>(beat.maskedInAccel));
     return strfmt(
         "%llu/%llu (%5.1f%%)  m/s/c %llu/%llu/%llu%s  "
         "AVF %.2f%% +/-%.2f%%  %.1f runs/s  %s",

@@ -35,6 +35,7 @@ struct Heartbeat
     u64 sdc = 0;
     u64 crash = 0;
     u64 pruned = 0;          ///< subset of masked, never simulated
+    u64 maskedInAccel = 0;   ///< subset of masked, accel-contained
     double runsPerSec = 0.0; ///< throughput of this process
     double avf = 0.0;        ///< partial AVF over the done runs
     double margin = 1.0;     ///< achieved Leveugle ±margin (95% CI)

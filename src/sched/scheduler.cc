@@ -321,6 +321,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         beat.sdc = beatAgg.sdc;
         beat.crash = beatAgg.crash;
         beat.pruned = beatAgg.pruned;
+        beat.maskedInAccel = beatAgg.maskedInAccel;
         const double wall = secondsSince(campaignStart);
         const u64 ranHere = beat.done - beatResumed;
         beat.runsPerSec =

@@ -76,8 +76,22 @@ configFromText(const std::string &text)
         const std::string design = sec->require("design");
         const Addr base =
             kAccelSpaceBase + accelIdx * kAccelSpaceStride;
-        sys.cluster.designs.push_back(
-            accel::designs::makeByName(design, base));
+        if (design == "gemm_systolic") {
+            // Systolic designs take their PE-grid geometry from the
+            // config; the GEMM problem size is fixed by the design.
+            accel::SystolicParams grid;
+            grid.rows = static_cast<u32>(
+                sec->getU64("rows", grid.rows));
+            grid.cols = static_cast<u32>(
+                sec->getU64("cols", grid.cols));
+            grid.tileM = static_cast<u32>(
+                sec->getU64("tile_m", grid.tileM));
+            sys.cluster.designs.push_back(
+                accel::designs::makeGemmSystolic(base, &grid));
+        } else {
+            sys.cluster.designs.push_back(
+                accel::designs::makeByName(design, base));
+        }
         ++accelIdx;
     }
     return sys;
@@ -165,8 +179,18 @@ configToText(const SystemConfig &config)
     cacheSec("l2", config.memory.l2);
     out += strfmt("[memory]\nlatency = %u\n\n",
                   config.memory.memLatency);
-    for (const auto &design : config.cluster.designs)
-        out += strfmt("[accel]\ndesign = %s\n\n", design.name.c_str());
+    for (const auto &design : config.cluster.designs) {
+        if (design.engineClass == accel::EngineClass::Systolic) {
+            out += strfmt(
+                "[accel]\ndesign = %s\nrows = %u\ncols = %u\n"
+                "tile_m = %u\n\n",
+                design.name.c_str(), design.systolic.rows,
+                design.systolic.cols, design.systolic.tileM);
+        } else {
+            out += strfmt("[accel]\ndesign = %s\n\n",
+                          design.name.c_str());
+        }
+    }
     return out;
 }
 

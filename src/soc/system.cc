@@ -39,6 +39,7 @@ System::System(const System &other)
     cpu.traceOut = nullptr;
     cpu.traceRef = nullptr;
     cpu.lineageOut = nullptr;
+    cluster.setLineage(nullptr);
 }
 
 System &
@@ -59,6 +60,7 @@ System::operator=(const System &other)
     cpu.traceOut = nullptr;
     cpu.traceRef = nullptr;
     cpu.lineageOut = nullptr;
+    cluster.setLineage(nullptr);
     return *this;
 }
 
@@ -112,10 +114,20 @@ System::tick()
         obs::setNow(totalCycles);
 #endif
     cpu.cycle(memory, *this);
-    cluster.cycle(memory.dram());
+    cluster.cycle(memory.dram(), totalCycles);
     for (std::size_t i = 0; i < cluster.size(); ++i)
         irqCtrl.setLine(static_cast<unsigned>(i),
                         cluster.unitC(i).irq());
+    // Hand DRAM ranges tainted by accelerator drains to the CPU's
+    // memory-taint tracker (lineage runs only).
+    if (cpu.lineageOut) {
+        for (std::size_t i = 0; i < cluster.size(); ++i) {
+            auto &pending = cluster.unit(i).pendingLineageMemTaint();
+            for (const auto &[lo, hi] : pending)
+                cpu.lineageTaintMem(lo, hi);
+            pending.clear();
+        }
+    }
     ++totalCycles;
 }
 

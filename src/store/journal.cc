@@ -39,7 +39,7 @@ bool
 detailFromName(const std::string &name, fi::OutcomeDetail &out)
 {
     for (int i = 0;
-         i <= static_cast<int>(fi::OutcomeDetail::MaskedPruned);
+         i <= static_cast<int>(fi::OutcomeDetail::MaskedInAccel);
          ++i) {
         const auto d = static_cast<fi::OutcomeDetail>(i);
         if (name == fi::outcomeDetailName(d)) {

@@ -54,6 +54,11 @@ struct DesignData
 DesignData
 dataFor(const std::string &name)
 {
+    // The systolic GEMM consumes the dataflow GEMM's data verbatim
+    // (same seed, same buffers) so the two engines run a
+    // bit-identical workload and their outputs are comparable.
+    if (name == "gemm_systolic")
+        return dataFor("gemm");
     Rng rng(detail::dataSeed("accel-" + name));
     DesignData d;
     auto inBuf = [&](const char *bufName, std::size_t bytes) {
@@ -204,7 +209,7 @@ dataFor(const std::string &name)
 double
 designOpsPerRun(const std::string &name)
 {
-    if (name == "gemm") {
+    if (name == "gemm" || name == "gemm_systolic") {
         const double n = DesignSizes::gemmDim;
         return 2.0 * n * n * n;
     }

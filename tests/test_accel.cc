@@ -417,6 +417,200 @@ TEST(AccelEngine, ResourceBudgetsChangeTimingNotResults) {
     }
 }
 
+// ====================================================================
+// Systolic engine: the second microarchitecture class. Same MIR GEMM
+// workload, same data, different datapath — results must agree with
+// the dataflow engine (up to FP association order) and the geometry
+// math must hold on awkward tilings.
+// ====================================================================
+
+TEST(SystolicParams, GeometryEdgeCases) {
+    // Everything divides: no remainder tiles.
+    accel::SystolicParams even;
+    EXPECT_EQ(even.mTiles(), 4u);
+    EXPECT_EQ(even.nTiles(), 8u);
+    EXPECT_EQ(even.kTiles(), 8u);
+    EXPECT_EQ(even.activeM(3), 16u);
+    EXPECT_EQ(even.activeN(7), 8u);
+    EXPECT_EQ(even.activeK(7), 8u);
+    EXPECT_EQ(even.inBankBytes(), 16u * 8 * 8);
+    EXPECT_EQ(even.wBankBytes(), 8u * 8 * 8);
+    EXPECT_EQ(even.outBankBytes(), 16u * 8 * 8);
+
+    // Nothing divides: remainder tiles on every axis, non-square
+    // problem dims.
+    accel::SystolicParams odd;
+    odd.rows = 5;
+    odd.cols = 7;
+    odd.tileM = 9;
+    odd.m = 64;
+    odd.n = 33;
+    odd.k = 50;
+    EXPECT_EQ(odd.mTiles(), 8u);   // ceil(64/9)
+    EXPECT_EQ(odd.nTiles(), 5u);   // ceil(33/7)
+    EXPECT_EQ(odd.kTiles(), 10u);  // ceil(50/5)
+    EXPECT_EQ(odd.activeM(7), 1u); // 64 - 7*9
+    EXPECT_EQ(odd.activeN(4), 5u); // 33 - 4*7
+    EXPECT_EQ(odd.activeK(9), 5u); // 50 divides evenly by 5
+    EXPECT_EQ(odd.activeM(0), 9u);
+    EXPECT_EQ(odd.inBankBytes(), 9u * 5 * 8);
+    EXPECT_EQ(odd.wBankBytes(), 5u * 7 * 8);
+    EXPECT_EQ(odd.outBankBytes(), 9u * 7 * 8);
+
+    // A grid larger than the problem: one padded tile per axis.
+    accel::SystolicParams wide;
+    wide.rows = 16;
+    wide.cols = 16;
+    wide.tileM = 8;
+    wide.m = wide.n = wide.k = 6;
+    EXPECT_EQ(wide.mTiles(), 1u);
+    EXPECT_EQ(wide.nTiles(), 1u);
+    EXPECT_EQ(wide.kTiles(), 1u);
+    EXPECT_EQ(wide.activeM(0), 6u);
+    EXPECT_EQ(wide.activeN(0), 6u);
+    EXPECT_EQ(wide.activeK(0), 6u);
+}
+
+TEST(SystolicDesign, ComponentGeometryForBothEngineClasses) {
+    // Dataflow GEMM: Table IV flat matrix SPMs.
+    accel::AccelDesign df =
+        accel::designs::makeByName("gemm", kAccelSpaceBase);
+    EXPECT_EQ(df.engineClass, accel::EngineClass::Dataflow);
+    const u32 matBytes =
+        DesignSizes::gemmDim * DesignSizes::gemmDim * 8;
+    {
+        accel::ComputeUnit unit(df, kAccelSpaceBase);
+        EXPECT_EQ(unit.memoryByName("MATRIX1").size(), matBytes);
+    }
+
+    // Systolic GEMM: banks sized from the grid geometry, in the fixed
+    // kSys* component order the sequencer indexes by.
+    accel::SystolicParams grid;
+    grid.rows = 5;
+    grid.cols = 7;
+    grid.tileM = 9;
+    accel::AccelDesign sy =
+        accel::designs::makeGemmSystolic(kAccelSpaceBase, &grid);
+    EXPECT_EQ(sy.engineClass, accel::EngineClass::Systolic);
+    // Problem dims come from the design, not the override.
+    EXPECT_EQ(sy.systolic.m, DesignSizes::gemmDim);
+    EXPECT_EQ(sy.systolic.k, DesignSizes::gemmDim);
+    ASSERT_EQ(sy.components.size(),
+              static_cast<std::size_t>(accel::kSysNumComponents));
+    EXPECT_EQ(sy.components[accel::kSysIn0].name, "IN0");
+    EXPECT_EQ(sy.components[accel::kSysIn0].sizeBytes, 9u * 5 * 8);
+    EXPECT_EQ(sy.components[accel::kSysW1].name, "W1");
+    EXPECT_EQ(sy.components[accel::kSysW1].sizeBytes, 5u * 7 * 8);
+    EXPECT_EQ(sy.components[accel::kSysOut1].sizeBytes, 9u * 7 * 8);
+    EXPECT_EQ(sy.components[accel::kSysPeAcc].name, "PE_ACC");
+    EXPECT_EQ(sy.components[accel::kSysPeAcc].kind,
+              accel::MemKind::RegBank);
+    EXPECT_EQ(sy.components[accel::kSysSeq].sizeBytes,
+              accel::kSystolicSeqBytes);
+    EXPECT_TRUE(sy.dmaIn.empty());
+    EXPECT_TRUE(sy.dmaOut.empty());
+}
+
+TEST(SystolicSoc, GemmMatchesDataflowGemm) {
+    workloads::Workload wl;
+    const fi::GoldenRun sy = runSoc("gemm_systolic", &wl);
+    const fi::GoldenRun df = runSoc("gemm");
+    const auto a = globalBytes(wl.module, "mat_a");
+    const auto b = globalBytes(wl.module, "mat_b");
+    const u32 dim = DesignSizes::gemmDim;
+    ASSERT_EQ(sy.output.size(), df.output.size());
+    for (u32 i = 0; i < dim; ++i) {
+        for (u32 j = 0; j < dim; ++j) {
+            double sum = 0.0;
+            for (u32 k = 0; k < dim; ++k)
+                sum += f64At(a, i * dim + k) * f64At(b, k * dim + j);
+            double gotSy, gotDf;
+            std::memcpy(&gotSy, sy.output.data() + (i * dim + j) * 8,
+                        8);
+            std::memcpy(&gotDf, df.output.data() + (i * dim + j) * 8,
+                        8);
+            // Both engines accumulate in different FP association
+            // orders (8 lanes vs k-tile chains); each must match the
+            // serial reference to tolerance.
+            ASSERT_NEAR(gotSy, sum, 1e-9)
+                << "systolic C[" << i << "][" << j << "]";
+            ASSERT_NEAR(gotDf, gotSy, 1e-9)
+                << "engines disagree at C[" << i << "][" << j << "]";
+        }
+    }
+    // The two microarchitectures really are different machines.
+    EXPECT_NE(sy.windowCycles, df.windowCycles);
+}
+
+TEST(SystolicSoc, NonDividingGridMatchesReference) {
+    // A 5x7 grid with tileM=9 tiles 64x64x64 with remainders on every
+    // axis; built through the [accel] config path so the geometry keys
+    // are exercised end-to-end.
+    soc::SystemConfig cfg = soc::configFromText(
+        "[system]\nisa = riscv\n\n"
+        "[accel]\ndesign = gemm_systolic\nrows = 5\ncols = 7\n"
+        "tile_m = 9\n");
+    ASSERT_EQ(cfg.cluster.designs.size(), 1u);
+    EXPECT_EQ(cfg.cluster.designs[0].systolic.rows, 5u);
+    // The geometry survives a config round-trip.
+    const soc::SystemConfig back =
+        soc::configFromText(soc::configToText(cfg));
+    EXPECT_EQ(back.cluster.designs[0].systolic.cols, 7u);
+    EXPECT_EQ(back.cluster.designs[0].systolic.tileM, 9u);
+
+    workloads::Workload wl = workloads::accelDriver("gemm_systolic", 0);
+    const isa::Program prog =
+        isa::compile(wl.module, isa::IsaKind::RISCV);
+    const fi::GoldenRun g = fi::runGolden(cfg, prog);
+    const auto a = globalBytes(wl.module, "mat_a");
+    const auto b = globalBytes(wl.module, "mat_b");
+    const u32 dim = DesignSizes::gemmDim;
+    for (u32 i = 0; i < dim; i += 3) {
+        for (u32 j = 0; j < dim; j += 5) {
+            double sum = 0.0;
+            for (u32 k = 0; k < dim; ++k)
+                sum += f64At(a, i * dim + k) * f64At(b, k * dim + j);
+            double got;
+            std::memcpy(&got, g.output.data() + (i * dim + j) * 8, 8);
+            ASSERT_NEAR(got, sum, 1e-9)
+                << "C[" << i << "][" << j << "]";
+        }
+    }
+}
+
+TEST(SystolicSoc, StatsSubtreeCountsTheSchedule) {
+    soc::SystemConfig cfg = soc::preset("riscv");
+    cfg.cluster.designs.push_back(
+        accel::designs::makeGemmSystolic(kAccelSpaceBase));
+    workloads::Workload wl = workloads::accelDriver("gemm_systolic", 0);
+    const isa::Program prog =
+        isa::compile(wl.module, isa::IsaKind::RISCV);
+    soc::System sys(cfg);
+    sys.loadProgram(prog);
+    ASSERT_EQ(sys.run(100'000'000), soc::RunExit::Checkpoint);
+    ASSERT_EQ(sys.run(100'000'000), soc::RunExit::SwitchCpu);
+    ASSERT_EQ(sys.run(100'000'000), soc::RunExit::Exited);
+    const stats::Snapshot snap = sys.statsSnapshot();
+    auto value = [&](const char* path) {
+        const stats::SnapshotEntry* e = snap.find(path);
+        EXPECT_NE(e, nullptr) << path;
+        return e ? e->value : -1.0;
+    };
+    const double dim = DesignSizes::gemmDim;
+    // 8x8 grid divides 64^3 exactly: every MAC is a real MAC.
+    EXPECT_EQ(value("accel.gemm_systolic.systolic.pe_macs"),
+              dim * dim * dim);
+    EXPECT_EQ(value("accel.gemm_systolic.systolic.tiles_drained"),
+              4.0 * 8.0); // mTiles * nTiles
+    EXPECT_GT(value("accel.gemm_systolic.systolic.pe_utilization"),
+              0.0);
+#ifndef MARVEL_STATS_DISABLED
+    // DmaEngine uses stats::Counter, which compiles out.
+    EXPECT_GT(
+        value("accel.gemm_systolic.systolic.dma_in.bytes_moved"), 0.0);
+#endif
+}
+
 TEST(AccelEngine, OutOfRangeAccessFaults) {
     mir::ModuleBuilder mb;
     mir::FunctionBuilder fb = mb.func("kernel", {});

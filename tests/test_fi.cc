@@ -18,6 +18,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "accel/designs/designs.hh"
 #include "common/memmap.hh"
 #include "common/stats.hh"
 #include "fi/campaign.hh"
@@ -583,4 +584,165 @@ TEST(Ladder, PruningNeverChangesOutcomeCounts) {
     EXPECT_EQ(plain.masked, pruned.masked);
     EXPECT_EQ(plain.sdc, pruned.sdc);
     EXPECT_EQ(plain.crash, pruned.crash);
+}
+
+namespace {
+
+/** Golden run for the systolic GEMM driver (optionally laddered). */
+fi::GoldenRun goldenForSystolic(unsigned rungs = 0) {
+    soc::SystemConfig cfg = soc::preset("riscv");
+    cfg.cluster.designs.push_back(
+        accel::designs::makeGemmSystolic(kAccelSpaceBase));
+    const workloads::Workload wl =
+        workloads::accelDriver("gemm_systolic", 0);
+    return fi::runGolden(cfg, isa::compile(wl.module, cfg.cpu.isa),
+                         500'000'000, rungs);
+}
+
+} // namespace
+
+TEST(Targets, EngineClassQualifiedNamesWithLegacyFallback) {
+    // Two engine classes in one SoC: names must carry the class so
+    // dataflow and systolic targets are unambiguous, and the legacy
+    // "design.COMPONENT" spelling must keep resolving.
+    soc::SystemConfig cfg = soc::preset("riscv");
+    cfg.cluster.designs.push_back(
+        accel::designs::makeByName("gemm", kAccelSpaceBase));
+    cfg.cluster.designs.push_back(accel::designs::makeGemmSystolic(
+        kAccelSpaceBase + kAccelSpaceStride));
+    soc::System sys(cfg);
+
+    std::vector<std::string> names;
+    for (const fi::TargetInfo& info : fi::listTargets(sys))
+        names.push_back(info.name);
+    auto listed = [&](const char* n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(listed("gemm[dataflow].MATRIX1"));
+    EXPECT_TRUE(listed("gemm_systolic[systolic].SEQ"));
+    EXPECT_TRUE(listed("gemm_systolic[systolic].PE_ACC"));
+    EXPECT_FALSE(listed("gemm.MATRIX1")); // bare names are gone
+
+    // Qualified and legacy spellings resolve to the same target.
+    const fi::TargetRef qualified =
+        fi::targetByName(sys, "gemm_systolic[systolic].PE_WREG");
+    const fi::TargetRef legacy =
+        fi::targetByName(sys, "gemm_systolic.PE_WREG");
+    EXPECT_EQ(qualified.id, fi::TargetId::AccelMem);
+    EXPECT_EQ(qualified.accelIdx, legacy.accelIdx);
+    EXPECT_EQ(qualified.memIdx, legacy.memIdx);
+    EXPECT_EQ(qualified.accelIdx, 1);
+    const fi::TargetRef legacyGemm = fi::targetByName(sys, "gemm.MATRIX1");
+    EXPECT_EQ(legacyGemm.accelIdx, 0);
+    EXPECT_THROW(fi::targetByName(sys, "gemm.NO_SUCH"), FatalError);
+}
+
+TEST(Classify, AccelContainedFaultIsMaskedInAccel) {
+    // SEQ word 7 is read every cycle (the sequencer re-reads its whole
+    // bank through the fault hooks) but never interpreted and never
+    // rewritten after start. A bit flipped there mid-window is
+    // deterministically consumed by the engine yet can never reach
+    // CPU-visible state: the canonical masked-in-accel fault.
+    const fi::GoldenRun golden = goldenForSystolic();
+    const fi::TargetRef seq = fi::targetByName(
+        golden.checkpoint.view(), "gemm_systolic[systolic].SEQ");
+    fi::FaultMask mask;
+    mask.faults.push_back(
+        {seq, 7, 13, fi::FaultModel::Transient, golden.windowCycles / 2});
+    fi::InjectionOptions opts;
+    opts.computeHvf = true;
+    const fi::RunVerdict v = fi::runWithFault(golden, mask, opts);
+    EXPECT_EQ(static_cast<int>(v.outcome),
+              static_cast<int>(fi::Outcome::Masked))
+        << v.toString();
+    EXPECT_EQ(static_cast<int>(v.detail),
+              static_cast<int>(fi::OutcomeDetail::MaskedInAccel))
+        << v.toString();
+    EXPECT_FALSE(v.hvfCorruption);
+}
+
+TEST(Classify, CampaignTalliesMaskedInAccel) {
+    const fi::GoldenRun golden = goldenForSystolic();
+    const fi::TargetRef seq = fi::targetByName(
+        golden.checkpoint.view(), "gemm_systolic[systolic].SEQ");
+    fi::CampaignOptions opts;
+    opts.numFaults = 60;
+    opts.seed = 7777;
+    opts.threads = 2;
+    opts.keepVerdicts = true;
+    const fi::CampaignResult res =
+        fi::runCampaignOnGolden(golden, seq, opts);
+    EXPECT_EQ(res.maskedInAccel,
+              static_cast<u64>(std::count_if(
+                  res.verdicts.begin(), res.verdicts.end(),
+                  [](const fi::RunVerdict& v) {
+                      return v.detail ==
+                             fi::OutcomeDetail::MaskedInAccel;
+                  })));
+    EXPECT_LE(res.maskedInAccel, res.masked);
+    // SEQ carries dead bits (reserved word, unused field bits), so a
+    // 60-fault sample that never contains one means the target map
+    // regressed.
+    EXPECT_GT(res.maskedInAccel, 0u);
+}
+
+TEST(Ladder, SystolicJournalsBitIdenticalWithAndWithoutFastForward) {
+    // Systolic faults through the journaled scheduler path: ladder
+    // on/off and sharded/unsharded runs must produce byte-identical
+    // verdict records.
+    const fi::GoldenRun golden = goldenForSystolic(8);
+    ASSERT_EQ(golden.ladder.size(), 8u);
+    const fi::TargetRef acc = fi::targetByName(
+        golden.checkpoint.view(), "gemm_systolic[systolic].PE_ACC");
+
+    fi::CampaignOptions opts;
+    opts.numFaults = 24;
+    opts.seed = 2026;
+    opts.threads = 1; // whole-file byte identity needs one appender
+    opts.ladderRungs = 8;
+    opts.workloadName = "gemm_systolic";
+    opts.heartbeatSeconds = 0;
+
+    const std::string onPath = ladderTmp("fi_sys_ladder_on.jsonl");
+    opts.useLadder = true;
+    opts.journalPath = onPath;
+    const fi::CampaignResult on = sched::runCampaign(golden, acc, opts);
+
+    const std::string offPath = ladderTmp("fi_sys_ladder_off.jsonl");
+    opts.useLadder = false;
+    opts.journalPath = offPath;
+    const fi::CampaignResult off = sched::runCampaign(golden, acc, opts);
+
+    EXPECT_EQ(on.masked, off.masked);
+    EXPECT_EQ(on.sdc, off.sdc);
+    EXPECT_EQ(on.crash, off.crash);
+    EXPECT_EQ(on.maskedInAccel, off.maskedInAccel);
+    const std::string onBytes = journalVerdictBytes(onPath);
+    EXPECT_FALSE(onBytes.empty());
+    EXPECT_EQ(onBytes, journalVerdictBytes(offPath));
+
+    // Shard the same campaign 3 ways (ladder back on) and merge: the
+    // merged counts must equal the unsharded run's.
+    opts.useLadder = true;
+    std::vector<std::string> shardPaths;
+    for (u32 s = 0; s < 3; ++s) {
+        fi::CampaignOptions shardOpts = opts;
+        shardOpts.journalPath =
+            ladderTmp(strfmt("fi_sys_shard%u.jsonl", s));
+        shardOpts.shardIndex = s;
+        shardOpts.shardCount = 3;
+        sched::runCampaign(golden, acc, shardOpts);
+        shardPaths.push_back(shardOpts.journalPath);
+    }
+    const fi::CampaignResult merged = sched::mergeJournals(shardPaths);
+    EXPECT_EQ(merged.masked, on.masked);
+    EXPECT_EQ(merged.sdc, on.sdc);
+    EXPECT_EQ(merged.crash, on.crash);
+    EXPECT_EQ(merged.maskedInAccel, on.maskedInAccel);
+    EXPECT_EQ(merged.windowCycles, golden.windowCycles);
+
+    std::remove(onPath.c_str());
+    std::remove(offPath.c_str());
+    for (const std::string& p : shardPaths)
+        std::remove(p.c_str());
 }

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "accel/designs/designs.hh"
+#include "common/memmap.hh"
 #include "fi/campaign.hh"
 #include "fi/targets.hh"
 #include "sched/replay.hh"
@@ -50,6 +52,17 @@ u64 runToExit(soc::System sys, const fi::GoldenRun& golden) {
     EXPECT_EQ(sys.outputWindow(), golden.output);
     EXPECT_EQ(sys.console, golden.console);
     return soc::archStateDigest(sys);
+}
+
+/** Golden run for the systolic-array GEMM driver with a ladder. */
+fi::GoldenRun goldenForSystolic(unsigned rungs) {
+    soc::SystemConfig cfg = soc::preset("riscv");
+    cfg.cluster.designs.push_back(
+        accel::designs::makeGemmSystolic(kAccelSpaceBase));
+    const workloads::Workload wl =
+        workloads::accelDriver("gemm_systolic", 0);
+    return fi::runGolden(cfg, isa::compile(wl.module, cfg.cpu.isa),
+                         500'000'000, rungs);
 }
 
 } // namespace
@@ -181,6 +194,56 @@ TEST(LadderFault, FastForwardNeverChangesVerdicts) {
         }
     }
     // The battery is vacuous if no run ever restored from a rung.
+    EXPECT_GT(fastForwarded, 0u);
+}
+
+TEST(LadderFault, SystolicFastForwardNeverChangesVerdicts) {
+    // Same battery as above, but the fault sites are the systolic
+    // engine's banks, PE registers, and sequencer: rung restores must
+    // capture mid-flight accelerator state (double-buffered SPM
+    // parity, in-flight DMA, SEQ words) bit-exactly.
+    const fi::GoldenRun golden = goldenForSystolic(8);
+    ASSERT_EQ(golden.ladder.size(), 8u);
+    unsigned fastForwarded = 0;
+    for (const char* name : {"gemm_systolic[systolic].IN0",
+                             "gemm_systolic[systolic].PE_ACC",
+                             "gemm_systolic[systolic].SEQ"}) {
+        const fi::TargetRef ref =
+            fi::targetByName(golden.checkpoint.view(), name);
+        const fi::TargetInfo info =
+            fi::targetInfo(golden.checkpoint.view(), ref);
+        for (unsigned i = 0; i < 10; ++i) {
+            Rng rng = Rng::forStream(2025, i);
+            fi::FaultMask mask;
+            mask.faults.push_back(fi::randomFault(
+                rng, ref, info.geometry, golden.windowCycles,
+                fi::FaultModel::Transient));
+
+            fi::InjectionOptions opts;
+            opts.computeHvf = true;
+            stats::Snapshot statsOn, statsOff;
+            u64 digestOn = 0, digestOff = 0;
+            opts.useLadder = true;
+            opts.statsOut = &statsOn;
+            opts.archDigestOut = &digestOn;
+            const fi::RunVerdict on = fi::runWithFault(golden, mask, opts);
+            opts.useLadder = false;
+            opts.statsOut = &statsOff;
+            opts.archDigestOut = &digestOff;
+            const fi::RunVerdict off = fi::runWithFault(golden, mask, opts);
+
+            EXPECT_TRUE(sched::verdictsIdentical(on, off))
+                << info.name << " fault " << i << ": " << on.toString()
+                << " vs " << off.toString();
+            EXPECT_EQ(digestOn, digestOff) << info.name << " fault " << i;
+            const stats::DiffReport dr = stats::diff(statsOn, statsOff);
+            EXPECT_TRUE(dr.identical() && dr.unmatched == 0)
+                << info.name << " fault " << i;
+            EXPECT_EQ(off.fastForwarded, 0u);
+            if (on.fastForwarded > 0)
+                ++fastForwarded;
+        }
+    }
     EXPECT_GT(fastForwarded, 0u);
 }
 

@@ -80,6 +80,7 @@ void expectSameCounts(const fi::CampaignResult& a,
     EXPECT_EQ(a.crash, b.crash);
     EXPECT_EQ(a.maskedEarly, b.maskedEarly);
     EXPECT_EQ(a.maskedInvalid, b.maskedInvalid);
+    EXPECT_EQ(a.maskedInAccel, b.maskedInAccel);
     EXPECT_EQ(a.timeouts, b.timeouts);
     EXPECT_EQ(a.hvfCorruptions, b.hvfCorruptions);
 }
@@ -388,6 +389,7 @@ TEST(Heartbeat, RoundTrips) {
     beat.done = 17;
     beat.expected = 40;
     beat.masked = 12;
+    beat.maskedInAccel = 4;
     beat.sdc = 3;
     beat.crash = 2;
     beat.runsPerSec = 81.5;
@@ -403,6 +405,7 @@ TEST(Heartbeat, RoundTrips) {
     EXPECT_EQ(read.done, 17u);
     EXPECT_EQ(read.expected, 40u);
     EXPECT_EQ(read.masked, 12u);
+    EXPECT_EQ(read.maskedInAccel, 4u);
     EXPECT_EQ(read.sdc, 3u);
     EXPECT_EQ(read.crash, 2u);
     EXPECT_NEAR(read.runsPerSec, 81.5, 0.01);

@@ -322,6 +322,10 @@ printResult(const std::string &title, const fi::CampaignResult &res,
     if (res.pruned)
         table.row({"pruned (no simulation)",
                    strfmt("%llu", (unsigned long long)res.pruned)});
+    if (res.maskedInAccel)
+        table.row({"masked in accelerator",
+                   strfmt("%llu",
+                          (unsigned long long)res.maskedInAccel)});
     table.row({"sdc", strfmt("%llu", (unsigned long long)res.sdc)});
     table.row({"crash / timeouts",
                strfmt("%llu / %llu",

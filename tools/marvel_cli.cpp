@@ -246,6 +246,10 @@ cmdCampaign(const Options &opts)
     table.row({"  invalid-entry hits",
                strfmt("%llu",
                       (unsigned long long)res.maskedInvalid)});
+    if (res.maskedInAccel)
+        table.row({"  contained in accelerator",
+                   strfmt("%llu",
+                          (unsigned long long)res.maskedInAccel)});
     table.row({"SDCs", strfmt("%llu", (unsigned long long)res.sdc)});
     table.row({"crashes",
                strfmt("%llu", (unsigned long long)res.crash)});
