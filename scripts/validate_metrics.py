@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics scrape against the checked-in schema.
+
+Usage: validate_metrics.py SCRAPE_TXT [SCHEMA_MD]
+
+Stdlib-only on purpose (CI runs it without installing anything). The
+schema is the family table in docs/schemas/metrics.md — this script
+parses that markdown so the doc stays the single source of truth.
+Checks, per the naming contract:
+
+  - every metric name matches ^marvel_[a-z0-9_]+$;
+  - counters end in _total, gauges do not;
+  - each family has exactly one # HELP and one # TYPE line, in that
+    order, before its first sample;
+  - every sample's family was announced, appears in the schema with
+    the same type, and carries exactly the labels the schema lists;
+  - sample values parse as finite floats (no inf/nan leaks);
+  - the document ends with exactly one '# EOF' line;
+  - every family in the scrape exists in the schema (the reverse is
+    not required: a fleet with no workers legitimately emits empty
+    worker families, which still must be announced).
+
+Exits non-zero with one line per violation.
+"""
+
+import math
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_SCHEMA = (
+    Path(__file__).resolve().parent.parent
+    / "docs" / "schemas" / "metrics.md"
+)
+
+NAME_RE = re.compile(r"^marvel_[a-z0-9_]+$")
+SAMPLE_RE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+)
+LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+ROW_RE = re.compile(
+    r"^\|\s*`([^`]+)`\s*\|\s*(counter|gauge)\s*\|\s*([^|]*)\|"
+)
+
+
+def parse_schema(path):
+    """Return {name: (type, frozenset(labels))} from the family table."""
+    families = {}
+    for line in path.read_text().splitlines():
+        m = ROW_RE.match(line)
+        if not m:
+            continue
+        labels = frozenset(
+            lab.strip("` ")
+            for lab in m.group(3).split(",")
+            if lab.strip("` ")
+        )
+        families[m.group(1)] = (m.group(2), labels)
+    if not families:
+        sys.exit(f"error: no family table found in {path}")
+    return families
+
+
+def validate(text, schema):
+    errors = []
+    announced = {}  # name -> type, from # TYPE lines
+    helped = set()
+    sampled_before_announce = set()
+    lines = text.splitlines()
+
+    if not lines or lines[-1] != "# EOF":
+        errors.append("document does not end with '# EOF'")
+    if lines.count("# EOF") != 1:
+        errors.append("document must contain exactly one '# EOF' line")
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            errors.append(f"line {lineno}: blank line in exposition")
+            continue
+        if line == "# EOF":
+            if lineno != len(lines):
+                errors.append(f"line {lineno}: content after '# EOF'")
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            kind, rest = line[2:6], line[7:]
+            parts = rest.split(" ", 1)
+            name = parts[0]
+            if not NAME_RE.match(name):
+                errors.append(
+                    f"line {lineno}: bad metric name '{name}'"
+                )
+                continue
+            if kind == "HELP":
+                if name in helped:
+                    errors.append(
+                        f"line {lineno}: duplicate # HELP for {name}"
+                    )
+                if len(parts) < 2 or not parts[1].strip():
+                    errors.append(
+                        f"line {lineno}: empty help text for {name}"
+                    )
+                helped.add(name)
+            else:
+                mtype = parts[1].strip() if len(parts) > 1 else ""
+                if mtype not in ("counter", "gauge"):
+                    errors.append(
+                        f"line {lineno}: unknown type '{mtype}' "
+                        f"for {name}"
+                    )
+                if name in announced:
+                    errors.append(
+                        f"line {lineno}: duplicate # TYPE for {name}"
+                    )
+                if name not in helped:
+                    errors.append(
+                        f"line {lineno}: # TYPE before # HELP "
+                        f"for {name}"
+                    )
+                announced[name] = mtype
+                if mtype == "counter" and not name.endswith("_total"):
+                    errors.append(
+                        f"line {lineno}: counter '{name}' does not "
+                        f"end in _total"
+                    )
+                if mtype == "gauge" and name.endswith("_total"):
+                    errors.append(
+                        f"line {lineno}: gauge '{name}' must not "
+                        f"end in _total"
+                    )
+                if name not in schema:
+                    errors.append(
+                        f"line {lineno}: '{name}' not in "
+                        f"docs/schemas/metrics.md"
+                    )
+                elif schema[name][0] != mtype:
+                    errors.append(
+                        f"line {lineno}: '{name}' is {mtype} but the "
+                        f"schema says {schema[name][0]}"
+                    )
+            continue
+        if line.startswith("#"):
+            errors.append(f"line {lineno}: unknown comment '{line}'")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample")
+            continue
+        name, labelstr, value = m.groups()
+        if name not in announced:
+            if name not in sampled_before_announce:
+                errors.append(
+                    f"line {lineno}: sample for '{name}' before its "
+                    f"# TYPE line"
+                )
+                sampled_before_announce.add(name)
+        got_labels = frozenset(
+            k for k, _ in LABEL_RE.findall(labelstr or "")
+        )
+        if name in schema and got_labels != schema[name][1]:
+            errors.append(
+                f"line {lineno}: '{name}' labels {sorted(got_labels)} "
+                f"!= schema {sorted(schema[name][1])}"
+            )
+        try:
+            number = float(value)
+        except ValueError:
+            errors.append(
+                f"line {lineno}: value '{value}' is not a number"
+            )
+            continue
+        if not math.isfinite(number):
+            errors.append(
+                f"line {lineno}: non-finite value for '{name}'"
+            )
+
+    for name in announced:
+        if name not in helped:
+            errors.append(f"family '{name}' has # TYPE but no # HELP")
+    return errors
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.exit(__doc__.strip().splitlines()[2])
+    scrape = Path(argv[1])
+    schema = parse_schema(
+        Path(argv[2]) if len(argv) == 3 else DEFAULT_SCHEMA
+    )
+    errors = validate(scrape.read_text(), schema)
+    for message in errors:
+        print(f"{scrape}: {message}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+    print(
+        f"{scrape}: OK ({len(schema)} families in schema, "
+        f"scrape valid)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "obs/profiler.hh"
 #include "sched/workqueue.hh"
 
 namespace marvel::fi
 {
+
+namespace prof = obs::profiler;
 
 const LadderRung *
 GoldenRun::rungAtOrBefore(Cycle cycle) const
@@ -88,36 +92,44 @@ runGolden(const soc::SystemConfig &config, const isa::Program &program,
           u64 maxCycles, unsigned ladderRungs)
 {
     GoldenRun golden;
-    soc::System sys(config);
-    sys.loadProgram(program);
+    {
+        // The golden-build and rung-capture phases stay sequential
+        // (not nested) so the profiler's totals partition wall time.
+        const prof::ScopedPhase timer(prof::Phase::GoldenBuild);
+        soc::System sys(config);
+        sys.loadProgram(program);
 
-    // Phase 1: run to the Checkpoint magic instruction.
-    soc::RunExit exit = sys.run(maxCycles);
-    if (exit != soc::RunExit::Checkpoint)
-        fatal("golden run: expected a checkpoint, got %s (%s)",
-              soc::runExitName(exit), sys.crashReason().c_str());
-    golden.preCycles = sys.totalCycles;
-    golden.checkpoint = soc::Checkpoint::take(sys);
+        // Phase 1: run to the Checkpoint magic instruction.
+        soc::RunExit exit = sys.run(maxCycles);
+        if (exit != soc::RunExit::Checkpoint)
+            fatal("golden run: expected a checkpoint, got %s (%s)",
+                  soc::runExitName(exit), sys.crashReason().c_str());
+        golden.preCycles = sys.totalCycles;
+        golden.checkpoint = soc::Checkpoint::take(sys);
 
-    // Phase 2: record the commit trace through the injection window
-    // and on to completion.
-    sys.cpu.traceOut = &golden.trace;
-    const Cycle cpCycle = sys.totalCycles;
-    exit = sys.run(maxCycles);
-    if (exit == soc::RunExit::SwitchCpu) {
-        golden.windowCycles = sys.totalCycles - cpCycle;
+        // Phase 2: record the commit trace through the injection
+        // window and on to completion.
+        sys.cpu.traceOut = &golden.trace;
+        const Cycle cpCycle = sys.totalCycles;
         exit = sys.run(maxCycles);
+        if (exit == soc::RunExit::SwitchCpu) {
+            golden.windowCycles = sys.totalCycles - cpCycle;
+            exit = sys.run(maxCycles);
+        }
+        if (exit != soc::RunExit::Exited)
+            fatal("golden run: expected clean exit, got %s (%s)",
+                  soc::runExitName(exit), sys.crashReason().c_str());
+        golden.totalCycles = sys.totalCycles - cpCycle;
+        if (golden.windowCycles == 0)
+            golden.windowCycles = golden.totalCycles;
+        golden.output = sys.outputWindow();
+        golden.exitCode = sys.exitCode;
+        golden.console = sys.console;
     }
-    if (exit != soc::RunExit::Exited)
-        fatal("golden run: expected clean exit, got %s (%s)",
-              soc::runExitName(exit), sys.crashReason().c_str());
-    golden.totalCycles = sys.totalCycles - cpCycle;
-    if (golden.windowCycles == 0)
-        golden.windowCycles = golden.totalCycles;
-    golden.output = sys.outputWindow();
-    golden.exitCode = sys.exitCode;
-    golden.console = sys.console;
-    captureLadder(golden, ladderRungs);
+    {
+        const prof::ScopedPhase timer(prof::Phase::RungCapture);
+        captureLadder(golden, ladderRungs);
+    }
     return golden;
 }
 
@@ -180,8 +192,11 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         !pending.empty())
         rung = golden.rungAtOrBefore(pending.front().injectCycle);
 
-    soc::System sys = rung ? rung->checkpoint.restore()
-                           : golden.checkpoint.restore();
+    soc::System sys = [&]() {
+        const prof::ScopedPhase timer(prof::Phase::FastForward);
+        return rung ? rung->checkpoint.restore()
+                    : golden.checkpoint.restore();
+    }();
     Cycle cursor = rung ? rung->cycle : 0;
     verdict.fastForwarded = cursor;
     if (options.computeHvf) {
@@ -283,6 +298,17 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         }
     };
 
+    // The simulate timer covers the tick loop and hands off to the
+    // classify timer once the run's fate is known — the scopes stay
+    // sequential per thread, so the phase totals partition the run's
+    // wall time instead of double-counting the classification tail.
+    std::optional<prof::ScopedPhase> simTimer(
+        std::in_place, prof::Phase::Simulate);
+    auto classify = [&]() {
+        simTimer.reset();
+        return prof::ScopedPhase(prof::Phase::Classify);
+    };
+
     for (;;) {
         // Inject any transient faults scheduled for this cycle.
         while (nextFault < pending.size() &&
@@ -297,12 +323,14 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         sys.cpu.switchCpuRequest = false;
 
         if (sys.exited) {
+            const prof::ScopedPhase timer = classify();
             finishExit();
             finishStats();
             finishLineage();
             return verdict;
         }
         if (sys.cpu.crashed() || sys.cluster.errored()) {
+            const prof::ScopedPhase timer = classify();
             if (sys.cluster.errored())
                 sys.accelCrashed = true;
             verdict.outcome = Outcome::Crash;
@@ -317,6 +345,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
             return verdict;
         }
         if (cursor >= timeoutAt) {
+            const prof::ScopedPhase timer = classify();
             verdict.outcome = Outcome::Crash;
             verdict.detail = OutcomeDetail::CrashTimeout;
             verdict.cyclesRun = cursor;
@@ -339,6 +368,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
                 }
             }
             if (allDead) {
+                const prof::ScopedPhase timer = classify();
                 verdict.outcome = Outcome::Masked;
                 verdict.detail = anyHitInvalid
                                      ? OutcomeDetail::MaskedInvalidEntry
@@ -384,6 +414,7 @@ TargetProfile::prunable(const FaultSpec &fault) const
 TargetProfile
 profileTargetAccesses(const GoldenRun &golden, const TargetRef &target)
 {
+    const prof::ScopedPhase timer(prof::Phase::Prune);
     soc::System sys = golden.checkpoint.restore();
     const TargetInfo info = targetInfo(sys, target);
     auto profiler = std::make_shared<AccessProfiler>(

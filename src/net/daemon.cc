@@ -11,6 +11,8 @@
 
 #include "common/log.hh"
 #include "net/protocol.hh"
+#include "obs/openmetrics.hh"
+#include "obs/profiler.hh"
 #include "sched/heartbeat.hh"
 #include "sched/scheduler.hh"
 #include "store/leasetab.hh"
@@ -160,6 +162,39 @@ Daemon::currentBeat() const
 }
 
 void
+Daemon::noteLeaseGone(const std::string &worker, u64 leaseId)
+{
+    obs::DispatchWorkerStats &ws = stats_.workerNamed(worker);
+    if (ws.currentLease == leaseId)
+        ws.currentLease = 0;
+}
+
+std::string
+Daemon::renderMetrics()
+{
+    // Mirror the lease-lifecycle counters the manager keeps, so a
+    // live scrape agrees with the final report finish() prints.
+    stats_.leasesExpired = leases_.statExpired;
+    stats_.leasesRequeued = leases_.statReleased;
+    const sched::Heartbeat beat = currentBeat();
+    obs::CampaignSnapshot snap;
+    snap.done = beat.done;
+    snap.expected = beat.expected;
+    snap.masked = beat.masked;
+    snap.sdc = beat.sdc;
+    snap.crash = beat.crash;
+    snap.pruned = beat.pruned;
+    snap.runsPerSec = beat.runsPerSec;
+    snap.avf = beat.avf;
+    snap.margin = beat.margin;
+    snap.etaSeconds = beat.etaSeconds;
+    snap.uptimeSeconds =
+        static_cast<double>(nowMillis() - startMillis_) / 1000.0;
+    snap.complete = beat.complete;
+    return obs::openMetricsText(stats_, snap);
+}
+
+void
 Daemon::persistLeases()
 {
     store::saveLeaseTable(
@@ -215,7 +250,7 @@ Daemon::dropConn(std::size_t i)
         const std::vector<ActiveLease> released =
             leases_.release(conn.worker);
         if (!released.empty()) {
-            for (const ActiveLease &lease : released)
+            for (const ActiveLease &lease : released) {
                 inform("campaignd: worker '%s' vanished; re-queued "
                        "lease %llu [%llu, %llu)",
                        conn.worker.c_str(),
@@ -224,6 +259,8 @@ Daemon::dropConn(std::size_t i)
                            lease.range.begin),
                        static_cast<unsigned long long>(
                            lease.range.end));
+                noteLeaseGone(lease.worker, lease.id);
+            }
             persistLeases();
         }
     }
@@ -257,12 +294,35 @@ Daemon::ingestChunk(Conn &conn, const std::string &payload)
         return;
     }
     ++stats_.chunksIngested;
+    if (!conn.worker.empty()) {
+        obs::DispatchWorkerStats &ws =
+            stats_.workerNamed(conn.worker);
+        // Inter-chunk gap on the daemon's clock: how long the fleet
+        // view can lag behind a worker's actual progress.
+        const u64 uptime = nowMillis() - startMillis_;
+        const auto last = lastChunkMillis_.find(conn.worker);
+        if (last != lastChunkMillis_.end()) {
+            const u64 gap =
+                uptime > last->second ? uptime - last->second : 0;
+            ws.chunkLatencySumMillis += gap;
+            ws.chunkLatencyMaxMillis =
+                std::max(ws.chunkLatencyMaxMillis, gap);
+            ++ws.chunkGaps;
+        }
+        lastChunkMillis_[conn.worker] = uptime;
+        // Piggybacked totals are cumulative: overwrite, never sum.
+        if (chunk.telem.present) {
+            ws.reportedRuns = chunk.telem.runs;
+            ws.reportedBusyMicros = chunk.telem.busyMicros;
+            ws.phaseMicros = chunk.telem.phaseMicros;
+        }
+    }
     const bool live = leases_.isActive(chunk.lease);
     if (!live)
         stats_.staleVerdicts += chunk.verdicts.size();
     for (const store::JournalVerdict &jv : chunk.verdicts) {
         if (leases_.recordVerdict(jv.idx)) {
-            writer_.append(jv.idx, jv.verdict);
+            writer_.append(jv.idx, jv.verdict, jv.prov);
             tally_.tally(jv.verdict);
             ++stats_.verdictsIngested;
             if (!conn.worker.empty())
@@ -318,18 +378,21 @@ Daemon::handleFrame(Conn &conn, const Frame &frame)
                                        config_.maxLeaseFaults)
                             : config_.maxLeaseFaults;
         const u64 now = nowMillis();
-        for (const ActiveLease &lease : leases_.expire(now))
+        for (const ActiveLease &lease : leases_.expire(now)) {
             inform("campaignd: lease %llu [%llu, %llu) held by '%s' "
                    "expired; re-queued",
                    static_cast<unsigned long long>(lease.id),
                    static_cast<unsigned long long>(lease.range.begin),
                    static_cast<unsigned long long>(lease.range.end),
                    lease.worker.c_str());
+            noteLeaseGone(lease.worker, lease.id);
+        }
         std::optional<ActiveLease> lease =
             leases_.grant(conn.worker, maxFaults, now);
         if (lease) {
             ++stats_.leasesGranted;
             ++stats_.workerNamed(conn.worker).leases;
+            stats_.workerNamed(conn.worker).currentLease = lease->id;
             persistLeases();
             LeaseGrant grant;
             grant.lease = lease->id;
@@ -362,10 +425,17 @@ Daemon::handleFrame(Conn &conn, const Frame &frame)
         ack.ok = leases_.complete(leaseId);
         if (ack.ok)
             ++stats_.leasesCompleted;
+        if (!conn.worker.empty())
+            noteLeaseGone(conn.worker, leaseId);
         persistLeases();
         sendFrame(conn, MsgType::LeaseAck, encodeLeaseAck(ack));
         return;
       }
+      case MsgType::Metrics:
+        // Any peer may scrape; the reply reuses the same frame type
+        // so one request/response pair needs no new message kinds.
+        sendFrame(conn, MsgType::Metrics, renderMetrics());
+        return;
       case MsgType::StatusSubscribe:
         conn.watcher = true;
         ++stats_.watchersServed;
@@ -406,6 +476,11 @@ Daemon::readConn(std::size_t i)
     Frame frame;
     while (!conn.closing && conn.reader.next(frame))
         handleFrame(conn, frame);
+    // Any traffic on a named connection is proof of life (Hello runs
+    // inside handleFrame, so this also stamps a worker's first frame).
+    if (!conn.worker.empty())
+        stats_.workerNamed(conn.worker).lastSeenMillis =
+            nowMillis() - startMillis_;
     if (conn.reader.poisoned() && !conn.closing) {
         warn("campaignd: protocol violation from '%s'; dropping",
              conn.worker.c_str());
@@ -418,13 +493,15 @@ Daemon::tick()
 {
     const u64 now = nowMillis();
     const std::vector<ActiveLease> expired = leases_.expire(now);
-    for (const ActiveLease &lease : expired)
+    for (const ActiveLease &lease : expired) {
         inform("campaignd: lease %llu [%llu, %llu) held by '%s' "
                "expired; re-queued",
                static_cast<unsigned long long>(lease.id),
                static_cast<unsigned long long>(lease.range.begin),
                static_cast<unsigned long long>(lease.range.end),
                lease.worker.c_str());
+        noteLeaseGone(lease.worker, lease.id);
+    }
     if (!expired.empty())
         persistLeases();
 
@@ -445,15 +522,37 @@ void
 Daemon::finish()
 {
     finished_ = true;
-    writer_.close();
-    // No promises left: persist the empty table so a later resume
-    // starts clean.
-    persistLeases();
     stats_.wallSeconds =
         static_cast<double>(nowMillis() - startMillis_) / 1000.0;
     // Mirror the lease-lifecycle counters the manager kept.
     stats_.leasesExpired = leases_.statExpired;
     stats_.leasesRequeued = leases_.statReleased;
+    // Summarize the campaign for `marvel-campaign status`/`report`,
+    // folding in the phase split the workers piggybacked on their
+    // verdict chunks. Must land before close() — the metrics record
+    // belongs to this journal, after everything it summarizes.
+    if (stats_.verdictsIngested > 0) {
+        store::JournalMetrics metrics;
+        // tally_ covers the whole journal (resumed verdicts
+        // included), so runs counts the same population.
+        metrics.runs = leases_.doneCount();
+        metrics.masked = tally_.masked;
+        metrics.sdc = tally_.sdc;
+        metrics.crash = tally_.crash;
+        metrics.pruned = tally_.pruned;
+        metrics.wallMillis = nowMillis() - startMillis_;
+        metrics.workers =
+            static_cast<u32>(knownWorkers_.size());
+        for (const obs::DispatchWorkerStats &ws : stats_.workers)
+            for (std::size_t p = 0;
+                 p < metrics.phaseMicros.size(); ++p)
+                metrics.phaseMicros[p] += ws.phaseMicros[p];
+        writer_.appendMetrics(metrics);
+    }
+    writer_.close();
+    // No promises left: persist the empty table so a later resume
+    // starts clean.
+    persistLeases();
 
     const sched::Heartbeat beat = currentBeat();
     sched::writeHeartbeat(
@@ -532,8 +631,13 @@ Daemon::pollOnce(int maxWaitMillis)
             events |= POLLOUT;
         fds.push_back({conn->fd, events, 0});
     }
-    const int ready =
-        ::poll(fds.data(), fds.size(), static_cast<int>(wait));
+    int ready;
+    {
+        const obs::profiler::ScopedPhase timer(
+            obs::profiler::Phase::SocketWait);
+        ready =
+            ::poll(fds.data(), fds.size(), static_cast<int>(wait));
+    }
     if (ready < 0 && errno != EINTR)
         fatal("net: poll: %s", std::strerror(errno));
 

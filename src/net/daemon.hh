@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -135,6 +136,10 @@ class Daemon
     void tick();
     void finish();
     sched::Heartbeat currentBeat() const;
+    /** Clear a worker's live-lease marker once `leaseId` is gone. */
+    void noteLeaseGone(const std::string &worker, u64 leaseId);
+    /** OpenMetrics text for a Metrics request (live counters). */
+    std::string renderMetrics();
 
     DaemonConfig config_;
     LeaseManager leases_;
@@ -146,6 +151,9 @@ class Daemon
     fi::CampaignResult tally_; ///< verdict mix for the heartbeat
     obs::DispatchTelemetry stats_;
     std::vector<std::string> knownWorkers_;
+    /** Daemon-uptime millis of each worker's last verdict chunk, for
+     *  the chunk-latency gap telemetry. */
+    std::map<std::string, u64> lastChunkMillis_;
     u64 startMillis_ = 0;
     u64 doneAtStart_ = 0; ///< resumed verdicts don't count as rate
     u64 lastBeatMillis_ = 0;

@@ -92,7 +92,7 @@ FrameReader::next(Frame &out)
     if (version != kProtocolVersion ||
         payloadLen > kMaxFramePayload ||
         type < static_cast<u16>(MsgType::Hello) ||
-        type > static_cast<u16>(MsgType::Error)) {
+        type > static_cast<u16>(MsgType::Metrics)) {
         poisoned_ = true;
         return false;
     }

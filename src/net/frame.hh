@@ -52,6 +52,8 @@ enum class MsgType : u16
     StatusUpdate = 10,   ///< daemon -> watcher: one heartbeat record
     Bye = 11,            ///< either side: orderly goodbye
     Error = 12,          ///< daemon -> peer: refusal with a message
+    Metrics = 13,        ///< peer -> daemon: empty request; daemon
+                         ///  replies Metrics with OpenMetrics text
 };
 
 /** One decoded (or to-be-encoded) message. */

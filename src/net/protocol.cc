@@ -129,12 +129,25 @@ std::string
 encodeVerdictChunk(const VerdictChunk &msg)
 {
     std::string out = strfmt(
-        "{\"lease\":%llu,\"count\":%zu}",
+        "{\"lease\":%llu,\"count\":%zu",
         static_cast<unsigned long long>(msg.lease),
         msg.verdicts.size());
+    if (msg.telem.present) {
+        out += strfmt(
+            ",\"t_runs\":%llu,\"t_busy_us\":%llu",
+            static_cast<unsigned long long>(msg.telem.runs),
+            static_cast<unsigned long long>(msg.telem.busyMicros));
+        for (std::size_t p = 0; p < msg.telem.phaseMicros.size();
+             ++p)
+            out += strfmt(",\"t_ph%zu\":%llu", p,
+                          static_cast<unsigned long long>(
+                              msg.telem.phaseMicros[p]));
+    }
+    out += '}';
     for (const store::JournalVerdict &jv : msg.verdicts) {
         out += '\n';
-        out += store::formatVerdictLine(jv.idx, jv.verdict);
+        out += store::formatVerdictLine(jv.idx, jv.verdict,
+                                        jv.prov);
     }
     return out;
 }
@@ -152,6 +165,17 @@ decodeVerdictChunk(const std::string &payload, VerdictChunk &out)
         !json::fieldU64(fields, "lease", out.lease) ||
         !json::fieldU64(fields, "count", count))
         return false;
+    // Optional piggybacked worker telemetry; presence keyed on
+    // t_runs so a mixed-version fleet stays decodable.
+    out.telem = ChunkTelemetry{};
+    if (json::fieldU64(fields, "t_runs", out.telem.runs)) {
+        out.telem.present = true;
+        json::fieldU64(fields, "t_busy_us", out.telem.busyMicros);
+        for (std::size_t p = 0;
+             p < out.telem.phaseMicros.size(); ++p)
+            json::fieldU64(fields, strfmt("t_ph%zu", p).c_str(),
+                           out.telem.phaseMicros[p]);
+    }
     out.verdicts.clear();
     // `count` comes off the wire; a lying header must not force a
     // giant allocation. Every verdict occupies at least one payload

@@ -42,6 +42,7 @@
 #ifndef MARVEL_NET_PROTOCOL_HH
 #define MARVEL_NET_PROTOCOL_HH
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -81,11 +82,31 @@ struct NoWork
     u64 pending = 0;       ///< indices not yet journaled
 };
 
+/**
+ * Worker telemetry piggybacked on a VerdictChunk header as OPTIONAL
+ * fields (`t_runs`, `t_busy_us`, `t_ph0`..`t_ph7`). Values are the
+ * worker process's cumulative totals — runs completed, busy wall
+ * micros, and per-phase profiler micros in obs::profiler::Phase order
+ * — so the daemon overwrites (never sums) per worker and a lost chunk
+ * costs staleness, not drift. Old workers omit the fields; old
+ * daemons ignore them (flat-JSON unknown keys are tolerated).
+ */
+struct ChunkTelemetry
+{
+    bool present = false;
+    u64 runs = 0;
+    u64 busyMicros = 0;
+    std::array<u64, 8> phaseMicros{};
+
+    bool operator==(const ChunkTelemetry &other) const = default;
+};
+
 /** Decoded VerdictChunk payload. */
 struct VerdictChunk
 {
     u64 lease = 0;
     std::vector<store::JournalVerdict> verdicts;
+    ChunkTelemetry telem;
 };
 
 /** LeaseAck payload. */

@@ -13,6 +13,7 @@
 #include "fi/targets.hh"
 #include "net/frame.hh"
 #include "net/protocol.hh"
+#include "obs/profiler.hh"
 #include "sched/scheduler.hh"
 
 namespace marvel::net
@@ -76,7 +77,14 @@ struct Session
             if (reader.poisoned())
                 return false;
             std::string bytes;
-            const long n = recvSome(fd, bytes);
+            long n;
+            {
+                // Blocking on the daemon is the worker's socket-wait
+                // phase: everything else it does is simulation.
+                const obs::profiler::ScopedPhase timer(
+                    obs::profiler::Phase::SocketWait);
+                n = recvSome(fd, bytes);
+            }
             if (n <= 0)
                 return false;
             reader.feed(bytes.data(), bytes.size());
@@ -170,6 +178,20 @@ runWorker(const WorkerConfig &config, const GoldenSource &goldenFor)
     std::optional<CampaignContext> ctx;
     bool everConnected = false;
     unsigned attempt = 0;
+    using Clock = std::chrono::steady_clock;
+    u64 busyMicros = 0; ///< cumulative wall time inside runFaultIndex
+    // Stamp this process's cumulative totals onto an outgoing chunk
+    // header; the daemon overwrites its per-worker view with them.
+    auto stampTelemetry = [&](VerdictChunk &chunk) {
+        chunk.telem.present = true;
+        chunk.telem.runs = report.verdictsStreamed;
+        chunk.telem.busyMicros = busyMicros;
+        const obs::profiler::Totals totals =
+            obs::profiler::snapshot();
+        for (std::size_t p = 0;
+             p < chunk.telem.phaseMicros.size(); ++p)
+            chunk.telem.phaseMicros[p] = totals.nanos[p] / 1000;
+    };
 
     for (;;) {
         Session session;
@@ -235,9 +257,13 @@ runWorker(const WorkerConfig &config, const GoldenSource &goldenFor)
                 }
                 // Drained but unfinished: someone else holds the
                 // remaining leases. Poll again shortly.
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(
-                        config.idlePollMillis));
+                {
+                    const obs::profiler::ScopedPhase timer(
+                        obs::profiler::Phase::SocketWait);
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            config.idlePollMillis));
+                }
                 continue;
             }
             LeaseGrant grant;
@@ -251,11 +277,21 @@ runWorker(const WorkerConfig &config, const GoldenSource &goldenFor)
             chunk.lease = grant.lease;
             for (u64 idx = grant.range.begin;
                  connected && idx < grant.range.end; ++idx) {
+                const auto runStart = Clock::now();
                 const fi::RunVerdict verdict = sched::runFaultIndex(
                     *ctx->golden, ctx->target, ctx->geometry,
                     ctx->meta.seed, idx, ctx->model, ctx->runOpts,
                     ctx->profile);
-                chunk.verdicts.push_back({idx, verdict});
+                const u64 runWallMicros = static_cast<u64>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(Clock::now() -
+                                                   runStart)
+                        .count());
+                busyMicros += runWallMicros;
+                chunk.verdicts.push_back(
+                    {idx, verdict,
+                     sched::runProvenance(*ctx->golden, verdict,
+                                          runWallMicros)});
                 ++report.verdictsStreamed;
                 if (config.abandonAfterVerdicts &&
                     report.verdictsStreamed >=
@@ -266,6 +302,7 @@ runWorker(const WorkerConfig &config, const GoldenSource &goldenFor)
                     return report;
                 }
                 if (chunk.verdicts.size() >= chunkSize) {
+                    stampTelemetry(chunk);
                     if (!session.sendFrame(
                             MsgType::VerdictChunk,
                             encodeVerdictChunk(chunk)))
@@ -275,11 +312,13 @@ runWorker(const WorkerConfig &config, const GoldenSource &goldenFor)
             }
             if (!connected)
                 break;
-            if (!chunk.verdicts.empty() &&
-                !session.sendFrame(MsgType::VerdictChunk,
-                                   encodeVerdictChunk(chunk))) {
-                connected = false;
-                break;
+            if (!chunk.verdicts.empty()) {
+                stampTelemetry(chunk);
+                if (!session.sendFrame(MsgType::VerdictChunk,
+                                       encodeVerdictChunk(chunk))) {
+                    connected = false;
+                    break;
+                }
             }
             if (!session.sendFrame(MsgType::LeaseDone,
                                    encodeLeaseDone(grant.lease)) ||

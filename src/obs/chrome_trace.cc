@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include "common/log.hh"
 
@@ -50,10 +51,42 @@ chromeTraceJson(const TraceSession &session)
     return out;
 }
 
-void
-writeChromeTrace(const std::string &path, const TraceSession &session)
+std::string
+chromeTraceJson(const TraceSession &session,
+                const std::vector<profiler::Span> &spans)
 {
-    const std::string json = chromeTraceJson(session);
+    std::string out = chromeTraceJson(session);
+    if (spans.empty())
+        return out;
+    out.erase(out.size() - 2); // re-open the traceEvents array
+
+    // The base document always emits the component thread-name
+    // metadata, so every appended event needs its leading comma.
+    std::set<u32> threads;
+    for (const profiler::Span &span : spans)
+        threads.insert(span.thread);
+    for (const u32 t : threads)
+        out += strfmt(",{\"name\":\"thread_name\",\"ph\":\"M\","
+                      "\"pid\":1,\"tid\":%u,"
+                      "\"args\":{\"name\":\"profiler #%u\"}}",
+                      t, t);
+    for (const profiler::Span &span : spans)
+        out += strfmt(
+            ",{\"name\":\"%s\",\"cat\":\"profiler\",\"ph\":\"X\","
+            "\"pid\":1,\"tid\":%u,\"ts\":%llu,\"dur\":%llu}",
+            profiler::phaseName(span.phase), span.thread,
+            static_cast<unsigned long long>(span.startMicros),
+            static_cast<unsigned long long>(span.durMicros));
+    out += "]}";
+    return out;
+}
+
+namespace
+{
+
+void
+writeTraceFile(const std::string &path, const std::string &json)
+{
     std::FILE *file = std::fopen(path.c_str(), "wb");
     if (!file)
         fatal("obs: cannot create trace file '%s': %s", path.c_str(),
@@ -63,6 +96,21 @@ writeChromeTrace(const std::string &path, const TraceSession &session)
     const bool writeError = n != json.size() || std::fclose(file) != 0;
     if (writeError)
         fatal("obs: write of trace file '%s' failed", path.c_str());
+}
+
+} // namespace
+
+void
+writeChromeTrace(const std::string &path, const TraceSession &session)
+{
+    writeTraceFile(path, chromeTraceJson(session));
+}
+
+void
+writeChromeTrace(const std::string &path, const TraceSession &session,
+                 const std::vector<profiler::Span> &spans)
+{
+    writeTraceFile(path, chromeTraceJson(session, spans));
 }
 
 } // namespace marvel::obs

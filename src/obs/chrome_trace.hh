@@ -15,7 +15,9 @@
 #define MARVEL_OBS_CHROME_TRACE_HH
 
 #include <string>
+#include <vector>
 
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace marvel::obs
@@ -24,9 +26,24 @@ namespace marvel::obs
 /** Render the session as one trace_event JSON document. */
 std::string chromeTraceJson(const TraceSession &session);
 
+/**
+ * As above, with the profiler's wall-clock phase spans overlaid as a
+ * second process (pid 1): one lane per recording thread, ts/dur in
+ * real microseconds since the profiler epoch. The simulated-cycle
+ * lanes (pid 0) are untouched, so viewers show both clocks side by
+ * side without conflating their units.
+ */
+std::string chromeTraceJson(const TraceSession &session,
+                            const std::vector<profiler::Span> &spans);
+
 /** Write chromeTraceJson(session) to a file; fatal() on I/O error. */
 void writeChromeTrace(const std::string &path,
                       const TraceSession &session);
+
+/** As above, including the profiler span overlay. */
+void writeChromeTrace(const std::string &path,
+                      const TraceSession &session,
+                      const std::vector<profiler::Span> &spans);
 
 } // namespace marvel::obs
 

@@ -19,6 +19,7 @@
 #ifndef MARVEL_OBS_METRICS_HH
 #define MARVEL_OBS_METRICS_HH
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -100,6 +101,22 @@ struct DispatchWorkerStats
     u64 verdicts = 0;    ///< verdicts it streamed back
     u64 reconnects = 0;  ///< times it re-appeared after a drop
     double busySeconds = 0; ///< first grant -> last verdict
+
+    /**
+     * Fleet telemetry piggybacked on the worker's verdict chunks:
+     * the worker's own cumulative counters (so a value is a restart-
+     * safe high-water mark, not a delta) plus liveness/latency facts
+     * only the daemon's clock can measure.
+     */
+    u64 reportedRuns = 0;     ///< worker-side verdicts computed
+    u64 reportedBusyMicros = 0; ///< worker-side busy wall time
+    /** Worker-side per-phase micros, profiler::Phase order. */
+    std::array<u64, 8> phaseMicros{};
+    u64 lastSeenMillis = 0;   ///< daemon clock, last frame received
+    u64 currentLease = 0;     ///< live lease id; 0 = none held
+    u64 chunkLatencySumMillis = 0; ///< gaps between verdict chunks
+    u64 chunkLatencyMaxMillis = 0;
+    u64 chunkGaps = 0;        ///< samples in the latency sum
 
     double
     verdictsPerSecond() const

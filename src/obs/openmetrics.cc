@@ -1,0 +1,341 @@
+#include "obs/openmetrics.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "obs/profiler.hh"
+
+namespace marvel::obs
+{
+
+namespace
+{
+
+double
+finiteOrZero(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+
+/** Escape a label value per the OpenMetrics text format. */
+std::string
+escapeLabel(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** A metric family: # HELP + # TYPE, then its samples. */
+struct Emitter
+{
+    std::string out;
+
+    void
+    family(const char *name, const char *type, const char *help)
+    {
+        out += strfmt("# HELP %s %s\n# TYPE %s %s\n", name, help,
+                      name, type);
+    }
+
+    void
+    sample(const char *name, const std::string &labels, double value)
+    {
+        out += name;
+        if (!labels.empty())
+            out += "{" + labels + "}";
+        out += strfmt(" %.10g\n", finiteOrZero(value));
+    }
+
+    void
+    sample(const char *name, const std::string &labels, u64 value)
+    {
+        out += name;
+        if (!labels.empty())
+            out += "{" + labels + "}";
+        out += strfmt(" %llu\n",
+                      static_cast<unsigned long long>(value));
+    }
+};
+
+std::string
+workerLabel(const DispatchWorkerStats &w)
+{
+    return strfmt("worker=\"%s\"", escapeLabel(w.name).c_str());
+}
+
+} // namespace
+
+std::string
+openMetricsText(const DispatchTelemetry &dispatch,
+                const CampaignSnapshot &campaign)
+{
+    Emitter e;
+
+    // --- campaign progress ---
+    e.family("marvel_campaign_runs_total", "counter",
+             "Verdicts journaled so far.");
+    e.sample("marvel_campaign_runs_total", "", campaign.done);
+    e.family("marvel_campaign_expected_runs", "gauge",
+             "Total fault injections in the campaign.");
+    e.sample("marvel_campaign_expected_runs", "", campaign.expected);
+    e.family("marvel_campaign_verdicts_total", "counter",
+             "Journaled verdicts by outcome class.");
+    e.sample("marvel_campaign_verdicts_total", "outcome=\"masked\"",
+             campaign.masked);
+    e.sample("marvel_campaign_verdicts_total", "outcome=\"sdc\"",
+             campaign.sdc);
+    e.sample("marvel_campaign_verdicts_total", "outcome=\"crash\"",
+             campaign.crash);
+    e.family("marvel_campaign_pruned_total", "counter",
+             "Verdicts classified without simulating (dead-fault "
+             "pruning).");
+    e.sample("marvel_campaign_pruned_total", "", campaign.pruned);
+    e.family("marvel_campaign_runs_per_second", "gauge",
+             "Campaign-wide verdict throughput.");
+    e.sample("marvel_campaign_runs_per_second", "",
+             campaign.runsPerSec);
+    e.family("marvel_campaign_avf", "gauge",
+             "Partial architectural vulnerability factor.");
+    e.sample("marvel_campaign_avf", "", campaign.avf);
+    e.family("marvel_campaign_avf_margin", "gauge",
+             "95% confidence margin on the partial AVF.");
+    e.sample("marvel_campaign_avf_margin", "", campaign.margin);
+    e.family("marvel_campaign_eta_seconds", "gauge",
+             "Estimated seconds to campaign completion.");
+    e.sample("marvel_campaign_eta_seconds", "", campaign.etaSeconds);
+    e.family("marvel_campaign_uptime_seconds", "gauge",
+             "Seconds since the daemon started this campaign.");
+    e.sample("marvel_campaign_uptime_seconds", "",
+             campaign.uptimeSeconds);
+    e.family("marvel_campaign_complete", "gauge",
+             "1 once every verdict is journaled.");
+    e.sample("marvel_campaign_complete", "",
+             static_cast<u64>(campaign.complete ? 1 : 0));
+
+    // --- dispatch lease lifecycle ---
+    e.family("marvel_dispatch_leases_granted_total", "counter",
+             "Leases handed to workers.");
+    e.sample("marvel_dispatch_leases_granted_total", "",
+             dispatch.leasesGranted);
+    e.family("marvel_dispatch_leases_completed_total", "counter",
+             "Leases finished with an acknowledged LeaseDone.");
+    e.sample("marvel_dispatch_leases_completed_total", "",
+             dispatch.leasesCompleted);
+    e.family("marvel_dispatch_leases_expired_total", "counter",
+             "Leases reaped by the TTL (silent worker).");
+    e.sample("marvel_dispatch_leases_expired_total", "",
+             dispatch.leasesExpired);
+    e.family("marvel_dispatch_leases_requeued_total", "counter",
+             "Leases re-enqueued when a connection died.");
+    e.sample("marvel_dispatch_leases_requeued_total", "",
+             dispatch.leasesRequeued);
+    e.family("marvel_dispatch_verdicts_ingested_total", "counter",
+             "Verdicts accepted into the journal.");
+    e.sample("marvel_dispatch_verdicts_ingested_total", "",
+             dispatch.verdictsIngested);
+    e.family("marvel_dispatch_duplicate_verdicts_total", "counter",
+             "Verdicts dropped as already journaled.");
+    e.sample("marvel_dispatch_duplicate_verdicts_total", "",
+             dispatch.duplicateVerdicts);
+    e.family("marvel_dispatch_stale_verdicts_total", "counter",
+             "Verdicts arriving after their lease was lost.");
+    e.sample("marvel_dispatch_stale_verdicts_total", "",
+             dispatch.staleVerdicts);
+    e.family("marvel_dispatch_chunks_ingested_total", "counter",
+             "Verdict chunks accepted.");
+    e.sample("marvel_dispatch_chunks_ingested_total", "",
+             dispatch.chunksIngested);
+    e.family("marvel_dispatch_connections_total", "counter",
+             "Connections accepted on the dispatch socket.");
+    e.sample("marvel_dispatch_connections_total", "",
+             dispatch.connectionsAccepted);
+    e.family("marvel_dispatch_watchers_total", "counter",
+             "Status watchers served.");
+    e.sample("marvel_dispatch_watchers_total", "",
+             dispatch.watchersServed);
+
+    // --- per-worker fleet telemetry ---
+    e.family("marvel_worker_leases_total", "counter",
+             "Leases granted, by worker.");
+    for (const auto &w : dispatch.workers)
+        e.sample("marvel_worker_leases_total", workerLabel(w),
+                 w.leases);
+    e.family("marvel_worker_verdicts_total", "counter",
+             "Verdicts streamed, by worker.");
+    for (const auto &w : dispatch.workers)
+        e.sample("marvel_worker_verdicts_total", workerLabel(w),
+                 w.verdicts);
+    e.family("marvel_worker_reconnects_total", "counter",
+             "Reconnects after a dropped connection, by worker.");
+    for (const auto &w : dispatch.workers)
+        e.sample("marvel_worker_reconnects_total", workerLabel(w),
+                 w.reconnects);
+    e.family("marvel_worker_busy_seconds_total", "counter",
+             "Worker-reported wall seconds spent producing "
+             "verdicts.");
+    for (const auto &w : dispatch.workers)
+        e.sample("marvel_worker_busy_seconds_total", workerLabel(w),
+                 static_cast<double>(w.reportedBusyMicros) / 1e6);
+    e.family("marvel_worker_phase_seconds_total", "counter",
+             "Worker-reported wall seconds per profiler phase.");
+    for (const auto &w : dispatch.workers) {
+        for (unsigned p = 0; p < profiler::kNumPhases; ++p) {
+            const std::string labels =
+                workerLabel(w) +
+                strfmt(",phase=\"%s\"",
+                       profiler::phaseName(
+                           static_cast<profiler::Phase>(p)));
+            e.sample("marvel_worker_phase_seconds_total", labels,
+                     static_cast<double>(w.phaseMicros[p]) / 1e6);
+        }
+    }
+    e.family("marvel_worker_last_seen_seconds", "gauge",
+             "Seconds since the daemon last heard from the worker.");
+    const u64 nowMillis = static_cast<u64>(
+        finiteOrZero(campaign.uptimeSeconds) * 1000.0);
+    for (const auto &w : dispatch.workers) {
+        const u64 ago = nowMillis > w.lastSeenMillis
+                            ? nowMillis - w.lastSeenMillis
+                            : 0;
+        e.sample("marvel_worker_last_seen_seconds", workerLabel(w),
+                 static_cast<double>(ago) / 1e3);
+    }
+    e.family("marvel_worker_current_lease", "gauge",
+             "Lease id the worker holds right now (0 = none).");
+    for (const auto &w : dispatch.workers)
+        e.sample("marvel_worker_current_lease", workerLabel(w),
+                 w.currentLease);
+    e.family("marvel_worker_chunk_latency_avg_seconds", "gauge",
+             "Mean gap between the worker's verdict chunks.");
+    for (const auto &w : dispatch.workers)
+        e.sample("marvel_worker_chunk_latency_avg_seconds",
+                 workerLabel(w),
+                 w.chunkGaps > 0
+                     ? static_cast<double>(w.chunkLatencySumMillis) /
+                           (1e3 * static_cast<double>(w.chunkGaps))
+                     : 0.0);
+    e.family("marvel_worker_chunk_latency_max_seconds", "gauge",
+             "Largest gap between the worker's verdict chunks.");
+    for (const auto &w : dispatch.workers)
+        e.sample("marvel_worker_chunk_latency_max_seconds",
+                 workerLabel(w),
+                 static_cast<double>(w.chunkLatencyMaxMillis) / 1e3);
+
+    e.out += "# EOF\n";
+    return e.out;
+}
+
+std::string
+MetricSample::label(const std::string &key) const
+{
+    const auto it = labels.find(key);
+    return it == labels.end() ? std::string() : it->second;
+}
+
+namespace
+{
+
+/** Parse {key="value",...}; `pos` sits on '{' and ends past '}'. */
+bool
+parseLabels(const std::string &line, std::size_t &pos,
+            std::map<std::string, std::string> &out)
+{
+    ++pos; // '{'
+    while (pos < line.size() && line[pos] != '}') {
+        std::size_t eq = line.find('=', pos);
+        if (eq == std::string::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"')
+            return false;
+        const std::string key = line.substr(pos, eq - pos);
+        std::string value;
+        std::size_t i = eq + 2;
+        for (; i < line.size() && line[i] != '"'; ++i) {
+            if (line[i] == '\\' && i + 1 < line.size()) {
+                ++i;
+                if (line[i] == 'n')
+                    value += '\n';
+                else
+                    value += line[i];
+            } else {
+                value += line[i];
+            }
+        }
+        if (i >= line.size())
+            return false;
+        out[key] = value;
+        pos = i + 1;
+        if (pos < line.size() && line[pos] == ',')
+            ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}')
+        return false;
+    ++pos;
+    return true;
+}
+
+} // namespace
+
+bool
+parseOpenMetrics(const std::string &text,
+                 std::vector<MetricSample> &out)
+{
+    out.clear();
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        MetricSample sample;
+        std::size_t pos = 0;
+        while (pos < line.size() && line[pos] != '{' &&
+               line[pos] != ' ')
+            ++pos;
+        if (pos == 0 || pos >= line.size())
+            return false;
+        sample.name = line.substr(0, pos);
+        if (line[pos] == '{' &&
+            !parseLabels(line, pos, sample.labels))
+            return false;
+        if (pos >= line.size() || line[pos] != ' ')
+            return false;
+        const std::string digits = line.substr(pos + 1);
+        char *endp = nullptr;
+        sample.value = std::strtod(digits.c_str(), &endp);
+        if (!endp || *endp != '\0' || digits.empty())
+            return false;
+        out.push_back(std::move(sample));
+    }
+    return true;
+}
+
+const MetricSample *
+findSample(const std::vector<MetricSample> &samples,
+           const std::string &name, const std::string &worker)
+{
+    for (const MetricSample &s : samples) {
+        if (s.name != name)
+            continue;
+        if (!worker.empty() && s.label("worker") != worker)
+            continue;
+        return &s;
+    }
+    return nullptr;
+}
+
+} // namespace marvel::obs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * OpenMetrics text exposition for the dispatch daemon.
+ *
+ * The daemon answers a `Metrics` request with one self-contained
+ * OpenMetrics document: campaign progress gauges, dispatch lease
+ * counters, and one labelled series per worker (throughput, phase
+ * split, liveness, current lease). The naming rules are documented in
+ * docs/schemas/metrics.md and enforced by scripts/validate_metrics.py
+ * in CI: everything starts with `marvel_`, names are lower_snake,
+ * counters end in `_total`, every family carries # HELP and # TYPE,
+ * and the document ends with `# EOF`.
+ *
+ * The renderer takes plain structs rather than daemon internals so
+ * obs stays below net in the layer order: the daemon fills a
+ * CampaignSnapshot from its heartbeat, and DispatchTelemetry is
+ * already the daemon's observable state.
+ *
+ * The mirror-image parser exists for marvel-top and `status
+ * --connect`: it understands exactly what the renderer produces (one
+ * `name{labels} value` sample per line) — it is not a general
+ * OpenMetrics consumer.
+ */
+
+#ifndef MARVEL_OBS_OPENMETRICS_HH
+#define MARVEL_OBS_OPENMETRICS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/metrics.hh"
+
+namespace marvel::obs
+{
+
+/** Campaign-progress facts the daemon distills from its heartbeat. */
+struct CampaignSnapshot
+{
+    u64 done = 0;
+    u64 expected = 0;
+    u64 masked = 0;
+    u64 sdc = 0;
+    u64 crash = 0;
+    u64 pruned = 0;
+    double runsPerSec = 0;
+    double avf = 0;
+    double margin = 0;
+    double etaSeconds = 0;
+    double uptimeSeconds = 0;
+    bool complete = false;
+};
+
+/** Render one full OpenMetrics document (ends with "# EOF\n"). */
+std::string openMetricsText(const DispatchTelemetry &dispatch,
+                            const CampaignSnapshot &campaign);
+
+/** One parsed sample: marvel_foo{worker="w"} 1.5 */
+struct MetricSample
+{
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value = 0;
+
+    /** labels.at(key) or "" when absent. */
+    std::string label(const std::string &key) const;
+};
+
+/**
+ * Parse an openMetricsText document back into samples. Comment lines
+ * (# HELP / # TYPE / # EOF) are skipped; a malformed sample line
+ * makes the whole parse fail (returns false) so a watcher never
+ * renders half a scrape.
+ */
+bool parseOpenMetrics(const std::string &text,
+                      std::vector<MetricSample> &out);
+
+/** First sample named `name` (with `worker` label when given);
+ *  nullptr when absent. */
+const MetricSample *findSample(
+    const std::vector<MetricSample> &samples, const std::string &name,
+    const std::string &worker = std::string());
+
+} // namespace marvel::obs
+
+#endif // MARVEL_OBS_OPENMETRICS_HH

@@ -1,0 +1,276 @@
+#include "obs/profiler.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "common/log.hh"
+
+namespace marvel::obs::profiler
+{
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::GoldenBuild: return "golden_build";
+      case Phase::RungCapture: return "rung_capture";
+      case Phase::FastForward: return "fast_forward";
+      case Phase::Simulate: return "simulate";
+      case Phase::Classify: return "classify";
+      case Phase::Prune: return "prune";
+      case Phase::JournalIo: return "journal_io";
+      case Phase::SocketWait: return "socket_wait";
+    }
+    return "?";
+}
+
+u64
+Totals::totalNanos() const
+{
+    u64 sum = 0;
+    for (unsigned p = 0; p < kNumPhases; ++p)
+        sum += nanos[p];
+    return sum;
+}
+
+Totals
+Totals::since(const Totals &earlier) const
+{
+    Totals delta;
+    for (unsigned p = 0; p < kNumPhases; ++p) {
+        delta.nanos[p] =
+            nanos[p] > earlier.nanos[p] ? nanos[p] - earlier.nanos[p]
+                                        : 0;
+        delta.calls[p] =
+            calls[p] > earlier.calls[p] ? calls[p] - earlier.calls[p]
+                                        : 0;
+    }
+    return delta;
+}
+
+#ifndef MARVEL_STATS_DISABLED
+
+namespace
+{
+
+/** One thread's accumulators. Written only by the owning thread;
+ *  read by snapshot() from any thread, hence the relaxed atomics. */
+struct ThreadSlot
+{
+    std::array<std::atomic<u64>, kNumPhases> nanos{};
+    std::array<std::atomic<u64>, kNumPhases> calls{};
+    u32 ordinal = 0;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<ThreadSlot *> live;
+    Totals retired; ///< folded-in totals of exited threads
+    u32 nextOrdinal = 0;
+
+    std::array<Span, kSpanCap> ring;
+    std::size_t ringNext = 0;  ///< next write position
+    std::size_t ringCount = 0; ///< valid spans (<= kSpanCap)
+
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::atomic<bool> gEnabled{true};
+
+u64
+nowNanos()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - registry().epoch)
+            .count());
+}
+
+/**
+ * The thread's slot, registered on first use and folded into the
+ * registry's retired totals when the thread exits — campaign worker
+ * threads die with their campaign, but their time must survive them.
+ */
+struct SlotHolder
+{
+    ThreadSlot slot;
+
+    SlotHolder()
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        slot.ordinal = r.nextOrdinal++;
+        r.live.push_back(&slot);
+    }
+
+    ~SlotHolder()
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (unsigned p = 0; p < kNumPhases; ++p) {
+            r.retired.nanos[p] +=
+                slot.nanos[p].load(std::memory_order_relaxed);
+            r.retired.calls[p] +=
+                slot.calls[p].load(std::memory_order_relaxed);
+        }
+        for (std::size_t i = 0; i < r.live.size(); ++i) {
+            if (r.live[i] == &slot) {
+                r.live.erase(r.live.begin() + i);
+                break;
+            }
+        }
+    }
+};
+
+ThreadSlot &
+localSlot()
+{
+    thread_local SlotHolder holder;
+    return holder.slot;
+}
+
+void
+recordSpan(Phase phase, u32 ordinal, u64 startNanos, u64 durNanos)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    Span &span = r.ring[r.ringNext];
+    span.phase = phase;
+    span.thread = ordinal;
+    span.startMicros = startNanos / 1000;
+    span.durMicros = durNanos / 1000;
+    r.ringNext = (r.ringNext + 1) % kSpanCap;
+    if (r.ringCount < kSpanCap)
+        ++r.ringCount;
+}
+
+} // namespace
+
+ScopedPhase::ScopedPhase(Phase phase)
+    : phase_(phase),
+      startNanos_(gEnabled.load(std::memory_order_relaxed) ? nowNanos()
+                                                           : 0)
+{
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    if (!gEnabled.load(std::memory_order_relaxed))
+        return;
+    const u64 end = nowNanos();
+    const u64 dur = end > startNanos_ ? end - startNanos_ : 0;
+    ThreadSlot &slot = localSlot();
+    const unsigned p = static_cast<unsigned>(phase_);
+    slot.nanos[p].fetch_add(dur, std::memory_order_relaxed);
+    slot.calls[p].fetch_add(1, std::memory_order_relaxed);
+    recordSpan(phase_, slot.ordinal, startNanos_, dur);
+}
+
+void
+setEnabled(bool enabled)
+{
+    gEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return gEnabled.load(std::memory_order_relaxed);
+}
+
+Totals
+snapshot()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    Totals sum = r.retired;
+    for (const ThreadSlot *slot : r.live) {
+        for (unsigned p = 0; p < kNumPhases; ++p) {
+            sum.nanos[p] +=
+                slot->nanos[p].load(std::memory_order_relaxed);
+            sum.calls[p] +=
+                slot->calls[p].load(std::memory_order_relaxed);
+        }
+    }
+    return sum;
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.retired = Totals{};
+    for (ThreadSlot *slot : r.live) {
+        for (unsigned p = 0; p < kNumPhases; ++p) {
+            slot->nanos[p].store(0, std::memory_order_relaxed);
+            slot->calls[p].store(0, std::memory_order_relaxed);
+        }
+    }
+    r.ringNext = 0;
+    r.ringCount = 0;
+}
+
+std::vector<Span>
+spans()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<Span> out;
+    out.reserve(r.ringCount);
+    const std::size_t first =
+        r.ringCount == kSpanCap ? r.ringNext : 0;
+    for (std::size_t i = 0; i < r.ringCount; ++i)
+        out.push_back(r.ring[(first + i) % kSpanCap]);
+    return out;
+}
+
+#else // MARVEL_STATS_DISABLED
+
+void setEnabled(bool) {}
+bool enabled() { return false; }
+Totals snapshot() { return Totals{}; }
+void reset() {}
+std::vector<Span> spans() { return {}; }
+
+#endif // MARVEL_STATS_DISABLED
+
+void
+regStats(stats::Group &root)
+{
+    stats::Group &prof = root.subgroup("profiler");
+    for (unsigned p = 0; p < kNumPhases; ++p) {
+        const Phase phase = static_cast<Phase>(p);
+        stats::Group &g = prof.subgroup(phaseName(phase));
+        g.addFormula(
+            "seconds",
+            [p]() {
+                return static_cast<double>(snapshot().nanos[p]) / 1e9;
+            },
+            "wall-clock seconds spent in this phase (all threads)");
+        g.addFormula(
+            "calls",
+            [p]() {
+                return static_cast<double>(snapshot().calls[p]);
+            },
+            "completed phase scopes");
+    }
+    prof.addFormula(
+        "total_seconds",
+        []() {
+            return static_cast<double>(snapshot().totalNanos()) / 1e9;
+        },
+        "wall-clock seconds across all profiled phases");
+}
+
+} // namespace marvel::obs::profiler

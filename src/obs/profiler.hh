@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Wall-clock phase profiler: where does campaign time actually go?
+ *
+ * The simulator's own execution is split into a small fixed set of
+ * phases (golden build, rung capture, fast-forward, simulate,
+ * classify, prune, journal I/O, socket wait) and every phase is timed
+ * with a cheap RAII scope. Accumulators are per-thread (lock-free on
+ * the hot path: one steady_clock read at scope entry and one relaxed
+ * atomic add at exit), folded together on demand into a process-wide
+ * snapshot. The snapshot feeds three consumers:
+ *
+ *   - the `profiler.*` stats subtree (regStats), so `marvel-cli
+ *     stats` and stats snapshots carry the phase split;
+ *   - complete-event spans in the Chrome trace (pid 1, one lane per
+ *     profiled thread) via the bounded span ring;
+ *   - the campaign journal's metrics record and the dispatch wire
+ *     telemetry, which both persist the per-phase microsecond totals.
+ *
+ * Scopes at the instrumentation sites are deliberately coarse — one
+ * per golden build, per ladder capture, per faulty run's restore /
+ * tick-loop / classification, per journal commit, per blocking socket
+ * read — never inside the per-cycle tick path, which is what keeps
+ * the bench_simspeed overhead guard under its bar.
+ *
+ * The whole subsystem compiles out with MARVEL_STATS_DISABLED: the
+ * scope class becomes an empty shell and every query returns zeros,
+ * so instrumentation sites need no #ifdefs of their own.
+ */
+
+#ifndef MARVEL_OBS_PROFILER_HH
+#define MARVEL_OBS_PROFILER_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace marvel::obs::profiler
+{
+
+/** The profiled phases of MARVEL's own execution (not the SoC's). */
+enum class Phase : unsigned
+{
+    GoldenBuild,  ///< fault-free reference run (both window phases)
+    RungCapture,  ///< checkpoint-ladder replay + snapshots
+    FastForward,  ///< checkpoint/rung restore before a faulty run
+    Simulate,     ///< the faulty run's tick loop
+    Classify,     ///< output/trace comparison -> verdict
+    Prune,        ///< golden access-profile replay for --prune
+    JournalIo,    ///< journal chunk write + fsync
+    SocketWait,   ///< blocked on the dispatch socket / idle poll
+};
+
+constexpr unsigned kNumPhases = 8;
+
+/** Stable lower-snake identifier ("golden_build", "socket_wait"). */
+const char *phaseName(Phase phase);
+
+/** Sum of every thread's accumulators at one instant. */
+struct Totals
+{
+    std::array<u64, kNumPhases> nanos{};
+    std::array<u64, kNumPhases> calls{};
+
+    u64 totalNanos() const;
+
+    /** this - earlier, per phase (saturating at zero). */
+    Totals since(const Totals &earlier) const;
+};
+
+/** One completed scope, for the Chrome-trace span lanes. */
+struct Span
+{
+    Phase phase = Phase::GoldenBuild;
+    u32 thread = 0;      ///< profiler thread ordinal (not an OS tid)
+    u64 startMicros = 0; ///< since the process's profiler epoch
+    u64 durMicros = 0;
+};
+
+#ifndef MARVEL_STATS_DISABLED
+
+/**
+ * Times one phase from construction to destruction. Scopes on one
+ * thread must not overlap the SAME phase, and the instrumentation
+ * sites keep different phases sequential rather than nested, so the
+ * per-phase totals partition wall time instead of double-counting it.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase phase);
+    ~ScopedPhase();
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    Phase phase_;
+    u64 startNanos_;
+};
+
+#else
+
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase) {}
+};
+
+#endif // MARVEL_STATS_DISABLED
+
+/**
+ * Runtime kill-switch (default on). A disabled profiler's scopes are
+ * a single relaxed load; the A/B overhead guard in bench_simspeed
+ * flips this to measure the cost of the timers themselves.
+ */
+void setEnabled(bool enabled);
+bool enabled();
+
+/** Fold every live thread's accumulators (plus exited threads'
+ *  retired totals) into one snapshot. */
+Totals snapshot();
+
+/** Zero all accumulators and drop recorded spans (tests/benches). */
+void reset();
+
+/** Copy of the bounded span ring, oldest first. At most kSpanCap
+ *  spans are retained; older ones are overwritten. */
+std::vector<Span> spans();
+
+constexpr std::size_t kSpanCap = 4096;
+
+/**
+ * Register the `profiler.*` subtree on `root`: per phase, a
+ * `profiler.<phase>.seconds` and `profiler.<phase>.calls` formula
+ * over the live accumulators, plus `profiler.total_seconds`.
+ */
+void regStats(stats::Group &root);
+
+} // namespace marvel::obs::profiler
+
+#endif // MARVEL_OBS_PROFILER_HH

@@ -89,6 +89,19 @@ fieldOr(const std::map<std::string, double> &fields, const char *key,
     return it == fields.end() ? fallback : it->second;
 }
 
+/**
+ * Clamp a rate/ETA figure to something JSON can carry. A zero-elapsed
+ * shard (first beat races the clock) divides runs by 0.0 and an
+ * instantly-complete shard can produce 0/0: printf would emit "inf" /
+ * "nan", which is not JSON — strtod on the read side happily parses
+ * it back, so the guard has to live at emission.
+ */
+double
+finiteOrZero(double value)
+{
+    return std::isfinite(value) ? value : 0.0;
+}
+
 } // namespace
 
 std::string
@@ -114,7 +127,8 @@ heartbeatJson(const Heartbeat &beat)
         static_cast<unsigned long long>(beat.crash),
         static_cast<unsigned long long>(beat.pruned),
         static_cast<unsigned long long>(beat.maskedInAccel),
-        beat.runsPerSec, beat.avf, beat.margin, beat.etaSeconds,
+        finiteOrZero(beat.runsPerSec), finiteOrZero(beat.avf),
+        finiteOrZero(beat.margin), finiteOrZero(beat.etaSeconds),
         static_cast<unsigned long long>(beat.wallMillis),
         beat.complete ? 1 : 0);
 }
@@ -197,7 +211,10 @@ aggregateHeartbeats(const std::vector<Heartbeat> &beats)
         agg.crash += b.crash;
         agg.pruned += b.pruned;
         agg.maskedInAccel += b.maskedInAccel;
-        agg.runsPerSec += b.runsPerSec; // shards run concurrently
+        // Shards run concurrently, so rates add; a shard carrying a
+        // non-finite rate (hand-edited file, historic writer) must
+        // not poison the whole campaign line.
+        agg.runsPerSec += finiteOrZero(b.runsPerSec);
         agg.wallMillis = std::max(agg.wallMillis, b.wallMillis);
         agg.complete = agg.complete && b.complete;
     }

@@ -8,6 +8,7 @@
 #include "common/log.hh"
 #include "common/version.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "sched/heartbeat.hh"
 #include "sched/workqueue.hh"
 #include "soc/checkpoint.hh"
@@ -137,6 +138,31 @@ checkJournalMatches(const store::JournalMeta &journal,
               path.c_str(), journal.optPrune ? "on" : "off",
               expected.optPrune ? "on" : "off",
               journal.optPrune ? "--prune" : "no --prune");
+}
+
+store::VerdictProvenance
+runProvenance(const fi::GoldenRun &golden,
+              const fi::RunVerdict &verdict, u64 wallMicros)
+{
+    store::VerdictProvenance prov;
+    prov.present = true;
+    prov.wallMicros = wallMicros;
+    prov.fastForwarded = verdict.fastForwarded;
+    prov.pruned = (verdict.detail == fi::OutcomeDetail::MaskedPruned &&
+                   verdict.cyclesRun == 0)
+                      ? 1
+                      : 0;
+    // fastForwarded carries the restored rung's cycle; recover the
+    // rung index from the golden ladder (0 stays "window start").
+    if (verdict.fastForwarded != 0) {
+        for (std::size_t i = 0; i < golden.ladder.size(); ++i) {
+            if (golden.ladder[i].cycle == verdict.fastForwarded) {
+                prov.rung = static_cast<u32>(i + 1);
+                break;
+            }
+        }
+    }
+    return prov;
 }
 
 fi::RunVerdict
@@ -296,6 +322,10 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         return std::chrono::duration<double>(Clock::now() - t0)
             .count();
     };
+    // Profiler totals are process-wide; a start snapshot turns the
+    // end-of-campaign reading into this campaign's own phase split.
+    const obs::profiler::Totals profStart =
+        obs::profiler::snapshot();
 
     // Live progress heartbeat: verdict counts accumulate in a light
     // shell (no kept verdicts) under mergeMutex, and a compact JSON
@@ -357,6 +387,8 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             const fi::RunVerdict verdict = runFaultIndex(
                 golden, target, result.target.geometry,
                 options.seed, i, options.model, runOpts, profile);
+            const u64 runWallMicros = static_cast<u64>(
+                secondsSince(runStart) * 1e6);
             const bool wasPruned =
                 verdict.detail == fi::OutcomeDetail::MaskedPruned &&
                 verdict.cyclesRun == 0;
@@ -391,7 +423,9 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
                 // fsync a chunk) and the heartbeat tally; counter
                 // merging stays batched per worker.
                 std::lock_guard<std::mutex> lock(mergeMutex);
-                writer.append(i, verdict);
+                writer.append(
+                    i, verdict,
+                    runProvenance(golden, verdict, runWallMicros));
                 if (heartbeatOn) {
                     beatAgg.tally(verdict);
                     const auto now = Clock::now();
@@ -453,6 +487,16 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             metrics.idleMillis = static_cast<u64>(
                 telemetry->totalIdleSeconds() * 1000.0);
             metrics.workers = threads;
+            // This campaign's share of the process-wide profiler
+            // accumulators (delta against the start snapshot). The
+            // golden build happens before runCampaign, so the split
+            // here covers exactly the work this journal records.
+            const obs::profiler::Totals profDelta =
+                obs::profiler::snapshot().since(profStart);
+            for (std::size_t p = 0;
+                 p < obs::profiler::kNumPhases; ++p)
+                metrics.phaseMicros[p] =
+                    profDelta.nanos[p] / 1000;
             writer.appendMetrics(metrics);
         }
         writer.close(); // commits the final partial chunk

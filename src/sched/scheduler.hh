@@ -73,6 +73,19 @@ fi::RunVerdict runFaultIndex(const fi::GoldenRun &golden,
                              const fi::TargetProfile &profile);
 
 /**
+ * Build the execution provenance for one completed run: maps the
+ * verdict's fast-forward cycle back to the golden ladder rung that was
+ * restored (0 = window start, 1 + i = rung i — the same slot scheme
+ * the telemetry rung histogram uses) and flags pruned verdicts. The
+ * scheduler worker loop and the distributed worker both record
+ * provenance through this one function so live journals agree on the
+ * field semantics regardless of which path produced them.
+ */
+store::VerdictProvenance runProvenance(const fi::GoldenRun &golden,
+                                       const fi::RunVerdict &verdict,
+                                       u64 wallMicros);
+
+/**
  * fatal() unless `journal` (read from `path`) records the same
  * campaign identity as `expected`: target, model, seed, sample size,
  * shard, golden digest/window, and every verdict-shaping run option

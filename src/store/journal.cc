@@ -12,6 +12,7 @@
 
 #include "common/json.hh"
 #include "common/log.hh"
+#include "obs/profiler.hh"
 
 namespace marvel::store
 {
@@ -50,15 +51,23 @@ detailFromName(const std::string &name, fi::OutcomeDetail &out)
     return false;
 }
 
+/** JSON key for phase p's wall-time field ("ph_simulate_us"). */
+std::string
+phaseKey(unsigned p)
+{
+    return strfmt("ph_%s_us", obs::profiler::phaseName(
+                                  static_cast<obs::profiler::Phase>(p)));
+}
+
 std::string
 metricsLine(const JournalMetrics &m)
 {
-    return strfmt(
+    std::string line = strfmt(
         "{\"type\":\"metrics\",\"runs\":%llu,\"masked\":%llu,"
         "\"sdc\":%llu,\"crash\":%llu,\"earlyTerminated\":%llu,"
         "\"pruned\":%llu,\"cyclesSimulated\":%llu,"
         "\"cyclesSaved\":%llu,\"cyclesFastForwarded\":%llu,"
-        "\"wallMillis\":%llu,\"idleMillis\":%llu,\"workers\":%u}",
+        "\"wallMillis\":%llu,\"idleMillis\":%llu,\"workers\":%u",
         static_cast<unsigned long long>(m.runs),
         static_cast<unsigned long long>(m.masked),
         static_cast<unsigned long long>(m.sdc),
@@ -70,20 +79,38 @@ metricsLine(const JournalMetrics &m)
         static_cast<unsigned long long>(m.cyclesFastForwarded),
         static_cast<unsigned long long>(m.wallMillis),
         static_cast<unsigned long long>(m.idleMillis), m.workers);
+    for (unsigned p = 0; p < obs::profiler::kNumPhases; ++p)
+        line += strfmt(",\"%s\":%llu", phaseKey(p).c_str(),
+                       static_cast<unsigned long long>(
+                           m.phaseMicros[p]));
+    line += '}';
+    return line;
 }
 
-/** Decode an already-parsed meta record's fields. */
+/**
+ * Decode an already-parsed meta record's fields. When `err` is given,
+ * a meta from a NEWER format version reports a dedicated message
+ * there (still returning false) so readJournal can name the file
+ * instead of calling a well-formed future journal "corrupt".
+ */
 bool
 metaFromFields(const std::map<std::string, std::string> &fields,
-               JournalMeta &out)
+               JournalMeta &out, std::string *err = nullptr)
 {
     u64 version = 0;
     JournalMeta meta;
     u64 seed, faults, shard, shards, digest, goldenCycles,
         windowCycles, entries, bits;
-    if (!fieldU64(fields, "version", version) ||
-        version != kJournalFormatVersion)
+    if (!fieldU64(fields, "version", version))
         return false;
+    if (version != kJournalFormatVersion) {
+        if (err && version > kJournalFormatVersion)
+            *err = strfmt("format version %llu is newer than this "
+                          "build's %u; upgrade marvel to read it",
+                          static_cast<unsigned long long>(version),
+                          kJournalFormatVersion);
+        return false;
+    }
     if (!fieldStr(fields, "workload", meta.workload) ||
         !fieldStr(fields, "target", meta.target) ||
         !fieldStr(fields, "model", meta.model) ||
@@ -147,13 +174,29 @@ verdictFromFields(const std::map<std::string, std::string> &fields,
     jv.verdict.hvfCorruptCycle = hvfCycle;
     jv.verdict.terminatedEarly = early != 0;
     jv.verdict.cyclesRun = cycles;
+    // Optional execution provenance (wall_us and friends travel
+    // together; journals written before the fields existed — and
+    // canonical journals, which strip them — read back as absent).
+    u64 wallUs = 0;
+    if (fieldU64(fields, "wall_us", wallUs)) {
+        jv.prov.present = true;
+        jv.prov.wallMicros = wallUs;
+        u64 v = 0;
+        if (fieldU64(fields, "rung", v))
+            jv.prov.rung = static_cast<u32>(v);
+        if (fieldU64(fields, "ff", v))
+            jv.prov.fastForwarded = v;
+        if (fieldU64(fields, "pruned", v))
+            jv.prov.pruned = static_cast<u32>(v);
+    }
     out = jv;
     return true;
 }
 
 /** Parse one intact journal line into the Journal aggregate. */
 bool
-applyLine(const std::string &line, Journal &journal)
+applyLine(const std::string &line, Journal &journal,
+          std::string *err = nullptr)
 {
     std::map<std::string, std::string> fields;
     if (!json::parseFlat(line, fields))
@@ -164,7 +207,7 @@ applyLine(const std::string &line, Journal &journal)
 
     if (type == "meta") {
         JournalMeta meta;
-        if (!metaFromFields(fields, meta))
+        if (!metaFromFields(fields, meta, err))
             return false;
         if (journal.hasMeta)
             return false; // one meta per journal
@@ -203,6 +246,8 @@ applyLine(const std::string &line, Journal &journal)
         fieldU64(fields, "idleMillis", m.idleMillis);
         if (fieldU64(fields, "workers", workers))
             m.workers = static_cast<u32>(workers);
+        for (unsigned p = 0; p < obs::profiler::kNumPhases; ++p)
+            fieldU64(fields, phaseKey(p).c_str(), m.phaseMicros[p]);
         journal.hasMetrics = true;
         journal.metrics = m; // a later record supersedes an earlier
         return true;
@@ -254,6 +299,23 @@ formatVerdictLine(u64 idx, const fi::RunVerdict &verdict)
         static_cast<unsigned long long>(verdict.hvfCorruptCycle),
         verdict.terminatedEarly ? 1 : 0,
         static_cast<unsigned long long>(verdict.cyclesRun));
+}
+
+std::string
+formatVerdictLine(u64 idx, const fi::RunVerdict &verdict,
+                  const VerdictProvenance &prov)
+{
+    std::string line = formatVerdictLine(idx, verdict);
+    if (!prov.present)
+        return line;
+    line.pop_back(); // re-open the object for the optional fields
+    line += strfmt(",\"wall_us\":%llu,\"rung\":%u,\"ff\":%llu,"
+                   "\"pruned\":%u}",
+                   static_cast<unsigned long long>(prov.wallMicros),
+                   prov.rung,
+                   static_cast<unsigned long long>(prov.fastForwarded),
+                   prov.pruned);
+    return line;
 }
 
 bool
@@ -399,11 +461,24 @@ JournalWriter::append(u64 idx, const fi::RunVerdict &verdict)
 }
 
 void
+JournalWriter::append(u64 idx, const fi::RunVerdict &verdict,
+                      const VerdictProvenance &prov)
+{
+    if (fd_ < 0)
+        panic("journal: append on a closed writer");
+    pending_.push_back(formatVerdictLine(idx, verdict, prov));
+    if (pending_.size() >= chunkSize_)
+        commit();
+}
+
+void
 JournalWriter::appendMetrics(const JournalMetrics &metrics)
 {
     if (fd_ < 0)
         panic("journal: appendMetrics on a closed writer");
     commit(); // the record must land after what it summarizes
+    const obs::profiler::ScopedPhase timer(
+        obs::profiler::Phase::JournalIo);
     writeLine(metricsLine(metrics));
     sync();
 }
@@ -415,6 +490,8 @@ JournalWriter::commit()
         panic("journal: commit on a closed writer");
     if (pending_.empty())
         return;
+    const obs::profiler::ScopedPhase timer(
+        obs::profiler::Phase::JournalIo);
     for (const std::string &line : pending_)
         writeLine(line);
     sync(); // verdicts are durable before the chunk marker claims so
@@ -470,7 +547,14 @@ readJournal(const std::string &path)
             journal.droppedTornLine = true;
             break;
         }
-        if (!complete || !applyLine(line, journal)) {
+        std::string versionErr;
+        if (!complete || !applyLine(line, journal, &versionErr)) {
+            // A meta from a newer format is not corruption and not a
+            // torn tail — name the file and both versions, wherever
+            // in the file it sits.
+            if (!versionErr.empty())
+                fatal("journal: '%s' %s", path.c_str(),
+                      versionErr.c_str());
             // Tolerate exactly one torn/garbage line at the very end
             // of the file; anything followed by more data is real
             // corruption.

@@ -29,6 +29,7 @@
 #ifndef MARVEL_STORE_JOURNAL_HH
 #define MARVEL_STORE_JOURNAL_HH
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -78,11 +79,36 @@ struct JournalMeta
     bool operator==(const JournalMeta &other) const = default;
 };
 
+/**
+ * Per-injection execution provenance, persisted as OPTIONAL fields on
+ * the verdict record (`"wall_us","rung","ff","pruned"`). Provenance
+ * describes how this process happened to produce the verdict — wall
+ * time, which ladder rung it restored, whether it simulated at all —
+ * so unlike the verdict itself it is NOT part of the campaign
+ * identity: two equivalent campaigns legitimately differ here.
+ * Canonical journals therefore strip it (writeCanonicalJournal emits
+ * the plain verdict line), which is what keeps "distributed run ==
+ * single-process run" a byte-for-byte cmp. Journals written before
+ * these fields existed read back with present == false.
+ */
+struct VerdictProvenance
+{
+    bool present = false;
+    u64 wallMicros = 0;    ///< wall time to produce this verdict
+    u32 rung = 0;          ///< restore point: 0 = window start,
+                           ///< 1 + i = ladder rung i
+    u64 fastForwarded = 0; ///< cycles skipped by the rung restore
+    u32 pruned = 0;        ///< 1 = classified without simulating
+
+    bool operator==(const VerdictProvenance &other) const = default;
+};
+
 /** One persisted verdict. */
 struct JournalVerdict
 {
     u64 idx = 0; ///< campaign-global fault index
     fi::RunVerdict verdict;
+    VerdictProvenance prov;
 };
 
 /**
@@ -105,6 +131,16 @@ struct JournalMetrics
     u64 wallMillis = 0;
     u64 idleMillis = 0;
     u32 workers = 0;
+
+    /**
+     * Wall-clock microseconds per profiler phase
+     * (obs::profiler::Phase order: golden_build, rung_capture,
+     * fast_forward, simulate, classify, prune, journal_io,
+     * socket_wait), summed over every thread/worker that contributed
+     * to this journal. Optional on the wire format — journals written
+     * before the profiler read back as all-zeros.
+     */
+    std::array<u64, 8> phaseMicros{};
 
     bool operator==(const JournalMetrics &other) const = default;
 };
@@ -158,6 +194,10 @@ class JournalWriter
     /** Queue one verdict; flushes a chunk when the buffer fills. */
     void append(u64 idx, const fi::RunVerdict &verdict);
 
+    /** Queue one verdict with its execution provenance attached. */
+    void append(u64 idx, const fi::RunVerdict &verdict,
+                const VerdictProvenance &prov);
+
     /**
      * Write a campaign metrics record (commits pending verdicts
      * first, so the record lands after everything it summarizes).
@@ -185,9 +225,12 @@ class JournalWriter
 
 /**
  * Tolerant journal reader: parses the intact prefix, drops a torn
- * final line, fatal()s on mid-file corruption or on a journal whose
- * format version is unknown. A missing file fatal()s — callers gate
- * resume on journalExists().
+ * final line, fatal()s on mid-file corruption. A journal whose meta
+ * names a format version NEWER than this build fatal()s with a
+ * distinct message naming the offending file and both versions —
+ * unknown-but-well-formed future records are otherwise
+ * indistinguishable from corruption. A missing file fatal()s —
+ * callers gate resume on journalExists().
  */
 Journal readJournal(const std::string &path);
 
@@ -200,6 +243,11 @@ Journal readJournal(const std::string &path);
  */
 std::string formatMetaLine(const JournalMeta &meta);
 std::string formatVerdictLine(u64 idx, const fi::RunVerdict &verdict);
+
+/** As above, appending the optional provenance fields when
+ *  prov.present (byte-identical to the plain line otherwise). */
+std::string formatVerdictLine(u64 idx, const fi::RunVerdict &verdict,
+                              const VerdictProvenance &prov);
 
 /** Parse one meta record; false unless `line` is an intact meta. */
 bool parseMetaLine(const std::string &line, JournalMeta &out);

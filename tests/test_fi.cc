@@ -26,6 +26,7 @@
 #include "sched/replay.hh"
 #include "sched/scheduler.hh"
 #include "soc/builder.hh"
+#include "store/journal.hh"
 #include "workloads/workloads.hh"
 
 using namespace marvel;
@@ -452,14 +453,24 @@ TEST(Targets, BtbFaultsAreAlwaysArchitecturallyMasked) {
 namespace {
 
 // Journal contents minus the metrics trailer (whose wallMillis is
-// wall-clock and legitimately differs between runs).
+// wall-clock and legitimately differs between runs). Verdict records
+// are re-rendered without their provenance fields: wall time and the
+// rung restored from are per-run observations, not campaign results,
+// and differ between ladder-on and ladder-off by design.
 std::string journalVerdictBytes(const std::string& path) {
     std::ifstream in(path, std::ios::binary);
     std::ostringstream out;
     std::string line;
-    while (std::getline(in, line))
-        if (line.find("\"type\":\"metrics\"") == std::string::npos)
+    while (std::getline(in, line)) {
+        if (line.find("\"type\":\"metrics\"") != std::string::npos)
+            continue;
+        store::JournalVerdict jv;
+        if (store::parseVerdictLine(line, jv))
+            out << store::formatVerdictLine(jv.idx, jv.verdict)
+                << '\n';
+        else
             out << line << '\n';
+    }
     return out.str();
 }
 

@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +37,7 @@
 #include "net/protocol.hh"
 #include "net/socket.hh"
 #include "net/worker.hh"
+#include "obs/openmetrics.hh"
 #include "sched/rangequeue.hh"
 #include "sched/scheduler.hh"
 #include "soc/builder.hh"
@@ -730,4 +732,180 @@ TEST(Dispatch, WorkerRefusesMismatchedCampaignIdentity) {
 
     stop.store(true);
     daemonThread.join();
+}
+
+// --- observability over the wire -------------------------------------------
+
+TEST(Frame, MetricsTypeRoundTrips) {
+    // Regression: the reader's type-range check once stopped at
+    // Error, silently poisoning every Metrics request.
+    std::string wire;
+    net::encodeFrame({net::MsgType::Metrics, ""}, wire);
+    net::FrameReader reader;
+    reader.feed(wire.data(), wire.size());
+    net::Frame frame;
+    ASSERT_TRUE(reader.next(frame));
+    EXPECT_FALSE(reader.poisoned());
+    EXPECT_EQ(frame.type, net::MsgType::Metrics);
+    EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Protocol, VerdictChunkTelemetryAndProvenanceRoundTrip) {
+    net::VerdictChunk in;
+    in.lease = 3;
+    fi::RunVerdict masked;
+    store::VerdictProvenance prov;
+    prov.present = true;
+    prov.wallMicros = 812;
+    prov.rung = 2;
+    prov.fastForwarded = 4000;
+    in.verdicts.push_back({5, masked, prov});
+    in.verdicts.push_back({6, masked, {}});
+    in.telem.present = true;
+    in.telem.runs = 40;
+    in.telem.busyMicros = 123456;
+    in.telem.phaseMicros[3] = 99000;
+    in.telem.phaseMicros[7] = 1200;
+
+    net::VerdictChunk out;
+    ASSERT_TRUE(
+        net::decodeVerdictChunk(net::encodeVerdictChunk(in), out));
+    EXPECT_EQ(out.telem, in.telem);
+    ASSERT_EQ(out.verdicts.size(), 2u);
+    EXPECT_EQ(out.verdicts[0].prov, prov);
+    EXPECT_FALSE(out.verdicts[1].prov.present);
+
+    // A chunk without telemetry (an old worker) decodes as absent —
+    // the daemon must not invent zeros for it.
+    net::VerdictChunk bare;
+    bare.lease = 4;
+    bare.verdicts.push_back({0, masked});
+    ASSERT_TRUE(net::decodeVerdictChunk(
+        net::encodeVerdictChunk(bare), out));
+    EXPECT_FALSE(out.telem.present);
+}
+
+namespace {
+
+/** One blocking Metrics request/response on its own connection. */
+std::string scrapeMetrics(const net::Endpoint& endpoint) {
+    const int fd = net::connectTo(endpoint);
+    if (fd < 0) return std::string();
+    std::string wire;
+    net::encodeFrame({net::MsgType::Metrics, ""}, wire);
+    if (!net::sendAll(fd, wire)) {
+        ::close(fd);
+        return std::string();
+    }
+    net::FrameReader reader;
+    std::string buf, scrape;
+    for (;;) {
+        net::Frame frame;
+        if (reader.next(frame)) {
+            if (frame.type == net::MsgType::Metrics) {
+                scrape = frame.payload;
+                break;
+            }
+            continue;
+        }
+        if (reader.poisoned()) break;
+        buf.clear();
+        if (net::recvSome(fd, buf) <= 0) break;
+        reader.feed(buf.data(), buf.size());
+    }
+    ::close(fd);
+    return scrape;
+}
+
+}  // namespace
+
+TEST(Dispatch, MetricsRequestServesOpenMetricsScrape) {
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string distPath = tmpPath("net_metrics.jsonl");
+    std::remove((distPath + ".leases").c_str());
+    std::remove((distPath + ".progress").c_str());
+    net::DaemonConfig dcfg;
+    dcfg.endpoint = net::parseEndpoint(
+        "unix:" + tmpPath("net_metrics.sock"));
+    dcfg.journalPath = distPath;
+    fi::CampaignOptions dopts = baseOptions();
+    dcfg.meta = metaFor(dopts);
+    dcfg.ttlMillis = 5000;
+    dcfg.maxLeaseFaults = 6;
+    dcfg.chunk = 4;
+    dcfg.heartbeatMillis = 50;
+
+    net::Daemon daemon(dcfg);
+    daemon.start();
+    std::thread daemonThread([&] { daemon.run(); });
+
+    // Scrape before any worker connects: the campaign shape is
+    // already known, nothing is done, and the document is terminated.
+    const std::string idle = scrapeMetrics(dcfg.endpoint);
+    ASSERT_FALSE(idle.empty());
+    std::vector<obs::MetricSample> samples;
+    ASSERT_TRUE(obs::parseOpenMetrics(idle, samples));
+    const obs::MetricSample* expected =
+        obs::findSample(samples, "marvel_campaign_expected_runs");
+    ASSERT_NE(expected, nullptr);
+    EXPECT_EQ(expected->value, 36.0);
+    const obs::MetricSample* complete =
+        obs::findSample(samples, "marvel_campaign_complete");
+    ASSERT_NE(complete, nullptr);
+    EXPECT_EQ(complete->value, 0.0);
+    ASSERT_GE(idle.size(), 6u);
+    EXPECT_EQ(idle.substr(idle.size() - 6), "# EOF\n");
+
+    const net::GoldenSource goldenFor =
+        [&](const store::JournalMeta&) -> const fi::GoldenRun& {
+        return golden;
+    };
+    net::WorkerConfig wcfg;
+    wcfg.endpoint = dcfg.endpoint;
+    wcfg.name = "scrapee";
+    wcfg.idlePollMillis = 20;
+    net::WorkerReport report;
+    std::thread workerThread(
+        [&] { report = net::runWorker(wcfg, goldenFor); });
+
+    // Poll-scrape while the campaign runs; the daemon tears the
+    // socket down when the last lease completes, so keep the last
+    // scrape that worked and stop on the first failed connect after
+    // a success.
+    std::string best;
+    double bestVerdicts = 0;
+    for (int i = 0; i < 500; ++i) {
+        const std::string scrape = scrapeMetrics(dcfg.endpoint);
+        if (scrape.empty()) {
+            if (!best.empty()) break;
+        } else {
+            std::vector<obs::MetricSample> got;
+            if (obs::parseOpenMetrics(scrape, got)) {
+                const obs::MetricSample* v = obs::findSample(
+                    got, "marvel_worker_verdicts_total", "scrapee");
+                if (v && v->value > bestVerdicts) {
+                    bestVerdicts = v->value;
+                    best = scrape;
+                }
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    workerThread.join();
+    daemonThread.join();
+    EXPECT_TRUE(report.campaignComplete);
+
+    // At least one mid-run scrape saw the worker's telemetry.
+    ASSERT_FALSE(best.empty());
+    samples.clear();
+    ASSERT_TRUE(obs::parseOpenMetrics(best, samples));
+    EXPECT_GE(bestVerdicts, 3.0);
+    const obs::MetricSample* busy = obs::findSample(
+        samples, "marvel_worker_busy_seconds_total", "scrapee");
+    ASSERT_NE(busy, nullptr);
+    EXPECT_GT(busy->value, 0.0);
+    const obs::MetricSample* leases = obs::findSample(
+        samples, "marvel_worker_leases_total", "scrapee");
+    ASSERT_NE(leases, nullptr);
+    EXPECT_GE(leases->value, 1.0);
 }

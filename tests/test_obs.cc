@@ -18,7 +18,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <thread>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,10 +31,13 @@
 #include "obs/chrome_trace.hh"
 #include "obs/lineage.hh"
 #include "obs/metrics.hh"
+#include "obs/openmetrics.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "sched/replay.hh"
 #include "sched/scheduler.hh"
 #include "soc/builder.hh"
+#include "stats/stats.hh"
 #include "store/journal.hh"
 #include "workloads/workloads.hh"
 
@@ -427,4 +434,299 @@ TEST(Obs, NoteRunAggregation) {
     EXPECT_EQ(t.earlyTerminated, 1u);
     EXPECT_EQ(t.cyclesSimulated, 650u);
     EXPECT_EQ(t.cyclesSaved, 300u); // only the early run saves
+}
+
+// --- wall-clock phase profiler ---------------------------------------
+
+#ifndef MARVEL_STATS_DISABLED
+
+TEST(Profiler, ScopesAccumulateAndResetClears) {
+    namespace prof = obs::profiler;
+    prof::reset();
+    {
+        const prof::ScopedPhase timer(prof::Phase::Simulate);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    { const prof::ScopedPhase timer(prof::Phase::Classify); }
+
+    const prof::Totals t = prof::snapshot();
+    const auto sim = static_cast<unsigned>(prof::Phase::Simulate);
+    const auto cls = static_cast<unsigned>(prof::Phase::Classify);
+    EXPECT_EQ(t.calls[sim], 1u);
+    EXPECT_GE(t.nanos[sim], 1'000'000u); // slept >= 2ms, timed >= 1ms
+    EXPECT_EQ(t.calls[cls], 1u);
+    EXPECT_GE(t.totalNanos(), t.nanos[sim]);
+
+    // Both scopes left spans, oldest first.
+    const std::vector<prof::Span> spans = prof::spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].phase, prof::Phase::Simulate);
+    EXPECT_GE(spans[0].durMicros, 1000u);
+    EXPECT_EQ(spans[1].phase, prof::Phase::Classify);
+    EXPECT_GE(spans[1].startMicros, spans[0].startMicros);
+
+    prof::reset();
+    EXPECT_EQ(prof::snapshot().totalNanos(), 0u);
+    EXPECT_TRUE(prof::spans().empty());
+}
+
+TEST(Profiler, KillSwitchStopsAccountingAndSinceDiffs) {
+    namespace prof = obs::profiler;
+    prof::reset();
+    prof::setEnabled(false);
+    { const prof::ScopedPhase timer(prof::Phase::Prune); }
+    EXPECT_EQ(prof::snapshot().totalNanos(), 0u);
+    EXPECT_TRUE(prof::spans().empty());
+    prof::setEnabled(true);
+    EXPECT_TRUE(prof::enabled());
+
+    const prof::Totals before = prof::snapshot();
+    { const prof::ScopedPhase timer(prof::Phase::Prune); }
+    const prof::Totals delta = prof::snapshot().since(before);
+    const auto prune = static_cast<unsigned>(prof::Phase::Prune);
+    EXPECT_EQ(delta.calls[prune], 1u);
+    for (unsigned p = 0; p < prof::kNumPhases; ++p)
+        if (p != prune)
+            EXPECT_EQ(delta.calls[p], 0u);
+    // since() saturates instead of wrapping when the "later" side is
+    // older (e.g. across a reset).
+    prof::reset();
+    const prof::Totals sat = prof::snapshot().since(delta);
+    EXPECT_EQ(sat.calls[prune], 0u);
+}
+
+TEST(Profiler, RegStatsExposesPhaseSubtree) {
+    namespace prof = obs::profiler;
+    prof::reset();
+    {
+        const prof::ScopedPhase timer(prof::Phase::Simulate);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stats::Group root;
+    prof::regStats(root);
+    const stats::Snapshot snap = stats::Snapshot::capture(root);
+    const std::string text = stats::formatText(snap);
+    EXPECT_NE(text.find("profiler.simulate.seconds"),
+              std::string::npos);
+    EXPECT_NE(text.find("profiler.simulate.calls"),
+              std::string::npos);
+    EXPECT_NE(text.find("profiler.golden_build.seconds"),
+              std::string::npos);
+    EXPECT_NE(text.find("profiler.total_seconds"),
+              std::string::npos);
+    prof::reset();
+}
+
+#endif // MARVEL_STATS_DISABLED
+
+TEST(Profiler, PhaseNamesAreStableLowerSnake) {
+    namespace prof = obs::profiler;
+    const char* expected[prof::kNumPhases] = {
+        "golden_build", "rung_capture", "fast_forward", "simulate",
+        "classify",     "prune",        "journal_io",   "socket_wait",
+    };
+    for (unsigned p = 0; p < prof::kNumPhases; ++p)
+        EXPECT_STREQ(prof::phaseName(static_cast<prof::Phase>(p)),
+                     expected[p]);
+}
+
+// --- OpenMetrics exposition ------------------------------------------
+
+namespace {
+
+obs::DispatchTelemetry someDispatch() {
+    obs::DispatchTelemetry d;
+    d.leasesGranted = 9;
+    d.leasesCompleted = 6;
+    d.leasesExpired = 2;
+    d.leasesRequeued = 1;
+    d.verdictsIngested = 54;
+    d.duplicateVerdicts = 3;
+    d.chunksIngested = 14;
+    d.connectionsAccepted = 3;
+    d.watchersServed = 1;
+    obs::DispatchWorkerStats& w1 = d.workerNamed("alpha");
+    w1.leases = 5;
+    w1.verdicts = 30;
+    w1.reportedRuns = 30;
+    w1.reportedBusyMicros = 2'500'000;
+    w1.phaseMicros[static_cast<unsigned>(
+        obs::profiler::Phase::Simulate)] = 2'000'000;
+    w1.lastSeenMillis = 900;
+    w1.currentLease = 7;
+    w1.chunkLatencySumMillis = 300;
+    w1.chunkLatencyMaxMillis = 120;
+    w1.chunkGaps = 3;
+    d.workerNamed("beta").verdicts = 24;
+    return d;
+}
+
+obs::CampaignSnapshot someSnapshot() {
+    obs::CampaignSnapshot c;
+    c.done = 54;
+    c.expected = 96;
+    c.masked = 40;
+    c.sdc = 9;
+    c.crash = 5;
+    c.pruned = 11;
+    c.runsPerSec = 12.5;
+    c.avf = 0.26;
+    c.margin = 0.08;
+    c.etaSeconds = 3.4;
+    c.uptimeSeconds = 1.0;
+    return c;
+}
+
+}  // namespace
+
+TEST(OpenMetrics, RendersParsesBackAndObeysNamingRules) {
+    const std::string text =
+        obs::openMetricsText(someDispatch(), someSnapshot());
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+    std::vector<obs::MetricSample> samples;
+    ASSERT_TRUE(obs::parseOpenMetrics(text, samples));
+    ASSERT_FALSE(samples.empty());
+
+    // Spot checks across all three sections.
+    const obs::MetricSample* s =
+        obs::findSample(samples, "marvel_campaign_runs_total");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 54.0);
+    s = obs::findSample(samples,
+                        "marvel_dispatch_leases_expired_total");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 2.0);
+    s = obs::findSample(samples,
+                        "marvel_dispatch_leases_requeued_total");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 1.0);
+    s = obs::findSample(samples, "marvel_worker_verdicts_total",
+                        "alpha");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 30.0);
+    s = obs::findSample(samples, "marvel_worker_busy_seconds_total",
+                        "alpha");
+    ASSERT_NE(s, nullptr);
+    EXPECT_NEAR(s->value, 2.5, 1e-9);
+    s = obs::findSample(samples, "marvel_worker_current_lease",
+                        "alpha");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 7.0);
+    // uptime 1.0s, last heard at uptime 0.9s -> seen 0.1s ago.
+    s = obs::findSample(samples, "marvel_worker_last_seen_seconds",
+                        "alpha");
+    ASSERT_NE(s, nullptr);
+    EXPECT_NEAR(s->value, 0.1, 1e-6);
+    // The per-phase split carries the phase label.
+    bool sawSimulate = false;
+    for (const obs::MetricSample& m : samples)
+        if (m.name == "marvel_worker_phase_seconds_total" &&
+            m.label("worker") == "alpha" &&
+            m.label("phase") == "simulate") {
+            sawSimulate = true;
+            EXPECT_NEAR(m.value, 2.0, 1e-9);
+        }
+    EXPECT_TRUE(sawSimulate);
+
+    // Naming rules (the contract docs/schemas/metrics.md documents
+    // and scripts/validate_metrics.py enforces in CI): marvel_
+    // prefix, lower_snake names, HELP+TYPE per family, counters end
+    // in _total.
+    for (const obs::MetricSample& m : samples) {
+        EXPECT_EQ(m.name.rfind("marvel_", 0), 0u) << m.name;
+        for (char c : m.name)
+            EXPECT_TRUE((c >= 'a' && c <= 'z') ||
+                        (c >= '0' && c <= '9') || c == '_')
+                << m.name;
+        EXPECT_NE(text.find("# HELP " + m.name + " "),
+                  std::string::npos)
+            << m.name;
+        EXPECT_NE(text.find("# TYPE " + m.name + " "),
+                  std::string::npos)
+            << m.name;
+    }
+    std::size_t pos = 0;
+    while ((pos = text.find("# TYPE ", pos)) != std::string::npos) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::string decl = text.substr(pos + 7, eol - pos - 7);
+        const std::size_t space = decl.find(' ');
+        ASSERT_NE(space, std::string::npos);
+        const std::string name = decl.substr(0, space);
+        const std::string type = decl.substr(space + 1);
+        if (type == "counter")
+            EXPECT_NE(name.rfind("_total"), std::string::npos)
+                << name;
+        pos = eol;
+    }
+}
+
+TEST(OpenMetrics, NonFiniteGaugesRenderAsZero) {
+    obs::CampaignSnapshot c = someSnapshot();
+    c.runsPerSec = std::numeric_limits<double>::infinity();
+    c.etaSeconds = std::nan("");
+    const std::string text =
+        obs::openMetricsText(obs::DispatchTelemetry{}, c);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    std::vector<obs::MetricSample> samples;
+    ASSERT_TRUE(obs::parseOpenMetrics(text, samples));
+    const obs::MetricSample* s =
+        obs::findSample(samples, "marvel_campaign_runs_per_second");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 0.0);
+}
+
+TEST(OpenMetrics, LabelValuesEscapeAndRoundTrip) {
+    obs::DispatchTelemetry d;
+    d.workerNamed("we\"ird\\host").verdicts = 5;
+    const std::string text =
+        obs::openMetricsText(d, obs::CampaignSnapshot{});
+    std::vector<obs::MetricSample> samples;
+    ASSERT_TRUE(obs::parseOpenMetrics(text, samples));
+    const obs::MetricSample* s = obs::findSample(
+        samples, "marvel_worker_verdicts_total", "we\"ird\\host");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->value, 5.0);
+}
+
+TEST(OpenMetrics, ParserRejectsMalformedLines) {
+    std::vector<obs::MetricSample> samples;
+    EXPECT_FALSE(obs::parseOpenMetrics("marvel_x", samples));
+    EXPECT_FALSE(obs::parseOpenMetrics("marvel_x{oops 1\n", samples));
+    EXPECT_FALSE(obs::parseOpenMetrics("marvel_x notanumber\n",
+                                       samples));
+    EXPECT_FALSE(obs::parseOpenMetrics(
+        "marvel_ok 1\ngarbage line\n", samples));
+    // Comments and blank lines are fine.
+    EXPECT_TRUE(obs::parseOpenMetrics("# HELP x y\n\n# EOF\n",
+                                      samples));
+    EXPECT_TRUE(samples.empty());
+}
+
+// --- Chrome-trace profiler span overlay ------------------------------
+
+TEST(ChromeTrace, ProfilerSpansOverlayAsSecondProcess) {
+    obs::TraceSession session(16);
+    std::vector<obs::profiler::Span> spans;
+    spans.push_back({obs::profiler::Phase::Simulate, 0, 100, 50});
+    spans.push_back({obs::profiler::Phase::JournalIo, 1, 200, 10});
+    const std::string json = obs::chromeTraceJson(session, spans);
+    JsonParser parser(json);
+    EXPECT_TRUE(parser.document());
+    // Component lanes stay pid 0; profiler lanes are pid 1 with one
+    // named thread per profiled thread ordinal.
+    EXPECT_NE(json.find("\"name\":\"profiler #0\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"profiler #1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"profiler\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"simulate\",\"cat\":\"profiler\","
+                        "\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+                        "\"ts\":100,\"dur\":50"),
+              std::string::npos);
+    // The span-free overload emits the plain document.
+    EXPECT_EQ(obs::chromeTraceJson(session, {}),
+              obs::chromeTraceJson(session));
 }

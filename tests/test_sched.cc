@@ -16,8 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -633,4 +635,118 @@ TEST(ReplayEdge, ResumeRefusesMismatchedLadderGeometry) {
     EXPECT_THROW(sched::runCampaign(golden, {fi::TargetId::PrfInt},
                                     wrongPrune),
                  FatalError);
+}
+
+// --- heartbeat non-finite guards / run provenance --------------------
+
+TEST(Heartbeat, EmissionGuardsNonFiniteNumbers) {
+    // strtod happily parses "inf" back, so the guard must live at
+    // emission: a beat poisoned with non-finite rates (zero-elapsed
+    // shard, hand-edited file) must still serialize finite JSON.
+    sched::Heartbeat beat;
+    beat.done = 5;
+    beat.expected = 5;
+    beat.runsPerSec = std::numeric_limits<double>::infinity();
+    beat.avf = std::nan("");
+    beat.etaSeconds = -std::numeric_limits<double>::infinity();
+    beat.margin = std::numeric_limits<double>::infinity();
+    const std::string json = sched::heartbeatJson(beat);
+    EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+    sched::Heartbeat read;
+    ASSERT_TRUE(sched::parseHeartbeatJson(json, read));
+    EXPECT_TRUE(std::isfinite(read.runsPerSec));
+    EXPECT_TRUE(std::isfinite(read.avf));
+    EXPECT_TRUE(std::isfinite(read.etaSeconds));
+    EXPECT_TRUE(std::isfinite(read.margin));
+
+    // The file path goes through the same serializer.
+    const std::string path = tmpPath("sched_inf.progress");
+    sched::writeHeartbeat(path, beat);
+    const std::string raw = slurp(path);
+    EXPECT_EQ(raw.find("inf"), std::string::npos) << raw;
+    EXPECT_EQ(raw.find("nan"), std::string::npos) << raw;
+}
+
+TEST(Heartbeat, InstantlyCompleteShardWritesFiniteProgress) {
+    // A one-fault shard can finish inside one clock tick; the final
+    // heartbeat's rate/ETA math must not leak inf/nan into the
+    // .progress JSON.
+    const fi::GoldenRun& golden = sharedGolden();
+    const std::string path = tmpPath("sched_instant.jsonl");
+    std::remove((path + ".progress").c_str());
+    fi::CampaignOptions opts = baseOptions();
+    opts.numFaults = 1;
+    opts.threads = 1;
+    opts.journalPath = path;
+    sched::runCampaign(golden, {fi::TargetId::PrfInt}, opts);
+
+    const std::string raw = slurp(sched::heartbeatPath(path));
+    ASSERT_FALSE(raw.empty());
+    EXPECT_EQ(raw.find("inf"), std::string::npos) << raw;
+    EXPECT_EQ(raw.find("nan"), std::string::npos) << raw;
+    sched::Heartbeat beat;
+    ASSERT_TRUE(sched::readHeartbeat(sched::heartbeatPath(path),
+                                     beat));
+    EXPECT_TRUE(beat.complete);
+    EXPECT_EQ(beat.done, 1u);
+    EXPECT_TRUE(std::isfinite(beat.runsPerSec));
+    EXPECT_DOUBLE_EQ(beat.etaSeconds, 0.0);
+}
+
+TEST(Heartbeat, AggregateTreatsNonFiniteRatesAsZero) {
+    sched::Heartbeat sane;
+    sane.done = 10;
+    sane.expected = 20;
+    sane.sdc = 2;
+    sane.runsPerSec = 5.0;
+    sched::Heartbeat poisoned;
+    poisoned.done = 10;
+    poisoned.expected = 20;
+    poisoned.runsPerSec = std::numeric_limits<double>::infinity();
+    poisoned.avf = std::nan("");
+
+    const sched::Heartbeat agg =
+        sched::aggregateHeartbeats({sane, poisoned});
+    EXPECT_EQ(agg.done, 20u);
+    EXPECT_EQ(agg.expected, 40u);
+    EXPECT_NEAR(agg.runsPerSec, 5.0, 1e-9);
+    EXPECT_TRUE(std::isfinite(agg.etaSeconds));
+    EXPECT_NEAR(agg.etaSeconds, 20.0 / 5.0, 1e-9);
+    EXPECT_TRUE(std::isfinite(agg.avf)); // recomputed from counts
+    EXPECT_NEAR(agg.avf, 2.0 / 20.0, 1e-9);
+}
+
+TEST(Sched, RunProvenanceMapsRungWallAndPruned) {
+    // runProvenance only reads the golden's ladder geometry, so a
+    // synthetic ladder is enough to pin the slot scheme: slot 0 is
+    // the window start, slot 1 + i is rung i.
+    fi::GoldenRun golden;
+    golden.ladder.resize(2);
+    golden.ladder[0].cycle = 100;
+    golden.ladder[1].cycle = 200;
+
+    fi::RunVerdict v;
+    v.outcome = fi::Outcome::Masked;
+    v.cyclesRun = 500;
+    v.fastForwarded = 200; // restored rung 1
+    store::VerdictProvenance prov =
+        sched::runProvenance(golden, v, 1234);
+    EXPECT_TRUE(prov.present);
+    EXPECT_EQ(prov.wallMicros, 1234u);
+    EXPECT_EQ(prov.rung, 2u);
+    EXPECT_EQ(prov.fastForwarded, 200u);
+    EXPECT_EQ(prov.pruned, 0u);
+
+    v.fastForwarded = 0; // full window replay
+    prov = sched::runProvenance(golden, v, 9);
+    EXPECT_EQ(prov.rung, 0u);
+
+    fi::RunVerdict pruned;
+    pruned.outcome = fi::Outcome::Masked;
+    pruned.detail = fi::OutcomeDetail::MaskedPruned;
+    pruned.cyclesRun = 0;
+    prov = sched::runProvenance(golden, pruned, 3);
+    EXPECT_EQ(prov.pruned, 1u);
+    EXPECT_EQ(prov.rung, 0u);
 }

@@ -300,3 +300,150 @@ TEST(Journal, EscapedStringsRoundTrip) {
     const store::Journal journal = store::readJournal(path);
     EXPECT_EQ(journal.meta.workload, meta.workload);
 }
+
+// --- per-injection provenance ----------------------------------------
+
+TEST(Journal, VerdictProvenanceRoundTrips) {
+    store::VerdictProvenance prov;
+    prov.present = true;
+    prov.wallMicros = 12345;
+    prov.rung = 3;
+    prov.fastForwarded = 70'000;
+    prov.pruned = 0;
+    const fi::RunVerdict v = someVerdict(4);
+
+    const std::string line = store::formatVerdictLine(9, v, prov);
+    EXPECT_NE(line.find("\"wall_us\":12345"), std::string::npos);
+    store::JournalVerdict jv;
+    ASSERT_TRUE(store::parseVerdictLine(line, jv));
+    EXPECT_EQ(jv.idx, 9u);
+    EXPECT_EQ(jv.prov, prov);
+    EXPECT_EQ(jv.verdict.outcome, v.outcome);
+    EXPECT_EQ(jv.verdict.cyclesRun, v.cyclesRun);
+
+    // Absent provenance renders byte-identically to the plain
+    // overload, and the plain line reads back as present == false —
+    // that equivalence is what lets canonical journals stay stable.
+    EXPECT_EQ(store::formatVerdictLine(9, v, store::VerdictProvenance{}),
+              store::formatVerdictLine(9, v));
+    store::JournalVerdict plain;
+    ASSERT_TRUE(store::parseVerdictLine(store::formatVerdictLine(9, v),
+                                        plain));
+    EXPECT_FALSE(plain.prov.present);
+    EXPECT_EQ(plain.prov, store::VerdictProvenance{});
+}
+
+TEST(Journal, MixedOldAndNewVerdictRecordsRead) {
+    // A journal written partly by a pre-provenance build (plain
+    // verdict lines) and partly by this one must read back whole:
+    // unknown keys are tolerated, missing keys default to absent.
+    const std::string path = tmpPath("journal_mixed.jsonl");
+    store::JournalMeta meta = someMeta();
+    meta.numFaults = 4;
+    store::VerdictProvenance prov;
+    prov.present = true;
+    prov.wallMicros = 777;
+    prov.rung = 1;
+    prov.fastForwarded = 42;
+    std::string content = store::formatMetaLine(meta) + "\n";
+    content += store::formatVerdictLine(0, someVerdict(0)) + "\n";
+    content += store::formatVerdictLine(1, someVerdict(1), prov) + "\n";
+    content += store::formatVerdictLine(2, someVerdict(2)) + "\n";
+    spit(path, content);
+
+    const store::Journal journal = store::readJournal(path);
+    ASSERT_EQ(journal.verdicts.size(), 3u);
+    EXPECT_FALSE(journal.verdicts[0].prov.present);
+    EXPECT_TRUE(journal.verdicts[1].prov.present);
+    EXPECT_EQ(journal.verdicts[1].prov.wallMicros, 777u);
+    EXPECT_EQ(journal.verdicts[1].prov.rung, 1u);
+    EXPECT_EQ(journal.verdicts[1].prov.fastForwarded, 42u);
+    EXPECT_FALSE(journal.verdicts[2].prov.present);
+}
+
+TEST(Journal, CanonicalFormStripsProvenance) {
+    store::JournalMeta meta = someMeta();
+    meta.numFaults = 3;
+    store::VerdictProvenance prov;
+    prov.present = true;
+    prov.wallMicros = 999;
+    prov.rung = 2;
+    std::vector<store::JournalVerdict> withProv, without;
+    for (u64 i = 0; i < 3; ++i) {
+        withProv.push_back({i, someVerdict(static_cast<unsigned>(i)),
+                            prov});
+        without.push_back({i, someVerdict(static_cast<unsigned>(i)),
+                           store::VerdictProvenance{}});
+    }
+    const std::string provPath = tmpPath("canon_prov.jsonl");
+    const std::string plainPath = tmpPath("canon_plain.jsonl");
+    store::writeCanonicalJournal(provPath, meta, withProv);
+    store::writeCanonicalJournal(plainPath, meta, without);
+    const std::string provBytes = slurp(provPath);
+    EXPECT_EQ(provBytes.find("wall_us"), std::string::npos);
+    // Provenance never reaches the canonical form, so runs that
+    // differ only in wall time / restore rungs canonicalize to the
+    // same bytes (the distributed-vs-single-process cmp relies on it).
+    EXPECT_EQ(provBytes, slurp(plainPath));
+}
+
+TEST(Journal, MetricsPhaseMicrosRoundTrip) {
+    const std::string path = tmpPath("journal_phase_us.jsonl");
+    store::JournalMeta meta = someMeta();
+    meta.numFaults = 1;
+    store::JournalWriter writer;
+    writer.create(path, meta, 4);
+    writer.append(0, someVerdict(0));
+    store::JournalMetrics metrics;
+    metrics.runs = 1;
+    metrics.masked = 1;
+    metrics.wallMillis = 250;
+    metrics.workers = 1;
+    metrics.phaseMicros[3] = 5'000; // simulate
+    metrics.phaseMicros[6] = 120;   // journal_io
+    writer.appendMetrics(metrics);
+    writer.close();
+
+    const store::Journal journal = store::readJournal(path);
+    ASSERT_TRUE(journal.hasMetrics);
+    EXPECT_EQ(journal.metrics, metrics);
+
+    // A metrics record without the ph_* keys (pre-profiler writer)
+    // reads back all-zeros rather than failing.
+    const std::string noPhase = tmpPath("journal_nophase.jsonl");
+    spit(noPhase,
+         store::formatMetaLine(meta) + "\n" +
+             store::formatVerdictLine(0, someVerdict(0)) + "\n" +
+             "{\"type\":\"metrics\",\"runs\":1,\"masked\":1,"
+             "\"sdc\":0,\"crash\":0,\"earlyTerminated\":0,"
+             "\"cyclesSimulated\":0,\"cyclesSaved\":0,"
+             "\"wallMillis\":250,\"idleMillis\":0,\"workers\":1}\n");
+    const store::Journal old = store::readJournal(noPhase);
+    ASSERT_TRUE(old.hasMetrics);
+    for (unsigned p = 0; p < 8; ++p)
+        EXPECT_EQ(old.metrics.phaseMicros[p], 0u);
+}
+
+TEST(Journal, NewerFormatVersionFatalNamesFileAndVersions) {
+    const std::string path = tmpPath("journal_future.jsonl");
+    std::string metaLine = store::formatMetaLine(someMeta());
+    const std::string needle =
+        strfmt("\"version\":%u", store::kJournalFormatVersion);
+    const std::size_t at = metaLine.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    metaLine.replace(at, needle.size(), "\"version\":99");
+    spit(path, metaLine + "\n");
+    try {
+        store::readJournal(path);
+        FAIL() << "future-version journal must not read";
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(path), std::string::npos) << what;
+        EXPECT_NE(what.find("99"), std::string::npos) << what;
+        EXPECT_NE(what.find("newer"), std::string::npos) << what;
+        EXPECT_NE(what.find(strfmt("%u",
+                                   store::kJournalFormatVersion)),
+                  std::string::npos)
+            << what;
+    }
+}

@@ -41,6 +41,13 @@
  *           --out, also writes the canonical single-file journal —
  *           the byte-identical normal form any equivalent campaign
  *           (single-process, sharded, or distributed) reduces to.
+ *   report  roll a finished journal's observability records into a
+ *           wall-clock breakdown: the profiler phase table (from the
+ *           journal's metrics record) and per-verdict-class wall-time
+ *           percentiles (p50/p95/max, from the per-injection
+ *           provenance fields). Accepts several --journal flags and
+ *           pools them. Ends with machine-greppable
+ *           `phase-total-seconds` / `campaign-wall-seconds` lines.
  *
  * Options (run/resume):
  *   --preset NAME      riscv | arm | x86 | *-soc     (default riscv)
@@ -57,13 +64,16 @@
  *   --hvf / --no-early-term     as marvel-cli
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include <unistd.h>
@@ -75,6 +85,8 @@
 #include "net/frame.hh"
 #include "net/socket.hh"
 #include "obs/metrics.hh"
+#include "obs/openmetrics.hh"
+#include "obs/profiler.hh"
 #include "sched/heartbeat.hh"
 #include "sched/scheduler.hh"
 #include "soc/builder.hh"
@@ -116,7 +128,7 @@ struct Options
 
 const cli::Tool kTool = {
     "marvel-campaign",
-    "usage: marvel-campaign {run|resume|status|merge} "
+    "usage: marvel-campaign {run|resume|status|merge|report} "
     "--journal FILE [--journal FILE ...]\n"
     "  run/resume: [--preset P] [--config F] [--workload W] "
     "[--driver D]\n"
@@ -127,6 +139,8 @@ const cli::Tool kTool = {
     "              [--ladder N|auto|off] [--no-ladder] [--prune]\n"
     "  status:     [--follow] | [--connect unix:/path|host:port]\n"
     "  merge:      [--out FILE]   write the canonical journal\n"
+    "  report:     phase/verdict wall-clock breakdown of finished\n"
+    "              journals (profiler metrics + provenance fields)\n"
     "  any command: --help | --version\n"
     "  --ladder sets the golden checkpoint-ladder rung count\n"
     "  (campaign identity; also read from [campaign] "
@@ -513,9 +527,50 @@ cmdStatusFollow(const Options &opts)
 }
 
 /**
+ * One indented row per worker from a Metrics scrape, so `status
+ * --connect` shows WHO is doing the work, not just the aggregate
+ * heartbeat line. Quietly does nothing on a scrape that fails to
+ * parse — the feed's heartbeat lines are the load-bearing output.
+ */
+void
+printWorkerRows(const std::string &scrape)
+{
+    std::vector<obs::MetricSample> samples;
+    if (!obs::parseOpenMetrics(scrape, samples))
+        return;
+    std::vector<std::string> workers;
+    for (const obs::MetricSample &s : samples)
+        if (s.name == "marvel_worker_verdicts_total")
+            workers.push_back(s.label("worker"));
+    std::sort(workers.begin(), workers.end());
+    for (const std::string &w : workers) {
+        auto val = [&](const char *name) -> double {
+            const obs::MetricSample *s =
+                obs::findSample(samples, name, w);
+            return s ? s->value : 0.0;
+        };
+        const double busy = val("marvel_worker_busy_seconds_total");
+        const double verdicts = val("marvel_worker_verdicts_total");
+        const u64 lease =
+            static_cast<u64>(val("marvel_worker_current_lease"));
+        const std::string leaseNote =
+            lease ? strfmt("lease %llu",
+                           static_cast<unsigned long long>(lease))
+                  : std::string("idle");
+        std::printf("  %-12s %6.0f verdicts  %5.1f/s  busy %.1fs  "
+                    "%s  seen %.1fs ago\n",
+                    w.c_str(), verdicts,
+                    busy > 0 ? verdicts / busy : 0.0, busy,
+                    leaseNote.c_str(),
+                    val("marvel_worker_last_seen_seconds"));
+    }
+}
+
+/**
  * Watcher mode: subscribe to a marvel-campaignd status feed. The
- * daemon pushes its heartbeat JSON on every beat; print each one and
- * exit cleanly once the campaign completes (or the daemon goes away).
+ * daemon pushes its heartbeat JSON on every beat; print each one
+ * (with per-worker rows scraped from the Metrics endpoint) and exit
+ * cleanly once the campaign completes (or the daemon goes away).
  */
 int
 cmdStatusConnect(const Options &opts)
@@ -526,9 +581,12 @@ cmdStatusConnect(const Options &opts)
         fatal("marvel-campaign: cannot connect to %s: %s",
               endpoint.str().c_str(), std::strerror(errno));
 
-    std::string out;
-    net::encodeFrame({net::MsgType::StatusSubscribe, ""}, out);
-    if (!net::sendAll(fd, out)) {
+    auto send = [&](net::MsgType type) {
+        std::string out;
+        net::encodeFrame({type, ""}, out);
+        return net::sendAll(fd, out);
+    };
+    if (!send(net::MsgType::StatusSubscribe)) {
         ::close(fd);
         fatal("marvel-campaign: %s closed the connection",
               endpoint.str().c_str());
@@ -539,6 +597,11 @@ cmdStatusConnect(const Options &opts)
     for (;;) {
         net::Frame frame;
         while (reader.next(frame)) {
+            if (frame.type == net::MsgType::Metrics) {
+                printWorkerRows(frame.payload);
+                std::fflush(stdout);
+                continue;
+            }
             if (frame.type != net::MsgType::StatusUpdate)
                 continue;
             sched::Heartbeat beat;
@@ -551,6 +614,9 @@ cmdStatusConnect(const Options &opts)
                 ::close(fd);
                 return 0;
             }
+            // Chase each beat with a fleet scrape; the reply frame
+            // arrives interleaved with the status feed.
+            send(net::MsgType::Metrics);
         }
         if (reader.poisoned()) {
             ::close(fd);
@@ -647,6 +713,132 @@ cmdMerge(const Options &opts)
     return 0;
 }
 
+/** wall_us percentile over a sorted sample set (nearest-rank). */
+u64
+percentile(const std::vector<u64> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int
+cmdReport(const Options &opts)
+{
+    if (opts.journals.empty())
+        fatal("marvel-campaign: report needs --journal");
+
+    std::array<u64, obs::profiler::kNumPhases> phaseMicros{};
+    u64 wallMillis = 0;
+    bool haveMetrics = false;
+    // Verdict classes keyed by outcome, pruned split out: a pruned
+    // fault's wall time measures the profile lookup, not simulation.
+    struct ClassRow
+    {
+        u64 count = 0;
+        u64 withProv = 0;
+        std::vector<u64> wallUs;
+    };
+    std::map<std::string, ClassRow> classes;
+
+    for (const std::string &path : opts.journals) {
+        const store::Journal journal = store::readJournal(path);
+        if (!journal.hasMeta)
+            fatal("marvel-campaign: '%s' has no journal meta record",
+                  path.c_str());
+        if (journal.hasMetrics) {
+            haveMetrics = true;
+            for (std::size_t p = 0; p < phaseMicros.size(); ++p)
+                phaseMicros[p] += journal.metrics.phaseMicros[p];
+            // Shard journals ran concurrently, but their metrics
+            // records measure disjoint processes; summing gives the
+            // total compute wall-clock the campaign consumed.
+            wallMillis += journal.metrics.wallMillis;
+        }
+        std::unordered_set<u64> seen;
+        for (const store::JournalVerdict &jv : journal.verdicts) {
+            if (!seen.insert(jv.idx).second)
+                continue; // first record per index wins, as always
+            const bool pruned =
+                jv.verdict.detail ==
+                    fi::OutcomeDetail::MaskedPruned &&
+                jv.verdict.cyclesRun == 0;
+            ClassRow &row =
+                classes[pruned ? "pruned"
+                               : fi::outcomeName(jv.verdict.outcome)];
+            ++row.count;
+            if (jv.prov.present) {
+                ++row.withProv;
+                row.wallUs.push_back(jv.prov.wallMicros);
+            }
+        }
+    }
+
+    if (haveMetrics) {
+        TextTable table("wall-clock phase breakdown");
+        table.header({"phase", "seconds", "share"});
+        u64 totalMicros = 0;
+        for (const u64 us : phaseMicros)
+            totalMicros += us;
+        for (std::size_t p = 0; p < phaseMicros.size(); ++p) {
+            if (!phaseMicros[p])
+                continue;
+            table.row(
+                {obs::profiler::phaseName(
+                     static_cast<obs::profiler::Phase>(p)),
+                 strfmt("%.3f",
+                        static_cast<double>(phaseMicros[p]) / 1e6),
+                 strfmt("%5.1f%%",
+                        totalMicros
+                            ? 100.0 *
+                                  static_cast<double>(phaseMicros[p]) /
+                                  static_cast<double>(totalMicros)
+                            : 0.0)});
+        }
+        table.print();
+    } else {
+        std::printf("no metrics record found (campaign still "
+                    "running, or written by an older build) — "
+                    "phase table unavailable\n");
+    }
+
+    TextTable verdicts("per-verdict wall time");
+    verdicts.header({"class", "count", "p50 ms", "p95 ms", "max ms"});
+    for (auto &[name, row] : classes) {
+        std::sort(row.wallUs.begin(), row.wallUs.end());
+        auto ms = [](u64 us) {
+            return strfmt("%.2f", static_cast<double>(us) / 1000.0);
+        };
+        verdicts.row(
+            {name, strfmt("%llu", (unsigned long long)row.count),
+             row.wallUs.empty() ? "-"
+                                : ms(percentile(row.wallUs, 0.50)),
+             row.wallUs.empty() ? "-"
+                                : ms(percentile(row.wallUs, 0.95)),
+             row.wallUs.empty() ? "-" : ms(row.wallUs.back())});
+        if (row.withProv < row.count)
+            std::printf("note: %llu %s verdict(s) carry no "
+                        "provenance (journaled by an older build)\n",
+                        static_cast<unsigned long long>(
+                            row.count - row.withProv),
+                        name.c_str());
+    }
+    verdicts.print();
+
+    // Machine-greppable summary, consumed by the observability smoke
+    // test's "phases sum to ~campaign wall-clock" check.
+    u64 totalMicros = 0;
+    for (const u64 us : phaseMicros)
+        totalMicros += us;
+    std::printf("phase-total-seconds %.3f\n",
+                static_cast<double>(totalMicros) / 1e6);
+    std::printf("campaign-wall-seconds %.3f\n",
+                static_cast<double>(wallMillis) / 1000.0);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -662,6 +854,8 @@ main(int argc, char **argv)
             return cmdStatus(opts);
         if (opts.command == "merge")
             return cmdMerge(opts);
+        if (opts.command == "report")
+            return cmdReport(opts);
         usageError("unknown subcommand", opts.command);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -40,6 +40,7 @@
 #include "common/table.hh"
 #include "fi/campaign.hh"
 #include "fi/metrics.hh"
+#include "obs/profiler.hh"
 #include "soc/builder.hh"
 #include "stats/stats.hh"
 #include "workloads/workloads.hh"
@@ -277,7 +278,12 @@ cmdStats(const Options &opts)
               soc::runExitName(exit), sys.crashReason().c_str());
     }
 
-    const stats::Snapshot snap = sys.statsSnapshot();
+    // One tree carries both clocks: the SoC's simulated counters and
+    // the profiler's wall-clock phase split for this process.
+    stats::Group root;
+    sys.regStats(root);
+    obs::profiler::regStats(root);
+    const stats::Snapshot snap = stats::Snapshot::capture(root);
     std::fputs(stats::formatText(snap).c_str(), stdout);
     if (!opts.jsonPath.empty()) {
         const std::string json = stats::formatJson(snap);

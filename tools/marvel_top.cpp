@@ -1,0 +1,294 @@
+/**
+ * @file
+ * marvel-top — live fleet view of a marvel-campaignd campaign.
+ *
+ * Where `marvel-campaign status --connect` is a scrolling feed,
+ * marvel-top is the glanceable dashboard: it subscribes to the
+ * daemon's status feed (the same StatusSubscribe plumbing), chases
+ * every beat with a Metrics scrape, and redraws one screen —
+ * campaign progress + ETA on top, one row per worker underneath
+ * (verdict throughput, wall-clock phase split, held lease, last-seen
+ * age). It exits 0 once the campaign completes, 3 if the daemon goes
+ * away first (matching the other tools' "interrupted" convention).
+ *
+ * Usage:
+ *   marvel-top --connect unix:/path|host:port [--once]
+ *   marvel-top --help | --version
+ *
+ * --once renders a single frame (first scrape) without touching the
+ * terminal modes — the form CI and scripts consume.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/cli.hh"
+#include "common/log.hh"
+#include "net/frame.hh"
+#include "net/socket.hh"
+#include "obs/openmetrics.hh"
+
+using namespace marvel;
+
+namespace
+{
+
+struct Options
+{
+    std::string connect;
+    bool once = false;
+    bool raw = false;
+};
+
+const cli::Tool kTool = {
+    "marvel-top",
+    "usage: marvel-top --connect unix:/path|host:port "
+    "[--once] [--raw]\n"
+    "       marvel-top --help | --version\n"
+    "  --once  print one snapshot and exit (no screen redraw)\n"
+    "  --raw   with --once: print the OpenMetrics scrape verbatim\n"
+    "          (the form scripts/validate_metrics.py consumes)\n",
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (cli::handleStandardFlag(kTool, arg))
+            continue;
+        if (arg == "--connect") {
+            if (i + 1 >= argc)
+                cli::usageError(kTool, "flag needs a value:", arg);
+            opts.connect = argv[++i];
+        } else if (arg == "--once")
+            opts.once = true;
+        else if (arg == "--raw")
+            opts.raw = true;
+        else
+            cli::usageError(kTool, "unknown flag", arg);
+    }
+    if (opts.connect.empty())
+        cli::usageError(kTool, "missing --connect", "");
+    if (opts.raw && !opts.once)
+        cli::usageError(kTool, "--raw needs --once", "");
+    return opts;
+}
+
+double
+sampleValue(const std::vector<obs::MetricSample> &samples,
+            const char *name, const std::string &worker)
+{
+    const obs::MetricSample *s =
+        obs::findSample(samples, name, worker);
+    return s ? s->value : 0.0;
+}
+
+/**
+ * Compact phase split for one worker: the top phases of its own
+ * wall-clock, e.g. "sim 84% sock 11% ff 4%". Workers mostly simulate;
+ * a worker that is mostly `sock` is starved for leases.
+ */
+std::string
+phaseSplit(const std::vector<obs::MetricSample> &samples,
+           const std::string &worker)
+{
+    struct Share
+    {
+        std::string phase;
+        double seconds = 0;
+    };
+    std::vector<Share> shares;
+    double total = 0;
+    for (const obs::MetricSample &s : samples) {
+        if (s.name != "marvel_worker_phase_seconds_total" ||
+            s.label("worker") != worker || s.value <= 0)
+            continue;
+        shares.push_back({s.label("phase"), s.value});
+        total += s.value;
+    }
+    if (total <= 0)
+        return "-";
+    std::sort(shares.begin(), shares.end(),
+              [](const Share &a, const Share &b) {
+                  return a.seconds > b.seconds;
+              });
+    // Short aliases keep the row narrow.
+    auto alias = [](const std::string &phase) -> std::string {
+        if (phase == "simulate")
+            return "sim";
+        if (phase == "socket_wait")
+            return "sock";
+        if (phase == "fast_forward")
+            return "ff";
+        if (phase == "classify")
+            return "cls";
+        if (phase == "journal_io")
+            return "jrnl";
+        if (phase == "golden_build")
+            return "gold";
+        if (phase == "rung_capture")
+            return "rung";
+        return phase;
+    };
+    std::string out;
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, shares.size());
+         ++i) {
+        if (!out.empty())
+            out += ' ';
+        out += strfmt("%s %.0f%%", alias(shares[i].phase).c_str(),
+                      100.0 * shares[i].seconds / total);
+    }
+    return out;
+}
+
+/** Render one full frame from a scrape; true when campaign done. */
+bool
+renderFrame(const std::string &scrape, bool redraw)
+{
+    std::vector<obs::MetricSample> samples;
+    if (!obs::parseOpenMetrics(scrape, samples))
+        return false;
+    auto campaign = [&](const char *name) {
+        return sampleValue(samples, name, std::string());
+    };
+
+    if (redraw)
+        std::fputs("\033[H\033[J", stdout); // home + clear below
+
+    const double done = campaign("marvel_campaign_runs_total");
+    const double expected = campaign("marvel_campaign_expected_runs");
+    const double eta = campaign("marvel_campaign_eta_seconds");
+    const bool complete = campaign("marvel_campaign_complete") != 0;
+    std::printf(
+        "campaign  %.0f/%.0f (%.1f%%)  %.1f runs/s  AVF %.2f%%  %s\n",
+        done, expected,
+        expected > 0 ? 100.0 * done / expected : 0.0,
+        campaign("marvel_campaign_runs_per_second"),
+        100.0 * campaign("marvel_campaign_avf"),
+        complete  ? "done"
+        : eta > 0 ? strfmt("eta %.0fs", eta).c_str()
+                  : "eta ?");
+    std::printf(
+        "dispatch  leases %.0f granted / %.0f done / %.0f expired / "
+        "%.0f re-queued   uptime %.0fs\n\n",
+        campaign("marvel_dispatch_leases_granted_total"),
+        campaign("marvel_dispatch_leases_completed_total"),
+        campaign("marvel_dispatch_leases_expired_total"),
+        campaign("marvel_dispatch_leases_requeued_total"),
+        campaign("marvel_campaign_uptime_seconds"));
+
+    std::vector<std::string> workers;
+    for (const obs::MetricSample &s : samples)
+        if (s.name == "marvel_worker_verdicts_total")
+            workers.push_back(s.label("worker"));
+    std::sort(workers.begin(), workers.end());
+    std::printf("%-14s %9s %7s %-24s %-10s %s\n", "worker",
+                "verdicts", "rate", "phase split", "lease",
+                "last seen");
+    for (const std::string &w : workers) {
+        const double verdicts =
+            sampleValue(samples, "marvel_worker_verdicts_total", w);
+        const double busy = sampleValue(
+            samples, "marvel_worker_busy_seconds_total", w);
+        const u64 lease = static_cast<u64>(
+            sampleValue(samples, "marvel_worker_current_lease", w));
+        std::printf(
+            "%-14s %9.0f %6.1f/s %-24s %-10s %.1fs ago\n", w.c_str(),
+            verdicts, busy > 0 ? verdicts / busy : 0.0,
+            phaseSplit(samples, w).c_str(),
+            lease ? strfmt("#%llu",
+                           static_cast<unsigned long long>(lease))
+                        .c_str()
+                  : "idle",
+            sampleValue(samples, "marvel_worker_last_seen_seconds",
+                        w));
+    }
+    if (workers.empty())
+        std::printf("(no workers have connected yet)\n");
+    std::fflush(stdout);
+    return complete;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Options opts = parseArgs(argc, argv);
+        const net::Endpoint endpoint =
+            net::parseEndpoint(opts.connect);
+        const int fd = net::connectTo(endpoint);
+        if (fd < 0)
+            fatal("marvel-top: cannot connect to %s: %s",
+                  endpoint.str().c_str(), std::strerror(errno));
+
+        auto send = [&](net::MsgType type) {
+            std::string out;
+            net::encodeFrame({type, ""}, out);
+            return net::sendAll(fd, out);
+        };
+        // The status feed is the clock: every StatusUpdate triggers
+        // one Metrics scrape, so the redraw cadence follows the
+        // daemon's heartbeat without a second timer.
+        if (!send(net::MsgType::StatusSubscribe) ||
+            !send(net::MsgType::Metrics)) {
+            ::close(fd);
+            fatal("marvel-top: %s closed the connection",
+                  endpoint.str().c_str());
+        }
+
+        net::FrameReader reader;
+        std::string buf;
+        bool firstFrame = true;
+        for (;;) {
+            net::Frame frame;
+            while (reader.next(frame)) {
+                if (frame.type == net::MsgType::StatusUpdate) {
+                    send(net::MsgType::Metrics);
+                    continue;
+                }
+                if (frame.type != net::MsgType::Metrics)
+                    continue;
+                if (opts.raw) {
+                    std::fwrite(frame.payload.data(), 1,
+                                frame.payload.size(), stdout);
+                    ::close(fd);
+                    return 0;
+                }
+                const bool complete = renderFrame(
+                    frame.payload, !opts.once && !firstFrame);
+                firstFrame = false;
+                if (opts.once || complete) {
+                    ::close(fd);
+                    return 0;
+                }
+            }
+            if (reader.poisoned()) {
+                ::close(fd);
+                fatal("marvel-top: malformed frame from %s",
+                      endpoint.str().c_str());
+            }
+            buf.clear();
+            const long n = net::recvSome(fd, buf);
+            if (n <= 0) {
+                ::close(fd);
+                std::printf("%s: daemon disconnected\n",
+                            endpoint.str().c_str());
+                return 3;
+            }
+            reader.feed(buf.data(), buf.size());
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

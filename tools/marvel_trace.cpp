@@ -266,7 +266,10 @@ cmdReplay(const Options &opts)
                         session.ring(comp).size());
     }
     if (!opts.tracePath.empty()) {
-        obs::writeChromeTrace(opts.tracePath, session);
+        // Overlay the replay's wall-clock phase spans (pid 1) next to
+        // the simulated-cycle component lanes (pid 0).
+        obs::writeChromeTrace(opts.tracePath, session,
+                              obs::profiler::spans());
         std::printf("chrome trace written to %s "
                     "(chrome://tracing, Perfetto)\n",
                     opts.tracePath.c_str());
