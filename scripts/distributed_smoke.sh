@@ -21,6 +21,16 @@
 #   SMOKE_TARGET    injection target         (default prf-int)
 #   SMOKE_FAULTS    sample size              (default 96)
 #   SMOKE_SEED      campaign seed            (default 424242)
+#   SMOKE_LADDER    checkpoint-ladder rungs, shared by BOTH runs —
+#                   ladder geometry is campaign identity (default: none)
+#   SMOKE_EARLY_STOP  convergence early-stop mode for the DISTRIBUTED
+#                   run only; the single-process reference always
+#                   simulates every window in full, so setting `on`
+#                   here proves canonicalization erases the stop
+#                   short-circuit (workers inherit the mode from the
+#                   daemon's journal meta). When `on`, the distributed
+#                   journal must also show at least one stopped run —
+#                   a smoke that never stops proves nothing.
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -39,6 +49,13 @@ if [ -n "${SMOKE_CONFIG:-}" ]; then
 fi
 CAMPAIGN=("${WORKLOAD[@]}" --target "${SMOKE_TARGET:-prf-int}"
           --faults "${SMOKE_FAULTS:-96}" --seed "${SMOKE_SEED:-424242}")
+if [ -n "${SMOKE_LADDER:-}" ]; then
+    CAMPAIGN+=(--ladder "$SMOKE_LADDER")
+fi
+DAEMON_FLAGS=()
+if [ -n "${SMOKE_EARLY_STOP:-}" ]; then
+    DAEMON_FLAGS+=(--early-stop "$SMOKE_EARLY_STOP")
+fi
 
 echo "== single-process reference =="
 "$TOOLS/marvel-campaign" run "${CAMPAIGN[@]}" \
@@ -51,6 +68,7 @@ echo "== daemon + 2 workers, one killed mid-lease =="
 # small leases/chunks so the kill reliably lands mid-lease.
 "$TOOLS/marvel-campaignd" --listen "unix:$WORK/smoke.sock" \
     --journal "$WORK/dist.jsonl" "${CAMPAIGN[@]}" \
+    ${DAEMON_FLAGS[@]+"${DAEMON_FLAGS[@]}"} \
     --ttl-ms 2000 --lease 6 --chunk 4 &
 DAEMON=$!
 
@@ -82,6 +100,17 @@ wait "$DAEMON"
 
 "$TOOLS/marvel-campaign" merge --journal "$WORK/dist.jsonl" \
     --out "$WORK/dist.canon.jsonl"
+
+if [ "${SMOKE_EARLY_STOP:-}" = "on" ]; then
+    echo "== non-vacuity: the distributed run must have short-circuited =="
+    if grep -q '"stopped_rung":[1-9]' "$WORK/dist.jsonl"; then
+        echo "distributed journal shows $(grep -c '"stopped_rung":[1-9]' \
+            "$WORK/dist.jsonl") early-stopped runs"
+    else
+        echo "FAIL: --early-stop on but no run ever stopped at a rung"
+        exit 1
+    fi
+fi
 
 echo "== byte-for-byte diff of canonical journals =="
 cmp "$WORK/single.canon.jsonl" "$WORK/dist.canon.jsonl"

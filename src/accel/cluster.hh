@@ -63,6 +63,16 @@ class Cluster
     /** Any unit asserting its interrupt line. */
     bool irqPending() const;
 
+    /** Every unit converged with its counterpart (same config). */
+    bool
+    convergedWith(const Cluster &other) const
+    {
+        for (std::size_t i = 0; i < units_.size(); ++i)
+            if (!units_[i].convergedWith(other.units_[i]))
+                return false;
+        return true;
+    }
+
     /** Any unit in the Error state. */
     bool errored() const;
 

@@ -151,6 +151,30 @@ class ComputeUnit : public AccelAddressSpace
 
     AccelMem &memoryByName(const std::string &name);
 
+    /**
+     * True when future unit behaviour is indistinguishable: lifecycle
+     * state, IRQ line, MMR args, DMA chain cursor, every local memory
+     * byte, and the engine/DMA machinery. busyCycles_ is excluded —
+     * the watchdog reads the engine's own cycle counters, never this
+     * utilization statistic, and CTRL=1 resets it before reuse.
+     */
+    bool
+    convergedWith(const ComputeUnit &other) const
+    {
+        if (state_ != other.state_ || irq_ != other.irq_ ||
+            dmaCursor_ != other.dmaCursor_)
+            return false;
+        for (unsigned i = 0; i < kNumMmrArgs; ++i)
+            if (args_[i] != other.args_[i])
+                return false;
+        for (std::size_t i = 0; i < mems_.size(); ++i)
+            if (!mems_[i].convergedWith(other.mems_[i]))
+                return false;
+        return dma_.convergedWith(other.dma_) &&
+               engine_.convergedWith(other.engine_) &&
+               systolic_.convergedWith(other.systolic_);
+    }
+
     // --- AccelAddressSpace ---------------------------------------------
     int resolve(Addr addr, u32 len) override;
     u32 latencyOf(int comp) override;

@@ -81,6 +81,33 @@ class DataflowEngine
         opsExecuted_ = 0;
     }
 
+    /**
+     * True when future execution is indistinguishable. Status must
+     * match; a Running engine additionally compares the full dataflow
+     * state (function, block, registers, per-inst progress, cycle count
+     * — the watchdog input), a Done/Fault engine only its result, and
+     * an Idle engine nothing: start()/enterBlock() overwrite all of it
+     * before the next run reads any. opsExecuted_ is stats only.
+     */
+    bool
+    convergedWith(const DataflowEngine &other) const
+    {
+        if (status_ != other.status_)
+            return false;
+        if (status_ == EngineStatus::Running)
+            return func_ == other.func_ &&
+                   curBlock_ == other.curBlock_ &&
+                   regs_ == other.regs_ &&
+                   entryRegs_ == other.entryRegs_ &&
+                   insts_ == other.insts_ &&
+                   result_ == other.result_ &&
+                   cycles_ == other.cycles_;
+        if (status_ == EngineStatus::Done ||
+            status_ == EngineStatus::Fault)
+            return result_ == other.result_;
+        return true;
+    }
+
   private:
     struct InstState
     {
@@ -90,6 +117,8 @@ class DataflowEngine
         // Dependencies (indices into the current block; -1 = entry)
         i32 srcDep[3] = {-1, -1, -1};
         std::vector<u32> memDeps;
+
+        bool operator==(const InstState &other) const = default;
     };
 
     void enterBlock(const mir::Module &module, mir::BlockId block);

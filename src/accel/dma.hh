@@ -24,6 +24,8 @@ struct DmaTransfer
     u32 component = 0;    ///< index into the owning unit's memories
     u64 componentOff = 0;
     u32 length = 0;       ///< bytes
+
+    bool operator==(const DmaTransfer &other) const = default;
 };
 
 /** Simple burst DMA: kBytesPerCycle per accelerator clock. */
@@ -46,6 +48,23 @@ class DmaEngine
     {
         busy_ = false;
         fault_ = false;
+    }
+
+    /**
+     * True when future transfer behaviour is identical: fault latch
+     * and busy state, plus — only while busy — the programmed transfer
+     * and its progress. start() overwrites cur_/moved_/warmup_ fully,
+     * so an idle engine's residue is dead. Counters are stats.
+     */
+    bool
+    convergedWith(const DmaEngine &other) const
+    {
+        if (fault_ != other.fault_ || busy_ != other.busy_)
+            return false;
+        if (!busy_)
+            return true;
+        return cur_ == other.cur_ && moved_ == other.moved_ &&
+               warmup_ == other.warmup_;
     }
 
     // --- statistics ----------------------------------------------------

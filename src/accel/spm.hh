@@ -85,6 +85,17 @@ class AccelMem
     FaultState &faults() { return faults_; }
     const FaultState &faults() const { return faults_; }
 
+    /**
+     * Byte-for-byte content equality. Accelerator code has no
+     * allocate-before-read discipline, so every byte is live state;
+     * access counters are stats and excluded.
+     */
+    bool
+    convergedWith(const AccelMem &other) const
+    {
+        return data_ == other.data_;
+    }
+
     // --- statistics ----------------------------------------------------
     stats::Counter reads;      ///< read accesses
     stats::Counter writes;     ///< write accesses

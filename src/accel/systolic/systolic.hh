@@ -156,6 +156,29 @@ class SystolicSequencer
     /** Register utilization/stall/DMA statistics under g. */
     void regStats(stats::Group &g);
 
+    /**
+     * True when future sequencing is indistinguishable. Status must
+     * match; a Running sequencer additionally compares its cycle count
+     * (the watchdog input), programmed base addresses, and both DMA
+     * engines. All other architectural state (SEQ words, banks, PE
+     * registers) lives in AccelMem components and is compared by the
+     * owning ComputeUnit. now_ is a lineage timestamp and the
+     * remaining members are statistics or taint shadows — none feed
+     * back into sequencing.
+     */
+    bool
+    convergedWith(const SystolicSequencer &other) const
+    {
+        if (status_ != other.status_)
+            return false;
+        if (status_ != EngineStatus::Running)
+            return true;
+        return cycles_ == other.cycles_ && aBase_ == other.aBase_ &&
+               bBase_ == other.bBase_ && cBase_ == other.cBase_ &&
+               dmaIn_.convergedWith(other.dmaIn_) &&
+               dmaDrain_.convergedWith(other.dmaDrain_);
+    }
+
     // --- lineage (obs::PropagationTrace) ---------------------------------
     /** Sink for taint bookkeeping; null outside lineage runs. */
     obs::PropagationTrace *lineageOut = nullptr;

@@ -275,6 +275,21 @@ class FaultState
         return true;
     }
 
+    /**
+     * True when every watched bit's fate is settled: read, overwritten,
+     * or vanished. A live-unread watch could still be consumed later
+     * and flip the Masked detail (MaskedInAccel needs a read), so the
+     * early-stop fabrication refuses to fire until this holds.
+     */
+    bool
+    allResolved() const
+    {
+        for (const BitWatch &w : watches_)
+            if (!w.wasRead && !w.overwritten && !w.vanished)
+                return false;
+        return true;
+    }
+
     /** True when any watched bit has been consumed by a read. */
     bool
     anyRead() const

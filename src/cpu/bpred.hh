@@ -64,6 +64,30 @@ class BranchPredictor
     FaultState &faults() { return faults_; }
     const FaultState &faults() const { return faults_; }
 
+    /**
+     * True when future predictions are indistinguishable: bimodal
+     * counters, BTB tags/targets, and the live RAS window compared
+     * relative to the top of stack. The physical rasTop value itself is
+     * NOT compared — push/pop only ever address the stack relative to
+     * it, so two stacks rotated against each other but holding the same
+     * live window predict identically. Hit/miss counters are stats.
+     */
+    bool
+    convergedWith(const BranchPredictor &other) const
+    {
+        if (bimodal != other.bimodal || btbTag != other.btbTag ||
+            btbTarget != other.btbTarget ||
+            rasCount != other.rasCount)
+            return false;
+        const unsigned n = params_.rasEntries;
+        for (unsigned i = 0; i < rasCount; ++i) {
+            if (ras[(rasTop + n - i) % n] !=
+                other.ras[(other.rasTop + n - i) % n])
+                return false;
+        }
+        return true;
+    }
+
     u64 lookups = 0;
     u64 mispredicts = 0;
 

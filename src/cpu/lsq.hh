@@ -34,6 +34,8 @@ struct LqEntry
     bool completed = false;
     bool mmio = false;
     bool tainted = false; ///< obs lineage: address derives from the fault
+
+    bool operator==(const LqEntry &other) const = default;
 };
 
 /** One store queue entry. */
@@ -48,6 +50,8 @@ struct SqEntry
     bool retired = false; ///< committed, awaiting drain
     bool mmio = false;
     bool tainted = false; ///< obs lineage: addr/data derive from the fault
+
+    bool operator==(const SqEntry &other) const = default;
 };
 
 /**
@@ -123,6 +127,30 @@ class AgeQueue
             e = Entry{};
         head_ = 0;
         count_ = 0;
+    }
+
+    /**
+     * True when the two queues hold identical live state: same physical
+     * head and occupancy (RobEntry records physical lq/sq slot indices,
+     * so slot positions are architectural here), and every valid slot
+     * field-identical. Invalid slots are skipped: allocate() resets a
+     * slot to Entry{} before any field is read again, so stale residue
+     * in a free slot can never influence future behaviour.
+     */
+    bool
+    convergedWith(const AgeQueue &other) const
+    {
+        if (entries_.size() != other.entries_.size() ||
+            head_ != other.head_ || count_ != other.count_)
+            return false;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i].valid != other.entries_[i].valid)
+                return false;
+            if (entries_[i].valid &&
+                !(entries_[i] == other.entries_[i]))
+                return false;
+        }
+        return true;
     }
 
   private:

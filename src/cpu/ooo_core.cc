@@ -370,6 +370,70 @@ OooCore::archRegDigest() const
     return hash;
 }
 
+namespace
+{
+
+/**
+ * PRF comparison skipping free-listed registers: in-order commit frees
+ * a physical register only after its last consumer read it (and squash
+ * frees regs only squashed uops referenced), so a free register's value
+ * and ready bit are dead by construction — comparing them would cause
+ * spurious missed convergences, never a wrong one.
+ */
+bool
+prfConverged(const PhysRegFile &a, const PhysRegFile &b,
+             const std::vector<i16> &freeList)
+{
+    if (a.size() != b.size())
+        return false;
+    std::vector<bool> dead(a.size(), false);
+    for (const i16 r : freeList)
+        dead[static_cast<unsigned>(r)] = true;
+    for (unsigned i = 0; i < a.size(); ++i) {
+        if (dead[i])
+            continue;
+        if (a.peek(i) != b.peek(i) || a.ready(i) != b.ready(i))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+OooCore::convergedWith(const OooCore &other) const
+{
+    // Cheap scalar state first.
+    if (cycles != other.cycles ||
+        committedUops != other.committedUops ||
+        committedInsts != other.committedInsts ||
+        nextSeq != other.nextSeq || fetchPc != other.fetchPc ||
+        fetchStallUntil != other.fetchStallUntil ||
+        serializeStall != other.serializeStall ||
+        intDivBusyUntil != other.intDivBusyUntil ||
+        fpDivBusyUntil != other.fpDivBusyUntil ||
+        nextDrainAllowed != other.nextDrainAllowed ||
+        crashKind != other.crashKind || crashPc != other.crashPc ||
+        checkpointRequest != other.checkpointRequest ||
+        switchCpuRequest != other.switchCpuRequest)
+        return false;
+    // Rename state: maps and free lists as exact sequences. Free-list
+    // ORDER is architectural — allocation pops from a fixed end, so
+    // equal sets in different orders still rename differently later.
+    if (intMap != other.intMap || fpMap != other.fpMap ||
+        intFree != other.intFree || fpFree != other.fpFree)
+        return false;
+    if (fetchQueue != other.fetchQueue || rob != other.rob ||
+        iq != other.iq || inflight != other.inflight)
+        return false;
+    if (!prfConverged(intPrf, other.intPrf, intFree) ||
+        !prfConverged(fpPrf, other.fpPrf, fpFree))
+        return false;
+    if (!lq.convergedWith(other.lq) || !sq.convergedWith(other.sq))
+        return false;
+    return bpred.convergedWith(other.bpred);
+}
+
 std::string
 OooCore::debugState() const
 {
@@ -1273,7 +1337,7 @@ OooCore::doCommit(MmioBus &bus)
         }
 
         // HVF commit trace.
-        if (traceOut || traceRef) {
+        if (traceOut || traceRef || tapRef) {
             CommitRecord rec;
             rec.pc = head.pc;
             rec.op = static_cast<u8>(head.uop.op);
@@ -1291,6 +1355,16 @@ OooCore::doCommit(MmioBus &bus)
                     hvfCorruptCycle = cycles;
                 }
                 ++traceRefPos;
+            }
+            if (tapRef) {
+                // tapPos advances even after divergence: the rung
+                // stop-check uses the commit count itself as its O(1)
+                // prefilter against the golden rung's trace index.
+                if (tapDivergedAt == 0 &&
+                    (tapPos >= tapRef->size() ||
+                     !((*tapRef)[tapPos] == rec)))
+                    tapDivergedAt = cycles;
+                ++tapPos;
             }
         }
 

@@ -165,6 +165,8 @@ struct RobEntry
     Addr effAddr = 0;
     u64 storeData = 0;
     bool tainted = false; ///< obs lineage: consumed fault-derived data
+
+    bool operator==(const RobEntry &other) const = default;
 };
 
 /**
@@ -222,6 +224,20 @@ class OooCore
     u64 traceRefPos = 0;
     bool hvfCorrupted = false;
     Cycle hvfCorruptCycle = 0;
+
+    // --- convergence tap (not owned; re-set after copying) ----------------
+    /**
+     * Early-stop commit-trace tap: when set, every committed uop is
+     * compared against the golden trace at tapPos. The first mismatch
+     * (or overrun) latches tapDivergedAt; tapPos keeps advancing so the
+     * rung stop-check can compare commit counts in O(1) before paying
+     * for a full structural comparison. Independent of the HVF fields:
+     * the tap never influences classification, only when the stop-check
+     * bothers to look.
+     */
+    const std::vector<CommitRecord> *tapRef = nullptr;
+    u64 tapPos = 0;
+    Cycle tapDivergedAt = 0;
 
     // --- fault-propagation lineage (not owned; re-set after copying) ------
     /**
@@ -286,6 +302,20 @@ class OooCore
     FaultState &renameFaults() { return renameFaults_; }
     const FaultState &renameFaults() const { return renameFaults_; }
 
+    /**
+     * Exact structural comparison of every state element that can
+     * influence future execution: pipeline contents, rename maps and
+     * free lists, ROB/IQ/LSQ, in-flight results, divider occupancy,
+     * drain pacing, cycle and sequence counters, and the branch
+     * predictor. Statistics, squash counts, trace/tap/lineage hooks,
+     * fault bookkeeping, and HVF latches are excluded — none of them
+     * feed back into the datapath. PRF values and ready bits of
+     * free-listed registers are also skipped: in-order commit frees a
+     * physical register only after its last consumer read it, so a
+     * free register's value is dead by construction.
+     */
+    bool convergedWith(const OooCore &other) const;
+
   private:
     struct InFlight
     {
@@ -294,6 +324,8 @@ class OooCore
         u64 value;
         bool writesFp;
         bool tainted = false;
+
+        bool operator==(const InFlight &other) const = default;
     };
 
     /** Sample occupancy histograms (call on the kStatsStride grid). */
@@ -338,6 +370,8 @@ class OooCore
         bool lastUop;
         CrashKind fault;
         Addr predNextPc;
+
+        bool operator==(const FetchedUop &other) const = default;
     };
     std::deque<FetchedUop> fetchQueue;
 

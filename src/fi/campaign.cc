@@ -9,6 +9,7 @@
 #include "common/stats.hh"
 #include "obs/profiler.hh"
 #include "sched/workqueue.hh"
+#include "soc/converge.hh"
 
 namespace marvel::fi
 {
@@ -203,6 +204,27 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         sys.cpu.traceRef = &golden.trace;
         sys.cpu.traceRefPos = rung ? rung->traceIndex : 0;
     }
+
+    // Convergence short-circuit precondition: exact golden state at a
+    // rung implies an exact golden future. Permanent faults violate
+    // that (the stuck bit keeps re-applying), lineage runs must
+    // observe the full window, and without a ladder there is nothing
+    // to compare against. The commit tap feeds the O(1) prefilter:
+    // a stop-check only pays for the full structural comparison when
+    // the faulty run's commit count matches the golden rung's.
+    const bool stopChecks = options.earlyStop != EarlyStopMode::Off &&
+                            !options.lineage && permanents.empty() &&
+                            !golden.ladder.empty();
+    std::size_t nextRung = 0;
+    if (stopChecks) {
+        sys.cpu.tapRef = &golden.trace;
+        sys.cpu.tapPos = rung ? rung->traceIndex : 0;
+        // Only rungs strictly after the restore point are candidates.
+        while (nextRung < golden.ladder.size() &&
+               golden.ladder[nextRung].cycle <= cursor)
+            ++nextRung;
+    }
+    bool auditDone = false;
     if (options.lineage) {
         *options.lineage = obs::PropagationTrace{};
         sys.cpu.lineageOut = options.lineage;
@@ -253,6 +275,9 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
     // tree for the golden-vs-faulty divergence report, and digests
     // the architectural end state for determinism audits.
     auto finishStats = [&]() {
+        // Divergence telemetry rides along on every exit path; it is
+        // zero whenever the stop-check tap was off or never tripped.
+        verdict.divergedAt = sys.cpu.tapDivergedAt;
         if (options.statsOut)
             *options.statsOut = sys.statsSnapshot();
         if (options.archDigestOut)
@@ -378,6 +403,119 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
                 finishStats();
                 finishLineage();
                 return verdict;
+            }
+        }
+
+        // Convergence short-circuit: at a rung boundary — after the
+        // early-termination check, so a stop at a 64-aligned cycle can
+        // never race it — once every fault is injected and every
+        // watch's fate is settled, compare the faulty system against
+        // the golden rung snapshot. An exact match means the rest of
+        // the run IS the golden run, so the verdict the full window
+        // would produce is known here.
+        if (stopChecks && nextRung < golden.ladder.size() &&
+            cursor == golden.ladder[nextRung].cycle) {
+            const LadderRung &boundary = golden.ladder[nextRung];
+            ++nextRung;
+            bool converged = false;
+            if (nextFault == pending.size() && !auditDone) {
+                bool resolved = true;
+                for (const FaultSpec &f : pending) {
+                    if (!faultStateOf(sys, f.target).allResolved()) {
+                        resolved = false;
+                        break;
+                    }
+                }
+                // Prefilter: a faulty run that committed a different
+                // number of uops than golden did by this rung cannot
+                // be in the golden state.
+                if (resolved &&
+                    sys.cpu.tapPos == boundary.traceIndex) {
+                    simTimer.reset();
+                    {
+                        const prof::ScopedPhase timer(
+                            prof::Phase::StopCheck);
+                        converged = soc::stateConverged(
+                            sys, boundary.checkpoint.view());
+                    }
+                    simTimer.emplace(prof::Phase::Simulate);
+                }
+            }
+            if (converged) {
+                // Fabricate the verdict of the counterfactual full
+                // run. Two cases, mirroring the loop's own ordering:
+                // had every watch been neutralized unread, the real
+                // run would have early-terminated at the next
+                // 64-aligned check after this rung (the checks up to
+                // here already declined, and dead watches stay dead)
+                // — unless the golden exit lands first. Otherwise it
+                // runs to the golden exit with golden outputs:
+                // Masked, with the accelerator-containment detail
+                // decided by the now-frozen read bits.
+                RunVerdict fab = verdict; // carries fastForwarded
+                fab.stoppedAt = cursor;
+                fab.divergedAt = sys.cpu.tapDivergedAt;
+                const Cycle termAt = (cursor | 63) + 1;
+                bool neutralized = options.earlyTermination &&
+                                   transientMask &&
+                                   termAt < golden.totalCycles;
+                if (neutralized) {
+                    for (const FaultSpec &f : pending) {
+                        if (!faultStateOf(sys, f.target)
+                                 .allNeutralized()) {
+                            neutralized = false;
+                            break;
+                        }
+                    }
+                }
+                if (neutralized) {
+                    fab.outcome = Outcome::Masked;
+                    fab.detail =
+                        anyHitInvalid
+                            ? OutcomeDetail::MaskedInvalidEntry
+                            : OutcomeDetail::MaskedEarly;
+                    fab.terminatedEarly = true;
+                    fab.cyclesRun = termAt;
+                    // The real early-termination path never writes
+                    // the HVF latches; leave them default.
+                } else {
+                    fab.outcome = Outcome::Masked;
+                    fab.cyclesRun = golden.totalCycles;
+                    fab.hvfCorruption = sys.cpu.hvfCorrupted;
+                    fab.hvfCorruptCycle = sys.cpu.hvfCorruptCycle;
+                    fab.detail = OutcomeDetail::MaskedIdentical;
+                    if (!fab.hvfCorruption && !mask.faults.empty()) {
+                        bool allAccel = true;
+                        bool anyRead = false;
+                        for (const FaultSpec &f : mask.faults) {
+                            if (f.target.id != TargetId::AccelMem) {
+                                allAccel = false;
+                                break;
+                            }
+                            anyRead |=
+                                faultStateOf(sys, f.target).anyRead();
+                        }
+                        if (allAccel && anyRead)
+                            fab.detail = OutcomeDetail::MaskedInAccel;
+                    }
+                }
+                if (options.earlyStop == EarlyStopMode::Audit) {
+                    // Record what WOULD have happened, then keep
+                    // simulating; the battery cross-checks this
+                    // prediction against the real verdict.
+                    auditDone = true;
+                    if (options.auditOut) {
+                        options.auditOut->stopped = true;
+                        options.auditOut->stoppedAt = cursor;
+                        options.auditOut->predicted = fab;
+                    }
+                } else {
+                    const prof::ScopedPhase timer = classify();
+                    verdict = fab;
+                    finishStats();
+                    finishLineage();
+                    return verdict;
+                }
             }
         }
     }
@@ -538,6 +676,7 @@ runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
     runOpts.computeHvf = options.computeHvf;
     runOpts.timeoutFactor = options.timeoutFactor;
     runOpts.useLadder = options.useLadder;
+    runOpts.earlyStop = resolveEarlyStop(options.earlyStop, golden);
 
     // One profiling replay amortized over every pruned fault; only
     // transient models can prune (stuck-at faults are never dead).

@@ -91,12 +91,45 @@ GoldenRun runGolden(const soc::SystemConfig &config,
                     u64 maxCycles = 500'000'000,
                     unsigned ladderRungs = 0);
 
+/**
+ * Per-run convergence short-circuit mode.
+ *
+ * On: at each ladder-rung boundary, compare the faulty system against
+ * the golden rung snapshot; on an exact match the rest of the run is
+ * provably identical to golden, so the verdict is fabricated and the
+ * run stops mid-window. Audit: run the same checks and record what
+ * WOULD have happened (first stop point + fabricated verdict) but keep
+ * simulating and return the real verdict — the equivalence battery and
+ * the fuzz audits cross-check the two.
+ */
+enum class EarlyStopMode : u8 { Off, On, Audit };
+
+/** What the early-stop audit mode observed during one run. */
+struct EarlyStopAudit
+{
+    bool stopped = false;   ///< a stop-check matched
+    Cycle stoppedAt = 0;    ///< first matching rung's cycle
+    RunVerdict predicted;   ///< the verdict fabrication would return
+};
+
 /** Per-run options. */
 struct InjectionOptions
 {
     bool earlyTermination = true; ///< paper §IV-B speed optimizations
     bool computeHvf = false;
     double timeoutFactor = 8.0;   ///< crash-timeout threshold multiple
+
+    /**
+     * Convergence short-circuit at ladder-rung boundaries. Requires a
+     * golden ladder; silently inert without one (or for permanent
+     * faults / lineage runs, where the comparison precondition —
+     * "golden state implies golden future" — does not hold).
+     */
+    EarlyStopMode earlyStop = EarlyStopMode::Off;
+
+    /** When set (with earlyStop == Audit), receives what the stop
+     *  checks observed. */
+    EarlyStopAudit *auditOut = nullptr;
 
     /**
      * Fast-forward transient runs from the golden run's checkpoint
@@ -209,6 +242,18 @@ struct CampaignOptions
     bool useLadder = true;
 
     /**
+     * Campaign-level early-stop setting (--early-stop on|off|auto).
+     * Auto resolves to On exactly when the golden run has a ladder.
+     * Recorded in the journal meta (as the resolved on/off value) and
+     * checked on resume/replay/dispatch like the ladder geometry —
+     * verdicts are identical either way, but mixing modes within one
+     * journal would make provenance fields meaningless. Defaults Off
+     * so pre-existing journals resume unchanged.
+     */
+    enum class EarlyStopSetting : u8 { Off, On, Auto };
+    EarlyStopSetting earlyStop = EarlyStopSetting::Off;
+
+    /**
      * Pre-prune provably dead transient faults: profile the golden
      * window's accesses to the target once, then classify faults whose
      * first covering access is an overwrite (or entry deallocation) as
@@ -315,6 +360,29 @@ struct CampaignResult
     /** Sum another result's outcome counters into this one. */
     void addCounts(const CampaignResult &other);
 };
+
+/**
+ * Resolve the campaign-level early-stop setting against a golden run:
+ * Auto means On exactly when the golden has a ladder to compare
+ * against. Every consumer (in-process scheduler, journal meta,
+ * dispatch workers) resolves through this one function so they agree
+ * on what gets recorded and checked.
+ */
+inline EarlyStopMode
+resolveEarlyStop(CampaignOptions::EarlyStopSetting setting,
+                 const GoldenRun &golden)
+{
+    switch (setting) {
+      case CampaignOptions::EarlyStopSetting::Off:
+        return EarlyStopMode::Off;
+      case CampaignOptions::EarlyStopSetting::On:
+        return EarlyStopMode::On;
+      case CampaignOptions::EarlyStopSetting::Auto:
+        return golden.ladder.empty() ? EarlyStopMode::Off
+                                     : EarlyStopMode::On;
+    }
+    return EarlyStopMode::Off;
+}
 
 /** Run a complete campaign from scratch. */
 CampaignResult runCampaign(const soc::SystemConfig &config,

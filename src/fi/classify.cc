@@ -43,10 +43,11 @@ outcomeDetailName(OutcomeDetail detail)
 std::string
 RunVerdict::toString() const
 {
-    return strfmt("%s (%s)%s%s", outcomeName(outcome),
+    return strfmt("%s (%s)%s%s%s", outcomeName(outcome),
                   outcomeDetailName(detail),
                   hvfCorruption ? " hvf-corruption" : "",
-                  terminatedEarly ? " early" : "");
+                  terminatedEarly ? " early" : "",
+                  stoppedAt ? " stopped" : "");
 }
 
 } // namespace marvel::fi

@@ -77,6 +77,22 @@ struct RunVerdict
      */
     Cycle fastForwarded = 0;
 
+    /**
+     * Window-relative cycle at which the early-stop convergence check
+     * matched a golden rung and fabricated the rest of the verdict
+     * (0 = ran its full course). Execution telemetry like
+     * fastForwarded: excluded from journal records (it travels only in
+     * provenance) and from sched::verdictsIdentical.
+     */
+    Cycle stoppedAt = 0;
+
+    /**
+     * Cycle of the first committed-uop divergence from the golden
+     * trace observed by the early-stop tap (0 = never diverged or tap
+     * off). Telemetry; same exclusions as stoppedAt.
+     */
+    Cycle divergedAt = 0;
+
     std::string toString() const;
 };
 

@@ -281,6 +281,111 @@ auditDeterminism(const mir::Module &module, u64 seed,
                     fail(buf);
                 }
             }
+
+            // 4b. Convergence early-stop determinism. A stopped run's
+            // digest and stats legitimately differ from the full
+            // simulation (it never ran the tail), so On compares
+            // digest/stats only against another On run; verdicts must
+            // agree across all three modes.
+            if (options.earlyStop && !g1.ladder.empty()) {
+                stats::Snapshot statsD, statsE;
+                u64 digestD = 0, digestE = 0;
+                opts.earlyStop = fi::EarlyStopMode::On;
+                opts.statsOut = &statsD;
+                opts.archDigestOut = &digestD;
+                const fi::RunVerdict vd =
+                    fi::runWithFault(g1, mask, opts);
+                opts.statsOut = &statsE;
+                opts.archDigestOut = &digestE;
+                const fi::RunVerdict ve =
+                    fi::runWithFault(g1, mask, opts);
+                opts.statsOut = nullptr;
+                opts.archDigestOut = nullptr;
+
+                if (!sched::verdictsIdentical(vd, ve) ||
+                    vd.stoppedAt != ve.stoppedAt) {
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "fault %u on %s: early-stop runs differ "
+                        "(%s @%llu vs %s @%llu)",
+                        i, info.name.c_str(), vd.toString().c_str(),
+                        (unsigned long long)vd.stoppedAt,
+                        ve.toString().c_str(),
+                        (unsigned long long)ve.stoppedAt);
+                    fail(buf);
+                } else if (digestD != digestE) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "fault %u on %s: early-stop arch "
+                                  "digests differ between runs",
+                                  i, info.name.c_str());
+                    fail(buf);
+                } else if (const stats::DiffReport de =
+                               stats::diff(statsD, statsE);
+                           !de.identical() || de.unmatched != 0) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "fault %u on %s: early-stop stats "
+                                  "snapshots differ between runs",
+                                  i, info.name.c_str());
+                    fail(buf);
+                }
+                if (!sched::verdictsIdentical(va, vd)) {
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "fault %u on %s: early stop changed the "
+                        "verdict (%s vs %s)",
+                        i, info.name.c_str(), va.toString().c_str(),
+                        vd.toString().c_str());
+                    fail(buf);
+                }
+
+                fi::EarlyStopAudit audit;
+                opts.earlyStop = fi::EarlyStopMode::Audit;
+                opts.auditOut = &audit;
+                const fi::RunVerdict vf =
+                    fi::runWithFault(g1, mask, opts);
+                opts.auditOut = nullptr;
+                opts.earlyStop = fi::EarlyStopMode::Off;
+
+                if (!sched::verdictsIdentical(va, vf)) {
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "fault %u on %s: audit-mode stop checks "
+                        "perturbed the run (%s vs %s)",
+                        i, info.name.c_str(), va.toString().c_str(),
+                        vf.toString().c_str());
+                    fail(buf);
+                } else if (audit.stopped) {
+                    if (!sched::verdictsIdentical(audit.predicted,
+                                                  vf)) {
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "fault %u on %s: fabricated verdict %s "
+                            "!= simulated %s",
+                            i, info.name.c_str(),
+                            audit.predicted.toString().c_str(),
+                            vf.toString().c_str());
+                        fail(buf);
+                    }
+                    if (vd.stoppedAt != audit.stoppedAt) {
+                        std::snprintf(
+                            buf, sizeof(buf),
+                            "fault %u on %s: On stopped at %llu but "
+                            "Audit observed %llu",
+                            i, info.name.c_str(),
+                            (unsigned long long)vd.stoppedAt,
+                            (unsigned long long)audit.stoppedAt);
+                        fail(buf);
+                    }
+                } else if (vd.stoppedAt != 0) {
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        "fault %u on %s: On stopped at %llu but "
+                        "Audit saw no convergence",
+                        i, info.name.c_str(),
+                        (unsigned long long)vd.stoppedAt);
+                    fail(buf);
+                }
+            }
         }
     }
     return result;

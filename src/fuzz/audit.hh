@@ -53,6 +53,19 @@ struct AuditOptions
      * audits without a ladder (the pre-ladder behavior).
      */
     unsigned ladderRungs = 0;
+
+    /**
+     * Audit the convergence early-stop too (inert unless the golden
+     * ladder exists, i.e. ladderRungs > 0 and the window is long
+     * enough to capture rungs): every fault mask is additionally run
+     * with the stop-check On twice — the verdict, stop point, arch
+     * digest, and stats snapshot must all repeat — and the On verdict
+     * must match the full-simulation (Off) verdict. Audit mode is
+     * cross-checked as well: its real verdict must match Off's, and
+     * when a stop-check matched, its predicted verdict must match the
+     * real one and its stop point must match On's.
+     */
+    bool earlyStop = false;
 };
 
 /** One detected nondeterminism. */

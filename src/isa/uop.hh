@@ -26,6 +26,8 @@ struct RegRef
     u8 idx = 0;
 
     bool valid() const { return cls != RegClass::None; }
+
+    bool operator==(const RegRef &other) const = default;
 };
 
 /** Execution operation performed by a micro-op. */
@@ -108,6 +110,8 @@ struct MicroOp
     MagicOp magic = MagicOp::Nop;
 
     bool isBranch() const { return brKind != BrKind::None; }
+
+    bool operator==(const MicroOp &other) const = default;
 };
 
 /** A decoded macro instruction: its micro-ops and byte length. */

@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bits.hh"
@@ -223,6 +224,26 @@ Cache::flipBit(u32 line, u32 bit)
 {
     data_[static_cast<std::size_t>(line) * params_.lineSize +
           bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+}
+
+bool
+Cache::convergedWith(const Cache &other) const
+{
+    if (valid_ != other.valid_ || dirty_ != other.dirty_ ||
+        plru_ != other.plru_)
+        return false;
+    const std::size_t lineSize = params_.lineSize;
+    for (std::size_t line = 0; line < valid_.size(); ++line) {
+        if (!valid_[line])
+            continue;
+        if (tags_[line] != other.tags_[line])
+            return false;
+        const u8 *a = data_.data() + line * lineSize;
+        const u8 *b = other.data_.data() + line * lineSize;
+        if (!std::equal(a, a + lineSize, b))
+            return false;
+    }
+    return true;
 }
 
 void

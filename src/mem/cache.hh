@@ -122,6 +122,16 @@ class Cache
     FaultState &faults() { return faults_; }
     const FaultState &faults() const { return faults_; }
 
+    /**
+     * True when future memory behaviour is indistinguishable: valid,
+     * dirty and PLRU state everywhere, plus tag and data bytes of VALID
+     * lines only. Invalid lines' stale tags/data are skipped — fill()
+     * overwrites tag, data, valid and dirty before a line is ever
+     * consulted again, so that residue is dead. Statistics counters are
+     * excluded. Geometry is assumed identical (same config).
+     */
+    bool convergedWith(const Cache &other) const;
+
     // --- statistics -------------------------------------------------------
     CacheStats stats;
 

@@ -8,6 +8,8 @@
 #ifndef MARVEL_MEM_HIERARCHY_HH
 #define MARVEL_MEM_HIERARCHY_HH
 
+#include <algorithm>
+
 #include "mem/cache.hh"
 #include "mem/physmem.hh"
 
@@ -66,6 +68,22 @@ class Hierarchy
     const Cache &l2C() const { return l2_; }
 
     const HierarchyParams &params() const { return params_; }
+
+    /**
+     * True when the two hierarchies are architecturally identical:
+     * every cache level converged (live lines, valid/dirty/PLRU) and
+     * DRAM byte-for-byte equal.
+     */
+    bool
+    convergedWith(const Hierarchy &other) const
+    {
+        return l1i_.convergedWith(other.l1i_) &&
+               l1d_.convergedWith(other.l1d_) &&
+               l2_.convergedWith(other.l2_) &&
+               dram_.size() == other.dram_.size() &&
+               std::equal(dram_.data(), dram_.data() + dram_.size(),
+                          other.dram_.data());
+    }
 
     /** Register l1i/l1d/l2 subgroups under g (the system group). */
     void regStats(stats::Group &g);

@@ -141,6 +141,7 @@ Daemon::currentBeat() const
     beat.sdc = tally_.sdc;
     beat.crash = tally_.crash;
     beat.pruned = tally_.pruned;
+    beat.earlyStops = earlyStops_;
     beat.wallMillis = nowMillis() - startMillis_;
     beat.complete = leases_.allDone();
     const double wallSec =
@@ -184,6 +185,7 @@ Daemon::renderMetrics()
     snap.sdc = beat.sdc;
     snap.crash = beat.crash;
     snap.pruned = beat.pruned;
+    snap.earlyStops = beat.earlyStops;
     snap.runsPerSec = beat.runsPerSec;
     snap.avf = beat.avf;
     snap.margin = beat.margin;
@@ -324,6 +326,8 @@ Daemon::ingestChunk(Conn &conn, const std::string &payload)
         if (leases_.recordVerdict(jv.idx)) {
             writer_.append(jv.idx, jv.verdict, jv.prov);
             tally_.tally(jv.verdict);
+            if (jv.prov.present && jv.prov.stoppedRung)
+                ++earlyStops_;
             ++stats_.verdictsIngested;
             if (!conn.worker.empty())
                 ++stats_.workerNamed(conn.worker).verdicts;
@@ -540,6 +544,7 @@ Daemon::finish()
         metrics.sdc = tally_.sdc;
         metrics.crash = tally_.crash;
         metrics.pruned = tally_.pruned;
+        metrics.earlyStops = earlyStops_;
         metrics.wallMillis = nowMillis() - startMillis_;
         metrics.workers =
             static_cast<u32>(knownWorkers_.size());

@@ -156,6 +156,10 @@ class Daemon
     std::map<std::string, u64> lastChunkMillis_;
     u64 startMillis_ = 0;
     u64 doneAtStart_ = 0; ///< resumed verdicts don't count as rate
+    /** Verdicts ingested whose provenance says the run ended at a
+     *  converged rung (this daemon's ingest only, like the scheduler's
+     *  heartbeat counter — resumed journal lines are not re-counted). */
+    u64 earlyStops_ = 0;
     u64 lastBeatMillis_ = 0;
     bool started_ = false;
     bool finished_ = false;

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "sched/rangequeue.hh"
 #include "store/journal.hh"
 
@@ -84,7 +85,7 @@ struct NoWork
 
 /**
  * Worker telemetry piggybacked on a VerdictChunk header as OPTIONAL
- * fields (`t_runs`, `t_busy_us`, `t_ph0`..`t_ph7`). Values are the
+ * fields (`t_runs`, `t_busy_us`, `t_ph0`..`t_phN`). Values are the
  * worker process's cumulative totals — runs completed, busy wall
  * micros, and per-phase profiler micros in obs::profiler::Phase order
  * — so the daemon overwrites (never sums) per worker and a lost chunk
@@ -96,7 +97,7 @@ struct ChunkTelemetry
     bool present = false;
     u64 runs = 0;
     u64 busyMicros = 0;
-    std::array<u64, 8> phaseMicros{};
+    std::array<u64, obs::profiler::kNumPhases> phaseMicros{};
 
     bool operator==(const ChunkTelemetry &other) const = default;
 };

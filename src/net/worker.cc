@@ -136,6 +136,13 @@ makeContext(const store::JournalMeta &meta,
         static_cast<double>(meta.timeoutFactorMilli) / 1000.0;
     copts.ladderRungs = meta.ladderRungs;
     copts.prune = meta.optPrune != 0;
+    // The meta carries the RESOLVED early-stop mode, so map it to the
+    // concrete setting (never Auto) before re-deriving the expected
+    // meta — resolveEarlyStop(On/Off) is ladder-independent.
+    copts.earlyStop =
+        meta.optEarlyStop
+            ? fi::CampaignOptions::EarlyStopSetting::On
+            : fi::CampaignOptions::EarlyStopSetting::Off;
     copts.shardIndex = meta.shardIndex;
     copts.shardCount = meta.shardCount;
     copts.workloadName = meta.workload;
@@ -148,6 +155,9 @@ makeContext(const store::JournalMeta &meta,
     ctx.runOpts.computeHvf = copts.computeHvf;
     ctx.runOpts.timeoutFactor = copts.timeoutFactor;
     ctx.runOpts.useLadder = true;
+    ctx.runOpts.earlyStop = meta.optEarlyStop
+                                ? fi::EarlyStopMode::On
+                                : fi::EarlyStopMode::Off;
     if (copts.prune && ctx.model == fi::FaultModel::Transient)
         ctx.profile =
             fi::profileTargetAccesses(*ctx.golden, ctx.target);

@@ -59,6 +59,10 @@ formatCampaignMetrics(const CampaignTelemetry &t)
                       static_cast<unsigned long long>(t.pruned),
                       static_cast<unsigned long long>(
                           t.cyclesFastForwarded));
+    if (t.earlyStops)
+        out += strfmt("  early stops     : %llu run(s) converged at "
+                      "a rung\n",
+                      static_cast<unsigned long long>(t.earlyStops));
     if (!t.rungHits.empty()) {
         out += "  restore points  :";
         for (std::size_t i = 0; i < t.rungHits.size(); ++i)

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/profiler.hh"
 
 namespace marvel::obs
 {
@@ -59,8 +60,15 @@ struct CampaignTelemetry
     u64 earlyTerminated = 0;
     u64 cyclesSimulated = 0;
     /** Cycles a full-length run would have cost minus cycles actually
-     *  simulated, summed over early-terminated runs. */
+     *  simulated, summed over early-terminated and early-stopped
+     *  runs. */
     u64 cyclesSaved = 0;
+
+    /** Runs ended mid-window by the convergence early-stop check
+     *  (verdict fabricated from a golden-rung match). Disjoint from
+     *  pruning; may overlap earlyTerminated when the fabricated
+     *  verdict predicts an early termination. */
+    u64 earlyStops = 0;
 
     /** Faults classified Masked by dead-fault pre-pruning, with zero
      *  simulated cycles (subset of masked, disjoint from runs' early
@@ -111,7 +119,7 @@ struct DispatchWorkerStats
     u64 reportedRuns = 0;     ///< worker-side verdicts computed
     u64 reportedBusyMicros = 0; ///< worker-side busy wall time
     /** Worker-side per-phase micros, profiler::Phase order. */
-    std::array<u64, 8> phaseMicros{};
+    std::array<u64, profiler::kNumPhases> phaseMicros{};
     u64 lastSeenMillis = 0;   ///< daemon clock, last frame received
     u64 currentLease = 0;     ///< live lease id; 0 = none held
     u64 chunkLatencySumMillis = 0; ///< gaps between verdict chunks

@@ -102,6 +102,11 @@ openMetricsText(const DispatchTelemetry &dispatch,
              "Verdicts classified without simulating (dead-fault "
              "pruning).");
     e.sample("marvel_campaign_pruned_total", "", campaign.pruned);
+    e.family("marvel_campaign_early_stops_total", "counter",
+             "Runs ended mid-window by the convergence early-stop "
+             "check.");
+    e.sample("marvel_campaign_early_stops_total", "",
+             campaign.earlyStops);
     e.family("marvel_campaign_runs_per_second", "gauge",
              "Campaign-wide verdict throughput.");
     e.sample("marvel_campaign_runs_per_second", "",

@@ -44,6 +44,7 @@ struct CampaignSnapshot
     u64 sdc = 0;
     u64 crash = 0;
     u64 pruned = 0;
+    u64 earlyStops = 0; ///< runs ended by rung convergence
     double runsPerSec = 0;
     double avf = 0;
     double margin = 0;

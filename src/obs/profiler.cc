@@ -21,6 +21,7 @@ phaseName(Phase phase)
       case Phase::Prune: return "prune";
       case Phase::JournalIo: return "journal_io";
       case Phase::SocketWait: return "socket_wait";
+      case Phase::StopCheck: return "stop_check";
     }
     return "?";
 }

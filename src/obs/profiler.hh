@@ -52,9 +52,10 @@ enum class Phase : unsigned
     Prune,        ///< golden access-profile replay for --prune
     JournalIo,    ///< journal chunk write + fsync
     SocketWait,   ///< blocked on the dispatch socket / idle poll
+    StopCheck,    ///< rung-boundary convergence comparison (early stop)
 };
 
-constexpr unsigned kNumPhases = 8;
+constexpr unsigned kNumPhases = 9;
 
 /** Stable lower-snake identifier ("golden_build", "socket_wait"). */
 const char *phaseName(Phase phase);

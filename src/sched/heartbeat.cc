@@ -117,6 +117,7 @@ heartbeatJson(const Heartbeat &beat)
         "{\"v\":1,\"done\":%llu,\"expected\":%llu,"
         "\"masked\":%llu,\"sdc\":%llu,\"crash\":%llu,"
         "\"pruned\":%llu,\"masked_in_accel\":%llu,"
+        "\"early_stops\":%llu,"
         "\"runs_per_sec\":%.3f,\"avf\":%.6f,\"margin\":%.6f,"
         "\"eta_seconds\":%.1f,\"wall_millis\":%llu,"
         "\"complete\":%d}\n",
@@ -127,6 +128,7 @@ heartbeatJson(const Heartbeat &beat)
         static_cast<unsigned long long>(beat.crash),
         static_cast<unsigned long long>(beat.pruned),
         static_cast<unsigned long long>(beat.maskedInAccel),
+        static_cast<unsigned long long>(beat.earlyStops),
         finiteOrZero(beat.runsPerSec), finiteOrZero(beat.avf),
         finiteOrZero(beat.margin), finiteOrZero(beat.etaSeconds),
         static_cast<unsigned long long>(beat.wallMillis),
@@ -170,6 +172,8 @@ parseHeartbeatJson(const std::string &text, Heartbeat &out)
     beat.pruned = static_cast<u64>(fieldOr(fields, "pruned", 0));
     beat.maskedInAccel =
         static_cast<u64>(fieldOr(fields, "masked_in_accel", 0));
+    beat.earlyStops =
+        static_cast<u64>(fieldOr(fields, "early_stops", 0));
     beat.runsPerSec = fieldOr(fields, "runs_per_sec", 0.0);
     beat.avf = fieldOr(fields, "avf", 0.0);
     beat.margin = fieldOr(fields, "margin", 1.0);
@@ -211,6 +215,7 @@ aggregateHeartbeats(const std::vector<Heartbeat> &beats)
         agg.crash += b.crash;
         agg.pruned += b.pruned;
         agg.maskedInAccel += b.maskedInAccel;
+        agg.earlyStops += b.earlyStops;
         // Shards run concurrently, so rates add; a shard carrying a
         // non-finite rate (hand-edited file, historic writer) must
         // not poison the whole campaign line.
@@ -261,6 +266,10 @@ formatHeartbeat(const Heartbeat &beat)
         prunedNote += strfmt(
             "  in-accel %llu",
             static_cast<unsigned long long>(beat.maskedInAccel));
+    if (beat.earlyStops)
+        prunedNote += strfmt(
+            "  stops %llu",
+            static_cast<unsigned long long>(beat.earlyStops));
     return strfmt(
         "%llu/%llu (%5.1f%%)  m/s/c %llu/%llu/%llu%s  "
         "AVF %.2f%% +/-%.2f%%  %.1f runs/s  %s",

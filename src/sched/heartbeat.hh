@@ -36,6 +36,8 @@ struct Heartbeat
     u64 crash = 0;
     u64 pruned = 0;          ///< subset of masked, never simulated
     u64 maskedInAccel = 0;   ///< subset of masked, accel-contained
+    u64 earlyStops = 0;      ///< runs ended by rung convergence
+                             ///< (this process only, not resumed)
     double runsPerSec = 0.0; ///< throughput of this process
     double avf = 0.0;        ///< partial AVF over the done runs
     double margin = 1.0;     ///< achieved Leveugle ±margin (95% CI)

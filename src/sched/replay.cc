@@ -92,6 +92,11 @@ replaySetup(const fi::GoldenRun &golden,
     setup.options.computeHvf = meta.optHvf != 0;
     setup.options.timeoutFactor =
         static_cast<double>(meta.timeoutFactorMilli) / 1000.0;
+    // The journal records the RESOLVED early-stop mode; replay runs
+    // the same configuration so provenance fields reproduce too.
+    setup.options.earlyStop = meta.optEarlyStop
+                                  ? fi::EarlyStopMode::On
+                                  : fi::EarlyStopMode::Off;
     return setup;
 }
 

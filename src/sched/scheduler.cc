@@ -138,6 +138,19 @@ checkJournalMatches(const store::JournalMeta &journal,
               path.c_str(), journal.optPrune ? "on" : "off",
               expected.optPrune ? "on" : "off",
               journal.optPrune ? "--prune" : "no --prune");
+    // Early-stop cannot change a verdict by construction (the
+    // equivalence battery pins that), but mixing modes inside one
+    // journal would make its provenance and metrics unreadable — and
+    // if the invariant ever breaks, silently mixing would smear the
+    // breakage across the file. Journals from before the field read
+    // back as off.
+    if (journal.optEarlyStop != expected.optEarlyStop)
+        fatal("sched: journal '%s' was recorded with convergence "
+              "early-stop %s, but this run resolves it %s — pass "
+              "--early-stop %s to match the journal",
+              path.c_str(), journal.optEarlyStop ? "on" : "off",
+              expected.optEarlyStop ? "on" : "off",
+              journal.optEarlyStop ? "on" : "off");
 }
 
 store::VerdictProvenance
@@ -162,6 +175,17 @@ runProvenance(const fi::GoldenRun &golden,
             }
         }
     }
+    // stoppedAt carries the converged rung's cycle; same recovery,
+    // same encoding (0 stays "ran the full window").
+    if (verdict.stoppedAt != 0) {
+        for (std::size_t i = 0; i < golden.ladder.size(); ++i) {
+            if (golden.ladder[i].cycle == verdict.stoppedAt) {
+                prov.stoppedRung = static_cast<u32>(i + 1);
+                break;
+            }
+        }
+    }
+    prov.divergedAt = verdict.divergedAt;
     return prov;
 }
 
@@ -211,6 +235,13 @@ journalMetaFor(const fi::GoldenRun &golden,
     // resolve during capture, and resume must rebuild this geometry.
     meta.ladderRungs = static_cast<u32>(golden.ladder.size());
     meta.optPrune = options.prune ? 1 : 0;
+    // Record the RESOLVED early-stop mode: `auto` settles against the
+    // golden's ladder here, so resume/replay see a concrete on/off.
+    meta.optEarlyStop =
+        fi::resolveEarlyStop(options.earlyStop, golden) ==
+                fi::EarlyStopMode::Off
+            ? 0
+            : 1;
     return meta;
 }
 
@@ -285,6 +316,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
     runOpts.computeHvf = options.computeHvf;
     runOpts.timeoutFactor = options.timeoutFactor;
     runOpts.useLadder = options.useLadder;
+    runOpts.earlyStop = fi::resolveEarlyStop(options.earlyStop, golden);
 
     // One golden-window access profile amortized over every pruned
     // fault; only the transient model can prune.
@@ -342,6 +374,8 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
     beatAgg.addCounts(result);
     const u64 beatExpected = owned.size();
     const u64 beatResumed = beatAgg.total();
+    u64 beatStops = 0; // stops are this-process telemetry: resumed
+                       // verdicts carry no stoppedAt
     auto lastBeat = campaignStart;
     auto writeBeat = [&]() {
         Heartbeat beat;
@@ -352,6 +386,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         beat.crash = beatAgg.crash;
         beat.pruned = beatAgg.pruned;
         beat.maskedInAccel = beatAgg.maskedInAccel;
+        beat.earlyStops = beatStops;
         const double wall = secondsSince(campaignStart);
         const u64 ranHere = beat.done - beatResumed;
         beat.runsPerSec =
@@ -378,6 +413,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
         u64 localSaved = 0;
         u64 localPruned = 0;
         u64 localFastForwarded = 0;
+        u64 localStops = 0;
         std::vector<u64> localRungHits(
             telemetry ? telemetry->rungHits.size() : 0, 0);
         std::vector<std::pair<u64, fi::RunVerdict>> kept;
@@ -397,15 +433,28 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
                 ++localTelemetry.runs;
                 // A fast-forwarded run's cyclesRun starts counting at
                 // the window start for verdict identity; only cycles
-                // past the restored rung were actually simulated.
+                // past the restored rung were actually simulated. An
+                // early-stopped run simulated only up to its stop
+                // cycle — the fabricated tail (stop -> cyclesRun) was
+                // never ticked.
                 localTelemetry.simCycles +=
-                    verdict.cyclesRun - verdict.fastForwarded;
+                    (verdict.stoppedAt ? verdict.stoppedAt
+                                       : verdict.cyclesRun) -
+                    verdict.fastForwarded;
                 localTelemetry.busySeconds += secondsSince(runStart);
                 if (verdict.terminatedEarly) {
                     ++localEarly;
                     if (golden.totalCycles > verdict.cyclesRun)
                         localSaved += golden.totalCycles -
                                       verdict.cyclesRun;
+                }
+                if (verdict.stoppedAt) {
+                    ++localStops;
+                    // The early-termination branch above already
+                    // credits cyclesRun -> totalCycles; the stop
+                    // itself saved the fabricated tail.
+                    localSaved +=
+                        verdict.cyclesRun - verdict.stoppedAt;
                 }
                 if (wasPruned) {
                     ++localPruned;
@@ -428,6 +477,8 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
                     runProvenance(golden, verdict, runWallMicros));
                 if (heartbeatOn) {
                     beatAgg.tally(verdict);
+                    if (verdict.stoppedAt)
+                        ++beatStops;
                     const auto now = Clock::now();
                     if (std::chrono::duration<double>(now - lastBeat)
                             .count() >= options.heartbeatSeconds) {
@@ -458,6 +509,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             telemetry->cyclesSimulated += localTelemetry.simCycles;
             telemetry->cyclesSaved += localSaved;
             telemetry->pruned += localPruned;
+            telemetry->earlyStops += localStops;
             telemetry->cyclesFastForwarded += localFastForwarded;
             for (std::size_t r = 0; r < localRungHits.size(); ++r)
                 telemetry->rungHits[r] += localRungHits[r];
@@ -478,6 +530,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             metrics.crash = telemetry->crash;
             metrics.earlyTerminated = telemetry->earlyTerminated;
             metrics.pruned = telemetry->pruned;
+            metrics.earlyStops = telemetry->earlyStops;
             metrics.cyclesSimulated = telemetry->cyclesSimulated;
             metrics.cyclesSaved = telemetry->cyclesSaved;
             metrics.cyclesFastForwarded =

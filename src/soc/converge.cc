@@ -1,0 +1,26 @@
+#include "soc/converge.hh"
+
+namespace marvel::soc
+{
+
+bool
+stateConverged(const System &a, const System &b)
+{
+    // Scalar SoC state first: exit/crash latches and the console are
+    // architectural (SDC classification compares the console), and the
+    // cycle counters anchor every relative-time field below.
+    if (a.exited != b.exited || a.exitCode != b.exitCode ||
+        a.accelCrashed != b.accelCrashed ||
+        a.totalCycles != b.totalCycles || a.console != b.console)
+        return false;
+    if (!a.irqCtrl.convergedWith(b.irqCtrl))
+        return false;
+    if (a.cluster.size() != b.cluster.size() ||
+        !a.cluster.convergedWith(b.cluster))
+        return false;
+    if (!a.cpu.convergedWith(b.cpu))
+        return false;
+    return a.memory.convergedWith(b.memory);
+}
+
+} // namespace marvel::soc

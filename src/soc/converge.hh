@@ -1,0 +1,34 @@
+/**
+ * @file
+ * System-level convergence comparison for the early-stop optimization.
+ *
+ * stateConverged(a, b) answers one question exactly: started from
+ * identical configurations, will the two systems behave identically
+ * from this cycle on? It is a structural comparison of every state
+ * element that can influence future execution — pipeline, rename,
+ * queues, predictor, caches, DRAM, accelerator units, interrupt lines,
+ * console/exit latches — and deliberately excludes statistics
+ * counters, fault-injection bookkeeping, observation hooks, and
+ * storage whose contents are provably dead (free physical registers,
+ * invalid cache lines, idle engine residue).
+ *
+ * The comparison is allowed to miss a convergence (a false negative
+ * merely costs simulation time); it must never report one that is not
+ * exact, because fi::runWithFault fabricates the rest of the run's
+ * verdict from a match.
+ */
+
+#ifndef MARVEL_SOC_CONVERGE_HH
+#define MARVEL_SOC_CONVERGE_HH
+
+#include "soc/system.hh"
+
+namespace marvel::soc
+{
+
+/** True when a and b will execute identically from here on. */
+bool stateConverged(const System &a, const System &b);
+
+} // namespace marvel::soc
+
+#endif // MARVEL_SOC_CONVERGE_HH

@@ -66,6 +66,18 @@ class InterruptController
 
     void reset();
 
+    /** All line state identical (levels, enables, claims, priorities). */
+    bool
+    convergedWith(const InterruptController &other) const
+    {
+        if (lines_.size() != other.lines_.size())
+            return false;
+        for (std::size_t i = 0; i < lines_.size(); ++i)
+            if (!(lines_[i] == other.lines_[i]))
+                return false;
+        return true;
+    }
+
   private:
     struct Line
     {
@@ -73,6 +85,8 @@ class InterruptController
         bool enabled = true;
         bool claimed = false;
         u8 priority = 1;
+
+        bool operator==(const Line &other) const = default;
     };
 
     IrqModel model_;

@@ -39,6 +39,9 @@ System::System(const System &other)
     cpu.traceOut = nullptr;
     cpu.traceRef = nullptr;
     cpu.lineageOut = nullptr;
+    cpu.tapRef = nullptr;
+    cpu.tapPos = 0;
+    cpu.tapDivergedAt = 0;
     cluster.setLineage(nullptr);
 }
 
@@ -60,6 +63,9 @@ System::operator=(const System &other)
     cpu.traceOut = nullptr;
     cpu.traceRef = nullptr;
     cpu.lineageOut = nullptr;
+    cpu.tapRef = nullptr;
+    cpu.tapPos = 0;
+    cpu.tapDivergedAt = 0;
     cluster.setLineage(nullptr);
     return *this;
 }

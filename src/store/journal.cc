@@ -65,7 +65,8 @@ metricsLine(const JournalMetrics &m)
     std::string line = strfmt(
         "{\"type\":\"metrics\",\"runs\":%llu,\"masked\":%llu,"
         "\"sdc\":%llu,\"crash\":%llu,\"earlyTerminated\":%llu,"
-        "\"pruned\":%llu,\"cyclesSimulated\":%llu,"
+        "\"pruned\":%llu,\"earlyStops\":%llu,"
+        "\"cyclesSimulated\":%llu,"
         "\"cyclesSaved\":%llu,\"cyclesFastForwarded\":%llu,"
         "\"wallMillis\":%llu,\"idleMillis\":%llu,\"workers\":%u",
         static_cast<unsigned long long>(m.runs),
@@ -74,6 +75,7 @@ metricsLine(const JournalMetrics &m)
         static_cast<unsigned long long>(m.crash),
         static_cast<unsigned long long>(m.earlyTerminated),
         static_cast<unsigned long long>(m.pruned),
+        static_cast<unsigned long long>(m.earlyStops),
         static_cast<unsigned long long>(m.cyclesSimulated),
         static_cast<unsigned long long>(m.cyclesSaved),
         static_cast<unsigned long long>(m.cyclesFastForwarded),
@@ -147,6 +149,8 @@ metaFromFields(const std::map<std::string, std::string> &fields,
         meta.ladderRungs = static_cast<u32>(opt);
     if (fieldU64(fields, "prune", opt))
         meta.optPrune = static_cast<u32>(opt);
+    if (fieldU64(fields, "earlyStop", opt))
+        meta.optEarlyStop = static_cast<u32>(opt);
     out = meta;
     return true;
 }
@@ -188,6 +192,10 @@ verdictFromFields(const std::map<std::string, std::string> &fields,
             jv.prov.fastForwarded = v;
         if (fieldU64(fields, "pruned", v))
             jv.prov.pruned = static_cast<u32>(v);
+        if (fieldU64(fields, "stopped_rung", v))
+            jv.prov.stoppedRung = static_cast<u32>(v);
+        if (fieldU64(fields, "diverged_at", v))
+            jv.prov.divergedAt = v;
     }
     out = jv;
     return true;
@@ -239,6 +247,7 @@ applyLine(const std::string &line, Journal &journal,
         fieldU64(fields, "crash", m.crash);
         fieldU64(fields, "earlyTerminated", m.earlyTerminated);
         fieldU64(fields, "pruned", m.pruned);
+        fieldU64(fields, "earlyStops", m.earlyStops);
         fieldU64(fields, "cyclesSimulated", m.cyclesSimulated);
         fieldU64(fields, "cyclesSaved", m.cyclesSaved);
         fieldU64(fields, "cyclesFastForwarded", m.cyclesFastForwarded);
@@ -268,7 +277,7 @@ formatMetaLine(const JournalMeta &meta)
         "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u,"
         "\"marvelVersion\":\"%s\",\"earlyTerm\":%u,\"hvf\":%u,"
         "\"timeoutFactorMilli\":%llu,\"ladderRungs\":%u,"
-        "\"prune\":%u}",
+        "\"prune\":%u,\"earlyStop\":%u}",
         kJournalFormatVersion, json::escape(meta.workload).c_str(),
         json::escape(meta.target).c_str(),
         json::escape(meta.model).c_str(),
@@ -282,7 +291,7 @@ formatMetaLine(const JournalMeta &meta)
         json::escape(meta.marvelVersion).c_str(), meta.optEarlyTerm,
         meta.optHvf,
         static_cast<unsigned long long>(meta.timeoutFactorMilli),
-        meta.ladderRungs, meta.optPrune);
+        meta.ladderRungs, meta.optPrune, meta.optEarlyStop);
 }
 
 std::string
@@ -310,11 +319,13 @@ formatVerdictLine(u64 idx, const fi::RunVerdict &verdict,
         return line;
     line.pop_back(); // re-open the object for the optional fields
     line += strfmt(",\"wall_us\":%llu,\"rung\":%u,\"ff\":%llu,"
-                   "\"pruned\":%u}",
+                   "\"pruned\":%u,\"stopped_rung\":%u,"
+                   "\"diverged_at\":%llu}",
                    static_cast<unsigned long long>(prov.wallMicros),
                    prov.rung,
                    static_cast<unsigned long long>(prov.fastForwarded),
-                   prov.pruned);
+                   prov.pruned, prov.stoppedRung,
+                   static_cast<unsigned long long>(prov.divergedAt));
     return line;
 }
 
@@ -359,9 +370,14 @@ writeCanonicalJournal(const std::string &path, JournalMeta meta,
         }
     }
 
-    // The canonical journal speaks for the whole campaign.
+    // The canonical journal speaks for the whole campaign. The
+    // early-stop mode is normalized away with the shard geometry:
+    // like provenance, it records how the verdicts were produced,
+    // never what they are, so journals from an early-stopping run
+    // and a full-window run canonicalize to the same bytes.
     meta.shardIndex = 0;
     meta.shardCount = 1;
+    meta.optEarlyStop = 0;
 
     JournalWriter writer;
     // One chunk spanning every verdict: the chunk marker count is

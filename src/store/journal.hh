@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "fi/campaign.hh"
+#include "obs/profiler.hh"
 
 namespace marvel::store
 {
@@ -76,6 +77,16 @@ struct JournalMeta
     u32 ladderRungs = 0;
     u32 optPrune = 0;
 
+    /**
+     * Convergence early-stop (CampaignOptions::earlyStop), recorded
+     * as RESOLVED (0 = off, 1 = on; `auto` resolves against the
+     * ladder before journaling). Recorded so resume/replay/dispatch
+     * run the same stop-check configuration; absent in journals
+     * written before the field existed, which read back as off —
+     * exactly how those campaigns ran.
+     */
+    u32 optEarlyStop = 0;
+
     bool operator==(const JournalMeta &other) const = default;
 };
 
@@ -99,6 +110,18 @@ struct VerdictProvenance
                            ///< 1 + i = ladder rung i
     u64 fastForwarded = 0; ///< cycles skipped by the rung restore
     u32 pruned = 0;        ///< 1 = classified without simulating
+
+    /**
+     * Convergence early-stop provenance: the rung whose stop-check
+     * ended the run (0 = ran the full window, 1 + i = stopped at
+     * ladder rung i — same encoding as `rung`) and the cycle of the
+     * first committed-uop divergence the tap observed (0 = never
+     * diverged, or tap off). Like wall_us these describe how this
+     * process produced the verdict, not the verdict itself, so
+     * canonical journals strip them.
+     */
+    u32 stoppedRung = 0;
+    u64 divergedAt = 0;
 
     bool operator==(const VerdictProvenance &other) const = default;
 };
@@ -125,6 +148,7 @@ struct JournalMetrics
     u64 crash = 0;
     u64 earlyTerminated = 0;
     u64 pruned = 0;              ///< faults classified without simulating
+    u64 earlyStops = 0;          ///< runs ended by rung convergence
     u64 cyclesSimulated = 0;
     u64 cyclesSaved = 0;
     u64 cyclesFastForwarded = 0; ///< skipped via checkpoint-ladder rungs
@@ -136,11 +160,12 @@ struct JournalMetrics
      * Wall-clock microseconds per profiler phase
      * (obs::profiler::Phase order: golden_build, rung_capture,
      * fast_forward, simulate, classify, prune, journal_io,
-     * socket_wait), summed over every thread/worker that contributed
-     * to this journal. Optional on the wire format — journals written
-     * before the profiler read back as all-zeros.
+     * socket_wait, stop_check), summed over every thread/worker that
+     * contributed to this journal. Optional on the wire format —
+     * journals written before the profiler (or before a phase was
+     * added) read back as zeros for the missing entries.
      */
-    std::array<u64, 8> phaseMicros{};
+    std::array<u64, obs::profiler::kNumPhases> phaseMicros{};
 
     bool operator==(const JournalMetrics &other) const = default;
 };
@@ -263,7 +288,10 @@ bool parseVerdictLine(const std::string &line, JournalVerdict &out);
  * covering them all. Journals holding the same verdicts canonicalize
  * to byte-identical files regardless of worker count, thread
  * interleaving, chunk geometry, or metrics records — so "distributed
- * run == single-process run" is a cmp(1) of two canonical files.
+ * run == single-process run" is a cmp(1) of two canonical files. The
+ * meta's early-stop flag is normalized to 0 alongside the shard
+ * geometry: early stopping never changes a verdict, so it must not
+ * change the canonical bytes either.
  */
 void writeCanonicalJournal(const std::string &path, JournalMeta meta,
                            const std::vector<JournalVerdict> &verdicts);

@@ -207,6 +207,19 @@ TEST(FuzzAudit, CleanOnHealthyPipeline)
         ADD_FAILURE() << f.toString();
 }
 
+TEST(FuzzAudit, EarlyStopAuditsCleanWithALadder)
+{
+    fuzz::AuditOptions options;
+    options.flavors = {isa::IsaKind::RISCV};
+    options.faultsPerIsa = 2;
+    options.ladderRungs = 4;
+    options.earlyStop = true;
+    const fuzz::AuditResult result =
+        fuzz::auditDeterminism(fuzz::generate(1), 1, options);
+    for (const fuzz::AuditFailure &f : result.failures)
+        ADD_FAILURE() << f.toString();
+}
+
 // -------------------------------------------------------------------- driver
 
 TEST(FuzzDriver, CleanRangeReportsClean)

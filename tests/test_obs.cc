@@ -522,8 +522,9 @@ TEST(Profiler, RegStatsExposesPhaseSubtree) {
 TEST(Profiler, PhaseNamesAreStableLowerSnake) {
     namespace prof = obs::profiler;
     const char* expected[prof::kNumPhases] = {
-        "golden_build", "rung_capture", "fast_forward", "simulate",
-        "classify",     "prune",        "journal_io",   "socket_wait",
+        "golden_build", "rung_capture", "fast_forward",
+        "simulate",     "classify",     "prune",
+        "journal_io",   "socket_wait",  "stop_check",
     };
     for (unsigned p = 0; p < prof::kNumPhases; ++p)
         EXPECT_STREQ(prof::phaseName(static_cast<prof::Phase>(p)),

@@ -124,6 +124,8 @@ struct Options
     bool ladderSet = false;   ///< --ladder given (beats the INI)
     bool useLadder = true;
     bool prune = false;
+    fi::CampaignOptions::EarlyStopSetting earlyStop =
+        fi::CampaignOptions::EarlyStopSetting::Off;
 };
 
 const cli::Tool kTool = {
@@ -137,6 +139,7 @@ const cli::Tool kTool = {
     "              [--threads N] [--shard I/N] [--chunk N]\n"
     "              [--save-golden F] [--hvf] [--no-early-term]\n"
     "              [--ladder N|auto|off] [--no-ladder] [--prune]\n"
+    "              [--early-stop on|off|auto]\n"
     "  status:     [--follow] | [--connect unix:/path|host:port]\n"
     "  merge:      [--out FILE]   write the canonical journal\n"
     "  report:     phase/verdict wall-clock breakdown of finished\n"
@@ -147,7 +150,9 @@ const cli::Tool kTool = {
     "ladder_rungs\n"
     "  in --config); --no-ladder keeps the geometry but restores\n"
     "  every run from the window start; --prune classifies\n"
-    "  provably dead transient faults without simulating\n",
+    "  provably dead transient faults without simulating;\n"
+    "  --early-stop ends a faulty run at the first golden ladder\n"
+    "  rung whose state it matches (auto: on iff a ladder exists)\n",
 };
 
 /** Complain about one specific bad token, then the usage text. */
@@ -236,6 +241,20 @@ parseArgs(int argc, char **argv)
                     usageError("malformed --ladder (want N, auto or "
                                "off):", spec);
             }
+        } else if (arg == "--early-stop") {
+            const std::string spec = next();
+            if (spec == "on")
+                opts.earlyStop =
+                    fi::CampaignOptions::EarlyStopSetting::On;
+            else if (spec == "off")
+                opts.earlyStop =
+                    fi::CampaignOptions::EarlyStopSetting::Off;
+            else if (spec == "auto")
+                opts.earlyStop =
+                    fi::CampaignOptions::EarlyStopSetting::Auto;
+            else
+                usageError("malformed --early-stop (want on, off or "
+                           "auto):", spec);
         } else if (arg == "--no-ladder")
             opts.useLadder = false;
         else if (arg == "--prune")
@@ -406,6 +425,7 @@ cmdRun(const Options &opts, bool resume)
     copts.ladderRungs = ladderRungsFor(opts);
     copts.useLadder = opts.useLadder;
     copts.prune = opts.prune;
+    copts.earlyStop = opts.earlyStop;
 
     std::string targetName = opts.target;
     if (resume) {
@@ -434,6 +454,11 @@ cmdRun(const Options &opts, bool resume)
         // pruning is likewise part of the campaign identity.
         copts.ladderRungs = meta.ladderRungs;
         copts.prune = meta.optPrune != 0;
+        // The meta's early-stop mode is likewise resolved on/off.
+        copts.earlyStop =
+            meta.optEarlyStop
+                ? fi::CampaignOptions::EarlyStopSetting::On
+                : fi::CampaignOptions::EarlyStopSetting::Off;
         targetName = meta.target;
         std::printf("resuming %s: %llu/%llu verdicts journaled%s\n",
                     journalPath.c_str(),
@@ -742,6 +767,8 @@ cmdReport(const Options &opts)
         std::vector<u64> wallUs;
     };
     std::map<std::string, ClassRow> classes;
+    u64 stopped = 0;    ///< provenance says a rung match ended the run
+    u64 earlyStops = 0; ///< metrics-record counter, summed over shards
 
     for (const std::string &path : opts.journals) {
         const store::Journal journal = store::readJournal(path);
@@ -756,6 +783,7 @@ cmdReport(const Options &opts)
             // records measure disjoint processes; summing gives the
             // total compute wall-clock the campaign consumed.
             wallMillis += journal.metrics.wallMillis;
+            earlyStops += journal.metrics.earlyStops;
         }
         std::unordered_set<u64> seen;
         for (const store::JournalVerdict &jv : journal.verdicts) {
@@ -772,6 +800,8 @@ cmdReport(const Options &opts)
             if (jv.prov.present) {
                 ++row.withProv;
                 row.wallUs.push_back(jv.prov.wallMicros);
+                if (jv.prov.stoppedRung)
+                    ++stopped;
             }
         }
     }
@@ -826,6 +856,12 @@ cmdReport(const Options &opts)
                         name.c_str());
     }
     verdicts.print();
+
+    if (stopped || earlyStops)
+        std::printf("early stops: %llu verdict(s) fabricated at a "
+                    "converged rung (metrics record: %llu)\n",
+                    static_cast<unsigned long long>(stopped),
+                    static_cast<unsigned long long>(earlyStops));
 
     // Machine-greppable summary, consumed by the observability smoke
     // test's "phases sum to ~campaign wall-clock" check.

@@ -61,7 +61,7 @@ const cli::Tool kTool = {
     "  campaign: [--faults N] [--seed S]\n"
     "            [--model transient|stuck-at-0|stuck-at-1]\n"
     "            [--ladder N|auto|off] [--prune] [--hvf]\n"
-    "            [--no-early-term]\n"
+    "            [--no-early-term] [--early-stop on|off|auto]\n"
     "  system:   [--preset P] [--config F]\n"
     "  dispatch: [--ttl-ms N]  lease TTL (default 30000)\n"
     "            [--lease N]   max faults per lease (default 8)\n"
@@ -86,6 +86,8 @@ struct Options
     bool earlyTerm = true;
     bool prune = false;
     unsigned ladderRungs = 0;
+    fi::CampaignOptions::EarlyStopSetting earlyStop =
+        fi::CampaignOptions::EarlyStopSetting::Off;
     u64 ttlMillis = 30'000;
     u64 leaseFaults = 8;
     u64 chunk = 16;
@@ -155,6 +157,21 @@ parseArgs(int argc, char **argv)
                         kTool, "malformed --ladder (want N, auto or "
                                "off):", spec);
             }
+        } else if (arg == "--early-stop") {
+            const std::string spec = next();
+            if (spec == "on")
+                opts.earlyStop =
+                    fi::CampaignOptions::EarlyStopSetting::On;
+            else if (spec == "off")
+                opts.earlyStop =
+                    fi::CampaignOptions::EarlyStopSetting::Off;
+            else if (spec == "auto")
+                opts.earlyStop =
+                    fi::CampaignOptions::EarlyStopSetting::Auto;
+            else
+                cli::usageError(
+                    kTool, "malformed --early-stop (want on, off or "
+                           "auto):", spec);
         } else if (arg == "--prune")
             opts.prune = true;
         else if (arg == "--hvf")
@@ -206,6 +223,7 @@ runDaemon(const Options &opts)
     copts.earlyTermination = opts.earlyTerm;
     copts.prune = opts.prune;
     copts.ladderRungs = opts.ladderRungs;
+    copts.earlyStop = opts.earlyStop;
     copts.workloadName = wl.name;
     std::string targetName = opts.target;
 
@@ -224,6 +242,10 @@ runDaemon(const Options &opts)
             static_cast<double>(meta.timeoutFactorMilli) / 1000.0;
         copts.ladderRungs = meta.ladderRungs;
         copts.prune = meta.optPrune != 0;
+        copts.earlyStop =
+            meta.optEarlyStop
+                ? fi::CampaignOptions::EarlyStopSetting::On
+                : fi::CampaignOptions::EarlyStopSetting::Off;
         targetName = meta.target;
         if (meta.model == "transient")
             copts.model = fi::FaultModel::Transient;

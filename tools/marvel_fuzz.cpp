@@ -16,7 +16,7 @@
  *   marvel-fuzz [run] --seeds A:B [--flavors all|riscv,arm,x86]
  *               [--audit-every N] [--no-shrink] [--no-determinism]
  *               [--statements N] [--max-cycles N] [--out DIR]
- *               [--ladder N] [--quiet]
+ *               [--ladder N] [--early-stop] [--quiet]
  *   marvel-fuzz dump --seed N
  *   marvel-fuzz --help | --version
  *
@@ -50,6 +50,7 @@ struct Options
     unsigned statements = 24;
     u64 maxCycles = 4'000'000;
     unsigned ladderRungs = 0;
+    bool earlyStop = false;
     std::string outDir = "results/fuzz";
     unsigned threads = 0; ///< 0 = hardware concurrency
     bool quiet = false;
@@ -61,7 +62,8 @@ const cli::Tool kTool = {
     "             [--flavors all|riscv,arm,x86] [--audit-every N]\n"
     "             [--no-shrink] [--no-determinism]\n"
     "             [--statements N] [--max-cycles N] [--out DIR]\n"
-    "             [--ladder N] [--threads N] [--quiet]\n"
+    "             [--ladder N] [--early-stop] [--threads N]\n"
+    "             [--quiet]\n"
     "       marvel-fuzz dump --seed N\n"
     "       marvel-fuzz --help | --version\n",
 };
@@ -156,6 +158,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--ladder") {
             opts.ladderRungs =
                 static_cast<unsigned>(parseU64(next("--ladder")));
+        } else if (arg == "--early-stop") {
+            opts.earlyStop = true;
         } else if (arg == "--out") {
             opts.outDir = next("--out");
         } else if (arg == "--threads") {
@@ -197,6 +201,7 @@ cmdRun(const Options &opts)
     fo.auditEvery = opts.determinism ? opts.auditEvery : 0;
     fo.audit.flavors = opts.flavors;
     fo.audit.ladderRungs = opts.ladderRungs;
+    fo.audit.earlyStop = opts.earlyStop;
     fo.outDir = opts.outDir;
     fo.threads = opts.threads;
     if (!opts.quiet) {

@@ -136,6 +136,8 @@ phaseSplit(const std::vector<obs::MetricSample> &samples,
             return "gold";
         if (phase == "rung_capture")
             return "rung";
+        if (phase == "stop_check")
+            return "stop";
         return phase;
     };
     std::string out;
@@ -167,12 +169,18 @@ renderFrame(const std::string &scrape, bool redraw)
     const double expected = campaign("marvel_campaign_expected_runs");
     const double eta = campaign("marvel_campaign_eta_seconds");
     const bool complete = campaign("marvel_campaign_complete") != 0;
+    const double stops =
+        campaign("marvel_campaign_early_stops_total");
+    std::string stopsNote;
+    if (stops > 0)
+        stopsNote = strfmt("  stops %.0f", stops);
     std::printf(
-        "campaign  %.0f/%.0f (%.1f%%)  %.1f runs/s  AVF %.2f%%  %s\n",
+        "campaign  %.0f/%.0f (%.1f%%)  %.1f runs/s  AVF %.2f%%%s  "
+        "%s\n",
         done, expected,
         expected > 0 ? 100.0 * done / expected : 0.0,
         campaign("marvel_campaign_runs_per_second"),
-        100.0 * campaign("marvel_campaign_avf"),
+        100.0 * campaign("marvel_campaign_avf"), stopsNote.c_str(),
         complete  ? "done"
         : eta > 0 ? strfmt("eta %.0fs", eta).c_str()
                   : "eta ?");
