@@ -31,6 +31,11 @@
 #                   daemon's journal meta). When `on`, the distributed
 #                   journal must also show at least one stopped run —
 #                   a smoke that never stops proves nothing.
+#   SMOKE_FAULT_MODEL  fault-model spec shared by BOTH runs (e.g.
+#                   'correlated roww=1,3 colw=1,2,4,2'); the spec is
+#                   campaign identity like the seed, and workers pick
+#                   it up from the daemon's journal meta — no worker
+#                   flag exists, which is exactly what this exercises.
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -51,6 +56,9 @@ CAMPAIGN=("${WORKLOAD[@]}" --target "${SMOKE_TARGET:-prf-int}"
           --faults "${SMOKE_FAULTS:-96}" --seed "${SMOKE_SEED:-424242}")
 if [ -n "${SMOKE_LADDER:-}" ]; then
     CAMPAIGN+=(--ladder "$SMOKE_LADDER")
+fi
+if [ -n "${SMOKE_FAULT_MODEL:-}" ]; then
+    CAMPAIGN+=(--fault-model "$SMOKE_FAULT_MODEL")
 fi
 DAEMON_FLAGS=()
 if [ -n "${SMOKE_EARLY_STOP:-}" ]; then
@@ -108,6 +116,16 @@ if [ "${SMOKE_EARLY_STOP:-}" = "on" ]; then
             "$WORK/dist.jsonl") early-stopped runs"
     else
         echo "FAIL: --early-stop on but no run ever stopped at a rung"
+        exit 1
+    fi
+fi
+
+if [ -n "${SMOKE_FAULT_MODEL:-}" ]; then
+    echo "== non-vacuity: the spec must be journaled campaign identity =="
+    if grep -q '"faultModel":' "$WORK/dist.jsonl"; then
+        echo "distributed journal records the fault-model spec"
+    else
+        echo "FAIL: SMOKE_FAULT_MODEL set but no faultModel in the meta"
         exit 1
     fi
 fi

@@ -166,31 +166,30 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
 {
     RunVerdict verdict;
 
-    // Split the mask before restoring anything: permanent faults
-    // inject at the window start, so only all-transient masks may
-    // fast-forward from a ladder rung.
-    std::vector<FaultSpec> pending;
-    std::vector<FaultSpec> permanents;
-    for (const FaultSpec &f : mask.faults) {
-        if (f.model == FaultModel::Transient)
-            pending.push_back(f);
-        else
-            permanents.push_back(f);
-    }
-    std::sort(pending.begin(), pending.end(),
-              [](const FaultSpec &a, const FaultSpec &b) {
-                  return a.injectCycle < b.injectCycle;
-              });
+    // Order every fault by its injection (onset) cycle. Transients
+    // flip once at that cycle; stuck-at faults apply their constraint
+    // from it onward. Legacy Single-kind stuck-at faults carry cycle
+    // 0 and so still act from the window start.
+    std::vector<FaultSpec> pending = mask.faults;
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const FaultSpec &a, const FaultSpec &b) {
+                         return a.injectCycle < b.injectCycle;
+                     });
+    bool hasPermanent = false;
+    for (const FaultSpec &f : pending)
+        hasPermanent |= f.model != FaultModel::Transient;
 
     // Fast-forward: restore the latest rung at-or-before the first
     // injection (equality included — the fault lands before the tick
     // of its cycle). The rung state is bit-identical to ticking there
-    // from the window start, so every verdict field below is
-    // unaffected; lineage runs stay on the slow path so taint setup
-    // sees the whole window.
+    // from the window start, and no fault — transient flip or
+    // stuck-at onset — has acted before its injection cycle, so every
+    // verdict field below is unaffected; lineage runs stay on the
+    // slow path so taint setup sees the whole window. Cycle-0 faults
+    // (all legacy stuck-ats) precede every rung and never
+    // fast-forward.
     const LadderRung *rung = nullptr;
-    if (options.useLadder && !options.lineage && permanents.empty() &&
-        !pending.empty())
+    if (options.useLadder && !options.lineage && !pending.empty())
         rung = golden.rungAtOrBefore(pending.front().injectCycle);
 
     soc::System sys = [&]() {
@@ -213,7 +212,7 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
     // a stop-check only pays for the full structural comparison when
     // the faulty run's commit count matches the golden rung's.
     const bool stopChecks = options.earlyStop != EarlyStopMode::Off &&
-                            !options.lineage && permanents.empty() &&
+                            !options.lineage && !hasPermanent &&
                             !golden.ladder.empty();
     std::size_t nextRung = 0;
     if (stopChecks) {
@@ -230,25 +229,28 @@ runWithFault(const GoldenRun &golden, const FaultMask &mask,
         sys.cpu.lineageOut = options.lineage;
         sys.cluster.setLineage(options.lineage);
     }
-    for (const FaultSpec &f : permanents) {
-        injectFault(sys, f);
-        if (options.lineage)
-            seedLineage(sys, f);
-    }
-
     const Cycle timeoutAt = static_cast<Cycle>(
         static_cast<double>(golden.totalCycles) *
             options.timeoutFactor +
         200'000.0);
-    const bool transientMask = !pending.empty();
+    const bool transientMask = !pending.empty() && !hasPermanent;
     std::size_t nextFault = 0;
     bool anyHitInvalid = false;
 
-    // Inject one transient fault, noting the paper's invalid-entry
-    // optimization: a flip into an invalid/unused entry is dead on
-    // arrival (the next fill overwrites it), so mark it vanished and
-    // let the early-termination check cash the verdict in.
+    // Inject one fault when its cycle comes due. Stuck-at onsets
+    // apply their constraint from here on with no liveness check (a
+    // stuck bit in a dead entry still pins every later fill). For
+    // transients, note the paper's invalid-entry optimization: a flip
+    // into an invalid/unused entry is dead on arrival (the next fill
+    // overwrites it), so mark it vanished and let the
+    // early-termination check cash the verdict in.
     auto placeFault = [&](const FaultSpec &fault) {
+        if (fault.model != FaultModel::Transient) {
+            injectFault(sys, fault);
+            if (options.lineage)
+                seedLineage(sys, fault);
+            return;
+        }
         const bool live = entryLive(sys, fault);
         injectFault(sys, fault);
         if (options.lineage)
@@ -549,6 +551,17 @@ TargetProfile::prunable(const FaultSpec &fault) const
            AccessProfiler::Fate::Dead;
 }
 
+bool
+TargetProfile::prunable(const FaultMask &mask) const
+{
+    if (!profiler_ || mask.empty())
+        return false;
+    for (const FaultSpec &fault : mask.faults)
+        if (!prunable(fault))
+            return false;
+    return true;
+}
+
 TargetProfile
 profileTargetAccesses(const GoldenRun &golden, const TargetRef &target)
 {
@@ -650,6 +663,56 @@ CampaignResult::addCounts(const CampaignResult &other)
     hvfCorruptions += other.hvfCorruptions;
 }
 
+std::vector<Cycle>
+resolvePcCycles(const GoldenRun &golden, u64 pcLo, u64 pcHi)
+{
+    std::vector<Cycle> cycles;
+    soc::System sys = golden.checkpoint.restore();
+    std::vector<cpu::CommitRecord> trace;
+    sys.cpu.traceOut = &trace;
+    std::size_t seen = 0;
+    Cycle cursor = 0;
+    while (cursor < golden.windowCycles) {
+        sys.tick();
+        ++cursor;
+        sys.cpu.checkpointRequest = false;
+        sys.cpu.switchCpuRequest = false;
+        if (sys.exited || sys.cpu.crashed() || sys.cluster.errored())
+            fatal("resolvePcCycles: fault-free replay ended at cycle "
+                  "%llu inside the injection window (%s)",
+                  (unsigned long long)cursor,
+                  sys.crashReason().c_str());
+        bool hit = false;
+        for (; seen < trace.size(); ++seen)
+            hit |= trace[seen].pc >= pcLo && trace[seen].pc <= pcHi;
+        // The tick that just ran sees faults injected at cursor - 1,
+        // so that cycle is the last chance to corrupt the matching
+        // instruction while it is still in flight.
+        if (hit)
+            cycles.push_back(cursor - 1);
+    }
+    return cycles;
+}
+
+FaultSampler
+makeSampler(const GoldenRun &golden, FaultModel base,
+            const FaultModelSpec &spec)
+{
+    FaultSampler sampler;
+    sampler.base = base;
+    sampler.spec = spec;
+    if (spec.kind == ModelKind::Targeted && spec.filter.hasPc()) {
+        sampler.pcCycles = resolvePcCycles(golden, spec.filter.pcLo,
+                                           spec.filter.pcHi);
+        if (sampler.pcCycles.empty())
+            fatal("fault model: pc filter 0x%llx:0x%llx matched no "
+                  "commit in the injection window",
+                  (unsigned long long)spec.filter.pcLo,
+                  (unsigned long long)spec.filter.pcHi);
+    }
+    return sampler;
+}
+
 CampaignResult
 runCampaign(const soc::SystemConfig &config,
             const isa::Program &program, const TargetRef &target,
@@ -684,6 +747,9 @@ runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
     if (options.prune && options.model == FaultModel::Transient)
         profile = profileTargetAccesses(golden, target);
 
+    const FaultSampler sampler =
+        makeSampler(golden, options.model, options.modelSpec);
+
     unsigned threads = options.threads;
     if (threads == 0)
         threads = std::max(1u, std::thread::hardware_concurrency());
@@ -702,12 +768,11 @@ runCampaignOnGolden(const GoldenRun &golden, const TargetRef &target,
         while (const auto slot = queue.next()) {
             const u64 i = *slot;
             Rng rng = Rng::forStream(options.seed, i);
-            FaultMask mask;
-            mask.faults.push_back(randomFault(
-                rng, target, result.target.geometry,
-                golden.windowCycles, options.model));
+            const FaultMask mask =
+                sampler.sample(rng, target, result.target.geometry,
+                               golden.windowCycles);
             const RunVerdict verdict =
-                profile.valid() && profile.prunable(mask.faults[0])
+                profile.valid() && profile.prunable(mask)
                     ? prunedVerdict()
                     : runWithFault(golden, mask, runOpts);
             local.tally(verdict);

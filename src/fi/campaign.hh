@@ -28,6 +28,7 @@
 
 #include "common/faultwatch.hh"
 #include "fi/classify.hh"
+#include "fi/models.hh"
 #include "fi/targets.hh"
 #include "obs/lineage.hh"
 #include "soc/checkpoint.hh"
@@ -132,13 +133,15 @@ struct InjectionOptions
     EarlyStopAudit *auditOut = nullptr;
 
     /**
-     * Fast-forward transient runs from the golden run's checkpoint
-     * ladder: restore the nearest rung at-or-before the injection
-     * cycle instead of the window start. Cannot change any verdict
-     * field (the rung state is bit-identical to ticking from the
-     * window start), so it defaults on; it only applies to all-
-     * transient masks without lineage tracking, and is a no-op when
-     * the golden run has no ladder.
+     * Fast-forward faulty runs from the golden run's checkpoint
+     * ladder: restore the nearest rung at-or-before the earliest
+     * fault's injection cycle instead of the window start. Cannot
+     * change any verdict field (the rung state is bit-identical to
+     * ticking from the window start, and no fault — transient or
+     * stuck-at onset — has acted before its injection cycle), so it
+     * defaults on; it does not apply to lineage runs, and is a no-op
+     * when the golden run has no ladder or every fault injects before
+     * the first rung (in particular legacy cycle-0 stuck-at faults).
      */
     bool useLadder = true;
 
@@ -194,6 +197,10 @@ class TargetProfile
      */
     bool prunable(const FaultSpec &fault) const;
 
+    /** A mask prunes only when EVERY fault in it is prunable (any
+     *  live fault can perturb the others' entries). */
+    bool prunable(const FaultMask &mask) const;
+
   private:
     std::shared_ptr<AccessProfiler> profiler_;
 };
@@ -221,6 +228,16 @@ struct CampaignOptions
 {
     unsigned numFaults = 100;
     FaultModel model = FaultModel::Transient;
+
+    /**
+     * How fault indices become fault masks (fi/models.hh), layered
+     * over `model`. The default Single spec reproduces the legacy
+     * uniform single-bit draw bit-exactly. Recorded in the journal
+     * meta (canonical string; omitted when Single) and enforced on
+     * resume/replay/merge/dispatch like the seed.
+     */
+    FaultModelSpec modelSpec;
+
     u64 seed = 0x5eed;
     bool earlyTermination = true;
     bool computeHvf = false;
@@ -383,6 +400,23 @@ resolveEarlyStop(CampaignOptions::EarlyStopSetting setting,
     }
     return EarlyStopMode::Off;
 }
+
+/**
+ * Window-relative cycles at which an instruction whose PC lies in
+ * [pcLo, pcHi] commits, resolved by one extra deterministic fault-free
+ * replay of the injection window. Feeds FaultSampler::pcCycles for
+ * Targeted specs with a PC range.
+ */
+std::vector<Cycle> resolvePcCycles(const GoldenRun &golden, u64 pcLo,
+                                   u64 pcHi);
+
+/**
+ * Bind a model spec to a golden run: resolves the PC-candidate cycles
+ * for Targeted-with-PC specs (fatal when the range matches no commit
+ * in the window) and returns a sampler ready for per-index draws.
+ */
+FaultSampler makeSampler(const GoldenRun &golden, FaultModel base,
+                         const FaultModelSpec &spec);
 
 /** Run a complete campaign from scratch. */
 CampaignResult runCampaign(const soc::SystemConfig &config,

@@ -1,0 +1,419 @@
+#include "fi/models.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace marvel::fi
+{
+
+const char *
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Single: return "single";
+      case ModelKind::Burst: return "burst";
+      case ModelKind::Scatter: return "scatter";
+      case ModelKind::Correlated: return "correlated";
+      case ModelKind::Targeted: return "targeted";
+    }
+    return "?";
+}
+
+namespace
+{
+
+ModelKind
+modelKindFromName(const std::string &name)
+{
+    for (int i = 0; i <= static_cast<int>(ModelKind::Targeted); ++i) {
+        const ModelKind kind = static_cast<ModelKind>(i);
+        if (name == modelKindName(kind))
+            return kind;
+    }
+    fatal("fault model: unknown kind '%s'", name.c_str());
+}
+
+u64
+parseNumber(const std::string &token, const char *what)
+{
+    char *end = nullptr;
+    const u64 value = std::strtoull(token.c_str(), &end, 0);
+    if (end == token.c_str() || *end != '\0')
+        fatal("fault model: bad %s '%s'", what, token.c_str());
+    return value;
+}
+
+std::vector<u32>
+parseWeights(const std::string &token, const char *what)
+{
+    std::vector<u32> weights;
+    std::istringstream in(token);
+    std::string item;
+    while (std::getline(in, item, ','))
+        weights.push_back(
+            static_cast<u32>(parseNumber(item, what)));
+    if (weights.empty())
+        fatal("fault model: empty %s list", what);
+    bool any = false;
+    for (const u32 w : weights)
+        any |= w != 0;
+    if (!any)
+        fatal("fault model: all-zero %s weights", what);
+    return weights;
+}
+
+void
+parseRange(const std::string &token, const char *what, u64 &lo,
+           u64 &hi)
+{
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos)
+        fatal("fault model: %s range '%s' is not LO:HI", what,
+              token.c_str());
+    lo = parseNumber(token.substr(0, colon), what);
+    hi = parseNumber(token.substr(colon + 1), what);
+    if (lo > hi)
+        fatal("fault model: empty %s range '%s'", what,
+              token.c_str());
+}
+
+std::string
+weightsToString(const std::vector<u32> &weights)
+{
+    std::string out;
+    for (const u32 w : weights) {
+        if (!out.empty())
+            out += ',';
+        out += strfmt("%u", w);
+    }
+    return out;
+}
+
+} // namespace
+
+CorrelatedMap
+CorrelatedMap::parseText(const std::string &text)
+{
+    CorrelatedMap map;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string directive;
+        if (!(ls >> directive))
+            continue;
+        std::vector<u32> *axis = nullptr;
+        if (directive == "row")
+            axis = &map.rowWeights;
+        else if (directive == "col")
+            axis = &map.colWeights;
+        else
+            fatal("fault map: unknown directive '%s'",
+                  directive.c_str());
+        if (!axis->empty())
+            fatal("fault map: duplicate '%s' line",
+                  directive.c_str());
+        std::string token;
+        while (ls >> token)
+            axis->push_back(
+                static_cast<u32>(parseNumber(token, "weight")));
+        if (axis->empty())
+            fatal("fault map: '%s' line holds no weights",
+                  directive.c_str());
+        bool any = false;
+        for (const u32 w : *axis)
+            any |= w != 0;
+        if (!any)
+            fatal("fault map: all-zero '%s' weights",
+                  directive.c_str());
+    }
+    if (map.empty())
+        fatal("fault map: no row/col weights found");
+    return map;
+}
+
+CorrelatedMap
+CorrelatedMap::parseFile(const std::string &path)
+{
+    FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("fault map: cannot open '%s'", path.c_str());
+    std::string text;
+    char buffer[4096];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        text.append(buffer, got);
+    std::fclose(file);
+    return parseText(text);
+}
+
+std::string
+FaultModelSpec::toString() const
+{
+    switch (kind) {
+      case ModelKind::Single:
+        return "";
+      case ModelKind::Burst:
+        return strfmt("burst k=%u", k);
+      case ModelKind::Scatter:
+        return strfmt("scatter k=%u", k);
+      case ModelKind::Correlated: {
+        std::string out = "correlated";
+        if (!map.rowWeights.empty())
+            out += " roww=" + weightsToString(map.rowWeights);
+        if (!map.colWeights.empty())
+            out += " colw=" + weightsToString(map.colWeights);
+        return out;
+      }
+      case ModelKind::Targeted: {
+        std::string out = "targeted";
+        if (filter.entryLo != 0 ||
+            filter.entryHi != TargetFilter::kNoLimit)
+            out += strfmt(" entry=%u:%u", filter.entryLo,
+                          filter.entryHi);
+        if (filter.bitLo != 0 ||
+            filter.bitHi != TargetFilter::kNoLimit)
+            out += strfmt(" bit=%u:%u", filter.bitLo, filter.bitHi);
+        if (filter.cycleLo != 0 ||
+            filter.cycleHi != TargetFilter::kNoCycleLimit)
+            out += strfmt(
+                " cycle=%llu:%llu",
+                static_cast<unsigned long long>(filter.cycleLo),
+                static_cast<unsigned long long>(filter.cycleHi));
+        if (filter.hasPc())
+            out += strfmt(
+                " pc=0x%llx:0x%llx",
+                static_cast<unsigned long long>(filter.pcLo),
+                static_cast<unsigned long long>(filter.pcHi));
+        return out;
+      }
+    }
+    fatal("fault model: unhandled kind %d", static_cast<int>(kind));
+}
+
+FaultModelSpec
+FaultModelSpec::parse(const std::string &text)
+{
+    FaultModelSpec spec;
+    std::istringstream in(text);
+    std::string kindName;
+    if (!(in >> kindName))
+        return spec; // empty/blank = legacy Single
+    spec.kind = modelKindFromName(kindName);
+    std::string kv;
+    while (in >> kv) {
+        const std::size_t eq = kv.find('=');
+        if (eq == std::string::npos)
+            fatal("fault model: bad token '%s'", kv.c_str());
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "k" && (spec.kind == ModelKind::Burst ||
+                           spec.kind == ModelKind::Scatter)) {
+            spec.k = static_cast<unsigned>(parseNumber(value, "k"));
+        } else if (key == "roww" &&
+                   spec.kind == ModelKind::Correlated) {
+            spec.map.rowWeights = parseWeights(value, "roww");
+        } else if (key == "colw" &&
+                   spec.kind == ModelKind::Correlated) {
+            spec.map.colWeights = parseWeights(value, "colw");
+        } else if (key == "entry" &&
+                   spec.kind == ModelKind::Targeted) {
+            u64 lo, hi;
+            parseRange(value, "entry", lo, hi);
+            spec.filter.entryLo = static_cast<u32>(lo);
+            spec.filter.entryHi = static_cast<u32>(hi);
+        } else if (key == "bit" && spec.kind == ModelKind::Targeted) {
+            u64 lo, hi;
+            parseRange(value, "bit", lo, hi);
+            spec.filter.bitLo = static_cast<u32>(lo);
+            spec.filter.bitHi = static_cast<u32>(hi);
+        } else if (key == "cycle" &&
+                   spec.kind == ModelKind::Targeted) {
+            parseRange(value, "cycle", spec.filter.cycleLo,
+                       spec.filter.cycleHi);
+        } else if (key == "pc" && spec.kind == ModelKind::Targeted) {
+            parseRange(value, "pc", spec.filter.pcLo,
+                       spec.filter.pcHi);
+        } else {
+            fatal("fault model: unknown key '%s' for kind '%s'",
+                  key.c_str(), modelKindName(spec.kind));
+        }
+    }
+    if ((spec.kind == ModelKind::Burst ||
+         spec.kind == ModelKind::Scatter) &&
+        spec.k == 0)
+        fatal("fault model: k must be >= 1");
+    if (spec.kind == ModelKind::Correlated && spec.map.empty())
+        fatal("fault model: correlated needs roww and/or colw");
+    if (spec.kind == ModelKind::Targeted &&
+        !spec.filter.constrained())
+        fatal("fault model: targeted needs at least one of "
+              "entry/bit/cycle/pc");
+    return spec;
+}
+
+FaultModelSpec
+FaultModelSpec::fromConfig(const ConfigFile &config)
+{
+    const ConfigFile::Section *section = config.first("fault_model");
+    if (!section)
+        return {};
+    // Build the canonical token stream and reuse the string parser so
+    // config files and --fault-model share one validation path.
+    std::string text = section->get("kind", "single");
+    if (section->has("k"))
+        text += " k=" + section->get("k");
+    if (section->has("map")) {
+        const CorrelatedMap map =
+            CorrelatedMap::parseFile(section->get("map"));
+        if (!map.rowWeights.empty())
+            text += " roww=" + weightsToString(map.rowWeights);
+        if (!map.colWeights.empty())
+            text += " colw=" + weightsToString(map.colWeights);
+    }
+    for (const char *key : {"roww", "colw", "entry", "bit", "cycle",
+                            "pc"})
+        if (section->has(key))
+            text += strfmt(" %s=%s", key,
+                           section->get(key).c_str());
+    FaultModelSpec spec = parse(text);
+    if (spec.legacy() && text != "single")
+        fatal("fault model: [fault_model] keys need kind != single");
+    return spec;
+}
+
+u64
+weightedIndex(Rng &rng, u64 n, const std::vector<u32> &weights)
+{
+    if (n == 0)
+        fatal("weightedIndex: empty domain");
+    if (weights.empty())
+        return rng.below(n);
+    const u64 r = weights.size();
+    u64 total = 0;
+    for (u64 i = 0; i < r && i < n; ++i) {
+        const u64 cnt = n / r + (i < n % r ? 1 : 0);
+        total += cnt * weights[i];
+    }
+    if (total == 0)
+        fatal("weightedIndex: all weights zero over the domain");
+    u64 x = rng.below(total);
+    for (u64 i = 0; i < r && i < n; ++i) {
+        const u64 cnt = n / r + (i < n % r ? 1 : 0);
+        const u64 share = cnt * weights[i];
+        if (weights[i] > 0 && x < share)
+            return (x / weights[i]) * r + i;
+        x -= share;
+    }
+    fatal("weightedIndex: draw out of range"); // unreachable
+}
+
+FaultMask
+FaultSampler::sample(Rng &rng, const TargetRef &target,
+                     const TargetGeometry &geometry,
+                     Cycle windowCycles) const
+{
+    if (geometry.entries == 0 || geometry.bitsPerEntry == 0)
+        fatal("fault model: empty target geometry");
+    FaultMask mask;
+    auto drawCycle = [&]() -> Cycle {
+        return windowCycles > 0 ? rng.below(windowCycles) : 0;
+    };
+    auto push = [&](u32 entry, u32 bit, Cycle when) {
+        FaultSpec f;
+        f.target = target;
+        f.entry = entry;
+        f.bit = bit;
+        f.model = base;
+        f.injectCycle = when;
+        mask.faults.push_back(f);
+    };
+    switch (spec.kind) {
+      case ModelKind::Single:
+        mask.faults.push_back(randomFault(rng, target, geometry,
+                                          windowCycles, base));
+        return mask;
+      case ModelKind::Burst: {
+        const u32 entry =
+            static_cast<u32>(rng.below(geometry.entries));
+        const u32 start =
+            static_cast<u32>(rng.below(geometry.bitsPerEntry));
+        const Cycle when = drawCycle();
+        // Wrapping past the entry width would flip a bit twice (a
+        // net no-op for transients), so the burst caps at the width.
+        const unsigned width =
+            std::min<u64>(spec.k, geometry.bitsPerEntry);
+        for (unsigned i = 0; i < width; ++i)
+            push(entry, (start + i) % geometry.bitsPerEntry, when);
+        return mask;
+      }
+      case ModelKind::Scatter: {
+        const Cycle when = drawCycle();
+        for (unsigned i = 0; i < spec.k; ++i)
+            push(static_cast<u32>(rng.below(geometry.entries)),
+                 static_cast<u32>(rng.below(geometry.bitsPerEntry)),
+                 when);
+        return mask;
+      }
+      case ModelKind::Correlated: {
+        const u32 entry = static_cast<u32>(weightedIndex(
+            rng, geometry.entries, spec.map.rowWeights));
+        const u32 bit = static_cast<u32>(weightedIndex(
+            rng, geometry.bitsPerEntry, spec.map.colWeights));
+        push(entry, bit, drawCycle());
+        return mask;
+      }
+      case ModelKind::Targeted: {
+        const TargetFilter &f = spec.filter;
+        const u32 entryHi =
+            std::min(f.entryHi, geometry.entries - 1);
+        const u32 bitHi =
+            std::min(f.bitHi, geometry.bitsPerEntry - 1);
+        if (f.entryLo > entryHi)
+            fatal("fault model: entry filter %u:%u misses the "
+                  "target (%u entries)",
+                  f.entryLo, f.entryHi, geometry.entries);
+        if (f.bitLo > bitHi)
+            fatal("fault model: bit filter %u:%u misses the target "
+                  "(%u bits/entry)",
+                  f.bitLo, f.bitHi, geometry.bitsPerEntry);
+        const u32 entry =
+            f.entryLo + static_cast<u32>(
+                            rng.below(entryHi - f.entryLo + 1));
+        const u32 bit =
+            f.bitLo +
+            static_cast<u32>(rng.below(bitHi - f.bitLo + 1));
+        Cycle when = 0;
+        if (f.hasPc()) {
+            if (pcCycles.empty())
+                fatal("fault model: pc filter 0x%llx:0x%llx matched "
+                      "no commit in the window",
+                      static_cast<unsigned long long>(f.pcLo),
+                      static_cast<unsigned long long>(f.pcHi));
+            when = pcCycles[rng.below(pcCycles.size())];
+        } else if (windowCycles > 0) {
+            const Cycle hi =
+                std::min(f.cycleHi, windowCycles - 1);
+            if (f.cycleLo > hi)
+                fatal("fault model: cycle filter %llu:%llu misses "
+                      "the window (%llu cycles)",
+                      static_cast<unsigned long long>(f.cycleLo),
+                      static_cast<unsigned long long>(f.cycleHi),
+                      static_cast<unsigned long long>(windowCycles));
+            when = f.cycleLo + rng.below(hi - f.cycleLo + 1);
+        }
+        push(entry, bit, when);
+        return mask;
+      }
+    }
+    fatal("fault model: unhandled kind %d",
+          static_cast<int>(spec.kind));
+}
+
+} // namespace marvel::fi

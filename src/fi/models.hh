@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Pluggable fault-model layer (paper SIV-A1 + InjectV-style attacks).
+ *
+ * A FaultModelSpec describes HOW a fault index is turned into a
+ * FaultMask, on top of the base FaultModel (transient / stuck-at):
+ *
+ *  - Single:     the legacy uniform single-bit draw. Canonical spec
+ *                string is empty; journals written without a
+ *                "faultModel" meta field mean exactly this model, so
+ *                pre-fault-model journals keep replaying bit-exactly.
+ *  - Burst:      k contiguous bits of one entry flip together (one
+ *                shared cycle); bits wrap modulo bitsPerEntry.
+ *  - Scatter:    k independent (entry, bit) draws, one shared cycle.
+ *  - Correlated: the (entry, bit) draw is weighted by a separable
+ *                row/column probability map (undervolted-SRAM style
+ *                position dependence). Weights are integers so the
+ *                sampler never round-trips through floating point.
+ *  - Targeted:   draws constrained to entry/bit/cycle ranges and,
+ *                optionally, to the commit cycles of a PC range
+ *                (InjectV-style skip/flip scenarios).
+ *
+ * Every kind is a pure function of (Rng stream, spec, geometry,
+ * window): the spec's canonical string travels in the journal meta and
+ * lets resume, replay, shard merge, and distributed workers re-derive
+ * the identical mask for any fault index.
+ *
+ * Under every non-Single kind, stuck-at faults are full citizens of
+ * the checkpoint ladder: they carry a sampled onset cycle exactly like
+ * transients, so runWithFault may fast-forward to the rung at-or-
+ * before the onset and apply the stuck-at constraint from there (the
+ * pre-onset trajectory is fault-free by construction). The Single kind
+ * keeps the legacy behaviour — stuck-at from cycle 0, never
+ * fast-forwarded — so old journals and seeds stay valid.
+ */
+
+#ifndef MARVEL_FI_MODELS_HH
+#define MARVEL_FI_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fi/fault.hh"
+
+namespace marvel::fi
+{
+
+/** How fault indices map to fault masks (layered over FaultModel). */
+enum class ModelKind : u8
+{
+    Single,     ///< legacy uniform single-bit (canonical spec "")
+    Burst,      ///< k adjacent bits of one entry, one cycle
+    Scatter,    ///< k independent bits of one structure, one cycle
+    Correlated, ///< row/column-weighted single-bit draw
+    Targeted,   ///< single-bit draw constrained to ranges / a PC set
+};
+
+const char *modelKindName(ModelKind kind);
+
+/**
+ * Separable per-bit weight map: the weight of (entry e, bit b) is
+ * rowWeights[e % rows] * colWeights[b % cols]. Either vector may be
+ * empty, meaning uniform along that axis. Weights are plain integers;
+ * a weight of 0 excludes the row/column entirely.
+ */
+struct CorrelatedMap
+{
+    std::vector<u32> rowWeights; ///< tiles over entries
+    std::vector<u32> colWeights; ///< tiles over bits
+
+    bool
+    empty() const
+    {
+        return rowWeights.empty() && colWeights.empty();
+    }
+
+    bool operator==(const CorrelatedMap &) const = default;
+
+    /**
+     * Load from a map file: '#' comments, plus lines
+     *   row W0 W1 ... Wn   (rowWeights; tile size = value count)
+     *   col W0 W1 ... Wn   (colWeights)
+     * Each directive may appear at most once; fatal() on anything
+     * malformed or an all-zero axis.
+     */
+    static CorrelatedMap parseFile(const std::string &path);
+    static CorrelatedMap parseText(const std::string &text);
+};
+
+/** Inclusive draw constraints for the Targeted kind. */
+struct TargetFilter
+{
+    static constexpr u32 kNoLimit = ~0u;
+    static constexpr Cycle kNoCycleLimit = ~0ull;
+
+    u32 entryLo = 0, entryHi = kNoLimit;
+    u32 bitLo = 0, bitHi = kNoLimit;
+    Cycle cycleLo = 0, cycleHi = kNoCycleLimit;
+    /** PC range; active iff pcLo <= pcHi (default inactive). */
+    u64 pcLo = 1, pcHi = 0;
+
+    bool hasPc() const { return pcLo <= pcHi; }
+
+    bool
+    constrained() const
+    {
+        return hasPc() || entryLo != 0 || entryHi != kNoLimit ||
+               bitLo != 0 || bitHi != kNoLimit || cycleLo != 0 ||
+               cycleHi != kNoCycleLimit;
+    }
+
+    bool operator==(const TargetFilter &) const = default;
+};
+
+/**
+ * Complete sampling recipe. The canonical string form round-trips
+ * through parse() and is what journals record; the Single kind
+ * canonicalizes to the empty string (= the legacy format).
+ */
+struct FaultModelSpec
+{
+    ModelKind kind = ModelKind::Single;
+    unsigned k = 1;      ///< Burst/Scatter arity (>= 1)
+    CorrelatedMap map;   ///< Correlated only
+    TargetFilter filter; ///< Targeted only
+
+    bool legacy() const { return kind == ModelKind::Single; }
+
+    bool operator==(const FaultModelSpec &) const = default;
+
+    /**
+     * Canonical one-line form, e.g. "burst k=3",
+     * "correlated roww=1,3 colw=1,2,4,2",
+     * "targeted entry=2:5 pc=0x1000:0x1040". Empty for Single.
+     */
+    std::string toString() const;
+
+    /** Inverse of toString(); fatal() on malformed input. */
+    static FaultModelSpec parse(const std::string &text);
+
+    /**
+     * Build from the [fault_model] config section (absent section =
+     * Single). Keys: kind, k, map (file path), roww/colw (inline
+     * comma-separated weights), entry/bit/cycle/pc ("LO:HI" ranges).
+     */
+    static FaultModelSpec fromConfig(const ConfigFile &config);
+};
+
+/**
+ * A spec bound to its resolved PC-candidate cycles, ready to sample.
+ * For Targeted specs with a PC range, pcCycles must hold the
+ * window-relative cycles at which a matching instruction commits
+ * (resolved once per golden run by fi::makeSampler); it is unused
+ * otherwise.
+ */
+struct FaultSampler
+{
+    FaultModel base = FaultModel::Transient;
+    FaultModelSpec spec;
+    std::vector<Cycle> pcCycles;
+
+    /**
+     * Draw one fault mask. Deterministic: consumes a fixed number of
+     * rng draws per (spec, geometry), so fault index i is always the
+     * same experiment. Under non-Single kinds, stuck-at bases receive
+     * a sampled onset cycle (see file header).
+     */
+    FaultMask sample(Rng &rng, const TargetRef &target,
+                     const TargetGeometry &geometry,
+                     Cycle windowCycles) const;
+};
+
+/**
+ * Weighted index draw used by the Correlated kind: picks i in [0, n)
+ * with probability proportional to weights[i % weights.size()]
+ * (uniform when weights is empty). Exposed for the statistical tests.
+ */
+u64 weightedIndex(Rng &rng, u64 n, const std::vector<u32> &weights);
+
+} // namespace marvel::fi
+
+#endif // MARVEL_FI_MODELS_HH

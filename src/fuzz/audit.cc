@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/bits.hh"
+#include "common/log.hh"
 #include "fi/campaign.hh"
 #include "fi/fault.hh"
 #include "fi/targets.hh"
@@ -187,12 +188,25 @@ auditDeterminism(const mir::Module &module, u64 seed,
             }
         }
 
-        // 4. Faulty-run determinism through checkpoint restore.
+        // 4. Faulty-run determinism through checkpoint restore. Model
+        // slot 0 is the legacy single-bit derivation (its RNG stream
+        // is unchanged from pre-fault-model audits); each extra spec
+        // re-derives masks on its own stream and runs the same
+        // checks.
+        std::vector<std::pair<std::string, fi::FaultSampler>>
+            samplers;
+        samplers.emplace_back("", fi::FaultSampler{});
+        for (const std::string &specText : options.faultModels)
+            samplers.emplace_back(
+                specText,
+                fi::makeSampler(g1, fi::FaultModel::Transient,
+                                fi::FaultModelSpec::parse(specText)));
         const unsigned nTargets =
             sizeof(kAuditTargets) / sizeof(kAuditTargets[0]);
+        for (unsigned m = 0; m < samplers.size(); ++m)
         for (unsigned i = 0; i < options.faultsPerIsa; ++i) {
             Rng rng = Rng::forStream(
-                seed, (u64(kind) << 32) | i);
+                seed, (u64(kind) << 32) | (u64(m) << 20) | i);
             fi::TargetRef ref;
             ref.id = kAuditTargets[rng.below(nTargets)];
             const fi::TargetInfo info =
@@ -200,9 +214,16 @@ auditDeterminism(const mir::Module &module, u64 seed,
             if (info.geometry.totalBits() == 0)
                 continue;
             fi::FaultMask mask;
-            mask.faults.push_back(fi::randomFault(
-                rng, ref, info.geometry, g1.windowCycles,
-                fi::FaultModel::Transient));
+            try {
+                mask = samplers[m].second.sample(
+                    rng, ref, info.geometry, g1.windowCycles);
+            } catch (const FatalError &) {
+                continue; // spec inapplicable to this structure
+            }
+            const std::string where =
+                samplers[m].first.empty()
+                    ? info.name
+                    : info.name + " [" + samplers[m].first + "]";
 
             fi::InjectionOptions opts;
             opts.computeHvf = true;
@@ -221,7 +242,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                 std::snprintf(
                     buf, sizeof(buf),
                     "fault %u on %s: verdicts differ (%s vs %s)", i,
-                    info.name.c_str(), va.toString().c_str(),
+                    where.c_str(), va.toString().c_str(),
                     vb.toString().c_str());
                 fail(buf);
                 continue;
@@ -229,7 +250,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
             if (digestA != digestB) {
                 std::snprintf(buf, sizeof(buf),
                               "fault %u on %s: arch digests differ",
-                              i, info.name.c_str());
+                              i, where.c_str());
                 fail(buf);
             }
             const stats::DiffReport dr = stats::diff(statsA, statsB);
@@ -238,7 +259,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                     buf, sizeof(buf),
                     "fault %u on %s: stats snapshots differ "
                     "(%zu facets moved)",
-                    i, info.name.c_str(), dr.entries.size());
+                    i, where.c_str(), dr.entries.size());
                 fail(buf);
             }
 
@@ -259,7 +280,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                         buf, sizeof(buf),
                         "fault %u on %s: ladder changed the verdict "
                         "(%s vs %s)",
-                        i, info.name.c_str(), va.toString().c_str(),
+                        i, where.c_str(), va.toString().c_str(),
                         vc.toString().c_str());
                     fail(buf);
                     continue;
@@ -268,7 +289,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                     std::snprintf(buf, sizeof(buf),
                                   "fault %u on %s: ladder changed "
                                   "the final arch digest",
-                                  i, info.name.c_str());
+                                  i, where.c_str());
                     fail(buf);
                 }
                 const stats::DiffReport dl =
@@ -277,7 +298,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                     std::snprintf(buf, sizeof(buf),
                                   "fault %u on %s: ladder changed "
                                   "the stats snapshot",
-                                  i, info.name.c_str());
+                                  i, where.c_str());
                     fail(buf);
                 }
             }
@@ -308,7 +329,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                         buf, sizeof(buf),
                         "fault %u on %s: early-stop runs differ "
                         "(%s @%llu vs %s @%llu)",
-                        i, info.name.c_str(), vd.toString().c_str(),
+                        i, where.c_str(), vd.toString().c_str(),
                         (unsigned long long)vd.stoppedAt,
                         ve.toString().c_str(),
                         (unsigned long long)ve.stoppedAt);
@@ -317,7 +338,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                     std::snprintf(buf, sizeof(buf),
                                   "fault %u on %s: early-stop arch "
                                   "digests differ between runs",
-                                  i, info.name.c_str());
+                                  i, where.c_str());
                     fail(buf);
                 } else if (const stats::DiffReport de =
                                stats::diff(statsD, statsE);
@@ -325,7 +346,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                     std::snprintf(buf, sizeof(buf),
                                   "fault %u on %s: early-stop stats "
                                   "snapshots differ between runs",
-                                  i, info.name.c_str());
+                                  i, where.c_str());
                     fail(buf);
                 }
                 if (!sched::verdictsIdentical(va, vd)) {
@@ -333,7 +354,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                         buf, sizeof(buf),
                         "fault %u on %s: early stop changed the "
                         "verdict (%s vs %s)",
-                        i, info.name.c_str(), va.toString().c_str(),
+                        i, where.c_str(), va.toString().c_str(),
                         vd.toString().c_str());
                     fail(buf);
                 }
@@ -351,7 +372,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                         buf, sizeof(buf),
                         "fault %u on %s: audit-mode stop checks "
                         "perturbed the run (%s vs %s)",
-                        i, info.name.c_str(), va.toString().c_str(),
+                        i, where.c_str(), va.toString().c_str(),
                         vf.toString().c_str());
                     fail(buf);
                 } else if (audit.stopped) {
@@ -361,7 +382,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                             buf, sizeof(buf),
                             "fault %u on %s: fabricated verdict %s "
                             "!= simulated %s",
-                            i, info.name.c_str(),
+                            i, where.c_str(),
                             audit.predicted.toString().c_str(),
                             vf.toString().c_str());
                         fail(buf);
@@ -371,7 +392,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                             buf, sizeof(buf),
                             "fault %u on %s: On stopped at %llu but "
                             "Audit observed %llu",
-                            i, info.name.c_str(),
+                            i, where.c_str(),
                             (unsigned long long)vd.stoppedAt,
                             (unsigned long long)audit.stoppedAt);
                         fail(buf);
@@ -381,7 +402,7 @@ auditDeterminism(const mir::Module &module, u64 seed,
                         buf, sizeof(buf),
                         "fault %u on %s: On stopped at %llu but "
                         "Audit saw no convergence",
-                        i, info.name.c_str(),
+                        i, where.c_str(),
                         (unsigned long long)vd.stoppedAt);
                     fail(buf);
                 }

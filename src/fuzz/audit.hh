@@ -66,6 +66,17 @@ struct AuditOptions
      * real one and its stop point must match On's.
      */
     bool earlyStop = false;
+
+    /**
+     * Extra fault-model specs (fi::FaultModelSpec::parse strings) to
+     * audit ALONGSIDE the legacy single-bit derivation: every audited
+     * mask is re-derived under each listed spec and pushed through
+     * the same re-run / ladder-invisibility / early-stop
+     * cross-checks. A spec that cannot apply to a drawn structure
+     * (e.g. a targeted entry range beyond its geometry) is skipped
+     * for that draw.
+     */
+    std::vector<std::string> faultModels;
 };
 
 /** One detected nondeterminism. */

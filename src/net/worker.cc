@@ -100,6 +100,7 @@ struct CampaignContext
     fi::TargetRef target;
     fi::TargetGeometry geometry;
     fi::FaultModel model = fi::FaultModel::Transient;
+    fi::FaultSampler sampler;
     fi::InjectionOptions runOpts;
     fi::TargetProfile profile;
 };
@@ -129,6 +130,10 @@ makeContext(const store::JournalMeta &meta,
     fi::CampaignOptions copts;
     copts.numFaults = static_cast<unsigned>(meta.numFaults);
     copts.model = ctx.model;
+    // The meta's spec string (absent = legacy single-bit) is the
+    // daemon's authority on how indices expand to masks; the worker
+    // self-configures from it, so no launch flag can disagree.
+    copts.modelSpec = fi::FaultModelSpec::parse(meta.faultModel);
     copts.seed = meta.seed;
     copts.earlyTermination = meta.optEarlyTerm != 0;
     copts.computeHvf = meta.optHvf != 0;
@@ -151,6 +156,8 @@ makeContext(const store::JournalMeta &meta,
     sched::checkJournalMatches(meta, expected,
                                "dispatch " + endpoint.str());
 
+    ctx.sampler =
+        fi::makeSampler(*ctx.golden, ctx.model, copts.modelSpec);
     ctx.runOpts.earlyTermination = copts.earlyTermination;
     ctx.runOpts.computeHvf = copts.computeHvf;
     ctx.runOpts.timeoutFactor = copts.timeoutFactor;
@@ -290,7 +297,7 @@ runWorker(const WorkerConfig &config, const GoldenSource &goldenFor)
                 const auto runStart = Clock::now();
                 const fi::RunVerdict verdict = sched::runFaultIndex(
                     *ctx->golden, ctx->target, ctx->geometry,
-                    ctx->meta.seed, idx, ctx->model, ctx->runOpts,
+                    ctx->meta.seed, idx, ctx->sampler, ctx->runOpts,
                     ctx->profile);
                 const u64 runWallMicros = static_cast<u64>(
                     std::chrono::duration_cast<

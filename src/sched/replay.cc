@@ -80,13 +80,17 @@ replaySetup(const fi::GoldenRun &golden,
               info.geometry.bitsPerEntry, journalName, meta.entries,
               meta.bitsPerEntry);
 
-    // Identical derivation to the campaign worker: the fault for
-    // index i is a pure function of (seed, i) plus the geometry the
-    // journal just vouched for.
+    // Identical derivation to the campaign worker: the fault mask for
+    // index i is a pure function of (seed, i) plus the geometry and
+    // fault-model spec the journal just vouched for. An absent spec
+    // is the legacy single-bit draw.
+    const fi::FaultSampler sampler =
+        fi::makeSampler(golden, modelFromName(meta.model),
+                        fi::FaultModelSpec::parse(meta.faultModel));
     Rng rng = Rng::forStream(meta.seed, index);
-    setup.fault =
-        fi::randomFault(rng, setup.target, info.geometry,
-                        meta.windowCycles, modelFromName(meta.model));
+    setup.mask = sampler.sample(rng, setup.target, info.geometry,
+                                meta.windowCycles);
+    setup.fault = setup.mask.faults.front();
 
     setup.options.earlyTermination = meta.optEarlyTerm != 0;
     setup.options.computeHvf = meta.optHvf != 0;

@@ -33,7 +33,10 @@ namespace marvel::sched
 struct ReplaySetup
 {
     fi::TargetRef target;
-    fi::FaultSpec fault;          ///< re-derived from (seed, index)
+    fi::FaultMask mask;           ///< re-derived from (seed, index)
+                                  ///< under the journaled fault model
+    fi::FaultSpec fault;          ///< first fault of `mask` (the whole
+                                  ///< mask under the legacy model)
     fi::InjectionOptions options; ///< mirrors the journaled run
 };
 

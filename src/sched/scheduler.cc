@@ -95,6 +95,23 @@ checkJournalMatches(const store::JournalMeta &journal,
               expected.bitsPerEntry);
     if (journal.model != expected.model)
         mismatch("model", journal.model, expected.model);
+    // The fault-model spec decides how each fault index expands into a
+    // fault mask, so mixing specs silently re-maps every recorded
+    // verdict. An empty spec is the legacy uniform single-bit draw —
+    // render it as such so "journal written by an old build" reads
+    // clearly from the message.
+    if (journal.faultModel != expected.faultModel) {
+        auto render = [](const std::string &s) {
+            return s.empty() ? std::string("single (legacy)") : s;
+        };
+        fatal("sched: journal '%s' was recorded under fault model "
+              "'%s', but this run uses '%s' — the same fault indices "
+              "would expand to different fault masks (pass "
+              "--fault-model to match the journal, or start a fresh "
+              "one)",
+              path.c_str(), render(journal.faultModel).c_str(),
+              render(expected.faultModel).c_str());
+    }
     checkU64("seed", journal.seed, expected.seed);
     checkU64("faults", journal.numFaults, expected.numFaults);
     checkU64("shard", journal.shardIndex, expected.shardIndex);
@@ -193,17 +210,30 @@ fi::RunVerdict
 runFaultIndex(const fi::GoldenRun &golden,
               const fi::TargetRef &target,
               const fi::TargetGeometry &geometry, u64 seed,
-              u64 index, fi::FaultModel model,
+              u64 index, const fi::FaultSampler &sampler,
               const fi::InjectionOptions &runOpts,
               const fi::TargetProfile &profile)
 {
     Rng rng = Rng::forStream(seed, index);
-    fi::FaultMask mask;
-    mask.faults.push_back(fi::randomFault(
-        rng, target, geometry, golden.windowCycles, model));
-    if (profile.valid() && profile.prunable(mask.faults[0]))
+    const fi::FaultMask mask =
+        sampler.sample(rng, target, geometry, golden.windowCycles);
+    if (profile.valid() && profile.prunable(mask))
         return fi::prunedVerdict();
     return fi::runWithFault(golden, mask, runOpts);
+}
+
+fi::RunVerdict
+runFaultIndex(const fi::GoldenRun &golden,
+              const fi::TargetRef &target,
+              const fi::TargetGeometry &geometry, u64 seed,
+              u64 index, fi::FaultModel model,
+              const fi::InjectionOptions &runOpts,
+              const fi::TargetProfile &profile)
+{
+    fi::FaultSampler sampler;
+    sampler.base = model;
+    return runFaultIndex(golden, target, geometry, seed, index,
+                         sampler, runOpts, profile);
 }
 
 store::JournalMeta
@@ -215,6 +245,10 @@ journalMetaFor(const fi::GoldenRun &golden,
     meta.workload = options.workloadName;
     meta.target = info.name;
     meta.model = fi::faultModelName(options.model);
+    // Canonical spec string; empty for the legacy single-bit model,
+    // which keeps legacy journals byte-identical (the meta line omits
+    // the field entirely when empty).
+    meta.faultModel = options.modelSpec.toString();
     meta.seed = options.seed;
     meta.numFaults = options.numFaults;
     meta.shardIndex = options.shardIndex;
@@ -317,6 +351,12 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
     runOpts.timeoutFactor = options.timeoutFactor;
     runOpts.useLadder = options.useLadder;
     runOpts.earlyStop = fi::resolveEarlyStop(options.earlyStop, golden);
+
+    // The sampler binds the fault-model spec once (resolving any pc
+    // filter against a golden replay) so every leased index expands
+    // through the same deterministic function.
+    const fi::FaultSampler sampler =
+        fi::makeSampler(golden, options.model, options.modelSpec);
 
     // One golden-window access profile amortized over every pruned
     // fault; only the transient model can prune.
@@ -422,7 +462,7 @@ runCampaign(const fi::GoldenRun &golden, const fi::TargetRef &target,
             const auto runStart = Clock::now();
             const fi::RunVerdict verdict = runFaultIndex(
                 golden, target, result.target.geometry,
-                options.seed, i, options.model, runOpts, profile);
+                options.seed, i, sampler, runOpts, profile);
             const u64 runWallMicros = static_cast<u64>(
                 secondsSince(runStart) * 1e6);
             const bool wasPruned =
@@ -611,6 +651,21 @@ mergeJournals(const std::vector<std::string> &journalPaths)
                       "campaign than '%s'",
                       journalPaths[p].c_str(),
                       journalPaths[0].c_str());
+            // Spec mismatch gets its own message naming both models:
+            // the verdict counts would merge cleanly but describe two
+            // different fault populations.
+            if (meta.faultModel != first.faultModel)
+                fatal("sched: journal '%s' was recorded under fault "
+                      "model '%s', but '%s' uses '%s' — shards of one "
+                      "campaign must share the fault-model spec",
+                      journalPaths[p].c_str(),
+                      meta.faultModel.empty()
+                          ? "single (legacy)"
+                          : meta.faultModel.c_str(),
+                      journalPaths[0].c_str(),
+                      first.faultModel.empty()
+                          ? "single (legacy)"
+                          : first.faultModel.c_str());
         }
         for (const store::JournalVerdict &jv : journal.verdicts) {
             if (jv.idx >= meta.numFaults)

@@ -68,6 +68,15 @@ fi::RunVerdict runFaultIndex(const fi::GoldenRun &golden,
                              const fi::TargetRef &target,
                              const fi::TargetGeometry &geometry,
                              u64 seed, u64 index,
+                             const fi::FaultSampler &sampler,
+                             const fi::InjectionOptions &runOpts,
+                             const fi::TargetProfile &profile);
+
+/** Legacy-model convenience: a Single-kind sampler over `model`. */
+fi::RunVerdict runFaultIndex(const fi::GoldenRun &golden,
+                             const fi::TargetRef &target,
+                             const fi::TargetGeometry &geometry,
+                             u64 seed, u64 index,
                              fi::FaultModel model,
                              const fi::InjectionOptions &runOpts,
                              const fi::TargetProfile &profile);
@@ -87,8 +96,9 @@ store::VerdictProvenance runProvenance(const fi::GoldenRun &golden,
 
 /**
  * fatal() unless `journal` (read from `path`) records the same
- * campaign identity as `expected`: target, model, seed, sample size,
- * shard, golden digest/window, and every verdict-shaping run option
+ * campaign identity as `expected`: target, model, fault-model spec
+ * (absent = legacy single-bit), seed, sample size, shard, golden
+ * digest/window, and every verdict-shaping run option
  * (early termination, HVF, timeout, ladder geometry, pruning). Every
  * mismatch message names the field, the journal's value, the expected
  * value, and the offending file — a distributed campaign surfaces

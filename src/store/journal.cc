@@ -151,6 +151,9 @@ metaFromFields(const std::map<std::string, std::string> &fields,
         meta.optPrune = static_cast<u32>(opt);
     if (fieldU64(fields, "earlyStop", opt))
         meta.optEarlyStop = static_cast<u32>(opt);
+    // Absent in pre-fault-model journals AND in journals written for
+    // the legacy Single model — both mean the uniform single-bit draw.
+    fieldStr(fields, "faultModel", meta.faultModel);
     out = meta;
     return true;
 }
@@ -269,7 +272,7 @@ applyLine(const std::string &line, Journal &journal,
 std::string
 formatMetaLine(const JournalMeta &meta)
 {
-    return strfmt(
+    std::string line = strfmt(
         "{\"type\":\"meta\",\"version\":%u,\"workload\":\"%s\","
         "\"target\":\"%s\",\"model\":\"%s\",\"seed\":%llu,"
         "\"faults\":%llu,\"shard\":%u,\"shards\":%u,"
@@ -277,7 +280,7 @@ formatMetaLine(const JournalMeta &meta)
         "\"windowCycles\":%llu,\"entries\":%u,\"bitsPerEntry\":%u,"
         "\"marvelVersion\":\"%s\",\"earlyTerm\":%u,\"hvf\":%u,"
         "\"timeoutFactorMilli\":%llu,\"ladderRungs\":%u,"
-        "\"prune\":%u,\"earlyStop\":%u}",
+        "\"prune\":%u,\"earlyStop\":%u",
         kJournalFormatVersion, json::escape(meta.workload).c_str(),
         json::escape(meta.target).c_str(),
         json::escape(meta.model).c_str(),
@@ -292,6 +295,14 @@ formatMetaLine(const JournalMeta &meta)
         meta.optHvf,
         static_cast<unsigned long long>(meta.timeoutFactorMilli),
         meta.ladderRungs, meta.optPrune, meta.optEarlyStop);
+    // Omitted (not emitted empty) for the legacy Single model, so
+    // legacy campaigns write bytes identical to pre-fault-model
+    // builds and the canonical form is stable across the upgrade.
+    if (!meta.faultModel.empty())
+        line += strfmt(",\"faultModel\":\"%s\"",
+                       json::escape(meta.faultModel).c_str());
+    line += '}';
+    return line;
 }
 
 std::string

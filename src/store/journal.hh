@@ -87,6 +87,18 @@ struct JournalMeta
      */
     u32 optEarlyStop = 0;
 
+    /**
+     * Canonical fault-model spec string (fi::FaultModelSpec), part of
+     * the campaign identity: it decides how every fault index becomes
+     * a fault mask, so resume/replay/merge/dispatch must re-derive
+     * with the same spec. Empty = the legacy uniform single-bit draw;
+     * the field is OMITTED from the meta line in that case, so
+     * journals written by legacy-model campaigns are byte-identical
+     * to pre-fault-model builds, and journals those builds wrote read
+     * back as the model they actually ran.
+     */
+    std::string faultModel;
+
     bool operator==(const JournalMeta &other) const = default;
 };
 

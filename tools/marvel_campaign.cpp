@@ -56,6 +56,12 @@
  *   --target T         injectable structure          (run only)
  *   --faults N         sample size                   (default 200)
  *   --model M          transient | stuck-at-0 | stuck-at-1
+ *   --fault-model S    sampling spec: "burst k=3", "scatter k=2",
+ *                      "correlated roww=1,3 colw=1,2,4,2",
+ *                      "targeted entry=2:5 pc=0x1000:0x1040" (also
+ *                      read from the [fault_model] config section;
+ *                      default: the legacy uniform single-bit draw)
+ *   --target-filter F  shorthand for --fault-model "targeted F"
  *   --seed N           campaign seed                 (default 0x5eed)
  *   --threads N        parallel workers              (default: hw)
  *   --shard I/N        own fault indices i with i%N == I
@@ -112,6 +118,9 @@ struct Options
     std::string outPath; ///< merge: write the canonical journal here
     unsigned faults = 200;
     fi::FaultModel model = fi::FaultModel::Transient;
+    std::string faultModel;  ///< --fault-model canonical spec string
+    bool faultModelSet = false;
+    std::string targetFilter; ///< --target-filter constraint tokens
     u64 seed = 0x5eed;
     unsigned threads = 0;
     u32 shardIndex = 0;
@@ -136,6 +145,7 @@ const cli::Tool kTool = {
     "[--driver D]\n"
     "              [--target T] [--faults N] [--model M] "
     "[--seed S]\n"
+    "              [--fault-model SPEC | --target-filter FILTER]\n"
     "              [--threads N] [--shard I/N] [--chunk N]\n"
     "              [--save-golden F] [--hvf] [--no-early-term]\n"
     "              [--ladder N|auto|off] [--no-ladder] [--prune]\n"
@@ -226,6 +236,11 @@ parseArgs(int argc, char **argv)
                 opts.model = fi::FaultModel::StuckAt1;
             else
                 usageError("unknown fault model", m);
+        } else if (arg == "--fault-model") {
+            opts.faultModel = next();
+            opts.faultModelSet = true;
+        } else if (arg == "--target-filter") {
+            opts.targetFilter = next();
         } else if (arg == "--ladder") {
             const std::string spec = next();
             opts.ladderSet = true;
@@ -289,6 +304,31 @@ ladderRungsFor(const Options &opts)
     if (section->get("ladder_rungs", "") == "auto")
         return fi::kLadderAuto;
     return static_cast<unsigned>(section->getU64("ladder_rungs", 0));
+}
+
+/**
+ * The campaign's fault-model spec: --fault-model wins, then
+ * --target-filter (shorthand for a targeted spec built from its
+ * constraint tokens), then the `[fault_model]` section of --config,
+ * then the legacy single-bit default. The flags are exclusive —
+ * --fault-model already carries any filter inline.
+ */
+fi::FaultModelSpec
+modelSpecFor(const Options &opts)
+{
+    if (opts.faultModelSet && !opts.targetFilter.empty())
+        usageError("--fault-model and --target-filter are exclusive "
+                   "(fold the filter into the spec):",
+                   opts.targetFilter);
+    if (opts.faultModelSet)
+        return fi::FaultModelSpec::parse(opts.faultModel);
+    if (!opts.targetFilter.empty())
+        return fi::FaultModelSpec::parse("targeted " +
+                                         opts.targetFilter);
+    if (!opts.configFile.empty())
+        return fi::FaultModelSpec::fromConfig(
+            ConfigFile::parseFile(opts.configFile));
+    return fi::FaultModelSpec{};
 }
 
 soc::SystemConfig
@@ -412,6 +452,7 @@ cmdRun(const Options &opts, bool resume)
     fi::CampaignOptions copts;
     copts.numFaults = opts.faults;
     copts.model = opts.model;
+    copts.modelSpec = modelSpecFor(opts);
     copts.seed = opts.seed;
     copts.threads = opts.threads;
     copts.computeHvf = opts.hvf;
@@ -440,6 +481,12 @@ cmdRun(const Options &opts, bool resume)
         copts.numFaults = static_cast<unsigned>(meta.numFaults);
         copts.seed = meta.seed;
         copts.model = modelFromName(meta.model);
+        // The journaled spec wins over any flag/config: a resume
+        // continues the recorded fault population (absent field =
+        // legacy single-bit). checkJournalMatches would reject a
+        // disagreement anyway; re-deriving from the meta makes the
+        // launch flags optional.
+        copts.modelSpec = fi::FaultModelSpec::parse(meta.faultModel);
         copts.shardIndex = meta.shardIndex;
         copts.shardCount = meta.shardCount;
         // Run options shape verdicts, so the journal's record wins

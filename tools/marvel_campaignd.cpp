@@ -60,6 +60,7 @@ const cli::Tool kTool = {
     "  ADDR: unix:/path/to.sock | host:port (port 0 = kernel picks)\n"
     "  campaign: [--faults N] [--seed S]\n"
     "            [--model transient|stuck-at-0|stuck-at-1]\n"
+    "            [--fault-model SPEC | --target-filter FILTER]\n"
     "            [--ladder N|auto|off] [--prune] [--hvf]\n"
     "            [--no-early-term] [--early-stop on|off|auto]\n"
     "  system:   [--preset P] [--config F]\n"
@@ -81,6 +82,9 @@ struct Options
     std::string target;
     unsigned faults = 200;
     fi::FaultModel model = fi::FaultModel::Transient;
+    std::string faultModel;
+    bool faultModelSet = false;
+    std::string targetFilter;
     u64 seed = 0x5eed;
     bool hvf = false;
     bool earlyTerm = true;
@@ -142,6 +146,11 @@ parseArgs(int argc, char **argv)
                 opts.model = fi::FaultModel::StuckAt1;
             else
                 cli::usageError(kTool, "unknown fault model", m);
+        } else if (arg == "--fault-model") {
+            opts.faultModel = next();
+            opts.faultModelSet = true;
+        } else if (arg == "--target-filter") {
+            opts.targetFilter = next();
         } else if (arg == "--ladder") {
             const std::string spec = next();
             if (spec == "auto")
@@ -218,6 +227,23 @@ runDaemon(const Options &opts)
     fi::CampaignOptions copts;
     copts.numFaults = opts.faults;
     copts.model = opts.model;
+    // Same precedence as marvel-campaign: --fault-model, then
+    // --target-filter shorthand, then the [fault_model] config
+    // section, then the legacy single-bit draw. Workers never need a
+    // matching flag — they self-configure from the HelloAck meta.
+    if (opts.faultModelSet && !opts.targetFilter.empty())
+        cli::usageError(kTool,
+                        "--fault-model and --target-filter are "
+                        "exclusive (fold the filter into the spec):",
+                        opts.targetFilter);
+    if (opts.faultModelSet)
+        copts.modelSpec = fi::FaultModelSpec::parse(opts.faultModel);
+    else if (!opts.targetFilter.empty())
+        copts.modelSpec = fi::FaultModelSpec::parse(
+            "targeted " + opts.targetFilter);
+    else if (!opts.configFile.empty())
+        copts.modelSpec = fi::FaultModelSpec::fromConfig(
+            ConfigFile::parseFile(opts.configFile));
     copts.seed = opts.seed;
     copts.computeHvf = opts.hvf;
     copts.earlyTermination = opts.earlyTerm;
@@ -247,6 +273,9 @@ runDaemon(const Options &opts)
                 ? fi::CampaignOptions::EarlyStopSetting::On
                 : fi::CampaignOptions::EarlyStopSetting::Off;
         targetName = meta.target;
+        // The journaled spec wins over flags/config on resume, same
+        // as every other identity field.
+        copts.modelSpec = fi::FaultModelSpec::parse(meta.faultModel);
         if (meta.model == "transient")
             copts.model = fi::FaultModel::Transient;
         else if (meta.model == "stuck-at-0")

@@ -51,6 +51,7 @@ struct Options
     u64 maxCycles = 4'000'000;
     unsigned ladderRungs = 0;
     bool earlyStop = false;
+    std::vector<std::string> faultModels; ///< extra audit specs
     std::string outDir = "results/fuzz";
     unsigned threads = 0; ///< 0 = hardware concurrency
     bool quiet = false;
@@ -63,7 +64,7 @@ const cli::Tool kTool = {
     "             [--no-shrink] [--no-determinism]\n"
     "             [--statements N] [--max-cycles N] [--out DIR]\n"
     "             [--ladder N] [--early-stop] [--threads N]\n"
-    "             [--quiet]\n"
+    "             [--fault-model SPEC ...] [--quiet]\n"
     "       marvel-fuzz dump --seed N\n"
     "       marvel-fuzz --help | --version\n",
 };
@@ -160,6 +161,8 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(parseU64(next("--ladder")));
         } else if (arg == "--early-stop") {
             opts.earlyStop = true;
+        } else if (arg == "--fault-model") {
+            opts.faultModels.push_back(next("--fault-model"));
         } else if (arg == "--out") {
             opts.outDir = next("--out");
         } else if (arg == "--threads") {
@@ -202,6 +205,7 @@ cmdRun(const Options &opts)
     fo.audit.flavors = opts.flavors;
     fo.audit.ladderRungs = opts.ladderRungs;
     fo.audit.earlyStop = opts.earlyStop;
+    fo.audit.faultModels = opts.faultModels;
     fo.outDir = opts.outDir;
     fo.threads = opts.threads;
     if (!opts.quiet) {

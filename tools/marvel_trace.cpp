@@ -168,8 +168,7 @@ cmdReplay(const Options &opts)
 
     const sched::ReplaySetup setup =
         sched::replaySetup(golden, meta, opts.index, opts.journal);
-    fi::FaultMask mask;
-    mask.faults.push_back(setup.fault);
+    const fi::FaultMask &mask = setup.mask;
     std::printf("fault #%llu: %s\n",
                 static_cast<unsigned long long>(opts.index),
                 mask.toString().c_str());
@@ -185,7 +184,7 @@ cmdReplay(const Options &opts)
         journaled->detail == fi::OutcomeDetail::MaskedPruned) {
         const fi::TargetProfile profile =
             fi::profileTargetAccesses(golden, setup.target);
-        if (!profile.prunable(setup.fault)) {
+        if (!profile.prunable(setup.mask)) {
             std::fprintf(stderr,
                          "marvel-trace: journal says fault #%llu was "
                          "pruned, but the golden access profile no "
